@@ -1,0 +1,158 @@
+// Shared harness for the Fig. 6 reproduction benchmarks.
+//
+// Every bench binary reproduces one pair of panels from the paper's Fig. 6:
+// it sweeps the panel's x-axis, runs the panel's algorithm set on freshly
+// generated workloads, and prints two tables — response time (PT, the
+// paper's y-axis in seconds) and data shipment (DS, in KB) — one column per
+// algorithm, one row per x value, averaged over several extracted queries.
+//
+// Environment knobs:
+//   DGS_SCALE    multiplies graph sizes (default 1.0; the defaults are the
+//                paper's setups scaled ~60-100x down to laptop size)
+//   DGS_QUERIES  queries averaged per data point (default 3; paper used 20)
+//   DGS_SEED     RNG seed (default 2014)
+
+#ifndef DGS_BENCH_BENCH_COMMON_H_
+#define DGS_BENCH_BENCH_COMMON_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dgs.h"
+
+namespace dgs::bench {
+
+struct Env {
+  double scale = 1.0;
+  int queries = 3;
+  uint64_t seed = 2014;
+
+  static Env FromEnv() {
+    Env env;
+    if (const char* s = std::getenv("DGS_SCALE")) env.scale = std::atof(s);
+    if (const char* s = std::getenv("DGS_QUERIES")) env.queries = std::atoi(s);
+    if (const char* s = std::getenv("DGS_SEED")) env.seed = std::strtoull(s, nullptr, 10);
+    if (env.scale <= 0) env.scale = 1.0;
+    if (env.queries <= 0) env.queries = 1;
+    return env;
+  }
+
+  size_t Scaled(size_t base) const {
+    size_t v = static_cast<size_t>(static_cast<double>(base) * scale);
+    return v < 16 ? 16 : v;
+  }
+};
+
+// Accumulates per-algorithm metrics for one x value.
+struct PointStats {
+  double pt_seconds = 0;
+  double ds_bytes = 0;
+  double runs = 0;
+
+  void Add(const DistOutcome& outcome) {
+    pt_seconds += outcome.response_seconds();
+    ds_bytes += static_cast<double>(outcome.data_shipment_bytes());
+    runs += 1;
+  }
+  double AvgPtMs() const { return runs > 0 ? pt_seconds / runs * 1e3 : 0; }
+  double AvgDsKb() const { return runs > 0 ? ds_bytes / runs / 1024.0 : 0; }
+};
+
+// One figure pair: rows indexed by x label, columns by algorithm.
+class FigureTable {
+ public:
+  FigureTable(std::string title_pt, std::string title_ds,
+              std::string x_label, std::vector<Algorithm> algorithms)
+      : title_pt_(std::move(title_pt)),
+        title_ds_(std::move(title_ds)),
+        x_label_(std::move(x_label)),
+        algorithms_(std::move(algorithms)) {}
+
+  void Add(const std::string& x, Algorithm algorithm,
+           const DistOutcome& outcome) {
+    cells_[x][algorithm].Add(outcome);
+    if (order_.empty() || order_.back() != x) {
+      bool seen = false;
+      for (const auto& o : order_) seen = seen || o == x;
+      if (!seen) order_.push_back(x);
+    }
+  }
+
+  void Print(std::ostream& os) const {
+    PrintOne(os, title_pt_, /*pt=*/true);
+    os << "\n";
+    PrintOne(os, title_ds_, /*pt=*/false);
+  }
+
+ private:
+  void PrintOne(std::ostream& os, const std::string& title, bool pt) const {
+    os << "== " << title << " ==\n";
+    std::vector<std::string> headers = {x_label_};
+    for (Algorithm a : algorithms_) {
+      headers.push_back(std::string(AlgorithmName(a)) +
+                        (pt ? " PT(ms)" : " DS(KB)"));
+    }
+    TablePrinter table(headers);
+    for (const auto& x : order_) {
+      std::vector<std::string> row = {x};
+      auto it = cells_.find(x);
+      for (Algorithm a : algorithms_) {
+        const PointStats* stats = nullptr;
+        if (it != cells_.end()) {
+          auto jt = it->second.find(a);
+          if (jt != it->second.end()) stats = &jt->second;
+        }
+        if (stats == nullptr || stats->runs == 0) {
+          row.push_back("-");
+        } else {
+          row.push_back(FormatDouble(pt ? stats->AvgPtMs() : stats->AvgDsKb(),
+                                     pt ? 2 : 3));
+        }
+      }
+      table.AddRow(std::move(row));
+    }
+    table.Print(os);
+  }
+
+  std::string title_pt_;
+  std::string title_ds_;
+  std::string x_label_;
+  std::vector<Algorithm> algorithms_;
+  std::vector<std::string> order_;
+  std::map<std::string, std::map<Algorithm, PointStats>> cells_;
+};
+
+// Network model used by all experiment binaries: 1 ms per synchronized
+// delivery round (LAN RTT + barrier cost) and 1 Gbps ingress bandwidth.
+// Mirrors the EC2 deployment of Section 6; response time = max per-site
+// compute per round + these charges (DESIGN.md §4).
+inline NetworkModel BenchNetwork() {
+  NetworkModel model;
+  model.latency_per_round_seconds = 1e-3;
+  model.seconds_per_byte = 8e-9;  // 1 Gbps
+  return model;
+}
+
+// Runs one algorithm, returning false when it is inapplicable or fails.
+inline bool RunOne(const Graph& g, const Fragmentation& frag,
+                   const Pattern& q, Algorithm algorithm,
+                   DistOutcome* outcome) {
+  DistOptions options;
+  options.algorithm = algorithm;
+  options.network = BenchNetwork();
+  auto result = DistributedMatch(g, frag, q, options);
+  if (!result.ok()) {
+    std::cerr << "  [skip] " << AlgorithmName(algorithm) << ": "
+              << result.status().ToString() << "\n";
+    return false;
+  }
+  *outcome = std::move(result).value();
+  return true;
+}
+
+}  // namespace dgs::bench
+
+#endif  // DGS_BENCH_BENCH_COMMON_H_

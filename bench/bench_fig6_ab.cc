@@ -1,0 +1,52 @@
+// Fig. 6(a)/6(b): PT and DS vs the number of fragments |F| on the Yahoo-like
+// web graph. Paper setup: |G| = (3M, 15M), |Q| = (5, 10), |Vf| = 25%,
+// |F| in 4..20; here scaled down (see bench_common.h).
+//
+// Expected shape: dGPM's PT falls as |F| grows (parallelism) while Match is
+// flat and large; dGPM ships orders of magnitude less data than disHHK and
+// dMes; dGPMNOpt tracks dGPM's DS but is far slower.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace dgs;
+  auto env = bench::Env::FromEnv();
+  Rng rng(env.seed);
+
+  const size_t n = env.Scaled(150000), m = env.Scaled(750000);
+  Graph g = WebGraph(n, m, kDefaultAlphabet, rng);
+  std::cout << "Fig 6(a)/(b): web graph |G| = (" << g.NumNodes() << ", "
+            << g.NumEdges() << "), |Q| = (5,10), |Vf| ~ 25%\n\n";
+
+  std::vector<Pattern> queries;
+  for (int i = 0; i < env.queries; ++i) {
+    PatternSpec spec;
+    spec.num_nodes = 5;
+    spec.num_edges = 10;
+    spec.kind = PatternKind::kCyclic;
+    auto q = ExtractPattern(g, spec, rng);
+    if (q.ok()) queries.push_back(*q);
+  }
+
+  const std::vector<Algorithm> algorithms = {
+      Algorithm::kDgpm, Algorithm::kDisHhk, Algorithm::kDgpmNoOpt,
+      Algorithm::kDMes, Algorithm::kMatch};
+  bench::FigureTable fig("Fig 6(a): PT vs |F|", "Fig 6(b): DS vs |F|", "|F|",
+                         algorithms);
+
+  for (uint32_t sites : {4u, 8u, 12u, 16u, 20u}) {
+    auto assignment = PartitionWithBoundaryRatio(g, sites, 0.25, rng);
+    auto frag = Fragmentation::Create(g, assignment, sites);
+    if (!frag.ok()) continue;
+    for (const Pattern& q : queries) {
+      for (Algorithm a : algorithms) {
+        DistOutcome outcome;
+        if (bench::RunOne(g, *frag, q, a, &outcome)) {
+          fig.Add(std::to_string(sites), a, outcome);
+        }
+      }
+    }
+  }
+  fig.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Fig. 6(c)/6(d): PT and DS vs pattern size |Q| on the Yahoo-like web
+// graph. Paper setup: |F| = 8, |G| = (3M, 15M), |Vf| = 25%, |Q| from (4, 8)
+// to (8, 16); here scaled down.
+//
+// Expected shape: all PTs grow with |Q|; dGPM's DS is far less sensitive to
+// |Q| than disHHK's and dMes's.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace dgs;
+  auto env = bench::Env::FromEnv();
+  Rng rng(env.seed);
+
+  const size_t n = env.Scaled(150000), m = env.Scaled(750000);
+  Graph g = WebGraph(n, m, kDefaultAlphabet, rng);
+  auto assignment = PartitionWithBoundaryRatio(g, 8, 0.25, rng);
+  auto frag = Fragmentation::Create(g, assignment, 8);
+  if (!frag.ok()) return 1;
+  std::cout << "Fig 6(c)/(d): web graph |G| = (" << g.NumNodes() << ", "
+            << g.NumEdges() << "), |F| = 8, |Vf| ~ 25%\n\n";
+
+  const std::vector<Algorithm> algorithms = {
+      Algorithm::kDgpm, Algorithm::kDisHhk, Algorithm::kDgpmNoOpt,
+      Algorithm::kDMes, Algorithm::kMatch};
+  bench::FigureTable fig("Fig 6(c): PT vs |Q|", "Fig 6(d): DS vs |Q|", "|Q|",
+                         algorithms);
+
+  for (size_t nq = 4; nq <= 8; ++nq) {
+    const size_t mq = 2 * nq;
+    std::string x = "(" + std::to_string(nq) + "," + std::to_string(mq) + ")";
+    for (int i = 0; i < env.queries; ++i) {
+      PatternSpec spec;
+      spec.num_nodes = nq;
+      spec.num_edges = mq;
+      spec.kind = PatternKind::kCyclic;
+      auto q = ExtractPattern(g, spec, rng);
+      if (!q.ok()) continue;
+      for (Algorithm a : algorithms) {
+        DistOutcome outcome;
+        if (bench::RunOne(g, *frag, *q, a, &outcome)) fig.Add(x, a, outcome);
+      }
+    }
+  }
+  fig.Print(std::cout);
+  return 0;
+}

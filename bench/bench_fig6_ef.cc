@@ -1,0 +1,51 @@
+// Fig. 6(e)/6(f): PT and DS vs the boundary-node ratio |Vf|/|V| on the
+// Yahoo-like web graph. Paper setup: |F| = 8, |G| = (3M, 15M),
+// |Q| = (5, 10), |Vf| from 25% to 50%; here scaled down.
+//
+// Expected shape: dGPM's PT and DS grow with |Vf| (its bounds are stated in
+// the partition parameters) yet stay well below disHHK and dMes throughout.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace dgs;
+  auto env = bench::Env::FromEnv();
+  Rng rng(env.seed);
+
+  const size_t n = env.Scaled(150000), m = env.Scaled(750000);
+  Graph g = WebGraph(n, m, kDefaultAlphabet, rng);
+  std::cout << "Fig 6(e)/(f): web graph |G| = (" << g.NumNodes() << ", "
+            << g.NumEdges() << "), |F| = 8, |Q| = (5,10)\n\n";
+
+  std::vector<Pattern> queries;
+  for (int i = 0; i < env.queries; ++i) {
+    PatternSpec spec;
+    spec.num_nodes = 5;
+    spec.num_edges = 10;
+    spec.kind = PatternKind::kCyclic;
+    auto q = ExtractPattern(g, spec, rng);
+    if (q.ok()) queries.push_back(*q);
+  }
+
+  const std::vector<Algorithm> algorithms = {
+      Algorithm::kDgpm, Algorithm::kDisHhk, Algorithm::kDgpmNoOpt,
+      Algorithm::kDMes, Algorithm::kMatch};
+  bench::FigureTable fig("Fig 6(e): PT vs |Vf|/|V|", "Fig 6(f): DS vs |Vf|/|V|",
+                         "|Vf|/|V|", algorithms);
+
+  for (int pct = 25; pct <= 50; pct += 5) {
+    auto assignment =
+        PartitionWithBoundaryRatio(g, 8, pct / 100.0, rng);
+    auto frag = Fragmentation::Create(g, assignment, 8);
+    if (!frag.ok()) continue;
+    std::string x = FormatDouble(BoundaryNodeRatio(g, assignment), 2);
+    for (const Pattern& q : queries) {
+      for (Algorithm a : algorithms) {
+        DistOutcome outcome;
+        if (bench::RunOne(g, *frag, q, a, &outcome)) fig.Add(x, a, outcome);
+      }
+    }
+  }
+  fig.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Fig. 6(i)/6(j): PT and DS vs the number of fragments |F| on the
+// Citation-like DAG. Paper setup: |G| = (1.4M, 3M), |Q| = (9, 13), d = 4,
+// |F| in 4..20; here scaled down.
+//
+// Expected shape: dGPMd's PT falls as |F| grows and it ships orders of
+// magnitude less data than disHHK, dMes and Match.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace dgs;
+  auto env = bench::Env::FromEnv();
+  Rng rng(env.seed);
+
+  const size_t n = env.Scaled(140000), m = env.Scaled(300000);
+  Graph g = CitationDag(n, m, kDefaultAlphabet, rng);
+  std::cout << "Fig 6(i)/(j): citation DAG |G| = (" << g.NumNodes() << ", "
+            << g.NumEdges() << "), |Q| = (9,13), d = 4\n\n";
+
+  std::vector<Pattern> queries;
+  for (int i = 0; i < env.queries; ++i) {
+    PatternSpec spec;
+    spec.num_nodes = 9;
+    spec.num_edges = 13;
+    spec.kind = PatternKind::kDag;
+    spec.dag_depth = 4;
+    auto q = ExtractPattern(g, spec, rng);
+    if (q.ok()) queries.push_back(*q);
+  }
+
+  const std::vector<Algorithm> algorithms = {
+      Algorithm::kDgpmDag, Algorithm::kDisHhk, Algorithm::kDMes,
+      Algorithm::kMatch};
+  bench::FigureTable fig("Fig 6(i): PT vs |F|", "Fig 6(j): DS vs |F|", "|F|",
+                         algorithms);
+
+  for (uint32_t sites : {4u, 8u, 12u, 16u, 20u}) {
+    auto assignment = PartitionWithBoundaryRatio(g, sites, 0.25, rng);
+    auto frag = Fragmentation::Create(g, assignment, sites);
+    if (!frag.ok()) continue;
+    for (const Pattern& q : queries) {
+      for (Algorithm a : algorithms) {
+        DistOutcome outcome;
+        if (bench::RunOne(g, *frag, q, a, &outcome)) {
+          fig.Add(std::to_string(sites), a, outcome);
+        }
+      }
+    }
+  }
+  fig.Print(std::cout);
+  return 0;
+}

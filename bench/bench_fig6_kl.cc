@@ -1,0 +1,52 @@
+// Fig. 6(k)/6(l): PT and DS vs the boundary ratio |Vf|/|V| on the
+// Citation-like DAG. Paper setup: |F| = 8, |Q| = (9, 13), d = 4, |Vf| from
+// 25% to 50%; here scaled down.
+//
+// Expected shape: dGPMd's PT is insensitive to |Vf| (contrast Fig. 6(e)
+// where dGPM's PT grew ~81%); its DS grows with |Vf| but stays orders of
+// magnitude below disHHK and dMes.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace dgs;
+  auto env = bench::Env::FromEnv();
+  Rng rng(env.seed);
+
+  const size_t n = env.Scaled(140000), m = env.Scaled(300000);
+  Graph g = CitationDag(n, m, kDefaultAlphabet, rng);
+  std::cout << "Fig 6(k)/(l): citation DAG |G| = (" << g.NumNodes() << ", "
+            << g.NumEdges() << "), |F| = 8, |Q| = (9,13), d = 4\n\n";
+
+  std::vector<Pattern> queries;
+  for (int i = 0; i < env.queries; ++i) {
+    PatternSpec spec;
+    spec.num_nodes = 9;
+    spec.num_edges = 13;
+    spec.kind = PatternKind::kDag;
+    spec.dag_depth = 4;
+    auto q = ExtractPattern(g, spec, rng);
+    if (q.ok()) queries.push_back(*q);
+  }
+
+  const std::vector<Algorithm> algorithms = {
+      Algorithm::kDgpmDag, Algorithm::kDisHhk, Algorithm::kDMes,
+      Algorithm::kMatch};
+  bench::FigureTable fig("Fig 6(k): PT vs |Vf|/|V|", "Fig 6(l): DS vs |Vf|/|V|",
+                         "|Vf|/|V|", algorithms);
+
+  for (int pct = 25; pct <= 50; pct += 5) {
+    auto assignment = PartitionWithBoundaryRatio(g, 8, pct / 100.0, rng);
+    auto frag = Fragmentation::Create(g, assignment, 8);
+    if (!frag.ok()) continue;
+    std::string x = FormatDouble(BoundaryNodeRatio(g, assignment), 2);
+    for (const Pattern& q : queries) {
+      for (Algorithm a : algorithms) {
+        DistOutcome outcome;
+        if (bench::RunOne(g, *frag, q, a, &outcome)) fig.Add(x, a, outcome);
+      }
+    }
+  }
+  fig.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Fig. 6(m)/6(n): PT and DS vs |F| on larger synthetic graphs. Paper setup:
+// |G| = (30M, 120M), |Q| = (5, 10), |Vf| = 20%, |F| in 8..20; Match is
+// omitted (it cannot hold G on one site); here scaled down.
+//
+// Expected shape: more processors => lower dGPM PT; dGPM ships orders of
+// magnitude less data than disHHK and dMes.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace dgs;
+  auto env = bench::Env::FromEnv();
+  Rng rng(env.seed);
+
+  const size_t n = env.Scaled(200000), m = env.Scaled(800000);
+  Graph g = ClusteredGraph(n, m, kDefaultAlphabet, rng);
+  std::cout << "Fig 6(m)/(n): synthetic |G| = (" << g.NumNodes() << ", "
+            << g.NumEdges() << "), |Q| = (5,10), |Vf| ~ 20%\n\n";
+
+  std::vector<Pattern> queries;
+  for (int i = 0; i < env.queries; ++i) {
+    PatternSpec spec;
+    spec.num_nodes = 5;
+    spec.num_edges = 10;
+    spec.kind = PatternKind::kCyclic;
+    auto q = ExtractPattern(g, spec, rng);
+    if (q.ok()) queries.push_back(*q);
+  }
+
+  const std::vector<Algorithm> algorithms = {
+      Algorithm::kDgpm, Algorithm::kDisHhk, Algorithm::kDgpmNoOpt,
+      Algorithm::kDMes};
+  bench::FigureTable fig("Fig 6(m): PT vs |F|", "Fig 6(n): DS vs |F|", "|F|",
+                         algorithms);
+
+  for (uint32_t sites : {8u, 12u, 16u, 20u}) {
+    auto assignment = PartitionWithBoundaryRatio(g, sites, 0.20, rng);
+    auto frag = Fragmentation::Create(g, assignment, sites);
+    if (!frag.ok()) continue;
+    for (const Pattern& q : queries) {
+      for (Algorithm a : algorithms) {
+        DistOutcome outcome;
+        if (bench::RunOne(g, *frag, q, a, &outcome)) {
+          fig.Add(std::to_string(sites), a, outcome);
+        }
+      }
+    }
+  }
+  fig.Print(std::cout);
+  return 0;
+}

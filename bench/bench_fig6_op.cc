@@ -1,0 +1,49 @@
+// Fig. 6(o)/6(p): PT and DS vs graph size |G| on synthetic graphs. Paper
+// setup: |F| = 20, |Q| = (5, 10), |Vf| = 20%, |G| from (20M, 80M) to
+// (80M, 320M); here scaled down (x-axis labels keep the paper's shape:
+// |V| grows linearly at |E| = 4|V|).
+//
+// Expected shape: dGPM's PT grows only with |Fm| = |G|/|F| and its DS stays
+// nearly flat (it depends on |Ef| and |Q|, not |G|); disHHK's and dMes's PT
+// and DS are functions of |G| and climb steadily.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace dgs;
+  auto env = bench::Env::FromEnv();
+
+  const std::vector<Algorithm> algorithms = {
+      Algorithm::kDgpm, Algorithm::kDisHhk, Algorithm::kDgpmNoOpt,
+      Algorithm::kDMes};
+  bench::FigureTable fig("Fig 6(o): PT vs |G|", "Fig 6(p): DS vs |G|",
+                         "|G|=(V,E)", algorithms);
+  std::cout << "Fig 6(o)/(p): synthetic graphs, |F| = 20, |Q| = (5,10), "
+               "|Vf| ~ 20%\n\n";
+
+  for (size_t base = 20; base <= 80; base += 10) {
+    Rng rng(env.seed + base);  // fresh graph per size, deterministic
+    const size_t n = env.Scaled(base * 5000);
+    const size_t m = 4 * n;
+    Graph g = ClusteredGraph(n, m, kDefaultAlphabet, rng);
+    auto assignment = PartitionWithBoundaryRatio(g, 20, 0.20, rng);
+    auto frag = Fragmentation::Create(g, assignment, 20);
+    if (!frag.ok()) continue;
+    std::string x = "(" + std::to_string(n / 1000) + "K," +
+                    std::to_string(m / 1000) + "K)";
+    for (int i = 0; i < env.queries; ++i) {
+      PatternSpec spec;
+      spec.num_nodes = 5;
+      spec.num_edges = 10;
+      spec.kind = PatternKind::kCyclic;
+      auto q = ExtractPattern(g, spec, rng);
+      if (!q.ok()) continue;
+      for (Algorithm a : algorithms) {
+        DistOutcome outcome;
+        if (bench::RunOne(g, *frag, *q, a, &outcome)) fig.Add(x, a, outcome);
+      }
+    }
+  }
+  fig.Print(std::cout);
+  return 0;
+}

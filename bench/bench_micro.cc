@@ -1,0 +1,150 @@
+// Substrate micro-benchmarks (google-benchmark): centralized simulation
+// throughput, equation-system propagation, generators, fragmentation and
+// bitset kernels. These are the building blocks whose constants determine
+// the absolute numbers in the Fig. 6 reproductions.
+
+#include <benchmark/benchmark.h>
+
+#include "dgs.h"
+
+namespace {
+
+using namespace dgs;
+
+void BM_CentralizedSimulation(benchmark::State& state) {
+  Rng rng(1);
+  const size_t n = static_cast<size_t>(state.range(0));
+  Graph g = WebGraph(n, 5 * n, kDefaultAlphabet, rng);
+  PatternSpec spec;
+  spec.num_nodes = 5;
+  spec.num_edges = 10;
+  spec.kind = PatternKind::kCyclic;
+  auto q = ExtractPattern(g, spec, rng);
+  if (!q.ok()) {
+    state.SkipWithError("pattern extraction failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto result = ComputeSimulation(*q, g);
+    benchmark::DoNotOptimize(result.GraphMatches());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.Size()));
+}
+BENCHMARK(BM_CentralizedSimulation)->Arg(10000)->Arg(40000)->Arg(160000);
+
+void BM_BooleanOnlySimulation(benchmark::State& state) {
+  Rng rng(2);
+  const size_t n = static_cast<size_t>(state.range(0));
+  Graph g = WebGraph(n, 5 * n, kDefaultAlphabet, rng);
+  PatternSpec spec;
+  spec.kind = PatternKind::kCyclic;
+  auto q = ExtractPattern(g, spec, rng);
+  if (!q.ok()) {
+    state.SkipWithError("pattern extraction failed");
+    return;
+  }
+  SimulationOptions options;
+  options.boolean_only = true;
+  for (auto _ : state) {
+    auto result = ComputeSimulation(*q, g, options);
+    benchmark::DoNotOptimize(result.GraphMatches());
+  }
+}
+BENCHMARK(BM_BooleanOnlySimulation)->Arg(40000);
+
+void BM_EquationPropagation(benchmark::State& state) {
+  // Chain of length N: worst-case full propagation.
+  const size_t n = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    EquationSystem s;
+    VarId prev = s.NewVar();
+    VarId first = prev;
+    for (size_t i = 1; i < n; ++i) {
+      VarId x = s.NewVar();
+      s.SetEquation(x, {{prev}});
+      prev = x;
+    }
+    state.ResumeTiming();
+    s.AssertFalse(first);
+    size_t count = 0;
+    s.Propagate([&](VarId) { ++count; });
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_EquationPropagation)->Arg(1000)->Arg(100000);
+
+void BM_WebGraphGeneration(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  uint64_t seed = 3;
+  for (auto _ : state) {
+    Rng rng(seed++);
+    Graph g = WebGraph(n, 5 * n, kDefaultAlphabet, rng);
+    benchmark::DoNotOptimize(g.NumEdges());
+  }
+}
+BENCHMARK(BM_WebGraphGeneration)->Arg(100000);
+
+void BM_Fragmentation(benchmark::State& state) {
+  Rng rng(4);
+  const size_t n = static_cast<size_t>(state.range(0));
+  Graph g = WebGraph(n, 5 * n, kDefaultAlphabet, rng);
+  auto assignment = RandomPartition(g, 16, rng);
+  for (auto _ : state) {
+    auto f = Fragmentation::Create(g, assignment, 16);
+    benchmark::DoNotOptimize(f.ok());
+  }
+}
+BENCHMARK(BM_Fragmentation)->Arg(50000);
+
+void BM_PartitionRefinement(benchmark::State& state) {
+  Rng rng(5);
+  Graph g = WebGraph(50000, 250000, kDefaultAlphabet, rng);
+  for (auto _ : state) {
+    auto a = PartitionWithBoundaryRatio(g, 8, 0.25, rng);
+    benchmark::DoNotOptimize(a.size());
+  }
+}
+BENCHMARK(BM_PartitionRefinement);
+
+void BM_BitsetForEach(benchmark::State& state) {
+  DynamicBitset bits(1 << 20);
+  Rng rng(6);
+  for (int i = 0; i < 50000; ++i) {
+    bits.Set(rng.UniformInt(1 << 20));
+  }
+  for (auto _ : state) {
+    size_t sum = 0;
+    bits.ForEachSet([&](size_t i) { sum += i; });
+    benchmark::DoNotOptimize(sum);
+  }
+}
+BENCHMARK(BM_BitsetForEach);
+
+void BM_DgpmEndToEnd(benchmark::State& state) {
+  Rng rng(7);
+  const size_t n = static_cast<size_t>(state.range(0));
+  Graph g = WebGraph(n, 5 * n, kDefaultAlphabet, rng);
+  auto assignment = PartitionWithBoundaryRatio(g, 8, 0.25, rng);
+  auto frag = Fragmentation::Create(g, assignment, 8);
+  PatternSpec spec;
+  spec.num_nodes = 5;
+  spec.num_edges = 10;
+  spec.kind = PatternKind::kCyclic;
+  auto q = ExtractPattern(g, spec, rng);
+  if (!frag.ok() || !q.ok()) {
+    state.SkipWithError("setup failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto outcome = RunDgpm(*frag, *q, DgpmConfig{});
+    benchmark::DoNotOptimize(outcome.result.GraphMatches());
+  }
+}
+BENCHMARK(BM_DgpmEndToEnd)->Arg(20000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

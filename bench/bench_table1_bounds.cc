@@ -1,0 +1,157 @@
+// Table 1 ("this work" rows): empirical validation of the analytic bounds.
+//
+//   dGPM   PT = O((|Vq|+|Vm|)(|Eq|+|Em|) |Vq||Vf|),  DS = O(|Ef||Vq|)
+//   dGPMd  PT = O(d(|Vq|+|Vm|)(|Eq|+|Em|) + |Q||F|), DS = O(|Ef||Vq|)
+//   dGPMt  PT = O(|Q||Fm| + |Q||F|),                 DS = O(|Q||F|)
+//
+// For each algorithm the harness measures the bound's two key independence
+// claims: (1) shipped truth values never exceed the |Ef||Vq| budget (for
+// dGPMt: |Q||F| equation units), and (2) DS does not scale with |G| when
+// the partition parameters are held fixed.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace dgs;
+  auto env = bench::Env::FromEnv();
+  Rng rng(env.seed);
+
+  std::cout << "Table 1 bound validation\n\n";
+
+  // --- dGPM and dGPMd: vars shipped vs the |Ef||Vq| budget --------------
+  {
+    TablePrinter table({"algo", "|G|", "|Ef|", "|Vq|", "budget |Ef||Vq|",
+                        "shipped", "used %"});
+    for (size_t n : {env.Scaled(10000), env.Scaled(20000), env.Scaled(40000)}) {
+      Graph g = WebGraph(n, 5 * n, kDefaultAlphabet, rng);
+      auto assignment = PartitionWithBoundaryRatio(g, 8, 0.25, rng);
+      auto frag = Fragmentation::Create(g, assignment, 8);
+      if (!frag.ok()) continue;
+      PatternSpec spec;
+      spec.num_nodes = 5;
+      spec.num_edges = 10;
+      spec.kind = PatternKind::kCyclic;
+      auto q = ExtractPattern(g, spec, rng);
+      if (!q.ok()) continue;
+      DistOutcome outcome;
+      if (!bench::RunOne(g, *frag, *q, Algorithm::kDgpm, &outcome)) continue;
+      uint64_t budget = frag->NumCrossingEdges() * q->NumNodes();
+      table.AddRow({"dGPM",
+                    "(" + std::to_string(g.NumNodes()) + "," +
+                        std::to_string(g.NumEdges()) + ")",
+                    std::to_string(frag->NumCrossingEdges()),
+                    std::to_string(q->NumNodes()), std::to_string(budget),
+                    std::to_string(outcome.counters.vars_shipped),
+                    FormatDouble(100.0 *
+                                     static_cast<double>(
+                                         outcome.counters.vars_shipped) /
+                                     static_cast<double>(budget),
+                                 2)});
+    }
+    for (size_t n : {env.Scaled(10000), env.Scaled(30000)}) {
+      Graph g = CitationDag(n, 2 * n, kDefaultAlphabet, rng);
+      auto assignment = PartitionWithBoundaryRatio(g, 8, 0.25, rng);
+      auto frag = Fragmentation::Create(g, assignment, 8);
+      if (!frag.ok()) continue;
+      PatternSpec spec;
+      spec.num_nodes = 8;
+      spec.num_edges = 12;
+      spec.kind = PatternKind::kDag;
+      spec.dag_depth = 4;
+      auto q = ExtractPattern(g, spec, rng);
+      if (!q.ok()) continue;
+      DistOutcome outcome;
+      if (!bench::RunOne(g, *frag, *q, Algorithm::kDgpmDag, &outcome)) continue;
+      uint64_t budget = frag->NumCrossingEdges() * q->NumNodes();
+      table.AddRow({"dGPMd",
+                    "(" + std::to_string(g.NumNodes()) + "," +
+                        std::to_string(g.NumEdges()) + ")",
+                    std::to_string(frag->NumCrossingEdges()),
+                    std::to_string(q->NumNodes()), std::to_string(budget),
+                    std::to_string(outcome.counters.vars_shipped),
+                    FormatDouble(100.0 *
+                                     static_cast<double>(
+                                         outcome.counters.vars_shipped) /
+                                     static_cast<double>(budget),
+                                 2)});
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+
+  // --- dGPMt: DS tracks |Q||F|, not |G| ----------------------------------
+  {
+    TablePrinter table(
+        {"algo", "tree |V|", "|F|", "equation units", "kData bytes"});
+    Pattern q(MakeGraph({0, 1, 2}, {{0, 1}, {1, 2}}));
+    for (size_t n : {env.Scaled(5000), env.Scaled(20000), env.Scaled(80000)}) {
+      Graph tree = RandomTree(n, 3, rng);
+      auto assignment = TreePartition(tree, 8);
+      if (!assignment.ok()) continue;
+      auto frag = Fragmentation::Create(tree, *assignment, 8);
+      if (!frag.ok()) continue;
+      DistOutcome outcome;
+      if (!bench::RunOne(tree, *frag, q, Algorithm::kDgpmTree, &outcome)) {
+        continue;
+      }
+      table.AddRow({"dGPMt", std::to_string(tree.NumNodes()), "8",
+                    std::to_string(outcome.counters.equation_units),
+                    std::to_string(outcome.stats.data_bytes)});
+    }
+    table.Print(std::cout);
+    std::cout << "\n(16x the tree at fixed |F|: kData bytes should stay "
+                 "nearly flat — DS = O(|Q||F|).)\n\n";
+  }
+
+  // --- dGPM: DS independence from |G| at fixed partition stats ----------
+  {
+    TablePrinter table({"|G|", "|Ef|", "dGPM DS (KB)", "disHHK DS (KB)"});
+    for (size_t half : {env.Scaled(5000), env.Scaled(20000),
+                        env.Scaled(80000)}) {
+      // Two internally-acyclic halves (intra-half edges only increase the
+      // id) joined by a fixed 64-edge crossing band whose labels align
+      // with the query cycle: boundary refutations genuinely cross sites,
+      // yet their number is bounded by the (fixed) band, not by |G|.
+      GraphBuilder b;
+      for (size_t i = 0; i < 2 * half; ++i) {
+        b.AddNode(static_cast<Label>((i < half ? i : i - half) % 3));
+      }
+      for (size_t i = 0; i < 8 * half; ++i) {
+        NodeId u = static_cast<NodeId>(rng.UniformInt(half));
+        NodeId v = static_cast<NodeId>(rng.UniformInt(half));
+        if (u != v) b.AddEdge(std::min(u, v), std::max(u, v));
+        u = static_cast<NodeId>(half + rng.UniformInt(half));
+        v = static_cast<NodeId>(half + rng.UniformInt(half));
+        if (u != v) b.AddEdge(std::min(u, v), std::max(u, v));
+      }
+      // 32 crossing edges each way, id offset +1 so labels follow the query
+      // chain 0 -> 1 -> 2 -> 0 while the union graph stays acyclic.
+      for (size_t i = 0; i < 32; ++i) {
+        b.AddEdge(static_cast<NodeId>(3 * i),
+                  static_cast<NodeId>(half + 3 * i + 1));
+        b.AddEdge(static_cast<NodeId>(half + 3 * i),
+                  static_cast<NodeId>(3 * i + 1));
+      }
+      Graph g = std::move(b).Build();
+      std::vector<uint32_t> assignment(g.NumNodes());
+      for (NodeId v = 0; v < g.NumNodes(); ++v) {
+        assignment[v] = v < half ? 0 : 1;
+      }
+      auto frag = Fragmentation::Create(g, assignment, 2);
+      if (!frag.ok()) continue;
+      Pattern q(MakeGraph({0, 1, 2}, {{0, 1}, {1, 2}, {2, 0}}));
+      DistOutcome dgpm, dishhk;
+      if (!bench::RunOne(g, *frag, q, Algorithm::kDgpm, &dgpm)) continue;
+      if (!bench::RunOne(g, *frag, q, Algorithm::kDisHhk, &dishhk)) continue;
+      table.AddRow({"(" + std::to_string(g.NumNodes()) + "," +
+                        std::to_string(g.NumEdges()) + ")",
+                    std::to_string(frag->NumCrossingEdges()),
+                    FormatDouble(dgpm.stats.data_bytes / 1024.0, 3),
+                    FormatDouble(dishhk.stats.data_bytes / 1024.0, 3)});
+    }
+    table.Print(std::cout);
+    std::cout << "\n(|Ef| fixed while |G| grows 16x: dGPM's DS is flat, "
+                 "disHHK's scales with |G|.)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Corollary 4 / Section 5.2: dGPMt on distributed trees with connected
+// fragments — parallel scalable in data shipment, and in response time at
+// fixed |F|. Sweeps |F| and |G| and compares with dGPM on the same trees.
+//
+// Expected shape: dGPMt's DS tracks |Q||F| (flat in |G|), its PT tracks
+// |Fm| = |G|/|F|; dGPM remains correct but pays boundary-driven shipment.
+
+#include "bench_common.h"
+
+int main() {
+  using namespace dgs;
+  auto env = bench::Env::FromEnv();
+  Rng rng(env.seed);
+
+  Pattern q(MakeGraph({0, 1, 2, 1}, {{0, 1}, {0, 3}, {1, 2}}));
+  std::cout << "dGPMt benchmark, |Q| = (" << q.NumNodes() << ","
+            << q.NumEdges() << ")\n\n";
+
+  {
+    std::cout << "Sweep |F| at fixed |G|:\n";
+    Graph tree = RandomTree(env.Scaled(100000), 3, rng);
+    TablePrinter table({"|F|", "dGPMt PT(ms)", "dGPMt DS(KB)", "dGPM PT(ms)",
+                        "dGPM DS(KB)"});
+    for (uint32_t sites : {4u, 8u, 16u, 32u}) {
+      auto assignment = TreePartition(tree, sites);
+      if (!assignment.ok()) continue;
+      auto frag = Fragmentation::Create(tree, *assignment, sites);
+      if (!frag.ok()) continue;
+      DistOutcome t_out, g_out;
+      if (!bench::RunOne(tree, *frag, q, Algorithm::kDgpmTree, &t_out)) continue;
+      if (!bench::RunOne(tree, *frag, q, Algorithm::kDgpm, &g_out)) continue;
+      table.AddRow({std::to_string(sites),
+                    FormatDouble(t_out.response_seconds() * 1e3, 2),
+                    FormatDouble(t_out.stats.data_bytes / 1024.0, 3),
+                    FormatDouble(g_out.response_seconds() * 1e3, 2),
+                    FormatDouble(g_out.stats.data_bytes / 1024.0, 3)});
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+
+  {
+    std::cout << "Sweep |G| at fixed |F| = 8 (DS should stay flat for "
+                 "dGPMt):\n";
+    TablePrinter table({"tree |V|", "dGPMt PT(ms)", "dGPMt DS(KB)",
+                        "equation units"});
+    for (size_t n : {env.Scaled(20000), env.Scaled(40000), env.Scaled(80000),
+                     env.Scaled(160000)}) {
+      Graph tree = RandomTree(n, 3, rng);
+      auto assignment = TreePartition(tree, 8);
+      if (!assignment.ok()) continue;
+      auto frag = Fragmentation::Create(tree, *assignment, 8);
+      if (!frag.ok()) continue;
+      DistOutcome outcome;
+      if (!bench::RunOne(tree, *frag, q, Algorithm::kDgpmTree, &outcome)) {
+        continue;
+      }
+      table.AddRow({std::to_string(tree.NumNodes()),
+                    FormatDouble(outcome.response_seconds() * 1e3, 2),
+                    FormatDouble(outcome.stats.data_bytes / 1024.0, 3),
+                    std::to_string(outcome.counters.equation_units)});
+    }
+    table.Print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Empirical illustration of Theorem 1 (the impossibility of parallel
+// scalability), using the Fig. 2 gadget: Q0 is the 2-node cycle A <-> B and
+// G0 an alternating 2n-cycle, one {Ai, Bi} pair per site.
+//
+// |Q0| and |Fm| are constants, yet as n grows the refinement rounds (hence
+// response time) and, in the 2-fragment variant, the data shipment grow
+// linearly: no algorithm can be parallel scalable. The demo also shows the
+// Theorem 2 consolation: all cost is bounded by the partition parameters
+// |Vf| and |Ef|, which here deliberately equal |G|/2.
+//
+//   ./examples/impossibility_demo
+
+#include <iostream>
+
+#include "dgs.h"
+
+int main() {
+  std::cout << "Theorem 1 demo: broken 2n-cycle, one {Ai,Bi} pair per site\n";
+  std::cout << "(|Q| = 4 and |Fm| = 5 are constant; watch rounds and DS "
+               "grow with n)\n\n";
+
+  dgs::TablePrinter per_site({"n (= |F|)", "|Fm|", "|Vf|", "rounds",
+                              "PT (ms)", "DS", "truth values"});
+  for (size_t n : {4u, 8u, 16u, 32u, 64u, 128u}) {
+    auto gadget = dgs::MakeLocalityGadget(n, /*broken=*/true);
+    auto frag = dgs::Fragmentation::Create(gadget.g, gadget.assignment,
+                                           static_cast<uint32_t>(n));
+    if (!frag.ok()) continue;
+    dgs::DistOptions options;
+    options.enable_push = false;
+    auto outcome = dgs::DistributedMatch(gadget.g, gadget.assignment,
+                                         static_cast<uint32_t>(n), gadget.q,
+                                         options);
+    if (!outcome.ok()) continue;
+    per_site.AddRow({std::to_string(n), std::to_string(frag->MaxFragmentSize()),
+                     std::to_string(frag->NumBoundaryNodes()),
+                     std::to_string(outcome->stats.rounds),
+                     dgs::FormatDouble(outcome->response_seconds() * 1e3, 3),
+                     dgs::FormatBytes(outcome->data_shipment_bytes()),
+                     std::to_string(outcome->counters.vars_shipped)});
+  }
+  per_site.Print(std::cout);
+
+  std::cout << "\nTheorem 1(2) variant: two fragments (all A | all B); |F| "
+               "= 2 is constant,\nyet data shipment grows with n:\n\n";
+  dgs::TablePrinter two_site({"n", "|F|", "DS", "truth values"});
+  for (size_t n : {8u, 32u, 128u, 512u}) {
+    auto gadget = dgs::MakeLocalityGadget(n, /*broken=*/true);
+    std::vector<uint32_t> assignment(2 * n);
+    for (size_t i = 0; i < 2 * n; ++i) assignment[i] = i % 2;
+    dgs::DistOptions options;
+    options.enable_push = false;
+    auto outcome =
+        dgs::DistributedMatch(gadget.g, assignment, 2, gadget.q, options);
+    if (!outcome.ok()) continue;
+    two_site.AddRow({std::to_string(n), "2",
+                     dgs::FormatBytes(outcome->data_shipment_bytes()),
+                     std::to_string(outcome->counters.vars_shipped)});
+  }
+  two_site.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Partition quality explorer: the paper's bounds are stated in the
+// partition parameters |Vf| (boundary nodes) and |Ef| (crossing edges).
+// This tool partitions one graph several ways and shows how dGPM's response
+// time and data shipment track partition quality rather than graph size —
+// the motivation for pairing the algorithms with partitioners like [27].
+//
+//   ./examples/partition_explorer
+
+#include <iostream>
+
+#include "dgs.h"
+
+int main() {
+  dgs::Rng rng(99);
+  dgs::Graph g = dgs::WebGraph(40000, 200000, dgs::kDefaultAlphabet, rng);
+  dgs::PatternSpec spec;
+  spec.num_nodes = 5;
+  spec.num_edges = 10;
+  spec.kind = dgs::PatternKind::kCyclic;
+  auto q = dgs::ExtractPattern(g, spec, rng);
+  if (!q.ok()) {
+    std::cerr << "pattern extraction failed: " << q.status().ToString()
+              << "\n";
+    return 1;
+  }
+  std::cout << "graph: " << g.NumNodes() << " nodes, " << g.NumEdges()
+            << " edges; |Q| = (" << q->NumNodes() << ", " << q->NumEdges()
+            << "); 8 sites\n\n";
+
+  struct Strategy {
+    const char* name;
+    std::vector<uint32_t> assignment;
+  };
+  std::vector<Strategy> strategies;
+  strategies.push_back({"contiguous (BFS)", dgs::ContiguousPartition(g, 8, rng)});
+  strategies.push_back(
+      {"refined to 25%", dgs::PartitionWithBoundaryRatio(g, 8, 0.25, rng)});
+  strategies.push_back(
+      {"refined to 50%", dgs::PartitionWithBoundaryRatio(g, 8, 0.50, rng)});
+  strategies.push_back({"random", dgs::RandomPartition(g, 8, rng)});
+  strategies.push_back({"hash", dgs::HashPartition(g, 8)});
+
+  dgs::TablePrinter table({"partitioner", "|Vf|/|V|", "|Ef|/|E|", "PT (ms)",
+                           "DS", "rounds"});
+  for (const auto& s : strategies) {
+    auto frag = dgs::Fragmentation::Create(g, s.assignment, 8);
+    if (!frag.ok()) continue;
+    dgs::DistOptions options;
+    auto outcome = dgs::DistributedMatch(g, *frag, *q, options);
+    if (!outcome.ok()) continue;
+    table.AddRow(
+        {s.name,
+         dgs::FormatDouble(dgs::BoundaryNodeRatio(g, s.assignment), 3),
+         dgs::FormatDouble(dgs::CrossingEdgeRatio(g, s.assignment), 3),
+         dgs::FormatDouble(outcome->response_seconds() * 1e3, 2),
+         dgs::FormatBytes(outcome->data_shipment_bytes()),
+         std::to_string(outcome->stats.rounds)});
+  }
+  table.Print(std::cout);
+  std::cout << "\nLower |Vf|/|Ef| => fewer boundary truth values to refine "
+               "and ship (Theorem 2).\n";
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Matching-semantics comparison (Sections 1, 2.1 and Example 3): graph
+// simulation vs dual simulation vs strong simulation vs subgraph
+// isomorphism, on the paper's two running fixtures.
+//
+//   - Fig. 1 social graph: simulation finds all potential customers;
+//     strong simulation misses yb2; no isomorphic embedding exists at all.
+//   - Fig. 2 locality gadget: simulation matches the stretched cycle
+//     (requiring whole-cycle information — no data locality); isomorphism
+//     and strong simulation decide locally and reject it.
+//
+//   ./examples/semantics_comparison
+
+#include <iostream>
+
+#include "dgs.h"
+
+namespace {
+
+std::string MatchColumn(const dgs::SimulationResult& r, dgs::NodeId u,
+                        const std::vector<std::string>& names) {
+  if (!r.GraphMatches()) return "-";
+  std::string out;
+  for (dgs::NodeId v : r.Matches(u)) {
+    if (!out.empty()) out += " ";
+    out += names[v];
+  }
+  return out.empty() ? "-" : out;
+}
+
+}  // namespace
+
+int main() {
+  auto ex = dgs::MakeSocialExample();
+  const char* query_names[] = {"YB", "YF", "F", "SP"};
+
+  std::cout << "=== Fig. 1 social graph: who matches under each "
+               "semantics? ===\n\n";
+  auto plain = dgs::ComputeSimulation(ex.q, ex.g);
+  auto dual = dgs::ComputeDualSimulation(ex.q, ex.g);
+  auto strong = dgs::ComputeStrongSimulation(ex.q, ex.g);
+  auto iso = dgs::FindSubgraphIsomorphism(ex.q, ex.g);
+
+  dgs::TablePrinter table({"query node", "simulation", "dual simulation",
+                           "strong simulation"});
+  for (dgs::NodeId u = 0; u < 4; ++u) {
+    table.AddRow({query_names[u], MatchColumn(plain, u, ex.node_names),
+                  MatchColumn(dual, u, ex.node_names),
+                  MatchColumn(strong, u, ex.node_names)});
+  }
+  table.Print(std::cout);
+  std::cout << "subgraph isomorphism: "
+            << (iso.has_value() ? "embedding found" : "no embedding exists")
+            << " (the Fig. 1 cycle is 'stretched' over nine nodes)\n\n";
+
+  std::cout << "=== Fig. 2 gadget (intact 2n-cycle, n = 8): locality ===\n\n";
+  auto gadget = dgs::MakeLocalityGadget(8);
+  auto g_plain = dgs::ComputeSimulation(gadget.q, gadget.g);
+  auto g_strong = dgs::ComputeStrongSimulation(gadget.q, gadget.g);
+  auto g_iso = dgs::FindSubgraphIsomorphism(gadget.q, gadget.g);
+  std::cout << "simulation:  matches = " << g_plain.RelationSize()
+            << " pairs (needs information from the whole cycle)\n";
+  std::cout << "strong sim:  matches = " << g_strong.RelationSize()
+            << " pairs (each radius-" << 1
+            << " ball decided locally; the stretched cycle fails)\n";
+  std::cout << "isomorphism: "
+            << (g_iso.has_value() ? "embedding found" : "no embedding")
+            << " (Q0's 2-cycle does not occur verbatim; decidable within 2 "
+               "hops of any node)\n\n";
+
+  std::cout << "This is Example 3: simulation's extra matching power is "
+               "exactly what costs it\ndata locality, and Theorem 1 shows "
+               "that cost is unavoidable for any distributed\nalgorithm.\n";
+  return 0;
+}

@@ -1,0 +1,82 @@
+// The paper's running example (Fig. 1 / Example 1): a beer brand searches a
+// distributed social network for potential customers using the cyclic
+// recommendation pattern over labels {YB, YF, F, SP}.
+//
+// Runs the exact 13-node fixture first (reproducing Example 2's answer),
+// then scales the same scenario up to a synthetic social graph and compares
+// dGPM against the Match and dMes baselines.
+//
+//   ./examples/social_recommendation
+
+#include <cstdio>
+#include <iostream>
+
+#include "dgs.h"
+
+namespace {
+
+void RunFixture() {
+  auto ex = dgs::MakeSocialExample();
+  std::printf("=== Fig. 1 fixture: 13 nodes over 3 sites ===\n");
+  dgs::DistOptions options;
+  auto outcome =
+      dgs::DistributedMatch(ex.g, ex.assignment, 3, ex.q, options);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "error: %s\n", outcome.status().ToString().c_str());
+    return;
+  }
+  const char* query_names[] = {"YB", "YF", "F", "SP"};
+  for (dgs::NodeId u = 0; u < 4; ++u) {
+    std::printf("  %s matches:", query_names[u]);
+    for (dgs::NodeId v : outcome->result.Matches(u)) {
+      std::printf(" %s", ex.node_names[v].c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("  (Example 2 expects: YB {yb2 yb3}, YF {yf1 yf2 yf3}, "
+              "F {f3 f2 f4}, SP {sp1 sp2 sp3})\n\n");
+}
+
+void RunAtScale() {
+  std::printf("=== Scaled-up social graph ===\n");
+  dgs::Rng rng(2014);
+  // Social graph with hubs; 15 interest labels, the four of interest being
+  // any of them (the pattern is mined from the data below).
+  dgs::Graph g = dgs::WebGraph(30000, 150000, dgs::kDefaultAlphabet, rng);
+  dgs::PatternSpec spec;
+  spec.num_nodes = 4;
+  spec.num_edges = 6;
+  spec.kind = dgs::PatternKind::kCyclic;
+  auto q = dgs::ExtractPattern(g, spec, rng);
+  if (!q.ok()) {
+    std::fprintf(stderr, "pattern extraction failed: %s\n",
+                 q.status().ToString().c_str());
+    return;
+  }
+  auto assignment = dgs::PartitionWithBoundaryRatio(g, 8, 0.25, rng);
+
+  dgs::TablePrinter table(
+      {"algorithm", "PT (ms)", "DS", "rounds", "matches"});
+  for (dgs::Algorithm algorithm :
+       {dgs::Algorithm::kDgpm, dgs::Algorithm::kMatch,
+        dgs::Algorithm::kDMes}) {
+    dgs::DistOptions options;
+    options.algorithm = algorithm;
+    auto outcome = dgs::DistributedMatch(g, assignment, 8, *q, options);
+    if (!outcome.ok()) continue;
+    table.AddRow({dgs::AlgorithmName(algorithm),
+                  dgs::FormatDouble(outcome->response_seconds() * 1e3, 2),
+                  dgs::FormatBytes(outcome->data_shipment_bytes()),
+                  std::to_string(outcome->stats.rounds),
+                  std::to_string(outcome->result.RelationSize())});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  RunFixture();
+  RunAtScale();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Public entry point for distributed graph simulation.
+//
+// Typical use:
+//
+//   dgs::Graph g = ...;                       // data graph
+//   dgs::Pattern q = ...;                     // pattern query
+//   std::vector<uint32_t> part = dgs::RandomPartition(g, 8, rng);
+//   dgs::DistOptions options;
+//   options.algorithm = dgs::Algorithm::kDgpm;
+//   auto outcome = dgs::DistributedMatch(g, part, 8, q, options);
+//   if (outcome.ok()) {
+//     outcome->result.Matches(u);             // Q(G)
+//     outcome->response_seconds();            // PT
+//     outcome->data_shipment_bytes();         // DS
+//   }
+
+#ifndef DGS_CORE_API_H_
+#define DGS_CORE_API_H_
+
+#include "core/baselines.h"
+#include "core/dgpm.h"
+#include "core/dgpm_dag.h"
+#include "core/dgpm_tree.h"
+#include "core/metrics.h"
+#include "util/status.h"
+
+namespace dgs {
+
+enum class Algorithm {
+  kDgpm,       // Section 4: partition bounded, incremental + push
+  kDgpmNoOpt,  // dGPMNOpt ablation: no incremental evaluation, no push
+  kDgpmDag,    // Section 5.1: rank-scheduled batching (DAG Q or DAG G)
+  kDgpmTree,   // Section 5.2: two-round coordinator algorithm (tree G)
+  kMatch,      // ship-everything baseline
+  kDisHhk,     // Ma et al. [25]
+  kDMes,       // vertex-centric / Pregel-style
+  kAuto,       // structure dispatch: tree G -> dGPMt, DAG Q or DAG G ->
+               // dGPMd, otherwise dGPM (the paper's Table 1 hierarchy)
+};
+
+const char* AlgorithmName(Algorithm algorithm);
+
+struct DistOptions {
+  Algorithm algorithm = Algorithm::kDgpm;
+  // Boolean pattern query: only GraphMatches() of the result is meaningful,
+  // and result collection ships one bit per query node per site.
+  bool boolean_only = false;
+  // dGPM knobs (Section 4.2).
+  bool enable_push = true;
+  double push_threshold = 0.2;
+  Cluster::NetworkModel network;
+};
+
+// Fragments g according to `assignment` and evaluates q distributedly.
+// Fails with InvalidArgument/OutOfRange on malformed assignments,
+// FailedPrecondition when the algorithm's structural requirements are not
+// met (kDgpmDag with cyclic Q and cyclic G; kDgpmTree on non-trees).
+StatusOr<DistOutcome> DistributedMatch(const Graph& g,
+                                       const std::vector<uint32_t>& assignment,
+                                       uint32_t num_fragments,
+                                       const Pattern& q,
+                                       const DistOptions& options = {});
+
+// Same, for callers that already built (and want to reuse) a Fragmentation.
+// `g` is still needed for kDgpmDag's acyclicity checks.
+StatusOr<DistOutcome> DistributedMatch(const Graph& g,
+                                       const Fragmentation& fragmentation,
+                                       const Pattern& q,
+                                       const DistOptions& options = {});
+
+}  // namespace dgs
+
+#endif  // DGS_CORE_API_H_

@@ -1,0 +1,422 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <unordered_set>
+
+namespace dgs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared subgraph-shipping machinery (Match and disHHK)
+// ---------------------------------------------------------------------------
+
+// Serializes a node/edge set. Node labels ride along so the assembling site
+// can rebuild a queryable graph without any other metadata.
+void AppendSubgraph(Blob& blob,
+                    const std::vector<std::pair<NodeId, Label>>& nodes,
+                    const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  PutTag(blob, WireTag::kSubgraph);
+  blob.PutU32(static_cast<uint32_t>(nodes.size()));
+  for (auto [gid, label] : nodes) {
+    blob.PutU32(gid);
+    blob.PutU32(label);
+  }
+  blob.PutU32(static_cast<uint32_t>(edges.size()));
+  for (auto [from, to] : edges) {
+    blob.PutU32(from);
+    blob.PutU32(to);
+  }
+}
+
+// Assembles shipped subgraphs into a global-id graph and runs the
+// centralized simulation once all fragments reported. Unshipped nodes get a
+// sentinel label that matches no query node.
+class AssemblingCoordinator : public SiteActor {
+ public:
+  AssemblingCoordinator(const Pattern* pattern, size_t num_global_nodes,
+                        uint32_t num_workers, bool boolean_only)
+      : pattern_(pattern),
+        num_global_nodes_(num_global_nodes),
+        num_workers_(num_workers),
+        boolean_only_(boolean_only),
+        labels_(num_global_nodes, kSentinelLabel) {}
+
+  void OnMessages(SiteContext& ctx, std::vector<Message> inbox) override {
+    (void)ctx;
+    for (const Message& m : inbox) {
+      Blob::Reader reader(m.payload);
+      if (GetTag(reader) != WireTag::kSubgraph) continue;
+      uint32_t num_nodes = reader.GetU32();
+      for (uint32_t i = 0; i < num_nodes; ++i) {
+        NodeId gid = reader.GetU32();
+        labels_[gid] = reader.GetU32();
+      }
+      uint32_t num_edges = reader.GetU32();
+      for (uint32_t i = 0; i < num_edges; ++i) {
+        NodeId from = reader.GetU32();
+        NodeId to = reader.GetU32();
+        edges_.emplace_back(from, to);
+      }
+      ++received_;
+    }
+    if (received_ == num_workers_ && !computed_) {
+      // Assemble the query-able graph and resolve matches centrally.
+      GraphBuilder builder;
+      for (Label l : labels_) builder.AddNode(l);
+      for (auto [from, to] : edges_) builder.AddEdge(from, to);
+      Graph assembled = std::move(builder).Build();
+      SimulationOptions options;
+      options.boolean_only = boolean_only_;
+      result_ = ComputeSimulation(*pattern_, assembled, options);
+      computed_ = true;
+    }
+  }
+
+  SimulationResult BuildResult() const {
+    DGS_CHECK(computed_, "coordinator never received all fragments");
+    return result_;
+  }
+
+ private:
+  // No real label uses the top of the 32-bit space (generators use small
+  // alphabets); a sentinel guarantees unshipped nodes never match.
+  static constexpr Label kSentinelLabel = 0xffffffffu;
+
+  const Pattern* pattern_;
+  size_t num_global_nodes_;
+  uint32_t num_workers_;
+  bool boolean_only_;
+  std::vector<Label> labels_;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+  uint32_t received_ = 0;
+  bool computed_ = false;
+  SimulationResult result_;
+};
+
+// Match worker: ships the entire fragment.
+class MatchWorker : public SiteActor {
+ public:
+  explicit MatchWorker(const Fragment* fragment) : fragment_(fragment) {}
+
+  void Setup(SiteContext& ctx) override {
+    std::vector<std::pair<NodeId, Label>> nodes;
+    nodes.reserve(fragment_->num_local);
+    for (NodeId v = 0; v < fragment_->num_local; ++v) {
+      nodes.emplace_back(fragment_->ToGlobal(v), fragment_->graph.LabelOf(v));
+    }
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    for (NodeId v = 0; v < fragment_->num_local; ++v) {
+      for (NodeId w : fragment_->graph.OutNeighbors(v)) {
+        edges.emplace_back(fragment_->ToGlobal(v), fragment_->ToGlobal(w));
+      }
+    }
+    Blob blob;
+    AppendSubgraph(blob, nodes, edges);
+    ctx.Send(ctx.coordinator_id(), MessageClass::kData, std::move(blob));
+  }
+
+  void OnMessages(SiteContext& ctx, std::vector<Message> inbox) override {
+    (void)ctx;
+    (void)inbox;
+  }
+
+ private:
+  const Fragment* fragment_;
+};
+
+// disHHK worker: ships the subgraph induced by label-candidate nodes.
+class DisHhkWorker : public SiteActor {
+ public:
+  DisHhkWorker(const Fragment* fragment, const Pattern* pattern)
+      : fragment_(fragment), pattern_(pattern) {}
+
+  void Setup(SiteContext& ctx) override {
+    // Candidate = carries a label used by some query node.
+    std::unordered_set<Label> query_labels;
+    for (NodeId u = 0; u < pattern_->NumNodes(); ++u) {
+      query_labels.insert(pattern_->LabelOf(u));
+    }
+    const Graph& lg = fragment_->graph;
+    auto is_candidate = [&](NodeId v) {
+      return query_labels.count(lg.LabelOf(v)) > 0;
+    };
+    std::vector<std::pair<NodeId, Label>> nodes;
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    for (NodeId v = 0; v < lg.NumNodes(); ++v) {
+      if (!is_candidate(v)) continue;
+      // Virtual candidates are shipped as bare nodes (their home fragment
+      // ships their adjacency); local candidates also ship their edges to
+      // candidate children.
+      nodes.emplace_back(fragment_->ToGlobal(v), lg.LabelOf(v));
+      if (fragment_->IsVirtual(v)) continue;
+      for (NodeId w : lg.OutNeighbors(v)) {
+        if (is_candidate(w)) {
+          edges.emplace_back(fragment_->ToGlobal(v), fragment_->ToGlobal(w));
+        }
+      }
+    }
+    Blob blob;
+    AppendSubgraph(blob, nodes, edges);
+    ctx.Send(ctx.coordinator_id(), MessageClass::kData, std::move(blob));
+  }
+
+  void OnMessages(SiteContext& ctx, std::vector<Message> inbox) override {
+    (void)ctx;
+    (void)inbox;
+  }
+
+ private:
+  const Fragment* fragment_;
+  const Pattern* pattern_;
+};
+
+DistOutcome RunAssembling(const Fragmentation& fragmentation,
+                          const Pattern& pattern, bool ship_all,
+                          const BaselineConfig& config,
+                          const Cluster::NetworkModel& network) {
+  const uint32_t n = fragmentation.NumFragments();
+  const size_t num_global = fragmentation.assignment().size();
+  DistOutcome outcome;
+  Cluster cluster(n, network);
+  for (uint32_t i = 0; i < n; ++i) {
+    const Fragment* frag = &fragmentation.fragment(i);
+    if (ship_all) {
+      cluster.SetWorker(i, std::make_unique<MatchWorker>(frag));
+    } else {
+      cluster.SetWorker(i, std::make_unique<DisHhkWorker>(frag, &pattern));
+    }
+  }
+  cluster.SetCoordinator(std::make_unique<AssemblingCoordinator>(
+      &pattern, num_global, n, config.boolean_only));
+  outcome.stats = cluster.Run();
+  outcome.result = static_cast<AssemblingCoordinator*>(cluster.coordinator())
+                       ->BuildResult();
+  return outcome;
+}
+
+// ---------------------------------------------------------------------------
+// dMes
+// ---------------------------------------------------------------------------
+
+class DMesWorker : public SiteActor {
+ public:
+  DMesWorker(const Fragmentation* fragmentation, uint32_t site,
+             const Pattern* pattern, const BaselineConfig& config,
+             AlgoCounters* counters)
+      : fragmentation_(fragmentation),
+        fragment_(&fragmentation->fragment(site)),
+        pattern_(pattern),
+        config_(config),
+        counters_(counters),
+        engine_(fragment_, pattern, /*incremental=*/true) {}
+
+  void Setup(SiteContext& ctx) override {
+    (void)ctx;
+    engine_.Initialize();
+    engine_.DrainInNodeFalses();  // dMes never pushes falses proactively
+  }
+
+  void OnMessages(SiteContext& ctx, std::vector<Message> inbox) override {
+    bool ticked = false;
+    bool halt = false;
+    std::vector<uint64_t> falses;
+    for (const Message& m : inbox) {
+      Blob::Reader reader(m.payload);
+      switch (GetTag(reader)) {
+        case WireTag::kTick:
+          ticked = true;
+          break;
+        case WireTag::kVerdict:
+          if (reader.GetU8() == 0) {
+            halt = true;
+          } else {
+            ticked = true;
+          }
+          break;
+        case WireTag::kRequest: {
+          // Reply with the current truth value of every requested variable.
+          auto keys = ReadFalseVarList(reader);
+          Blob reply;
+          PutTag(reply, WireTag::kReply);
+          reply.PutU32(static_cast<uint32_t>(keys.size()));
+          for (uint64_t key : keys) {
+            reply.PutU32(VarKeyGlobalNode(key));
+            reply.PutU16(static_cast<uint16_t>(VarKeyQueryNode(key)));
+            reply.PutU8(engine_.IsKeyFalse(key) ? 1 : 0);
+          }
+          counters_->vars_shipped += keys.size();
+          ctx.Send(m.src, MessageClass::kData, std::move(reply));
+          break;
+        }
+        case WireTag::kReply: {
+          uint32_t n = reader.GetU32();
+          for (uint32_t i = 0; i < n; ++i) {
+            uint32_t gv = reader.GetU32();
+            uint16_t u = reader.GetU16();
+            if (reader.GetU8() != 0) falses.push_back(MakeVarKey(u, gv));
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    if (!falses.empty()) {
+      engine_.ApplyRemoteFalses(falses);
+      engine_.DrainInNodeFalses();
+      matches_dirty_ = true;
+    }
+    if (halt) {
+      halted_ = true;
+      return;
+    }
+    if (ticked && !halted_) {
+      // Re-request every still-undecided virtual variable (the redundant
+      // per-superstep traffic characteristic of the vertex-centric model).
+      std::map<uint32_t, std::vector<uint64_t>> by_owner;
+      for (uint64_t key : engine_.UndecidedFrontierKeys()) {
+        by_owner[fragmentation_->OwnerOf(VarKeyGlobalNode(key))].push_back(key);
+      }
+      for (auto& [owner, keys] : by_owner) {
+        Blob blob;
+        PutTag(blob, WireTag::kRequest);
+        blob.PutU32(static_cast<uint32_t>(keys.size()));
+        for (uint64_t key : keys) {
+          blob.PutU32(VarKeyGlobalNode(key));
+          blob.PutU16(static_cast<uint16_t>(VarKeyQueryNode(key)));
+        }
+        counters_->vars_shipped += keys.size();
+        ctx.Send(owner, MessageClass::kData, std::move(blob));
+      }
+      // Change vote for the coordinator's halt decision.
+      size_t now_false = engine_.NumFalseVars();
+      Blob flag;
+      PutTag(flag, WireTag::kFlag);
+      flag.PutU8(now_false != last_false_count_ ? 1 : 0);
+      last_false_count_ = now_false;
+      ctx.Send(ctx.coordinator_id(), MessageClass::kControl, std::move(flag));
+    }
+  }
+
+  void OnQuiesce(SiteContext& ctx) override {
+    if (!matches_dirty_) return;
+    auto candidates = engine_.LocalCandidates();
+    std::vector<std::vector<NodeId>> lists(candidates.size());
+    for (NodeId u = 0; u < candidates.size(); ++u) {
+      candidates[u].ForEachSet([&](size_t lv) {
+        lists[u].push_back(fragment_->ToGlobal(static_cast<NodeId>(lv)));
+      });
+    }
+    Blob blob;
+    AppendMatchList(blob, lists, config_.boolean_only);
+    ctx.Send(ctx.coordinator_id(), MessageClass::kResult, std::move(blob));
+    matches_dirty_ = false;
+  }
+
+ private:
+  const Fragmentation* fragmentation_;
+  const Fragment* fragment_;
+  const Pattern* pattern_;
+  BaselineConfig config_;
+  AlgoCounters* counters_;
+  LocalEngine engine_;
+  size_t last_false_count_ = 0;
+  bool halted_ = false;
+  bool matches_dirty_ = true;
+};
+
+// Coordinates supersteps: broadcasts the initial tick, gathers change
+// votes, and broadcasts continue/halt verdicts. Also collects the final
+// matches.
+class DMesCoordinator : public SiteActor {
+ public:
+  DMesCoordinator(size_t num_query_nodes, size_t num_global_nodes,
+                  uint32_t num_workers, AlgoCounters* counters)
+      : collector_(num_query_nodes, num_global_nodes),
+        num_workers_(num_workers),
+        counters_(counters) {}
+
+  void Setup(SiteContext& ctx) override {
+    for (uint32_t i = 0; i < num_workers_; ++i) {
+      Blob blob;
+      PutTag(blob, WireTag::kTick);
+      ctx.Send(i, MessageClass::kControl, std::move(blob));
+    }
+  }
+
+  void OnMessages(SiteContext& ctx, std::vector<Message> inbox) override {
+    for (Message& m : inbox) {
+      Blob::Reader reader(m.payload);
+      WireTag tag = GetTag(reader);
+      if (tag == WireTag::kFlag) {
+        ++flags_;
+        if (reader.GetU8() != 0) any_changed_ = true;
+      } else if (tag == WireTag::kMatches) {
+        std::vector<Message> one;
+        one.push_back(std::move(m));
+        collector_.OnMessages(ctx, std::move(one));
+      }
+    }
+    if (flags_ == num_workers_) {
+      ++counters_->supersteps;
+      const bool halt = !any_changed_;
+      flags_ = 0;
+      any_changed_ = false;
+      for (uint32_t i = 0; i < num_workers_; ++i) {
+        Blob blob;
+        PutTag(blob, WireTag::kVerdict);
+        blob.PutU8(halt ? 0 : 1);
+        ctx.Send(i, MessageClass::kControl, std::move(blob));
+      }
+    }
+  }
+
+  SimulationResult BuildResult() const { return collector_.BuildResult(); }
+
+ private:
+  CollectingCoordinator collector_;
+  uint32_t num_workers_;
+  AlgoCounters* counters_;
+  uint32_t flags_ = 0;
+  bool any_changed_ = false;
+};
+
+}  // namespace
+
+DistOutcome RunMatch(const Fragmentation& fragmentation,
+                     const Pattern& pattern, const BaselineConfig& config,
+                     const Cluster::NetworkModel& network) {
+  return RunAssembling(fragmentation, pattern, /*ship_all=*/true, config,
+                       network);
+}
+
+DistOutcome RunDisHhk(const Fragmentation& fragmentation,
+                      const Pattern& pattern, const BaselineConfig& config,
+                      const Cluster::NetworkModel& network) {
+  return RunAssembling(fragmentation, pattern, /*ship_all=*/false, config,
+                       network);
+}
+
+DistOutcome RunDMes(const Fragmentation& fragmentation, const Pattern& pattern,
+                    const BaselineConfig& config,
+                    const Cluster::NetworkModel& network) {
+  const uint32_t n = fragmentation.NumFragments();
+  const size_t num_global = fragmentation.assignment().size();
+  DistOutcome outcome;
+  Cluster cluster(n, network);
+  for (uint32_t i = 0; i < n; ++i) {
+    cluster.SetWorker(i, std::make_unique<DMesWorker>(
+                             &fragmentation, i, &pattern, config,
+                             &outcome.counters));
+  }
+  cluster.SetCoordinator(std::make_unique<DMesCoordinator>(
+      pattern.NumNodes(), num_global, n, &outcome.counters));
+  outcome.stats = cluster.Run();
+  outcome.result =
+      static_cast<DMesCoordinator*>(cluster.coordinator())->BuildResult();
+  return outcome;
+}
+
+}  // namespace dgs

@@ -1,0 +1,47 @@
+// The comparison algorithms of Section 6:
+//
+//   Match   ships every fragment to a single site and runs the centralized
+//           simulation there (the naive algorithm of Section 3.1).
+//           DS = O(|G|); PT dominated by one site processing all of G.
+//
+//   disHHK  the algorithm of Ma et al. [25]: each site ships the subgraph
+//           induced by its label-candidate nodes to a single site, which
+//           assembles a directly query-able graph and resolves the matches.
+//           DS = O(|G|) in the worst case; PT = O((|Vq|+|V|)(|Eq|+|E|)).
+//
+//   dMes    vertex-centric message passing in the style of Pregel /
+//           Fard et al. [14], as described in the paper's experimental
+//           setup: in every superstep each site re-requests the truth
+//           values of all its still-undecided virtual-node variables,
+//           applies the replies, and votes to halt when nothing changed.
+//           Redundant per-superstep traffic is the point of comparison.
+
+#ifndef DGS_CORE_BASELINES_H_
+#define DGS_CORE_BASELINES_H_
+
+#include "core/dgpm.h"
+
+namespace dgs {
+
+struct BaselineConfig {
+  bool boolean_only = false;
+};
+
+// Match: ship-everything baseline.
+DistOutcome RunMatch(const Fragmentation& fragmentation, const Pattern& pattern,
+                     const BaselineConfig& config,
+                     const Cluster::NetworkModel& network = {});
+
+// disHHK [25].
+DistOutcome RunDisHhk(const Fragmentation& fragmentation,
+                      const Pattern& pattern, const BaselineConfig& config,
+                      const Cluster::NetworkModel& network = {});
+
+// dMes (vertex-centric / Pregel-style).
+DistOutcome RunDMes(const Fragmentation& fragmentation, const Pattern& pattern,
+                    const BaselineConfig& config,
+                    const Cluster::NetworkModel& network = {});
+
+}  // namespace dgs
+
+#endif  // DGS_CORE_BASELINES_H_

@@ -1,0 +1,253 @@
+#include "core/booleq.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace dgs {
+
+void EquationSystem::SetEquation(VarId x,
+                                 const std::vector<std::vector<VarId>>& groups) {
+  DGS_CHECK(!HasEquation(x), "variable already has an equation");
+  if (states_[x] == kFalse) return;  // value already settled
+  eq_begin_[x] = static_cast<uint32_t>(group_owner_.size());
+  bool dead = false;
+  for (const auto& group : groups) {
+    uint32_t gid = static_cast<uint32_t>(group_owner_.size());
+    group_owner_.push_back(x);
+    member_begin_.push_back(static_cast<uint32_t>(members_.size()));
+    uint32_t live = 0;
+    for (VarId m : group) {
+      members_.push_back(m);
+      // Members that are already false never contributed support, so they
+      // must not register an occurrence either: their (possibly still
+      // queued) false would otherwise decrement a count they never raised.
+      if (states_[m] == kUndecided) {
+        occurrences_[m].push_back(gid);
+        ++live;
+      }
+    }
+    member_end_.push_back(static_cast<uint32_t>(members_.size()));
+    support_.push_back(live);
+    if (live == 0) dead = true;  // empty or fully-false group
+  }
+  eq_end_[x] = static_cast<uint32_t>(group_owner_.size());
+  if (dead) AssertFalse(x);
+}
+
+std::vector<VarId> EquationSystem::GroupMembers(uint32_t gid) const {
+  return std::vector<VarId>(members_.begin() + member_begin_[gid],
+                            members_.begin() + member_end_[gid]);
+}
+
+size_t ReducedSystem::TotalUnits() const {
+  size_t units = 0;
+  for (const auto& e : entries) {
+    ++units;
+    for (const auto& g : e.groups) units += g.size();
+  }
+  return units;
+}
+
+void ReducedSystem::Serialize(Blob& blob) const {
+  blob.PutU32(static_cast<uint32_t>(entries.size()));
+  for (const auto& e : entries) {
+    blob.PutU64(e.key);
+    blob.PutU8(static_cast<uint8_t>(e.kind));
+    if (e.kind != ReducedEntry::kEquation) continue;
+    blob.PutU16(static_cast<uint16_t>(e.groups.size()));
+    for (const auto& g : e.groups) {
+      blob.PutU16(static_cast<uint16_t>(g.size()));
+      for (uint64_t ref : g) blob.PutU64(ref);
+    }
+  }
+}
+
+ReducedSystem ReducedSystem::Deserialize(Blob::Reader& reader) {
+  ReducedSystem out;
+  uint32_t n = reader.GetU32();
+  out.entries.resize(n);
+  for (auto& e : out.entries) {
+    e.key = reader.GetU64();
+    e.kind = static_cast<ReducedEntry::Kind>(reader.GetU8());
+    if (e.kind != ReducedEntry::kEquation) continue;
+    e.groups.resize(reader.GetU16());
+    for (auto& g : e.groups) {
+      g.resize(reader.GetU16());
+      for (auto& ref : g) ref = reader.GetU64();
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Per-variable resolution during reduction.
+enum class Res : uint8_t { kTrue, kFalse, kRef };
+
+}  // namespace
+
+ReducedSystem ReduceToFrontier(const EquationSystem& system,
+                               const std::vector<VarId>& roots,
+                               const std::function<bool(VarId)>& is_frontier,
+                               const std::function<uint64_t(VarId)>& key_of) {
+  // 1. Pessimistic analysis: clone, assert the whole frontier false, and
+  // propagate. Non-frontier variables that survive are definitely true no
+  // matter what the rest of the world decides.
+  EquationSystem pessimistic = system;
+  for (VarId x = 0; x < system.NumVars(); ++x) {
+    if (!system.IsFalse(x) && is_frontier(x)) pessimistic.AssertFalse(x);
+  }
+  pessimistic.Propagate([](VarId) {});
+  auto def_true = [&](VarId x) {
+    return !system.IsFalse(x) && !is_frontier(x) && !pessimistic.IsFalse(x);
+  };
+  auto resolution = [&](VarId x) {
+    if (system.IsFalse(x)) return Res::kFalse;
+    if (is_frontier(x)) return Res::kRef;
+    if (def_true(x)) return Res::kTrue;
+    return Res::kRef;  // undecided internal: gets its own entry
+  };
+
+  // 2. Collect the undecided internal variables reachable from the roots
+  // (iterative BFS; recursion depth is unbounded on chain graphs).
+  std::vector<VarId> reachable;
+  std::unordered_set<VarId> seen;
+  for (VarId r : roots) {
+    if (resolution(r) == Res::kRef && !is_frontier(r) && seen.insert(r).second) {
+      reachable.push_back(r);
+    }
+  }
+  for (size_t head = 0; head < reachable.size(); ++head) {
+    VarId x = reachable[head];
+    for (size_t k = 0; k < system.NumGroups(x); ++k) {
+      for (VarId m : system.GroupMembers(system.GroupId(x, k))) {
+        if (resolution(m) == Res::kRef && !is_frontier(m) &&
+            seen.insert(m).second) {
+          reachable.push_back(m);
+        }
+      }
+    }
+  }
+
+  // 3. Emit one raw entry per reachable variable, folding constants:
+  // definitely-true members satisfy (drop) their group, false members are
+  // dropped from the group.
+  std::unordered_map<uint64_t, size_t> index;  // key -> entry position
+  ReducedSystem out;
+  auto emit_scalar = [&](VarId r, ReducedEntry::Kind kind) {
+    ReducedEntry e;
+    e.key = key_of(r);
+    e.kind = kind;
+    if (!index.count(e.key)) {
+      index[e.key] = out.entries.size();
+      out.entries.push_back(std::move(e));
+    }
+  };
+  for (VarId r : roots) {
+    switch (resolution(r)) {
+      case Res::kFalse:
+        emit_scalar(r, ReducedEntry::kFalse);
+        break;
+      case Res::kTrue:
+        emit_scalar(r, ReducedEntry::kTrue);
+        break;
+      case Res::kRef:
+        break;  // handled below (or the root is itself frontier)
+    }
+  }
+  for (VarId x : reachable) {
+    ReducedEntry e;
+    e.key = key_of(x);
+    e.kind = ReducedEntry::kEquation;
+    for (size_t k = 0; k < system.NumGroups(x); ++k) {
+      std::vector<uint64_t> refs;
+      bool satisfied = false;
+      for (VarId m : system.GroupMembers(system.GroupId(x, k))) {
+        switch (resolution(m)) {
+          case Res::kTrue:
+            satisfied = true;
+            break;
+          case Res::kFalse:
+            break;  // dead member
+          case Res::kRef:
+            refs.push_back(key_of(m));
+            break;
+        }
+        if (satisfied) break;
+      }
+      if (satisfied) continue;
+      DGS_CHECK(!refs.empty(),
+                "undecided variable cannot have a fully-false group");
+      std::sort(refs.begin(), refs.end());
+      refs.erase(std::unique(refs.begin(), refs.end()), refs.end());
+      e.groups.push_back(std::move(refs));
+    }
+    DGS_CHECK(!e.groups.empty(),
+              "non-definitely-true variable must depend on the frontier");
+    if (!index.count(e.key)) {
+      index[e.key] = out.entries.size();
+      out.entries.push_back(std::move(e));
+    }
+  }
+
+  // 4. Chain collapse: a non-root equation of the form X = Y can be aliased
+  // away. Resolve aliases with path compression (cycle-guarded), rewrite all
+  // refs, then drop entries no longer reachable from the roots.
+  std::unordered_set<uint64_t> root_keys;
+  for (VarId r : roots) root_keys.insert(key_of(r));
+  // Root aliases are followed too (substituting a defined variable by its
+  // definition is sound under the greatest fixpoint), which yields the
+  // paper's Li form: every in-node equation is expressed over virtual-node
+  // variables only (Section 4.1). Root entries themselves are always kept.
+  auto is_alias = [&](const ReducedEntry& e) {
+    return e.kind == ReducedEntry::kEquation && e.groups.size() == 1 &&
+           e.groups[0].size() == 1;
+  };
+  auto chase = [&](uint64_t start, uint64_t origin) -> uint64_t {
+    // Iteratively follows alias links, cycle-guarded, then path-compresses.
+    std::vector<uint64_t> path;
+    std::unordered_set<uint64_t> on_path = {origin};
+    uint64_t key = start;
+    while (true) {
+      auto it = index.find(key);
+      if (it == index.end()) break;  // frontier key
+      ReducedEntry& e = out.entries[it->second];
+      if (!is_alias(e)) break;
+      if (!on_path.insert(key).second) break;  // cycle: keep as entry
+      path.push_back(key);
+      key = e.groups[0][0];
+    }
+    for (uint64_t hop : path) {
+      out.entries[index[hop]].groups[0][0] = key;
+    }
+    return key;
+  };
+  for (auto& e : out.entries) {
+    for (auto& g : e.groups) {
+      for (auto& ref : g) ref = chase(ref, e.key);
+      std::sort(g.begin(), g.end());
+      g.erase(std::unique(g.begin(), g.end()), g.end());
+    }
+  }
+  // Reachability sweep from roots.
+  std::unordered_set<uint64_t> live;
+  std::vector<uint64_t> stack(root_keys.begin(), root_keys.end());
+  while (!stack.empty()) {
+    uint64_t key = stack.back();
+    stack.pop_back();
+    if (!live.insert(key).second) continue;
+    auto it = index.find(key);
+    if (it == index.end()) continue;
+    for (const auto& g : out.entries[it->second].groups) {
+      for (uint64_t ref : g) stack.push_back(ref);
+    }
+  }
+  ReducedSystem pruned;
+  for (auto& e : out.entries) {
+    if (live.count(e.key)) pruned.entries.push_back(std::move(e));
+  }
+  return pruned;
+}
+
+}  // namespace dgs

@@ -1,0 +1,161 @@
+// Boolean-equation partial answers (Section 4.1).
+//
+// The paper encodes partial simulation results as Boolean variables
+// X(u, v) ("v matches u") with equations
+//
+//     X(u,v) = AND over query children u' of ( OR over data children v'
+//              with matching label of X(u', v') ).
+//
+// Graph simulation is the GREATEST fixpoint of this system: all variables
+// start optimistically undecided (= presumed true) and monotonically flip
+// to false; whatever survives is true (Section 2.1, [18]). EquationSystem
+// implements exactly that discipline with counting-based propagation, so a
+// flip costs O(#occurrences) — the incremental evaluation of Section 4.2.
+//
+// ReduceToFrontier eliminates decided and definitely-true variables and
+// collapses chains, expressing a set of root variables in terms of a
+// frontier (the virtual-node variables). It powers both the push operation
+// (Section 4.2) and the dGPMt coordinator solve (Section 5.2).
+
+#ifndef DGS_CORE_BOOLEQ_H_
+#define DGS_CORE_BOOLEQ_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "runtime/message.h"
+#include "util/check.h"
+
+namespace dgs {
+
+using VarId = uint32_t;
+inline constexpr VarId kNoVar = static_cast<VarId>(-1);
+
+// Monotone Boolean equation system with AND-of-ORs equations.
+//
+// A variable with no equation stays undecided forever unless AssertFalse is
+// called on it (external variables awaiting remote truth values, and sink
+// variables that are unconditionally true).
+class EquationSystem {
+ public:
+  EquationSystem() = default;
+
+  // Copyable: the pessimistic analysis in ReduceToFrontier clones the
+  // system and asserts the frontier false.
+  EquationSystem(const EquationSystem&) = default;
+  EquationSystem& operator=(const EquationSystem&) = default;
+  EquationSystem(EquationSystem&&) = default;
+  EquationSystem& operator=(EquationSystem&&) = default;
+
+  VarId NewVar() {
+    states_.push_back(kUndecided);
+    eq_begin_.push_back(kNone);
+    eq_end_.push_back(kNone);
+    occurrences_.emplace_back();
+    return static_cast<VarId>(states_.size() - 1);
+  }
+
+  size_t NumVars() const { return states_.size(); }
+
+  bool IsFalse(VarId x) const { return states_[x] == kFalse; }
+  bool HasEquation(VarId x) const { return eq_begin_[x] != kNone; }
+
+  // Installs x's equation. Must not already have one. An empty group (a
+  // query child with no candidate data children) makes x false immediately;
+  // members that are already false do not count as support.
+  void SetEquation(VarId x, const std::vector<std::vector<VarId>>& groups);
+
+  // Marks x false (no-op if already false). Call Propagate() afterwards.
+  void AssertFalse(VarId x) {
+    if (states_[x] == kUndecided) {
+      states_[x] = kFalse;
+      queue_.push_back(x);
+    }
+  }
+
+  // Drains the worklist; on_false(x) fires exactly once per variable that
+  // flips to false (including ones asserted directly).
+  template <typename Fn>
+  void Propagate(Fn&& on_false) {
+    while (!queue_.empty()) {
+      VarId x = queue_.back();
+      queue_.pop_back();
+      on_false(x);
+      for (uint32_t gid : occurrences_[x]) {
+        DGS_DCHECK(support_[gid] > 0, "group support underflow");
+        if (--support_[gid] == 0) AssertFalse(group_owner_[gid]);
+      }
+    }
+  }
+
+  // --- Introspection for ReduceToFrontier ---
+
+  // Group ids of x's equation; empty span when x has none.
+  size_t NumGroups(VarId x) const {
+    return HasEquation(x) ? eq_end_[x] - eq_begin_[x] : 0;
+  }
+  uint32_t GroupId(VarId x, size_t k) const { return eq_begin_[x] + static_cast<uint32_t>(k); }
+  // Members of a group (as stored; includes members that flipped false).
+  std::vector<VarId> GroupMembers(uint32_t gid) const;
+
+ private:
+  static constexpr uint8_t kUndecided = 0;
+  static constexpr uint8_t kFalse = 1;
+  static constexpr uint32_t kNone = static_cast<uint32_t>(-1);
+
+  std::vector<uint8_t> states_;
+  // Per-variable equation: groups [eq_begin_, eq_end_) into the group
+  // tables below.
+  std::vector<uint32_t> eq_begin_;
+  std::vector<uint32_t> eq_end_;
+  // Per-group: owner variable, live-member support count, member storage.
+  std::vector<VarId> group_owner_;
+  std::vector<uint32_t> support_;
+  std::vector<uint32_t> member_begin_;
+  std::vector<uint32_t> member_end_;
+  std::vector<VarId> members_;
+  // occurrences_[x] = ids of groups containing x.
+  std::vector<std::vector<uint32_t>> occurrences_;
+  std::vector<VarId> queue_;
+};
+
+// Result of ReduceToFrontier: a compact equation system over opaque 64-bit
+// keys (the caller encodes (query node, global data node) pairs).
+struct ReducedEntry {
+  enum Kind : uint8_t { kTrue = 0, kFalse = 1, kEquation = 2 };
+  uint64_t key = 0;
+  Kind kind = kEquation;
+  std::vector<std::vector<uint64_t>> groups;  // frontier/entry keys
+};
+
+struct ReducedSystem {
+  std::vector<ReducedEntry> entries;
+
+  // Size in "equation units" (entries plus refs) — the m of the benefit
+  // function B(Si) in Section 4.2.
+  size_t TotalUnits() const;
+
+  void Serialize(Blob& blob) const;
+  static ReducedSystem Deserialize(Blob::Reader& reader);
+};
+
+// Expresses `roots` in terms of the frontier variables.
+//
+//   is_frontier(x): x has no equation but may still be asserted false by a
+//                   remote site (external variables).
+//   key_of(x):      wire key for frontier and emitted variables.
+//
+// Guarantees: every root has an entry; entries reference only frontier keys
+// or other entries; definitely-true variables (those that survive even if
+// the whole frontier is false) are folded away; single-reference chains are
+// collapsed. Cycles among undecided variables are preserved as cyclic
+// entries (greatest-fixpoint semantics carry over to the consumer).
+ReducedSystem ReduceToFrontier(const EquationSystem& system,
+                               const std::vector<VarId>& roots,
+                               const std::function<bool(VarId)>& is_frontier,
+                               const std::function<uint64_t(VarId)>& key_of);
+
+}  // namespace dgs
+
+#endif  // DGS_CORE_BOOLEQ_H_

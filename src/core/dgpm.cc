@@ -1,0 +1,291 @@
+#include "core/dgpm.h"
+
+#include <algorithm>
+
+namespace dgs {
+
+CollectingCoordinator::CollectingCoordinator(size_t num_query_nodes,
+                                             size_t num_global_nodes)
+    : num_query_nodes_(num_query_nodes), num_global_nodes_(num_global_nodes) {}
+
+void CollectingCoordinator::OnMessages(SiteContext& ctx,
+                                       std::vector<Message> inbox) {
+  (void)ctx;
+  for (const Message& m : inbox) {
+    Blob::Reader reader(m.payload);
+    WireTag tag = GetTag(reader);
+    if (tag != WireTag::kMatches) continue;  // change flags etc.
+    auto lists = ReadMatchList(reader);
+    DGS_CHECK(lists.size() == num_query_nodes_, "match list arity mismatch");
+    per_site_[m.src] = std::move(lists);  // latest report wins
+  }
+}
+
+SimulationResult CollectingCoordinator::BuildResult() const {
+  bool boolean_payloads = false;
+  std::vector<DynamicBitset> fixpoint(num_query_nodes_,
+                                      DynamicBitset(num_global_nodes_));
+  std::vector<bool> boolean_hit(num_query_nodes_, false);
+  for (const auto& [site, lists] : per_site_) {
+    for (NodeId u = 0; u < lists.size(); ++u) {
+      for (NodeId v : lists[u]) {
+        if (v == kInvalidNode) {
+          boolean_payloads = true;
+          boolean_hit[u] = true;
+        } else {
+          fixpoint[u].Set(v);
+        }
+      }
+    }
+  }
+  if (!boolean_payloads) {
+    return SimulationResult(std::move(fixpoint), num_global_nodes_);
+  }
+  // Boolean mode: encode per-query-node hits with a marker bit so that
+  // GraphMatches() is exact.
+  std::vector<DynamicBitset> marker(
+      num_query_nodes_, DynamicBitset(std::max<size_t>(num_global_nodes_, 1)));
+  for (NodeId u = 0; u < marker.size(); ++u) {
+    if (boolean_hit[u]) marker[u].Set(0);
+  }
+  return SimulationResult(std::move(marker), num_global_nodes_);
+}
+
+DgpmWorker::DgpmWorker(const Fragmentation* fragmentation, uint32_t site,
+                       const Pattern* pattern, const DgpmConfig& config,
+                       AlgoCounters* counters)
+    : fragmentation_(fragmentation),
+      fragment_(&fragmentation->fragment(site)),
+      pattern_(pattern),
+      config_(config),
+      counters_(counters),
+      engine_(fragment_, pattern, config.incremental) {
+  for (size_t k = 0; k < fragment_->in_nodes.size(); ++k) {
+    in_node_index_.emplace(fragment_->in_nodes[k], k);
+  }
+}
+
+void DgpmWorker::Setup(SiteContext& ctx) {
+  engine_.Initialize();
+  ShipFalses(ctx, /*flag_coordinator=*/false);
+  MaybePush(ctx);
+}
+
+void DgpmWorker::OnMessages(SiteContext& ctx, std::vector<Message> inbox) {
+  std::vector<uint64_t> falses;
+  for (const Message& m : inbox) {
+    if (m.cls == MessageClass::kResult) continue;
+    Blob::Reader reader(m.payload);
+    switch (GetTag(reader)) {
+      case WireTag::kFalseVars: {
+        auto keys = ReadFalseVarList(reader);
+        falses.insert(falses.end(), keys.begin(), keys.end());
+        break;
+      }
+      case WireTag::kPushSystem: {
+        ReducedSystem reduced = ReducedSystem::Deserialize(reader);
+        std::vector<uint64_t> fresh = engine_.InstallReducedSystem(reduced);
+        matches_dirty_ = true;  // installation may refine local candidates
+        // Subscribe to the home sites of the newly referenced variables so
+        // their falses flow here directly, bypassing the pushing site.
+        std::map<uint32_t, std::vector<NodeId>> by_owner;
+        for (uint64_t key : fresh) {
+          NodeId gv = VarKeyGlobalNode(key);
+          uint32_t owner = fragmentation_->OwnerOf(gv);
+          if (owner != ctx.site_id()) by_owner[owner].push_back(gv);
+        }
+        for (auto& [owner, nodes] : by_owner) {
+          std::sort(nodes.begin(), nodes.end());
+          nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+          Blob blob;
+          PutTag(blob, WireTag::kSubscribe);
+          blob.PutU32(static_cast<uint32_t>(nodes.size()));
+          for (NodeId gv : nodes) blob.PutU32(gv);
+          ctx.Send(owner, MessageClass::kControl, std::move(blob));
+        }
+        break;
+      }
+      case WireTag::kSubscribe: {
+        uint32_t n = reader.GetU32();
+        std::vector<uint64_t> known_falses;
+        for (uint32_t i = 0; i < n; ++i) {
+          NodeId gv = reader.GetU32();
+          NodeId lv = fragment_->ToLocal(gv);
+          DGS_CHECK(lv != kInvalidNode && lv < fragment_->num_local,
+                    "subscription for a non-local node");
+          dynamic_consumers_[lv].insert(m.src);
+          for (NodeId u : engine_.FalseQueryNodesFor(lv)) {
+            known_falses.push_back(MakeVarKey(u, gv));
+          }
+        }
+        if (!known_falses.empty()) {
+          Blob blob;
+          AppendFalseVarList(blob, known_falses);
+          counters_->vars_shipped += known_falses.size();
+          ctx.Send(m.src, MessageClass::kData, std::move(blob));
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  if (!falses.empty()) {
+    engine_.ApplyRemoteFalses(falses);
+    matches_dirty_ = true;
+  }
+  ShipFalses(ctx, /*flag_coordinator=*/true);
+}
+
+void DgpmWorker::OnQuiesce(SiteContext& ctx) {
+  if (matches_dirty_) {
+    SendMatches(ctx);
+    matches_dirty_ = false;
+  }
+}
+
+void DgpmWorker::ShipFalses(SiteContext& ctx, bool flag_coordinator) {
+  auto falses = engine_.DrainInNodeFalses();
+  if (falses.empty()) return;
+
+  std::map<uint32_t, std::vector<uint64_t>> by_dst;
+  for (const auto& f : falses) {
+    uint64_t key = MakeVarKey(f.query_node, fragment_->ToGlobal(f.local_node));
+    size_t idx = in_node_index_.at(f.local_node);
+    for (const InNodeConsumer& c : fragment_->consumers[idx]) {
+      if (ConsumerNeedsVar(*pattern_, f.query_node, c.source_labels)) {
+        by_dst[c.site].push_back(key);
+      }
+    }
+    auto dit = dynamic_consumers_.find(f.local_node);
+    if (dit != dynamic_consumers_.end()) {
+      for (uint32_t site : dit->second) by_dst[site].push_back(key);
+    }
+  }
+  for (auto& [dst, keys] : by_dst) {
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    Blob blob;
+    AppendFalseVarList(blob, keys);
+    counters_->vars_shipped += keys.size();
+    ctx.Send(dst, MessageClass::kData, std::move(blob));
+  }
+  if (flag_coordinator) {
+    // Termination-detection traffic: "something changed here" (Section 4.1
+    // phase 2). Counted as control bytes.
+    Blob blob;
+    PutTag(blob, WireTag::kFlag);
+    blob.PutU8(1);
+    ctx.Send(ctx.coordinator_id(), MessageClass::kControl, std::move(blob));
+  }
+}
+
+void DgpmWorker::MaybePush(SiteContext& ctx) {
+  if (!config_.enable_push) return;
+  const size_t undecided_in = engine_.NumUndecidedInNode();
+  if (undecided_in == 0) return;
+  ReducedSystem reduced = engine_.ReduceInNodeEquations();
+  if (reduced.TotalUnits() == 0) return;
+
+  // Each parent receives only the equations of the in-nodes it consumes
+  // (plus their reachable closure), per Section 4.2: "sends the equations
+  // in v.rvec[u] to all the parent sites Sj if Aid(Sj, Si) contains v".
+  std::unordered_map<uint64_t, const ReducedEntry*> index;
+  std::unordered_map<NodeId, std::vector<uint64_t>> eq_keys_by_node;
+  for (const ReducedEntry& e : reduced.entries) {
+    index.emplace(e.key, &e);
+    if (e.kind == ReducedEntry::kEquation) {
+      eq_keys_by_node[VarKeyGlobalNode(e.key)].push_back(e.key);
+    }
+  }
+  std::map<uint32_t, std::vector<uint64_t>> parent_roots;
+  for (size_t k = 0; k < fragment_->in_nodes.size(); ++k) {
+    const NodeId global = fragment_->ToGlobal(fragment_->in_nodes[k]);
+    auto it = eq_keys_by_node.find(global);
+    if (it == eq_keys_by_node.end()) continue;
+    for (const InNodeConsumer& c : fragment_->consumers[k]) {
+      auto& roots = parent_roots[c.site];
+      roots.insert(roots.end(), it->second.begin(), it->second.end());
+    }
+  }
+  if (parent_roots.empty()) return;
+
+  // Slice per parent and compute the total message size m for B(Si).
+  std::map<uint32_t, ReducedSystem> slices;
+  size_t total_units = 0;
+  for (auto& [site, roots] : parent_roots) {
+    ReducedSystem slice;
+    std::set<uint64_t> seen;
+    std::vector<uint64_t> stack = roots;
+    while (!stack.empty()) {
+      uint64_t key = stack.back();
+      stack.pop_back();
+      if (!seen.insert(key).second) continue;
+      auto it = index.find(key);
+      if (it == index.end()) continue;  // frontier key
+      slice.entries.push_back(*it->second);
+      for (const auto& g : it->second->groups) {
+        for (uint64_t ref : g) stack.push_back(ref);
+      }
+    }
+    total_units += slice.TotalUnits();
+    slices.emplace(site, std::move(slice));
+  }
+  if (total_units == 0) return;
+
+  const double benefit = static_cast<double>(engine_.NumUndecidedFrontier()) /
+                         (static_cast<double>(total_units) *
+                          static_cast<double>(undecided_in));
+  if (benefit < config_.push_threshold) return;
+
+  ++counters_->push_count;
+  for (auto& [site, slice] : slices) {
+    if (slice.entries.empty()) continue;
+    Blob payload;
+    PutTag(payload, WireTag::kPushSystem);
+    slice.Serialize(payload);
+    counters_->equation_units += slice.TotalUnits();
+    ctx.Send(site, MessageClass::kData, std::move(payload));
+  }
+}
+
+void DgpmWorker::SendMatches(SiteContext& ctx) {
+  auto candidates = engine_.LocalCandidates();
+  std::vector<std::vector<NodeId>> lists(candidates.size());
+  for (NodeId u = 0; u < candidates.size(); ++u) {
+    candidates[u].ForEachSet([&](size_t lv) {
+      lists[u].push_back(fragment_->ToGlobal(static_cast<NodeId>(lv)));
+    });
+  }
+  Blob blob;
+  AppendMatchList(blob, lists, config_.boolean_only);
+  ctx.Send(ctx.coordinator_id(), MessageClass::kResult, std::move(blob));
+}
+
+DistOutcome RunDgpm(const Fragmentation& fragmentation, const Pattern& pattern,
+                    const DgpmConfig& config,
+                    const Cluster::NetworkModel& network) {
+  const uint32_t n = fragmentation.NumFragments();
+  const size_t num_global = fragmentation.assignment().size();
+
+  DistOutcome outcome;
+  Cluster cluster(n, network);
+  for (uint32_t i = 0; i < n; ++i) {
+    cluster.SetWorker(i, std::make_unique<DgpmWorker>(
+                             &fragmentation, i, &pattern, config,
+                             &outcome.counters));
+  }
+  cluster.SetCoordinator(std::make_unique<CollectingCoordinator>(
+      pattern.NumNodes(), num_global));
+
+  outcome.stats = cluster.Run();
+  for (uint32_t i = 0; i < n; ++i) {
+    outcome.counters.recomputations +=
+        static_cast<DgpmWorker*>(cluster.worker(i))->engine().recompute_count();
+  }
+  outcome.result =
+      static_cast<CollectingCoordinator*>(cluster.coordinator())->BuildResult();
+  return outcome;
+}
+
+}  // namespace dgs

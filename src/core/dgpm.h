@@ -1,0 +1,102 @@
+// dGPM: the partition-bounded distributed simulation algorithm (Section 4,
+// Theorem 2), with the Section 4.2 optimizations:
+//   - incremental local evaluation (on by default; off = dGPMNOpt),
+//   - the push operation with benefit function B(Si) and threshold θ.
+//
+// Protocol (per site):
+//   Setup       partial evaluation lEval; ship in-node falses (lMsg); maybe
+//               push reduced equations to parent sites.
+//   OnMessages  apply remote falses / pushed systems / subscriptions;
+//               refine; ship newly-false in-node variables; flag changes to
+//               the coordinator.
+//   OnQuiesce   ship local matches to the coordinator (phase 3).
+//
+// Bounds: every in-node variable flips false at most once and is shipped to
+// each consumer at most once, so data shipment is O(|Ef||Vq|) truth values;
+// response time is O(|Vf||Vq|) rounds of local refinement on fragments of
+// size at most |Fm|.
+
+#ifndef DGS_CORE_DGPM_H_
+#define DGS_CORE_DGPM_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+
+#include "core/local_engine.h"
+#include "core/metrics.h"
+#include "core/protocol.h"
+#include "partition/fragmentation.h"
+#include "runtime/cluster.h"
+
+namespace dgs {
+
+struct DgpmConfig {
+  bool incremental = true;    // false = dGPMNOpt ablation
+  bool enable_push = true;
+  double push_threshold = 0.2;  // θ of Section 4.2
+  bool boolean_only = false;    // Boolean pattern query (phase-3 shortcut)
+};
+
+// Generic coordinator that assembles worker match lists into the global
+// answer; shared by the dGPM family and dMes. A site may report more than
+// once (it resends whenever refinement continued after a quiescent point);
+// the latest report per site wins.
+class CollectingCoordinator : public SiteActor {
+ public:
+  CollectingCoordinator(size_t num_query_nodes, size_t num_global_nodes);
+
+  void OnMessages(SiteContext& ctx, std::vector<Message> inbox) override;
+
+  // Assembles Q(G) from the collected partial matches. In Boolean mode the
+  // result's GraphMatches() is exact and the match sets use a marker bit.
+  SimulationResult BuildResult() const;
+
+ private:
+  size_t num_query_nodes_;
+  size_t num_global_nodes_;
+  // Latest per-site match lists (kInvalidNode marks a Boolean-mode hit).
+  std::map<uint32_t, std::vector<std::vector<NodeId>>> per_site_;
+};
+
+// One dGPM worker site.
+class DgpmWorker : public SiteActor {
+ public:
+  DgpmWorker(const Fragmentation* fragmentation, uint32_t site,
+             const Pattern* pattern, const DgpmConfig& config,
+             AlgoCounters* counters);
+
+  void Setup(SiteContext& ctx) override;
+  void OnMessages(SiteContext& ctx, std::vector<Message> inbox) override;
+  void OnQuiesce(SiteContext& ctx) override;
+
+  const LocalEngine& engine() const { return engine_; }
+
+ private:
+  void ShipFalses(SiteContext& ctx, bool flag_coordinator);
+  void MaybePush(SiteContext& ctx);
+  void SendMatches(SiteContext& ctx);
+
+  const Fragmentation* fragmentation_;
+  const Fragment* fragment_;
+  const Pattern* pattern_;
+  DgpmConfig config_;
+  AlgoCounters* counters_;
+  LocalEngine engine_;
+  // local in-node id -> index into fragment_->in_nodes / consumers.
+  std::unordered_map<NodeId, size_t> in_node_index_;
+  // Push subscriptions: local node -> extra consumer sites.
+  std::unordered_map<NodeId, std::set<uint32_t>> dynamic_consumers_;
+  // Matches changed since the last report to the coordinator.
+  bool matches_dirty_ = true;
+};
+
+// Runs dGPM (or dGPMNOpt via config) end to end on a fragmentation.
+DistOutcome RunDgpm(const Fragmentation& fragmentation, const Pattern& pattern,
+                    const DgpmConfig& config,
+                    const Cluster::NetworkModel& network = {});
+
+}  // namespace dgs
+
+#endif  // DGS_CORE_DGPM_H_

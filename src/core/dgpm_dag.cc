@@ -1,0 +1,201 @@
+#include "core/dgpm_dag.h"
+
+#include <algorithm>
+
+#include "graph/algorithms.h"
+
+namespace dgs {
+
+DgpmDagWorker::DgpmDagWorker(const Fragmentation* fragmentation, uint32_t site,
+                             const Pattern* pattern,
+                             const DgpmDagConfig& config,
+                             AlgoCounters* counters)
+    : fragmentation_(fragmentation),
+      fragment_(&fragmentation->fragment(site)),
+      pattern_(pattern),
+      config_(config),
+      counters_(counters),
+      engine_(fragment_, pattern, /*incremental=*/true) {
+  for (size_t k = 0; k < fragment_->in_nodes.size(); ++k) {
+    in_node_index_.emplace(fragment_->in_nodes[k], k);
+  }
+}
+
+void DgpmDagWorker::Setup(SiteContext& ctx) {
+  (void)ctx;
+  engine_.Initialize();
+  BufferFalses();  // shipped at the first rank tick
+}
+
+void DgpmDagWorker::OnMessages(SiteContext& ctx, std::vector<Message> inbox) {
+  std::vector<uint64_t> falses;
+  uint32_t tick_rank = 0;
+  bool ticked = false;
+  for (const Message& m : inbox) {
+    Blob::Reader reader(m.payload);
+    switch (GetTag(reader)) {
+      case WireTag::kFalseVars: {
+        for (uint64_t key : ReadFalseVarList(reader)) falses.push_back(key);
+        break;
+      }
+      case WireTag::kTick: {
+        ticked = true;
+        tick_rank = reader.GetU32();
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  if (!falses.empty()) {
+    engine_.ApplyRemoteFalses(falses);
+    matches_dirty_ = true;
+    BufferFalses();
+  }
+  if (ticked) {
+    // All variables of rank <= tick_rank are final at every site now.
+    ShipUpToRank(ctx, tick_rank);
+    Blob ack;
+    PutTag(ack, WireTag::kFlag);
+    ack.PutU8(1);
+    ctx.Send(ctx.coordinator_id(), MessageClass::kControl, std::move(ack));
+  }
+}
+
+void DgpmDagWorker::OnQuiesce(SiteContext& ctx) {
+  if (!buffer_.empty()) {
+    // Safety flush; with the rank clock this only fires if the pattern has
+    // falses above the final tick (impossible by construction, but false
+    // values are always final, so flushing is harmless).
+    ShipUpToRank(ctx, pattern_->MaxRank());
+    return;
+  }
+  if (matches_dirty_) {
+    SendMatches(ctx);
+    matches_dirty_ = false;
+  }
+}
+
+void DgpmDagWorker::BufferFalses() {
+  const auto& ranks = pattern_->Ranks();
+  for (const auto& f : engine_.DrainInNodeFalses()) {
+    uint64_t key = MakeVarKey(f.query_node, fragment_->ToGlobal(f.local_node));
+    size_t idx = in_node_index_.at(f.local_node);
+    for (const InNodeConsumer& c : fragment_->consumers[idx]) {
+      if (ConsumerNeedsVar(*pattern_, f.query_node, c.source_labels)) {
+        buffer_[ranks[f.query_node]][c.site].push_back(key);
+      }
+    }
+  }
+}
+
+void DgpmDagWorker::ShipUpToRank(SiteContext& ctx, uint32_t max_rank) {
+  std::map<uint32_t, std::vector<uint64_t>> by_dst;
+  while (!buffer_.empty() && buffer_.begin()->first <= max_rank) {
+    for (auto& [dst, keys] : buffer_.begin()->second) {
+      auto& sink = by_dst[dst];
+      sink.insert(sink.end(), keys.begin(), keys.end());
+    }
+    buffer_.erase(buffer_.begin());
+  }
+  for (auto& [dst, keys] : by_dst) {
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    Blob blob;
+    AppendFalseVarList(blob, keys);
+    counters_->vars_shipped += keys.size();
+    ctx.Send(dst, MessageClass::kData, std::move(blob));
+  }
+}
+
+void DgpmDagWorker::SendMatches(SiteContext& ctx) {
+  auto candidates = engine_.LocalCandidates();
+  std::vector<std::vector<NodeId>> lists(candidates.size());
+  for (NodeId u = 0; u < candidates.size(); ++u) {
+    candidates[u].ForEachSet([&](size_t lv) {
+      lists[u].push_back(fragment_->ToGlobal(static_cast<NodeId>(lv)));
+    });
+  }
+  Blob blob;
+  AppendMatchList(blob, lists, config_.boolean_only);
+  ctx.Send(ctx.coordinator_id(), MessageClass::kResult, std::move(blob));
+}
+
+DgpmDagCoordinator::DgpmDagCoordinator(size_t num_query_nodes,
+                                       size_t num_global_nodes,
+                                       uint32_t num_workers, uint32_t max_rank)
+    : collector_(num_query_nodes, num_global_nodes),
+      num_workers_(num_workers),
+      max_rank_(max_rank) {}
+
+void DgpmDagCoordinator::Setup(SiteContext& ctx) {
+  if (max_rank_ >= 1) {
+    current_rank_ = 1;
+    BroadcastTick(ctx);
+  }
+}
+
+void DgpmDagCoordinator::OnMessages(SiteContext& ctx,
+                                    std::vector<Message> inbox) {
+  for (Message& m : inbox) {
+    Blob::Reader reader(m.payload);
+    WireTag tag = GetTag(reader);
+    if (tag == WireTag::kFlag) {
+      ++acks_;
+    } else if (tag == WireTag::kMatches) {
+      std::vector<Message> one;
+      one.push_back(std::move(m));
+      collector_.OnMessages(ctx, std::move(one));
+    }
+  }
+  if (acks_ >= num_workers_ && current_rank_ < max_rank_) {
+    acks_ = 0;
+    ++current_rank_;
+    BroadcastTick(ctx);
+  }
+}
+
+void DgpmDagCoordinator::BroadcastTick(SiteContext& ctx) {
+  for (uint32_t i = 0; i < num_workers_; ++i) {
+    Blob blob;
+    PutTag(blob, WireTag::kTick);
+    blob.PutU32(current_rank_);
+    ctx.Send(i, MessageClass::kControl, std::move(blob));
+  }
+}
+
+DistOutcome RunDgpmDag(const Fragmentation& fragmentation,
+                       const Pattern& pattern, const Graph& g,
+                       const DgpmDagConfig& config,
+                       const Cluster::NetworkModel& network) {
+  const size_t num_global = fragmentation.assignment().size();
+  if (!pattern.IsDag()) {
+    DGS_CHECK(IsAcyclic(g),
+              "dGPMd requires a DAG pattern or a DAG data graph");
+    // A cyclic pattern cannot match an acyclic graph: some query node on a
+    // cycle would need an infinite descending chain of matches.
+    DistOutcome outcome;
+    outcome.result = SimulationResult(
+        std::vector<DynamicBitset>(pattern.NumNodes(),
+                                   DynamicBitset(num_global)),
+        num_global);
+    return outcome;
+  }
+
+  const uint32_t n = fragmentation.NumFragments();
+  DistOutcome outcome;
+  Cluster cluster(n, network);
+  for (uint32_t i = 0; i < n; ++i) {
+    cluster.SetWorker(i, std::make_unique<DgpmDagWorker>(
+                             &fragmentation, i, &pattern, config,
+                             &outcome.counters));
+  }
+  cluster.SetCoordinator(std::make_unique<DgpmDagCoordinator>(
+      pattern.NumNodes(), num_global, n, pattern.MaxRank()));
+  outcome.stats = cluster.Run();
+  outcome.result =
+      static_cast<DgpmDagCoordinator*>(cluster.coordinator())->BuildResult();
+  return outcome;
+}
+
+}  // namespace dgs

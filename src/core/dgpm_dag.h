@@ -1,0 +1,97 @@
+// dGPMd: distributed simulation for DAG patterns (Section 5.1, Theorem 3).
+//
+// When Q is a DAG, X(u, v) depends only on variables X(u', v') with
+// r(u') < r(u), where r is the topological rank (0 for sinks). dGPMd
+// therefore batches the shipment of false variables by rank, coordinated by
+// rank ticks from the coordinator:
+//
+//   tick r:  every site ships its buffered false variables of rank <= r
+//            (one batch per destination) and acknowledges; the coordinator
+//            advances to rank r + 1 once all sites acknowledged.
+//
+// Rank-r variables are final when every rank-(r-1) batch has been applied,
+// so exactly d rank phases suffice: at most one data message per ordered
+// site pair per rank, O(|Ef||Vq|) truth values total, and
+// PT = O(d (|Vq|+|Vm|)(|Eq|+|Em|) + |Q||F|) — parallel scalable in response
+// time for fixed |F| (Theorem 3). Ticks/acks are control traffic (the
+// |Q||F| term).
+//
+// For a DAG data graph G with a cyclic Q, G cannot match Q (some query node
+// on a cycle has no match); RunDgpmDag handles that case without any
+// distributed work. A cyclic Q on a cyclic G is outside dGPMd's scope.
+
+#ifndef DGS_CORE_DGPM_DAG_H_
+#define DGS_CORE_DGPM_DAG_H_
+
+#include <map>
+#include <vector>
+
+#include "core/dgpm.h"
+
+namespace dgs {
+
+struct DgpmDagConfig {
+  bool boolean_only = false;
+};
+
+// One dGPMd worker site: like dGPM but with rank-scheduled shipment.
+class DgpmDagWorker : public SiteActor {
+ public:
+  DgpmDagWorker(const Fragmentation* fragmentation, uint32_t site,
+                const Pattern* pattern, const DgpmDagConfig& config,
+                AlgoCounters* counters);
+
+  void Setup(SiteContext& ctx) override;
+  void OnMessages(SiteContext& ctx, std::vector<Message> inbox) override;
+  void OnQuiesce(SiteContext& ctx) override;
+
+ private:
+  void BufferFalses();
+  // Ships buffered falses with rank <= `max_rank` (one batch per dest).
+  void ShipUpToRank(SiteContext& ctx, uint32_t max_rank);
+  void SendMatches(SiteContext& ctx);
+
+  const Fragmentation* fragmentation_;
+  const Fragment* fragment_;
+  const Pattern* pattern_;
+  DgpmDagConfig config_;
+  AlgoCounters* counters_;
+  LocalEngine engine_;
+  std::unordered_map<NodeId, size_t> in_node_index_;
+  // Pending shipments: rank -> destination -> keys.
+  std::map<uint32_t, std::map<uint32_t, std::vector<uint64_t>>> buffer_;
+  // Matches changed since the last report to the coordinator.
+  bool matches_dirty_ = true;
+};
+
+// Advances the rank clock and collects the final matches.
+class DgpmDagCoordinator : public SiteActor {
+ public:
+  DgpmDagCoordinator(size_t num_query_nodes, size_t num_global_nodes,
+                     uint32_t num_workers, uint32_t max_rank);
+
+  void Setup(SiteContext& ctx) override;
+  void OnMessages(SiteContext& ctx, std::vector<Message> inbox) override;
+
+  SimulationResult BuildResult() const { return collector_.BuildResult(); }
+
+ private:
+  void BroadcastTick(SiteContext& ctx);
+
+  CollectingCoordinator collector_;
+  uint32_t num_workers_;
+  uint32_t max_rank_;
+  uint32_t current_rank_ = 0;
+  uint32_t acks_ = 0;
+};
+
+// Runs dGPMd. Requires Q to be a DAG, or G to be a DAG (in which case a
+// cyclic Q yields the empty answer immediately).
+DistOutcome RunDgpmDag(const Fragmentation& fragmentation,
+                       const Pattern& pattern, const Graph& g,
+                       const DgpmDagConfig& config,
+                       const Cluster::NetworkModel& network = {});
+
+}  // namespace dgs
+
+#endif  // DGS_CORE_DGPM_DAG_H_

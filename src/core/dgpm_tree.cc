@@ -1,0 +1,202 @@
+#include "core/dgpm_tree.h"
+
+#include <algorithm>
+
+namespace dgs {
+
+DgpmTreeWorker::DgpmTreeWorker(const Fragmentation* fragmentation,
+                               uint32_t site, const Pattern* pattern,
+                               const DgpmTreeConfig& config,
+                               AlgoCounters* counters)
+    : fragment_(&fragmentation->fragment(site)),
+      pattern_(pattern),
+      config_(config),
+      counters_(counters),
+      engine_(fragment_, pattern, /*incremental=*/true) {}
+
+void DgpmTreeWorker::Setup(SiteContext& ctx) {
+  engine_.Initialize();
+  ReducedSystem answer = engine_.ReduceInNodeEquations();
+  counters_->equation_units += answer.TotalUnits();
+  Blob blob;
+  PutTag(blob, WireTag::kTreeAnswer);
+  answer.Serialize(blob);
+  // Also register every undecided frontier variable: the coordinator must
+  // route resolved falses for these even when they appear in no in-node
+  // equation (e.g. the fragment holding the tree root has no in-nodes at
+  // all, yet still depends on its virtual children).
+  auto frontier = engine_.UndecidedFrontierKeys();
+  blob.PutU32(static_cast<uint32_t>(frontier.size()));
+  for (uint64_t key : frontier) {
+    blob.PutU32(VarKeyGlobalNode(key));
+    blob.PutU16(static_cast<uint16_t>(VarKeyQueryNode(key)));
+  }
+  ctx.Send(ctx.coordinator_id(), MessageClass::kData, std::move(blob));
+}
+
+void DgpmTreeWorker::OnMessages(SiteContext& ctx, std::vector<Message> inbox) {
+  (void)ctx;
+  std::vector<uint64_t> falses;
+  for (const Message& m : inbox) {
+    Blob::Reader reader(m.payload);
+    if (GetTag(reader) != WireTag::kTreeValues) continue;
+    auto keys = ReadFalseVarList(reader);
+    falses.insert(falses.end(), keys.begin(), keys.end());
+  }
+  if (!falses.empty()) {
+    engine_.ApplyRemoteFalses(falses);
+    matches_dirty_ = true;
+  }
+  // Locally derived in-node falses need no further shipping: the
+  // coordinator already resolved every boundary variable globally.
+  engine_.DrainInNodeFalses();
+}
+
+void DgpmTreeWorker::OnQuiesce(SiteContext& ctx) {
+  if (matches_dirty_) {
+    SendMatches(ctx);
+    matches_dirty_ = false;
+  }
+}
+
+void DgpmTreeWorker::SendMatches(SiteContext& ctx) {
+  auto candidates = engine_.LocalCandidates();
+  std::vector<std::vector<NodeId>> lists(candidates.size());
+  for (NodeId u = 0; u < candidates.size(); ++u) {
+    candidates[u].ForEachSet([&](size_t lv) {
+      lists[u].push_back(fragment_->ToGlobal(static_cast<NodeId>(lv)));
+    });
+  }
+  Blob blob;
+  AppendMatchList(blob, lists, config_.boolean_only);
+  ctx.Send(ctx.coordinator_id(), MessageClass::kResult, std::move(blob));
+}
+
+DgpmTreeCoordinator::DgpmTreeCoordinator(size_t num_query_nodes,
+                                         size_t num_global_nodes,
+                                         uint32_t num_workers,
+                                         AlgoCounters* counters)
+    : collector_(num_query_nodes, num_global_nodes),
+      num_workers_(num_workers),
+      counters_(counters),
+      answers_(num_workers),
+      interest_(num_workers) {}
+
+void DgpmTreeCoordinator::OnMessages(SiteContext& ctx,
+                                     std::vector<Message> inbox) {
+  for (Message& m : inbox) {
+    Blob::Reader reader(m.payload);
+    WireTag tag = GetTag(reader);
+    if (tag == WireTag::kTreeAnswer) {
+      DGS_CHECK(m.src < num_workers_, "tree answer from unknown site");
+      answers_[m.src] = ReducedSystem::Deserialize(reader);
+      for (const ReducedEntry& e : answers_[m.src].entries) {
+        interest_[m.src].push_back(e.key);
+        for (const auto& g : e.groups) {
+          for (uint64_t ref : g) interest_[m.src].push_back(ref);
+        }
+      }
+      // Frontier registrations appended after the reduced system.
+      uint32_t num_frontier = reader.GetU32();
+      for (uint32_t i = 0; i < num_frontier; ++i) {
+        uint32_t gv = reader.GetU32();
+        uint16_t u = reader.GetU16();
+        interest_[m.src].push_back(MakeVarKey(u, gv));
+      }
+      ++answers_received_;
+    } else if (tag == WireTag::kMatches) {
+      // Delegate result collection.
+      std::vector<Message> one;
+      one.push_back(std::move(m));
+      collector_.OnMessages(ctx, std::move(one));
+    }
+  }
+  if (!solved_ && answers_received_ == num_workers_) {
+    Solve(ctx);
+    solved_ = true;
+  }
+}
+
+void DgpmTreeCoordinator::Solve(SiteContext& ctx) {
+  // Link all partial answers into one equation system over wire keys.
+  EquationSystem system;
+  std::unordered_map<uint64_t, VarId> vars;
+  auto var_of = [&](uint64_t key) {
+    auto it = vars.find(key);
+    if (it != vars.end()) return it->second;
+    VarId x = system.NewVar();
+    vars.emplace(key, x);
+    return x;
+  };
+  for (const ReducedSystem& answer : answers_) {
+    for (const ReducedEntry& e : answer.entries) {
+      VarId x = var_of(e.key);
+      switch (e.kind) {
+        case ReducedEntry::kFalse:
+          system.AssertFalse(x);
+          break;
+        case ReducedEntry::kTrue:
+          break;  // undecided-forever == true under gfp semantics
+        case ReducedEntry::kEquation: {
+          if (system.IsFalse(x) || system.HasEquation(x)) break;
+          std::vector<std::vector<VarId>> groups;
+          for (const auto& g : e.groups) {
+            std::vector<VarId> group;
+            for (uint64_t ref : g) group.push_back(var_of(ref));
+            groups.push_back(std::move(group));
+          }
+          system.SetEquation(x, groups);
+          break;
+        }
+      }
+    }
+  }
+  system.Propagate([](VarId) {});
+
+  // Return the resolved falses each site cares about.
+  for (uint32_t site = 0; site < num_workers_; ++site) {
+    std::vector<uint64_t>& keys = interest_[site];
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    std::vector<uint64_t> falses;
+    for (uint64_t key : keys) {
+      auto it = vars.find(key);
+      if (it != vars.end() && system.IsFalse(it->second)) {
+        falses.push_back(key);
+      }
+    }
+    if (falses.empty()) continue;
+    Blob blob;
+    PutTag(blob, WireTag::kTreeValues);
+    // Reuse the false-var list layout after the tag.
+    blob.PutU32(static_cast<uint32_t>(falses.size()));
+    for (uint64_t key : falses) {
+      blob.PutU32(VarKeyGlobalNode(key));
+      blob.PutU16(static_cast<uint16_t>(VarKeyQueryNode(key)));
+    }
+    counters_->vars_shipped += falses.size();
+    ctx.Send(site, MessageClass::kData, std::move(blob));
+  }
+}
+
+DistOutcome RunDgpmTree(const Fragmentation& fragmentation,
+                        const Pattern& pattern, const DgpmTreeConfig& config,
+                        const Cluster::NetworkModel& network) {
+  const uint32_t n = fragmentation.NumFragments();
+  const size_t num_global = fragmentation.assignment().size();
+  DistOutcome outcome;
+  Cluster cluster(n, network);
+  for (uint32_t i = 0; i < n; ++i) {
+    cluster.SetWorker(i, std::make_unique<DgpmTreeWorker>(
+                             &fragmentation, i, &pattern, config,
+                             &outcome.counters));
+  }
+  cluster.SetCoordinator(std::make_unique<DgpmTreeCoordinator>(
+      pattern.NumNodes(), num_global, n, &outcome.counters));
+  outcome.stats = cluster.Run();
+  outcome.result = static_cast<DgpmTreeCoordinator*>(cluster.coordinator())
+                       ->BuildResult();
+  return outcome;
+}
+
+}  // namespace dgs

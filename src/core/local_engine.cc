@@ -1,0 +1,280 @@
+#include "core/local_engine.h"
+
+#include <algorithm>
+
+namespace dgs {
+
+LocalEngine::LocalEngine(const Fragment* fragment, const Pattern* pattern,
+                         bool incremental)
+    : fragment_(fragment), pattern_(pattern), incremental_(incremental) {}
+
+void LocalEngine::Initialize() {
+  BuildSystem();
+  PropagateAndCollect();
+  recompute_count_ = 1;
+}
+
+VarId LocalEngine::VarOf(NodeId local_node, NodeId query_node) const {
+  return var_ids_[static_cast<size_t>(local_node) * pattern_->NumNodes() +
+                  query_node];
+}
+
+void LocalEngine::BuildSystem() {
+  system_ = EquationSystem();
+  info_.clear();
+  key_vars_.clear();
+
+  const Graph& lg = fragment_->graph;
+  const size_t nq = pattern_->NumNodes();
+  var_ids_.assign(lg.NumNodes() * nq, kNoVar);
+
+  is_in_node_.assign(fragment_->num_local, false);
+  for (NodeId v : fragment_->in_nodes) is_in_node_[v] = true;
+
+  // Query nodes grouped by label.
+  std::unordered_map<Label, std::vector<NodeId>> by_label;
+  for (NodeId u = 0; u < nq; ++u) by_label[pattern_->LabelOf(u)].push_back(u);
+
+  // Variables: one per label-compatible (query node, fragment node) pair.
+  for (NodeId v = 0; v < lg.NumNodes(); ++v) {
+    auto it = by_label.find(lg.LabelOf(v));
+    if (it == by_label.end()) continue;
+    for (NodeId u : it->second) {
+      VarId x = system_.NewVar();
+      var_ids_[static_cast<size_t>(v) * nq + u] = x;
+      VarInfo vi;
+      vi.local_node = v;
+      vi.query_node = u;
+      vi.key = MakeVarKey(u, fragment_->ToGlobal(v));
+      vi.frontier = fragment_->IsVirtual(v) && !pattern_->IsSink(u);
+      vi.in_node = v < fragment_->num_local && is_in_node_[v];
+      info_.push_back(vi);
+    }
+  }
+
+  // Equations for local, non-sink pairs. Virtual nodes have no local
+  // out-edges, so their variables stay frontier (decided by their home
+  // site); sink-query variables are unconditionally true.
+  std::vector<std::vector<VarId>> groups;
+  for (NodeId v = 0; v < fragment_->num_local; ++v) {
+    auto it = by_label.find(lg.LabelOf(v));
+    if (it == by_label.end()) continue;
+    for (NodeId u : it->second) {
+      if (pattern_->IsSink(u)) continue;
+      groups.clear();
+      for (NodeId uc : pattern_->Children(u)) {
+        std::vector<VarId> group;
+        const Label child_label = pattern_->LabelOf(uc);
+        for (NodeId w : lg.OutNeighbors(v)) {
+          if (lg.LabelOf(w) != child_label) continue;
+          VarId m = VarOf(w, uc);
+          DGS_DCHECK(m != kNoVar, "label-matching child must have a var");
+          group.push_back(m);
+        }
+        groups.push_back(std::move(group));
+      }
+      system_.SetEquation(VarOf(v, u), groups);
+    }
+  }
+
+  // Replay remote knowledge accumulated so far (rebuild path).
+  for (const ReducedSystem& reduced : installed_) {
+    InstallReducedSystemInternal(reduced, nullptr);
+  }
+  for (uint64_t key : known_false_keys_) {
+    AssertKeyFalse(key);
+  }
+}
+
+void LocalEngine::AssertKeyFalse(uint64_t key) {
+  const NodeId u = VarKeyQueryNode(key);
+  const NodeId gv = VarKeyGlobalNode(key);
+  if (u >= pattern_->NumNodes()) return;
+  NodeId lv = fragment_->ToLocal(gv);
+  VarId x = kNoVar;
+  if (lv != kInvalidNode) {
+    x = VarOf(lv, u);
+  } else {
+    auto it = key_vars_.find(key);
+    if (it != key_vars_.end()) x = it->second;
+  }
+  if (x != kNoVar) system_.AssertFalse(x);
+}
+
+void LocalEngine::PropagateAndCollect() {
+  system_.Propagate([this](VarId x) {
+    const VarInfo& vi = info_[x];
+    if (!vi.in_node) return;
+    if (shipped_keys_.insert(vi.key).second) {
+      pending_in_node_falses_.push_back({vi.local_node, vi.query_node});
+    }
+  });
+}
+
+void LocalEngine::ApplyRemoteFalses(const std::vector<uint64_t>& false_keys) {
+  known_false_keys_.insert(known_false_keys_.end(), false_keys.begin(),
+                           false_keys.end());
+  if (incremental_) {
+    for (uint64_t key : false_keys) AssertKeyFalse(key);
+  } else {
+    // dGPMNOpt: recompute the whole local fixpoint from scratch.
+    BuildSystem();
+    ++recompute_count_;
+  }
+  PropagateAndCollect();
+}
+
+VarId LocalEngine::FindOrCreateKeyVar(uint64_t key,
+                                      std::vector<uint64_t>* fresh) {
+  const NodeId u = VarKeyQueryNode(key);
+  const NodeId gv = VarKeyGlobalNode(key);
+  DGS_CHECK(u < pattern_->NumNodes(), "bad query node in wire key");
+  NodeId lv = fragment_->ToLocal(gv);
+  if (lv != kInvalidNode) {
+    VarId x = VarOf(lv, u);
+    DGS_CHECK(x != kNoVar, "pushed key references a label-mismatched pair");
+    return x;
+  }
+  auto it = key_vars_.find(key);
+  if (it != key_vars_.end()) return it->second;
+  VarId x = system_.NewVar();
+  VarInfo vi;
+  vi.local_node = kInvalidNode;
+  vi.query_node = u;
+  vi.key = key;
+  vi.frontier = true;
+  vi.in_node = false;
+  info_.push_back(vi);
+  key_vars_.emplace(key, x);
+  if (fresh != nullptr) fresh->push_back(key);
+  return x;
+}
+
+std::vector<uint64_t> LocalEngine::InstallReducedSystemInternal(
+    const ReducedSystem& reduced, std::vector<uint64_t>* fresh) {
+  std::vector<uint64_t> fresh_local;
+  if (fresh == nullptr) fresh = &fresh_local;
+  for (const ReducedEntry& e : reduced.entries) {
+    VarId x = FindOrCreateKeyVar(e.key, fresh);
+    switch (e.kind) {
+      case ReducedEntry::kFalse:
+        system_.AssertFalse(x);
+        break;
+      case ReducedEntry::kTrue:
+        // Optimistic semantics already presume undecided variables true.
+        break;
+      case ReducedEntry::kEquation: {
+        if (system_.IsFalse(x) || system_.HasEquation(x)) break;
+        std::vector<std::vector<VarId>> groups;
+        groups.reserve(e.groups.size());
+        for (const auto& g : e.groups) {
+          std::vector<VarId> group;
+          group.reserve(g.size());
+          for (uint64_t ref : g) group.push_back(FindOrCreateKeyVar(ref, fresh));
+          groups.push_back(std::move(group));
+        }
+        system_.SetEquation(x, groups);
+        info_[x].frontier = false;
+        break;
+      }
+    }
+  }
+  return *fresh;
+}
+
+std::vector<uint64_t> LocalEngine::InstallReducedSystem(
+    const ReducedSystem& reduced) {
+  installed_.push_back(reduced);
+  std::vector<uint64_t> fresh;
+  InstallReducedSystemInternal(reduced, &fresh);
+  PropagateAndCollect();
+  return fresh;
+}
+
+std::vector<LocalEngine::FalseVar> LocalEngine::DrainInNodeFalses() {
+  std::vector<FalseVar> out = std::move(pending_in_node_falses_);
+  pending_in_node_falses_.clear();
+  return out;
+}
+
+std::vector<uint64_t> LocalEngine::UndecidedFrontierKeys() const {
+  std::vector<uint64_t> keys;
+  for (VarId x = 0; x < info_.size(); ++x) {
+    if (info_[x].frontier && !system_.HasEquation(x) && !system_.IsFalse(x)) {
+      keys.push_back(info_[x].key);
+    }
+  }
+  return keys;
+}
+
+size_t LocalEngine::NumUndecidedFrontier() const {
+  return UndecidedFrontierKeys().size();
+}
+
+size_t LocalEngine::NumUndecidedInNode() const {
+  size_t count = 0;
+  for (const VarInfo& vi : info_) {
+    if (vi.in_node) {
+      VarId x = VarOf(vi.local_node, vi.query_node);
+      if (!system_.IsFalse(x)) ++count;
+    }
+  }
+  return count;
+}
+
+ReducedSystem LocalEngine::ReduceInNodeEquations() const {
+  std::vector<VarId> roots;
+  for (VarId x = 0; x < info_.size(); ++x) {
+    if (info_[x].in_node) roots.push_back(x);
+  }
+  return ReduceToFrontier(
+      system_, roots,
+      [this](VarId x) {
+        return info_[x].frontier && !system_.HasEquation(x);
+      },
+      [this](VarId x) { return info_[x].key; });
+}
+
+std::vector<NodeId> LocalEngine::FalseQueryNodesFor(NodeId local_node) const {
+  std::vector<NodeId> out;
+  for (NodeId u = 0; u < pattern_->NumNodes(); ++u) {
+    VarId x = VarOf(local_node, u);
+    if (x != kNoVar && system_.IsFalse(x)) out.push_back(u);
+  }
+  return out;
+}
+
+size_t LocalEngine::NumFalseVars() const {
+  size_t count = 0;
+  for (VarId x = 0; x < info_.size(); ++x) {
+    if (system_.IsFalse(x)) ++count;
+  }
+  return count;
+}
+
+bool LocalEngine::IsKeyFalse(uint64_t key) const {
+  const NodeId u = VarKeyQueryNode(key);
+  const NodeId gv = VarKeyGlobalNode(key);
+  if (u >= pattern_->NumNodes()) return true;
+  NodeId lv = fragment_->ToLocal(gv);
+  if (lv != kInvalidNode) {
+    VarId x = VarOf(lv, u);
+    return x == kNoVar || system_.IsFalse(x);
+  }
+  auto it = key_vars_.find(key);
+  return it != key_vars_.end() && system_.IsFalse(it->second);
+}
+
+std::vector<DynamicBitset> LocalEngine::LocalCandidates() const {
+  const size_t nq = pattern_->NumNodes();
+  std::vector<DynamicBitset> out(nq, DynamicBitset(fragment_->num_local));
+  for (NodeId v = 0; v < fragment_->num_local; ++v) {
+    for (NodeId u = 0; u < nq; ++u) {
+      VarId x = VarOf(v, u);
+      if (x != kNoVar && !system_.IsFalse(x)) out[u].Set(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace dgs

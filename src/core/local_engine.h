@@ -1,0 +1,145 @@
+// Per-site local evaluation (procedure lEval of Section 4.1).
+//
+// A LocalEngine owns the Boolean-equation partial answer of one fragment:
+// one variable per label-compatible (query node, fragment node) pair, with
+// equations for local nodes and frontier (external) variables for virtual
+// nodes. It supports
+//   - incremental refinement (Section 4.2): remote falses are asserted and
+//     propagated in O(|AFF|), and
+//   - the dGPMNOpt ablation: full recomputation from scratch on every
+//     message batch, as the unoptimized baseline.
+// It also produces the ReducedSystem used by push (Section 4.2) and dGPMt
+// (Section 5.2), and installs pushed systems received from other sites.
+
+#ifndef DGS_CORE_LOCAL_ENGINE_H_
+#define DGS_CORE_LOCAL_ENGINE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/booleq.h"
+#include "graph/pattern.h"
+#include "partition/fragmentation.h"
+#include "util/bitset.h"
+
+namespace dgs {
+
+// Wire key of a variable X(u, v): v is a GLOBAL node id, u a query node.
+inline uint64_t MakeVarKey(NodeId query_node, NodeId global_node) {
+  return (static_cast<uint64_t>(global_node) << 16) |
+         static_cast<uint64_t>(query_node);
+}
+inline NodeId VarKeyQueryNode(uint64_t key) {
+  return static_cast<NodeId>(key & 0xffff);
+}
+inline NodeId VarKeyGlobalNode(uint64_t key) {
+  return static_cast<NodeId>(key >> 16);
+}
+
+class LocalEngine {
+ public:
+  // A newly-false variable of an in-node, ready to ship (local ids).
+  struct FalseVar {
+    NodeId local_node;
+    NodeId query_node;
+  };
+
+  // `fragment` and `pattern` must outlive the engine. With
+  // incremental=false the engine recomputes the whole fragment fixpoint on
+  // every ApplyRemoteFalses call (dGPMNOpt).
+  LocalEngine(const Fragment* fragment, const Pattern* pattern,
+              bool incremental);
+
+  // Builds the equation system and runs the initial local fixpoint
+  // (phase 1 partial evaluation). Call exactly once before anything else.
+  void Initialize();
+
+  // Applies remote truth values (variables now known false) and refines.
+  // Keys reference global node ids; unknown keys (no local copy and not a
+  // pushed variable) are ignored.
+  void ApplyRemoteFalses(const std::vector<uint64_t>& false_keys);
+
+  // Installs a pushed/reduced equation system from another site. Unknown
+  // referenced keys become new frontier variables; returns those keys so
+  // the caller can subscribe to their home sites.
+  std::vector<uint64_t> InstallReducedSystem(const ReducedSystem& reduced);
+
+  // Newly-false in-node variables since the previous drain (each variable
+  // reported at most once per engine lifetime, also across recomputations).
+  std::vector<FalseVar> DrainInNodeFalses();
+
+  // Undecided frontier variable keys (the unevaluated virtual-node
+  // variables Fi.O' — dMes re-requests these every superstep).
+  std::vector<uint64_t> UndecidedFrontierKeys() const;
+  size_t NumUndecidedFrontier() const;
+  size_t NumUndecidedInNode() const;
+
+  // Reduced equations of the undecided in-node variables over the frontier
+  // (the push payload, and dGPMt's partial answer Li).
+  ReducedSystem ReduceInNodeEquations() const;
+
+  // Current candidate set per query node over LOCAL nodes (bit v set iff
+  // X(u, v) exists and is not false). At global quiescence this is the
+  // restriction of the greatest fixpoint to this fragment.
+  std::vector<DynamicBitset> LocalCandidates() const;
+
+  // Query nodes u for which X(u, local_node) is currently false (used to
+  // answer late push subscriptions with already-known falses).
+  std::vector<NodeId> FalseQueryNodesFor(NodeId local_node) const;
+
+  // Total number of variables currently false (dMes change detection).
+  size_t NumFalseVars() const;
+
+  // Current truth of a wire key: true if the variable is known false here.
+  // Keys with no corresponding variable (label mismatch) report false=true,
+  // since such pairs can never match.
+  bool IsKeyFalse(uint64_t key) const;
+
+  // Number of full recomputations performed (1 after Initialize; grows in
+  // non-incremental mode).
+  uint64_t recompute_count() const { return recompute_count_; }
+
+ private:
+  void BuildSystem();
+  void PropagateAndCollect();
+  void AssertKeyFalse(uint64_t key);
+  VarId VarOf(NodeId local_node, NodeId query_node) const;
+  VarId FindOrCreateKeyVar(uint64_t key, std::vector<uint64_t>* fresh);
+  std::vector<uint64_t> InstallReducedSystemInternal(
+      const ReducedSystem& reduced, std::vector<uint64_t>* fresh);
+
+  const Fragment* fragment_;
+  const Pattern* pattern_;
+  bool incremental_;
+
+  EquationSystem system_;
+  // var_ids_[local_node * |Vq| + u]; kNoVar when labels mismatch.
+  std::vector<VarId> var_ids_;
+  // Reverse map: var -> (local node, query node); local node may be
+  // kInvalidNode for variables created from pushed keys with no local copy.
+  struct VarInfo {
+    NodeId local_node;
+    NodeId query_node;
+    uint64_t key;
+    bool frontier;
+    bool in_node;
+  };
+  std::vector<VarInfo> info_;
+  std::vector<bool> is_in_node_;  // per local node id
+  std::unordered_map<uint64_t, VarId> key_vars_;  // pushed-only variables
+
+  // Remote knowledge and push installs survive recomputation.
+  std::vector<uint64_t> known_false_keys_;
+  std::vector<ReducedSystem> installed_;
+
+  std::vector<FalseVar> pending_in_node_falses_;
+  // Keys already reported through DrainInNodeFalses (survives rebuilds).
+  std::unordered_set<uint64_t> shipped_keys_;
+  uint64_t recompute_count_ = 0;
+};
+
+}  // namespace dgs
+
+#endif  // DGS_CORE_LOCAL_ENGINE_H_

@@ -1,0 +1,4 @@
+#include "core/metrics.h"
+
+// Header-only aggregate types; this translation unit keeps the build layout
+// uniform (one .cc per module).

@@ -1,0 +1,39 @@
+// Outcome of a distributed matching run: the answer plus the performance
+// metrics the paper reports (response time PT and data shipment DS), with
+// the algorithm-specific counters used in the experiment harness.
+
+#ifndef DGS_CORE_METRICS_H_
+#define DGS_CORE_METRICS_H_
+
+#include <cstdint>
+
+#include "runtime/cluster.h"
+#include "simulation/simulation.h"
+
+namespace dgs {
+
+// Counters shared by the site actors of one run (single-threaded runtime).
+struct AlgoCounters {
+  uint64_t vars_shipped = 0;     // truth values shipped (paper's messages)
+  uint64_t push_count = 0;       // push operations performed
+  uint64_t equation_units = 0;   // reduced-system units shipped
+  uint64_t recomputations = 0;   // total lEval (re)computations
+  uint32_t supersteps = 0;       // dMes supersteps
+};
+
+struct DistOutcome {
+  SimulationResult result;
+  RunStats stats;
+  AlgoCounters counters;
+
+  // Convenience accessors matching the paper's metric names.
+  double response_seconds() const { return stats.response_seconds; }
+  // DS as the paper reports it: data shipped while computing the answer
+  // (truth values, equations, shipped subgraphs). Control traffic and final
+  // result collection are tracked separately in `stats`.
+  uint64_t data_shipment_bytes() const { return stats.data_bytes; }
+};
+
+}  // namespace dgs
+
+#endif  // DGS_CORE_METRICS_H_

@@ -1,0 +1,122 @@
+// Wire protocol shared by the distributed algorithms.
+//
+// Every payload starts with a one-byte tag. False-variable lists use the
+// compact 6-byte encoding (u32 global node, u16 query node) since truth
+// values dominate dGPM's data shipment and the paper's bounds count them.
+
+#ifndef DGS_CORE_PROTOCOL_H_
+#define DGS_CORE_PROTOCOL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/local_engine.h"
+#include "graph/pattern.h"
+#include "runtime/message.h"
+
+namespace dgs {
+
+enum class WireTag : uint8_t {
+  kFalseVars = 1,    // dGPM family: variables now known false
+  kPushSystem = 2,   // push operation: reduced equation system
+  kSubscribe = 3,    // push follow-up: deliver falses of a node to a site
+  kFlag = 4,         // change flag to the coordinator
+  kMatches = 5,      // result collection
+  kSubgraph = 6,     // Match / disHHK: shipped fragment subgraph
+  kRequest = 7,      // dMes: request truth values
+  kReply = 8,        // dMes: reply with current truth values
+  kTick = 9,         // dMes: superstep clock
+  kVerdict = 10,     // dMes: continue / halt
+  kTreeAnswer = 11,  // dGPMt: partial answer Li (reduced system)
+  kTreeValues = 12,  // dGPMt: resolved Boolean values
+};
+
+inline void PutTag(Blob& blob, WireTag tag) {
+  blob.PutU8(static_cast<uint8_t>(tag));
+}
+inline WireTag GetTag(Blob::Reader& reader) {
+  return static_cast<WireTag>(reader.GetU8());
+}
+
+// --- False-variable lists -------------------------------------------------
+
+inline void AppendFalseVarList(Blob& blob, const std::vector<uint64_t>& keys) {
+  PutTag(blob, WireTag::kFalseVars);
+  blob.PutU32(static_cast<uint32_t>(keys.size()));
+  for (uint64_t key : keys) {
+    blob.PutU32(VarKeyGlobalNode(key));
+    blob.PutU16(static_cast<uint16_t>(VarKeyQueryNode(key)));
+  }
+}
+
+// Call with the reader positioned after the tag.
+inline std::vector<uint64_t> ReadFalseVarList(Blob::Reader& reader) {
+  uint32_t n = reader.GetU32();
+  std::vector<uint64_t> keys;
+  keys.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t gv = reader.GetU32();
+    uint16_t u = reader.GetU16();
+    keys.push_back(MakeVarKey(u, gv));
+  }
+  return keys;
+}
+
+// --- Match lists (result collection) --------------------------------------
+
+// Payload: tag, u16 num query nodes, then per query node a u32 count and
+// that many u32 global node ids. In Boolean mode counts are 0/1 with no ids
+// shipped beyond a presence bit per query node.
+inline void AppendMatchList(Blob& blob,
+                            const std::vector<std::vector<NodeId>>& matches,
+                            bool boolean_only) {
+  PutTag(blob, WireTag::kMatches);
+  blob.PutU16(static_cast<uint16_t>(matches.size()));
+  blob.PutU8(boolean_only ? 1 : 0);
+  for (const auto& list : matches) {
+    if (boolean_only) {
+      blob.PutU8(list.empty() ? 0 : 1);
+    } else {
+      blob.PutU32(static_cast<uint32_t>(list.size()));
+      for (NodeId v : list) blob.PutU32(v);
+    }
+  }
+}
+
+// Returns per-query-node global id lists; in Boolean mode a non-empty
+// marker is encoded as a single kInvalidNode entry.
+inline std::vector<std::vector<NodeId>> ReadMatchList(Blob::Reader& reader) {
+  uint16_t nq = reader.GetU16();
+  bool boolean_only = reader.GetU8() != 0;
+  std::vector<std::vector<NodeId>> out(nq);
+  for (auto& list : out) {
+    if (boolean_only) {
+      if (reader.GetU8() != 0) list.push_back(kInvalidNode);
+    } else {
+      uint32_t n = reader.GetU32();
+      list.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) list.push_back(reader.GetU32());
+    }
+  }
+  return out;
+}
+
+// --- Usefulness filter (Section 4.1) --------------------------------------
+
+// A consumer site holding node v as a virtual node references X(u, v) only
+// if some crossing-edge source at that site could match a parent of u; the
+// fragmentation records those source labels.
+inline bool ConsumerNeedsVar(const Pattern& q, NodeId u,
+                             const std::vector<Label>& source_labels) {
+  for (NodeId up : q.Parents(u)) {
+    Label l = q.LabelOf(up);
+    for (Label s : source_labels) {
+      if (s == l) return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace dgs
+
+#endif  // DGS_CORE_PROTOCOL_H_

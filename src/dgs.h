@@ -1,0 +1,40 @@
+// Umbrella header for libdgs: distributed graph simulation, reproducing
+// "Distributed Graph Simulation: Impossibility and Possibility"
+// (Fan, Wang, Wu, Deng — PVLDB 7(12), 2014).
+//
+// Include this for the whole public API, or the individual module headers
+// for finer-grained dependencies.
+
+#ifndef DGS_DGS_H_
+#define DGS_DGS_H_
+
+#include "core/api.h"
+#include "core/baselines.h"
+#include "core/booleq.h"
+#include "core/dgpm.h"
+#include "core/dgpm_dag.h"
+#include "core/dgpm_tree.h"
+#include "core/local_engine.h"
+#include "core/metrics.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/io.h"
+#include "graph/pattern.h"
+#include "partition/fragmentation.h"
+#include "partition/partitioner.h"
+#include "partition/stats.h"
+#include "runtime/cluster.h"
+#include "runtime/message.h"
+#include "simulation/incremental.h"
+#include "simulation/isomorphism.h"
+#include "simulation/oracle.h"
+#include "simulation/simulation.h"
+#include "simulation/strong.h"
+#include "util/bitset.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+#endif  // DGS_DGS_H_

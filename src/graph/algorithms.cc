@@ -1,0 +1,176 @@
+#include "graph/algorithms.h"
+
+#include <algorithm>
+
+namespace dgs {
+
+std::vector<uint32_t> StronglyConnectedComponents(const Graph& g,
+                                                  uint32_t* num_components) {
+  const size_t n = g.NumNodes();
+  constexpr uint32_t kUnset = static_cast<uint32_t>(-1);
+  std::vector<uint32_t> index(n, kUnset);
+  std::vector<uint32_t> lowlink(n, 0);
+  std::vector<uint32_t> comp(n, kUnset);
+  std::vector<bool> on_stack(n, false);
+  std::vector<NodeId> stack;
+  uint32_t next_index = 0;
+  uint32_t next_comp = 0;
+
+  // Iterative Tarjan: frames carry (node, next-child cursor).
+  struct Frame {
+    NodeId v;
+    size_t child;
+  };
+  std::vector<Frame> frames;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[root] != kUnset) continue;
+    frames.push_back({root, 0});
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      NodeId v = f.v;
+      if (f.child == 0) {
+        index[v] = lowlink[v] = next_index++;
+        stack.push_back(v);
+        on_stack[v] = true;
+      }
+      auto nbrs = g.OutNeighbors(v);
+      bool descended = false;
+      while (f.child < nbrs.size()) {
+        NodeId w = nbrs[f.child++];
+        if (index[w] == kUnset) {
+          frames.push_back({w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      }
+      if (descended) continue;
+      // v is finished.
+      if (lowlink[v] == index[v]) {
+        while (true) {
+          NodeId w = stack.back();
+          stack.pop_back();
+          on_stack[w] = false;
+          comp[w] = next_comp;
+          if (w == v) break;
+        }
+        ++next_comp;
+      }
+      frames.pop_back();
+      if (!frames.empty()) {
+        lowlink[frames.back().v] =
+            std::min(lowlink[frames.back().v], lowlink[v]);
+      }
+    }
+  }
+  if (num_components != nullptr) *num_components = next_comp;
+  return comp;
+}
+
+bool IsAcyclic(const Graph& g) {
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    if (g.HasEdge(v, v)) return false;
+  }
+  uint32_t num_components = 0;
+  StronglyConnectedComponents(g, &num_components);
+  return num_components == g.NumNodes();
+}
+
+std::optional<std::vector<NodeId>> TopologicalOrder(const Graph& g) {
+  const size_t n = g.NumNodes();
+  std::vector<uint32_t> indegree(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId w : g.OutNeighbors(v)) ++indegree[w];
+  }
+  std::vector<NodeId> order;
+  order.reserve(n);
+  std::vector<NodeId> frontier;
+  for (NodeId v = 0; v < n; ++v) {
+    if (indegree[v] == 0) frontier.push_back(v);
+  }
+  while (!frontier.empty()) {
+    NodeId v = frontier.back();
+    frontier.pop_back();
+    order.push_back(v);
+    for (NodeId w : g.OutNeighbors(v)) {
+      if (--indegree[w] == 0) frontier.push_back(w);
+    }
+  }
+  if (order.size() != n) return std::nullopt;  // cycle
+  return order;
+}
+
+std::vector<uint32_t> BfsDistances(const Graph& g, NodeId source) {
+  std::vector<uint32_t> dist(g.NumNodes(), kUnreachable);
+  std::vector<NodeId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  for (size_t head = 0; head < queue.size(); ++head) {
+    NodeId v = queue[head];
+    for (NodeId w : g.OutNeighbors(v)) {
+      if (dist[w] == kUnreachable) {
+        dist[w] = dist[v] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  return dist;
+}
+
+uint32_t Diameter(const Graph& g) {
+  uint32_t best = 0;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    for (uint32_t d : BfsDistances(g, v)) {
+      if (d != kUnreachable) best = std::max(best, d);
+    }
+  }
+  return best;
+}
+
+std::vector<uint32_t> TopologicalRanks(const Graph& g) {
+  auto order = TopologicalOrder(g);
+  DGS_CHECK(order.has_value(), "TopologicalRanks requires an acyclic graph");
+  std::vector<uint32_t> rank(g.NumNodes(), 0);
+  // Process in reverse topological order so children are ranked first.
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    NodeId v = *it;
+    uint32_t r = 0;
+    for (NodeId w : g.OutNeighbors(v)) r = std::max(r, rank[w] + 1);
+    rank[v] = r;
+  }
+  return rank;
+}
+
+bool IsWeaklyConnected(const Graph& g) {
+  const size_t n = g.NumNodes();
+  if (n == 0) return true;
+  std::vector<bool> seen(n, false);
+  std::vector<NodeId> queue = {0};
+  seen[0] = true;
+  size_t visited = 1;
+  for (size_t head = 0; head < queue.size(); ++head) {
+    NodeId v = queue[head];
+    auto visit = [&](NodeId w) {
+      if (!seen[w]) {
+        seen[w] = true;
+        ++visited;
+        queue.push_back(w);
+      }
+    };
+    for (NodeId w : g.OutNeighbors(v)) visit(w);
+    for (NodeId w : g.InNeighbors(v)) visit(w);
+  }
+  return visited == n;
+}
+
+bool IsDownwardForest(const Graph& g) {
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    if (g.InDegree(v) > 1) return false;
+  }
+  return IsAcyclic(g);
+}
+
+}  // namespace dgs

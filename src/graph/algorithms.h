@@ -1,0 +1,52 @@
+// Classic graph algorithms used by patterns, partitioners and the
+// distributed engines: Tarjan SCC, acyclicity, topological order, BFS.
+
+#ifndef DGS_GRAPH_ALGORITHMS_H_
+#define DGS_GRAPH_ALGORITHMS_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dgs {
+
+// Strongly connected components via iterative Tarjan [32]. Returns a
+// component id per node; ids are in reverse topological order of the
+// condensation (i.e., a component only reaches components with smaller ids...
+// precisely: for any edge u->v across components, comp[u] > comp[v]).
+std::vector<uint32_t> StronglyConnectedComponents(const Graph& g,
+                                                  uint32_t* num_components);
+
+// True iff g has no directed cycle (counting self-loops as cycles).
+bool IsAcyclic(const Graph& g);
+
+// Topological order (sources first) if acyclic, std::nullopt otherwise.
+std::optional<std::vector<NodeId>> TopologicalOrder(const Graph& g);
+
+// BFS hop distances from `source` following out-edges; unreachable nodes get
+// kUnreachable.
+inline constexpr uint32_t kUnreachable = static_cast<uint32_t>(-1);
+std::vector<uint32_t> BfsDistances(const Graph& g, NodeId source);
+
+// Diameter as defined in the paper: the longest finite shortest-path length
+// over all ordered node pairs (directed). Quadratic; intended for small
+// pattern-sized graphs.
+uint32_t Diameter(const Graph& g);
+
+// Topological rank of every node for a DAG (Section 5.1): r(u) = 0 if u has
+// no child, else 1 + max over children. Requires acyclic input.
+std::vector<uint32_t> TopologicalRanks(const Graph& g);
+
+// True iff the undirected version of g is connected (empty graph counts as
+// connected).
+bool IsWeaklyConnected(const Graph& g);
+
+// True iff g is a forest when edges are read as parent->child: every node
+// has in-degree <= 1 and there is no cycle.
+bool IsDownwardForest(const Graph& g);
+
+}  // namespace dgs
+
+#endif  // DGS_GRAPH_ALGORITHMS_H_

@@ -1,0 +1,542 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "graph/algorithms.h"
+
+namespace dgs {
+namespace {
+
+// Assigns uniform labels over [0, alphabet).
+std::vector<Label> RandomLabels(size_t n, Label alphabet, Rng& rng) {
+  DGS_CHECK(alphabet > 0, "alphabet must be non-empty");
+  std::vector<Label> labels(n);
+  for (auto& l : labels) l = static_cast<Label>(rng.UniformInt(alphabet));
+  return labels;
+}
+
+// Computes the max topological rank of the subgraph on `nodes` with `edges`
+// (ids are positions into `nodes`), or returns false if cyclic.
+bool SubgraphMaxRank(size_t n, const std::vector<std::pair<NodeId, NodeId>>& edges,
+                     uint32_t* max_rank) {
+  GraphBuilder b(n);
+  for (auto [a, c] : edges) b.AddEdge(a, c);
+  Graph g = std::move(b).Build();
+  if (!IsAcyclic(g)) return false;
+  uint32_t best = 0;
+  for (uint32_t r : TopologicalRanks(g)) best = std::max(best, r);
+  *max_rank = best;
+  return true;
+}
+
+}  // namespace
+
+Graph RandomGraph(size_t num_nodes, size_t num_edges, Label alphabet,
+                  Rng& rng) {
+  DGS_CHECK(num_nodes > 0, "graph must have nodes");
+  GraphBuilder b;
+  for (Label l : RandomLabels(num_nodes, alphabet, rng)) b.AddNode(l);
+  for (size_t i = 0; i < num_edges; ++i) {
+    NodeId u = static_cast<NodeId>(rng.UniformInt(num_nodes));
+    NodeId v = static_cast<NodeId>(rng.UniformInt(num_nodes));
+    if (u == v) continue;
+    b.AddEdge(u, v);
+  }
+  return std::move(b).Build();
+}
+
+Graph WebGraph(size_t num_nodes, size_t num_edges, Label alphabet, Rng& rng) {
+  DGS_CHECK(num_nodes > 1, "web graph needs at least two nodes");
+  GraphBuilder b;
+  for (Label l : RandomLabels(num_nodes, alphabet, rng)) b.AddNode(l);
+  // Real web graphs are dominated by intra-host links with per-host hub
+  // pages and a thin long-range tail; the id space models host locality
+  // (blocks of kBlock pages per host). This mirrors the Yahoo graph's
+  // structure and is what lets partitioners reach the paper's 25%-50%
+  // boundary ratios at all.
+  constexpr size_t kBlock = 512;
+  for (size_t i = 0; i < num_edges; ++i) {
+    NodeId u = static_cast<NodeId>(rng.UniformInt(num_nodes));
+    NodeId v;
+    double roll = rng.UniformDouble();
+    if (roll < 0.65) {
+      // Nearby page (skewed short offset, either direction).
+      uint64_t offset = 1 + rng.Skewed(64, 0.6);
+      v = static_cast<NodeId>(rng.Bernoulli(0.5)
+                                  ? (u + offset) % num_nodes
+                                  : (u + num_nodes - offset % num_nodes) %
+                                        num_nodes);
+    } else if (roll < 0.93) {
+      // Host hub: skewed pick within u's block (low in-block ids are hubs).
+      size_t block_start = (u / kBlock) * kBlock;
+      size_t block_len = std::min(kBlock, num_nodes - block_start);
+      v = static_cast<NodeId>(block_start + rng.Skewed(block_len, 0.8));
+    } else {
+      // Long-range link.
+      v = static_cast<NodeId>(rng.UniformInt(num_nodes));
+    }
+    if (u == v) continue;
+    b.AddEdge(u, v);
+  }
+  return std::move(b).Build();
+}
+
+Graph ClusteredGraph(size_t num_nodes, size_t num_edges, Label alphabet,
+                     Rng& rng, double locality, size_t window) {
+  DGS_CHECK(num_nodes > 1, "clustered graph needs at least two nodes");
+  DGS_CHECK(window > 0, "window must be positive");
+  GraphBuilder b;
+  for (Label l : RandomLabels(num_nodes, alphabet, rng)) b.AddNode(l);
+  for (size_t i = 0; i < num_edges; ++i) {
+    NodeId u = static_cast<NodeId>(rng.UniformInt(num_nodes));
+    NodeId v;
+    if (rng.UniformDouble() < locality) {
+      uint64_t offset = 1 + rng.UniformInt(window);
+      v = static_cast<NodeId>(rng.Bernoulli(0.5)
+                                  ? (u + offset) % num_nodes
+                                  : (u + num_nodes - offset % num_nodes) %
+                                        num_nodes);
+    } else {
+      v = static_cast<NodeId>(rng.UniformInt(num_nodes));
+    }
+    if (u == v) continue;
+    b.AddEdge(u, v);
+  }
+  return std::move(b).Build();
+}
+
+Graph CitationDag(size_t num_nodes, size_t num_edges, Label alphabet,
+                  Rng& rng) {
+  DGS_CHECK(num_nodes > 1, "citation graph needs at least two nodes");
+  GraphBuilder b;
+  for (Label l : RandomLabels(num_nodes, alphabet, rng)) b.AddNode(l);
+  // Paper i cites papers with smaller index (strictly older), so the result
+  // is acyclic by construction. Most citations are recent (within a sliding
+  // window), with a long-range tail toward old seminal papers — the
+  // structure that lets time-ordered range partitions stay low-boundary.
+  constexpr uint64_t kRecencyWindow = 2048;
+  for (size_t i = 0; i < num_edges; ++i) {
+    NodeId u = static_cast<NodeId>(1 + rng.UniformInt(num_nodes - 1));
+    uint64_t back;
+    if (rng.UniformDouble() < 0.9) {
+      back = 1 + rng.Skewed(std::min<uint64_t>(u, kRecencyWindow), 0.8);
+    } else {
+      back = 1 + rng.Skewed(u, 0.5);  // seminal-paper tail
+    }
+    NodeId v = static_cast<NodeId>(u - back);
+    b.AddEdge(u, v);
+  }
+  return std::move(b).Build();
+}
+
+Graph RandomTree(size_t num_nodes, Label alphabet, Rng& rng,
+                 size_t max_fanout) {
+  DGS_CHECK(num_nodes > 0, "tree must have nodes");
+  GraphBuilder b;
+  for (Label l : RandomLabels(num_nodes, alphabet, rng)) b.AddNode(l);
+  std::vector<size_t> fanout(num_nodes, 0);
+  for (NodeId v = 1; v < num_nodes; ++v) {
+    NodeId parent = static_cast<NodeId>(rng.UniformInt(v));
+    if (max_fanout > 0) {
+      // Walk forward until a node with spare fanout is found (node v-1
+      // always has capacity in the worst case because it was just added).
+      while (fanout[parent] >= max_fanout) {
+        parent = static_cast<NodeId>((parent + 1) % v);
+      }
+    }
+    ++fanout[parent];
+    b.AddEdge(parent, v);
+  }
+  return std::move(b).Build();
+}
+
+LocalityGadget MakeLocalityGadget(size_t n, bool broken) {
+  DGS_CHECK(n >= 1, "gadget needs n >= 1");
+  constexpr Label kA = 0, kB = 1;
+  GraphBuilder b;
+  // Nodes A1, B1, A2, B2, ..., An, Bn (A_i = 2i, B_i = 2i+1).
+  for (size_t i = 0; i < n; ++i) {
+    b.AddNode(kA);
+    b.AddNode(kB);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    NodeId a = static_cast<NodeId>(2 * i);
+    NodeId bb = static_cast<NodeId>(2 * i + 1);
+    b.AddEdge(a, bb);
+    NodeId next_a = static_cast<NodeId>((2 * i + 2) % (2 * n));
+    if (!(broken && i + 1 == n)) b.AddEdge(bb, next_a);
+  }
+  LocalityGadget out;
+  out.g = std::move(b).Build();
+  out.q = Pattern(MakeGraph({kA, kB}, {{0, 1}, {1, 0}}));
+  out.assignment.resize(2 * n);
+  for (size_t i = 0; i < n; ++i) {
+    out.assignment[2 * i] = static_cast<uint32_t>(i);
+    out.assignment[2 * i + 1] = static_cast<uint32_t>(i);
+  }
+  return out;
+}
+
+SocialExample MakeSocialExample() {
+  SocialExample ex;
+  const Label YB = SocialExample::kYB, YF = SocialExample::kYF,
+              F = SocialExample::kF, SP = SocialExample::kSP;
+  // Node ids, grouped by site (Example 4): S1 = {yf1, yb1, sp1, f1},
+  // S2 = {f3, yb2, sp2, f2, yf2}, S3 = {f4, sp3, yf3, yb3}.
+  ex.node_names = {"yf1", "yb1", "sp1", "f1",         // 0..3   site 0
+                   "f3",  "yb2", "sp2", "f2", "yf2",  // 4..8   site 1
+                   "f4",  "sp3", "yf3", "yb3"};       // 9..12  site 2
+  enum : NodeId {
+    yf1 = 0, yb1, sp1, f1, f3, yb2, sp2, f2, yf2, f4, sp3, yf3, yb3
+  };
+  std::vector<Label> labels = {YF, YB, SP, F, F, YB, SP, F, YF, F, SP, YF, YB};
+  // Edges reconstructed from Examples 1, 2, 4, 6 and 7 (see DESIGN.md §7):
+  // the 9-edge recommendation cycle plus yb/f attachments. (yb2, sp3) makes
+  // sp3 a virtual node of S2, matching the dependency-graph annotation of
+  // Example 5; it does not affect any match (YB has no SP child in Q).
+  std::vector<std::pair<NodeId, NodeId>> edges = {
+      {f3, sp2},  {sp2, yf3}, {yf3, f4},  {f4, sp3},  {sp3, yf1},
+      {yf1, f2},  {f2, sp1},  {sp1, yf2}, {yf2, f3},  {sp1, yf1},
+      {sp1, f2},  {f1, f4},   {yb2, yf2}, {yb2, f3},  {yb3, yf1},
+      {yb3, f4},  {yb1, f1},  {yb2, sp3}};
+  ex.g = MakeGraph(labels, edges);
+  // Q: YB -> YF, YB -> F, YF -> F, F -> SP, SP -> YF (query node ids match
+  // label ids: 0 = YB, 1 = YF, 2 = F, 3 = SP).
+  ex.q = Pattern(MakeGraph({YB, YF, F, SP},
+                           {{0, 1}, {0, 2}, {1, 2}, {2, 3}, {3, 1}}));
+  ex.assignment = {0, 0, 0, 0, 1, 1, 1, 1, 1, 2, 2, 2, 2};
+  // Example 2: YB -> {yb2, yb3}; YF -> {yf1, yf2, yf3}; F -> {f2, f3, f4};
+  // SP -> {sp1, sp2, sp3}.
+  ex.expected_matches = {
+      {yb2, yb3},
+      {yf1, yf2, yf3},
+      {f3, f2, f4},
+      {sp1, sp2, sp3},
+  };
+  for (auto& m : ex.expected_matches) std::sort(m.begin(), m.end());
+  return ex;
+}
+
+DagExample MakeDagExample() {
+  DagExample ex;
+  constexpr Label YB = 0, YF = 1, F = 2, SP = 3, FB = 4;
+  // Q'' (Fig. 5): YB1 -> {YF, F}, YF -> SP, F -> SP, SP -> YB2, YB2 -> FB.
+  // Ranks: FB=0, YB2=1, SP=2, YF=F=3, YB1=4. YB1 and YB2 share label YB.
+  // Query node ids: 0=YB1, 1=YF, 2=F, 3=SP, 4=YB2, 5=FB.
+  ex.q = Pattern(MakeGraph({YB, YF, F, SP, YB, FB},
+                           {{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 4}, {4, 5}}));
+  // G'' (Fig. 5): five fragments; no FB-labeled node exists, so G'' does not
+  // match Q''. Node ids grouped by site:
+  //   F4 = {yb4}, F5 = {yf4, yf5, f5}, F6 = {f6, yf6, f7},
+  //   F7 = {sp4, sp5}, F8 = {sp6, sp7}.
+  ex.node_names = {"yb4",                  // 0       site 0 (F4)
+                   "yf4", "yf5", "f5",     // 1..3    site 1 (F5)
+                   "f6",  "yf6", "f7",     // 4..6    site 2 (F6)
+                   "sp4", "sp5",           // 7..8    site 3 (F7)
+                   "sp6", "sp7"};          // 9..10   site 4 (F8)
+  enum : NodeId { yb4 = 0, yf4, yf5, f5, f6, yf6, f7, sp4, sp5, sp6, sp7 };
+  std::vector<Label> labels = {YB, YF, YF, F, F, YF, F, SP, SP, SP, SP};
+  std::vector<std::pair<NodeId, NodeId>> edges = {
+      {yb4, yf4}, {yb4, yf5}, {yb4, f5}, {yb4, f6}, {yb4, yf6}, {yb4, f7},
+      {yf4, sp4}, {yf5, sp5}, {f5, sp4},
+      {f6, sp6},  {yf6, sp7}, {f7, sp7},
+      {sp4, yb4}, {sp5, yb4}, {sp6, yb4}, {sp7, yb4}};
+  ex.g = MakeGraph(labels, edges);
+  ex.assignment = {0, 1, 1, 1, 2, 2, 2, 3, 3, 4, 4};
+  return ex;
+}
+
+namespace {
+
+// Finds a directed cycle of length <= max_len through some node of g,
+// returned as a node sequence (without repeating the start at the end).
+// Returns an empty vector if none was found after a bounded search.
+std::vector<NodeId> FindShortCycle(const Graph& g, size_t max_len, Rng& rng) {
+  uint32_t num_comp = 0;
+  auto comp = StronglyConnectedComponents(g, &num_comp);
+  std::vector<uint32_t> comp_size(num_comp, 0);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) ++comp_size[comp[v]];
+  std::vector<NodeId> candidates;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    if (comp_size[comp[v]] >= 2 || g.HasEdge(v, v)) candidates.push_back(v);
+  }
+  if (candidates.empty()) return {};
+
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    NodeId s = candidates[rng.UniformInt(candidates.size())];
+    if (g.HasEdge(s, s)) return {s};
+    // BFS from s inside its SCC; stop when reaching a predecessor of s.
+    std::unordered_map<NodeId, NodeId> parent;
+    std::vector<NodeId> queue = {s};
+    parent[s] = s;
+    NodeId found = kInvalidNode;
+    for (size_t head = 0; head < queue.size() && found == kInvalidNode;
+         ++head) {
+      NodeId v = queue[head];
+      for (NodeId w : g.OutNeighbors(v)) {
+        if (comp[w] != comp[s] || parent.count(w)) continue;
+        parent[w] = v;
+        if (g.HasEdge(w, s)) {
+          found = w;
+          break;
+        }
+        queue.push_back(w);
+      }
+    }
+    if (found == kInvalidNode) continue;
+    std::vector<NodeId> cycle;
+    for (NodeId v = found; v != s; v = parent[v]) cycle.push_back(v);
+    cycle.push_back(s);
+    std::reverse(cycle.begin(), cycle.end());
+    if (cycle.size() <= max_len) return cycle;
+  }
+  return {};
+}
+
+// Finds a simple directed path with exactly `depth` edges via random walks.
+std::vector<NodeId> FindPath(const Graph& g, uint32_t depth, Rng& rng) {
+  for (int attempt = 0; attempt < 256; ++attempt) {
+    NodeId v = static_cast<NodeId>(rng.UniformInt(g.NumNodes()));
+    std::vector<NodeId> path = {v};
+    std::unordered_set<NodeId> on_path = {v};
+    while (path.size() <= depth) {
+      auto nbrs = g.OutNeighbors(path.back());
+      if (nbrs.empty()) break;
+      NodeId next = nbrs[rng.UniformInt(nbrs.size())];
+      if (on_path.count(next)) break;
+      path.push_back(next);
+      on_path.insert(next);
+    }
+    if (path.size() == depth + 1u) return path;
+  }
+  return {};
+}
+
+}  // namespace
+
+StatusOr<Pattern> ExtractPattern(const Graph& g, const PatternSpec& spec,
+                                 Rng& rng) {
+  if (g.NumNodes() == 0) {
+    return Status::InvalidArgument("cannot extract a pattern from an empty graph");
+  }
+  if (spec.num_nodes == 0) {
+    return Status::InvalidArgument("pattern must have at least one node");
+  }
+
+  // 1. Seed node set with the required shape.
+  std::vector<NodeId> sample;                       // data-graph node ids
+  std::vector<std::pair<size_t, size_t>> required;  // edges as sample indices
+  auto index_of = [&sample](NodeId v) -> size_t {
+    for (size_t i = 0; i < sample.size(); ++i) {
+      if (sample[i] == v) return i;
+    }
+    return static_cast<size_t>(-1);
+  };
+
+  switch (spec.kind) {
+    case PatternKind::kCyclic: {
+      auto cycle = FindShortCycle(g, spec.num_nodes, rng);
+      if (cycle.empty()) {
+        return Status::NotFound(
+            "no directed cycle of the requested size in the data graph");
+      }
+      sample = cycle;
+      for (size_t i = 0; i < cycle.size(); ++i) {
+        required.emplace_back(i, (i + 1) % cycle.size());
+      }
+      break;
+    }
+    case PatternKind::kDag: {
+      if (spec.num_nodes < spec.dag_depth + 1u) {
+        return Status::InvalidArgument("num_nodes must exceed dag_depth");
+      }
+      auto path = FindPath(g, spec.dag_depth, rng);
+      if (path.empty()) {
+        return Status::NotFound("no simple path of the requested depth");
+      }
+      sample = path;
+      for (size_t i = 0; i + 1 < path.size(); ++i) required.emplace_back(i, i + 1);
+      break;
+    }
+    case PatternKind::kAny: {
+      sample = {static_cast<NodeId>(rng.UniformInt(g.NumNodes()))};
+      break;
+    }
+  }
+
+  // 2. Grow the sample to num_nodes by attaching well-connected neighbors.
+  std::unordered_set<NodeId> in_sample(sample.begin(), sample.end());
+  while (sample.size() < spec.num_nodes) {
+    // Candidate pool: neighbors (either direction) of sampled nodes.
+    std::unordered_map<NodeId, uint32_t> connectivity;
+    for (NodeId v : sample) {
+      for (NodeId w : g.OutNeighbors(v)) {
+        if (!in_sample.count(w)) ++connectivity[w];
+      }
+      for (NodeId w : g.InNeighbors(v)) {
+        if (!in_sample.count(w)) ++connectivity[w];
+      }
+    }
+    if (connectivity.empty()) break;
+    // Pick the candidate with maximum connectivity (deterministic tie-break
+    // on node id so extraction is reproducible).
+    NodeId best = kInvalidNode;
+    uint32_t best_score = 0;
+    for (const auto& [w, score] : connectivity) {
+      if (best == kInvalidNode || score > best_score ||
+          (score == best_score && w < best)) {
+        best = w;
+        best_score = score;
+      }
+    }
+    // Attachment edge: any induced edge incident to `best`; recorded as
+    // required so the pattern stays weakly connected.
+    size_t new_index = sample.size();
+    bool attached = false;
+    for (size_t i = 0; i < sample.size() && !attached; ++i) {
+      if (g.HasEdge(sample[i], best)) {
+        required.emplace_back(i, new_index);
+        attached = true;
+      } else if (g.HasEdge(best, sample[i])) {
+        required.emplace_back(new_index, i);
+        attached = true;
+      }
+    }
+    DGS_CHECK(attached, "grown candidate must touch the sample");
+    // For DAG patterns the attachment must not raise the max rank; stop
+    // growing at the first unusable candidate (the pattern then simply has
+    // fewer nodes than requested, which callers report).
+    if (spec.kind == PatternKind::kDag) {
+      uint32_t rank = 0;
+      std::vector<std::pair<NodeId, NodeId>> tentative;
+      tentative.reserve(required.size());
+      for (auto [a, c] : required) {
+        tentative.emplace_back(static_cast<NodeId>(a), static_cast<NodeId>(c));
+      }
+      if (!SubgraphMaxRank(new_index + 1, tentative, &rank) ||
+          rank != spec.dag_depth) {
+        required.pop_back();
+        break;
+      }
+    }
+    sample.push_back(best);
+    in_sample.insert(best);
+  }
+
+  // 3. Collect induced optional edges and select up to num_edges.
+  std::set<std::pair<size_t, size_t>> chosen(required.begin(), required.end());
+  std::vector<std::pair<size_t, size_t>> optional;
+  for (size_t i = 0; i < sample.size(); ++i) {
+    for (NodeId w : g.OutNeighbors(sample[i])) {
+      size_t j = in_sample.count(w) ? index_of(w) : static_cast<size_t>(-1);
+      if (j == static_cast<size_t>(-1) || i == j) continue;
+      if (!chosen.count({i, j})) optional.emplace_back(i, j);
+    }
+  }
+  rng.Shuffle(optional);
+  for (const auto& e : optional) {
+    if (chosen.size() >= spec.num_edges) break;
+    if (spec.kind == PatternKind::kDag) {
+      std::vector<std::pair<NodeId, NodeId>> tentative;
+      for (auto [a, c] : chosen) {
+        tentative.emplace_back(static_cast<NodeId>(a), static_cast<NodeId>(c));
+      }
+      tentative.emplace_back(static_cast<NodeId>(e.first),
+                             static_cast<NodeId>(e.second));
+      uint32_t rank = 0;
+      if (!SubgraphMaxRank(sample.size(), tentative, &rank) ||
+          rank != spec.dag_depth) {
+        continue;
+      }
+    }
+    chosen.insert(e);
+  }
+
+  // 4. Materialize the pattern with labels copied from the data graph. The
+  // identity embedding sample[i] witnesses a non-empty simulation match.
+  GraphBuilder b;
+  for (NodeId v : sample) b.AddNode(g.LabelOf(v));
+  for (auto [a, c] : chosen) {
+    b.AddEdge(static_cast<NodeId>(a), static_cast<NodeId>(c));
+  }
+  return Pattern(std::move(b).Build());
+}
+
+Pattern SynthesizePattern(const PatternSpec& spec, Label alphabet, Rng& rng) {
+  DGS_CHECK(spec.num_nodes > 0, "pattern must have nodes");
+  const size_t n = spec.num_nodes;
+  std::vector<Label> labels = RandomLabels(n, alphabet, rng);
+  std::set<std::pair<NodeId, NodeId>> edges;
+
+  if (spec.kind == PatternKind::kDag) {
+    DGS_CHECK(n >= spec.dag_depth + 1u, "num_nodes must exceed dag_depth");
+    // Nodes 0..depth form a chain; every node gets a level in [0, depth] and
+    // edges only increase the level, so the max rank is exactly dag_depth.
+    std::vector<uint32_t> level(n);
+    for (uint32_t i = 0; i <= spec.dag_depth; ++i) level[i] = i;
+    for (size_t i = spec.dag_depth + 1; i < n; ++i) {
+      level[i] = static_cast<uint32_t>(rng.UniformInt(spec.dag_depth + 1));
+    }
+    for (uint32_t i = 0; i < spec.dag_depth; ++i) {
+      edges.insert({i, i + 1});
+    }
+    // Connect the extra nodes.
+    for (size_t i = spec.dag_depth + 1; i < n; ++i) {
+      for (int tries = 0; tries < 64; ++tries) {
+        NodeId other = static_cast<NodeId>(rng.UniformInt(i));
+        if (level[other] < level[i]) {
+          edges.insert({other, static_cast<NodeId>(i)});
+          break;
+        }
+        if (level[other] > level[i]) {
+          edges.insert({static_cast<NodeId>(i), other});
+          break;
+        }
+      }
+    }
+    // Extra level-respecting edges.
+    for (int tries = 0; tries < 512 && edges.size() < spec.num_edges; ++tries) {
+      NodeId a = static_cast<NodeId>(rng.UniformInt(n));
+      NodeId b = static_cast<NodeId>(rng.UniformInt(n));
+      if (level[a] < level[b]) edges.insert({a, b});
+    }
+  } else {
+    if (spec.kind == PatternKind::kCyclic) {
+      size_t cycle_len = std::min<size_t>(n, 2 + rng.UniformInt(2));
+      if (n == 1) {
+        edges.insert({0, 0});
+      } else {
+        for (size_t i = 0; i < cycle_len; ++i) {
+          edges.insert({static_cast<NodeId>(i),
+                        static_cast<NodeId>((i + 1) % cycle_len)});
+        }
+      }
+    }
+    // Spanning attachment for connectivity.
+    size_t start = (spec.kind == PatternKind::kCyclic) ? 2 : 1;
+    for (size_t i = start; i < n; ++i) {
+      NodeId other = static_cast<NodeId>(rng.UniformInt(i));
+      if (rng.Bernoulli(0.5)) {
+        edges.insert({other, static_cast<NodeId>(i)});
+      } else {
+        edges.insert({static_cast<NodeId>(i), other});
+      }
+    }
+    for (int tries = 0; tries < 512 && edges.size() < spec.num_edges; ++tries) {
+      NodeId a = static_cast<NodeId>(rng.UniformInt(n));
+      NodeId b = static_cast<NodeId>(rng.UniformInt(n));
+      if (a != b) edges.insert({a, b});
+    }
+  }
+
+  GraphBuilder b;
+  for (Label l : labels) b.AddNode(l);
+  for (auto [x, y] : edges) b.AddEdge(x, y);
+  return Pattern(std::move(b).Build());
+}
+
+}  // namespace dgs

@@ -1,0 +1,137 @@
+// Workload generators (Section 6 "Experimental setting").
+//
+// The paper evaluates on (a) the Yahoo web graph, (b) the arnetminer
+// Citation DAG, and (c) synthetic graphs G(|V|, |E|, L) with a 15-label
+// alphabet, plus pattern queries mined from the data (cyclic patterns with
+// selection conditions; DAG patterns of prescribed diameter). Neither
+// real dataset is redistributable, so this module provides generators that
+// reproduce their structural properties (see DESIGN.md §4), the paper's
+// worked examples as fixtures, and pattern extraction by subgraph sampling,
+// which guarantees that extracted patterns have non-empty matches.
+
+#ifndef DGS_GRAPH_GENERATORS_H_
+#define DGS_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/pattern.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace dgs {
+
+// Number of labels used by the paper's synthetic generator.
+inline constexpr Label kDefaultAlphabet = 15;
+
+// Uniform random directed graph with `num_nodes` nodes, ~`num_edges` edges
+// (after dedupe) and labels uniform over [0, alphabet).
+Graph RandomGraph(size_t num_nodes, size_t num_edges, Label alphabet,
+                  Rng& rng);
+
+// Web-graph-like generator: skewed in-degree (hub pages), host locality in
+// the id space, a long-range tail; cyclic. Stands in for the Yahoo graph
+// (3M nodes / 15M edges in the paper; size here is a parameter).
+Graph WebGraph(size_t num_nodes, size_t num_edges, Label alphabet, Rng& rng);
+
+// Synthetic graph with tunable edge locality (fraction `locality` of edges
+// land within +-window in the id space, the rest uniform). Used by the
+// large-scale synthetic experiments, where the paper's partitioner reaches
+// |Vf|/|V| = 20% — impossible on locality-free uniform graphs.
+Graph ClusteredGraph(size_t num_nodes, size_t num_edges, Label alphabet,
+                     Rng& rng, double locality = 0.9, size_t window = 32);
+
+// Citation-DAG-like generator: node i may only cite nodes j < i (papers cite
+// strictly older papers), with recency bias. Always acyclic. Stands in for
+// the arnetminer Citation graph (1.4M / 3M in the paper).
+Graph CitationDag(size_t num_nodes, size_t num_edges, Label alphabet,
+                  Rng& rng);
+
+// Random rooted tree with edges directed parent -> child (XML-document
+// style, as required by dGPMt / Corollary 4). `max_fanout` caps children per
+// node; 0 means unbounded.
+Graph RandomTree(size_t num_nodes, Label alphabet, Rng& rng,
+                 size_t max_fanout = 8);
+
+// ---------------------------------------------------------------------------
+// Paper fixtures
+// ---------------------------------------------------------------------------
+
+// The Fig. 2 data-locality gadget: G0 is the 2n-cycle
+// A1 -> B1 -> A2 -> B2 -> ... -> An -> Bn -> A1 with alternating labels, and
+// Q0 is the two-node cycle A <-> B. Used in the impossibility theorem: every
+// (u, v) pair matches, but deciding so requires information to travel around
+// the whole cycle. `broken` cuts the final edge (Bn -> A1), in which case
+// nothing matches — yet discovering this still requires whole-cycle travel.
+struct LocalityGadget {
+  Graph g;
+  Pattern q;
+  // The natural fragmentation: fragment i holds {Ai, Bi} (Example 4).
+  std::vector<uint32_t> assignment;
+};
+LocalityGadget MakeLocalityGadget(size_t n, bool broken = false);
+
+// The Fig. 1 running example: 13-node social graph over labels
+// {YB, YF, F, SP}, the beer-marketing pattern, the 3-site fragmentation of
+// Example 4, and the expected maximum match of Example 2.
+struct SocialExample {
+  // Label ids.
+  static constexpr Label kYB = 0, kYF = 1, kF = 2, kSP = 3;
+  Graph g;
+  Pattern q;
+  std::vector<uint32_t> assignment;               // 3 sites
+  std::vector<std::string> node_names;            // "yf1", "yb1", ...
+  // expected_matches[u] = sorted data node ids matching query node u,
+  // indexed by query node (0 = YB, 1 = YF, 2 = F, 3 = SP).
+  std::vector<std::vector<NodeId>> expected_matches;
+};
+SocialExample MakeSocialExample();
+
+// The Fig. 5 example used for dGPMd (Example 9/10): DAG pattern Q'' with
+// ranks 0..4 over labels {YB, YF, F, SP, FB} and the 5-fragment graph G''
+// that does not match it.
+struct DagExample {
+  Graph g;
+  Pattern q;
+  std::vector<uint32_t> assignment;
+  std::vector<std::string> node_names;
+};
+DagExample MakeDagExample();
+
+// ---------------------------------------------------------------------------
+// Pattern generation
+// ---------------------------------------------------------------------------
+
+enum class PatternKind {
+  kAny,     // connected, no structural constraint
+  kCyclic,  // contains at least one directed cycle
+  kDag,     // acyclic with prescribed depth (max topological rank)
+};
+
+struct PatternSpec {
+  size_t num_nodes = 5;
+  size_t num_edges = 10;  // target; actual may be lower (reported by caller)
+  PatternKind kind = PatternKind::kCyclic;
+  // For kDag: required max rank (== number of dGPMd message batches). The
+  // extractor guarantees the result's MaxRank() equals this value.
+  uint32_t dag_depth = 3;
+};
+
+// Extracts a pattern from `g` by sampling a connected subgraph with the
+// requested shape, so that the identity embedding witnesses a non-empty
+// simulation match (patterns "mined from the data", as in the paper's
+// experiments). Returns an error if g cannot supply the shape (e.g. kCyclic
+// on an acyclic graph).
+StatusOr<Pattern> ExtractPattern(const Graph& g, const PatternSpec& spec,
+                                 Rng& rng);
+
+// Fully synthetic connected random pattern over [0, alphabet) labels; may or
+// may not match any particular graph. kCyclic guarantees a directed cycle;
+// kDag guarantees MaxRank() == spec.dag_depth.
+Pattern SynthesizePattern(const PatternSpec& spec, Label alphabet, Rng& rng);
+
+}  // namespace dgs
+
+#endif  // DGS_GRAPH_GENERATORS_H_

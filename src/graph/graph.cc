@@ -1,0 +1,99 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace dgs {
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  auto nbrs = OutNeighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+std::vector<std::pair<NodeId, NodeId>> Graph::Edges() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(NumEdges());
+  for (NodeId v = 0; v < NumNodes(); ++v) {
+    for (NodeId w : OutNeighbors(v)) out.emplace_back(v, w);
+  }
+  return out;
+}
+
+NodeId GraphBuilder::AddNode(Label label) {
+  labels_.push_back(label);
+  return static_cast<NodeId>(labels_.size() - 1);
+}
+
+void GraphBuilder::SetLabel(NodeId v, Label label) {
+  DGS_CHECK(v < labels_.size(), "SetLabel: node id out of range");
+  labels_[v] = label;
+}
+
+void GraphBuilder::AddEdge(NodeId from, NodeId to) {
+  DGS_CHECK(from < labels_.size() && to < labels_.size(),
+            "AddEdge: endpoint out of range");
+  edges_.emplace_back(from, to);
+}
+
+NodeId GraphBuilder::AddLabeledEdge(NodeId from, NodeId to, Label edge_label) {
+  NodeId dummy = AddNode(edge_label);
+  AddEdge(from, dummy);
+  AddEdge(dummy, to);
+  return dummy;
+}
+
+Graph GraphBuilder::Build(bool dedupe) && {
+  Graph g;
+  g.labels_ = std::move(labels_);
+  const size_t n = g.labels_.size();
+
+  std::sort(edges_.begin(), edges_.end());
+  if (dedupe) {
+    edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+  }
+
+  g.out_offsets_.assign(n + 1, 0);
+  g.in_offsets_.assign(n + 1, 0);
+  for (const auto& [from, to] : edges_) {
+    ++g.out_offsets_[from + 1];
+    ++g.in_offsets_[to + 1];
+  }
+  for (size_t i = 0; i < n; ++i) {
+    g.out_offsets_[i + 1] += g.out_offsets_[i];
+    g.in_offsets_[i + 1] += g.in_offsets_[i];
+  }
+
+  g.out_targets_.resize(edges_.size());
+  g.in_sources_.resize(edges_.size());
+  {
+    // Edges are sorted by (from, to), so out-CSR fills in order.
+    size_t idx = 0;
+    for (const auto& [from, to] : edges_) {
+      (void)from;
+      g.out_targets_[idx++] = to;
+    }
+  }
+  {
+    std::vector<size_t> cursor(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
+    for (const auto& [from, to] : edges_) {
+      g.in_sources_[cursor[to]++] = from;
+    }
+    // Sort each in-adjacency range for deterministic iteration order.
+    for (size_t v = 0; v < n; ++v) {
+      std::sort(g.in_sources_.begin() + static_cast<long>(g.in_offsets_[v]),
+                g.in_sources_.begin() + static_cast<long>(g.in_offsets_[v + 1]));
+    }
+  }
+
+  for (Label l : g.labels_) g.label_bound_ = std::max(g.label_bound_, l + 1);
+  return g;
+}
+
+Graph MakeGraph(const std::vector<Label>& labels,
+                const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  GraphBuilder b;
+  for (Label l : labels) b.AddNode(l);
+  for (const auto& [from, to] : edges) b.AddEdge(from, to);
+  return std::move(b).Build();
+}
+
+}  // namespace dgs

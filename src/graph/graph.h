@@ -1,0 +1,122 @@
+// Node-labeled directed data graph (Section 2.1 of the paper).
+//
+// A data graph G = (V, E, L) stores a finite set of nodes, directed edges,
+// and a label per node drawn from an alphabet of 32-bit label ids. Storage is
+// CSR (compressed sparse row) in both directions so that simulation kernels
+// can walk successors and predecessors in O(degree).
+//
+// Edge labels (mentioned in the paper as handled via dummy nodes) are
+// supported through GraphBuilder::AddLabeledEdge, which inserts the dummy
+// node carrying the edge label, exactly as Section 2.1 prescribes.
+
+#ifndef DGS_GRAPH_GRAPH_H_
+#define DGS_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+#include "util/status.h"
+
+namespace dgs {
+
+using NodeId = uint32_t;
+using Label = uint32_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+// Immutable CSR graph. Construct through GraphBuilder.
+class Graph {
+ public:
+  Graph() = default;
+
+  size_t NumNodes() const { return labels_.size(); }
+  size_t NumEdges() const { return out_targets_.size(); }
+  // |G| = |V| + |E| as defined in the paper.
+  size_t Size() const { return NumNodes() + NumEdges(); }
+
+  Label LabelOf(NodeId v) const {
+    DGS_DCHECK(v < labels_.size(), "node id out of range");
+    return labels_[v];
+  }
+
+  std::span<const NodeId> OutNeighbors(NodeId v) const {
+    DGS_DCHECK(v < labels_.size(), "node id out of range");
+    return {out_targets_.data() + out_offsets_[v],
+            out_offsets_[v + 1] - out_offsets_[v]};
+  }
+
+  std::span<const NodeId> InNeighbors(NodeId v) const {
+    DGS_DCHECK(v < labels_.size(), "node id out of range");
+    return {in_sources_.data() + in_offsets_[v],
+            in_offsets_[v + 1] - in_offsets_[v]};
+  }
+
+  size_t OutDegree(NodeId v) const { return OutNeighbors(v).size(); }
+  size_t InDegree(NodeId v) const { return InNeighbors(v).size(); }
+
+  // True if edge (u, v) exists. O(log out-degree(u)); adjacency is sorted.
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  // All edges in (source, target) order, materialized. Intended for tests,
+  // IO and fragmentation, not for inner loops.
+  std::vector<std::pair<NodeId, NodeId>> Edges() const;
+
+  // Largest label id + 1 (0 for the empty graph).
+  Label LabelAlphabetSize() const { return label_bound_; }
+
+  friend class GraphBuilder;
+
+ private:
+  std::vector<Label> labels_;
+  std::vector<size_t> out_offsets_;  // size NumNodes()+1
+  std::vector<NodeId> out_targets_;  // sorted within each node's range
+  std::vector<size_t> in_offsets_;
+  std::vector<NodeId> in_sources_;
+  Label label_bound_ = 0;
+};
+
+// Accumulates nodes and edges, then freezes them into a Graph.
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+  // Reserves space for a known node count (labels default to 0).
+  explicit GraphBuilder(size_t num_nodes) : labels_(num_nodes, 0) {}
+
+  // Adds a node with the given label; returns its id (dense, 0-based).
+  NodeId AddNode(Label label);
+
+  // Sets the label of an existing node.
+  void SetLabel(NodeId v, Label label);
+
+  // Adds a directed edge. Both endpoints must already exist. Duplicate edges
+  // and self-loops are kept unless Build(..., dedupe=true).
+  void AddEdge(NodeId from, NodeId to);
+
+  // Adds an edge carrying `edge_label` by inserting a dummy node with that
+  // label between `from` and `to` (the paper's reduction for edge labels).
+  // Returns the dummy node id.
+  NodeId AddLabeledEdge(NodeId from, NodeId to, Label edge_label);
+
+  size_t NumNodes() const { return labels_.size(); }
+  size_t NumEdges() const { return edges_.size(); }
+
+  // Freezes into an immutable Graph. With dedupe=true, parallel edges are
+  // collapsed. Sorts adjacency lists.
+  Graph Build(bool dedupe = true) &&;
+
+ private:
+  std::vector<Label> labels_;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+};
+
+// Convenience constructor used pervasively in tests: builds a graph from a
+// label vector and an edge list. Invalid endpoints abort.
+Graph MakeGraph(const std::vector<Label>& labels,
+                const std::vector<std::pair<NodeId, NodeId>>& edges);
+
+}  // namespace dgs
+
+#endif  // DGS_GRAPH_GRAPH_H_

@@ -1,0 +1,54 @@
+#include "graph/io.h"
+
+#include <string>
+
+namespace dgs {
+
+void WriteGraph(const Graph& g, std::ostream& os) {
+  os << "dgs-graph v1\n";
+  os << "nodes " << g.NumNodes() << "\n";
+  os << "labels";
+  for (NodeId v = 0; v < g.NumNodes(); ++v) os << " " << g.LabelOf(v);
+  os << "\n";
+  os << "edges " << g.NumEdges() << "\n";
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    for (NodeId w : g.OutNeighbors(v)) os << v << " " << w << "\n";
+  }
+}
+
+StatusOr<Graph> ReadGraph(std::istream& is) {
+  std::string magic, version, keyword;
+  if (!(is >> magic >> version) || magic != "dgs-graph" || version != "v1") {
+    return Status::InvalidArgument("bad header: expected 'dgs-graph v1'");
+  }
+  size_t num_nodes = 0;
+  if (!(is >> keyword >> num_nodes) || keyword != "nodes") {
+    return Status::InvalidArgument("bad 'nodes' line");
+  }
+  if (!(is >> keyword) || keyword != "labels") {
+    return Status::InvalidArgument("bad 'labels' line");
+  }
+  GraphBuilder b;
+  for (size_t i = 0; i < num_nodes; ++i) {
+    Label l;
+    if (!(is >> l)) return Status::InvalidArgument("truncated label list");
+    b.AddNode(l);
+  }
+  size_t num_edges = 0;
+  if (!(is >> keyword >> num_edges) || keyword != "edges") {
+    return Status::InvalidArgument("bad 'edges' line");
+  }
+  for (size_t i = 0; i < num_edges; ++i) {
+    NodeId from, to;
+    if (!(is >> from >> to)) {
+      return Status::InvalidArgument("truncated edge list");
+    }
+    if (from >= num_nodes || to >= num_nodes) {
+      return Status::OutOfRange("edge endpoint out of range");
+    }
+    b.AddEdge(from, to);
+  }
+  return std::move(b).Build(/*dedupe=*/false);
+}
+
+}  // namespace dgs

@@ -1,0 +1,29 @@
+// Text serialization for graphs (and patterns, which are graphs).
+//
+// Format ("dgs-graph v1"):
+//   dgs-graph v1
+//   nodes <N>
+//   labels <l0> <l1> ... <lN-1>
+//   edges <M>
+//   <from> <to>          (M lines)
+
+#ifndef DGS_GRAPH_IO_H_
+#define DGS_GRAPH_IO_H_
+
+#include <istream>
+#include <ostream>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace dgs {
+
+// Writes `g` to `os` in the v1 text format.
+void WriteGraph(const Graph& g, std::ostream& os);
+
+// Parses a v1 text graph. Malformed input yields an InvalidArgument status.
+StatusOr<Graph> ReadGraph(std::istream& is);
+
+}  // namespace dgs
+
+#endif  // DGS_GRAPH_IO_H_

@@ -1,0 +1,27 @@
+#include "graph/pattern.h"
+
+#include <algorithm>
+
+#include "graph/algorithms.h"
+
+namespace dgs {
+
+Pattern::Pattern(Graph q) : graph_(std::move(q)) {
+  is_dag_ = IsAcyclic(graph_);
+  diameter_ = dgs::Diameter(graph_);
+  if (is_dag_) ranks_ = TopologicalRanks(graph_);
+}
+
+const std::vector<uint32_t>& Pattern::Ranks() const {
+  DGS_CHECK(is_dag_, "Ranks() requires a DAG pattern");
+  return ranks_;
+}
+
+uint32_t Pattern::MaxRank() const {
+  const auto& r = Ranks();
+  uint32_t best = 0;
+  for (uint32_t x : r) best = std::max(best, x);
+  return best;
+}
+
+}  // namespace dgs

@@ -1,0 +1,63 @@
+// Pattern query graph Q = (Vq, Eq, fv) (Section 2.1).
+//
+// Patterns are small directed node-labeled graphs. Pattern wraps a Graph and
+// caches the structural facts the distributed algorithms key off: whether Q
+// is a DAG, its diameter d, and the topological ranks r(u) used by dGPMd.
+
+#ifndef DGS_GRAPH_PATTERN_H_
+#define DGS_GRAPH_PATTERN_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dgs {
+
+// Immutable pattern query. Construct from a Graph (typically via MakeGraph
+// or the generators in graph/generators.h).
+class Pattern {
+ public:
+  Pattern() = default;
+  explicit Pattern(Graph q);
+
+  size_t NumNodes() const { return graph_.NumNodes(); }
+  size_t NumEdges() const { return graph_.NumEdges(); }
+  // |Q| = |Vq| + |Eq|.
+  size_t Size() const { return graph_.Size(); }
+
+  Label LabelOf(NodeId u) const { return graph_.LabelOf(u); }
+  std::span<const NodeId> Children(NodeId u) const {
+    return graph_.OutNeighbors(u);
+  }
+  std::span<const NodeId> Parents(NodeId u) const {
+    return graph_.InNeighbors(u);
+  }
+  bool IsSink(NodeId u) const { return graph_.OutDegree(u) == 0; }
+
+  const Graph& graph() const { return graph_; }
+
+  // True iff Q has no directed cycle.
+  bool IsDag() const { return is_dag_; }
+
+  // Diameter d: longest finite shortest path (0 for single-node patterns).
+  uint32_t Diameter() const { return diameter_; }
+
+  // r(u) for DAG patterns: 0 for sinks, 1 + max over children otherwise.
+  // Aborts if the pattern is cyclic.
+  const std::vector<uint32_t>& Ranks() const;
+
+  // max_u r(u); aborts if cyclic.
+  uint32_t MaxRank() const;
+
+ private:
+  Graph graph_;
+  bool is_dag_ = true;
+  uint32_t diameter_ = 0;
+  std::vector<uint32_t> ranks_;  // empty when cyclic
+};
+
+}  // namespace dgs
+
+#endif  // DGS_GRAPH_PATTERN_H_

@@ -1,0 +1,106 @@
+#include "partition/fragmentation.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace dgs {
+
+NodeId Fragment::ToLocal(NodeId global_id) const {
+  auto it = global_to_local.find(global_id);
+  return it == global_to_local.end() ? kInvalidNode : it->second;
+}
+
+StatusOr<Fragmentation> Fragmentation::Create(
+    const Graph& g, const std::vector<uint32_t>& assignment,
+    uint32_t num_fragments) {
+  if (assignment.size() != g.NumNodes()) {
+    return Status::InvalidArgument("assignment size != number of nodes");
+  }
+  if (num_fragments == 0) {
+    return Status::InvalidArgument("need at least one fragment");
+  }
+  for (uint32_t a : assignment) {
+    if (a >= num_fragments) {
+      return Status::OutOfRange("fragment id in assignment out of range");
+    }
+  }
+
+  Fragmentation f;
+  f.assignment_ = assignment;
+  f.fragments_.resize(num_fragments);
+
+  // Pass 1: local node ids in global order.
+  std::vector<GraphBuilder> builders(num_fragments);
+  for (uint32_t i = 0; i < num_fragments; ++i) f.fragments_[i].id = i;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    Fragment& frag = f.fragments_[assignment[v]];
+    NodeId local = builders[assignment[v]].AddNode(g.LabelOf(v));
+    frag.local_to_global.push_back(v);
+    frag.global_to_local.emplace(v, local);
+  }
+  for (uint32_t i = 0; i < num_fragments; ++i) {
+    f.fragments_[i].num_local =
+        static_cast<uint32_t>(f.fragments_[i].local_to_global.size());
+  }
+
+  // Pass 2: edges; crossing edges materialize virtual nodes and consumer
+  // annotations.
+  std::set<NodeId> boundary;  // global ids appearing as virtual nodes
+  // (in-node global id, consumer site) -> crossing source labels
+  std::map<std::pair<NodeId, uint32_t>, std::set<Label>> consumer_labels;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    const uint32_t i = assignment[v];
+    Fragment& frag = f.fragments_[i];
+    for (NodeId w : g.OutNeighbors(v)) {
+      const uint32_t j = assignment[w];
+      if (i == j) {
+        builders[i].AddEdge(frag.global_to_local[v], frag.global_to_local[w]);
+        continue;
+      }
+      ++f.num_crossing_edges_;
+      boundary.insert(w);
+      NodeId wl = frag.ToLocal(w);
+      if (wl == kInvalidNode) {
+        wl = builders[i].AddNode(g.LabelOf(w));
+        frag.local_to_global.push_back(w);
+        frag.global_to_local.emplace(w, wl);
+      }
+      builders[i].AddEdge(frag.global_to_local[v], wl);
+      consumer_labels[{w, i}].insert(g.LabelOf(v));
+    }
+  }
+  f.num_boundary_nodes_ = boundary.size();
+
+  for (uint32_t i = 0; i < num_fragments; ++i) {
+    f.fragments_[i].graph = std::move(builders[i]).Build();
+  }
+
+  // Pass 3: in-node lists with consumers, grouped per home fragment.
+  for (auto& [key, labels] : consumer_labels) {
+    const auto [global_id, consumer_site] = key;
+    Fragment& home = f.fragments_[assignment[global_id]];
+    NodeId local = home.global_to_local.at(global_id);
+    if (home.in_nodes.empty() || home.in_nodes.back() != local) {
+      // consumer_labels is ordered by (global id, site); local ids are
+      // assigned in global order within a fragment, so in-node local ids
+      // arrive in ascending order per fragment.
+      DGS_CHECK(home.in_nodes.empty() || home.in_nodes.back() < local,
+                "in-node ordering invariant violated");
+      home.in_nodes.push_back(local);
+      home.consumers.emplace_back();
+    }
+    home.consumers.back().push_back(
+        {consumer_site, std::vector<Label>(labels.begin(), labels.end())});
+  }
+
+  return f;
+}
+
+size_t Fragmentation::MaxFragmentSize() const {
+  size_t best = 0;
+  for (const auto& frag : fragments_) best = std::max(best, frag.Size());
+  return best;
+}
+
+}  // namespace dgs

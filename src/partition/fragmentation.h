@@ -1,0 +1,104 @@
+// Distributed data graphs: fragmentation F = (F1, ..., Fn) (Section 2.2).
+//
+// A fragmentation partitions the nodes of G over n sites. Fragment Fi holds
+//   - its local nodes Vi (the partition class),
+//   - virtual nodes Fi.O: targets of crossing edges leaving Fi, and
+//   - edges Ei: edges between local nodes plus crossing edges from local
+//     nodes to virtual nodes (the subgraph induced by Vi ∪ Fi.O restricted
+//     to edges whose source is local).
+// Fi.I is the set of in-nodes: local nodes with an incoming crossing edge.
+// Vf = ∪ Fi.O is the boundary node set and Ef the crossing edge set; the
+// paper's partition-bounded guarantees are stated in |Vf| and |Ef|.
+//
+// Fragmentation also precomputes the local dependency information of
+// Section 4.1: for each in-node, the consumer sites that hold it as a
+// virtual node (annotated with the labels of the crossing-edge sources, used
+// to suppress useless truth-value shipments).
+
+#ifndef DGS_PARTITION_FRAGMENTATION_H_
+#define DGS_PARTITION_FRAGMENTATION_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace dgs {
+
+// A site that references one of our in-nodes as a virtual node.
+struct InNodeConsumer {
+  uint32_t site = 0;
+  // Labels of the nodes at `site` that have a crossing edge into the
+  // in-node. A truth value X(u, v) is useful to `site` only if some parent
+  // u' of u carries one of these labels.
+  std::vector<Label> source_labels;
+};
+
+// One fragment. Local node ids are dense: [0, num_local) are local nodes in
+// global-id order, [num_local, graph.NumNodes()) are virtual nodes.
+struct Fragment {
+  uint32_t id = 0;
+  uint32_t num_local = 0;
+  // Local subgraph over local + virtual nodes; virtual nodes have no
+  // out-edges here (their adjacency lives at their home site).
+  Graph graph;
+  std::vector<NodeId> local_to_global;
+  std::unordered_map<NodeId, NodeId> global_to_local;
+
+  // In-nodes Fi.I as local ids (sorted ascending).
+  std::vector<NodeId> in_nodes;
+  // consumers[k] lists the consumer sites of in_nodes[k].
+  std::vector<std::vector<InNodeConsumer>> consumers;
+
+  size_t NumVirtual() const { return graph.NumNodes() - num_local; }
+  bool IsVirtual(NodeId local_id) const { return local_id >= num_local; }
+  // |Fi| = nodes + edges of the fragment subgraph.
+  size_t Size() const { return graph.Size(); }
+
+  NodeId ToGlobal(NodeId local_id) const { return local_to_global[local_id]; }
+  // kInvalidNode if the global node has no copy in this fragment.
+  NodeId ToLocal(NodeId global_id) const;
+};
+
+// Immutable fragmentation of a graph. Does not own the data graph.
+class Fragmentation {
+ public:
+  // Validates `assignment` (one entry per node of g, values < num_fragments)
+  // and builds all fragments. Every fragment id in [0, num_fragments) is a
+  // site, even if its node set is empty.
+  static StatusOr<Fragmentation> Create(const Graph& g,
+                                        const std::vector<uint32_t>& assignment,
+                                        uint32_t num_fragments);
+
+  uint32_t NumFragments() const {
+    return static_cast<uint32_t>(fragments_.size());
+  }
+  const Fragment& fragment(uint32_t i) const {
+    DGS_CHECK(i < fragments_.size(), "fragment id out of range");
+    return fragments_[i];
+  }
+  uint32_t OwnerOf(NodeId global_id) const {
+    DGS_CHECK(global_id < assignment_.size(), "node id out of range");
+    return assignment_[global_id];
+  }
+  const std::vector<uint32_t>& assignment() const { return assignment_; }
+
+  // |Vf|: number of distinct nodes that appear as a virtual node somewhere.
+  size_t NumBoundaryNodes() const { return num_boundary_nodes_; }
+  // |Ef|: number of crossing edges.
+  size_t NumCrossingEdges() const { return num_crossing_edges_; }
+  // |Fm|: size (nodes + edges) of the largest fragment.
+  size_t MaxFragmentSize() const;
+
+ private:
+  std::vector<Fragment> fragments_;
+  std::vector<uint32_t> assignment_;
+  size_t num_boundary_nodes_ = 0;
+  size_t num_crossing_edges_ = 0;
+};
+
+}  // namespace dgs
+
+#endif  // DGS_PARTITION_FRAGMENTATION_H_

@@ -1,0 +1,304 @@
+#include "partition/partitioner.h"
+
+#include <algorithm>
+#include <set>
+
+#include "graph/algorithms.h"
+
+namespace dgs {
+namespace {
+
+// Marks the boundary nodes (targets of crossing edges) of `assignment`.
+std::vector<bool> BoundaryNodes(const Graph& g,
+                                const std::vector<uint32_t>& assignment) {
+  std::vector<bool> boundary(g.NumNodes(), false);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    for (NodeId w : g.OutNeighbors(v)) {
+      if (assignment[v] != assignment[w]) boundary[w] = true;
+    }
+  }
+  return boundary;
+}
+
+// Exact change in |Vf| if node `p` moves to fragment `to`: only p itself and
+// p's out-targets can change boundary status.
+int DeltaBoundaryOnMove(const Graph& g, const std::vector<uint32_t>& a,
+                        NodeId p, uint32_t to) {
+  const uint32_t from = a[p];
+  auto boundary_with_p_in = [&](NodeId w, uint32_t p_frag) {
+    const uint32_t wf = (w == p) ? p_frag : a[w];
+    for (NodeId src : g.InNeighbors(w)) {
+      const uint32_t sf = (src == p) ? p_frag : a[src];
+      if (sf != wf) return true;
+    }
+    return false;
+  };
+  int delta = static_cast<int>(boundary_with_p_in(p, to)) -
+              static_cast<int>(boundary_with_p_in(p, from));
+  for (NodeId w : g.OutNeighbors(p)) {
+    if (w == p) continue;
+    delta += static_cast<int>(boundary_with_p_in(w, to)) -
+             static_cast<int>(boundary_with_p_in(w, from));
+  }
+  return delta;
+}
+
+}  // namespace
+
+std::vector<uint32_t> RandomPartition(const Graph& g, uint32_t num_fragments,
+                                      Rng& rng) {
+  DGS_CHECK(num_fragments > 0, "need at least one fragment");
+  std::vector<uint32_t> assignment(g.NumNodes());
+  for (auto& a : assignment) {
+    a = static_cast<uint32_t>(rng.UniformInt(num_fragments));
+  }
+  return assignment;
+}
+
+std::vector<uint32_t> HashPartition(const Graph& g, uint32_t num_fragments) {
+  DGS_CHECK(num_fragments > 0, "need at least one fragment");
+  std::vector<uint32_t> assignment(g.NumNodes());
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    uint64_t h = v;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+    assignment[v] = static_cast<uint32_t>((h ^ (h >> 31)) % num_fragments);
+  }
+  return assignment;
+}
+
+std::vector<uint32_t> ContiguousPartition(const Graph& g,
+                                          uint32_t num_fragments, Rng& rng) {
+  DGS_CHECK(num_fragments > 0, "need at least one fragment");
+  const size_t n = g.NumNodes();
+  constexpr uint32_t kUnassigned = static_cast<uint32_t>(-1);
+  std::vector<uint32_t> assignment(n, kUnassigned);
+  const size_t capacity = (n + num_fragments - 1) / num_fragments;
+
+  // Per-fragment BFS frontier and size.
+  std::vector<std::vector<NodeId>> frontier(num_fragments);
+  std::vector<size_t> size(num_fragments, 0);
+  for (uint32_t i = 0; i < num_fragments && n > 0; ++i) {
+    // Random unassigned seed (linear probe from a random start).
+    NodeId seed = static_cast<NodeId>(rng.UniformInt(n));
+    while (assignment[seed] != kUnassigned) seed = (seed + 1) % n;
+    assignment[seed] = i;
+    ++size[i];
+    frontier[i].push_back(seed);
+  }
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (uint32_t i = 0; i < num_fragments; ++i) {
+      if (size[i] >= capacity) continue;
+      // Grow region i by one node if possible.
+      while (!frontier[i].empty() && size[i] < capacity) {
+        NodeId v = frontier[i].back();
+        NodeId grabbed = kInvalidNode;
+        for (NodeId w : g.OutNeighbors(v)) {
+          if (assignment[w] == kUnassigned) {
+            grabbed = w;
+            break;
+          }
+        }
+        if (grabbed == kInvalidNode) {
+          for (NodeId w : g.InNeighbors(v)) {
+            if (assignment[w] == kUnassigned) {
+              grabbed = w;
+              break;
+            }
+          }
+        }
+        if (grabbed == kInvalidNode) {
+          frontier[i].pop_back();
+          continue;
+        }
+        assignment[grabbed] = i;
+        ++size[i];
+        frontier[i].push_back(grabbed);
+        progress = true;
+        break;
+      }
+    }
+  }
+  // Stragglers (unreached components): round-robin to the smallest regions.
+  for (NodeId v = 0; v < n; ++v) {
+    if (assignment[v] == kUnassigned) {
+      uint32_t smallest = 0;
+      for (uint32_t i = 1; i < num_fragments; ++i) {
+        if (size[i] < size[smallest]) smallest = i;
+      }
+      assignment[v] = smallest;
+      ++size[smallest];
+    }
+  }
+  return assignment;
+}
+
+double BoundaryNodeRatio(const Graph& g,
+                         const std::vector<uint32_t>& assignment) {
+  if (g.NumNodes() == 0) return 0.0;
+  auto boundary = BoundaryNodes(g, assignment);
+  size_t count = static_cast<size_t>(
+      std::count(boundary.begin(), boundary.end(), true));
+  return static_cast<double>(count) / static_cast<double>(g.NumNodes());
+}
+
+double CrossingEdgeRatio(const Graph& g,
+                         const std::vector<uint32_t>& assignment) {
+  if (g.NumEdges() == 0) return 0.0;
+  size_t crossing = 0;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    for (NodeId w : g.OutNeighbors(v)) {
+      if (assignment[v] != assignment[w]) ++crossing;
+    }
+  }
+  return static_cast<double>(crossing) / static_cast<double>(g.NumEdges());
+}
+
+std::vector<uint32_t> RangePartition(const Graph& g, uint32_t num_fragments) {
+  DGS_CHECK(num_fragments > 0, "need at least one fragment");
+  const size_t n = g.NumNodes();
+  std::vector<uint32_t> assignment(n);
+  const size_t block = (n + num_fragments - 1) / num_fragments;
+  for (NodeId v = 0; v < n; ++v) {
+    assignment[v] = static_cast<uint32_t>(v / std::max<size_t>(block, 1));
+  }
+  return assignment;
+}
+
+std::vector<uint32_t> PartitionWithBoundaryRatio(const Graph& g,
+                                                 uint32_t num_fragments,
+                                                 double target_ratio, Rng& rng,
+                                                 double tolerance) {
+  const size_t n = g.NumNodes();
+  // Seed with whichever cheap partition has the smaller boundary: BFS
+  // regions (good for structural locality) or id ranges (good for id-space
+  // locality). Refinement then walks the ratio toward the target.
+  std::vector<uint32_t> assignment = ContiguousPartition(g, num_fragments, rng);
+  {
+    std::vector<uint32_t> ranges = RangePartition(g, num_fragments);
+    if (BoundaryNodeRatio(g, ranges) < BoundaryNodeRatio(g, assignment)) {
+      assignment = std::move(ranges);
+    }
+  }
+  if (n == 0 || num_fragments < 2) return assignment;
+
+  const size_t cap =
+      static_cast<size_t>(1.25 * static_cast<double>(n) / num_fragments) + 1;
+  std::vector<size_t> size(num_fragments, 0);
+  for (uint32_t a : assignment) ++size[a];
+
+  double ratio = BoundaryNodeRatio(g, assignment);
+  const size_t batch = std::max<size_t>(1, n / 100);
+  for (int iter = 0; iter < 400; ++iter) {
+    if (std::abs(ratio - target_ratio) <= tolerance) break;
+    if (ratio < target_ratio) {
+      // Raise the boundary: swap random node pairs across fragments.
+      for (size_t s = 0; s < batch; ++s) {
+        NodeId a = static_cast<NodeId>(rng.UniformInt(n));
+        NodeId b = static_cast<NodeId>(rng.UniformInt(n));
+        if (assignment[a] == assignment[b]) continue;
+        std::swap(assignment[a], assignment[b]);
+      }
+    } else {
+      // Lower the boundary with exact-delta hill climbing: a sampled node
+      // moves to a neighbor-suggested fragment only if that strictly
+      // reduces |Vf| (balance-capped). Monotone, so refinement can never
+      // overshoot upward.
+      auto boundary = BoundaryNodes(g, assignment);
+      size_t moved = 0;
+      for (size_t s = 0; s < 8 * batch; ++s) {
+        NodeId v = static_cast<NodeId>(rng.UniformInt(n));
+        // Prefer sources feeding boundary nodes; fall back to v itself.
+        NodeId p = v;
+        if (boundary[v] && g.InDegree(v) > 0) {
+          auto preds = g.InNeighbors(v);
+          NodeId cand = preds[rng.UniformInt(preds.size())];
+          if (assignment[cand] != assignment[v]) p = cand;
+        }
+        // Candidate target: majority fragment of p's in+out neighborhood.
+        std::vector<uint32_t> votes(num_fragments, 0);
+        for (NodeId w : g.OutNeighbors(p)) ++votes[assignment[w]];
+        for (NodeId w : g.InNeighbors(p)) ++votes[assignment[w]];
+        if (p != v) votes[assignment[v]] += 2;  // pull toward the consumer
+        uint32_t best = assignment[p];
+        for (uint32_t i = 0; i < num_fragments; ++i) {
+          if (votes[i] > votes[best]) best = i;
+        }
+        if (best == assignment[p] || size[best] >= cap) continue;
+        if (DeltaBoundaryOnMove(g, assignment, p, best) >= 0) continue;
+        --size[assignment[p]];
+        ++size[best];
+        assignment[p] = best;
+        ++moved;
+      }
+      if (moved == 0) break;  // stalled
+    }
+    ratio = BoundaryNodeRatio(g, assignment);
+  }
+  return assignment;
+}
+
+StatusOr<std::vector<uint32_t>> TreePartition(const Graph& g,
+                                              uint32_t num_fragments) {
+  if (num_fragments == 0) {
+    return Status::InvalidArgument("need at least one fragment");
+  }
+  if (!IsDownwardForest(g)) {
+    return Status::FailedPrecondition("graph is not a downward forest");
+  }
+  const size_t n = g.NumNodes();
+  std::vector<uint32_t> assignment(n, 0);
+  if (num_fragments == 1 || n == 0) return assignment;
+
+  // Subtree sizes via reverse topological (children-first) order.
+  auto order = TopologicalOrder(g);
+  DGS_CHECK(order.has_value(), "forest must be acyclic");
+  std::vector<size_t> subtree(n, 1);
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    for (NodeId w : g.OutNeighbors(*it)) subtree[*it] += subtree[w];
+  }
+
+  // Carve connected subtrees children-first. The budget adapts to what is
+  // left so late carves stay balanced, and a reserve guard keeps at least
+  // one node available for every still-empty fragment (including the
+  // remainder fragment 0, which keeps each component's root path and is
+  // therefore connected per tree component).
+  constexpr uint32_t kUncarved = 0;
+  uint32_t next_fragment = 1;
+  size_t remaining = n;  // uncarved nodes
+  std::vector<size_t> effective(n, 0);
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    NodeId v = *it;
+    if (next_fragment >= num_fragments) break;
+    // Effective size = 1 + effective sizes of uncarved children (children
+    // precede parents in this iteration order).
+    size_t eff = 1;
+    for (NodeId w : g.OutNeighbors(v)) {
+      if (assignment[w] == kUncarved) eff += effective[w];
+    }
+    effective[v] = eff;
+    const uint32_t fragments_left = num_fragments - next_fragment + 1;
+    const size_t budget = std::max<size_t>(1, remaining / fragments_left);
+    const size_t reserve = num_fragments - next_fragment;  // 1 node each
+    if (eff >= budget && remaining - eff >= reserve) {
+      // Carve the uncarved part of v's subtree as a new fragment.
+      uint32_t id = next_fragment++;
+      std::vector<NodeId> stack = {v};
+      while (!stack.empty()) {
+        NodeId x = stack.back();
+        stack.pop_back();
+        if (assignment[x] != kUncarved) continue;
+        assignment[x] = id;
+        for (NodeId w : g.OutNeighbors(x)) stack.push_back(w);
+      }
+      remaining -= eff;
+      effective[v] = 0;
+    }
+  }
+  return assignment;
+}
+
+}  // namespace dgs

@@ -1,0 +1,67 @@
+// Graph partitioning strategies (Section 6 "Graph fragmentation").
+//
+// The paper partitions G randomly into |F| fragments of average size
+// |G|/|F| and then adjusts the boundary-node ratio |Vf|/|V| to a target by
+// iterative node swaps (following Ja-be-Ja [27]). This module provides:
+//   - RandomPartition / HashPartition: uniform assignment,
+//   - ContiguousPartition: balanced BFS regions (low |Vf| starting point),
+//   - PartitionWithBoundaryRatio: contiguous start, then raises or lowers
+//     |Vf|/|V| by swaps/moves toward the target ratio,
+//   - TreePartition: connected subtrees (precondition of dGPMt / Cor. 4).
+//
+// All partitioners return one fragment id per node.
+
+#ifndef DGS_PARTITION_PARTITIONER_H_
+#define DGS_PARTITION_PARTITIONER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace dgs {
+
+// Uniform random assignment.
+std::vector<uint32_t> RandomPartition(const Graph& g, uint32_t num_fragments,
+                                      Rng& rng);
+
+// Deterministic id-hash assignment (no Rng; stable across runs).
+std::vector<uint32_t> HashPartition(const Graph& g, uint32_t num_fragments);
+
+// Balanced multi-source BFS regions: grows num_fragments regions from random
+// seeds in round-robin, assigning stragglers to the smallest region. Yields
+// a comparatively small boundary set on graphs with locality.
+std::vector<uint32_t> ContiguousPartition(const Graph& g,
+                                          uint32_t num_fragments, Rng& rng);
+
+// Contiguous id-range blocks of equal size. The cheapest low-boundary
+// partition for graphs whose edge locality lives in the id space (web
+// crawls, citation graphs ordered by time).
+std::vector<uint32_t> RangePartition(const Graph& g, uint32_t num_fragments);
+
+// Fraction of nodes that are boundary nodes: |Vf| / |V|.
+double BoundaryNodeRatio(const Graph& g, const std::vector<uint32_t>& assignment);
+
+// Fraction of edges that are crossing edges: |Ef| / |E|.
+double CrossingEdgeRatio(const Graph& g, const std::vector<uint32_t>& assignment);
+
+// Starts from ContiguousPartition and nudges |Vf|/|V| toward target_ratio:
+// random cross-fragment swaps raise it; greedy majority-neighbor moves lower
+// it (size-balance cap 1.25x). Best effort: stops when within `tolerance`
+// or when progress stalls; callers should report the achieved ratio.
+std::vector<uint32_t> PartitionWithBoundaryRatio(const Graph& g,
+                                                 uint32_t num_fragments,
+                                                 double target_ratio, Rng& rng,
+                                                 double tolerance = 0.02);
+
+// Partitions a downward forest (edges parent->child, in-degree <= 1) into
+// num_fragments connected subtrees of roughly equal size by carving heavy
+// subtrees post-order. Fails if g is not a downward forest.
+StatusOr<std::vector<uint32_t>> TreePartition(const Graph& g,
+                                              uint32_t num_fragments);
+
+}  // namespace dgs
+
+#endif  // DGS_PARTITION_PARTITIONER_H_

@@ -1,0 +1,68 @@
+#include "partition/stats.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dgs {
+
+PartitionStats ComputePartitionStats(const Fragmentation& fragmentation) {
+  PartitionStats stats;
+  stats.num_fragments = fragmentation.NumFragments();
+  stats.num_nodes = fragmentation.assignment().size();
+  stats.boundary_nodes = fragmentation.NumBoundaryNodes();
+  stats.crossing_edges = fragmentation.NumCrossingEdges();
+  stats.max_fragment_size = fragmentation.MaxFragmentSize();
+
+  stats.min_local_nodes = stats.num_nodes;
+  for (uint32_t i = 0; i < fragmentation.NumFragments(); ++i) {
+    const Fragment& frag = fragmentation.fragment(i);
+    // Count only edges owned here (sourced at local nodes); crossing edges
+    // are included exactly once, at their source fragment.
+    size_t local_edges = 0;
+    for (NodeId v = 0; v < frag.num_local; ++v) {
+      local_edges += frag.graph.OutDegree(v);
+    }
+    stats.num_edges += local_edges;
+    stats.min_local_nodes =
+        std::min<size_t>(stats.min_local_nodes, frag.num_local);
+    stats.max_local_nodes =
+        std::max<size_t>(stats.max_local_nodes, frag.num_local);
+    for (const auto& consumers : frag.consumers) {
+      stats.consumer_links += consumers.size();
+    }
+  }
+  if (stats.num_fragments > 0) {
+    stats.mean_local_nodes = static_cast<double>(stats.num_nodes) /
+                             static_cast<double>(stats.num_fragments);
+  }
+  if (stats.mean_local_nodes > 0) {
+    stats.balance_factor =
+        static_cast<double>(stats.max_local_nodes) / stats.mean_local_nodes;
+  }
+  if (stats.num_nodes > 0) {
+    stats.boundary_node_ratio = static_cast<double>(stats.boundary_nodes) /
+                                static_cast<double>(stats.num_nodes);
+  }
+  if (stats.num_edges > 0) {
+    stats.crossing_edge_ratio = static_cast<double>(stats.crossing_edges) /
+                                static_cast<double>(stats.num_edges);
+  }
+  return stats;
+}
+
+std::string PartitionStats::ToString() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "fragments=%zu nodes=%zu edges=%zu |Fm|=%zu\n"
+                "|Vf|=%zu (%.1f%%) |Ef|=%zu (%.1f%%)\n"
+                "local nodes min/mean/max = %zu / %.1f / %zu "
+                "(balance %.2fx), consumer links=%zu",
+                num_fragments, num_nodes, num_edges, max_fragment_size,
+                boundary_nodes, 100.0 * boundary_node_ratio, crossing_edges,
+                100.0 * crossing_edge_ratio, min_local_nodes,
+                mean_local_nodes, max_local_nodes, balance_factor,
+                consumer_links);
+  return buf;
+}
+
+}  // namespace dgs

@@ -1,0 +1,51 @@
+// Partition quality statistics: the quantities the paper's bounds are
+// stated in (|Fm|, |Vf|, |Ef|) plus balance diagnostics, computed from a
+// Fragmentation in one pass. Used by the partition_explorer example, the
+// benchmark harness and tests.
+
+#ifndef DGS_PARTITION_STATS_H_
+#define DGS_PARTITION_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "partition/fragmentation.h"
+
+namespace dgs {
+
+struct PartitionStats {
+  size_t num_fragments = 0;
+  size_t num_nodes = 0;
+  size_t num_edges = 0;
+
+  // Table 2 quantities.
+  size_t boundary_nodes = 0;   // |Vf|
+  size_t crossing_edges = 0;   // |Ef|
+  size_t max_fragment_size = 0;  // |Fm| = nodes + edges of largest fragment
+
+  // Balance: local node counts per fragment.
+  size_t min_local_nodes = 0;
+  size_t max_local_nodes = 0;
+  double mean_local_nodes = 0;
+  // max / mean (1.0 = perfectly balanced).
+  double balance_factor = 0;
+
+  // Ratios the experiments sweep.
+  double boundary_node_ratio = 0;  // |Vf| / |V|
+  double crossing_edge_ratio = 0;  // |Ef| / |E|
+
+  // Total in-node -> consumer-site subscriptions (an upper bound on the
+  // distinct destinations of dGPM truth values).
+  size_t consumer_links = 0;
+
+  // Human-readable multi-line rendering.
+  std::string ToString() const;
+};
+
+// Computes all statistics from an existing fragmentation.
+PartitionStats ComputePartitionStats(const Fragmentation& fragmentation);
+
+}  // namespace dgs
+
+#endif  // DGS_PARTITION_STATS_H_

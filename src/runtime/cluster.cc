@@ -1,0 +1,146 @@
+#include "runtime/cluster.h"
+
+#include <algorithm>
+
+#include "util/timer.h"
+
+namespace dgs {
+
+uint32_t SiteContext::num_workers() const { return cluster_->NumWorkers(); }
+uint32_t SiteContext::coordinator_id() const {
+  return cluster_->CoordinatorId();
+}
+
+void SiteContext::Send(uint32_t dst, MessageClass cls, Blob payload) {
+  cluster_->SendFrom(site_id_, dst, cls, std::move(payload));
+}
+
+Cluster::Cluster(uint32_t num_workers, NetworkModel model)
+    : num_workers_(num_workers), model_(model) {
+  actors_.resize(num_workers_ + 1);
+}
+
+void Cluster::SetWorker(uint32_t i, std::unique_ptr<SiteActor> actor) {
+  DGS_CHECK(i < num_workers_, "worker id out of range");
+  actors_[i] = std::move(actor);
+}
+
+void Cluster::SetCoordinator(std::unique_ptr<SiteActor> actor) {
+  actors_[num_workers_] = std::move(actor);
+}
+
+SiteActor* Cluster::worker(uint32_t i) {
+  DGS_CHECK(i < num_workers_, "worker id out of range");
+  return actors_[i].get();
+}
+
+SiteActor* Cluster::coordinator() { return actors_[num_workers_].get(); }
+
+void Cluster::SendFrom(uint32_t src, uint32_t dst, MessageClass cls,
+                       Blob payload) {
+  DGS_CHECK(dst < actors_.size(), "destination site out of range");
+  Message m;
+  m.src = src;
+  m.dst = dst;
+  m.cls = cls;
+  m.payload = std::move(payload);
+  switch (cls) {
+    case MessageClass::kData:
+      stats_.data_bytes += m.WireSize();
+      ++stats_.data_messages;
+      break;
+    case MessageClass::kControl:
+      stats_.control_bytes += m.WireSize();
+      ++stats_.control_messages;
+      break;
+    case MessageClass::kResult:
+      stats_.result_bytes += m.WireSize();
+      ++stats_.result_messages;
+      break;
+  }
+  pending_.push_back(std::move(m));
+}
+
+RunStats Cluster::Run(uint32_t max_rounds) {
+  for (size_t i = 0; i < actors_.size(); ++i) {
+    DGS_CHECK(actors_[i] != nullptr, "all sites must have an actor");
+  }
+  stats_ = RunStats{};
+
+  // Round 0: parallel Setup; charged at the slowest site.
+  {
+    double round_max = 0;
+    for (uint32_t i = 0; i < actors_.size(); ++i) {
+      SiteContext ctx(this, i);
+      WallTimer timer;
+      actors_[i]->Setup(ctx);
+      double t = timer.ElapsedSeconds();
+      stats_.total_compute_seconds += t;
+      round_max = std::max(round_max, t);
+    }
+    stats_.response_seconds += round_max;
+  }
+
+  bool quiesce_ran = false;
+  while (true) {
+    if (pending_.empty()) {
+      if (quiesce_ran) break;  // quiescent and OnQuiesce stayed silent
+      double round_max = 0;
+      for (uint32_t i = 0; i < actors_.size(); ++i) {
+        SiteContext ctx(this, i);
+        WallTimer timer;
+        actors_[i]->OnQuiesce(ctx);
+        double t = timer.ElapsedSeconds();
+        stats_.total_compute_seconds += t;
+        round_max = std::max(round_max, t);
+      }
+      stats_.response_seconds += round_max;
+      quiesce_ran = true;
+      continue;
+    }
+    quiesce_ran = false;
+
+    DGS_CHECK(stats_.rounds < max_rounds, "cluster round budget exhausted");
+    ++stats_.rounds;
+
+    // Group this round's messages by destination (deterministic order).
+    std::vector<Message> batch = std::move(pending_);
+    pending_.clear();
+    std::stable_sort(batch.begin(), batch.end(),
+                     [](const Message& a, const Message& b) {
+                       if (a.dst != b.dst) return a.dst < b.dst;
+                       return a.src < b.src;
+                     });
+
+    double round_max = 0;
+    uint64_t max_ingress = 0;
+    size_t i = 0;
+    while (i < batch.size()) {
+      size_t j = i;
+      uint64_t ingress = 0;
+      while (j < batch.size() && batch[j].dst == batch[i].dst) {
+        ingress += batch[j].WireSize();
+        ++j;
+      }
+      max_ingress = std::max(max_ingress, ingress);
+      uint32_t dst = batch[i].dst;
+      std::vector<Message> inbox(std::make_move_iterator(batch.begin() + i),
+                                 std::make_move_iterator(batch.begin() + j));
+      SiteContext ctx(this, dst);
+      WallTimer timer;
+      actors_[dst]->OnMessages(ctx, std::move(inbox));
+      double t = timer.ElapsedSeconds();
+      stats_.total_compute_seconds += t;
+      round_max = std::max(round_max, t);
+      i = j;
+    }
+    stats_.response_seconds += round_max +
+                               model_.latency_per_round_seconds +
+                               model_.seconds_per_byte *
+                                   static_cast<double>(max_ingress);
+  }
+
+  return stats_;
+}
+
+}  // namespace dgs

@@ -1,0 +1,127 @@
+// Deterministic in-process cluster simulator.
+//
+// The paper deploys one fragment per Amazon EC2 machine; we substitute a
+// deterministic message-passing runtime (see DESIGN.md §4). Sites are
+// actors driven in synchronized delivery rounds:
+//
+//   round 0:   Setup() on every actor (in parallel — charged at the max)
+//   round k:   every actor with pending inbound messages gets OnMessages()
+//   quiesce:   when no messages are in flight, OnQuiesce() runs once on all
+//              actors; if it produces messages, rounds resume. The run ends
+//              at a quiescent point where OnQuiesce() stays silent.
+//
+// Response time follows the BSP critical-path model: the wall-clock time of
+// each round is the maximum of its callbacks' measured durations (sites
+// compute in parallel), plus a configurable network charge. Data shipment
+// is the exact serialized byte volume, split by message class.
+
+#ifndef DGS_RUNTIME_CLUSTER_H_
+#define DGS_RUNTIME_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "runtime/message.h"
+#include "util/status.h"
+
+namespace dgs {
+
+class Cluster;
+
+// Per-callback handle through which an actor reads its identity and sends.
+class SiteContext {
+ public:
+  uint32_t site_id() const { return site_id_; }
+  // Worker count (the coordinator is an extra site with id NumWorkers()).
+  uint32_t num_workers() const;
+  uint32_t coordinator_id() const;
+
+  void Send(uint32_t dst, MessageClass cls, Blob payload);
+
+ private:
+  friend class Cluster;
+  SiteContext(Cluster* cluster, uint32_t site_id)
+      : cluster_(cluster), site_id_(site_id) {}
+
+  Cluster* cluster_;
+  uint32_t site_id_;
+};
+
+// A site's algorithm logic. One actor per worker plus one coordinator.
+class SiteActor {
+ public:
+  virtual ~SiteActor() = default;
+
+  // Called once before any message flows (phase 1 / partial evaluation).
+  virtual void Setup(SiteContext& ctx) { (void)ctx; }
+
+  // Called when the site has inbound messages this round.
+  virtual void OnMessages(SiteContext& ctx, std::vector<Message> inbox) = 0;
+
+  // Called at every quiescent point. Default: do nothing (stay done).
+  virtual void OnQuiesce(SiteContext& ctx) { (void)ctx; }
+};
+
+// Aggregate statistics of one Run().
+struct RunStats {
+  // BSP critical path: sum over rounds of the max callback duration, plus
+  // the network model charges.
+  double response_seconds = 0;
+  // Total compute across all sites (the "work", vs. the critical path).
+  double total_compute_seconds = 0;
+  uint64_t data_bytes = 0;     // kData payload + headers
+  uint64_t control_bytes = 0;  // kControl
+  uint64_t result_bytes = 0;   // kResult
+  uint64_t data_messages = 0;
+  uint64_t control_messages = 0;
+  uint64_t result_messages = 0;
+  uint32_t rounds = 0;
+
+  uint64_t TotalBytes() const {
+    return data_bytes + control_bytes + result_bytes;
+  }
+};
+
+// Network cost model added to the BSP critical path.
+struct NetworkModel {
+  // Charged once per delivery round with at least one message.
+  double latency_per_round_seconds = 0;
+  // Charged per byte of the round's maximum per-site ingress.
+  double seconds_per_byte = 0;
+};
+
+// Owns the actors and runs the delivery loop.
+class Cluster {
+ public:
+  using NetworkModel = dgs::NetworkModel;
+
+  explicit Cluster(uint32_t num_workers, NetworkModel model = {});
+
+  // Workers have ids [0, num_workers); the coordinator id is num_workers.
+  uint32_t NumWorkers() const { return num_workers_; }
+  uint32_t CoordinatorId() const { return num_workers_; }
+
+  void SetWorker(uint32_t i, std::unique_ptr<SiteActor> actor);
+  void SetCoordinator(std::unique_ptr<SiteActor> actor);
+
+  SiteActor* worker(uint32_t i);
+  SiteActor* coordinator();
+
+  // Runs Setup + delivery rounds to completion. Aborts if an actor is
+  // missing or if the round count exceeds `max_rounds` (runaway protection).
+  RunStats Run(uint32_t max_rounds = 1u << 20);
+
+ private:
+  friend class SiteContext;
+  void SendFrom(uint32_t src, uint32_t dst, MessageClass cls, Blob payload);
+
+  uint32_t num_workers_;
+  NetworkModel model_;
+  std::vector<std::unique_ptr<SiteActor>> actors_;  // size num_workers_ + 1
+  std::vector<Message> pending_;
+  RunStats stats_;
+};
+
+}  // namespace dgs
+
+#endif  // DGS_RUNTIME_CLUSTER_H_

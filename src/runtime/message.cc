@@ -1,0 +1,4 @@
+#include "runtime/message.h"
+
+// Header-only for now; this translation unit pins the vtable-free types and
+// keeps the build layout uniform (one .cc per module).

@@ -1,0 +1,100 @@
+#include "simulation/incremental.h"
+
+#include <algorithm>
+
+namespace dgs {
+
+IncrementalSimulation::IncrementalSimulation(const Pattern& q, const Graph& g)
+    : pattern_(&q), num_nodes_(g.NumNodes()) {
+  out_.resize(num_nodes_);
+  in_.resize(num_nodes_);
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    auto out = g.OutNeighbors(v);
+    out_[v].assign(out.begin(), out.end());
+    auto in = g.InNeighbors(v);
+    in_[v].assign(in.begin(), in.end());
+  }
+
+  const size_t nq = q.NumNodes();
+  sim_.assign(nq, DynamicBitset(num_nodes_));
+  for (NodeId u = 0; u < nq; ++u) {
+    const bool needs_children = !q.IsSink(u);
+    for (NodeId v = 0; v < num_nodes_; ++v) {
+      if (g.LabelOf(v) != q.LabelOf(u)) continue;
+      if (needs_children && out_[v].empty()) continue;
+      sim_[u].Set(v);
+    }
+  }
+  count_.assign(nq, std::vector<uint32_t>(num_nodes_, 0));
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    for (NodeId w : out_[v]) {
+      for (NodeId u = 0; u < nq; ++u) {
+        if (sim_[u].Test(w)) ++count_[u][v];
+      }
+    }
+  }
+  for (NodeId u = 0; u < nq; ++u) {
+    for (NodeId uc : q.Children(u)) {
+      std::vector<NodeId> doomed;
+      sim_[u].ForEachSet([&](size_t v) {
+        if (count_[uc][v] == 0) doomed.push_back(static_cast<NodeId>(v));
+      });
+      for (NodeId v : doomed) Enqueue(u, v);
+    }
+  }
+  (void)Propagate();
+}
+
+void IncrementalSimulation::Enqueue(NodeId query_node, NodeId data_node) {
+  if (sim_[query_node].Test(data_node)) {
+    sim_[query_node].Reset(data_node);
+    worklist_.emplace_back(query_node, data_node);
+  }
+}
+
+size_t IncrementalSimulation::Propagate() {
+  size_t head = 0;
+  while (head < worklist_.size()) {
+    auto [u, v] = worklist_[head++];
+    for (NodeId p : in_[v]) {
+      DGS_DCHECK(count_[u][p] > 0, "support underflow");
+      if (--count_[u][p] == 0) {
+        for (NodeId up : pattern_->Parents(u)) Enqueue(up, p);
+      }
+    }
+  }
+  // Every worklist entry corresponds to exactly one pair flipped false.
+  size_t invalidated = worklist_.size();
+  worklist_.clear();
+  return invalidated;
+}
+
+size_t IncrementalSimulation::DeleteEdge(NodeId from, NodeId to) {
+  DGS_CHECK(from < num_nodes_ && to < num_nodes_, "edge endpoint OOB");
+  auto it = std::lower_bound(out_[from].begin(), out_[from].end(), to);
+  if (it == out_[from].end() || *it != to) return 0;
+  out_[from].erase(it);
+  auto jt = std::lower_bound(in_[to].begin(), in_[to].end(), from);
+  DGS_CHECK(jt != in_[to].end() && *jt == from, "in-adjacency out of sync");
+  in_[to].erase(jt);
+
+  const size_t nq = pattern_->NumNodes();
+  for (NodeId u = 0; u < nq; ++u) {
+    // `from` lost one u-supporter if `to` was one.
+    if (sim_[u].Test(to)) {
+      DGS_DCHECK(count_[u][from] > 0, "support underflow on delete");
+      if (--count_[u][from] == 0) {
+        for (NodeId up : pattern_->Parents(u)) Enqueue(up, from);
+      }
+    }
+    // A non-sink candidate with no out-edges at all can no longer match.
+    if (!pattern_->IsSink(u) && out_[from].empty()) Enqueue(u, from);
+  }
+  return Propagate();
+}
+
+SimulationResult IncrementalSimulation::Result() const {
+  return SimulationResult(sim_, num_nodes_);
+}
+
+}  // namespace dgs

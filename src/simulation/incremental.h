@@ -1,0 +1,65 @@
+// Incremental maintenance of a simulation result under edge deletions.
+//
+// Section 4.2's incremental lEval follows Fan et al.'s incremental graph
+// pattern matching [13]: when the graph shrinks, the maximum simulation
+// only shrinks, and the affected area AFF can be repaired without
+// recomputation. This module provides that machinery centrally: build once
+// in O((|Vq|+|V|)(|Eq|+|E|)), then maintain the match relation across edge
+// deletions in O(|AFF|) amortized per deletion.
+//
+// Edge insertions can enlarge the relation and are out of scope here (they
+// require re-running the optimistic phase, as in the paper's dGPM setup).
+
+#ifndef DGS_SIMULATION_INCREMENTAL_H_
+#define DGS_SIMULATION_INCREMENTAL_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/pattern.h"
+#include "simulation/simulation.h"
+#include "util/bitset.h"
+
+namespace dgs {
+
+// Maintains Q(G) while edges of G are deleted.
+class IncrementalSimulation {
+ public:
+  // Copies the graph's adjacency into a mutable form and computes the
+  // initial fixpoint.
+  IncrementalSimulation(const Pattern& q, const Graph& g);
+
+  // Deletes the edge (from, to) and repairs the match relation. Returns the
+  // number of (query node, data node) pairs that became false. Deleting an
+  // edge that is absent (or already deleted) is a no-op returning 0.
+  size_t DeleteEdge(NodeId from, NodeId to);
+
+  // Current result; equal to ComputeSimulation(q, g') for the current
+  // graph g' (checked exhaustively in tests).
+  SimulationResult Result() const;
+
+  // Pairs currently in the fixpoint (candidates).
+  bool IsCandidate(NodeId query_node, NodeId data_node) const {
+    return sim_[query_node].Test(data_node);
+  }
+
+ private:
+  void Enqueue(NodeId query_node, NodeId data_node);
+  // Drains the worklist; returns the number of pairs flipped false.
+  size_t Propagate();
+
+  const Pattern* pattern_;
+  size_t num_nodes_;
+  // Mutable adjacency (sorted vectors; deletion via binary search + erase).
+  std::vector<std::vector<NodeId>> out_;
+  std::vector<std::vector<NodeId>> in_;
+  // sim_[u] = current candidate set; count_[u][v] = surviving successors of
+  // v in sim_[u] (the HHK support counters, kept alive between deletions).
+  std::vector<DynamicBitset> sim_;
+  std::vector<std::vector<uint32_t>> count_;
+  std::vector<std::pair<NodeId, NodeId>> worklist_;
+};
+
+}  // namespace dgs
+
+#endif  // DGS_SIMULATION_INCREMENTAL_H_

@@ -1,0 +1,101 @@
+#include "simulation/isomorphism.h"
+
+#include <algorithm>
+
+#include "simulation/simulation.h"
+#include "util/bitset.h"
+
+namespace dgs {
+namespace {
+
+// Backtracking state shared across the recursion.
+struct Search {
+  const Pattern* q;
+  const Graph* g;
+  // Candidate sets pre-pruned by the simulation fixpoint (a sound filter:
+  // every embedding is contained in the maximum simulation).
+  std::vector<std::vector<NodeId>> candidates;
+  std::vector<NodeId> assignment;  // per query node; kInvalidNode = unset
+  std::vector<bool> used;          // per data node (injectivity)
+
+  bool Feasible(NodeId u, NodeId v) const {
+    if (used[v]) return false;
+    // Check edges against already-assigned neighbors, both directions.
+    for (NodeId uc : q->Children(u)) {
+      if (assignment[uc] != kInvalidNode && !g->HasEdge(v, assignment[uc])) {
+        return false;
+      }
+    }
+    for (NodeId up : q->Parents(u)) {
+      if (assignment[up] != kInvalidNode && !g->HasEdge(assignment[up], v)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool Extend(size_t depth, const std::vector<NodeId>& order) {
+    if (depth == order.size()) return true;
+    NodeId u = order[depth];
+    for (NodeId v : candidates[u]) {
+      if (!Feasible(u, v)) continue;
+      assignment[u] = v;
+      used[v] = true;
+      if (Extend(depth + 1, order)) return true;
+      used[v] = false;
+      assignment[u] = kInvalidNode;
+    }
+    return false;
+  }
+};
+
+// Query nodes ordered by ascending candidate count (fail-first).
+std::vector<NodeId> SearchOrder(const std::vector<std::vector<NodeId>>& cand) {
+  std::vector<NodeId> order(cand.size());
+  for (NodeId u = 0; u < cand.size(); ++u) order[u] = u;
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return cand[a].size() < cand[b].size();
+  });
+  return order;
+}
+
+std::optional<std::vector<NodeId>> Solve(
+    const Pattern& q, const Graph& g,
+    std::vector<std::vector<NodeId>> candidates) {
+  for (const auto& c : candidates) {
+    if (c.empty()) return std::nullopt;
+  }
+  Search search{&q, &g, std::move(candidates),
+                std::vector<NodeId>(q.NumNodes(), kInvalidNode),
+                std::vector<bool>(g.NumNodes(), false)};
+  auto order = SearchOrder(search.candidates);
+  if (!search.Extend(0, order)) return std::nullopt;
+  return search.assignment;
+}
+
+std::vector<std::vector<NodeId>> SimulationCandidates(const Pattern& q,
+                                                      const Graph& g) {
+  auto sim = ComputeSimulation(q, g);
+  std::vector<std::vector<NodeId>> candidates(q.NumNodes());
+  if (!sim.GraphMatches()) return candidates;  // all empty -> no embedding
+  for (NodeId u = 0; u < q.NumNodes(); ++u) candidates[u] = sim.Matches(u);
+  return candidates;
+}
+
+}  // namespace
+
+std::optional<std::vector<NodeId>> FindSubgraphIsomorphism(const Pattern& q,
+                                                           const Graph& g) {
+  return Solve(q, g, SimulationCandidates(q, g));
+}
+
+bool IsomorphicMatchAt(const Pattern& q, const Graph& g, NodeId u, NodeId v) {
+  auto candidates = SimulationCandidates(q, g);
+  if (u >= candidates.size()) return false;
+  auto& cu = candidates[u];
+  if (std::find(cu.begin(), cu.end(), v) == cu.end()) return false;
+  candidates[u] = {v};
+  return Solve(q, g, std::move(candidates)).has_value();
+}
+
+}  // namespace dgs

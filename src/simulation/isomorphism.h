@@ -1,0 +1,33 @@
+// Subgraph isomorphism (Ullmann [33]), the matching semantics the paper
+// contrasts with graph simulation in Sections 1 and 2.1.
+//
+// Unlike simulation (quadratic, no data locality), isomorphic matching is
+// NP-complete but local: whether v participates in an embedding of Q is
+// decided by the nodes within |Q| hops of v (Example 3). This reference
+// implementation is a label-pruned backtracking matcher intended for the
+// paper's small patterns; it is exponential in |Vq| by nature.
+
+#ifndef DGS_SIMULATION_ISOMORPHISM_H_
+#define DGS_SIMULATION_ISOMORPHISM_H_
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/pattern.h"
+
+namespace dgs {
+
+// Finds one label-preserving injective embedding m of q into g with
+// (u, u') in Eq  =>  (m(u), m(u')) in E. Returns the mapping indexed by
+// query node, or nullopt if none exists.
+std::optional<std::vector<NodeId>> FindSubgraphIsomorphism(const Pattern& q,
+                                                           const Graph& g);
+
+// True iff some embedding maps query node `u` to data node `v` (used for
+// the Example 3 locality discussion). Exponential; small inputs only.
+bool IsomorphicMatchAt(const Pattern& q, const Graph& g, NodeId u, NodeId v);
+
+}  // namespace dgs
+
+#endif  // DGS_SIMULATION_ISOMORPHISM_H_

@@ -1,0 +1,42 @@
+#include "simulation/oracle.h"
+
+namespace dgs {
+
+SimulationResult NaiveSimulation(const Pattern& q, const Graph& g) {
+  const size_t nq = q.NumNodes();
+  const size_t n = g.NumNodes();
+  std::vector<DynamicBitset> sim(nq, DynamicBitset(n));
+  for (NodeId u = 0; u < nq; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (q.LabelOf(u) == g.LabelOf(v)) sim[u].Set(v);
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (NodeId u = 0; u < nq; ++u) {
+      std::vector<NodeId> doomed;
+      sim[u].ForEachSet([&](size_t vi) {
+        NodeId v = static_cast<NodeId>(vi);
+        for (NodeId uc : q.Children(u)) {
+          bool supported = false;
+          for (NodeId w : g.OutNeighbors(v)) {
+            if (sim[uc].Test(w)) {
+              supported = true;
+              break;
+            }
+          }
+          if (!supported) {
+            doomed.push_back(v);
+            return;
+          }
+        }
+      });
+      for (NodeId v : doomed) sim[u].Reset(v);
+      if (!doomed.empty()) changed = true;
+    }
+  }
+  return SimulationResult(std::move(sim), n);
+}
+
+}  // namespace dgs

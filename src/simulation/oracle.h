@@ -1,0 +1,19 @@
+// Naive fixpoint simulation used as a test oracle.
+//
+// Direct transcription of the Section 2.1 definition: repeatedly delete
+// pairs (u, v) that violate the child condition until nothing changes.
+// O(|Vq||V| * (|Eq|+|E|)) per pass — only for small test inputs.
+
+#ifndef DGS_SIMULATION_ORACLE_H_
+#define DGS_SIMULATION_ORACLE_H_
+
+#include "simulation/simulation.h"
+
+namespace dgs {
+
+// Computes the same result as ComputeSimulation, the slow obvious way.
+SimulationResult NaiveSimulation(const Pattern& q, const Graph& g);
+
+}  // namespace dgs
+
+#endif  // DGS_SIMULATION_ORACLE_H_

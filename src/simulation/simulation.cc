@@ -1,0 +1,119 @@
+#include "simulation/simulation.h"
+
+#include <algorithm>
+
+namespace dgs {
+
+SimulationResult::SimulationResult(std::vector<DynamicBitset> fixpoint,
+                                   size_t num_data_nodes)
+    : fixpoint_(std::move(fixpoint)), num_data_nodes_(num_data_nodes) {
+  graph_matches_ = !fixpoint_.empty();
+  for (const auto& set : fixpoint_) {
+    if (set.None()) {
+      graph_matches_ = false;
+      break;
+    }
+  }
+}
+
+DynamicBitset SimulationResult::MatchSet(NodeId u) const {
+  DGS_CHECK(u < fixpoint_.size(), "query node out of range");
+  if (!graph_matches_) return DynamicBitset(num_data_nodes_);
+  return fixpoint_[u];
+}
+
+std::vector<NodeId> SimulationResult::Matches(NodeId u) const {
+  return MatchSet(u).ToVector();
+}
+
+size_t SimulationResult::RelationSize() const {
+  if (!graph_matches_) return 0;
+  size_t total = 0;
+  for (const auto& set : fixpoint_) total += set.Count();
+  return total;
+}
+
+bool operator==(const SimulationResult& a, const SimulationResult& b) {
+  if (a.graph_matches_ != b.graph_matches_) return false;
+  if (a.num_data_nodes_ != b.num_data_nodes_) return false;
+  if (a.fixpoint_.size() != b.fixpoint_.size()) return false;
+  if (!a.graph_matches_) return true;  // both empty relations
+  return a.fixpoint_ == b.fixpoint_;
+}
+
+SimulationResult ComputeSimulation(const Pattern& q, const Graph& g,
+                                   const SimulationOptions& options) {
+  const size_t nq = q.NumNodes();
+  const size_t n = g.NumNodes();
+
+  // sim[u] = current candidate set of u (starts at the label filter and only
+  // shrinks — the greatest-fixpoint computation).
+  std::vector<DynamicBitset> sim(nq, DynamicBitset(n));
+  for (NodeId u = 0; u < nq; ++u) {
+    const Label lu = q.LabelOf(u);
+    const bool needs_children = !q.IsSink(u);
+    for (NodeId v = 0; v < n; ++v) {
+      if (g.LabelOf(v) != lu) continue;
+      if (needs_children && g.OutDegree(v) == 0) continue;
+      sim[u].Set(v);
+    }
+    if (options.boolean_only && sim[u].None()) {
+      return SimulationResult(std::move(sim), n);
+    }
+  }
+
+  // count[u][v] = |{w in out(v) : w in sim[u]}|. Removing the last
+  // supporting successor of v for u invalidates v for every parent of u.
+  std::vector<std::vector<uint32_t>> count(nq, std::vector<uint32_t>(n, 0));
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId w : g.OutNeighbors(v)) {
+      for (NodeId u = 0; u < nq; ++u) {
+        if (sim[u].Test(w)) ++count[u][v];
+      }
+    }
+  }
+
+  // Seed the removal worklist: v in sim[u] requires count[u'][v] > 0 for
+  // every child u' of u.
+  std::vector<std::pair<NodeId, NodeId>> worklist;  // (u, v) to remove
+  for (NodeId u = 0; u < nq; ++u) {
+    for (NodeId uc : q.Children(u)) {
+      std::vector<NodeId> doomed;
+      sim[u].ForEachSet([&](size_t v) {
+        if (count[uc][v] == 0) doomed.push_back(static_cast<NodeId>(v));
+      });
+      for (NodeId v : doomed) {
+        if (sim[u].Test(v)) {
+          sim[u].Reset(v);
+          worklist.emplace_back(u, v);
+        }
+      }
+    }
+  }
+
+  // Refinement loop.
+  size_t head = 0;
+  while (head < worklist.size()) {
+    auto [u, v] = worklist[head++];
+    if (options.boolean_only && sim[u].None()) {
+      return SimulationResult(std::move(sim), n);
+    }
+    // v left sim[u]: predecessors of v lose one unit of support for u.
+    for (NodeId p : g.InNeighbors(v)) {
+      if (--count[u][p] == 0) {
+        // p no longer has any successor matching u; every parent of u in Q
+        // must drop p.
+        for (NodeId up : q.Parents(u)) {
+          if (sim[up].Test(p)) {
+            sim[up].Reset(p);
+            worklist.emplace_back(up, p);
+          }
+        }
+      }
+    }
+  }
+
+  return SimulationResult(std::move(sim), n);
+}
+
+}  // namespace dgs

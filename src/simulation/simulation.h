@@ -1,0 +1,70 @@
+// Centralized graph simulation (Section 2.1, [11, 18]).
+//
+// Computes the maximum simulation relation Q(G) in
+// O((|Vq| + |V|)(|Eq| + |E|)) time using the counting refinement of
+// Henzinger, Henzinger & Kopke (FOCS'95). This kernel is used (a) standalone
+// as the centralized reference, (b) by the Match and disHHK baselines on
+// assembled graphs, and (c) as ground truth in the test suite.
+
+#ifndef DGS_SIMULATION_SIMULATION_H_
+#define DGS_SIMULATION_SIMULATION_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/pattern.h"
+#include "util/bitset.h"
+
+namespace dgs {
+
+// Result of a simulation query. Holds the greatest fixpoint of the
+// refinement operator; the relation Q(G) is that fixpoint when every query
+// node has at least one match, and empty otherwise (Section 2.1).
+class SimulationResult {
+ public:
+  SimulationResult() = default;
+  SimulationResult(std::vector<DynamicBitset> fixpoint, size_t num_data_nodes);
+
+  // True iff G matches Q (every query node has a match) — the answer to a
+  // Boolean pattern query.
+  bool GraphMatches() const { return graph_matches_; }
+
+  // The greatest-fixpoint set for query node u (regardless of whether the
+  // overall graph matches).
+  const DynamicBitset& FixpointSet(NodeId u) const { return fixpoint_[u]; }
+
+  // The match set of u in Q(G): the fixpoint set if G matches Q, empty
+  // otherwise (a data-selecting query's answer).
+  DynamicBitset MatchSet(NodeId u) const;
+
+  // Sorted node ids of MatchSet(u).
+  std::vector<NodeId> Matches(NodeId u) const;
+
+  size_t NumQueryNodes() const { return fixpoint_.size(); }
+  size_t NumDataNodes() const { return num_data_nodes_; }
+
+  // Total number of (u, v) pairs in Q(G).
+  size_t RelationSize() const;
+
+  friend bool operator==(const SimulationResult& a, const SimulationResult& b);
+
+ private:
+  std::vector<DynamicBitset> fixpoint_;  // indexed by query node
+  size_t num_data_nodes_ = 0;
+  bool graph_matches_ = false;
+};
+
+struct SimulationOptions {
+  // Stop as soon as some query node's candidate set becomes empty; the
+  // fixpoint sets are then unspecified but GraphMatches() is exact. Used for
+  // Boolean pattern queries.
+  bool boolean_only = false;
+};
+
+// Computes the maximum simulation of `q` in `g`.
+SimulationResult ComputeSimulation(const Pattern& q, const Graph& g,
+                                   const SimulationOptions& options = {});
+
+}  // namespace dgs
+
+#endif  // DGS_SIMULATION_SIMULATION_H_

@@ -1,0 +1,181 @@
+#include "simulation/strong.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "graph/algorithms.h"
+
+namespace dgs {
+namespace {
+
+// Undirected diameter of the pattern (max finite BFS distance ignoring
+// direction) — the ball radius d_Q of strong simulation.
+uint32_t UndirectedDiameter(const Pattern& q) {
+  const size_t n = q.NumNodes();
+  uint32_t best = 0;
+  for (NodeId s = 0; s < n; ++s) {
+    std::vector<uint32_t> dist(n, kUnreachable);
+    std::vector<NodeId> queue = {s};
+    dist[s] = 0;
+    for (size_t head = 0; head < queue.size(); ++head) {
+      NodeId v = queue[head];
+      auto visit = [&](NodeId w) {
+        if (dist[w] == kUnreachable) {
+          dist[w] = dist[v] + 1;
+          queue.push_back(w);
+        }
+      };
+      for (NodeId w : q.Children(v)) visit(w);
+      for (NodeId w : q.Parents(v)) visit(w);
+    }
+    for (uint32_t d : dist) {
+      if (d != kUnreachable) best = std::max(best, d);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+SimulationResult ComputeDualSimulation(const Pattern& q, const Graph& g) {
+  const size_t nq = q.NumNodes();
+  const size_t n = g.NumNodes();
+
+  std::vector<DynamicBitset> sim(nq, DynamicBitset(n));
+  for (NodeId u = 0; u < nq; ++u) {
+    const bool needs_children = !q.IsSink(u);
+    const bool needs_parents = !q.Parents(u).empty();
+    for (NodeId v = 0; v < n; ++v) {
+      if (g.LabelOf(v) != q.LabelOf(u)) continue;
+      if (needs_children && g.OutDegree(v) == 0) continue;
+      if (needs_parents && g.InDegree(v) == 0) continue;
+      sim[u].Set(v);
+    }
+  }
+
+  // Support counters in both directions.
+  std::vector<std::vector<uint32_t>> count_out(nq,
+                                               std::vector<uint32_t>(n, 0));
+  std::vector<std::vector<uint32_t>> count_in(nq, std::vector<uint32_t>(n, 0));
+  for (NodeId v = 0; v < n; ++v) {
+    for (NodeId w : g.OutNeighbors(v)) {
+      for (NodeId u = 0; u < nq; ++u) {
+        if (sim[u].Test(w)) ++count_out[u][v];
+        if (sim[u].Test(v)) ++count_in[u][w];
+      }
+    }
+  }
+
+  std::vector<std::pair<NodeId, NodeId>> worklist;
+  auto remove = [&](NodeId u, NodeId v) {
+    if (sim[u].Test(v)) {
+      sim[u].Reset(v);
+      worklist.emplace_back(u, v);
+    }
+  };
+  for (NodeId u = 0; u < nq; ++u) {
+    std::vector<NodeId> doomed;
+    sim[u].ForEachSet([&](size_t vi) {
+      NodeId v = static_cast<NodeId>(vi);
+      for (NodeId uc : q.Children(u)) {
+        if (count_out[uc][v] == 0) {
+          doomed.push_back(v);
+          return;
+        }
+      }
+      for (NodeId up : q.Parents(u)) {
+        if (count_in[up][v] == 0) {
+          doomed.push_back(v);
+          return;
+        }
+      }
+    });
+    for (NodeId v : doomed) remove(u, v);
+  }
+
+  size_t head = 0;
+  while (head < worklist.size()) {
+    auto [u, v] = worklist[head++];
+    // Predecessors of v lose forward support for u.
+    for (NodeId p : g.InNeighbors(v)) {
+      if (--count_out[u][p] == 0) {
+        for (NodeId up : q.Parents(u)) remove(up, p);
+      }
+    }
+    // Successors of v lose backward support for u.
+    for (NodeId s : g.OutNeighbors(v)) {
+      if (--count_in[u][s] == 0) {
+        for (NodeId uc : q.Children(u)) remove(uc, s);
+      }
+    }
+  }
+
+  return SimulationResult(std::move(sim), n);
+}
+
+std::vector<NodeId> UndirectedBall(const Graph& g, NodeId center,
+                                   uint32_t radius) {
+  std::unordered_map<NodeId, uint32_t> dist;
+  std::vector<NodeId> queue = {center};
+  dist[center] = 0;
+  for (size_t head = 0; head < queue.size(); ++head) {
+    NodeId v = queue[head];
+    if (dist[v] == radius) continue;
+    auto visit = [&](NodeId w) {
+      if (!dist.count(w)) {
+        dist[w] = dist[v] + 1;
+        queue.push_back(w);
+      }
+    };
+    for (NodeId w : g.OutNeighbors(v)) visit(w);
+    for (NodeId w : g.InNeighbors(v)) visit(w);
+  }
+  std::sort(queue.begin(), queue.end());
+  return queue;
+}
+
+SimulationResult ComputeStrongSimulation(const Pattern& q, const Graph& g) {
+  const size_t nq = q.NumNodes();
+  const size_t n = g.NumNodes();
+  const uint32_t radius = UndirectedDiameter(q);
+
+  std::vector<DynamicBitset> result(nq, DynamicBitset(n));
+  for (NodeId center = 0; center < n; ++center) {
+    // Candidate centers must carry a query label.
+    bool candidate = false;
+    for (NodeId u = 0; u < nq && !candidate; ++u) {
+      candidate = q.LabelOf(u) == g.LabelOf(center);
+    }
+    if (!candidate) continue;
+
+    std::vector<NodeId> ball = UndirectedBall(g, center, radius);
+    // Induced subgraph over the ball.
+    GraphBuilder builder;
+    std::unordered_map<NodeId, NodeId> to_local;
+    for (NodeId v : ball) to_local.emplace(v, builder.AddNode(g.LabelOf(v)));
+    for (NodeId v : ball) {
+      for (NodeId w : g.OutNeighbors(v)) {
+        auto it = to_local.find(w);
+        if (it != to_local.end()) builder.AddEdge(to_local[v], it->second);
+      }
+    }
+    Graph ball_graph = std::move(builder).Build();
+
+    SimulationResult dual = ComputeDualSimulation(q, ball_graph);
+    if (!dual.GraphMatches()) continue;
+    // The ball contributes only if its center is matched by some query node.
+    NodeId center_local = to_local.at(center);
+    bool center_matched = false;
+    for (NodeId u = 0; u < nq && !center_matched; ++u) {
+      center_matched = dual.FixpointSet(u).Test(center_local);
+    }
+    if (!center_matched) continue;
+    for (NodeId u = 0; u < nq; ++u) {
+      dual.FixpointSet(u).ForEachSet(
+          [&](size_t lv) { result[u].Set(ball[lv]); });
+    }
+  }
+  return SimulationResult(std::move(result), n);
+}
+
+}  // namespace dgs

@@ -1,0 +1,45 @@
+// Dual and strong simulation (Ma et al. [24], discussed in Sections 1, 2.1
+// and 7 of the paper).
+//
+// Graph simulation only constrains successors, which is why it has no data
+// locality (Example 3). Two stricter notions from the literature:
+//
+//   - DUAL simulation additionally constrains predecessors: (u, v) requires
+//     a match of every query parent among v's parents.
+//   - STRONG simulation evaluates dual simulation inside the ball
+//     B(w, d_Q) around each candidate center w (d_Q = the pattern's
+//     diameter over its undirected skeleton); it has data locality, at the
+//     price of missing matches that plain simulation finds — e.g. yb2 in
+//     the paper's Fig. 1 example.
+//
+// These are centralized reference implementations used to reproduce the
+// paper's comparisons (locality of strong simulation; simulation finding
+// more potential matches) and flagged as future work in Section 7.
+
+#ifndef DGS_SIMULATION_STRONG_H_
+#define DGS_SIMULATION_STRONG_H_
+
+#include "simulation/simulation.h"
+
+namespace dgs {
+
+// Maximum dual simulation of q in g: like ComputeSimulation, with the
+// symmetric parent condition added. The result relation is a subset of the
+// plain simulation relation.
+SimulationResult ComputeDualSimulation(const Pattern& q, const Graph& g);
+
+// Strong simulation: the union over all candidate centers w of the maximum
+// dual simulation of q inside the ball of undirected radius d_Q around w
+// (kept only when w itself appears in the ball's match). Returns the union
+// relation in the same SimulationResult shape; a subset of dual simulation.
+SimulationResult ComputeStrongSimulation(const Pattern& q, const Graph& g);
+
+// Undirected ball of radius `radius` around `center`: the sorted node set
+// within that many hops ignoring edge direction. Exposed for tests and for
+// the locality demonstrations.
+std::vector<NodeId> UndirectedBall(const Graph& g, NodeId center,
+                                   uint32_t radius);
+
+}  // namespace dgs
+
+#endif  // DGS_SIMULATION_STRONG_H_

@@ -1,0 +1,58 @@
+#include "util/bitset.h"
+
+namespace dgs {
+
+size_t DynamicBitset::Count() const {
+  size_t total = 0;
+  for (uint64_t w : words_) total += static_cast<size_t>(__builtin_popcountll(w));
+  return total;
+}
+
+bool DynamicBitset::Any() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return true;
+  }
+  return false;
+}
+
+void DynamicBitset::SetAll() {
+  for (uint64_t& w : words_) w = ~uint64_t{0};
+  ClearPadding();
+}
+
+void DynamicBitset::ResetAll() {
+  for (uint64_t& w : words_) w = 0;
+}
+
+void DynamicBitset::AndWith(const DynamicBitset& other) {
+  DGS_CHECK(size_ == other.size_, "bitset size mismatch");
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+}
+
+void DynamicBitset::OrWith(const DynamicBitset& other) {
+  DGS_CHECK(size_ == other.size_, "bitset size mismatch");
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+bool DynamicBitset::Intersects(const DynamicBitset& other) const {
+  DGS_CHECK(size_ == other.size_, "bitset size mismatch");
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if ((words_[i] & other.words_[i]) != 0) return true;
+  }
+  return false;
+}
+
+std::vector<uint32_t> DynamicBitset::ToVector() const {
+  std::vector<uint32_t> out;
+  out.reserve(Count());
+  ForEachSet([&out](size_t i) { out.push_back(static_cast<uint32_t>(i)); });
+  return out;
+}
+
+void DynamicBitset::ClearPadding() {
+  if (size_ % 64 != 0 && !words_.empty()) {
+    words_.back() &= (uint64_t{1} << (size_ % 64)) - 1;
+  }
+}
+
+}  // namespace dgs

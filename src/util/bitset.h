@@ -1,0 +1,97 @@
+// Dynamic fixed-capacity bitset used for simulation match sets.
+//
+// std::vector<bool> lacks word-level operations (popcount, bulk and/or) that
+// the simulation kernels rely on, hence this small purpose-built container.
+
+#ifndef DGS_UTIL_BITSET_H_
+#define DGS_UTIL_BITSET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace dgs {
+
+// A bitset whose size is fixed at construction time.
+class DynamicBitset {
+ public:
+  DynamicBitset() : size_(0) {}
+  explicit DynamicBitset(size_t size, bool value = false)
+      : size_(size),
+        words_((size + 63) / 64, value ? ~uint64_t{0} : uint64_t{0}) {
+    ClearPadding();
+  }
+
+  size_t size() const { return size_; }
+
+  bool Test(size_t i) const {
+    DGS_DCHECK(i < size_, "bit index out of range");
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  void Set(size_t i) {
+    DGS_DCHECK(i < size_, "bit index out of range");
+    words_[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+
+  void Reset(size_t i) {
+    DGS_DCHECK(i < size_, "bit index out of range");
+    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+
+  void Assign(size_t i, bool value) {
+    if (value) {
+      Set(i);
+    } else {
+      Reset(i);
+    }
+  }
+
+  // Number of set bits.
+  size_t Count() const;
+
+  bool Any() const;
+  bool None() const { return !Any(); }
+
+  void SetAll();
+  void ResetAll();
+
+  // this &= other / this |= other. Sizes must match.
+  void AndWith(const DynamicBitset& other);
+  void OrWith(const DynamicBitset& other);
+
+  // Returns true if this and other share at least one set bit.
+  bool Intersects(const DynamicBitset& other) const;
+
+  // Calls fn(index) for every set bit in ascending order.
+  template <typename Fn>
+  void ForEachSet(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t bits = words_[w];
+      while (bits != 0) {
+        unsigned tz = static_cast<unsigned>(__builtin_ctzll(bits));
+        fn(w * 64 + tz);
+        bits &= bits - 1;
+      }
+    }
+  }
+
+  // Collects the indices of set bits.
+  std::vector<uint32_t> ToVector() const;
+
+  friend bool operator==(const DynamicBitset& a, const DynamicBitset& b) {
+    return a.size_ == b.size_ && a.words_ == b.words_;
+  }
+
+ private:
+  // Bits beyond size_ in the last word must stay zero so Count/Any are exact.
+  void ClearPadding();
+
+  size_t size_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace dgs
+
+#endif  // DGS_UTIL_BITSET_H_

@@ -1,0 +1,34 @@
+// Lightweight assertion macros.
+//
+// The library does not use exceptions (see DESIGN.md); programming errors
+// abort with a diagnostic, while recoverable errors are reported through
+// util::Status.
+
+#ifndef DGS_UTIL_CHECK_H_
+#define DGS_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Aborts the process with a source location and message when `cond` is false.
+// Use for invariants that indicate a bug in the caller or in the library, not
+// for data-dependent failures.
+#define DGS_CHECK(cond, msg)                                                 \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "DGS_CHECK failed at %s:%d: %s\n  %s\n",          \
+                   __FILE__, __LINE__, #cond, msg);                          \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+// Debug-only variant; compiled out in release builds.
+#ifdef NDEBUG
+#define DGS_DCHECK(cond, msg) \
+  do {                        \
+  } while (0)
+#else
+#define DGS_DCHECK(cond, msg) DGS_CHECK(cond, msg)
+#endif
+
+#endif  // DGS_UTIL_CHECK_H_

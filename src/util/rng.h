@@ -1,0 +1,106 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components of the library (generators, partitioners) take an
+// explicit Rng so that experiments and tests are reproducible bit-for-bit
+// from a seed. The engine is xoshiro256**, seeded via splitmix64.
+
+#ifndef DGS_UTIL_RNG_H_
+#define DGS_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace dgs {
+
+// Small, fast, deterministic PRNG. Not cryptographically secure.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // splitmix64 expansion of the seed into the xoshiro state.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  // Next raw 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform integer in [0, bound). bound must be positive.
+  uint64_t UniformInt(uint64_t bound) {
+    DGS_CHECK(bound > 0, "UniformInt bound must be positive");
+    // Multiply-shift rejection-free mapping (slight modulo bias is acceptable
+    // for workload generation; determinism is what matters here).
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  uint64_t UniformInRange(uint64_t lo, uint64_t hi) {
+    DGS_CHECK(lo <= hi, "UniformInRange requires lo <= hi");
+    return lo + UniformInt(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // Returns true with probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  // Zipf-like skewed integer in [0, bound): P(k) proportional to
+  // 1/(k+1)^theta, sampled by inversion over an approximate CDF. Used for
+  // web-graph-style degree skew.
+  uint64_t Skewed(uint64_t bound, double theta);
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(i));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+inline uint64_t Rng::Skewed(uint64_t bound, double theta) {
+  DGS_CHECK(bound > 0, "Skewed bound must be positive");
+  // Inverse-power transform: u^(1/(1-theta)) concentrates mass near zero for
+  // theta in (0, 1); clamp theta away from 1 for numerical stability.
+  if (theta <= 0.0) return UniformInt(bound);
+  if (theta > 0.99) theta = 0.99;
+  double u = UniformDouble();
+  double scaled = std::pow(u, 1.0 / (1.0 - theta));
+  uint64_t k = static_cast<uint64_t>(scaled * static_cast<double>(bound));
+  if (k >= bound) k = bound - 1;
+  return k;
+}
+
+}  // namespace dgs
+
+#endif  // DGS_UTIL_RNG_H_

@@ -1,0 +1,103 @@
+// Error propagation without exceptions: Status and StatusOr<T>.
+//
+// Fallible public APIs (parsing, validated construction) return Status or
+// StatusOr<T>. Infallible internal invariants use DGS_CHECK instead.
+
+#ifndef DGS_UTIL_STATUS_H_
+#define DGS_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace dgs {
+
+// Error categories. Kept small on purpose; the message carries the detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kOutOfRange,
+  kInternal,
+};
+
+// Value-semantic error carrier. An OK status has an empty message.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable one-line rendering, e.g. "InvalidArgument: bad node id".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Either a value of T or an error Status. Access to value() requires ok().
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit so functions can `return Status::...` or `return
+  // value;` directly, mirroring absl::StatusOr ergonomics.
+  StatusOr(Status status) : status_(std::move(status)) {
+    DGS_CHECK(!status_.ok(), "StatusOr constructed from OK status");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    DGS_CHECK(ok(), status_.message().c_str());
+    return *value_;
+  }
+  T& value() & {
+    DGS_CHECK(ok(), status_.message().c_str());
+    return *value_;
+  }
+  T&& value() && {
+    DGS_CHECK(ok(), status_.message().c_str());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace dgs
+
+#endif  // DGS_UTIL_STATUS_H_

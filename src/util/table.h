@@ -1,0 +1,40 @@
+// Plain-text table rendering for the benchmark harness.
+//
+// Every experiment binary prints the series of the figure it reproduces as
+// an aligned table (one row per x-axis value, one column per algorithm),
+// matching the layout described in EXPERIMENTS.md.
+
+#ifndef DGS_UTIL_TABLE_H_
+#define DGS_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dgs {
+
+// Collects rows of string cells and prints them with aligned columns.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Appends a row; must have the same arity as the headers.
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders the table to `os` with a header rule.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with fixed precision (default 3 digits).
+std::string FormatDouble(double value, int digits = 3);
+
+// Formats a byte count as a human-friendly string (e.g. "1.25 KB").
+std::string FormatBytes(uint64_t bytes);
+
+}  // namespace dgs
+
+#endif  // DGS_UTIL_TABLE_H_

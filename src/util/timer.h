@@ -1,0 +1,31 @@
+// Monotonic wall-clock timer for response-time accounting.
+
+#ifndef DGS_UTIL_TIMER_H_
+#define DGS_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace dgs {
+
+// Measures elapsed wall time from construction or the last Restart().
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  // Elapsed seconds since start.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace dgs
+
+#endif  // DGS_UTIL_TIMER_H_

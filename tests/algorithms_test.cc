@@ -1,0 +1,139 @@
+#include "graph/algorithms.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace dgs {
+namespace {
+
+TEST(SccTest, DagHasSingletonComponents) {
+  Graph g = MakeGraph({0, 0, 0}, {{0, 1}, {1, 2}});
+  uint32_t n = 0;
+  auto comp = StronglyConnectedComponents(g, &n);
+  EXPECT_EQ(n, 3u);
+  EXPECT_NE(comp[0], comp[1]);
+  EXPECT_NE(comp[1], comp[2]);
+}
+
+TEST(SccTest, CycleIsOneComponent) {
+  Graph g = MakeGraph({0, 0, 0}, {{0, 1}, {1, 2}, {2, 0}});
+  uint32_t n = 0;
+  auto comp = StronglyConnectedComponents(g, &n);
+  EXPECT_EQ(n, 1u);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+}
+
+TEST(SccTest, ComponentIdsReverseTopological) {
+  // a -> cycle(b, c) -> d: for an edge across components, comp[src] >
+  // comp[dst].
+  Graph g = MakeGraph({0, 0, 0, 0}, {{0, 1}, {1, 2}, {2, 1}, {2, 3}});
+  uint32_t n = 0;
+  auto comp = StronglyConnectedComponents(g, &n);
+  EXPECT_EQ(n, 3u);
+  EXPECT_GT(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_GT(comp[1], comp[3]);
+}
+
+TEST(SccTest, TwoInterleavedCycles) {
+  Graph g = MakeGraph({0, 0, 0, 0},
+                      {{0, 1}, {1, 0}, {2, 3}, {3, 2}, {1, 2}});
+  uint32_t n = 0;
+  auto comp = StronglyConnectedComponents(g, &n);
+  EXPECT_EQ(n, 2u);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_NE(comp[0], comp[2]);
+}
+
+TEST(SccTest, DeepChainDoesNotOverflowStack) {
+  // 200k-node chain: iterative Tarjan must handle it.
+  const size_t n = 200000;
+  GraphBuilder b;
+  for (size_t i = 0; i < n; ++i) b.AddNode(0);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    b.AddEdge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1));
+  }
+  Graph g = std::move(b).Build();
+  uint32_t num = 0;
+  StronglyConnectedComponents(g, &num);
+  EXPECT_EQ(num, n);
+}
+
+TEST(AcyclicTest, DetectsSelfLoop) {
+  EXPECT_FALSE(IsAcyclic(MakeGraph({0}, {{0, 0}})));
+}
+
+TEST(AcyclicTest, DagIsAcyclic) {
+  EXPECT_TRUE(IsAcyclic(MakeGraph({0, 0, 0}, {{0, 1}, {0, 2}, {1, 2}})));
+}
+
+TEST(AcyclicTest, CycleIsNotAcyclic) {
+  EXPECT_FALSE(IsAcyclic(MakeGraph({0, 0}, {{0, 1}, {1, 0}})));
+}
+
+TEST(TopoTest, OrderRespectsEdges) {
+  Graph g = MakeGraph({0, 0, 0, 0}, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  auto order = TopologicalOrder(g);
+  ASSERT_TRUE(order.has_value());
+  std::vector<size_t> pos(4);
+  for (size_t i = 0; i < order->size(); ++i) pos[(*order)[i]] = i;
+  for (auto [from, to] : g.Edges()) EXPECT_LT(pos[from], pos[to]);
+}
+
+TEST(TopoTest, CycleHasNoOrder) {
+  EXPECT_FALSE(TopologicalOrder(MakeGraph({0, 0}, {{0, 1}, {1, 0}})));
+}
+
+TEST(BfsTest, Distances) {
+  Graph g = MakeGraph({0, 0, 0, 0}, {{0, 1}, {1, 2}, {0, 2}});
+  auto dist = BfsDistances(g, 0);
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], 1u);
+  EXPECT_EQ(dist[3], kUnreachable);
+}
+
+TEST(DiameterTest, ChainAndCycle) {
+  EXPECT_EQ(Diameter(MakeGraph({0, 0, 0}, {{0, 1}, {1, 2}})), 2u);
+  // Directed 3-cycle: longest shortest path is 2.
+  EXPECT_EQ(Diameter(MakeGraph({0, 0, 0}, {{0, 1}, {1, 2}, {2, 0}})), 2u);
+}
+
+TEST(RankTest, ChainRanks) {
+  Graph g = MakeGraph({0, 0, 0}, {{0, 1}, {1, 2}});
+  auto ranks = TopologicalRanks(g);
+  EXPECT_EQ(ranks, (std::vector<uint32_t>{2, 1, 0}));
+}
+
+TEST(RankTest, DiamondTakesMaxChild) {
+  // 0 -> {1, 2}, 1 -> 3, so r(0) = 2 even though 0 -> 2 with r(2) = 0.
+  Graph g = MakeGraph({0, 0, 0, 0}, {{0, 1}, {0, 2}, {1, 3}});
+  auto ranks = TopologicalRanks(g);
+  EXPECT_EQ(ranks[3], 0u);
+  EXPECT_EQ(ranks[2], 0u);
+  EXPECT_EQ(ranks[1], 1u);
+  EXPECT_EQ(ranks[0], 2u);
+}
+
+TEST(ConnectivityTest, WeaklyConnected) {
+  EXPECT_TRUE(IsWeaklyConnected(MakeGraph({0, 0}, {{0, 1}})));
+  EXPECT_TRUE(IsWeaklyConnected(MakeGraph({0, 0}, {{1, 0}})));
+  EXPECT_FALSE(IsWeaklyConnected(MakeGraph({0, 0}, {})));
+  EXPECT_TRUE(IsWeaklyConnected(Graph()));
+}
+
+TEST(ForestTest, DownwardForest) {
+  EXPECT_TRUE(IsDownwardForest(MakeGraph({0, 0, 0}, {{0, 1}, {0, 2}})));
+  // In-degree 2 is not a forest.
+  EXPECT_FALSE(IsDownwardForest(MakeGraph({0, 0, 0}, {{0, 2}, {1, 2}})));
+  // A cycle is not a forest.
+  EXPECT_FALSE(IsDownwardForest(MakeGraph({0, 0}, {{0, 1}, {1, 0}})));
+  // Two disjoint trees are a forest.
+  EXPECT_TRUE(IsDownwardForest(MakeGraph({0, 0, 0, 0}, {{0, 1}, {2, 3}})));
+}
+
+}  // namespace
+}  // namespace dgs

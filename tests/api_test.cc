@@ -1,0 +1,141 @@
+#include "core/api.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "partition/partitioner.h"
+#include "simulation/simulation.h"
+
+namespace dgs {
+namespace {
+
+TEST(ApiTest, AlgorithmNames) {
+  EXPECT_STREQ(AlgorithmName(Algorithm::kDgpm), "dGPM");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kDgpmNoOpt), "dGPMNOpt");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kDgpmDag), "dGPMd");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kDgpmTree), "dGPMt");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kMatch), "Match");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kDisHhk), "disHHK");
+  EXPECT_STREQ(AlgorithmName(Algorithm::kDMes), "dMes");
+}
+
+TEST(ApiTest, ValidatesAssignment) {
+  auto ex = MakeSocialExample();
+  DistOptions options;
+  EXPECT_FALSE(DistributedMatch(ex.g, {0, 1}, 2, ex.q, options).ok());
+  std::vector<uint32_t> bad(13, 9);
+  EXPECT_FALSE(DistributedMatch(ex.g, bad, 3, ex.q, options).ok());
+}
+
+TEST(ApiTest, ValidatesPattern) {
+  auto ex = MakeSocialExample();
+  Pattern empty;
+  auto r = DistributedMatch(ex.g, ex.assignment, 3, empty, DistOptions{});
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ApiTest, DagRequiresDagSomewhere) {
+  auto ex = MakeSocialExample();  // cyclic G
+  DistOptions options;
+  options.algorithm = Algorithm::kDgpmDag;
+  // Cyclic Q + cyclic G: rejected.
+  auto r = DistributedMatch(ex.g, ex.assignment, 3, ex.q, options);
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+  // DAG Q on cyclic G: fine.
+  Pattern dag_q(MakeGraph({SocialExample::kYB, SocialExample::kYF}, {{0, 1}}));
+  auto ok = DistributedMatch(ex.g, ex.assignment, 3, dag_q, options);
+  EXPECT_TRUE(ok.ok());
+}
+
+TEST(ApiTest, TreeRequiresTree) {
+  auto ex = MakeSocialExample();
+  DistOptions options;
+  options.algorithm = Algorithm::kDgpmTree;
+  auto r = DistributedMatch(ex.g, ex.assignment, 3, ex.q, options);
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ApiTest, AllAlgorithmsAgreeOnSocialExample) {
+  auto ex = MakeSocialExample();
+  auto expected = ComputeSimulation(ex.q, ex.g);
+  for (Algorithm algorithm :
+       {Algorithm::kDgpm, Algorithm::kDgpmNoOpt, Algorithm::kMatch,
+        Algorithm::kDisHhk, Algorithm::kDMes}) {
+    DistOptions options;
+    options.algorithm = algorithm;
+    auto outcome = DistributedMatch(ex.g, ex.assignment, 3, ex.q, options);
+    ASSERT_TRUE(outcome.ok()) << AlgorithmName(algorithm);
+    EXPECT_TRUE(outcome->result == expected) << AlgorithmName(algorithm);
+  }
+}
+
+TEST(ApiTest, AutoDispatchesByStructure) {
+  Rng rng(77);
+  DistOptions options;
+  options.algorithm = Algorithm::kAuto;
+
+  // Tree data -> dGPMt path (two coordinator rounds, equation units > 0).
+  Graph tree = RandomTree(200, 3, rng);
+  auto tree_part = TreePartition(tree, 4);
+  ASSERT_TRUE(tree_part.ok());
+  Pattern chain(MakeGraph({0, 1}, {{0, 1}}));
+  auto t = DistributedMatch(tree, *tree_part, 4, chain, options);
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->result == ComputeSimulation(chain, tree));
+  EXPECT_GT(t->counters.equation_units, 0u);  // dGPMt fingerprint
+
+  // Cyclic G with a DAG query -> dGPMd path.
+  auto ex = MakeDagExample();
+  auto d = DistributedMatch(ex.g, ex.assignment, 5, ex.q, options);
+  ASSERT_TRUE(d.ok());
+  EXPECT_FALSE(d->result.GraphMatches());
+
+  // Cyclic G, cyclic Q -> dGPM path (kAuto never fails a precondition).
+  auto social = MakeSocialExample();
+  auto s = DistributedMatch(social.g, social.assignment, 3, social.q, options);
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->result == ComputeSimulation(social.q, social.g));
+}
+
+TEST(ApiTest, ReusableFragmentationOverload) {
+  auto ex = MakeSocialExample();
+  auto frag = Fragmentation::Create(ex.g, ex.assignment, 3);
+  ASSERT_TRUE(frag.ok());
+  DistOptions options;
+  auto a = DistributedMatch(ex.g, *frag, ex.q, options);
+  auto b = DistributedMatch(ex.g, ex.assignment, 3, ex.q, options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->result == b->result);
+}
+
+TEST(ApiTest, MetricsArePopulated) {
+  auto gadget = MakeLocalityGadget(5, /*broken=*/true);
+  DistOptions options;
+  options.enable_push = false;
+  auto outcome = DistributedMatch(gadget.g, gadget.assignment, 5, gadget.q,
+                                  options);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_GT(outcome->data_shipment_bytes(), 0u);
+  EXPECT_GT(outcome->response_seconds(), 0.0);
+  EXPECT_GT(outcome->stats.rounds, 0u);
+  EXPECT_GT(outcome->counters.vars_shipped, 0u);
+}
+
+TEST(ApiTest, NetworkModelInflatesResponseTime) {
+  auto gadget = MakeLocalityGadget(5, /*broken=*/true);
+  DistOptions plain;
+  plain.enable_push = false;
+  DistOptions slow = plain;
+  slow.network.latency_per_round_seconds = 0.01;
+  auto fast = DistributedMatch(gadget.g, gadget.assignment, 5, gadget.q, plain);
+  auto lagged =
+      DistributedMatch(gadget.g, gadget.assignment, 5, gadget.q, slow);
+  ASSERT_TRUE(fast.ok());
+  ASSERT_TRUE(lagged.ok());
+  EXPECT_GT(lagged->response_seconds(), fast->response_seconds());
+  EXPECT_TRUE(fast->result == lagged->result);
+}
+
+}  // namespace
+}  // namespace dgs

@@ -1,0 +1,133 @@
+#include "core/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "partition/partitioner.h"
+#include "simulation/simulation.h"
+
+namespace dgs {
+namespace {
+
+Fragmentation MustFragment(const Graph& g,
+                           const std::vector<uint32_t>& assignment,
+                           uint32_t n) {
+  auto f = Fragmentation::Create(g, assignment, n);
+  DGS_CHECK(f.ok(), "fragmentation failed");
+  return std::move(f).value();
+}
+
+TEST(MatchTest, SocialExample) {
+  auto ex = MakeSocialExample();
+  auto frag = MustFragment(ex.g, ex.assignment, 3);
+  auto outcome = RunMatch(frag, ex.q, BaselineConfig{});
+  EXPECT_TRUE(outcome.result == ComputeSimulation(ex.q, ex.g));
+}
+
+TEST(MatchTest, ShipsTheWholeGraph) {
+  Rng rng(121);
+  Graph g = RandomGraph(1000, 4000, 6, rng);
+  auto frag = MustFragment(g, RandomPartition(g, 4, rng), 4);
+  PatternSpec spec;
+  spec.kind = PatternKind::kCyclic;
+  auto q = ExtractPattern(g, spec, rng);
+  ASSERT_TRUE(q.ok());
+  auto outcome = RunMatch(frag, *q, BaselineConfig{});
+  // Every node ships 8 bytes and every edge 8 bytes, plus headers.
+  uint64_t floor = 8ull * (g.NumNodes() + g.NumEdges());
+  EXPECT_GE(outcome.stats.data_bytes, floor);
+  EXPECT_TRUE(outcome.result == ComputeSimulation(*q, g));
+}
+
+TEST(DisHhkTest, SocialExample) {
+  auto ex = MakeSocialExample();
+  auto frag = MustFragment(ex.g, ex.assignment, 3);
+  auto outcome = RunDisHhk(frag, ex.q, BaselineConfig{});
+  EXPECT_TRUE(outcome.result == ComputeSimulation(ex.q, ex.g));
+}
+
+TEST(DisHhkTest, ShipsOnlyCandidateSubgraph) {
+  // Use a graph where most labels are irrelevant to the query: disHHK must
+  // ship less than Match.
+  Rng rng(123);
+  Graph g = RandomGraph(2000, 8000, 15, rng);
+  auto assignment = RandomPartition(g, 4, rng);
+  auto frag = MustFragment(g, assignment, 4);
+  PatternSpec spec;
+  spec.num_nodes = 3;
+  spec.num_edges = 4;
+  spec.kind = PatternKind::kCyclic;
+  auto q = ExtractPattern(g, spec, rng);
+  ASSERT_TRUE(q.ok());
+  auto dishhk = RunDisHhk(frag, *q, BaselineConfig{});
+  auto match = RunMatch(frag, *q, BaselineConfig{});
+  EXPECT_LT(dishhk.stats.data_bytes, match.stats.data_bytes);
+  EXPECT_TRUE(dishhk.result == match.result);
+}
+
+TEST(DisHhkTest, CorrectOnManyRandomInputs) {
+  Rng rng(125);
+  for (int trial = 0; trial < 8; ++trial) {
+    Graph g = RandomGraph(300, 1200, 4, rng);
+    auto frag = MustFragment(g, RandomPartition(g, 5, rng), 5);
+    PatternSpec spec;
+    spec.num_nodes = 4;
+    spec.num_edges = 6;
+    spec.kind = (trial % 2 == 0) ? PatternKind::kAny : PatternKind::kCyclic;
+    Pattern q = SynthesizePattern(spec, 4, rng);
+    auto outcome = RunDisHhk(frag, q, BaselineConfig{});
+    EXPECT_TRUE(outcome.result == ComputeSimulation(q, g)) << trial;
+  }
+}
+
+TEST(DMesTest, SocialExample) {
+  auto ex = MakeSocialExample();
+  auto frag = MustFragment(ex.g, ex.assignment, 3);
+  auto outcome = RunDMes(frag, ex.q, BaselineConfig{});
+  EXPECT_TRUE(outcome.result == ComputeSimulation(ex.q, ex.g));
+  EXPECT_GE(outcome.counters.supersteps, 1u);
+}
+
+TEST(DMesTest, BrokenGadgetNeedsManySupersteps) {
+  // Refutation crawls around the cut cycle one hop per superstep.
+  auto gadget = MakeLocalityGadget(8, /*broken=*/true);
+  auto frag = MustFragment(gadget.g, gadget.assignment, 8);
+  auto outcome = RunDMes(frag, gadget.q, BaselineConfig{});
+  EXPECT_FALSE(outcome.result.GraphMatches());
+  EXPECT_GE(outcome.counters.supersteps, 8u);
+}
+
+TEST(DMesTest, ShipsMoreThanDgpm) {
+  // The vertex-centric model re-requests boundary values every superstep;
+  // its data shipment must exceed dGPM's by a wide margin.
+  auto gadget = MakeLocalityGadget(10, /*broken=*/true);
+  auto frag = MustFragment(gadget.g, gadget.assignment, 10);
+  auto dmes = RunDMes(frag, gadget.q, BaselineConfig{});
+  DgpmConfig plain;
+  plain.enable_push = false;
+  auto dgpm = RunDgpm(frag, gadget.q, plain);
+  EXPECT_TRUE(dmes.result == dgpm.result);
+  EXPECT_GT(dmes.stats.data_bytes, 4 * dgpm.stats.data_bytes);
+}
+
+TEST(DMesTest, ConvergesWhenNothingToRefute) {
+  auto gadget = MakeLocalityGadget(5);  // intact: everything matches
+  auto frag = MustFragment(gadget.g, gadget.assignment, 5);
+  auto outcome = RunDMes(frag, gadget.q, BaselineConfig{});
+  EXPECT_TRUE(outcome.result.GraphMatches());
+  // One productive superstep (initial exchange) plus the quiet one.
+  EXPECT_LE(outcome.counters.supersteps, 3u);
+}
+
+TEST(BaselinesTest, BooleanModeAllAgree) {
+  auto ex = MakeSocialExample();
+  auto frag = MustFragment(ex.g, ex.assignment, 3);
+  BaselineConfig boolean;
+  boolean.boolean_only = true;
+  EXPECT_TRUE(RunMatch(frag, ex.q, boolean).result.GraphMatches());
+  EXPECT_TRUE(RunDisHhk(frag, ex.q, boolean).result.GraphMatches());
+  EXPECT_TRUE(RunDMes(frag, ex.q, boolean).result.GraphMatches());
+}
+
+}  // namespace
+}  // namespace dgs

@@ -1,0 +1,111 @@
+#include "util/bitset.h"
+
+#include <gtest/gtest.h>
+
+namespace dgs {
+namespace {
+
+TEST(BitsetTest, StartsEmpty) {
+  DynamicBitset b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_TRUE(b.None());
+  EXPECT_FALSE(b.Any());
+}
+
+TEST(BitsetTest, SetResetTest) {
+  DynamicBitset b(70);
+  b.Set(0);
+  b.Set(63);
+  b.Set(64);
+  b.Set(69);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(63));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(69));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_EQ(b.Count(), 4u);
+  b.Reset(63);
+  EXPECT_FALSE(b.Test(63));
+  EXPECT_EQ(b.Count(), 3u);
+}
+
+TEST(BitsetTest, AssignDispatches) {
+  DynamicBitset b(10);
+  b.Assign(3, true);
+  EXPECT_TRUE(b.Test(3));
+  b.Assign(3, false);
+  EXPECT_FALSE(b.Test(3));
+}
+
+TEST(BitsetTest, ConstructAllSetRespectsPadding) {
+  DynamicBitset b(70, true);
+  EXPECT_EQ(b.Count(), 70u);
+  b.SetAll();
+  EXPECT_EQ(b.Count(), 70u);  // padding bits must not leak into Count
+}
+
+TEST(BitsetTest, SetAllResetAll) {
+  DynamicBitset b(129);
+  b.SetAll();
+  EXPECT_EQ(b.Count(), 129u);
+  b.ResetAll();
+  EXPECT_EQ(b.Count(), 0u);
+}
+
+TEST(BitsetTest, AndOrWith) {
+  DynamicBitset a(65), b(65);
+  a.Set(1);
+  a.Set(64);
+  b.Set(64);
+  b.Set(2);
+  DynamicBitset a_and = a;
+  a_and.AndWith(b);
+  EXPECT_EQ(a_and.Count(), 1u);
+  EXPECT_TRUE(a_and.Test(64));
+  DynamicBitset a_or = a;
+  a_or.OrWith(b);
+  EXPECT_EQ(a_or.Count(), 3u);
+}
+
+TEST(BitsetTest, Intersects) {
+  DynamicBitset a(100), b(100);
+  a.Set(50);
+  b.Set(51);
+  EXPECT_FALSE(a.Intersects(b));
+  b.Set(50);
+  EXPECT_TRUE(a.Intersects(b));
+}
+
+TEST(BitsetTest, ForEachSetAscending) {
+  DynamicBitset b(200);
+  b.Set(199);
+  b.Set(0);
+  b.Set(64);
+  std::vector<size_t> seen;
+  b.ForEachSet([&](size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<size_t>{0, 64, 199}));
+  EXPECT_EQ(b.ToVector(), (std::vector<uint32_t>{0, 64, 199}));
+}
+
+TEST(BitsetTest, EqualityIsValueBased) {
+  DynamicBitset a(40), b(40);
+  a.Set(5);
+  EXPECT_FALSE(a == b);
+  b.Set(5);
+  EXPECT_TRUE(a == b);
+  DynamicBitset c(41);
+  c.Set(5);
+  EXPECT_FALSE(a == c);  // size participates
+}
+
+TEST(BitsetTest, EmptyBitset) {
+  DynamicBitset b(0);
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_TRUE(b.None());
+  b.SetAll();
+  EXPECT_EQ(b.Count(), 0u);
+}
+
+}  // namespace
+}  // namespace dgs

@@ -1,0 +1,333 @@
+#include "core/booleq.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace dgs {
+namespace {
+
+std::set<VarId> PropagateAll(EquationSystem& s) {
+  std::set<VarId> falses;
+  s.Propagate([&](VarId x) { falses.insert(x); });
+  return falses;
+}
+
+TEST(EquationSystemTest, EmptyGroupIsImmediatelyFalse) {
+  EquationSystem s;
+  VarId x = s.NewVar();
+  s.SetEquation(x, {{}});
+  EXPECT_EQ(PropagateAll(s), (std::set<VarId>{x}));
+  EXPECT_TRUE(s.IsFalse(x));
+}
+
+TEST(EquationSystemTest, NoEquationStaysUndecided) {
+  EquationSystem s;
+  VarId x = s.NewVar();
+  EXPECT_EQ(PropagateAll(s).size(), 0u);
+  EXPECT_FALSE(s.IsFalse(x));
+  EXPECT_FALSE(s.HasEquation(x));
+}
+
+TEST(EquationSystemTest, AndOfOrsSemantics) {
+  // x = (a | b) & (c). Killing a alone leaves x alive; killing c kills x.
+  EquationSystem s;
+  VarId a = s.NewVar(), b = s.NewVar(), c = s.NewVar(), x = s.NewVar();
+  s.SetEquation(x, {{a, b}, {c}});
+  s.AssertFalse(a);
+  PropagateAll(s);
+  EXPECT_FALSE(s.IsFalse(x));
+  s.AssertFalse(c);
+  auto falses = PropagateAll(s);
+  EXPECT_TRUE(s.IsFalse(x));
+  EXPECT_EQ(falses, (std::set<VarId>{c, x}));
+  (void)b;
+}
+
+TEST(EquationSystemTest, ChainPropagation) {
+  // x0 <- x1 <- x2 <- leaf; killing the leaf kills the whole chain.
+  EquationSystem s;
+  VarId leaf = s.NewVar();
+  VarId x2 = s.NewVar(), x1 = s.NewVar(), x0 = s.NewVar();
+  s.SetEquation(x2, {{leaf}});
+  s.SetEquation(x1, {{x2}});
+  s.SetEquation(x0, {{x1}});
+  s.AssertFalse(leaf);
+  EXPECT_EQ(PropagateAll(s).size(), 4u);
+  EXPECT_TRUE(s.IsFalse(x0));
+}
+
+TEST(EquationSystemTest, CycleSurvivesUnderGreatestFixpoint) {
+  // x = y, y = x: the greatest solution is both true (undecided).
+  EquationSystem s;
+  VarId x = s.NewVar(), y = s.NewVar();
+  s.SetEquation(x, {{y}});
+  s.SetEquation(y, {{x}});
+  EXPECT_EQ(PropagateAll(s).size(), 0u);
+  EXPECT_FALSE(s.IsFalse(x));
+  EXPECT_FALSE(s.IsFalse(y));
+}
+
+TEST(EquationSystemTest, CycleWithExternalSupportDies) {
+  // x = y | e, y = x. Killing e must NOT kill the x/y cycle (they still
+  // support each other under gfp semantics).
+  EquationSystem s;
+  VarId e = s.NewVar(), x = s.NewVar(), y = s.NewVar();
+  s.SetEquation(x, {{y, e}});
+  s.SetEquation(y, {{x}});
+  s.AssertFalse(e);
+  PropagateAll(s);
+  EXPECT_FALSE(s.IsFalse(x));
+  EXPECT_FALSE(s.IsFalse(y));
+}
+
+TEST(EquationSystemTest, BrokenCycleDies) {
+  // x = y & e, y = x. Killing e kills x, which kills y.
+  EquationSystem s;
+  VarId e = s.NewVar(), x = s.NewVar(), y = s.NewVar();
+  s.SetEquation(x, {{y}, {e}});
+  s.SetEquation(y, {{x}});
+  s.AssertFalse(e);
+  PropagateAll(s);
+  EXPECT_TRUE(s.IsFalse(x));
+  EXPECT_TRUE(s.IsFalse(y));
+}
+
+TEST(EquationSystemTest, SetEquationWithAlreadyFalseMembers) {
+  EquationSystem s;
+  VarId a = s.NewVar(), b = s.NewVar(), x = s.NewVar();
+  s.AssertFalse(a);
+  PropagateAll(s);
+  s.SetEquation(x, {{a, b}});
+  EXPECT_FALSE(s.IsFalse(x));  // b still supports
+  VarId y = s.NewVar();
+  s.SetEquation(y, {{a}});  // only dead support
+  PropagateAll(s);
+  EXPECT_TRUE(s.IsFalse(y));
+}
+
+TEST(EquationSystemTest, OnFalseFiresExactlyOnce) {
+  EquationSystem s;
+  VarId a = s.NewVar(), x = s.NewVar();
+  s.SetEquation(x, {{a}});
+  s.AssertFalse(a);
+  s.AssertFalse(a);  // duplicate assert is a no-op
+  std::map<VarId, int> fired;
+  s.Propagate([&](VarId v) { ++fired[v]; });
+  EXPECT_EQ(fired[a], 1);
+  EXPECT_EQ(fired[x], 1);
+}
+
+TEST(EquationSystemTest, CopyIsIndependent) {
+  EquationSystem s;
+  VarId a = s.NewVar(), x = s.NewVar();
+  s.SetEquation(x, {{a}});
+  EquationSystem copy = s;
+  copy.AssertFalse(a);
+  copy.Propagate([](VarId) {});
+  EXPECT_TRUE(copy.IsFalse(x));
+  EXPECT_FALSE(s.IsFalse(x));
+}
+
+// --- ReduceToFrontier ------------------------------------------------------
+
+struct ReductionFixture {
+  EquationSystem system;
+  std::vector<VarId> frontier;
+  std::vector<uint64_t> keys;
+
+  bool IsFrontier(VarId x) const {
+    for (VarId f : frontier) {
+      if (f == x) return true;
+    }
+    return false;
+  }
+
+  ReducedSystem Reduce(const std::vector<VarId>& roots) {
+    return ReduceToFrontier(
+        system, roots, [this](VarId x) { return IsFrontier(x); },
+        [this](VarId x) { return keys[x]; });
+  }
+};
+
+const ReducedEntry* FindEntry(const ReducedSystem& r, uint64_t key) {
+  for (const auto& e : r.entries) {
+    if (e.key == key) return &e;
+  }
+  return nullptr;
+}
+
+TEST(ReduceTest, FalseRootBecomesScalar) {
+  ReductionFixture f;
+  VarId root = f.system.NewVar();
+  f.system.SetEquation(root, {{}});
+  f.system.Propagate([](VarId) {});
+  f.keys = {100};
+  auto red = f.Reduce({root});
+  ASSERT_EQ(red.entries.size(), 1u);
+  EXPECT_EQ(red.entries[0].kind, ReducedEntry::kFalse);
+  EXPECT_EQ(red.entries[0].key, 100u);
+}
+
+TEST(ReduceTest, DefinitelyTrueRootBecomesScalar) {
+  // root = sink (no equation, not frontier): survives pessimistic analysis.
+  ReductionFixture f;
+  VarId root = f.system.NewVar();
+  f.keys = {100};
+  auto red = f.Reduce({root});
+  ASSERT_EQ(red.entries.size(), 1u);
+  EXPECT_EQ(red.entries[0].kind, ReducedEntry::kTrue);
+}
+
+TEST(ReduceTest, ChainCollapsesToFrontierRef) {
+  // root = a, a = b, b = ext. Expect: root's entry references ext directly.
+  ReductionFixture f;
+  VarId ext = f.system.NewVar();
+  VarId b = f.system.NewVar(), a = f.system.NewVar(), root = f.system.NewVar();
+  f.system.SetEquation(b, {{ext}});
+  f.system.SetEquation(a, {{b}});
+  f.system.SetEquation(root, {{a}});
+  f.frontier = {ext};
+  f.keys = {10, 11, 12, 13};
+  auto red = f.Reduce({root});
+  ASSERT_EQ(red.entries.size(), 1u);
+  const ReducedEntry& e = red.entries[0];
+  EXPECT_EQ(e.key, 13u);
+  EXPECT_EQ(e.kind, ReducedEntry::kEquation);
+  ASSERT_EQ(e.groups.size(), 1u);
+  EXPECT_EQ(e.groups[0], (std::vector<uint64_t>{10}));
+}
+
+TEST(ReduceTest, DefTrueMemberSatisfiesGroup) {
+  // root = (sink | ext) & (ext): first group is satisfied by the sink, so
+  // only the second survives.
+  ReductionFixture f;
+  VarId sink = f.system.NewVar();
+  VarId ext = f.system.NewVar();
+  VarId root = f.system.NewVar();
+  f.system.SetEquation(root, {{sink, ext}, {ext}});
+  f.frontier = {ext};
+  f.keys = {20, 21, 22};
+  auto red = f.Reduce({root});
+  ASSERT_EQ(red.entries.size(), 1u);
+  ASSERT_EQ(red.entries[0].groups.size(), 1u);
+  EXPECT_EQ(red.entries[0].groups[0], (std::vector<uint64_t>{21}));
+}
+
+TEST(ReduceTest, FalseMembersDropped) {
+  ReductionFixture f;
+  VarId dead = f.system.NewVar();
+  f.system.SetEquation(dead, {{}});
+  f.system.Propagate([](VarId) {});
+  VarId ext = f.system.NewVar();
+  VarId root = f.system.NewVar();
+  f.system.SetEquation(root, {{dead, ext}});
+  f.frontier = {ext};
+  f.keys = {30, 31, 32};
+  auto red = f.Reduce({root});
+  ASSERT_EQ(red.entries.size(), 1u);
+  EXPECT_EQ(red.entries[0].groups[0], (std::vector<uint64_t>{31}));
+}
+
+TEST(ReduceTest, SelfSupportingCycleFoldsToTrue) {
+  // root = a, a = b | ext, b = a: the a/b cycle self-supports under the
+  // greatest fixpoint regardless of ext, so the root is definitely true.
+  ReductionFixture f;
+  VarId ext = f.system.NewVar();
+  VarId a = f.system.NewVar(), b = f.system.NewVar(), root = f.system.NewVar();
+  f.system.SetEquation(a, {{b, ext}});
+  f.system.SetEquation(b, {{a}});
+  f.system.SetEquation(root, {{a}});
+  f.frontier = {ext};
+  f.keys = {40, 41, 42, 43};
+  auto red = f.Reduce({root});
+  ASSERT_EQ(red.entries.size(), 1u);
+  EXPECT_EQ(red.entries[0].key, 43u);
+  EXPECT_EQ(red.entries[0].kind, ReducedEntry::kTrue);
+}
+
+TEST(ReduceTest, FrontierBreakableCyclePreservedAsEntries) {
+  // root = a, a = b AND ext, b = a: the frontier can break this cycle, so
+  // it must ship as entries whose greatest fixpoint the consumer computes.
+  ReductionFixture f;
+  VarId ext = f.system.NewVar();
+  VarId a = f.system.NewVar(), b = f.system.NewVar(), root = f.system.NewVar();
+  f.system.SetEquation(a, {{b}, {ext}});
+  f.system.SetEquation(b, {{a}});
+  f.system.SetEquation(root, {{a}});
+  f.frontier = {ext};
+  f.keys = {40, 41, 42, 43};
+  auto red = f.Reduce({root});
+  // Entries exist for the cycle members reachable from the root.
+  EXPECT_NE(FindEntry(red, 41), nullptr);
+  EXPECT_NE(FindEntry(red, 43), nullptr);
+  EXPECT_GE(red.entries.size(), 2u);
+  // And the group structure of `a` survives: {b-ish ref} and {ext}.
+  const ReducedEntry* ea = FindEntry(red, 41);
+  ASSERT_NE(ea, nullptr);
+  EXPECT_EQ(ea->groups.size(), 2u);
+}
+
+TEST(ReduceTest, BranchingStructurePreserved) {
+  // root = (e1 | e2) & (e3): groups survive as-is over frontier keys.
+  ReductionFixture f;
+  VarId e1 = f.system.NewVar(), e2 = f.system.NewVar(), e3 = f.system.NewVar();
+  VarId root = f.system.NewVar();
+  f.system.SetEquation(root, {{e1, e2}, {e3}});
+  f.frontier = {e1, e2, e3};
+  f.keys = {50, 51, 52, 53};
+  auto red = f.Reduce({root});
+  ASSERT_EQ(red.entries.size(), 1u);
+  const auto& e = red.entries[0];
+  ASSERT_EQ(e.groups.size(), 2u);
+  EXPECT_EQ(e.groups[0], (std::vector<uint64_t>{50, 51}));
+  EXPECT_EQ(e.groups[1], (std::vector<uint64_t>{52}));
+}
+
+TEST(ReduceTest, SerializationRoundTrip) {
+  ReducedSystem r;
+  ReducedEntry eq;
+  eq.key = 77;
+  eq.kind = ReducedEntry::kEquation;
+  eq.groups = {{1, 2, 3}, {4}};
+  r.entries.push_back(eq);
+  ReducedEntry scalar;
+  scalar.key = 88;
+  scalar.kind = ReducedEntry::kFalse;
+  r.entries.push_back(scalar);
+
+  Blob blob;
+  r.Serialize(blob);
+  Blob::Reader reader(blob);
+  ReducedSystem back = ReducedSystem::Deserialize(reader);
+  ASSERT_EQ(back.entries.size(), 2u);
+  EXPECT_EQ(back.entries[0].key, 77u);
+  EXPECT_EQ(back.entries[0].groups, eq.groups);
+  EXPECT_EQ(back.entries[1].kind, ReducedEntry::kFalse);
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_EQ(r.TotalUnits(), 2u + 4u);
+}
+
+TEST(ReduceTest, LongChainIsIterativeSafe) {
+  // 100k-long chain from root to frontier: must not blow the stack and must
+  // collapse to a single entry.
+  ReductionFixture f;
+  VarId ext = f.system.NewVar();
+  f.keys.push_back(0);
+  VarId prev = ext;
+  const size_t kLen = 100000;
+  for (size_t i = 1; i <= kLen; ++i) {
+    VarId x = f.system.NewVar();
+    f.system.SetEquation(x, {{prev}});
+    f.keys.push_back(i);
+    prev = x;
+  }
+  f.frontier = {ext};
+  auto red = f.Reduce({prev});
+  ASSERT_EQ(red.entries.size(), 1u);
+  EXPECT_EQ(red.entries[0].groups[0], (std::vector<uint64_t>{0}));
+}
+
+}  // namespace
+}  // namespace dgs

@@ -1,0 +1,207 @@
+#include "runtime/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "core/protocol.h"
+
+namespace dgs {
+namespace {
+
+// Forwards a counter around a ring of workers `laps` times, then reports to
+// the coordinator.
+class RingWorker : public SiteActor {
+ public:
+  RingWorker(uint32_t laps, std::vector<uint32_t>* log)
+      : laps_(laps), log_(log) {}
+
+  void Setup(SiteContext& ctx) override {
+    if (ctx.site_id() == 0) {
+      Blob b;
+      b.PutU32(0);
+      ctx.Send(1 % ctx.num_workers(), MessageClass::kData, std::move(b));
+    }
+  }
+
+  void OnMessages(SiteContext& ctx, std::vector<Message> inbox) override {
+    for (const Message& m : inbox) {
+      Blob::Reader r(m.payload);
+      uint32_t hops = r.GetU32() + 1;
+      log_->push_back(ctx.site_id());
+      if (hops >= laps_ * ctx.num_workers()) {
+        Blob done;
+        done.PutU32(hops);
+        ctx.Send(ctx.coordinator_id(), MessageClass::kResult, std::move(done));
+        return;
+      }
+      Blob b;
+      b.PutU32(hops);
+      ctx.Send((ctx.site_id() + 1) % ctx.num_workers(), MessageClass::kData,
+               std::move(b));
+    }
+  }
+
+ private:
+  uint32_t laps_;
+  std::vector<uint32_t>* log_;
+};
+
+class RecordingCoordinator : public SiteActor {
+ public:
+  void OnMessages(SiteContext& ctx, std::vector<Message> inbox) override {
+    (void)ctx;
+    for (const Message& m : inbox) {
+      Blob::Reader r(m.payload);
+      final_hops = r.GetU32();
+    }
+  }
+  uint32_t final_hops = 0;
+};
+
+TEST(ClusterTest, RingDeliversInOrder) {
+  std::vector<uint32_t> log;
+  Cluster cluster(4);
+  for (uint32_t i = 0; i < 4; ++i) {
+    cluster.SetWorker(i, std::make_unique<RingWorker>(2, &log));
+  }
+  cluster.SetCoordinator(std::make_unique<RecordingCoordinator>());
+  RunStats stats = cluster.Run();
+
+  auto* coord = static_cast<RecordingCoordinator*>(cluster.coordinator());
+  EXPECT_EQ(coord->final_hops, 8u);
+  ASSERT_EQ(log.size(), 8u);
+  EXPECT_EQ(log, (std::vector<uint32_t>{1, 2, 3, 0, 1, 2, 3, 0}));
+  // 8 data hops = 8 rounds (one message in flight at a time), plus the
+  // result delivery round.
+  EXPECT_EQ(stats.rounds, 9u);
+  EXPECT_EQ(stats.data_messages, 8u);
+  EXPECT_EQ(stats.result_messages, 1u);
+  // Each data payload is 4 bytes + header.
+  EXPECT_EQ(stats.data_bytes, 8 * (4 + kMessageHeaderBytes));
+}
+
+// OnQuiesce-driven second phase: workers emit one result at quiescence.
+class QuiesceWorker : public SiteActor {
+ public:
+  void OnMessages(SiteContext&, std::vector<Message>) override {}
+  void OnQuiesce(SiteContext& ctx) override {
+    if (sent_) return;
+    sent_ = true;
+    Blob b;
+    b.PutU32(ctx.site_id());
+    ctx.Send(ctx.coordinator_id(), MessageClass::kResult, std::move(b));
+  }
+
+ private:
+  bool sent_ = false;
+};
+
+class CountingCoordinator : public SiteActor {
+ public:
+  void OnMessages(SiteContext&, std::vector<Message> inbox) override {
+    received += static_cast<uint32_t>(inbox.size());
+  }
+  uint32_t received = 0;
+};
+
+TEST(ClusterTest, OnQuiesceRunsUntilSilent) {
+  Cluster cluster(3);
+  for (uint32_t i = 0; i < 3; ++i) {
+    cluster.SetWorker(i, std::make_unique<QuiesceWorker>());
+  }
+  cluster.SetCoordinator(std::make_unique<CountingCoordinator>());
+  RunStats stats = cluster.Run();
+  EXPECT_EQ(static_cast<CountingCoordinator*>(cluster.coordinator())->received,
+            3u);
+  EXPECT_EQ(stats.result_messages, 3u);
+}
+
+TEST(ClusterTest, ByteAccountingByClass) {
+  class Sender : public SiteActor {
+   public:
+    void Setup(SiteContext& ctx) override {
+      Blob data;
+      data.PutU64(1);
+      ctx.Send(ctx.coordinator_id(), MessageClass::kData, std::move(data));
+      Blob control;
+      control.PutU8(1);
+      ctx.Send(ctx.coordinator_id(), MessageClass::kControl,
+               std::move(control));
+    }
+    void OnMessages(SiteContext&, std::vector<Message>) override {}
+  };
+  Cluster cluster(2);
+  cluster.SetWorker(0, std::make_unique<Sender>());
+  cluster.SetWorker(1, std::make_unique<Sender>());
+  cluster.SetCoordinator(std::make_unique<CountingCoordinator>());
+  RunStats stats = cluster.Run();
+  EXPECT_EQ(stats.data_bytes, 2 * (8 + kMessageHeaderBytes));
+  EXPECT_EQ(stats.control_bytes, 2 * (1 + kMessageHeaderBytes));
+  EXPECT_EQ(stats.result_bytes, 0u);
+  EXPECT_EQ(stats.TotalBytes(), stats.data_bytes + stats.control_bytes);
+}
+
+TEST(ClusterTest, NetworkModelChargesLatency) {
+  class Ping : public SiteActor {
+   public:
+    void Setup(SiteContext& ctx) override {
+      Blob b;
+      b.PutU8(0);
+      ctx.Send(ctx.coordinator_id(), MessageClass::kData, std::move(b));
+    }
+    void OnMessages(SiteContext&, std::vector<Message>) override {}
+  };
+  NetworkModel model;
+  model.latency_per_round_seconds = 0.5;
+  Cluster cluster(1, model);
+  cluster.SetWorker(0, std::make_unique<Ping>());
+  cluster.SetCoordinator(std::make_unique<CountingCoordinator>());
+  RunStats stats = cluster.Run();
+  EXPECT_GE(stats.response_seconds, 0.5);
+  EXPECT_EQ(stats.rounds, 1u);
+}
+
+TEST(ClusterDeathTest, MissingActorAborts) {
+  Cluster cluster(1);
+  cluster.SetWorker(0, std::make_unique<QuiesceWorker>());
+  // No coordinator installed.
+  EXPECT_DEATH(cluster.Run(), "actor");
+}
+
+TEST(ClusterTest, MessagesBatchedPerDestinationPerRound) {
+  // Two workers both message the coordinator in Setup: the coordinator must
+  // see them in ONE OnMessages call (one round).
+  Cluster cluster(2);
+  class Sender : public SiteActor {
+   public:
+    void Setup(SiteContext& ctx) override {
+      Blob b;
+      b.PutU8(static_cast<uint8_t>(ctx.site_id()));
+      ctx.Send(ctx.coordinator_id(), MessageClass::kData, std::move(b));
+    }
+    void OnMessages(SiteContext&, std::vector<Message>) override {}
+  };
+  class BatchCheck : public SiteActor {
+   public:
+    void OnMessages(SiteContext&, std::vector<Message> inbox) override {
+      ++calls;
+      batch_size = inbox.size();
+      // Deterministic source order.
+      ASSERT_EQ(inbox.size(), 2u);
+      EXPECT_EQ(inbox[0].src, 0u);
+      EXPECT_EQ(inbox[1].src, 1u);
+    }
+    int calls = 0;
+    size_t batch_size = 0;
+  };
+  cluster.SetWorker(0, std::make_unique<Sender>());
+  cluster.SetWorker(1, std::make_unique<Sender>());
+  cluster.SetCoordinator(std::make_unique<BatchCheck>());
+  RunStats stats = cluster.Run();
+  auto* coord = static_cast<BatchCheck*>(cluster.coordinator());
+  EXPECT_EQ(coord->calls, 1);
+  EXPECT_EQ(coord->batch_size, 2u);
+  EXPECT_EQ(stats.rounds, 1u);
+}
+
+}  // namespace
+}  // namespace dgs

@@ -1,0 +1,200 @@
+#include "core/dgpm.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "partition/partitioner.h"
+#include "simulation/simulation.h"
+
+namespace dgs {
+namespace {
+
+Fragmentation MustFragment(const Graph& g,
+                           const std::vector<uint32_t>& assignment,
+                           uint32_t n) {
+  auto f = Fragmentation::Create(g, assignment, n);
+  DGS_CHECK(f.ok(), "fragmentation failed");
+  return std::move(f).value();
+}
+
+TEST(DgpmTest, SocialExampleAllOptimizationCombos) {
+  auto ex = MakeSocialExample();
+  auto frag = MustFragment(ex.g, ex.assignment, 3);
+  auto expected = ComputeSimulation(ex.q, ex.g);
+
+  for (bool incremental : {true, false}) {
+    for (bool push : {true, false}) {
+      DgpmConfig config;
+      config.incremental = incremental;
+      config.enable_push = push;
+      auto outcome = RunDgpm(frag, ex.q, config);
+      EXPECT_TRUE(outcome.result == expected)
+          << "incremental=" << incremental << " push=" << push;
+      EXPECT_TRUE(outcome.result.GraphMatches());
+    }
+  }
+}
+
+TEST(DgpmTest, SingleFragmentNeedsNoDataShipment) {
+  auto ex = MakeSocialExample();
+  auto frag = MustFragment(ex.g, std::vector<uint32_t>(13, 0), 1);
+  auto outcome = RunDgpm(frag, ex.q, DgpmConfig{});
+  EXPECT_TRUE(outcome.result == ComputeSimulation(ex.q, ex.g));
+  EXPECT_EQ(outcome.stats.data_bytes, 0u);
+  EXPECT_EQ(outcome.counters.vars_shipped, 0u);
+}
+
+TEST(DgpmTest, BrokenCycleRefutationPropagates) {
+  // The broken locality gadget: nothing matches, and discovering that
+  // requires falses to travel around the (cut) cycle.
+  auto gadget = MakeLocalityGadget(6, /*broken=*/true);
+  auto frag = MustFragment(gadget.g, gadget.assignment, 6);
+  DgpmConfig config;
+  config.enable_push = false;
+  auto outcome = RunDgpm(frag, gadget.q, config);
+  EXPECT_FALSE(outcome.result.GraphMatches());
+  EXPECT_EQ(outcome.result.RelationSize(), 0u);
+  EXPECT_GT(outcome.counters.vars_shipped, 0u);
+}
+
+TEST(DgpmTest, IntactCycleEverythingMatchesWithoutShipment) {
+  // The intact gadget: the greatest fixpoint keeps every variable, so no
+  // falses exist and dGPM ships no data at all (trues are implicit).
+  auto gadget = MakeLocalityGadget(6);
+  auto frag = MustFragment(gadget.g, gadget.assignment, 6);
+  DgpmConfig config;
+  config.enable_push = false;
+  auto outcome = RunDgpm(frag, gadget.q, config);
+  EXPECT_TRUE(outcome.result.GraphMatches());
+  EXPECT_EQ(outcome.counters.vars_shipped, 0u);
+}
+
+TEST(DgpmTest, BooleanModeAgreesAndShipsLessResultData) {
+  auto ex = MakeSocialExample();
+  auto frag = MustFragment(ex.g, ex.assignment, 3);
+  DgpmConfig selecting;
+  DgpmConfig boolean;
+  boolean.boolean_only = true;
+  auto sel = RunDgpm(frag, ex.q, selecting);
+  auto bol = RunDgpm(frag, ex.q, boolean);
+  EXPECT_EQ(sel.result.GraphMatches(), bol.result.GraphMatches());
+  EXPECT_LT(bol.stats.result_bytes, sel.stats.result_bytes);
+}
+
+TEST(DgpmTest, PushForcedOnStillCorrect) {
+  Rng rng(81);
+  Graph g = WebGraph(800, 3200, 6, rng);
+  auto assignment = RandomPartition(g, 5, rng);
+  auto frag = MustFragment(g, assignment, 5);
+  PatternSpec spec;
+  spec.num_nodes = 4;
+  spec.num_edges = 6;
+  spec.kind = PatternKind::kCyclic;
+  auto q = ExtractPattern(g, spec, rng);
+  ASSERT_TRUE(q.ok());
+
+  DgpmConfig config;
+  config.enable_push = true;
+  config.push_threshold = 0.0;  // push everywhere
+  auto outcome = RunDgpm(frag, *q, config);
+  EXPECT_TRUE(outcome.result == ComputeSimulation(*q, g));
+  EXPECT_GT(outcome.counters.push_count, 0u);
+  EXPECT_GT(outcome.counters.equation_units, 0u);
+}
+
+TEST(DgpmTest, PushDisabledByHugeThreshold) {
+  Rng rng(83);
+  Graph g = WebGraph(500, 2000, 6, rng);
+  auto frag = MustFragment(g, RandomPartition(g, 4, rng), 4);
+  PatternSpec spec;
+  spec.kind = PatternKind::kCyclic;
+  auto q = ExtractPattern(g, spec, rng);
+  ASSERT_TRUE(q.ok());
+  DgpmConfig config;
+  config.push_threshold = 1e18;
+  auto outcome = RunDgpm(frag, *q, config);
+  EXPECT_EQ(outcome.counters.push_count, 0u);
+  EXPECT_TRUE(outcome.result == ComputeSimulation(*q, g));
+}
+
+TEST(DgpmTest, NoOptPerformsMoreRecomputations) {
+  auto gadget = MakeLocalityGadget(8, /*broken=*/true);
+  auto frag = MustFragment(gadget.g, gadget.assignment, 8);
+  DgpmConfig opt;
+  opt.enable_push = false;
+  DgpmConfig noopt;
+  noopt.incremental = false;
+  noopt.enable_push = false;
+  auto a = RunDgpm(frag, gadget.q, opt);
+  auto b = RunDgpm(frag, gadget.q, noopt);
+  EXPECT_TRUE(a.result == b.result);
+  EXPECT_GT(b.counters.recomputations, a.counters.recomputations);
+  // Incremental mode recomputes exactly once per site (at Setup).
+  EXPECT_EQ(a.counters.recomputations, 8u);
+}
+
+TEST(DgpmTest, PushSubscriptionBypassesTheChain) {
+  // A 4-deep chain query over a 4-node chain graph, one node per site, with
+  // push forced on: site 1 pushes its equation to site 0, which then
+  // subscribes to site 2 directly. The refutation (node 3's absence of a
+  // child... node 3 is a sink, so instead break the chain at the end) must
+  // reach site 0 regardless of the routing. We break the data chain by
+  // removing the last edge so X(c, node2) is false at site 2.
+  Pattern q(MakeGraph({0, 1, 2, 3}, {{0, 1}, {1, 2}, {2, 3}}));
+  Graph g = MakeGraph({0, 1, 2, 3}, {{0, 1}, {1, 2}});  // edge (2,3) missing
+  auto frag = MustFragment(g, {0, 1, 2, 3}, 4);
+  DgpmConfig push_on;
+  push_on.enable_push = true;
+  push_on.push_threshold = 0.0;
+  auto with_push = RunDgpm(frag, q, push_on);
+  DgpmConfig push_off;
+  push_off.enable_push = false;
+  auto without = RunDgpm(frag, q, push_off);
+  EXPECT_TRUE(with_push.result == without.result);
+  EXPECT_FALSE(with_push.result.GraphMatches());
+  EXPECT_GT(with_push.counters.push_count, 0u);
+  // The subscription shortcut cannot use more refinement rounds than the
+  // hop-by-hop route.
+  EXPECT_LE(with_push.stats.rounds, without.stats.rounds + 1);
+}
+
+TEST(DgpmTest, BooleanAgreesAcrossAllRandomInputs) {
+  Rng rng(87);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = RandomGraph(150, 600, 3, rng);
+    auto frag = MustFragment(g, RandomPartition(g, 5, rng), 5);
+    PatternSpec spec;
+    spec.num_nodes = 4;
+    spec.num_edges = 6;
+    spec.kind = PatternKind::kAny;
+    Pattern q = SynthesizePattern(spec, 3, rng);
+    bool expected = ComputeSimulation(q, g).GraphMatches();
+    DgpmConfig boolean;
+    boolean.boolean_only = true;
+    EXPECT_EQ(RunDgpm(frag, q, boolean).result.GraphMatches(), expected)
+        << "trial " << trial;
+  }
+}
+
+TEST(DgpmTest, EmptyPatternAnswerOnLabelMiss) {
+  // Query label absent from G entirely.
+  auto ex = MakeSocialExample();
+  auto frag = MustFragment(ex.g, ex.assignment, 3);
+  Pattern q(MakeGraph({9}, {}));
+  auto outcome = RunDgpm(frag, q, DgpmConfig{});
+  EXPECT_FALSE(outcome.result.GraphMatches());
+  EXPECT_EQ(outcome.result.RelationSize(), 0u);
+}
+
+TEST(DgpmTest, ManyFragmentsIncludingEmpty) {
+  auto ex = MakeSocialExample();
+  // Spread 13 nodes over 13 sites; site count 16 leaves empties.
+  std::vector<uint32_t> assignment(13);
+  for (NodeId v = 0; v < 13; ++v) assignment[v] = v;
+  auto frag = MustFragment(ex.g, assignment, 16);
+  auto outcome = RunDgpm(frag, ex.q, DgpmConfig{});
+  EXPECT_TRUE(outcome.result == ComputeSimulation(ex.q, ex.g));
+}
+
+}  // namespace
+}  // namespace dgs

@@ -1,0 +1,152 @@
+#include "core/dgpm_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "partition/partitioner.h"
+#include "simulation/simulation.h"
+
+namespace dgs {
+namespace {
+
+Fragmentation MustFragment(const Graph& g,
+                           const std::vector<uint32_t>& assignment,
+                           uint32_t n) {
+  auto f = Fragmentation::Create(g, assignment, n);
+  DGS_CHECK(f.ok(), "fragmentation failed");
+  return std::move(f).value();
+}
+
+// XML-ish tree: chapters under a book, sections under chapters.
+Graph SmallTree() {
+  //        0(book)
+  //    1(ch)    2(ch)
+  //  3(sec) 4(sec) 5(sec)
+  return MakeGraph({0, 1, 1, 2, 2, 2}, {{0, 1}, {0, 2}, {1, 3}, {1, 4}, {2, 5}});
+}
+
+TEST(DgpmTreeTest, SmallTreeMatchesCentralized) {
+  Graph g = SmallTree();
+  // Q: book -> chapter -> section.
+  Pattern q(MakeGraph({0, 1, 2}, {{0, 1}, {1, 2}}));
+  auto expected = ComputeSimulation(q, g);
+  ASSERT_TRUE(expected.GraphMatches());
+  // Split the two chapter subtrees from the root.
+  auto frag = MustFragment(g, {0, 1, 2, 1, 1, 2}, 3);
+  auto outcome = RunDgpmTree(frag, q, DgpmTreeConfig{});
+  EXPECT_TRUE(outcome.result == expected);
+}
+
+TEST(DgpmTreeTest, ExactlyTwoCoordinatorRoundTrips) {
+  Graph g = SmallTree();
+  Pattern q(MakeGraph({0, 1, 2}, {{0, 1}, {1, 2}}));
+  auto frag = MustFragment(g, {0, 1, 2, 1, 1, 2}, 3);
+  auto outcome = RunDgpmTree(frag, q, DgpmTreeConfig{});
+  // Round 1: answers to coordinator. Round 2: values back. Round 3: match
+  // collection (kResult). The kData round count is therefore at most 2.
+  EXPECT_LE(outcome.stats.rounds, 3u);
+  EXPECT_GT(outcome.counters.equation_units, 0u);
+}
+
+TEST(DgpmTreeTest, RandomTreesMatchCentralized) {
+  Rng rng(111);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph tree = RandomTree(300 + trial * 50, 4, rng);
+    auto assignment = TreePartition(tree, 5);
+    ASSERT_TRUE(assignment.ok());
+    auto frag = MustFragment(tree, *assignment, 5);
+    PatternSpec spec;
+    spec.num_nodes = 4;
+    spec.num_edges = 4;
+    spec.kind = PatternKind::kDag;
+    spec.dag_depth = 2;
+    auto q = ExtractPattern(tree, spec, rng);
+    ASSERT_TRUE(q.ok());
+    auto outcome = RunDgpmTree(frag, *q, DgpmTreeConfig{});
+    EXPECT_TRUE(outcome.result == ComputeSimulation(*q, tree))
+        << "trial " << trial;
+  }
+}
+
+TEST(DgpmTreeTest, NonMatchingPattern) {
+  Graph g = SmallTree();
+  // section -> book never holds (wrong direction).
+  Pattern q(MakeGraph({2, 0}, {{0, 1}}));
+  auto frag = MustFragment(g, {0, 1, 2, 1, 1, 2}, 3);
+  auto outcome = RunDgpmTree(frag, q, DgpmTreeConfig{});
+  EXPECT_FALSE(outcome.result.GraphMatches());
+}
+
+TEST(DgpmTreeTest, DisconnectedFragmentsStillCorrect) {
+  // Random (non-subtree) partition: the Corollary 4 bounds no longer apply
+  // but the algorithm must still be exact.
+  Rng rng(113);
+  Graph tree = RandomTree(400, 4, rng);
+  auto assignment = RandomPartition(tree, 6, rng);
+  auto frag = MustFragment(tree, assignment, 6);
+  PatternSpec spec;
+  spec.num_nodes = 3;
+  spec.num_edges = 3;
+  spec.kind = PatternKind::kDag;
+  spec.dag_depth = 2;
+  auto q = ExtractPattern(tree, spec, rng);
+  ASSERT_TRUE(q.ok());
+  auto outcome = RunDgpmTree(frag, *q, DgpmTreeConfig{});
+  EXPECT_TRUE(outcome.result == ComputeSimulation(*q, tree));
+}
+
+TEST(DgpmTreeTest, GeneralizedSolveHandlesCyclicGraphs) {
+  // The coordinator solve is greatest-fixpoint, so the implementation stays
+  // exact even on cyclic data (bounds don't apply; see header comment).
+  auto ex = MakeSocialExample();
+  auto frag = MustFragment(ex.g, ex.assignment, 3);
+  auto outcome = RunDgpmTree(frag, ex.q, DgpmTreeConfig{});
+  EXPECT_TRUE(outcome.result == ComputeSimulation(ex.q, ex.g));
+}
+
+TEST(DgpmTreeTest, ForestWithMultipleRoots) {
+  // Two disjoint trees.
+  Graph g = MakeGraph({0, 1, 0, 1, 1}, {{0, 1}, {2, 3}, {2, 4}});
+  Pattern q(MakeGraph({0, 1}, {{0, 1}}));
+  auto frag = MustFragment(g, {0, 1, 1, 0, 1}, 2);
+  auto outcome = RunDgpmTree(frag, q, DgpmTreeConfig{});
+  EXPECT_TRUE(outcome.result == ComputeSimulation(q, g));
+}
+
+TEST(DgpmTreeTest, BooleanMode) {
+  Graph g = SmallTree();
+  Pattern q(MakeGraph({0, 1, 2}, {{0, 1}, {1, 2}}));
+  auto frag = MustFragment(g, {0, 1, 2, 1, 1, 2}, 3);
+  DgpmTreeConfig config;
+  config.boolean_only = true;
+  auto outcome = RunDgpmTree(frag, q, config);
+  EXPECT_TRUE(outcome.result.GraphMatches());
+}
+
+TEST(DgpmTreeTest, DataShipmentScalesWithFragmentsNotTreeSize) {
+  // Corollary 4: DS = O(|Q||F|). Double the tree size at fixed |F| with
+  // connected fragments; kData bytes should stay in the same ballpark.
+  Rng rng(115);
+  Pattern q(MakeGraph({0, 1}, {{0, 1}}));
+  uint64_t small_ds, large_ds;
+  {
+    Graph tree = RandomTree(2000, 2, rng);
+    auto a = TreePartition(tree, 8);
+    ASSERT_TRUE(a.ok());
+    auto frag = MustFragment(tree, *a, 8);
+    small_ds = RunDgpmTree(frag, q, DgpmTreeConfig{}).stats.data_bytes;
+  }
+  {
+    Graph tree = RandomTree(8000, 2, rng);
+    auto a = TreePartition(tree, 8);
+    ASSERT_TRUE(a.ok());
+    auto frag = MustFragment(tree, *a, 8);
+    large_ds = RunDgpmTree(frag, q, DgpmTreeConfig{}).stats.data_bytes;
+  }
+  // 4x the data, same |F|: shipment should grow far less than 4x (allow 2x
+  // slack for label-distribution noise).
+  EXPECT_LT(large_ds, 2 * small_ds + 1024);
+}
+
+}  // namespace
+}  // namespace dgs

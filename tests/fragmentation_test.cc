@@ -1,0 +1,173 @@
+#include "partition/fragmentation.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generators.h"
+#include "partition/partitioner.h"
+
+namespace dgs {
+namespace {
+
+TEST(FragmentationTest, RejectsBadAssignments) {
+  Graph g = MakeGraph({0, 0}, {{0, 1}});
+  EXPECT_EQ(Fragmentation::Create(g, {0}, 2).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(Fragmentation::Create(g, {0, 5}, 2).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(Fragmentation::Create(g, {0, 0}, 0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FragmentationTest, SingleFragmentHasNoBoundary) {
+  Graph g = MakeGraph({0, 1, 2}, {{0, 1}, {1, 2}, {2, 0}});
+  auto f = Fragmentation::Create(g, {0, 0, 0}, 1);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->NumBoundaryNodes(), 0u);
+  EXPECT_EQ(f->NumCrossingEdges(), 0u);
+  const Fragment& frag = f->fragment(0);
+  EXPECT_EQ(frag.num_local, 3u);
+  EXPECT_EQ(frag.NumVirtual(), 0u);
+  EXPECT_TRUE(frag.in_nodes.empty());
+}
+
+TEST(FragmentationTest, TwoFragmentBookkeeping) {
+  // 0 -> 1 -> 2 -> 0 split as {0, 1} | {2}.
+  Graph g = MakeGraph({0, 1, 2}, {{0, 1}, {1, 2}, {2, 0}});
+  auto f = Fragmentation::Create(g, {0, 0, 1}, 2);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->NumCrossingEdges(), 2u);   // (1,2) and (2,0)
+  EXPECT_EQ(f->NumBoundaryNodes(), 2u);   // nodes 2 and 0
+
+  const Fragment& f0 = f->fragment(0);
+  EXPECT_EQ(f0.num_local, 2u);
+  EXPECT_EQ(f0.NumVirtual(), 1u);  // node 2
+  ASSERT_EQ(f0.in_nodes.size(), 1u);
+  EXPECT_EQ(f0.ToGlobal(f0.in_nodes[0]), 0u);  // node 0 is an in-node
+  ASSERT_EQ(f0.consumers.size(), 1u);
+  ASSERT_EQ(f0.consumers[0].size(), 1u);
+  EXPECT_EQ(f0.consumers[0][0].site, 1u);
+  EXPECT_EQ(f0.consumers[0][0].source_labels, (std::vector<Label>{2}));
+
+  const Fragment& f1 = f->fragment(1);
+  EXPECT_EQ(f1.num_local, 1u);
+  EXPECT_EQ(f1.NumVirtual(), 1u);  // node 0
+  ASSERT_EQ(f1.in_nodes.size(), 1u);
+  EXPECT_EQ(f1.ToGlobal(f1.in_nodes[0]), 2u);
+}
+
+TEST(FragmentationTest, LocalGraphStructure) {
+  Graph g = MakeGraph({0, 1, 2}, {{0, 1}, {1, 2}, {2, 0}});
+  auto f = Fragmentation::Create(g, {0, 0, 1}, 2);
+  ASSERT_TRUE(f.ok());
+  const Fragment& f0 = f->fragment(0);
+  // Local edge (0,1) plus crossing edge (1, virtual 2); the virtual node
+  // has no out-edges here.
+  EXPECT_EQ(f0.graph.NumEdges(), 2u);
+  NodeId v2 = f0.ToLocal(2);
+  ASSERT_NE(v2, kInvalidNode);
+  EXPECT_TRUE(f0.IsVirtual(v2));
+  EXPECT_EQ(f0.graph.OutDegree(v2), 0u);
+  EXPECT_EQ(f0.graph.LabelOf(v2), 2u);  // labels ride along
+}
+
+TEST(FragmentationTest, SocialExampleMatchesExample4) {
+  auto ex = MakeSocialExample();
+  auto f = Fragmentation::Create(ex.g, ex.assignment, 3);
+  ASSERT_TRUE(f.ok());
+  const Fragment& f1 = f->fragment(0);
+  // F1.O = {f4, f2, yf2}; F1.I = {sp1, yf1} (Example 4).
+  EXPECT_EQ(f1.NumVirtual(), 3u);
+  std::set<std::string> in_names;
+  for (NodeId v : f1.in_nodes) {
+    in_names.insert(ex.node_names[f1.ToGlobal(v)]);
+  }
+  EXPECT_EQ(in_names, (std::set<std::string>{"sp1", "yf1"}));
+
+  // Example 5: site S3's dependency edges: S1 consumes f4, S2 consumes
+  // sp3 and yf3 -- i.e., F3's in-nodes {f4, sp3, yf3}.
+  const Fragment& f3 = f->fragment(2);
+  std::set<std::string> f3_in;
+  for (NodeId v : f3.in_nodes) f3_in.insert(ex.node_names[f3.ToGlobal(v)]);
+  EXPECT_EQ(f3_in, (std::set<std::string>{"f4", "sp3", "yf3"}));
+}
+
+TEST(FragmentationTest, EmptyFragmentAllowed) {
+  Graph g = MakeGraph({0, 0}, {{0, 1}});
+  auto f = Fragmentation::Create(g, {0, 0}, 3);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->fragment(1).num_local, 0u);
+  EXPECT_EQ(f->fragment(2).num_local, 0u);
+}
+
+TEST(FragmentationTest, InvariantsOnRandomGraph) {
+  Rng rng(31);
+  Graph g = RandomGraph(400, 1600, 6, rng);
+  auto assignment = RandomPartition(g, 7, rng);
+  auto f = Fragmentation::Create(g, assignment, 7);
+  ASSERT_TRUE(f.ok());
+
+  // (1) Local node counts partition V.
+  size_t total_local = 0;
+  for (uint32_t i = 0; i < 7; ++i) total_local += f->fragment(i).num_local;
+  EXPECT_EQ(total_local, g.NumNodes());
+
+  // (2) Crossing edge count matches a direct scan.
+  size_t crossing = 0;
+  for (auto [a, b] : g.Edges()) {
+    if (assignment[a] != assignment[b]) ++crossing;
+  }
+  EXPECT_EQ(f->NumCrossingEdges(), crossing);
+
+  // (3) Union of virtual-node sets == union of in-node sets (Section 2.2).
+  std::set<NodeId> virtuals, in_nodes;
+  for (uint32_t i = 0; i < 7; ++i) {
+    const Fragment& frag = f->fragment(i);
+    for (NodeId v = frag.num_local; v < frag.graph.NumNodes(); ++v) {
+      virtuals.insert(frag.ToGlobal(v));
+    }
+    for (NodeId v : frag.in_nodes) in_nodes.insert(frag.ToGlobal(v));
+  }
+  EXPECT_EQ(virtuals, in_nodes);
+  EXPECT_EQ(virtuals.size(), f->NumBoundaryNodes());
+
+  // (4) Every fragment's local edges exist in G and every G edge appears in
+  // exactly one fragment (at its source's home).
+  size_t edge_total = 0;
+  for (uint32_t i = 0; i < 7; ++i) {
+    const Fragment& frag = f->fragment(i);
+    for (NodeId v = 0; v < frag.num_local; ++v) {
+      for (NodeId w : frag.graph.OutNeighbors(v)) {
+        EXPECT_TRUE(g.HasEdge(frag.ToGlobal(v), frag.ToGlobal(w)));
+        ++edge_total;
+      }
+    }
+  }
+  EXPECT_EQ(edge_total, g.NumEdges());
+
+  // (5) Consumer annotations are sound: site j is a consumer of in-node v
+  // iff j has a crossing edge into v.
+  for (uint32_t i = 0; i < 7; ++i) {
+    const Fragment& frag = f->fragment(i);
+    for (size_t k = 0; k < frag.in_nodes.size(); ++k) {
+      NodeId global = frag.ToGlobal(frag.in_nodes[k]);
+      for (const InNodeConsumer& c : frag.consumers[k]) {
+        EXPECT_NE(c.site, i);
+        bool found = false;
+        for (NodeId p : g.InNeighbors(global)) {
+          if (assignment[p] == c.site) {
+            found = true;
+            // Source labels include this predecessor's label.
+          }
+        }
+        EXPECT_TRUE(found);
+      }
+    }
+  }
+
+  EXPECT_GE(f->MaxFragmentSize(), (g.NumNodes() + g.NumEdges()) / 7);
+}
+
+}  // namespace
+}  // namespace dgs

@@ -1,0 +1,218 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/algorithms.h"
+#include "simulation/simulation.h"
+
+namespace dgs {
+namespace {
+
+TEST(GeneratorsTest, RandomGraphShape) {
+  Rng rng(1);
+  Graph g = RandomGraph(1000, 4000, kDefaultAlphabet, rng);
+  EXPECT_EQ(g.NumNodes(), 1000u);
+  EXPECT_GT(g.NumEdges(), 3800u);  // a few dropped by dedupe/self-loop skip
+  EXPECT_LE(g.NumEdges(), 4000u);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    EXPECT_LT(g.LabelOf(v), kDefaultAlphabet);
+    EXPECT_FALSE(g.HasEdge(v, v));
+  }
+}
+
+TEST(GeneratorsTest, RandomGraphDeterministic) {
+  Rng rng1(42), rng2(42);
+  Graph a = RandomGraph(200, 600, 5, rng1);
+  Graph b = RandomGraph(200, 600, 5, rng2);
+  EXPECT_EQ(a.Edges(), b.Edges());
+}
+
+TEST(GeneratorsTest, WebGraphHasHubs) {
+  Rng rng(2);
+  Graph g = WebGraph(2000, 10000, kDefaultAlphabet, rng);
+  EXPECT_EQ(g.NumNodes(), 2000u);
+  size_t max_in = 0;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    max_in = std::max(max_in, g.InDegree(v));
+  }
+  // Skewed targeting should create hubs far above the mean in-degree (~5).
+  EXPECT_GT(max_in, 25u);
+}
+
+TEST(GeneratorsTest, CitationDagIsAcyclic) {
+  Rng rng(3);
+  Graph g = CitationDag(3000, 7000, kDefaultAlphabet, rng);
+  EXPECT_TRUE(IsAcyclic(g));
+  EXPECT_GT(g.NumEdges(), 6000u);
+}
+
+TEST(GeneratorsTest, ClusteredGraphHasLocality) {
+  Rng rng(12);
+  Graph g = ClusteredGraph(4000, 16000, 8, rng, /*locality=*/0.9,
+                           /*window=*/32);
+  size_t local = 0;
+  for (auto [u, v] : g.Edges()) {
+    size_t dist = u < v ? v - u : u - v;
+    if (dist <= 32 || dist >= g.NumNodes() - 32) ++local;
+  }
+  EXPECT_GT(static_cast<double>(local) / static_cast<double>(g.NumEdges()),
+            0.8);
+}
+
+TEST(GeneratorsTest, CitationDagRecencyBias) {
+  Rng rng(13);
+  Graph g = CitationDag(50000, 120000, 5, rng);
+  size_t recent = 0;
+  for (auto [u, v] : g.Edges()) {
+    ASSERT_GT(u, v);  // strictly older target = acyclic by construction
+    if (u - v <= 2048) ++recent;
+  }
+  EXPECT_GT(static_cast<double>(recent) / static_cast<double>(g.NumEdges()),
+            0.8);
+}
+
+TEST(GeneratorsTest, RandomTreeIsDownwardForest) {
+  Rng rng(4);
+  Graph g = RandomTree(500, kDefaultAlphabet, rng);
+  EXPECT_TRUE(IsDownwardForest(g));
+  EXPECT_EQ(g.NumEdges(), 499u);
+  EXPECT_TRUE(IsWeaklyConnected(g));
+}
+
+TEST(GeneratorsTest, RandomTreeRespectsFanout) {
+  Rng rng(5);
+  Graph g = RandomTree(300, 3, rng, /*max_fanout=*/2);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    EXPECT_LE(g.OutDegree(v), 2u);
+  }
+}
+
+TEST(LocalityGadgetTest, IntactCycleMatchesEverywhere) {
+  auto gadget = MakeLocalityGadget(10);
+  EXPECT_EQ(gadget.g.NumNodes(), 20u);
+  EXPECT_EQ(gadget.g.NumEdges(), 20u);
+  auto result = ComputeSimulation(gadget.q, gadget.g);
+  EXPECT_TRUE(result.GraphMatches());
+  // Every A node matches query node A, every B node matches B (Example 3).
+  EXPECT_EQ(result.MatchSet(0).Count(), 10u);
+  EXPECT_EQ(result.MatchSet(1).Count(), 10u);
+}
+
+TEST(LocalityGadgetTest, BrokenCycleMatchesNothing) {
+  auto gadget = MakeLocalityGadget(10, /*broken=*/true);
+  auto result = ComputeSimulation(gadget.q, gadget.g);
+  EXPECT_FALSE(result.GraphMatches());
+  EXPECT_EQ(result.RelationSize(), 0u);
+}
+
+TEST(LocalityGadgetTest, AssignmentPairsNodes) {
+  auto gadget = MakeLocalityGadget(4);
+  EXPECT_EQ(gadget.assignment,
+            (std::vector<uint32_t>{0, 0, 1, 1, 2, 2, 3, 3}));
+}
+
+TEST(SocialExampleTest, MatchesExample2) {
+  auto ex = MakeSocialExample();
+  EXPECT_EQ(ex.g.NumNodes(), 13u);
+  EXPECT_EQ(ex.q.NumNodes(), 4u);
+  EXPECT_EQ(ex.q.NumEdges(), 5u);
+  EXPECT_FALSE(ex.q.IsDag());  // the recommendation cycle
+  auto result = ComputeSimulation(ex.q, ex.g);
+  ASSERT_TRUE(result.GraphMatches());
+  for (NodeId u = 0; u < 4; ++u) {
+    EXPECT_EQ(result.Matches(u), ex.expected_matches[u])
+        << "query node " << u;
+  }
+}
+
+TEST(DagExampleTest, DoesNotMatch) {
+  auto ex = MakeDagExample();
+  ASSERT_TRUE(ex.q.IsDag());
+  EXPECT_EQ(ex.q.MaxRank(), 4u);
+  auto result = ComputeSimulation(ex.q, ex.g);
+  EXPECT_FALSE(result.GraphMatches());
+}
+
+TEST(ExtractPatternTest, CyclicPatternAlwaysMatches) {
+  Rng rng(6);
+  Graph g = WebGraph(3000, 15000, kDefaultAlphabet, rng);
+  for (int trial = 0; trial < 5; ++trial) {
+    PatternSpec spec;
+    spec.num_nodes = 5;
+    spec.num_edges = 10;
+    spec.kind = PatternKind::kCyclic;
+    auto q = ExtractPattern(g, spec, rng);
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    EXPECT_FALSE(q->IsDag());
+    EXPECT_LE(q->NumNodes(), 5u);
+    auto result = ComputeSimulation(*q, g);
+    EXPECT_TRUE(result.GraphMatches());
+  }
+}
+
+TEST(ExtractPatternTest, DagDepthIsExact) {
+  Rng rng(7);
+  Graph g = CitationDag(5000, 12000, kDefaultAlphabet, rng);
+  for (uint32_t depth = 2; depth <= 6; ++depth) {
+    PatternSpec spec;
+    spec.num_nodes = depth + 3;
+    spec.num_edges = depth + 6;
+    spec.kind = PatternKind::kDag;
+    spec.dag_depth = depth;
+    auto q = ExtractPattern(g, spec, rng);
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    EXPECT_TRUE(q->IsDag());
+    EXPECT_EQ(q->MaxRank(), depth);
+    EXPECT_TRUE(ComputeSimulation(*q, g).GraphMatches());
+  }
+}
+
+TEST(ExtractPatternTest, CyclicFailsOnDag) {
+  Rng rng(8);
+  Graph g = CitationDag(500, 1200, 5, rng);
+  PatternSpec spec;
+  spec.kind = PatternKind::kCyclic;
+  auto q = ExtractPattern(g, spec, rng);
+  EXPECT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ExtractPatternTest, RejectsBadArguments) {
+  Rng rng(9);
+  Graph g = RandomGraph(10, 20, 3, rng);
+  PatternSpec spec;
+  spec.num_nodes = 0;
+  EXPECT_FALSE(ExtractPattern(g, spec, rng).ok());
+  spec.num_nodes = 2;
+  spec.kind = PatternKind::kDag;
+  spec.dag_depth = 5;  // needs >= 6 nodes
+  EXPECT_FALSE(ExtractPattern(g, spec, rng).ok());
+  EXPECT_FALSE(ExtractPattern(Graph(), PatternSpec{}, rng).ok());
+}
+
+TEST(SynthesizePatternTest, ShapesRespected) {
+  Rng rng(10);
+  PatternSpec spec;
+  spec.num_nodes = 6;
+  spec.num_edges = 12;
+  spec.kind = PatternKind::kCyclic;
+  Pattern cyc = SynthesizePattern(spec, 8, rng);
+  EXPECT_EQ(cyc.NumNodes(), 6u);
+  EXPECT_FALSE(cyc.IsDag());
+  EXPECT_TRUE(IsWeaklyConnected(cyc.graph()));
+
+  spec.kind = PatternKind::kDag;
+  spec.dag_depth = 3;
+  Pattern dag = SynthesizePattern(spec, 8, rng);
+  EXPECT_TRUE(dag.IsDag());
+  EXPECT_EQ(dag.MaxRank(), 3u);
+
+  spec.kind = PatternKind::kAny;
+  Pattern any = SynthesizePattern(spec, 8, rng);
+  EXPECT_TRUE(IsWeaklyConnected(any.graph()));
+}
+
+}  // namespace
+}  // namespace dgs

@@ -1,0 +1,118 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace dgs {
+namespace {
+
+TEST(GraphTest, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.NumNodes(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_EQ(g.Size(), 0u);
+}
+
+TEST(GraphTest, BuilderAssignsDenseIds) {
+  GraphBuilder b;
+  EXPECT_EQ(b.AddNode(5), 0u);
+  EXPECT_EQ(b.AddNode(7), 1u);
+  Graph g = std::move(b).Build();
+  EXPECT_EQ(g.LabelOf(0), 5u);
+  EXPECT_EQ(g.LabelOf(1), 7u);
+  EXPECT_EQ(g.LabelAlphabetSize(), 8u);
+}
+
+TEST(GraphTest, AdjacencyBothDirections) {
+  Graph g = MakeGraph({0, 1, 2}, {{0, 1}, {0, 2}, {1, 2}});
+  EXPECT_EQ(g.NumEdges(), 3u);
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.InDegree(2), 2u);
+  auto out0 = g.OutNeighbors(0);
+  EXPECT_EQ(std::vector<NodeId>(out0.begin(), out0.end()),
+            (std::vector<NodeId>{1, 2}));
+  auto in2 = g.InNeighbors(2);
+  EXPECT_EQ(std::vector<NodeId>(in2.begin(), in2.end()),
+            (std::vector<NodeId>{0, 1}));
+}
+
+TEST(GraphTest, HasEdge) {
+  Graph g = MakeGraph({0, 0, 0}, {{0, 1}, {1, 2}});
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 2));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_FALSE(g.HasEdge(2, 0));
+}
+
+TEST(GraphTest, DedupeCollapsesParallelEdges) {
+  GraphBuilder b;
+  b.AddNode(0);
+  b.AddNode(0);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 1);
+  Graph g = std::move(b).Build(/*dedupe=*/true);
+  EXPECT_EQ(g.NumEdges(), 1u);
+}
+
+TEST(GraphTest, NoDedupeKeepsParallelEdges) {
+  GraphBuilder b;
+  b.AddNode(0);
+  b.AddNode(0);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 1);
+  Graph g = std::move(b).Build(/*dedupe=*/false);
+  EXPECT_EQ(g.NumEdges(), 2u);
+}
+
+TEST(GraphTest, SelfLoopAllowed) {
+  Graph g = MakeGraph({0}, {{0, 0}});
+  EXPECT_TRUE(g.HasEdge(0, 0));
+  EXPECT_EQ(g.OutDegree(0), 1u);
+  EXPECT_EQ(g.InDegree(0), 1u);
+}
+
+TEST(GraphTest, EdgesRoundTrip) {
+  std::vector<std::pair<NodeId, NodeId>> edges = {{0, 1}, {1, 2}, {2, 0}};
+  Graph g = MakeGraph({0, 1, 2}, edges);
+  auto got = g.Edges();
+  std::sort(got.begin(), got.end());
+  std::sort(edges.begin(), edges.end());
+  EXPECT_EQ(got, edges);
+}
+
+TEST(GraphTest, SetLabel) {
+  GraphBuilder b;
+  b.AddNode(0);
+  b.SetLabel(0, 9);
+  Graph g = std::move(b).Build();
+  EXPECT_EQ(g.LabelOf(0), 9u);
+}
+
+TEST(GraphTest, LabeledEdgeInsertsDummyNode) {
+  GraphBuilder b;
+  NodeId x = b.AddNode(1);
+  NodeId y = b.AddNode(2);
+  NodeId dummy = b.AddLabeledEdge(x, y, 42);
+  Graph g = std::move(b).Build();
+  EXPECT_EQ(g.NumNodes(), 3u);
+  EXPECT_EQ(g.LabelOf(dummy), 42u);
+  EXPECT_TRUE(g.HasEdge(x, dummy));
+  EXPECT_TRUE(g.HasEdge(dummy, y));
+  EXPECT_FALSE(g.HasEdge(x, y));
+}
+
+TEST(GraphTest, SizeIsNodesPlusEdges) {
+  Graph g = MakeGraph({0, 0, 0, 0}, {{0, 1}, {1, 2}});
+  EXPECT_EQ(g.Size(), 6u);
+}
+
+TEST(GraphTest, IsolatedNodesHaveEmptyAdjacency) {
+  Graph g = MakeGraph({0, 1}, {});
+  EXPECT_TRUE(g.OutNeighbors(0).empty());
+  EXPECT_TRUE(g.InNeighbors(1).empty());
+}
+
+}  // namespace
+}  // namespace dgs

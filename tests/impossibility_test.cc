@@ -1,0 +1,111 @@
+// Empirical companion to Theorem 1 (the impossibility of parallel
+// scalability): on the Fig. 2 gadget family, |Q| and |Fm| are constants,
+// yet the work any algorithm performs grows with the number of fragments n.
+// These are regression tests pinning the unavoidable growth.
+
+#include <gtest/gtest.h>
+
+#include "core/api.h"
+#include "graph/generators.h"
+
+namespace dgs {
+namespace {
+
+DistOutcome RunGadget(size_t n, bool broken, Algorithm algorithm) {
+  auto gadget = MakeLocalityGadget(n, broken);
+  DistOptions options;
+  options.algorithm = algorithm;
+  options.enable_push = false;
+  auto outcome = DistributedMatch(gadget.g, gadget.assignment,
+                                  static_cast<uint32_t>(n), gadget.q, options);
+  DGS_CHECK(outcome.ok(), "gadget run failed");
+  return std::move(outcome).value();
+}
+
+TEST(ImpossibilityTest, GadgetShapeIsConstantPerFragment) {
+  for (size_t n : {4u, 16u, 64u}) {
+    auto gadget = MakeLocalityGadget(n);
+    auto frag = Fragmentation::Create(gadget.g, gadget.assignment,
+                                      static_cast<uint32_t>(n));
+    ASSERT_TRUE(frag.ok());
+    // |Fm| constant: each fragment holds 2 local nodes, 1 virtual node and
+    // 2 edges no matter how large n grows.
+    EXPECT_EQ(frag->MaxFragmentSize(), 5u);
+    // And the boundary is everything: Vf = all A nodes plus nothing else...
+    // exactly one virtual node per fragment.
+    EXPECT_EQ(frag->NumBoundaryNodes(), n);
+  }
+}
+
+TEST(ImpossibilityTest, DgpmRoundsGrowLinearlyOnBrokenCycle) {
+  // Refuting the broken cycle forces information around the ring: the
+  // number of refinement rounds must grow with n even though |Q| and |Fm|
+  // are constant — response time cannot be a function of (|Q|, |Fm|) alone.
+  uint32_t rounds8 = RunGadget(8, true, Algorithm::kDgpm).stats.rounds;
+  uint32_t rounds32 = RunGadget(32, true, Algorithm::kDgpm).stats.rounds;
+  uint32_t rounds64 = RunGadget(64, true, Algorithm::kDgpm).stats.rounds;
+  EXPECT_GE(rounds32, rounds8 + 16);
+  EXPECT_GE(rounds64, rounds32 + 16);
+  // Linear in n (each site learns the refutation one hop at a time).
+  EXPECT_GE(rounds64, 64u);
+}
+
+TEST(ImpossibilityTest, DgpmDataShipmentGrowsLinearlyOnBrokenCycle) {
+  // Data shipment grows with n too — it cannot be a function of (|Q|, |F|)
+  // alone when |F| is 2: merge the gadget into two fragments (all A nodes
+  // vs all B nodes, the Theorem 1(2) construction) and watch DS grow with
+  // the cycle length.
+  auto ship = [](size_t n) {
+    auto gadget = MakeLocalityGadget(n, /*broken=*/true);
+    std::vector<uint32_t> two_sites(2 * n);
+    for (size_t i = 0; i < 2 * n; ++i) two_sites[i] = i % 2;  // A|B split
+    DistOptions options;
+    options.enable_push = false;
+    auto outcome =
+        DistributedMatch(gadget.g, two_sites, 2, gadget.q, options);
+    DGS_CHECK(outcome.ok(), "two-site gadget failed");
+    return outcome->stats.data_bytes;
+  };
+  uint64_t ds8 = ship(8);
+  uint64_t ds32 = ship(32);
+  uint64_t ds128 = ship(128);
+  EXPECT_GT(ds32, ds8);
+  EXPECT_GT(ds128, ds32);
+  // Roughly linear: 16x the nodes should give at least 8x the bytes.
+  EXPECT_GE(ds128, 8 * ds8);
+}
+
+TEST(ImpossibilityTest, DMesSuperstepsGrowWithN) {
+  uint32_t s8 = RunGadget(8, true, Algorithm::kDMes).counters.supersteps;
+  uint32_t s24 = RunGadget(24, true, Algorithm::kDMes).counters.supersteps;
+  EXPECT_GE(s24, s8 + 8);
+}
+
+TEST(ImpossibilityTest, PartitionBoundednessStillHolds) {
+  // Theorem 2's consolation: the rounds are bounded by |Vf||Vq| and the
+  // shipment by |Ef||Vq| truth values — partition bounded, not |G| bounded.
+  for (size_t n : {8u, 16u, 32u}) {
+    auto outcome = RunGadget(n, true, Algorithm::kDgpm);
+    auto gadget = MakeLocalityGadget(n, true);
+    auto frag = Fragmentation::Create(gadget.g, gadget.assignment,
+                                      static_cast<uint32_t>(n));
+    ASSERT_TRUE(frag.ok());
+    uint64_t vf = frag->NumBoundaryNodes();
+    uint64_t ef = frag->NumCrossingEdges();
+    uint64_t vq = gadget.q.NumNodes();
+    EXPECT_LE(outcome.stats.rounds, vf * vq + 2);
+    EXPECT_LE(outcome.counters.vars_shipped, ef * vq);
+  }
+}
+
+TEST(ImpossibilityTest, IntactGadgetAnswerIsBooleanTrueEverywhere) {
+  // Sanity: the intact gadget matches at every size (Example 3).
+  for (size_t n : {4u, 32u}) {
+    auto outcome = RunGadget(n, false, Algorithm::kDgpm);
+    EXPECT_TRUE(outcome.result.GraphMatches());
+    EXPECT_EQ(outcome.result.RelationSize(), 2 * n);
+  }
+}
+
+}  // namespace
+}  // namespace dgs

@@ -1,0 +1,119 @@
+#include "simulation/incremental.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace dgs {
+namespace {
+
+// Rebuilds the graph without the given deleted edges.
+Graph Without(const Graph& g,
+              const std::vector<std::pair<NodeId, NodeId>>& deleted) {
+  GraphBuilder b;
+  for (NodeId v = 0; v < g.NumNodes(); ++v) b.AddNode(g.LabelOf(v));
+  for (auto e : g.Edges()) {
+    bool gone = false;
+    for (auto d : deleted) gone = gone || d == e;
+    if (!gone) b.AddEdge(e.first, e.second);
+  }
+  return std::move(b).Build();
+}
+
+TEST(IncrementalTest, InitialEqualsBatch) {
+  auto ex = MakeSocialExample();
+  IncrementalSimulation inc(ex.q, ex.g);
+  EXPECT_TRUE(inc.Result() == ComputeSimulation(ex.q, ex.g));
+}
+
+TEST(IncrementalTest, Example8EdgeDeletion) {
+  // Deleting (f2, sp1) from the Fig. 1 graph: Example 8 walks through the
+  // cascade X(F,f2), X(YF,yf1), ... — the whole cycle unravels.
+  auto ex = MakeSocialExample();
+  IncrementalSimulation inc(ex.q, ex.g);
+  NodeId f2 = 7, sp1 = 2;
+  ASSERT_EQ(ex.node_names[f2], "f2");
+  ASSERT_EQ(ex.node_names[sp1], "sp1");
+  size_t invalidated = inc.DeleteEdge(f2, sp1);
+  EXPECT_GT(invalidated, 0u);
+  Graph g2 = Without(ex.g, {{f2, sp1}});
+  EXPECT_TRUE(inc.Result() == ComputeSimulation(ex.q, g2));
+}
+
+TEST(IncrementalTest, DeletingAbsentEdgeIsNoOp) {
+  auto ex = MakeSocialExample();
+  IncrementalSimulation inc(ex.q, ex.g);
+  EXPECT_EQ(inc.DeleteEdge(0, 0), 0u);
+  size_t first = inc.DeleteEdge(7, 2);
+  EXPECT_GT(first, 0u);
+  EXPECT_EQ(inc.DeleteEdge(7, 2), 0u);  // already gone
+}
+
+TEST(IncrementalTest, IsCandidateTracksResult) {
+  auto ex = MakeSocialExample();
+  IncrementalSimulation inc(ex.q, ex.g);
+  EXPECT_TRUE(inc.IsCandidate(SocialExample::kF, 7));   // f2 matches F
+  inc.DeleteEdge(7, 2);                                 // cut (f2, sp1)
+  EXPECT_FALSE(inc.IsCandidate(SocialExample::kF, 7));  // no longer
+}
+
+struct IncCase {
+  uint64_t seed;
+  size_t n, m;
+  Label alphabet;
+  size_t nq, mq;
+  int deletions;
+};
+
+class IncrementalSweep : public ::testing::TestWithParam<IncCase> {};
+
+TEST_P(IncrementalSweep, AgreesWithRecomputationAfterEveryDeletion) {
+  const IncCase& c = GetParam();
+  Rng rng(c.seed);
+  Graph g = RandomGraph(c.n, c.m, c.alphabet, rng);
+  PatternSpec spec;
+  spec.num_nodes = c.nq;
+  spec.num_edges = c.mq;
+  spec.kind = PatternKind::kCyclic;
+  auto extracted = ExtractPattern(g, spec, rng);
+  Pattern q = extracted.ok() ? *extracted
+                             : SynthesizePattern(spec, c.alphabet, rng);
+
+  IncrementalSimulation inc(q, g);
+  std::vector<std::pair<NodeId, NodeId>> deleted;
+  auto edges = g.Edges();
+  for (int i = 0; i < c.deletions && !edges.empty(); ++i) {
+    size_t pick = rng.UniformInt(edges.size());
+    auto e = edges[pick];
+    edges.erase(edges.begin() + static_cast<long>(pick));
+    inc.DeleteEdge(e.first, e.second);
+    deleted.push_back(e);
+    Graph g2 = Without(g, deleted);
+    ASSERT_TRUE(inc.Result() == ComputeSimulation(q, g2))
+        << "divergence after deleting edge #" << i << " (" << e.first << ","
+        << e.second << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IncrementalSweep,
+    ::testing::Values(IncCase{501, 40, 160, 2, 3, 5, 12},
+                      IncCase{502, 60, 240, 3, 4, 7, 12},
+                      IncCase{503, 80, 240, 4, 5, 8, 10},
+                      IncCase{504, 50, 300, 2, 4, 8, 15},
+                      IncCase{505, 100, 300, 5, 5, 9, 10}));
+
+TEST(IncrementalTest, DrainToEmptyGraph) {
+  // Delete every edge: only sink-query label matches survive.
+  Rng rng(511);
+  Graph g = RandomGraph(30, 90, 2, rng);
+  Pattern q(MakeGraph({0, 1}, {{0, 1}}));
+  IncrementalSimulation inc(q, g);
+  for (auto e : g.Edges()) inc.DeleteEdge(e.first, e.second);
+  auto result = inc.Result();
+  // No a-node can have a b-child anymore.
+  EXPECT_FALSE(result.GraphMatches());
+}
+
+}  // namespace
+}  // namespace dgs

@@ -1,0 +1,68 @@
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.h"
+
+namespace dgs {
+namespace {
+
+TEST(IoTest, RoundTripSmall) {
+  Graph g = MakeGraph({3, 1, 4}, {{0, 1}, {1, 2}, {2, 0}});
+  std::stringstream ss;
+  WriteGraph(g, ss);
+  auto back = ReadGraph(ss);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->NumNodes(), 3u);
+  EXPECT_EQ(back->Edges(), g.Edges());
+  for (NodeId v = 0; v < 3; ++v) EXPECT_EQ(back->LabelOf(v), g.LabelOf(v));
+}
+
+TEST(IoTest, RoundTripGenerated) {
+  Rng rng(11);
+  Graph g = RandomGraph(500, 2000, 15, rng);
+  std::stringstream ss;
+  WriteGraph(g, ss);
+  auto back = ReadGraph(ss);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->Edges(), g.Edges());
+}
+
+TEST(IoTest, RoundTripEmptyGraph) {
+  std::stringstream ss;
+  WriteGraph(Graph(), ss);
+  auto back = ReadGraph(ss);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->NumNodes(), 0u);
+  EXPECT_EQ(back->NumEdges(), 0u);
+}
+
+TEST(IoTest, BadHeaderRejected) {
+  std::stringstream ss("not-a-graph v1\n");
+  EXPECT_EQ(ReadGraph(ss).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(IoTest, WrongVersionRejected) {
+  std::stringstream ss("dgs-graph v9\nnodes 0\nlabels\nedges 0\n");
+  EXPECT_FALSE(ReadGraph(ss).ok());
+}
+
+TEST(IoTest, TruncatedLabelsRejected) {
+  std::stringstream ss("dgs-graph v1\nnodes 3\nlabels 1 2\nedges 0\n");
+  EXPECT_FALSE(ReadGraph(ss).ok());
+}
+
+TEST(IoTest, TruncatedEdgesRejected) {
+  std::stringstream ss("dgs-graph v1\nnodes 2\nlabels 0 0\nedges 2\n0 1\n");
+  EXPECT_FALSE(ReadGraph(ss).ok());
+}
+
+TEST(IoTest, OutOfRangeEdgeRejected) {
+  std::stringstream ss("dgs-graph v1\nnodes 2\nlabels 0 0\nedges 1\n0 5\n");
+  EXPECT_EQ(ReadGraph(ss).status().code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace dgs

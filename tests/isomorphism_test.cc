@@ -1,0 +1,117 @@
+#include "simulation/isomorphism.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "simulation/simulation.h"
+
+namespace dgs {
+namespace {
+
+// Validates that `m` really is an embedding of q in g.
+void CheckEmbedding(const Pattern& q, const Graph& g,
+                    const std::vector<NodeId>& m) {
+  ASSERT_EQ(m.size(), q.NumNodes());
+  for (NodeId u = 0; u < q.NumNodes(); ++u) {
+    EXPECT_EQ(q.LabelOf(u), g.LabelOf(m[u]));
+    for (NodeId u2 = 0; u2 < q.NumNodes(); ++u2) {
+      if (u != u2) {
+        EXPECT_NE(m[u], m[u2]) << "not injective";
+      }
+    }
+    for (NodeId uc : q.Children(u)) {
+      EXPECT_TRUE(g.HasEdge(m[u], m[uc]));
+    }
+  }
+}
+
+TEST(IsomorphismTest, FindsTriangle) {
+  Pattern q(MakeGraph({0, 1, 2}, {{0, 1}, {1, 2}, {2, 0}}));
+  Graph g = MakeGraph({0, 1, 2, 0}, {{0, 1}, {1, 2}, {2, 0}, {3, 1}});
+  auto m = FindSubgraphIsomorphism(q, g);
+  ASSERT_TRUE(m.has_value());
+  CheckEmbedding(q, g, *m);
+}
+
+TEST(IsomorphismTest, RespectsLabels) {
+  Pattern q(MakeGraph({5, 6}, {{0, 1}}));
+  Graph g = MakeGraph({5, 7}, {{0, 1}});
+  EXPECT_FALSE(FindSubgraphIsomorphism(q, g).has_value());
+}
+
+TEST(IsomorphismTest, RequiresInjectivity) {
+  // Q: two distinct a-children of one b. Data has only one a-child.
+  Pattern q(MakeGraph({1, 0, 0}, {{0, 1}, {0, 2}}));
+  Graph g = MakeGraph({1, 0}, {{0, 1}});
+  EXPECT_FALSE(FindSubgraphIsomorphism(q, g).has_value());
+  // Simulation happily maps both query a-nodes to the same data node.
+  EXPECT_TRUE(ComputeSimulation(q, g).GraphMatches());
+}
+
+TEST(IsomorphismTest, Example3GadgetContrast) {
+  // The heart of Example 3: Q0 (the 2-cycle) simulation-matches the
+  // stretched 2n-cycle G0, but no subgraph of G0 is isomorphic to Q0.
+  auto gadget = MakeLocalityGadget(6);
+  EXPECT_TRUE(ComputeSimulation(gadget.q, gadget.g).GraphMatches());
+  EXPECT_FALSE(FindSubgraphIsomorphism(gadget.q, gadget.g).has_value());
+}
+
+TEST(IsomorphismTest, SocialExampleHasNoEmbedding) {
+  // The Example 1 scenario is exactly where isomorphism is too strict: the
+  // recommendation cycle in Fig. 1 is "stretched" across nodes (sp2's YF
+  // successor is yf3, never the yf2 that fed f3), so no one-to-one
+  // embedding of Q exists even though simulation matches every query node.
+  auto ex = MakeSocialExample();
+  EXPECT_FALSE(FindSubgraphIsomorphism(ex.q, ex.g).has_value());
+  EXPECT_TRUE(ComputeSimulation(ex.q, ex.g).GraphMatches());
+}
+
+TEST(IsomorphismTest, MatchAtPinsTheMapping) {
+  // Pinning: in the triangle fixture, node 0 embeds as query node 0 and
+  // node 3 (an 'a' off the cycle) does not.
+  Pattern q(MakeGraph({0, 1, 2}, {{0, 1}, {1, 2}, {2, 0}}));
+  Graph g = MakeGraph({0, 1, 2, 0}, {{0, 1}, {1, 2}, {2, 0}, {3, 1}});
+  EXPECT_TRUE(IsomorphicMatchAt(q, g, 0, 0));
+  EXPECT_FALSE(IsomorphicMatchAt(q, g, 0, 3));
+  EXPECT_FALSE(IsomorphicMatchAt(q, g, 0, 1));  // wrong label
+  EXPECT_FALSE(IsomorphicMatchAt(q, g, 99, 0));  // out-of-range query node
+}
+
+TEST(IsomorphismTest, EmbeddingImpliesSimulationMatch) {
+  // Soundness cross-check on random inputs: whenever an embedding exists,
+  // simulation must also match (the converse fails, per the gadget).
+  Rng rng(701);
+  for (int trial = 0; trial < 10; ++trial) {
+    Graph g = RandomGraph(50, 200, 3, rng);
+    PatternSpec spec;
+    spec.num_nodes = 3;
+    spec.num_edges = 4;
+    spec.kind = PatternKind::kAny;
+    Pattern q = SynthesizePattern(spec, 3, rng);
+    auto m = FindSubgraphIsomorphism(q, g);
+    if (m.has_value()) {
+      CheckEmbedding(q, g, *m);
+      EXPECT_TRUE(ComputeSimulation(q, g).GraphMatches());
+    }
+  }
+}
+
+TEST(IsomorphismTest, ExtractedPatternsAlwaysEmbed) {
+  // ExtractPattern returns subgraphs of g, so an embedding always exists.
+  Rng rng(703);
+  Graph g = WebGraph(500, 2500, 5, rng);
+  for (int trial = 0; trial < 5; ++trial) {
+    PatternSpec spec;
+    spec.num_nodes = 4;
+    spec.num_edges = 6;
+    spec.kind = PatternKind::kCyclic;
+    auto q = ExtractPattern(g, spec, rng);
+    if (!q.ok()) continue;
+    auto m = FindSubgraphIsomorphism(*q, g);
+    ASSERT_TRUE(m.has_value());
+    CheckEmbedding(*q, g, *m);
+  }
+}
+
+}  // namespace
+}  // namespace dgs

@@ -1,0 +1,308 @@
+#include "core/local_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "partition/fragmentation.h"
+
+namespace dgs {
+namespace {
+
+TEST(VarKeyTest, RoundTrip) {
+  uint64_t key = MakeVarKey(7, 123456);
+  EXPECT_EQ(VarKeyQueryNode(key), 7u);
+  EXPECT_EQ(VarKeyGlobalNode(key), 123456u);
+}
+
+// Single fragment: the engine must reproduce centralized simulation.
+TEST(LocalEngineTest, SingleFragmentEqualsCentralized) {
+  auto ex = MakeSocialExample();
+  auto f = Fragmentation::Create(ex.g, std::vector<uint32_t>(13, 0), 1);
+  ASSERT_TRUE(f.ok());
+  LocalEngine engine(&f->fragment(0), &ex.q, /*incremental=*/true);
+  engine.Initialize();
+  auto candidates = engine.LocalCandidates();
+  for (NodeId u = 0; u < 4; ++u) {
+    std::vector<NodeId> got;
+    candidates[u].ForEachSet([&](size_t lv) {
+      got.push_back(f->fragment(0).ToGlobal(static_cast<NodeId>(lv)));
+    });
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, ex.expected_matches[u]) << "query node " << u;
+  }
+  EXPECT_EQ(engine.NumUndecidedFrontier(), 0u);
+  EXPECT_EQ(engine.recompute_count(), 1u);
+}
+
+// The Example 6/7 scenario: initial partial evaluation at S1 must leave the
+// boundary-dependent variables undecided and produce no false in-nodes.
+TEST(LocalEngineTest, SocialFragmentPartialEvaluation) {
+  auto ex = MakeSocialExample();
+  auto f = Fragmentation::Create(ex.g, ex.assignment, 3);
+  ASSERT_TRUE(f.ok());
+  LocalEngine engine(&f->fragment(0), &ex.q, true);
+  engine.Initialize();
+  // Example 7: yb1 and f1 evaluate to false locally, but neither is an
+  // in-node, so nothing ships.
+  EXPECT_TRUE(engine.DrainInNodeFalses().empty());
+  auto candidates = engine.LocalCandidates();
+  const Fragment& frag = f->fragment(0);
+  auto global_has = [&](NodeId u, const char* name) {
+    for (NodeId v = 0; v < 13; ++v) {
+      if (ex.node_names[v] == name) {
+        NodeId lv = frag.ToLocal(v);
+        return lv != kInvalidNode && candidates[u].Test(lv);
+      }
+    }
+    ADD_FAILURE() << "unknown node " << name;
+    return false;
+  };
+  EXPECT_FALSE(global_has(SocialExample::kYB, "yb1"));  // X(YB,yb1) = false
+  EXPECT_FALSE(global_has(SocialExample::kF, "f1"));    // X(F,f1) = false
+  EXPECT_TRUE(global_has(SocialExample::kSP, "sp1"));   // undecided => cand.
+  EXPECT_TRUE(global_has(SocialExample::kYF, "yf1"));
+  // The undecided frontier is exactly the virtual-node variables of
+  // Example 6: f4, f2 (label F) and yf2 (label YF) paired with their
+  // label-compatible query nodes.
+  EXPECT_GT(engine.NumUndecidedFrontier(), 0u);
+}
+
+// Example 8: removing edge (f2, sp1) makes X(F,f2) false at S2; applying it
+// at S1 must incrementally falsify X(YF,yf1) and ship it.
+TEST(LocalEngineTest, IncrementalRefinementExample8) {
+  auto ex = MakeSocialExample();
+  // Remove edge (f2, sp1): rebuild the graph without it.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (auto e : ex.g.Edges()) {
+    if (!(ex.node_names[e.first] == "f2" && ex.node_names[e.second] == "sp1")) {
+      edges.push_back(e);
+    }
+  }
+  std::vector<Label> labels;
+  for (NodeId v = 0; v < ex.g.NumNodes(); ++v) labels.push_back(ex.g.LabelOf(v));
+  Graph g2 = MakeGraph(labels, edges);
+  auto f = Fragmentation::Create(g2, ex.assignment, 3);
+  ASSERT_TRUE(f.ok());
+
+  LocalEngine s1(&f->fragment(0), &ex.q, true);
+  s1.Initialize();
+  s1.DrainInNodeFalses();
+
+  // S2 reports X(F, f2) = false (f2 is global node 7).
+  NodeId f2_global = 7;
+  ASSERT_EQ(ex.node_names[f2_global], "f2");
+  s1.ApplyRemoteFalses({MakeVarKey(SocialExample::kF, f2_global)});
+  auto shipped = s1.DrainInNodeFalses();
+  // X(YF, yf1) must flip false (yf1's only F-child was f2).
+  bool yf1_false = false;
+  const Fragment& frag = f->fragment(0);
+  for (const auto& fv : shipped) {
+    if (ex.node_names[frag.ToGlobal(fv.local_node)] == "yf1" &&
+        fv.query_node == SocialExample::kYF) {
+      yf1_false = true;
+    }
+  }
+  EXPECT_TRUE(yf1_false);
+}
+
+// Example 6's table, symbol for symbol: after partial evaluation, the
+// reduced in-node equations at every site are exactly the ones the paper
+// lists (variables of virtual nodes only, chains collapsed).
+TEST(LocalEngineTest, Example6ReducedEquationsExact) {
+  auto ex = MakeSocialExample();
+  auto f = Fragmentation::Create(ex.g, ex.assignment, 3);
+  ASSERT_TRUE(f.ok());
+
+  auto node_id = [&](const char* name) -> NodeId {
+    for (NodeId v = 0; v < ex.g.NumNodes(); ++v) {
+      if (ex.node_names[v] == name) return v;
+    }
+    ADD_FAILURE() << "unknown node " << name;
+    return kInvalidNode;
+  };
+  auto find_entry = [](const ReducedSystem& r,
+                       uint64_t key) -> const ReducedEntry* {
+    for (const auto& e : r.entries) {
+      if (e.key == key) return &e;
+    }
+    return nullptr;
+  };
+  const Label YB = SocialExample::kYB, YF = SocialExample::kYF,
+              F = SocialExample::kF, SP = SocialExample::kSP;
+  (void)YB;
+
+  // F1: X(YF,yf1) = X(F,f2);  X(SP,sp1) = X(YF,yf2) v X(F,f2).
+  {
+    LocalEngine s1(&f->fragment(0), &ex.q, true);
+    s1.Initialize();
+    auto li = s1.ReduceInNodeEquations();
+    const auto* yf1 = find_entry(li, MakeVarKey(YF, node_id("yf1")));
+    ASSERT_NE(yf1, nullptr);
+    ASSERT_EQ(yf1->kind, ReducedEntry::kEquation);
+    ASSERT_EQ(yf1->groups.size(), 1u);
+    EXPECT_EQ(yf1->groups[0],
+              (std::vector<uint64_t>{MakeVarKey(F, node_id("f2"))}));
+    const auto* sp1 = find_entry(li, MakeVarKey(SP, node_id("sp1")));
+    ASSERT_NE(sp1, nullptr);
+    ASSERT_EQ(sp1->groups.size(), 1u);
+    std::vector<uint64_t> expected = {MakeVarKey(F, node_id("f2")),
+                                      MakeVarKey(YF, node_id("yf2"))};
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(sp1->groups[0], expected);
+  }
+  // F2: X(F,f2) = X(SP,sp1);  X(YF,yf2) = X(YF,yf3).
+  {
+    LocalEngine s2(&f->fragment(1), &ex.q, true);
+    s2.Initialize();
+    auto li = s2.ReduceInNodeEquations();
+    const auto* f2 = find_entry(li, MakeVarKey(F, node_id("f2")));
+    ASSERT_NE(f2, nullptr);
+    ASSERT_EQ(f2->groups.size(), 1u);
+    EXPECT_EQ(f2->groups[0],
+              (std::vector<uint64_t>{MakeVarKey(SP, node_id("sp1"))}));
+    const auto* yf2 = find_entry(li, MakeVarKey(YF, node_id("yf2")));
+    ASSERT_NE(yf2, nullptr);
+    ASSERT_EQ(yf2->groups.size(), 1u);
+    EXPECT_EQ(yf2->groups[0],
+              (std::vector<uint64_t>{MakeVarKey(YF, node_id("yf3"))}));
+  }
+  // F3: X(F,f4) = X(YF,yf1); X(SP,sp3) = X(YF,yf1); X(YF,yf3) = X(YF,yf1).
+  {
+    LocalEngine s3(&f->fragment(2), &ex.q, true);
+    s3.Initialize();
+    auto li = s3.ReduceInNodeEquations();
+    for (auto [label, name] : std::vector<std::pair<Label, const char*>>{
+             {F, "f4"}, {SP, "sp3"}, {YF, "yf3"}}) {
+      const auto* e = find_entry(li, MakeVarKey(label, node_id(name)));
+      ASSERT_NE(e, nullptr) << name;
+      ASSERT_EQ(e->kind, ReducedEntry::kEquation) << name;
+      ASSERT_EQ(e->groups.size(), 1u) << name;
+      EXPECT_EQ(e->groups[0],
+                (std::vector<uint64_t>{MakeVarKey(YF, node_id("yf1"))}))
+          << name;
+    }
+  }
+}
+
+TEST(LocalEngineTest, NonIncrementalProducesSameFalses) {
+  auto ex = MakeSocialExample();
+  auto f = Fragmentation::Create(ex.g, ex.assignment, 3);
+  ASSERT_TRUE(f.ok());
+  for (uint32_t site = 0; site < 3; ++site) {
+    LocalEngine inc(&f->fragment(site), &ex.q, true);
+    LocalEngine rebuild(&f->fragment(site), &ex.q, false);
+    inc.Initialize();
+    rebuild.Initialize();
+    // Feed both the same remote false and compare candidate sets.
+    NodeId f2_global = 7;
+    std::vector<uint64_t> keys = {MakeVarKey(SocialExample::kF, f2_global)};
+    inc.ApplyRemoteFalses(keys);
+    rebuild.ApplyRemoteFalses(keys);
+    auto a = inc.LocalCandidates();
+    auto b = rebuild.LocalCandidates();
+    for (NodeId u = 0; u < 4; ++u) {
+      EXPECT_TRUE(a[u] == b[u]) << "site " << site << " query " << u;
+    }
+    EXPECT_EQ(rebuild.recompute_count(), 2u);
+    EXPECT_EQ(inc.recompute_count(), 1u);
+  }
+}
+
+TEST(LocalEngineTest, SinkVirtualVariablesAreNotFrontier) {
+  // Q: a -> b with b a sink. A virtual b-node's X(b, v) is decided by its
+  // label alone, so it must not appear in the undecided frontier.
+  Pattern q(MakeGraph({0, 1}, {{0, 1}}));
+  Graph g = MakeGraph({0, 1}, {{0, 1}});
+  auto f = Fragmentation::Create(g, {0, 1}, 2);
+  ASSERT_TRUE(f.ok());
+  LocalEngine engine(&f->fragment(0), &q, true);
+  engine.Initialize();
+  EXPECT_EQ(engine.NumUndecidedFrontier(), 0u);
+  // And the local a-node stays a candidate (virtual b counts as true).
+  auto candidates = engine.LocalCandidates();
+  EXPECT_EQ(candidates[0].Count(), 1u);
+}
+
+TEST(LocalEngineTest, SinkFrontierFoldsToTrueOnInstall) {
+  // Q: a -> b -> c with c a SINK. Site 1's in-node variable X(b, node1)
+  // depends only on the sink variable X(c, node2), which its local labels
+  // already decide — the pushed answer must therefore be a definite TRUE
+  // and installation must create no fresh dependencies at site 0.
+  Pattern q(MakeGraph({0, 1, 2}, {{0, 1}, {1, 2}}));
+  Graph g = MakeGraph({0, 1, 2}, {{0, 1}, {1, 2}});
+  auto f = Fragmentation::Create(g, {0, 1, 2}, 3);
+  ASSERT_TRUE(f.ok());
+
+  LocalEngine s1(&f->fragment(1), &q, true);
+  s1.Initialize();
+  ReducedSystem pushed = s1.ReduceInNodeEquations();
+  ASSERT_EQ(pushed.entries.size(), 1u);
+  EXPECT_EQ(pushed.entries[0].kind, ReducedEntry::kTrue);
+
+  LocalEngine s0(&f->fragment(0), &q, true);
+  s0.Initialize();
+  auto fresh = s0.InstallReducedSystem(pushed);
+  EXPECT_TRUE(fresh.empty());
+  EXPECT_EQ(s0.LocalCandidates()[0].Count(), 1u);
+}
+
+TEST(LocalEngineTest, InstallReducedSystemResolvesFrontier) {
+  // Q: a -> b -> c -> d (4-chain, so c is NOT a sink). Fragments: one node
+  // each. Site 1 pushes "X(b, node1) = X(c, node2)" to site 0; a false for
+  // (c, node2) must then kill site 0's a-candidate through the installed
+  // equation, bypassing site 1.
+  Pattern q(MakeGraph({0, 1, 2, 3}, {{0, 1}, {1, 2}, {2, 3}}));
+  Graph g = MakeGraph({0, 1, 2, 3}, {{0, 1}, {1, 2}, {2, 3}});
+  auto f = Fragmentation::Create(g, {0, 1, 2, 3}, 4);
+  ASSERT_TRUE(f.ok());
+
+  LocalEngine s0(&f->fragment(0), &q, true);
+  s0.Initialize();
+  ASSERT_EQ(s0.NumUndecidedFrontier(), 1u);  // X(b, node1)
+
+  LocalEngine s1(&f->fragment(1), &q, true);
+  s1.Initialize();
+  ReducedSystem pushed = s1.ReduceInNodeEquations();
+  ASSERT_FALSE(pushed.entries.empty());
+
+  auto fresh = s0.InstallReducedSystem(pushed);
+  // Site 0 now depends on (c, node2) directly.
+  ASSERT_EQ(fresh.size(), 1u);
+  EXPECT_EQ(VarKeyGlobalNode(fresh[0]), 2u);
+  EXPECT_EQ(VarKeyQueryNode(fresh[0]), 2u);
+
+  s0.ApplyRemoteFalses({fresh[0]});
+  auto candidates = s0.LocalCandidates();
+  EXPECT_EQ(candidates[0].Count(), 0u);  // a-candidate dead
+}
+
+TEST(LocalEngineTest, FalseQueryNodesForReportsLabelAndRefinementFalses) {
+  auto ex = MakeSocialExample();
+  auto f = Fragmentation::Create(ex.g, ex.assignment, 3);
+  ASSERT_TRUE(f.ok());
+  LocalEngine engine(&f->fragment(0), &ex.q, true);
+  engine.Initialize();
+  // f1 (global 3, local in fragment 0): X(F, f1) is false after lEval.
+  const Fragment& frag = f->fragment(0);
+  NodeId f1_local = frag.ToLocal(3);
+  ASSERT_NE(f1_local, kInvalidNode);
+  auto falses = engine.FalseQueryNodesFor(f1_local);
+  EXPECT_EQ(falses, (std::vector<NodeId>{SocialExample::kF}));
+}
+
+TEST(LocalEngineTest, IsKeyFalseSemantics) {
+  auto ex = MakeSocialExample();
+  auto f = Fragmentation::Create(ex.g, ex.assignment, 3);
+  ASSERT_TRUE(f.ok());
+  LocalEngine engine(&f->fragment(0), &ex.q, true);
+  engine.Initialize();
+  // Label mismatch => false. (yb1 is global node 1, label YB.)
+  EXPECT_TRUE(engine.IsKeyFalse(MakeVarKey(SocialExample::kSP, 1)));
+  // Refined false: X(F, f1).
+  EXPECT_TRUE(engine.IsKeyFalse(MakeVarKey(SocialExample::kF, 3)));
+  // Undecided: X(SP, sp1) (global 2).
+  EXPECT_FALSE(engine.IsKeyFalse(MakeVarKey(SocialExample::kSP, 2)));
+}
+
+}  // namespace
+}  // namespace dgs

@@ -1,0 +1,193 @@
+#include "partition/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "partition/fragmentation.h"
+#include "partition/stats.h"
+
+namespace dgs {
+namespace {
+
+TEST(PartitionerTest, RandomPartitionCoversAllFragments) {
+  Rng rng(41);
+  Graph g = RandomGraph(1000, 3000, 5, rng);
+  auto a = RandomPartition(g, 8, rng);
+  ASSERT_EQ(a.size(), 1000u);
+  std::set<uint32_t> used(a.begin(), a.end());
+  EXPECT_EQ(used.size(), 8u);
+  for (uint32_t x : a) EXPECT_LT(x, 8u);
+}
+
+TEST(PartitionerTest, HashPartitionIsDeterministic) {
+  Rng rng(43);
+  Graph g = RandomGraph(500, 1000, 5, rng);
+  EXPECT_EQ(HashPartition(g, 4), HashPartition(g, 4));
+}
+
+TEST(PartitionerTest, ContiguousPartitionIsBalanced) {
+  Rng rng(47);
+  Graph g = WebGraph(2000, 8000, 8, rng);
+  auto a = ContiguousPartition(g, 5, rng);
+  std::vector<size_t> sizes(5, 0);
+  for (uint32_t x : a) ++sizes[x];
+  for (size_t s : sizes) {
+    EXPECT_GT(s, 0u);
+    EXPECT_LE(s, 2000u / 5 + 1);
+  }
+}
+
+TEST(PartitionerTest, ContiguousBeatsRandomOnBoundary) {
+  Rng rng(53);
+  Graph g = WebGraph(3000, 12000, 8, rng);
+  auto contiguous = ContiguousPartition(g, 6, rng);
+  auto random = RandomPartition(g, 6, rng);
+  EXPECT_LT(BoundaryNodeRatio(g, contiguous), BoundaryNodeRatio(g, random));
+}
+
+TEST(PartitionerTest, RangePartitionBlocks) {
+  Rng rng(48);
+  Graph g = RandomGraph(100, 200, 3, rng);
+  auto a = RangePartition(g, 4);
+  ASSERT_EQ(a.size(), 100u);
+  EXPECT_EQ(a[0], 0u);
+  EXPECT_EQ(a[24], 0u);
+  EXPECT_EQ(a[25], 1u);
+  EXPECT_EQ(a[99], 3u);
+  // Balanced within one block.
+  std::vector<size_t> sizes(4, 0);
+  for (uint32_t x : a) ++sizes[x];
+  for (size_t s : sizes) EXPECT_EQ(s, 25u);
+}
+
+TEST(PartitionerTest, RangePartitionBeatsRandomOnLocalityGraphs) {
+  Rng rng(49);
+  Graph g = ClusteredGraph(3000, 12000, 6, rng);
+  EXPECT_LT(BoundaryNodeRatio(g, RangePartition(g, 6)),
+            BoundaryNodeRatio(g, RandomPartition(g, 6, rng)));
+}
+
+TEST(PartitionerTest, BoundaryRatioOfTrivialPartitions) {
+  Graph g = MakeGraph({0, 0, 0}, {{0, 1}, {1, 2}});
+  EXPECT_EQ(BoundaryNodeRatio(g, {0, 0, 0}), 0.0);
+  // Split {0} | {1, 2}: node 1 is a boundary node.
+  EXPECT_NEAR(BoundaryNodeRatio(g, {0, 1, 1}), 1.0 / 3, 1e-9);
+  EXPECT_NEAR(CrossingEdgeRatio(g, {0, 1, 1}), 0.5, 1e-9);
+}
+
+class BoundaryRatioSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BoundaryRatioSweep, HitsTarget) {
+  const double target = GetParam();
+  Rng rng(59);
+  Graph g = WebGraph(4000, 16000, 8, rng);
+  auto a = PartitionWithBoundaryRatio(g, 8, target, rng, /*tolerance=*/0.03);
+  double achieved = BoundaryNodeRatio(g, a);
+  EXPECT_NEAR(achieved, target, 0.08) << "target " << target;
+  // Assignment must stay complete and in range.
+  for (uint32_t x : a) EXPECT_LT(x, 8u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Targets, BoundaryRatioSweep,
+                         ::testing::Values(0.25, 0.35, 0.5));
+
+TEST(PartitionStatsTest, MatchesDirectComputation) {
+  // 0 -> 1 -> 2 -> 0 split as {0, 1} | {2}.
+  Graph g = MakeGraph({0, 1, 2}, {{0, 1}, {1, 2}, {2, 0}});
+  auto f = Fragmentation::Create(g, {0, 0, 1}, 2);
+  ASSERT_TRUE(f.ok());
+  auto stats = ComputePartitionStats(*f);
+  EXPECT_EQ(stats.num_fragments, 2u);
+  EXPECT_EQ(stats.num_nodes, 3u);
+  EXPECT_EQ(stats.num_edges, 3u);  // every edge counted once, at its source
+  EXPECT_EQ(stats.boundary_nodes, 2u);
+  EXPECT_EQ(stats.crossing_edges, 2u);
+  EXPECT_EQ(stats.min_local_nodes, 1u);
+  EXPECT_EQ(stats.max_local_nodes, 2u);
+  EXPECT_NEAR(stats.boundary_node_ratio, 2.0 / 3, 1e-9);
+  EXPECT_NEAR(stats.crossing_edge_ratio, 2.0 / 3, 1e-9);
+  EXPECT_NEAR(stats.balance_factor, 2.0 / 1.5, 1e-9);
+  EXPECT_EQ(stats.consumer_links, 2u);
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
+TEST(PartitionStatsTest, ConsistentWithRatioHelpersOnRandomInput) {
+  Rng rng(163);
+  Graph g = WebGraph(2000, 8000, 6, rng);
+  auto assignment = RandomPartition(g, 5, rng);
+  auto f = Fragmentation::Create(g, assignment, 5);
+  ASSERT_TRUE(f.ok());
+  auto stats = ComputePartitionStats(*f);
+  EXPECT_EQ(stats.num_edges, g.NumEdges());
+  EXPECT_NEAR(stats.boundary_node_ratio, BoundaryNodeRatio(g, assignment),
+              1e-12);
+  EXPECT_NEAR(stats.crossing_edge_ratio, CrossingEdgeRatio(g, assignment),
+              1e-12);
+  EXPECT_EQ(stats.max_fragment_size, f->MaxFragmentSize());
+}
+
+TEST(TreePartitionTest, RejectsNonTrees) {
+  Graph cyclic = MakeGraph({0, 0}, {{0, 1}, {1, 0}});
+  EXPECT_EQ(TreePartition(cyclic, 2).status().code(),
+            StatusCode::kFailedPrecondition);
+  Graph dag = MakeGraph({0, 0, 0}, {{0, 2}, {1, 2}});
+  EXPECT_FALSE(TreePartition(dag, 2).ok());
+  EXPECT_FALSE(TreePartition(MakeGraph({0}, {}), 0).ok());
+}
+
+TEST(TreePartitionTest, FragmentsAreConnectedSubtrees) {
+  Rng rng(61);
+  Graph tree = RandomTree(600, 4, rng);
+  auto a = TreePartition(tree, 6);
+  ASSERT_TRUE(a.ok());
+  // Every fragment piece must be reachable from a unique root within the
+  // fragment: count, per fragment, nodes whose parent is outside it; for a
+  // connected subtree that is exactly 1 (or a global root).
+  std::vector<std::set<NodeId>> fragment_roots(6);
+  for (NodeId v = 0; v < tree.NumNodes(); ++v) {
+    auto parents = tree.InNeighbors(v);
+    if (parents.empty() || (*a)[parents[0]] != (*a)[v]) {
+      fragment_roots[(*a)[v]].insert(v);
+    }
+  }
+  size_t nonempty = 0;
+  for (uint32_t i = 0; i < 6; ++i) {
+    size_t size = 0;
+    for (NodeId v = 0; v < tree.NumNodes(); ++v) {
+      if ((*a)[v] == i) ++size;
+    }
+    if (size == 0) continue;
+    ++nonempty;
+    // Carved fragments (>0) are single connected subtrees by construction.
+    if (i > 0) {
+      EXPECT_EQ(fragment_roots[i].size(), 1u) << "fragment " << i;
+    }
+  }
+  EXPECT_GE(nonempty, 5u);
+}
+
+TEST(TreePartitionTest, RoughBalance) {
+  Rng rng(67);
+  Graph tree = RandomTree(1000, 4, rng, /*max_fanout=*/3);
+  auto a = TreePartition(tree, 5);
+  ASSERT_TRUE(a.ok());
+  std::vector<size_t> sizes(5, 0);
+  for (uint32_t x : *a) ++sizes[x];
+  for (size_t s : sizes) EXPECT_GT(s, 0u);
+  // No fragment should dwarf the rest by more than ~3x the fair share.
+  for (size_t s : sizes) EXPECT_LE(s, 3 * 1000u / 5);
+}
+
+TEST(TreePartitionTest, SingleFragmentIsIdentity) {
+  Rng rng(71);
+  Graph tree = RandomTree(50, 4, rng);
+  auto a = TreePartition(tree, 1);
+  ASSERT_TRUE(a.ok());
+  for (uint32_t x : *a) EXPECT_EQ(x, 0u);
+}
+
+}  // namespace
+}  // namespace dgs

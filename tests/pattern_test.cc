@@ -1,0 +1,60 @@
+#include "graph/pattern.h"
+
+#include <gtest/gtest.h>
+
+namespace dgs {
+namespace {
+
+TEST(PatternTest, BasicAccessors) {
+  Pattern q(MakeGraph({3, 4}, {{0, 1}}));
+  EXPECT_EQ(q.NumNodes(), 2u);
+  EXPECT_EQ(q.NumEdges(), 1u);
+  EXPECT_EQ(q.Size(), 3u);
+  EXPECT_EQ(q.LabelOf(0), 3u);
+  EXPECT_FALSE(q.IsSink(0));
+  EXPECT_TRUE(q.IsSink(1));
+  EXPECT_EQ(q.Children(0).size(), 1u);
+  EXPECT_EQ(q.Parents(1).size(), 1u);
+}
+
+TEST(PatternTest, DagDetection) {
+  EXPECT_TRUE(Pattern(MakeGraph({0, 1}, {{0, 1}})).IsDag());
+  EXPECT_FALSE(Pattern(MakeGraph({0, 1}, {{0, 1}, {1, 0}})).IsDag());
+}
+
+TEST(PatternTest, DiameterOfTwoCycle) {
+  Pattern q(MakeGraph({0, 1}, {{0, 1}, {1, 0}}));
+  EXPECT_EQ(q.Diameter(), 1u);
+}
+
+TEST(PatternTest, RanksOfDag) {
+  // YB1 -> {YF, F} -> SP -> YB2 -> FB (the Fig. 5 shape).
+  Pattern q(MakeGraph({0, 1, 2, 3, 0, 4},
+                      {{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 4}, {4, 5}}));
+  ASSERT_TRUE(q.IsDag());
+  const auto& r = q.Ranks();
+  EXPECT_EQ(r[5], 0u);  // FB
+  EXPECT_EQ(r[4], 1u);  // YB2
+  EXPECT_EQ(r[3], 2u);  // SP
+  EXPECT_EQ(r[1], 3u);  // YF
+  EXPECT_EQ(r[2], 3u);  // F
+  EXPECT_EQ(r[0], 4u);  // YB1
+  EXPECT_EQ(q.MaxRank(), 4u);
+  EXPECT_EQ(q.Diameter(), 4u);
+}
+
+TEST(PatternTest, SingleNode) {
+  Pattern q(MakeGraph({7}, {}));
+  EXPECT_TRUE(q.IsDag());
+  EXPECT_EQ(q.Diameter(), 0u);
+  EXPECT_EQ(q.MaxRank(), 0u);
+  EXPECT_TRUE(q.IsSink(0));
+}
+
+TEST(PatternDeathTest, RanksOnCyclicPatternAborts) {
+  Pattern q(MakeGraph({0, 0}, {{0, 1}, {1, 0}}));
+  EXPECT_DEATH(q.Ranks(), "DAG");
+}
+
+}  // namespace
+}  // namespace dgs

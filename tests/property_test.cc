@@ -1,0 +1,203 @@
+// The central correctness property of the whole library: every distributed
+// algorithm computes exactly the centralized maximum simulation, for any
+// graph, any pattern and any fragmentation (Theorems 2, 3; Corollary 4).
+// Parameterized sweeps cover graph family x partitioner x pattern shape x
+// site count.
+
+#include <gtest/gtest.h>
+
+#include "core/api.h"
+#include "graph/algorithms.h"
+#include "graph/generators.h"
+#include "partition/partitioner.h"
+#include "simulation/oracle.h"
+#include "simulation/simulation.h"
+
+namespace dgs {
+namespace {
+
+enum class GraphFamily { kRandom, kWeb, kCitation, kTree };
+enum class Partitioner { kRandom, kContiguous, kHash };
+
+struct PropertyCase {
+  uint64_t seed;
+  GraphFamily family;
+  size_t n, m;
+  Label alphabet;
+  Partitioner partitioner;
+  uint32_t sites;
+  PatternKind pattern_kind;
+  size_t nq, mq;
+  uint32_t depth;  // for kDag
+};
+
+std::string CaseName(const ::testing::TestParamInfo<PropertyCase>& info) {
+  const PropertyCase& c = info.param;
+  std::string name;
+  switch (c.family) {
+    case GraphFamily::kRandom:
+      name += "Random";
+      break;
+    case GraphFamily::kWeb:
+      name += "Web";
+      break;
+    case GraphFamily::kCitation:
+      name += "Citation";
+      break;
+    case GraphFamily::kTree:
+      name += "Tree";
+      break;
+  }
+  name += std::to_string(c.n) + "x" + std::to_string(c.m) + "s" +
+          std::to_string(c.sites);
+  switch (c.pattern_kind) {
+    case PatternKind::kAny:
+      name += "Any";
+      break;
+    case PatternKind::kCyclic:
+      name += "Cyclic";
+      break;
+    case PatternKind::kDag:
+      name += "DagD" + std::to_string(c.depth);
+      break;
+  }
+  return name;
+}
+
+class DistributedEqualsCentralized
+    : public ::testing::TestWithParam<PropertyCase> {
+ protected:
+  Graph MakeGraphUnderTest(Rng& rng) const {
+    const PropertyCase& c = GetParam();
+    switch (c.family) {
+      case GraphFamily::kRandom:
+        return RandomGraph(c.n, c.m, c.alphabet, rng);
+      case GraphFamily::kWeb:
+        return WebGraph(c.n, c.m, c.alphabet, rng);
+      case GraphFamily::kCitation:
+        return CitationDag(c.n, c.m, c.alphabet, rng);
+      case GraphFamily::kTree:
+        return RandomTree(c.n, c.alphabet, rng);
+    }
+    return Graph();
+  }
+
+  std::vector<uint32_t> MakeAssignment(const Graph& g, Rng& rng) const {
+    const PropertyCase& c = GetParam();
+    switch (c.partitioner) {
+      case Partitioner::kRandom:
+        return RandomPartition(g, c.sites, rng);
+      case Partitioner::kContiguous:
+        return ContiguousPartition(g, c.sites, rng);
+      case Partitioner::kHash:
+        return HashPartition(g, c.sites);
+    }
+    return {};
+  }
+
+  Pattern MakePatternUnderTest(const Graph& g, Rng& rng) const {
+    const PropertyCase& c = GetParam();
+    PatternSpec spec;
+    spec.num_nodes = c.nq;
+    spec.num_edges = c.mq;
+    spec.kind = c.pattern_kind;
+    spec.dag_depth = c.depth;
+    // Prefer extraction (guaranteed matches); fall back to synthesis when
+    // the graph cannot supply the shape.
+    auto extracted = ExtractPattern(g, spec, rng);
+    if (extracted.ok()) return *extracted;
+    return SynthesizePattern(spec, c.alphabet, rng);
+  }
+};
+
+TEST_P(DistributedEqualsCentralized, AllApplicableAlgorithms) {
+  const PropertyCase& c = GetParam();
+  Rng rng(c.seed);
+  for (int trial = 0; trial < 3; ++trial) {
+    Graph g = MakeGraphUnderTest(rng);
+    Pattern q = MakePatternUnderTest(g, rng);
+    auto assignment = MakeAssignment(g, rng);
+    auto expected = ComputeSimulation(q, g);
+
+    std::vector<Algorithm> algorithms = {Algorithm::kDgpm,
+                                         Algorithm::kDgpmNoOpt,
+                                         Algorithm::kMatch, Algorithm::kDisHhk,
+                                         Algorithm::kDMes};
+    if (q.IsDag() || IsAcyclic(g)) algorithms.push_back(Algorithm::kDgpmDag);
+    if (IsDownwardForest(g)) algorithms.push_back(Algorithm::kDgpmTree);
+
+    for (Algorithm algorithm : algorithms) {
+      DistOptions options;
+      options.algorithm = algorithm;
+      auto outcome = DistributedMatch(g, assignment, c.sites, q, options);
+      ASSERT_TRUE(outcome.ok())
+          << AlgorithmName(algorithm) << ": " << outcome.status().ToString();
+      ASSERT_TRUE(outcome->result == expected)
+          << AlgorithmName(algorithm) << " diverges (seed=" << c.seed
+          << ", trial=" << trial << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DistributedEqualsCentralized,
+    ::testing::Values(
+        PropertyCase{201, GraphFamily::kRandom, 120, 480, 3,
+                     Partitioner::kRandom, 4, PatternKind::kCyclic, 4, 8, 0},
+        PropertyCase{202, GraphFamily::kRandom, 200, 600, 5,
+                     Partitioner::kHash, 7, PatternKind::kAny, 5, 8, 0},
+        PropertyCase{203, GraphFamily::kRandom, 80, 400, 2,
+                     Partitioner::kContiguous, 3, PatternKind::kCyclic, 3, 5,
+                     0},
+        PropertyCase{204, GraphFamily::kWeb, 300, 1500, 6,
+                     Partitioner::kRandom, 6, PatternKind::kCyclic, 5, 10, 0},
+        PropertyCase{205, GraphFamily::kWeb, 250, 1000, 8,
+                     Partitioner::kContiguous, 5, PatternKind::kDag, 6, 9, 3},
+        PropertyCase{206, GraphFamily::kCitation, 300, 900, 5,
+                     Partitioner::kRandom, 5, PatternKind::kDag, 6, 9, 3},
+        PropertyCase{207, GraphFamily::kCitation, 400, 1200, 7,
+                     Partitioner::kHash, 8, PatternKind::kDag, 5, 7, 2},
+        PropertyCase{208, GraphFamily::kTree, 300, 0, 4, Partitioner::kRandom,
+                     5, PatternKind::kDag, 4, 5, 2},
+        PropertyCase{209, GraphFamily::kTree, 500, 0, 3,
+                     Partitioner::kContiguous, 6, PatternKind::kAny, 3, 3, 0},
+        PropertyCase{210, GraphFamily::kRandom, 150, 300, 2,
+                     Partitioner::kRandom, 10, PatternKind::kAny, 6, 10, 0},
+        PropertyCase{211, GraphFamily::kWeb, 200, 800, 4,
+                     Partitioner::kRandom, 2, PatternKind::kCyclic, 4, 7, 0},
+        PropertyCase{212, GraphFamily::kRandom, 60, 240, 3,
+                     Partitioner::kRandom, 12, PatternKind::kCyclic, 5, 9, 0}),
+    CaseName);
+
+// Push-enabled dGPM with aggressive thresholds against the oracle: the push
+// machinery (equation shipping, subscriptions, bypass) must never change
+// the answer.
+class PushProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(PushProperty, PushNeverChangesAnswer) {
+  Rng rng(301 + static_cast<uint64_t>(GetParam() * 1000));
+  for (int trial = 0; trial < 6; ++trial) {
+    Graph g = WebGraph(250, 1000, 5, rng);
+    PatternSpec spec;
+    spec.num_nodes = 5;
+    spec.num_edges = 8;
+    spec.kind = PatternKind::kCyclic;
+    auto q = ExtractPattern(g, spec, rng);
+    if (!q.ok()) continue;
+    auto assignment = RandomPartition(g, 6, rng);
+    auto frag = Fragmentation::Create(g, assignment, 6);
+    ASSERT_TRUE(frag.ok());
+    DgpmConfig config;
+    config.enable_push = true;
+    config.push_threshold = GetParam();
+    auto outcome = RunDgpm(*frag, *q, config);
+    ASSERT_TRUE(outcome.result == ComputeSimulation(*q, g))
+        << "theta=" << GetParam() << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, PushProperty,
+                         ::testing::Values(0.0, 0.05, 0.2, 1.0));
+
+}  // namespace
+}  // namespace dgs

@@ -1,0 +1,140 @@
+// Wire-format round trips, robustness of the runtime primitives, and the
+// usefulness filter of Section 4.1.
+
+#include "core/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "runtime/cluster.h"
+
+namespace dgs {
+namespace {
+
+TEST(BlobTest, PrimitivesRoundTrip) {
+  Blob blob;
+  blob.PutU8(0xab);
+  blob.PutU16(0xcdef);
+  blob.PutU32(0x12345678);
+  blob.PutU64(0x1122334455667788ull);
+  EXPECT_EQ(blob.size(), 1u + 2 + 4 + 8);
+  Blob::Reader reader(blob);
+  EXPECT_EQ(reader.GetU8(), 0xab);
+  EXPECT_EQ(reader.GetU16(), 0xcdef);
+  EXPECT_EQ(reader.GetU32(), 0x12345678u);
+  EXPECT_EQ(reader.GetU64(), 0x1122334455667788ull);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(BlobTest, RemainingTracksPosition) {
+  Blob blob;
+  blob.PutU32(1);
+  blob.PutU32(2);
+  Blob::Reader reader(blob);
+  EXPECT_EQ(reader.Remaining(), 8u);
+  reader.GetU32();
+  EXPECT_EQ(reader.Remaining(), 4u);
+}
+
+TEST(BlobDeathTest, UnderrunAborts) {
+  Blob blob;
+  blob.PutU8(1);
+  Blob::Reader reader(blob);
+  reader.GetU8();
+  EXPECT_DEATH(reader.GetU32(), "underrun");
+}
+
+TEST(MessageTest, WireSizeIncludesHeader) {
+  Message m;
+  m.payload.PutU32(7);
+  EXPECT_EQ(m.WireSize(), 4 + kMessageHeaderBytes);
+}
+
+TEST(ProtocolTest, FalseVarListRoundTrip) {
+  std::vector<uint64_t> keys = {MakeVarKey(0, 0), MakeVarKey(3, 123456),
+                                MakeVarKey(65535, 0xffffffu)};
+  Blob blob;
+  AppendFalseVarList(blob, keys);
+  Blob::Reader reader(blob);
+  EXPECT_EQ(GetTag(reader), WireTag::kFalseVars);
+  EXPECT_EQ(ReadFalseVarList(reader), keys);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(ProtocolTest, MatchListRoundTripSelecting) {
+  std::vector<std::vector<NodeId>> matches = {{1, 2, 3}, {}, {42}};
+  Blob blob;
+  AppendMatchList(blob, matches, /*boolean_only=*/false);
+  Blob::Reader reader(blob);
+  EXPECT_EQ(GetTag(reader), WireTag::kMatches);
+  EXPECT_EQ(ReadMatchList(reader), matches);
+}
+
+TEST(ProtocolTest, MatchListBooleanModeShipsBitsOnly) {
+  std::vector<std::vector<NodeId>> matches = {{1, 2, 3}, {}, {42}};
+  Blob selecting, boolean;
+  AppendMatchList(selecting, matches, false);
+  AppendMatchList(boolean, matches, true);
+  EXPECT_LT(boolean.size(), selecting.size());
+  Blob::Reader reader(boolean);
+  GetTag(reader);
+  auto back = ReadMatchList(reader);
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_EQ(back[0], (std::vector<NodeId>{kInvalidNode}));  // hit marker
+  EXPECT_TRUE(back[1].empty());
+  EXPECT_EQ(back[2], (std::vector<NodeId>{kInvalidNode}));
+}
+
+TEST(ProtocolTest, ConsumerNeedsVarFilter) {
+  // Q: 0 -> 1 -> 2 with labels 10, 11, 12.
+  Pattern q(MakeGraph({10, 11, 12}, {{0, 1}, {1, 2}}));
+  // X(1, v) is useful to a consumer whose crossing sources carry label 10
+  // (the label of query node 0, the only parent of 1).
+  EXPECT_TRUE(ConsumerNeedsVar(q, 1, {10}));
+  EXPECT_TRUE(ConsumerNeedsVar(q, 1, {9, 10, 11}));
+  EXPECT_FALSE(ConsumerNeedsVar(q, 1, {11, 12}));
+  // Query node 0 has no parents: its truth values help nobody.
+  EXPECT_FALSE(ConsumerNeedsVar(q, 0, {10, 11, 12}));
+  // Empty source labels never need anything.
+  EXPECT_FALSE(ConsumerNeedsVar(q, 2, {}));
+}
+
+TEST(ClusterTest, RunawayRoundsAbortGuard) {
+  // Two actors ping-ponging forever must hit the max_rounds guard rather
+  // than hanging (failure-injection for protocol bugs).
+  class PingPong : public SiteActor {
+   public:
+    void Setup(SiteContext& ctx) override {
+      if (ctx.site_id() == 0) Bounce(ctx);
+    }
+    void OnMessages(SiteContext& ctx, std::vector<Message>) override {
+      Bounce(ctx);
+    }
+
+   private:
+    void Bounce(SiteContext& ctx) {
+      Blob b;
+      b.PutU8(1);
+      ctx.Send(1 - ctx.site_id(), MessageClass::kData, std::move(b));
+    }
+  };
+  class Idle : public SiteActor {
+   public:
+    void OnMessages(SiteContext&, std::vector<Message>) override {}
+  };
+  Cluster cluster(2);
+  cluster.SetWorker(0, std::make_unique<PingPong>());
+  cluster.SetWorker(1, std::make_unique<PingPong>());
+  cluster.SetCoordinator(std::make_unique<Idle>());
+  EXPECT_DEATH(cluster.Run(/*max_rounds=*/64), "round budget");
+}
+
+TEST(VarKeyTest, Boundaries) {
+  uint64_t key = MakeVarKey(0xffff, 0xffffffffu);
+  EXPECT_EQ(VarKeyQueryNode(key), 0xffffu);
+  EXPECT_EQ(VarKeyGlobalNode(key), 0xffffffffu);
+  EXPECT_EQ(VarKeyQueryNode(MakeVarKey(0, 0)), 0u);
+  EXPECT_EQ(VarKeyGlobalNode(MakeVarKey(0, 0)), 0u);
+}
+
+}  // namespace
+}  // namespace dgs

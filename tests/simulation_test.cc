@@ -1,0 +1,191 @@
+#include "simulation/simulation.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "simulation/oracle.h"
+
+namespace dgs {
+namespace {
+
+TEST(SimulationTest, SingleNodeLabelMatch) {
+  Pattern q(MakeGraph({5}, {}));
+  Graph g = MakeGraph({5, 6}, {});
+  auto r = ComputeSimulation(q, g);
+  EXPECT_TRUE(r.GraphMatches());
+  EXPECT_EQ(r.Matches(0), (std::vector<NodeId>{0}));
+}
+
+TEST(SimulationTest, SingleNodeNoMatch) {
+  Pattern q(MakeGraph({5}, {}));
+  Graph g = MakeGraph({6}, {});
+  auto r = ComputeSimulation(q, g);
+  EXPECT_FALSE(r.GraphMatches());
+  EXPECT_EQ(r.RelationSize(), 0u);
+}
+
+TEST(SimulationTest, EdgeRequiresChildMatch) {
+  // Q: a -> b. G: a-node with b-child matches; a-node without does not.
+  Pattern q(MakeGraph({0, 1}, {{0, 1}}));
+  Graph g = MakeGraph({0, 1, 0}, {{0, 1}});
+  auto r = ComputeSimulation(q, g);
+  ASSERT_TRUE(r.GraphMatches());
+  EXPECT_EQ(r.Matches(0), (std::vector<NodeId>{0}));
+  EXPECT_EQ(r.Matches(1), (std::vector<NodeId>{1}));
+}
+
+TEST(SimulationTest, EmptyAnswerWhenOneQueryNodeUnmatched) {
+  // b-nodes exist, but no a-node has a b-child => whole answer empty.
+  Pattern q(MakeGraph({0, 1}, {{0, 1}}));
+  Graph g = MakeGraph({0, 1}, {});  // no edge
+  auto r = ComputeSimulation(q, g);
+  EXPECT_FALSE(r.GraphMatches());
+  EXPECT_EQ(r.MatchSet(1).Count(), 0u);  // reported empty despite label hit
+}
+
+TEST(SimulationTest, CycleInQueryNeedsCycleInData) {
+  Pattern q(MakeGraph({0, 1}, {{0, 1}, {1, 0}}));
+  Graph chain = MakeGraph({0, 1, 0}, {{0, 1}, {1, 2}});
+  EXPECT_FALSE(ComputeSimulation(q, chain).GraphMatches());
+  Graph cycle = MakeGraph({0, 1}, {{0, 1}, {1, 0}});
+  EXPECT_TRUE(ComputeSimulation(q, cycle).GraphMatches());
+}
+
+TEST(SimulationTest, SimulationIsCoarserThanIsomorphism) {
+  // Q: triangle cycle a->b->c->a; G: hexagon cycle a->b->c->a->b->c.
+  // No subgraph isomorphic triangle exists in G, but simulation matches.
+  Pattern q(MakeGraph({0, 1, 2}, {{0, 1}, {1, 2}, {2, 0}}));
+  Graph g = MakeGraph({0, 1, 2, 0, 1, 2},
+                      {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}});
+  auto r = ComputeSimulation(q, g);
+  ASSERT_TRUE(r.GraphMatches());
+  EXPECT_EQ(r.RelationSize(), 6u);
+}
+
+TEST(SimulationTest, ManyToManySemantics) {
+  // One query node can match many data nodes and vice versa.
+  Pattern q(MakeGraph({0, 1}, {{0, 1}}));
+  Graph g = MakeGraph({0, 0, 1, 1}, {{0, 2}, {0, 3}, {1, 2}});
+  auto r = ComputeSimulation(q, g);
+  ASSERT_TRUE(r.GraphMatches());
+  EXPECT_EQ(r.Matches(0), (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(r.Matches(1), (std::vector<NodeId>{2, 3}));
+}
+
+TEST(SimulationTest, Example2SocialGraph) {
+  auto ex = MakeSocialExample();
+  auto r = ComputeSimulation(ex.q, ex.g);
+  ASSERT_TRUE(r.GraphMatches());
+  for (NodeId u = 0; u < 4; ++u) {
+    EXPECT_EQ(r.Matches(u), ex.expected_matches[u]);
+  }
+}
+
+TEST(SimulationTest, BooleanOnlyAgreesOnMatchDecision) {
+  Rng rng(21);
+  for (int trial = 0; trial < 20; ++trial) {
+    Graph g = RandomGraph(200, 800, 4, rng);
+    PatternSpec spec;
+    spec.num_nodes = 4;
+    spec.num_edges = 6;
+    spec.kind = PatternKind::kAny;
+    Pattern q = SynthesizePattern(spec, 4, rng);
+    SimulationOptions boolean;
+    boolean.boolean_only = true;
+    EXPECT_EQ(ComputeSimulation(q, g).GraphMatches(),
+              ComputeSimulation(q, g, boolean).GraphMatches());
+  }
+}
+
+TEST(SimulationTest, SelfLoopQueryOnSelfLoopData) {
+  Pattern q(MakeGraph({0}, {{0, 0}}));
+  Graph g = MakeGraph({0, 0}, {{0, 0}, {0, 1}});
+  auto r = ComputeSimulation(q, g);
+  ASSERT_TRUE(r.GraphMatches());
+  EXPECT_EQ(r.Matches(0), (std::vector<NodeId>{0}));
+}
+
+TEST(SimulationTest, DisconnectedQueryComponents) {
+  Pattern q(MakeGraph({0, 1}, {}));  // two independent label tests
+  Graph g = MakeGraph({0, 1, 1}, {});
+  auto r = ComputeSimulation(q, g);
+  ASSERT_TRUE(r.GraphMatches());
+  EXPECT_EQ(r.Matches(1), (std::vector<NodeId>{1, 2}));
+}
+
+TEST(SimulationTest, EdgeLabelsViaDummyNodes) {
+  // Section 2.1's reduction: a labeled edge becomes a dummy node carrying
+  // the edge label, in both the data graph and the pattern. Query: person
+  // -[knows]-> person; data has one "knows" edge and one "owes" edge.
+  constexpr Label kPerson = 0, kKnows = 10, kOwes = 11;
+  GraphBuilder gb;
+  NodeId alice = gb.AddNode(kPerson);
+  NodeId bob = gb.AddNode(kPerson);
+  NodeId carol = gb.AddNode(kPerson);
+  gb.AddLabeledEdge(alice, bob, kKnows);
+  gb.AddLabeledEdge(bob, carol, kOwes);
+  Graph g = std::move(gb).Build();
+
+  GraphBuilder qb;
+  NodeId qsrc = qb.AddNode(kPerson);
+  NodeId qdst = qb.AddNode(kPerson);
+  qb.AddLabeledEdge(qsrc, qdst, kKnows);
+  Pattern q(std::move(qb).Build());
+
+  auto result = ComputeSimulation(q, g);
+  ASSERT_TRUE(result.GraphMatches());
+  // Only alice "knows" someone.
+  EXPECT_EQ(result.Matches(qsrc), (std::vector<NodeId>{alice}));
+  auto dst_matches = result.Matches(qdst);
+  // bob and carol are valid targets (qdst is a sink person).
+  EXPECT_EQ(dst_matches, (std::vector<NodeId>{alice, bob, carol}));
+}
+
+TEST(SimulationTest, ResultEquality) {
+  auto ex = MakeSocialExample();
+  auto a = ComputeSimulation(ex.q, ex.g);
+  auto b = NaiveSimulation(ex.q, ex.g);
+  EXPECT_TRUE(a == b);
+}
+
+// Property check: the fast HHK refinement agrees with the naive fixpoint on
+// randomized inputs of several shapes.
+struct OracleCase {
+  uint64_t seed;
+  size_t n, m;
+  Label alphabet;
+  size_t nq, mq;
+};
+
+class OracleAgreement : public ::testing::TestWithParam<OracleCase> {};
+
+TEST_P(OracleAgreement, HhkEqualsNaive) {
+  const OracleCase& c = GetParam();
+  Rng rng(c.seed);
+  for (int trial = 0; trial < 8; ++trial) {
+    Graph g = RandomGraph(c.n, c.m, c.alphabet, rng);
+    PatternSpec spec;
+    spec.num_nodes = c.nq;
+    spec.num_edges = c.mq;
+    spec.kind = (trial % 2 == 0) ? PatternKind::kAny : PatternKind::kCyclic;
+    Pattern q = SynthesizePattern(spec, c.alphabet, rng);
+    auto fast = ComputeSimulation(q, g);
+    auto slow = NaiveSimulation(q, g);
+    ASSERT_TRUE(fast == slow)
+        << "divergence at seed=" << c.seed << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OracleAgreement,
+    ::testing::Values(OracleCase{101, 30, 60, 2, 3, 4},
+                      OracleCase{102, 30, 120, 3, 4, 8},
+                      OracleCase{103, 60, 90, 4, 5, 7},
+                      OracleCase{104, 60, 240, 2, 5, 10},
+                      OracleCase{105, 100, 400, 5, 6, 12},
+                      OracleCase{106, 100, 150, 3, 8, 12},
+                      OracleCase{107, 150, 600, 6, 4, 8},
+                      OracleCase{108, 200, 400, 2, 6, 9}));
+
+}  // namespace
+}  // namespace dgs

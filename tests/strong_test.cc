@@ -1,0 +1,136 @@
+#include "simulation/strong.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "simulation/oracle.h"
+
+namespace dgs {
+namespace {
+
+// Checks R1 subset-of R2 pairwise over fixpoint sets.
+bool SubsetOf(const SimulationResult& r1, const SimulationResult& r2,
+              size_t nq) {
+  for (NodeId u = 0; u < nq; ++u) {
+    bool ok = true;
+    r1.FixpointSet(u).ForEachSet([&](size_t v) {
+      if (!r2.FixpointSet(u).Test(v)) ok = false;
+    });
+    if (!ok) return false;
+  }
+  return true;
+}
+
+TEST(DualSimulationTest, AddsParentCondition) {
+  // Q: a -> b. Data: a1 -> b1, and an orphan b2 with no a-parent.
+  Pattern q(MakeGraph({0, 1}, {{0, 1}}));
+  Graph g = MakeGraph({0, 1, 1}, {{0, 1}});
+  auto plain = ComputeSimulation(q, g);
+  auto dual = ComputeDualSimulation(q, g);
+  // Plain simulation keeps b2 (only successors matter); dual drops it.
+  EXPECT_EQ(plain.Matches(1), (std::vector<NodeId>{1, 2}));
+  EXPECT_EQ(dual.Matches(1), (std::vector<NodeId>{1}));
+  EXPECT_TRUE(SubsetOf(dual, plain, 2));
+}
+
+TEST(DualSimulationTest, AgreesWithPlainWhenPatternHasNoSharedParents) {
+  // On the intact locality gadget every node has matching parents and
+  // children, so dual == plain.
+  auto gadget = MakeLocalityGadget(6);
+  auto plain = ComputeSimulation(gadget.q, gadget.g);
+  auto dual = ComputeDualSimulation(gadget.q, gadget.g);
+  EXPECT_TRUE(plain == dual);
+}
+
+TEST(DualSimulationTest, SubsetOfPlainOnRandomInputs) {
+  Rng rng(601);
+  for (int trial = 0; trial < 12; ++trial) {
+    Graph g = RandomGraph(120, 480, 3, rng);
+    PatternSpec spec;
+    spec.num_nodes = 4;
+    spec.num_edges = 6;
+    spec.kind = PatternKind::kAny;
+    Pattern q = SynthesizePattern(spec, 3, rng);
+    auto plain = ComputeSimulation(q, g);
+    auto dual = ComputeDualSimulation(q, g);
+    EXPECT_TRUE(SubsetOf(dual, plain, q.NumNodes())) << trial;
+  }
+}
+
+TEST(UndirectedBallTest, RadiusSemantics) {
+  // Path 0 -> 1 -> 2 -> 3.
+  Graph g = MakeGraph({0, 0, 0, 0}, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(UndirectedBall(g, 1, 0), (std::vector<NodeId>{1}));
+  EXPECT_EQ(UndirectedBall(g, 1, 1), (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(UndirectedBall(g, 1, 2), (std::vector<NodeId>{0, 1, 2, 3}));
+  // Direction is ignored: node 3 reaches node 0 through reversed edges.
+  EXPECT_EQ(UndirectedBall(g, 3, 3), (std::vector<NodeId>{0, 1, 2, 3}));
+}
+
+TEST(StrongSimulationTest, MissesYb2OnTheSocialExample) {
+  // Section 2.1: "[strong simulation] may miss potential matches, e.g., the
+  // node yb2 for YB in Fig. 1", which plain simulation finds.
+  auto ex = MakeSocialExample();
+  auto plain = ComputeSimulation(ex.q, ex.g);
+  auto strong = ComputeStrongSimulation(ex.q, ex.g);
+  NodeId yb2 = 5;
+  ASSERT_EQ(ex.node_names[yb2], "yb2");
+  EXPECT_TRUE(plain.FixpointSet(SocialExample::kYB).Test(yb2));
+  EXPECT_FALSE(strong.FixpointSet(SocialExample::kYB).Test(yb2));
+  EXPECT_TRUE(SubsetOf(strong, plain, 4));
+}
+
+TEST(StrongSimulationTest, ContainmentChainOnRandomInputs) {
+  // strong subset-of dual subset-of plain (the [24] hierarchy).
+  Rng rng(607);
+  for (int trial = 0; trial < 8; ++trial) {
+    Graph g = RandomGraph(60, 240, 3, rng);
+    PatternSpec spec;
+    spec.num_nodes = 3;
+    spec.num_edges = 4;
+    spec.kind = PatternKind::kAny;
+    Pattern q = SynthesizePattern(spec, 3, rng);
+    auto plain = ComputeSimulation(q, g);
+    auto dual = ComputeDualSimulation(q, g);
+    auto strong = ComputeStrongSimulation(q, g);
+    EXPECT_TRUE(SubsetOf(dual, plain, q.NumNodes())) << trial;
+    EXPECT_TRUE(SubsetOf(strong, dual, q.NumNodes())) << trial;
+  }
+}
+
+TEST(StrongSimulationTest, DataLocalityOnTheGadget) {
+  // Example 3's point, constructively: plain simulation on the intact
+  // 2n-cycle matches everything and needs whole-cycle information, while
+  // strong simulation decides every ball (radius d_Q = 1) locally — and
+  // pays for that locality by rejecting the stretched cycle entirely (the
+  // ball around any node is a 3-node path, where the A <-> B cycle has no
+  // dual match).
+  auto gadget = MakeLocalityGadget(8);
+  auto plain = ComputeSimulation(gadget.q, gadget.g);
+  EXPECT_TRUE(plain.GraphMatches());
+  EXPECT_EQ(plain.RelationSize(), 16u);
+  auto strong = ComputeStrongSimulation(gadget.q, gadget.g);
+  EXPECT_FALSE(strong.GraphMatches());
+}
+
+TEST(StrongSimulationTest, FindsTightCommunities) {
+  // A genuine 2-cycle is found by strong simulation (the ball contains the
+  // whole match).
+  Graph g = MakeGraph({0, 1, 0}, {{0, 1}, {1, 0}, {2, 1}});
+  Pattern q(MakeGraph({0, 1}, {{0, 1}, {1, 0}}));
+  auto strong = ComputeStrongSimulation(q, g);
+  ASSERT_TRUE(strong.GraphMatches());
+  EXPECT_EQ(strong.Matches(0), (std::vector<NodeId>{0}));
+  EXPECT_EQ(strong.Matches(1), (std::vector<NodeId>{1}));
+}
+
+TEST(StrongSimulationTest, SingleNodePattern) {
+  Pattern q(MakeGraph({3}, {}));
+  Graph g = MakeGraph({3, 4}, {{0, 1}});
+  auto strong = ComputeStrongSimulation(q, g);
+  ASSERT_TRUE(strong.GraphMatches());
+  EXPECT_EQ(strong.Matches(0), (std::vector<NodeId>{0}));
+}
+
+}  // namespace
+}  // namespace dgs

@@ -1,0 +1,46 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dgs {
+namespace {
+
+TEST(TableTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer-name", "23456"});
+  std::stringstream ss;
+  table.Print(ss);
+  std::string out = ss.str();
+  // Header present, separator present, both rows present.
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_NE(out.find("longer-name"), std::string::npos);
+  // All lines after the rule share the same column start for "value".
+  size_t header_pos = out.find("value");
+  size_t row_pos = out.find("23456");
+  EXPECT_EQ(header_pos % (out.find('\n') + 1), row_pos % (out.find('\n') + 1));
+}
+
+TEST(TableDeathTest, ArityMismatchAborts) {
+  TablePrinter table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"only-one"}), "arity");
+}
+
+TEST(FormatTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(FormatTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(17), "17 B");
+  EXPECT_EQ(FormatBytes(2048), "2.00 KB");
+  EXPECT_EQ(FormatBytes(3 * 1024ull * 1024), "3.00 MB");
+  EXPECT_EQ(FormatBytes(5 * 1024ull * 1024 * 1024), "5.00 GB");
+}
+
+}  // namespace
+}  // namespace dgs
