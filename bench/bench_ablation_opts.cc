@@ -14,6 +14,15 @@ int main() {
   auto env = bench::Env::FromEnv();
   Rng rng(env.seed);
 
+  bench::BenchJson json("ablation_opts");
+  json.meta().Num("scale", env.scale).Int("seed", env.seed)
+      .Int("threads", env.threads);
+  const ClusterOptions runtime = [&] {
+    ClusterOptions r(bench::BenchNetwork());
+    r.num_threads = env.threads;
+    return r;
+  }();
+
   // --- incremental vs recompute, growing fragment size -------------------
   {
     std::cout << "Ablation 1: incremental evaluation (dGPM vs dGPMNOpt)\n\n";
@@ -36,8 +45,8 @@ int main() {
       DgpmConfig noopt;
       noopt.incremental = false;
       noopt.enable_push = false;
-      auto fast = RunDgpm(*frag, *q, opt);
-      auto slow = RunDgpm(*frag, *q, noopt);
+      auto fast = RunDgpm(*frag, *q, opt, runtime);
+      auto slow = RunDgpm(*frag, *q, noopt, runtime);
       table.AddRow(
           {"(" + std::to_string(g.NumNodes()) + "," +
                std::to_string(g.NumEdges()) + ")",
@@ -49,6 +58,7 @@ int main() {
            std::to_string(slow.counters.recomputations)});
     }
     table.Print(std::cout);
+    bench::AppendTableJson(json, "incremental_vs_recompute", table);
     std::cout << "\n";
   }
 
@@ -84,8 +94,8 @@ int main() {
       DgpmConfig noopt;
       noopt.incremental = false;
       noopt.enable_push = false;
-      auto fast = RunDgpm(*frag, q, opt);
-      auto slow = RunDgpm(*frag, q, noopt);
+      auto fast = RunDgpm(*frag, q, opt, runtime);
+      auto slow = RunDgpm(*frag, q, noopt, runtime);
       table.AddRow(
           {std::to_string(k),
            FormatDouble(fast.stats.response_seconds * 1e3, 2),
@@ -96,6 +106,7 @@ int main() {
            std::to_string(slow.counters.recomputations)});
     }
     table.Print(std::cout);
+    bench::AppendTableJson(json, "refinement_waves", table);
     std::cout << "\n(Long refinement waves are where the paper's ~20x "
                  "incremental-evaluation gap\ncomes from.)\n\n";
   }
@@ -120,7 +131,7 @@ int main() {
       DgpmConfig config;
       config.enable_push = true;
       config.push_threshold = theta;
-      auto outcome = RunDgpm(*frag, *q, config);
+      auto outcome = RunDgpm(*frag, *q, config, runtime);
       table.AddRow({theta > 1e17 ? "inf" : FormatDouble(theta, 2),
                     std::to_string(outcome.counters.push_count),
                     FormatDouble(outcome.stats.response_seconds * 1e3, 2),
@@ -128,8 +139,10 @@ int main() {
                     std::to_string(outcome.stats.rounds)});
     }
     table.Print(std::cout);
+    bench::AppendTableJson(json, "push_threshold", table);
     std::cout << "\n(Lower theta: more equation shipping, fewer rounds — "
                  "the Section 4.2 trade-off.)\n";
   }
+  json.WriteFile();
   return 0;
 }

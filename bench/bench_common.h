@@ -6,18 +6,28 @@
 // paper's y-axis in seconds) and data shipment (DS, in KB) — one column per
 // algorithm, one row per x value, averaged over several extracted queries.
 //
+// Besides the ASCII tables every binary writes a machine-readable
+// BENCH_<name>.json next to its working directory, so successive PRs can
+// track the performance trajectory (see BenchJson below).
+//
 // Environment knobs:
 //   DGS_SCALE    multiplies graph sizes (default 1.0; the defaults are the
 //                paper's setups scaled ~60-100x down to laptop size)
 //   DGS_QUERIES  queries averaged per data point (default 3; paper used 20)
 //   DGS_SEED     RNG seed (default 2014)
+//   DGS_THREADS  cluster-runtime executor width (default 1 = the
+//                sequential reference; 0 = all hardware threads). Results
+//                and message accounting are identical for every value.
 
 #ifndef DGS_BENCH_BENCH_COMMON_H_
 #define DGS_BENCH_BENCH_COMMON_H_
 
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -29,12 +39,25 @@ struct Env {
   double scale = 1.0;
   int queries = 3;
   uint64_t seed = 2014;
+  uint32_t threads = 1;
 
   static Env FromEnv() {
     Env env;
     if (const char* s = std::getenv("DGS_SCALE")) env.scale = std::atof(s);
     if (const char* s = std::getenv("DGS_QUERIES")) env.queries = std::atoi(s);
     if (const char* s = std::getenv("DGS_SEED")) env.seed = std::strtoull(s, nullptr, 10);
+    if (const char* s = std::getenv("DGS_THREADS")) {
+      // Strict parse: a malformed value keeps the sequential default
+      // rather than silently becoming 0 = "all hardware threads".
+      char* end = nullptr;
+      long threads = std::strtol(s, &end, 10);
+      if (end != s && *end == '\0' && threads >= 0) {
+        env.threads = static_cast<uint32_t>(threads);
+      } else {
+        std::cerr << "warning: ignoring malformed DGS_THREADS='" << s
+                  << "' (using 1)\n";
+      }
+    }
     if (env.scale <= 0) env.scale = 1.0;
     if (env.queries <= 0) env.queries = 1;
     return env;
@@ -45,6 +68,113 @@ struct Env {
     return v < 16 ? 16 : v;
   }
 };
+
+// --- Machine-readable output -----------------------------------------------
+
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+// One flat JSON object assembled key by key (insertion order preserved).
+class JsonObject {
+ public:
+  JsonObject& Str(const std::string& key, const std::string& value) {
+    fields_.emplace_back(key, "\"" + JsonEscape(value) + "\"");
+    return *this;
+  }
+  JsonObject& Num(const std::string& key, double value) {
+    std::ostringstream os;
+    os << value;
+    fields_.emplace_back(key, os.str());
+    return *this;
+  }
+  JsonObject& Int(const std::string& key, uint64_t value) {
+    fields_.emplace_back(key, std::to_string(value));
+    return *this;
+  }
+
+  std::string ToString() const {
+    std::string out = "{";
+    for (size_t i = 0; i < fields_.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "\"" + JsonEscape(fields_[i].first) + "\": " + fields_[i].second;
+    }
+    return out + "}";
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+// Collects benchmark rows and writes BENCH_<name>.json:
+//   {"bench": <name>, "meta": {...}, "rows": [{...}, ...]}
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  JsonObject& meta() { return meta_; }
+  JsonObject& AddRow() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  void Write(std::ostream& os) const {
+    os << "{\"bench\": \"" << JsonEscape(name_) << "\",\n  \"meta\": "
+       << meta_.ToString() << ",\n  \"rows\": [";
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      os << (i == 0 ? "\n    " : ",\n    ") << rows_[i].ToString();
+    }
+    os << "\n  ]}\n";
+  }
+
+  // Writes BENCH_<name>.json into the current working directory.
+  bool WriteFile() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "warning: cannot write " << path << "\n";
+      return false;
+    }
+    Write(out);
+    std::cout << "\n[json] wrote " << path << "\n";
+    return true;
+  }
+
+ private:
+  std::string name_;
+  JsonObject meta_;
+  std::vector<JsonObject> rows_;
+};
+
+// Mirrors an arbitrary TablePrinter into JSON rows keyed by header.
+inline void AppendTableJson(BenchJson& json, const std::string& table_name,
+                            const TablePrinter& table) {
+  for (const auto& row : table.rows()) {
+    JsonObject& obj = json.AddRow();
+    obj.Str("table", table_name);
+    for (size_t c = 0; c < row.size() && c < table.headers().size(); ++c) {
+      obj.Str(table.headers()[c], row[c]);
+    }
+  }
+}
 
 // Accumulates per-algorithm metrics for one x value.
 struct PointStats {
@@ -85,6 +215,40 @@ class FigureTable {
     PrintOne(os, title_pt_, /*pt=*/true);
     os << "\n";
     PrintOne(os, title_ds_, /*pt=*/false);
+  }
+
+  // One JSON row per (x value, algorithm) cell with both panel metrics.
+  void AppendJson(BenchJson& json) const {
+    for (const auto& x : order_) {
+      auto it = cells_.find(x);
+      if (it == cells_.end()) continue;
+      for (Algorithm a : algorithms_) {
+        auto jt = it->second.find(a);
+        if (jt == it->second.end() || jt->second.runs == 0) continue;
+        json.AddRow()
+            .Str(x_label_, x)
+            .Str("algorithm", AlgorithmName(a))
+            .Num("pt_ms", jt->second.AvgPtMs())
+            .Num("ds_kb", jt->second.AvgDsKb())
+            .Num("runs", jt->second.runs);
+      }
+    }
+  }
+
+  // Prints the ASCII tables and writes BENCH_<bench_name>.json.
+  void Report(const std::string& bench_name, const Env& env,
+              std::ostream& os = std::cout) const {
+    Print(os);
+    BenchJson json(bench_name);
+    json.meta()
+        .Str("title_pt", title_pt_)
+        .Str("title_ds", title_ds_)
+        .Num("scale", env.scale)
+        .Int("queries", static_cast<uint64_t>(env.queries))
+        .Int("seed", env.seed)
+        .Int("threads", env.threads);
+    AppendJson(json);
+    json.WriteFile();
   }
 
  private:
@@ -137,12 +301,14 @@ inline NetworkModel BenchNetwork() {
 }
 
 // Runs one algorithm, returning false when it is inapplicable or fails.
+// `num_threads` is the cluster executor width (see DGS_THREADS).
 inline bool RunOne(const Graph& g, const Fragmentation& frag,
                    const Pattern& q, Algorithm algorithm,
-                   DistOutcome* outcome) {
+                   DistOutcome* outcome, uint32_t num_threads = 1) {
   DistOptions options;
   options.algorithm = algorithm;
   options.network = BenchNetwork();
+  options.num_threads = num_threads;
   auto result = DistributedMatch(g, frag, q, options);
   if (!result.ok()) {
     std::cerr << "  [skip] " << AlgorithmName(algorithm) << ": "

@@ -38,10 +38,10 @@ int main() {
       if (!q.ok()) continue;
       for (Algorithm a : algorithms) {
         DistOutcome outcome;
-        if (bench::RunOne(g, *frag, *q, a, &outcome)) fig.Add(x, a, outcome);
+        if (bench::RunOne(g, *frag, *q, a, &outcome, env.threads)) fig.Add(x, a, outcome);
       }
     }
   }
-  fig.Print(std::cout);
+  fig.Report("fig6_cd", env);
   return 0;
 }

@@ -42,10 +42,10 @@ int main() {
     for (const Pattern& q : queries) {
       for (Algorithm a : algorithms) {
         DistOutcome outcome;
-        if (bench::RunOne(g, *frag, q, a, &outcome)) fig.Add(x, a, outcome);
+        if (bench::RunOne(g, *frag, q, a, &outcome, env.threads)) fig.Add(x, a, outcome);
       }
     }
   }
-  fig.Print(std::cout);
+  fig.Report("fig6_ef", env);
   return 0;
 }

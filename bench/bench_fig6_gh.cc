@@ -38,12 +38,12 @@ int main() {
       if (!q.ok()) continue;
       for (Algorithm a : algorithms) {
         DistOutcome outcome;
-        if (bench::RunOne(g, *frag, *q, a, &outcome)) {
+        if (bench::RunOne(g, *frag, *q, a, &outcome, env.threads)) {
           fig.Add(std::to_string(d), a, outcome);
         }
       }
     }
   }
-  fig.Print(std::cout);
+  fig.Report("fig6_gh", env);
   return 0;
 }

@@ -41,12 +41,12 @@ int main() {
     for (const Pattern& q : queries) {
       for (Algorithm a : algorithms) {
         DistOutcome outcome;
-        if (bench::RunOne(g, *frag, q, a, &outcome)) {
+        if (bench::RunOne(g, *frag, q, a, &outcome, env.threads)) {
           fig.Add(std::to_string(sites), a, outcome);
         }
       }
     }
   }
-  fig.Print(std::cout);
+  fig.Report("fig6_ij", env);
   return 0;
 }

@@ -1,0 +1,201 @@
+// Parallel-runtime scaling: wall-clock throughput vs executor width.
+//
+// Two sections, both sweeping num_threads over {1, 2, 4, 8}:
+//
+//   cluster   an 8-worker dGPM run on the paper's random-graph workload
+//             (Section 6 setup, laptop-scaled). Wall-clock time of the
+//             whole Run() — with the pooled executor the per-round
+//             critical path replaces the sequential sum over sites.
+//   kernel    the centralized HHK counting kernel (ComputeSimulation) on a
+//             larger random graph; its support-counter construction
+//             parallelizes over data-node blocks.
+//
+// Every width is verified against the num_threads = 1 reference: identical
+// SimulationResult and bit-identical message/byte accounting (the runtime's
+// determinism contract). The ASCII tables are mirrored into
+// BENCH_scaling.json with the measured speedups, so successive PRs can
+// track the trajectory. Speedup is bounded by the hardware_threads value
+// recorded in the JSON meta — on a single-core CI runner it stays ~1.
+//
+// Extra knobs: DGS_REPS (wall-clock repetitions per width, default 3).
+
+#include <algorithm>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace dgs;
+
+struct Measurement {
+  double wall_seconds = 0;  // best of DGS_REPS runs
+  DistOutcome outcome;
+};
+
+bool SameAccounting(const DistOutcome& a, const DistOutcome& b) {
+  return a.result == b.result && a.stats.data_bytes == b.stats.data_bytes &&
+         a.stats.control_bytes == b.stats.control_bytes &&
+         a.stats.result_bytes == b.stats.result_bytes &&
+         a.stats.data_messages == b.stats.data_messages &&
+         a.stats.control_messages == b.stats.control_messages &&
+         a.stats.result_messages == b.stats.result_messages &&
+         a.stats.rounds == b.stats.rounds &&
+         a.counters.vars_shipped == b.counters.vars_shipped &&
+         a.counters.push_count == b.counters.push_count &&
+         a.counters.equation_units == b.counters.equation_units;
+}
+
+int Reps() {
+  if (const char* s = std::getenv("DGS_REPS")) {
+    int reps = std::atoi(s);
+    if (reps > 0) return reps;
+  }
+  return 3;
+}
+
+}  // namespace
+
+int main() {
+  auto env = bench::Env::FromEnv();
+  Rng rng(env.seed);
+  const int reps = Reps();
+  const std::vector<uint32_t> widths = {1, 2, 4, 8};
+
+  bench::BenchJson json("scaling");
+  json.meta()
+      .Int("hardware_threads", ThreadPool::HardwareThreads())
+      .Num("scale", env.scale)
+      .Int("seed", env.seed)
+      .Int("reps", static_cast<uint64_t>(reps));
+
+  std::cout << "Parallel-runtime scaling (hardware threads: "
+            << ThreadPool::HardwareThreads() << ", reps: " << reps << ")\n\n";
+
+  bool all_identical = true;
+
+  // --- Section 1: 8-worker dGPM end-to-end -------------------------------
+  {
+    const size_t n = env.Scaled(40000), m = env.Scaled(200000);
+    Graph g = RandomGraph(n, m, kDefaultAlphabet, rng);
+    auto assignment = PartitionWithBoundaryRatio(g, 8, 0.25, rng);
+    auto frag = Fragmentation::Create(g, assignment, 8);
+    PatternSpec spec;
+    spec.num_nodes = 5;
+    spec.num_edges = 10;
+    spec.kind = PatternKind::kCyclic;
+    auto q = ExtractPattern(g, spec, rng);
+    if (!frag.ok() || !q.ok()) {
+      std::cerr << "setup failed for the cluster section\n";
+      return 1;
+    }
+    std::cout << "Section 1: dGPM, 8 workers, random graph |G| = ("
+              << g.NumNodes() << ", " << g.NumEdges() << ")\n";
+
+    std::vector<Measurement> results;
+    for (uint32_t threads : widths) {
+      ClusterOptions runtime(bench::BenchNetwork());
+      runtime.num_threads = threads;
+      Measurement m2;
+      m2.wall_seconds = 1e100;
+      for (int r = 0; r < reps; ++r) {
+        WallTimer timer;
+        DistOutcome outcome = RunDgpm(*frag, *q, DgpmConfig{}, runtime);
+        double wall = timer.ElapsedSeconds();
+        if (wall < m2.wall_seconds) {
+          m2.wall_seconds = wall;
+        }
+        m2.outcome = std::move(outcome);
+      }
+      results.push_back(std::move(m2));
+    }
+
+    TablePrinter table({"threads", "wall(ms)", "speedup", "rounds/s",
+                        "identical"});
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const bool identical = SameAccounting(results[0].outcome,
+                                            results[i].outcome);
+      all_identical = all_identical && identical;
+      const double speedup = results[0].wall_seconds /
+                             std::max(results[i].wall_seconds, 1e-12);
+      const double rounds_per_s =
+          results[i].outcome.stats.rounds /
+          std::max(results[i].wall_seconds, 1e-12);
+      table.AddRow({std::to_string(widths[i]),
+                    FormatDouble(results[i].wall_seconds * 1e3, 2),
+                    FormatDouble(speedup, 2) + "x",
+                    FormatDouble(rounds_per_s, 1),
+                    identical ? "yes" : "NO"});
+      json.AddRow()
+          .Str("section", "cluster_dgpm")
+          .Int("workers", 8)
+          .Int("threads", widths[i])
+          .Num("wall_ms", results[i].wall_seconds * 1e3)
+          .Num("speedup", speedup)
+          .Num("rounds_per_s", rounds_per_s)
+          .Int("identical", identical ? 1 : 0);
+    }
+    table.Print(std::cout);
+    std::cout << "\n";
+  }
+
+  // --- Section 2: centralized counting kernel ----------------------------
+  {
+    const size_t n = env.Scaled(100000), m = env.Scaled(500000);
+    Graph g = RandomGraph(n, m, kDefaultAlphabet, rng);
+    PatternSpec spec;
+    spec.num_nodes = 5;
+    spec.num_edges = 10;
+    spec.kind = PatternKind::kCyclic;
+    auto q = ExtractPattern(g, spec, rng);
+    if (!q.ok()) {
+      std::cerr << "setup failed for the kernel section\n";
+      return 1;
+    }
+    std::cout << "Section 2: ComputeSimulation, random graph |G| = ("
+              << g.NumNodes() << ", " << g.NumEdges() << ")\n";
+
+    SimulationResult reference;
+    double base_wall = 0;
+    TablePrinter table({"threads", "wall(ms)", "speedup", "Mitems/s",
+                        "identical"});
+    for (uint32_t threads : widths) {
+      SimulationOptions options;
+      options.num_threads = threads;
+      double best = 1e100;
+      SimulationResult result;
+      for (int r = 0; r < reps; ++r) {
+        WallTimer timer;
+        result = ComputeSimulation(*q, g, options);
+        best = std::min(best, timer.ElapsedSeconds());
+      }
+      if (threads == widths.front()) {
+        reference = result;
+        base_wall = best;
+      }
+      const bool identical = result == reference;
+      all_identical = all_identical && identical;
+      const double speedup = base_wall / std::max(best, 1e-12);
+      const double mitems =
+          static_cast<double>(g.Size()) / std::max(best, 1e-12) / 1e6;
+      table.AddRow({std::to_string(threads), FormatDouble(best * 1e3, 2),
+                    FormatDouble(speedup, 2) + "x", FormatDouble(mitems, 2),
+                    identical ? "yes" : "NO"});
+      json.AddRow()
+          .Str("section", "kernel")
+          .Int("threads", threads)
+          .Num("wall_ms", best * 1e3)
+          .Num("speedup", speedup)
+          .Num("mitems_per_s", mitems)
+          .Int("identical", identical ? 1 : 0);
+    }
+    table.Print(std::cout);
+  }
+
+  json.meta().Int("all_identical", all_identical ? 1 : 0);
+  json.WriteFile();
+  if (!all_identical) {
+    std::cerr << "DETERMINISM VIOLATION: results differ across widths\n";
+    return 1;
+  }
+  return 0;
+}

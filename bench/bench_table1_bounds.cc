@@ -18,6 +18,10 @@ int main() {
 
   std::cout << "Table 1 bound validation\n\n";
 
+  bench::BenchJson json("table1_bounds");
+  json.meta().Num("scale", env.scale).Int("seed", env.seed)
+      .Int("threads", env.threads);
+
   // --- dGPM and dGPMd: vars shipped vs the |Ef||Vq| budget --------------
   {
     TablePrinter table({"algo", "|G|", "|Ef|", "|Vq|", "budget |Ef||Vq|",
@@ -34,7 +38,7 @@ int main() {
       auto q = ExtractPattern(g, spec, rng);
       if (!q.ok()) continue;
       DistOutcome outcome;
-      if (!bench::RunOne(g, *frag, *q, Algorithm::kDgpm, &outcome)) continue;
+      if (!bench::RunOne(g, *frag, *q, Algorithm::kDgpm, &outcome, env.threads)) continue;
       uint64_t budget = frag->NumCrossingEdges() * q->NumNodes();
       table.AddRow({"dGPM",
                     "(" + std::to_string(g.NumNodes()) + "," +
@@ -61,7 +65,7 @@ int main() {
       auto q = ExtractPattern(g, spec, rng);
       if (!q.ok()) continue;
       DistOutcome outcome;
-      if (!bench::RunOne(g, *frag, *q, Algorithm::kDgpmDag, &outcome)) continue;
+      if (!bench::RunOne(g, *frag, *q, Algorithm::kDgpmDag, &outcome, env.threads)) continue;
       uint64_t budget = frag->NumCrossingEdges() * q->NumNodes();
       table.AddRow({"dGPMd",
                     "(" + std::to_string(g.NumNodes()) + "," +
@@ -76,6 +80,7 @@ int main() {
                                  2)});
     }
     table.Print(std::cout);
+    bench::AppendTableJson(json, "vars_shipped_budget", table);
     std::cout << "\n";
   }
 
@@ -91,7 +96,7 @@ int main() {
       auto frag = Fragmentation::Create(tree, *assignment, 8);
       if (!frag.ok()) continue;
       DistOutcome outcome;
-      if (!bench::RunOne(tree, *frag, q, Algorithm::kDgpmTree, &outcome)) {
+      if (!bench::RunOne(tree, *frag, q, Algorithm::kDgpmTree, &outcome, env.threads)) {
         continue;
       }
       table.AddRow({"dGPMt", std::to_string(tree.NumNodes()), "8",
@@ -99,6 +104,7 @@ int main() {
                     std::to_string(outcome.stats.data_bytes)});
     }
     table.Print(std::cout);
+    bench::AppendTableJson(json, "tree_ds_flat", table);
     std::cout << "\n(16x the tree at fixed |F|: kData bytes should stay "
                  "nearly flat — DS = O(|Q||F|).)\n\n";
   }
@@ -141,8 +147,8 @@ int main() {
       if (!frag.ok()) continue;
       Pattern q(MakeGraph({0, 1, 2}, {{0, 1}, {1, 2}, {2, 0}}));
       DistOutcome dgpm, dishhk;
-      if (!bench::RunOne(g, *frag, q, Algorithm::kDgpm, &dgpm)) continue;
-      if (!bench::RunOne(g, *frag, q, Algorithm::kDisHhk, &dishhk)) continue;
+      if (!bench::RunOne(g, *frag, q, Algorithm::kDgpm, &dgpm, env.threads)) continue;
+      if (!bench::RunOne(g, *frag, q, Algorithm::kDisHhk, &dishhk, env.threads)) continue;
       table.AddRow({"(" + std::to_string(g.NumNodes()) + "," +
                         std::to_string(g.NumEdges()) + ")",
                     std::to_string(frag->NumCrossingEdges()),
@@ -150,8 +156,10 @@ int main() {
                     FormatDouble(dishhk.stats.data_bytes / 1024.0, 3)});
     }
     table.Print(std::cout);
+    bench::AppendTableJson(json, "ds_independence", table);
     std::cout << "\n(|Ef| fixed while |G| grows 16x: dGPM's DS is flat, "
                  "disHHK's scales with |G|.)\n";
   }
+  json.WriteFile();
   return 0;
 }

@@ -12,6 +12,10 @@ int main() {
   auto env = bench::Env::FromEnv();
   Rng rng(env.seed);
 
+  bench::BenchJson json("tree");
+  json.meta().Num("scale", env.scale).Int("seed", env.seed)
+      .Int("threads", env.threads);
+
   Pattern q(MakeGraph({0, 1, 2, 1}, {{0, 1}, {0, 3}, {1, 2}}));
   std::cout << "dGPMt benchmark, |Q| = (" << q.NumNodes() << ","
             << q.NumEdges() << ")\n\n";
@@ -27,8 +31,8 @@ int main() {
       auto frag = Fragmentation::Create(tree, *assignment, sites);
       if (!frag.ok()) continue;
       DistOutcome t_out, g_out;
-      if (!bench::RunOne(tree, *frag, q, Algorithm::kDgpmTree, &t_out)) continue;
-      if (!bench::RunOne(tree, *frag, q, Algorithm::kDgpm, &g_out)) continue;
+      if (!bench::RunOne(tree, *frag, q, Algorithm::kDgpmTree, &t_out, env.threads)) continue;
+      if (!bench::RunOne(tree, *frag, q, Algorithm::kDgpm, &g_out, env.threads)) continue;
       table.AddRow({std::to_string(sites),
                     FormatDouble(t_out.response_seconds() * 1e3, 2),
                     FormatDouble(t_out.stats.data_bytes / 1024.0, 3),
@@ -36,6 +40,7 @@ int main() {
                     FormatDouble(g_out.stats.data_bytes / 1024.0, 3)});
     }
     table.Print(std::cout);
+    bench::AppendTableJson(json, "sweep_F", table);
     std::cout << "\n";
   }
 
@@ -52,15 +57,17 @@ int main() {
       auto frag = Fragmentation::Create(tree, *assignment, 8);
       if (!frag.ok()) continue;
       DistOutcome outcome;
-      if (!bench::RunOne(tree, *frag, q, Algorithm::kDgpmTree, &outcome)) {
+      if (!bench::RunOne(tree, *frag, q, Algorithm::kDgpmTree, &outcome, env.threads)) {
         continue;
       }
       table.AddRow({std::to_string(tree.NumNodes()),
                     FormatDouble(outcome.response_seconds() * 1e3, 2),
                     FormatDouble(outcome.stats.data_bytes / 1024.0, 3),
-                    std::to_string(outcome.counters.equation_units)});
+                    std::to_string(outcome.counters.equation_units.load())});
     }
     table.Print(std::cout);
+    bench::AppendTableJson(json, "sweep_G", table);
   }
+  json.WriteFile();
   return 0;
 }

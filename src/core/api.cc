@@ -37,6 +37,9 @@ StatusOr<DistOutcome> DistributedMatch(const Graph& g,
     return Status::InvalidArgument("patterns are limited to 65535 nodes");
   }
 
+  ClusterOptions runtime(options.network);
+  runtime.num_threads = options.num_threads;
+
   Algorithm algorithm = options.algorithm;
   if (algorithm == Algorithm::kAuto) {
     // Prefer the specialized algorithms with the strongest bounds
@@ -62,7 +65,7 @@ StatusOr<DistOutcome> DistributedMatch(const Graph& g,
           options.enable_push && options.algorithm == Algorithm::kDgpm;
       config.push_threshold = options.push_threshold;
       config.boolean_only = options.boolean_only;
-      return RunDgpm(fragmentation, q, config, options.network);
+      return RunDgpm(fragmentation, q, config, runtime);
     }
     case Algorithm::kDgpmDag: {
       if (!q.IsDag() && !IsAcyclic(g)) {
@@ -71,7 +74,7 @@ StatusOr<DistOutcome> DistributedMatch(const Graph& g,
       }
       DgpmDagConfig config;
       config.boolean_only = options.boolean_only;
-      return RunDgpmDag(fragmentation, q, g, config, options.network);
+      return RunDgpmDag(fragmentation, q, g, config, runtime);
     }
     case Algorithm::kDgpmTree: {
       if (!IsDownwardForest(g)) {
@@ -80,20 +83,20 @@ StatusOr<DistOutcome> DistributedMatch(const Graph& g,
       }
       DgpmTreeConfig config;
       config.boolean_only = options.boolean_only;
-      return RunDgpmTree(fragmentation, q, config, options.network);
+      return RunDgpmTree(fragmentation, q, config, runtime);
     }
     case Algorithm::kMatch:
     case Algorithm::kDisHhk: {
       BaselineConfig config;
       config.boolean_only = options.boolean_only;
       return options.algorithm == Algorithm::kMatch
-                 ? RunMatch(fragmentation, q, config, options.network)
-                 : RunDisHhk(fragmentation, q, config, options.network);
+                 ? RunMatch(fragmentation, q, config, runtime)
+                 : RunDisHhk(fragmentation, q, config, runtime);
     }
     case Algorithm::kDMes: {
       BaselineConfig config;
       config.boolean_only = options.boolean_only;
-      return RunDMes(fragmentation, q, config, options.network);
+      return RunDMes(fragmentation, q, config, runtime);
     }
     case Algorithm::kAuto:
       break;  // resolved above; unreachable

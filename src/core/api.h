@@ -49,6 +49,10 @@ struct DistOptions {
   bool enable_push = true;
   double push_threshold = 0.2;
   Cluster::NetworkModel network;
+  // Executor width for the cluster runtime: 1 = sequential reference mode,
+  // 0 = all hardware threads. Results and message accounting are identical
+  // for every value (see runtime/cluster.h).
+  uint32_t num_threads = 1;
 };
 
 // Fragments g according to `assignment` and evaluates q distributedly.

@@ -175,11 +175,11 @@ class DisHhkWorker : public SiteActor {
 DistOutcome RunAssembling(const Fragmentation& fragmentation,
                           const Pattern& pattern, bool ship_all,
                           const BaselineConfig& config,
-                          const Cluster::NetworkModel& network) {
+                          const ClusterOptions& runtime) {
   const uint32_t n = fragmentation.NumFragments();
   const size_t num_global = fragmentation.assignment().size();
   DistOutcome outcome;
-  Cluster cluster(n, network);
+  Cluster cluster(n, runtime);
   for (uint32_t i = 0; i < n; ++i) {
     const Fragment* frag = &fragmentation.fragment(i);
     if (ship_all) {
@@ -387,25 +387,25 @@ class DMesCoordinator : public SiteActor {
 
 DistOutcome RunMatch(const Fragmentation& fragmentation,
                      const Pattern& pattern, const BaselineConfig& config,
-                     const Cluster::NetworkModel& network) {
+                     const ClusterOptions& runtime) {
   return RunAssembling(fragmentation, pattern, /*ship_all=*/true, config,
-                       network);
+                       runtime);
 }
 
 DistOutcome RunDisHhk(const Fragmentation& fragmentation,
                       const Pattern& pattern, const BaselineConfig& config,
-                      const Cluster::NetworkModel& network) {
+                      const ClusterOptions& runtime) {
   return RunAssembling(fragmentation, pattern, /*ship_all=*/false, config,
-                       network);
+                       runtime);
 }
 
 DistOutcome RunDMes(const Fragmentation& fragmentation, const Pattern& pattern,
                     const BaselineConfig& config,
-                    const Cluster::NetworkModel& network) {
+                    const ClusterOptions& runtime) {
   const uint32_t n = fragmentation.NumFragments();
   const size_t num_global = fragmentation.assignment().size();
   DistOutcome outcome;
-  Cluster cluster(n, network);
+  Cluster cluster(n, runtime);
   for (uint32_t i = 0; i < n; ++i) {
     cluster.SetWorker(i, std::make_unique<DMesWorker>(
                              &fragmentation, i, &pattern, config,

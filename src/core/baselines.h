@@ -30,17 +30,17 @@ struct BaselineConfig {
 // Match: ship-everything baseline.
 DistOutcome RunMatch(const Fragmentation& fragmentation, const Pattern& pattern,
                      const BaselineConfig& config,
-                     const Cluster::NetworkModel& network = {});
+                     const ClusterOptions& runtime = {});
 
 // disHHK [25].
 DistOutcome RunDisHhk(const Fragmentation& fragmentation,
                       const Pattern& pattern, const BaselineConfig& config,
-                      const Cluster::NetworkModel& network = {});
+                      const ClusterOptions& runtime = {});
 
 // dMes (vertex-centric / Pregel-style).
 DistOutcome RunDMes(const Fragmentation& fragmentation, const Pattern& pattern,
                     const BaselineConfig& config,
-                    const Cluster::NetworkModel& network = {});
+                    const ClusterOptions& runtime = {});
 
 }  // namespace dgs
 

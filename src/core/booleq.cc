@@ -1,8 +1,9 @@
 #include "core/booleq.h"
 
 #include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
+
+#include "util/bitset.h"
+#include "util/flat_hash.h"
 
 namespace dgs {
 
@@ -112,9 +113,14 @@ ReducedSystem ReduceToFrontier(const EquationSystem& system,
   // 2. Collect the undecided internal variables reachable from the roots
   // (iterative BFS; recursion depth is unbounded on chain graphs).
   std::vector<VarId> reachable;
-  std::unordered_set<VarId> seen;
+  DynamicBitset seen(system.NumVars());
+  auto visit = [&](VarId x) {
+    if (seen.Test(x)) return false;
+    seen.Set(x);
+    return true;
+  };
   for (VarId r : roots) {
-    if (resolution(r) == Res::kRef && !is_frontier(r) && seen.insert(r).second) {
+    if (resolution(r) == Res::kRef && !is_frontier(r) && visit(r)) {
       reachable.push_back(r);
     }
   }
@@ -122,8 +128,7 @@ ReducedSystem ReduceToFrontier(const EquationSystem& system,
     VarId x = reachable[head];
     for (size_t k = 0; k < system.NumGroups(x); ++k) {
       for (VarId m : system.GroupMembers(system.GroupId(x, k))) {
-        if (resolution(m) == Res::kRef && !is_frontier(m) &&
-            seen.insert(m).second) {
+        if (resolution(m) == Res::kRef && !is_frontier(m) && visit(m)) {
           reachable.push_back(m);
         }
       }
@@ -133,14 +138,14 @@ ReducedSystem ReduceToFrontier(const EquationSystem& system,
   // 3. Emit one raw entry per reachable variable, folding constants:
   // definitely-true members satisfy (drop) their group, false members are
   // dropped from the group.
-  std::unordered_map<uint64_t, size_t> index;  // key -> entry position
+  FlatHashMap<uint64_t, size_t> index;  // key -> entry position
   ReducedSystem out;
   auto emit_scalar = [&](VarId r, ReducedEntry::Kind kind) {
     ReducedEntry e;
     e.key = key_of(r);
     e.kind = kind;
-    if (!index.count(e.key)) {
-      index[e.key] = out.entries.size();
+    if (!index.contains(e.key)) {
+      index.insert(e.key, out.entries.size());
       out.entries.push_back(std::move(e));
     }
   };
@@ -185,8 +190,8 @@ ReducedSystem ReduceToFrontier(const EquationSystem& system,
     }
     DGS_CHECK(!e.groups.empty(),
               "non-definitely-true variable must depend on the frontier");
-    if (!index.count(e.key)) {
-      index[e.key] = out.entries.size();
+    if (!index.contains(e.key)) {
+      index.insert(e.key, out.entries.size());
       out.entries.push_back(std::move(e));
     }
   }
@@ -194,8 +199,11 @@ ReducedSystem ReduceToFrontier(const EquationSystem& system,
   // 4. Chain collapse: a non-root equation of the form X = Y can be aliased
   // away. Resolve aliases with path compression (cycle-guarded), rewrite all
   // refs, then drop entries no longer reachable from the roots.
-  std::unordered_set<uint64_t> root_keys;
-  for (VarId r : roots) root_keys.insert(key_of(r));
+  FlatHashSet<uint64_t> root_keys;
+  std::vector<uint64_t> root_key_list;
+  for (VarId r : roots) {
+    if (root_keys.insert(key_of(r))) root_key_list.push_back(key_of(r));
+  }
   // Root aliases are followed too (substituting a defined variable by its
   // definition is sound under the greatest fixpoint), which yields the
   // paper's Li form: every in-node equation is expressed over virtual-node
@@ -207,19 +215,20 @@ ReducedSystem ReduceToFrontier(const EquationSystem& system,
   auto chase = [&](uint64_t start, uint64_t origin) -> uint64_t {
     // Iteratively follows alias links, cycle-guarded, then path-compresses.
     std::vector<uint64_t> path;
-    std::unordered_set<uint64_t> on_path = {origin};
+    FlatHashSet<uint64_t> on_path;
+    on_path.insert(origin);
     uint64_t key = start;
     while (true) {
-      auto it = index.find(key);
-      if (it == index.end()) break;  // frontier key
-      ReducedEntry& e = out.entries[it->second];
+      const size_t* pos = index.find(key);
+      if (pos == nullptr) break;  // frontier key
+      ReducedEntry& e = out.entries[*pos];
       if (!is_alias(e)) break;
-      if (!on_path.insert(key).second) break;  // cycle: keep as entry
+      if (!on_path.insert(key)) break;  // cycle: keep as entry
       path.push_back(key);
       key = e.groups[0][0];
     }
     for (uint64_t hop : path) {
-      out.entries[index[hop]].groups[0][0] = key;
+      out.entries[*index.find(hop)].groups[0][0] = key;
     }
     return key;
   };
@@ -231,21 +240,21 @@ ReducedSystem ReduceToFrontier(const EquationSystem& system,
     }
   }
   // Reachability sweep from roots.
-  std::unordered_set<uint64_t> live;
-  std::vector<uint64_t> stack(root_keys.begin(), root_keys.end());
+  FlatHashSet<uint64_t> live;
+  std::vector<uint64_t> stack = std::move(root_key_list);
   while (!stack.empty()) {
     uint64_t key = stack.back();
     stack.pop_back();
-    if (!live.insert(key).second) continue;
-    auto it = index.find(key);
-    if (it == index.end()) continue;
-    for (const auto& g : out.entries[it->second].groups) {
+    if (!live.insert(key)) continue;
+    const size_t* pos = index.find(key);
+    if (pos == nullptr) continue;
+    for (const auto& g : out.entries[*pos].groups) {
       for (uint64_t ref : g) stack.push_back(ref);
     }
   }
   ReducedSystem pruned;
   for (auto& e : out.entries) {
-    if (live.count(e.key)) pruned.entries.push_back(std::move(e));
+    if (live.contains(e.key)) pruned.entries.push_back(std::move(e));
   }
   return pruned;
 }

@@ -60,8 +60,9 @@ DgpmWorker::DgpmWorker(const Fragmentation* fragmentation, uint32_t site,
       config_(config),
       counters_(counters),
       engine_(fragment_, pattern, config.incremental) {
+  in_node_index_.reserve(fragment_->in_nodes.size());
   for (size_t k = 0; k < fragment_->in_nodes.size(); ++k) {
-    in_node_index_.emplace(fragment_->in_nodes[k], k);
+    in_node_index_.insert(fragment_->in_nodes[k], k);
   }
 }
 
@@ -151,7 +152,9 @@ void DgpmWorker::ShipFalses(SiteContext& ctx, bool flag_coordinator) {
   std::map<uint32_t, std::vector<uint64_t>> by_dst;
   for (const auto& f : falses) {
     uint64_t key = MakeVarKey(f.query_node, fragment_->ToGlobal(f.local_node));
-    size_t idx = in_node_index_.at(f.local_node);
+    const size_t* idx_ptr = in_node_index_.find(f.local_node);
+    DGS_CHECK(idx_ptr != nullptr, "false var for a non-in-node");
+    size_t idx = *idx_ptr;
     for (const InNodeConsumer& c : fragment_->consumers[idx]) {
       if (ConsumerNeedsVar(*pattern_, f.query_node, c.source_labels)) {
         by_dst[c.site].push_back(key);
@@ -190,22 +193,22 @@ void DgpmWorker::MaybePush(SiteContext& ctx) {
   // Each parent receives only the equations of the in-nodes it consumes
   // (plus their reachable closure), per Section 4.2: "sends the equations
   // in v.rvec[u] to all the parent sites Sj if Aid(Sj, Si) contains v".
-  std::unordered_map<uint64_t, const ReducedEntry*> index;
-  std::unordered_map<NodeId, std::vector<uint64_t>> eq_keys_by_node;
+  FlatHashMap<uint64_t, const ReducedEntry*> index;
+  FlatHashMap<NodeId, std::vector<uint64_t>> eq_keys_by_node;
   for (const ReducedEntry& e : reduced.entries) {
-    index.emplace(e.key, &e);
+    index.insert(e.key, &e);
     if (e.kind == ReducedEntry::kEquation) {
-      eq_keys_by_node[VarKeyGlobalNode(e.key)].push_back(e.key);
+      eq_keys_by_node.insert(VarKeyGlobalNode(e.key), {})->push_back(e.key);
     }
   }
   std::map<uint32_t, std::vector<uint64_t>> parent_roots;
   for (size_t k = 0; k < fragment_->in_nodes.size(); ++k) {
     const NodeId global = fragment_->ToGlobal(fragment_->in_nodes[k]);
-    auto it = eq_keys_by_node.find(global);
-    if (it == eq_keys_by_node.end()) continue;
+    const std::vector<uint64_t>* keys = eq_keys_by_node.find(global);
+    if (keys == nullptr) continue;
     for (const InNodeConsumer& c : fragment_->consumers[k]) {
       auto& roots = parent_roots[c.site];
-      roots.insert(roots.end(), it->second.begin(), it->second.end());
+      roots.insert(roots.end(), keys->begin(), keys->end());
     }
   }
   if (parent_roots.empty()) return;
@@ -221,10 +224,10 @@ void DgpmWorker::MaybePush(SiteContext& ctx) {
       uint64_t key = stack.back();
       stack.pop_back();
       if (!seen.insert(key).second) continue;
-      auto it = index.find(key);
-      if (it == index.end()) continue;  // frontier key
-      slice.entries.push_back(*it->second);
-      for (const auto& g : it->second->groups) {
+      const ReducedEntry* const* entry = index.find(key);
+      if (entry == nullptr) continue;  // frontier key
+      slice.entries.push_back(**entry);
+      for (const auto& g : (*entry)->groups) {
         for (uint64_t ref : g) stack.push_back(ref);
       }
     }
@@ -263,13 +266,12 @@ void DgpmWorker::SendMatches(SiteContext& ctx) {
 }
 
 DistOutcome RunDgpm(const Fragmentation& fragmentation, const Pattern& pattern,
-                    const DgpmConfig& config,
-                    const Cluster::NetworkModel& network) {
+                    const DgpmConfig& config, const ClusterOptions& runtime) {
   const uint32_t n = fragmentation.NumFragments();
   const size_t num_global = fragmentation.assignment().size();
 
   DistOutcome outcome;
-  Cluster cluster(n, network);
+  Cluster cluster(n, runtime);
   for (uint32_t i = 0; i < n; ++i) {
     cluster.SetWorker(i, std::make_unique<DgpmWorker>(
                              &fragmentation, i, &pattern, config,

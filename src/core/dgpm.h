@@ -29,6 +29,7 @@
 #include "core/protocol.h"
 #include "partition/fragmentation.h"
 #include "runtime/cluster.h"
+#include "util/flat_hash.h"
 
 namespace dgs {
 
@@ -84,8 +85,9 @@ class DgpmWorker : public SiteActor {
   DgpmConfig config_;
   AlgoCounters* counters_;
   LocalEngine engine_;
-  // local in-node id -> index into fragment_->in_nodes / consumers.
-  std::unordered_map<NodeId, size_t> in_node_index_;
+  // local in-node id -> index into fragment_->in_nodes / consumers
+  // (kInvalidNode is the empty sentinel; local ids never reach it).
+  FlatHashMap<NodeId, size_t> in_node_index_;
   // Push subscriptions: local node -> extra consumer sites.
   std::unordered_map<NodeId, std::set<uint32_t>> dynamic_consumers_;
   // Matches changed since the last report to the coordinator.
@@ -93,9 +95,11 @@ class DgpmWorker : public SiteActor {
 };
 
 // Runs dGPM (or dGPMNOpt via config) end to end on a fragmentation.
+// `runtime` carries the network cost model and the executor width; a bare
+// NetworkModel converts implicitly for callers without threading needs.
 DistOutcome RunDgpm(const Fragmentation& fragmentation, const Pattern& pattern,
                     const DgpmConfig& config,
-                    const Cluster::NetworkModel& network = {});
+                    const ClusterOptions& runtime = {});
 
 }  // namespace dgs
 

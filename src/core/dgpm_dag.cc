@@ -16,8 +16,9 @@ DgpmDagWorker::DgpmDagWorker(const Fragmentation* fragmentation, uint32_t site,
       config_(config),
       counters_(counters),
       engine_(fragment_, pattern, /*incremental=*/true) {
+  in_node_index_.reserve(fragment_->in_nodes.size());
   for (size_t k = 0; k < fragment_->in_nodes.size(); ++k) {
-    in_node_index_.emplace(fragment_->in_nodes[k], k);
+    in_node_index_.insert(fragment_->in_nodes[k], k);
   }
 }
 
@@ -80,7 +81,9 @@ void DgpmDagWorker::BufferFalses() {
   const auto& ranks = pattern_->Ranks();
   for (const auto& f : engine_.DrainInNodeFalses()) {
     uint64_t key = MakeVarKey(f.query_node, fragment_->ToGlobal(f.local_node));
-    size_t idx = in_node_index_.at(f.local_node);
+    const size_t* idx_ptr = in_node_index_.find(f.local_node);
+    DGS_CHECK(idx_ptr != nullptr, "false var for a non-in-node");
+    size_t idx = *idx_ptr;
     for (const InNodeConsumer& c : fragment_->consumers[idx]) {
       if (ConsumerNeedsVar(*pattern_, f.query_node, c.source_labels)) {
         buffer_[ranks[f.query_node]][c.site].push_back(key);
@@ -167,7 +170,7 @@ void DgpmDagCoordinator::BroadcastTick(SiteContext& ctx) {
 DistOutcome RunDgpmDag(const Fragmentation& fragmentation,
                        const Pattern& pattern, const Graph& g,
                        const DgpmDagConfig& config,
-                       const Cluster::NetworkModel& network) {
+                       const ClusterOptions& runtime) {
   const size_t num_global = fragmentation.assignment().size();
   if (!pattern.IsDag()) {
     DGS_CHECK(IsAcyclic(g),
@@ -184,7 +187,7 @@ DistOutcome RunDgpmDag(const Fragmentation& fragmentation,
 
   const uint32_t n = fragmentation.NumFragments();
   DistOutcome outcome;
-  Cluster cluster(n, network);
+  Cluster cluster(n, runtime);
   for (uint32_t i = 0; i < n; ++i) {
     cluster.SetWorker(i, std::make_unique<DgpmDagWorker>(
                              &fragmentation, i, &pattern, config,

@@ -57,7 +57,7 @@ class DgpmDagWorker : public SiteActor {
   DgpmDagConfig config_;
   AlgoCounters* counters_;
   LocalEngine engine_;
-  std::unordered_map<NodeId, size_t> in_node_index_;
+  FlatHashMap<NodeId, size_t> in_node_index_;
   // Pending shipments: rank -> destination -> keys.
   std::map<uint32_t, std::map<uint32_t, std::vector<uint64_t>>> buffer_;
   // Matches changed since the last report to the coordinator.
@@ -90,7 +90,7 @@ class DgpmDagCoordinator : public SiteActor {
 DistOutcome RunDgpmDag(const Fragmentation& fragmentation,
                        const Pattern& pattern, const Graph& g,
                        const DgpmDagConfig& config,
-                       const Cluster::NetworkModel& network = {});
+                       const ClusterOptions& runtime = {});
 
 }  // namespace dgs
 

@@ -181,11 +181,11 @@ void DgpmTreeCoordinator::Solve(SiteContext& ctx) {
 
 DistOutcome RunDgpmTree(const Fragmentation& fragmentation,
                         const Pattern& pattern, const DgpmTreeConfig& config,
-                        const Cluster::NetworkModel& network) {
+                        const ClusterOptions& runtime) {
   const uint32_t n = fragmentation.NumFragments();
   const size_t num_global = fragmentation.assignment().size();
   DistOutcome outcome;
-  Cluster cluster(n, network);
+  Cluster cluster(n, runtime);
   for (uint32_t i = 0; i < n; ++i) {
     cluster.SetWorker(i, std::make_unique<DgpmTreeWorker>(
                              &fragmentation, i, &pattern, config,

@@ -79,7 +79,7 @@ class DgpmTreeCoordinator : public SiteActor {
 // itself returns the exact answer for any fragmentation.
 DistOutcome RunDgpmTree(const Fragmentation& fragmentation,
                         const Pattern& pattern, const DgpmTreeConfig& config,
-                        const Cluster::NetworkModel& network = {});
+                        const ClusterOptions& runtime = {});
 
 }  // namespace dgs
 

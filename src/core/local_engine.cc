@@ -2,11 +2,17 @@
 
 #include <algorithm>
 
+#include "graph/algorithms.h"
+
 namespace dgs {
 
 LocalEngine::LocalEngine(const Fragment* fragment, const Pattern* pattern,
                          bool incremental)
-    : fragment_(fragment), pattern_(pattern), incremental_(incremental) {}
+    : fragment_(fragment),
+      pattern_(pattern),
+      incremental_(incremental),
+      shipped_(static_cast<size_t>(fragment->num_local) *
+               pattern->NumNodes()) {}
 
 void LocalEngine::Initialize() {
   BuildSystem();
@@ -32,14 +38,11 @@ void LocalEngine::BuildSystem() {
   for (NodeId v : fragment_->in_nodes) is_in_node_[v] = true;
 
   // Query nodes grouped by label.
-  std::unordered_map<Label, std::vector<NodeId>> by_label;
-  for (NodeId u = 0; u < nq; ++u) by_label[pattern_->LabelOf(u)].push_back(u);
+  LabelIndex query_by_label(nq, [&](NodeId u) { return pattern_->LabelOf(u); });
 
   // Variables: one per label-compatible (query node, fragment node) pair.
   for (NodeId v = 0; v < lg.NumNodes(); ++v) {
-    auto it = by_label.find(lg.LabelOf(v));
-    if (it == by_label.end()) continue;
-    for (NodeId u : it->second) {
+    for (NodeId u : query_by_label.Of(lg.LabelOf(v))) {
       VarId x = system_.NewVar();
       var_ids_[static_cast<size_t>(v) * nq + u] = x;
       VarInfo vi;
@@ -57,9 +60,7 @@ void LocalEngine::BuildSystem() {
   // site); sink-query variables are unconditionally true.
   std::vector<std::vector<VarId>> groups;
   for (NodeId v = 0; v < fragment_->num_local; ++v) {
-    auto it = by_label.find(lg.LabelOf(v));
-    if (it == by_label.end()) continue;
-    for (NodeId u : it->second) {
+    for (NodeId u : query_by_label.Of(lg.LabelOf(v))) {
       if (pattern_->IsSink(u)) continue;
       groups.clear();
       for (NodeId uc : pattern_->Children(u)) {
@@ -95,17 +96,20 @@ void LocalEngine::AssertKeyFalse(uint64_t key) {
   if (lv != kInvalidNode) {
     x = VarOf(lv, u);
   } else {
-    auto it = key_vars_.find(key);
-    if (it != key_vars_.end()) x = it->second;
+    const VarId* found = key_vars_.find(key);
+    if (found != nullptr) x = *found;
   }
   if (x != kNoVar) system_.AssertFalse(x);
 }
 
 void LocalEngine::PropagateAndCollect() {
-  system_.Propagate([this](VarId x) {
+  const size_t nq = pattern_->NumNodes();
+  system_.Propagate([&](VarId x) {
     const VarInfo& vi = info_[x];
     if (!vi.in_node) return;
-    if (shipped_keys_.insert(vi.key).second) {
+    const size_t idx = static_cast<size_t>(vi.local_node) * nq + vi.query_node;
+    if (!shipped_.Test(idx)) {
+      shipped_.Set(idx);
       pending_in_node_falses_.push_back({vi.local_node, vi.query_node});
     }
   });
@@ -135,8 +139,8 @@ VarId LocalEngine::FindOrCreateKeyVar(uint64_t key,
     DGS_CHECK(x != kNoVar, "pushed key references a label-mismatched pair");
     return x;
   }
-  auto it = key_vars_.find(key);
-  if (it != key_vars_.end()) return it->second;
+  const VarId* found = key_vars_.find(key);
+  if (found != nullptr) return *found;
   VarId x = system_.NewVar();
   VarInfo vi;
   vi.local_node = kInvalidNode;
@@ -145,7 +149,7 @@ VarId LocalEngine::FindOrCreateKeyVar(uint64_t key,
   vi.frontier = true;
   vi.in_node = false;
   info_.push_back(vi);
-  key_vars_.emplace(key, x);
+  key_vars_.insert(key, x);
   if (fresh != nullptr) fresh->push_back(key);
   return x;
 }
@@ -261,8 +265,8 @@ bool LocalEngine::IsKeyFalse(uint64_t key) const {
     VarId x = VarOf(lv, u);
     return x == kNoVar || system_.IsFalse(x);
   }
-  auto it = key_vars_.find(key);
-  return it != key_vars_.end() && system_.IsFalse(it->second);
+  const VarId* found = key_vars_.find(key);
+  return found != nullptr && system_.IsFalse(*found);
 }
 
 std::vector<DynamicBitset> LocalEngine::LocalCandidates() const {

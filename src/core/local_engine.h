@@ -15,19 +15,23 @@
 #define DGS_CORE_LOCAL_ENGINE_H_
 
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "core/booleq.h"
 #include "graph/pattern.h"
 #include "partition/fragmentation.h"
 #include "util/bitset.h"
+#include "util/flat_hash.h"
 
 namespace dgs {
 
 // Wire key of a variable X(u, v): v is a GLOBAL node id, u a query node.
+// The query node is packed into the low 16 bits; larger patterns would
+// silently alias keys, so they are rejected loudly here (the public API
+// additionally refuses such patterns with a Status).
 inline uint64_t MakeVarKey(NodeId query_node, NodeId global_node) {
+  DGS_DCHECK(query_node < (1u << 16),
+             "query node id does not fit the 16-bit wire-key field");
   return (static_cast<uint64_t>(global_node) << 16) |
          static_cast<uint64_t>(query_node);
 }
@@ -128,15 +132,17 @@ class LocalEngine {
   };
   std::vector<VarInfo> info_;
   std::vector<bool> is_in_node_;  // per local node id
-  std::unordered_map<uint64_t, VarId> key_vars_;  // pushed-only variables
+  FlatHashMap<uint64_t, VarId> key_vars_;  // pushed-only variables
 
   // Remote knowledge and push installs survive recomputation.
   std::vector<uint64_t> known_false_keys_;
   std::vector<ReducedSystem> installed_;
 
   std::vector<FalseVar> pending_in_node_falses_;
-  // Keys already reported through DrainInNodeFalses (survives rebuilds).
-  std::unordered_set<uint64_t> shipped_keys_;
+  // Dense (local node, query node) bitmap of variables already reported
+  // through DrainInNodeFalses (survives rebuilds; in-node variables always
+  // reference local nodes, so local_node * |Vq| + u indexes it).
+  DynamicBitset shipped_;
   uint64_t recompute_count_ = 0;
 };
 

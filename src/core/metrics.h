@@ -5,6 +5,7 @@
 #ifndef DGS_CORE_METRICS_H_
 #define DGS_CORE_METRICS_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "runtime/cluster.h"
@@ -12,13 +13,27 @@
 
 namespace dgs {
 
-// Counters shared by the site actors of one run (single-threaded runtime).
+// Counters shared by the site actors of one run. Increments are atomic
+// because site callbacks may execute concurrently (ClusterOptions::
+// num_threads > 1); the final sums are deterministic for any thread count.
+// Copyable (snapshot semantics) so DistOutcome stays a value type.
 struct AlgoCounters {
-  uint64_t vars_shipped = 0;     // truth values shipped (paper's messages)
-  uint64_t push_count = 0;       // push operations performed
-  uint64_t equation_units = 0;   // reduced-system units shipped
-  uint64_t recomputations = 0;   // total lEval (re)computations
-  uint32_t supersteps = 0;       // dMes supersteps
+  std::atomic<uint64_t> vars_shipped{0};   // truth values shipped
+  std::atomic<uint64_t> push_count{0};     // push operations performed
+  std::atomic<uint64_t> equation_units{0};  // reduced-system units shipped
+  std::atomic<uint64_t> recomputations{0};  // total lEval (re)computations
+  std::atomic<uint32_t> supersteps{0};      // dMes supersteps
+
+  AlgoCounters() = default;
+  AlgoCounters(const AlgoCounters& other) { *this = other; }
+  AlgoCounters& operator=(const AlgoCounters& other) {
+    vars_shipped = other.vars_shipped.load();
+    push_count = other.push_count.load();
+    equation_units = other.equation_units.load();
+    recomputations = other.recomputations.load();
+    supersteps = other.supersteps.load();
+    return *this;
+  }
 };
 
 struct DistOutcome {

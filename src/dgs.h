@@ -32,9 +32,11 @@
 #include "simulation/simulation.h"
 #include "simulation/strong.h"
 #include "util/bitset.h"
+#include "util/flat_hash.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 #endif  // DGS_DGS_H_

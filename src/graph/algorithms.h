@@ -6,11 +6,56 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/flat_hash.h"
 
 namespace dgs {
+
+// Groups ids by label without assuming a dense label alphabet (assembled
+// graphs use a 0xffffffff sentinel, so labels cannot index an array).
+// Shared by the simulation kernels (candidate seeding, per-edge query-node
+// lookup) and the local engines (per-fragment variable layout).
+class LabelIndex {
+ public:
+  // Indexes ids [0, n); label_of(id) supplies each id's label.
+  template <typename LabelOf>
+  LabelIndex(size_t n, LabelOf&& label_of) {
+    ids_.resize(n);
+    // Counting sort by label: first sizes, then offsets, then placement.
+    std::vector<uint32_t> bucket_of(n);
+    for (NodeId v = 0; v < n; ++v) {
+      uint32_t* b = buckets_.insert(static_cast<uint64_t>(label_of(v)),
+                                    static_cast<uint32_t>(sizes_.size()));
+      if (*b == sizes_.size()) sizes_.push_back(0);
+      bucket_of[v] = *b;
+      ++sizes_[*b];
+    }
+    offsets_.assign(sizes_.size() + 1, 0);
+    for (size_t b = 0; b < sizes_.size(); ++b) {
+      offsets_[b + 1] = offsets_[b] + sizes_[b];
+    }
+    std::vector<size_t> cursor(offsets_.begin(), offsets_.end() - 1);
+    for (NodeId v = 0; v < n; ++v) ids_[cursor[bucket_of[v]]++] = v;
+  }
+
+  // Ids carrying `label`, in ascending order; empty for unseen labels.
+  std::span<const NodeId> Of(Label label) const {
+    const uint32_t* b = buckets_.find(static_cast<uint64_t>(label));
+    if (b == nullptr) return {};
+    return {ids_.data() + offsets_[*b], offsets_[*b + 1] - offsets_[*b]};
+  }
+
+ private:
+  // Labels widen to the map's 64-bit key space, so the ~0 sentinel never
+  // collides with a real 32-bit label.
+  FlatHashMap<uint64_t, uint32_t> buckets_;  // label -> bucket id
+  std::vector<size_t> sizes_;
+  std::vector<size_t> offsets_;
+  std::vector<NodeId> ids_;
+};
 
 // Strongly connected components via iterative Tarjan [32]. Returns a
 // component id per node; ids are in reverse topological order of the

@@ -1,14 +1,13 @@
 #include "partition/fragmentation.h"
 
 #include <algorithm>
-#include <map>
-#include <set>
+#include <tuple>
 
 namespace dgs {
 
 NodeId Fragment::ToLocal(NodeId global_id) const {
-  auto it = global_to_local.find(global_id);
-  return it == global_to_local.end() ? kInvalidNode : it->second;
+  const NodeId* local = global_to_local.find(global_id);
+  return local == nullptr ? kInvalidNode : *local;
 }
 
 StatusOr<Fragmentation> Fragmentation::Create(
@@ -37,7 +36,7 @@ StatusOr<Fragmentation> Fragmentation::Create(
     Fragment& frag = f.fragments_[assignment[v]];
     NodeId local = builders[assignment[v]].AddNode(g.LabelOf(v));
     frag.local_to_global.push_back(v);
-    frag.global_to_local.emplace(v, local);
+    frag.global_to_local.insert(v, local);
   }
   for (uint32_t i = 0; i < num_fragments; ++i) {
     f.fragments_[i].num_local =
@@ -45,31 +44,37 @@ StatusOr<Fragmentation> Fragmentation::Create(
   }
 
   // Pass 2: edges; crossing edges materialize virtual nodes and consumer
-  // annotations.
-  std::set<NodeId> boundary;  // global ids appearing as virtual nodes
-  // (in-node global id, consumer site) -> crossing source labels
-  std::map<std::pair<NodeId, uint32_t>, std::set<Label>> consumer_labels;
+  // annotations. Boundary nodes and (in-node, consumer site, source label)
+  // triples are gathered flat and sorted once afterwards — the former
+  // std::set / std::map-of-sets bookkeeping allocated a red-black node per
+  // crossing edge and dominated Create() on partition-heavy runs.
+  std::vector<NodeId> boundary;  // global ids appearing as virtual nodes
+  std::vector<std::tuple<NodeId, uint32_t, Label>> consumer_triples;
   for (NodeId v = 0; v < g.NumNodes(); ++v) {
     const uint32_t i = assignment[v];
     Fragment& frag = f.fragments_[i];
+    const NodeId vl = *frag.global_to_local.find(v);
     for (NodeId w : g.OutNeighbors(v)) {
       const uint32_t j = assignment[w];
       if (i == j) {
-        builders[i].AddEdge(frag.global_to_local[v], frag.global_to_local[w]);
+        builders[i].AddEdge(vl, *frag.global_to_local.find(w));
         continue;
       }
       ++f.num_crossing_edges_;
-      boundary.insert(w);
+      boundary.push_back(w);
       NodeId wl = frag.ToLocal(w);
       if (wl == kInvalidNode) {
         wl = builders[i].AddNode(g.LabelOf(w));
         frag.local_to_global.push_back(w);
-        frag.global_to_local.emplace(w, wl);
+        frag.global_to_local.insert(w, wl);
       }
-      builders[i].AddEdge(frag.global_to_local[v], wl);
-      consumer_labels[{w, i}].insert(g.LabelOf(v));
+      builders[i].AddEdge(vl, wl);
+      consumer_triples.emplace_back(w, i, g.LabelOf(v));
     }
   }
+  std::sort(boundary.begin(), boundary.end());
+  boundary.erase(std::unique(boundary.begin(), boundary.end()),
+                 boundary.end());
   f.num_boundary_nodes_ = boundary.size();
 
   for (uint32_t i = 0; i < num_fragments; ++i) {
@@ -77,21 +82,31 @@ StatusOr<Fragmentation> Fragmentation::Create(
   }
 
   // Pass 3: in-node lists with consumers, grouped per home fragment.
-  for (auto& [key, labels] : consumer_labels) {
-    const auto [global_id, consumer_site] = key;
+  // Sorting by (global id, site, label) reproduces the former ordered-map
+  // iteration exactly: in-node local ids ascend per fragment and each
+  // consumer's source labels come out sorted and deduplicated.
+  std::sort(consumer_triples.begin(), consumer_triples.end());
+  consumer_triples.erase(
+      std::unique(consumer_triples.begin(), consumer_triples.end()),
+      consumer_triples.end());
+  for (size_t k = 0; k < consumer_triples.size();) {
+    const auto [global_id, consumer_site, first_label] = consumer_triples[k];
     Fragment& home = f.fragments_[assignment[global_id]];
-    NodeId local = home.global_to_local.at(global_id);
+    NodeId local = *home.global_to_local.find(global_id);
     if (home.in_nodes.empty() || home.in_nodes.back() != local) {
-      // consumer_labels is ordered by (global id, site); local ids are
-      // assigned in global order within a fragment, so in-node local ids
-      // arrive in ascending order per fragment.
       DGS_CHECK(home.in_nodes.empty() || home.in_nodes.back() < local,
                 "in-node ordering invariant violated");
       home.in_nodes.push_back(local);
       home.consumers.emplace_back();
     }
-    home.consumers.back().push_back(
-        {consumer_site, std::vector<Label>(labels.begin(), labels.end())});
+    std::vector<Label> labels;
+    while (k < consumer_triples.size() &&
+           std::get<0>(consumer_triples[k]) == global_id &&
+           std::get<1>(consumer_triples[k]) == consumer_site) {
+      labels.push_back(std::get<2>(consumer_triples[k]));
+      ++k;
+    }
+    home.consumers.back().push_back({consumer_site, std::move(labels)});
   }
 
   return f;

@@ -19,10 +19,10 @@
 #define DGS_PARTITION_FRAGMENTATION_H_
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "graph/graph.h"
+#include "util/flat_hash.h"
 #include "util/status.h"
 
 namespace dgs {
@@ -45,7 +45,9 @@ struct Fragment {
   // out-edges here (their adjacency lives at their home site).
   Graph graph;
   std::vector<NodeId> local_to_global;
-  std::unordered_map<NodeId, NodeId> global_to_local;
+  // Open-addressing map (kInvalidNode sentinel): ToLocal is on the engine
+  // hot path — every remote truth value resolves through it.
+  FlatHashMap<NodeId, NodeId> global_to_local;
 
   // In-nodes Fi.I as local ids (sorted ascending).
   std::vector<NodeId> in_nodes;

@@ -78,7 +78,10 @@ std::vector<uint32_t> ContiguousPartition(const Graph& g,
   // Per-fragment BFS frontier and size.
   std::vector<std::vector<NodeId>> frontier(num_fragments);
   std::vector<size_t> size(num_fragments, 0);
-  for (uint32_t i = 0; i < num_fragments && n > 0; ++i) {
+  // With more fragments than nodes only the first n get a seed (the rest
+  // stay empty — Fragmentation supports empty sites); probing past that
+  // point would spin forever on a fully-assigned graph.
+  for (uint32_t i = 0; i < num_fragments && static_cast<size_t>(i) < n; ++i) {
     // Random unassigned seed (linear probe from a random start).
     NodeId seed = static_cast<NodeId>(rng.UniformInt(n));
     while (assignment[seed] != kUnassigned) seed = (seed + 1) % n;

@@ -12,11 +12,24 @@ uint32_t SiteContext::coordinator_id() const {
 }
 
 void SiteContext::Send(uint32_t dst, MessageClass cls, Blob payload) {
-  cluster_->SendFrom(site_id_, dst, cls, std::move(payload));
+  DGS_CHECK(dst <= cluster_->NumWorkers(), "destination site out of range");
+  Message m;
+  m.src = site_id_;
+  m.dst = dst;
+  m.cls = cls;
+  m.payload = std::move(payload);
+  outbox_->push_back(std::move(m));
 }
 
-Cluster::Cluster(uint32_t num_workers, NetworkModel model)
-    : num_workers_(num_workers), model_(model) {
+Cluster::Cluster(uint32_t num_workers, ClusterOptions options)
+    : num_workers_(num_workers), options_(options) {
+  if (options_.num_threads == 0) {
+    options_.num_threads = ThreadPool::HardwareThreads();
+  }
+  // A round never has more callbacks than sites, so wider pools are pure
+  // spawn overhead — and this also defuses absurd requests (e.g. a
+  // negative knob cast to ~4e9) before ThreadPool tries to honor them.
+  options_.num_threads = std::min(options_.num_threads, num_workers_ + 1);
   actors_.resize(num_workers_ + 1);
 }
 
@@ -36,29 +49,58 @@ SiteActor* Cluster::worker(uint32_t i) {
 
 SiteActor* Cluster::coordinator() { return actors_[num_workers_].get(); }
 
-void Cluster::SendFrom(uint32_t src, uint32_t dst, MessageClass cls,
-                       Blob payload) {
-  DGS_CHECK(dst < actors_.size(), "destination site out of range");
-  Message m;
-  m.src = src;
-  m.dst = dst;
-  m.cls = cls;
-  m.payload = std::move(payload);
-  switch (cls) {
-    case MessageClass::kData:
-      stats_.data_bytes += m.WireSize();
-      ++stats_.data_messages;
-      break;
-    case MessageClass::kControl:
-      stats_.control_bytes += m.WireSize();
-      ++stats_.control_messages;
-      break;
-    case MessageClass::kResult:
-      stats_.result_bytes += m.WireSize();
-      ++stats_.result_messages;
-      break;
+void Cluster::ChargeAndEnqueue(std::vector<Message>& outbox) {
+  for (Message& m : outbox) {
+    switch (m.cls) {
+      case MessageClass::kData:
+        stats_.data_bytes += m.WireSize();
+        ++stats_.data_messages;
+        break;
+      case MessageClass::kControl:
+        stats_.control_bytes += m.WireSize();
+        ++stats_.control_messages;
+        break;
+      case MessageClass::kResult:
+        stats_.result_bytes += m.WireSize();
+        ++stats_.result_messages;
+        break;
+    }
+    pending_.push_back(std::move(m));
   }
-  pending_.push_back(std::move(m));
+  outbox.clear();
+}
+
+template <typename Fn>
+double Cluster::RunRound(const std::vector<uint32_t>& site_ids, Fn&& fn) {
+  const size_t n = site_ids.size();
+  std::vector<std::vector<Message>> outboxes(n);
+  std::vector<double> durations(n, 0.0);
+
+  auto run_one = [&](size_t i) {
+    SiteContext ctx(this, site_ids[i], &outboxes[i]);
+    WallTimer timer;
+    fn(i, site_ids[i], ctx);
+    durations[i] = timer.ElapsedSeconds();
+  };
+
+  if (options_.num_threads > 1 && n > 1) {
+    if (pool_ == nullptr) {
+      pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+    }
+    pool_->ParallelFor(n, run_one);
+  } else {
+    for (size_t i = 0; i < n; ++i) run_one(i);
+  }
+
+  // Deterministic merge: site-id order (site_ids is ascending), preserving
+  // each site's send order, with stats charged on this (single) thread.
+  double round_max = 0;
+  for (size_t i = 0; i < n; ++i) {
+    stats_.total_compute_seconds += durations[i];
+    round_max = std::max(round_max, durations[i]);
+    ChargeAndEnqueue(outboxes[i]);
+  }
+  return round_max;
 }
 
 RunStats Cluster::Run(uint32_t max_rounds) {
@@ -66,35 +108,25 @@ RunStats Cluster::Run(uint32_t max_rounds) {
     DGS_CHECK(actors_[i] != nullptr, "all sites must have an actor");
   }
   stats_ = RunStats{};
+  pending_.clear();
+
+  std::vector<uint32_t> all_sites(actors_.size());
+  for (uint32_t i = 0; i < all_sites.size(); ++i) all_sites[i] = i;
 
   // Round 0: parallel Setup; charged at the slowest site.
-  {
-    double round_max = 0;
-    for (uint32_t i = 0; i < actors_.size(); ++i) {
-      SiteContext ctx(this, i);
-      WallTimer timer;
-      actors_[i]->Setup(ctx);
-      double t = timer.ElapsedSeconds();
-      stats_.total_compute_seconds += t;
-      round_max = std::max(round_max, t);
-    }
-    stats_.response_seconds += round_max;
-  }
+  stats_.response_seconds += RunRound(
+      all_sites, [&](size_t, uint32_t site, SiteContext& ctx) {
+        actors_[site]->Setup(ctx);
+      });
 
   bool quiesce_ran = false;
   while (true) {
     if (pending_.empty()) {
       if (quiesce_ran) break;  // quiescent and OnQuiesce stayed silent
-      double round_max = 0;
-      for (uint32_t i = 0; i < actors_.size(); ++i) {
-        SiteContext ctx(this, i);
-        WallTimer timer;
-        actors_[i]->OnQuiesce(ctx);
-        double t = timer.ElapsedSeconds();
-        stats_.total_compute_seconds += t;
-        round_max = std::max(round_max, t);
-      }
-      stats_.response_seconds += round_max;
+      stats_.response_seconds += RunRound(
+          all_sites, [&](size_t, uint32_t site, SiteContext& ctx) {
+            actors_[site]->OnQuiesce(ctx);
+          });
       quiesce_ran = true;
       continue;
     }
@@ -112,7 +144,9 @@ RunStats Cluster::Run(uint32_t max_rounds) {
                        return a.src < b.src;
                      });
 
-    double round_max = 0;
+    // Slice the batch into per-destination inboxes (ascending dst).
+    std::vector<uint32_t> active;
+    std::vector<std::vector<Message>> inboxes;
     uint64_t max_ingress = 0;
     size_t i = 0;
     while (i < batch.size()) {
@@ -123,20 +157,19 @@ RunStats Cluster::Run(uint32_t max_rounds) {
         ++j;
       }
       max_ingress = std::max(max_ingress, ingress);
-      uint32_t dst = batch[i].dst;
-      std::vector<Message> inbox(std::make_move_iterator(batch.begin() + i),
-                                 std::make_move_iterator(batch.begin() + j));
-      SiteContext ctx(this, dst);
-      WallTimer timer;
-      actors_[dst]->OnMessages(ctx, std::move(inbox));
-      double t = timer.ElapsedSeconds();
-      stats_.total_compute_seconds += t;
-      round_max = std::max(round_max, t);
+      active.push_back(batch[i].dst);
+      inboxes.emplace_back(std::make_move_iterator(batch.begin() + i),
+                           std::make_move_iterator(batch.begin() + j));
       i = j;
     }
+
+    double round_max = RunRound(
+        active, [&](size_t k, uint32_t site, SiteContext& ctx) {
+          actors_[site]->OnMessages(ctx, std::move(inboxes[k]));
+        });
     stats_.response_seconds += round_max +
-                               model_.latency_per_round_seconds +
-                               model_.seconds_per_byte *
+                               options_.network.latency_per_round_seconds +
+                               options_.network.seconds_per_byte *
                                    static_cast<double>(max_ingress);
   }
 

@@ -14,6 +14,31 @@
 // each round is the maximum of its callbacks' measured durations (sites
 // compute in parallel), plus a configurable network charge. Data shipment
 // is the exact serialized byte volume, split by message class.
+//
+// Threading model. With ClusterOptions::num_threads > 1, the callbacks of
+// one delivery round execute CONCURRENTLY on a pooled executor — the
+// physical realization of the BSP cost model above, where previously the
+// sequential loop made wall-clock time ~num_sites x the charged critical
+// path. Rounds are still barriers: no callback of round k+1 starts before
+// every callback of round k finished.
+//
+// Determinism guarantees (identical for every num_threads value, including
+// the num_threads == 1 sequential reference mode):
+//   - Inboxes: each round's messages are grouped per destination and
+//     ordered by (src, send order at that src). Callback execution order
+//     within a round is unspecified, but sends are buffered in per-site
+//     outboxes and merged in site-id order after the round barrier, so the
+//     next round's inboxes are bit-for-bit identical regardless of
+//     scheduling.
+//   - RunStats: message and byte counters are charged during the ordered
+//     merge, never from worker threads, so accounting is exact and
+//     reproducible. (Measured durations naturally vary run to run; the
+//     derived response_seconds/total_compute_seconds are the only
+//     non-deterministic fields.)
+//   - Actors: each actor's callbacks only ever run on one thread at a time
+//     (one callback per site per round). Actors may therefore keep plain
+//     mutable state, but state SHARED between actors (e.g. AlgoCounters)
+//     must be thread-safe; SiteContext::Send is always safe.
 
 #ifndef DGS_RUNTIME_CLUSTER_H_
 #define DGS_RUNTIME_CLUSTER_H_
@@ -23,12 +48,15 @@
 
 #include "runtime/message.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace dgs {
 
 class Cluster;
 
 // Per-callback handle through which an actor reads its identity and sends.
+// Sends are buffered in a per-site outbox owned by the runtime and merged
+// deterministically at the round barrier; Send never touches shared state.
 class SiteContext {
  public:
   uint32_t site_id() const { return site_id_; }
@@ -40,11 +68,13 @@ class SiteContext {
 
  private:
   friend class Cluster;
-  SiteContext(Cluster* cluster, uint32_t site_id)
-      : cluster_(cluster), site_id_(site_id) {}
+  SiteContext(const Cluster* cluster, uint32_t site_id,
+              std::vector<Message>* outbox)
+      : cluster_(cluster), site_id_(site_id), outbox_(outbox) {}
 
-  Cluster* cluster_;
+  const Cluster* cluster_;
   uint32_t site_id_;
+  std::vector<Message>* outbox_;
 };
 
 // A site's algorithm logic. One actor per worker plus one coordinator.
@@ -90,12 +120,28 @@ struct NetworkModel {
   double seconds_per_byte = 0;
 };
 
+// Runtime configuration. Implicitly constructible from a bare NetworkModel
+// so existing call sites that pass only a network model keep working.
+struct ClusterOptions {
+  ClusterOptions() = default;
+  ClusterOptions(const NetworkModel& model)  // NOLINT: implicit on purpose
+      : network(model) {}
+
+  NetworkModel network;
+  // Executor width for each round's callbacks. 1 (the default) executes
+  // sites sequentially in site-id order — the deterministic reference
+  // behavior; larger values run them concurrently with identical results
+  // and RunStats accounting (see the threading-model comment above).
+  // 0 means "use all hardware threads".
+  uint32_t num_threads = 1;
+};
+
 // Owns the actors and runs the delivery loop.
 class Cluster {
  public:
   using NetworkModel = dgs::NetworkModel;
 
-  explicit Cluster(uint32_t num_workers, NetworkModel model = {});
+  explicit Cluster(uint32_t num_workers, ClusterOptions options = {});
 
   // Workers have ids [0, num_workers); the coordinator id is num_workers.
   uint32_t NumWorkers() const { return num_workers_; }
@@ -113,10 +159,18 @@ class Cluster {
 
  private:
   friend class SiteContext;
-  void SendFrom(uint32_t src, uint32_t dst, MessageClass cls, Blob payload);
+
+  // Executes one barrier round: fn(i, site_ids[i], ctx) for every i,
+  // possibly concurrently, then merges the per-site outboxes into pending_
+  // in site-id order and charges stats. Returns the max callback duration.
+  template <typename Fn>
+  double RunRound(const std::vector<uint32_t>& site_ids, Fn&& fn);
+
+  void ChargeAndEnqueue(std::vector<Message>& outbox);
 
   uint32_t num_workers_;
-  NetworkModel model_;
+  ClusterOptions options_;
+  std::unique_ptr<ThreadPool> pool_;  // created on demand when threads > 1
   std::vector<std::unique_ptr<SiteActor>> actors_;  // size num_workers_ + 1
   std::vector<Message> pending_;
   RunStats stats_;

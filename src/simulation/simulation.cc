@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "graph/algorithms.h"
+#include "util/thread_pool.h"
+
 namespace dgs {
 
 SimulationResult::SimulationResult(std::vector<DynamicBitset> fixpoint,
@@ -46,14 +49,19 @@ SimulationResult ComputeSimulation(const Pattern& q, const Graph& g,
   const size_t nq = q.NumNodes();
   const size_t n = g.NumNodes();
 
+  // Label indexes over both node sets: data-node buckets seed the candidate
+  // sets in O(|bucket|) instead of O(|V|) per query node, and query-node
+  // buckets restrict the per-edge counting loop below to the (few) query
+  // nodes whose label matches the edge target.
+  LabelIndex data_by_label(n, [&](NodeId v) { return g.LabelOf(v); });
+  LabelIndex query_by_label(nq, [&](NodeId u) { return q.LabelOf(u); });
+
   // sim[u] = current candidate set of u (starts at the label filter and only
   // shrinks — the greatest-fixpoint computation).
   std::vector<DynamicBitset> sim(nq, DynamicBitset(n));
   for (NodeId u = 0; u < nq; ++u) {
-    const Label lu = q.LabelOf(u);
     const bool needs_children = !q.IsSink(u);
-    for (NodeId v = 0; v < n; ++v) {
-      if (g.LabelOf(v) != lu) continue;
+    for (NodeId v : data_by_label.Of(q.LabelOf(u))) {
       if (needs_children && g.OutDegree(v) == 0) continue;
       sim[u].Set(v);
     }
@@ -62,15 +70,36 @@ SimulationResult ComputeSimulation(const Pattern& q, const Graph& g,
     }
   }
 
-  // count[u][v] = |{w in out(v) : w in sim[u]}|. Removing the last
-  // supporting successor of v for u invalidates v for every parent of u.
-  std::vector<std::vector<uint32_t>> count(nq, std::vector<uint32_t>(n, 0));
+  // Per data node, the span of query nodes sharing its label — resolved
+  // once here (n hash lookups) so the per-edge counting loop below touches
+  // no hash table at all.
+  std::vector<std::span<const NodeId>> query_span(n);
   for (NodeId v = 0; v < n; ++v) {
-    for (NodeId w : g.OutNeighbors(v)) {
-      for (NodeId u = 0; u < nq; ++u) {
-        if (sim[u].Test(w)) ++count[u][v];
+    query_span[v] = query_by_label.Of(g.LabelOf(v));
+  }
+
+  // count[u * n + v] = |{w in out(v) : w in sim[u]}| (HHK support counters).
+  // Removing the last supporting successor of v for u invalidates v for
+  // every parent of u. Rows are independent per data node, so the
+  // construction parallelizes over contiguous v-blocks with no sharing;
+  // integer counts make the result identical for every thread count.
+  std::vector<uint32_t> count(nq * n, 0);
+  auto build_counts = [&](size_t begin, size_t end) {
+    for (NodeId v = static_cast<NodeId>(begin); v < end; ++v) {
+      for (NodeId w : g.OutNeighbors(v)) {
+        for (NodeId u : query_span[w]) {
+          if (sim[u].Test(w)) ++count[u * n + v];
+        }
       }
     }
+  };
+  uint32_t threads = options.num_threads == 0 ? ThreadPool::HardwareThreads()
+                                              : options.num_threads;
+  if (threads > 1 && n >= 4096) {
+    ThreadPool pool(threads);
+    pool.ParallelForBlocks(n, 4096, build_counts);
+  } else {
+    build_counts(0, n);
   }
 
   // Seed the removal worklist: v in sim[u] requires count[u'][v] > 0 for
@@ -78,9 +107,10 @@ SimulationResult ComputeSimulation(const Pattern& q, const Graph& g,
   std::vector<std::pair<NodeId, NodeId>> worklist;  // (u, v) to remove
   for (NodeId u = 0; u < nq; ++u) {
     for (NodeId uc : q.Children(u)) {
+      const uint32_t* support = count.data() + static_cast<size_t>(uc) * n;
       std::vector<NodeId> doomed;
       sim[u].ForEachSet([&](size_t v) {
-        if (count[uc][v] == 0) doomed.push_back(static_cast<NodeId>(v));
+        if (support[v] == 0) doomed.push_back(static_cast<NodeId>(v));
       });
       for (NodeId v : doomed) {
         if (sim[u].Test(v)) {
@@ -91,7 +121,8 @@ SimulationResult ComputeSimulation(const Pattern& q, const Graph& g,
     }
   }
 
-  // Refinement loop.
+  // Refinement loop: each removal costs O(in-degree of v) plus the parent
+  // fan-out of u, for O((|Vq|+|V|)(|Eq|+|E|)) total.
   size_t head = 0;
   while (head < worklist.size()) {
     auto [u, v] = worklist[head++];
@@ -99,8 +130,9 @@ SimulationResult ComputeSimulation(const Pattern& q, const Graph& g,
       return SimulationResult(std::move(sim), n);
     }
     // v left sim[u]: predecessors of v lose one unit of support for u.
+    uint32_t* support = count.data() + static_cast<size_t>(u) * n;
     for (NodeId p : g.InNeighbors(v)) {
-      if (--count[u][p] == 0) {
+      if (--support[p] == 0) {
         // p no longer has any successor matching u; every parent of u in Q
         // must drop p.
         for (NodeId up : q.Parents(u)) {

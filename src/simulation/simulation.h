@@ -59,6 +59,10 @@ struct SimulationOptions {
   // fixpoint sets are then unspecified but GraphMatches() is exact. Used for
   // Boolean pattern queries.
   bool boolean_only = false;
+  // Executor width for the O(|E||Vq|)-dominant support-counter construction
+  // (1 = sequential, 0 = all hardware threads). The result is identical for
+  // every value; the refinement worklist itself is always sequential.
+  uint32_t num_threads = 1;
 };
 
 // Computes the maximum simulation of `q` in `g`.

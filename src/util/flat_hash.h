@@ -1,0 +1,205 @@
+// Small open-addressing hash containers for integral keys.
+//
+// The engine hot paths (LocalEngine wire-key lookups, ReduceToFrontier's
+// reachability bookkeeping, Fragment global->local translation) hash dense
+// 32/64-bit keys millions of times per run; std::unordered_map's
+// node-per-entry layout makes every probe a cache miss. These containers
+// store key/value slots inline in one power-of-two array with linear
+// probing and a multiplicative (Fibonacci) hash, so the common hit costs
+// one cache line.
+//
+// Deliberately minimal: no erase (the engines only insert and look up),
+// keys are integral, values need only be default-constructible and
+// movable (rehashing moves them), and one key value is reserved as the
+// empty sentinel (defaults to ~0; pass a different sentinel if ~0 is a
+// legal key).
+
+#ifndef DGS_UTIL_FLAT_HASH_H_
+#define DGS_UTIL_FLAT_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace dgs {
+
+namespace internal {
+
+inline size_t HashInt(uint64_t key) {
+  // Fibonacci multiplicative hash with an xor-fold; spreads consecutive
+  // keys (dense node ids, packed wire keys) across the table.
+  key ^= key >> 33;
+  key *= 0x9e3779b97f4a7c15ull;
+  key ^= key >> 29;
+  return static_cast<size_t>(key);
+}
+
+}  // namespace internal
+
+// Open-addressing map from an integral key to a movable value.
+template <typename Key, typename Value>
+class FlatHashMap {
+  static_assert(std::is_integral_v<Key>, "FlatHashMap requires integral keys");
+
+ public:
+  explicit FlatHashMap(Key empty_key = static_cast<Key>(-1))
+      : empty_key_(empty_key) {}
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void clear() {
+    slots_.clear();
+    size_ = 0;
+  }
+
+  void reserve(size_t n) { Rehash(NormalizeCapacity(n)); }
+
+  // Inserts key -> value if absent; returns the stored value's address
+  // (existing value on duplicate insert). Pointers are invalidated by the
+  // next insert.
+  Value* insert(Key key, Value value) {
+    DGS_DCHECK(key != empty_key_, "inserting the empty sentinel key");
+    if (NeedsGrow()) Rehash(slots_.empty() ? 16 : slots_.size() * 2);
+    size_t i = FindSlot(key);
+    if (slots_[i].first == empty_key_) {
+      slots_[i] = {key, std::move(value)};
+      ++size_;
+    }
+    return &slots_[i].second;
+  }
+
+  // Returns the value's address, or nullptr when absent.
+  Value* find(Key key) {
+    if (slots_.empty()) return nullptr;
+    size_t i = FindSlot(key);
+    return slots_[i].first == empty_key_ ? nullptr : &slots_[i].second;
+  }
+  const Value* find(Key key) const {
+    return const_cast<FlatHashMap*>(this)->find(key);
+  }
+
+  bool contains(Key key) const { return find(key) != nullptr; }
+
+  // Calls fn(key, value) for every entry, in unspecified order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const auto& slot : slots_) {
+      if (slot.first != empty_key_) fn(slot.first, slot.second);
+    }
+  }
+
+ private:
+  static size_t NormalizeCapacity(size_t n) {
+    size_t cap = 16;
+    while (cap < n * 2) cap *= 2;  // keep load factor under 1/2
+    return cap;
+  }
+
+  bool NeedsGrow() const {
+    return slots_.empty() || (size_ + 1) * 2 > slots_.size();
+  }
+
+  size_t FindSlot(Key key) const {
+    const size_t mask = slots_.size() - 1;
+    size_t i = internal::HashInt(static_cast<uint64_t>(key)) & mask;
+    while (slots_[i].first != empty_key_ && slots_[i].first != key) {
+      i = (i + 1) & mask;
+    }
+    return i;
+  }
+
+  void Rehash(size_t new_capacity) {
+    if (new_capacity <= slots_.size()) return;
+    std::vector<std::pair<Key, Value>> old = std::move(slots_);
+    slots_.clear();
+    slots_.resize(new_capacity);
+    for (auto& slot : slots_) slot.first = empty_key_;
+    for (auto& slot : old) {
+      if (slot.first != empty_key_) {
+        slots_[FindSlot(slot.first)] = std::move(slot);
+      }
+    }
+  }
+
+  Key empty_key_;
+  std::vector<std::pair<Key, Value>> slots_;
+  size_t size_ = 0;
+};
+
+// Open-addressing set of integral keys.
+template <typename Key>
+class FlatHashSet {
+  static_assert(std::is_integral_v<Key>, "FlatHashSet requires integral keys");
+
+ public:
+  explicit FlatHashSet(Key empty_key = static_cast<Key>(-1))
+      : empty_key_(empty_key) {}
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void clear() {
+    slots_.clear();
+    size_ = 0;
+  }
+
+  void reserve(size_t n) { Rehash(NormalizeCapacity(n)); }
+
+  // Returns true if the key was newly inserted.
+  bool insert(Key key) {
+    DGS_DCHECK(key != empty_key_, "inserting the empty sentinel key");
+    if (NeedsGrow()) Rehash(slots_.empty() ? 16 : slots_.size() * 2);
+    size_t i = FindSlot(key);
+    if (slots_[i] != empty_key_) return false;
+    slots_[i] = key;
+    ++size_;
+    return true;
+  }
+
+  bool contains(Key key) const {
+    if (slots_.empty()) return false;
+    return slots_[FindSlot(key)] != empty_key_;
+  }
+
+ private:
+  static size_t NormalizeCapacity(size_t n) {
+    size_t cap = 16;
+    while (cap < n * 2) cap *= 2;
+    return cap;
+  }
+
+  bool NeedsGrow() const {
+    return slots_.empty() || (size_ + 1) * 2 > slots_.size();
+  }
+
+  size_t FindSlot(Key key) const {
+    const size_t mask = slots_.size() - 1;
+    size_t i = internal::HashInt(static_cast<uint64_t>(key)) & mask;
+    while (slots_[i] != empty_key_ && slots_[i] != key) {
+      i = (i + 1) & mask;
+    }
+    return i;
+  }
+
+  void Rehash(size_t new_capacity) {
+    if (new_capacity <= slots_.size()) return;
+    std::vector<Key> old = std::move(slots_);
+    slots_.assign(new_capacity, empty_key_);
+    for (Key key : old) {
+      if (key != empty_key_) slots_[FindSlot(key)] = key;
+    }
+  }
+
+  Key empty_key_;
+  std::vector<Key> slots_;
+  size_t size_ = 0;
+};
+
+}  // namespace dgs
+
+#endif  // DGS_UTIL_FLAT_HASH_H_

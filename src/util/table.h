@@ -24,6 +24,11 @@ class TablePrinter {
   // Renders the table to `os` with a header rule.
   void Print(std::ostream& os) const;
 
+  // Cell access for alternative renderers (the benchmark harness mirrors
+  // every printed table into machine-readable JSON).
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

@@ -1,0 +1,97 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace dgs {
+
+ThreadPool::ThreadPool(uint32_t num_threads) {
+  if (num_threads < 1) num_threads = 1;
+  // Backstop against nonsense widths (e.g. a negative knob cast to ~4e9):
+  // modest oversubscription is legitimate, thousands of threads never are.
+  num_threads = std::min(num_threads, std::max(64u, 8 * HardwareThreads()));
+  workers_.reserve(num_threads - 1);
+  for (uint32_t i = 0; i + 1 < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+uint32_t ThreadPool::HardwareThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<uint32_t>(n);
+}
+
+void ThreadPool::RunIndices() {
+  while (true) {
+    size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= total_) break;
+    (*job_)(i);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen_generation = 0;
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+    }
+    RunIndices();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--active_workers_ == 0) work_done_.notify_one();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &fn;
+    total_ = n;
+    next_.store(0, std::memory_order_relaxed);
+    active_workers_ = static_cast<uint32_t>(workers_.size());
+    ++generation_;
+  }
+  work_ready_.notify_all();
+  RunIndices();  // the caller's lane
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    work_done_.wait(lock, [&] { return active_workers_ == 0; });
+    job_ = nullptr;
+  }
+}
+
+void ThreadPool::ParallelForBlocks(
+    size_t n, size_t grain, const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  if (grain < 1) grain = 1;
+  const size_t num_blocks = (n + grain - 1) / grain;
+  if (workers_.empty() || num_blocks == 1) {
+    fn(0, n);
+    return;
+  }
+  ParallelFor(num_blocks, [&](size_t b) {
+    const size_t begin = b * grain;
+    fn(begin, std::min(n, begin + grain));
+  });
+}
+
+}  // namespace dgs

@@ -1,0 +1,79 @@
+// Pooled fork-join executor for the cluster runtime and simulation kernels.
+//
+// A ThreadPool owns `num_threads - 1` persistent worker threads; the caller
+// of ParallelFor participates as the remaining lane, so a pool with
+// num_threads == 1 spawns nothing and degenerates to a plain loop. Work is
+// distributed by an atomic index counter, which self-balances like work
+// stealing: a lane that finishes a cheap item immediately claims the next
+// one, so skewed per-item costs (one hot site per cluster round is common)
+// never idle the other lanes.
+//
+// ParallelFor is a barrier: it returns only after fn ran for every index.
+// fn must be safe to run concurrently for distinct indices; the pool makes
+// no ordering guarantee between them. Callers that need deterministic
+// output (the cluster runtime does) must make fn write to per-index slots
+// and merge in index order after the barrier.
+
+#ifndef DGS_UTIL_THREAD_POOL_H_
+#define DGS_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dgs {
+
+class ThreadPool {
+ public:
+  // Clamps to at least 1 and at most max(64, 8 x hardware threads).
+  // `num_threads` counts the caller's lane.
+  explicit ThreadPool(uint32_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  uint32_t num_threads() const {
+    return static_cast<uint32_t>(workers_.size()) + 1;
+  }
+
+  // Runs fn(i) for every i in [0, n), distributing indices over all lanes.
+  // Blocks until every call returned. Reentrant calls (fn itself calling
+  // ParallelFor on the same pool) are not supported.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  // Splits [0, n) into contiguous blocks of roughly `grain` indices and
+  // runs fn(begin, end) per block. Use for fine-grained loops where a
+  // per-index dispatch through std::function would dominate.
+  void ParallelForBlocks(size_t n, size_t grain,
+                         const std::function<void(size_t, size_t)>& fn);
+
+  // Hardware threads available to this process (>= 1).
+  static uint32_t HardwareThreads();
+
+ private:
+  void WorkerLoop();
+  void RunIndices();
+
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  uint64_t generation_ = 0;  // bumped per ParallelFor to wake workers
+  uint32_t active_workers_ = 0;
+  bool stop_ = false;
+
+  // Current job; valid while a generation is in flight.
+  const std::function<void(size_t)>* job_ = nullptr;
+  std::atomic<size_t> next_{0};
+  size_t total_ = 0;
+};
+
+}  // namespace dgs
+
+#endif  // DGS_UTIL_THREAD_POOL_H_

@@ -34,6 +34,16 @@ TEST(ApiTest, ValidatesPattern) {
   EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST(ApiTest, RejectsOversizedPatterns) {
+  // Patterns with >= 2^16 nodes would overflow the 16-bit query-node field
+  // of the wire key (MakeVarKey); the API refuses them up front.
+  GraphBuilder qb(1u << 16);
+  Pattern big(std::move(qb).Build());
+  auto ex = MakeSocialExample();
+  auto r = DistributedMatch(ex.g, ex.assignment, 3, big, DistOptions{});
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
 TEST(ApiTest, DagRequiresDagSomewhere) {
   auto ex = MakeSocialExample();  // cyclic G
   DistOptions options;

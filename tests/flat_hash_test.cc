@@ -1,0 +1,107 @@
+#include "util/flat_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/rng.h"
+
+namespace dgs {
+namespace {
+
+TEST(FlatHashMapTest, InsertFindBasics) {
+  FlatHashMap<uint64_t, uint32_t> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(42), nullptr);
+
+  map.insert(42, 7);
+  ASSERT_NE(map.find(42), nullptr);
+  EXPECT_EQ(*map.find(42), 7u);
+  EXPECT_EQ(map.size(), 1u);
+
+  // Duplicate insert keeps the first value (matches emplace semantics).
+  uint32_t* stored = map.insert(42, 99);
+  EXPECT_EQ(*stored, 7u);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatHashMapTest, GrowsAndRetainsEntries) {
+  FlatHashMap<uint64_t, uint64_t> map;
+  for (uint64_t k = 0; k < 10000; ++k) map.insert(k * 65536 + 3, k);
+  EXPECT_EQ(map.size(), 10000u);
+  for (uint64_t k = 0; k < 10000; ++k) {
+    ASSERT_NE(map.find(k * 65536 + 3), nullptr) << k;
+    EXPECT_EQ(*map.find(k * 65536 + 3), k);
+  }
+  EXPECT_EQ(map.find(12345), nullptr);
+}
+
+TEST(FlatHashMapTest, ZeroIsALegalKey) {
+  FlatHashMap<uint32_t, int> map;
+  map.insert(0, -5);
+  ASSERT_NE(map.find(0), nullptr);
+  EXPECT_EQ(*map.find(0), -5);
+}
+
+TEST(FlatHashMapTest, AgreesWithUnorderedMapUnderRandomOps) {
+  Rng rng(123);
+  FlatHashMap<uint64_t, uint32_t> flat;
+  std::unordered_map<uint64_t, uint32_t> reference;
+  for (int i = 0; i < 20000; ++i) {
+    uint64_t key = rng.UniformInt(5000);  // collisions on purpose
+    uint32_t value = static_cast<uint32_t>(i);
+    flat.insert(key, value);
+    reference.emplace(key, value);
+  }
+  EXPECT_EQ(flat.size(), reference.size());
+  for (const auto& [key, value] : reference) {
+    ASSERT_NE(flat.find(key), nullptr);
+    EXPECT_EQ(*flat.find(key), value);
+  }
+  size_t visited = 0;
+  flat.ForEach([&](uint64_t key, uint32_t value) {
+    ++visited;
+    auto it = reference.find(key);
+    ASSERT_NE(it, reference.end());
+    EXPECT_EQ(it->second, value);
+  });
+  EXPECT_EQ(visited, reference.size());
+}
+
+TEST(FlatHashSetTest, InsertContains) {
+  FlatHashSet<uint64_t> set;
+  EXPECT_FALSE(set.contains(9));
+  EXPECT_TRUE(set.insert(9));
+  EXPECT_FALSE(set.insert(9));  // duplicate
+  EXPECT_TRUE(set.contains(9));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(FlatHashSetTest, AgreesWithUnorderedSetUnderRandomOps) {
+  Rng rng(7);
+  FlatHashSet<uint32_t> flat;
+  std::unordered_set<uint32_t> reference;
+  for (int i = 0; i < 20000; ++i) {
+    uint32_t key = static_cast<uint32_t>(rng.UniformInt(3000));
+    EXPECT_EQ(flat.insert(key), reference.insert(key).second);
+  }
+  EXPECT_EQ(flat.size(), reference.size());
+  for (uint32_t k = 0; k < 3500; ++k) {
+    EXPECT_EQ(flat.contains(k), reference.count(k) > 0) << k;
+  }
+}
+
+TEST(FlatHashMapTest, ClearResets) {
+  FlatHashMap<uint64_t, int> map;
+  map.insert(1, 2);
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(1), nullptr);
+  map.insert(1, 3);
+  EXPECT_EQ(*map.find(1), 3);
+}
+
+}  // namespace
+}  // namespace dgs

@@ -290,6 +290,25 @@ TEST(LocalEngineTest, FalseQueryNodesForReportsLabelAndRefinementFalses) {
   EXPECT_EQ(falses, (std::vector<NodeId>{SocialExample::kF}));
 }
 
+// The wire key packs the query node into 16 bits; anything wider would
+// silently alias keys between query nodes. Oversized ids must be rejected
+// loudly, not truncated.
+TEST(VarKeyDeathTest, OversizedQueryNodeAborts) {
+#ifdef NDEBUG
+  GTEST_SKIP() << "DGS_DCHECK is compiled out in release builds; the "
+                  "public API guard below still applies";
+#else
+  EXPECT_DEATH(MakeVarKey(1u << 16, 0), "16-bit");
+  EXPECT_DEATH(MakeVarKey(70000, 42), "16-bit");
+#endif
+}
+
+TEST(VarKeyTest, MaxInRangeQueryNodeRoundTrips) {
+  uint64_t key = MakeVarKey((1u << 16) - 1, 0xffffffffu);
+  EXPECT_EQ(VarKeyQueryNode(key), (1u << 16) - 1);
+  EXPECT_EQ(VarKeyGlobalNode(key), 0xffffffffu);
+}
+
 TEST(LocalEngineTest, IsKeyFalseSemantics) {
   auto ex = MakeSocialExample();
   auto f = Fragmentation::Create(ex.g, ex.assignment, 3);

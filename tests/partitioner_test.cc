@@ -181,6 +181,24 @@ TEST(TreePartitionTest, RoughBalance) {
   for (size_t s : sizes) EXPECT_LE(s, 3 * 1000u / 5);
 }
 
+// Regression: with more fragments than nodes the seed-probing loop used to
+// spin forever once every node was taken (hit via dgsim_cli's default
+// --sites 8 on a tiny graph). Extra fragments must simply stay empty.
+TEST(ContiguousPartitionTest, MoreFragmentsThanNodesTerminates) {
+  Rng rng(3);
+  Graph g = MakeGraph({0, 1, 2, 0, 1, 2},
+                      {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}});
+  auto assignment = ContiguousPartition(g, 8, rng);
+  ASSERT_EQ(assignment.size(), 6u);
+  for (uint32_t a : assignment) EXPECT_LT(a, 8u);
+  auto frag = Fragmentation::Create(g, assignment, 8);
+  EXPECT_TRUE(frag.ok());
+
+  auto refined = PartitionWithBoundaryRatio(g, 8, 0.25, rng);
+  ASSERT_EQ(refined.size(), 6u);
+  for (uint32_t a : refined) EXPECT_LT(a, 8u);
+}
+
 TEST(TreePartitionTest, SingleFragmentIsIdentity) {
   Rng rng(71);
   Graph tree = RandomTree(50, 4, rng);

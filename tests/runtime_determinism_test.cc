@@ -1,0 +1,184 @@
+// Determinism of the parallel cluster runtime (runtime/cluster.h).
+//
+// The contract: for ANY ClusterOptions::num_threads value, a run produces
+// the same SimulationResult and bit-identical RunStats message/byte
+// accounting as the num_threads == 1 sequential reference, and repeated
+// runs at the same width agree with each other. Exercised on dGPM, dGPMd,
+// dGPMt and dMes over generated workloads.
+
+#include <gtest/gtest.h>
+
+#include "core/api.h"
+#include "graph/generators.h"
+#include "partition/partitioner.h"
+
+namespace dgs {
+namespace {
+
+struct Fingerprint {
+  SimulationResult result;
+  uint64_t data_bytes, control_bytes, result_bytes;
+  uint64_t data_messages, control_messages, result_messages;
+  uint32_t rounds;
+  uint64_t vars_shipped, push_count, equation_units, recomputations;
+
+  explicit Fingerprint(const DistOutcome& o)
+      : result(o.result),
+        data_bytes(o.stats.data_bytes),
+        control_bytes(o.stats.control_bytes),
+        result_bytes(o.stats.result_bytes),
+        data_messages(o.stats.data_messages),
+        control_messages(o.stats.control_messages),
+        result_messages(o.stats.result_messages),
+        rounds(o.stats.rounds),
+        vars_shipped(o.counters.vars_shipped),
+        push_count(o.counters.push_count),
+        equation_units(o.counters.equation_units),
+        recomputations(o.counters.recomputations) {}
+};
+
+void ExpectSameFingerprint(const Fingerprint& a, const Fingerprint& b,
+                           const char* what, uint32_t threads) {
+  SCOPED_TRACE(testing::Message() << what << " num_threads=" << threads);
+  EXPECT_TRUE(a.result == b.result);
+  EXPECT_EQ(a.data_bytes, b.data_bytes);
+  EXPECT_EQ(a.control_bytes, b.control_bytes);
+  EXPECT_EQ(a.result_bytes, b.result_bytes);
+  EXPECT_EQ(a.data_messages, b.data_messages);
+  EXPECT_EQ(a.control_messages, b.control_messages);
+  EXPECT_EQ(a.result_messages, b.result_messages);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.vars_shipped, b.vars_shipped);
+  EXPECT_EQ(a.push_count, b.push_count);
+  EXPECT_EQ(a.equation_units, b.equation_units);
+  EXPECT_EQ(a.recomputations, b.recomputations);
+}
+
+void CheckAcrossThreadCounts(const Graph& g,
+                             const std::vector<uint32_t>& assignment,
+                             uint32_t sites, const Pattern& q,
+                             Algorithm algorithm, const char* what) {
+  DistOptions options;
+  options.algorithm = algorithm;
+  options.num_threads = 1;
+  auto reference = DistributedMatch(g, assignment, sites, q, options);
+  ASSERT_TRUE(reference.ok()) << what;
+  Fingerprint ref(*reference);
+
+  for (uint32_t threads : {1u, 2u, 8u}) {
+    options.num_threads = threads;
+    // Two runs per width: parallel results must also be stable run-to-run.
+    for (int repeat = 0; repeat < 2; ++repeat) {
+      auto outcome = DistributedMatch(g, assignment, sites, q, options);
+      ASSERT_TRUE(outcome.ok()) << what;
+      ExpectSameFingerprint(ref, Fingerprint(*outcome), what, threads);
+    }
+  }
+}
+
+TEST(RuntimeDeterminismTest, DgpmOnWebGraph) {
+  Rng rng(2014);
+  Graph g = WebGraph(4000, 20000, kDefaultAlphabet, rng);
+  auto assignment = PartitionWithBoundaryRatio(g, 8, 0.25, rng);
+  PatternSpec spec;
+  spec.num_nodes = 5;
+  spec.num_edges = 10;
+  spec.kind = PatternKind::kCyclic;
+  auto q = ExtractPattern(g, spec, rng);
+  ASSERT_TRUE(q.ok());
+  CheckAcrossThreadCounts(g, assignment, 8, *q, Algorithm::kDgpm, "dGPM");
+}
+
+TEST(RuntimeDeterminismTest, DgpmNoOptOnWebGraph) {
+  Rng rng(7);
+  Graph g = WebGraph(1500, 7500, kDefaultAlphabet, rng);
+  auto assignment = PartitionWithBoundaryRatio(g, 4, 0.3, rng);
+  PatternSpec spec;
+  spec.kind = PatternKind::kCyclic;
+  auto q = ExtractPattern(g, spec, rng);
+  ASSERT_TRUE(q.ok());
+  CheckAcrossThreadCounts(g, assignment, 4, *q, Algorithm::kDgpmNoOpt,
+                          "dGPMNOpt");
+}
+
+TEST(RuntimeDeterminismTest, DgpmDagOnCitationDag) {
+  Rng rng(99);
+  Graph g = CitationDag(3000, 12000, kDefaultAlphabet, rng);
+  auto assignment = PartitionWithBoundaryRatio(g, 8, 0.25, rng);
+  PatternSpec spec;
+  spec.num_nodes = 5;
+  spec.num_edges = 8;
+  spec.kind = PatternKind::kDag;
+  auto q = ExtractPattern(g, spec, rng);
+  ASSERT_TRUE(q.ok());
+  CheckAcrossThreadCounts(g, assignment, 8, *q, Algorithm::kDgpmDag, "dGPMd");
+}
+
+TEST(RuntimeDeterminismTest, DgpmTreeOnRandomTree) {
+  Rng rng(5);
+  Graph g = RandomTree(3000, kDefaultAlphabet, rng);
+  auto assignment = PartitionWithBoundaryRatio(g, 8, 0.25, rng);
+  PatternSpec spec;
+  spec.num_nodes = 4;
+  spec.num_edges = 5;
+  spec.kind = PatternKind::kDag;
+  auto q = ExtractPattern(g, spec, rng);
+  ASSERT_TRUE(q.ok());
+  CheckAcrossThreadCounts(g, assignment, 8, *q, Algorithm::kDgpmTree,
+                          "dGPMt");
+}
+
+TEST(RuntimeDeterminismTest, DMesOnWebGraph) {
+  Rng rng(31);
+  Graph g = WebGraph(1500, 7500, kDefaultAlphabet, rng);
+  auto assignment = PartitionWithBoundaryRatio(g, 4, 0.25, rng);
+  PatternSpec spec;
+  spec.kind = PatternKind::kCyclic;
+  auto q = ExtractPattern(g, spec, rng);
+  ASSERT_TRUE(q.ok());
+  CheckAcrossThreadCounts(g, assignment, 4, *q, Algorithm::kDMes, "dMes");
+}
+
+// num_threads = 0 resolves to "all hardware threads" and must still agree.
+TEST(RuntimeDeterminismTest, HardwareWidthMatchesReference) {
+  Rng rng(13);
+  Graph g = WebGraph(1000, 5000, kDefaultAlphabet, rng);
+  auto assignment = PartitionWithBoundaryRatio(g, 4, 0.25, rng);
+  PatternSpec spec;
+  spec.kind = PatternKind::kCyclic;
+  auto q = ExtractPattern(g, spec, rng);
+  ASSERT_TRUE(q.ok());
+
+  DistOptions options;
+  options.num_threads = 1;
+  auto ref = DistributedMatch(g, assignment, 4, *q, options);
+  ASSERT_TRUE(ref.ok());
+  options.num_threads = 0;
+  auto hw = DistributedMatch(g, assignment, 4, *q, options);
+  ASSERT_TRUE(hw.ok());
+  ExpectSameFingerprint(Fingerprint(*ref), Fingerprint(*hw), "hw-width", 0);
+}
+
+// The parallel simulation kernel agrees with the sequential one.
+TEST(RuntimeDeterminismTest, ParallelKernelMatchesSequential) {
+  Rng rng(17);
+  Graph g = WebGraph(20000, 100000, kDefaultAlphabet, rng);
+  PatternSpec spec;
+  spec.num_nodes = 5;
+  spec.num_edges = 10;
+  spec.kind = PatternKind::kCyclic;
+  auto q = ExtractPattern(g, spec, rng);
+  ASSERT_TRUE(q.ok());
+
+  SimulationOptions sequential;
+  auto expected = ComputeSimulation(*q, g, sequential);
+  for (uint32_t threads : {2u, 8u}) {
+    SimulationOptions parallel;
+    parallel.num_threads = threads;
+    EXPECT_TRUE(ComputeSimulation(*q, g, parallel) == expected)
+        << "num_threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace dgs
