@@ -20,6 +20,7 @@ int main() {
   const ClusterOptions runtime = [&] {
     ClusterOptions r(bench::BenchNetwork());
     r.num_threads = env.threads;
+    r.wire_format = env.wire;
     return r;
   }();
 

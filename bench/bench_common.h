@@ -18,6 +18,9 @@
 //   DGS_THREADS  cluster-runtime executor width (default 1 = the
 //                sequential reference; 0 = all hardware threads). Results
 //                and message accounting are identical for every value.
+//   DGS_WIRE     wire format: "v2" (default, delta-encoded) or "v1"
+//                (fixed 6-byte records). Simulation results and message
+//                counts are identical; only the shipped bytes differ.
 
 #ifndef DGS_BENCH_BENCH_COMMON_H_
 #define DGS_BENCH_BENCH_COMMON_H_
@@ -40,6 +43,7 @@ struct Env {
   int queries = 3;
   uint64_t seed = 2014;
   uint32_t threads = 1;
+  WireFormat wire = WireFormat::kV2Delta;
 
   static Env FromEnv() {
     Env env;
@@ -56,6 +60,17 @@ struct Env {
       } else {
         std::cerr << "warning: ignoring malformed DGS_THREADS='" << s
                   << "' (using 1)\n";
+      }
+    }
+    if (const char* s = std::getenv("DGS_WIRE")) {
+      std::string w(s);
+      if (w == "v1") {
+        env.wire = WireFormat::kV1Fixed;
+      } else if (w == "v2") {
+        env.wire = WireFormat::kV2Delta;
+      } else {
+        std::cerr << "warning: ignoring malformed DGS_WIRE='" << s
+                  << "' (using v2)\n";
       }
     }
     if (env.scale <= 0) env.scale = 1.0;
@@ -180,15 +195,21 @@ inline void AppendTableJson(BenchJson& json, const std::string& table_name,
 struct PointStats {
   double pt_seconds = 0;
   double ds_bytes = 0;
+  double ds_saved_bytes = 0;  // payload bytes the V2 wire format avoided
   double runs = 0;
 
   void Add(const DistOutcome& outcome) {
     pt_seconds += outcome.response_seconds();
     ds_bytes += static_cast<double>(outcome.data_shipment_bytes());
+    ds_saved_bytes +=
+        static_cast<double>(outcome.counters.wire_saved_data_bytes);
     runs += 1;
   }
   double AvgPtMs() const { return runs > 0 ? pt_seconds / runs * 1e3 : 0; }
   double AvgDsKb() const { return runs > 0 ? ds_bytes / runs / 1024.0 : 0; }
+  double AvgDsSavedKb() const {
+    return runs > 0 ? ds_saved_bytes / runs / 1024.0 : 0;
+  }
 };
 
 // One figure pair: rows indexed by x label, columns by algorithm.
@@ -230,6 +251,7 @@ class FigureTable {
             .Str("algorithm", AlgorithmName(a))
             .Num("pt_ms", jt->second.AvgPtMs())
             .Num("ds_kb", jt->second.AvgDsKb())
+            .Num("ds_saved_kb", jt->second.AvgDsSavedKb())
             .Num("runs", jt->second.runs);
       }
     }
@@ -246,7 +268,8 @@ class FigureTable {
         .Num("scale", env.scale)
         .Int("queries", static_cast<uint64_t>(env.queries))
         .Int("seed", env.seed)
-        .Int("threads", env.threads);
+        .Int("threads", env.threads)
+        .Str("wire", WireFormatName(env.wire));
     AppendJson(json);
     json.WriteFile();
   }
@@ -301,14 +324,16 @@ inline NetworkModel BenchNetwork() {
 }
 
 // Runs one algorithm, returning false when it is inapplicable or fails.
-// `num_threads` is the cluster executor width (see DGS_THREADS).
+// The Env supplies the cluster executor width (DGS_THREADS) and the wire
+// format (DGS_WIRE).
 inline bool RunOne(const Graph& g, const Fragmentation& frag,
                    const Pattern& q, Algorithm algorithm,
-                   DistOutcome* outcome, uint32_t num_threads = 1) {
+                   DistOutcome* outcome, const Env& env = {}) {
   DistOptions options;
   options.algorithm = algorithm;
   options.network = BenchNetwork();
-  options.num_threads = num_threads;
+  options.num_threads = env.threads;
+  options.wire_format = env.wire;
   auto result = DistributedMatch(g, frag, q, options);
   if (!result.ok()) {
     std::cerr << "  [skip] " << AlgorithmName(algorithm) << ": "

@@ -41,7 +41,7 @@ int main() {
     for (const Pattern& q : queries) {
       for (Algorithm a : algorithms) {
         DistOutcome outcome;
-        if (bench::RunOne(g, *frag, q, a, &outcome, env.threads)) {
+        if (bench::RunOne(g, *frag, q, a, &outcome, env)) {
           fig.Add(std::to_string(sites), a, outcome);
         }
       }

@@ -43,7 +43,7 @@ int main() {
     for (const Pattern& q : queries) {
       for (Algorithm a : algorithms) {
         DistOutcome outcome;
-        if (bench::RunOne(g, *frag, q, a, &outcome, env.threads)) fig.Add(x, a, outcome);
+        if (bench::RunOne(g, *frag, q, a, &outcome, env)) fig.Add(x, a, outcome);
       }
     }
   }

@@ -40,7 +40,7 @@ int main() {
       if (!q.ok()) continue;
       for (Algorithm a : algorithms) {
         DistOutcome outcome;
-        if (bench::RunOne(g, *frag, *q, a, &outcome, env.threads)) fig.Add(x, a, outcome);
+        if (bench::RunOne(g, *frag, *q, a, &outcome, env)) fig.Add(x, a, outcome);
       }
     }
   }

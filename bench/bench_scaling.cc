@@ -95,6 +95,7 @@ int main() {
     for (uint32_t threads : widths) {
       ClusterOptions runtime(bench::BenchNetwork());
       runtime.num_threads = threads;
+      runtime.wire_format = env.wire;
       Measurement m2;
       m2.wall_seconds = 1e100;
       for (int r = 0; r < reps; ++r) {

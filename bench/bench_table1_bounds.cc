@@ -38,7 +38,7 @@ int main() {
       auto q = ExtractPattern(g, spec, rng);
       if (!q.ok()) continue;
       DistOutcome outcome;
-      if (!bench::RunOne(g, *frag, *q, Algorithm::kDgpm, &outcome, env.threads)) continue;
+      if (!bench::RunOne(g, *frag, *q, Algorithm::kDgpm, &outcome, env)) continue;
       uint64_t budget = frag->NumCrossingEdges() * q->NumNodes();
       table.AddRow({"dGPM",
                     "(" + std::to_string(g.NumNodes()) + "," +
@@ -65,7 +65,7 @@ int main() {
       auto q = ExtractPattern(g, spec, rng);
       if (!q.ok()) continue;
       DistOutcome outcome;
-      if (!bench::RunOne(g, *frag, *q, Algorithm::kDgpmDag, &outcome, env.threads)) continue;
+      if (!bench::RunOne(g, *frag, *q, Algorithm::kDgpmDag, &outcome, env)) continue;
       uint64_t budget = frag->NumCrossingEdges() * q->NumNodes();
       table.AddRow({"dGPMd",
                     "(" + std::to_string(g.NumNodes()) + "," +
@@ -96,7 +96,7 @@ int main() {
       auto frag = Fragmentation::Create(tree, *assignment, 8);
       if (!frag.ok()) continue;
       DistOutcome outcome;
-      if (!bench::RunOne(tree, *frag, q, Algorithm::kDgpmTree, &outcome, env.threads)) {
+      if (!bench::RunOne(tree, *frag, q, Algorithm::kDgpmTree, &outcome, env)) {
         continue;
       }
       table.AddRow({"dGPMt", std::to_string(tree.NumNodes()), "8",
@@ -147,8 +147,8 @@ int main() {
       if (!frag.ok()) continue;
       Pattern q(MakeGraph({0, 1, 2}, {{0, 1}, {1, 2}, {2, 0}}));
       DistOutcome dgpm, dishhk;
-      if (!bench::RunOne(g, *frag, q, Algorithm::kDgpm, &dgpm, env.threads)) continue;
-      if (!bench::RunOne(g, *frag, q, Algorithm::kDisHhk, &dishhk, env.threads)) continue;
+      if (!bench::RunOne(g, *frag, q, Algorithm::kDgpm, &dgpm, env)) continue;
+      if (!bench::RunOne(g, *frag, q, Algorithm::kDisHhk, &dishhk, env)) continue;
       table.AddRow({"(" + std::to_string(g.NumNodes()) + "," +
                         std::to_string(g.NumEdges()) + ")",
                     std::to_string(frag->NumCrossingEdges()),

@@ -31,8 +31,8 @@ int main() {
       auto frag = Fragmentation::Create(tree, *assignment, sites);
       if (!frag.ok()) continue;
       DistOutcome t_out, g_out;
-      if (!bench::RunOne(tree, *frag, q, Algorithm::kDgpmTree, &t_out, env.threads)) continue;
-      if (!bench::RunOne(tree, *frag, q, Algorithm::kDgpm, &g_out, env.threads)) continue;
+      if (!bench::RunOne(tree, *frag, q, Algorithm::kDgpmTree, &t_out, env)) continue;
+      if (!bench::RunOne(tree, *frag, q, Algorithm::kDgpm, &g_out, env)) continue;
       table.AddRow({std::to_string(sites),
                     FormatDouble(t_out.response_seconds() * 1e3, 2),
                     FormatDouble(t_out.stats.data_bytes / 1024.0, 3),
@@ -57,7 +57,7 @@ int main() {
       auto frag = Fragmentation::Create(tree, *assignment, 8);
       if (!frag.ok()) continue;
       DistOutcome outcome;
-      if (!bench::RunOne(tree, *frag, q, Algorithm::kDgpmTree, &outcome, env.threads)) {
+      if (!bench::RunOne(tree, *frag, q, Algorithm::kDgpmTree, &outcome, env)) {
         continue;
       }
       table.AddRow({std::to_string(tree.NumNodes()),

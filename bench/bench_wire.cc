@@ -1,0 +1,237 @@
+// Wire-format comparison: V1 fixed records vs V2 sorted-gap deltas.
+//
+// Runs the Fig. 6(a)/(b) default workload (web graph, |Q| = (5, 10),
+// |Vf| ~ 25%, 8 sites) with every algorithm whose data shipment is
+// dominated by the delta-encoded payloads (dGPM, dGPMNOpt, dMes), under
+// both wire formats and executor widths {1, 8}. Verifies that the
+// simulation result and all message counts are bit-identical across the
+// four (format, threads) combinations, then reports the V1-vs-V2 data
+// shipment side by side.
+//
+// BENCH_wire.json rows: one per (algorithm, query) combination plus one
+// "total" row per algorithm, each with ds_v1_kb, ds_v2_kb, the v2/v1
+// ratio, and the bytes-saved counters reported by the encoders. The
+// process exits nonzero if any cross-format/threads fingerprint diverges,
+// so CI catches wire-format regressions, not just size drift.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace dgs;
+
+struct ComboResult {
+  DistOutcome outcome;
+  bool ok = false;
+};
+
+ComboResult RunCombo(const Graph& g, const Fragmentation& frag,
+                     const Pattern& q, Algorithm a, WireFormat wire,
+                     uint32_t threads) {
+  DistOptions options;
+  options.algorithm = a;
+  options.network = bench::BenchNetwork();
+  options.num_threads = threads;
+  options.wire_format = wire;
+  ComboResult r;
+  auto result = DistributedMatch(g, frag, q, options);
+  if (!result.ok()) {
+    std::cerr << "  [skip] " << AlgorithmName(a) << ": "
+              << result.status().ToString() << "\n";
+    return r;
+  }
+  r.outcome = std::move(result).value();
+  r.ok = true;
+  return r;
+}
+
+bool SameAnswerAndTraffic(const DistOutcome& a, const DistOutcome& b,
+                          const char* what) {
+  bool same = true;
+  if (!(a.result == b.result)) {
+    std::cerr << "MISMATCH [" << what << "]: simulation results differ\n";
+    same = false;
+  }
+  auto check = [&](uint64_t x, uint64_t y, const char* field) {
+    if (x != y) {
+      std::cerr << "MISMATCH [" << what << "]: " << field << " " << x
+                << " vs " << y << "\n";
+      same = false;
+    }
+  };
+  check(a.stats.data_messages, b.stats.data_messages, "data_messages");
+  check(a.stats.control_messages, b.stats.control_messages,
+        "control_messages");
+  check(a.stats.result_messages, b.stats.result_messages, "result_messages");
+  check(a.stats.rounds, b.stats.rounds, "rounds");
+  check(a.counters.vars_shipped, b.counters.vars_shipped, "vars_shipped");
+  check(a.counters.supersteps, b.counters.supersteps, "supersteps");
+  return same;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dgs;
+  auto env = bench::Env::FromEnv();
+  Rng rng(env.seed);
+
+  const size_t n = env.Scaled(150000), m = env.Scaled(750000);
+  Graph g = WebGraph(n, m, kDefaultAlphabet, rng);
+  std::cout << "Wire format: web graph |G| = (" << g.NumNodes() << ", "
+            << g.NumEdges() << "), |Q| = (5,10), |Vf| ~ 25%, 8 sites\n\n";
+
+  std::vector<Pattern> queries;
+  for (int i = 0; i < env.queries; ++i) {
+    PatternSpec spec;
+    spec.num_nodes = 5;
+    spec.num_edges = 10;
+    spec.kind = PatternKind::kCyclic;
+    auto q = ExtractPattern(g, spec, rng);
+    if (q.ok()) queries.push_back(*q);
+  }
+
+  const uint32_t sites = 8;
+  auto assignment = PartitionWithBoundaryRatio(g, sites, 0.25, rng);
+  auto frag = Fragmentation::Create(g, assignment, sites);
+  if (!frag.ok() || queries.empty()) {
+    std::cerr << "workload setup failed\n";
+    return 1;
+  }
+
+  const std::vector<Algorithm> algorithms = {
+      Algorithm::kDgpm, Algorithm::kDgpmNoOpt, Algorithm::kDMes};
+  const std::vector<uint32_t> widths = {1, 8};
+
+  bench::BenchJson json("wire");
+  json.meta()
+      .Num("scale", env.scale)
+      .Int("queries", static_cast<uint64_t>(queries.size()))
+      .Int("seed", env.seed)
+      .Int("sites", sites)
+      .Str("workload", "fig6_ab_default");
+
+  TablePrinter table({"algorithm", "DS v1(KB)", "DS v2(KB)", "v2/v1",
+                      "saved data(KB)", "saved result(KB)"});
+  bool all_identical = true;
+  double grand_v1 = 0, grand_v2 = 0;
+  for (Algorithm a : algorithms) {
+    double total_v1 = 0, total_v2 = 0;
+    double total_saved_data = 0, total_saved_result = 0;
+    size_t runs = 0;
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      const Pattern& q = queries[qi];
+      // Reference: V1, sequential.
+      ComboResult ref = RunCombo(g, *frag, q, a, WireFormat::kV1Fixed, 1);
+      if (!ref.ok) continue;
+      ComboResult v2 = RunCombo(g, *frag, q, a, WireFormat::kV2Delta, 1);
+      if (!v2.ok) continue;
+      // The answer, message counts and rounds must be identical across
+      // formats and thread counts; only the shipped bytes may differ.
+      {
+        std::string what = std::string(AlgorithmName(a)) + " q" +
+                           std::to_string(qi) + " v2 t1";
+        if (!SameAnswerAndTraffic(ref.outcome, v2.outcome, what.c_str())) {
+          all_identical = false;
+        }
+      }
+      for (uint32_t threads : widths) {
+        if (threads == 1) continue;  // both t1 runs already checked above
+        for (WireFormat wire :
+             {WireFormat::kV1Fixed, WireFormat::kV2Delta}) {
+          ComboResult combo = RunCombo(g, *frag, q, a, wire, threads);
+          const DistOutcome& expect_bytes =
+              wire == WireFormat::kV1Fixed ? ref.outcome : v2.outcome;
+          std::string what = std::string(AlgorithmName(a)) + " q" +
+                             std::to_string(qi) + " " +
+                             WireFormatName(wire) + " t" +
+                             std::to_string(threads);
+          if (!combo.ok ||
+              !SameAnswerAndTraffic(ref.outcome, combo.outcome,
+                                    what.c_str()) ||
+              combo.outcome.stats.data_bytes !=
+                  expect_bytes.stats.data_bytes) {
+            if (combo.ok && combo.outcome.stats.data_bytes !=
+                                expect_bytes.stats.data_bytes) {
+              std::cerr << "MISMATCH [" << what
+                        << "]: data_bytes not thread-invariant\n";
+            }
+            all_identical = false;
+          }
+        }
+      }
+      const double ds_v1 =
+          static_cast<double>(ref.outcome.stats.data_bytes);
+      const double ds_v2 = static_cast<double>(v2.outcome.stats.data_bytes);
+      total_v1 += ds_v1;
+      total_v2 += ds_v2;
+      total_saved_data +=
+          static_cast<double>(v2.outcome.counters.wire_saved_data_bytes);
+      total_saved_result +=
+          static_cast<double>(v2.outcome.counters.wire_saved_result_bytes);
+      ++runs;
+      json.AddRow()
+          .Str("algorithm", AlgorithmName(a))
+          .Int("query", qi)
+          .Num("ds_v1_kb", ds_v1 / 1024.0)
+          .Num("ds_v2_kb", ds_v2 / 1024.0)
+          .Num("ds_ratio", ds_v1 > 0 ? ds_v2 / ds_v1 : 1.0)
+          .Int("data_messages", ref.outcome.stats.data_messages)
+          .Int("rounds", ref.outcome.stats.rounds)
+          .Num("saved_data_kb",
+               static_cast<double>(
+                   v2.outcome.counters.wire_saved_data_bytes) /
+                   1024.0)
+          .Num("saved_result_kb",
+               static_cast<double>(
+                   v2.outcome.counters.wire_saved_result_bytes) /
+                   1024.0);
+    }
+    if (runs == 0) continue;
+    grand_v1 += total_v1;
+    grand_v2 += total_v2;
+    const double ratio = total_v1 > 0 ? total_v2 / total_v1 : 1.0;
+    table.AddRow({std::string(AlgorithmName(a)),
+                  FormatDouble(total_v1 / 1024.0, 3),
+                  FormatDouble(total_v2 / 1024.0, 3), FormatDouble(ratio, 3),
+                  FormatDouble(total_saved_data / 1024.0, 3),
+                  FormatDouble(total_saved_result / 1024.0, 3)});
+    json.AddRow()
+        .Str("algorithm", AlgorithmName(a))
+        .Str("query", "total")
+        .Num("ds_v1_kb", total_v1 / 1024.0)
+        .Num("ds_v2_kb", total_v2 / 1024.0)
+        .Num("ds_ratio", ratio)
+        .Num("saved_data_kb", total_saved_data / 1024.0)
+        .Num("saved_result_kb", total_saved_result / 1024.0);
+  }
+
+  // Workload aggregate: DS summed over the whole algorithm set, the way
+  // Fig. 6(b) reports the workload (dMes dominates, exactly as in the
+  // paper). The per-algorithm rows above break the same number down.
+  const double grand_ratio = grand_v1 > 0 ? grand_v2 / grand_v1 : 1.0;
+  table.AddRow({"ALL", FormatDouble(grand_v1 / 1024.0, 3),
+                FormatDouble(grand_v2 / 1024.0, 3),
+                FormatDouble(grand_ratio, 3), "-", "-"});
+  json.AddRow()
+      .Str("algorithm", "all")
+      .Str("query", "total")
+      .Num("ds_v1_kb", grand_v1 / 1024.0)
+      .Num("ds_v2_kb", grand_v2 / 1024.0)
+      .Num("ds_ratio", grand_ratio);
+
+  std::cout << "== DS: V1 fixed vs V2 delta (identical answers & message "
+               "counts) ==\n";
+  table.Print(std::cout);
+  std::cout << "\nworkload DS ratio v2/v1: " << FormatDouble(grand_ratio, 3)
+            << "\ncross-format/threads fingerprints: "
+            << (all_identical ? "IDENTICAL" : "MISMATCH") << "\n";
+  json.meta()
+      .Num("ds_ratio_total", grand_ratio)
+      .Str("identical", all_identical ? "true" : "false");
+  json.WriteFile();
+  return all_identical ? 0 : 1;
+}

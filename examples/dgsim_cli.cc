@@ -11,6 +11,8 @@
 //   --vf-ratio R        target boundary ratio in (0,1); otherwise a
 //                       BFS/range partition is used as-is
 //   --seed S            RNG seed                                   (2014)
+//   --threads N         cluster executor width; 0 = all hardware   (1)
+//   --wire v1|v2        wire format: fixed records or delta        (v2)
 //   --boolean           Boolean pattern query (answer only)
 //   --stats             print partition statistics
 //   --matches           print the full match relation (default: counts)
@@ -34,6 +36,8 @@ struct CliOptions {
   uint32_t sites = 8;
   double vf_ratio = -1;
   uint64_t seed = 2014;
+  uint32_t threads = 1;
+  std::string wire = "v2";
   bool boolean_only = false;
   bool print_stats = false;
   bool print_matches = false;
@@ -69,6 +73,15 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       const char* v = next();
       if (!v) return false;
       options->seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (!v) return false;
+      options->threads = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--wire") {
+      const char* v = next();
+      if (!v) return false;
+      options->wire = v;
+      if (options->wire != "v1" && options->wire != "v2") return false;
     } else if (arg == "--boolean") {
       options->boolean_only = true;
     } else if (arg == "--stats") {
@@ -104,8 +117,9 @@ int main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &cli)) {
     std::cerr << "usage: dgsim --graph G.txt --pattern Q.txt "
                  "[--algorithm auto] [--sites 8]\n"
-                 "             [--vf-ratio R] [--seed S] [--boolean] "
-                 "[--stats] [--matches]\n";
+                 "             [--vf-ratio R] [--seed S] [--threads N] "
+                 "[--wire v1|v2]\n"
+                 "             [--boolean] [--stats] [--matches]\n";
     return 1;
   }
   dgs::Algorithm algorithm;
@@ -159,6 +173,9 @@ int main(int argc, char** argv) {
   dgs::DistOptions options;
   options.algorithm = algorithm;
   options.boolean_only = cli.boolean_only;
+  options.num_threads = cli.threads;
+  options.wire_format =
+      cli.wire == "v1" ? dgs::WireFormat::kV1Fixed : dgs::WireFormat::kV2Delta;
   auto outcome =
       dgs::DistributedMatch(*graph, *fragmentation, pattern, options);
   if (!outcome.ok()) {
@@ -168,7 +185,8 @@ int main(int argc, char** argv) {
 
   const bool matched = outcome->result.GraphMatches();
   std::cout << "algorithm: " << cli.algorithm << " over " << cli.sites
-            << " sites\n";
+            << " sites (wire " << cli.wire << ", threads " << cli.threads
+            << ")\n";
   std::cout << "G matches Q: " << (matched ? "yes" : "no") << "\n";
   if (!cli.boolean_only) {
     for (dgs::NodeId u = 0; u < pattern.NumNodes(); ++u) {

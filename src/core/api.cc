@@ -39,6 +39,7 @@ StatusOr<DistOutcome> DistributedMatch(const Graph& g,
 
   ClusterOptions runtime(options.network);
   runtime.num_threads = options.num_threads;
+  runtime.wire_format = options.wire_format;
 
   Algorithm algorithm = options.algorithm;
   if (algorithm == Algorithm::kAuto) {

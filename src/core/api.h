@@ -53,6 +53,11 @@ struct DistOptions {
   // 0 = all hardware threads. Results and message accounting are identical
   // for every value (see runtime/cluster.h).
   uint32_t num_threads = 1;
+  // Wire format for the dominant payloads (truth values, match lists).
+  // kV2Delta (default) delta-encodes them and never ships more bytes than
+  // kV1Fixed; simulation results and message counts are identical for both
+  // (see runtime/message.h and core/protocol.h).
+  WireFormat wire_format = WireFormat::kV2Delta;
 };
 
 // Fragments g according to `assignment` and evaluates q distributedly.

@@ -49,14 +49,23 @@ class AssemblingCoordinator : public SiteActor {
       Blob::Reader reader(m.payload);
       if (GetTag(reader) != WireTag::kSubgraph) continue;
       uint32_t num_nodes = reader.GetU32();
+      DGS_CHECK(reader.ok() && num_nodes <= reader.Remaining() / 8,
+                "corrupt subgraph payload (node count)");
       for (uint32_t i = 0; i < num_nodes; ++i) {
         NodeId gid = reader.GetU32();
-        labels_[gid] = reader.GetU32();
+        Label label = reader.GetU32();
+        DGS_CHECK(gid < labels_.size(), "subgraph node id out of range");
+        labels_[gid] = label;
       }
       uint32_t num_edges = reader.GetU32();
+      DGS_CHECK(reader.ok() && num_edges <= reader.Remaining() / 8,
+                "corrupt subgraph payload (edge count)");
+      edges_.reserve(edges_.size() + num_edges);
       for (uint32_t i = 0; i < num_edges; ++i) {
         NodeId from = reader.GetU32();
         NodeId to = reader.GetU32();
+        DGS_CHECK(from < labels_.size() && to < labels_.size(),
+                  "subgraph edge endpoint out of range");
         edges_.emplace_back(from, to);
       }
       ++received_;
@@ -224,7 +233,8 @@ class DMesWorker : public SiteActor {
     std::vector<uint64_t> falses;
     for (const Message& m : inbox) {
       Blob::Reader reader(m.payload);
-      switch (GetTag(reader)) {
+      const WireTag tag = GetTag(reader);
+      switch (tag) {
         case WireTag::kTick:
           ticked = true;
           break;
@@ -235,28 +245,29 @@ class DMesWorker : public SiteActor {
             ticked = true;
           }
           break;
-        case WireTag::kRequest: {
-          // Reply with the current truth value of every requested variable.
-          auto keys = ReadFalseVarList(reader);
+        case WireTag::kRequest:
+        case WireTag::kRequest2: {
+          // Reply with the current truth value of every requested variable
+          // (under V2 only the false subset ships; absence means true).
+          std::vector<uint64_t> keys;
+          DGS_CHECK(ReadTruthRequest(reader, tag, &keys),
+                    "corrupt truth request");
           Blob reply;
-          PutTag(reply, WireTag::kReply);
-          reply.PutU32(static_cast<uint32_t>(keys.size()));
-          for (uint64_t key : keys) {
-            reply.PutU32(VarKeyGlobalNode(key));
-            reply.PutU16(static_cast<uint16_t>(VarKeyQueryNode(key)));
-            reply.PutU8(engine_.IsKeyFalse(key) ? 1 : 0);
-          }
+          counters_->wire_saved_data_bytes += AppendTruthReply(
+              reply, keys,
+              [this](uint64_t key) { return engine_.IsKeyFalse(key); },
+              ctx.wire_format());
           counters_->vars_shipped += keys.size();
           ctx.Send(m.src, MessageClass::kData, std::move(reply));
           break;
         }
-        case WireTag::kReply: {
-          uint32_t n = reader.GetU32();
-          for (uint32_t i = 0; i < n; ++i) {
-            uint32_t gv = reader.GetU32();
-            uint16_t u = reader.GetU16();
-            if (reader.GetU8() != 0) falses.push_back(MakeVarKey(u, gv));
-          }
+        case WireTag::kReply:
+        case WireTag::kReply2: {
+          std::vector<uint64_t> reply_falses;
+          DGS_CHECK(ReadTruthReplyFalses(reader, tag, &reply_falses),
+                    "corrupt truth reply");
+          falses.insert(falses.end(), reply_falses.begin(),
+                        reply_falses.end());
           break;
         }
         default:
@@ -281,12 +292,8 @@ class DMesWorker : public SiteActor {
       }
       for (auto& [owner, keys] : by_owner) {
         Blob blob;
-        PutTag(blob, WireTag::kRequest);
-        blob.PutU32(static_cast<uint32_t>(keys.size()));
-        for (uint64_t key : keys) {
-          blob.PutU32(VarKeyGlobalNode(key));
-          blob.PutU16(static_cast<uint16_t>(VarKeyQueryNode(key)));
-        }
+        counters_->wire_saved_data_bytes +=
+            AppendTruthRequest(blob, keys, ctx.wire_format());
         counters_->vars_shipped += keys.size();
         ctx.Send(owner, MessageClass::kData, std::move(blob));
       }
@@ -310,7 +317,8 @@ class DMesWorker : public SiteActor {
       });
     }
     Blob blob;
-    AppendMatchList(blob, lists, config_.boolean_only);
+    counters_->wire_saved_result_bytes +=
+        AppendMatchList(blob, lists, config_.boolean_only, ctx.wire_format());
     ctx.Send(ctx.coordinator_id(), MessageClass::kResult, std::move(blob));
     matches_dirty_ = false;
   }
@@ -353,7 +361,7 @@ class DMesCoordinator : public SiteActor {
       if (tag == WireTag::kFlag) {
         ++flags_;
         if (reader.GetU8() != 0) any_changed_ = true;
-      } else if (tag == WireTag::kMatches) {
+      } else if (tag == WireTag::kMatches || tag == WireTag::kMatches2) {
         std::vector<Message> one;
         one.push_back(std::move(m));
         collector_.OnMessages(ctx, std::move(one));

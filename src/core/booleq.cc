@@ -50,9 +50,15 @@ size_t ReducedSystem::TotalUnits() const {
   return units;
 }
 
-void ReducedSystem::Serialize(Blob& blob) const {
-  blob.PutU32(static_cast<uint32_t>(entries.size()));
-  for (const auto& e : entries) {
+namespace {
+
+// Serialization versions (first payload byte).
+constexpr uint8_t kReducedV1 = 1;  // fixed-width records
+constexpr uint8_t kReducedV2 = 2;  // varint keys, sorted-gap group refs
+
+void SerializeReducedV1(const ReducedSystem& r, Blob& blob) {
+  blob.PutU32(static_cast<uint32_t>(r.entries.size()));
+  for (const auto& e : r.entries) {
     blob.PutU64(e.key);
     blob.PutU8(static_cast<uint8_t>(e.kind));
     if (e.kind != ReducedEntry::kEquation) continue;
@@ -64,21 +70,110 @@ void ReducedSystem::Serialize(Blob& blob) const {
   }
 }
 
-ReducedSystem ReducedSystem::Deserialize(Blob::Reader& reader) {
-  ReducedSystem out;
-  uint32_t n = reader.GetU32();
-  out.entries.resize(n);
-  for (auto& e : out.entries) {
-    e.key = reader.GetU64();
-    e.kind = static_cast<ReducedEntry::Kind>(reader.GetU8());
+void SerializeReducedV2(const ReducedSystem& r, Blob& blob) {
+  blob.PutVarint(r.entries.size());
+  for (const auto& e : r.entries) {
+    blob.PutVarint(e.key);
+    blob.PutU8(static_cast<uint8_t>(e.kind));
     if (e.kind != ReducedEntry::kEquation) continue;
-    e.groups.resize(reader.GetU16());
+    blob.PutVarint(e.groups.size());
+    for (const auto& g : e.groups) {
+      // Group refs arrive sorted from ReduceToFrontier; sort a copy anyway
+      // so hand-built systems encode correctly (members are a set).
+      std::vector<uint64_t> refs(g);
+      std::sort(refs.begin(), refs.end());
+      blob.PutVarint(refs.size());
+      for (size_t i = 0; i < refs.size(); ++i) {
+        blob.PutVarint(i == 0 ? refs[0] : refs[i] - refs[i - 1]);
+      }
+    }
+  }
+}
+
+bool DeserializeReducedV1(Blob::Reader& reader, ReducedSystem* out) {
+  const uint32_t n = reader.GetU32();
+  // Every entry carries at least a u64 key and a u8 kind.
+  if (!reader.ok() || n > reader.Remaining() / 9) return false;
+  out->entries.resize(n);
+  for (auto& e : out->entries) {
+    e.key = reader.GetU64();
+    const uint8_t kind = reader.GetU8();
+    if (!reader.ok() || kind > ReducedEntry::kEquation) return false;
+    e.kind = static_cast<ReducedEntry::Kind>(kind);
+    if (e.kind != ReducedEntry::kEquation) continue;
+    const uint16_t num_groups = reader.GetU16();
+    if (!reader.ok() || num_groups > reader.Remaining() / 2) return false;
+    e.groups.resize(num_groups);
     for (auto& g : e.groups) {
-      g.resize(reader.GetU16());
+      const uint16_t num_refs = reader.GetU16();
+      if (!reader.ok() || num_refs > reader.Remaining() / 8) return false;
+      g.resize(num_refs);
       for (auto& ref : g) ref = reader.GetU64();
     }
   }
-  return out;
+  return reader.ok();
+}
+
+bool DeserializeReducedV2(Blob::Reader& reader, ReducedSystem* out) {
+  const uint64_t n = reader.GetVarint();
+  // Every entry takes at least a one-byte key varint and a kind byte.
+  if (!reader.ok() || n > reader.Remaining() / 2) return false;
+  out->entries.resize(n);
+  for (auto& e : out->entries) {
+    e.key = reader.GetVarint();
+    const uint8_t kind = reader.GetU8();
+    if (!reader.ok() || kind > ReducedEntry::kEquation) return false;
+    e.kind = static_cast<ReducedEntry::Kind>(kind);
+    if (e.kind != ReducedEntry::kEquation) continue;
+    const uint64_t num_groups = reader.GetVarint();
+    // A group takes at least two bytes (count varint + one ref varint).
+    if (!reader.ok() || num_groups > reader.Remaining() / 2) return false;
+    e.groups.resize(num_groups);
+    for (auto& g : e.groups) {
+      const uint64_t num_refs = reader.GetVarint();
+      if (!reader.ok() || num_refs > reader.Remaining()) return false;
+      g.resize(num_refs);
+      uint64_t ref = 0;
+      for (size_t i = 0; i < g.size(); ++i) {
+        ref = (i == 0) ? reader.GetVarint() : ref + reader.GetVarint();
+        g[i] = ref;
+      }
+    }
+  }
+  return reader.ok();
+}
+
+}  // namespace
+
+uint64_t ReducedSystem::Serialize(Blob& blob, WireFormat format) const {
+  if (format == WireFormat::kV2Delta) {
+    size_t v1_size = 4;
+    for (const auto& e : entries) {
+      v1_size += 9;
+      if (e.kind != ReducedEntry::kEquation) continue;
+      v1_size += 2;
+      for (const auto& g : e.groups) v1_size += 2 + 8 * g.size();
+    }
+    Blob v2;
+    SerializeReducedV2(*this, v2);
+    if (v2.size() < v1_size) {
+      blob.PutU8(kReducedV2);
+      blob.Append(v2);
+      return v1_size - v2.size();
+    }
+  }
+  blob.PutU8(kReducedV1);
+  SerializeReducedV1(*this, blob);
+  return 0;
+}
+
+bool ReducedSystem::Deserialize(Blob::Reader& reader, ReducedSystem* out) {
+  out->entries.clear();
+  const uint8_t version = reader.GetU8();
+  if (!reader.ok()) return false;
+  if (version == kReducedV1) return DeserializeReducedV1(reader, out);
+  if (version == kReducedV2) return DeserializeReducedV2(reader, out);
+  return false;
 }
 
 namespace {

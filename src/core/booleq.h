@@ -136,8 +136,16 @@ struct ReducedSystem {
   // function B(Si) in Section 4.2.
   size_t TotalUnits() const;
 
-  void Serialize(Blob& blob) const;
-  static ReducedSystem Deserialize(Blob::Reader& reader);
+  // Serialized layout starts with a one-byte version: 1 = fixed-width
+  // records (u64 keys, u16 counts), 2 = varint keys with sorted-gap delta
+  // group refs. Under WireFormat::kV2Delta the encoder emits whichever
+  // body is smaller and returns the bytes saved vs the fixed layout (0
+  // under kV1Fixed).
+  uint64_t Serialize(Blob& blob, WireFormat format = WireFormat::kV1Fixed) const;
+  // Length-validated: declared counts are checked against the reader's
+  // remaining bytes before any allocation; returns false (with *out in an
+  // unspecified partial state) on a truncated or corrupt payload.
+  static bool Deserialize(Blob::Reader& reader, ReducedSystem* out);
 };
 
 // Expresses `roots` in terms of the frontier variables.

@@ -14,8 +14,11 @@ void CollectingCoordinator::OnMessages(SiteContext& ctx,
   for (const Message& m : inbox) {
     Blob::Reader reader(m.payload);
     WireTag tag = GetTag(reader);
-    if (tag != WireTag::kMatches) continue;  // change flags etc.
-    auto lists = ReadMatchList(reader);
+    if (tag != WireTag::kMatches && tag != WireTag::kMatches2) {
+      continue;  // change flags etc.
+    }
+    std::vector<std::vector<NodeId>> lists;
+    DGS_CHECK(ReadMatchList(reader, tag, &lists), "corrupt match list");
     DGS_CHECK(lists.size() == num_query_nodes_, "match list arity mismatch");
     per_site_[m.src] = std::move(lists);  // latest report wins
   }
@@ -77,14 +80,20 @@ void DgpmWorker::OnMessages(SiteContext& ctx, std::vector<Message> inbox) {
   for (const Message& m : inbox) {
     if (m.cls == MessageClass::kResult) continue;
     Blob::Reader reader(m.payload);
-    switch (GetTag(reader)) {
-      case WireTag::kFalseVars: {
-        auto keys = ReadFalseVarList(reader);
+    const WireTag tag = GetTag(reader);
+    switch (tag) {
+      case WireTag::kFalseVars:
+      case WireTag::kFalseVars2: {
+        std::vector<uint64_t> keys;
+        DGS_CHECK(ReadFalseVarList(reader, tag, &keys),
+                  "corrupt false-var payload");
         falses.insert(falses.end(), keys.begin(), keys.end());
         break;
       }
       case WireTag::kPushSystem: {
-        ReducedSystem reduced = ReducedSystem::Deserialize(reader);
+        ReducedSystem reduced;
+        DGS_CHECK(ReducedSystem::Deserialize(reader, &reduced),
+                  "corrupt push payload");
         std::vector<uint64_t> fresh = engine_.InstallReducedSystem(reduced);
         matches_dirty_ = true;  // installation may refine local candidates
         // Subscribe to the home sites of the newly referenced variables so
@@ -108,6 +117,8 @@ void DgpmWorker::OnMessages(SiteContext& ctx, std::vector<Message> inbox) {
       }
       case WireTag::kSubscribe: {
         uint32_t n = reader.GetU32();
+        DGS_CHECK(reader.ok() && n <= reader.Remaining() / 4,
+                  "corrupt subscription payload");
         std::vector<uint64_t> known_falses;
         for (uint32_t i = 0; i < n; ++i) {
           NodeId gv = reader.GetU32();
@@ -121,7 +132,8 @@ void DgpmWorker::OnMessages(SiteContext& ctx, std::vector<Message> inbox) {
         }
         if (!known_falses.empty()) {
           Blob blob;
-          AppendFalseVarList(blob, known_falses);
+          counters_->wire_saved_data_bytes +=
+              AppendFalseVarList(blob, known_falses, ctx.wire_format());
           counters_->vars_shipped += known_falses.size();
           ctx.Send(m.src, MessageClass::kData, std::move(blob));
         }
@@ -169,7 +181,8 @@ void DgpmWorker::ShipFalses(SiteContext& ctx, bool flag_coordinator) {
     std::sort(keys.begin(), keys.end());
     keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
     Blob blob;
-    AppendFalseVarList(blob, keys);
+    counters_->wire_saved_data_bytes +=
+        AppendFalseVarList(blob, keys, ctx.wire_format());
     counters_->vars_shipped += keys.size();
     ctx.Send(dst, MessageClass::kData, std::move(blob));
   }
@@ -246,7 +259,8 @@ void DgpmWorker::MaybePush(SiteContext& ctx) {
     if (slice.entries.empty()) continue;
     Blob payload;
     PutTag(payload, WireTag::kPushSystem);
-    slice.Serialize(payload);
+    counters_->wire_saved_data_bytes +=
+        slice.Serialize(payload, ctx.wire_format());
     counters_->equation_units += slice.TotalUnits();
     ctx.Send(site, MessageClass::kData, std::move(payload));
   }
@@ -261,7 +275,8 @@ void DgpmWorker::SendMatches(SiteContext& ctx) {
     });
   }
   Blob blob;
-  AppendMatchList(blob, lists, config_.boolean_only);
+  counters_->wire_saved_result_bytes +=
+      AppendMatchList(blob, lists, config_.boolean_only, ctx.wire_format());
   ctx.Send(ctx.coordinator_id(), MessageClass::kResult, std::move(blob));
 }
 

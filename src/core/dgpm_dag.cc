@@ -34,9 +34,14 @@ void DgpmDagWorker::OnMessages(SiteContext& ctx, std::vector<Message> inbox) {
   bool ticked = false;
   for (const Message& m : inbox) {
     Blob::Reader reader(m.payload);
-    switch (GetTag(reader)) {
-      case WireTag::kFalseVars: {
-        for (uint64_t key : ReadFalseVarList(reader)) falses.push_back(key);
+    const WireTag tag = GetTag(reader);
+    switch (tag) {
+      case WireTag::kFalseVars:
+      case WireTag::kFalseVars2: {
+        std::vector<uint64_t> keys;
+        DGS_CHECK(ReadFalseVarList(reader, tag, &keys),
+                  "corrupt false-var payload");
+        falses.insert(falses.end(), keys.begin(), keys.end());
         break;
       }
       case WireTag::kTick: {
@@ -105,7 +110,8 @@ void DgpmDagWorker::ShipUpToRank(SiteContext& ctx, uint32_t max_rank) {
     std::sort(keys.begin(), keys.end());
     keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
     Blob blob;
-    AppendFalseVarList(blob, keys);
+    counters_->wire_saved_data_bytes +=
+        AppendFalseVarList(blob, keys, ctx.wire_format());
     counters_->vars_shipped += keys.size();
     ctx.Send(dst, MessageClass::kData, std::move(blob));
   }
@@ -120,7 +126,8 @@ void DgpmDagWorker::SendMatches(SiteContext& ctx) {
     });
   }
   Blob blob;
-  AppendMatchList(blob, lists, config_.boolean_only);
+  counters_->wire_saved_result_bytes +=
+      AppendMatchList(blob, lists, config_.boolean_only, ctx.wire_format());
   ctx.Send(ctx.coordinator_id(), MessageClass::kResult, std::move(blob));
 }
 
@@ -145,7 +152,7 @@ void DgpmDagCoordinator::OnMessages(SiteContext& ctx,
     WireTag tag = GetTag(reader);
     if (tag == WireTag::kFlag) {
       ++acks_;
-    } else if (tag == WireTag::kMatches) {
+    } else if (tag == WireTag::kMatches || tag == WireTag::kMatches2) {
       std::vector<Message> one;
       one.push_back(std::move(m));
       collector_.OnMessages(ctx, std::move(one));

@@ -20,17 +20,15 @@ void DgpmTreeWorker::Setup(SiteContext& ctx) {
   counters_->equation_units += answer.TotalUnits();
   Blob blob;
   PutTag(blob, WireTag::kTreeAnswer);
-  answer.Serialize(blob);
+  counters_->wire_saved_data_bytes +=
+      answer.Serialize(blob, ctx.wire_format());
   // Also register every undecided frontier variable: the coordinator must
   // route resolved falses for these even when they appear in no in-node
   // equation (e.g. the fragment holding the tree root has no in-nodes at
-  // all, yet still depends on its virtual children).
-  auto frontier = engine_.UndecidedFrontierKeys();
-  blob.PutU32(static_cast<uint32_t>(frontier.size()));
-  for (uint64_t key : frontier) {
-    blob.PutU32(VarKeyGlobalNode(key));
-    blob.PutU16(static_cast<uint16_t>(VarKeyQueryNode(key)));
-  }
+  // all, yet still depends on its virtual children). Encoded as an
+  // embedded (tagged) key list so it rides the configured wire format.
+  counters_->wire_saved_data_bytes += AppendFalseVarList(
+      blob, engine_.UndecidedFrontierKeys(), ctx.wire_format());
   ctx.Send(ctx.coordinator_id(), MessageClass::kData, std::move(blob));
 }
 
@@ -40,7 +38,10 @@ void DgpmTreeWorker::OnMessages(SiteContext& ctx, std::vector<Message> inbox) {
   for (const Message& m : inbox) {
     Blob::Reader reader(m.payload);
     if (GetTag(reader) != WireTag::kTreeValues) continue;
-    auto keys = ReadFalseVarList(reader);
+    const WireTag inner = GetTag(reader);
+    std::vector<uint64_t> keys;
+    DGS_CHECK(ReadFalseVarList(reader, inner, &keys),
+              "corrupt tree-values payload");
     falses.insert(falses.end(), keys.begin(), keys.end());
   }
   if (!falses.empty()) {
@@ -68,7 +69,8 @@ void DgpmTreeWorker::SendMatches(SiteContext& ctx) {
     });
   }
   Blob blob;
-  AppendMatchList(blob, lists, config_.boolean_only);
+  counters_->wire_saved_result_bytes +=
+      AppendMatchList(blob, lists, config_.boolean_only, ctx.wire_format());
   ctx.Send(ctx.coordinator_id(), MessageClass::kResult, std::move(blob));
 }
 
@@ -89,22 +91,24 @@ void DgpmTreeCoordinator::OnMessages(SiteContext& ctx,
     WireTag tag = GetTag(reader);
     if (tag == WireTag::kTreeAnswer) {
       DGS_CHECK(m.src < num_workers_, "tree answer from unknown site");
-      answers_[m.src] = ReducedSystem::Deserialize(reader);
+      DGS_CHECK(ReducedSystem::Deserialize(reader, &answers_[m.src]),
+                "corrupt tree-answer payload");
       for (const ReducedEntry& e : answers_[m.src].entries) {
         interest_[m.src].push_back(e.key);
         for (const auto& g : e.groups) {
           for (uint64_t ref : g) interest_[m.src].push_back(ref);
         }
       }
-      // Frontier registrations appended after the reduced system.
-      uint32_t num_frontier = reader.GetU32();
-      for (uint32_t i = 0; i < num_frontier; ++i) {
-        uint32_t gv = reader.GetU32();
-        uint16_t u = reader.GetU16();
-        interest_[m.src].push_back(MakeVarKey(u, gv));
-      }
+      // Frontier registrations: an embedded tagged key list after the
+      // reduced system.
+      const WireTag inner = GetTag(reader);
+      std::vector<uint64_t> frontier;
+      DGS_CHECK(ReadFalseVarList(reader, inner, &frontier),
+                "corrupt frontier registration payload");
+      interest_[m.src].insert(interest_[m.src].end(), frontier.begin(),
+                              frontier.end());
       ++answers_received_;
-    } else if (tag == WireTag::kMatches) {
+    } else if (tag == WireTag::kMatches || tag == WireTag::kMatches2) {
       // Delegate result collection.
       std::vector<Message> one;
       one.push_back(std::move(m));
@@ -168,12 +172,9 @@ void DgpmTreeCoordinator::Solve(SiteContext& ctx) {
     if (falses.empty()) continue;
     Blob blob;
     PutTag(blob, WireTag::kTreeValues);
-    // Reuse the false-var list layout after the tag.
-    blob.PutU32(static_cast<uint32_t>(falses.size()));
-    for (uint64_t key : falses) {
-      blob.PutU32(VarKeyGlobalNode(key));
-      blob.PutU16(static_cast<uint16_t>(VarKeyQueryNode(key)));
-    }
+    // An embedded tagged key list carries the resolved falses.
+    counters_->wire_saved_data_bytes +=
+        AppendFalseVarList(blob, falses, ctx.wire_format());
     counters_->vars_shipped += falses.size();
     ctx.Send(site, MessageClass::kData, std::move(blob));
   }

@@ -29,6 +29,9 @@ void LocalEngine::BuildSystem() {
   system_ = EquationSystem();
   info_.clear();
   key_vars_.clear();
+  frontier_vars_.clear();
+  num_undecided_frontier_ = 0;
+  num_false_vars_ = 0;
 
   const Graph& lg = fragment_->graph;
   const size_t nq = pattern_->NumNodes();
@@ -52,6 +55,10 @@ void LocalEngine::BuildSystem() {
       vi.frontier = fragment_->IsVirtual(v) && !pattern_->IsSink(u);
       vi.in_node = v < fragment_->num_local && is_in_node_[v];
       info_.push_back(vi);
+      if (vi.frontier) {
+        frontier_vars_.push_back(x);
+        ++num_undecided_frontier_;
+      }
     }
   }
 
@@ -105,7 +112,11 @@ void LocalEngine::AssertKeyFalse(uint64_t key) {
 void LocalEngine::PropagateAndCollect() {
   const size_t nq = pattern_->NumNodes();
   system_.Propagate([&](VarId x) {
+    ++num_false_vars_;
     const VarInfo& vi = info_[x];
+    // Frontier-flagged variables never have an equation (install clears
+    // the flag), so this flip takes one off the undecided-frontier count.
+    if (vi.frontier) --num_undecided_frontier_;
     if (!vi.in_node) return;
     const size_t idx = static_cast<size_t>(vi.local_node) * nq + vi.query_node;
     if (!shipped_.Test(idx)) {
@@ -149,6 +160,8 @@ VarId LocalEngine::FindOrCreateKeyVar(uint64_t key,
   vi.frontier = true;
   vi.in_node = false;
   info_.push_back(vi);
+  frontier_vars_.push_back(x);
+  ++num_undecided_frontier_;
   key_vars_.insert(key, x);
   if (fresh != nullptr) fresh->push_back(key);
   return x;
@@ -178,7 +191,12 @@ std::vector<uint64_t> LocalEngine::InstallReducedSystemInternal(
           groups.push_back(std::move(group));
         }
         system_.SetEquation(x, groups);
-        info_[x].frontier = false;
+        if (info_[x].frontier) {
+          // x was counted undecided-frontier (not false: checked above);
+          // with an equation installed it is frontier no longer.
+          info_[x].frontier = false;
+          --num_undecided_frontier_;
+        }
         break;
       }
     }
@@ -202,17 +220,22 @@ std::vector<LocalEngine::FalseVar> LocalEngine::DrainInNodeFalses() {
 }
 
 std::vector<uint64_t> LocalEngine::UndecidedFrontierKeys() const {
+  // Lazy compaction: entries decided since the last call (flipped false or
+  // given an equation) leave the list for good — decided variables never
+  // become undecided again.
   std::vector<uint64_t> keys;
-  for (VarId x = 0; x < info_.size(); ++x) {
-    if (info_[x].frontier && !system_.HasEquation(x) && !system_.IsFalse(x)) {
+  keys.reserve(num_undecided_frontier_);
+  size_t w = 0;
+  for (VarId x : frontier_vars_) {
+    if (info_[x].frontier && !system_.IsFalse(x)) {
+      frontier_vars_[w++] = x;
       keys.push_back(info_[x].key);
     }
   }
+  frontier_vars_.resize(w);
+  DGS_DCHECK(keys.size() == num_undecided_frontier_,
+             "undecided-frontier counter out of sync");
   return keys;
-}
-
-size_t LocalEngine::NumUndecidedFrontier() const {
-  return UndecidedFrontierKeys().size();
 }
 
 size_t LocalEngine::NumUndecidedInNode() const {
@@ -246,14 +269,6 @@ std::vector<NodeId> LocalEngine::FalseQueryNodesFor(NodeId local_node) const {
     if (x != kNoVar && system_.IsFalse(x)) out.push_back(u);
   }
   return out;
-}
-
-size_t LocalEngine::NumFalseVars() const {
-  size_t count = 0;
-  for (VarId x = 0; x < info_.size(); ++x) {
-    if (system_.IsFalse(x)) ++count;
-  }
-  return count;
 }
 
 bool LocalEngine::IsKeyFalse(uint64_t key) const {

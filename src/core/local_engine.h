@@ -75,9 +75,11 @@ class LocalEngine {
   std::vector<FalseVar> DrainInNodeFalses();
 
   // Undecided frontier variable keys (the unevaluated virtual-node
-  // variables Fi.O' — dMes re-requests these every superstep).
+  // variables Fi.O' — dMes re-requests these every superstep). Served from
+  // an incrementally maintained frontier set: cost is O(|frontier|) per
+  // call, not O(|variables|), and NumUndecidedFrontier is O(1).
   std::vector<uint64_t> UndecidedFrontierKeys() const;
-  size_t NumUndecidedFrontier() const;
+  size_t NumUndecidedFrontier() const { return num_undecided_frontier_; }
   size_t NumUndecidedInNode() const;
 
   // Reduced equations of the undecided in-node variables over the frontier
@@ -94,7 +96,8 @@ class LocalEngine {
   std::vector<NodeId> FalseQueryNodesFor(NodeId local_node) const;
 
   // Total number of variables currently false (dMes change detection).
-  size_t NumFalseVars() const;
+  // O(1): counted as flips propagate.
+  size_t NumFalseVars() const { return num_false_vars_; }
 
   // Current truth of a wire key: true if the variable is known false here.
   // Keys with no corresponding variable (label mismatch) report false=true,
@@ -137,6 +140,15 @@ class LocalEngine {
   // Remote knowledge and push installs survive recomputation.
   std::vector<uint64_t> known_false_keys_;
   std::vector<ReducedSystem> installed_;
+
+  // Incrementally maintained undecided-frontier set. frontier_vars_ holds
+  // every variable that was ever frontier-flagged, in creation order, and
+  // is compacted lazily (decided entries dropped) by UndecidedFrontierKeys;
+  // num_undecided_frontier_ is kept exact at the three mutation points
+  // (creation, equation install, false flip). Rebuilds reset both.
+  mutable std::vector<VarId> frontier_vars_;
+  size_t num_undecided_frontier_ = 0;
+  size_t num_false_vars_ = 0;
 
   std::vector<FalseVar> pending_in_node_falses_;
   // Dense (local node, query node) bitmap of variables already reported

@@ -23,6 +23,13 @@ struct AlgoCounters {
   std::atomic<uint64_t> equation_units{0};  // reduced-system units shipped
   std::atomic<uint64_t> recomputations{0};  // total lEval (re)computations
   std::atomic<uint32_t> supersteps{0};      // dMes supersteps
+  // Payload bytes the V2 delta wire format avoided shipping, per message
+  // class (exact: every encoder charges v1_body - v2_body when it emits a
+  // V2 body; always 0 under WireFormat::kV1Fixed). Control savings stay 0
+  // until subscription/tick payloads are delta-encoded too.
+  std::atomic<uint64_t> wire_saved_data_bytes{0};
+  std::atomic<uint64_t> wire_saved_control_bytes{0};
+  std::atomic<uint64_t> wire_saved_result_bytes{0};
 
   AlgoCounters() = default;
   AlgoCounters(const AlgoCounters& other) { *this = other; }
@@ -32,6 +39,9 @@ struct AlgoCounters {
     equation_units = other.equation_units.load();
     recomputations = other.recomputations.load();
     supersteps = other.supersteps.load();
+    wire_saved_data_bytes = other.wire_saved_data_bytes.load();
+    wire_saved_control_bytes = other.wire_saved_control_bytes.load();
+    wire_saved_result_bytes = other.wire_saved_result_bytes.load();
     return *this;
   }
 };

@@ -1,12 +1,41 @@
 // Wire protocol shared by the distributed algorithms.
 //
-// Every payload starts with a one-byte tag. False-variable lists use the
-// compact 6-byte encoding (u32 global node, u16 query node) since truth
-// values dominate dGPM's data shipment and the paper's bounds count them.
+// Every payload starts with a one-byte tag. Truth values dominate the data
+// shipment of the dGPM family and dMes (the paper's DS metric counts them),
+// so the key lists they ride in exist in two formats:
+//
+//   V1 (fixed):  u32 count, then one 6-byte record per truth value
+//                (u32 global node, u16 query node). Request lists and
+//                kReply add a truth byte per record (7 bytes).
+//
+//   V2 (delta):  a grouped sorted-gap varint list. Layout after the tag:
+//                  varint #groups
+//                  per group: u16 query node, varint count,
+//                             varint first global id, count-1 varint gaps
+//                Keys are regrouped by query node and sorted by global id,
+//                so consecutive ids of one fragment collapse to 1-byte
+//                gaps. Consumers of these lists are order-insensitive;
+//                decoders return the keys sorted by wire-key value.
+//                Match lists (kMatches2) use the per-query-node variant:
+//                u16 #query nodes, then per node varint count, varint first
+//                id, gaps. Truth-value replies (kReply2) ship only the
+//                FALSE subset as a delta list — absent keys are true, which
+//                the optimistic greatest-fixpoint semantics make implicit.
+//
+// Every V2 encoder compares its body against the V1 body and emits whichever
+// is smaller (tags are self-describing), so V2 never ships more bytes than
+// V1; the bytes saved are returned so callers can charge the per-class
+// savings counters in AlgoCounters.
+//
+// All decoders are length-validated: declared counts are checked against
+// Reader::Remaining() before any reserve/resize, global ids are checked
+// against the 32-bit node range, and truncated or corrupt payloads make the
+// decoder return false instead of crashing or over-allocating.
 
 #ifndef DGS_CORE_PROTOCOL_H_
 #define DGS_CORE_PROTOCOL_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -17,18 +46,22 @@
 namespace dgs {
 
 enum class WireTag : uint8_t {
-  kFalseVars = 1,    // dGPM family: variables now known false
+  kFalseVars = 1,    // dGPM family: variables now known false (V1 fixed)
   kPushSystem = 2,   // push operation: reduced equation system
   kSubscribe = 3,    // push follow-up: deliver falses of a node to a site
   kFlag = 4,         // change flag to the coordinator
-  kMatches = 5,      // result collection
+  kMatches = 5,      // result collection (V1 fixed / Boolean bits)
   kSubgraph = 6,     // Match / disHHK: shipped fragment subgraph
-  kRequest = 7,      // dMes: request truth values
-  kReply = 8,        // dMes: reply with current truth values
+  kRequest = 7,      // dMes: request truth values (V1 fixed)
+  kReply = 8,        // dMes: reply with current truth values (V1 fixed)
   kTick = 9,         // dMes: superstep clock
   kVerdict = 10,     // dMes: continue / halt
   kTreeAnswer = 11,  // dGPMt: partial answer Li (reduced system)
   kTreeValues = 12,  // dGPMt: resolved Boolean values
+  kFalseVars2 = 13,  // V2 delta false-var list
+  kMatches2 = 14,    // V2 delta match list
+  kRequest2 = 15,    // V2 delta truth-value request
+  kReply2 = 16,      // V2 delta truth-value reply (false subset only)
 };
 
 inline void PutTag(Blob& blob, WireTag tag) {
@@ -38,38 +71,239 @@ inline WireTag GetTag(Blob::Reader& reader) {
   return static_cast<WireTag>(reader.GetU8());
 }
 
-// --- False-variable lists -------------------------------------------------
+// Fixed-record sizes of the V1 layouts (used for length validation and for
+// computing the V2 savings).
+inline constexpr size_t kFalseVarRecordBytes = 6;   // u32 node + u16 query
+inline constexpr size_t kTruthReplyRecordBytes = 7;  // record + truth byte
 
-inline void AppendFalseVarList(Blob& blob, const std::vector<uint64_t>& keys) {
-  PutTag(blob, WireTag::kFalseVars);
+namespace wire_internal {
+
+// Appends the V2 grouped-delta body (no tag) for a key list. Keys are
+// regrouped by query node and delta-encoded over sorted global ids.
+inline void AppendDeltaKeyList(Blob& blob, std::vector<uint64_t> keys) {
+  std::sort(keys.begin(), keys.end(), [](uint64_t a, uint64_t b) {
+    if (VarKeyQueryNode(a) != VarKeyQueryNode(b)) {
+      return VarKeyQueryNode(a) < VarKeyQueryNode(b);
+    }
+    return VarKeyGlobalNode(a) < VarKeyGlobalNode(b);
+  });
+  size_t num_groups = 0;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (i == 0 || VarKeyQueryNode(keys[i]) != VarKeyQueryNode(keys[i - 1])) {
+      ++num_groups;
+    }
+  }
+  blob.PutVarint(num_groups);
+  size_t i = 0;
+  while (i < keys.size()) {
+    const NodeId u = VarKeyQueryNode(keys[i]);
+    size_t end = i;
+    while (end < keys.size() && VarKeyQueryNode(keys[end]) == u) ++end;
+    blob.PutU16(static_cast<uint16_t>(u));
+    blob.PutVarint(end - i);
+    blob.PutVarint(VarKeyGlobalNode(keys[i]));
+    for (size_t k = i + 1; k < end; ++k) {
+      blob.PutVarint(VarKeyGlobalNode(keys[k]) - VarKeyGlobalNode(keys[k - 1]));
+    }
+    i = end;
+  }
+}
+
+// Reads a V2 grouped-delta body into `out` (sorted by wire-key value).
+// Returns false on truncation, overflow, or implausible counts.
+inline bool ReadDeltaKeyList(Blob::Reader& reader, std::vector<uint64_t>* out) {
+  out->clear();
+  const uint64_t num_groups = reader.GetVarint();
+  // A group takes at least 4 bytes (u16 query node + 2 one-byte varints).
+  if (!reader.ok() || num_groups > reader.Remaining() / 4) return false;
+  for (uint64_t g = 0; g < num_groups; ++g) {
+    const NodeId u = reader.GetU16();
+    const uint64_t count = reader.GetVarint();
+    // Every id/gap varint takes at least one byte; an empty group is never
+    // emitted, so count == 0 means corruption.
+    if (!reader.ok() || count == 0 || count > reader.Remaining()) return false;
+    out->reserve(out->size() + static_cast<size_t>(count));
+    uint64_t gid = reader.GetVarint();
+    for (uint64_t k = 0; k < count; ++k) {
+      if (k > 0) {
+        // Bound the gap before accumulating so a huge varint cannot wrap
+        // the accumulator back under the 32-bit node-id check.
+        const uint64_t gap = reader.GetVarint();
+        if (gap > 0xffffffffull) return false;
+        gid += gap;
+      }
+      if (!reader.ok() || gid > 0xffffffffull) return false;
+      out->push_back(MakeVarKey(u, static_cast<NodeId>(gid)));
+    }
+  }
+  std::sort(out->begin(), out->end());
+  return true;
+}
+
+// Shared V1/V2 key-list encoder: emits the V2 delta body under `v2_tag`
+// when the format asks for it AND the delta body is smaller, otherwise the
+// V1 fixed body under `v1_tag`. Returns payload bytes saved vs V1.
+inline uint64_t AppendKeyList(Blob& blob, WireTag v1_tag, WireTag v2_tag,
+                              const std::vector<uint64_t>& keys,
+                              WireFormat format) {
+  const size_t v1_body = 4 + kFalseVarRecordBytes * keys.size();
+  if (format == WireFormat::kV2Delta) {
+    Blob body;
+    AppendDeltaKeyList(body, keys);
+    if (body.size() < v1_body) {
+      PutTag(blob, v2_tag);
+      blob.Append(body);
+      return v1_body - body.size();
+    }
+  }
+  PutTag(blob, v1_tag);
   blob.PutU32(static_cast<uint32_t>(keys.size()));
   for (uint64_t key : keys) {
     blob.PutU32(VarKeyGlobalNode(key));
     blob.PutU16(static_cast<uint16_t>(VarKeyQueryNode(key)));
   }
+  return 0;
 }
 
-// Call with the reader positioned after the tag.
-inline std::vector<uint64_t> ReadFalseVarList(Blob::Reader& reader) {
-  uint32_t n = reader.GetU32();
-  std::vector<uint64_t> keys;
-  keys.reserve(n);
-  for (uint32_t i = 0; i < n; ++i) {
-    uint32_t gv = reader.GetU32();
-    uint16_t u = reader.GetU16();
-    keys.push_back(MakeVarKey(u, gv));
+// Shared V1 fixed-record key-list decoder (reader positioned after the tag).
+inline bool ReadFixedKeyList(Blob::Reader& reader, std::vector<uint64_t>* out) {
+  out->clear();
+  const uint32_t n = reader.GetU32();
+  if (!reader.ok() || n > reader.Remaining() / kFalseVarRecordBytes) {
+    return false;
   }
-  return keys;
+  out->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint32_t gv = reader.GetU32();
+    const uint16_t u = reader.GetU16();
+    out->push_back(MakeVarKey(u, gv));
+  }
+  return reader.ok();
+}
+
+}  // namespace wire_internal
+
+// --- False-variable lists -------------------------------------------------
+
+// Appends a false-var list in the requested format; returns the payload
+// bytes saved vs the V1 layout (0 when the V1 body was emitted).
+inline uint64_t AppendFalseVarList(Blob& blob,
+                                   const std::vector<uint64_t>& keys,
+                                   WireFormat format) {
+  return wire_internal::AppendKeyList(blob, WireTag::kFalseVars,
+                                      WireTag::kFalseVars2, keys, format);
+}
+
+// Call with the reader positioned after the tag; `tag` selects the layout.
+// Returns false (leaving *out empty or partial) on a corrupt payload.
+inline bool ReadFalseVarList(Blob::Reader& reader, WireTag tag,
+                             std::vector<uint64_t>* out) {
+  if (tag == WireTag::kFalseVars2) {
+    return wire_internal::ReadDeltaKeyList(reader, out);
+  }
+  if (tag != WireTag::kFalseVars) return false;
+  return wire_internal::ReadFixedKeyList(reader, out);
+}
+
+// --- dMes truth-value requests and replies --------------------------------
+
+// Requests reuse the key-list layouts under their own tags.
+inline uint64_t AppendTruthRequest(Blob& blob,
+                                   const std::vector<uint64_t>& keys,
+                                   WireFormat format) {
+  return wire_internal::AppendKeyList(blob, WireTag::kRequest,
+                                      WireTag::kRequest2, keys, format);
+}
+inline bool ReadTruthRequest(Blob::Reader& reader, WireTag tag,
+                             std::vector<uint64_t>* out) {
+  if (tag == WireTag::kRequest2) {
+    return wire_internal::ReadDeltaKeyList(reader, out);
+  }
+  if (tag != WireTag::kRequest) return false;
+  return wire_internal::ReadFixedKeyList(reader, out);
+}
+
+// Reply: V1 echoes every requested key with a truth byte; V2 ships only the
+// false subset as a delta list (keys not mentioned are still undecided,
+// i.e. presumed true — exactly how the requester treats them). `is_false`
+// is evaluated once per requested key. Returns payload bytes saved vs V1.
+template <typename IsFalse>
+inline uint64_t AppendTruthReply(Blob& blob, const std::vector<uint64_t>& keys,
+                                 const IsFalse& is_false, WireFormat format) {
+  const size_t v1_body = 4 + kTruthReplyRecordBytes * keys.size();
+  if (format == WireFormat::kV2Delta) {
+    std::vector<uint64_t> falses;
+    for (uint64_t key : keys) {
+      if (is_false(key)) falses.push_back(key);
+    }
+    Blob body;
+    wire_internal::AppendDeltaKeyList(body, falses);
+    if (body.size() < v1_body) {
+      PutTag(blob, WireTag::kReply2);
+      blob.Append(body);
+      return v1_body - body.size();
+    }
+  }
+  PutTag(blob, WireTag::kReply);
+  blob.PutU32(static_cast<uint32_t>(keys.size()));
+  for (uint64_t key : keys) {
+    blob.PutU32(VarKeyGlobalNode(key));
+    blob.PutU16(static_cast<uint16_t>(VarKeyQueryNode(key)));
+    blob.PutU8(is_false(key) ? 1 : 0);
+  }
+  return 0;
+}
+
+// Reads the keys reported FALSE by a reply in either format.
+inline bool ReadTruthReplyFalses(Blob::Reader& reader, WireTag tag,
+                                 std::vector<uint64_t>* out) {
+  if (tag == WireTag::kReply2) {
+    return wire_internal::ReadDeltaKeyList(reader, out);
+  }
+  if (tag != WireTag::kReply) return false;
+  out->clear();
+  const uint32_t n = reader.GetU32();
+  if (!reader.ok() || n > reader.Remaining() / kTruthReplyRecordBytes) {
+    return false;
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint32_t gv = reader.GetU32();
+    const uint16_t u = reader.GetU16();
+    if (reader.GetU8() != 0) out->push_back(MakeVarKey(u, gv));
+  }
+  return reader.ok();
 }
 
 // --- Match lists (result collection) --------------------------------------
 
-// Payload: tag, u16 num query nodes, then per query node a u32 count and
-// that many u32 global node ids. In Boolean mode counts are 0/1 with no ids
-// shipped beyond a presence bit per query node.
-inline void AppendMatchList(Blob& blob,
-                            const std::vector<std::vector<NodeId>>& matches,
-                            bool boolean_only) {
+// V1 payload: tag, u16 num query nodes, u8 boolean flag, then per query
+// node a u32 count and that many u32 global node ids. In Boolean mode
+// counts are 0/1 with no ids shipped beyond a presence bit per query node
+// (already minimal, so Boolean always uses the V1 layout). V2 (kMatches2,
+// selecting mode only): u16 num query nodes, then per query node a varint
+// count, varint first id and sorted varint gaps. Returns bytes saved vs V1.
+inline uint64_t AppendMatchList(Blob& blob,
+                                const std::vector<std::vector<NodeId>>& matches,
+                                bool boolean_only, WireFormat format) {
+  if (!boolean_only && format == WireFormat::kV2Delta) {
+    size_t v1_body = 2 + 1;
+    for (const auto& list : matches) v1_body += 4 + 4 * list.size();
+    Blob body;
+    body.PutU16(static_cast<uint16_t>(matches.size()));
+    for (const auto& list : matches) {
+      std::vector<NodeId> sorted(list);
+      std::sort(sorted.begin(), sorted.end());
+      body.PutVarint(sorted.size());
+      for (size_t i = 0; i < sorted.size(); ++i) {
+        body.PutVarint(i == 0 ? sorted[0] : sorted[i] - sorted[i - 1]);
+      }
+    }
+    if (body.size() < v1_body) {
+      PutTag(blob, WireTag::kMatches2);
+      blob.Append(body);
+      return v1_body - body.size();
+    }
+  }
   PutTag(blob, WireTag::kMatches);
   blob.PutU16(static_cast<uint16_t>(matches.size()));
   blob.PutU8(boolean_only ? 1 : 0);
@@ -81,24 +315,52 @@ inline void AppendMatchList(Blob& blob,
       for (NodeId v : list) blob.PutU32(v);
     }
   }
+  return 0;
 }
 
 // Returns per-query-node global id lists; in Boolean mode a non-empty
-// marker is encoded as a single kInvalidNode entry.
-inline std::vector<std::vector<NodeId>> ReadMatchList(Blob::Reader& reader) {
-  uint16_t nq = reader.GetU16();
-  bool boolean_only = reader.GetU8() != 0;
-  std::vector<std::vector<NodeId>> out(nq);
-  for (auto& list : out) {
+// marker is encoded as a single kInvalidNode entry. V2 lists come back
+// sorted ascending (consumers are order-insensitive). Returns false on a
+// corrupt payload.
+inline bool ReadMatchList(Blob::Reader& reader, WireTag tag,
+                          std::vector<std::vector<NodeId>>* out) {
+  out->clear();
+  if (tag == WireTag::kMatches2) {
+    const uint16_t nq = reader.GetU16();
+    if (!reader.ok()) return false;
+    out->resize(nq);
+    for (auto& list : *out) {
+      const uint64_t n = reader.GetVarint();
+      // Each id/gap varint takes at least one byte.
+      if (!reader.ok() || n > reader.Remaining()) return false;
+      list.reserve(n);
+      uint64_t id = 0;
+      for (uint64_t i = 0; i < n; ++i) {
+        const uint64_t delta = reader.GetVarint();
+        if (delta > 0xffffffffull) return false;  // would wrap the sum
+        id = (i == 0) ? delta : id + delta;
+        if (!reader.ok() || id > 0xffffffffull) return false;
+        list.push_back(static_cast<NodeId>(id));
+      }
+    }
+    return true;
+  }
+  if (tag != WireTag::kMatches) return false;
+  const uint16_t nq = reader.GetU16();
+  const bool boolean_only = reader.GetU8() != 0;
+  if (!reader.ok()) return false;
+  out->resize(nq);
+  for (auto& list : *out) {
     if (boolean_only) {
       if (reader.GetU8() != 0) list.push_back(kInvalidNode);
     } else {
-      uint32_t n = reader.GetU32();
+      const uint32_t n = reader.GetU32();
+      if (!reader.ok() || n > reader.Remaining() / 4) return false;
       list.reserve(n);
       for (uint32_t i = 0; i < n; ++i) list.push_back(reader.GetU32());
     }
   }
-  return out;
+  return reader.ok();
 }
 
 // --- Usefulness filter (Section 4.1) --------------------------------------

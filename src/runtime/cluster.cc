@@ -10,6 +10,9 @@ uint32_t SiteContext::num_workers() const { return cluster_->NumWorkers(); }
 uint32_t SiteContext::coordinator_id() const {
   return cluster_->CoordinatorId();
 }
+WireFormat SiteContext::wire_format() const {
+  return cluster_->options_.wire_format;
+}
 
 void SiteContext::Send(uint32_t dst, MessageClass cls, Blob payload) {
   DGS_CHECK(dst <= cluster_->NumWorkers(), "destination site out of range");

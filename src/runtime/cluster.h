@@ -63,6 +63,10 @@ class SiteContext {
   // Worker count (the coordinator is an extra site with id NumWorkers()).
   uint32_t num_workers() const;
   uint32_t coordinator_id() const;
+  // The run's configured wire format (ClusterOptions::wire_format); actors
+  // pass it to the core/protocol.h encoders. Decoders dispatch on the
+  // self-describing payload tags and never need it.
+  WireFormat wire_format() const;
 
   void Send(uint32_t dst, MessageClass cls, Blob payload);
 
@@ -134,6 +138,11 @@ struct ClusterOptions {
   // and RunStats accounting (see the threading-model comment above).
   // 0 means "use all hardware threads".
   uint32_t num_threads = 1;
+  // Serialization format the actors use for the dominant payloads (truth
+  // values, match lists). V2 delta encoding ships strictly fewer bytes on
+  // sorted inputs and identical simulation results; V1 stays available for
+  // benchmarking the formats against each other (see runtime/message.h).
+  WireFormat wire_format = WireFormat::kV2Delta;
 };
 
 // Owns the actors and runs the delivery loop.

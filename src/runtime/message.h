@@ -4,6 +4,16 @@
 // explicitly serialized into a byte buffer and its exact size is charged to
 // the run's data-shipment counter (plus a fixed per-message header,
 // kMessageHeaderBytes, covering addressing/framing).
+//
+// Blob is the codec layer: fixed-width little-endian primitives plus LEB128
+// varints (with zig-zag helpers for signed values). The varint codec is
+// what the V2 delta wire format in core/protocol.h is built on.
+//
+// Reading is fail-soft: a Reader that runs past the end of the payload (or
+// hits a malformed varint) marks itself failed, returns zeros from then on,
+// and never touches memory out of bounds. Decoders check Reader::ok() and
+// surface a decode error instead of crashing, so a truncated or corrupt
+// payload can always be rejected cleanly.
 
 #ifndef DGS_RUNTIME_MESSAGE_H_
 #define DGS_RUNTIME_MESSAGE_H_
@@ -29,6 +39,36 @@ enum class MessageClass : uint8_t {
   kResult = 2,   // final match collection to the coordinator
 };
 
+// Per-run wire format selector (threaded through DistOptions/ClusterOptions
+// and read by the actors via SiteContext::wire_format()).
+//
+//   kV1Fixed  fixed-width records (u32 global node + u16 query node per
+//             truth value); the original format, kept runnable for
+//             benchmarking.
+//   kV2Delta  sorted-gap varint deltas grouped by query node; encoders fall
+//             back to the V1 body per message when the delta body would not
+//             be smaller, so V2 never ships more bytes than V1.
+//
+// Payload tags are self-describing (see core/protocol.h), so decoders
+// accept either format regardless of the configured knob.
+enum class WireFormat : uint8_t {
+  kV1Fixed = 1,
+  kV2Delta = 2,
+};
+
+inline const char* WireFormatName(WireFormat format) {
+  return format == WireFormat::kV1Fixed ? "v1" : "v2";
+}
+
+// Zig-zag mapping of signed values onto unsigned varints (small magnitudes,
+// either sign, encode in few bytes).
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigZagDecode(uint64_t x) {
+  return static_cast<int64_t>(x >> 1) ^ -static_cast<int64_t>(x & 1);
+}
+
 // Growable little-endian byte buffer with a sequential reader.
 class Blob {
  public:
@@ -42,11 +82,33 @@ class Blob {
   void PutU32(uint32_t x) { PutRaw(&x, 4); }
   void PutU64(uint64_t x) { PutRaw(&x, 8); }
 
+  // Unsigned LEB128: 7 value bits per byte, high bit = continuation.
+  // Values < 128 take one byte; a full uint64_t takes ten.
+  void PutVarint(uint64_t x) {
+    while (x >= 0x80) {
+      bytes_.push_back(static_cast<uint8_t>(x) | 0x80);
+      x >>= 7;
+    }
+    bytes_.push_back(static_cast<uint8_t>(x));
+  }
+  void PutVarintSigned(int64_t v) { PutVarint(ZigZagEncode(v)); }
+
+  // Appends another blob's bytes verbatim (used to splice a scratch-encoded
+  // body behind a tag once the encoder has decided which format wins).
+  void Append(const Blob& other) {
+    bytes_.insert(bytes_.end(), other.bytes_.begin(), other.bytes_.end());
+  }
+
   // Sequential reader over a Blob. The Blob must outlive the reader.
+  //
+  // Reads past the end (or malformed varints) set a sticky failure flag and
+  // return 0 instead of invoking undefined behavior; check ok() after a
+  // decode to distinguish a clean parse from a truncated payload.
   class Reader {
    public:
     explicit Reader(const Blob& blob) : blob_(&blob) {}
 
+    bool ok() const { return !failed_; }
     bool AtEnd() const { return pos_ == blob_->size(); }
     size_t Remaining() const { return blob_->size() - pos_; }
 
@@ -55,10 +117,34 @@ class Blob {
     uint32_t GetU32() { return GetRaw<uint32_t>(); }
     uint64_t GetU64() { return GetRaw<uint64_t>(); }
 
+    // Unsigned LEB128. Fails on truncation and on encodings that overflow
+    // 64 bits (more than ten bytes, or spare bits set in the tenth).
+    uint64_t GetVarint() {
+      uint64_t x = 0;
+      for (uint32_t shift = 0; shift < 64; shift += 7) {
+        if (pos_ >= blob_->size()) return Fail();
+        const uint8_t b = blob_->bytes_[pos_++];
+        if (shift == 63 && (b & 0xfe) != 0) return Fail();  // > 64 bits
+        x |= static_cast<uint64_t>(b & 0x7f) << shift;
+        if ((b & 0x80) == 0) return failed_ ? 0 : x;
+      }
+      return Fail();
+    }
+    int64_t GetVarintSigned() { return ZigZagDecode(GetVarint()); }
+
    private:
+    uint64_t Fail() {
+      failed_ = true;
+      pos_ = blob_->size();
+      return 0;
+    }
+
     template <typename T>
     T GetRaw() {
-      DGS_CHECK(pos_ + sizeof(T) <= blob_->size(), "blob underrun");
+      if (failed_ || blob_->size() - pos_ < sizeof(T)) {
+        Fail();
+        return T{};
+      }
       T x;
       std::memcpy(&x, blob_->bytes_.data() + pos_, sizeof(T));
       pos_ += sizeof(T);
@@ -67,6 +153,7 @@ class Blob {
 
     const Blob* blob_;
     size_t pos_ = 0;
+    bool failed_ = false;
   };
 
  private:

@@ -4,6 +4,14 @@
 
 namespace dgs {
 
+namespace {
+// Pool whose job the current thread is executing (nullptr outside job
+// context). A nested ParallelFor on the same pool must run inline: the
+// outer job_/total_/next_ are live, and overwriting them corrupts or
+// deadlocks the in-flight loop.
+thread_local const ThreadPool* tls_running_pool = nullptr;
+}  // namespace
+
 ThreadPool::ThreadPool(uint32_t num_threads) {
   if (num_threads < 1) num_threads = 1;
   // Backstop against nonsense widths (e.g. a negative knob cast to ~4e9):
@@ -30,11 +38,14 @@ uint32_t ThreadPool::HardwareThreads() {
 }
 
 void ThreadPool::RunIndices() {
+  const ThreadPool* prev = tls_running_pool;
+  tls_running_pool = this;
   while (true) {
     size_t i = next_.fetch_add(1, std::memory_order_relaxed);
     if (i >= total_) break;
     (*job_)(i);
   }
+  tls_running_pool = prev;
 }
 
 void ThreadPool::WorkerLoop() {
@@ -58,7 +69,10 @@ void ThreadPool::WorkerLoop() {
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
-  if (workers_.empty() || n == 1) {
+  // The reentrant case (fn of an in-flight ParallelFor calling back into
+  // the same pool) must not touch job_/total_/next_: execute inline on the
+  // calling lane instead. Other lanes keep draining the outer job.
+  if (workers_.empty() || n == 1 || tls_running_pool == this) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }

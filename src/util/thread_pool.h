@@ -43,7 +43,10 @@ class ThreadPool {
 
   // Runs fn(i) for every i in [0, n), distributing indices over all lanes.
   // Blocks until every call returned. Reentrant calls (fn itself calling
-  // ParallelFor on the same pool) are not supported.
+  // ParallelFor/ParallelForBlocks on the same pool) are detected and
+  // executed inline on the calling lane, so nesting is safe — the nested
+  // loop simply gets no extra parallelism. Calls from a different pool's
+  // job dispatch normally.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
   // Splits [0, n) into contiguous blocks of roughly `grain` indices and

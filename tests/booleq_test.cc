@@ -300,7 +300,8 @@ TEST(ReduceTest, SerializationRoundTrip) {
   Blob blob;
   r.Serialize(blob);
   Blob::Reader reader(blob);
-  ReducedSystem back = ReducedSystem::Deserialize(reader);
+  ReducedSystem back;
+  ASSERT_TRUE(ReducedSystem::Deserialize(reader, &back));
   ASSERT_EQ(back.entries.size(), 2u);
   EXPECT_EQ(back.entries[0].key, 77u);
   EXPECT_EQ(back.entries[0].groups, eq.groups);

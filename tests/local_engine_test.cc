@@ -309,6 +309,55 @@ TEST(VarKeyTest, MaxInRangeQueryNodeRoundTrips) {
   EXPECT_EQ(VarKeyGlobalNode(key), 0xffffffffu);
 }
 
+// The undecided-frontier set and the false-var count are maintained
+// incrementally (dMes calls them every superstep); they must agree with a
+// brute-force recount through every mutation: initialization, remote
+// falses, and full recomputation (non-incremental mode).
+TEST(LocalEngineTest, IncrementalFrontierCountersStayInSync) {
+  auto ex = MakeSocialExample();
+  auto f = Fragmentation::Create(ex.g, ex.assignment, 3);
+  ASSERT_TRUE(f.ok());
+  for (bool incremental : {true, false}) {
+    LocalEngine engine(&f->fragment(0), &ex.q, incremental);
+    engine.Initialize();
+    auto check = [&](const char* when) {
+      SCOPED_TRACE(testing::Message()
+                   << when << " incremental=" << incremental);
+      auto keys = engine.UndecidedFrontierKeys();
+      EXPECT_EQ(engine.NumUndecidedFrontier(), keys.size());
+      // Keys are unique and every one is still undecided.
+      std::vector<uint64_t> sorted(keys);
+      std::sort(sorted.begin(), sorted.end());
+      EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end());
+      for (uint64_t key : keys) EXPECT_FALSE(engine.IsKeyFalse(key));
+      // A second drain is idempotent (lazy compaction must not drop live
+      // entries).
+      EXPECT_EQ(engine.UndecidedFrontierKeys(), keys);
+    };
+    check("after init");
+    const size_t frontier_before = engine.NumUndecidedFrontier();
+    const size_t false_before = engine.NumFalseVars();
+    ASSERT_GT(frontier_before, 0u);
+
+    // Refute one undecided frontier variable remotely.
+    auto keys = engine.UndecidedFrontierKeys();
+    engine.ApplyRemoteFalses({keys[0]});
+    check("after first remote false");
+    EXPECT_EQ(engine.NumUndecidedFrontier(), frontier_before - 1);
+    EXPECT_GT(engine.NumFalseVars(), false_before);
+
+    // Refuting the same key again changes nothing.
+    engine.ApplyRemoteFalses({keys[0]});
+    check("after duplicate remote false");
+    EXPECT_EQ(engine.NumUndecidedFrontier(), frontier_before - 1);
+
+    // Refute everything that is left; the frontier must drain to zero.
+    engine.ApplyRemoteFalses(engine.UndecidedFrontierKeys());
+    check("after refuting all");
+    EXPECT_EQ(engine.NumUndecidedFrontier(), 0u);
+  }
+}
+
 TEST(LocalEngineTest, IsKeyFalseSemantics) {
   auto ex = MakeSocialExample();
   auto f = Fragmentation::Create(ex.g, ex.assignment, 3);

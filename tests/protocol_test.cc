@@ -1,11 +1,16 @@
-// Wire-format round trips, robustness of the runtime primitives, and the
-// usefulness filter of Section 4.1.
+// Wire-format round trips (V1 fixed and V2 delta), decoder hardening
+// against truncated/oversized payloads, robustness of the runtime
+// primitives, and the usefulness filter of Section 4.1.
 
 #include "core/protocol.h"
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "core/booleq.h"
 #include "runtime/cluster.h"
+#include "util/rng.h"
 
 namespace dgs {
 namespace {
@@ -23,6 +28,7 @@ TEST(BlobTest, PrimitivesRoundTrip) {
   EXPECT_EQ(reader.GetU32(), 0x12345678u);
   EXPECT_EQ(reader.GetU64(), 0x1122334455667788ull);
   EXPECT_TRUE(reader.AtEnd());
+  EXPECT_TRUE(reader.ok());
 }
 
 TEST(BlobTest, RemainingTracksPosition) {
@@ -35,12 +41,74 @@ TEST(BlobTest, RemainingTracksPosition) {
   EXPECT_EQ(reader.Remaining(), 4u);
 }
 
-TEST(BlobDeathTest, UnderrunAborts) {
+TEST(BlobTest, UnderrunFailsReaderInsteadOfCrashing) {
   Blob blob;
   blob.PutU8(1);
   Blob::Reader reader(blob);
   reader.GetU8();
-  EXPECT_DEATH(reader.GetU32(), "underrun");
+  EXPECT_TRUE(reader.ok());
+  // Past the end: sticky failure, zeros forever, no UB.
+  EXPECT_EQ(reader.GetU32(), 0u);
+  EXPECT_FALSE(reader.ok());
+  EXPECT_EQ(reader.GetU64(), 0u);
+  EXPECT_EQ(reader.GetVarint(), 0u);
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(BlobTest, VarintRoundTrip) {
+  const uint64_t values[] = {0,
+                             1,
+                             127,
+                             128,
+                             300,
+                             16383,
+                             16384,
+                             0xffffffffull,
+                             0x100000000ull,
+                             0xffffffffffffffffull};
+  Blob blob;
+  for (uint64_t v : values) blob.PutVarint(v);
+  Blob::Reader reader(blob);
+  for (uint64_t v : values) EXPECT_EQ(reader.GetVarint(), v);
+  EXPECT_TRUE(reader.AtEnd());
+  EXPECT_TRUE(reader.ok());
+  // Size sanity: one byte below 128, ten bytes for the full 64-bit value.
+  Blob small, big;
+  small.PutVarint(127);
+  big.PutVarint(0xffffffffffffffffull);
+  EXPECT_EQ(small.size(), 1u);
+  EXPECT_EQ(big.size(), 10u);
+}
+
+TEST(BlobTest, VarintSignedZigZagRoundTrip) {
+  const int64_t values[] = {0, -1, 1, -2, 2, -64, 63, -65536, 65536,
+                            INT64_MIN, INT64_MAX};
+  Blob blob;
+  for (int64_t v : values) blob.PutVarintSigned(v);
+  Blob::Reader reader(blob);
+  for (int64_t v : values) EXPECT_EQ(reader.GetVarintSigned(), v);
+  EXPECT_TRUE(reader.ok());
+  // Small magnitudes of either sign stay one byte.
+  Blob one;
+  one.PutVarintSigned(-3);
+  EXPECT_EQ(one.size(), 1u);
+}
+
+TEST(BlobTest, TruncatedVarintFailsReader) {
+  Blob blob;
+  blob.PutU8(0x80);  // continuation bit set, then nothing
+  Blob::Reader reader(blob);
+  EXPECT_EQ(reader.GetVarint(), 0u);
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST(BlobTest, OverlongVarintFailsReader) {
+  // Eleven continuation bytes can never encode a uint64_t.
+  Blob blob;
+  for (int i = 0; i < 11; ++i) blob.PutU8(0xff);
+  Blob::Reader reader(blob);
+  EXPECT_EQ(reader.GetVarint(), 0u);
+  EXPECT_FALSE(reader.ok());
 }
 
 TEST(MessageTest, WireSizeIncludesHeader) {
@@ -49,40 +117,400 @@ TEST(MessageTest, WireSizeIncludesHeader) {
   EXPECT_EQ(m.WireSize(), 4 + kMessageHeaderBytes);
 }
 
-TEST(ProtocolTest, FalseVarListRoundTrip) {
+// --- Key-list round trips --------------------------------------------------
+
+std::vector<uint64_t> DecodeFalseVarList(const Blob& blob, bool* ok) {
+  Blob::Reader reader(blob);
+  WireTag tag = GetTag(reader);
+  std::vector<uint64_t> keys;
+  *ok = ReadFalseVarList(reader, tag, &keys) && reader.AtEnd();
+  return keys;
+}
+
+TEST(ProtocolTest, FalseVarListRoundTripV1) {
   std::vector<uint64_t> keys = {MakeVarKey(0, 0), MakeVarKey(3, 123456),
                                 MakeVarKey(65535, 0xffffffu)};
   Blob blob;
-  AppendFalseVarList(blob, keys);
+  EXPECT_EQ(AppendFalseVarList(blob, keys, WireFormat::kV1Fixed), 0u);
   Blob::Reader reader(blob);
   EXPECT_EQ(GetTag(reader), WireTag::kFalseVars);
-  EXPECT_EQ(ReadFalseVarList(reader), keys);
+  std::vector<uint64_t> back;
+  ASSERT_TRUE(ReadFalseVarList(reader, WireTag::kFalseVars, &back));
+  EXPECT_EQ(back, keys);
   EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(ProtocolTest, FalseVarListRoundTripV2) {
+  // A clustered, sorted key list (the common shape: consecutive in-node
+  // ids of one fragment).
+  std::vector<uint64_t> keys;
+  for (NodeId gv = 1000; gv < 1032; ++gv) {
+    keys.push_back(MakeVarKey(2, gv));
+    keys.push_back(MakeVarKey(4, gv));
+  }
+  std::sort(keys.begin(), keys.end());
+  Blob v1, v2;
+  AppendFalseVarList(v1, keys, WireFormat::kV1Fixed);
+  uint64_t saved = AppendFalseVarList(v2, keys, WireFormat::kV2Delta);
+  EXPECT_LT(v2.size(), v1.size());
+  EXPECT_EQ(saved, v1.size() - v2.size());
+  bool ok = false;
+  EXPECT_EQ(DecodeFalseVarList(v2, &ok), keys);
+  EXPECT_TRUE(ok);
+  // Dense gaps: well under 3 bytes per key vs 6 fixed.
+  EXPECT_LT(v2.size(), keys.size() * 3);
+}
+
+TEST(ProtocolTest, EmptyKeyListBothFormats) {
+  for (WireFormat fmt : {WireFormat::kV1Fixed, WireFormat::kV2Delta}) {
+    Blob blob;
+    AppendFalseVarList(blob, {}, fmt);
+    bool ok = false;
+    EXPECT_TRUE(DecodeFalseVarList(blob, &ok).empty());
+    EXPECT_TRUE(ok);
+  }
+}
+
+// Property-style sweep: random sorted key lists round-trip identically in
+// both formats, and the V2 encoding never ships more bytes than V1.
+TEST(ProtocolTest, KeyListPropertyRoundTrip) {
+  Rng rng(2026);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<uint64_t> keys;
+    const size_t n = rng.UniformInt(80);
+    // Mix clustered and scattered ids over a few query nodes.
+    const NodeId base = static_cast<NodeId>(rng.UniformInt(1u << 20));
+    for (size_t i = 0; i < n; ++i) {
+      const NodeId u = static_cast<NodeId>(rng.UniformInt(6));
+      const NodeId gv = rng.UniformInt(2) == 0
+                            ? base + static_cast<NodeId>(rng.UniformInt(64))
+                            : static_cast<NodeId>(rng.UniformInt(0xffffffffull));
+      keys.push_back(MakeVarKey(u, gv));
+    }
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+    Blob v1, v2;
+    uint64_t saved1 = AppendFalseVarList(v1, keys, WireFormat::kV1Fixed);
+    uint64_t saved2 = AppendFalseVarList(v2, keys, WireFormat::kV2Delta);
+    EXPECT_EQ(saved1, 0u);
+    bool ok1 = false, ok2 = false;
+    EXPECT_EQ(DecodeFalseVarList(v1, &ok1), keys) << "trial " << trial;
+    EXPECT_EQ(DecodeFalseVarList(v2, &ok2), keys) << "trial " << trial;
+    EXPECT_TRUE(ok1);
+    EXPECT_TRUE(ok2);
+    // The V2 encoder falls back to the V1 body when deltas would lose, so
+    // it can never ship more.
+    EXPECT_LE(v2.size(), v1.size()) << "trial " << trial;
+    EXPECT_EQ(saved2, v1.size() - v2.size()) << "trial " << trial;
+  }
+}
+
+// --- Truth request / reply -------------------------------------------------
+
+TEST(ProtocolTest, TruthRequestRoundTripBothFormats) {
+  // Unsorted input (dMes requests come in frontier-creation order): V1
+  // preserves order, V2 returns the keys sorted.
+  std::vector<uint64_t> keys = {MakeVarKey(1, 900), MakeVarKey(0, 17),
+                                MakeVarKey(1, 890), MakeVarKey(3, 4)};
+  Blob v1;
+  AppendTruthRequest(v1, keys, WireFormat::kV1Fixed);
+  Blob::Reader r1(v1);
+  WireTag t1 = GetTag(r1);
+  EXPECT_EQ(t1, WireTag::kRequest);
+  std::vector<uint64_t> back1;
+  ASSERT_TRUE(ReadTruthRequest(r1, t1, &back1));
+  EXPECT_EQ(back1, keys);
+
+  Blob v2;
+  AppendTruthRequest(v2, keys, WireFormat::kV2Delta);
+  Blob::Reader r2(v2);
+  WireTag t2 = GetTag(r2);
+  std::vector<uint64_t> back2;
+  ASSERT_TRUE(ReadTruthRequest(r2, t2, &back2));
+  std::vector<uint64_t> sorted(keys);
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(back2, sorted);
+  EXPECT_LE(v2.size(), v1.size());
+}
+
+TEST(ProtocolTest, TruthReplyShipsOnlyFalsesUnderV2) {
+  Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<uint64_t> keys;
+    const size_t n = 1 + rng.UniformInt(60);
+    for (size_t i = 0; i < n; ++i) {
+      keys.push_back(MakeVarKey(static_cast<NodeId>(rng.UniformInt(4)),
+                                static_cast<NodeId>(rng.UniformInt(5000))));
+    }
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    auto is_false = [](uint64_t key) { return key % 3 == 0; };
+    std::vector<uint64_t> expected;
+    for (uint64_t key : keys) {
+      if (is_false(key)) expected.push_back(key);
+    }
+
+    Blob v1, v2;
+    AppendTruthReply(v1, keys, is_false, WireFormat::kV1Fixed);
+    uint64_t saved = AppendTruthReply(v2, keys, is_false, WireFormat::kV2Delta);
+    EXPECT_LE(v2.size(), v1.size());
+    EXPECT_EQ(saved, v1.size() - v2.size());
+    for (const Blob* blob : {&v1, &v2}) {
+      Blob::Reader reader(*blob);
+      WireTag tag = GetTag(reader);
+      std::vector<uint64_t> falses;
+      ASSERT_TRUE(ReadTruthReplyFalses(reader, tag, &falses));
+      EXPECT_EQ(falses, expected) << "trial " << trial;
+    }
+  }
+}
+
+// --- Match lists -----------------------------------------------------------
+
+std::vector<std::vector<NodeId>> DecodeMatchList(const Blob& blob, bool* ok) {
+  Blob::Reader reader(blob);
+  WireTag tag = GetTag(reader);
+  std::vector<std::vector<NodeId>> lists;
+  *ok = ReadMatchList(reader, tag, &lists) && reader.AtEnd();
+  return lists;
 }
 
 TEST(ProtocolTest, MatchListRoundTripSelecting) {
   std::vector<std::vector<NodeId>> matches = {{1, 2, 3}, {}, {42}};
-  Blob blob;
-  AppendMatchList(blob, matches, /*boolean_only=*/false);
-  Blob::Reader reader(blob);
-  EXPECT_EQ(GetTag(reader), WireTag::kMatches);
-  EXPECT_EQ(ReadMatchList(reader), matches);
+  for (WireFormat fmt : {WireFormat::kV1Fixed, WireFormat::kV2Delta}) {
+    Blob blob;
+    AppendMatchList(blob, matches, /*boolean_only=*/false, fmt);
+    bool ok = false;
+    EXPECT_EQ(DecodeMatchList(blob, &ok), matches);
+    EXPECT_TRUE(ok);
+  }
+}
+
+TEST(ProtocolTest, MatchListPropertyRoundTrip) {
+  Rng rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::vector<NodeId>> matches(1 + rng.UniformInt(6));
+    for (auto& list : matches) {
+      const size_t n = rng.UniformInt(50);
+      NodeId id = static_cast<NodeId>(rng.UniformInt(1u << 16));
+      for (size_t i = 0; i < n; ++i) {
+        id += 1 + static_cast<NodeId>(rng.UniformInt(100));
+        list.push_back(id);  // sorted ascending by construction
+      }
+    }
+    Blob v1, v2;
+    AppendMatchList(v1, matches, false, WireFormat::kV1Fixed);
+    uint64_t saved = AppendMatchList(v2, matches, false, WireFormat::kV2Delta);
+    bool ok1 = false, ok2 = false;
+    EXPECT_EQ(DecodeMatchList(v1, &ok1), matches) << "trial " << trial;
+    EXPECT_EQ(DecodeMatchList(v2, &ok2), matches) << "trial " << trial;
+    EXPECT_TRUE(ok1);
+    EXPECT_TRUE(ok2);
+    EXPECT_LE(v2.size(), v1.size()) << "trial " << trial;
+    EXPECT_EQ(saved, v1.size() - v2.size()) << "trial " << trial;
+  }
 }
 
 TEST(ProtocolTest, MatchListBooleanModeShipsBitsOnly) {
   std::vector<std::vector<NodeId>> matches = {{1, 2, 3}, {}, {42}};
   Blob selecting, boolean;
-  AppendMatchList(selecting, matches, false);
-  AppendMatchList(boolean, matches, true);
+  AppendMatchList(selecting, matches, false, WireFormat::kV2Delta);
+  AppendMatchList(boolean, matches, true, WireFormat::kV2Delta);
   EXPECT_LT(boolean.size(), selecting.size());
   Blob::Reader reader(boolean);
-  GetTag(reader);
-  auto back = ReadMatchList(reader);
+  WireTag tag = GetTag(reader);
+  EXPECT_EQ(tag, WireTag::kMatches);  // Boolean mode always uses V1 bits
+  std::vector<std::vector<NodeId>> back;
+  ASSERT_TRUE(ReadMatchList(reader, tag, &back));
   ASSERT_EQ(back.size(), 3u);
   EXPECT_EQ(back[0], (std::vector<NodeId>{kInvalidNode}));  // hit marker
   EXPECT_TRUE(back[1].empty());
   EXPECT_EQ(back[2], (std::vector<NodeId>{kInvalidNode}));
 }
+
+// --- Decoder hardening -----------------------------------------------------
+
+TEST(ProtocolHardeningTest, OversizedFalseVarCountRejected) {
+  // Declared count vastly exceeds the bytes present: the decoder must
+  // reject before reserving anything.
+  Blob blob;
+  blob.PutU32(0xffffffffu);
+  blob.PutU32(1);  // a few stray bytes
+  Blob::Reader reader(blob);
+  std::vector<uint64_t> keys;
+  EXPECT_FALSE(ReadFalseVarList(reader, WireTag::kFalseVars, &keys));
+}
+
+TEST(ProtocolHardeningTest, TruncatedFalseVarListRejected) {
+  Blob blob;
+  blob.PutU32(2);  // declares two records, carries one
+  blob.PutU32(77);
+  blob.PutU16(3);
+  Blob::Reader reader(blob);
+  std::vector<uint64_t> keys;
+  EXPECT_FALSE(ReadFalseVarList(reader, WireTag::kFalseVars, &keys));
+}
+
+TEST(ProtocolHardeningTest, TruncatedDeltaListRejected) {
+  // One group claiming three ids but carrying only the first.
+  Blob blob;
+  blob.PutVarint(1);   // one group
+  blob.PutU16(2);      // query node
+  blob.PutVarint(3);   // count
+  blob.PutVarint(10);  // first id; both gaps missing
+  Blob::Reader reader(blob);
+  std::vector<uint64_t> keys;
+  EXPECT_FALSE(ReadFalseVarList(reader, WireTag::kFalseVars2, &keys));
+}
+
+TEST(ProtocolHardeningTest, DeltaGidOverflowRejected) {
+  // Gap pushes the accumulated global id past 32 bits.
+  Blob blob;
+  blob.PutVarint(1);
+  blob.PutU16(0);
+  blob.PutVarint(2);
+  blob.PutVarint(0xffffffffull);
+  blob.PutVarint(1);
+  Blob::Reader reader(blob);
+  std::vector<uint64_t> keys;
+  EXPECT_FALSE(ReadFalseVarList(reader, WireTag::kFalseVars2, &keys));
+}
+
+TEST(ProtocolHardeningTest, DeltaGapWraparoundRejected) {
+  // A gap large enough to wrap the 64-bit accumulator back under the
+  // 32-bit bound must still be rejected.
+  Blob blob;
+  blob.PutVarint(1);
+  blob.PutU16(0);
+  blob.PutVarint(2);
+  blob.PutVarint(10);                         // first id
+  blob.PutVarint(0xffffffffffffffffull - 4);  // 10 + gap wraps to 5
+  Blob::Reader reader(blob);
+  std::vector<uint64_t> keys;
+  EXPECT_FALSE(ReadFalseVarList(reader, WireTag::kFalseVars2, &keys));
+}
+
+TEST(ProtocolHardeningTest, OversizedDeltaGroupCountRejected) {
+  Blob blob;
+  blob.PutVarint(1u << 30);  // groups that could never fit
+  blob.PutU16(0);
+  Blob::Reader reader(blob);
+  std::vector<uint64_t> keys;
+  EXPECT_FALSE(ReadFalseVarList(reader, WireTag::kFalseVars2, &keys));
+}
+
+TEST(ProtocolHardeningTest, OversizedMatchCountRejected) {
+  Blob blob;
+  blob.PutU16(1);
+  blob.PutU8(0);           // selecting mode
+  blob.PutU32(0x7fffffff);  // per-node count with no ids behind it
+  Blob::Reader reader(blob);
+  std::vector<std::vector<NodeId>> lists;
+  EXPECT_FALSE(ReadMatchList(reader, WireTag::kMatches, &lists));
+}
+
+TEST(ProtocolHardeningTest, TruncatedTruthReplyRejected) {
+  Blob blob;
+  blob.PutU32(2);
+  blob.PutU32(5);
+  blob.PutU16(1);
+  blob.PutU8(1);  // second record missing
+  Blob::Reader reader(blob);
+  std::vector<uint64_t> falses;
+  EXPECT_FALSE(ReadTruthReplyFalses(reader, WireTag::kReply, &falses));
+}
+
+TEST(ProtocolHardeningTest, OversizedReducedSystemRejected) {
+  Blob blob;
+  blob.PutU8(1);             // serialization version 1 (fixed records)
+  blob.PutU32(0x10000000u);  // entries that cannot fit the payload
+  blob.PutU64(1);
+  Blob::Reader reader(blob);
+  ReducedSystem out;
+  EXPECT_FALSE(ReducedSystem::Deserialize(reader, &out));
+}
+
+TEST(ProtocolHardeningTest, BadReducedSystemVersionRejected) {
+  Blob blob;
+  blob.PutU8(7);  // no such serialization version
+  blob.PutU32(0);
+  Blob::Reader reader(blob);
+  ReducedSystem out;
+  EXPECT_FALSE(ReducedSystem::Deserialize(reader, &out));
+}
+
+TEST(ProtocolHardeningTest, OversizedReducedSystemV2Rejected) {
+  Blob blob;
+  blob.PutU8(2);              // delta version
+  blob.PutVarint(1u << 29);   // entries that cannot fit
+  blob.PutVarint(3);
+  Blob::Reader reader(blob);
+  ReducedSystem out;
+  EXPECT_FALSE(ReducedSystem::Deserialize(reader, &out));
+}
+
+TEST(ProtocolTest, ReducedSystemRoundTripBothVersions) {
+  ReducedSystem r;
+  ReducedEntry eq;
+  eq.key = MakeVarKey(3, 1000);
+  eq.kind = ReducedEntry::kEquation;
+  eq.groups = {{MakeVarKey(1, 1001), MakeVarKey(1, 1002), MakeVarKey(2, 1003)},
+               {MakeVarKey(4, 7)}};
+  r.entries.push_back(eq);
+  ReducedEntry scalar;
+  scalar.key = MakeVarKey(0, 42);
+  scalar.kind = ReducedEntry::kFalse;
+  r.entries.push_back(scalar);
+
+  Blob v1, v2;
+  EXPECT_EQ(r.Serialize(v1, WireFormat::kV1Fixed), 0u);
+  uint64_t saved = r.Serialize(v2, WireFormat::kV2Delta);
+  EXPECT_LE(v2.size(), v1.size());
+  EXPECT_EQ(saved, v1.size() - v2.size());
+  for (const Blob* blob : {&v1, &v2}) {
+    Blob::Reader reader(*blob);
+    ReducedSystem back;
+    ASSERT_TRUE(ReducedSystem::Deserialize(reader, &back));
+    EXPECT_TRUE(reader.AtEnd());
+    ASSERT_EQ(back.entries.size(), 2u);
+    EXPECT_EQ(back.entries[0].key, eq.key);
+    EXPECT_EQ(back.entries[0].groups, eq.groups);  // groups arrive sorted
+    EXPECT_EQ(back.entries[1].key, scalar.key);
+    EXPECT_EQ(back.entries[1].kind, ReducedEntry::kFalse);
+  }
+}
+
+TEST(ProtocolHardeningTest, TruncatedReducedSystemRejected) {
+  // A valid system cut short mid-entry.
+  ReducedSystem r;
+  ReducedEntry eq;
+  eq.key = 7;
+  eq.kind = ReducedEntry::kEquation;
+  eq.groups = {{1, 2}, {3}};
+  r.entries.push_back(eq);
+  Blob full;
+  r.Serialize(full, WireFormat::kV1Fixed);
+  Blob truncated;
+  Blob::Reader copier(full);
+  for (size_t i = 0; i + 4 < full.size(); ++i) truncated.PutU8(copier.GetU8());
+  Blob::Reader reader(truncated);
+  ReducedSystem out;
+  EXPECT_FALSE(ReducedSystem::Deserialize(reader, &out));
+}
+
+TEST(ProtocolHardeningTest, BadReducedEntryKindRejected) {
+  Blob blob;
+  blob.PutU8(1);  // serialization version 1
+  blob.PutU32(1);
+  blob.PutU64(42);
+  blob.PutU8(9);  // no such kind
+  Blob::Reader reader(blob);
+  ReducedSystem out;
+  EXPECT_FALSE(ReducedSystem::Deserialize(reader, &out));
+}
+
+// --- Usefulness filter and runtime primitives ------------------------------
 
 TEST(ProtocolTest, ConsumerNeedsVarFilter) {
   // Q: 0 -> 1 -> 2 with labels 10, 11, 12.

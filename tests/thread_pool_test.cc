@@ -74,5 +74,43 @@ TEST(ThreadPoolTest, HardwareThreadsAtLeastOne) {
   EXPECT_GE(ThreadPool::HardwareThreads(), 1u);
 }
 
+TEST(ThreadPoolTest, NestedParallelForRunsInline) {
+  // Regression test: a ParallelFor issued from inside a job on the same
+  // pool used to overwrite the in-flight job_/total_/next_ state,
+  // corrupting or deadlocking the outer loop. The nested call must detect
+  // the reentrancy and execute inline on the calling lane.
+  ThreadPool pool(4);
+  constexpr size_t kOuter = 16, kInner = 32;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  pool.ParallelFor(kOuter, [&](size_t i) {
+    pool.ParallelFor(kInner, [&](size_t j) {
+      hits[i * kInner + j].fetch_add(1);
+    });
+  });
+  for (size_t k = 0; k < hits.size(); ++k) {
+    ASSERT_EQ(hits[k].load(), 1) << "index " << k;
+  }
+}
+
+TEST(ThreadPoolTest, DeeplyNestedAndBlockedNestingStaysCorrect) {
+  // Three levels deep, mixing ParallelFor and ParallelForBlocks; every
+  // leaf index must execute exactly once and the barriers must hold.
+  ThreadPool pool(3);
+  constexpr size_t kA = 4, kB = 6, kC = 10;
+  std::vector<std::atomic<int>> hits(kA * kB * kC);
+  pool.ParallelFor(kA, [&](size_t a) {
+    pool.ParallelForBlocks(kB, 2, [&](size_t begin, size_t end) {
+      for (size_t b = begin; b < end; ++b) {
+        pool.ParallelFor(kC, [&](size_t c) {
+          hits[(a * kB + b) * kC + c].fetch_add(1);
+        });
+      }
+    });
+  });
+  for (size_t k = 0; k < hits.size(); ++k) {
+    ASSERT_EQ(hits[k].load(), 1) << "index " << k;
+  }
+}
+
 }  // namespace
 }  // namespace dgs
