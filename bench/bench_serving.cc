@@ -1,0 +1,233 @@
+// Serving benchmark: resident Engine (deploy once, query many) vs the
+// one-shot DistributedMatch path that rebuilds the fragmentation, the
+// cluster runtime, and the per-site actors for every pattern.
+//
+// Workload: the Fig. 6(a)/(b) default (web graph, |Q| = (5, 10) cyclic,
+// |Vf| ~ 25%, 8 sites), served with dGPM, dMes, and Match.
+//
+// For each algorithm the same query stream runs three ways:
+//   one-shot     DistributedMatch(g, assignment, ...) per query — pays
+//                fragmentation + deployment + query every time.
+//   engine 1st   the first pass over a fresh Engine — pays the lazy
+//                per-family deployment build once, then queries.
+//   engine 2..N  the steady-state pass — queries against fully resident
+//                state (the amortized serving cost).
+//
+// The results and the DS/message accounting must be bit-identical across
+// the paths, and the steady-state per-query wall time must be strictly
+// below the one-shot wall time; the process exits nonzero otherwise, so
+// CI guards the deploy-once contract, not just the trend. BENCH_serving.json
+// records the setup-vs-query cost split (deploy_ms vs per-query ms) and
+// the amortized queries/sec per algorithm.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace dgs;
+
+bool SameAnswerAndShipment(const DistOutcome& a, const DistOutcome& b,
+                           const std::string& what) {
+  bool same = true;
+  if (!(a.result == b.result)) {
+    std::cerr << "MISMATCH [" << what << "]: simulation results differ\n";
+    same = false;
+  }
+  auto check = [&](uint64_t x, uint64_t y, const char* field) {
+    if (x != y) {
+      std::cerr << "MISMATCH [" << what << "]: " << field << " " << x
+                << " vs " << y << "\n";
+      same = false;
+    }
+  };
+  check(a.stats.data_bytes, b.stats.data_bytes, "data_bytes");
+  check(a.stats.result_bytes, b.stats.result_bytes, "result_bytes");
+  check(a.stats.data_messages, b.stats.data_messages, "data_messages");
+  check(a.stats.result_messages, b.stats.result_messages, "result_messages");
+  check(a.stats.rounds, b.stats.rounds, "rounds");
+  check(a.counters.vars_shipped, b.counters.vars_shipped, "vars_shipped");
+  return same;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dgs;
+  auto env = bench::Env::FromEnv();
+  Rng rng(env.seed);
+
+  const size_t n = env.Scaled(150000), m = env.Scaled(750000);
+  Graph g = WebGraph(n, m, kDefaultAlphabet, rng);
+  std::cout << "Serving: web graph |G| = (" << g.NumNodes() << ", "
+            << g.NumEdges() << "), |Q| = (5,10), |Vf| ~ 25%, 8 sites, "
+            << "threads " << env.threads << ", wire "
+            << WireFormatName(env.wire) << "\n\n";
+
+  std::vector<Pattern> queries;
+  for (int i = 0; i < env.queries; ++i) {
+    PatternSpec spec;
+    spec.num_nodes = 5;
+    spec.num_edges = 10;
+    spec.kind = PatternKind::kCyclic;
+    auto q = ExtractPattern(g, spec, rng);
+    if (q.ok()) queries.push_back(*q);
+  }
+  const uint32_t sites = 8;
+  auto assignment = PartitionWithBoundaryRatio(g, sites, 0.25, rng);
+  if (queries.empty()) {
+    std::cerr << "workload setup failed\n";
+    return 1;
+  }
+
+  EngineOptions engine_options;
+  engine_options.network = bench::BenchNetwork();
+  engine_options.num_threads = env.threads;
+  engine_options.wire_format = env.wire;
+
+  DistOptions oneshot_options;
+  oneshot_options.network = bench::BenchNetwork();
+  oneshot_options.num_threads = env.threads;
+  oneshot_options.wire_format = env.wire;
+
+  bench::BenchJson json("serving");
+  json.meta()
+      .Num("scale", env.scale)
+      .Int("queries", static_cast<uint64_t>(queries.size()))
+      .Int("seed", env.seed)
+      .Int("sites", sites)
+      .Int("threads", env.threads)
+      .Str("wire", WireFormatName(env.wire))
+      .Str("workload", "fig6_ab_default");
+
+  TablePrinter table({"algorithm", "deploy(ms)", "one-shot(ms/q)",
+                      "engine 1st(ms/q)", "engine 2..N(ms/q)", "speedup",
+                      "queries/s"});
+
+  bool all_identical = true;
+  bool all_faster = true;
+  for (Algorithm algorithm :
+       {Algorithm::kDgpm, Algorithm::kDMes, Algorithm::kMatch}) {
+    QueryOptions query_options;
+    query_options.algorithm = algorithm;
+    DistOptions oneshot = oneshot_options;
+    oneshot.algorithm = algorithm;
+
+    // Resident path: deploy once...
+    WallTimer deploy_timer;
+    auto engine = Engine::Create(g, assignment, sites, engine_options);
+    if (!engine.ok()) {
+      std::cerr << "engine deploy failed: "
+                << engine.status().ToString() << "\n";
+      return 1;
+    }
+    const double deploy_ms = deploy_timer.ElapsedMillis();
+
+    // ...then serve the stream three times: pass 0 is the engine's first
+    // touch (builds the family's resident actors lazily); passes 1 and 2
+    // are the 2nd..Nth-query steady state the serving model amortizes
+    // toward. The faster steady pass is reported, so a scheduler hiccup
+    // on a shared CI runner cannot flip the strictly-cheaper gate.
+    double first_pass_ms = 0;
+    double steady_ms = 0;
+    std::vector<DistOutcome> served;
+    for (int pass = 0; pass < 3; ++pass) {
+      double pass_ms = 0;
+      std::vector<DistOutcome> pass_outcomes;
+      pass_outcomes.reserve(queries.size());
+      for (size_t qi = 0; qi < queries.size(); ++qi) {
+        WallTimer timer;
+        auto outcome = (*engine)->Match(queries[qi], query_options);
+        pass_ms += timer.ElapsedMillis();
+        if (!outcome.ok()) {
+          std::cerr << "engine query failed: "
+                    << outcome.status().ToString() << "\n";
+          return 1;
+        }
+        pass_outcomes.push_back(std::move(outcome).value());
+      }
+      if (pass == 0) {
+        first_pass_ms = pass_ms;
+      } else if (pass == 1 || pass_ms < steady_ms) {
+        steady_ms = pass_ms;
+      }
+      served = std::move(pass_outcomes);
+    }
+
+    // One-shot path: everything rebuilt per query.
+    double oneshot_ms = 0;
+    double ds_kb = 0;
+    for (size_t qi = 0; qi < queries.size(); ++qi) {
+      WallTimer timer;
+      auto outcome =
+          DistributedMatch(g, assignment, sites, queries[qi], oneshot);
+      const double query_ms = timer.ElapsedMillis();
+      oneshot_ms += query_ms;
+      if (!outcome.ok()) {
+        std::cerr << "one-shot query failed: "
+                  << outcome.status().ToString() << "\n";
+        return 1;
+      }
+      const std::string what = std::string(AlgorithmName(algorithm)) + " q" +
+                               std::to_string(qi);
+      if (!SameAnswerAndShipment(served[qi], *outcome, what)) {
+        all_identical = false;
+      }
+      ds_kb += static_cast<double>(outcome->stats.data_bytes) / 1024.0;
+      json.AddRow()
+          .Str("algorithm", AlgorithmName(algorithm))
+          .Int("query", qi)
+          .Num("oneshot_ms", query_ms)
+          .Num("ds_kb",
+               static_cast<double>(outcome->stats.data_bytes) / 1024.0);
+    }
+
+    const double q = static_cast<double>(queries.size());
+    const double steady_per_query = steady_ms / q;
+    const double oneshot_per_query = oneshot_ms / q;
+    const double speedup =
+        steady_per_query > 0 ? oneshot_per_query / steady_per_query : 0;
+    const double qps =
+        steady_per_query > 0 ? 1000.0 / steady_per_query : 0;
+    if (steady_per_query >= oneshot_per_query) {
+      std::cerr << "NOT FASTER [" << AlgorithmName(algorithm)
+                << "]: resident " << steady_per_query << " ms/q vs one-shot "
+                << oneshot_per_query << " ms/q\n";
+      all_faster = false;
+    }
+
+    table.AddRow({std::string(AlgorithmName(algorithm)),
+                  FormatDouble(deploy_ms, 2),
+                  FormatDouble(oneshot_per_query, 2),
+                  FormatDouble(first_pass_ms / q, 2),
+                  FormatDouble(steady_per_query, 2),
+                  FormatDouble(speedup, 2), FormatDouble(qps, 1)});
+    json.AddRow()
+        .Str("algorithm", AlgorithmName(algorithm))
+        .Str("query", "total")
+        .Num("deploy_ms", deploy_ms)
+        .Num("oneshot_ms_per_query", oneshot_per_query)
+        .Num("engine_first_ms_per_query", first_pass_ms / q)
+        .Num("engine_steady_ms_per_query", steady_per_query)
+        .Num("speedup_steady", speedup)
+        .Num("queries_per_second", qps)
+        .Num("ds_kb_per_query", ds_kb / q)
+        .Num("deploy_seconds_engine",
+             (*engine)->serving_stats().deploy_seconds);
+  }
+
+  std::cout << "== Amortized serving cost: one-shot vs resident Engine ==\n";
+  table.Print(std::cout);
+  std::cout << "\ncross-path results/DS accounting: "
+            << (all_identical ? "IDENTICAL" : "MISMATCH")
+            << "\nresident 2..N strictly below one-shot: "
+            << (all_faster ? "YES" : "NO") << "\n";
+  json.meta()
+      .Str("identical", all_identical ? "true" : "false")
+      .Str("resident_faster", all_faster ? "true" : "false");
+  json.WriteFile();
+  return (all_identical && all_faster) ? 0 : 1;
+}

@@ -1,0 +1,70 @@
+// Shared command-line flags for the example binaries:
+//
+//   --threads N    cluster executor width; 0 = all hardware threads  (1)
+//   --wire v1|v2   wire format: fixed records or delta               (v2)
+//
+// Results and message accounting are identical for every combination
+// (see runtime/cluster.h and runtime/message.h); the flags exist so every
+// example can demonstrate the parallel runtime and both wire formats.
+
+#ifndef DGS_EXAMPLES_EXAMPLE_FLAGS_H_
+#define DGS_EXAMPLES_EXAMPLE_FLAGS_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "runtime/message.h"
+
+namespace dgs::examples {
+
+struct Flags {
+  uint32_t threads = 1;
+  WireFormat wire = WireFormat::kV2Delta;
+
+  // Parses --threads/--wire; returns false (after printing usage) on
+  // malformed or unknown arguments.
+  static bool Parse(int argc, char** argv, Flags* flags) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--threads" || arg == "--wire") {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+          return false;
+        }
+      }
+      if (arg == "--threads") {
+        char* end = nullptr;
+        const long threads = std::strtol(argv[++i], &end, 10);
+        if (end == argv[i] || *end != '\0' || threads < 0) {
+          std::fprintf(stderr, "bad --threads value: %s\n", argv[i]);
+          return false;
+        }
+        flags->threads = static_cast<uint32_t>(threads);
+      } else if (arg == "--wire") {
+        const std::string wire = argv[++i];
+        if (wire == "v1") {
+          flags->wire = WireFormat::kV1Fixed;
+        } else if (wire == "v2") {
+          flags->wire = WireFormat::kV2Delta;
+        } else {
+          std::fprintf(stderr, "bad --wire value: %s (want v1|v2)\n",
+                       wire.c_str());
+          return false;
+        }
+      } else {
+        std::fprintf(stderr,
+                     "unknown option: %s\nusage: %s [--threads N] "
+                     "[--wire v1|v2]\n",
+                     arg.c_str(), argv[0]);
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+}  // namespace dgs::examples
+
+#endif  // DGS_EXAMPLES_EXAMPLE_FLAGS_H_

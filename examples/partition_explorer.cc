@@ -4,13 +4,17 @@
 // time and data shipment track partition quality rather than graph size —
 // the motivation for pairing the algorithms with partitioners like [27].
 //
-//   ./examples/partition_explorer
+//   ./examples/partition_explorer [--threads N] [--wire v1|v2]
 
 #include <iostream>
 
 #include "dgs.h"
+#include "example_flags.h"
 
-int main() {
+int main(int argc, char** argv) {
+  dgs::examples::Flags flags;
+  if (!dgs::examples::Flags::Parse(argc, argv, &flags)) return 1;
+
   dgs::Rng rng(99);
   dgs::Graph g = dgs::WebGraph(40000, 200000, dgs::kDefaultAlphabet, rng);
   dgs::PatternSpec spec;
@@ -46,6 +50,8 @@ int main() {
     auto frag = dgs::Fragmentation::Create(g, s.assignment, 8);
     if (!frag.ok()) continue;
     dgs::DistOptions options;
+    options.num_threads = flags.threads;
+    options.wire_format = flags.wire;
     auto outcome = dgs::DistributedMatch(g, *frag, *q, options);
     if (!outcome.ok()) continue;
     table.AddRow(

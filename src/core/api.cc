@@ -1,117 +1,26 @@
 #include "core/api.h"
 
-#include "graph/algorithms.h"
-
 namespace dgs {
-
-const char* AlgorithmName(Algorithm algorithm) {
-  switch (algorithm) {
-    case Algorithm::kDgpm:
-      return "dGPM";
-    case Algorithm::kDgpmNoOpt:
-      return "dGPMNOpt";
-    case Algorithm::kDgpmDag:
-      return "dGPMd";
-    case Algorithm::kDgpmTree:
-      return "dGPMt";
-    case Algorithm::kMatch:
-      return "Match";
-    case Algorithm::kDisHhk:
-      return "disHHK";
-    case Algorithm::kDMes:
-      return "dMes";
-    case Algorithm::kAuto:
-      return "auto";
-  }
-  return "unknown";
-}
 
 StatusOr<DistOutcome> DistributedMatch(const Graph& g,
                                        const Fragmentation& fragmentation,
                                        const Pattern& q,
                                        const DistOptions& options) {
-  if (q.NumNodes() == 0) {
-    return Status::InvalidArgument("pattern must have at least one node");
-  }
-  if (q.NumNodes() >= (1u << 16)) {
-    return Status::InvalidArgument("patterns are limited to 65535 nodes");
-  }
-
-  ClusterOptions runtime(options.network);
-  runtime.num_threads = options.num_threads;
-  runtime.wire_format = options.wire_format;
-
-  Algorithm algorithm = options.algorithm;
-  if (algorithm == Algorithm::kAuto) {
-    // Prefer the specialized algorithms with the strongest bounds
-    // (Table 1): trees, then DAGs, then the general partition-bounded one.
-    if (IsDownwardForest(g)) {
-      algorithm = Algorithm::kDgpmTree;
-    } else if (q.IsDag() || IsAcyclic(g)) {
-      algorithm = Algorithm::kDgpmDag;
-    } else {
-      algorithm = Algorithm::kDgpm;
-    }
-    DistOptions resolved = options;
-    resolved.algorithm = algorithm;
-    return DistributedMatch(g, fragmentation, q, resolved);
-  }
-
-  switch (options.algorithm) {
-    case Algorithm::kDgpm:
-    case Algorithm::kDgpmNoOpt: {
-      DgpmConfig config;
-      config.incremental = options.algorithm == Algorithm::kDgpm;
-      config.enable_push =
-          options.enable_push && options.algorithm == Algorithm::kDgpm;
-      config.push_threshold = options.push_threshold;
-      config.boolean_only = options.boolean_only;
-      return RunDgpm(fragmentation, q, config, runtime);
-    }
-    case Algorithm::kDgpmDag: {
-      if (!q.IsDag() && !IsAcyclic(g)) {
-        return Status::FailedPrecondition(
-            "dGPMd requires a DAG pattern or a DAG data graph");
-      }
-      DgpmDagConfig config;
-      config.boolean_only = options.boolean_only;
-      return RunDgpmDag(fragmentation, q, g, config, runtime);
-    }
-    case Algorithm::kDgpmTree: {
-      if (!IsDownwardForest(g)) {
-        return Status::FailedPrecondition(
-            "dGPMt requires a tree-shaped (downward forest) data graph");
-      }
-      DgpmTreeConfig config;
-      config.boolean_only = options.boolean_only;
-      return RunDgpmTree(fragmentation, q, config, runtime);
-    }
-    case Algorithm::kMatch:
-    case Algorithm::kDisHhk: {
-      BaselineConfig config;
-      config.boolean_only = options.boolean_only;
-      return options.algorithm == Algorithm::kMatch
-                 ? RunMatch(fragmentation, q, config, runtime)
-                 : RunDisHhk(fragmentation, q, config, runtime);
-    }
-    case Algorithm::kDMes: {
-      BaselineConfig config;
-      config.boolean_only = options.boolean_only;
-      return RunDMes(fragmentation, q, config, runtime);
-    }
-    case Algorithm::kAuto:
-      break;  // resolved above; unreachable
-  }
-  return Status::Internal("unhandled algorithm");
+  // One-shot = deploy a temporary engine, serve the single query. The
+  // engine borrows the caller's fragmentation; both live for this call.
+  auto engine = Engine::Create(g, &fragmentation, options.engine_options());
+  if (!engine.ok()) return engine.status();
+  return (*engine)->Match(q, options.query_options());
 }
 
 StatusOr<DistOutcome> DistributedMatch(const Graph& g,
                                        const std::vector<uint32_t>& assignment,
                                        uint32_t num_fragments, const Pattern& q,
                                        const DistOptions& options) {
-  auto fragmentation = Fragmentation::Create(g, assignment, num_fragments);
-  if (!fragmentation.ok()) return fragmentation.status();
-  return DistributedMatch(g, *fragmentation, q, options);
+  auto engine =
+      Engine::Create(g, assignment, num_fragments, options.engine_options());
+  if (!engine.ok()) return engine.status();
+  return (*engine)->Match(q, options.query_options());
 }
 
 }  // namespace dgs

@@ -1,45 +1,44 @@
-// Public entry point for distributed graph simulation.
+// Public entry points for distributed graph simulation.
 //
-// Typical use:
+// Serving (deploy once, query many — the paper's deployment model and the
+// primary API, see core/engine.h):
 //
 //   dgs::Graph g = ...;                       // data graph
-//   dgs::Pattern q = ...;                     // pattern query
 //   std::vector<uint32_t> part = dgs::RandomPartition(g, 8, rng);
-//   dgs::DistOptions options;
-//   options.algorithm = dgs::Algorithm::kDgpm;
-//   auto outcome = dgs::DistributedMatch(g, part, 8, q, options);
-//   if (outcome.ok()) {
+//   auto engine = dgs::Engine::Create(g, part, 8, dgs::EngineOptions{});
+//   if (!engine.ok()) { ... }
+//   for (const dgs::Pattern& q : queries) {   // query stream
+//     auto outcome = (*engine)->Match(q);     // QueryOptions{} = kAuto
+//     if (!outcome.ok()) continue;            // engine stays usable
 //     outcome->result.Matches(u);             // Q(G)
 //     outcome->response_seconds();            // PT
 //     outcome->data_shipment_bytes();         // DS
 //   }
+//
+// One-shot (a single pattern against a graph that is not resident yet):
+//
+//   dgs::DistOptions options;
+//   options.algorithm = dgs::Algorithm::kDgpm;
+//   auto outcome = dgs::DistributedMatch(g, part, 8, q, options);
+//
+// DistributedMatch deploys a temporary Engine, serves the one query, and
+// tears it down — results and message/byte accounting are bit-identical
+// to the serving path. DistOptions is exactly EngineOptions + QueryOptions
+// flattened (see core/serving.h for the split).
 
 #ifndef DGS_CORE_API_H_
 #define DGS_CORE_API_H_
 
-#include "core/baselines.h"
-#include "core/dgpm.h"
-#include "core/dgpm_dag.h"
-#include "core/dgpm_tree.h"
+#include "core/engine.h"
 #include "core/metrics.h"
+#include "core/serving.h"
 #include "util/status.h"
 
 namespace dgs {
 
-enum class Algorithm {
-  kDgpm,       // Section 4: partition bounded, incremental + push
-  kDgpmNoOpt,  // dGPMNOpt ablation: no incremental evaluation, no push
-  kDgpmDag,    // Section 5.1: rank-scheduled batching (DAG Q or DAG G)
-  kDgpmTree,   // Section 5.2: two-round coordinator algorithm (tree G)
-  kMatch,      // ship-everything baseline
-  kDisHhk,     // Ma et al. [25]
-  kDMes,       // vertex-centric / Pregel-style
-  kAuto,       // structure dispatch: tree G -> dGPMt, DAG Q or DAG G ->
-               // dGPMd, otherwise dGPM (the paper's Table 1 hierarchy)
-};
-
-const char* AlgorithmName(Algorithm algorithm);
-
+// Flat one-shot option set: the per-deployment and per-query knobs of the
+// serving API in one struct, with the historical defaults (algorithm
+// kDgpm, not kAuto).
 struct DistOptions {
   Algorithm algorithm = Algorithm::kDgpm;
   // Boolean pattern query: only GraphMatches() of the result is meaningful,
@@ -58,6 +57,23 @@ struct DistOptions {
   // kV1Fixed; simulation results and message counts are identical for both
   // (see runtime/message.h and core/protocol.h).
   WireFormat wire_format = WireFormat::kV2Delta;
+
+  // The deployment / query split these options flatten.
+  EngineOptions engine_options() const {
+    EngineOptions engine;
+    engine.network = network;
+    engine.num_threads = num_threads;
+    engine.wire_format = wire_format;
+    return engine;
+  }
+  QueryOptions query_options() const {
+    QueryOptions query;
+    query.algorithm = algorithm;
+    query.boolean_only = boolean_only;
+    query.enable_push = enable_push;
+    query.push_threshold = push_threshold;
+    return query;
+  }
 };
 
 // Fragments g according to `assignment` and evaluates q distributedly.

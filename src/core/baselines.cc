@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 #include <memory>
+#include <optional>
+#include <unordered_map>
 #include <unordered_set>
 
 namespace dgs {
@@ -32,40 +34,69 @@ void AppendSubgraph(Blob& blob,
 
 // Assembles shipped subgraphs into a global-id graph and runs the
 // centralized simulation once all fragments reported. Unshipped nodes get a
-// sentinel label that matches no query node.
-class AssemblingCoordinator : public SiteActor {
+// sentinel label that matches no query node. Resident across queries: the
+// label array and the edge buffer keep their allocation; BindQuery rewinds
+// them.
+class AssemblingCoordinator : public QuerySiteActor {
  public:
-  AssemblingCoordinator(const Pattern* pattern, size_t num_global_nodes,
-                        uint32_t num_workers, bool boolean_only)
-      : pattern_(pattern),
-        num_global_nodes_(num_global_nodes),
+  AssemblingCoordinator(size_t num_global_nodes, uint32_t num_workers)
+      : num_global_nodes_(num_global_nodes),
         num_workers_(num_workers),
-        boolean_only_(boolean_only),
         labels_(num_global_nodes, kSentinelLabel) {}
+
+  void BindQuery(const QueryContext& query) override {
+    pattern_ = query.pattern;
+    boolean_only_ = query.options.boolean_only;
+    health_ = query.health;
+    labels_.assign(num_global_nodes_, kSentinelLabel);
+    edges_.clear();
+    received_ = 0;
+    computed_ = false;
+    result_ = SimulationResult();
+  }
+
+  void EndQuery() override {
+    pattern_ = nullptr;
+    health_ = nullptr;
+    edges_.clear();
+    received_ = 0;
+    computed_ = false;
+    result_ = SimulationResult();
+  }
 
   void OnMessages(SiteContext& ctx, std::vector<Message> inbox) override {
     (void)ctx;
+    if (health_->poisoned()) return;
     for (const Message& m : inbox) {
       Blob::Reader reader(m.payload);
       if (GetTag(reader) != WireTag::kSubgraph) continue;
       uint32_t num_nodes = reader.GetU32();
-      DGS_CHECK(reader.ok() && num_nodes <= reader.Remaining() / 8,
-                "corrupt subgraph payload (node count)");
+      if (!reader.ok() || num_nodes > reader.Remaining() / 8) {
+        health_->Poison("corrupt subgraph payload (node count)");
+        return;
+      }
       for (uint32_t i = 0; i < num_nodes; ++i) {
         NodeId gid = reader.GetU32();
         Label label = reader.GetU32();
-        DGS_CHECK(gid < labels_.size(), "subgraph node id out of range");
+        if (gid >= labels_.size()) {
+          health_->Poison("subgraph node id out of range");
+          return;
+        }
         labels_[gid] = label;
       }
       uint32_t num_edges = reader.GetU32();
-      DGS_CHECK(reader.ok() && num_edges <= reader.Remaining() / 8,
-                "corrupt subgraph payload (edge count)");
+      if (!reader.ok() || num_edges > reader.Remaining() / 8) {
+        health_->Poison("corrupt subgraph payload (edge count)");
+        return;
+      }
       edges_.reserve(edges_.size() + num_edges);
       for (uint32_t i = 0; i < num_edges; ++i) {
         NodeId from = reader.GetU32();
         NodeId to = reader.GetU32();
-        DGS_CHECK(from < labels_.size() && to < labels_.size(),
-                  "subgraph edge endpoint out of range");
+        if (from >= labels_.size() || to >= labels_.size()) {
+          health_->Poison("subgraph edge endpoint out of range");
+          return;
+        }
         edges_.emplace_back(from, to);
       }
       ++received_;
@@ -93,36 +124,49 @@ class AssemblingCoordinator : public SiteActor {
   // alphabets); a sentinel guarantees unshipped nodes never match.
   static constexpr Label kSentinelLabel = 0xffffffffu;
 
-  const Pattern* pattern_;
   size_t num_global_nodes_;
   uint32_t num_workers_;
-  bool boolean_only_;
   std::vector<Label> labels_;
   std::vector<std::pair<NodeId, NodeId>> edges_;
+  // --- query state ---
+  const Pattern* pattern_ = nullptr;
+  bool boolean_only_ = false;
+  RunHealth* health_ = nullptr;
   uint32_t received_ = 0;
   bool computed_ = false;
   SimulationResult result_;
 };
 
-// Match worker: ships the entire fragment.
-class MatchWorker : public SiteActor {
+// Match worker: ships the entire fragment. The encoding is
+// pattern-independent, so a resident worker serializes its fragment once
+// and replays the cached bytes for every query.
+class MatchWorker : public QuerySiteActor {
  public:
   explicit MatchWorker(const Fragment* fragment) : fragment_(fragment) {}
 
+  // Match workers neither parse payloads nor read the query: the shipped
+  // subgraph is pattern-independent, so binding is a no-op.
+  void BindQuery(const QueryContext& query) override { (void)query; }
+  void EndQuery() override {}
+
   void Setup(SiteContext& ctx) override {
-    std::vector<std::pair<NodeId, Label>> nodes;
-    nodes.reserve(fragment_->num_local);
-    for (NodeId v = 0; v < fragment_->num_local; ++v) {
-      nodes.emplace_back(fragment_->ToGlobal(v), fragment_->graph.LabelOf(v));
-    }
-    std::vector<std::pair<NodeId, NodeId>> edges;
-    for (NodeId v = 0; v < fragment_->num_local; ++v) {
-      for (NodeId w : fragment_->graph.OutNeighbors(v)) {
-        edges.emplace_back(fragment_->ToGlobal(v), fragment_->ToGlobal(w));
+    if (!encoded_) {
+      std::vector<std::pair<NodeId, Label>> nodes;
+      nodes.reserve(fragment_->num_local);
+      for (NodeId v = 0; v < fragment_->num_local; ++v) {
+        nodes.emplace_back(fragment_->ToGlobal(v),
+                           fragment_->graph.LabelOf(v));
       }
+      std::vector<std::pair<NodeId, NodeId>> edges;
+      for (NodeId v = 0; v < fragment_->num_local; ++v) {
+        for (NodeId w : fragment_->graph.OutNeighbors(v)) {
+          edges.emplace_back(fragment_->ToGlobal(v), fragment_->ToGlobal(w));
+        }
+      }
+      AppendSubgraph(subgraph_, nodes, edges);
+      encoded_ = true;
     }
-    Blob blob;
-    AppendSubgraph(blob, nodes, edges);
+    Blob blob = subgraph_;  // shipped per query; encoded once
     ctx.Send(ctx.coordinator_id(), MessageClass::kData, std::move(blob));
   }
 
@@ -133,13 +177,28 @@ class MatchWorker : public SiteActor {
 
  private:
   const Fragment* fragment_;
+  Blob subgraph_;  // cached wire encoding of the fragment
+  bool encoded_ = false;
 };
 
-// disHHK worker: ships the subgraph induced by label-candidate nodes.
-class DisHhkWorker : public SiteActor {
+// disHHK worker: ships the subgraph induced by label-candidate nodes. The
+// resident label -> local nodes index makes candidate extraction
+// proportional to the candidates, not the fragment.
+class DisHhkWorker : public QuerySiteActor {
  public:
-  DisHhkWorker(const Fragment* fragment, const Pattern* pattern)
-      : fragment_(fragment), pattern_(pattern) {}
+  explicit DisHhkWorker(const Fragment* fragment) : fragment_(fragment) {
+    const Graph& lg = fragment_->graph;
+    for (NodeId v = 0; v < lg.NumNodes(); ++v) {
+      nodes_by_label_[lg.LabelOf(v)].push_back(v);
+    }
+  }
+
+  // disHHK workers only read the pattern (for the candidate labels); they
+  // never parse payloads, so there is no poison path to track.
+  void BindQuery(const QueryContext& query) override {
+    pattern_ = query.pattern;
+  }
+  void EndQuery() override { pattern_ = nullptr; }
 
   void Setup(SiteContext& ctx) override {
     // Candidate = carries a label used by some query node.
@@ -151,10 +210,21 @@ class DisHhkWorker : public SiteActor {
     auto is_candidate = [&](NodeId v) {
       return query_labels.count(lg.LabelOf(v)) > 0;
     };
+    // Gather candidates through the resident label index, then restore
+    // ascending node order so the shipped bytes are independent of label
+    // iteration order.
+    std::vector<NodeId> candidates;
+    for (Label l : query_labels) {
+      auto bucket = nodes_by_label_.find(l);
+      if (bucket == nodes_by_label_.end()) continue;
+      candidates.insert(candidates.end(), bucket->second.begin(),
+                        bucket->second.end());
+    }
+    std::sort(candidates.begin(), candidates.end());
     std::vector<std::pair<NodeId, Label>> nodes;
     std::vector<std::pair<NodeId, NodeId>> edges;
-    for (NodeId v = 0; v < lg.NumNodes(); ++v) {
-      if (!is_candidate(v)) continue;
+    nodes.reserve(candidates.size());
+    for (NodeId v : candidates) {
       // Virtual candidates are shipped as bare nodes (their home fragment
       // ships their adjacency); local candidates also ship their edges to
       // candidate children.
@@ -178,56 +248,49 @@ class DisHhkWorker : public SiteActor {
 
  private:
   const Fragment* fragment_;
-  const Pattern* pattern_;
+  std::unordered_map<Label, std::vector<NodeId>> nodes_by_label_;  // resident
+  const Pattern* pattern_ = nullptr;
 };
-
-DistOutcome RunAssembling(const Fragmentation& fragmentation,
-                          const Pattern& pattern, bool ship_all,
-                          const BaselineConfig& config,
-                          const ClusterOptions& runtime) {
-  const uint32_t n = fragmentation.NumFragments();
-  const size_t num_global = fragmentation.assignment().size();
-  DistOutcome outcome;
-  Cluster cluster(n, runtime);
-  for (uint32_t i = 0; i < n; ++i) {
-    const Fragment* frag = &fragmentation.fragment(i);
-    if (ship_all) {
-      cluster.SetWorker(i, std::make_unique<MatchWorker>(frag));
-    } else {
-      cluster.SetWorker(i, std::make_unique<DisHhkWorker>(frag, &pattern));
-    }
-  }
-  cluster.SetCoordinator(std::make_unique<AssemblingCoordinator>(
-      &pattern, num_global, n, config.boolean_only));
-  outcome.stats = cluster.Run();
-  outcome.result = static_cast<AssemblingCoordinator*>(cluster.coordinator())
-                       ->BuildResult();
-  return outcome;
-}
 
 // ---------------------------------------------------------------------------
 // dMes
 // ---------------------------------------------------------------------------
 
-class DMesWorker : public SiteActor {
+class DMesWorker : public QuerySiteActor {
  public:
-  DMesWorker(const Fragmentation* fragmentation, uint32_t site,
-             const Pattern* pattern, const BaselineConfig& config,
-             AlgoCounters* counters)
+  DMesWorker(const Fragmentation* fragmentation, uint32_t site)
       : fragmentation_(fragmentation),
-        fragment_(&fragmentation->fragment(site)),
-        pattern_(pattern),
-        config_(config),
-        counters_(counters),
-        engine_(fragment_, pattern, /*incremental=*/true) {}
+        fragment_(&fragmentation->fragment(site)) {}
+
+  void BindQuery(const QueryContext& query) override {
+    pattern_ = query.pattern;
+    config_.boolean_only = query.options.boolean_only;
+    counters_ = query.counters;
+    health_ = query.health;
+    engine_.emplace(fragment_, pattern_, /*incremental=*/true);
+    last_false_count_ = 0;
+    halted_ = false;
+    matches_dirty_ = true;
+  }
+
+  void EndQuery() override {
+    pattern_ = nullptr;
+    counters_ = nullptr;
+    health_ = nullptr;
+    engine_.reset();
+    last_false_count_ = 0;
+    halted_ = false;
+    matches_dirty_ = true;
+  }
 
   void Setup(SiteContext& ctx) override {
     (void)ctx;
-    engine_.Initialize();
-    engine_.DrainInNodeFalses();  // dMes never pushes falses proactively
+    engine_->Initialize();
+    engine_->DrainInNodeFalses();  // dMes never pushes falses proactively
   }
 
   void OnMessages(SiteContext& ctx, std::vector<Message> inbox) override {
+    if (health_->poisoned()) return;
     bool ticked = false;
     bool halt = false;
     std::vector<uint64_t> falses;
@@ -250,12 +313,14 @@ class DMesWorker : public SiteActor {
           // Reply with the current truth value of every requested variable
           // (under V2 only the false subset ships; absence means true).
           std::vector<uint64_t> keys;
-          DGS_CHECK(ReadTruthRequest(reader, tag, &keys),
-                    "corrupt truth request");
+          if (!ReadTruthRequest(reader, tag, &keys)) {
+            health_->Poison("corrupt truth request");
+            return;
+          }
           Blob reply;
           counters_->wire_saved_data_bytes += AppendTruthReply(
               reply, keys,
-              [this](uint64_t key) { return engine_.IsKeyFalse(key); },
+              [this](uint64_t key) { return engine_->IsKeyFalse(key); },
               ctx.wire_format());
           counters_->vars_shipped += keys.size();
           ctx.Send(m.src, MessageClass::kData, std::move(reply));
@@ -264,8 +329,10 @@ class DMesWorker : public SiteActor {
         case WireTag::kReply:
         case WireTag::kReply2: {
           std::vector<uint64_t> reply_falses;
-          DGS_CHECK(ReadTruthReplyFalses(reader, tag, &reply_falses),
-                    "corrupt truth reply");
+          if (!ReadTruthReplyFalses(reader, tag, &reply_falses)) {
+            health_->Poison("corrupt truth reply");
+            return;
+          }
           falses.insert(falses.end(), reply_falses.begin(),
                         reply_falses.end());
           break;
@@ -275,8 +342,8 @@ class DMesWorker : public SiteActor {
       }
     }
     if (!falses.empty()) {
-      engine_.ApplyRemoteFalses(falses);
-      engine_.DrainInNodeFalses();
+      engine_->ApplyRemoteFalses(falses);
+      engine_->DrainInNodeFalses();
       matches_dirty_ = true;
     }
     if (halt) {
@@ -287,8 +354,9 @@ class DMesWorker : public SiteActor {
       // Re-request every still-undecided virtual variable (the redundant
       // per-superstep traffic characteristic of the vertex-centric model).
       std::map<uint32_t, std::vector<uint64_t>> by_owner;
-      for (uint64_t key : engine_.UndecidedFrontierKeys()) {
-        by_owner[fragmentation_->OwnerOf(VarKeyGlobalNode(key))].push_back(key);
+      for (uint64_t key : engine_->UndecidedFrontierKeys()) {
+        by_owner[fragmentation_->OwnerOf(VarKeyGlobalNode(key))].push_back(
+            key);
       }
       for (auto& [owner, keys] : by_owner) {
         Blob blob;
@@ -298,7 +366,7 @@ class DMesWorker : public SiteActor {
         ctx.Send(owner, MessageClass::kData, std::move(blob));
       }
       // Change vote for the coordinator's halt decision.
-      size_t now_false = engine_.NumFalseVars();
+      size_t now_false = engine_->NumFalseVars();
       Blob flag;
       PutTag(flag, WireTag::kFlag);
       flag.PutU8(now_false != last_false_count_ ? 1 : 0);
@@ -308,8 +376,9 @@ class DMesWorker : public SiteActor {
   }
 
   void OnQuiesce(SiteContext& ctx) override {
+    if (health_->poisoned()) return;
     if (!matches_dirty_) return;
-    auto candidates = engine_.LocalCandidates();
+    auto candidates = engine_->LocalCandidates();
     std::vector<std::vector<NodeId>> lists(candidates.size());
     for (NodeId u = 0; u < candidates.size(); ++u) {
       candidates[u].ForEachSet([&](size_t lv) {
@@ -326,10 +395,11 @@ class DMesWorker : public SiteActor {
  private:
   const Fragmentation* fragmentation_;
   const Fragment* fragment_;
-  const Pattern* pattern_;
+  const Pattern* pattern_ = nullptr;
   BaselineConfig config_;
-  AlgoCounters* counters_;
-  LocalEngine engine_;
+  AlgoCounters* counters_ = nullptr;
+  RunHealth* health_ = nullptr;
+  std::optional<LocalEngine> engine_;
   size_t last_false_count_ = 0;
   bool halted_ = false;
   bool matches_dirty_ = true;
@@ -338,13 +408,26 @@ class DMesWorker : public SiteActor {
 // Coordinates supersteps: broadcasts the initial tick, gathers change
 // votes, and broadcasts continue/halt verdicts. Also collects the final
 // matches.
-class DMesCoordinator : public SiteActor {
+class DMesCoordinator : public QuerySiteActor {
  public:
-  DMesCoordinator(size_t num_query_nodes, size_t num_global_nodes,
-                  uint32_t num_workers, AlgoCounters* counters)
-      : collector_(num_query_nodes, num_global_nodes),
-        num_workers_(num_workers),
-        counters_(counters) {}
+  DMesCoordinator(size_t num_global_nodes, uint32_t num_workers)
+      : collector_(num_global_nodes), num_workers_(num_workers) {}
+
+  void BindQuery(const QueryContext& query) override {
+    collector_.BindQuery(query);
+    counters_ = query.counters;
+    health_ = query.health;
+    flags_ = 0;
+    any_changed_ = false;
+  }
+
+  void EndQuery() override {
+    collector_.EndQuery();
+    counters_ = nullptr;
+    health_ = nullptr;
+    flags_ = 0;
+    any_changed_ = false;
+  }
 
   void Setup(SiteContext& ctx) override {
     for (uint32_t i = 0; i < num_workers_; ++i) {
@@ -355,6 +438,7 @@ class DMesCoordinator : public SiteActor {
   }
 
   void OnMessages(SiteContext& ctx, std::vector<Message> inbox) override {
+    if (health_->poisoned()) return;
     for (Message& m : inbox) {
       Blob::Reader reader(m.payload);
       WireTag tag = GetTag(reader);
@@ -386,45 +470,125 @@ class DMesCoordinator : public SiteActor {
  private:
   CollectingCoordinator collector_;
   uint32_t num_workers_;
-  AlgoCounters* counters_;
+  AlgoCounters* counters_ = nullptr;
+  RunHealth* health_ = nullptr;
   uint32_t flags_ = 0;
   bool any_changed_ = false;
 };
 
+// ---------------------------------------------------------------------------
+// Deployments and one-shot runners
+// ---------------------------------------------------------------------------
+
+class AssemblingDeployment : public Deployment {
+ public:
+  AssemblingDeployment(const Fragmentation* fragmentation, bool ship_all)
+      : coordinator_(fragmentation->assignment().size(),
+                     fragmentation->NumFragments()) {
+    workers_.reserve(fragmentation->NumFragments());
+    for (uint32_t i = 0; i < fragmentation->NumFragments(); ++i) {
+      const Fragment* frag = &fragmentation->fragment(i);
+      if (ship_all) {
+        workers_.push_back(std::make_unique<MatchWorker>(frag));
+      } else {
+        workers_.push_back(std::make_unique<DisHhkWorker>(frag));
+      }
+    }
+  }
+
+  uint32_t num_workers() const override {
+    return static_cast<uint32_t>(workers_.size());
+  }
+  QuerySiteActor* worker(uint32_t i) override { return workers_[i].get(); }
+  QuerySiteActor* coordinator() override { return &coordinator_; }
+
+  SimulationResult Collect(AlgoCounters* counters) override {
+    (void)counters;
+    return coordinator_.BuildResult();
+  }
+
+ private:
+  std::vector<std::unique_ptr<QuerySiteActor>> workers_;
+  AssemblingCoordinator coordinator_;
+};
+
+class DMesDeployment : public Deployment {
+ public:
+  explicit DMesDeployment(const Fragmentation* fragmentation)
+      : coordinator_(fragmentation->assignment().size(),
+                     fragmentation->NumFragments()) {
+    workers_.reserve(fragmentation->NumFragments());
+    for (uint32_t i = 0; i < fragmentation->NumFragments(); ++i) {
+      workers_.push_back(std::make_unique<DMesWorker>(fragmentation, i));
+    }
+  }
+
+  uint32_t num_workers() const override {
+    return static_cast<uint32_t>(workers_.size());
+  }
+  QuerySiteActor* worker(uint32_t i) override { return workers_[i].get(); }
+  QuerySiteActor* coordinator() override { return &coordinator_; }
+
+  SimulationResult Collect(AlgoCounters* counters) override {
+    (void)counters;
+    return coordinator_.BuildResult();
+  }
+
+ private:
+  std::vector<std::unique_ptr<DMesWorker>> workers_;
+  DMesCoordinator coordinator_;
+};
+
+DistOutcome RunBaselineOnce(Deployment& deployment, const Pattern& pattern,
+                            Algorithm algorithm, const BaselineConfig& config,
+                            const ClusterOptions& runtime) {
+  QueryOptions options;
+  options.algorithm = algorithm;
+  options.boolean_only = config.boolean_only;
+  return ServeQueryOnce(deployment, pattern, options, runtime);
+}
+
 }  // namespace
+
+std::unique_ptr<Deployment> MakeMatchDeployment(
+    const Fragmentation* fragmentation) {
+  return std::make_unique<AssemblingDeployment>(fragmentation,
+                                                /*ship_all=*/true);
+}
+
+std::unique_ptr<Deployment> MakeDisHhkDeployment(
+    const Fragmentation* fragmentation) {
+  return std::make_unique<AssemblingDeployment>(fragmentation,
+                                                /*ship_all=*/false);
+}
+
+std::unique_ptr<Deployment> MakeDMesDeployment(
+    const Fragmentation* fragmentation) {
+  return std::make_unique<DMesDeployment>(fragmentation);
+}
 
 DistOutcome RunMatch(const Fragmentation& fragmentation,
                      const Pattern& pattern, const BaselineConfig& config,
                      const ClusterOptions& runtime) {
-  return RunAssembling(fragmentation, pattern, /*ship_all=*/true, config,
-                       runtime);
+  auto deployment = MakeMatchDeployment(&fragmentation);
+  return RunBaselineOnce(*deployment, pattern, Algorithm::kMatch, config,
+                         runtime);
 }
 
 DistOutcome RunDisHhk(const Fragmentation& fragmentation,
                       const Pattern& pattern, const BaselineConfig& config,
                       const ClusterOptions& runtime) {
-  return RunAssembling(fragmentation, pattern, /*ship_all=*/false, config,
-                       runtime);
+  auto deployment = MakeDisHhkDeployment(&fragmentation);
+  return RunBaselineOnce(*deployment, pattern, Algorithm::kDisHhk, config,
+                         runtime);
 }
 
 DistOutcome RunDMes(const Fragmentation& fragmentation, const Pattern& pattern,
                     const BaselineConfig& config,
                     const ClusterOptions& runtime) {
-  const uint32_t n = fragmentation.NumFragments();
-  const size_t num_global = fragmentation.assignment().size();
-  DistOutcome outcome;
-  Cluster cluster(n, runtime);
-  for (uint32_t i = 0; i < n; ++i) {
-    cluster.SetWorker(i, std::make_unique<DMesWorker>(
-                             &fragmentation, i, &pattern, config,
-                             &outcome.counters));
-  }
-  cluster.SetCoordinator(std::make_unique<DMesCoordinator>(
-      pattern.NumNodes(), num_global, n, &outcome.counters));
-  outcome.stats = cluster.Run();
-  outcome.result =
-      static_cast<DMesCoordinator*>(cluster.coordinator())->BuildResult();
-  return outcome;
+  auto deployment = MakeDMesDeployment(&fragmentation);
+  return RunBaselineOnce(*deployment, pattern, Algorithm::kDMes, config,
+                         runtime);
 }
 
 }  // namespace dgs

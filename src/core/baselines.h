@@ -15,9 +15,17 @@
 //           values of all its still-undecided virtual-node variables,
 //           applies the replies, and votes to halt when nothing changed.
 //           Redundant per-superstep traffic is the point of comparison.
+//
+// All three follow the QuerySiteActor serving lifecycle (core/serving.h).
+// Resident state pays off here too: Match caches each fragment's wire
+// encoding (it is pattern-independent), and disHHK keeps a per-site
+// label -> nodes index so candidate extraction touches only nodes whose
+// label occurs in the query.
 
 #ifndef DGS_CORE_BASELINES_H_
 #define DGS_CORE_BASELINES_H_
+
+#include <memory>
 
 #include "core/dgpm.h"
 
@@ -26,6 +34,14 @@ namespace dgs {
 struct BaselineConfig {
   bool boolean_only = false;
 };
+
+// Resident deployments for serving (core/engine.h).
+std::unique_ptr<Deployment> MakeMatchDeployment(
+    const Fragmentation* fragmentation);
+std::unique_ptr<Deployment> MakeDisHhkDeployment(
+    const Fragmentation* fragmentation);
+std::unique_ptr<Deployment> MakeDMesDeployment(
+    const Fragmentation* fragmentation);
 
 // Match: ship-everything baseline.
 DistOutcome RunMatch(const Fragmentation& fragmentation, const Pattern& pattern,

@@ -4,13 +4,25 @@
 
 namespace dgs {
 
-CollectingCoordinator::CollectingCoordinator(size_t num_query_nodes,
-                                             size_t num_global_nodes)
-    : num_query_nodes_(num_query_nodes), num_global_nodes_(num_global_nodes) {}
+CollectingCoordinator::CollectingCoordinator(size_t num_global_nodes)
+    : num_global_nodes_(num_global_nodes) {}
+
+void CollectingCoordinator::BindQuery(const QueryContext& query) {
+  num_query_nodes_ = query.pattern->NumNodes();
+  health_ = query.health;
+  per_site_.clear();
+}
+
+void CollectingCoordinator::EndQuery() {
+  num_query_nodes_ = 0;
+  health_ = nullptr;
+  per_site_.clear();
+}
 
 void CollectingCoordinator::OnMessages(SiteContext& ctx,
                                        std::vector<Message> inbox) {
   (void)ctx;
+  if (health_->poisoned()) return;
   for (const Message& m : inbox) {
     Blob::Reader reader(m.payload);
     WireTag tag = GetTag(reader);
@@ -18,8 +30,14 @@ void CollectingCoordinator::OnMessages(SiteContext& ctx,
       continue;  // change flags etc.
     }
     std::vector<std::vector<NodeId>> lists;
-    DGS_CHECK(ReadMatchList(reader, tag, &lists), "corrupt match list");
-    DGS_CHECK(lists.size() == num_query_nodes_, "match list arity mismatch");
+    if (!ReadMatchList(reader, tag, &lists)) {
+      health_->Poison("corrupt match list");
+      return;
+    }
+    if (lists.size() != num_query_nodes_) {
+      health_->Poison("match list arity mismatch");
+      return;
+    }
     per_site_[m.src] = std::move(lists);  // latest report wins
   }
 }
@@ -54,28 +72,45 @@ SimulationResult CollectingCoordinator::BuildResult() const {
   return SimulationResult(std::move(marker), num_global_nodes_);
 }
 
-DgpmWorker::DgpmWorker(const Fragmentation* fragmentation, uint32_t site,
-                       const Pattern* pattern, const DgpmConfig& config,
-                       AlgoCounters* counters)
+DgpmWorker::DgpmWorker(const Fragmentation* fragmentation, uint32_t site)
     : fragmentation_(fragmentation),
-      fragment_(&fragmentation->fragment(site)),
-      pattern_(pattern),
-      config_(config),
-      counters_(counters),
-      engine_(fragment_, pattern, config.incremental) {
+      fragment_(&fragmentation->fragment(site)) {
   in_node_index_.reserve(fragment_->in_nodes.size());
   for (size_t k = 0; k < fragment_->in_nodes.size(); ++k) {
     in_node_index_.insert(fragment_->in_nodes[k], k);
   }
 }
 
+void DgpmWorker::BindQuery(const QueryContext& query) {
+  pattern_ = query.pattern;
+  config_.incremental = query.options.algorithm != Algorithm::kDgpmNoOpt;
+  config_.enable_push = query.options.enable_push;
+  config_.push_threshold = query.options.push_threshold;
+  config_.boolean_only = query.options.boolean_only;
+  counters_ = query.counters;
+  health_ = query.health;
+  engine_.emplace(fragment_, pattern_, config_.incremental);
+  dynamic_consumers_.clear();
+  matches_dirty_ = true;
+}
+
+void DgpmWorker::EndQuery() {
+  pattern_ = nullptr;
+  counters_ = nullptr;
+  health_ = nullptr;
+  engine_.reset();
+  dynamic_consumers_.clear();
+  matches_dirty_ = true;
+}
+
 void DgpmWorker::Setup(SiteContext& ctx) {
-  engine_.Initialize();
+  engine_->Initialize();
   ShipFalses(ctx, /*flag_coordinator=*/false);
   MaybePush(ctx);
 }
 
 void DgpmWorker::OnMessages(SiteContext& ctx, std::vector<Message> inbox) {
+  if (health_->poisoned()) return;
   std::vector<uint64_t> falses;
   for (const Message& m : inbox) {
     if (m.cls == MessageClass::kResult) continue;
@@ -85,16 +120,20 @@ void DgpmWorker::OnMessages(SiteContext& ctx, std::vector<Message> inbox) {
       case WireTag::kFalseVars:
       case WireTag::kFalseVars2: {
         std::vector<uint64_t> keys;
-        DGS_CHECK(ReadFalseVarList(reader, tag, &keys),
-                  "corrupt false-var payload");
+        if (!ReadFalseVarList(reader, tag, &keys)) {
+          health_->Poison("corrupt false-var payload");
+          return;
+        }
         falses.insert(falses.end(), keys.begin(), keys.end());
         break;
       }
       case WireTag::kPushSystem: {
         ReducedSystem reduced;
-        DGS_CHECK(ReducedSystem::Deserialize(reader, &reduced),
-                  "corrupt push payload");
-        std::vector<uint64_t> fresh = engine_.InstallReducedSystem(reduced);
+        if (!ReducedSystem::Deserialize(reader, &reduced)) {
+          health_->Poison("corrupt push payload");
+          return;
+        }
+        std::vector<uint64_t> fresh = engine_->InstallReducedSystem(reduced);
         matches_dirty_ = true;  // installation may refine local candidates
         // Subscribe to the home sites of the newly referenced variables so
         // their falses flow here directly, bypassing the pushing site.
@@ -117,16 +156,20 @@ void DgpmWorker::OnMessages(SiteContext& ctx, std::vector<Message> inbox) {
       }
       case WireTag::kSubscribe: {
         uint32_t n = reader.GetU32();
-        DGS_CHECK(reader.ok() && n <= reader.Remaining() / 4,
-                  "corrupt subscription payload");
+        if (!reader.ok() || n > reader.Remaining() / 4) {
+          health_->Poison("corrupt subscription payload");
+          return;
+        }
         std::vector<uint64_t> known_falses;
         for (uint32_t i = 0; i < n; ++i) {
           NodeId gv = reader.GetU32();
           NodeId lv = fragment_->ToLocal(gv);
-          DGS_CHECK(lv != kInvalidNode && lv < fragment_->num_local,
-                    "subscription for a non-local node");
+          if (lv == kInvalidNode || lv >= fragment_->num_local) {
+            health_->Poison("subscription for a non-local node");
+            return;
+          }
           dynamic_consumers_[lv].insert(m.src);
-          for (NodeId u : engine_.FalseQueryNodesFor(lv)) {
+          for (NodeId u : engine_->FalseQueryNodesFor(lv)) {
             known_falses.push_back(MakeVarKey(u, gv));
           }
         }
@@ -144,13 +187,14 @@ void DgpmWorker::OnMessages(SiteContext& ctx, std::vector<Message> inbox) {
     }
   }
   if (!falses.empty()) {
-    engine_.ApplyRemoteFalses(falses);
+    engine_->ApplyRemoteFalses(falses);
     matches_dirty_ = true;
   }
   ShipFalses(ctx, /*flag_coordinator=*/true);
 }
 
 void DgpmWorker::OnQuiesce(SiteContext& ctx) {
+  if (health_->poisoned()) return;
   if (matches_dirty_) {
     SendMatches(ctx);
     matches_dirty_ = false;
@@ -158,7 +202,7 @@ void DgpmWorker::OnQuiesce(SiteContext& ctx) {
 }
 
 void DgpmWorker::ShipFalses(SiteContext& ctx, bool flag_coordinator) {
-  auto falses = engine_.DrainInNodeFalses();
+  auto falses = engine_->DrainInNodeFalses();
   if (falses.empty()) return;
 
   std::map<uint32_t, std::vector<uint64_t>> by_dst;
@@ -198,9 +242,9 @@ void DgpmWorker::ShipFalses(SiteContext& ctx, bool flag_coordinator) {
 
 void DgpmWorker::MaybePush(SiteContext& ctx) {
   if (!config_.enable_push) return;
-  const size_t undecided_in = engine_.NumUndecidedInNode();
+  const size_t undecided_in = engine_->NumUndecidedInNode();
   if (undecided_in == 0) return;
-  ReducedSystem reduced = engine_.ReduceInNodeEquations();
+  ReducedSystem reduced = engine_->ReduceInNodeEquations();
   if (reduced.TotalUnits() == 0) return;
 
   // Each parent receives only the equations of the in-nodes it consumes
@@ -249,7 +293,7 @@ void DgpmWorker::MaybePush(SiteContext& ctx) {
   }
   if (total_units == 0) return;
 
-  const double benefit = static_cast<double>(engine_.NumUndecidedFrontier()) /
+  const double benefit = static_cast<double>(engine_->NumUndecidedFrontier()) /
                          (static_cast<double>(total_units) *
                           static_cast<double>(undecided_in));
   if (benefit < config_.push_threshold) return;
@@ -267,7 +311,7 @@ void DgpmWorker::MaybePush(SiteContext& ctx) {
 }
 
 void DgpmWorker::SendMatches(SiteContext& ctx) {
-  auto candidates = engine_.LocalCandidates();
+  auto candidates = engine_->LocalCandidates();
   std::vector<std::vector<NodeId>> lists(candidates.size());
   for (NodeId u = 0; u < candidates.size(); ++u) {
     candidates[u].ForEachSet([&](size_t lv) {
@@ -280,29 +324,53 @@ void DgpmWorker::SendMatches(SiteContext& ctx) {
   ctx.Send(ctx.coordinator_id(), MessageClass::kResult, std::move(blob));
 }
 
+namespace {
+
+class DgpmDeployment : public Deployment {
+ public:
+  explicit DgpmDeployment(const Fragmentation* fragmentation)
+      : coordinator_(fragmentation->assignment().size()) {
+    workers_.reserve(fragmentation->NumFragments());
+    for (uint32_t i = 0; i < fragmentation->NumFragments(); ++i) {
+      workers_.push_back(std::make_unique<DgpmWorker>(fragmentation, i));
+    }
+  }
+
+  uint32_t num_workers() const override {
+    return static_cast<uint32_t>(workers_.size());
+  }
+  QuerySiteActor* worker(uint32_t i) override { return workers_[i].get(); }
+  QuerySiteActor* coordinator() override { return &coordinator_; }
+
+  SimulationResult Collect(AlgoCounters* counters) override {
+    for (const auto& w : workers_) {
+      counters->recomputations += w->engine().recompute_count();
+    }
+    return coordinator_.BuildResult();
+  }
+
+ private:
+  std::vector<std::unique_ptr<DgpmWorker>> workers_;
+  CollectingCoordinator coordinator_;
+};
+
+}  // namespace
+
+std::unique_ptr<Deployment> MakeDgpmDeployment(
+    const Fragmentation* fragmentation) {
+  return std::make_unique<DgpmDeployment>(fragmentation);
+}
+
 DistOutcome RunDgpm(const Fragmentation& fragmentation, const Pattern& pattern,
                     const DgpmConfig& config, const ClusterOptions& runtime) {
-  const uint32_t n = fragmentation.NumFragments();
-  const size_t num_global = fragmentation.assignment().size();
-
-  DistOutcome outcome;
-  Cluster cluster(n, runtime);
-  for (uint32_t i = 0; i < n; ++i) {
-    cluster.SetWorker(i, std::make_unique<DgpmWorker>(
-                             &fragmentation, i, &pattern, config,
-                             &outcome.counters));
-  }
-  cluster.SetCoordinator(std::make_unique<CollectingCoordinator>(
-      pattern.NumNodes(), num_global));
-
-  outcome.stats = cluster.Run();
-  for (uint32_t i = 0; i < n; ++i) {
-    outcome.counters.recomputations +=
-        static_cast<DgpmWorker*>(cluster.worker(i))->engine().recompute_count();
-  }
-  outcome.result =
-      static_cast<CollectingCoordinator*>(cluster.coordinator())->BuildResult();
-  return outcome;
+  auto deployment = MakeDgpmDeployment(&fragmentation);
+  QueryOptions options;
+  options.algorithm =
+      config.incremental ? Algorithm::kDgpm : Algorithm::kDgpmNoOpt;
+  options.boolean_only = config.boolean_only;
+  options.enable_push = config.enable_push;
+  options.push_threshold = config.push_threshold;
+  return ServeQueryOnce(*deployment, pattern, options, runtime);
 }
 
 }  // namespace dgs

@@ -15,18 +15,27 @@
 // each consumer at most once, so data shipment is O(|Ef||Vq|) truth values;
 // response time is O(|Vf||Vq|) rounds of local refinement on fragments of
 // size at most |Fm|.
+//
+// Serving lifecycle: the worker and coordinator are QuerySiteActors
+// (core/serving.h). Construction captures graph-side state only (fragment
+// views, the in-node consumer index); BindQuery()/EndQuery() install and
+// drop one query's state, so a MakeDgpmDeployment() stays resident across
+// a query stream (core/engine.h) while RunDgpm() remains the one-shot
+// entry point.
 
 #ifndef DGS_CORE_DGPM_H_
 #define DGS_CORE_DGPM_H_
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <unordered_map>
 
 #include "core/local_engine.h"
 #include "core/metrics.h"
 #include "core/protocol.h"
+#include "core/serving.h"
 #include "partition/fragmentation.h"
 #include "runtime/cluster.h"
 #include "util/flat_hash.h"
@@ -44,9 +53,12 @@ struct DgpmConfig {
 // answer; shared by the dGPM family and dMes. A site may report more than
 // once (it resends whenever refinement continued after a quiescent point);
 // the latest report per site wins.
-class CollectingCoordinator : public SiteActor {
+class CollectingCoordinator : public QuerySiteActor {
  public:
-  CollectingCoordinator(size_t num_query_nodes, size_t num_global_nodes);
+  explicit CollectingCoordinator(size_t num_global_nodes);
+
+  void BindQuery(const QueryContext& query) override;
+  void EndQuery() override;
 
   void OnMessages(SiteContext& ctx, std::vector<Message> inbox) override;
 
@@ -55,48 +67,64 @@ class CollectingCoordinator : public SiteActor {
   SimulationResult BuildResult() const;
 
  private:
-  size_t num_query_nodes_;
   size_t num_global_nodes_;
+  // --- query state ---
+  size_t num_query_nodes_ = 0;
+  RunHealth* health_ = nullptr;
   // Latest per-site match lists (kInvalidNode marks a Boolean-mode hit).
   std::map<uint32_t, std::vector<std::vector<NodeId>>> per_site_;
 };
 
 // One dGPM worker site.
-class DgpmWorker : public SiteActor {
+class DgpmWorker : public QuerySiteActor {
  public:
-  DgpmWorker(const Fragmentation* fragmentation, uint32_t site,
-             const Pattern* pattern, const DgpmConfig& config,
-             AlgoCounters* counters);
+  // Captures the resident graph-side state of `site` (fragment view plus
+  // the in-node consumer index); queries attach via BindQuery.
+  DgpmWorker(const Fragmentation* fragmentation, uint32_t site);
+
+  void BindQuery(const QueryContext& query) override;
+  void EndQuery() override;
 
   void Setup(SiteContext& ctx) override;
   void OnMessages(SiteContext& ctx, std::vector<Message> inbox) override;
   void OnQuiesce(SiteContext& ctx) override;
 
-  const LocalEngine& engine() const { return engine_; }
+  // Valid between BindQuery and EndQuery.
+  const LocalEngine& engine() const { return *engine_; }
 
  private:
   void ShipFalses(SiteContext& ctx, bool flag_coordinator);
   void MaybePush(SiteContext& ctx);
   void SendMatches(SiteContext& ctx);
 
+  // --- deployment state (persists across queries) ---
   const Fragmentation* fragmentation_;
   const Fragment* fragment_;
-  const Pattern* pattern_;
-  DgpmConfig config_;
-  AlgoCounters* counters_;
-  LocalEngine engine_;
   // local in-node id -> index into fragment_->in_nodes / consumers
   // (kInvalidNode is the empty sentinel; local ids never reach it).
   FlatHashMap<NodeId, size_t> in_node_index_;
+
+  // --- query state (BindQuery .. EndQuery) ---
+  const Pattern* pattern_ = nullptr;
+  DgpmConfig config_;
+  AlgoCounters* counters_ = nullptr;
+  RunHealth* health_ = nullptr;
+  std::optional<LocalEngine> engine_;
   // Push subscriptions: local node -> extra consumer sites.
   std::unordered_map<NodeId, std::set<uint32_t>> dynamic_consumers_;
   // Matches changed since the last report to the coordinator.
   bool matches_dirty_ = true;
 };
 
+// Resident dGPM deployment (also serves dGPMNOpt: the ablation is a
+// per-query config, not a different actor set).
+std::unique_ptr<Deployment> MakeDgpmDeployment(
+    const Fragmentation* fragmentation);
+
 // Runs dGPM (or dGPMNOpt via config) end to end on a fragmentation.
 // `runtime` carries the network cost model and the executor width; a bare
 // NetworkModel converts implicitly for callers without threading needs.
+// A corrupt payload surfaces in DistOutcome::health instead of aborting.
 DistOutcome RunDgpm(const Fragmentation& fragmentation, const Pattern& pattern,
                     const DgpmConfig& config,
                     const ClusterOptions& runtime = {});

@@ -6,29 +6,42 @@
 
 namespace dgs {
 
-DgpmDagWorker::DgpmDagWorker(const Fragmentation* fragmentation, uint32_t site,
-                             const Pattern* pattern,
-                             const DgpmDagConfig& config,
-                             AlgoCounters* counters)
+DgpmDagWorker::DgpmDagWorker(const Fragmentation* fragmentation, uint32_t site)
     : fragmentation_(fragmentation),
-      fragment_(&fragmentation->fragment(site)),
-      pattern_(pattern),
-      config_(config),
-      counters_(counters),
-      engine_(fragment_, pattern, /*incremental=*/true) {
+      fragment_(&fragmentation->fragment(site)) {
   in_node_index_.reserve(fragment_->in_nodes.size());
   for (size_t k = 0; k < fragment_->in_nodes.size(); ++k) {
     in_node_index_.insert(fragment_->in_nodes[k], k);
   }
 }
 
+void DgpmDagWorker::BindQuery(const QueryContext& query) {
+  pattern_ = query.pattern;
+  config_.boolean_only = query.options.boolean_only;
+  counters_ = query.counters;
+  health_ = query.health;
+  engine_.emplace(fragment_, pattern_, /*incremental=*/true);
+  buffer_.clear();
+  matches_dirty_ = true;
+}
+
+void DgpmDagWorker::EndQuery() {
+  pattern_ = nullptr;
+  counters_ = nullptr;
+  health_ = nullptr;
+  engine_.reset();
+  buffer_.clear();
+  matches_dirty_ = true;
+}
+
 void DgpmDagWorker::Setup(SiteContext& ctx) {
   (void)ctx;
-  engine_.Initialize();
+  engine_->Initialize();
   BufferFalses();  // shipped at the first rank tick
 }
 
 void DgpmDagWorker::OnMessages(SiteContext& ctx, std::vector<Message> inbox) {
+  if (health_->poisoned()) return;
   std::vector<uint64_t> falses;
   uint32_t tick_rank = 0;
   bool ticked = false;
@@ -39,14 +52,20 @@ void DgpmDagWorker::OnMessages(SiteContext& ctx, std::vector<Message> inbox) {
       case WireTag::kFalseVars:
       case WireTag::kFalseVars2: {
         std::vector<uint64_t> keys;
-        DGS_CHECK(ReadFalseVarList(reader, tag, &keys),
-                  "corrupt false-var payload");
+        if (!ReadFalseVarList(reader, tag, &keys)) {
+          health_->Poison("corrupt false-var payload");
+          return;
+        }
         falses.insert(falses.end(), keys.begin(), keys.end());
         break;
       }
       case WireTag::kTick: {
-        ticked = true;
         tick_rank = reader.GetU32();
+        if (!reader.ok()) {
+          health_->Poison("corrupt rank tick");
+          return;
+        }
+        ticked = true;
         break;
       }
       default:
@@ -54,7 +73,7 @@ void DgpmDagWorker::OnMessages(SiteContext& ctx, std::vector<Message> inbox) {
     }
   }
   if (!falses.empty()) {
-    engine_.ApplyRemoteFalses(falses);
+    engine_->ApplyRemoteFalses(falses);
     matches_dirty_ = true;
     BufferFalses();
   }
@@ -69,6 +88,7 @@ void DgpmDagWorker::OnMessages(SiteContext& ctx, std::vector<Message> inbox) {
 }
 
 void DgpmDagWorker::OnQuiesce(SiteContext& ctx) {
+  if (health_->poisoned()) return;
   if (!buffer_.empty()) {
     // Safety flush; with the rank clock this only fires if the pattern has
     // falses above the final tick (impossible by construction, but false
@@ -84,7 +104,7 @@ void DgpmDagWorker::OnQuiesce(SiteContext& ctx) {
 
 void DgpmDagWorker::BufferFalses() {
   const auto& ranks = pattern_->Ranks();
-  for (const auto& f : engine_.DrainInNodeFalses()) {
+  for (const auto& f : engine_->DrainInNodeFalses()) {
     uint64_t key = MakeVarKey(f.query_node, fragment_->ToGlobal(f.local_node));
     const size_t* idx_ptr = in_node_index_.find(f.local_node);
     DGS_CHECK(idx_ptr != nullptr, "false var for a non-in-node");
@@ -118,7 +138,7 @@ void DgpmDagWorker::ShipUpToRank(SiteContext& ctx, uint32_t max_rank) {
 }
 
 void DgpmDagWorker::SendMatches(SiteContext& ctx) {
-  auto candidates = engine_.LocalCandidates();
+  auto candidates = engine_->LocalCandidates();
   std::vector<std::vector<NodeId>> lists(candidates.size());
   for (NodeId u = 0; u < candidates.size(); ++u) {
     candidates[u].ForEachSet([&](size_t lv) {
@@ -131,12 +151,25 @@ void DgpmDagWorker::SendMatches(SiteContext& ctx) {
   ctx.Send(ctx.coordinator_id(), MessageClass::kResult, std::move(blob));
 }
 
-DgpmDagCoordinator::DgpmDagCoordinator(size_t num_query_nodes,
-                                       size_t num_global_nodes,
-                                       uint32_t num_workers, uint32_t max_rank)
-    : collector_(num_query_nodes, num_global_nodes),
-      num_workers_(num_workers),
-      max_rank_(max_rank) {}
+DgpmDagCoordinator::DgpmDagCoordinator(size_t num_global_nodes,
+                                       uint32_t num_workers)
+    : collector_(num_global_nodes), num_workers_(num_workers) {}
+
+void DgpmDagCoordinator::BindQuery(const QueryContext& query) {
+  collector_.BindQuery(query);
+  health_ = query.health;
+  max_rank_ = query.pattern->MaxRank();
+  current_rank_ = 0;
+  acks_ = 0;
+}
+
+void DgpmDagCoordinator::EndQuery() {
+  collector_.EndQuery();
+  health_ = nullptr;
+  max_rank_ = 0;
+  current_rank_ = 0;
+  acks_ = 0;
+}
 
 void DgpmDagCoordinator::Setup(SiteContext& ctx) {
   if (max_rank_ >= 1) {
@@ -147,6 +180,7 @@ void DgpmDagCoordinator::Setup(SiteContext& ctx) {
 
 void DgpmDagCoordinator::OnMessages(SiteContext& ctx,
                                     std::vector<Message> inbox) {
+  if (health_->poisoned()) return;
   for (Message& m : inbox) {
     Blob::Reader reader(m.payload);
     WireTag tag = GetTag(reader);
@@ -174,6 +208,42 @@ void DgpmDagCoordinator::BroadcastTick(SiteContext& ctx) {
   }
 }
 
+namespace {
+
+class DgpmDagDeployment : public Deployment {
+ public:
+  explicit DgpmDagDeployment(const Fragmentation* fragmentation)
+      : coordinator_(fragmentation->assignment().size(),
+                     fragmentation->NumFragments()) {
+    workers_.reserve(fragmentation->NumFragments());
+    for (uint32_t i = 0; i < fragmentation->NumFragments(); ++i) {
+      workers_.push_back(std::make_unique<DgpmDagWorker>(fragmentation, i));
+    }
+  }
+
+  uint32_t num_workers() const override {
+    return static_cast<uint32_t>(workers_.size());
+  }
+  QuerySiteActor* worker(uint32_t i) override { return workers_[i].get(); }
+  QuerySiteActor* coordinator() override { return &coordinator_; }
+
+  SimulationResult Collect(AlgoCounters* counters) override {
+    (void)counters;
+    return coordinator_.BuildResult();
+  }
+
+ private:
+  std::vector<std::unique_ptr<DgpmDagWorker>> workers_;
+  DgpmDagCoordinator coordinator_;
+};
+
+}  // namespace
+
+std::unique_ptr<Deployment> MakeDgpmDagDeployment(
+    const Fragmentation* fragmentation) {
+  return std::make_unique<DgpmDagDeployment>(fragmentation);
+}
+
 DistOutcome RunDgpmDag(const Fragmentation& fragmentation,
                        const Pattern& pattern, const Graph& g,
                        const DgpmDagConfig& config,
@@ -192,20 +262,11 @@ DistOutcome RunDgpmDag(const Fragmentation& fragmentation,
     return outcome;
   }
 
-  const uint32_t n = fragmentation.NumFragments();
-  DistOutcome outcome;
-  Cluster cluster(n, runtime);
-  for (uint32_t i = 0; i < n; ++i) {
-    cluster.SetWorker(i, std::make_unique<DgpmDagWorker>(
-                             &fragmentation, i, &pattern, config,
-                             &outcome.counters));
-  }
-  cluster.SetCoordinator(std::make_unique<DgpmDagCoordinator>(
-      pattern.NumNodes(), num_global, n, pattern.MaxRank()));
-  outcome.stats = cluster.Run();
-  outcome.result =
-      static_cast<DgpmDagCoordinator*>(cluster.coordinator())->BuildResult();
-  return outcome;
+  auto deployment = MakeDgpmDagDeployment(&fragmentation);
+  QueryOptions options;
+  options.algorithm = Algorithm::kDgpmDag;
+  options.boolean_only = config.boolean_only;
+  return ServeQueryOnce(*deployment, pattern, options, runtime);
 }
 
 }  // namespace dgs

@@ -19,11 +19,18 @@
 // For a DAG data graph G with a cyclic Q, G cannot match Q (some query node
 // on a cycle has no match); RunDgpmDag handles that case without any
 // distributed work. A cyclic Q on a cyclic G is outside dGPMd's scope.
+//
+// Like the rest of the dGPM family the actors are QuerySiteActors: the
+// in-node consumer index is resident, the rank buffers and the engine are
+// per-query (BindQuery/EndQuery), and MakeDgpmDagDeployment() yields the
+// persistent actor set Engine uses to serve DAG queries.
 
 #ifndef DGS_CORE_DGPM_DAG_H_
 #define DGS_CORE_DGPM_DAG_H_
 
 #include <map>
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/dgpm.h"
@@ -35,11 +42,12 @@ struct DgpmDagConfig {
 };
 
 // One dGPMd worker site: like dGPM but with rank-scheduled shipment.
-class DgpmDagWorker : public SiteActor {
+class DgpmDagWorker : public QuerySiteActor {
  public:
-  DgpmDagWorker(const Fragmentation* fragmentation, uint32_t site,
-                const Pattern* pattern, const DgpmDagConfig& config,
-                AlgoCounters* counters);
+  DgpmDagWorker(const Fragmentation* fragmentation, uint32_t site);
+
+  void BindQuery(const QueryContext& query) override;
+  void EndQuery() override;
 
   void Setup(SiteContext& ctx) override;
   void OnMessages(SiteContext& ctx, std::vector<Message> inbox) override;
@@ -51,13 +59,17 @@ class DgpmDagWorker : public SiteActor {
   void ShipUpToRank(SiteContext& ctx, uint32_t max_rank);
   void SendMatches(SiteContext& ctx);
 
+  // --- deployment state (persists across queries) ---
   const Fragmentation* fragmentation_;
   const Fragment* fragment_;
-  const Pattern* pattern_;
-  DgpmDagConfig config_;
-  AlgoCounters* counters_;
-  LocalEngine engine_;
   FlatHashMap<NodeId, size_t> in_node_index_;
+
+  // --- query state (BindQuery .. EndQuery) ---
+  const Pattern* pattern_ = nullptr;
+  DgpmDagConfig config_;
+  AlgoCounters* counters_ = nullptr;
+  RunHealth* health_ = nullptr;
+  std::optional<LocalEngine> engine_;
   // Pending shipments: rank -> destination -> keys.
   std::map<uint32_t, std::map<uint32_t, std::vector<uint64_t>>> buffer_;
   // Matches changed since the last report to the coordinator.
@@ -65,10 +77,12 @@ class DgpmDagWorker : public SiteActor {
 };
 
 // Advances the rank clock and collects the final matches.
-class DgpmDagCoordinator : public SiteActor {
+class DgpmDagCoordinator : public QuerySiteActor {
  public:
-  DgpmDagCoordinator(size_t num_query_nodes, size_t num_global_nodes,
-                     uint32_t num_workers, uint32_t max_rank);
+  DgpmDagCoordinator(size_t num_global_nodes, uint32_t num_workers);
+
+  void BindQuery(const QueryContext& query) override;
+  void EndQuery() override;
 
   void Setup(SiteContext& ctx) override;
   void OnMessages(SiteContext& ctx, std::vector<Message> inbox) override;
@@ -80,10 +94,16 @@ class DgpmDagCoordinator : public SiteActor {
 
   CollectingCoordinator collector_;
   uint32_t num_workers_;
-  uint32_t max_rank_;
+  // --- query state ---
+  RunHealth* health_ = nullptr;
+  uint32_t max_rank_ = 0;
   uint32_t current_rank_ = 0;
   uint32_t acks_ = 0;
 };
+
+// Resident dGPMd deployment.
+std::unique_ptr<Deployment> MakeDgpmDagDeployment(
+    const Fragmentation* fragmentation);
 
 // Runs dGPMd. Requires Q to be a DAG, or G to be a DAG (in which case a
 // cyclic Q yields the empty answer immediately).

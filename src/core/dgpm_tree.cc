@@ -5,18 +5,29 @@
 namespace dgs {
 
 DgpmTreeWorker::DgpmTreeWorker(const Fragmentation* fragmentation,
-                               uint32_t site, const Pattern* pattern,
-                               const DgpmTreeConfig& config,
-                               AlgoCounters* counters)
-    : fragment_(&fragmentation->fragment(site)),
-      pattern_(pattern),
-      config_(config),
-      counters_(counters),
-      engine_(fragment_, pattern, /*incremental=*/true) {}
+                               uint32_t site)
+    : fragment_(&fragmentation->fragment(site)) {}
+
+void DgpmTreeWorker::BindQuery(const QueryContext& query) {
+  pattern_ = query.pattern;
+  config_.boolean_only = query.options.boolean_only;
+  counters_ = query.counters;
+  health_ = query.health;
+  engine_.emplace(fragment_, pattern_, /*incremental=*/true);
+  matches_dirty_ = true;
+}
+
+void DgpmTreeWorker::EndQuery() {
+  pattern_ = nullptr;
+  counters_ = nullptr;
+  health_ = nullptr;
+  engine_.reset();
+  matches_dirty_ = true;
+}
 
 void DgpmTreeWorker::Setup(SiteContext& ctx) {
-  engine_.Initialize();
-  ReducedSystem answer = engine_.ReduceInNodeEquations();
+  engine_->Initialize();
+  ReducedSystem answer = engine_->ReduceInNodeEquations();
   counters_->equation_units += answer.TotalUnits();
   Blob blob;
   PutTag(blob, WireTag::kTreeAnswer);
@@ -28,32 +39,36 @@ void DgpmTreeWorker::Setup(SiteContext& ctx) {
   // all, yet still depends on its virtual children). Encoded as an
   // embedded (tagged) key list so it rides the configured wire format.
   counters_->wire_saved_data_bytes += AppendFalseVarList(
-      blob, engine_.UndecidedFrontierKeys(), ctx.wire_format());
+      blob, engine_->UndecidedFrontierKeys(), ctx.wire_format());
   ctx.Send(ctx.coordinator_id(), MessageClass::kData, std::move(blob));
 }
 
 void DgpmTreeWorker::OnMessages(SiteContext& ctx, std::vector<Message> inbox) {
   (void)ctx;
+  if (health_->poisoned()) return;
   std::vector<uint64_t> falses;
   for (const Message& m : inbox) {
     Blob::Reader reader(m.payload);
     if (GetTag(reader) != WireTag::kTreeValues) continue;
     const WireTag inner = GetTag(reader);
     std::vector<uint64_t> keys;
-    DGS_CHECK(ReadFalseVarList(reader, inner, &keys),
-              "corrupt tree-values payload");
+    if (!ReadFalseVarList(reader, inner, &keys)) {
+      health_->Poison("corrupt tree-values payload");
+      return;
+    }
     falses.insert(falses.end(), keys.begin(), keys.end());
   }
   if (!falses.empty()) {
-    engine_.ApplyRemoteFalses(falses);
+    engine_->ApplyRemoteFalses(falses);
     matches_dirty_ = true;
   }
   // Locally derived in-node falses need no further shipping: the
   // coordinator already resolved every boundary variable globally.
-  engine_.DrainInNodeFalses();
+  engine_->DrainInNodeFalses();
 }
 
 void DgpmTreeWorker::OnQuiesce(SiteContext& ctx) {
+  if (health_->poisoned()) return;
   if (matches_dirty_) {
     SendMatches(ctx);
     matches_dirty_ = false;
@@ -61,7 +76,7 @@ void DgpmTreeWorker::OnQuiesce(SiteContext& ctx) {
 }
 
 void DgpmTreeWorker::SendMatches(SiteContext& ctx) {
-  auto candidates = engine_.LocalCandidates();
+  auto candidates = engine_->LocalCandidates();
   std::vector<std::vector<NodeId>> lists(candidates.size());
   for (NodeId u = 0; u < candidates.size(); ++u) {
     candidates[u].ForEachSet([&](size_t lv) {
@@ -74,25 +89,45 @@ void DgpmTreeWorker::SendMatches(SiteContext& ctx) {
   ctx.Send(ctx.coordinator_id(), MessageClass::kResult, std::move(blob));
 }
 
-DgpmTreeCoordinator::DgpmTreeCoordinator(size_t num_query_nodes,
-                                         size_t num_global_nodes,
-                                         uint32_t num_workers,
-                                         AlgoCounters* counters)
-    : collector_(num_query_nodes, num_global_nodes),
-      num_workers_(num_workers),
-      counters_(counters),
-      answers_(num_workers),
-      interest_(num_workers) {}
+DgpmTreeCoordinator::DgpmTreeCoordinator(size_t num_global_nodes,
+                                         uint32_t num_workers)
+    : collector_(num_global_nodes), num_workers_(num_workers) {}
+
+void DgpmTreeCoordinator::BindQuery(const QueryContext& query) {
+  collector_.BindQuery(query);
+  counters_ = query.counters;
+  health_ = query.health;
+  answers_received_ = 0;
+  answers_.assign(num_workers_, ReducedSystem{});
+  interest_.assign(num_workers_, {});
+  solved_ = false;
+}
+
+void DgpmTreeCoordinator::EndQuery() {
+  collector_.EndQuery();
+  counters_ = nullptr;
+  health_ = nullptr;
+  answers_received_ = 0;
+  answers_.clear();
+  interest_.clear();
+  solved_ = false;
+}
 
 void DgpmTreeCoordinator::OnMessages(SiteContext& ctx,
                                      std::vector<Message> inbox) {
+  if (health_->poisoned()) return;
   for (Message& m : inbox) {
     Blob::Reader reader(m.payload);
     WireTag tag = GetTag(reader);
     if (tag == WireTag::kTreeAnswer) {
-      DGS_CHECK(m.src < num_workers_, "tree answer from unknown site");
-      DGS_CHECK(ReducedSystem::Deserialize(reader, &answers_[m.src]),
-                "corrupt tree-answer payload");
+      if (m.src >= num_workers_) {
+        health_->Poison("tree answer from unknown site");
+        return;
+      }
+      if (!ReducedSystem::Deserialize(reader, &answers_[m.src])) {
+        health_->Poison("corrupt tree-answer payload");
+        return;
+      }
       for (const ReducedEntry& e : answers_[m.src].entries) {
         interest_[m.src].push_back(e.key);
         for (const auto& g : e.groups) {
@@ -103,8 +138,10 @@ void DgpmTreeCoordinator::OnMessages(SiteContext& ctx,
       // reduced system.
       const WireTag inner = GetTag(reader);
       std::vector<uint64_t> frontier;
-      DGS_CHECK(ReadFalseVarList(reader, inner, &frontier),
-                "corrupt frontier registration payload");
+      if (!ReadFalseVarList(reader, inner, &frontier)) {
+        health_->Poison("corrupt frontier registration payload");
+        return;
+      }
       interest_[m.src].insert(interest_[m.src].end(), frontier.begin(),
                               frontier.end());
       ++answers_received_;
@@ -180,24 +217,50 @@ void DgpmTreeCoordinator::Solve(SiteContext& ctx) {
   }
 }
 
+namespace {
+
+class DgpmTreeDeployment : public Deployment {
+ public:
+  explicit DgpmTreeDeployment(const Fragmentation* fragmentation)
+      : coordinator_(fragmentation->assignment().size(),
+                     fragmentation->NumFragments()) {
+    workers_.reserve(fragmentation->NumFragments());
+    for (uint32_t i = 0; i < fragmentation->NumFragments(); ++i) {
+      workers_.push_back(std::make_unique<DgpmTreeWorker>(fragmentation, i));
+    }
+  }
+
+  uint32_t num_workers() const override {
+    return static_cast<uint32_t>(workers_.size());
+  }
+  QuerySiteActor* worker(uint32_t i) override { return workers_[i].get(); }
+  QuerySiteActor* coordinator() override { return &coordinator_; }
+
+  SimulationResult Collect(AlgoCounters* counters) override {
+    (void)counters;
+    return coordinator_.BuildResult();
+  }
+
+ private:
+  std::vector<std::unique_ptr<DgpmTreeWorker>> workers_;
+  DgpmTreeCoordinator coordinator_;
+};
+
+}  // namespace
+
+std::unique_ptr<Deployment> MakeDgpmTreeDeployment(
+    const Fragmentation* fragmentation) {
+  return std::make_unique<DgpmTreeDeployment>(fragmentation);
+}
+
 DistOutcome RunDgpmTree(const Fragmentation& fragmentation,
                         const Pattern& pattern, const DgpmTreeConfig& config,
                         const ClusterOptions& runtime) {
-  const uint32_t n = fragmentation.NumFragments();
-  const size_t num_global = fragmentation.assignment().size();
-  DistOutcome outcome;
-  Cluster cluster(n, runtime);
-  for (uint32_t i = 0; i < n; ++i) {
-    cluster.SetWorker(i, std::make_unique<DgpmTreeWorker>(
-                             &fragmentation, i, &pattern, config,
-                             &outcome.counters));
-  }
-  cluster.SetCoordinator(std::make_unique<DgpmTreeCoordinator>(
-      pattern.NumNodes(), num_global, n, &outcome.counters));
-  outcome.stats = cluster.Run();
-  outcome.result = static_cast<DgpmTreeCoordinator*>(cluster.coordinator())
-                       ->BuildResult();
-  return outcome;
+  auto deployment = MakeDgpmTreeDeployment(&fragmentation);
+  QueryOptions options;
+  options.algorithm = Algorithm::kDgpmTree;
+  options.boolean_only = config.boolean_only;
+  return ServeQueryOnce(*deployment, pattern, options, runtime);
 }
 
 }  // namespace dgs

@@ -17,10 +17,15 @@
 // solve handles cyclic equation systems); only the size bounds rely on the
 // tree shape. The public API enforces the tree precondition; tests exercise
 // the generalized behaviour directly.
+//
+// The actors follow the QuerySiteActor lifecycle (core/serving.h);
+// MakeDgpmTreeDeployment() yields the persistent actor set for serving.
 
 #ifndef DGS_CORE_DGPM_TREE_H_
 #define DGS_CORE_DGPM_TREE_H_
 
+#include <memory>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -32,11 +37,12 @@ struct DgpmTreeConfig {
   bool boolean_only = false;
 };
 
-class DgpmTreeWorker : public SiteActor {
+class DgpmTreeWorker : public QuerySiteActor {
  public:
-  DgpmTreeWorker(const Fragmentation* fragmentation, uint32_t site,
-                 const Pattern* pattern, const DgpmTreeConfig& config,
-                 AlgoCounters* counters);
+  DgpmTreeWorker(const Fragmentation* fragmentation, uint32_t site);
+
+  void BindQuery(const QueryContext& query) override;
+  void EndQuery() override;
 
   void Setup(SiteContext& ctx) override;
   void OnMessages(SiteContext& ctx, std::vector<Message> inbox) override;
@@ -45,18 +51,23 @@ class DgpmTreeWorker : public SiteActor {
  private:
   void SendMatches(SiteContext& ctx);
 
+  // --- deployment state ---
   const Fragment* fragment_;
-  const Pattern* pattern_;
+  // --- query state ---
+  const Pattern* pattern_ = nullptr;
   DgpmTreeConfig config_;
-  AlgoCounters* counters_;
-  LocalEngine engine_;
+  AlgoCounters* counters_ = nullptr;
+  RunHealth* health_ = nullptr;
+  std::optional<LocalEngine> engine_;
   bool matches_dirty_ = true;
 };
 
-class DgpmTreeCoordinator : public SiteActor {
+class DgpmTreeCoordinator : public QuerySiteActor {
  public:
-  DgpmTreeCoordinator(size_t num_query_nodes, size_t num_global_nodes,
-                      uint32_t num_workers, AlgoCounters* counters);
+  DgpmTreeCoordinator(size_t num_global_nodes, uint32_t num_workers);
+
+  void BindQuery(const QueryContext& query) override;
+  void EndQuery() override;
 
   void OnMessages(SiteContext& ctx, std::vector<Message> inbox) override;
 
@@ -67,12 +78,18 @@ class DgpmTreeCoordinator : public SiteActor {
 
   CollectingCoordinator collector_;
   uint32_t num_workers_;
-  AlgoCounters* counters_;
+  // --- query state ---
+  AlgoCounters* counters_ = nullptr;
+  RunHealth* health_ = nullptr;
   uint32_t answers_received_ = 0;
   std::vector<ReducedSystem> answers_;        // per site
   std::vector<std::vector<uint64_t>> interest_;  // keys each site cares about
   bool solved_ = false;
 };
+
+// Resident dGPMt deployment.
+std::unique_ptr<Deployment> MakeDgpmTreeDeployment(
+    const Fragmentation* fragmentation);
 
 // Runs dGPMt end to end. The caller is responsible for the tree
 // precondition when the Corollary 4 bounds are desired; the algorithm

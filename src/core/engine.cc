@@ -1,0 +1,279 @@
+#include "core/engine.h"
+
+#include <utility>
+
+#include "graph/algorithms.h"
+#include "util/timer.h"
+
+namespace dgs {
+
+const char* AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kDgpm:
+      return "dGPM";
+    case Algorithm::kDgpmNoOpt:
+      return "dGPMNOpt";
+    case Algorithm::kDgpmDag:
+      return "dGPMd";
+    case Algorithm::kDgpmTree:
+      return "dGPMt";
+    case Algorithm::kMatch:
+      return "Match";
+    case Algorithm::kDisHhk:
+      return "disHHK";
+    case Algorithm::kDMes:
+      return "dMes";
+    case Algorithm::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+DistOutcome ServeQueryOnce(Deployment& deployment, const Pattern& pattern,
+                           const QueryOptions& options,
+                           const ClusterOptions& runtime) {
+  DistOutcome outcome;
+  RunHealth health;
+
+  QueryContext query;
+  query.pattern = &pattern;
+  query.counters = &outcome.counters;
+  query.health = &health;
+  query.options = options;
+
+  Cluster cluster(deployment.num_workers(), runtime);
+  deployment.BindQuery(query);
+  BindToCluster(cluster, deployment);
+  outcome.stats = cluster.Run();
+  if (!health.poisoned()) {
+    outcome.result = deployment.Collect(&outcome.counters);
+  }
+  outcome.health = health.ToStatus();
+  deployment.EndQuery();
+  return outcome;
+}
+
+Engine::Engine(const Graph* g, std::optional<Fragmentation> owned,
+               const Fragmentation* frag, const EngineOptions& options)
+    : graph_(g),
+      owned_frag_(std::move(owned)),
+      frag_(owned_frag_.has_value() ? &*owned_frag_ : frag),
+      options_(options),
+      cluster_(frag_->NumFragments(), options.ToClusterOptions()) {}
+
+StatusOr<std::unique_ptr<Engine>> Engine::Create(
+    const Graph& g, const std::vector<uint32_t>& assignment,
+    uint32_t num_fragments, const EngineOptions& options) {
+  WallTimer timer;
+  auto fragmentation = Fragmentation::Create(g, assignment, num_fragments);
+  if (!fragmentation.ok()) return fragmentation.status();
+  std::unique_ptr<Engine> engine(new Engine(
+      &g, std::move(fragmentation).value(), nullptr, options));
+  engine->stats_.deploy_seconds = timer.ElapsedSeconds();
+  return engine;
+}
+
+StatusOr<std::unique_ptr<Engine>> Engine::Create(
+    const Graph& g, Fragmentation fragmentation,
+    const EngineOptions& options) {
+  WallTimer timer;
+  std::unique_ptr<Engine> engine(
+      new Engine(&g, std::move(fragmentation), nullptr, options));
+  engine->stats_.deploy_seconds = timer.ElapsedSeconds();
+  return engine;
+}
+
+StatusOr<std::unique_ptr<Engine>> Engine::Create(
+    const Graph& g, const Fragmentation* fragmentation,
+    const EngineOptions& options) {
+  if (fragmentation == nullptr) {
+    return Status::InvalidArgument("fragmentation must not be null");
+  }
+  WallTimer timer;
+  std::unique_ptr<Engine> engine(
+      new Engine(&g, std::nullopt, fragmentation, options));
+  engine->stats_.deploy_seconds = timer.ElapsedSeconds();
+  return engine;
+}
+
+bool Engine::GraphIsForest() {
+  if (!forest_fact_.has_value()) forest_fact_ = IsDownwardForest(*graph_);
+  return *forest_fact_;
+}
+
+bool Engine::GraphIsAcyclic() {
+  if (!acyclic_fact_.has_value()) acyclic_fact_ = IsAcyclic(*graph_);
+  return *acyclic_fact_;
+}
+
+Algorithm Engine::ResolveAlgorithm(const Pattern& q, Algorithm requested) {
+  if (requested != Algorithm::kAuto) return requested;
+  // Prefer the specialized algorithms with the strongest bounds (Table 1):
+  // trees, then DAGs, then the general partition-bounded one.
+  if (GraphIsForest()) return Algorithm::kDgpmTree;
+  if (q.IsDag() || GraphIsAcyclic()) return Algorithm::kDgpmDag;
+  return Algorithm::kDgpm;
+}
+
+Deployment& Engine::DeploymentFor(Algorithm algorithm) {
+  FamilySlot slot = kSlotDgpm;
+  switch (algorithm) {
+    case Algorithm::kDgpm:
+    case Algorithm::kDgpmNoOpt:
+      slot = kSlotDgpm;
+      break;
+    case Algorithm::kDgpmDag:
+      slot = kSlotDag;
+      break;
+    case Algorithm::kDgpmTree:
+      slot = kSlotTree;
+      break;
+    case Algorithm::kMatch:
+      slot = kSlotMatch;
+      break;
+    case Algorithm::kDisHhk:
+      slot = kSlotDisHhk;
+      break;
+    case Algorithm::kDMes:
+      slot = kSlotDMes;
+      break;
+    case Algorithm::kAuto:
+      DGS_CHECK(false, "kAuto must be resolved before deployment lookup");
+      break;
+  }
+  std::unique_ptr<Deployment>& deployment = deployments_[slot];
+  if (deployment == nullptr) {
+    switch (slot) {
+      case kSlotDgpm:
+        deployment = MakeDgpmDeployment(frag_);
+        break;
+      case kSlotDag:
+        deployment = MakeDgpmDagDeployment(frag_);
+        break;
+      case kSlotTree:
+        deployment = MakeDgpmTreeDeployment(frag_);
+        break;
+      case kSlotMatch:
+        deployment = MakeMatchDeployment(frag_);
+        break;
+      case kSlotDisHhk:
+        deployment = MakeDisHhkDeployment(frag_);
+        break;
+      case kSlotDMes:
+        deployment = MakeDMesDeployment(frag_);
+        break;
+      case kNumFamilySlots:
+        break;
+    }
+  }
+  return *deployment;
+}
+
+StatusOr<DistOutcome> Engine::Match(const Pattern& q,
+                                    const QueryOptions& options) {
+  if (q.NumNodes() == 0) {
+    ++stats_.queries_failed;
+    return Status::InvalidArgument("pattern must have at least one node");
+  }
+  if (q.NumNodes() >= (1u << 16)) {
+    ++stats_.queries_failed;
+    return Status::InvalidArgument("patterns are limited to 65535 nodes");
+  }
+
+  const Algorithm algorithm = ResolveAlgorithm(q, options.algorithm);
+  switch (algorithm) {
+    case Algorithm::kDgpm:
+    case Algorithm::kDgpmNoOpt:
+    case Algorithm::kDgpmDag:
+    case Algorithm::kDgpmTree:
+    case Algorithm::kMatch:
+    case Algorithm::kDisHhk:
+    case Algorithm::kDMes:
+      break;
+    case Algorithm::kAuto:  // resolved above; out-of-range casts land here
+    default:
+      ++stats_.queries_failed;
+      return Status::Internal("unhandled algorithm");
+  }
+
+  // Structural preconditions (Section 5). kAuto never fails these: it only
+  // dispatches to a specialized algorithm when the structure fits.
+  if (algorithm == Algorithm::kDgpmTree && !GraphIsForest()) {
+    ++stats_.queries_failed;
+    return Status::FailedPrecondition(
+        "dGPMt requires a tree-shaped (downward forest) data graph");
+  }
+  if (algorithm == Algorithm::kDgpmDag && !q.IsDag()) {
+    if (!GraphIsAcyclic()) {
+      ++stats_.queries_failed;
+      return Status::FailedPrecondition(
+          "dGPMd requires a DAG pattern or a DAG data graph");
+    }
+    // A cyclic pattern cannot match an acyclic graph: some query node on a
+    // cycle would need an infinite descending chain of matches. Answered
+    // from the deployment without any distributed work.
+    const size_t num_global = frag_->assignment().size();
+    DistOutcome outcome;
+    outcome.result = SimulationResult(
+        std::vector<DynamicBitset>(q.NumNodes(), DynamicBitset(num_global)),
+        num_global);
+    ++stats_.queries_served;
+    return outcome;
+  }
+
+  Deployment& deployment = DeploymentFor(algorithm);
+
+  DistOutcome outcome;
+  RunHealth health;
+  QueryContext query;
+  query.pattern = &q;
+  query.counters = &outcome.counters;
+  query.health = &health;
+  query.options = options;
+  query.options.algorithm = algorithm;
+  // Push is a kDgpm optimization; the ablation and the specialized
+  // algorithms run without it (mirrors the one-shot API's behavior).
+  query.options.enable_push =
+      options.enable_push && algorithm == Algorithm::kDgpm;
+
+  deployment.BindQuery(query);
+  BindToCluster(cluster_, deployment);
+  outcome.stats = cluster_.Run();  // Run starts from a clean slate itself
+  const bool poisoned = health.poisoned();
+  if (!poisoned) outcome.result = deployment.Collect(&outcome.counters);
+  deployment.EndQuery();
+
+  if (poisoned) {
+    ++stats_.queries_failed;
+    return health.ToStatus();
+  }
+  ++stats_.queries_served;
+  stats_.cumulative.Accumulate(outcome.stats);
+  stats_.counters.Accumulate(outcome.counters);
+  return outcome;
+}
+
+BatchOutcome Engine::MatchBatch(std::span<const Pattern> queries,
+                                const QueryOptions& options) {
+  BatchOutcome batch;
+  batch.queries.reserve(queries.size());
+  WallTimer timer;
+  for (const Pattern& q : queries) {
+    BatchQueryResult entry;
+    auto result = Match(q, options);
+    if (result.ok()) {
+      entry.outcome = std::move(result).value();
+      batch.cumulative.Accumulate(entry.outcome.stats);
+      batch.counters.Accumulate(entry.outcome.counters);
+      ++batch.succeeded;
+    } else {
+      entry.status = result.status();
+      ++batch.failed;
+    }
+    batch.queries.push_back(std::move(entry));
+  }
+  batch.wall_seconds = timer.ElapsedSeconds();
+  return batch;
+}
+
+}  // namespace dgs

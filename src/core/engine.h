@@ -1,0 +1,184 @@
+// dgs::Engine — deploy-once / query-many serving of distributed graph
+// simulation.
+//
+// The paper's deployment model (Section 2.2) fragments the data graph G
+// over sites ONCE; pattern queries then arrive as a stream against the
+// resident fragmentation. Engine is that model as an API, with the two
+// phases priced separately:
+//
+//   DEPLOYMENT (Engine::Create) — pays everything that depends only on
+//   (G, assignment, EngineOptions): building or adopting the
+//   Fragmentation, the cluster runtime (thread pool, pooled per-round
+//   outbox buffers), the per-site resident actors of each algorithm
+//   family (fragment views, in-node consumer indexes, label indexes,
+//   cached fragment wire encodings), and the structure facts used by
+//   Algorithm::kAuto (is G a downward forest / a DAG — computed lazily
+//   and memoized). ServingStats::deploy_seconds records the cost.
+//
+//   QUERY (Engine::Match / Engine::MatchBatch) — pays only what depends
+//   on the pattern: the actors are re-bound to the query
+//   (QuerySiteActor::BindQuery), the cluster re-runs over the resident
+//   state, the result is collected, and EndQuery drops the per-query
+//   state again. No fragmentation build, no thread-pool spawn, no
+//   per-site index reconstruction.
+//
+// Lifecycle and lifetime:
+//
+//   dgs::Graph g = ...;
+//   auto engine = dgs::Engine::Create(g, assignment, 8, dgs::EngineOptions{});
+//   if (!engine.ok()) ...;
+//   for (const dgs::Pattern& q : stream) {
+//     auto outcome = (*engine)->Match(q);        // QueryOptions{} = kAuto
+//     if (!outcome.ok()) continue;               // engine stays usable
+//     outcome->result.Matches(u);                // Q(G)
+//     outcome->data_shipment_bytes();            // DS, this query
+//   }
+//   (*engine)->serving_stats();                  // cumulative + deploy cost
+//
+// `g` must outlive the engine (the kAuto/dGPMd structure facts read it
+// lazily); a borrowed Fragmentation (the const-reference overload) must
+// outlive it too. Engines are not movable or copyable — resident actors
+// hold stable pointers into the deployment — so Create returns a
+// unique_ptr. An Engine is not thread-safe: serve queries from one thread
+// (intra-query parallelism comes from EngineOptions::num_threads).
+//
+// Failure containment: a query that fails — invalid pattern, an
+// algorithm's structural precondition, or a run poisoned by a corrupt
+// payload (RunHealth, surfaced as a DataLoss Status) — leaves the
+// deployment intact; the next Match starts from a clean bind.
+//
+// DistributedMatch (core/api.h) remains the one-shot convenience wrapper:
+// it builds a temporary Engine, serves the single query, and tears it
+// down, so both paths produce bit-identical results and identical
+// message/byte accounting.
+
+#ifndef DGS_CORE_ENGINE_H_
+#define DGS_CORE_ENGINE_H_
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/baselines.h"
+#include "core/dgpm.h"
+#include "core/dgpm_dag.h"
+#include "core/dgpm_tree.h"
+#include "core/metrics.h"
+#include "core/serving.h"
+#include "graph/graph.h"
+#include "graph/pattern.h"
+#include "partition/fragmentation.h"
+#include "util/status.h"
+
+namespace dgs {
+
+// Cumulative serving metrics of one Engine.
+struct ServingStats {
+  // Wall-clock cost of Engine::Create (fragmentation build + deployment).
+  double deploy_seconds = 0;
+  // Successful / failed Match calls (failed = error Status returned).
+  uint64_t queries_served = 0;
+  uint64_t queries_failed = 0;
+  // Summed over the successful queries.
+  RunStats cumulative;
+  AlgoCounters counters;
+};
+
+// One query of a MatchBatch stream: its Status, and the outcome when ok.
+struct BatchQueryResult {
+  Status status;
+  DistOutcome outcome;  // meaningful iff status.ok()
+};
+
+// Outcome of Engine::MatchBatch: per-query results in stream order plus
+// the cumulative accounting of the successful ones.
+struct BatchOutcome {
+  std::vector<BatchQueryResult> queries;
+  RunStats cumulative;
+  AlgoCounters counters;
+  uint64_t succeeded = 0;
+  uint64_t failed = 0;
+  // End-to-end wall time of serving the stream (queries only; deployment
+  // cost lives in ServingStats::deploy_seconds).
+  double wall_seconds = 0;
+};
+
+class Engine {
+ public:
+  // Fragments g according to `assignment` and deploys it. Fails with
+  // InvalidArgument/OutOfRange on malformed assignments.
+  static StatusOr<std::unique_ptr<Engine>> Create(
+      const Graph& g, const std::vector<uint32_t>& assignment,
+      uint32_t num_fragments, const EngineOptions& options = {});
+
+  // Adopts an already-built fragmentation (moved into the engine).
+  static StatusOr<std::unique_ptr<Engine>> Create(
+      const Graph& g, Fragmentation fragmentation,
+      const EngineOptions& options = {});
+
+  // Borrows an already-built fragmentation; it must outlive the engine.
+  static StatusOr<std::unique_ptr<Engine>> Create(
+      const Graph& g, const Fragmentation* fragmentation,
+      const EngineOptions& options = {});
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  // Serves one pattern query over the resident deployment. Fails with
+  // InvalidArgument on malformed patterns, FailedPrecondition when the
+  // requested algorithm's structural requirements are not met (kDgpmDag
+  // with cyclic Q and cyclic G; kDgpmTree on non-trees), and DataLoss
+  // when a corrupt payload poisoned the run. The engine stays usable
+  // after any failure.
+  StatusOr<DistOutcome> Match(const Pattern& q,
+                              const QueryOptions& options = {});
+
+  // Serves a query stream, accumulating per-query and cumulative metrics.
+  // Individual failures are recorded per query; the stream continues.
+  BatchOutcome MatchBatch(std::span<const Pattern> queries,
+                          const QueryOptions& options = {});
+
+  const Fragmentation& fragmentation() const { return *frag_; }
+  const EngineOptions& options() const { return options_; }
+  const ServingStats& serving_stats() const { return stats_; }
+  uint32_t NumSites() const { return frag_->NumFragments(); }
+
+ private:
+  // Index into deployments_: the dGPM slot serves both kDgpm and
+  // kDgpmNoOpt (the ablation differs per query, not per deployment).
+  enum FamilySlot {
+    kSlotDgpm = 0,
+    kSlotDag,
+    kSlotTree,
+    kSlotMatch,
+    kSlotDisHhk,
+    kSlotDMes,
+    kNumFamilySlots,
+  };
+
+  Engine(const Graph* g, std::optional<Fragmentation> owned,
+         const Fragmentation* frag, const EngineOptions& options);
+
+  // Resolves kAuto by graph/pattern structure (Table 1 hierarchy).
+  Algorithm ResolveAlgorithm(const Pattern& q, Algorithm requested);
+  // Lazily computed, memoized structure facts of the deployed graph.
+  bool GraphIsForest();
+  bool GraphIsAcyclic();
+  // Lazily built resident actor set of the algorithm's family.
+  Deployment& DeploymentFor(Algorithm algorithm);
+
+  const Graph* graph_;
+  std::optional<Fragmentation> owned_frag_;  // engaged when the engine owns
+  const Fragmentation* frag_;                // always valid
+  EngineOptions options_;
+  Cluster cluster_;
+  std::optional<bool> forest_fact_;
+  std::optional<bool> acyclic_fact_;
+  std::unique_ptr<Deployment> deployments_[kNumFamilySlots];
+  ServingStats stats_;
+};
+
+}  // namespace dgs
+
+#endif  // DGS_CORE_ENGINE_H_

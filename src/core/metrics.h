@@ -10,6 +10,7 @@
 
 #include "runtime/cluster.h"
 #include "simulation/simulation.h"
+#include "util/status.h"
 
 namespace dgs {
 
@@ -34,15 +35,31 @@ struct AlgoCounters {
   AlgoCounters() = default;
   AlgoCounters(const AlgoCounters& other) { *this = other; }
   AlgoCounters& operator=(const AlgoCounters& other) {
-    vars_shipped = other.vars_shipped.load();
-    push_count = other.push_count.load();
-    equation_units = other.equation_units.load();
-    recomputations = other.recomputations.load();
-    supersteps = other.supersteps.load();
-    wire_saved_data_bytes = other.wire_saved_data_bytes.load();
-    wire_saved_control_bytes = other.wire_saved_control_bytes.load();
-    wire_saved_result_bytes = other.wire_saved_result_bytes.load();
+    ForEachField(*this, other,
+                 [](auto& dst, const auto& src) { dst = src.load(); });
     return *this;
+  }
+
+  // Adds another run's sums into this one (query-stream accounting).
+  void Accumulate(const AlgoCounters& other) {
+    ForEachField(*this, other,
+                 [](auto& dst, const auto& src) { dst += src.load(); });
+  }
+
+ private:
+  // The single field list behind copy and accumulate — a new counter only
+  // needs to be added here (and declared above).
+  template <typename Fn>
+  static void ForEachField(AlgoCounters& dst, const AlgoCounters& src,
+                           Fn fn) {
+    fn(dst.vars_shipped, src.vars_shipped);
+    fn(dst.push_count, src.push_count);
+    fn(dst.equation_units, src.equation_units);
+    fn(dst.recomputations, src.recomputations);
+    fn(dst.supersteps, src.supersteps);
+    fn(dst.wire_saved_data_bytes, src.wire_saved_data_bytes);
+    fn(dst.wire_saved_control_bytes, src.wire_saved_control_bytes);
+    fn(dst.wire_saved_result_bytes, src.wire_saved_result_bytes);
   }
 };
 
@@ -50,6 +67,15 @@ struct DistOutcome {
   SimulationResult result;
   RunStats stats;
   AlgoCounters counters;
+  // Wire health of the run. A corrupt or truncated payload no longer
+  // aborts the process: the site actors poison the run (see RunHealth in
+  // core/serving.h), the cluster drains, and the failure surfaces here as
+  // a DataLoss status with `result` left empty. Engine::Match converts a
+  // poisoned outcome into an error Status and stays usable for the next
+  // query.
+  Status health;
+
+  bool poisoned() const { return !health.ok(); }
 
   // Convenience accessors matching the paper's metric names.
   double response_seconds() const { return stats.response_seconds; }

@@ -1,0 +1,211 @@
+// Query-serving vocabulary shared by the distributed algorithms and the
+// resident Engine (core/engine.h).
+//
+// The paper's deployment model — and the ROADMAP north star — is
+// deploy-once / query-many: the data graph G is fragmented over sites
+// once, then serves a stream of pattern queries. This header separates
+// the two phases at the type level:
+//
+//   EngineOptions   per-DEPLOYMENT knobs: executor width, network cost
+//                   model, wire format. Fixed for the lifetime of an
+//                   Engine / Cluster.
+//   QueryOptions    per-QUERY knobs: algorithm (incl. kAuto structure
+//                   dispatch), Boolean-only mode, the dGPM push
+//                   optimization parameters.
+//
+// and gives the site actors a matching lifecycle:
+//
+//   QuerySiteActor  a SiteActor that serves many queries over resident
+//                   graph-side state. BindQuery() installs one query's
+//                   state (pattern, counters, health, options), the
+//                   cluster Run()s, EndQuery() drops the per-query state
+//                   again. Members that depend only on the fragment —
+//                   in-node indexes, label indexes, cached fragment
+//                   encodings, buffer capacity — persist across queries.
+//
+//   Deployment      one algorithm family resident over a fragmentation:
+//                   the persistent workers plus coordinator, with the
+//                   family-specific result collection. Built once (per
+//                   Engine, per family) and re-bound per query.
+//
+//   RunHealth       per-run poison flag. A corrupt or truncated payload
+//                   used to be a fatal DGS_CHECK inside the actors; they
+//                   now poison the run instead: every actor of the run
+//                   drains silently, the cluster reaches quiescence, and
+//                   the caller surfaces a DataLoss Status while the
+//                   deployment stays usable for the next query.
+
+#ifndef DGS_CORE_SERVING_H_
+#define DGS_CORE_SERVING_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+#include "graph/pattern.h"
+#include "runtime/cluster.h"
+#include "util/status.h"
+
+namespace dgs {
+
+enum class Algorithm {
+  kDgpm,       // Section 4: partition bounded, incremental + push
+  kDgpmNoOpt,  // dGPMNOpt ablation: no incremental evaluation, no push
+  kDgpmDag,    // Section 5.1: rank-scheduled batching (DAG Q or DAG G)
+  kDgpmTree,   // Section 5.2: two-round coordinator algorithm (tree G)
+  kMatch,      // ship-everything baseline
+  kDisHhk,     // Ma et al. [25]
+  kDMes,       // vertex-centric / Pregel-style
+  kAuto,       // structure dispatch: tree G -> dGPMt, DAG Q or DAG G ->
+               // dGPMd, otherwise dGPM (the paper's Table 1 hierarchy)
+};
+
+const char* AlgorithmName(Algorithm algorithm);
+
+// Per-deployment configuration: everything that shapes the resident
+// cluster rather than an individual query.
+struct EngineOptions {
+  // Network cost model added to the BSP critical path of every query.
+  NetworkModel network;
+  // Executor width for the cluster runtime: 1 = sequential reference mode,
+  // 0 = all hardware threads. Results and message accounting are identical
+  // for every value (see runtime/cluster.h).
+  uint32_t num_threads = 1;
+  // Wire format for the dominant payloads (truth values, match lists).
+  // kV2Delta (default) delta-encodes them and never ships more bytes than
+  // kV1Fixed; simulation results and message counts are identical for both
+  // (see runtime/message.h and core/protocol.h).
+  WireFormat wire_format = WireFormat::kV2Delta;
+
+  ClusterOptions ToClusterOptions() const {
+    ClusterOptions runtime(network);
+    runtime.num_threads = num_threads;
+    runtime.wire_format = wire_format;
+    return runtime;
+  }
+};
+
+// Per-query configuration. The default algorithm is kAuto: a serving
+// engine picks the strongest applicable algorithm per query (Table 1).
+struct QueryOptions {
+  Algorithm algorithm = Algorithm::kAuto;
+  // Boolean pattern query: only GraphMatches() of the result is meaningful,
+  // and result collection ships one bit per query node per site.
+  bool boolean_only = false;
+  // dGPM knobs (Section 4.2). enable_push is honored as given by the
+  // low-level Run* entry points; Engine::Match and DistributedMatch
+  // restrict push to Algorithm::kDgpm (the ablation runs without it).
+  bool enable_push = true;
+  double push_threshold = 0.2;
+};
+
+// Poison flag shared by the actors of one run. The first failure wins and
+// records its reason; every subsequent callback drains without acting, so
+// a poisoned run still reaches quiescence deterministically.
+class RunHealth {
+ public:
+  RunHealth() = default;
+  RunHealth(const RunHealth&) = delete;
+  RunHealth& operator=(const RunHealth&) = delete;
+
+  bool poisoned() const { return poisoned_.load(std::memory_order_acquire); }
+
+  // Thread-safe (site callbacks may run concurrently); the first reason is
+  // kept.
+  void Poison(std::string reason) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (reason_.empty()) reason_ = std::move(reason);
+    }
+    poisoned_.store(true, std::memory_order_release);
+  }
+
+  // Ok when the run stayed healthy, DataLoss with the first reason after
+  // poisoning.
+  Status ToStatus() const {
+    if (!poisoned()) return Status::Ok();
+    std::lock_guard<std::mutex> lock(mu_);
+    return Status::DataLoss(reason_);
+  }
+
+ private:
+  std::atomic<bool> poisoned_{false};
+  mutable std::mutex mu_;
+  std::string reason_;
+};
+
+// Everything one query hands the resident actors at bind time. The
+// pointed-to objects must outlive the run (the caller's stack frame or the
+// Engine own them).
+struct QueryContext {
+  const Pattern* pattern = nullptr;
+  AlgoCounters* counters = nullptr;
+  RunHealth* health = nullptr;
+  QueryOptions options;
+};
+
+// A site actor with a bind query -> run -> clear lifecycle (see the file
+// comment). Implementations must make BindQuery idempotent with respect to
+// leftover per-query state: binding after a failed or poisoned run starts
+// the new query from a clean slate.
+class QuerySiteActor : public SiteActor {
+ public:
+  // Installs one query's state. Called on every actor before Run().
+  virtual void BindQuery(const QueryContext& query) = 0;
+  // Drops per-query state (and its memory, where it is query-sized);
+  // graph-side members persist. Called after the run, win or lose.
+  virtual void EndQuery() = 0;
+};
+
+// One algorithm family deployed over a fragmentation: persistent workers
+// plus coordinator. Factories: MakeDgpmDeployment (dGPM + dGPMNOpt),
+// MakeDgpmDagDeployment, MakeDgpmTreeDeployment (core/dgpm*.h) and
+// MakeMatchDeployment / MakeDisHhkDeployment / MakeDMesDeployment
+// (core/baselines.h). The fragmentation must outlive the deployment.
+class Deployment {
+ public:
+  virtual ~Deployment() = default;
+
+  virtual uint32_t num_workers() const = 0;
+  virtual QuerySiteActor* worker(uint32_t i) = 0;
+  virtual QuerySiteActor* coordinator() = 0;
+
+  // Assembles the run's SimulationResult and folds worker-side counters
+  // (e.g. lEval recomputations) into `counters`. Only meaningful after a
+  // healthy Run() and before EndQuery().
+  virtual SimulationResult Collect(AlgoCounters* counters) = 0;
+
+  void BindQuery(const QueryContext& query) {
+    for (uint32_t i = 0; i < num_workers(); ++i) worker(i)->BindQuery(query);
+    coordinator()->BindQuery(query);
+  }
+  void EndQuery() {
+    for (uint32_t i = 0; i < num_workers(); ++i) worker(i)->EndQuery();
+    coordinator()->EndQuery();
+  }
+};
+
+// Serves a single query over `deployment` on a throwaway cluster: bind,
+// run, collect (unless poisoned), end. The shared engine of the one-shot
+// Run* entry points; resident serving goes through dgs::Engine instead.
+DistOutcome ServeQueryOnce(Deployment& deployment, const Pattern& pattern,
+                           const QueryOptions& options,
+                           const ClusterOptions& runtime);
+
+// Points every cluster site at the deployment's resident actors
+// (non-owning). The deployment's worker count must match the cluster's.
+inline void BindToCluster(Cluster& cluster, Deployment& deployment) {
+  DGS_CHECK(cluster.NumWorkers() == deployment.num_workers(),
+            "deployment/cluster site count mismatch");
+  for (uint32_t i = 0; i < deployment.num_workers(); ++i) {
+    cluster.BindWorker(i, deployment.worker(i));
+  }
+  cluster.BindCoordinator(deployment.coordinator());
+}
+
+}  // namespace dgs
+
+#endif  // DGS_CORE_SERVING_H_

@@ -14,8 +14,10 @@
 #include "core/dgpm.h"
 #include "core/dgpm_dag.h"
 #include "core/dgpm_tree.h"
+#include "core/engine.h"
 #include "core/local_engine.h"
 #include "core/metrics.h"
+#include "core/serving.h"
 #include "graph/algorithms.h"
 #include "graph/generators.h"
 #include "graph/graph.h"

@@ -33,24 +33,43 @@ Cluster::Cluster(uint32_t num_workers, ClusterOptions options)
   // spawn overhead — and this also defuses absurd requests (e.g. a
   // negative knob cast to ~4e9) before ThreadPool tries to honor them.
   options_.num_threads = std::min(options_.num_threads, num_workers_ + 1);
-  actors_.resize(num_workers_ + 1);
+  actors_.resize(num_workers_ + 1, nullptr);
+  owned_.resize(num_workers_ + 1);
 }
 
 void Cluster::SetWorker(uint32_t i, std::unique_ptr<SiteActor> actor) {
   DGS_CHECK(i < num_workers_, "worker id out of range");
-  actors_[i] = std::move(actor);
+  owned_[i] = std::move(actor);
+  actors_[i] = owned_[i].get();
 }
 
 void Cluster::SetCoordinator(std::unique_ptr<SiteActor> actor) {
-  actors_[num_workers_] = std::move(actor);
+  owned_[num_workers_] = std::move(actor);
+  actors_[num_workers_] = owned_[num_workers_].get();
+}
+
+void Cluster::BindWorker(uint32_t i, SiteActor* actor) {
+  DGS_CHECK(i < num_workers_, "worker id out of range");
+  owned_[i].reset();
+  actors_[i] = actor;
+}
+
+void Cluster::BindCoordinator(SiteActor* actor) {
+  owned_[num_workers_].reset();
+  actors_[num_workers_] = actor;
 }
 
 SiteActor* Cluster::worker(uint32_t i) {
   DGS_CHECK(i < num_workers_, "worker id out of range");
-  return actors_[i].get();
+  return actors_[i];
 }
 
-SiteActor* Cluster::coordinator() { return actors_[num_workers_].get(); }
+SiteActor* Cluster::coordinator() { return actors_[num_workers_]; }
+
+void Cluster::Reset() {
+  pending_.clear();
+  stats_ = RunStats{};
+}
 
 void Cluster::ChargeAndEnqueue(std::vector<Message>& outbox) {
   for (Message& m : outbox) {
@@ -76,8 +95,14 @@ void Cluster::ChargeAndEnqueue(std::vector<Message>& outbox) {
 template <typename Fn>
 double Cluster::RunRound(const std::vector<uint32_t>& site_ids, Fn&& fn) {
   const size_t n = site_ids.size();
-  std::vector<std::vector<Message>> outboxes(n);
-  std::vector<double> durations(n, 0.0);
+  // Pooled buffers: grown to the high-water mark once, then reused by
+  // every round of every run. The outboxes come back empty (cleared by
+  // ChargeAndEnqueue) with their capacity intact, so steady-state rounds
+  // allocate nothing here.
+  if (outbox_pool_.size() < n) outbox_pool_.resize(n);
+  if (duration_pool_.size() < n) duration_pool_.resize(n);
+  std::vector<std::vector<Message>>& outboxes = outbox_pool_;
+  std::vector<double>& durations = duration_pool_;
 
   auto run_one = [&](size_t i) {
     SiteContext ctx(this, site_ids[i], &outboxes[i]);

@@ -96,7 +96,8 @@ class SiteActor {
   virtual void OnQuiesce(SiteContext& ctx) { (void)ctx; }
 };
 
-// Aggregate statistics of one Run().
+// Aggregate statistics of one Run(). Accumulate() folds successive runs
+// into cumulative serving metrics (see core/engine.h).
 struct RunStats {
   // BSP critical path: sum over rounds of the max callback duration, plus
   // the network model charges.
@@ -113,6 +114,18 @@ struct RunStats {
 
   uint64_t TotalBytes() const {
     return data_bytes + control_bytes + result_bytes;
+  }
+
+  void Accumulate(const RunStats& other) {
+    response_seconds += other.response_seconds;
+    total_compute_seconds += other.total_compute_seconds;
+    data_bytes += other.data_bytes;
+    control_bytes += other.control_bytes;
+    result_bytes += other.result_bytes;
+    data_messages += other.data_messages;
+    control_messages += other.control_messages;
+    result_messages += other.result_messages;
+    rounds += other.rounds;
   }
 };
 
@@ -145,7 +158,18 @@ struct ClusterOptions {
   WireFormat wire_format = WireFormat::kV2Delta;
 };
 
-// Owns the actors and runs the delivery loop.
+// Drives the actors through the delivery loop.
+//
+// Lifecycle. A Cluster is deploy-once / run-many: the thread pool and the
+// pooled per-round outbox buffers are created once and survive across
+// Run() calls, so a resident deployment (core/engine.h) pays executor and
+// allocation setup only on the first query. Actors are attached either
+// owning (SetWorker/SetCoordinator take unique_ptr — the one-shot paths)
+// or non-owning (BindWorker/BindCoordinator take raw pointers — a caller
+// that keeps persistent actors alive across queries, like dgs::Engine).
+// Reset() discards any in-flight messages and zeroes the run statistics;
+// Run() also starts from a clean slate, so Reset() is only needed to drop
+// state eagerly between runs.
 class Cluster {
  public:
   using NetworkModel = dgs::NetworkModel;
@@ -156,14 +180,25 @@ class Cluster {
   uint32_t NumWorkers() const { return num_workers_; }
   uint32_t CoordinatorId() const { return num_workers_; }
 
+  // Owning attachment (the actor dies with the cluster or when replaced).
   void SetWorker(uint32_t i, std::unique_ptr<SiteActor> actor);
   void SetCoordinator(std::unique_ptr<SiteActor> actor);
+  // Non-owning attachment: `actor` must stay alive until after the next
+  // Run() (or the next re-bind). Replaces any owned actor at that site.
+  void BindWorker(uint32_t i, SiteActor* actor);
+  void BindCoordinator(SiteActor* actor);
 
   SiteActor* worker(uint32_t i);
   SiteActor* coordinator();
 
+  // Drops in-flight messages and zeroes the statistics of the previous
+  // run. Pooled outbox buffers and the thread pool are kept (reuse is the
+  // point); actor state is the actors' business (see QuerySiteActor).
+  void Reset();
+
   // Runs Setup + delivery rounds to completion. Aborts if an actor is
   // missing or if the round count exceeds `max_rounds` (runaway protection).
+  // May be called repeatedly; each call is an independent run.
   RunStats Run(uint32_t max_rounds = 1u << 20);
 
  private:
@@ -180,7 +215,13 @@ class Cluster {
   uint32_t num_workers_;
   ClusterOptions options_;
   std::unique_ptr<ThreadPool> pool_;  // created on demand when threads > 1
-  std::vector<std::unique_ptr<SiteActor>> actors_;  // size num_workers_ + 1
+  std::vector<SiteActor*> actors_;    // size num_workers_ + 1 (dispatch)
+  std::vector<std::unique_ptr<SiteActor>> owned_;  // owning slots (or null)
+  // Pooled per-round buffers: one outbox + duration slot per active site,
+  // grown to the high-water mark once and reused every round of every run
+  // (ChargeAndEnqueue clears outboxes but keeps their capacity).
+  std::vector<std::vector<Message>> outbox_pool_;
+  std::vector<double> duration_pool_;
   std::vector<Message> pending_;
   RunStats stats_;
 };

@@ -22,6 +22,9 @@ enum class StatusCode {
   kFailedPrecondition,
   kOutOfRange,
   kInternal,
+  // Payload lost or unusable in transit (e.g. a corrupt wire message
+  // poisoned a distributed run; see RunHealth in core/serving.h).
+  kDataLoss,
 };
 
 // Value-semantic error carrier. An OK status has an empty message.
@@ -47,6 +50,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -160,6 +160,62 @@ TEST(ClusterTest, NetworkModelChargesLatency) {
   EXPECT_EQ(stats.rounds, 1u);
 }
 
+TEST(ClusterTest, ResetAndRerunIsIndependent) {
+  // The deploy-once lifecycle: one cluster, several runs. Stats start from
+  // zero each run and accounting is identical run to run (the pooled
+  // outbox buffers are invisible to behavior).
+  std::vector<uint32_t> log;
+  Cluster cluster(4);
+  RunStats first;
+  for (int run = 0; run < 3; ++run) {
+    log.clear();
+    for (uint32_t i = 0; i < 4; ++i) {
+      cluster.SetWorker(i, std::make_unique<RingWorker>(2, &log));
+    }
+    cluster.SetCoordinator(std::make_unique<RecordingCoordinator>());
+    cluster.Reset();
+    RunStats stats = cluster.Run();
+    EXPECT_EQ(
+        static_cast<RecordingCoordinator*>(cluster.coordinator())->final_hops,
+        8u);
+    EXPECT_EQ(log, (std::vector<uint32_t>{1, 2, 3, 0, 1, 2, 3, 0}));
+    if (run == 0) {
+      first = stats;
+    } else {
+      EXPECT_EQ(stats.rounds, first.rounds);
+      EXPECT_EQ(stats.data_messages, first.data_messages);
+      EXPECT_EQ(stats.data_bytes, first.data_bytes);
+      EXPECT_EQ(stats.result_messages, first.result_messages);
+    }
+  }
+}
+
+TEST(ClusterTest, BindWorkerIsNonOwning) {
+  // BindWorker/BindCoordinator attach caller-owned actors; the cluster
+  // must dispatch to them without taking ownership.
+  class Probe : public SiteActor {
+   public:
+    void Setup(SiteContext& ctx) override {
+      Blob b;
+      b.PutU8(1);
+      ctx.Send(ctx.coordinator_id(), MessageClass::kData, std::move(b));
+    }
+    void OnMessages(SiteContext&, std::vector<Message>) override {}
+  };
+  Probe probe;
+  CountingCoordinator coordinator;
+  Cluster cluster(1);
+  cluster.BindWorker(0, &probe);
+  cluster.BindCoordinator(&coordinator);
+  cluster.Run();
+  EXPECT_EQ(coordinator.received, 1u);
+  EXPECT_EQ(cluster.worker(0), &probe);
+  // Re-run with the same bound actors.
+  cluster.Reset();
+  cluster.Run();
+  EXPECT_EQ(coordinator.received, 2u);
+}
+
 TEST(ClusterDeathTest, MissingActorAborts) {
   Cluster cluster(1);
   cluster.SetWorker(0, std::make_unique<QuiesceWorker>());

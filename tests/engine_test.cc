@@ -1,0 +1,353 @@
+// Engine serving semantics: a resident deployment must be observationally
+// identical to one-shot DistributedMatch — bit-identical results and
+// message/byte accounting for every query of a stream, across executor
+// widths and algorithms — and must survive failed queries and poisoned
+// runs without losing the deployment.
+
+#include "core/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "core/api.h"
+#include "graph/generators.h"
+#include "partition/partitioner.h"
+#include "simulation/simulation.h"
+
+namespace dgs {
+namespace {
+
+// Compares everything that must be reproducible between the serving and
+// one-shot paths: the answer plus the full deterministic accounting.
+void ExpectSameOutcome(const DistOutcome& engine_outcome,
+                       const DistOutcome& oneshot, const std::string& what) {
+  EXPECT_TRUE(engine_outcome.result == oneshot.result) << what;
+  EXPECT_EQ(engine_outcome.stats.data_bytes, oneshot.stats.data_bytes)
+      << what;
+  EXPECT_EQ(engine_outcome.stats.control_bytes, oneshot.stats.control_bytes)
+      << what;
+  EXPECT_EQ(engine_outcome.stats.result_bytes, oneshot.stats.result_bytes)
+      << what;
+  EXPECT_EQ(engine_outcome.stats.data_messages, oneshot.stats.data_messages)
+      << what;
+  EXPECT_EQ(engine_outcome.stats.control_messages,
+            oneshot.stats.control_messages)
+      << what;
+  EXPECT_EQ(engine_outcome.stats.result_messages,
+            oneshot.stats.result_messages)
+      << what;
+  EXPECT_EQ(engine_outcome.stats.rounds, oneshot.stats.rounds) << what;
+  EXPECT_EQ(engine_outcome.counters.vars_shipped.load(),
+            oneshot.counters.vars_shipped.load())
+      << what;
+  EXPECT_EQ(engine_outcome.counters.push_count.load(),
+            oneshot.counters.push_count.load())
+      << what;
+  EXPECT_EQ(engine_outcome.counters.equation_units.load(),
+            oneshot.counters.equation_units.load())
+      << what;
+  EXPECT_EQ(engine_outcome.counters.recomputations.load(),
+            oneshot.counters.recomputations.load())
+      << what;
+  EXPECT_EQ(engine_outcome.counters.supersteps.load(),
+            oneshot.counters.supersteps.load())
+      << what;
+  EXPECT_EQ(engine_outcome.counters.wire_saved_data_bytes.load(),
+            oneshot.counters.wire_saved_data_bytes.load())
+      << what;
+  EXPECT_EQ(engine_outcome.counters.wire_saved_result_bytes.load(),
+            oneshot.counters.wire_saved_result_bytes.load())
+      << what;
+}
+
+// N queries through one Engine == N fresh DistributedMatch calls, for
+// every algorithm (incl. kAuto) and executor widths {1, 8}. Each query is
+// served twice so the 2nd..Nth-query reuse path (reset, not reconstruct)
+// is exercised for every algorithm.
+TEST(EngineTest, ReuseMatchesOneShotAcrossAlgorithmsAndThreads) {
+  Rng rng(2014);
+  Graph g = WebGraph(1200, 5000, kDefaultAlphabet, rng);
+  auto assignment = PartitionWithBoundaryRatio(g, 6, 0.3, rng);
+
+  std::vector<Pattern> queries;
+  for (int i = 0; i < 3 && queries.size() < 2; ++i) {
+    PatternSpec spec;
+    spec.num_nodes = 4;
+    spec.num_edges = 6;
+    spec.kind = PatternKind::kCyclic;
+    auto q = ExtractPattern(g, spec, rng);
+    if (q.ok()) queries.push_back(*q);
+  }
+  ASSERT_FALSE(queries.empty());
+
+  for (uint32_t threads : {1u, 8u}) {
+    for (Algorithm algorithm :
+         {Algorithm::kDgpm, Algorithm::kDgpmNoOpt, Algorithm::kMatch,
+          Algorithm::kDisHhk, Algorithm::kDMes, Algorithm::kAuto}) {
+      EngineOptions engine_options;
+      engine_options.num_threads = threads;
+      auto engine = Engine::Create(g, assignment, 6, engine_options);
+      ASSERT_TRUE(engine.ok());
+
+      QueryOptions query_options;
+      query_options.algorithm = algorithm;
+
+      DistOptions oneshot_options;
+      oneshot_options.algorithm = algorithm;
+      oneshot_options.num_threads = threads;
+
+      for (int pass = 0; pass < 2; ++pass) {
+        for (size_t qi = 0; qi < queries.size(); ++qi) {
+          auto served = (*engine)->Match(queries[qi], query_options);
+          auto oneshot =
+              DistributedMatch(g, assignment, 6, queries[qi],
+                               oneshot_options);
+          ASSERT_TRUE(served.ok()) << AlgorithmName(algorithm);
+          ASSERT_TRUE(oneshot.ok()) << AlgorithmName(algorithm);
+          ExpectSameOutcome(
+              *served, *oneshot,
+              std::string(AlgorithmName(algorithm)) + " t" +
+                  std::to_string(threads) + " pass" + std::to_string(pass) +
+                  " q" + std::to_string(qi));
+        }
+      }
+      const auto& stats = (*engine)->serving_stats();
+      EXPECT_EQ(stats.queries_served, 2 * queries.size());
+      EXPECT_EQ(stats.queries_failed, 0u);
+    }
+  }
+}
+
+TEST(EngineTest, ReuseMatchesOneShotOnDagWorkload) {
+  auto ex = MakeDagExample();
+  for (uint32_t threads : {1u, 8u}) {
+    EngineOptions engine_options;
+    engine_options.num_threads = threads;
+    auto engine = Engine::Create(ex.g, ex.assignment, 5, engine_options);
+    ASSERT_TRUE(engine.ok());
+    for (Algorithm algorithm : {Algorithm::kDgpmDag, Algorithm::kAuto}) {
+      QueryOptions query_options;
+      query_options.algorithm = algorithm;
+      DistOptions oneshot_options;
+      oneshot_options.algorithm = algorithm;
+      oneshot_options.num_threads = threads;
+      for (int pass = 0; pass < 2; ++pass) {
+        auto served = (*engine)->Match(ex.q, query_options);
+        auto oneshot =
+            DistributedMatch(ex.g, ex.assignment, 5, ex.q, oneshot_options);
+        ASSERT_TRUE(served.ok());
+        ASSERT_TRUE(oneshot.ok());
+        ExpectSameOutcome(*served, *oneshot,
+                          std::string("dag ") + AlgorithmName(algorithm));
+      }
+    }
+  }
+}
+
+TEST(EngineTest, ReuseMatchesOneShotOnTreeWorkload) {
+  Rng rng(77);
+  Graph tree = RandomTree(300, 3, rng);
+  auto part = TreePartition(tree, 4);
+  ASSERT_TRUE(part.ok());
+  Pattern chain(MakeGraph({0, 1, 2}, {{0, 1}, {1, 2}}));
+  for (uint32_t threads : {1u, 8u}) {
+    EngineOptions engine_options;
+    engine_options.num_threads = threads;
+    auto engine = Engine::Create(tree, *part, 4, engine_options);
+    ASSERT_TRUE(engine.ok());
+    for (Algorithm algorithm : {Algorithm::kDgpmTree, Algorithm::kAuto}) {
+      QueryOptions query_options;
+      query_options.algorithm = algorithm;
+      DistOptions oneshot_options;
+      oneshot_options.algorithm = algorithm;
+      oneshot_options.num_threads = threads;
+      for (int pass = 0; pass < 2; ++pass) {
+        auto served = (*engine)->Match(chain, query_options);
+        auto oneshot =
+            DistributedMatch(tree, *part, 4, chain, oneshot_options);
+        ASSERT_TRUE(served.ok());
+        ASSERT_TRUE(oneshot.ok());
+        ExpectSameOutcome(*served, *oneshot,
+                          std::string("tree ") + AlgorithmName(algorithm));
+      }
+    }
+  }
+}
+
+TEST(EngineTest, BorrowedAndAdoptedFragmentationsAgree) {
+  auto ex = MakeSocialExample();
+  auto frag = Fragmentation::Create(ex.g, ex.assignment, 3);
+  ASSERT_TRUE(frag.ok());
+
+  auto borrowed = Engine::Create(ex.g, &*frag, EngineOptions{});
+  ASSERT_TRUE(borrowed.ok());
+  auto adopted = Engine::Create(ex.g, *frag, EngineOptions{});  // copy in
+  ASSERT_TRUE(adopted.ok());
+
+  QueryOptions query;
+  query.algorithm = Algorithm::kDgpm;
+  auto a = (*borrowed)->Match(ex.q, query);
+  auto b = (*adopted)->Match(ex.q, query);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectSameOutcome(*a, *b, "borrowed vs adopted");
+  EXPECT_TRUE(a->result == ComputeSimulation(ex.q, ex.g));
+}
+
+TEST(EngineTest, MatchBatchAccumulatesPerQueryMetrics) {
+  auto ex = MakeSocialExample();
+  auto engine = Engine::Create(ex.g, ex.assignment, 3, EngineOptions{});
+  ASSERT_TRUE(engine.ok());
+
+  std::vector<Pattern> stream(4, ex.q);
+  QueryOptions query;
+  query.algorithm = Algorithm::kDgpm;
+  BatchOutcome batch = (*engine)->MatchBatch(stream, query);
+
+  ASSERT_EQ(batch.queries.size(), 4u);
+  EXPECT_EQ(batch.succeeded, 4u);
+  EXPECT_EQ(batch.failed, 0u);
+  EXPECT_GT(batch.wall_seconds, 0.0);
+
+  uint64_t summed_bytes = 0;
+  uint32_t summed_rounds = 0;
+  for (const auto& entry : batch.queries) {
+    ASSERT_TRUE(entry.status.ok());
+    EXPECT_TRUE(entry.outcome.result == ComputeSimulation(ex.q, ex.g));
+    summed_bytes += entry.outcome.stats.data_bytes;
+    summed_rounds += entry.outcome.stats.rounds;
+  }
+  EXPECT_EQ(batch.cumulative.data_bytes, summed_bytes);
+  EXPECT_EQ(batch.cumulative.rounds, summed_rounds);
+  // Identical queries over a resident deployment cost identical bytes.
+  EXPECT_EQ(batch.cumulative.data_bytes,
+            4 * batch.queries[0].outcome.stats.data_bytes);
+}
+
+TEST(EngineTest, StaysUsableAfterFailedQueries) {
+  auto ex = MakeSocialExample();  // cyclic G
+  auto engine = Engine::Create(ex.g, ex.assignment, 3, EngineOptions{});
+  ASSERT_TRUE(engine.ok());
+
+  // Structural precondition failure.
+  QueryOptions tree_query;
+  tree_query.algorithm = Algorithm::kDgpmTree;
+  auto tree_result = (*engine)->Match(ex.q, tree_query);
+  EXPECT_EQ(tree_result.status().code(), StatusCode::kFailedPrecondition);
+
+  // Invalid pattern.
+  Pattern empty;
+  auto empty_result = (*engine)->Match(empty, QueryOptions{});
+  EXPECT_EQ(empty_result.status().code(), StatusCode::kInvalidArgument);
+
+  // The deployment is intact: the next query serves normally.
+  QueryOptions query;
+  query.algorithm = Algorithm::kDgpm;
+  auto ok_result = (*engine)->Match(ex.q, query);
+  ASSERT_TRUE(ok_result.ok());
+  EXPECT_TRUE(ok_result->result == ComputeSimulation(ex.q, ex.g));
+
+  const auto& stats = (*engine)->serving_stats();
+  EXPECT_EQ(stats.queries_failed, 2u);
+  EXPECT_EQ(stats.queries_served, 1u);
+  EXPECT_GE(stats.deploy_seconds, 0.0);
+}
+
+TEST(EngineTest, AutoDispatchMatchesOneShotAuto) {
+  // kAuto must resolve identically on both paths (tree -> dGPMt here).
+  Rng rng(5);
+  Graph tree = RandomTree(120, 2, rng);
+  auto part = TreePartition(tree, 3);
+  ASSERT_TRUE(part.ok());
+  Pattern chain(MakeGraph({0, 1}, {{0, 1}}));
+
+  auto engine = Engine::Create(tree, *part, 3, EngineOptions{});
+  ASSERT_TRUE(engine.ok());
+  auto served = (*engine)->Match(chain, QueryOptions{});  // default kAuto
+  ASSERT_TRUE(served.ok());
+  EXPECT_GT(served->counters.equation_units.load(), 0u);  // dGPMt fingerprint
+
+  DistOptions oneshot_options;
+  oneshot_options.algorithm = Algorithm::kAuto;
+  auto oneshot = DistributedMatch(tree, *part, 3, chain, oneshot_options);
+  ASSERT_TRUE(oneshot.ok());
+  ExpectSameOutcome(*served, *oneshot, "auto tree");
+}
+
+// A corrupt payload poisons the run (DataLoss) instead of aborting the
+// process, and the resident deployment serves the next query unharmed.
+class CorruptingActor : public SiteActor {
+ public:
+  void Setup(SiteContext& ctx) override {
+    Blob blob;
+    PutTag(blob, WireTag::kFalseVars);
+    blob.PutU32(1000);  // declares 1000 records, ships none
+    ctx.Send(1, MessageClass::kData, std::move(blob));
+  }
+  void OnMessages(SiteContext& ctx, std::vector<Message> inbox) override {
+    (void)ctx;
+    (void)inbox;
+  }
+};
+
+TEST(EngineTest, CorruptPayloadPoisonsRunInsteadOfAborting) {
+  auto ex = MakeSocialExample();
+  auto frag = Fragmentation::Create(ex.g, ex.assignment, 3);
+  ASSERT_TRUE(frag.ok());
+  auto deployment = MakeDgpmDeployment(&*frag);
+
+  AlgoCounters counters;
+  RunHealth health;
+  QueryContext query;
+  query.pattern = &ex.q;
+  query.counters = &counters;
+  query.health = &health;
+  query.options.algorithm = Algorithm::kDgpm;
+
+  Cluster cluster(3);
+  deployment->BindQuery(query);
+  BindToCluster(cluster, *deployment);
+  CorruptingActor corruptor;
+  cluster.BindWorker(0, &corruptor);  // site 0 now speaks garbage
+
+  cluster.Run();  // must terminate, not abort
+  EXPECT_TRUE(health.poisoned());
+  EXPECT_EQ(health.ToStatus().code(), StatusCode::kDataLoss);
+  deployment->EndQuery();
+
+  // The same deployment, re-bound with healthy actors, still answers.
+  AlgoCounters counters2;
+  RunHealth health2;
+  QueryContext query2 = query;
+  query2.counters = &counters2;
+  query2.health = &health2;
+  deployment->BindQuery(query2);
+  BindToCluster(cluster, *deployment);
+  cluster.Reset();
+  cluster.Run();
+  EXPECT_FALSE(health2.poisoned());
+  SimulationResult result = deployment->Collect(&counters2);
+  deployment->EndQuery();
+  EXPECT_TRUE(result == ComputeSimulation(ex.q, ex.g));
+}
+
+TEST(EngineTest, ServingStatsAccumulate) {
+  auto ex = MakeSocialExample();
+  auto engine = Engine::Create(ex.g, ex.assignment, 3, EngineOptions{});
+  ASSERT_TRUE(engine.ok());
+  QueryOptions query;
+  query.algorithm = Algorithm::kDgpm;
+  auto first = (*engine)->Match(ex.q, query);
+  auto second = (*engine)->Match(ex.q, query);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  const auto& stats = (*engine)->serving_stats();
+  EXPECT_EQ(stats.queries_served, 2u);
+  EXPECT_EQ(stats.cumulative.data_bytes,
+            first->stats.data_bytes + second->stats.data_bytes);
+  EXPECT_EQ(stats.counters.vars_shipped.load(),
+            first->counters.vars_shipped.load() +
+                second->counters.vars_shipped.load());
+}
+
+}  // namespace
+}  // namespace dgs
