@@ -6,16 +6,27 @@
 //             (Section 6 setup, laptop-scaled). Wall-clock time of the
 //             whole Run() — with the pooled executor the per-round
 //             critical path replaces the sequential sum over sites.
-//   kernel    the centralized HHK counting kernel (ComputeSimulation) on a
-//             larger random graph; its support-counter construction
-//             parallelizes over data-node blocks.
+//   kernel    the centralized HHK counting kernel (ComputeSimulation) on
+//             the Fig. 6 default workload (web graph, |Q| = (5, 10)),
+//             broken down per phase: the support-counter build and the
+//             refinement worklist drain both parallelize now (partitioned
+//             chaotic relaxation, simulation/relax.h), and each phase gets
+//             its own row set ("kernel_build" / "kernel_refine") next to
+//             the end-to-end "kernel" rows so the refinement-tail speedup
+//             is tracked across PRs.
 //
 // Every width is verified against the num_threads = 1 reference: identical
 // SimulationResult and bit-identical message/byte accounting (the runtime's
 // determinism contract). The ASCII tables are mirrored into
 // BENCH_scaling.json with the measured speedups, so successive PRs can
-// track the trajectory. Speedup is bounded by the hardware_threads value
-// recorded in the JSON meta — on a single-core CI runner it stays ~1.
+// track the trajectory.
+//
+// Speedup assertion: on a machine with >= 8 hardware threads at full scale
+// (DGS_SCALE >= 1) the kernel must reach >= 2x end-to-end and the
+// refinement drain >= 1.8x at 8 threads; on smaller runners (CI containers
+// are often 1-4 cores) the assertion is skipped — recorded as such in the
+// JSON meta — instead of failing, since speedup is bounded by
+// hardware_threads. The determinism check always runs.
 //
 // Extra knobs: DGS_REPS (wall-clock repetitions per width, default 3).
 
@@ -60,16 +71,17 @@ int main() {
   Rng rng(env.seed);
   const int reps = Reps();
   const std::vector<uint32_t> widths = {1, 2, 4, 8};
+  const uint32_t hardware = ThreadPool::HardwareThreads();
 
   bench::BenchJson json("scaling");
   json.meta()
-      .Int("hardware_threads", ThreadPool::HardwareThreads())
+      .Int("hardware_threads", hardware)
       .Num("scale", env.scale)
       .Int("seed", env.seed)
       .Int("reps", static_cast<uint64_t>(reps));
 
-  std::cout << "Parallel-runtime scaling (hardware threads: "
-            << ThreadPool::HardwareThreads() << ", reps: " << reps << ")\n\n";
+  std::cout << "Parallel-runtime scaling (hardware threads: " << hardware
+            << ", reps: " << reps << ")\n\n";
 
   bool all_identical = true;
 
@@ -139,10 +151,12 @@ int main() {
     std::cout << "\n";
   }
 
-  // --- Section 2: centralized counting kernel ----------------------------
+  // --- Section 2: centralized counting kernel, per-phase ------------------
+  double kernel_speedup_8 = 0, refine_speedup_8 = 0;
   {
-    const size_t n = env.Scaled(100000), m = env.Scaled(500000);
-    Graph g = RandomGraph(n, m, kDefaultAlphabet, rng);
+    // Fig. 6(a)/(b) default workload: web graph, |Q| = (5, 10) cyclic.
+    const size_t n = env.Scaled(150000), m = env.Scaled(750000);
+    Graph g = WebGraph(n, m, kDefaultAlphabet, rng);
     PatternSpec spec;
     spec.num_nodes = 5;
     spec.num_edges = 10;
@@ -152,51 +166,106 @@ int main() {
       std::cerr << "setup failed for the kernel section\n";
       return 1;
     }
-    std::cout << "Section 2: ComputeSimulation, random graph |G| = ("
+    std::cout << "Section 2: ComputeSimulation, web graph |G| = ("
               << g.NumNodes() << ", " << g.NumEdges() << ")\n";
 
     SimulationResult reference;
-    double base_wall = 0;
-    TablePrinter table({"threads", "wall(ms)", "speedup", "Mitems/s",
-                        "identical"});
+    double base_wall = 0, base_build = 0, base_drain = 0;
+    TablePrinter table({"threads", "wall(ms)", "speedup", "build(ms)",
+                        "build spd", "drain(ms)", "drain spd", "identical"});
     for (uint32_t threads : widths) {
+      SimulationPhases phases;
       SimulationOptions options;
       options.num_threads = threads;
+      options.phases = &phases;
       double best = 1e100;
+      SimulationPhases best_phases;
       SimulationResult result;
       for (int r = 0; r < reps; ++r) {
         WallTimer timer;
         result = ComputeSimulation(*q, g, options);
-        best = std::min(best, timer.ElapsedSeconds());
+        double wall = timer.ElapsedSeconds();
+        if (wall < best) {
+          best = wall;
+          best_phases = phases;
+        }
       }
       if (threads == widths.front()) {
         reference = result;
         base_wall = best;
+        base_build = best_phases.build_seconds;
+        base_drain = best_phases.drain_seconds;
       }
       const bool identical = result == reference;
       all_identical = all_identical && identical;
       const double speedup = base_wall / std::max(best, 1e-12);
-      const double mitems =
-          static_cast<double>(g.Size()) / std::max(best, 1e-12) / 1e6;
+      const double build_speedup =
+          base_build / std::max(best_phases.build_seconds, 1e-12);
+      const double drain_speedup =
+          base_drain / std::max(best_phases.drain_seconds, 1e-12);
+      if (threads == 8) {
+        kernel_speedup_8 = speedup;
+        refine_speedup_8 = drain_speedup;
+      }
       table.AddRow({std::to_string(threads), FormatDouble(best * 1e3, 2),
-                    FormatDouble(speedup, 2) + "x", FormatDouble(mitems, 2),
+                    FormatDouble(speedup, 2) + "x",
+                    FormatDouble(best_phases.build_seconds * 1e3, 2),
+                    FormatDouble(build_speedup, 2) + "x",
+                    FormatDouble(best_phases.drain_seconds * 1e3, 2),
+                    FormatDouble(drain_speedup, 2) + "x",
                     identical ? "yes" : "NO"});
       json.AddRow()
           .Str("section", "kernel")
           .Int("threads", threads)
           .Num("wall_ms", best * 1e3)
           .Num("speedup", speedup)
-          .Num("mitems_per_s", mitems)
+          .Int("identical", identical ? 1 : 0);
+      json.AddRow()
+          .Str("section", "kernel_build")
+          .Int("threads", threads)
+          .Num("wall_ms", best_phases.build_seconds * 1e3)
+          .Num("speedup", build_speedup)
+          .Int("identical", identical ? 1 : 0);
+      // The refinement-only rows this PR's parallel drain is measured by.
+      json.AddRow()
+          .Str("section", "kernel_refine")
+          .Int("threads", threads)
+          .Num("wall_ms", best_phases.drain_seconds * 1e3)
+          .Num("speedup", drain_speedup)
           .Int("identical", identical ? 1 : 0);
     }
     table.Print(std::cout);
   }
 
-  json.meta().Int("all_identical", all_identical ? 1 : 0);
+  json.meta()
+      .Int("all_identical", all_identical ? 1 : 0)
+      .Num("kernel_speedup_at_8", kernel_speedup_8)
+      .Num("refine_speedup_at_8", refine_speedup_8);
+
+  // The >= 2x end-to-end / >= 1.8x refinement-drain targets only make
+  // sense with >= 8 real lanes and the full-size workload; smaller runners
+  // record the measurement and skip the assertion instead of failing.
+  bool speedup_ok = true;
+  if (hardware >= 8 && env.scale >= 1.0) {
+    json.meta().Str("speedup_assert", "enforced");
+    speedup_ok = kernel_speedup_8 >= 2.0 && refine_speedup_8 >= 1.8;
+    if (!speedup_ok) {
+      std::cerr << "SPEEDUP REGRESSION: kernel "
+                << FormatDouble(kernel_speedup_8, 2) << "x (need 2.0x), "
+                << "refine " << FormatDouble(refine_speedup_8, 2)
+                << "x (need 1.8x) at 8 threads\n";
+    }
+  } else {
+    json.meta().Str("speedup_assert", "skipped");
+    std::cout << "\n[skip] speedup assertion (hardware_threads=" << hardware
+              << ", scale=" << env.scale << " — needs >= 8 threads at scale "
+              << ">= 1)\n";
+  }
+
   json.WriteFile();
   if (!all_identical) {
     std::cerr << "DETERMINISM VIOLATION: results differ across widths\n";
     return 1;
   }
-  return 0;
+  return speedup_ok ? 0 : 1;
 }

@@ -1,18 +1,21 @@
 // Wire-format comparison: V1 fixed records vs V2 sorted-gap deltas.
 //
 // Runs the Fig. 6(a)/(b) default workload (web graph, |Q| = (5, 10),
-// |Vf| ~ 25%, 8 sites) with every algorithm whose data shipment is
-// dominated by the delta-encoded payloads (dGPM, dGPMNOpt, dMes), under
-// both wire formats and executor widths {1, 8}. Verifies that the
-// simulation result and all message counts are bit-identical across the
-// four (format, threads) combinations, then reports the V1-vs-V2 data
-// shipment side by side.
+// |Vf| ~ 25%, 8 sites) with every algorithm whose data shipment rides the
+// delta-encoded payloads — dGPM, dGPMNOpt, dMes (truth values) plus Match
+// and disHHK (kSubgraph shipments, V2 since PR 4) — under both wire
+// formats and executor widths {1, 8}. Verifies that the simulation result
+// and all message counts are bit-identical across the four (format,
+// threads) combinations, then reports the V1-vs-V2 data shipment side by
+// side. Control shipment (the kSubscribe node lists, delta-encoded since
+// PR 4) is reported alongside.
 //
 // BENCH_wire.json rows: one per (algorithm, query) combination plus one
 // "total" row per algorithm, each with ds_v1_kb, ds_v2_kb, the v2/v1
-// ratio, and the bytes-saved counters reported by the encoders. The
-// process exits nonzero if any cross-format/threads fingerprint diverges,
-// so CI catches wire-format regressions, not just size drift.
+// ratio, control-byte columns, and the bytes-saved counters reported by
+// the encoders. The process exits nonzero if any cross-format/threads
+// fingerprint diverges, so CI catches wire-format regressions, not just
+// size drift.
 
 #include <algorithm>
 #include <cstdio>
@@ -103,7 +106,8 @@ int main() {
   }
 
   const std::vector<Algorithm> algorithms = {
-      Algorithm::kDgpm, Algorithm::kDgpmNoOpt, Algorithm::kDMes};
+      Algorithm::kDgpm, Algorithm::kDgpmNoOpt, Algorithm::kDMes,
+      Algorithm::kMatch, Algorithm::kDisHhk};
   const std::vector<uint32_t> widths = {1, 8};
 
   bench::BenchJson json("wire");
@@ -115,12 +119,15 @@ int main() {
       .Str("workload", "fig6_ab_default");
 
   TablePrinter table({"algorithm", "DS v1(KB)", "DS v2(KB)", "v2/v1",
-                      "saved data(KB)", "saved result(KB)"});
+                      "CS v1(KB)", "CS v2(KB)", "saved data(KB)",
+                      "saved ctrl(KB)", "saved result(KB)"});
   bool all_identical = true;
   double grand_v1 = 0, grand_v2 = 0;
   for (Algorithm a : algorithms) {
     double total_v1 = 0, total_v2 = 0;
-    double total_saved_data = 0, total_saved_result = 0;
+    double total_cs_v1 = 0, total_cs_v2 = 0;
+    double total_saved_data = 0, total_saved_control = 0,
+           total_saved_result = 0;
     size_t runs = 0;
     for (size_t qi = 0; qi < queries.size(); ++qi) {
       const Pattern& q = queries[qi];
@@ -153,11 +160,15 @@ int main() {
               !SameAnswerAndTraffic(ref.outcome, combo.outcome,
                                     what.c_str()) ||
               combo.outcome.stats.data_bytes !=
-                  expect_bytes.stats.data_bytes) {
-            if (combo.ok && combo.outcome.stats.data_bytes !=
-                                expect_bytes.stats.data_bytes) {
+                  expect_bytes.stats.data_bytes ||
+              combo.outcome.stats.control_bytes !=
+                  expect_bytes.stats.control_bytes) {
+            if (combo.ok && (combo.outcome.stats.data_bytes !=
+                                 expect_bytes.stats.data_bytes ||
+                             combo.outcome.stats.control_bytes !=
+                                 expect_bytes.stats.control_bytes)) {
               std::cerr << "MISMATCH [" << what
-                        << "]: data_bytes not thread-invariant\n";
+                        << "]: shipped bytes not thread-invariant\n";
             }
             all_identical = false;
           }
@@ -166,10 +177,18 @@ int main() {
       const double ds_v1 =
           static_cast<double>(ref.outcome.stats.data_bytes);
       const double ds_v2 = static_cast<double>(v2.outcome.stats.data_bytes);
+      const double cs_v1 =
+          static_cast<double>(ref.outcome.stats.control_bytes);
+      const double cs_v2 =
+          static_cast<double>(v2.outcome.stats.control_bytes);
       total_v1 += ds_v1;
       total_v2 += ds_v2;
+      total_cs_v1 += cs_v1;
+      total_cs_v2 += cs_v2;
       total_saved_data +=
           static_cast<double>(v2.outcome.counters.wire_saved_data_bytes);
+      total_saved_control +=
+          static_cast<double>(v2.outcome.counters.wire_saved_control_bytes);
       total_saved_result +=
           static_cast<double>(v2.outcome.counters.wire_saved_result_bytes);
       ++runs;
@@ -179,11 +198,17 @@ int main() {
           .Num("ds_v1_kb", ds_v1 / 1024.0)
           .Num("ds_v2_kb", ds_v2 / 1024.0)
           .Num("ds_ratio", ds_v1 > 0 ? ds_v2 / ds_v1 : 1.0)
+          .Num("cs_v1_kb", cs_v1 / 1024.0)
+          .Num("cs_v2_kb", cs_v2 / 1024.0)
           .Int("data_messages", ref.outcome.stats.data_messages)
           .Int("rounds", ref.outcome.stats.rounds)
           .Num("saved_data_kb",
                static_cast<double>(
                    v2.outcome.counters.wire_saved_data_bytes) /
+                   1024.0)
+          .Num("saved_control_kb",
+               static_cast<double>(
+                   v2.outcome.counters.wire_saved_control_bytes) /
                    1024.0)
           .Num("saved_result_kb",
                static_cast<double>(
@@ -197,7 +222,10 @@ int main() {
     table.AddRow({std::string(AlgorithmName(a)),
                   FormatDouble(total_v1 / 1024.0, 3),
                   FormatDouble(total_v2 / 1024.0, 3), FormatDouble(ratio, 3),
+                  FormatDouble(total_cs_v1 / 1024.0, 3),
+                  FormatDouble(total_cs_v2 / 1024.0, 3),
                   FormatDouble(total_saved_data / 1024.0, 3),
+                  FormatDouble(total_saved_control / 1024.0, 3),
                   FormatDouble(total_saved_result / 1024.0, 3)});
     json.AddRow()
         .Str("algorithm", AlgorithmName(a))
@@ -205,7 +233,10 @@ int main() {
         .Num("ds_v1_kb", total_v1 / 1024.0)
         .Num("ds_v2_kb", total_v2 / 1024.0)
         .Num("ds_ratio", ratio)
+        .Num("cs_v1_kb", total_cs_v1 / 1024.0)
+        .Num("cs_v2_kb", total_cs_v2 / 1024.0)
         .Num("saved_data_kb", total_saved_data / 1024.0)
+        .Num("saved_control_kb", total_saved_control / 1024.0)
         .Num("saved_result_kb", total_saved_result / 1024.0);
   }
 
@@ -215,7 +246,7 @@ int main() {
   const double grand_ratio = grand_v1 > 0 ? grand_v2 / grand_v1 : 1.0;
   table.AddRow({"ALL", FormatDouble(grand_v1 / 1024.0, 3),
                 FormatDouble(grand_v2 / 1024.0, 3),
-                FormatDouble(grand_ratio, 3), "-", "-"});
+                FormatDouble(grand_ratio, 3), "-", "-", "-", "-", "-"});
   json.AddRow()
       .Str("algorithm", "all")
       .Str("query", "total")

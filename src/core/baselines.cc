@@ -13,24 +13,7 @@ namespace {
 // ---------------------------------------------------------------------------
 // Shared subgraph-shipping machinery (Match and disHHK)
 // ---------------------------------------------------------------------------
-
-// Serializes a node/edge set. Node labels ride along so the assembling site
-// can rebuild a queryable graph without any other metadata.
-void AppendSubgraph(Blob& blob,
-                    const std::vector<std::pair<NodeId, Label>>& nodes,
-                    const std::vector<std::pair<NodeId, NodeId>>& edges) {
-  PutTag(blob, WireTag::kSubgraph);
-  blob.PutU32(static_cast<uint32_t>(nodes.size()));
-  for (auto [gid, label] : nodes) {
-    blob.PutU32(gid);
-    blob.PutU32(label);
-  }
-  blob.PutU32(static_cast<uint32_t>(edges.size()));
-  for (auto [from, to] : edges) {
-    blob.PutU32(from);
-    blob.PutU32(to);
-  }
-}
+// The subgraph wire codec (V1 fixed / V2 delta) lives in core/protocol.h.
 
 // Assembles shipped subgraphs into a global-id graph and runs the
 // centralized simulation once all fragments reported. Unshipped nodes get a
@@ -65,36 +48,28 @@ class AssemblingCoordinator : public QuerySiteActor {
   }
 
   void OnMessages(SiteContext& ctx, std::vector<Message> inbox) override {
-    (void)ctx;
     if (health_->poisoned()) return;
     for (const Message& m : inbox) {
       Blob::Reader reader(m.payload);
-      if (GetTag(reader) != WireTag::kSubgraph) continue;
-      uint32_t num_nodes = reader.GetU32();
-      if (!reader.ok() || num_nodes > reader.Remaining() / 8) {
-        health_->Poison("corrupt subgraph payload (node count)");
+      const WireTag tag = GetTag(reader);
+      if (tag != WireTag::kSubgraph && tag != WireTag::kSubgraph2) continue;
+      std::vector<std::pair<NodeId, Label>> nodes;
+      std::vector<std::pair<NodeId, NodeId>> edges;
+      if (!ReadSubgraph(reader, tag, &nodes, &edges)) {
+        health_->PoisonDecode(m.cls, "corrupt subgraph payload");
         return;
       }
-      for (uint32_t i = 0; i < num_nodes; ++i) {
-        NodeId gid = reader.GetU32();
-        Label label = reader.GetU32();
+      for (auto [gid, label] : nodes) {
         if (gid >= labels_.size()) {
-          health_->Poison("subgraph node id out of range");
+          health_->PoisonDecode(m.cls, "subgraph node id out of range");
           return;
         }
         labels_[gid] = label;
       }
-      uint32_t num_edges = reader.GetU32();
-      if (!reader.ok() || num_edges > reader.Remaining() / 8) {
-        health_->Poison("corrupt subgraph payload (edge count)");
-        return;
-      }
-      edges_.reserve(edges_.size() + num_edges);
-      for (uint32_t i = 0; i < num_edges; ++i) {
-        NodeId from = reader.GetU32();
-        NodeId to = reader.GetU32();
+      edges_.reserve(edges_.size() + edges.size());
+      for (auto [from, to] : edges) {
         if (from >= labels_.size() || to >= labels_.size()) {
-          health_->Poison("subgraph edge endpoint out of range");
+          health_->PoisonDecode(m.cls, "subgraph edge endpoint out of range");
           return;
         }
         edges_.emplace_back(from, to);
@@ -102,13 +77,17 @@ class AssemblingCoordinator : public QuerySiteActor {
       ++received_;
     }
     if (received_ == num_workers_ && !computed_) {
-      // Assemble the query-able graph and resolve matches centrally.
+      // Assemble the query-able graph and resolve matches centrally. The
+      // coordinator computes alone in this round, so the runtime's idle
+      // lanes parallelize both the counter build and the refinement drain
+      // (the fixpoint is width-invariant).
       GraphBuilder builder;
       for (Label l : labels_) builder.AddNode(l);
       for (auto [from, to] : edges_) builder.AddEdge(from, to);
       Graph assembled = std::move(builder).Build();
       SimulationOptions options;
       options.boolean_only = boolean_only_;
+      options.pool = ctx.pool();
       result_ = ComputeSimulation(*pattern_, assembled, options);
       computed_ = true;
     }
@@ -139,18 +118,20 @@ class AssemblingCoordinator : public QuerySiteActor {
 
 // Match worker: ships the entire fragment. The encoding is
 // pattern-independent, so a resident worker serializes its fragment once
-// and replays the cached bytes for every query.
+// (per wire format) and replays the cached bytes for every query.
 class MatchWorker : public QuerySiteActor {
  public:
   explicit MatchWorker(const Fragment* fragment) : fragment_(fragment) {}
 
-  // Match workers neither parse payloads nor read the query: the shipped
-  // subgraph is pattern-independent, so binding is a no-op.
-  void BindQuery(const QueryContext& query) override { (void)query; }
-  void EndQuery() override {}
+  // Match workers never parse payloads; only the run's counters are taken
+  // from the query (the shipped subgraph itself is pattern-independent).
+  void BindQuery(const QueryContext& query) override {
+    counters_ = query.counters;
+  }
+  void EndQuery() override { counters_ = nullptr; }
 
   void Setup(SiteContext& ctx) override {
-    if (!encoded_) {
+    if (!encoded_ || encoded_format_ != ctx.wire_format()) {
       std::vector<std::pair<NodeId, Label>> nodes;
       nodes.reserve(fragment_->num_local);
       for (NodeId v = 0; v < fragment_->num_local; ++v) {
@@ -163,9 +144,12 @@ class MatchWorker : public QuerySiteActor {
           edges.emplace_back(fragment_->ToGlobal(v), fragment_->ToGlobal(w));
         }
       }
-      AppendSubgraph(subgraph_, nodes, edges);
+      subgraph_ = Blob();
+      saved_ = AppendSubgraph(subgraph_, nodes, edges, ctx.wire_format());
       encoded_ = true;
+      encoded_format_ = ctx.wire_format();
     }
+    counters_->wire_saved_data_bytes += saved_;
     Blob blob = subgraph_;  // shipped per query; encoded once
     ctx.Send(ctx.coordinator_id(), MessageClass::kData, std::move(blob));
   }
@@ -177,8 +161,11 @@ class MatchWorker : public QuerySiteActor {
 
  private:
   const Fragment* fragment_;
+  AlgoCounters* counters_ = nullptr;
   Blob subgraph_;  // cached wire encoding of the fragment
+  uint64_t saved_ = 0;  // bytes the cached encoding avoided vs V1
   bool encoded_ = false;
+  WireFormat encoded_format_ = WireFormat::kV1Fixed;
 };
 
 // disHHK worker: ships the subgraph induced by label-candidate nodes. The
@@ -197,8 +184,12 @@ class DisHhkWorker : public QuerySiteActor {
   // never parse payloads, so there is no poison path to track.
   void BindQuery(const QueryContext& query) override {
     pattern_ = query.pattern;
+    counters_ = query.counters;
   }
-  void EndQuery() override { pattern_ = nullptr; }
+  void EndQuery() override {
+    pattern_ = nullptr;
+    counters_ = nullptr;
+  }
 
   void Setup(SiteContext& ctx) override {
     // Candidate = carries a label used by some query node.
@@ -237,7 +228,8 @@ class DisHhkWorker : public QuerySiteActor {
       }
     }
     Blob blob;
-    AppendSubgraph(blob, nodes, edges);
+    counters_->wire_saved_data_bytes +=
+        AppendSubgraph(blob, nodes, edges, ctx.wire_format());
     ctx.Send(ctx.coordinator_id(), MessageClass::kData, std::move(blob));
   }
 
@@ -250,6 +242,7 @@ class DisHhkWorker : public QuerySiteActor {
   const Fragment* fragment_;
   std::unordered_map<Label, std::vector<NodeId>> nodes_by_label_;  // resident
   const Pattern* pattern_ = nullptr;
+  AlgoCounters* counters_ = nullptr;
 };
 
 // ---------------------------------------------------------------------------
@@ -284,13 +277,14 @@ class DMesWorker : public QuerySiteActor {
   }
 
   void Setup(SiteContext& ctx) override {
-    (void)ctx;
+    engine_->SetExecutor(ctx.pool());
     engine_->Initialize();
     engine_->DrainInNodeFalses();  // dMes never pushes falses proactively
   }
 
   void OnMessages(SiteContext& ctx, std::vector<Message> inbox) override {
     if (health_->poisoned()) return;
+    engine_->SetExecutor(ctx.pool());
     bool ticked = false;
     bool halt = false;
     std::vector<uint64_t> falses;
@@ -314,7 +308,7 @@ class DMesWorker : public QuerySiteActor {
           // (under V2 only the false subset ships; absence means true).
           std::vector<uint64_t> keys;
           if (!ReadTruthRequest(reader, tag, &keys)) {
-            health_->Poison("corrupt truth request");
+            health_->PoisonDecode(m.cls, "corrupt truth request");
             return;
           }
           Blob reply;
@@ -330,7 +324,7 @@ class DMesWorker : public QuerySiteActor {
         case WireTag::kReply2: {
           std::vector<uint64_t> reply_falses;
           if (!ReadTruthReplyFalses(reader, tag, &reply_falses)) {
-            health_->Poison("corrupt truth reply");
+            health_->PoisonDecode(m.cls, "corrupt truth reply");
             return;
           }
           falses.insert(falses.end(), reply_falses.begin(),
@@ -353,17 +347,26 @@ class DMesWorker : public QuerySiteActor {
     if (ticked && !halted_) {
       // Re-request every still-undecided virtual variable (the redundant
       // per-superstep traffic characteristic of the vertex-centric model).
+      // Encode the per-owner requests in independent slots, send in owner
+      // order (bytes and accounting invariant across thread counts).
       std::map<uint32_t, std::vector<uint64_t>> by_owner;
       for (uint64_t key : engine_->UndecidedFrontierKeys()) {
         by_owner[fragmentation_->OwnerOf(VarKeyGlobalNode(key))].push_back(
             key);
       }
-      for (auto& [owner, keys] : by_owner) {
-        Blob blob;
-        counters_->wire_saved_data_bytes +=
-            AppendTruthRequest(blob, keys, ctx.wire_format());
-        counters_->vars_shipped += keys.size();
-        ctx.Send(owner, MessageClass::kData, std::move(blob));
+      std::vector<std::pair<uint32_t, std::vector<uint64_t>>> fan_out(
+          std::make_move_iterator(by_owner.begin()),
+          std::make_move_iterator(by_owner.end()));
+      std::vector<Blob> blobs(fan_out.size());
+      std::vector<uint64_t> saved(fan_out.size());
+      ParallelEncodePayloads(ctx.pool(), fan_out.size(), [&](size_t i) {
+        saved[i] =
+            AppendTruthRequest(blobs[i], fan_out[i].second, ctx.wire_format());
+      });
+      for (size_t i = 0; i < fan_out.size(); ++i) {
+        counters_->wire_saved_data_bytes += saved[i];
+        counters_->vars_shipped += fan_out[i].second.size();
+        ctx.Send(fan_out[i].first, MessageClass::kData, std::move(blobs[i]));
       }
       // Change vote for the coordinator's halt decision.
       size_t now_false = engine_->NumFalseVars();

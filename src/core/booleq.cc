@@ -1,11 +1,77 @@
 #include "core/booleq.h"
 
 #include <algorithm>
+#include <atomic>
 
+#include "simulation/relax.h"
 #include "util/bitset.h"
 #include "util/flat_hash.h"
+#include "util/thread_pool.h"
 
 namespace dgs {
+
+namespace {
+// Cutoffs below which the sharded drain's round barriers dominate; the
+// sequential drain is used instead (the result is identical either way).
+constexpr size_t kParallelSolveMinVars = 1 << 14;
+constexpr size_t kParallelSolveSeedsPerLane = 4;
+}  // namespace
+
+void EquationSystem::PropagateParallel(
+    ThreadPool* pool, const std::function<void(VarId)>& on_false) {
+  const size_t nv = NumVars();
+  // InJobContext: inside a busy cluster round every nested dispatch runs
+  // inline, so the sharded drain would pay its bookkeeping with zero
+  // parallelism — the plain drain is strictly better there.
+  if (pool == nullptr || pool->InJobContext() || nv < kParallelSolveMinVars ||
+      !pool->WorthParallelizing(queue_.size(), kParallelSolveSeedsPerLane)) {
+    Propagate(on_false);
+    return;
+  }
+
+  // One contiguous VarId shard per lane, drained by the shared chaotic-
+  // relaxation skeleton (simulation/relax.h). A shard owns the states_
+  // bytes of its variables (distinct memory locations, so plain writes are
+  // safe); support_ counters are shared across shards and decremented
+  // through std::atomic_ref, whose RMW makes the zero crossing fire
+  // exactly once.
+  const size_t lanes = pool->num_threads();
+  const size_t block = (nv + lanes - 1) / lanes;
+  const uint32_t num_shards = static_cast<uint32_t>((nv + block - 1) / block);
+
+  ShardScratch<VarId> s;
+  s.Reset(num_shards);
+  std::vector<std::vector<VarId>> flips(num_shards);
+  for (VarId x : queue_) s.worklists[x / block].push_back(x);
+  queue_.clear();
+
+  auto try_acquire = [&](VarId x) {
+    // Only the owner lane of x reaches here; a variable flips at most once.
+    if (states_[x] != kUndecided) return false;
+    states_[x] = kFalse;
+    return true;
+  };
+  auto relax = [&](size_t sh, VarId x, const auto& emit) {
+    flips[sh].push_back(x);
+    for (uint32_t gid : occurrences_[x]) {
+      std::atomic_ref<uint32_t> support(support_[gid]);
+      if (support.fetch_sub(1, std::memory_order_relaxed) == 1) {
+        const VarId owner = group_owner_[gid];
+        emit(static_cast<uint32_t>(owner / block), owner);
+      }
+    }
+  };
+  ChaoticRelaxRounds(*pool, num_shards, s, try_acquire, relax);
+
+  // Deterministic callback order: ascending VarId over the merged flips.
+  std::vector<VarId> all;
+  size_t total = 0;
+  for (const auto& f : flips) total += f.size();
+  all.reserve(total);
+  for (const auto& f : flips) all.insert(all.end(), f.begin(), f.end());
+  std::sort(all.begin(), all.end());
+  for (VarId x : all) on_false(x);
+}
 
 void EquationSystem::SetEquation(VarId x,
                                  const std::vector<std::vector<VarId>>& groups) {

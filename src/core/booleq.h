@@ -29,6 +29,8 @@
 
 namespace dgs {
 
+class ThreadPool;
+
 using VarId = uint32_t;
 inline constexpr VarId kNoVar = static_cast<VarId>(-1);
 
@@ -88,6 +90,22 @@ class EquationSystem {
       }
     }
   }
+
+  // Parallel drain: partitions the variables by id range into one shard per
+  // pool lane and false-propagates each shard on its own lane, routing
+  // cross-shard support exhaustion through per-shard inboxes until a global
+  // fixpoint (the same chaotic-relaxation scheme as simulation/relax.h —
+  // sound because the system is monotone, so the set of flips is
+  // order-independent). Falls back to Propagate when `pool` is null, has
+  // one lane, or the system/seed set is too small to amortize the barriers.
+  //
+  // The flipped SET is bit-identical to the sequential drain; the callback
+  // ORDER differs: on_false fires after the fixpoint, in ascending VarId
+  // order (deterministic for every lane count). Callers must therefore be
+  // order-insensitive — every caller in this codebase is (they collect the
+  // flips into sets or counters).
+  void PropagateParallel(ThreadPool* pool,
+                         const std::function<void(VarId)>& on_false);
 
   // --- Introspection for ReduceToFrontier ---
 

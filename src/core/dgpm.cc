@@ -31,11 +31,11 @@ void CollectingCoordinator::OnMessages(SiteContext& ctx,
     }
     std::vector<std::vector<NodeId>> lists;
     if (!ReadMatchList(reader, tag, &lists)) {
-      health_->Poison("corrupt match list");
+      health_->PoisonDecode(m.cls, "corrupt match list");
       return;
     }
     if (lists.size() != num_query_nodes_) {
-      health_->Poison("match list arity mismatch");
+      health_->PoisonDecode(m.cls, "match list arity mismatch");
       return;
     }
     per_site_[m.src] = std::move(lists);  // latest report wins
@@ -104,6 +104,7 @@ void DgpmWorker::EndQuery() {
 }
 
 void DgpmWorker::Setup(SiteContext& ctx) {
+  engine_->SetExecutor(ctx.pool());
   engine_->Initialize();
   ShipFalses(ctx, /*flag_coordinator=*/false);
   MaybePush(ctx);
@@ -111,6 +112,7 @@ void DgpmWorker::Setup(SiteContext& ctx) {
 
 void DgpmWorker::OnMessages(SiteContext& ctx, std::vector<Message> inbox) {
   if (health_->poisoned()) return;
+  engine_->SetExecutor(ctx.pool());
   std::vector<uint64_t> falses;
   for (const Message& m : inbox) {
     if (m.cls == MessageClass::kResult) continue;
@@ -121,7 +123,7 @@ void DgpmWorker::OnMessages(SiteContext& ctx, std::vector<Message> inbox) {
       case WireTag::kFalseVars2: {
         std::vector<uint64_t> keys;
         if (!ReadFalseVarList(reader, tag, &keys)) {
-          health_->Poison("corrupt false-var payload");
+          health_->PoisonDecode(m.cls, "corrupt false-var payload");
           return;
         }
         falses.insert(falses.end(), keys.begin(), keys.end());
@@ -130,7 +132,7 @@ void DgpmWorker::OnMessages(SiteContext& ctx, std::vector<Message> inbox) {
       case WireTag::kPushSystem: {
         ReducedSystem reduced;
         if (!ReducedSystem::Deserialize(reader, &reduced)) {
-          health_->Poison("corrupt push payload");
+          health_->PoisonDecode(m.cls, "corrupt push payload");
           return;
         }
         std::vector<uint64_t> fresh = engine_->InstallReducedSystem(reduced);
@@ -147,25 +149,24 @@ void DgpmWorker::OnMessages(SiteContext& ctx, std::vector<Message> inbox) {
           std::sort(nodes.begin(), nodes.end());
           nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
           Blob blob;
-          PutTag(blob, WireTag::kSubscribe);
-          blob.PutU32(static_cast<uint32_t>(nodes.size()));
-          for (NodeId gv : nodes) blob.PutU32(gv);
+          counters_->wire_saved_control_bytes +=
+              AppendSubscribeList(blob, nodes, ctx.wire_format());
           ctx.Send(owner, MessageClass::kControl, std::move(blob));
         }
         break;
       }
-      case WireTag::kSubscribe: {
-        uint32_t n = reader.GetU32();
-        if (!reader.ok() || n > reader.Remaining() / 4) {
-          health_->Poison("corrupt subscription payload");
+      case WireTag::kSubscribe:
+      case WireTag::kSubscribe2: {
+        std::vector<NodeId> nodes;
+        if (!ReadSubscribeList(reader, tag, &nodes)) {
+          health_->PoisonDecode(m.cls, "corrupt subscription payload");
           return;
         }
         std::vector<uint64_t> known_falses;
-        for (uint32_t i = 0; i < n; ++i) {
-          NodeId gv = reader.GetU32();
+        for (NodeId gv : nodes) {
           NodeId lv = fragment_->ToLocal(gv);
           if (lv == kInvalidNode || lv >= fragment_->num_local) {
-            health_->Poison("subscription for a non-local node");
+            health_->PoisonDecode(m.cls, "subscription for a non-local node");
             return;
           }
           dynamic_consumers_[lv].insert(m.src);
@@ -221,14 +222,25 @@ void DgpmWorker::ShipFalses(SiteContext& ctx, bool flag_coordinator) {
       for (uint32_t site : dit->second) by_dst[site].push_back(key);
     }
   }
-  for (auto& [dst, keys] : by_dst) {
+  // Per-destination fan-out: sort/dedup and delta-encode each payload in a
+  // slot of its own — independent work, so it runs on the runtime's pool
+  // when one is idle — then charge counters and send in destination order
+  // (bytes and accounting identical for every thread count).
+  std::vector<std::pair<uint32_t, std::vector<uint64_t>>> fan_out(
+      std::make_move_iterator(by_dst.begin()),
+      std::make_move_iterator(by_dst.end()));
+  std::vector<Blob> blobs(fan_out.size());
+  std::vector<uint64_t> saved(fan_out.size());
+  ParallelEncodePayloads(ctx.pool(), fan_out.size(), [&](size_t i) {
+    auto& keys = fan_out[i].second;
     std::sort(keys.begin(), keys.end());
     keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
-    Blob blob;
-    counters_->wire_saved_data_bytes +=
-        AppendFalseVarList(blob, keys, ctx.wire_format());
-    counters_->vars_shipped += keys.size();
-    ctx.Send(dst, MessageClass::kData, std::move(blob));
+    saved[i] = AppendFalseVarList(blobs[i], keys, ctx.wire_format());
+  });
+  for (size_t i = 0; i < fan_out.size(); ++i) {
+    counters_->wire_saved_data_bytes += saved[i];
+    counters_->vars_shipped += fan_out[i].second.size();
+    ctx.Send(fan_out[i].first, MessageClass::kData, std::move(blobs[i]));
   }
   if (flag_coordinator) {
     // Termination-detection traffic: "something changed here" (Section 4.1
@@ -299,14 +311,24 @@ void DgpmWorker::MaybePush(SiteContext& ctx) {
   if (benefit < config_.push_threshold) return;
 
   ++counters_->push_count;
-  for (auto& [site, slice] : slices) {
-    if (slice.entries.empty()) continue;
-    Blob payload;
-    PutTag(payload, WireTag::kPushSystem);
-    counters_->wire_saved_data_bytes +=
-        slice.Serialize(payload, ctx.wire_format());
-    counters_->equation_units += slice.TotalUnits();
-    ctx.Send(site, MessageClass::kData, std::move(payload));
+  // Reduced-system serialization is the heaviest encode of the family;
+  // each parent's slice is independent, so the slices encode in parallel
+  // and ship in site order.
+  std::vector<std::pair<uint32_t, ReducedSystem>> ship(
+      std::make_move_iterator(slices.begin()),
+      std::make_move_iterator(slices.end()));
+  std::vector<Blob> payloads(ship.size());
+  std::vector<uint64_t> saved(ship.size());
+  ParallelEncodePayloads(ctx.pool(), ship.size(), [&](size_t i) {
+    if (ship[i].second.entries.empty()) return;
+    PutTag(payloads[i], WireTag::kPushSystem);
+    saved[i] = ship[i].second.Serialize(payloads[i], ctx.wire_format());
+  });
+  for (size_t i = 0; i < ship.size(); ++i) {
+    if (ship[i].second.entries.empty()) continue;
+    counters_->wire_saved_data_bytes += saved[i];
+    counters_->equation_units += ship[i].second.TotalUnits();
+    ctx.Send(ship[i].first, MessageClass::kData, std::move(payloads[i]));
   }
 }
 

@@ -35,13 +35,14 @@ void DgpmDagWorker::EndQuery() {
 }
 
 void DgpmDagWorker::Setup(SiteContext& ctx) {
-  (void)ctx;
+  engine_->SetExecutor(ctx.pool());
   engine_->Initialize();
   BufferFalses();  // shipped at the first rank tick
 }
 
 void DgpmDagWorker::OnMessages(SiteContext& ctx, std::vector<Message> inbox) {
   if (health_->poisoned()) return;
+  engine_->SetExecutor(ctx.pool());
   std::vector<uint64_t> falses;
   uint32_t tick_rank = 0;
   bool ticked = false;
@@ -53,7 +54,7 @@ void DgpmDagWorker::OnMessages(SiteContext& ctx, std::vector<Message> inbox) {
       case WireTag::kFalseVars2: {
         std::vector<uint64_t> keys;
         if (!ReadFalseVarList(reader, tag, &keys)) {
-          health_->Poison("corrupt false-var payload");
+          health_->PoisonDecode(m.cls, "corrupt false-var payload");
           return;
         }
         falses.insert(falses.end(), keys.begin(), keys.end());
@@ -62,7 +63,7 @@ void DgpmDagWorker::OnMessages(SiteContext& ctx, std::vector<Message> inbox) {
       case WireTag::kTick: {
         tick_rank = reader.GetU32();
         if (!reader.ok()) {
-          health_->Poison("corrupt rank tick");
+          health_->PoisonDecode(m.cls, "corrupt rank tick");
           return;
         }
         ticked = true;

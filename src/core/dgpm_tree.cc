@@ -26,6 +26,7 @@ void DgpmTreeWorker::EndQuery() {
 }
 
 void DgpmTreeWorker::Setup(SiteContext& ctx) {
+  engine_->SetExecutor(ctx.pool());
   engine_->Initialize();
   ReducedSystem answer = engine_->ReduceInNodeEquations();
   counters_->equation_units += answer.TotalUnits();
@@ -44,8 +45,8 @@ void DgpmTreeWorker::Setup(SiteContext& ctx) {
 }
 
 void DgpmTreeWorker::OnMessages(SiteContext& ctx, std::vector<Message> inbox) {
-  (void)ctx;
   if (health_->poisoned()) return;
+  engine_->SetExecutor(ctx.pool());
   std::vector<uint64_t> falses;
   for (const Message& m : inbox) {
     Blob::Reader reader(m.payload);
@@ -53,7 +54,7 @@ void DgpmTreeWorker::OnMessages(SiteContext& ctx, std::vector<Message> inbox) {
     const WireTag inner = GetTag(reader);
     std::vector<uint64_t> keys;
     if (!ReadFalseVarList(reader, inner, &keys)) {
-      health_->Poison("corrupt tree-values payload");
+      health_->PoisonDecode(m.cls, "corrupt tree-values payload");
       return;
     }
     falses.insert(falses.end(), keys.begin(), keys.end());
@@ -121,11 +122,11 @@ void DgpmTreeCoordinator::OnMessages(SiteContext& ctx,
     WireTag tag = GetTag(reader);
     if (tag == WireTag::kTreeAnswer) {
       if (m.src >= num_workers_) {
-        health_->Poison("tree answer from unknown site");
+        health_->PoisonDecode(m.cls, "tree answer from unknown site");
         return;
       }
       if (!ReducedSystem::Deserialize(reader, &answers_[m.src])) {
-        health_->Poison("corrupt tree-answer payload");
+        health_->PoisonDecode(m.cls, "corrupt tree-answer payload");
         return;
       }
       for (const ReducedEntry& e : answers_[m.src].entries) {
@@ -139,7 +140,7 @@ void DgpmTreeCoordinator::OnMessages(SiteContext& ctx,
       const WireTag inner = GetTag(reader);
       std::vector<uint64_t> frontier;
       if (!ReadFalseVarList(reader, inner, &frontier)) {
-        health_->Poison("corrupt frontier registration payload");
+        health_->PoisonDecode(m.cls, "corrupt frontier registration payload");
         return;
       }
       interest_[m.src].insert(interest_[m.src].end(), frontier.begin(),
@@ -192,10 +193,18 @@ void DgpmTreeCoordinator::Solve(SiteContext& ctx) {
       }
     }
   }
-  system.Propagate([](VarId) {});
+  // The coordinator solves alone in its round, so the runtime's other
+  // lanes are idle — the sharded drain gets real parallelism here (the
+  // flipped set, and therefore every shipped byte, is width-invariant).
+  system.PropagateParallel(ctx.pool(), [](VarId) {});
 
-  // Return the resolved falses each site cares about.
-  for (uint32_t site = 0; site < num_workers_; ++site) {
+  // Return the resolved falses each site cares about: filter and encode
+  // each site's slice in its own slot (independent work), send in site
+  // order.
+  std::vector<Blob> blobs(num_workers_);
+  std::vector<uint64_t> saved(num_workers_);
+  std::vector<size_t> shipped(num_workers_);
+  ParallelEncodePayloads(ctx.pool(), num_workers_, [&](size_t site) {
     std::vector<uint64_t>& keys = interest_[site];
     std::sort(keys.begin(), keys.end());
     keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
@@ -206,14 +215,17 @@ void DgpmTreeCoordinator::Solve(SiteContext& ctx) {
         falses.push_back(key);
       }
     }
-    if (falses.empty()) continue;
-    Blob blob;
-    PutTag(blob, WireTag::kTreeValues);
+    shipped[site] = falses.size();
+    if (falses.empty()) return;
+    PutTag(blobs[site], WireTag::kTreeValues);
     // An embedded tagged key list carries the resolved falses.
-    counters_->wire_saved_data_bytes +=
-        AppendFalseVarList(blob, falses, ctx.wire_format());
-    counters_->vars_shipped += falses.size();
-    ctx.Send(site, MessageClass::kData, std::move(blob));
+    saved[site] = AppendFalseVarList(blobs[site], falses, ctx.wire_format());
+  });
+  for (uint32_t site = 0; site < num_workers_; ++site) {
+    if (shipped[site] == 0) continue;
+    counters_->wire_saved_data_bytes += saved[site];
+    counters_->vars_shipped += shipped[site];
+    ctx.Send(site, MessageClass::kData, std::move(blobs[site]));
   }
 }
 

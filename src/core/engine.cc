@@ -49,6 +49,9 @@ DistOutcome ServeQueryOnce(Deployment& deployment, const Pattern& pattern,
     outcome.result = deployment.Collect(&outcome.counters);
   }
   outcome.health = health.ToStatus();
+  outcome.decode_drops = {health.decode_drops(MessageClass::kData),
+                          health.decode_drops(MessageClass::kControl),
+                          health.decode_drops(MessageClass::kResult)};
   deployment.EndQuery();
   return outcome;
 }
@@ -241,6 +244,12 @@ StatusOr<DistOutcome> Engine::Match(const Pattern& q,
   outcome.stats = cluster_.Run();  // Run starts from a clean slate itself
   const bool poisoned = health.poisoned();
   if (!poisoned) outcome.result = deployment.Collect(&outcome.counters);
+  outcome.decode_drops = {health.decode_drops(MessageClass::kData),
+                          health.decode_drops(MessageClass::kControl),
+                          health.decode_drops(MessageClass::kResult)};
+  // Accumulated win or lose: a poisoned query returns only a Status, so
+  // the serving stats are the surviving record of what was dropped.
+  stats_.decode_drops.Accumulate(outcome.decode_drops);
   deployment.EndQuery();
 
   if (poisoned) {

@@ -83,6 +83,10 @@ struct ServingStats {
   // Summed over the successful queries.
   RunStats cumulative;
   AlgoCounters counters;
+  // Summed over ALL queries, failed ones included: a poisoned Match
+  // returns only an error Status, so this is where its per-class decode
+  // drops remain observable (nonzero only after poisoned runs).
+  DecodeDrops decode_drops;
 };
 
 // One query of a MatchBatch stream: its Status, and the outcome when ok.

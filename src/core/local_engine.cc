@@ -111,7 +111,7 @@ void LocalEngine::AssertKeyFalse(uint64_t key) {
 
 void LocalEngine::PropagateAndCollect() {
   const size_t nq = pattern_->NumNodes();
-  system_.Propagate([&](VarId x) {
+  auto on_false = [&](VarId x) {
     ++num_false_vars_;
     const VarInfo& vi = info_[x];
     // Frontier-flagged variables never have an equation (install clears
@@ -123,7 +123,16 @@ void LocalEngine::PropagateAndCollect() {
       shipped_.Set(idx);
       pending_in_node_falses_.push_back({vi.local_node, vi.query_node});
     }
-  });
+  };
+  // The collection above is order-insensitive (counters plus a dedup
+  // bitmap; consumers sort the drained falses before shipping), so the
+  // parallel drain's sorted callback order is equivalent to the sequential
+  // propagation order.
+  if (pool_ != nullptr) {
+    system_.PropagateParallel(pool_, on_false);
+  } else {
+    system_.Propagate(on_false);
+  }
 }
 
 void LocalEngine::ApplyRemoteFalses(const std::vector<uint64_t>& false_keys) {

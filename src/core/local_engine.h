@@ -60,6 +60,14 @@ class LocalEngine {
   // (phase 1 partial evaluation). Call exactly once before anything else.
   void Initialize();
 
+  // Borrowed executor for the propagation drains: large fixpoint tails are
+  // drained with EquationSystem::PropagateParallel on it (null or 1-lane =
+  // the sequential reference drain; flips and counters are identical
+  // either way). Site actors forward SiteContext::pool() here each
+  // callback — nested use inside a busy cluster round degrades to inline
+  // execution by ThreadPool's reentrancy rule, so it is always safe.
+  void SetExecutor(ThreadPool* pool) { pool_ = pool; }
+
   // Applies remote truth values (variables now known false) and refines.
   // Keys reference global node ids; unknown keys (no local copy and not a
   // pushed variable) are ignored.
@@ -120,6 +128,7 @@ class LocalEngine {
   const Fragment* fragment_;
   const Pattern* pattern_;
   bool incremental_;
+  ThreadPool* pool_ = nullptr;  // borrowed; see SetExecutor
 
   EquationSystem system_;
   // var_ids_[local_node * |Vq| + u]; kNoVar when labels mismatch.

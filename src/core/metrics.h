@@ -26,8 +26,9 @@ struct AlgoCounters {
   std::atomic<uint32_t> supersteps{0};      // dMes supersteps
   // Payload bytes the V2 delta wire format avoided shipping, per message
   // class (exact: every encoder charges v1_body - v2_body when it emits a
-  // V2 body; always 0 under WireFormat::kV1Fixed). Control savings stay 0
-  // until subscription/tick payloads are delta-encoded too.
+  // V2 body; always 0 under WireFormat::kV1Fixed). Control savings come
+  // from the kSubscribe2 node lists; the remaining tick/flag/verdict
+  // payloads are 1-2 bytes and stay fixed-width.
   std::atomic<uint64_t> wire_saved_data_bytes{0};
   std::atomic<uint64_t> wire_saved_control_bytes{0};
   std::atomic<uint64_t> wire_saved_result_bytes{0};
@@ -63,6 +64,24 @@ struct AlgoCounters {
   }
 };
 
+// Per-class decode-drop counts of one run, surfaced from RunHealth. A
+// healthy run has all-zero drops; a poisoned run tells which message class
+// was corrupted and how many payloads the decoders rejected before the
+// cluster drained.
+struct DecodeDrops {
+  uint64_t data = 0;
+  uint64_t control = 0;
+  uint64_t result = 0;
+
+  uint64_t Total() const { return data + control + result; }
+
+  void Accumulate(const DecodeDrops& other) {
+    data += other.data;
+    control += other.control;
+    result += other.result;
+  }
+};
+
 struct DistOutcome {
   SimulationResult result;
   RunStats stats;
@@ -74,6 +93,8 @@ struct DistOutcome {
   // poisoned outcome into an error Status and stays usable for the next
   // query.
   Status health;
+  // Per-message-class decode drops behind `health` (all zero when ok).
+  DecodeDrops decode_drops;
 
   bool poisoned() const { return !health.ok(); }
 

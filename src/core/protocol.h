@@ -62,6 +62,8 @@ enum class WireTag : uint8_t {
   kMatches2 = 14,    // V2 delta match list
   kRequest2 = 15,    // V2 delta truth-value request
   kReply2 = 16,      // V2 delta truth-value reply (false subset only)
+  kSubscribe2 = 17,  // V2 delta subscription node list
+  kSubgraph2 = 18,   // V2 delta subgraph shipment
 };
 
 inline void PutTag(Blob& blob, WireTag tag) {
@@ -270,6 +272,198 @@ inline bool ReadTruthReplyFalses(Blob::Reader& reader, WireTag tag,
     const uint32_t gv = reader.GetU32();
     const uint16_t u = reader.GetU16();
     if (reader.GetU8() != 0) out->push_back(MakeVarKey(u, gv));
+  }
+  return reader.ok();
+}
+
+// --- Subscription node lists (push follow-up) -----------------------------
+
+// V1 payload: tag, u32 count, u32 global id per node. V2 (kSubscribe2):
+// varint count, varint first id, sorted varint gaps. `nodes` must be
+// sorted ascending and duplicate-free (the subscribe path sorts before
+// encoding); decoders of either layout return the ids as shipped. Returns
+// payload bytes saved vs V1 (0 when the V1 body was emitted).
+inline uint64_t AppendSubscribeList(Blob& blob,
+                                    const std::vector<NodeId>& nodes,
+                                    WireFormat format) {
+  const size_t v1_body = 4 + 4 * nodes.size();
+  if (format == WireFormat::kV2Delta) {
+    Blob body;
+    body.PutVarint(nodes.size());
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      body.PutVarint(i == 0 ? nodes[0] : nodes[i] - nodes[i - 1]);
+    }
+    if (body.size() < v1_body) {
+      PutTag(blob, WireTag::kSubscribe2);
+      blob.Append(body);
+      return v1_body - body.size();
+    }
+  }
+  PutTag(blob, WireTag::kSubscribe);
+  blob.PutU32(static_cast<uint32_t>(nodes.size()));
+  for (NodeId gv : nodes) blob.PutU32(gv);
+  return 0;
+}
+
+// Call with the reader positioned after the tag; `tag` selects the layout.
+inline bool ReadSubscribeList(Blob::Reader& reader, WireTag tag,
+                              std::vector<NodeId>* out) {
+  out->clear();
+  if (tag == WireTag::kSubscribe2) {
+    const uint64_t n = reader.GetVarint();
+    // Every id/gap varint takes at least one byte.
+    if (!reader.ok() || n > reader.Remaining()) return false;
+    out->reserve(n);
+    uint64_t id = 0;
+    for (uint64_t i = 0; i < n; ++i) {
+      const uint64_t delta = reader.GetVarint();
+      if (delta > 0xffffffffull) return false;  // would wrap the sum
+      id = (i == 0) ? delta : id + delta;
+      if (!reader.ok() || id > 0xffffffffull) return false;
+      out->push_back(static_cast<NodeId>(id));
+    }
+    return true;
+  }
+  if (tag != WireTag::kSubscribe) return false;
+  const uint32_t n = reader.GetU32();
+  if (!reader.ok() || n > reader.Remaining() / 4) return false;
+  out->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) out->push_back(reader.GetU32());
+  return reader.ok();
+}
+
+// --- Subgraph shipments (Match / disHHK) ----------------------------------
+
+// V1 payload: tag, u32 #nodes, (u32 global id, u32 label) per node,
+// u32 #edges, (u32 from, u32 to) per edge — emitted in the caller's order.
+// V2 (kSubgraph2) sorts copies and delta-encodes:
+//   varint #nodes, per node varint id gap (sorted by id) + varint label
+//   varint #source groups, per group varint source gap, varint edge count,
+//     varint first target, sorted varint target gaps
+// Returns payload bytes saved vs V1 (0 when the V1 body was emitted).
+inline uint64_t AppendSubgraph(
+    Blob& blob, const std::vector<std::pair<NodeId, Label>>& nodes,
+    const std::vector<std::pair<NodeId, NodeId>>& edges, WireFormat format) {
+  const size_t v1_body = 4 + 8 * nodes.size() + 4 + 8 * edges.size();
+  if (format == WireFormat::kV2Delta) {
+    std::vector<std::pair<NodeId, Label>> ns(nodes);
+    std::sort(ns.begin(), ns.end());
+    std::vector<std::pair<NodeId, NodeId>> es(edges);
+    std::sort(es.begin(), es.end());
+    Blob body;
+    body.PutVarint(ns.size());
+    for (size_t i = 0; i < ns.size(); ++i) {
+      body.PutVarint(i == 0 ? ns[0].first : ns[i].first - ns[i - 1].first);
+      body.PutVarint(ns[i].second);
+    }
+    size_t num_groups = 0;
+    for (size_t i = 0; i < es.size(); ++i) {
+      if (i == 0 || es[i].first != es[i - 1].first) ++num_groups;
+    }
+    body.PutVarint(num_groups);
+    size_t i = 0;
+    NodeId prev_src = 0;
+    while (i < es.size()) {
+      const NodeId src = es[i].first;
+      size_t end = i;
+      while (end < es.size() && es[end].first == src) ++end;
+      body.PutVarint(src - prev_src);  // first group: absolute (prev = 0)
+      prev_src = src;
+      body.PutVarint(end - i);
+      body.PutVarint(es[i].second);
+      for (size_t k = i + 1; k < end; ++k) {
+        body.PutVarint(es[k].second - es[k - 1].second);
+      }
+      i = end;
+    }
+    if (body.size() < v1_body) {
+      PutTag(blob, WireTag::kSubgraph2);
+      blob.Append(body);
+      return v1_body - body.size();
+    }
+  }
+  PutTag(blob, WireTag::kSubgraph);
+  blob.PutU32(static_cast<uint32_t>(nodes.size()));
+  for (auto [gid, label] : nodes) {
+    blob.PutU32(gid);
+    blob.PutU32(label);
+  }
+  blob.PutU32(static_cast<uint32_t>(edges.size()));
+  for (auto [from, to] : edges) {
+    blob.PutU32(from);
+    blob.PutU32(to);
+  }
+  return 0;
+}
+
+// Call with the reader positioned after the tag. Length-validated like the
+// other decoders; node/edge ids additionally checked against the 32-bit
+// range. Range checks against the actual graph size stay with the caller.
+inline bool ReadSubgraph(Blob::Reader& reader, WireTag tag,
+                         std::vector<std::pair<NodeId, Label>>* nodes,
+                         std::vector<std::pair<NodeId, NodeId>>* edges) {
+  nodes->clear();
+  edges->clear();
+  if (tag == WireTag::kSubgraph2) {
+    const uint64_t num_nodes = reader.GetVarint();
+    // Every node takes at least two varint bytes (id gap + label).
+    if (!reader.ok() || num_nodes > reader.Remaining() / 2) return false;
+    nodes->reserve(num_nodes);
+    uint64_t gid = 0;
+    for (uint64_t i = 0; i < num_nodes; ++i) {
+      const uint64_t gap = reader.GetVarint();
+      if (gap > 0xffffffffull) return false;
+      gid = (i == 0) ? gap : gid + gap;
+      const uint64_t label = reader.GetVarint();
+      if (!reader.ok() || gid > 0xffffffffull || label > 0xffffffffull) {
+        return false;
+      }
+      nodes->emplace_back(static_cast<NodeId>(gid),
+                          static_cast<Label>(label));
+    }
+    const uint64_t num_groups = reader.GetVarint();
+    // A group takes at least three varint bytes (gap, count, first target).
+    if (!reader.ok() || num_groups > reader.Remaining() / 3) return false;
+    uint64_t src = 0;
+    for (uint64_t g = 0; g < num_groups; ++g) {
+      const uint64_t src_gap = reader.GetVarint();
+      if (src_gap > 0xffffffffull) return false;
+      src = (g == 0) ? src_gap : src + src_gap;
+      const uint64_t count = reader.GetVarint();
+      // An empty group is never emitted; every target takes >= one byte.
+      if (!reader.ok() || src > 0xffffffffull || count == 0 ||
+          count > reader.Remaining()) {
+        return false;
+      }
+      edges->reserve(edges->size() + static_cast<size_t>(count));
+      uint64_t to = 0;
+      for (uint64_t k = 0; k < count; ++k) {
+        const uint64_t gap = reader.GetVarint();
+        if (gap > 0xffffffffull) return false;
+        to = (k == 0) ? gap : to + gap;
+        if (!reader.ok() || to > 0xffffffffull) return false;
+        edges->emplace_back(static_cast<NodeId>(src),
+                            static_cast<NodeId>(to));
+      }
+    }
+    return true;
+  }
+  if (tag != WireTag::kSubgraph) return false;
+  const uint32_t num_nodes = reader.GetU32();
+  if (!reader.ok() || num_nodes > reader.Remaining() / 8) return false;
+  nodes->reserve(num_nodes);
+  for (uint32_t i = 0; i < num_nodes; ++i) {
+    const NodeId gid = reader.GetU32();
+    const Label label = reader.GetU32();
+    nodes->emplace_back(gid, label);
+  }
+  const uint32_t num_edges = reader.GetU32();
+  if (!reader.ok() || num_edges > reader.Remaining() / 8) return false;
+  edges->reserve(num_edges);
+  for (uint32_t i = 0; i < num_edges; ++i) {
+    const NodeId from = reader.GetU32();
+    const NodeId to = reader.GetU32();
+    edges->emplace_back(from, to);
   }
   return reader.ok();
 }

@@ -38,6 +38,7 @@
 #ifndef DGS_CORE_SERVING_H_
 #define DGS_CORE_SERVING_H_
 
+#include <array>
 #include <atomic>
 #include <memory>
 #include <mutex>
@@ -104,7 +105,10 @@ struct QueryOptions {
 
 // Poison flag shared by the actors of one run. The first failure wins and
 // records its reason; every subsequent callback drains without acting, so
-// a poisoned run still reaches quiescence deterministically.
+// a poisoned run still reaches quiescence deterministically. Decode
+// failures are additionally counted per message class (PoisonDecode), so
+// the caller can tell which traffic class was corrupted and how often —
+// the counts ride along in DistOutcome::decode_drops.
 class RunHealth {
  public:
   RunHealth() = default;
@@ -123,6 +127,18 @@ class RunHealth {
     poisoned_.store(true, std::memory_order_release);
   }
 
+  // Records a payload of class `cls` that failed to decode, then poisons
+  // the run. Every corrupt-payload site in the actors goes through here.
+  void PoisonDecode(MessageClass cls, std::string reason) {
+    drops_[static_cast<size_t>(cls)].fetch_add(1, std::memory_order_relaxed);
+    Poison(std::move(reason));
+  }
+
+  // Number of payloads of `cls` dropped by decoders this run.
+  uint64_t decode_drops(MessageClass cls) const {
+    return drops_[static_cast<size_t>(cls)].load(std::memory_order_relaxed);
+  }
+
   // Ok when the run stayed healthy, DataLoss with the first reason after
   // poisoning.
   Status ToStatus() const {
@@ -133,6 +149,7 @@ class RunHealth {
 
  private:
   std::atomic<bool> poisoned_{false};
+  std::array<std::atomic<uint64_t>, 3> drops_{};  // indexed by MessageClass
   mutable std::mutex mu_;
   std::string reason_;
 };
@@ -187,6 +204,23 @@ class Deployment {
     coordinator()->EndQuery();
   }
 };
+
+// Runs fn(i) for i in [0, n), on `pool` when one is available. The actors
+// use this for their per-destination fan-out encode loops: every slot i
+// must touch only slot-local state (its own Blob / counters slot), and the
+// caller performs the Sends afterwards in destination order, so the wire
+// bytes and accounting stay identical for every thread count. Inside a
+// busy multi-site round the pool executes the calls inline (reentrancy
+// rule); in a single-active-site round the idle lanes overlap the
+// serialization with nothing else to do.
+template <typename Fn>
+inline void ParallelEncodePayloads(ThreadPool* pool, size_t n, const Fn& fn) {
+  if (pool != nullptr && n > 1) {
+    pool->ParallelFor(n, fn);
+  } else {
+    for (size_t i = 0; i < n; ++i) fn(i);
+  }
+}
 
 // Serves a single query over `deployment` on a throwaway cluster: bind,
 // run, collect (unless poisoned), end. The shared engine of the one-shot

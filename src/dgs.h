@@ -31,6 +31,7 @@
 #include "simulation/incremental.h"
 #include "simulation/isomorphism.h"
 #include "simulation/oracle.h"
+#include "simulation/relax.h"
 #include "simulation/simulation.h"
 #include "simulation/strong.h"
 #include "util/bitset.h"

@@ -14,6 +14,8 @@ WireFormat SiteContext::wire_format() const {
   return cluster_->options_.wire_format;
 }
 
+ThreadPool* SiteContext::pool() const { return cluster_->pool_.get(); }
+
 void SiteContext::Send(uint32_t dst, MessageClass cls, Blob payload) {
   DGS_CHECK(dst <= cluster_->NumWorkers(), "destination site out of range");
   Message m;
@@ -33,6 +35,9 @@ Cluster::Cluster(uint32_t num_workers, ClusterOptions options)
   // spawn overhead — and this also defuses absurd requests (e.g. a
   // negative knob cast to ~4e9) before ThreadPool tries to honor them.
   options_.num_threads = std::min(options_.num_threads, num_workers_ + 1);
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
   actors_.resize(num_workers_ + 1, nullptr);
   owned_.resize(num_workers_ + 1);
 }
@@ -111,10 +116,7 @@ double Cluster::RunRound(const std::vector<uint32_t>& site_ids, Fn&& fn) {
     durations[i] = timer.ElapsedSeconds();
   };
 
-  if (options_.num_threads > 1 && n > 1) {
-    if (pool_ == nullptr) {
-      pool_ = std::make_unique<ThreadPool>(options_.num_threads);
-    }
+  if (pool_ != nullptr && n > 1) {
     pool_->ParallelFor(n, run_one);
   } else {
     for (size_t i = 0; i < n; ++i) run_one(i);

@@ -68,6 +68,18 @@ class SiteContext {
   // self-describing payload tags and never need it.
   WireFormat wire_format() const;
 
+  // The runtime's executor, for intra-callback parallelism (null when the
+  // cluster runs sequentially, i.e. num_threads == 1). Actors may hand it
+  // to ComputeSimulation/LocalEngine/EquationSystem drains or use it to
+  // encode per-destination payloads concurrently. Safe in every round:
+  // when the pool is already driving a multi-site round, nested calls run
+  // inline on the calling lane (ThreadPool's reentrancy rule); in a
+  // single-active-site round — coordinator-side solves, which is where the
+  // heavy intra-callback work lives — the idle lanes provide real
+  // parallelism. Determinism obligations stay with the actor: anything
+  // executed on the pool must produce thread-count-invariant results.
+  ThreadPool* pool() const;
+
   void Send(uint32_t dst, MessageClass cls, Blob payload);
 
  private:
@@ -214,7 +226,10 @@ class Cluster {
 
   uint32_t num_workers_;
   ClusterOptions options_;
-  std::unique_ptr<ThreadPool> pool_;  // created on demand when threads > 1
+  // Created eagerly when num_threads > 1 (actors may borrow it through
+  // SiteContext::pool() from the very first Setup round); null in the
+  // sequential reference mode.
+  std::unique_ptr<ThreadPool> pool_;
   std::vector<SiteActor*> actors_;    // size num_workers_ + 1 (dispatch)
   std::vector<std::unique_ptr<SiteActor>> owned_;  // owning slots (or null)
   // Pooled per-round buffers: one outbox + duration slot per active site,

@@ -2,10 +2,16 @@
 
 #include <algorithm>
 
+#include "simulation/relax.h"
+
 namespace dgs {
 
-IncrementalSimulation::IncrementalSimulation(const Pattern& q, const Graph& g)
-    : pattern_(&q), num_nodes_(g.NumNodes()) {
+IncrementalSimulation::IncrementalSimulation(const Pattern& q, const Graph& g,
+                                             uint32_t num_threads)
+    : pattern_(&q),
+      num_nodes_(g.NumNodes()),
+      num_threads_(num_threads == 0 ? ThreadPool::HardwareThreads()
+                                    : num_threads) {
   out_.resize(num_nodes_);
   in_.resize(num_nodes_);
   for (NodeId v = 0; v < num_nodes_; ++v) {
@@ -25,19 +31,20 @@ IncrementalSimulation::IncrementalSimulation(const Pattern& q, const Graph& g)
       sim_[u].Set(v);
     }
   }
-  count_.assign(nq, std::vector<uint32_t>(num_nodes_, 0));
+  count_.assign(nq * num_nodes_, 0);
   for (NodeId v = 0; v < num_nodes_; ++v) {
     for (NodeId w : out_[v]) {
       for (NodeId u = 0; u < nq; ++u) {
-        if (sim_[u].Test(w)) ++count_[u][v];
+        if (sim_[u].Test(w)) ++count_[u * num_nodes_ + v];
       }
     }
   }
   for (NodeId u = 0; u < nq; ++u) {
     for (NodeId uc : q.Children(u)) {
+      const uint32_t* support = count_.data() + uc * num_nodes_;
       std::vector<NodeId> doomed;
       sim_[u].ForEachSet([&](size_t v) {
-        if (count_[uc][v] == 0) doomed.push_back(static_cast<NodeId>(v));
+        if (support[v] == 0) doomed.push_back(static_cast<NodeId>(v));
       });
       for (NodeId v : doomed) Enqueue(u, v);
     }
@@ -53,12 +60,33 @@ void IncrementalSimulation::Enqueue(NodeId query_node, NodeId data_node) {
 }
 
 size_t IncrementalSimulation::Propagate() {
+  // A single DeleteEdge seeds at most a handful of pairs, so the cascade
+  // size is unknowable up front. Drain sequentially within a budget; a
+  // cascade still growing past it is "large" (the construction fixpoint
+  // always is) and the remaining worklist escalates to the partitioned
+  // chaotic-relaxation drain — the escalation point depends only on the
+  // worklist contents, so the repaired relation, the counters, and the
+  // return value stay bit-identical for every thread count.
+  const bool may_parallelize =
+      num_threads_ > 1 && num_nodes_ >= kParallelRefineMinNodes;
+  const size_t budget = 4 * kParallelRefineSeedsPerLane * num_threads_;
   size_t head = 0;
   while (head < worklist_.size()) {
+    if (may_parallelize && head >= budget && worklist_.size() > head) {
+      if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(num_threads_);
+      std::vector<std::pair<NodeId, NodeId>> rest(worklist_.begin() + head,
+                                                  worklist_.end());
+      const size_t tail = ParallelRefine(
+          *pool_, *pattern_, num_nodes_, sim_, count_.data(), std::move(rest),
+          [&](NodeId v) -> const std::vector<NodeId>& { return in_[v]; },
+          nullptr, &scratch_);
+      worklist_.clear();
+      return head + tail;
+    }
     auto [u, v] = worklist_[head++];
     for (NodeId p : in_[v]) {
-      DGS_DCHECK(count_[u][p] > 0, "support underflow");
-      if (--count_[u][p] == 0) {
+      DGS_DCHECK(count_[u * num_nodes_ + p] > 0, "support underflow");
+      if (--count_[u * num_nodes_ + p] == 0) {
         for (NodeId up : pattern_->Parents(u)) Enqueue(up, p);
       }
     }
@@ -82,8 +110,9 @@ size_t IncrementalSimulation::DeleteEdge(NodeId from, NodeId to) {
   for (NodeId u = 0; u < nq; ++u) {
     // `from` lost one u-supporter if `to` was one.
     if (sim_[u].Test(to)) {
-      DGS_DCHECK(count_[u][from] > 0, "support underflow on delete");
-      if (--count_[u][from] == 0) {
+      DGS_DCHECK(count_[u * num_nodes_ + from] > 0,
+                 "support underflow on delete");
+      if (--count_[u * num_nodes_ + from] == 0) {
         for (NodeId up : pattern_->Parents(u)) Enqueue(up, from);
       }
     }

@@ -13,12 +13,15 @@
 #ifndef DGS_SIMULATION_INCREMENTAL_H_
 #define DGS_SIMULATION_INCREMENTAL_H_
 
+#include <memory>
 #include <vector>
 
 #include "graph/graph.h"
 #include "graph/pattern.h"
+#include "simulation/relax.h"
 #include "simulation/simulation.h"
 #include "util/bitset.h"
+#include "util/thread_pool.h"
 
 namespace dgs {
 
@@ -26,8 +29,12 @@ namespace dgs {
 class IncrementalSimulation {
  public:
   // Copies the graph's adjacency into a mutable form and computes the
-  // initial fixpoint.
-  IncrementalSimulation(const Pattern& q, const Graph& g);
+  // initial fixpoint. `num_threads` > 1 drains large removal cascades with
+  // the partitioned chaotic-relaxation pass (simulation/relax.h); the
+  // maintained relation, the support counters, and every DeleteEdge return
+  // value are bit-identical for every width (0 = all hardware threads).
+  IncrementalSimulation(const Pattern& q, const Graph& g,
+                        uint32_t num_threads = 1);
 
   // Deletes the edge (from, to) and repairs the match relation. Returns the
   // number of (query node, data node) pairs that became false. Deleting an
@@ -50,13 +57,18 @@ class IncrementalSimulation {
 
   const Pattern* pattern_;
   size_t num_nodes_;
+  uint32_t num_threads_;
+  std::unique_ptr<ThreadPool> pool_;  // created on the first parallel drain
+  RefineScratch scratch_;  // per-shard buffers reused across cascades
   // Mutable adjacency (sorted vectors; deletion via binary search + erase).
   std::vector<std::vector<NodeId>> out_;
   std::vector<std::vector<NodeId>> in_;
-  // sim_[u] = current candidate set; count_[u][v] = surviving successors of
-  // v in sim_[u] (the HHK support counters, kept alive between deletions).
+  // sim_[u] = current candidate set; count_[u * num_nodes_ + v] = surviving
+  // successors of v in sim_[u] (the HHK support counters, kept alive
+  // between deletions — flat so the parallel drain can share them with
+  // ComputeSimulation's relaxation pass).
   std::vector<DynamicBitset> sim_;
-  std::vector<std::vector<uint32_t>> count_;
+  std::vector<uint32_t> count_;
   std::vector<std::pair<NodeId, NodeId>> worklist_;
 };
 

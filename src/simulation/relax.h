@@ -1,0 +1,199 @@
+// Partitioned chaotic relaxation — the shared engine behind every parallel
+// fixpoint-tail drain in the codebase.
+//
+// The greatest-fixpoint refinements here are monotone worklist drains:
+// ComputeSimulation / IncrementalSimulation remove (query node, data node)
+// pairs and decrement HHK support counters; EquationSystem flips Boolean
+// variables and decrements group support. The fixpoint is unique, so the
+// drain order is irrelevant — exactly the property chaotic relaxation
+// exploits. The work is partitioned into contiguous shards that each own
+// their items' mutable state; each shard drains its worklist on its own
+// lane, and cross-shard consequences travel through per-(source, dest)
+// inboxes that are swapped at a round barrier. Support counters are the
+// only memory shared mid-round; they are decremented through
+// std::atomic_ref, whose read-modify-write makes the zero crossing fire
+// exactly once — the same exactly-once semantics the sequential drain gets
+// from program order. Results are therefore bit-identical to the
+// sequential drain for every shard count and every schedule.
+//
+// ChaoticRelaxRounds is the synchronization skeleton (rounds, double
+// buffers, termination scan) shared by both instantiations; ParallelRefine
+// is the HHK-counter instantiation used by the simulation kernels, and
+// EquationSystem::PropagateParallel (core/booleq.cc) is the Boolean-solver
+// one.
+
+#ifndef DGS_SIMULATION_RELAX_H_
+#define DGS_SIMULATION_RELAX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "graph/pattern.h"
+#include "util/bitset.h"
+#include "util/thread_pool.h"
+
+namespace dgs {
+
+// Below this many data nodes the sharded drain's round barriers cost more
+// than the drain itself; callers fall back to the sequential loop.
+inline constexpr size_t kParallelRefineMinNodes = 4096;
+// Seed floor per lane for ThreadPool::WorthParallelizing — a drain seeded
+// with fewer pairs per lane rarely cascades enough to amortize a round.
+inline constexpr size_t kParallelRefineSeedsPerLane = 8;
+
+// Reusable per-shard buffers of one sharded drain. A caller that drains
+// repeatedly over the same state (IncrementalSimulation, one call per
+// deletion cascade) keeps one instance alive so steady-state drains
+// allocate nothing; one-shot callers let the drain use a throwaway.
+template <typename Item>
+struct ShardScratch {
+  std::vector<std::vector<Item>> worklists;  // per shard
+  // Cross-shard consequences, double-buffered per (source, dest) slot:
+  // each shard appends only to its own `next` row and reads only its own
+  // `cur` column, so no slot is ever touched by two lanes in the same
+  // round. The round barrier publishes next -> cur.
+  std::vector<std::vector<Item>> cur, next;
+
+  // Sizes for `num_shards`, keeping the capacity of previous drains.
+  void Reset(uint32_t num_shards) {
+    const size_t slots = static_cast<size_t>(num_shards) * num_shards;
+    if (worklists.size() < num_shards) worklists.resize(num_shards);
+    if (cur.size() < slots) cur.resize(slots);
+    if (next.size() < slots) next.resize(slots);
+    for (auto& wl : worklists) wl.clear();
+    for (auto& inbox : cur) inbox.clear();
+    for (auto& inbox : next) inbox.clear();
+  }
+};
+
+// Drains the seeded per-shard worklists in `s` to quiescence.
+//
+//   try_acquire(item)        claims an item for processing: tests the
+//                            item's "still live" bit and clears it (the
+//                            caller's state, owned by the item's shard).
+//                            Exactly the dedup the sequential drain gets
+//                            from testing before enqueueing. Seeds must be
+//                            pre-claimed (their bit already cleared).
+//   relax(shard, item, emit) performs the monotone step, calling
+//                            emit(dest_shard, item) for every consequence;
+//                            same-shard consequences are acquired and
+//                            drained immediately, cross-shard ones ride
+//                            the inboxes into the next round.
+//   stop()                   optional; checked at each round barrier, a
+//                            true return abandons the drain early.
+//
+// Thread-safety contract: try_acquire/relax run concurrently on distinct
+// shards; anything they share across shards must be atomic (the support
+// counters) or read-only.
+template <typename Item, typename TryAcquireFn, typename RelaxFn>
+void ChaoticRelaxRounds(ThreadPool& pool, uint32_t num_shards,
+                        ShardScratch<Item>& s,
+                        const TryAcquireFn& try_acquire, const RelaxFn& relax,
+                        const std::function<bool()>& stop = nullptr) {
+  auto drain_shard = [&](size_t sh) {
+    auto& worklist = s.worklists[sh];
+    auto emit = [&](uint32_t dest, const Item& item) {
+      if (dest == sh) {
+        if (try_acquire(item)) worklist.push_back(item);
+      } else {
+        s.next[sh * num_shards + dest].push_back(item);
+      }
+    };
+    for (uint32_t t = 0; t < num_shards; ++t) {
+      auto& inbox = s.cur[static_cast<size_t>(t) * num_shards + sh];
+      for (const Item& item : inbox) {
+        if (try_acquire(item)) worklist.push_back(item);
+      }
+      inbox.clear();
+    }
+    while (!worklist.empty()) {
+      Item item = worklist.back();
+      worklist.pop_back();
+      relax(sh, item, emit);
+    }
+  };
+
+  while (true) {
+    pool.ParallelFor(num_shards, drain_shard);
+    std::swap(s.cur, s.next);
+    bool pending = false;
+    for (uint32_t t = 0; t < num_shards && !pending; ++t) {
+      for (uint32_t d = 0; d < num_shards && !pending; ++d) {
+        pending = !s.cur[static_cast<size_t>(t) * num_shards + d].empty();
+      }
+    }
+    if (!pending) break;
+    if (stop && stop()) break;
+  }
+}
+
+// HHK-counter instantiation: drains `seed` to the greatest fixpoint with
+// one data-node-range shard per pool lane.
+//
+//   sim[u]        candidate bitset of query node u over n data nodes; the
+//                 bit of every seed pair must already be cleared (the same
+//                 contract the sequential worklists use).
+//   count         flat nq x n support counters, count[u * n + v]; mutated
+//                 in place, final values identical to a sequential drain.
+//   in_neighbors  in_neighbors(v) -> range of NodeId predecessors of v.
+//   stop/scratch  see ChaoticRelaxRounds / ShardScratch.
+//
+// Returns the number of (query node, data node) pairs processed, seeds
+// included. Nothing else may touch sim or count while the drain runs.
+using RefineScratch = ShardScratch<std::pair<NodeId, NodeId>>;
+
+template <typename InNeighborsFn>
+size_t ParallelRefine(ThreadPool& pool, const Pattern& q, size_t n,
+                      std::vector<DynamicBitset>& sim, uint32_t* count,
+                      std::vector<std::pair<NodeId, NodeId>> seed,
+                      const InNeighborsFn& in_neighbors,
+                      const std::function<bool()>& stop = nullptr,
+                      RefineScratch* scratch = nullptr) {
+  // Word-aligned contiguous shards: every 64-bit sim word (and every data
+  // node) has exactly one owning shard, so only the owner writes it.
+  const size_t lanes = pool.num_threads();
+  size_t block = (n + lanes - 1) / lanes;
+  block = (block + 63) & ~size_t{63};
+  const uint32_t num_shards = static_cast<uint32_t>((n + block - 1) / block);
+
+  RefineScratch own;
+  RefineScratch& s = scratch != nullptr ? *scratch : own;
+  s.Reset(num_shards);
+  for (auto [u, v] : seed) {
+    s.worklists[v / block].emplace_back(u, v);
+  }
+
+  std::vector<size_t> processed(num_shards, 0);
+  auto try_acquire = [&](const std::pair<NodeId, NodeId>& e) {
+    // Only the owner lane of e.second reaches here, and a bit flips once.
+    if (!sim[e.first].Test(e.second)) return false;
+    sim[e.first].Reset(e.second);
+    return true;
+  };
+  auto relax = [&](size_t sh, const std::pair<NodeId, NodeId>& e,
+                   const auto& emit) {
+    ++processed[sh];
+    const auto [u, v] = e;
+    for (NodeId p : in_neighbors(v)) {
+      std::atomic_ref<uint32_t> support(count[static_cast<size_t>(u) * n + p]);
+      if (support.fetch_sub(1, std::memory_order_relaxed) == 1) {
+        const uint32_t owner = static_cast<uint32_t>(p / block);
+        for (NodeId up : q.Parents(u)) {
+          emit(owner, {up, p});
+        }
+      }
+    }
+  };
+  ChaoticRelaxRounds(pool, num_shards, s, try_acquire, relax, stop);
+
+  size_t total = 0;
+  for (size_t c : processed) total += c;
+  return total;
+}
+
+}  // namespace dgs
+
+#endif  // DGS_SIMULATION_RELAX_H_

@@ -1,9 +1,12 @@
 #include "simulation/simulation.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "graph/algorithms.h"
+#include "simulation/relax.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace dgs {
 
@@ -48,6 +51,18 @@ SimulationResult ComputeSimulation(const Pattern& q, const Graph& g,
                                    const SimulationOptions& options) {
   const size_t nq = q.NumNodes();
   const size_t n = g.NumNodes();
+  WallTimer phase_timer;
+  auto mark_build = [&] {
+    if (options.phases) {
+      options.phases->build_seconds = phase_timer.ElapsedSeconds();
+      phase_timer.Restart();
+    }
+  };
+  auto mark_drain = [&] {
+    if (options.phases) {
+      options.phases->drain_seconds = phase_timer.ElapsedSeconds();
+    }
+  };
 
   // Label indexes over both node sets: data-node buckets seed the candidate
   // sets in O(|bucket|) instead of O(|V|) per query node, and query-node
@@ -95,12 +110,26 @@ SimulationResult ComputeSimulation(const Pattern& q, const Graph& g,
   };
   uint32_t threads = options.num_threads == 0 ? ThreadPool::HardwareThreads()
                                               : options.num_threads;
-  if (threads > 1 && n >= 4096) {
-    ThreadPool pool(threads);
-    pool.ParallelForBlocks(n, 4096, build_counts);
+  ThreadPool* pool = options.pool;
+  // A borrowed pool that is already mid-round would run every dispatch
+  // inline (nested-call rule); the sequential path is strictly better.
+  if (pool != nullptr && pool->InJobContext()) {
+    pool = nullptr;
+    threads = 1;
+  }
+  if (pool != nullptr) threads = pool->num_threads();
+  std::unique_ptr<ThreadPool> owned_pool;
+  if (threads > 1 && n >= kParallelRefineMinNodes && pool == nullptr) {
+    owned_pool = std::make_unique<ThreadPool>(threads);
+    pool = owned_pool.get();
+  }
+  const bool parallel = threads > 1 && n >= kParallelRefineMinNodes;
+  if (parallel) {
+    pool->ParallelForBlocks(n, 4096, build_counts);
   } else {
     build_counts(0, n);
   }
+  mark_build();
 
   // Seed the removal worklist: v in sim[u] requires count[u'][v] > 0 for
   // every child u' of u.
@@ -121,8 +150,29 @@ SimulationResult ComputeSimulation(const Pattern& q, const Graph& g,
     }
   }
 
-  // Refinement loop: each removal costs O(in-degree of v) plus the parent
-  // fan-out of u, for O((|Vq|+|V|)(|Eq|+|E|)) total.
+  if (parallel &&
+      pool->WorthParallelizing(worklist.size(), kParallelRefineSeedsPerLane)) {
+    // Partitioned chaotic relaxation (simulation/relax.h): same fixpoint,
+    // same final counters, any shard count. Boolean-only mode may abandon
+    // the drain at a round barrier once some candidate set emptied.
+    std::function<bool()> stop;
+    if (options.boolean_only) {
+      stop = [&] {
+        for (const auto& set : sim) {
+          if (set.None()) return true;
+        }
+        return false;
+      };
+    }
+    ParallelRefine(
+        *pool, q, n, sim, count.data(), std::move(worklist),
+        [&](NodeId v) { return g.InNeighbors(v); }, stop);
+    mark_drain();
+    return SimulationResult(std::move(sim), n);
+  }
+
+  // Sequential refinement loop: each removal costs O(in-degree of v) plus
+  // the parent fan-out of u, for O((|Vq|+|V|)(|Eq|+|E|)) total.
   size_t head = 0;
   while (head < worklist.size()) {
     auto [u, v] = worklist[head++];
@@ -144,6 +194,7 @@ SimulationResult ComputeSimulation(const Pattern& q, const Graph& g,
       }
     }
   }
+  mark_drain();
 
   return SimulationResult(std::move(sim), n);
 }

@@ -17,6 +17,8 @@
 
 namespace dgs {
 
+class ThreadPool;
+
 // Result of a simulation query. Holds the greatest fixpoint of the
 // refinement operator; the relation Q(G) is that fixpoint when every query
 // node has at least one match, and empty otherwise (Section 2.1).
@@ -54,15 +56,30 @@ class SimulationResult {
   bool graph_matches_ = false;
 };
 
+// Optional per-phase wall-clock breakdown of one ComputeSimulation call
+// (bench_scaling tracks the refinement-drain speedup across PRs).
+struct SimulationPhases {
+  double build_seconds = 0;  // support-counter construction
+  double drain_seconds = 0;  // worklist seeding + refinement drain
+};
+
 struct SimulationOptions {
   // Stop as soon as some query node's candidate set becomes empty; the
   // fixpoint sets are then unspecified but GraphMatches() is exact. Used for
   // Boolean pattern queries.
   bool boolean_only = false;
-  // Executor width for the O(|E||Vq|)-dominant support-counter construction
-  // (1 = sequential, 0 = all hardware threads). The result is identical for
-  // every value; the refinement worklist itself is always sequential.
+  // Executor width (1 = sequential, 0 = all hardware threads). Covers both
+  // the O(|E||Vq|)-dominant support-counter construction and the refinement
+  // worklist drain (partitioned chaotic relaxation, see simulation/relax.h).
+  // The result is bit-identical for every value.
   uint32_t num_threads = 1;
+  // Borrowed executor. When set it is used instead of spawning a pool and
+  // its width overrides num_threads — the cluster actors pass
+  // SiteContext::pool() here so a coordinator-side solve can reuse the
+  // runtime's idle lanes. Must outlive the call; may be null.
+  ThreadPool* pool = nullptr;
+  // When non-null, filled with the per-phase timing breakdown.
+  SimulationPhases* phases = nullptr;
 };
 
 // Computes the maximum simulation of `q` in `g`.

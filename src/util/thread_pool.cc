@@ -32,6 +32,8 @@ ThreadPool::~ThreadPool() {
   for (std::thread& t : workers_) t.join();
 }
 
+bool ThreadPool::InJobContext() const { return tls_running_pool == this; }
+
 uint32_t ThreadPool::HardwareThreads() {
   unsigned n = std::thread::hardware_concurrency();
   return n == 0 ? 1 : static_cast<uint32_t>(n);

@@ -55,6 +55,25 @@ class ThreadPool {
   void ParallelForBlocks(size_t n, size_t grain,
                          const std::function<void(size_t, size_t)>& fn);
 
+  // Cheap work-count heuristic for callers choosing between their serial
+  // and parallel paths: true when `items` roughly-uniform work items give
+  // every lane at least `min_items_per_lane` of them — below that the
+  // wake/barrier cost of a dispatch outweighs the work. Single-lane pools
+  // never parallelize. The caller remains responsible for thread-count
+  // invariance of the results, so gating on the (width-dependent) answer
+  // is safe.
+  bool WorthParallelizing(size_t items, size_t min_items_per_lane) const {
+    return !workers_.empty() &&
+           items >= min_items_per_lane * (workers_.size() + 1);
+  }
+
+  // True when the calling thread is already executing one of this pool's
+  // jobs. A nested ParallelFor would run inline (see above), so sharded
+  // algorithms that only pay off with real lanes (simulation/relax.h,
+  // EquationSystem::PropagateParallel) use this to take their plain
+  // sequential path instead of the sharded one.
+  bool InJobContext() const;
+
   // Hardware threads available to this process (>= 1).
   static uint32_t HardwareThreads();
 

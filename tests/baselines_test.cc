@@ -32,11 +32,21 @@ TEST(MatchTest, ShipsTheWholeGraph) {
   spec.kind = PatternKind::kCyclic;
   auto q = ExtractPattern(g, spec, rng);
   ASSERT_TRUE(q.ok());
-  auto outcome = RunMatch(frag, *q, BaselineConfig{});
-  // Every node ships 8 bytes and every edge 8 bytes, plus headers.
+  // Under V1 every node ships 8 fixed bytes and every edge 8, plus headers.
+  ClusterOptions v1;
+  v1.wire_format = WireFormat::kV1Fixed;
+  auto outcome_v1 = RunMatch(frag, *q, BaselineConfig{}, v1);
   uint64_t floor = 8ull * (g.NumNodes() + g.NumEdges());
-  EXPECT_GE(outcome.stats.data_bytes, floor);
-  EXPECT_TRUE(outcome.result == ComputeSimulation(*q, g));
+  EXPECT_GE(outcome_v1.stats.data_bytes, floor);
+  EXPECT_TRUE(outcome_v1.result == ComputeSimulation(*q, g));
+  // The default V2 delta subgraph ships strictly less, the savings counter
+  // accounts for exactly the difference, and the answer is identical.
+  auto outcome = RunMatch(frag, *q, BaselineConfig{});
+  EXPECT_LT(outcome.stats.data_bytes, outcome_v1.stats.data_bytes);
+  EXPECT_EQ(outcome.stats.data_bytes +
+                outcome.counters.wire_saved_data_bytes.load(),
+            outcome_v1.stats.data_bytes);
+  EXPECT_TRUE(outcome.result == outcome_v1.result);
 }
 
 TEST(DisHhkTest, SocialExample) {

@@ -12,6 +12,7 @@
 #include "graph/generators.h"
 #include "partition/partitioner.h"
 #include "simulation/simulation.h"
+#include "test_env.h"
 
 namespace dgs {
 namespace {
@@ -178,9 +179,9 @@ TEST(EngineTest, BorrowedAndAdoptedFragmentationsAgree) {
   auto frag = Fragmentation::Create(ex.g, ex.assignment, 3);
   ASSERT_TRUE(frag.ok());
 
-  auto borrowed = Engine::Create(ex.g, &*frag, EngineOptions{});
+  auto borrowed = Engine::Create(ex.g, &*frag, dgs::testing::TestEngineOptions());
   ASSERT_TRUE(borrowed.ok());
-  auto adopted = Engine::Create(ex.g, *frag, EngineOptions{});  // copy in
+  auto adopted = Engine::Create(ex.g, *frag, dgs::testing::TestEngineOptions());  // copy in
   ASSERT_TRUE(adopted.ok());
 
   QueryOptions query;
@@ -195,7 +196,7 @@ TEST(EngineTest, BorrowedAndAdoptedFragmentationsAgree) {
 
 TEST(EngineTest, MatchBatchAccumulatesPerQueryMetrics) {
   auto ex = MakeSocialExample();
-  auto engine = Engine::Create(ex.g, ex.assignment, 3, EngineOptions{});
+  auto engine = Engine::Create(ex.g, ex.assignment, 3, dgs::testing::TestEngineOptions());
   ASSERT_TRUE(engine.ok());
 
   std::vector<Pattern> stream(4, ex.q);
@@ -225,7 +226,7 @@ TEST(EngineTest, MatchBatchAccumulatesPerQueryMetrics) {
 
 TEST(EngineTest, StaysUsableAfterFailedQueries) {
   auto ex = MakeSocialExample();  // cyclic G
-  auto engine = Engine::Create(ex.g, ex.assignment, 3, EngineOptions{});
+  auto engine = Engine::Create(ex.g, ex.assignment, 3, dgs::testing::TestEngineOptions());
   ASSERT_TRUE(engine.ok());
 
   // Structural precondition failure.
@@ -260,7 +261,7 @@ TEST(EngineTest, AutoDispatchMatchesOneShotAuto) {
   ASSERT_TRUE(part.ok());
   Pattern chain(MakeGraph({0, 1}, {{0, 1}}));
 
-  auto engine = Engine::Create(tree, *part, 3, EngineOptions{});
+  auto engine = Engine::Create(tree, *part, 3, dgs::testing::TestEngineOptions());
   ASSERT_TRUE(engine.ok());
   auto served = (*engine)->Match(chain, QueryOptions{});  // default kAuto
   ASSERT_TRUE(served.ok());
@@ -277,16 +278,26 @@ TEST(EngineTest, AutoDispatchMatchesOneShotAuto) {
 // process, and the resident deployment serves the next query unharmed.
 class CorruptingActor : public SiteActor {
  public:
+  // Ships a truncated payload of the given tag/class to `dst`.
+  CorruptingActor(uint32_t dst, MessageClass cls, WireTag tag)
+      : dst_(dst), cls_(cls), tag_(tag) {}
+  CorruptingActor() = default;
+
   void Setup(SiteContext& ctx) override {
     Blob blob;
-    PutTag(blob, WireTag::kFalseVars);
+    PutTag(blob, tag_);
     blob.PutU32(1000);  // declares 1000 records, ships none
-    ctx.Send(1, MessageClass::kData, std::move(blob));
+    ctx.Send(dst_, cls_, std::move(blob));
   }
   void OnMessages(SiteContext& ctx, std::vector<Message> inbox) override {
     (void)ctx;
     (void)inbox;
   }
+
+ private:
+  uint32_t dst_ = 1;
+  MessageClass cls_ = MessageClass::kData;
+  WireTag tag_ = WireTag::kFalseVars;
 };
 
 TEST(EngineTest, CorruptPayloadPoisonsRunInsteadOfAborting) {
@@ -312,6 +323,11 @@ TEST(EngineTest, CorruptPayloadPoisonsRunInsteadOfAborting) {
   cluster.Run();  // must terminate, not abort
   EXPECT_TRUE(health.poisoned());
   EXPECT_EQ(health.ToStatus().code(), StatusCode::kDataLoss);
+  // Exactly one data payload failed to decode; the per-class drop counters
+  // localize the poison to the corrupted traffic class.
+  EXPECT_EQ(health.decode_drops(MessageClass::kData), 1u);
+  EXPECT_EQ(health.decode_drops(MessageClass::kControl), 0u);
+  EXPECT_EQ(health.decode_drops(MessageClass::kResult), 0u);
   deployment->EndQuery();
 
   // The same deployment, re-bound with healthy actors, still answers.
@@ -325,14 +341,58 @@ TEST(EngineTest, CorruptPayloadPoisonsRunInsteadOfAborting) {
   cluster.Reset();
   cluster.Run();
   EXPECT_FALSE(health2.poisoned());
+  EXPECT_EQ(health2.decode_drops(MessageClass::kData), 0u);
   SimulationResult result = deployment->Collect(&counters2);
   deployment->EndQuery();
   EXPECT_TRUE(result == ComputeSimulation(ex.q, ex.g));
 }
 
+// Drops are charged to the class of the corrupted message, so a poisoned
+// result collection is distinguishable from poisoned query traffic.
+TEST(EngineTest, DecodeDropsAreCountedPerMessageClass) {
+  auto ex = MakeSocialExample();
+  auto frag = Fragmentation::Create(ex.g, ex.assignment, 3);
+  ASSERT_TRUE(frag.ok());
+  auto deployment = MakeDgpmDeployment(&*frag);
+
+  AlgoCounters counters;
+  RunHealth health;
+  QueryContext query;
+  query.pattern = &ex.q;
+  query.counters = &counters;
+  query.health = &health;
+  query.options.algorithm = Algorithm::kDgpm;
+
+  Cluster cluster(3);
+  deployment->BindQuery(query);
+  BindToCluster(cluster, *deployment);
+  CorruptingActor corruptor(cluster.CoordinatorId(), MessageClass::kResult,
+                            WireTag::kMatches);
+  cluster.BindWorker(0, &corruptor);
+
+  cluster.Run();
+  EXPECT_TRUE(health.poisoned());
+  EXPECT_EQ(health.decode_drops(MessageClass::kData), 0u);
+  EXPECT_EQ(health.decode_drops(MessageClass::kControl), 0u);
+  EXPECT_EQ(health.decode_drops(MessageClass::kResult), 1u);
+  deployment->EndQuery();
+}
+
+// A healthy run surfaces all-zero drop counters through the outcome.
+TEST(EngineTest, HealthyOutcomeHasZeroDecodeDrops) {
+  auto ex = MakeSocialExample();
+  DistOptions options;
+  options.algorithm = Algorithm::kDgpm;
+  options.num_threads = dgs::testing::EnvThreads();
+  auto outcome = DistributedMatch(ex.g, ex.assignment, 3, ex.q, options);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->health.ok());
+  EXPECT_EQ(outcome->decode_drops.Total(), 0u);
+}
+
 TEST(EngineTest, ServingStatsAccumulate) {
   auto ex = MakeSocialExample();
-  auto engine = Engine::Create(ex.g, ex.assignment, 3, EngineOptions{});
+  auto engine = Engine::Create(ex.g, ex.assignment, 3, dgs::testing::TestEngineOptions());
   ASSERT_TRUE(engine.ok());
   QueryOptions query;
   query.algorithm = Algorithm::kDgpm;
@@ -347,6 +407,10 @@ TEST(EngineTest, ServingStatsAccumulate) {
   EXPECT_EQ(stats.counters.vars_shipped.load(),
             first->counters.vars_shipped.load() +
                 second->counters.vars_shipped.load());
+  // Healthy queries leave the cumulative drop record at zero (it also
+  // accumulates over FAILED queries — the only place a poisoned Match's
+  // drops remain observable, since it returns just an error Status).
+  EXPECT_EQ(stats.decode_drops.Total(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,249 @@
+// Thread-count determinism of the parallel fixpoint tail (PR 4).
+//
+// The partitioned chaotic-relaxation drains (simulation/relax.h,
+// EquationSystem::PropagateParallel) promise BIT-IDENTICAL results for
+// every thread count: the refinement operator is monotone, so the greatest
+// fixpoint is unique and drain order is irrelevant, and the atomic support
+// counters make every zero crossing fire exactly once. These tests stress
+// that contract on large random workloads with heavy removal cascades,
+// across widths {1, 2, 8} (plus the DGS_THREADS width the CI 2-thread job
+// injects), against the sequential reference path.
+//
+// The suite doubles as the TSAN workload: build with
+//   cmake -B build-tsan -S . -DCMAKE_CXX_FLAGS=-fsanitize=thread \
+//         -DCMAKE_EXE_LINKER_FLAGS=-fsanitize=thread
+// and run dgs_tests --gtest_filter='ParallelFixpoint*'.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/booleq.h"
+#include "graph/generators.h"
+#include "simulation/incremental.h"
+#include "simulation/relax.h"
+#include "simulation/simulation.h"
+#include "test_env.h"
+#include "util/rng.h"
+
+namespace dgs {
+namespace {
+
+// Widths exercised against the sequential reference. EnvThreads() makes
+// the CI 2-thread pass add its width even if the list were to change.
+std::vector<uint32_t> Widths() {
+  std::vector<uint32_t> widths = {2, 8};
+  const uint32_t env = dgs::testing::EnvThreads();
+  if (env > 1 && std::find(widths.begin(), widths.end(), env) == widths.end()) {
+    widths.push_back(env);
+  }
+  return widths;
+}
+
+// A workload whose refinement tail cascades heavily: a cyclic 5-node
+// pattern over a web graph, large enough to clear the parallel cutoffs
+// (kParallelRefineMinNodes data nodes, kParallelRefineMinSeeds seeds).
+struct Workload {
+  Graph g;
+  Pattern q;
+};
+
+Workload MakeWorkload(uint64_t seed, size_t n, size_t m) {
+  Rng rng(seed);
+  Workload w{WebGraph(n, m, kDefaultAlphabet, rng), Pattern()};
+  PatternSpec spec;
+  spec.num_nodes = 5;
+  spec.num_edges = 10;
+  spec.kind = PatternKind::kCyclic;
+  auto q = ExtractPattern(w.g, spec, rng);
+  EXPECT_TRUE(q.ok());
+  w.q = *q;
+  return w;
+}
+
+TEST(ParallelFixpointTest, KernelBitIdenticalAcrossWidths) {
+  auto w = MakeWorkload(2014, 20000, 100000);
+  ASSERT_GE(w.g.NumNodes(), kParallelRefineMinNodes);
+  SimulationResult reference = ComputeSimulation(w.q, w.g);  // sequential
+  for (uint32_t threads : Widths()) {
+    SimulationOptions options;
+    options.num_threads = threads;
+    SimulationResult result = ComputeSimulation(w.q, w.g, options);
+    EXPECT_TRUE(result == reference) << "threads=" << threads;
+    // Fixpoint sets must match bit for bit, not just via the == shortcut.
+    for (NodeId u = 0; u < w.q.NumNodes(); ++u) {
+      EXPECT_TRUE(result.FixpointSet(u) == reference.FixpointSet(u))
+          << "threads=" << threads << " u=" << u;
+    }
+  }
+}
+
+TEST(ParallelFixpointTest, KernelBooleanModeAgreesAcrossWidths) {
+  // Boolean-only runs may abandon the drain early; GraphMatches() must
+  // still be exact for every width, matching and non-matching alike.
+  for (uint64_t seed : {7u, 99u}) {
+    auto w = MakeWorkload(seed, 8192, 40000);
+    SimulationOptions ref_options;
+    ref_options.boolean_only = true;
+    const bool expected = ComputeSimulation(w.q, w.g, ref_options)
+                              .GraphMatches();
+    EXPECT_EQ(expected, ComputeSimulation(w.q, w.g).GraphMatches());
+    for (uint32_t threads : Widths()) {
+      SimulationOptions options;
+      options.boolean_only = true;
+      options.num_threads = threads;
+      EXPECT_EQ(expected, ComputeSimulation(w.q, w.g, options).GraphMatches())
+          << "seed=" << seed << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelFixpointTest, KernelSeededAcrossSeeds) {
+  // Several graphs, including one below the parallel cutoff (falls back to
+  // the sequential drain — also bit-identical by construction).
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    Rng rng(seed);
+    Graph g = RandomGraph(seed == 3 ? 512 : 12000,
+                          seed == 3 ? 2000 : 60000, kDefaultAlphabet, rng);
+    PatternSpec spec;
+    spec.num_nodes = 6;
+    spec.num_edges = 12;
+    spec.kind = PatternKind::kCyclic;
+    auto q = ExtractPattern(g, spec, rng);
+    ASSERT_TRUE(q.ok());
+    SimulationResult reference = ComputeSimulation(*q, g);
+    for (uint32_t threads : Widths()) {
+      SimulationOptions options;
+      options.num_threads = threads;
+      EXPECT_TRUE(ComputeSimulation(*q, g, options) == reference)
+          << "seed=" << seed << " threads=" << threads;
+    }
+  }
+}
+
+TEST(ParallelFixpointTest, IncrementalCascadesBitIdentical) {
+  auto w = MakeWorkload(4242, 12000, 60000);
+  IncrementalSimulation sequential(w.q, w.g, 1);
+  std::vector<IncrementalSimulation> parallel;
+  const auto widths = Widths();
+  parallel.reserve(widths.size());
+  for (uint32_t threads : widths) parallel.emplace_back(w.q, w.g, threads);
+
+  // Target matched candidates: deleting every out-edge of a matched
+  // non-sink node invalidates it and cascades into its predecessors'
+  // support counters — the heavy removal cascades the parallel drain is
+  // for. (Duplicate deletions are no-ops returning 0 on every instance.)
+  const SimulationResult initial = sequential.Result();
+  std::vector<std::pair<NodeId, NodeId>> to_delete;
+  size_t victims = 0;
+  for (NodeId u = 0; u < w.q.NumNodes() && victims < 40; ++u) {
+    if (w.q.IsSink(u)) continue;
+    for (NodeId v : initial.Matches(u)) {
+      auto out = w.g.OutNeighbors(v);
+      if (out.empty()) continue;
+      for (NodeId t : out) to_delete.emplace_back(v, t);
+      if (++victims >= 40) break;
+    }
+  }
+  ASSERT_GT(victims, 0u);
+
+  size_t cascades = 0;
+  for (auto [from, to] : to_delete) {
+    const size_t expected = sequential.DeleteEdge(from, to);
+    cascades += expected;
+    for (size_t k = 0; k < parallel.size(); ++k) {
+      EXPECT_EQ(expected, parallel[k].DeleteEdge(from, to))
+          << "threads=" << widths[k] << " edge " << from << "->" << to;
+    }
+  }
+  EXPECT_GT(cascades, 0u);
+  const SimulationResult reference = sequential.Result();
+  for (size_t k = 0; k < parallel.size(); ++k) {
+    EXPECT_TRUE(parallel[k].Result() == reference)
+        << "threads=" << widths[k];
+  }
+  // And the maintained relation still equals a from-scratch computation.
+  GraphBuilder b;
+  for (NodeId v = 0; v < w.g.NumNodes(); ++v) b.AddNode(w.g.LabelOf(v));
+  for (auto e : w.g.Edges()) {
+    if (std::find(to_delete.begin(), to_delete.end(), e) == to_delete.end()) {
+      b.AddEdge(e.first, e.second);
+    }
+  }
+  Graph pruned = std::move(b).Build();
+  EXPECT_TRUE(reference == ComputeSimulation(w.q, pruned));
+}
+
+// Random monotone AND-of-OR system large enough for the sharded drain
+// (>= kParallelSolveMinVars variables, >= kParallelSolveMinSeeds seeds).
+EquationSystem RandomSystem(size_t nv, Rng& rng) {
+  EquationSystem system;
+  for (size_t i = 0; i < nv; ++i) system.NewVar();
+  for (VarId x = 0; x < nv; ++x) {
+    if (rng.UniformInt(4) == 0) continue;  // external variable
+    std::vector<std::vector<VarId>> groups;
+    const size_t num_groups = 1 + rng.UniformInt(3);
+    for (size_t k = 0; k < num_groups; ++k) {
+      std::vector<VarId> group;
+      const size_t width = 1 + rng.UniformInt(4);
+      for (size_t j = 0; j < width; ++j) {
+        group.push_back(static_cast<VarId>(rng.UniformInt(nv)));
+      }
+      groups.push_back(std::move(group));
+    }
+    system.SetEquation(x, groups);
+  }
+  return system;
+}
+
+TEST(ParallelFixpointTest, BoolEqParallelDrainMatchesSequential) {
+  Rng rng(77);
+  const size_t nv = 40000;
+  EquationSystem base = RandomSystem(nv, rng);
+  std::vector<VarId> seeds;
+  for (size_t i = 0; i < 200; ++i) {
+    seeds.push_back(static_cast<VarId>(rng.UniformInt(nv)));
+  }
+
+  EquationSystem sequential = base;
+  for (VarId x : seeds) sequential.AssertFalse(x);
+  std::vector<VarId> seq_flips;
+  sequential.Propagate([&](VarId x) { seq_flips.push_back(x); });
+  std::sort(seq_flips.begin(), seq_flips.end());
+  ASSERT_GT(seq_flips.size(), seeds.size() / 2);  // it does cascade
+
+  for (uint32_t threads : Widths()) {
+    ThreadPool pool(threads);
+    EquationSystem parallel = base;
+    for (VarId x : seeds) parallel.AssertFalse(x);
+    std::vector<VarId> par_flips;
+    parallel.PropagateParallel(&pool, [&](VarId x) { par_flips.push_back(x); });
+    // PropagateParallel fires on_false in ascending VarId order.
+    EXPECT_TRUE(std::is_sorted(par_flips.begin(), par_flips.end()));
+    EXPECT_EQ(seq_flips, par_flips) << "threads=" << threads;
+    for (VarId x = 0; x < nv; ++x) {
+      ASSERT_EQ(sequential.IsFalse(x), parallel.IsFalse(x))
+          << "threads=" << threads << " x=" << x;
+    }
+  }
+}
+
+TEST(ParallelFixpointTest, BoolEqSmallSystemFallsBackSequentially) {
+  // Below the cutoffs PropagateParallel must behave exactly like
+  // Propagate, including the (sequential) callback order.
+  Rng rng(5);
+  EquationSystem base = RandomSystem(512, rng);
+  EquationSystem a = base;
+  EquationSystem b = base;
+  a.AssertFalse(3);
+  b.AssertFalse(3);
+  std::vector<VarId> flips_a, flips_b;
+  a.Propagate([&](VarId x) { flips_a.push_back(x); });
+  ThreadPool pool(8);
+  b.PropagateParallel(&pool, [&](VarId x) { flips_b.push_back(x); });
+  EXPECT_EQ(flips_a, flips_b);
+}
+
+}  // namespace
+}  // namespace dgs

@@ -512,6 +512,178 @@ TEST(ProtocolHardeningTest, BadReducedEntryKindRejected) {
 
 // --- Usefulness filter and runtime primitives ------------------------------
 
+TEST(ProtocolTest, SubscribeListRoundTripBothFormats) {
+  const std::vector<NodeId> nodes = {3, 4, 5, 900, 901, 40000};
+  for (WireFormat format : {WireFormat::kV1Fixed, WireFormat::kV2Delta}) {
+    Blob blob;
+    const uint64_t saved = AppendSubscribeList(blob, nodes, format);
+    Blob::Reader reader(blob);
+    const WireTag tag = GetTag(reader);
+    if (format == WireFormat::kV1Fixed) {
+      EXPECT_EQ(tag, WireTag::kSubscribe);
+      EXPECT_EQ(saved, 0u);
+    } else {
+      EXPECT_EQ(tag, WireTag::kSubscribe2);
+      EXPECT_GT(saved, 0u);  // dense sorted ids collapse to 1-byte gaps
+    }
+    std::vector<NodeId> decoded;
+    ASSERT_TRUE(ReadSubscribeList(reader, tag, &decoded));
+    EXPECT_EQ(decoded, nodes);
+    EXPECT_TRUE(reader.AtEnd());
+  }
+}
+
+TEST(ProtocolTest, SubscribeListPropertyRoundTrip) {
+  Rng rng(321);
+  for (int iter = 0; iter < 30; ++iter) {
+    std::vector<NodeId> nodes;
+    const size_t n = rng.UniformInt(200);
+    for (size_t i = 0; i < n; ++i) {
+      nodes.push_back(static_cast<NodeId>(rng.UniformInt(1u << 20)));
+    }
+    std::sort(nodes.begin(), nodes.end());
+    nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+    for (WireFormat format : {WireFormat::kV1Fixed, WireFormat::kV2Delta}) {
+      Blob blob;
+      AppendSubscribeList(blob, nodes, format);
+      Blob::Reader reader(blob);
+      const WireTag tag = GetTag(reader);
+      std::vector<NodeId> decoded;
+      ASSERT_TRUE(ReadSubscribeList(reader, tag, &decoded));
+      EXPECT_EQ(decoded, nodes);
+    }
+  }
+}
+
+TEST(ProtocolHardeningTest, TruncatedSubscribeListRejected) {
+  Blob blob;
+  AppendSubscribeList(blob, {1, 2, 3, 1000}, WireFormat::kV1Fixed);
+  Blob truncated;
+  truncated.PutU8(static_cast<uint8_t>(WireTag::kSubscribe));
+  truncated.PutU32(4);
+  truncated.PutU32(1);  // 3 records missing
+  Blob::Reader reader(truncated);
+  std::vector<NodeId> decoded;
+  EXPECT_FALSE(ReadSubscribeList(reader, GetTag(reader), &decoded));
+}
+
+TEST(ProtocolHardeningTest, OversizedSubscribeDeltaCountRejected) {
+  Blob blob;
+  blob.PutU8(static_cast<uint8_t>(WireTag::kSubscribe2));
+  blob.PutVarint(1u << 30);  // declares a billion ids, ships one byte
+  blob.PutVarint(1);
+  Blob::Reader reader(blob);
+  std::vector<NodeId> decoded;
+  EXPECT_FALSE(ReadSubscribeList(reader, GetTag(reader), &decoded));
+}
+
+TEST(ProtocolTest, SubgraphRoundTripBothFormats) {
+  const std::vector<std::pair<NodeId, Label>> nodes = {
+      {7, 2}, {8, 3}, {9, 2}, {1000, 5}};
+  const std::vector<std::pair<NodeId, NodeId>> edges = {
+      {7, 8}, {7, 9}, {8, 1000}, {9, 7}};
+  for (WireFormat format : {WireFormat::kV1Fixed, WireFormat::kV2Delta}) {
+    Blob blob;
+    const uint64_t saved = AppendSubgraph(blob, nodes, edges, format);
+    Blob::Reader reader(blob);
+    const WireTag tag = GetTag(reader);
+    std::vector<std::pair<NodeId, Label>> dn;
+    std::vector<std::pair<NodeId, NodeId>> de;
+    ASSERT_TRUE(ReadSubgraph(reader, tag, &dn, &de));
+    EXPECT_TRUE(reader.AtEnd());
+    // V2 re-sorts; compare as sets.
+    auto sn = nodes;
+    auto se = edges;
+    std::sort(sn.begin(), sn.end());
+    std::sort(se.begin(), se.end());
+    std::sort(dn.begin(), dn.end());
+    std::sort(de.begin(), de.end());
+    EXPECT_EQ(dn, sn);
+    EXPECT_EQ(de, se);
+    if (format == WireFormat::kV2Delta) {
+      EXPECT_EQ(tag, WireTag::kSubgraph2);
+      EXPECT_GT(saved, 0u);
+    } else {
+      EXPECT_EQ(tag, WireTag::kSubgraph);
+      EXPECT_EQ(saved, 0u);
+    }
+  }
+}
+
+TEST(ProtocolTest, SubgraphPropertyRoundTrip) {
+  Rng rng(99);
+  for (int iter = 0; iter < 20; ++iter) {
+    std::vector<std::pair<NodeId, Label>> nodes;
+    const size_t n = 1 + rng.UniformInt(100);
+    for (size_t i = 0; i < n; ++i) {
+      nodes.emplace_back(static_cast<NodeId>(rng.UniformInt(1u << 16)),
+                         static_cast<Label>(rng.UniformInt(16)));
+    }
+    std::sort(nodes.begin(), nodes.end());
+    nodes.erase(std::unique(nodes.begin(), nodes.end(),
+                            [](auto a, auto b) { return a.first == b.first; }),
+                nodes.end());
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    for (size_t i = 0; i + 1 < nodes.size(); ++i) {
+      if (rng.UniformInt(2) == 0) {
+        edges.emplace_back(nodes[i].first, nodes[i + 1].first);
+      }
+    }
+    for (WireFormat format : {WireFormat::kV1Fixed, WireFormat::kV2Delta}) {
+      Blob blob;
+      AppendSubgraph(blob, nodes, edges, format);
+      Blob::Reader reader(blob);
+      std::vector<std::pair<NodeId, Label>> dn;
+      std::vector<std::pair<NodeId, NodeId>> de;
+      ASSERT_TRUE(ReadSubgraph(reader, GetTag(reader), &dn, &de));
+      std::sort(dn.begin(), dn.end());
+      std::sort(de.begin(), de.end());
+      EXPECT_EQ(dn, nodes) << "format=" << WireFormatName(format);
+      EXPECT_EQ(de, edges) << "format=" << WireFormatName(format);
+    }
+  }
+}
+
+TEST(ProtocolHardeningTest, TruncatedSubgraphRejected) {
+  Blob blob;
+  blob.PutU8(static_cast<uint8_t>(WireTag::kSubgraph));
+  blob.PutU32(100);  // declares 100 nodes, ships none
+  Blob::Reader reader(blob);
+  std::vector<std::pair<NodeId, Label>> nodes;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  EXPECT_FALSE(ReadSubgraph(reader, GetTag(reader), &nodes, &edges));
+}
+
+TEST(ProtocolHardeningTest, SubgraphDeltaOverflowRejected) {
+  // A second id gap pushing the accumulated node id past 32 bits.
+  Blob blob;
+  blob.PutU8(static_cast<uint8_t>(WireTag::kSubgraph2));
+  blob.PutVarint(2);            // two nodes
+  blob.PutVarint(0xfffffff0u);  // first id near the top
+  blob.PutVarint(1);            // label
+  blob.PutVarint(0x20);         // gap wraps past 2^32
+  blob.PutVarint(1);            // label
+  blob.PutVarint(0);            // no edge groups
+  Blob::Reader reader(blob);
+  std::vector<std::pair<NodeId, Label>> nodes;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  EXPECT_FALSE(ReadSubgraph(reader, GetTag(reader), &nodes, &edges));
+}
+
+TEST(ProtocolHardeningTest, SubgraphEmptyEdgeGroupRejected) {
+  Blob blob;
+  blob.PutU8(static_cast<uint8_t>(WireTag::kSubgraph2));
+  blob.PutVarint(0);  // no nodes
+  blob.PutVarint(1);  // one edge group...
+  blob.PutVarint(0);  // source gap
+  blob.PutVarint(0);  // ...with zero edges: never emitted, so corrupt
+  blob.PutVarint(0);
+  Blob::Reader reader(blob);
+  std::vector<std::pair<NodeId, Label>> nodes;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  EXPECT_FALSE(ReadSubgraph(reader, GetTag(reader), &nodes, &edges));
+}
+
 TEST(ProtocolTest, ConsumerNeedsVarFilter) {
   // Q: 0 -> 1 -> 2 with labels 10, 11, 12.
   Pattern q(MakeGraph({10, 11, 12}, {{0, 1}, {1, 2}}));

@@ -139,6 +139,37 @@ TEST(RuntimeDeterminismTest, DMesOnWebGraph) {
   CheckAcrossThreadCounts(g, assignment, 4, *q, Algorithm::kDMes, "dMes");
 }
 
+// Match and disHHK resolve centrally: their assembling coordinator now
+// hands the runtime's pool to ComputeSimulation (parallel counter build AND
+// parallel refinement drain), so they join the cross-width fingerprint
+// check. The graph is sized above kParallelRefineMinNodes so the sharded
+// drain actually engages at widths > 1.
+TEST(RuntimeDeterminismTest, MatchOnWebGraph) {
+  Rng rng(43);
+  Graph g = WebGraph(6000, 30000, kDefaultAlphabet, rng);
+  auto assignment = PartitionWithBoundaryRatio(g, 4, 0.25, rng);
+  PatternSpec spec;
+  spec.num_nodes = 5;
+  spec.num_edges = 10;
+  spec.kind = PatternKind::kCyclic;
+  auto q = ExtractPattern(g, spec, rng);
+  ASSERT_TRUE(q.ok());
+  CheckAcrossThreadCounts(g, assignment, 4, *q, Algorithm::kMatch, "Match");
+}
+
+TEST(RuntimeDeterminismTest, DisHhkOnWebGraph) {
+  Rng rng(47);
+  Graph g = WebGraph(6000, 30000, kDefaultAlphabet, rng);
+  auto assignment = PartitionWithBoundaryRatio(g, 4, 0.25, rng);
+  PatternSpec spec;
+  spec.num_nodes = 5;
+  spec.num_edges = 10;
+  spec.kind = PatternKind::kCyclic;
+  auto q = ExtractPattern(g, spec, rng);
+  ASSERT_TRUE(q.ok());
+  CheckAcrossThreadCounts(g, assignment, 4, *q, Algorithm::kDisHhk, "disHHK");
+}
+
 // num_threads = 0 resolves to "all hardware threads" and must still agree.
 TEST(RuntimeDeterminismTest, HardwareWidthMatchesReference) {
   Rng rng(13);

@@ -1,0 +1,45 @@
+// DGS_THREADS plumbing for the test suite, mirroring bench/bench_common.h.
+//
+// The CI matrix runs one ctest pass with DGS_THREADS=2 so every parallel
+// path — the cluster executor, the partitioned chaotic-relaxation drains,
+// the parallel fan-out encoders — is exercised on every push, not only at
+// the single-thread default. All results are thread-count-invariant by the
+// runtime's determinism contract, so the same expectations hold at every
+// width.
+
+#ifndef DGS_TESTS_TEST_ENV_H_
+#define DGS_TESTS_TEST_ENV_H_
+
+#include <cstdlib>
+
+#include "core/serving.h"
+
+namespace dgs::testing {
+
+// Executor width requested by the environment (default 1 = the sequential
+// reference mode; 0 = all hardware threads; malformed values fall back
+// to 1).
+inline uint32_t EnvThreads() {
+  const char* s = std::getenv("DGS_THREADS");
+  if (s == nullptr) return 1;
+  char* end = nullptr;
+  long threads = std::strtol(s, &end, 10);
+  if (end == s || *end != '\0' || threads < 0) return 1;
+  return static_cast<uint32_t>(threads);
+}
+
+inline EngineOptions TestEngineOptions() {
+  EngineOptions options;
+  options.num_threads = EnvThreads();
+  return options;
+}
+
+inline ClusterOptions TestClusterOptions() {
+  ClusterOptions options;
+  options.num_threads = EnvThreads();
+  return options;
+}
+
+}  // namespace dgs::testing
+
+#endif  // DGS_TESTS_TEST_ENV_H_
