@@ -5,6 +5,15 @@
 //
 //   dgsim --graph G.txt --pattern Q.txt [options]
 //
+// or deploys the graph once and serves queries interactively through a
+// resident dgs::Server (the paper's deploy-once / query-many model):
+//
+//   dgsim --graph G.txt --serve [options]
+//   dgsim> match Q.txt [algorithm]      evaluate a pattern file
+//   dgsim> boolean Q.txt [algorithm]    Boolean query (answer only)
+//   dgsim> stats                        serving + cache statistics
+//   dgsim> help / quit
+//
 // Options:
 //   --algorithm auto|dgpm|dgpmnoopt|dgpmd|dgpmt|match|dishhk|dmes  (auto)
 //   --sites N           number of fragments/sites                  (8)
@@ -16,13 +25,19 @@
 //   --boolean           Boolean pattern query (answer only)
 //   --stats             print partition statistics
 //   --matches           print the full match relation (default: counts)
+//   --serve             REPL over one resident dgs::Server
+//   --replicas N        serve mode: concurrent engine replicas     (2)
+//   --cache off|candidates|full   serve mode: inter-query cache    (full)
 //
-// Exit status: 0 when G matches Q, 2 when it does not, 1 on errors.
+// Exit status: 0 when G matches Q (serve mode: always 0 on a clean exit),
+// 2 when it does not, 1 on errors.
 
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "dgs.h"
 #include "partition/stats.h"
@@ -41,6 +56,9 @@ struct CliOptions {
   bool boolean_only = false;
   bool print_stats = false;
   bool print_matches = false;
+  bool serve = false;
+  uint32_t replicas = 2;
+  std::string cache = "full";
 };
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -88,12 +106,28 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       options->print_stats = true;
     } else if (arg == "--matches") {
       options->print_matches = true;
+    } else if (arg == "--serve") {
+      options->serve = true;
+    } else if (arg == "--replicas") {
+      const char* v = next();
+      if (!v) return false;
+      options->replicas = static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--cache") {
+      const char* v = next();
+      if (!v) return false;
+      options->cache = v;
+      if (options->cache != "off" && options->cache != "candidates" &&
+          options->cache != "full") {
+        return false;
+      }
     } else {
       std::cerr << "unknown option: " << arg << "\n";
       return false;
     }
   }
-  return !options->graph_path.empty() && !options->pattern_path.empty() &&
+  // Serve mode deploys first and reads patterns interactively.
+  return !options->graph_path.empty() &&
+         (options->serve || !options->pattern_path.empty()) &&
          options->sites > 0;
 }
 
@@ -110,6 +144,146 @@ bool PickAlgorithm(const std::string& name, dgs::Algorithm* algorithm) {
   return true;
 }
 
+bool LoadPattern(const std::string& path, dgs::Pattern* pattern) {
+  std::ifstream file(path);
+  if (!file) {
+    std::cerr << "cannot open " << path << "\n";
+    return false;
+  }
+  auto graph = dgs::ReadGraph(file);
+  if (!graph.ok()) {
+    std::cerr << "bad pattern: " << graph.status().ToString() << "\n";
+    return false;
+  }
+  *pattern = dgs::Pattern(std::move(graph).value());
+  return true;
+}
+
+void PrintOutcome(const dgs::Pattern& pattern, const dgs::DistOutcome& outcome,
+                  bool boolean_only, bool print_matches) {
+  const bool matched = outcome.result.GraphMatches();
+  std::cout << "G matches Q: " << (matched ? "yes" : "no") << "\n";
+  if (!boolean_only) {
+    for (dgs::NodeId u = 0; u < pattern.NumNodes(); ++u) {
+      auto matches = outcome.result.Matches(u);
+      std::cout << "  query node " << u << ": " << matches.size()
+                << " matches";
+      if (print_matches) {
+        std::cout << " {";
+        for (size_t k = 0; k < matches.size(); ++k) {
+          std::cout << (k ? " " : "") << matches[k];
+        }
+        std::cout << "}";
+      }
+      std::cout << "\n";
+    }
+  }
+  std::cout << "PT: "
+            << dgs::FormatDouble(outcome.response_seconds() * 1e3, 3)
+            << " ms, DS: " << dgs::FormatBytes(outcome.data_shipment_bytes())
+            << ", rounds: " << outcome.stats.rounds
+            << ", truth values shipped: " << outcome.counters.vars_shipped
+            << "\n";
+}
+
+void PrintServerStats(const dgs::ServerStats& stats) {
+  std::cout << "replicas: " << stats.replicas
+            << ", deploy: " << dgs::FormatDouble(stats.deploy_seconds * 1e3, 2)
+            << " ms\nqueries: submitted " << stats.submitted << ", served "
+            << stats.served << ", failed " << stats.failed << ", rejected "
+            << (stats.rejected_overload + stats.rejected_shutdown)
+            << ", expired " << stats.expired << "\ncache: result hits "
+            << stats.cache_result_hits << ", misses "
+            << stats.cache_result_misses << ", label hits "
+            << stats.cache_label_hits << ", misses "
+            << stats.cache_label_misses << ", resident "
+            << dgs::FormatBytes(stats.cache_result_bytes +
+                                stats.cache_label_bytes)
+            << "\ncumulative DS: " << dgs::FormatBytes(
+                stats.cumulative.data_bytes)
+            << ", rounds: " << stats.cumulative.rounds << "\n";
+}
+
+// The --serve REPL: deploy once, answer pattern files interactively
+// through the resident Server. Reads commands from stdin until EOF/quit.
+int RunServeRepl(const dgs::Graph& graph, const dgs::Fragmentation& frag,
+                 const CliOptions& cli, dgs::Algorithm default_algorithm) {
+  dgs::ServerOptions options;
+  options.engine.num_threads = cli.threads;
+  options.engine.wire_format = cli.wire == "v1" ? dgs::WireFormat::kV1Fixed
+                                                : dgs::WireFormat::kV2Delta;
+  options.num_replicas = cli.replicas;
+  options.cache = cli.cache == "off"          ? dgs::CacheMode::kOff
+                  : cli.cache == "candidates" ? dgs::CacheMode::kCandidates
+                                              : dgs::CacheMode::kFull;
+  auto server = dgs::Server::Create(graph, &frag, options);
+  if (!server.ok()) {
+    std::cerr << "server deploy failed: " << server.status().ToString()
+              << "\n";
+    return 1;
+  }
+  std::cout << "deployed |G| = (" << graph.NumNodes() << ", "
+            << graph.NumEdges() << ") over " << frag.NumFragments()
+            << " sites; " << (*server)->num_replicas()
+            << " replicas, cache " << cli.cache << ", wire " << cli.wire
+            << ", threads " << cli.threads
+            << "\ncommands: match Q.txt [algorithm] | boolean Q.txt "
+               "[algorithm] | stats | help | quit\n";
+
+  std::string line;
+  while (std::cout << "dgsim> " << std::flush, std::getline(std::cin, line)) {
+    std::istringstream tokens(line);
+    std::string command;
+    if (!(tokens >> command)) continue;
+    if (command == "quit" || command == "exit") break;
+    if (command == "help") {
+      std::cout << "  match Q.txt [algorithm]    evaluate a pattern file\n"
+                   "  boolean Q.txt [algorithm]  Boolean query (answer only)\n"
+                   "  stats                      serving + cache statistics\n"
+                   "  quit                       drain and exit\n";
+      continue;
+    }
+    if (command == "stats") {
+      PrintServerStats((*server)->stats());
+      continue;
+    }
+    if (command != "match" && command != "boolean") {
+      std::cerr << "unknown command: " << command << " (try 'help')\n";
+      continue;
+    }
+    std::string path, algorithm_name;
+    if (!(tokens >> path)) {
+      std::cerr << command << " needs a pattern file\n";
+      continue;
+    }
+    dgs::Algorithm algorithm = default_algorithm;
+    if (tokens >> algorithm_name &&
+        !PickAlgorithm(algorithm_name, &algorithm)) {
+      std::cerr << "unknown algorithm: " << algorithm_name << "\n";
+      continue;
+    }
+    dgs::Pattern pattern;
+    if (!LoadPattern(path, &pattern)) continue;
+
+    dgs::QueryOptions query;
+    query.algorithm = algorithm;
+    query.boolean_only = command == "boolean";
+    const uint64_t hits_before = (*server)->stats().cache_result_hits;
+    auto outcome = (*server)->Match(pattern, query);
+    if (!outcome.ok()) {
+      std::cerr << "error: " << outcome.status().ToString() << "\n";
+      continue;
+    }
+    const bool cached = (*server)->stats().cache_result_hits > hits_before;
+    PrintOutcome(pattern, *outcome, query.boolean_only, cli.print_matches);
+    if (cached) std::cout << "(served from the result cache)\n";
+  }
+  (*server)->Shutdown();
+  std::cout << "\n== final serving statistics ==\n";
+  PrintServerStats((*server)->stats());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -119,7 +293,10 @@ int main(int argc, char** argv) {
                  "[--algorithm auto] [--sites 8]\n"
                  "             [--vf-ratio R] [--seed S] [--threads N] "
                  "[--wire v1|v2]\n"
-                 "             [--boolean] [--stats] [--matches]\n";
+                 "             [--boolean] [--stats] [--matches]\n"
+                 "       dgsim --graph G.txt --serve [--replicas 2] "
+                 "[--cache off|candidates|full]\n"
+                 "             [common options]\n";
     return 1;
   }
   dgs::Algorithm algorithm;
@@ -138,17 +315,8 @@ int main(int argc, char** argv) {
     std::cerr << "bad graph: " << graph.status().ToString() << "\n";
     return 1;
   }
-  std::ifstream pattern_file(cli.pattern_path);
-  if (!pattern_file) {
-    std::cerr << "cannot open " << cli.pattern_path << "\n";
-    return 1;
-  }
-  auto pattern_graph = dgs::ReadGraph(pattern_file);
-  if (!pattern_graph.ok()) {
-    std::cerr << "bad pattern: " << pattern_graph.status().ToString() << "\n";
-    return 1;
-  }
-  dgs::Pattern pattern(std::move(pattern_graph).value());
+  dgs::Pattern pattern;
+  if (!cli.serve && !LoadPattern(cli.pattern_path, &pattern)) return 1;
 
   dgs::Rng rng(cli.seed);
   std::vector<uint32_t> assignment;
@@ -170,6 +338,10 @@ int main(int argc, char** argv) {
               << "\n";
   }
 
+  if (cli.serve) {
+    return RunServeRepl(*graph, *fragmentation, cli, algorithm);
+  }
+
   dgs::DistOptions options;
   options.algorithm = algorithm;
   options.boolean_only = cli.boolean_only;
@@ -183,30 +355,9 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const bool matched = outcome->result.GraphMatches();
   std::cout << "algorithm: " << cli.algorithm << " over " << cli.sites
             << " sites (wire " << cli.wire << ", threads " << cli.threads
             << ")\n";
-  std::cout << "G matches Q: " << (matched ? "yes" : "no") << "\n";
-  if (!cli.boolean_only) {
-    for (dgs::NodeId u = 0; u < pattern.NumNodes(); ++u) {
-      auto matches = outcome->result.Matches(u);
-      std::cout << "  query node " << u << ": " << matches.size()
-                << " matches";
-      if (cli.print_matches) {
-        std::cout << " {";
-        for (size_t k = 0; k < matches.size(); ++k) {
-          std::cout << (k ? " " : "") << matches[k];
-        }
-        std::cout << "}";
-      }
-      std::cout << "\n";
-    }
-  }
-  std::cout << "PT: " << dgs::FormatDouble(outcome->response_seconds() * 1e3, 3)
-            << " ms, DS: " << dgs::FormatBytes(outcome->data_shipment_bytes())
-            << ", rounds: " << outcome->stats.rounds
-            << ", truth values shipped: " << outcome->counters.vars_shipped
-            << "\n";
-  return matched ? 0 : 2;
+  PrintOutcome(pattern, *outcome, cli.boolean_only, cli.print_matches);
+  return outcome->result.GraphMatches() ? 0 : 2;
 }

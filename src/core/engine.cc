@@ -100,11 +100,19 @@ StatusOr<std::unique_ptr<Engine>> Engine::Create(
 }
 
 bool Engine::GraphIsForest() {
+  if (options_.structure_facts != nullptr) {
+    return options_.structure_facts->Forest(
+        [this] { return IsDownwardForest(*graph_); });
+  }
   if (!forest_fact_.has_value()) forest_fact_ = IsDownwardForest(*graph_);
   return *forest_fact_;
 }
 
 bool Engine::GraphIsAcyclic() {
+  if (options_.structure_facts != nullptr) {
+    return options_.structure_facts->Acyclic(
+        [this] { return IsAcyclic(*graph_); });
+  }
   if (!acyclic_fact_.has_value()) acyclic_fact_ = IsAcyclic(*graph_);
   return *acyclic_fact_;
 }
@@ -172,8 +180,29 @@ Deployment& Engine::DeploymentFor(Algorithm algorithm) {
   return *deployment;
 }
 
+namespace {
+
+// RAII side of the Engine single-thread contract: entry does one atomic
+// exchange and aborts when a query is already in flight on this Engine.
+class ServingGuard {
+ public:
+  explicit ServingGuard(std::atomic<bool>& serving) : serving_(serving) {
+    DGS_CHECK(!serving_.exchange(true, std::memory_order_acquire),
+              "Engine serves one query at a time: a Match overlapped an "
+              "in-flight query on the same Engine. Use dgs::Server "
+              "(serve/server.h) for concurrent serving.");
+  }
+  ~ServingGuard() { serving_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool>& serving_;
+};
+
+}  // namespace
+
 StatusOr<DistOutcome> Engine::Match(const Pattern& q,
                                     const QueryOptions& options) {
+  ServingGuard guard(serving_);
   if (q.NumNodes() == 0) {
     ++stats_.queries_failed;
     return Status::InvalidArgument("pattern must have at least one node");

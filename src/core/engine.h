@@ -39,8 +39,21 @@
 // lazily); a borrowed Fragmentation (the const-reference overload) must
 // outlive it too. Engines are not movable or copyable — resident actors
 // hold stable pointers into the deployment — so Create returns a
-// unique_ptr. An Engine is not thread-safe: serve queries from one thread
-// (intra-query parallelism comes from EngineOptions::num_threads).
+// unique_ptr.
+//
+// Threading contract. An Engine is NOT thread-safe: it serves exactly one
+// query at a time from one thread — intra-query parallelism comes from
+// EngineOptions::num_threads, never from concurrent Match calls. The
+// contract is enforced, not just documented: Match/MatchBatch carry a
+// reentrancy guard (one atomic exchange per query, active in every build)
+// that aborts with a diagnostic when two queries overlap on one Engine,
+// so misuse fails loudly instead of racing on the resident actors.
+// Concurrent serving is the job of dgs::Server (serve/server.h), which
+// multiplexes client threads onto N single-threaded Engine replicas that
+// share one const Fragmentation (the borrowed-fragmentation Create
+// overload) and one SharedStructureFacts memo — everything an Engine
+// reads from the deployment is immutable, so replicas never synchronize
+// during a query.
 //
 // Failure containment: a query that fails — invalid pattern, an
 // algorithm's structural precondition, or a run poisoned by a corrupt
@@ -55,6 +68,7 @@
 #ifndef DGS_CORE_ENGINE_H_
 #define DGS_CORE_ENGINE_H_
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <span>
@@ -167,6 +181,8 @@ class Engine {
   // Resolves kAuto by graph/pattern structure (Table 1 hierarchy).
   Algorithm ResolveAlgorithm(const Pattern& q, Algorithm requested);
   // Lazily computed, memoized structure facts of the deployed graph.
+  // Routed through EngineOptions::structure_facts when set (replicas of
+  // one dgs::Server compute them once per deployment, not per replica).
   bool GraphIsForest();
   bool GraphIsAcyclic();
   // Lazily built resident actor set of the algorithm's family.
@@ -181,6 +197,9 @@ class Engine {
   std::optional<bool> acyclic_fact_;
   std::unique_ptr<Deployment> deployments_[kNumFamilySlots];
   ServingStats stats_;
+  // Reentrancy guard behind the single-thread contract (see the file
+  // comment): set for the duration of Match, checked on entry.
+  std::atomic<bool> serving_{false};
 };
 
 }  // namespace dgs

@@ -40,8 +40,10 @@
 
 #include <array>
 #include <atomic>
+#include <cstddef>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -66,6 +68,34 @@ enum class Algorithm {
 
 const char* AlgorithmName(Algorithm algorithm);
 
+// Memoized structural facts of one deployed data graph (is it a downward
+// forest? acyclic?), shared between the Engine replicas that serve the same
+// deployment so the facts are computed once per data graph, not once per
+// replica. Thread-safe: the first caller computes under the lock, everyone
+// else reads the memo. The compute callables must be pure functions of the
+// deployed graph (they are, in Engine: IsDownwardForest / IsAcyclic), so
+// which replica wins the race is unobservable.
+class SharedStructureFacts {
+ public:
+  template <typename Fn>
+  bool Forest(Fn&& compute) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!forest_.has_value()) forest_ = compute();
+    return *forest_;
+  }
+  template <typename Fn>
+  bool Acyclic(Fn&& compute) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!acyclic_.has_value()) acyclic_ = compute();
+    return *acyclic_;
+  }
+
+ private:
+  std::mutex mu_;
+  std::optional<bool> forest_;
+  std::optional<bool> acyclic_;
+};
+
 // Per-deployment configuration: everything that shapes the resident
 // cluster rather than an individual query.
 struct EngineOptions {
@@ -80,6 +110,11 @@ struct EngineOptions {
   // kV1Fixed; simulation results and message counts are identical for both
   // (see runtime/message.h and core/protocol.h).
   WireFormat wire_format = WireFormat::kV2Delta;
+  // Shared memo for the kAuto structure facts. Engines sharing one data
+  // graph (the replicas of a dgs::Server) point at one instance so the
+  // facts are computed once per deployment; null (the default) keeps an
+  // engine-private memo.
+  std::shared_ptr<SharedStructureFacts> structure_facts;
 
   ClusterOptions ToClusterOptions() const {
     ClusterOptions runtime(network);
@@ -101,6 +136,99 @@ struct QueryOptions {
   // restrict push to Algorithm::kDgpm (the ablation runs without it).
   bool enable_push = true;
   double push_threshold = 0.2;
+};
+
+// Dispatch order of the dgs::Server admission queue (serve/admission.h).
+enum class AdmissionPolicy {
+  kFifo,      // strict arrival order
+  kPriority,  // higher SubmitOptions::priority first, ties in arrival order.
+              // Queries left at the default priority 0 are ordered
+              // shortest-estimated-job-first using the per-label candidate
+              // counts of the inter-query cache (when it is enabled).
+};
+
+const char* AdmissionPolicyName(AdmissionPolicy policy);
+
+// What the inter-query cache of a dgs::Server is allowed to keep
+// (serve/query_cache.h). The cache is per deployment and coherent by
+// construction: the deployed graph is immutable, so entries are invalidated
+// only by redeploying (building a new Server).
+enum class CacheMode {
+  kOff,         // no inter-query state
+  kCandidates,  // per-label candidate bitsets only, shared across queries
+                // that use the same label. They serve the ADMISSION layer
+                // (cost estimates / shortest-job-first pricing, label
+                // statistics); execution does not read them, so this mode
+                // does not change per-query cost (see serve/query_cache.h)
+  kFull,        // + exact-pattern result memoization: a query whose
+                // canonicalized structure and options were served before
+                // returns the memoized outcome (bit-identical results and
+                // accounting, by the runtime's determinism contract)
+};
+
+const char* CacheModeName(CacheMode mode);
+
+// Per-server configuration: the deployment knobs of every Engine replica
+// plus the serving-layer knobs (concurrency, admission, caching).
+struct ServerOptions {
+  // Per-replica deployment options. ServerOptions::Create installs the
+  // shared structure-facts memo itself; a caller-provided structure_facts
+  // is honored but unnecessary.
+  EngineOptions engine;
+  // Resident Engine replicas sharing the deployment's Fragmentation. Each
+  // replica serves one query at a time with engine.num_threads intra-query
+  // parallelism, so up to num_replicas queries run concurrently.
+  // 0 = one replica per hardware thread.
+  uint32_t num_replicas = 1;
+  // Bound of the admission queue. A Submit that finds the queue full is
+  // rejected with ResourceExhausted instead of blocking (overload sheds
+  // load at the door, the MPC-style capacity discipline).
+  size_t max_queue = 256;
+  AdmissionPolicy policy = AdmissionPolicy::kFifo;
+  CacheMode cache = CacheMode::kFull;
+  // Byte budget of the exact-pattern result memo (LRU eviction). The
+  // per-label candidate bitsets are bounded by the label alphabet and are
+  // not evicted.
+  size_t cache_max_result_bytes = size_t{64} << 20;
+  // Deadline applied to queries submitted without one (0 = none). A query
+  // whose deadline passes while queued completes with DeadlineExceeded
+  // without running.
+  double default_deadline_seconds = 0;
+  // When true, Create does not start the worker threads; queries queue up
+  // until Start() (deterministic backlog construction in tests and
+  // closed-loop benchmarks). Shutdown() starts the workers if needed so
+  // accepted work always drains.
+  bool defer_workers = false;
+};
+
+// Cumulative serving metrics of one dgs::Server. Counters are exact; a
+// query is counted in exactly one of {rejected_overload, rejected_shutdown,
+// expired, served, failed}.
+struct ServerStats {
+  // Wall-clock cost of Server::Create: fragmentation build (when not
+  // borrowed) + all replica deployments + worker spawn.
+  double deploy_seconds = 0;
+  uint32_t replicas = 0;
+  uint64_t submitted = 0;          // Submit calls (incl. rejected)
+  uint64_t admitted = 0;           // entered the admission queue
+  uint64_t rejected_overload = 0;  // ResourceExhausted at admission
+  uint64_t rejected_shutdown = 0;  // Unavailable after Shutdown
+  uint64_t expired = 0;            // deadline passed before dispatch
+  uint64_t served = 0;             // completed ok (cache hits included)
+  uint64_t failed = 0;             // completed with an error Status
+  // Inter-query cache effectiveness (see CacheMode).
+  uint64_t cache_result_hits = 0;
+  uint64_t cache_result_misses = 0;
+  uint64_t cache_result_evictions = 0;
+  uint64_t cache_label_hits = 0;    // candidate bitset already resident
+  uint64_t cache_label_misses = 0;  // candidate bitset built now
+  uint64_t cache_result_bytes = 0;  // resident memo footprint
+  uint64_t cache_label_bytes = 0;   // resident candidate-bitset footprint
+  size_t peak_queue_depth = 0;
+  // Summed over the served queries (cache hits contribute the memoized
+  // accounting, which is bit-identical to a fresh run's).
+  RunStats cumulative;
+  AlgoCounters counters;
 };
 
 // Poison flag shared by the actors of one run. The first failure wins and

@@ -28,6 +28,9 @@
 #include "partition/stats.h"
 #include "runtime/cluster.h"
 #include "runtime/message.h"
+#include "serve/admission.h"
+#include "serve/query_cache.h"
+#include "serve/server.h"
 #include "simulation/incremental.h"
 #include "simulation/isomorphism.h"
 #include "simulation/oracle.h"

@@ -14,6 +14,14 @@
 // Section 4.1: for each in-node, the consumer sites that hold it as a
 // virtual node (annotated with the labels of the crossing-edge sources, used
 // to suppress useless truth-value shipments).
+//
+// Sharing contract. A Fragmentation is immutable after Create: every
+// accessor is const and there is no lazy or cached state behind them, so a
+// single instance may be read concurrently without synchronization. This is
+// what lets one deployment back many readers at once — dgs::Engine borrows
+// it const (the Engine::Create overload taking const Fragmentation*), and
+// dgs::Server points N Engine replicas at one instance so concurrent
+// queries share the resident fragments zero-copy.
 
 #ifndef DGS_PARTITION_FRAGMENTATION_H_
 #define DGS_PARTITION_FRAGMENTATION_H_
@@ -65,6 +73,7 @@ struct Fragment {
 };
 
 // Immutable fragmentation of a graph. Does not own the data graph.
+// Const access (all of it) is thread-safe; see the sharing contract above.
 class Fragmentation {
  public:
   // Validates `assignment` (one entry per node of g, values < num_fragments)

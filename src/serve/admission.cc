@@ -1,0 +1,15 @@
+#include "serve/admission.h"
+
+namespace dgs {
+
+const char* AdmissionPolicyName(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::kFifo:
+      return "fifo";
+    case AdmissionPolicy::kPriority:
+      return "priority";
+  }
+  return "unknown";
+}
+
+}  // namespace dgs

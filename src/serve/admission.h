@@ -1,0 +1,144 @@
+// Bounded admission queue of the serving front end (dgs::Server).
+//
+// The ROADMAP's "heavy traffic" north star — and the capacity discipline of
+// MPC-style distributed simulation, where per-round machine capacity is a
+// first-class constraint — needs admission control in front of the resident
+// deployment: a query stream that outruns the replicas must be shed at the
+// door, not buffered without bound. AdmissionQueue is that door:
+//
+//   - BOUNDED: Push on a full queue fails immediately with
+//     ResourceExhausted (overload rejection; the caller may retry later).
+//     It never blocks the producer.
+//   - ORDERED: AdmissionPolicy::kFifo dispatches in arrival order;
+//     kPriority dispatches higher priority first, ties in arrival order
+//     (a deterministic total order for any fixed arrival sequence).
+//   - DRAINING: Close() stops admission (subsequent Push fails with
+//     Unavailable) but lets consumers drain the backlog; Pop returns false
+//     only when the queue is closed AND empty. This is the graceful-drain
+//     half of Server::Shutdown.
+//
+// Thread safety: all members are safe to call concurrently from any number
+// of producers and consumers. Per-query deadlines are the dispatcher's
+// business, not the queue's: the Server stamps the deadline on the queued
+// job and checks it when the job is popped, so an expired query costs one
+// pop, never a scan of the backlog.
+
+#ifndef DGS_SERVE_ADMISSION_H_
+#define DGS_SERVE_ADMISSION_H_
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/serving.h"
+#include "util/status.h"
+
+namespace dgs {
+
+// Bounded MPMC queue with pluggable dispatch order. T must be movable.
+template <typename T>
+class AdmissionQueue {
+ public:
+  AdmissionQueue(size_t capacity, AdmissionPolicy policy)
+      : capacity_(std::max<size_t>(capacity, 1)), policy_(policy) {}
+
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  // Enqueues `item`, or fails without blocking: ResourceExhausted when the
+  // queue is full, Unavailable after Close(). `priority` only matters under
+  // AdmissionPolicy::kPriority (higher first).
+  Status Push(T item, int64_t priority = 0) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) {
+        return Status::Unavailable("admission queue is closed");
+      }
+      if (entries_.size() >= capacity_) {
+        return Status::ResourceExhausted("admission queue is full");
+      }
+      entries_.push_back(Entry{std::move(item), priority, next_seq_++});
+      std::push_heap(entries_.begin(), entries_.end(), Comparator());
+      peak_depth_ = std::max(peak_depth_, entries_.size());
+    }
+    ready_.notify_one();
+    return Status::Ok();
+  }
+
+  // Blocks until an item is available (true) or the queue is closed and
+  // drained (false). Items surface in dispatch order (see the file comment).
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_.wait(lock, [this] { return closed_ || !entries_.empty(); });
+    if (entries_.empty()) return false;  // closed and drained
+    std::pop_heap(entries_.begin(), entries_.end(), Comparator());
+    *out = std::move(entries_.back().item);
+    entries_.pop_back();
+    return true;
+  }
+
+  // Stops admission; consumers drain the backlog (see the file comment).
+  // Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
+  // High-water mark of the backlog since construction.
+  size_t peak_depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return peak_depth_;
+  }
+  size_t capacity() const { return capacity_; }
+  AdmissionPolicy policy() const { return policy_; }
+
+ private:
+  struct Entry {
+    T item;
+    int64_t priority;
+    uint64_t seq;
+  };
+
+  // Max-heap comparator: true when `a` dispatches after `b`. kFifo ignores
+  // priorities entirely so a producer-supplied priority cannot reorder a
+  // FIFO server; ties (and all of kFifo) dispatch in arrival order. The
+  // heap root is always the entry that dispatches next, and seq is unique,
+  // so dispatch order is deterministic for any fixed arrival sequence
+  // regardless of consumer scheduling.
+  auto Comparator() const {
+    const bool by_priority = policy_ == AdmissionPolicy::kPriority;
+    return [by_priority](const Entry& a, const Entry& b) {
+      if (by_priority && a.priority != b.priority) {
+        return a.priority < b.priority;
+      }
+      return a.seq > b.seq;
+    };
+  }
+
+  const size_t capacity_;
+  const AdmissionPolicy policy_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::vector<Entry> entries_;  // heap ordered by EntryAfter
+  uint64_t next_seq_ = 0;
+  size_t peak_depth_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace dgs
+
+#endif  // DGS_SERVE_ADMISSION_H_

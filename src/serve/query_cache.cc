@@ -1,0 +1,162 @@
+#include "serve/query_cache.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+namespace dgs {
+
+namespace {
+
+// Resident footprint estimate of one memo entry: the key, the fixpoint
+// bitsets (the dominant term on selective patterns), and the fixed struct
+// overhead. Exactness is not required — the budget is a budget, not an
+// allocator — but the estimate must scale with the entry so eviction keeps
+// the cache bounded.
+size_t ResultEntryBytes(const std::string& key, const DistOutcome& outcome) {
+  const size_t words_per_set = (outcome.result.NumDataNodes() + 63) / 64;
+  return key.size() + sizeof(DistOutcome) +
+         outcome.result.NumQueryNodes() * words_per_set * sizeof(uint64_t);
+}
+
+void PutU32(std::string& out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, sizeof(v));
+  out.append(buf, sizeof(buf));
+}
+
+}  // namespace
+
+const char* CacheModeName(CacheMode mode) {
+  switch (mode) {
+    case CacheMode::kOff:
+      return "off";
+    case CacheMode::kCandidates:
+      return "candidates";
+    case CacheMode::kFull:
+      return "full";
+  }
+  return "unknown";
+}
+
+QueryCache::QueryCache(const Graph* g, CacheMode mode, size_t max_result_bytes)
+    : graph_(g), mode_(mode), max_result_bytes_(max_result_bytes) {
+  DGS_CHECK(graph_ != nullptr, "QueryCache needs a deployed graph");
+}
+
+QueryCache::Counters QueryCache::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+const QueryCache::LabelEntry& QueryCache::LabelEntryFor(Label label) {
+  auto it = labels_.find(label);
+  if (it != labels_.end()) {
+    ++counters_.label_hits;
+    return it->second;
+  }
+  ++counters_.label_misses;
+  LabelEntry entry;
+  entry.candidates = DynamicBitset(graph_->NumNodes());
+  for (NodeId v = 0; v < graph_->NumNodes(); ++v) {
+    if (graph_->LabelOf(v) == label) entry.candidates.Set(v);
+  }
+  entry.count = entry.candidates.Count();
+  counters_.label_bytes += ((graph_->NumNodes() + 63) / 64) * sizeof(uint64_t);
+  return labels_.emplace(label, std::move(entry)).first->second;
+}
+
+uint64_t QueryCache::TouchAndEstimate(const Pattern& q) {
+  if (mode_ == CacheMode::kOff) return 0;
+  // Distinct labels of the (small) pattern, then one map touch per label.
+  std::vector<Label> labels;
+  labels.reserve(q.NumNodes());
+  for (NodeId u = 0; u < q.NumNodes(); ++u) labels.push_back(q.LabelOf(u));
+  std::sort(labels.begin(), labels.end());
+  labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
+
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t cost = 0;
+  for (Label label : labels) {
+    const LabelEntry& entry = LabelEntryFor(label);
+    // Every query node with this label starts from the same candidate set.
+    uint64_t uses = 0;
+    for (NodeId u = 0; u < q.NumNodes(); ++u) {
+      if (q.LabelOf(u) == label) ++uses;
+    }
+    cost += uses * entry.count;
+  }
+  return cost;
+}
+
+const DynamicBitset* QueryCache::Candidates(Label label) {
+  if (mode_ == CacheMode::kOff) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  return &LabelEntryFor(label).candidates;
+}
+
+std::string QueryCache::CanonicalKey(const Pattern& q,
+                                     const QueryOptions& options) {
+  std::string key;
+  key.reserve(16 + 4 * q.NumNodes() + 8 * q.NumEdges());
+  PutU32(key, static_cast<uint32_t>(q.NumNodes()));
+  for (NodeId u = 0; u < q.NumNodes(); ++u) PutU32(key, q.LabelOf(u));
+  PutU32(key, static_cast<uint32_t>(q.NumEdges()));
+  // Edges() walks the CSR in (source, sorted targets) order — the normal
+  // form every construction order of the same edge set converges to.
+  for (const auto& [src, dst] : q.graph().Edges()) {
+    PutU32(key, src);
+    PutU32(key, dst);
+  }
+  // Outcome-relevant options. kAuto resolves as a pure function of the
+  // deployment and the pattern, so keying on the requested algorithm is
+  // sound; push knobs change dGPM's messages, hence its accounting.
+  key.push_back(static_cast<char>(options.algorithm));
+  key.push_back(options.boolean_only ? 1 : 0);
+  key.push_back(options.enable_push ? 1 : 0);
+  char threshold[sizeof(double)];
+  std::memcpy(threshold, &options.push_threshold, sizeof(double));
+  key.append(threshold, sizeof(double));
+  return key;
+}
+
+bool QueryCache::Lookup(const std::string& key, DistOutcome* out) {
+  if (mode_ != CacheMode::kFull) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = results_.find(key);
+  if (it == results_.end()) {
+    ++counters_.result_misses;
+    return false;
+  }
+  ++counters_.result_hits;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  *out = it->second->outcome;
+  return true;
+}
+
+void QueryCache::Insert(const std::string& key, const DistOutcome& outcome) {
+  if (mode_ != CacheMode::kFull) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (results_.find(key) != results_.end()) return;  // deterministic dup
+  const size_t bytes = ResultEntryBytes(key, outcome);
+  if (bytes > max_result_bytes_) return;  // would evict the whole cache
+  lru_.push_front(ResultEntry{key, outcome, bytes});
+  results_.emplace(key, lru_.begin());
+  counters_.result_bytes += bytes;
+  ++counters_.result_entries;
+  EvictOverBudgetLocked();
+}
+
+void QueryCache::EvictOverBudgetLocked() {
+  while (counters_.result_bytes > max_result_bytes_ && lru_.size() > 1) {
+    const ResultEntry& victim = lru_.back();
+    counters_.result_bytes -= victim.bytes;
+    --counters_.result_entries;
+    ++counters_.result_evictions;
+    results_.erase(victim.key);
+    lru_.pop_back();
+  }
+}
+
+}  // namespace dgs

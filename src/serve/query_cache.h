@@ -1,0 +1,152 @@
+// Inter-query cache of one resident deployment (dgs::Server).
+//
+// The deploy-once / query-many model leaves per-query work on the table
+// when the queries of a stream resemble each other, which real pattern
+// workloads do (the ROADMAP names this: "reuse per-label candidate bitsets
+// across patterns sharing labels"). QueryCache keeps two layers, both
+// keyed against ONE immutable deployment:
+//
+//   CANDIDATE LAYER (CacheMode::kCandidates and up). For each label the
+//   bitset of data-graph nodes carrying it — the initial candidate set
+//   every simulation of a query node with that label starts from. Built
+//   lazily, once per label per deployment, and reused by every subsequent
+//   query sharing the label (a hit). Its consumers are the SERVING layer,
+//   not the simulation kernels: it prices queries for admission
+//   (EstimateCost: sum of candidate-set sizes over the query's nodes, the
+//   size of the initial simulation relation — the kPriority queue's
+//   shortest-job-first default) and exposes per-deployment label
+//   statistics (Candidates, ServerStats label hit/miss/byte counters).
+//   Query execution itself deliberately does NOT read these bitsets: the
+//   distributed actors rebuild their per-fragment candidate state so that
+//   results and message/byte accounting stay bit-identical to a plain
+//   Engine::Match — feeding a global index into the per-site algorithms
+//   would change what ships on the wire. The layer is bounded by the
+//   label alphabet and never evicted.
+//
+//   RESULT LAYER (CacheMode::kFull). Exact-pattern memoization: the full
+//   DistOutcome of a served query, keyed by the canonicalized pattern
+//   structure plus the outcome-relevant QueryOptions. A hit returns a copy
+//   of the memoized outcome — results AND message/byte accounting are
+//   bit-identical to re-running the query, because the runtime is
+//   deterministic for a fixed (deployment, pattern, options) triple; only
+//   the measured wall-clock fields keep the original run's values. LRU
+//   eviction under a byte budget.
+//
+// Canonicalization is representation-normalizing, not isomorphism: two
+// Pattern objects with the same node numbering, labels, and edge SET (the
+// CSR normal form sorts and the builder dedupes edge lists) produce the
+// same key regardless of construction order. Graph-isomorphic patterns
+// with different node numberings intentionally do NOT share an entry —
+// their runs ship differently-numbered wire payloads, so their accounting
+// is not interchangeable.
+//
+// Coherence rule: the cache is per-deployment and the deployed graph is
+// immutable, so entries can never go stale; the only invalidation is
+// redeployment (a new Server, hence a new cache). Thread safety: all
+// members are safe from any thread; returned candidate-bitset pointers
+// stay valid and constant for the cache's lifetime.
+
+#ifndef DGS_SERVE_QUERY_CACHE_H_
+#define DGS_SERVE_QUERY_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/metrics.h"
+#include "core/serving.h"
+#include "graph/pattern.h"
+#include "util/bitset.h"
+
+namespace dgs {
+
+class QueryCache {
+ public:
+  // `g` is the deployed data graph; it must outlive the cache. A zero
+  // `max_result_bytes` disables the result layer even under kFull.
+  QueryCache(const Graph* g, CacheMode mode, size_t max_result_bytes);
+
+  QueryCache(const QueryCache&) = delete;
+  QueryCache& operator=(const QueryCache&) = delete;
+
+  CacheMode mode() const { return mode_; }
+
+  // Counter snapshot (coherent: taken under the cache lock).
+  struct Counters {
+    uint64_t label_hits = 0;
+    uint64_t label_misses = 0;
+    uint64_t label_bytes = 0;
+    uint64_t result_hits = 0;
+    uint64_t result_misses = 0;
+    uint64_t result_evictions = 0;
+    uint64_t result_bytes = 0;
+    uint64_t result_entries = 0;
+  };
+  Counters counters() const;
+
+  // --- Candidate layer ------------------------------------------------
+
+  // Touches the candidate set of every distinct label of `q` (building the
+  // missing ones) and returns the estimated evaluation cost: the size of
+  // the initial simulation relation, sum over query nodes u of
+  // |candidates(label(u))|. Charges one label hit or miss per distinct
+  // label. Returns 0 immediately under CacheMode::kOff.
+  uint64_t TouchAndEstimate(const Pattern& q);
+
+  // The candidate bitset of one label (over global node ids), building it
+  // on first use; nullptr under CacheMode::kOff. The pointed-to bitset is
+  // immutable and outlives every query of the deployment.
+  const DynamicBitset* Candidates(Label label);
+
+  // --- Result layer ---------------------------------------------------
+
+  // Canonical memo key of (pattern, outcome-relevant options); see the
+  // file comment for what "canonical" does and does not normalize.
+  static std::string CanonicalKey(const Pattern& q,
+                                  const QueryOptions& options);
+
+  // Copies the memoized outcome for `key` into *out and refreshes its LRU
+  // position. False on miss (also always under modes below kFull).
+  // Charges one result hit or miss.
+  bool Lookup(const std::string& key, DistOutcome* out);
+
+  // Memoizes a served outcome under `key`, evicting least-recently-used
+  // entries over the byte budget. No-op below kFull, for entries larger
+  // than the whole budget, and for keys already present (the runtime is
+  // deterministic, so a double insert would store the same outcome).
+  void Insert(const std::string& key, const DistOutcome& outcome);
+
+ private:
+  struct LabelEntry {
+    DynamicBitset candidates;
+    uint64_t count = 0;  // candidates.Count(), precomputed
+  };
+  struct ResultEntry {
+    std::string key;
+    DistOutcome outcome;
+    size_t bytes = 0;
+  };
+  using LruList = std::list<ResultEntry>;
+
+  // Both require mu_ held.
+  const LabelEntry& LabelEntryFor(Label label);
+  void EvictOverBudgetLocked();
+
+  const Graph* graph_;
+  const CacheMode mode_;
+  const size_t max_result_bytes_;
+
+  mutable std::mutex mu_;
+  // Element references are stable across rehash (node-based map), so
+  // Candidates() can hand out pointers that outlive the lock.
+  std::unordered_map<Label, LabelEntry> labels_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<std::string, LruList::iterator> results_;
+  Counters counters_;
+};
+
+}  // namespace dgs
+
+#endif  // DGS_SERVE_QUERY_CACHE_H_

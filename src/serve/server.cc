@@ -1,0 +1,303 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace dgs {
+
+namespace serve_internal {
+
+// Shared completion state of one submitted query (the promise half of a
+// ServerTicket). Completed exactly once, by a worker or — for admission
+// failures — by Submit itself.
+struct ServerJob {
+  // Bound at submission; immutable afterwards (cache_key and
+  // labels_touched are owned by whichever single thread holds the job).
+  Pattern pattern;
+  QueryOptions query;
+  std::string cache_key;  // set by the worker under CacheMode::kFull
+  bool labels_touched = false;  // SJF pricing already touched the cache
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Status status;
+  DistOutcome outcome;  // meaningful iff done && status.ok()
+
+  void Complete(Status s, DistOutcome o) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      DGS_CHECK(!done, "ServerJob completed twice");
+      status = std::move(s);
+      outcome = std::move(o);
+      done = true;
+    }
+    cv.notify_all();
+  }
+};
+
+}  // namespace serve_internal
+
+using serve_internal::ServerJob;
+
+bool ServerTicket::Ready() const {
+  DGS_CHECK(valid(), "Ready() on an invalid ServerTicket");
+  std::lock_guard<std::mutex> lock(job_->mu);
+  return job_->done;
+}
+
+StatusOr<DistOutcome> ServerTicket::Wait() {
+  DGS_CHECK(valid(), "Wait() on an invalid ServerTicket");
+  ServerJob& job = *job_;
+  std::unique_lock<std::mutex> lock(job.mu);
+  job.cv.wait(lock, [&job] { return job.done; });
+  if (!job.status.ok()) return job.status;
+  return job.outcome;
+}
+
+Server::Server(const Graph* g, std::optional<Fragmentation> owned,
+               const Fragmentation* frag, const ServerOptions& options)
+    : graph_(g),
+      owned_frag_(std::move(owned)),
+      frag_(owned_frag_.has_value() ? &*owned_frag_ : frag),
+      options_(options),
+      cache_(g, options.cache, options.cache_max_result_bytes),
+      queue_(options.max_queue, options.policy) {}
+
+Status Server::SpawnReplicas(const Graph& g) {
+  uint32_t replicas = options_.num_replicas;
+  if (replicas == 0) replicas = ThreadPool::HardwareThreads();
+  // One structure-facts memo for the whole deployment: whichever replica
+  // first needs a fact computes it, the rest read it.
+  if (options_.engine.structure_facts == nullptr) {
+    options_.engine.structure_facts = std::make_shared<SharedStructureFacts>();
+  }
+  replicas_.reserve(replicas);
+  for (uint32_t i = 0; i < replicas; ++i) {
+    auto engine = Engine::Create(g, frag_, options_.engine);
+    if (!engine.ok()) return engine.status();
+    replicas_.push_back(std::move(engine).value());
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::unique_ptr<Server>> Server::Create(
+    const Graph& g, const std::vector<uint32_t>& assignment,
+    uint32_t num_fragments, const ServerOptions& options) {
+  WallTimer timer;
+  auto fragmentation = Fragmentation::Create(g, assignment, num_fragments);
+  if (!fragmentation.ok()) return fragmentation.status();
+  std::unique_ptr<Server> server(
+      new Server(&g, std::move(fragmentation).value(), nullptr, options));
+  Status spawned = server->SpawnReplicas(g);
+  if (!spawned.ok()) return spawned;
+  if (!options.defer_workers) server->Start();
+  server->stats_.deploy_seconds = timer.ElapsedSeconds();
+  server->stats_.replicas = server->num_replicas();
+  return server;
+}
+
+StatusOr<std::unique_ptr<Server>> Server::Create(
+    const Graph& g, const Fragmentation* fragmentation,
+    const ServerOptions& options) {
+  if (fragmentation == nullptr) {
+    return Status::InvalidArgument("fragmentation must not be null");
+  }
+  WallTimer timer;
+  std::unique_ptr<Server> server(
+      new Server(&g, std::nullopt, fragmentation, options));
+  Status spawned = server->SpawnReplicas(g);
+  if (!spawned.ok()) return spawned;
+  if (!options.defer_workers) server->Start();
+  server->stats_.deploy_seconds = timer.ElapsedSeconds();
+  server->stats_.replicas = server->num_replicas();
+  return server;
+}
+
+Server::~Server() { Shutdown(); }
+
+ServerTicket Server::Submit(const Pattern& q, const QueryOptions& query,
+                            const SubmitOptions& submit) {
+  auto job = std::make_shared<ServerJob>();
+  job->pattern = q;
+  job->query = query;
+  const double deadline_seconds = submit.deadline_seconds > 0
+                                      ? submit.deadline_seconds
+                                      : options_.default_deadline_seconds;
+  if (deadline_seconds > 0) {
+    job->has_deadline = true;
+    job->deadline = std::chrono::steady_clock::now() +
+                    std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(deadline_seconds));
+  }
+
+  // The admission path stays cheap so overload is shed at the door
+  // without cache contention: label warming and key canonicalization are
+  // the worker's job. The one exception is the priority policy's
+  // shortest-job-first default — its price must accompany the Push.
+  int64_t priority = submit.priority;
+  if (options_.policy == AdmissionPolicy::kPriority && submit.priority == 0) {
+    const uint64_t cost = cache_.TouchAndEstimate(q);
+    job->labels_touched = true;
+    priority = -static_cast<int64_t>(std::min<uint64_t>(
+        cost, static_cast<uint64_t>(std::numeric_limits<int64_t>::max())));
+  }
+
+  Status admitted = queue_.Push(job, priority);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.submitted;
+    if (admitted.ok()) {
+      ++stats_.admitted;
+    } else if (admitted.code() == StatusCode::kResourceExhausted) {
+      ++stats_.rejected_overload;
+    } else {
+      ++stats_.rejected_shutdown;
+    }
+  }
+  if (!admitted.ok()) job->Complete(std::move(admitted), DistOutcome{});
+  return ServerTicket(std::move(job));
+}
+
+std::vector<ServerTicket> Server::SubmitBatch(std::span<const Pattern> queries,
+                                              const QueryOptions& query,
+                                              const SubmitOptions& submit) {
+  std::vector<ServerTicket> tickets;
+  tickets.reserve(queries.size());
+  for (const Pattern& q : queries) tickets.push_back(Submit(q, query, submit));
+  return tickets;
+}
+
+StatusOr<DistOutcome> Server::Match(const Pattern& q, const QueryOptions& query,
+                                    const SubmitOptions& submit) {
+  return Submit(q, query, submit).Wait();
+}
+
+uint64_t Server::EstimateCost(const Pattern& q) {
+  return cache_.TouchAndEstimate(q);
+}
+
+void Server::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  StartLocked();
+}
+
+void Server::StartLocked() {
+  if (started_) return;
+  started_ = true;
+  workers_.reserve(replicas_.size());
+  for (uint32_t i = 0; i < replicas_.size(); ++i) {
+    workers_.emplace_back(&Server::WorkerLoop, this, i);
+  }
+}
+
+void Server::Shutdown() {
+  // Serialized: a second (or concurrent) Shutdown returns only after the
+  // first finished draining.
+  std::lock_guard<std::mutex> shutdown_lock(shutdown_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  queue_.Close();
+  {
+    // Deferred servers may hold a backlog with no workers yet; graceful
+    // drain means accepted work still completes, so start them now.
+    std::lock_guard<std::mutex> lock(mu_);
+    StartLocked();
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void Server::WorkerLoop(uint32_t replica) {
+  Engine& engine = *replicas_[replica];
+  std::shared_ptr<ServerJob> job;
+  while (queue_.Pop(&job)) {
+    ServerJob& j = *job;
+    if (j.has_deadline && std::chrono::steady_clock::now() >= j.deadline) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.expired;
+      }
+      j.Complete(
+          Status::DeadlineExceeded("query deadline passed while queued"),
+          DistOutcome{});
+      job.reset();
+      continue;
+    }
+
+    // Dispatched queries (and only they) touch the inter-query cache:
+    // warm/count the per-label candidate sets once per query, then consult
+    // the result memo.
+    if (!j.labels_touched) cache_.TouchAndEstimate(j.pattern);
+    if (cache_.mode() == CacheMode::kFull) {
+      j.cache_key = QueryCache::CanonicalKey(j.pattern, j.query);
+    }
+    if (!j.cache_key.empty()) {
+      DistOutcome memo;
+      if (cache_.Lookup(j.cache_key, &memo)) {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.served;
+          stats_.cumulative.Accumulate(memo.stats);
+          stats_.counters.Accumulate(memo.counters);
+        }
+        j.Complete(Status::Ok(), std::move(memo));
+        job.reset();
+        continue;
+      }
+    }
+
+    auto result = engine.Match(j.pattern, j.query);
+    if (result.ok()) {
+      if (!j.cache_key.empty()) cache_.Insert(j.cache_key, *result);
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.served;
+        stats_.cumulative.Accumulate(result->stats);
+        stats_.counters.Accumulate(result->counters);
+      }
+      j.Complete(Status::Ok(), std::move(result).value());
+    } else {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.failed;
+      }
+      j.Complete(result.status(), DistOutcome{});
+    }
+    job.reset();
+  }
+}
+
+ServerStats Server::stats() const {
+  ServerStats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = stats_;
+  }
+  const QueryCache::Counters cache = cache_.counters();
+  snapshot.cache_result_hits = cache.result_hits;
+  snapshot.cache_result_misses = cache.result_misses;
+  snapshot.cache_result_evictions = cache.result_evictions;
+  snapshot.cache_result_bytes = cache.result_bytes;
+  snapshot.cache_label_hits = cache.label_hits;
+  snapshot.cache_label_misses = cache.label_misses;
+  snapshot.cache_label_bytes = cache.label_bytes;
+  snapshot.peak_queue_depth = queue_.peak_depth();
+  snapshot.replicas = num_replicas();
+  return snapshot;
+}
+
+}  // namespace dgs

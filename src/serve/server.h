@@ -1,0 +1,196 @@
+// dgs::Server — concurrent query serving over one resident deployment.
+//
+// The paper fragments G once and then answers a STREAM of pattern queries
+// against the resident fragmentation (Section 2.2); dgs::Engine (core/
+// engine.h) is that model for one client thread. Server is the front end
+// for many: a thread-safe layer that owns one deployment and multiplexes
+// any number of client threads onto it.
+//
+//   clients ──Submit()──▶ AdmissionQueue ──▶ worker per replica ──▶ Engine
+//                (bounded,                        │                   │
+//                 FIFO/priority,                  ▼                   ▼
+//                 deadlines,                 QueryCache        shared const
+//                 overload shed)         (labels + results)   Fragmentation
+//
+// The pieces, and where their contracts live:
+//
+//   ADMISSION (serve/admission.h). A bounded queue in front of the
+//   replicas: full → Submit rejects with ResourceExhausted; shut down →
+//   Unavailable; a queued query whose deadline passes completes with
+//   DeadlineExceeded without running. Dispatch order is FIFO or priority
+//   (ServerOptions::policy).
+//
+//   EXECUTION. num_replicas resident Engines share one const Fragmentation
+//   (zero-copy, via the borrowing Engine::Create overload) and one
+//   SharedStructureFacts memo; each replica is driven by one worker thread
+//   and keeps the Engine single-thread contract, so N queries run
+//   concurrently while each retains its intra-query
+//   EngineOptions::num_threads parallelism. Results and accounting are
+//   bit-identical to sequential Engine::Match calls — concurrency changes
+//   scheduling, never outcomes.
+//
+//   CACHING (serve/query_cache.h). Per-label candidate bitsets shared
+//   across queries + exact-pattern result memoization, behind
+//   ServerOptions::cache, with hit/miss/byte counters in ServerStats.
+//   Coherence: the cache is per-deployment and the deployment is
+//   immutable; the only invalidation is redeploying (a new Server).
+//
+// Lifecycle:
+//
+//   auto server = dgs::Server::Create(g, assignment, 8, options);
+//   dgs::ServerTicket t = (*server)->Submit(q);        // async
+//   auto outcome = t.Wait();                           // StatusOr<DistOutcome>
+//   auto now = (*server)->Match(q);                    // blocking wrapper
+//   (*server)->Shutdown();  // close admission, drain backlog, join workers
+//
+// Shutdown is graceful: accepted queries complete (drain), later Submits
+// reject with Unavailable. The destructor shuts down if the caller did
+// not. `g` (and a borrowed Fragmentation) must outlive the server.
+
+#ifndef DGS_SERVE_SERVER_H_
+#define DGS_SERVE_SERVER_H_
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/serving.h"
+#include "partition/fragmentation.h"
+#include "serve/admission.h"
+#include "serve/query_cache.h"
+#include "util/status.h"
+
+namespace dgs {
+
+namespace serve_internal {
+struct ServerJob;
+}  // namespace serve_internal
+
+// Per-submission knobs (the per-query algorithm knobs stay in QueryOptions).
+struct SubmitOptions {
+  // Dispatch priority under AdmissionPolicy::kPriority (higher first; kFifo
+  // ignores it). Queries left at 0 are ordered shortest-estimated-job-first
+  // when the candidate cache is enabled, so cheap queries are not stuck
+  // behind expensive ones.
+  int32_t priority = 0;
+  // Seconds from submission after which the query, if still queued,
+  // completes with DeadlineExceeded instead of running. 0 = use
+  // ServerOptions::default_deadline_seconds (where 0 again means none).
+  double deadline_seconds = 0;
+};
+
+// Async handle of one submitted query. Copyable (shared state); Wait() may
+// be called from any thread and repeatedly — every call returns the same
+// completed Status/outcome.
+class ServerTicket {
+ public:
+  ServerTicket() = default;
+
+  bool valid() const { return job_ != nullptr; }
+  // True once the query completed (served, failed, rejected, or expired).
+  bool Ready() const;
+  // Blocks until completion. ResourceExhausted = rejected at admission,
+  // Unavailable = submitted after Shutdown, DeadlineExceeded = expired in
+  // the queue; otherwise exactly what Engine::Match returned.
+  StatusOr<DistOutcome> Wait();
+
+ private:
+  friend class Server;
+  explicit ServerTicket(std::shared_ptr<serve_internal::ServerJob> job)
+      : job_(std::move(job)) {}
+
+  std::shared_ptr<serve_internal::ServerJob> job_;
+};
+
+class Server {
+ public:
+  // Fragments g according to `assignment` and deploys it across
+  // ServerOptions::num_replicas resident engines.
+  static StatusOr<std::unique_ptr<Server>> Create(
+      const Graph& g, const std::vector<uint32_t>& assignment,
+      uint32_t num_fragments, const ServerOptions& options = {});
+
+  // Borrows an already-built fragmentation; it must outlive the server.
+  static StatusOr<std::unique_ptr<Server>> Create(
+      const Graph& g, const Fragmentation* fragmentation,
+      const ServerOptions& options = {});
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+  ~Server();
+
+  // Enqueues one query. Never blocks: an admission failure (queue full /
+  // shut down) surfaces as a pre-completed ticket, so Submit/Wait see the
+  // same Status a blocking Match would return. The pattern is copied into
+  // the job — the caller's Pattern may die immediately. The admission
+  // path is deliberately cheap (no cache work; rejected queries cost one
+  // failed Push) except under the priority policy's shortest-job-first
+  // default, whose price must accompany the enqueue.
+  ServerTicket Submit(const Pattern& q, const QueryOptions& query = {},
+                      const SubmitOptions& submit = {});
+
+  // Enqueues a query stream; tickets in stream order. Admission failures
+  // are per-ticket (a full queue rejects the tail, not the whole batch).
+  std::vector<ServerTicket> SubmitBatch(std::span<const Pattern> queries,
+                                        const QueryOptions& query = {},
+                                        const SubmitOptions& submit = {});
+
+  // Blocking wrapper: Submit + Wait.
+  StatusOr<DistOutcome> Match(const Pattern& q, const QueryOptions& query = {},
+                              const SubmitOptions& submit = {});
+
+  // Starts the worker threads when ServerOptions::defer_workers deferred
+  // them; no-op otherwise. Not required before Shutdown (which drains).
+  void Start();
+
+  // Graceful shutdown: closes admission (later Submits → Unavailable),
+  // drains the accepted backlog, joins the workers. Idempotent, and called
+  // by the destructor.
+  void Shutdown();
+
+  // Estimated evaluation cost of q on this deployment (the size of the
+  // initial simulation relation, from the per-label candidate sets). Warms
+  // the candidate cache; 0 when the cache is off.
+  uint64_t EstimateCost(const Pattern& q);
+
+  // Counter snapshot; safe from any thread.
+  ServerStats stats() const;
+
+  const Fragmentation& fragmentation() const { return *frag_; }
+  const ServerOptions& options() const { return options_; }
+  uint32_t num_replicas() const {
+    return static_cast<uint32_t>(replicas_.size());
+  }
+  uint32_t NumSites() const { return frag_->NumFragments(); }
+
+ private:
+  Server(const Graph* g, std::optional<Fragmentation> owned,
+         const Fragmentation* frag, const ServerOptions& options);
+
+  Status SpawnReplicas(const Graph& g);
+  void StartLocked();  // requires mu_ held
+  void WorkerLoop(uint32_t replica);
+
+  const Graph* graph_;
+  std::optional<Fragmentation> owned_frag_;  // engaged when the server owns
+  const Fragmentation* frag_;                // always valid
+  ServerOptions options_;
+  QueryCache cache_;
+  AdmissionQueue<std::shared_ptr<serve_internal::ServerJob>> queue_;
+  std::vector<std::unique_ptr<Engine>> replicas_;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex mu_;  // guards stats_ and the lifecycle flags
+  std::mutex shutdown_mu_;  // serializes Shutdown end to end
+  ServerStats stats_;
+  bool started_ = false;
+  bool shut_down_ = false;
+};
+
+}  // namespace dgs
+
+#endif  // DGS_SERVE_SERVER_H_

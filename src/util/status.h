@@ -25,6 +25,13 @@ enum class StatusCode {
   // Payload lost or unusable in transit (e.g. a corrupt wire message
   // poisoned a distributed run; see RunHealth in core/serving.h).
   kDataLoss,
+  // A bounded resource is exhausted (e.g. a full admission queue rejected
+  // the query; see serve/admission.h). Retrying later may succeed.
+  kResourceExhausted,
+  // The caller's deadline passed before the work ran (serve/server.h).
+  kDeadlineExceeded,
+  // The service is not accepting work (e.g. a dgs::Server after Shutdown).
+  kUnavailable,
 };
 
 // Value-semantic error carrier. An OK status has an empty message.
@@ -53,6 +60,15 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,128 @@
+// AdmissionQueue semantics: bounded overload rejection, FIFO vs priority
+// dispatch order, close-and-drain, and producer/consumer blocking.
+
+#include "serve/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace dgs {
+namespace {
+
+TEST(AdmissionQueueTest, FifoDispatchesInArrivalOrder) {
+  AdmissionQueue<int> queue(8, AdmissionPolicy::kFifo);
+  // Priorities must be ignored under kFifo.
+  ASSERT_TRUE(queue.Push(1, /*priority=*/-5).ok());
+  ASSERT_TRUE(queue.Push(2, /*priority=*/100).ok());
+  ASSERT_TRUE(queue.Push(3, /*priority=*/7).ok());
+  int out = 0;
+  for (int expected : {1, 2, 3}) {
+    ASSERT_TRUE(queue.Pop(&out));
+    EXPECT_EQ(out, expected);
+  }
+}
+
+TEST(AdmissionQueueTest, PriorityDispatchesHighFirstTiesFifo) {
+  AdmissionQueue<int> queue(8, AdmissionPolicy::kPriority);
+  ASSERT_TRUE(queue.Push(1, 0).ok());
+  ASSERT_TRUE(queue.Push(2, 10).ok());
+  ASSERT_TRUE(queue.Push(3, 0).ok());
+  ASSERT_TRUE(queue.Push(4, 10).ok());
+  ASSERT_TRUE(queue.Push(5, -3).ok());
+  int out = 0;
+  for (int expected : {2, 4, 1, 3, 5}) {
+    ASSERT_TRUE(queue.Pop(&out));
+    EXPECT_EQ(out, expected) << "priority order with FIFO ties";
+  }
+}
+
+TEST(AdmissionQueueTest, OverflowRejectsWithResourceExhausted) {
+  AdmissionQueue<int> queue(2, AdmissionPolicy::kFifo);
+  EXPECT_TRUE(queue.Push(1).ok());
+  EXPECT_TRUE(queue.Push(2).ok());
+  Status rejected = queue.Push(3);
+  EXPECT_EQ(rejected.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(queue.size(), 2u);
+  // Draining one slot re-opens admission.
+  int out = 0;
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_TRUE(queue.Push(3).ok());
+}
+
+TEST(AdmissionQueueTest, CapacityZeroClampsToOne) {
+  AdmissionQueue<int> queue(0, AdmissionPolicy::kFifo);
+  EXPECT_EQ(queue.capacity(), 1u);
+  EXPECT_TRUE(queue.Push(1).ok());
+  EXPECT_EQ(queue.Push(2).code(), StatusCode::kResourceExhausted);
+}
+
+TEST(AdmissionQueueTest, CloseRejectsPushesButDrainsBacklog) {
+  AdmissionQueue<int> queue(8, AdmissionPolicy::kFifo);
+  ASSERT_TRUE(queue.Push(1).ok());
+  ASSERT_TRUE(queue.Push(2).ok());
+  queue.Close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_EQ(queue.Push(3).code(), StatusCode::kUnavailable);
+  int out = 0;
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 1);
+  ASSERT_TRUE(queue.Pop(&out));
+  EXPECT_EQ(out, 2);
+  // Closed and drained: Pop returns false instead of blocking.
+  EXPECT_FALSE(queue.Pop(&out));
+  EXPECT_FALSE(queue.Pop(&out));  // stays terminal
+}
+
+TEST(AdmissionQueueTest, PopBlocksUntilPushOrClose) {
+  AdmissionQueue<int> queue(4, AdmissionPolicy::kFifo);
+  std::atomic<int> got{-1};
+  std::thread consumer([&] {
+    int out = 0;
+    if (queue.Pop(&out)) got.store(out);
+  });
+  ASSERT_TRUE(queue.Push(42).ok());
+  consumer.join();
+  EXPECT_EQ(got.load(), 42);
+
+  std::atomic<bool> returned_false{false};
+  std::thread blocked([&] {
+    int out = 0;
+    returned_false.store(!queue.Pop(&out));
+  });
+  queue.Close();
+  blocked.join();
+  EXPECT_TRUE(returned_false.load());
+}
+
+TEST(AdmissionQueueTest, ConcurrentProducersConsumersDeliverEverythingOnce) {
+  AdmissionQueue<int> queue(1024, AdmissionPolicy::kFifo);
+  constexpr int kProducers = 4, kConsumers = 3, kPerProducer = 200;
+  std::vector<std::atomic<int>> seen(kProducers * kPerProducer);
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.Push(p * kPerProducer + i).ok());
+      }
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      int out = 0;
+      while (queue.Pop(&out)) seen[out].fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  queue.Close();
+  for (auto& t : consumers) t.join();
+  for (const auto& count : seen) EXPECT_EQ(count.load(), 1);
+  EXPECT_GE(queue.peak_depth(), 1u);
+  EXPECT_LE(queue.peak_depth(), 1024u);
+}
+
+}  // namespace
+}  // namespace dgs

@@ -8,6 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "core/api.h"
 #include "graph/generators.h"
 #include "partition/partitioner.h"
@@ -389,6 +392,40 @@ TEST(EngineTest, HealthyOutcomeHasZeroDecodeDrops) {
   EXPECT_TRUE(outcome->health.ok());
   EXPECT_EQ(outcome->decode_drops.Total(), 0u);
 }
+
+#ifdef GTEST_HAS_DEATH_TEST
+// The single-thread contract is enforced, not just documented: overlapping
+// Match calls on ONE Engine must abort with a diagnostic pointing at
+// dgs::Server instead of racing on the resident actors. (Concurrency across
+// DIFFERENT engines is fine — that is exactly what Server's replicas do.)
+TEST(EngineDeathTest, ConcurrentMatchOnOneEngineAborts) {
+  Rng rng(3);
+  Graph g = WebGraph(20000, 100000, kDefaultAlphabet, rng);
+  auto assignment = PartitionWithBoundaryRatio(g, 8, 0.3, rng);
+  PatternSpec spec;
+  spec.num_nodes = 5;
+  spec.num_edges = 10;
+  spec.kind = PatternKind::kCyclic;
+  auto q = ExtractPattern(g, spec, rng);
+  ASSERT_TRUE(q.ok());
+
+  EXPECT_DEATH(
+      {
+        auto engine = Engine::Create(g, assignment, 8);
+        std::atomic<bool> entered{false};
+        // One thread holds the engine busy with slow queries; the other
+        // thread's very first overlapping Match must trip the guard.
+        std::thread busy([&] {
+          entered.store(true);
+          for (int i = 0; i < 3; ++i) (void)(*engine)->Match(*q);
+        });
+        while (!entered.load()) std::this_thread::yield();
+        for (int i = 0; i < 50; ++i) (void)(*engine)->Match(*q);
+        busy.join();
+      },
+      "one query at a time");
+}
+#endif  // GTEST_HAS_DEATH_TEST
 
 TEST(EngineTest, ServingStatsAccumulate) {
   auto ex = MakeSocialExample();

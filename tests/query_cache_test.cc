@@ -1,0 +1,235 @@
+// QueryCache semantics: per-label candidate bitsets vs brute force, label
+// hit/miss accounting, canonical keys (representation-normalizing, option-
+// sensitive), result memoization round trips, LRU eviction under the byte
+// budget, and mode gating.
+
+#include "serve/query_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace dgs {
+namespace {
+
+Pattern TwoNodePattern(Label a, Label b) {
+  return Pattern(MakeGraph({a, b}, {{0, 1}}));
+}
+
+TEST(QueryCacheTest, CandidatesMatchBruteForce) {
+  Rng rng(2014);
+  Graph g = WebGraph(500, 2000, kDefaultAlphabet, rng);
+  QueryCache cache(&g, CacheMode::kCandidates, 0);
+  for (Label label = 0; label < g.LabelAlphabetSize(); ++label) {
+    const DynamicBitset* candidates = cache.Candidates(label);
+    ASSERT_NE(candidates, nullptr);
+    ASSERT_EQ(candidates->size(), g.NumNodes());
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      EXPECT_EQ(candidates->Test(v), g.LabelOf(v) == label)
+          << "label " << label << " node " << v;
+    }
+  }
+}
+
+TEST(QueryCacheTest, LabelHitMissCountingAcrossQueriesSharingLabels) {
+  Graph g = MakeGraph({0, 1, 2, 0, 1}, {{0, 1}, {1, 2}, {3, 4}});
+  QueryCache cache(&g, CacheMode::kCandidates, 0);
+
+  // First query touches labels {0, 1}: two misses.
+  cache.TouchAndEstimate(TwoNodePattern(0, 1));
+  QueryCache::Counters counters = cache.counters();
+  EXPECT_EQ(counters.label_misses, 2u);
+  EXPECT_EQ(counters.label_hits, 0u);
+
+  // Second query shares label 1, adds label 2: one hit, one miss.
+  cache.TouchAndEstimate(TwoNodePattern(1, 2));
+  counters = cache.counters();
+  EXPECT_EQ(counters.label_misses, 3u);
+  EXPECT_EQ(counters.label_hits, 1u);
+
+  // Third query re-uses only resident labels: hits only. A label used by
+  // two query nodes is touched once.
+  cache.TouchAndEstimate(TwoNodePattern(0, 0));
+  counters = cache.counters();
+  EXPECT_EQ(counters.label_misses, 3u);
+  EXPECT_EQ(counters.label_hits, 2u);
+  EXPECT_GT(counters.label_bytes, 0u);
+}
+
+TEST(QueryCacheTest, EstimateIsInitialRelationSize) {
+  // Labels: two 0-nodes, three 1-nodes.
+  Graph g = MakeGraph({0, 0, 1, 1, 1}, {{0, 2}, {1, 3}});
+  QueryCache cache(&g, CacheMode::kCandidates, 0);
+  // Query nodes labeled 0 and 1: |cand(0)| + |cand(1)| = 2 + 3.
+  EXPECT_EQ(cache.TouchAndEstimate(TwoNodePattern(0, 1)), 5u);
+  // Two query nodes sharing label 1 count the candidate set twice.
+  EXPECT_EQ(cache.TouchAndEstimate(TwoNodePattern(1, 1)), 6u);
+  // Unknown label: empty candidate set contributes nothing.
+  EXPECT_EQ(cache.TouchAndEstimate(TwoNodePattern(7, 7)), 0u);
+}
+
+TEST(QueryCacheTest, CanonicalKeyNormalizesEdgeInsertionOrder) {
+  // Same labeled node set and edge set, different construction order.
+  GraphBuilder b1(3);
+  b1.SetLabel(0, 5);
+  b1.SetLabel(1, 6);
+  b1.SetLabel(2, 7);
+  b1.AddEdge(0, 1);
+  b1.AddEdge(0, 2);
+  b1.AddEdge(1, 2);
+  GraphBuilder b2(3);
+  b2.SetLabel(0, 5);
+  b2.SetLabel(1, 6);
+  b2.SetLabel(2, 7);
+  b2.AddEdge(1, 2);
+  b2.AddEdge(0, 2);
+  b2.AddEdge(0, 1);
+  Pattern q1(std::move(b1).Build());
+  Pattern q2(std::move(b2).Build());
+  QueryOptions options;
+  EXPECT_EQ(QueryCache::CanonicalKey(q1, options),
+            QueryCache::CanonicalKey(q2, options));
+}
+
+TEST(QueryCacheTest, CanonicalKeyDistinguishesStructureLabelsAndOptions) {
+  QueryOptions options;
+  const std::string base =
+      QueryCache::CanonicalKey(TwoNodePattern(1, 2), options);
+  // Different label.
+  EXPECT_NE(QueryCache::CanonicalKey(TwoNodePattern(1, 3), options), base);
+  // Different edge set (same labels).
+  Pattern reversed(MakeGraph({1, 2}, {{1, 0}}));
+  EXPECT_NE(QueryCache::CanonicalKey(reversed, options), base);
+  // Different node count.
+  Pattern bigger(MakeGraph({1, 2, 2}, {{0, 1}}));
+  EXPECT_NE(QueryCache::CanonicalKey(bigger, options), base);
+  // Outcome-relevant option changes key.
+  QueryOptions boolean = options;
+  boolean.boolean_only = true;
+  EXPECT_NE(QueryCache::CanonicalKey(TwoNodePattern(1, 2), boolean), base);
+  QueryOptions algo = options;
+  algo.algorithm = Algorithm::kDMes;
+  EXPECT_NE(QueryCache::CanonicalKey(TwoNodePattern(1, 2), algo), base);
+  QueryOptions push = options;
+  push.push_threshold = 0.5;
+  EXPECT_NE(QueryCache::CanonicalKey(TwoNodePattern(1, 2), push), base);
+}
+
+DistOutcome OutcomeWithBytes(uint64_t data_bytes, size_t num_data_nodes) {
+  DistOutcome outcome;
+  outcome.stats.data_bytes = data_bytes;
+  outcome.result = SimulationResult(
+      std::vector<DynamicBitset>(2, DynamicBitset(num_data_nodes)),
+      num_data_nodes);
+  return outcome;
+}
+
+TEST(QueryCacheTest, LookupInsertRoundTripAndCounters) {
+  Graph g = MakeGraph({0, 1}, {{0, 1}});
+  QueryCache cache(&g, CacheMode::kFull, 1 << 20);
+  const std::string key =
+      QueryCache::CanonicalKey(TwoNodePattern(0, 1), QueryOptions{});
+
+  DistOutcome out;
+  EXPECT_FALSE(cache.Lookup(key, &out));
+  cache.Insert(key, OutcomeWithBytes(777, 2));
+  ASSERT_TRUE(cache.Lookup(key, &out));
+  EXPECT_EQ(out.stats.data_bytes, 777u);
+
+  QueryCache::Counters counters = cache.counters();
+  EXPECT_EQ(counters.result_misses, 1u);
+  EXPECT_EQ(counters.result_hits, 1u);
+  EXPECT_EQ(counters.result_entries, 1u);
+  EXPECT_GT(counters.result_bytes, 0u);
+
+  // Duplicate insert is a no-op (deterministic runtime: same key, same
+  // outcome).
+  cache.Insert(key, OutcomeWithBytes(888, 2));
+  ASSERT_TRUE(cache.Lookup(key, &out));
+  EXPECT_EQ(out.stats.data_bytes, 777u);
+  EXPECT_EQ(cache.counters().result_entries, 1u);
+}
+
+TEST(QueryCacheTest, ModesGateTheLayers) {
+  Graph g = MakeGraph({0, 1}, {{0, 1}});
+  const std::string key =
+      QueryCache::CanonicalKey(TwoNodePattern(0, 1), QueryOptions{});
+  DistOutcome out;
+
+  QueryCache off(&g, CacheMode::kOff, 1 << 20);
+  EXPECT_EQ(off.Candidates(0), nullptr);
+  EXPECT_EQ(off.TouchAndEstimate(TwoNodePattern(0, 1)), 0u);
+  off.Insert(key, OutcomeWithBytes(1, 2));
+  EXPECT_FALSE(off.Lookup(key, &out));
+  QueryCache::Counters counters = off.counters();
+  EXPECT_EQ(counters.label_misses + counters.label_hits, 0u);
+  EXPECT_EQ(counters.result_misses + counters.result_hits, 0u);
+
+  // kCandidates: label layer live, result layer dead.
+  QueryCache cand(&g, CacheMode::kCandidates, 1 << 20);
+  EXPECT_NE(cand.Candidates(0), nullptr);
+  cand.Insert(key, OutcomeWithBytes(1, 2));
+  EXPECT_FALSE(cand.Lookup(key, &out));
+  EXPECT_EQ(cand.counters().result_entries, 0u);
+}
+
+std::string KeyFor(Label l) {
+  return QueryCache::CanonicalKey(TwoNodePattern(l, l + 1), QueryOptions{});
+}
+
+// Resident bytes of one memoized entry (all entries in these tests have the
+// same shape, hence the same footprint).
+size_t MeasuredEntryBytes(const Graph& g) {
+  QueryCache probe(&g, CacheMode::kFull, size_t{1} << 30);
+  probe.Insert(KeyFor(0), OutcomeWithBytes(0, 4096));
+  return probe.counters().result_bytes;
+}
+
+TEST(QueryCacheTest, LruEvictionRespectsByteBudget) {
+  Graph g = MakeGraph({0, 1}, {{0, 1}});
+  // Budget fits exactly three of the uniform entries.
+  const size_t kBudget = 3 * MeasuredEntryBytes(g) + 1;
+  QueryCache cache(&g, CacheMode::kFull, kBudget);
+
+  auto key_for = KeyFor;
+  for (Label l = 0; l < 6; ++l) {
+    cache.Insert(key_for(l), OutcomeWithBytes(l, 4096));
+  }
+  QueryCache::Counters counters = cache.counters();
+  EXPECT_LE(counters.result_bytes, kBudget);
+  EXPECT_GT(counters.result_evictions, 0u);
+  EXPECT_EQ(counters.result_entries + counters.result_evictions, 6u);
+
+  // The most recent entries survive; the oldest were evicted.
+  DistOutcome out;
+  EXPECT_TRUE(cache.Lookup(key_for(5), &out));
+  EXPECT_FALSE(cache.Lookup(key_for(0), &out));
+
+  // An entry larger than the whole budget is refused outright.
+  cache.Insert(key_for(40), OutcomeWithBytes(0, 1 << 20));
+  EXPECT_FALSE(cache.Lookup(key_for(40), &out));
+  EXPECT_LE(cache.counters().result_bytes, kBudget);
+}
+
+TEST(QueryCacheTest, LookupRefreshesLruPosition) {
+  Graph g = MakeGraph({0, 1}, {{0, 1}});
+  const size_t kBudget = 3 * MeasuredEntryBytes(g) + 1;
+  QueryCache cache(&g, CacheMode::kFull, kBudget);
+  auto key_for = KeyFor;
+  cache.Insert(key_for(0), OutcomeWithBytes(0, 4096));
+  cache.Insert(key_for(1), OutcomeWithBytes(1, 4096));
+  cache.Insert(key_for(2), OutcomeWithBytes(2, 4096));
+  // Touch the oldest so it is no longer the LRU victim.
+  DistOutcome out;
+  ASSERT_TRUE(cache.Lookup(key_for(0), &out));
+  cache.Insert(key_for(3), OutcomeWithBytes(3, 4096));
+  EXPECT_TRUE(cache.Lookup(key_for(0), &out)) << "refreshed entry survives";
+  EXPECT_FALSE(cache.Lookup(key_for(1), &out)) << "true LRU entry evicted";
+}
+
+}  // namespace
+}  // namespace dgs

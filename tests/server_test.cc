@@ -1,0 +1,490 @@
+// dgs::Server semantics. The load-bearing contract: concurrent serving is
+// observationally identical to sequential Engine::Match — bit-identical
+// results and message/byte accounting for every query, across client-thread
+// × engine-thread grids, with and without the inter-query cache — plus the
+// admission-control behaviors (overload rejection, deadlines, graceful
+// shutdown drain) and the shared-deployment plumbing (structure facts,
+// const fragmentation across replicas). Runs under TSAN in CI.
+
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/api.h"
+#include "graph/generators.h"
+#include "partition/partitioner.h"
+#include "simulation/simulation.h"
+#include "test_env.h"
+
+namespace dgs {
+namespace {
+
+// Everything that must be reproducible between the concurrent-serving and
+// sequential paths: the answer plus the full deterministic accounting
+// (measured wall-clock fields excluded, as in engine_test).
+void ExpectSameOutcome(const DistOutcome& served, const DistOutcome& reference,
+                       const std::string& what) {
+  EXPECT_TRUE(served.result == reference.result) << what;
+  EXPECT_EQ(served.stats.data_bytes, reference.stats.data_bytes) << what;
+  EXPECT_EQ(served.stats.control_bytes, reference.stats.control_bytes) << what;
+  EXPECT_EQ(served.stats.result_bytes, reference.stats.result_bytes) << what;
+  EXPECT_EQ(served.stats.data_messages, reference.stats.data_messages) << what;
+  EXPECT_EQ(served.stats.control_messages, reference.stats.control_messages)
+      << what;
+  EXPECT_EQ(served.stats.result_messages, reference.stats.result_messages)
+      << what;
+  EXPECT_EQ(served.stats.rounds, reference.stats.rounds) << what;
+  EXPECT_EQ(served.counters.vars_shipped.load(),
+            reference.counters.vars_shipped.load())
+      << what;
+  EXPECT_EQ(served.counters.push_count.load(),
+            reference.counters.push_count.load())
+      << what;
+  EXPECT_EQ(served.counters.equation_units.load(),
+            reference.counters.equation_units.load())
+      << what;
+  EXPECT_EQ(served.counters.recomputations.load(),
+            reference.counters.recomputations.load())
+      << what;
+  EXPECT_EQ(served.counters.supersteps.load(),
+            reference.counters.supersteps.load())
+      << what;
+}
+
+struct Workload {
+  Graph g;
+  std::vector<uint32_t> assignment;
+  std::vector<Pattern> queries;
+};
+
+Workload MakeWorkload() {
+  Workload w;
+  Rng rng(2014);
+  w.g = WebGraph(1200, 5000, kDefaultAlphabet, rng);
+  w.assignment = PartitionWithBoundaryRatio(w.g, 6, 0.3, rng);
+  for (int i = 0; i < 8 && w.queries.size() < 4; ++i) {
+    PatternSpec spec;
+    spec.num_nodes = 4;
+    spec.num_edges = 6;
+    spec.kind = PatternKind::kCyclic;
+    auto q = ExtractPattern(w.g, spec, rng);
+    if (q.ok()) w.queries.push_back(*q);
+  }
+  return w;
+}
+
+// K client threads × engine widths {1, 2, 8} × cache {off, full} submit the
+// same query set; every outcome must be bit-identical to sequential
+// Engine::Match on a plain resident Engine.
+TEST(ServerTest, ConcurrentServingMatchesSequentialEngine) {
+  Workload w = MakeWorkload();
+  ASSERT_GE(w.queries.size(), 2u);
+  QueryOptions query;
+  query.algorithm = Algorithm::kDgpm;
+
+  // Sequential reference (results and accounting are thread-count
+  // invariant by the runtime's determinism contract, so one reference
+  // serves every grid cell).
+  auto reference_engine = Engine::Create(w.g, w.assignment, 6);
+  ASSERT_TRUE(reference_engine.ok());
+  std::vector<DistOutcome> reference;
+  for (const Pattern& q : w.queries) {
+    auto outcome = (*reference_engine)->Match(q, query);
+    ASSERT_TRUE(outcome.ok());
+    reference.push_back(std::move(outcome).value());
+  }
+
+  constexpr uint32_t kClients = 3;
+  for (uint32_t engine_threads : {1u, 2u, 8u}) {
+    for (CacheMode cache : {CacheMode::kOff, CacheMode::kFull}) {
+      ServerOptions options;
+      options.engine.num_threads = engine_threads;
+      options.num_replicas = 2;
+      options.cache = cache;
+      auto server = Server::Create(w.g, w.assignment, 6, options);
+      ASSERT_TRUE(server.ok());
+
+      // Each client thread submits the whole stream and checks its own
+      // outcomes against the sequential reference.
+      std::vector<std::thread> clients;
+      std::atomic<int> mismatches{0};
+      for (uint32_t c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+          std::vector<ServerTicket> tickets;
+          for (const Pattern& q : w.queries) {
+            tickets.push_back((*server)->Submit(q, query));
+          }
+          for (size_t qi = 0; qi < tickets.size(); ++qi) {
+            auto outcome = tickets[qi].Wait();
+            if (!outcome.ok()) {
+              ++mismatches;
+              continue;
+            }
+            ExpectSameOutcome(*outcome, reference[qi],
+                              "cache " + std::string(CacheModeName(cache)) +
+                                  " t" + std::to_string(engine_threads) +
+                                  " client " + std::to_string(c) + " q" +
+                                  std::to_string(qi));
+          }
+        });
+      }
+      for (auto& t : clients) t.join();
+      EXPECT_EQ(mismatches.load(), 0);
+
+      (*server)->Shutdown();
+      ServerStats stats = (*server)->stats();
+      EXPECT_EQ(stats.submitted, kClients * w.queries.size());
+      EXPECT_EQ(stats.served, kClients * w.queries.size());
+      EXPECT_EQ(stats.failed, 0u);
+      EXPECT_EQ(stats.rejected_overload, 0u);
+      EXPECT_EQ(stats.replicas, 2u);
+      if (cache == CacheMode::kFull) {
+        // Every (pattern, options) pair is computed at most once per
+        // deployment; the remaining serves are memo hits. (At most,
+        // because two clients can race to compute the same fresh key.)
+        EXPECT_GT(stats.cache_result_hits, 0u);
+        EXPECT_EQ(stats.cache_result_hits + stats.cache_result_misses,
+                  stats.served);
+      } else {
+        EXPECT_EQ(stats.cache_result_hits + stats.cache_result_misses, 0u);
+      }
+      // Cumulative accounting equals served-count multiples of the
+      // reference (every serve of query qi costs exactly reference[qi]).
+      uint64_t expected_bytes = 0;
+      for (const DistOutcome& r : reference) {
+        expected_bytes += kClients * r.stats.data_bytes;
+      }
+      EXPECT_EQ(stats.cumulative.data_bytes, expected_bytes);
+    }
+  }
+}
+
+TEST(ServerTest, BlockingMatchEqualsEngineMatch) {
+  Workload w = MakeWorkload();
+  ASSERT_FALSE(w.queries.empty());
+  QueryOptions query;
+  query.algorithm = Algorithm::kDgpm;
+
+  auto engine = Engine::Create(w.g, w.assignment, 6,
+                               dgs::testing::TestEngineOptions());
+  ASSERT_TRUE(engine.ok());
+  ServerOptions options;
+  options.engine = dgs::testing::TestEngineOptions();
+  auto server = Server::Create(w.g, w.assignment, 6, options);
+  ASSERT_TRUE(server.ok());
+
+  for (size_t qi = 0; qi < w.queries.size(); ++qi) {
+    auto served = (*server)->Match(w.queries[qi], query);
+    auto direct = (*engine)->Match(w.queries[qi], query);
+    ASSERT_TRUE(served.ok());
+    ASSERT_TRUE(direct.ok());
+    ExpectSameOutcome(*served, *direct, "blocking q" + std::to_string(qi));
+  }
+}
+
+TEST(ServerTest, QueueOverflowRejectsWithResourceExhausted) {
+  Workload w = MakeWorkload();
+  ASSERT_FALSE(w.queries.empty());
+  ServerOptions options;
+  options.num_replicas = 1;
+  options.max_queue = 2;
+  options.defer_workers = true;  // deterministic backlog: nothing drains
+  auto server = Server::Create(w.g, w.assignment, 6, options);
+  ASSERT_TRUE(server.ok());
+
+  QueryOptions query;
+  query.algorithm = Algorithm::kDgpm;
+  std::vector<ServerTicket> tickets;
+  for (int i = 0; i < 5; ++i) {
+    tickets.push_back((*server)->Submit(w.queries[0], query));
+  }
+  // The first two were admitted; the rest bounced at the door, already
+  // complete with ResourceExhausted.
+  for (int i = 2; i < 5; ++i) {
+    ASSERT_TRUE(tickets[i].Ready());
+    EXPECT_EQ(tickets[i].Wait().status().code(),
+              StatusCode::kResourceExhausted);
+  }
+  EXPECT_FALSE(tickets[0].Ready());
+
+  (*server)->Start();
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_TRUE(tickets[i].Wait().ok());
+  }
+  ServerStats stats = (*server)->stats();
+  EXPECT_EQ(stats.submitted, 5u);
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.rejected_overload, 3u);
+  EXPECT_EQ(stats.served, 2u);
+  EXPECT_EQ(stats.peak_queue_depth, 2u);
+}
+
+TEST(ServerTest, ShutdownDrainsBacklogThenRejectsUnavailable) {
+  Workload w = MakeWorkload();
+  ASSERT_FALSE(w.queries.empty());
+  ServerOptions options;
+  options.num_replicas = 2;
+  options.defer_workers = true;
+  auto server = Server::Create(w.g, w.assignment, 6, options);
+  ASSERT_TRUE(server.ok());
+
+  QueryOptions query;
+  query.algorithm = Algorithm::kDgpm;
+  std::vector<ServerTicket> tickets;
+  for (int i = 0; i < 6; ++i) {
+    tickets.push_back(
+        (*server)->Submit(w.queries[i % w.queries.size()], query));
+  }
+  // Graceful shutdown: the deferred workers are started to drain the
+  // backlog; every accepted query completes.
+  (*server)->Shutdown();
+  for (auto& ticket : tickets) {
+    EXPECT_TRUE(ticket.Wait().ok());
+  }
+  ServerStats stats = (*server)->stats();
+  EXPECT_EQ(stats.served, 6u);
+
+  // Post-shutdown submissions reject with Unavailable, via both paths.
+  auto late = (*server)->Submit(w.queries[0], query);
+  EXPECT_EQ(late.Wait().status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ((*server)->Match(w.queries[0], query).status().code(),
+            StatusCode::kUnavailable);
+  stats = (*server)->stats();
+  EXPECT_EQ(stats.rejected_shutdown, 2u);
+  EXPECT_EQ(stats.served, 6u);
+
+  // Shutdown is idempotent.
+  (*server)->Shutdown();
+}
+
+TEST(ServerTest, QueuedDeadlineExpiresWithoutRunning) {
+  Workload w = MakeWorkload();
+  ASSERT_FALSE(w.queries.empty());
+  ServerOptions options;
+  options.num_replicas = 1;
+  options.defer_workers = true;
+  auto server = Server::Create(w.g, w.assignment, 6, options);
+  ASSERT_TRUE(server.ok());
+
+  QueryOptions query;
+  query.algorithm = Algorithm::kDgpm;
+  SubmitOptions tight;
+  tight.deadline_seconds = 1e-4;
+  ServerTicket doomed = (*server)->Submit(w.queries[0], query, tight);
+  ServerTicket healthy = (*server)->Submit(w.queries[0], query);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  (*server)->Start();
+
+  EXPECT_EQ(doomed.Wait().status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(healthy.Wait().ok());
+  ServerStats stats = (*server)->stats();
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.served, 1u);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST(ServerTest, ExactPatternMemoizationIsBitIdentical) {
+  Workload w = MakeWorkload();
+  ASSERT_FALSE(w.queries.empty());
+  ServerOptions options;
+  options.engine = dgs::testing::TestEngineOptions();
+  options.num_replicas = 1;
+  options.cache = CacheMode::kFull;
+  auto server = Server::Create(w.g, w.assignment, 6, options);
+  ASSERT_TRUE(server.ok());
+
+  QueryOptions query;
+  query.algorithm = Algorithm::kDgpm;
+  auto cold = (*server)->Match(w.queries[0], query);
+  auto warm = (*server)->Match(w.queries[0], query);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_TRUE(warm.ok());
+  ExpectSameOutcome(*warm, *cold, "memo hit vs cold run");
+
+  ServerStats stats = (*server)->stats();
+  EXPECT_EQ(stats.cache_result_misses, 1u);
+  EXPECT_EQ(stats.cache_result_hits, 1u);
+  EXPECT_GT(stats.cache_result_bytes, 0u);
+  // The hit contributes the memoized accounting to the cumulative stats.
+  EXPECT_EQ(stats.cumulative.data_bytes, 2 * cold->stats.data_bytes);
+
+  // Different outcome-relevant options do not alias in the memo.
+  QueryOptions boolean = query;
+  boolean.boolean_only = true;
+  ASSERT_TRUE((*server)->Match(w.queries[0], boolean).ok());
+  stats = (*server)->stats();
+  EXPECT_EQ(stats.cache_result_misses, 2u);
+}
+
+TEST(ServerTest, FailedQueriesAreCountedAndDoNotPoisonTheServer) {
+  Workload w = MakeWorkload();
+  ASSERT_FALSE(w.queries.empty());
+  auto server = Server::Create(w.g, w.assignment, 6, ServerOptions{});
+  ASSERT_TRUE(server.ok());
+
+  // Invalid pattern.
+  Pattern empty;
+  EXPECT_EQ((*server)->Match(empty).status().code(),
+            StatusCode::kInvalidArgument);
+  // Structural precondition failure (cyclic web graph is no tree).
+  QueryOptions tree;
+  tree.algorithm = Algorithm::kDgpmTree;
+  EXPECT_EQ((*server)->Match(w.queries[0], tree).status().code(),
+            StatusCode::kFailedPrecondition);
+  // The deployment still serves.
+  QueryOptions query;
+  query.algorithm = Algorithm::kDgpm;
+  EXPECT_TRUE((*server)->Match(w.queries[0], query).ok());
+
+  ServerStats stats = (*server)->stats();
+  EXPECT_EQ(stats.failed, 2u);
+  EXPECT_EQ(stats.served, 1u);
+}
+
+TEST(ServerTest, PriorityPolicyServesDefaultPriorityShortestJobFirst) {
+  // End-to-end smoke of the kPriority path: everything completes correctly
+  // regardless of dispatch order (ordering itself is asserted in
+  // admission_test). EstimateCost must price queries from the candidate
+  // sets.
+  Workload w = MakeWorkload();
+  ASSERT_GE(w.queries.size(), 2u);
+  ServerOptions options;
+  options.policy = AdmissionPolicy::kPriority;
+  options.cache = CacheMode::kCandidates;
+  options.num_replicas = 1;
+  options.defer_workers = true;
+  auto server = Server::Create(w.g, w.assignment, 6, options);
+  ASSERT_TRUE(server.ok());
+  EXPECT_GT((*server)->EstimateCost(w.queries[0]), 0u);
+
+  QueryOptions query;
+  query.algorithm = Algorithm::kDgpm;
+  std::vector<ServerTicket> tickets;
+  for (const Pattern& q : w.queries) {
+    tickets.push_back((*server)->Submit(q, query));
+  }
+  SubmitOptions urgent;
+  urgent.priority = 1000;
+  tickets.push_back((*server)->Submit(w.queries[0], query, urgent));
+  (*server)->Start();
+  for (auto& ticket : tickets) EXPECT_TRUE(ticket.Wait().ok());
+  ServerStats stats = (*server)->stats();
+  EXPECT_EQ(stats.served, w.queries.size() + 1);
+  EXPECT_GT(stats.cache_label_misses, 0u);
+}
+
+TEST(ServerTest, SubmitBatchPreservesStreamOrderOfTickets) {
+  Workload w = MakeWorkload();
+  ASSERT_GE(w.queries.size(), 2u);
+  auto server = Server::Create(w.g, w.assignment, 6, ServerOptions{});
+  ASSERT_TRUE(server.ok());
+  QueryOptions query;
+  query.algorithm = Algorithm::kDgpm;
+
+  auto reference_engine = Engine::Create(w.g, w.assignment, 6);
+  ASSERT_TRUE(reference_engine.ok());
+
+  std::vector<ServerTicket> tickets = (*server)->SubmitBatch(w.queries, query);
+  ASSERT_EQ(tickets.size(), w.queries.size());
+  for (size_t qi = 0; qi < tickets.size(); ++qi) {
+    auto served = tickets[qi].Wait();
+    auto direct = (*reference_engine)->Match(w.queries[qi], query);
+    ASSERT_TRUE(served.ok());
+    ASSERT_TRUE(direct.ok());
+    ExpectSameOutcome(*served, *direct, "batch q" + std::to_string(qi));
+  }
+}
+
+TEST(ServerTest, SharedStructureFactsComputeOnce) {
+  SharedStructureFacts facts;
+  int forest_calls = 0;
+  EXPECT_TRUE(facts.Forest([&] {
+    ++forest_calls;
+    return true;
+  }));
+  EXPECT_TRUE(facts.Forest([&] {
+    ++forest_calls;
+    return false;  // must not be called
+  }));
+  EXPECT_EQ(forest_calls, 1);
+
+  int acyclic_calls = 0;
+  EXPECT_FALSE(facts.Acyclic([&] {
+    ++acyclic_calls;
+    return false;
+  }));
+  EXPECT_FALSE(facts.Acyclic([&] {
+    ++acyclic_calls;
+    return true;
+  }));
+  EXPECT_EQ(acyclic_calls, 1);
+}
+
+// kAuto on a tree deployment dispatches to dGPMt on every replica via the
+// shared facts, and concurrent serving stays identical to the sequential
+// engine.
+TEST(ServerTest, AutoDispatchSharesStructureFactsAcrossReplicas) {
+  Rng rng(77);
+  Graph tree = RandomTree(300, 3, rng);
+  auto part = TreePartition(tree, 4);
+  ASSERT_TRUE(part.ok());
+  Pattern chain(MakeGraph({0, 1, 2}, {{0, 1}, {1, 2}}));
+
+  auto engine = Engine::Create(tree, *part, 4);
+  ASSERT_TRUE(engine.ok());
+  auto reference = (*engine)->Match(chain, QueryOptions{});  // kAuto
+  ASSERT_TRUE(reference.ok());
+  EXPECT_GT(reference->counters.equation_units.load(), 0u);  // dGPMt ran
+
+  ServerOptions options;
+  options.num_replicas = 2;
+  auto server = Server::Create(tree, *part, 4, options);
+  ASSERT_TRUE(server.ok());
+  std::vector<std::thread> clients;
+  std::vector<StatusOr<DistOutcome>> outcomes(4, Status::Internal("unset"));
+  for (int c = 0; c < 4; ++c) {
+    clients.emplace_back(
+        [&, c] { outcomes[c] = (*server)->Match(chain, QueryOptions{}); });
+  }
+  for (auto& t : clients) t.join();
+  for (int c = 0; c < 4; ++c) {
+    ASSERT_TRUE(outcomes[c].ok());
+    ExpectSameOutcome(*outcomes[c], *reference,
+                      "auto tree client " + std::to_string(c));
+  }
+}
+
+// The fragmentation is borrowed const and shared zero-copy: replicas of a
+// Server and an independent Engine over the same Fragmentation agree.
+TEST(ServerTest, BorrowedFragmentationSharedAcrossServerAndEngine) {
+  Workload w = MakeWorkload();
+  ASSERT_FALSE(w.queries.empty());
+  auto frag = Fragmentation::Create(w.g, w.assignment, 6);
+  ASSERT_TRUE(frag.ok());
+
+  ServerOptions options;
+  options.num_replicas = 2;
+  auto server = Server::Create(w.g, &*frag, options);
+  ASSERT_TRUE(server.ok());
+  EXPECT_EQ(&(*server)->fragmentation(), &*frag);
+
+  auto engine = Engine::Create(w.g, &*frag, EngineOptions{});
+  ASSERT_TRUE(engine.ok());
+  QueryOptions query;
+  query.algorithm = Algorithm::kDgpm;
+  auto served = (*server)->Match(w.queries[0], query);
+  auto direct = (*engine)->Match(w.queries[0], query);
+  ASSERT_TRUE(served.ok());
+  ASSERT_TRUE(direct.ok());
+  ExpectSameOutcome(*served, *direct, "borrowed fragmentation");
+  EXPECT_TRUE(served->result == ComputeSimulation(w.queries[0], w.g));
+}
+
+}  // namespace
+}  // namespace dgs
