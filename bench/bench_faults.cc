@@ -1,0 +1,331 @@
+// Fault-tolerance benchmark: the chaos plans of runtime/fault.h swept over
+// a resident dGPM Engine, plus the dgs::Server retry loop closing over a
+// site crash.
+//
+// Workload: the Fig. 6(a)/(b) default shape (web graph, |Q| = (5, 10)
+// cyclic, |Vf| ~ 25%, 8 sites), DGS_QUERIES patterns per plan.
+//
+// Sections and CI gates (the process exits nonzero on any violation):
+//   disabled     ClusterOptions::faults off — the baseline pass. Gate:
+//                zero chaos accounting (FaultStats all zero), which is the
+//                zero-overhead-by-construction witness: no injector is
+//                even built, so the existing BENCH_scaling/serving gates
+//                keep measuring the same code path they always did.
+//   recovered    drop / drop+dup+reorder plans WITH recovery. Gate: every
+//                query succeeds and its results AND message/byte
+//                accounting are bit-identical to the baseline — recovered
+//                chaos is visible only in DistOutcome::faults (and in
+//                response time, which absorbs the simulated backoff).
+//   poisoned     a low-rate corruption plan. Corrupt frames are checksum-
+//                rejected and poison their run. Gate: every failure is
+//                classified DataLoss, and the SAME Engine keeps serving
+//                later queries of the stream (graceful degradation).
+//   retry        dgs::Server with RetryOptions against a crash-at-round-1
+//                plan (crash_once: the site "restarts"). Gate: the client
+//                sees zero failures, the crash is absorbed by a retry, and
+//                results match the baseline.
+//
+// BENCH_faults.json records per-plan success/poison/retry rates and the
+// full chaos accounting (frames, drops, retransmits, duplicates, reorders)
+// so successive PRs can track the tolerance trajectory.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace dgs;
+
+bool SameAnswerAndShipment(const DistOutcome& a, const DistOutcome& b,
+                           const std::string& what) {
+  bool same = true;
+  if (!(a.result == b.result)) {
+    std::cerr << "MISMATCH [" << what << "]: simulation results differ\n";
+    same = false;
+  }
+  auto check = [&](uint64_t x, uint64_t y, const char* field) {
+    if (x != y) {
+      std::cerr << "MISMATCH [" << what << "]: " << field << " " << x
+                << " vs " << y << "\n";
+      same = false;
+    }
+  };
+  check(a.stats.data_bytes, b.stats.data_bytes, "data_bytes");
+  check(a.stats.control_bytes, b.stats.control_bytes, "control_bytes");
+  check(a.stats.result_bytes, b.stats.result_bytes, "result_bytes");
+  check(a.stats.data_messages, b.stats.data_messages, "data_messages");
+  check(a.stats.control_messages, b.stats.control_messages,
+        "control_messages");
+  check(a.stats.result_messages, b.stats.result_messages, "result_messages");
+  check(a.stats.rounds, b.stats.rounds, "rounds");
+  check(a.counters.vars_shipped, b.counters.vars_shipped, "vars_shipped");
+  check(a.counters.push_count, b.counters.push_count, "push_count");
+  return same;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dgs;
+  auto env = bench::Env::FromEnv();
+  Rng rng(env.seed);
+
+  const size_t n = env.Scaled(40000), m = env.Scaled(200000);
+  Graph g = WebGraph(n, m, kDefaultAlphabet, rng);
+  auto assignment = PartitionWithBoundaryRatio(g, 8, 0.25, rng);
+  std::cout << "Faults: web graph |G| = (" << g.NumNodes() << ", "
+            << g.NumEdges() << "), 8 sites, " << env.queries
+            << " queries per plan, seed " << env.seed << "\n\n";
+
+  std::vector<Pattern> queries;
+  for (int tries = 0; tries < 4 * env.queries &&
+                      queries.size() < static_cast<size_t>(env.queries);
+       ++tries) {
+    PatternSpec spec;
+    spec.num_nodes = 5;
+    spec.num_edges = 10;
+    spec.kind = PatternKind::kCyclic;
+    auto q = ExtractPattern(g, spec, rng);
+    if (q.ok()) queries.push_back(std::move(*q));
+  }
+  if (queries.empty()) {
+    std::cerr << "no queries extracted\n";
+    return 1;
+  }
+
+  EngineOptions base_options;
+  base_options.network = bench::BenchNetwork();
+  base_options.num_threads = env.threads;
+  base_options.wire_format = env.wire;
+
+  QueryOptions query;
+  query.algorithm = Algorithm::kDgpm;
+
+  bool ok = true;
+  bench::BenchJson json("faults");
+  json.meta()
+      .Num("scale", env.scale)
+      .Int("queries", static_cast<uint64_t>(queries.size()))
+      .Int("seed", env.seed)
+      .Int("threads", env.threads)
+      .Str("wire", WireFormatName(env.wire));
+
+  // --- disabled: the fault-free baseline, and the zero-overhead witness.
+  auto baseline_engine = Engine::Create(g, assignment, 8, base_options);
+  if (!baseline_engine.ok()) {
+    std::cerr << "baseline engine: " << baseline_engine.status().ToString()
+              << "\n";
+    return 1;
+  }
+  std::vector<DistOutcome> baseline;
+  for (const Pattern& q : queries) {
+    auto outcome = (*baseline_engine)->Match(q, query);
+    if (!outcome.ok()) {
+      std::cerr << "baseline query failed: " << outcome.status().ToString()
+                << "\n";
+      return 1;
+    }
+    if (outcome->faults.frames != 0 || outcome->faults.Injected() != 0) {
+      std::cerr << "GATE: disabled plan produced chaos accounting\n";
+      ok = false;
+    }
+    baseline.push_back(std::move(outcome).value());
+  }
+  json.AddRow()
+      .Str("plan", "disabled")
+      .Str("spec", "off")
+      .Int("queries", baseline.size())
+      .Int("succeeded", baseline.size())
+      .Int("poisoned", 0)
+      .Int("frames", 0)
+      .Int("injected", 0);
+
+  TablePrinter table({"plan", "queries", "succeeded", "poisoned", "frames",
+                      "drops", "retransmits", "dups", "reorders",
+                      "identical"});
+  table.AddRow({"disabled", std::to_string(baseline.size()),
+                std::to_string(baseline.size()), "0", "0", "0", "0", "0", "0",
+                std::to_string(baseline.size())});
+
+  // --- recovered: lossy but recoverable chaos must be invisible.
+  struct PlanCase {
+    const char* name;
+    const char* spec;
+  };
+  const PlanCase recovered_cases[] = {
+      {"drop10", "drop=0.1,retries=16"},
+      {"drop30", "drop=0.3,retries=16"},
+      {"chaos", "drop=0.3,dup=0.2,reorder=0.3,retries=16"},
+  };
+  for (const PlanCase& c : recovered_cases) {
+    auto plan = ParseFaultSpec(c.spec);
+    if (!plan.ok()) {
+      std::cerr << c.name << ": " << plan.status().ToString() << "\n";
+      return 1;
+    }
+    plan->seed = env.seed;
+    EngineOptions options = base_options;
+    options.faults = *plan;
+    auto engine = Engine::Create(g, assignment, 8, options);
+    if (!engine.ok()) {
+      std::cerr << c.name << ": " << engine.status().ToString() << "\n";
+      return 1;
+    }
+    FaultStats agg;
+    size_t succeeded = 0, identical = 0, poisoned = 0;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      auto outcome = (*engine)->Match(queries[i], query);
+      if (!outcome.ok()) {
+        std::cerr << "GATE [" << c.name << "]: recovered plan poisoned q" << i
+                  << ": " << outcome.status().ToString() << "\n";
+        ok = false;
+        ++poisoned;
+        continue;
+      }
+      ++succeeded;
+      agg.Accumulate(outcome->faults);
+      if (outcome->faults.lost != 0) {
+        std::cerr << "GATE [" << c.name << "]: lost frames on q" << i << "\n";
+        ok = false;
+      }
+      const std::string what = std::string(c.name) + " q" + std::to_string(i);
+      if (SameAnswerAndShipment(*outcome, baseline[i], what)) {
+        ++identical;
+      } else {
+        ok = false;
+      }
+    }
+    table.AddRow({c.name, std::to_string(queries.size()),
+                  std::to_string(succeeded), std::to_string(poisoned),
+                  std::to_string(agg.frames), std::to_string(agg.drops),
+                  std::to_string(agg.retransmits),
+                  std::to_string(agg.duplicates_injected),
+                  std::to_string(agg.reorders), std::to_string(identical)});
+    json.AddRow()
+        .Str("plan", c.name)
+        .Str("spec", c.spec)
+        .Int("queries", queries.size())
+        .Int("succeeded", succeeded)
+        .Int("poisoned", poisoned)
+        .Int("identical", identical)
+        .Int("frames", agg.frames)
+        .Int("drops", agg.drops)
+        .Int("retransmits", agg.retransmits)
+        .Int("lost", agg.lost)
+        .Int("dups", agg.duplicates_injected)
+        .Int("reorders", agg.reorders)
+        .Num("backoff_s", agg.backoff_seconds);
+  }
+
+  // --- poisoned: low-rate corruption degrades gracefully, never silently.
+  {
+    const char* spec = "corrupt=0.0005,retries=16";
+    auto plan = ParseFaultSpec(spec);
+    plan->seed = env.seed;
+    EngineOptions options = base_options;
+    options.faults = *plan;
+    auto engine = Engine::Create(g, assignment, 8, options);
+    if (!engine.ok()) {
+      std::cerr << "corrupt engine: " << engine.status().ToString() << "\n";
+      return 1;
+    }
+    FaultStats agg;
+    size_t succeeded = 0, poisoned = 0;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      auto outcome = (*engine)->Match(queries[i], query);
+      if (outcome.ok()) {
+        ++succeeded;
+        agg.Accumulate(outcome->faults);
+        if (!SameAnswerAndShipment(*outcome, baseline[i],
+                                   "corrupt-clean q" + std::to_string(i))) {
+          ok = false;
+        }
+      } else {
+        ++poisoned;
+        if (outcome.status().code() != StatusCode::kDataLoss) {
+          std::cerr << "GATE [corrupt]: q" << i << " classified "
+                    << outcome.status().ToString() << ", want DataLoss\n";
+          ok = false;
+        }
+      }
+    }
+    table.AddRow({"corrupt", std::to_string(queries.size()),
+                  std::to_string(succeeded), std::to_string(poisoned),
+                  std::to_string(agg.frames), "0", "0", "0", "0",
+                  std::to_string(succeeded)});
+    json.AddRow()
+        .Str("plan", "corrupt")
+        .Str("spec", spec)
+        .Int("queries", queries.size())
+        .Int("succeeded", succeeded)
+        .Int("poisoned", poisoned)
+        .Int("corruptions", agg.corruptions)
+        .Int("checksum_rejects", agg.checksum_rejects);
+  }
+
+  // --- retry: dgs::Server absorbs a crashed-and-restarted site.
+  {
+    ServerOptions options;
+    options.engine = base_options;
+    options.num_replicas = 1;  // one injector: the crash fires exactly once
+    options.engine.faults.crash_site = 1;
+    options.engine.faults.crash_round = 1;
+    options.engine.faults.seed = env.seed;
+    options.retry.max_attempts = 3;
+    auto server = Server::Create(g, assignment, 8, options);
+    if (!server.ok()) {
+      std::cerr << "server: " << server.status().ToString() << "\n";
+      return 1;
+    }
+    size_t succeeded = 0;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      auto outcome = (*server)->Match(queries[i], query);
+      if (!outcome.ok()) {
+        std::cerr << "GATE [retry]: q" << i << " failed after retries: "
+                  << outcome.status().ToString() << "\n";
+        ok = false;
+        continue;
+      }
+      if (!(outcome->result == baseline[i].result)) {
+        std::cerr << "GATE [retry]: q" << i << " result differs\n";
+        ok = false;
+        continue;
+      }
+      ++succeeded;
+    }
+    (*server)->Shutdown();
+    ServerStats stats = (*server)->stats();
+    if (stats.failed != 0 || stats.retry_successes < 1) {
+      std::cerr << "GATE [retry]: failed=" << stats.failed
+                << " retry_successes=" << stats.retry_successes
+                << " (want 0 and >=1)\n";
+      ok = false;
+    }
+    table.AddRow({"crash+retry", std::to_string(queries.size()),
+                  std::to_string(succeeded),
+                  std::to_string(queries.size() - succeeded), "-", "-", "-",
+                  "-", "-", std::to_string(succeeded)});
+    json.AddRow()
+        .Str("plan", "crash+retry")
+        .Str("spec", "crash=1@1 + retry.max_attempts=3")
+        .Int("queries", queries.size())
+        .Int("succeeded", succeeded)
+        .Int("retries", stats.retries)
+        .Int("retry_successes", stats.retry_successes)
+        .Int("failed", stats.failed);
+  }
+
+  std::cout << "== Chaos plans over a resident dGPM Engine ==\n";
+  table.Print(std::cout);
+  json.WriteFile();
+
+  if (!ok) {
+    std::cerr << "\nFAULT TOLERANCE GATE FAILED\n";
+    return 1;
+  }
+  std::cout << "\nall fault-tolerance gates passed\n";
+  return 0;
+}

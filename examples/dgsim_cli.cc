@@ -25,9 +25,20 @@
 //   --boolean           Boolean pattern query (answer only)
 //   --stats             print partition statistics
 //   --matches           print the full match relation (default: counts)
+//   --faults SPEC       seeded chaos on the delivery path, e.g.
+//                       "drop=0.05,dup=0.02,reorder=0.1" or
+//                       "corrupt=0.001,norecover" or "crash=2@5"
+//                       (keys: drop dup reorder corrupt truncate, with an
+//                       optional data./control./result. class prefix;
+//                       retries=N backoff=S maxfaults=N seed=N
+//                       crash=SITE@ROUND recovery=0|1 norecover — see
+//                       runtime/fault.h)
+//   --fault-seed S      overrides the fault plan's PRNG seed
 //   --serve             REPL over one resident dgs::Server
 //   --replicas N        serve mode: concurrent engine replicas     (2)
 //   --cache off|candidates|full   serve mode: inter-query cache    (full)
+//   --retry N           serve mode: attempts per query (transparent
+//                       retry of retryable failures)               (1)
 //
 // Exit status: 0 when G matches Q (serve mode: always 0 on a clean exit),
 // 2 when it does not, 1 on errors.
@@ -59,6 +70,10 @@ struct CliOptions {
   bool serve = false;
   uint32_t replicas = 2;
   std::string cache = "full";
+  uint32_t retry_attempts = 1;
+  std::string faults;  // ParseFaultSpec input; empty = no chaos
+  bool has_fault_seed = false;
+  uint64_t fault_seed = 0;
 };
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
@@ -120,6 +135,20 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
           options->cache != "full") {
         return false;
       }
+    } else if (arg == "--retry") {
+      const char* v = next();
+      if (!v) return false;
+      options->retry_attempts =
+          static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--faults") {
+      const char* v = next();
+      if (!v) return false;
+      options->faults = v;
+    } else if (arg == "--fault-seed") {
+      const char* v = next();
+      if (!v) return false;
+      options->has_fault_seed = true;
+      options->fault_seed = std::strtoull(v, nullptr, 10);
     } else {
       std::cerr << "unknown option: " << arg << "\n";
       return false;
@@ -192,7 +221,9 @@ void PrintServerStats(const dgs::ServerStats& stats) {
             << " ms\nqueries: submitted " << stats.submitted << ", served "
             << stats.served << ", failed " << stats.failed << ", rejected "
             << (stats.rejected_overload + stats.rejected_shutdown)
-            << ", expired " << stats.expired << "\ncache: result hits "
+            << ", expired " << stats.expired << ", retries " << stats.retries
+            << " (" << stats.retry_successes << " recovered)"
+            << "\ncache: result hits "
             << stats.cache_result_hits << ", misses "
             << stats.cache_result_misses << ", label hits "
             << stats.cache_label_hits << ", misses "
@@ -207,11 +238,14 @@ void PrintServerStats(const dgs::ServerStats& stats) {
 // The --serve REPL: deploy once, answer pattern files interactively
 // through the resident Server. Reads commands from stdin until EOF/quit.
 int RunServeRepl(const dgs::Graph& graph, const dgs::Fragmentation& frag,
-                 const CliOptions& cli, dgs::Algorithm default_algorithm) {
+                 const CliOptions& cli, dgs::Algorithm default_algorithm,
+                 const dgs::FaultPlan& faults) {
   dgs::ServerOptions options;
   options.engine.num_threads = cli.threads;
   options.engine.wire_format = cli.wire == "v1" ? dgs::WireFormat::kV1Fixed
                                                 : dgs::WireFormat::kV2Delta;
+  options.engine.faults = faults;
+  options.retry.max_attempts = cli.retry_attempts;
   options.num_replicas = cli.replicas;
   options.cache = cli.cache == "off"          ? dgs::CacheMode::kOff
                   : cli.cache == "candidates" ? dgs::CacheMode::kCandidates
@@ -226,8 +260,12 @@ int RunServeRepl(const dgs::Graph& graph, const dgs::Fragmentation& frag,
             << graph.NumEdges() << ") over " << frag.NumFragments()
             << " sites; " << (*server)->num_replicas()
             << " replicas, cache " << cli.cache << ", wire " << cli.wire
-            << ", threads " << cli.threads
-            << "\ncommands: match Q.txt [algorithm] | boolean Q.txt "
+            << ", threads " << cli.threads;
+  if (faults.enabled()) {
+    std::cout << ", faults " << dgs::FaultPlanToString(faults) << ", retry "
+              << cli.retry_attempts;
+  }
+  std::cout << "\ncommands: match Q.txt [algorithm] | boolean Q.txt "
                "[algorithm] | stats | help | quit\n";
 
   std::string line;
@@ -293,10 +331,18 @@ int main(int argc, char** argv) {
                  "[--algorithm auto] [--sites 8]\n"
                  "             [--vf-ratio R] [--seed S] [--threads N] "
                  "[--wire v1|v2]\n"
+                 "             [--faults SPEC] [--fault-seed S]\n"
                  "             [--boolean] [--stats] [--matches]\n"
                  "       dgsim --graph G.txt --serve [--replicas 2] "
                  "[--cache off|candidates|full]\n"
-                 "             [common options]\n";
+                 "             [--retry N] [common options]\n"
+                 "fault SPEC: comma-separated [class.]key=value, e.g.\n"
+                 "  --faults drop=0.05,dup=0.02,reorder=0.1   "
+                 "(recovered: results unchanged)\n"
+                 "  --faults corrupt=0.001                    "
+                 "(detected: query fails DataLoss)\n"
+                 "  --faults crash=2@5 --retry 3              "
+                 "(site 2 dies at round 5; retried)\n";
     return 1;
   }
   dgs::Algorithm algorithm;
@@ -304,6 +350,16 @@ int main(int argc, char** argv) {
     std::cerr << "unknown algorithm: " << cli.algorithm << "\n";
     return 1;
   }
+  dgs::FaultPlan fault_plan;
+  if (!cli.faults.empty()) {
+    auto parsed = dgs::ParseFaultSpec(cli.faults);
+    if (!parsed.ok()) {
+      std::cerr << "bad --faults: " << parsed.status().ToString() << "\n";
+      return 1;
+    }
+    fault_plan = std::move(parsed).value();
+  }
+  if (cli.has_fault_seed) fault_plan.seed = cli.fault_seed;
 
   std::ifstream graph_file(cli.graph_path);
   if (!graph_file) {
@@ -339,7 +395,7 @@ int main(int argc, char** argv) {
   }
 
   if (cli.serve) {
-    return RunServeRepl(*graph, *fragmentation, cli, algorithm);
+    return RunServeRepl(*graph, *fragmentation, cli, algorithm, fault_plan);
   }
 
   dgs::DistOptions options;
@@ -348,6 +404,7 @@ int main(int argc, char** argv) {
   options.num_threads = cli.threads;
   options.wire_format =
       cli.wire == "v1" ? dgs::WireFormat::kV1Fixed : dgs::WireFormat::kV2Delta;
+  options.faults = fault_plan;
   auto outcome =
       dgs::DistributedMatch(*graph, *fragmentation, pattern, options);
   if (!outcome.ok()) {
@@ -356,8 +413,19 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "algorithm: " << cli.algorithm << " over " << cli.sites
-            << " sites (wire " << cli.wire << ", threads " << cli.threads
-            << ")\n";
+            << " sites (wire " << cli.wire << ", threads " << cli.threads;
+  if (fault_plan.enabled()) {
+    std::cout << ", faults " << dgs::FaultPlanToString(fault_plan);
+  }
+  std::cout << ")\n";
+  if (fault_plan.enabled()) {
+    const dgs::FaultStats& fs = outcome->faults;
+    std::cout << "chaos: " << fs.frames << " frames, " << fs.drops
+              << " dropped (" << fs.retransmits << " retransmits, " << fs.lost
+              << " lost), " << fs.duplicates_injected << " duplicated, "
+              << fs.reorders << " reordered, "
+              << (fs.corruptions + fs.truncations) << " corrupted\n";
+  }
   PrintOutcome(pattern, *outcome, cli.boolean_only, cli.print_matches);
   return outcome->result.GraphMatches() ? 0 : 2;
 }

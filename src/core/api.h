@@ -57,6 +57,12 @@ struct DistOptions {
   // kV1Fixed; simulation results and message counts are identical for both
   // (see runtime/message.h and core/protocol.h).
   WireFormat wire_format = WireFormat::kV2Delta;
+  // Seeded chaos schedule for the delivery path (default off; see the
+  // delivery-semantics contract in runtime/cluster.h).
+  FaultPlan faults;
+  // Round watchdog bound converting a stalled run into DeadlineExceeded
+  // (0 = off; see ClusterOptions::watchdog_rounds).
+  uint32_t watchdog_rounds = 0;
 
   // The deployment / query split these options flatten.
   EngineOptions engine_options() const {
@@ -64,6 +70,8 @@ struct DistOptions {
     engine.network = network;
     engine.num_threads = num_threads;
     engine.wire_format = wire_format;
+    engine.faults = faults;
+    engine.watchdog_rounds = watchdog_rounds;
     return engine;
   }
   QueryOptions query_options() const {

@@ -38,6 +38,16 @@ void CollectingCoordinator::OnMessages(SiteContext& ctx,
       health_->PoisonDecode(m.cls, "match list arity mismatch");
       return;
     }
+    // Fail-soft: BuildResult sets fixpoint bits straight from these ids, so
+    // an id from a mutated frame must be rejected here, not written OOB.
+    for (const std::vector<NodeId>& list : lists) {
+      for (NodeId v : list) {
+        if (v != kInvalidNode && v >= num_global_nodes_) {
+          health_->PoisonDecode(m.cls, "match list node out of range");
+          return;
+        }
+      }
+    }
     per_site_[m.src] = std::move(lists);  // latest report wins
   }
 }
@@ -133,6 +143,28 @@ void DgpmWorker::OnMessages(SiteContext& ctx, std::vector<Message> inbox) {
         ReducedSystem reduced;
         if (!ReducedSystem::Deserialize(reader, &reduced)) {
           health_->PoisonDecode(m.cls, "corrupt push payload");
+          return;
+        }
+        // Fail-soft semantic validation: a structurally well-formed payload
+        // can still carry keys naming unknown nodes or label-mismatched
+        // pairs (a mutated frame delivered without recovery). Install and
+        // the fresh-key subscription below treat those as hard invariant
+        // violations, so reject the whole payload here instead.
+        const NodeId num_global =
+            static_cast<NodeId>(fragmentation_->assignment().size());
+        auto usable = [&](uint64_t key) {
+          return VarKeyGlobalNode(key) < num_global &&
+                 engine_->PushedKeyResolvable(key);
+        };
+        bool keys_ok = true;
+        for (const ReducedEntry& e : reduced.entries) {
+          keys_ok = keys_ok && usable(e.key);
+          for (const auto& group : e.groups) {
+            for (uint64_t ref : group) keys_ok = keys_ok && usable(ref);
+          }
+        }
+        if (!keys_ok) {
+          health_->PoisonDecode(m.cls, "pushed system names unknown nodes");
           return;
         }
         std::vector<uint64_t> fresh = engine_->InstallReducedSystem(reduced);

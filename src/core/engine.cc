@@ -42,9 +42,11 @@ DistOutcome ServeQueryOnce(Deployment& deployment, const Pattern& pattern,
   query.options = options;
 
   Cluster cluster(deployment.num_workers(), runtime);
+  cluster.BindHealth(&health);
   deployment.BindQuery(query);
   BindToCluster(cluster, deployment);
   outcome.stats = cluster.Run();
+  outcome.faults = cluster.fault_stats();
   if (!health.poisoned()) {
     outcome.result = deployment.Collect(&outcome.counters);
   }
@@ -270,15 +272,20 @@ StatusOr<DistOutcome> Engine::Match(const Pattern& q,
 
   deployment.BindQuery(query);
   BindToCluster(cluster_, deployment);
+  cluster_.BindHealth(&health);
   outcome.stats = cluster_.Run();  // Run starts from a clean slate itself
+  cluster_.BindHealth(nullptr);  // health dies with this frame
+  outcome.faults = cluster_.fault_stats();
   const bool poisoned = health.poisoned();
   if (!poisoned) outcome.result = deployment.Collect(&outcome.counters);
   outcome.decode_drops = {health.decode_drops(MessageClass::kData),
                           health.decode_drops(MessageClass::kControl),
                           health.decode_drops(MessageClass::kResult)};
   // Accumulated win or lose: a poisoned query returns only a Status, so
-  // the serving stats are the surviving record of what was dropped.
+  // the serving stats are the surviving record of what was dropped (and,
+  // under a fault plan, of the chaos the transport absorbed).
   stats_.decode_drops.Accumulate(outcome.decode_drops);
+  stats_.faults.Accumulate(outcome.faults);
   deployment.EndQuery();
 
   if (poisoned) {

@@ -101,6 +101,9 @@ struct ServingStats {
   // returns only an error Status, so this is where its per-class decode
   // drops remain observable (nonzero only after poisoned runs).
   DecodeDrops decode_drops;
+  // Transport chaos summed over ALL queries, failed ones included (all
+  // zero unless EngineOptions::faults is enabled).
+  FaultStats faults;
 };
 
 // One query of a MatchBatch stream: its Status, and the outcome when ok.
@@ -146,9 +149,10 @@ class Engine {
   // Serves one pattern query over the resident deployment. Fails with
   // InvalidArgument on malformed patterns, FailedPrecondition when the
   // requested algorithm's structural requirements are not met (kDgpmDag
-  // with cyclic Q and cyclic G; kDgpmTree on non-trees), and DataLoss
-  // when a corrupt payload poisoned the run. The engine stays usable
-  // after any failure.
+  // with cyclic Q and cyclic G; kDgpmTree on non-trees), and a classified
+  // poison Status when the run was poisoned: DataLoss (corrupt payload),
+  // Unavailable (site crash / frame loss), DeadlineExceeded (watchdog).
+  // The engine stays usable after any failure.
   StatusOr<DistOutcome> Match(const Pattern& q,
                               const QueryOptions& options = {});
 

@@ -148,6 +148,13 @@ void LocalEngine::ApplyRemoteFalses(const std::vector<uint64_t>& false_keys) {
   PropagateAndCollect();
 }
 
+bool LocalEngine::PushedKeyResolvable(uint64_t key) const {
+  const NodeId u = VarKeyQueryNode(key);
+  if (u >= pattern_->NumNodes()) return false;
+  const NodeId lv = fragment_->ToLocal(VarKeyGlobalNode(key));
+  return lv == kInvalidNode || VarOf(lv, u) != kNoVar;
+}
+
 VarId LocalEngine::FindOrCreateKeyVar(uint64_t key,
                                       std::vector<uint64_t>* fresh) {
   const NodeId u = VarKeyQueryNode(key);

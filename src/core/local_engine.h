@@ -112,6 +112,15 @@ class LocalEngine {
   // since such pairs can never match.
   bool IsKeyFalse(uint64_t key) const;
 
+  // True if a pushed wire key can be bound to a variable here: the query
+  // node must exist and, when the global node has a local copy, the pair
+  // must be label-compatible. The fail-soft decode boundary (DgpmWorker)
+  // runs this over a deserialized push payload BEFORE InstallReducedSystem,
+  // which treats an unresolvable key as a hard invariant violation — from
+  // an honest peer it can only mean memory corruption, but a chaos-mutated
+  // frame that survives without recovery must poison, not abort.
+  bool PushedKeyResolvable(uint64_t key) const;
+
   // Number of full recomputations performed (1 after Initialize; grows in
   // non-incremental mode).
   uint64_t recompute_count() const { return recompute_count_; }

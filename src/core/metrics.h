@@ -86,15 +86,20 @@ struct DistOutcome {
   SimulationResult result;
   RunStats stats;
   AlgoCounters counters;
-  // Wire health of the run. A corrupt or truncated payload no longer
-  // aborts the process: the site actors poison the run (see RunHealth in
-  // core/serving.h), the cluster drains, and the failure surfaces here as
-  // a DataLoss status with `result` left empty. Engine::Match converts a
-  // poisoned outcome into an error Status and stays usable for the next
-  // query.
+  // Wire health of the run. A corrupt or truncated payload — or an
+  // injected transport fault — no longer aborts the process: the run is
+  // poisoned (see RunHealth in runtime/fault.h), the cluster drains, and
+  // the failure surfaces here as a classified status (DataLoss /
+  // Unavailable / DeadlineExceeded) with `result` left empty.
+  // Engine::Match converts a poisoned outcome into an error Status and
+  // stays usable for the next query.
   Status health;
   // Per-message-class decode drops behind `health` (all zero when ok).
   DecodeDrops decode_drops;
+  // Chaos accounting of the run's transport (Cluster::fault_stats(); all
+  // zero when ClusterOptions::faults is disabled). Recovered faults show
+  // up here and ONLY here — RunStats stay bit-identical to fault-free.
+  FaultStats faults;
 
   bool poisoned() const { return !health.ok(); }
 

@@ -28,12 +28,14 @@
 //                   family-specific result collection. Built once (per
 //                   Engine, per family) and re-bound per query.
 //
-//   RunHealth       per-run poison flag. A corrupt or truncated payload
+//   RunHealth       per-run poison flag (runtime/fault.h, re-exported via
+//                   runtime/cluster.h). A corrupt or truncated payload
 //                   used to be a fatal DGS_CHECK inside the actors; they
 //                   now poison the run instead: every actor of the run
 //                   drains silently, the cluster reaches quiescence, and
-//                   the caller surfaces a DataLoss Status while the
-//                   deployment stays usable for the next query.
+//                   the caller surfaces a classified Status (DataLoss /
+//                   Unavailable / DeadlineExceeded) while the deployment
+//                   stays usable for the next query.
 
 #ifndef DGS_CORE_SERVING_H_
 #define DGS_CORE_SERVING_H_
@@ -115,11 +117,19 @@ struct EngineOptions {
   // facts are computed once per deployment; null (the default) keeps an
   // engine-private memo.
   std::shared_ptr<SharedStructureFacts> structure_facts;
+  // Seeded chaos schedule for the runtime's delivery path (default off;
+  // see the delivery-semantics contract in runtime/cluster.h).
+  FaultPlan faults;
+  // Round watchdog bound converting a stalled run into DeadlineExceeded
+  // (0 = off; see ClusterOptions::watchdog_rounds).
+  uint32_t watchdog_rounds = 0;
 
   ClusterOptions ToClusterOptions() const {
     ClusterOptions runtime(network);
     runtime.num_threads = num_threads;
     runtime.wire_format = wire_format;
+    runtime.faults = faults;
+    runtime.watchdog_rounds = watchdog_rounds;
     return runtime;
   }
 };
@@ -168,6 +178,21 @@ enum class CacheMode {
 
 const char* CacheModeName(CacheMode mode);
 
+// Transparent retry policy of a dgs::Server worker. A query that fails
+// with a retryable Status (IsRetryable in util/status.h: Unavailable /
+// DeadlineExceeded / ResourceExhausted — transient conditions like a
+// crashed-and-restarted site or a watchdog trip) is re-run on the same
+// replica up to max_attempts total attempts with doubling backoff between
+// them. DataLoss and the argument/precondition failures are never retried:
+// a corrupt run is a deterministic report, not a transient. Each cluster
+// run reseeds its fault schedule, so a retry faces fresh chaos rolls.
+struct RetryOptions {
+  // Total attempts per query, including the first (1 = no retries).
+  uint32_t max_attempts = 1;
+  // Real sleep before retry k (k = 1, 2, ...): backoff_seconds * 2^(k-1).
+  double backoff_seconds = 0;
+};
+
 // Per-server configuration: the deployment knobs of every Engine replica
 // plus the serving-layer knobs (concurrency, admission, caching).
 struct ServerOptions {
@@ -199,6 +224,9 @@ struct ServerOptions {
   // closed-loop benchmarks). Shutdown() starts the workers if needed so
   // accepted work always drains.
   bool defer_workers = false;
+  // Transparent re-execution of queries that fail with a retryable Status
+  // (default: one attempt, no retries).
+  RetryOptions retry;
 };
 
 // Cumulative serving metrics of one dgs::Server. Counters are exact; a
@@ -215,7 +243,13 @@ struct ServerStats {
   uint64_t rejected_shutdown = 0;  // Unavailable after Shutdown
   uint64_t expired = 0;            // deadline passed before dispatch
   uint64_t served = 0;             // completed ok (cache hits included)
-  uint64_t failed = 0;             // completed with an error Status
+  uint64_t failed = 0;             // completed with an error Status (after
+                                   // exhausting any RetryOptions attempts)
+  // Retry-policy effectiveness (ServerOptions::retry).
+  uint64_t retries = 0;          // re-execution attempts after a retryable
+                                 // failure
+  uint64_t retry_successes = 0;  // queries that failed at least once and
+                                 // then completed ok on a retry
   // Inter-query cache effectiveness (see CacheMode).
   uint64_t cache_result_hits = 0;
   uint64_t cache_result_misses = 0;
@@ -231,56 +265,9 @@ struct ServerStats {
   AlgoCounters counters;
 };
 
-// Poison flag shared by the actors of one run. The first failure wins and
-// records its reason; every subsequent callback drains without acting, so
-// a poisoned run still reaches quiescence deterministically. Decode
-// failures are additionally counted per message class (PoisonDecode), so
-// the caller can tell which traffic class was corrupted and how often —
-// the counts ride along in DistOutcome::decode_drops.
-class RunHealth {
- public:
-  RunHealth() = default;
-  RunHealth(const RunHealth&) = delete;
-  RunHealth& operator=(const RunHealth&) = delete;
-
-  bool poisoned() const { return poisoned_.load(std::memory_order_acquire); }
-
-  // Thread-safe (site callbacks may run concurrently); the first reason is
-  // kept.
-  void Poison(std::string reason) {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (reason_.empty()) reason_ = std::move(reason);
-    }
-    poisoned_.store(true, std::memory_order_release);
-  }
-
-  // Records a payload of class `cls` that failed to decode, then poisons
-  // the run. Every corrupt-payload site in the actors goes through here.
-  void PoisonDecode(MessageClass cls, std::string reason) {
-    drops_[static_cast<size_t>(cls)].fetch_add(1, std::memory_order_relaxed);
-    Poison(std::move(reason));
-  }
-
-  // Number of payloads of `cls` dropped by decoders this run.
-  uint64_t decode_drops(MessageClass cls) const {
-    return drops_[static_cast<size_t>(cls)].load(std::memory_order_relaxed);
-  }
-
-  // Ok when the run stayed healthy, DataLoss with the first reason after
-  // poisoning.
-  Status ToStatus() const {
-    if (!poisoned()) return Status::Ok();
-    std::lock_guard<std::mutex> lock(mu_);
-    return Status::DataLoss(reason_);
-  }
-
- private:
-  std::atomic<bool> poisoned_{false};
-  std::array<std::atomic<uint64_t>, 3> drops_{};  // indexed by MessageClass
-  mutable std::mutex mu_;
-  std::string reason_;
-};
+// RunHealth — the per-run poison flag the actors and the transport share —
+// lives in runtime/fault.h (included via runtime/cluster.h): the fault
+// layer poisons runs too, and the runtime must not depend on core.
 
 // Everything one query hands the resident actors at bind time. The
 // pointed-to objects must outlive the run (the caller's stack frame or the

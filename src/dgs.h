@@ -27,6 +27,7 @@
 #include "partition/partitioner.h"
 #include "partition/stats.h"
 #include "runtime/cluster.h"
+#include "runtime/fault.h"
 #include "runtime/message.h"
 #include "serve/admission.h"
 #include "serve/query_cache.h"

@@ -1,6 +1,7 @@
 #include "runtime/cluster.h"
 
 #include <algorithm>
+#include <string>
 
 #include "util/timer.h"
 
@@ -37,6 +38,10 @@ Cluster::Cluster(uint32_t num_workers, ClusterOptions options)
   options_.num_threads = std::min(options_.num_threads, num_workers_ + 1);
   if (options_.num_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+  if (options_.faults.enabled()) {
+    injector_ =
+        std::make_unique<FaultInjector>(options_.faults, num_workers_ + 1);
   }
   actors_.resize(num_workers_ + 1, nullptr);
   owned_.resize(num_workers_ + 1);
@@ -138,7 +143,9 @@ RunStats Cluster::Run(uint32_t max_rounds) {
     DGS_CHECK(actors_[i] != nullptr, "all sites must have an actor");
   }
   stats_ = RunStats{};
+  fault_stats_ = FaultStats{};
   pending_.clear();
+  if (injector_ != nullptr) injector_->BeginRun();
 
   std::vector<uint32_t> all_sites(actors_.size());
   for (uint32_t i = 0; i < all_sites.size(); ++i) all_sites[i] = i;
@@ -162,12 +169,32 @@ RunStats Cluster::Run(uint32_t max_rounds) {
     }
     quiesce_ran = false;
 
+    // Round watchdog: convert a stalled run (chaos plans without recovery
+    // can leave actors re-sending forever) into a classified failure. The
+    // break is deliberate — continuing to "drain" could regenerate
+    // messages indefinitely from actors that are not poison-aware.
+    if (options_.watchdog_rounds > 0 &&
+        stats_.rounds >= options_.watchdog_rounds) {
+      ++fault_stats_.watchdog_trips;
+      if (health_ != nullptr) {
+        health_->PoisonWith(StatusCode::kDeadlineExceeded,
+                            "run exceeded the watchdog bound of " +
+                                std::to_string(options_.watchdog_rounds) +
+                                " delivery rounds");
+      }
+      pending_.clear();
+      break;
+    }
+
     DGS_CHECK(stats_.rounds < max_rounds, "cluster round budget exhausted");
     ++stats_.rounds;
 
     // Group this round's messages by destination (deterministic order).
     std::vector<Message> batch = std::move(pending_);
     pending_.clear();
+    if (injector_ != nullptr) {
+      injector_->DeliverRound(stats_.rounds, batch, health_, &fault_stats_);
+    }
     std::stable_sort(batch.begin(), batch.end(),
                      [](const Message& a, const Message& b) {
                        if (a.dst != b.dst) return a.dst < b.dst;
@@ -203,6 +230,9 @@ RunStats Cluster::Run(uint32_t max_rounds) {
                                    static_cast<double>(max_ingress);
   }
 
+  // Simulated retransmission backoff is response time, not compute: the
+  // sender sat out the backoff on the critical path.
+  stats_.response_seconds += fault_stats_.backoff_seconds;
   return stats_;
 }
 

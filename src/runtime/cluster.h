@@ -39,6 +39,41 @@
 //     (one callback per site per round). Actors may therefore keep plain
 //     mutable state, but state SHARED between actors (e.g. AlgoCounters)
 //     must be thread-safe; SiteContext::Send is always safe.
+//
+// Delivery semantics (ClusterOptions::faults; see runtime/fault.h). By
+// default delivery is reliable, in-order, and exactly-once. With a
+// FaultPlan enabled, a seeded deterministic FaultInjector perturbs each
+// round's in-flight messages on the single-threaded merge path, and the
+// tolerant-delivery layer (sequence-numbered frames with checksums)
+// recovers what it can. The contract, per fault class:
+//
+//   drop       bounded retry with simulated exponential backoff (charged
+//              to response_seconds); retries exhausted => the frame is
+//              lost and the run is poisoned kUnavailable.
+//   duplicate  the per-(src,dst) sequence dedup discards the extra copy —
+//              delivery is idempotent; no observable effect.
+//   reorder    frames shuffled in flight are healed by the (dst, src, seq)
+//              sort on receive; no observable effect.
+//   corrupt /  detected by the frame checksum; the frame is rejected and
+//   truncate   the run poisoned kDataLoss (counted per message class in
+//              RunHealth::decode_drops).
+//   crash      from round R the site neither sends nor receives; the run
+//              is poisoned kUnavailable. With FaultPlan::crash_once (the
+//              default) the site is back for the next run.
+//   stall      ClusterOptions::watchdog_rounds > 0 converts a run whose
+//              round count exceeds the bound into kDeadlineExceeded
+//              instead of a hang (or a hard round-budget abort).
+//
+// Poisoning goes through the RunHealth bound with BindHealth(); a poisoned
+// run drains to quiescence (actors check health and go silent) and the
+// caller surfaces the classified Status. The enforced invariant: under
+// drop/dup/reorder with recovery on, the delivered stream — and therefore
+// results AND RunStats accounting — is bit-identical to the fault-free
+// run for every num_threads value. RunStats charge logical sends only;
+// retransmits, duplicates, and backoff live in fault_stats(). With
+// FaultPlan::recovery off, the raw chaos reaches the actors (the
+// fail-soft decode path is their problem — and their test surface).
+// Faults default off and cost one pointer test per round when disabled.
 
 #ifndef DGS_RUNTIME_CLUSTER_H_
 #define DGS_RUNTIME_CLUSTER_H_
@@ -46,6 +81,7 @@
 #include <memory>
 #include <vector>
 
+#include "runtime/fault.h"
 #include "runtime/message.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -168,6 +204,15 @@ struct ClusterOptions {
   // sorted inputs and identical simulation results; V1 stays available for
   // benchmarking the formats against each other (see runtime/message.h).
   WireFormat wire_format = WireFormat::kV2Delta;
+  // Seeded chaos schedule for the delivery path (default: disabled — no
+  // injector is built and delivery is exactly-once). See the delivery-
+  // semantics contract in the file comment and runtime/fault.h.
+  FaultPlan faults;
+  // Round watchdog: a run whose delivery-round count reaches this bound is
+  // poisoned kDeadlineExceeded and stopped instead of running to the hard
+  // max_rounds abort. 0 (default) = off. Meant for chaos plans without
+  // recovery, where lost messages can leave actors re-sending forever.
+  uint32_t watchdog_rounds = 0;
 };
 
 // Drives the actors through the delivery loop.
@@ -208,6 +253,16 @@ class Cluster {
   // point); actor state is the actors' business (see QuerySiteActor).
   void Reset();
 
+  // Points the transport layer at the run's poison flag so injected faults
+  // (lost frames, crashes, checksum rejects, watchdog trips) classify the
+  // run instead of silently perturbing it. Null (the default) detaches.
+  // The health must outlive the next Run(); callers re-bind per run.
+  void BindHealth(RunHealth* health) { health_ = health; }
+
+  // Chaos accounting of the most recent Run() (all zero with faults
+  // disabled). RunStats never include any of this.
+  const FaultStats& fault_stats() const { return fault_stats_; }
+
   // Runs Setup + delivery rounds to completion. Aborts if an actor is
   // missing or if the round count exceeds `max_rounds` (runaway protection).
   // May be called repeatedly; each call is an independent run.
@@ -226,6 +281,11 @@ class Cluster {
 
   uint32_t num_workers_;
   ClusterOptions options_;
+  // Built only when options_.faults is enabled; the disabled-path cost is
+  // one null test per delivery round.
+  std::unique_ptr<FaultInjector> injector_;
+  RunHealth* health_ = nullptr;
+  FaultStats fault_stats_;
   // Created eagerly when num_threads > 1 (actors may borrow it through
   // SiteContext::pool() from the very first Setup round); null in the
   // sequential reference mode.

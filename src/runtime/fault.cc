@@ -1,0 +1,406 @@
+#include "runtime/fault.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace dgs {
+
+namespace {
+
+// Mixes a run index into the plan seed (splitmix64 finalizer) so every run
+// of one cluster sees a fresh — but reproducible — fault schedule. Without
+// this, a retried query would replay the exact faults that killed it.
+uint64_t MixSeed(uint64_t seed, uint64_t run_index) {
+  uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (run_index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+bool ParseProb(const std::string& text, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || v < 0 || v > 1) return false;
+  *out = v;
+  return true;
+}
+
+bool ParseU64(const std::string& text, uint64_t* out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || v < 0) return false;
+  *out = v;
+  return true;
+}
+
+Status BadSpec(const std::string& token) {
+  return Status::InvalidArgument("malformed fault spec entry '" + token + "'");
+}
+
+std::string ProbsToString(const char* prefix, const FaultProbs& p) {
+  std::string out;
+  auto put = [&](const char* key, double v) {
+    if (v <= 0) return;
+    if (!out.empty()) out += ',';
+    out += prefix;
+    out += key;
+    out += '=';
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    out += buf;
+  };
+  put("drop", p.drop);
+  put("dup", p.duplicate);
+  put("reorder", p.reorder);
+  put("corrupt", p.corrupt);
+  put("truncate", p.truncate);
+  return out;
+}
+
+}  // namespace
+
+StatusOr<FaultPlan> ParseFaultSpec(const std::string& spec) {
+  FaultPlan plan;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string token = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (token.empty()) continue;
+
+    if (token == "norecover") {
+      plan.recovery = false;
+      continue;
+    }
+
+    const size_t eq = token.find('=');
+    if (eq == std::string::npos) return BadSpec(token);
+    std::string key = token.substr(0, eq);
+    const std::string value = token.substr(eq + 1);
+
+    if (key == "seed") {
+      if (!ParseU64(value, &plan.seed)) return BadSpec(token);
+      continue;
+    }
+    if (key == "retries") {
+      uint64_t n = 0;
+      if (!ParseU64(value, &n) || n > 0xffffffffULL) return BadSpec(token);
+      plan.max_retries = static_cast<uint32_t>(n);
+      continue;
+    }
+    if (key == "backoff") {
+      if (!ParseDouble(value, &plan.backoff_seconds)) return BadSpec(token);
+      continue;
+    }
+    if (key == "maxfaults") {
+      if (!ParseU64(value, &plan.max_faults)) return BadSpec(token);
+      continue;
+    }
+    if (key == "recovery") {
+      if (value == "0") {
+        plan.recovery = false;
+      } else if (value == "1") {
+        plan.recovery = true;
+      } else {
+        return BadSpec(token);
+      }
+      continue;
+    }
+    if (key == "crash") {
+      // SITE or SITE@ROUND.
+      const size_t at = value.find('@');
+      uint64_t site = 0;
+      uint64_t round = 1;
+      if (!ParseU64(value.substr(0, at), &site)) return BadSpec(token);
+      if (at != std::string::npos &&
+          (!ParseU64(value.substr(at + 1), &round) || round == 0 ||
+           round > 0xffffffffULL)) {
+        return BadSpec(token);
+      }
+      plan.crash_site = static_cast<int64_t>(site);
+      plan.crash_round = static_cast<uint32_t>(round);
+      continue;
+    }
+
+    // [class.]prob entries. Without a prefix all three classes are set.
+    FaultProbs* targets[3] = {&plan.data, &plan.control, &plan.result};
+    size_t num_targets = 3;
+    const size_t dot = key.find('.');
+    if (dot != std::string::npos) {
+      const std::string cls = key.substr(0, dot);
+      key = key.substr(dot + 1);
+      if (cls == "data") {
+        targets[0] = &plan.data;
+      } else if (cls == "control") {
+        targets[0] = &plan.control;
+      } else if (cls == "result") {
+        targets[0] = &plan.result;
+      } else {
+        return BadSpec(token);
+      }
+      num_targets = 1;
+    }
+    double p = 0;
+    if (!ParseProb(value, &p)) return BadSpec(token);
+    for (size_t i = 0; i < num_targets; ++i) {
+      FaultProbs& probs = *targets[i];
+      if (key == "drop") {
+        probs.drop = p;
+      } else if (key == "dup") {
+        probs.duplicate = p;
+      } else if (key == "reorder") {
+        probs.reorder = p;
+      } else if (key == "corrupt") {
+        probs.corrupt = p;
+      } else if (key == "truncate") {
+        probs.truncate = p;
+      } else {
+        return BadSpec(token);
+      }
+    }
+  }
+  return plan;
+}
+
+std::string FaultPlanToString(const FaultPlan& plan) {
+  std::string out;
+  auto append = [&](const std::string& piece) {
+    if (piece.empty()) return;
+    if (!out.empty()) out += ',';
+    out += piece;
+  };
+  const bool uniform =
+      plan.data.drop == plan.control.drop && plan.data.drop == plan.result.drop &&
+      plan.data.duplicate == plan.control.duplicate &&
+      plan.data.duplicate == plan.result.duplicate &&
+      plan.data.reorder == plan.control.reorder &&
+      plan.data.reorder == plan.result.reorder &&
+      plan.data.corrupt == plan.control.corrupt &&
+      plan.data.corrupt == plan.result.corrupt &&
+      plan.data.truncate == plan.control.truncate &&
+      plan.data.truncate == plan.result.truncate;
+  if (uniform) {
+    append(ProbsToString("", plan.data));
+  } else {
+    append(ProbsToString("data.", plan.data));
+    append(ProbsToString("control.", plan.control));
+    append(ProbsToString("result.", plan.result));
+  }
+  char buf[64];
+  if (plan.crash_site >= 0) {
+    std::snprintf(buf, sizeof(buf), "crash=%lld@%u",
+                  static_cast<long long>(plan.crash_site), plan.crash_round);
+    append(buf);
+  }
+  if (!plan.recovery) append("norecover");
+  if (plan.max_retries != FaultPlan{}.max_retries) {
+    std::snprintf(buf, sizeof(buf), "retries=%u", plan.max_retries);
+    append(buf);
+  }
+  if (plan.backoff_seconds > 0) {
+    std::snprintf(buf, sizeof(buf), "backoff=%g", plan.backoff_seconds);
+    append(buf);
+  }
+  if (plan.max_faults != FaultPlan{}.max_faults) {
+    std::snprintf(buf, sizeof(buf), "maxfaults=%llu",
+                  static_cast<unsigned long long>(plan.max_faults));
+    append(buf);
+  }
+  if (plan.seed != FaultPlan{}.seed) {
+    std::snprintf(buf, sizeof(buf), "seed=%llu",
+                  static_cast<unsigned long long>(plan.seed));
+    append(buf);
+  }
+  if (out.empty()) out = "off";
+  return out;
+}
+
+uint32_t FrameChecksum(const Message& m) {
+  uint32_t h = 2166136261u;  // FNV-1a offset basis
+  auto mix = [&h](uint8_t b) {
+    h ^= b;
+    h *= 16777619u;  // FNV prime
+  };
+  for (int shift = 0; shift < 32; shift += 8) {
+    mix(static_cast<uint8_t>(m.src >> shift));
+  }
+  for (int shift = 0; shift < 32; shift += 8) {
+    mix(static_cast<uint8_t>(m.dst >> shift));
+  }
+  mix(static_cast<uint8_t>(m.cls));
+  const uint8_t* bytes = m.payload.data();
+  for (size_t i = 0; i < m.payload.size(); ++i) mix(bytes[i]);
+  return h;
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan, uint32_t num_sites)
+    : plan_(plan),
+      num_sites_(num_sites),
+      rng_(plan.seed),
+      next_seq_(static_cast<size_t>(num_sites) * num_sites, 0) {}
+
+void FaultInjector::BeginRun() {
+  rng_ = Rng(MixSeed(plan_.seed, run_index_));
+  ++run_index_;
+  crashed_this_run_ = false;
+  std::fill(next_seq_.begin(), next_seq_.end(), 0);
+}
+
+bool FaultInjector::RollFault(double p) {
+  if (p <= 0) return false;
+  if (faults_injected_ >= plan_.max_faults) return false;
+  if (!rng_.Bernoulli(p)) return false;
+  ++faults_injected_;
+  return true;
+}
+
+uint64_t& FaultInjector::NextSeq(uint32_t src, uint32_t dst) {
+  return next_seq_[static_cast<size_t>(src) * num_sites_ + dst];
+}
+
+void FaultInjector::DeliverRound(uint32_t round, std::vector<Message>& batch,
+                                 RunHealth* health, FaultStats* stats) {
+  // Crash: fires once per plan (crash_once) in the first run whose round
+  // counter reaches crash_round; from then until the end of THIS run the
+  // site neither sends nor receives.
+  if (plan_.crash_site >= 0 && !crashed_this_run_ &&
+      !(plan_.crash_once && crash_fired_) && round >= plan_.crash_round &&
+      faults_injected_ < plan_.max_faults) {
+    crashed_this_run_ = true;
+    crash_fired_ = true;
+    ++faults_injected_;
+    ++stats->crashes;
+    if (health != nullptr) {
+      health->PoisonWith(StatusCode::kUnavailable,
+                         "site " + std::to_string(plan_.crash_site) +
+                             " crashed at round " + std::to_string(round));
+    }
+  }
+
+  std::vector<Frame> delivered;
+  delivered.reserve(batch.size());
+  for (Message& m : batch) {
+    ++stats->frames;
+    Frame f;
+    f.seq = NextSeq(m.src, m.dst)++;
+    f.checksum = FrameChecksum(m);
+    f.msg = std::move(m);
+
+    if (crashed_this_run_ &&
+        (f.msg.src == static_cast<uint32_t>(plan_.crash_site) ||
+         f.msg.dst == static_cast<uint32_t>(plan_.crash_site))) {
+      ++stats->crash_drops;
+      continue;
+    }
+
+    const FaultProbs& p = plan_.ClassProbs(f.msg.cls);
+
+    if (RollFault(p.drop)) {
+      ++stats->drops;
+      bool recovered = false;
+      if (plan_.recovery) {
+        double backoff = plan_.backoff_seconds;
+        for (uint32_t attempt = 0; attempt < plan_.max_retries; ++attempt) {
+          ++stats->retransmits;
+          stats->backoff_seconds += backoff;
+          backoff *= 2;
+          if (!RollFault(p.drop)) {
+            recovered = true;
+            break;
+          }
+        }
+      }
+      if (!recovered) {
+        ++stats->lost;
+        if (plan_.recovery && health != nullptr) {
+          health->PoisonWith(
+              StatusCode::kUnavailable,
+              "frame " + std::to_string(f.msg.src) + "->" +
+                  std::to_string(f.msg.dst) + "#" + std::to_string(f.seq) +
+                  " lost after " + std::to_string(plan_.max_retries) +
+                  " retransmissions");
+        }
+        continue;
+      }
+    }
+
+    bool mutated = false;
+    if (f.msg.payload.size() > 0 && RollFault(p.corrupt)) {
+      ++stats->corruptions;
+      const size_t index = rng_.UniformInt(f.msg.payload.size());
+      f.msg.payload.MutableData()[index] ^=
+          static_cast<uint8_t>(1 + rng_.UniformInt(255));
+      mutated = true;
+    }
+    if (f.msg.payload.size() > 0 && RollFault(p.truncate)) {
+      ++stats->truncations;
+      f.msg.payload.Truncate(rng_.UniformInt(f.msg.payload.size()));
+      mutated = true;
+    }
+    if (mutated && plan_.recovery && FrameChecksum(f.msg) != f.checksum) {
+      // The receive side of the tolerant transport: a frame whose payload
+      // no longer matches its checksum is rejected, never delivered.
+      ++stats->checksum_rejects;
+      if (health != nullptr) {
+        health->PoisonDecode(f.msg.cls,
+                             "frame " + std::to_string(f.msg.src) + "->" +
+                                 std::to_string(f.msg.dst) + "#" +
+                                 std::to_string(f.seq) +
+                                 " failed its checksum");
+      }
+      continue;
+    }
+
+    const bool duplicate = RollFault(p.duplicate);
+    const bool displace = RollFault(p.reorder);
+    if (duplicate) {
+      ++stats->duplicates_injected;
+      delivered.push_back(f);  // the extra copy
+    }
+    const size_t index = delivered.size();
+    delivered.push_back(std::move(f));
+    if (displace && delivered.size() > 1) {
+      ++stats->reorders;
+      const size_t other = rng_.UniformInt(delivered.size());
+      std::swap(delivered[index], delivered[other]);
+    }
+  }
+
+  batch.clear();
+  if (plan_.recovery) {
+    // The receive side heals the stream: order by (dst, src, seq) — which
+    // restores each (src, dst) stream to send order — and discard
+    // duplicate sequence numbers. The caller's stable per-destination sort
+    // then sees exactly the fault-free stream.
+    std::sort(delivered.begin(), delivered.end(),
+              [](const Frame& a, const Frame& b) {
+                if (a.msg.dst != b.msg.dst) return a.msg.dst < b.msg.dst;
+                if (a.msg.src != b.msg.src) return a.msg.src < b.msg.src;
+                return a.seq < b.seq;
+              });
+    for (size_t i = 0; i < delivered.size(); ++i) {
+      if (i > 0 && delivered[i].msg.src == delivered[i - 1].msg.src &&
+          delivered[i].msg.dst == delivered[i - 1].msg.dst &&
+          delivered[i].seq == delivered[i - 1].seq) {
+        ++stats->duplicates_discarded;
+        continue;
+      }
+      batch.push_back(std::move(delivered[i].msg));
+    }
+  } else {
+    for (Frame& f : delivered) batch.push_back(std::move(f.msg));
+  }
+}
+
+}  // namespace dgs

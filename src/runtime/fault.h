@@ -1,0 +1,320 @@
+// Fault injection and tolerant delivery for the cluster runtime.
+//
+// The paper's DS/VN/round bounds assume reliable in-order delivery; a real
+// transport gives no such thing. This header is the tolerance layer the
+// future socket transport inherits, provable today against the in-process
+// runtime because every fault is SEEDED AND DETERMINISTIC:
+//
+//   FaultPlan      what to break: per-message-class probabilities for
+//                  drop / duplicate / reorder / corrupt-bytes / truncate,
+//                  plus site-crash-at-round-R, a retry budget, and a total
+//                  fault budget (max_faults) for inject-exactly-N tests.
+//   FaultInjector  the chaotic transport: applies the plan to each delivery
+//                  round's in-flight frames on the (single-threaded) merge
+//                  path, so the fault sequence is a pure function of
+//                  (plan, seed, run index) — identical for every executor
+//                  width.
+//   Frame          Message + per-(src,dst) sequence number + checksum: the
+//                  framing the tolerant delivery layer wraps around every
+//                  message, and what a socket header would carry.
+//   RunHealth      the poison flag of one run, now code-carrying: the
+//                  first failure wins and classifies the run (DataLoss for
+//                  corruption, Unavailable for crash/loss, DeadlineExceeded
+//                  for the round watchdog).
+//
+// Recovery semantics (FaultPlan::recovery, default on):
+//   drop      -> bounded retry: each dropped frame is retransmitted up to
+//                max_retries times (re-rolled per attempt) with a simulated
+//                exponential backoff charged to the run's response time.
+//                Retries exhausted => the frame is lost and the run is
+//                poisoned Unavailable.
+//   duplicate -> the extra copies are delivered and discarded by the
+//                per-(src,dst) sequence-number dedup (idempotent delivery).
+//   reorder   -> frames are shuffled in flight and healed by sorting on
+//                (dst, src, seq) before the inboxes are sliced.
+//   corrupt / truncate -> detected by the frame checksum; the payload is
+//                unusable, so the run is poisoned DataLoss (counted in the
+//                per-class decode-drop counters) and drains.
+//   crash     -> from round R every frame from or to the site is dropped
+//                and the run is poisoned Unavailable; with crash_once (the
+//                default) the site is back for the next run, so a serving
+//                retry succeeds.
+//
+// The recovered stream of a drop/dup/reorder plan is byte-for-byte the
+// fault-free stream, and RunStats are charged at logical send time (never
+// for retransmits or duplicates — those live in FaultStats), so results
+// AND accounting under recovered faults are bit-identical to the fault-free
+// run for every thread count. With recovery off, the raw chaos reaches the
+// actors: missing/duplicated/shuffled delivery plus the fail-soft decoders'
+// poison path — the environment the chaos tests use to prove the stack
+// survives an untrusted transport.
+
+#ifndef DGS_RUNTIME_FAULT_H_
+#define DGS_RUNTIME_FAULT_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runtime/message.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace dgs {
+
+// Per-message-class fault probabilities, each in [0, 1].
+struct FaultProbs {
+  double drop = 0;
+  double duplicate = 0;
+  double reorder = 0;
+  double corrupt = 0;
+  double truncate = 0;
+
+  bool Any() const {
+    return drop > 0 || duplicate > 0 || reorder > 0 || corrupt > 0 ||
+           truncate > 0;
+  }
+};
+
+// A deterministic chaos schedule. Default-constructed plans are disabled
+// (zero probabilities, no crash): the cluster then builds no injector and
+// the delivery path is byte-for-byte the PR-1 fast path.
+struct FaultPlan {
+  // Per-class probabilities (kData / kControl / kResult).
+  FaultProbs data;
+  FaultProbs control;
+  FaultProbs result;
+
+  // Seed of the injector's PRNG. Each Run() reseeds with a hash of
+  // (seed, run index), so retried queries see fresh — but reproducible —
+  // rolls.
+  uint64_t seed = 1;
+
+  // Tolerant-delivery machinery on/off (see the file comment). Off = raw
+  // chaos reaches the actors.
+  bool recovery = true;
+  // Retransmission budget per dropped frame; exhausting it loses the frame
+  // and poisons the run Unavailable.
+  uint32_t max_retries = 8;
+  // Simulated backoff charged to response time per retransmission attempt
+  // k (k = 1, 2, ...): backoff_seconds * 2^(k-1).
+  double backoff_seconds = 0;
+
+  // Site crash: from round `crash_round` of a run, site `crash_site`
+  // neither sends nor receives and the run is poisoned Unavailable.
+  // -1 = no crash. With crash_once the crash fires in one run only
+  // (the site "restarts" afterwards), so a retried query succeeds.
+  int64_t crash_site = -1;
+  uint32_t crash_round = 1;
+  bool crash_once = true;
+
+  // Total injected-fault budget across the injector's lifetime (i.e. the
+  // cluster's): once this many faults fired, delivery is clean. Lets tests
+  // inject exactly one fault ("first attempt fails, retry succeeds").
+  uint64_t max_faults = std::numeric_limits<uint64_t>::max();
+
+  bool enabled() const {
+    return data.Any() || control.Any() || result.Any() || crash_site >= 0;
+  }
+
+  FaultProbs& ClassProbs(MessageClass cls) {
+    switch (cls) {
+      case MessageClass::kData:
+        return data;
+      case MessageClass::kControl:
+        return control;
+      case MessageClass::kResult:
+        return result;
+    }
+    return data;
+  }
+  const FaultProbs& ClassProbs(MessageClass cls) const {
+    return const_cast<FaultPlan*>(this)->ClassProbs(cls);
+  }
+};
+
+// Parses a fault-plan spec string, e.g.
+//   "drop=0.01,dup=0.02,reorder=0.05,corrupt=0.001"
+//   "data.drop=0.1,crash=2@5,retries=16,backoff=1e-4,norecover"
+// Entries are comma-separated `[class.]key=value` pairs. Keys: drop, dup,
+// reorder, corrupt, truncate (probabilities; an optional data./control./
+// result. prefix restricts the class, otherwise all three are set),
+// retries=N, backoff=SECONDS, maxfaults=N, seed=N, crash=SITE@ROUND,
+// recovery=0|1 (norecover = recovery=0). Unknown keys or malformed values
+// fail with InvalidArgument.
+StatusOr<FaultPlan> ParseFaultSpec(const std::string& spec);
+
+// Human-readable one-line rendering of a plan (CLI/bench reporting).
+std::string FaultPlanToString(const FaultPlan& plan);
+
+// Chaos accounting of one Run(). Charged by the injector (and the round
+// watchdog) on the single-threaded merge path; RunStats never include any
+// of this, which is what keeps the paper's accounting fault-invariant.
+struct FaultStats {
+  uint64_t frames = 0;            // frames offered to the injector
+  uint64_t drops = 0;             // first-transmission drops
+  uint64_t retransmits = 0;       // retry attempts after drops
+  uint64_t lost = 0;              // frames lost after the retry budget
+  uint64_t duplicates_injected = 0;
+  uint64_t duplicates_discarded = 0;  // removed by the sequence dedup
+  uint64_t reorders = 0;          // frames displaced in delivery order
+  uint64_t corruptions = 0;       // payload bytes flipped
+  uint64_t truncations = 0;       // payload tails cut
+  uint64_t checksum_rejects = 0;  // corrupt/truncated frames detected
+  uint64_t crash_drops = 0;       // frames dropped from/to a crashed site
+  uint64_t crashes = 0;           // crash events fired
+  uint64_t watchdog_trips = 0;    // stalled rounds converted to a deadline
+  double backoff_seconds = 0;     // simulated retry backoff charged to PT
+
+  // Fault events the injector fired (what max_faults budgets).
+  uint64_t Injected() const {
+    return drops + duplicates_injected + reorders + corruptions +
+           truncations + crashes;
+  }
+
+  void Accumulate(const FaultStats& other) {
+    frames += other.frames;
+    drops += other.drops;
+    retransmits += other.retransmits;
+    lost += other.lost;
+    duplicates_injected += other.duplicates_injected;
+    duplicates_discarded += other.duplicates_discarded;
+    reorders += other.reorders;
+    corruptions += other.corruptions;
+    truncations += other.truncations;
+    checksum_rejects += other.checksum_rejects;
+    crash_drops += other.crash_drops;
+    crashes += other.crashes;
+    watchdog_trips += other.watchdog_trips;
+    backoff_seconds += other.backoff_seconds;
+  }
+};
+
+// Poison flag shared by the actors and the transport of one run. The first
+// failure wins and records its classification; every subsequent callback
+// drains without acting, so a poisoned run still reaches quiescence
+// deterministically. Decode failures are additionally counted per message
+// class (PoisonDecode), so the caller can tell which traffic class was
+// corrupted and how often — the counts ride along in
+// DistOutcome::decode_drops.
+//
+// Classification contract (what ToStatus() returns after poisoning):
+//   DataLoss          a payload was corrupt/truncated/undecodable
+//                     (Poison / PoisonDecode — actors and checksum layer)
+//   Unavailable       a site crashed or a frame exhausted its retries
+//   DeadlineExceeded  the round watchdog converted a stall
+class RunHealth {
+ public:
+  RunHealth() = default;
+  RunHealth(const RunHealth&) = delete;
+  RunHealth& operator=(const RunHealth&) = delete;
+
+  bool poisoned() const { return poisoned_.load(std::memory_order_acquire); }
+
+  // Thread-safe (site callbacks may run concurrently); the first failure
+  // wins — its code and reason are what ToStatus() reports forever after.
+  void PoisonWith(StatusCode code, std::string reason) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!armed_) {
+        armed_ = true;
+        code_ = code;
+        reason_ = std::move(reason);
+      }
+    }
+    poisoned_.store(true, std::memory_order_release);
+  }
+
+  // The actors' decode-failure path: DataLoss.
+  void Poison(std::string reason) {
+    PoisonWith(StatusCode::kDataLoss, std::move(reason));
+  }
+
+  // Records a payload of class `cls` that failed to decode (or failed its
+  // frame checksum), then poisons the run with DataLoss. Every
+  // corrupt-payload site in the actors and the transport goes through here.
+  void PoisonDecode(MessageClass cls, std::string reason) {
+    drops_[static_cast<size_t>(cls)].fetch_add(1, std::memory_order_relaxed);
+    Poison(std::move(reason));
+  }
+
+  // Number of payloads of `cls` dropped by decoders this run.
+  uint64_t decode_drops(MessageClass cls) const {
+    return drops_[static_cast<size_t>(cls)].load(std::memory_order_relaxed);
+  }
+
+  // Ok when the run stayed healthy; the first failure's classified Status
+  // after poisoning.
+  Status ToStatus() const {
+    if (!poisoned()) return Status::Ok();
+    std::lock_guard<std::mutex> lock(mu_);
+    return Status(code_, reason_);
+  }
+
+ private:
+  std::atomic<bool> poisoned_{false};
+  std::array<std::atomic<uint64_t>, 3> drops_{};  // indexed by MessageClass
+  mutable std::mutex mu_;
+  bool armed_ = false;  // first-failure latch (code_/reason_ are set)
+  StatusCode code_ = StatusCode::kDataLoss;
+  std::string reason_;
+};
+
+// A message wrapped in transport framing: the per-(src,dst) sequence number
+// that makes delivery idempotent under duplication and healable under
+// reordering, and the payload checksum that classifies corruption. This is
+// exactly what a socket transport's frame header would carry.
+struct Frame {
+  Message msg;
+  uint64_t seq = 0;
+  uint32_t checksum = 0;
+};
+
+// FNV-1a over (src, dst, cls, payload bytes). Cheap, deterministic, and
+// sensitive to any single-byte mutation or truncation.
+uint32_t FrameChecksum(const Message& m);
+
+// The chaotic transport of one Cluster. All methods run on the cluster's
+// merge thread (never concurrently), so the fault sequence is deterministic
+// for every executor width. State that persists across runs: the run
+// counter (reseeding), the crash-once latch, and the max_faults budget.
+class FaultInjector {
+ public:
+  FaultInjector(const FaultPlan& plan, uint32_t num_sites);
+
+  // Starts a new run: resets per-run sequence/dedup state and reseeds the
+  // PRNG from (plan.seed, run index).
+  void BeginRun();
+
+  // Applies the plan to one delivery round's in-flight messages (in the
+  // deterministic merge order) and replaces `batch` with what the round
+  // actually delivers. `round` is the 1-based delivery round. Poisons
+  // `health` on unrecoverable faults (loss after retries, crash, detected
+  // corruption); charges `stats` (and simulated backoff into
+  // stats->backoff_seconds).
+  void DeliverRound(uint32_t round, std::vector<Message>& batch,
+                    RunHealth* health, FaultStats* stats);
+
+  const FaultPlan& plan() const { return plan_; }
+
+ private:
+  bool RollFault(double p);  // Bernoulli(p) gated by the max_faults budget
+  uint64_t& NextSeq(uint32_t src, uint32_t dst);
+
+  FaultPlan plan_;
+  uint32_t num_sites_;
+  Rng rng_;
+  uint64_t run_index_ = 0;
+  uint64_t faults_injected_ = 0;  // lifetime count, against plan_.max_faults
+  bool crash_fired_ = false;      // crash_once latch (across runs)
+  bool crashed_this_run_ = false;
+  std::vector<uint64_t> next_seq_;  // (num_sites)^2 per-(src,dst) counters
+};
+
+}  // namespace dgs
+
+#endif  // DGS_RUNTIME_FAULT_H_

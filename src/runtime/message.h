@@ -99,6 +99,15 @@ class Blob {
     bytes_.insert(bytes_.end(), other.bytes_.begin(), other.bytes_.end());
   }
 
+  // In-place mutation hooks for the fault injector (runtime/fault.h):
+  // corrupt-bytes flips bytes through MutableData(), truncate cuts the
+  // tail. Encoders never rewrite bytes — only the chaotic transport does.
+  uint8_t* MutableData() { return bytes_.data(); }
+  void Truncate(size_t new_size) {
+    DGS_CHECK(new_size <= bytes_.size(), "Truncate cannot grow a Blob");
+    bytes_.resize(new_size);
+  }
+
   // Sequential reader over a Blob. The Blob must outlive the reader.
   //
   // Reads past the end (or malformed varints) set a sticky failure flag and

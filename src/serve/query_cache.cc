@@ -137,6 +137,11 @@ bool QueryCache::Lookup(const std::string& key, DistOutcome* out) {
 
 void QueryCache::Insert(const std::string& key, const DistOutcome& outcome) {
   if (mode_ != CacheMode::kFull) return;
+  // Never memoize a poisoned outcome: its result is a partial drain, not
+  // the query's answer, and a memo hit would replay the transient failure
+  // at every future submission of the pattern. Only clean outcomes are
+  // admissible.
+  if (!outcome.health.ok()) return;
   std::lock_guard<std::mutex> lock(mu_);
   if (results_.find(key) != results_.end()) return;  // deterministic dup
   const size_t bytes = ResultEntryBytes(key, outcome);

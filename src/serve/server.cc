@@ -260,7 +260,36 @@ void Server::WorkerLoop(uint32_t replica) {
       }
     }
 
+    // Transparent retry (ServerOptions::retry): re-run the query after a
+    // retryable failure — a crashed-and-restarted site, a watchdog trip, a
+    // transient rejection — with doubling backoff. Each cluster run
+    // reseeds its fault schedule, so a retry faces fresh rolls rather than
+    // replaying the faults that killed the first attempt. Non-retryable
+    // failures (DataLoss, bad arguments) surface immediately.
+    const uint32_t max_attempts = std::max(options_.retry.max_attempts, 1u);
     auto result = engine.Match(j.pattern, j.query);
+    for (uint32_t attempt = 1;
+         attempt < max_attempts && !result.ok() &&
+         IsRetryable(result.status().code()) &&
+         !(j.has_deadline && std::chrono::steady_clock::now() >= j.deadline);
+         ++attempt) {
+      if (options_.retry.backoff_seconds > 0) {
+        const double sleep_seconds =
+            options_.retry.backoff_seconds *
+            static_cast<double>(uint64_t{1} << std::min(attempt - 1, 62u));
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(sleep_seconds));
+      }
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.retries;
+      }
+      result = engine.Match(j.pattern, j.query);
+      if (result.ok()) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.retry_successes;
+      }
+    }
     if (result.ok()) {
       if (!j.cache_key.empty()) cache_.Insert(j.cache_key, *result);
       {

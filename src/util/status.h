@@ -23,7 +23,7 @@ enum class StatusCode {
   kOutOfRange,
   kInternal,
   // Payload lost or unusable in transit (e.g. a corrupt wire message
-  // poisoned a distributed run; see RunHealth in core/serving.h).
+  // poisoned a distributed run; see RunHealth in runtime/fault.h).
   kDataLoss,
   // A bounded resource is exhausted (e.g. a full admission queue rejected
   // the query; see serve/admission.h). Retrying later may succeed.
@@ -33,6 +33,32 @@ enum class StatusCode {
   // The service is not accepting work (e.g. a dgs::Server after Shutdown).
   kUnavailable,
 };
+
+// Whether a failure with this code is transient — retrying the same
+// operation unchanged may succeed. Drives dgs::Server's RetryOptions
+// policy. Unavailable (a crashed site restarts, a shed queue drains),
+// DeadlineExceeded (a watchdog-tripped run reseeds its fault schedule),
+// and ResourceExhausted (capacity frees up) are retryable. DataLoss is
+// deliberately NOT: a corrupt payload is a deterministic report about the
+// data path, and the argument/precondition/internal families describe the
+// request itself, which a retry would not change.
+inline bool IsRetryable(StatusCode code) {
+  switch (code) {
+    case StatusCode::kUnavailable:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kResourceExhausted:
+      return true;
+    case StatusCode::kOk:
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kInternal:
+    case StatusCode::kDataLoss:
+      return false;
+  }
+  return false;
+}
 
 // Value-semantic error carrier. An OK status has an empty message.
 class Status {

@@ -1,0 +1,549 @@
+// Chaos suite for the fault-injection harness (runtime/fault.h) and the
+// tolerant delivery path (runtime/cluster.h).
+//
+// The load-bearing invariant: under drop/duplicate/reorder chaos WITH
+// recovery, every algorithm family produces results and accounting
+// bit-identical to the fault-free run, at every executor width — the
+// recovered faults are visible only in DistOutcome::faults. Unrecoverable
+// chaos (corruption, truncation, a site crash, a watchdog trip) must fail
+// SOFT: a classified Status (DataLoss / Unavailable / DeadlineExceeded),
+// a drained partial outcome, and a deployment that serves the next query
+// cleanly.
+//
+// CI runs these suites under a fixed DGS_FAULT_SEED matrix (see
+// .github/workflows/ci.yml): the fault schedule is a pure function of
+// (plan, seed), so each seed is a distinct but fully reproducible chaos
+// schedule. All suites here are named Chaos* so the sweep can filter them.
+
+#include "runtime/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/api.h"
+#include "core/dgpm.h"
+#include "core/engine.h"
+#include "graph/generators.h"
+#include "partition/partitioner.h"
+#include "serve/server.h"
+#include "test_env.h"
+
+namespace dgs {
+namespace {
+
+// Base seed for the chaos schedules; the CI sweep varies it to cover
+// distinct reproducible schedules without touching the test source.
+uint64_t ChaosSeed() {
+  const char* s = std::getenv("DGS_FAULT_SEED");
+  if (s == nullptr) return 7;
+  char* end = nullptr;
+  unsigned long long seed = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') return 7;
+  return static_cast<uint64_t>(seed);
+}
+
+// Everything that must be bit-identical between a recovered-chaos run and
+// the fault-free reference: the answer plus the full deterministic
+// accounting. (response_seconds is excluded: recovery charges simulated
+// backoff there, and wall-clock is not deterministic anyway.)
+void ExpectSameOutcome(const DistOutcome& chaos, const DistOutcome& clean,
+                       const std::string& what) {
+  EXPECT_TRUE(chaos.result == clean.result) << what;
+  EXPECT_EQ(chaos.stats.data_bytes, clean.stats.data_bytes) << what;
+  EXPECT_EQ(chaos.stats.control_bytes, clean.stats.control_bytes) << what;
+  EXPECT_EQ(chaos.stats.result_bytes, clean.stats.result_bytes) << what;
+  EXPECT_EQ(chaos.stats.data_messages, clean.stats.data_messages) << what;
+  EXPECT_EQ(chaos.stats.control_messages, clean.stats.control_messages)
+      << what;
+  EXPECT_EQ(chaos.stats.result_messages, clean.stats.result_messages) << what;
+  EXPECT_EQ(chaos.stats.rounds, clean.stats.rounds) << what;
+  EXPECT_EQ(chaos.counters.vars_shipped.load(),
+            clean.counters.vars_shipped.load())
+      << what;
+  EXPECT_EQ(chaos.counters.push_count.load(),
+            clean.counters.push_count.load())
+      << what;
+  EXPECT_EQ(chaos.counters.equation_units.load(),
+            clean.counters.equation_units.load())
+      << what;
+  EXPECT_EQ(chaos.counters.recomputations.load(),
+            clean.counters.recomputations.load())
+      << what;
+  EXPECT_EQ(chaos.counters.supersteps.load(),
+            clean.counters.supersteps.load())
+      << what;
+}
+
+void ExpectSameFaultStats(const FaultStats& a, const FaultStats& b,
+                          const std::string& what) {
+  EXPECT_EQ(a.frames, b.frames) << what;
+  EXPECT_EQ(a.drops, b.drops) << what;
+  EXPECT_EQ(a.retransmits, b.retransmits) << what;
+  EXPECT_EQ(a.lost, b.lost) << what;
+  EXPECT_EQ(a.duplicates_injected, b.duplicates_injected) << what;
+  EXPECT_EQ(a.duplicates_discarded, b.duplicates_discarded) << what;
+  EXPECT_EQ(a.reorders, b.reorders) << what;
+  EXPECT_EQ(a.corruptions, b.corruptions) << what;
+  EXPECT_EQ(a.truncations, b.truncations) << what;
+  EXPECT_EQ(a.checksum_rejects, b.checksum_rejects) << what;
+  EXPECT_EQ(a.crashes, b.crashes) << what;
+}
+
+// The recovery sweep's plan: lossy and chaotic but recoverable — drops are
+// retransmitted, duplicates deduplicated, reorders healed by the
+// sequence-number sort. No payload mutation, so nothing can poison.
+FaultPlan RecoveryPlan(uint64_t seed) {
+  FaultPlan plan;
+  plan.data.drop = 0.3;
+  plan.data.duplicate = 0.2;
+  plan.data.reorder = 0.3;
+  plan.control = plan.data;
+  plan.result = plan.data;
+  plan.max_retries = 16;
+  plan.seed = seed;
+  return plan;
+}
+
+struct Family {
+  const char* name;
+  Algorithm algorithm;
+  Graph g;
+  std::vector<uint32_t> assignment;
+  uint32_t sites;
+  Pattern q;
+};
+
+std::vector<Family> MakeFamilies() {
+  std::vector<Family> families;
+
+  auto add = [&families](const char* name, Algorithm algorithm, Graph g,
+                         uint32_t sites, PatternKind kind, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<uint32_t> assignment =
+        PartitionWithBoundaryRatio(g, sites, 0.3, rng);
+    PatternSpec spec;
+    spec.num_nodes = 4;
+    spec.num_edges = kind == PatternKind::kCyclic ? 6 : 5;
+    spec.kind = kind;
+    auto q = ExtractPattern(g, spec, rng);
+    DGS_CHECK(q.ok(), "pattern extraction failed");
+    families.push_back({name, algorithm, std::move(g), std::move(assignment),
+                        sites, std::move(*q)});
+  };
+
+  {
+    Rng rng(2014);
+    Graph web = WebGraph(1200, 5000, kDefaultAlphabet, rng);
+    add("dGPM", Algorithm::kDgpm, web, 6, PatternKind::kCyclic, 11);
+    add("dGPMNOpt", Algorithm::kDgpmNoOpt, web, 6, PatternKind::kCyclic, 12);
+    add("dMes", Algorithm::kDMes, web, 4, PatternKind::kCyclic, 13);
+    add("Match", Algorithm::kMatch, web, 4, PatternKind::kCyclic, 14);
+    add("disHHK", Algorithm::kDisHhk, std::move(web), 4, PatternKind::kCyclic,
+        15);
+  }
+  {
+    Rng rng(99);
+    Graph dag = CitationDag(1200, 4800, kDefaultAlphabet, rng);
+    add("dGPMd", Algorithm::kDgpmDag, std::move(dag), 6, PatternKind::kDag,
+        16);
+  }
+  {
+    Rng rng(5);
+    Graph tree = RandomTree(900, kDefaultAlphabet, rng);
+    add("dGPMt", Algorithm::kDgpmTree, std::move(tree), 4, PatternKind::kDag,
+        17);
+  }
+  return families;
+}
+
+// The tentpole invariant: recovered chaos is observationally invisible.
+// Every algorithm family × executor width {1, 2, 8} under a seeded
+// drop/dup/reorder plan must reproduce the fault-free run bit for bit,
+// and the chaos accounting itself must be width-invariant (the injector
+// runs on the deterministic merge path).
+TEST(ChaosRecoveryTest, RecoveredChaosIsBitIdenticalAcrossFamiliesAndWidths) {
+  const uint64_t seed = ChaosSeed();
+  for (Family& family : MakeFamilies()) {
+    DistOptions options;
+    options.algorithm = family.algorithm;
+    options.num_threads = 1;
+    auto clean =
+        DistributedMatch(family.g, family.assignment, family.sites, family.q,
+                         options);
+    ASSERT_TRUE(clean.ok()) << family.name;
+    EXPECT_EQ(clean->faults.frames, 0u) << family.name
+                                        << ": disabled plan must not count";
+
+    options.faults = RecoveryPlan(seed);
+    bool have_baseline_stats = false;
+    FaultStats baseline_stats;
+    for (uint32_t threads : {1u, 2u, 8u}) {
+      options.num_threads = threads;
+      auto chaos = DistributedMatch(family.g, family.assignment, family.sites,
+                                    family.q, options);
+      const std::string what = std::string(family.name) + " seed " +
+                               std::to_string(seed) + " t" +
+                               std::to_string(threads);
+      ASSERT_TRUE(chaos.ok()) << what << ": " << chaos.status().ToString();
+      EXPECT_TRUE(chaos->health.ok()) << what;
+      ExpectSameOutcome(*chaos, *clean, what);
+
+      // The plan really fired (0.3 drop over a whole run cannot miss), and
+      // recovery healed everything: nothing lost, every duplicate caught.
+      EXPECT_GT(chaos->faults.frames, 0u) << what;
+      EXPECT_GT(chaos->faults.Injected(), 0u) << what;
+      EXPECT_EQ(chaos->faults.lost, 0u) << what;
+      EXPECT_EQ(chaos->faults.duplicates_discarded,
+                chaos->faults.duplicates_injected)
+          << what;
+      EXPECT_EQ(chaos->faults.retransmits >= chaos->faults.drops, true)
+          << what;
+
+      if (!have_baseline_stats) {
+        baseline_stats = chaos->faults;
+        have_baseline_stats = true;
+      } else {
+        ExpectSameFaultStats(chaos->faults, baseline_stats, what);
+      }
+    }
+  }
+}
+
+// Duplicate + reorder chaos alone (no drops) heals with zero retransmits:
+// the sequence numbers carry the whole recovery.
+TEST(ChaosRecoveryTest, DuplicateAndReorderChaosHealsWithoutRetransmits) {
+  Rng rng(2014);
+  Graph g = WebGraph(800, 3200, kDefaultAlphabet, rng);
+  std::vector<uint32_t> assignment = PartitionWithBoundaryRatio(g, 4, 0.3, rng);
+  PatternSpec spec;
+  spec.num_nodes = 4;
+  spec.num_edges = 6;
+  spec.kind = PatternKind::kCyclic;
+  auto q = ExtractPattern(g, spec, rng);
+  ASSERT_TRUE(q.ok());
+
+  DistOptions options;
+  auto clean = DistributedMatch(g, assignment, 4, *q, options);
+  ASSERT_TRUE(clean.ok());
+
+  options.faults.data.duplicate = 0.5;
+  options.faults.data.reorder = 0.5;
+  options.faults.control = options.faults.data;
+  options.faults.result = options.faults.data;
+  options.faults.seed = ChaosSeed();
+  auto chaos = DistributedMatch(g, assignment, 4, *q, options);
+  ASSERT_TRUE(chaos.ok());
+  ExpectSameOutcome(*chaos, *clean, "dup+reorder");
+  EXPECT_GT(chaos->faults.duplicates_injected, 0u);
+  EXPECT_EQ(chaos->faults.duplicates_discarded,
+            chaos->faults.duplicates_injected);
+  EXPECT_EQ(chaos->faults.drops, 0u);
+  EXPECT_EQ(chaos->faults.retransmits, 0u);
+  EXPECT_EQ(chaos->faults.lost, 0u);
+}
+
+// Engine + chaos fixture for the failure-classification tests.
+struct ServingRig {
+  Graph g;
+  std::vector<uint32_t> assignment;
+  Pattern q;
+  QueryOptions query;
+  SimulationResult reference;
+};
+
+ServingRig MakeServingRig() {
+  ServingRig rig;
+  Rng rng(2014);
+  rig.g = WebGraph(600, 2400, kDefaultAlphabet, rng);
+  rig.assignment = PartitionWithBoundaryRatio(rig.g, 4, 0.3, rng);
+  PatternSpec spec;
+  spec.num_nodes = 4;
+  spec.num_edges = 6;
+  spec.kind = PatternKind::kCyclic;
+  auto q = ExtractPattern(rig.g, spec, rng);
+  DGS_CHECK(q.ok(), "pattern extraction failed");
+  rig.q = std::move(*q);
+  rig.query.algorithm = Algorithm::kDgpm;
+  auto clean = DistributedMatch(rig.g, rig.assignment, 4, rig.q, {});
+  DGS_CHECK(clean.ok(), "clean reference failed");
+  rig.reference = clean->result;
+  return rig;
+}
+
+// One budgeted corruption: the first mutated frame fails its checksum, the
+// run is poisoned DataLoss, and the SAME resident Engine serves the next
+// query cleanly (the fault budget is spent; the deployment survived).
+TEST(ChaosFailureTest, CorruptionClassifiesDataLossAndEngineStaysUsable) {
+  ServingRig rig = MakeServingRig();
+  EngineOptions options = dgs::testing::TestEngineOptions();
+  options.faults.data.corrupt = 1.0;
+  options.faults.control.corrupt = 1.0;
+  options.faults.result.corrupt = 1.0;
+  options.faults.max_faults = 1;
+  options.faults.seed = ChaosSeed();
+  auto engine = Engine::Create(rig.g, rig.assignment, 4, options);
+  ASSERT_TRUE(engine.ok());
+
+  auto first = (*engine)->Match(rig.q, rig.query);
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.status().code(), StatusCode::kDataLoss);
+
+  auto second = (*engine)->Match(rig.q, rig.query);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_TRUE(second->result == rig.reference);
+  EXPECT_TRUE(second->health.ok());
+}
+
+// Same contract for truncation: a shortened payload is a checksum reject,
+// classified DataLoss, not an out-of-bounds read (ASan runs this in CI).
+TEST(ChaosFailureTest, TruncationClassifiesDataLoss) {
+  ServingRig rig = MakeServingRig();
+  EngineOptions options = dgs::testing::TestEngineOptions();
+  options.faults.data.truncate = 1.0;
+  options.faults.control.truncate = 1.0;
+  options.faults.result.truncate = 1.0;
+  options.faults.max_faults = 1;
+  options.faults.seed = ChaosSeed();
+  auto engine = Engine::Create(rig.g, rig.assignment, 4, options);
+  ASSERT_TRUE(engine.ok());
+
+  auto first = (*engine)->Match(rig.q, rig.query);
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.status().code(), StatusCode::kDataLoss);
+
+  auto second = (*engine)->Match(rig.q, rig.query);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_TRUE(second->result == rig.reference);
+}
+
+// A site crash mid-run classifies Unavailable; with crash_once (the
+// default, modeling a restart) the next run on the same Engine succeeds.
+TEST(ChaosFailureTest, SiteCrashClassifiesUnavailableAndRestartRecovers) {
+  ServingRig rig = MakeServingRig();
+  EngineOptions options = dgs::testing::TestEngineOptions();
+  options.faults.crash_site = 1;
+  options.faults.crash_round = 1;
+  options.faults.seed = ChaosSeed();
+  auto engine = Engine::Create(rig.g, rig.assignment, 4, options);
+  ASSERT_TRUE(engine.ok());
+
+  auto first = (*engine)->Match(rig.q, rig.query);
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.status().code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(IsRetryable(first.status().code()));
+
+  auto second = (*engine)->Match(rig.q, rig.query);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_TRUE(second->result == rig.reference);
+}
+
+// The round watchdog converts a too-long run into DeadlineExceeded instead
+// of spinning; the deployment stays usable at the honest bound.
+TEST(ChaosFailureTest, WatchdogClassifiesDeadlineExceeded) {
+  ServingRig rig = MakeServingRig();
+  DistOptions options;
+  auto clean = DistributedMatch(rig.g, rig.assignment, 4, rig.q, options);
+  ASSERT_TRUE(clean.ok());
+  ASSERT_GT(clean->stats.rounds, 1u) << "need a multi-round run to bound";
+
+  options.watchdog_rounds = 1;
+  auto bounded = DistributedMatch(rig.g, rig.assignment, 4, rig.q, options);
+  ASSERT_FALSE(bounded.ok());
+  EXPECT_EQ(bounded.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(IsRetryable(bounded.status().code()));
+
+  // An honest bound changes nothing.
+  options.watchdog_rounds = clean->stats.rounds + 1;
+  auto roomy = DistributedMatch(rig.g, rig.assignment, 4, rig.q, options);
+  ASSERT_TRUE(roomy.ok());
+  ExpectSameOutcome(*roomy, *clean, "honest watchdog bound");
+}
+
+// The low-level one-shot path surfaces the poisoned run as a PARTIAL
+// outcome — classified health, empty result, exact decode accounting —
+// rather than an error, so callers can inspect what drained.
+TEST(ChaosFailureTest, PoisonedRunDrainsToPartialOutcome) {
+  ServingRig rig = MakeServingRig();
+  auto frag = Fragmentation::Create(rig.g, rig.assignment, 4);
+  ASSERT_TRUE(frag.ok());
+
+  ClusterOptions runtime = dgs::testing::TestClusterOptions();
+  runtime.faults.data.truncate = 1.0;
+  runtime.faults.control.truncate = 1.0;
+  runtime.faults.result.truncate = 1.0;
+  runtime.faults.max_faults = 1;
+  runtime.faults.seed = ChaosSeed();
+
+  DistOutcome outcome = RunDgpm(*frag, rig.q, DgpmConfig{}, runtime);
+  EXPECT_TRUE(outcome.poisoned());
+  EXPECT_EQ(outcome.health.code(), StatusCode::kDataLoss);
+  EXPECT_FALSE(outcome.result.GraphMatches()) << "poisoned result is empty";
+  EXPECT_EQ(outcome.faults.truncations, 1u);
+  EXPECT_EQ(outcome.faults.checksum_rejects, 1u);
+  const uint64_t total_decode_drops = outcome.decode_drops.data +
+                                      outcome.decode_drops.control +
+                                      outcome.decode_drops.result;
+  EXPECT_EQ(total_decode_drops, 1u);
+}
+
+// Without recovery, mutated frames are DELIVERED: the fail-soft decoders
+// (core/protocol.h hardening) must classify garbage as a poisoned run or
+// decode a payload that happens to stay well-formed — never crash or read
+// out of bounds. Swept over several fixed seeds; ASan+UBSan cover this in
+// CI. Restricted to corrupt/truncate: unrecovered drops can stall a
+// conversation forever, which is the watchdog's job, not this test's.
+TEST(ChaosFailureTest, NoRecoveryChaosFailsSoft) {
+  ServingRig rig = MakeServingRig();
+  const uint64_t base = ChaosSeed();
+  for (uint64_t offset = 0; offset < 3; ++offset) {
+    DistOptions options;
+    options.faults.data.corrupt = 0.4;
+    options.faults.data.truncate = 0.3;
+    options.faults.control = options.faults.data;
+    options.faults.result = options.faults.data;
+    options.faults.recovery = false;
+    options.faults.seed = base + offset;
+    options.watchdog_rounds = 10000;  // backstop: garbage must not livelock
+    auto outcome = DistributedMatch(rig.g, rig.assignment, 4, rig.q, options);
+    if (outcome.ok()) continue;  // every mutation decoded; fine
+    EXPECT_TRUE(outcome.status().code() == StatusCode::kDataLoss ||
+                outcome.status().code() == StatusCode::kDeadlineExceeded)
+        << "seed " << (base + offset) << ": "
+        << outcome.status().ToString();
+  }
+}
+
+// dgs::Server + RetryOptions close the loop: a crash-poisoned attempt is
+// retryable, the retry faces a restarted site (crash_once) with a freshly
+// reseeded schedule, and the client sees only the clean answer.
+TEST(ChaosServerTest, RetryRecoversCrashPoisonedQueries) {
+  ServingRig rig = MakeServingRig();
+  ServerOptions options;
+  options.engine = dgs::testing::TestEngineOptions();
+  options.num_replicas = 1;  // one injector: the crash fires exactly once
+  options.engine.faults.crash_site = 1;
+  options.engine.faults.crash_round = 1;
+  options.engine.faults.seed = ChaosSeed();
+  options.retry.max_attempts = 3;
+  auto server = Server::Create(rig.g, rig.assignment, 4, options);
+  ASSERT_TRUE(server.ok());
+
+  auto outcome = (*server)->Match(rig.q, rig.query);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_TRUE(outcome->result == rig.reference);
+
+  (*server)->Shutdown();
+  ServerStats stats = (*server)->stats();
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_GE(stats.retries, 1u);
+  EXPECT_GE(stats.retry_successes, 1u);
+  EXPECT_EQ(stats.served, 1u);
+}
+
+// Without a retry budget the same crash surfaces to the client unchanged.
+TEST(ChaosServerTest, CrashWithoutRetryBudgetSurfacesUnavailable) {
+  ServingRig rig = MakeServingRig();
+  ServerOptions options;
+  options.engine = dgs::testing::TestEngineOptions();
+  options.num_replicas = 1;
+  options.engine.faults.crash_site = 1;
+  options.engine.faults.crash_round = 1;
+  options.engine.faults.seed = ChaosSeed();
+  auto server = Server::Create(rig.g, rig.assignment, 4, options);
+  ASSERT_TRUE(server.ok());
+
+  auto first = (*server)->Match(rig.q, rig.query);
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.status().code(), StatusCode::kUnavailable);
+
+  // The crash fired once; the deployment itself is healthy.
+  auto second = (*server)->Match(rig.q, rig.query);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_TRUE(second->result == rig.reference);
+
+  (*server)->Shutdown();
+  ServerStats stats = (*server)->stats();
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.retries, 0u);
+}
+
+// --fault-spec grammar (examples/dgsim_cli.cc drives this parser).
+TEST(ChaosSpecTest, ParsesUniformAndClassScopedEntries) {
+  auto plan = ParseFaultSpec("drop=0.3,dup=0.2,reorder=0.1,retries=16");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_DOUBLE_EQ(plan->data.drop, 0.3);
+  EXPECT_DOUBLE_EQ(plan->control.drop, 0.3);
+  EXPECT_DOUBLE_EQ(plan->result.drop, 0.3);
+  EXPECT_DOUBLE_EQ(plan->data.duplicate, 0.2);
+  EXPECT_DOUBLE_EQ(plan->data.reorder, 0.1);
+  EXPECT_EQ(plan->max_retries, 16u);
+  EXPECT_TRUE(plan->recovery);
+  EXPECT_TRUE(plan->enabled());
+
+  auto scoped = ParseFaultSpec("data.corrupt=0.5,control.truncate=0.25");
+  ASSERT_TRUE(scoped.ok());
+  EXPECT_DOUBLE_EQ(scoped->data.corrupt, 0.5);
+  EXPECT_DOUBLE_EQ(scoped->control.corrupt, 0.0);
+  EXPECT_DOUBLE_EQ(scoped->control.truncate, 0.25);
+  EXPECT_DOUBLE_EQ(scoped->data.truncate, 0.0);
+}
+
+TEST(ChaosSpecTest, ParsesCrashSeedBudgetAndRecoveryKnobs) {
+  auto plan = ParseFaultSpec(
+      "crash=2@5,seed=42,maxfaults=3,backoff=0.125,norecover");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->crash_site, 2);
+  EXPECT_EQ(plan->crash_round, 5u);
+  EXPECT_EQ(plan->seed, 42u);
+  EXPECT_EQ(plan->max_faults, 3u);
+  EXPECT_DOUBLE_EQ(plan->backoff_seconds, 0.125);
+  EXPECT_FALSE(plan->recovery);
+  EXPECT_TRUE(plan->enabled());
+
+  auto bare_crash = ParseFaultSpec("crash=1,recovery=1");
+  ASSERT_TRUE(bare_crash.ok());
+  EXPECT_EQ(bare_crash->crash_site, 1);
+  EXPECT_EQ(bare_crash->crash_round, 1u);
+  EXPECT_TRUE(bare_crash->recovery);
+
+  auto empty = ParseFaultSpec("");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(empty->enabled());
+}
+
+TEST(ChaosSpecTest, RejectsMalformedSpecs) {
+  for (const char* bad :
+       {"drop", "drop=", "drop=2", "drop=-0.1", "drop=abc", "bogus=0.5",
+        "wire.drop=0.5", "retries=notanumber", "crash=@3", "crash=1@0",
+        "recovery=maybe"}) {
+    auto plan = ParseFaultSpec(bad);
+    EXPECT_FALSE(plan.ok()) << bad;
+    if (!plan.ok()) {
+      EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument) << bad;
+    }
+  }
+}
+
+TEST(ChaosSpecTest, PlanToStringRoundTrips) {
+  const char* specs[] = {
+      "drop=0.3,dup=0.2,reorder=0.1,retries=16",
+      "data.corrupt=0.5,control.truncate=0.25,seed=9",
+      "crash=2@5,maxfaults=3,norecover",
+  };
+  for (const char* spec : specs) {
+    auto plan = ParseFaultSpec(spec);
+    ASSERT_TRUE(plan.ok()) << spec;
+    const std::string printed = FaultPlanToString(*plan);
+    auto reparsed = ParseFaultSpec(printed);
+    ASSERT_TRUE(reparsed.ok()) << spec << " -> " << printed;
+    EXPECT_EQ(FaultPlanToString(*reparsed), printed) << spec;
+  }
+  FaultPlan off;
+  EXPECT_EQ(FaultPlanToString(off), "off");
+}
+
+}  // namespace
+}  // namespace dgs

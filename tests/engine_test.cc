@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <thread>
+#include <vector>
 
 #include "core/api.h"
 #include "graph/generators.h"
@@ -426,6 +427,90 @@ TEST(EngineDeathTest, ConcurrentMatchOnOneEngineAborts) {
       "one query at a time");
 }
 #endif  // GTEST_HAS_DEATH_TEST
+
+// The first failure wins deterministically, even sequentially: later
+// poisons (any code) never overwrite the recorded classification.
+TEST(RunHealthTest, FirstFailureWinsSequentially) {
+  RunHealth health;
+  EXPECT_FALSE(health.poisoned());
+  EXPECT_TRUE(health.ToStatus().ok());
+
+  health.PoisonWith(StatusCode::kUnavailable, "site 2 crashed");
+  health.Poison("corrupt payload");
+  health.PoisonWith(StatusCode::kDeadlineExceeded, "watchdog");
+
+  Status status = health.ToStatus();
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(status.message(), "site 2 crashed");
+}
+
+// An empty reason still latches: the first failure wins even when its
+// reason string is "", so a later, wordier failure cannot steal the slot.
+TEST(RunHealthTest, EmptyFirstReasonStillWins) {
+  RunHealth health;
+  health.PoisonWith(StatusCode::kDeadlineExceeded, "");
+  health.Poison("a corrupt payload with a long story");
+  EXPECT_EQ(health.ToStatus().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(health.ToStatus().message(), "");
+}
+
+// Hammer Poison/PoisonWith/PoisonDecode from many threads: the surfaced
+// Status must be exactly ONE of the issued (code, reason) pairs — never a
+// torn mix — and the per-class drop counters must be exact (every
+// PoisonDecode counts, winner or not). Runs under TSAN in CI.
+TEST(RunHealthTest, ConcurrentPoisonFirstFailureWinsWithExactDropCounts) {
+  constexpr int kThreads = 16;
+  constexpr int kIters = 250;
+  RunHealth health;
+  std::atomic<int> ready{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&health, &ready, t] {
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) std::this_thread::yield();
+      for (int i = 0; i < kIters; ++i) {
+        switch (t % 4) {
+          case 0:
+            health.PoisonDecode(MessageClass::kData, "data corrupt");
+            break;
+          case 1:
+            health.PoisonDecode(MessageClass::kControl, "control corrupt");
+            break;
+          case 2:
+            health.PoisonDecode(MessageClass::kResult, "result corrupt");
+            break;
+          default:
+            health.PoisonWith(StatusCode::kUnavailable, "site crashed");
+            break;
+        }
+        // Once any thread poisoned, every observer agrees.
+        EXPECT_TRUE(health.poisoned());
+      }
+    });
+  }
+  for (std::thread& worker : threads) worker.join();
+
+  const uint64_t per_class =
+      static_cast<uint64_t>(kThreads / 4) * static_cast<uint64_t>(kIters);
+  EXPECT_EQ(health.decode_drops(MessageClass::kData), per_class);
+  EXPECT_EQ(health.decode_drops(MessageClass::kControl), per_class);
+  EXPECT_EQ(health.decode_drops(MessageClass::kResult), per_class);
+
+  const Status status = health.ToStatus();
+  if (status.code() == StatusCode::kUnavailable) {
+    EXPECT_EQ(status.message(), "site crashed");
+  } else {
+    ASSERT_EQ(status.code(), StatusCode::kDataLoss);
+    EXPECT_TRUE(status.message() == "data corrupt" ||
+                status.message() == "control corrupt" ||
+                status.message() == "result corrupt")
+        << status.message();
+  }
+  // The winner is latched: repeated reads return the identical pair.
+  EXPECT_EQ(health.ToStatus().code(), status.code());
+  EXPECT_EQ(health.ToStatus().message(), status.message());
+}
 
 TEST(EngineTest, ServingStatsAccumulate) {
   auto ex = MakeSocialExample();

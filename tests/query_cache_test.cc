@@ -10,7 +10,11 @@
 #include <string>
 #include <vector>
 
+#include "core/engine.h"
 #include "graph/generators.h"
+#include "partition/partitioner.h"
+#include "serve/server.h"
+#include "test_env.h"
 #include "util/rng.h"
 
 namespace dgs {
@@ -175,6 +179,79 @@ TEST(QueryCacheTest, ModesGateTheLayers) {
   cand.Insert(key, OutcomeWithBytes(1, 2));
   EXPECT_FALSE(cand.Lookup(key, &out));
   EXPECT_EQ(cand.counters().result_entries, 0u);
+}
+
+// A poisoned outcome (chaos-injected corruption, a crashed site, a watchdog
+// trip — see runtime/fault.h) is a partial drain, not an answer: memoizing
+// it would replay a transient failure to every later identical query.
+TEST(QueryCacheTest, NeverMemoizesPoisonedOutcome) {
+  Graph g = MakeGraph({0, 1}, {{0, 1}});
+  QueryCache cache(&g, CacheMode::kFull, 1 << 20);
+  const std::string key =
+      QueryCache::CanonicalKey(TwoNodePattern(0, 1), QueryOptions{});
+
+  DistOutcome poisoned = OutcomeWithBytes(123, 2);
+  poisoned.health = Status::DataLoss("frame 0->1#0 failed its checksum");
+  cache.Insert(key, poisoned);
+  DistOutcome out;
+  EXPECT_FALSE(cache.Lookup(key, &out));
+  EXPECT_EQ(cache.counters().result_entries, 0u);
+
+  // A later clean outcome for the same key is memoized normally.
+  cache.Insert(key, OutcomeWithBytes(456, 2));
+  ASSERT_TRUE(cache.Lookup(key, &out));
+  EXPECT_EQ(out.stats.data_bytes, 456u);
+  EXPECT_TRUE(out.health.ok());
+}
+
+// End-to-end regression: a decode fault on the FIRST attempt of a query
+// must not pollute the memo for identical resubmissions. The single
+// budgeted corruption poisons attempt one (DataLoss, deliberately not
+// retried); the resubmission recomputes clean and only then caches.
+TEST(QueryCacheTest, ServerDoesNotMemoizePoisonedFirstAttempt) {
+  Rng rng(2014);
+  Graph g = WebGraph(400, 1600, kDefaultAlphabet, rng);
+  std::vector<uint32_t> assignment = PartitionWithBoundaryRatio(g, 4, 0.3, rng);
+  Pattern q = TwoNodePattern(0, 1);
+  QueryOptions query;
+
+  auto reference_engine =
+      Engine::Create(g, assignment, 4, dgs::testing::TestEngineOptions());
+  ASSERT_TRUE(reference_engine.ok());
+  auto reference = (*reference_engine)->Match(q, query);
+  ASSERT_TRUE(reference.ok());
+
+  ServerOptions options;
+  options.engine = dgs::testing::TestEngineOptions();
+  options.num_replicas = 1;  // one injector, one fault budget
+  options.cache = CacheMode::kFull;
+  options.engine.faults.data.corrupt = 1.0;
+  options.engine.faults.control.corrupt = 1.0;
+  options.engine.faults.result.corrupt = 1.0;
+  options.engine.faults.max_faults = 1;
+  auto server = Server::Create(g, assignment, 4, options);
+  ASSERT_TRUE(server.ok());
+
+  auto first = (*server)->Match(q, query);
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.status().code(), StatusCode::kDataLoss);
+
+  // If the poisoned outcome had been memoized, this identical resubmission
+  // would replay the failure as a cache hit. The fault budget is spent, so
+  // a fresh computation runs clean.
+  auto second = (*server)->Match(q, query);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_TRUE(second->result == reference->result);
+
+  // Only now is the key resident: the third serve is a memo hit.
+  auto third = (*server)->Match(q, query);
+  ASSERT_TRUE(third.ok());
+  EXPECT_TRUE(third->result == reference->result);
+
+  (*server)->Shutdown();
+  ServerStats stats = (*server)->stats();
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.cache_result_hits, 1u);
 }
 
 std::string KeyFor(Label l) {

@@ -28,6 +28,27 @@ TEST(StatusTest, FactoryCodes) {
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
 }
 
+// The retry policy contract (drives dgs::Server::RetryOptions): transient
+// fault classes are retryable, deterministic reports about the request or
+// the data path are not.
+TEST(StatusTest, IsRetryableTransientCodes) {
+  EXPECT_TRUE(IsRetryable(StatusCode::kUnavailable));
+  EXPECT_TRUE(IsRetryable(StatusCode::kDeadlineExceeded));
+  EXPECT_TRUE(IsRetryable(StatusCode::kResourceExhausted));
+}
+
+TEST(StatusTest, IsRetryableDeterministicCodes) {
+  // DataLoss in particular must NOT be retryable: a corrupt payload is a
+  // deterministic verdict about the data path, and retrying would replay it.
+  EXPECT_FALSE(IsRetryable(StatusCode::kDataLoss));
+  EXPECT_FALSE(IsRetryable(StatusCode::kOk));
+  EXPECT_FALSE(IsRetryable(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(IsRetryable(StatusCode::kNotFound));
+  EXPECT_FALSE(IsRetryable(StatusCode::kFailedPrecondition));
+  EXPECT_FALSE(IsRetryable(StatusCode::kOutOfRange));
+  EXPECT_FALSE(IsRetryable(StatusCode::kInternal));
+}
+
 TEST(StatusOrTest, HoldsValue) {
   StatusOr<int> v = 42;
   ASSERT_TRUE(v.ok());
