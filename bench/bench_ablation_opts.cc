@@ -17,10 +17,12 @@ int main() {
   bench::BenchJson json("ablation_opts");
   json.meta().Num("scale", env.scale).Int("seed", env.seed)
       .Int("threads", env.threads);
+  bench::MetaTransport(json, env);
   const ClusterOptions runtime = [&] {
     ClusterOptions r(bench::BenchNetwork());
     r.num_threads = env.threads;
     r.wire_format = env.wire;
+    r.transport = env.transport;
     return r;
   }();
 

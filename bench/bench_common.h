@@ -21,6 +21,13 @@
 //   DGS_WIRE     wire format: "v2" (default, delta-encoded) or "v1"
 //                (fixed 6-byte records). Simulation results and message
 //                counts are identical; only the shipped bytes differ.
+//   DGS_TRANSPORT  round-execution backend: "loopback" (default), "tcp",
+//                or "tcp:<procs>" (see runtime/transport.h). Results and
+//                charged accounting are backend-invariant; tcp adds the
+//                measured socket accounting to DistOutcome::transport.
+//   DGS_COALESCE "1" charges one message header per (src,dst) flush per
+//                round instead of one per message (default 0; results and
+//                message counts are unchanged, only charged bytes drop).
 
 #ifndef DGS_BENCH_BENCH_COMMON_H_
 #define DGS_BENCH_BENCH_COMMON_H_
@@ -44,6 +51,7 @@ struct Env {
   uint64_t seed = 2014;
   uint32_t threads = 1;
   WireFormat wire = WireFormat::kV2Delta;
+  TransportOptions transport;
 
   static Env FromEnv() {
     Env env;
@@ -72,6 +80,18 @@ struct Env {
         std::cerr << "warning: ignoring malformed DGS_WIRE='" << s
                   << "' (using v2)\n";
       }
+    }
+    if (const char* s = std::getenv("DGS_TRANSPORT")) {
+      auto parsed = ParseTransportSpec(s);
+      if (parsed.ok()) {
+        env.transport = std::move(parsed).value();
+      } else {
+        std::cerr << "warning: ignoring malformed DGS_TRANSPORT='" << s
+                  << "' (using loopback)\n";
+      }
+    }
+    if (const char* s = std::getenv("DGS_COALESCE")) {
+      env.transport.coalesce = std::string(s) == "1";
     }
     if (env.scale <= 0) env.scale = 1.0;
     if (env.queries <= 0) env.queries = 1;
@@ -191,6 +211,14 @@ inline void AppendTableJson(BenchJson& json, const std::string& table_name,
   }
 }
 
+// Stamps the environment's round-execution backend into a bench's meta
+// block, so every BENCH_*.json records which transport produced it.
+inline void MetaTransport(BenchJson& json, const Env& env) {
+  json.meta()
+      .Str("transport", TransportSpecString(env.transport))
+      .Int("coalesce", env.transport.coalesce ? 1 : 0);
+}
+
 // Accumulates per-algorithm metrics for one x value.
 struct PointStats {
   double pt_seconds = 0;
@@ -269,7 +297,9 @@ class FigureTable {
         .Int("queries", static_cast<uint64_t>(env.queries))
         .Int("seed", env.seed)
         .Int("threads", env.threads)
-        .Str("wire", WireFormatName(env.wire));
+        .Str("wire", WireFormatName(env.wire))
+        .Str("transport", TransportSpecString(env.transport))
+        .Int("coalesce", env.transport.coalesce ? 1 : 0);
     AppendJson(json);
     json.WriteFile();
   }
@@ -334,6 +364,7 @@ inline bool RunOne(const Graph& g, const Fragmentation& frag,
   options.network = BenchNetwork();
   options.num_threads = env.threads;
   options.wire_format = env.wire;
+  options.transport = env.transport;
   auto result = DistributedMatch(g, frag, q, options);
   if (!result.ok()) {
     std::cerr << "  [skip] " << AlgorithmName(algorithm) << ": "

@@ -100,6 +100,7 @@ int main() {
   base_options.network = bench::BenchNetwork();
   base_options.num_threads = env.threads;
   base_options.wire_format = env.wire;
+  base_options.transport = env.transport;
 
   QueryOptions query;
   query.algorithm = Algorithm::kDgpm;
@@ -112,6 +113,7 @@ int main() {
       .Int("seed", env.seed)
       .Int("threads", env.threads)
       .Str("wire", WireFormatName(env.wire));
+  bench::MetaTransport(json, env);
 
   // --- disabled: the fault-free baseline, and the zero-overhead witness.
   auto baseline_engine = Engine::Create(g, assignment, 8, base_options);

@@ -79,6 +79,7 @@ int main() {
       .Num("scale", env.scale)
       .Int("seed", env.seed)
       .Int("reps", static_cast<uint64_t>(reps));
+  bench::MetaTransport(json, env);
 
   std::cout << "Parallel-runtime scaling (hardware threads: " << hardware
             << ", reps: " << reps << ")\n\n";
@@ -108,6 +109,7 @@ int main() {
       ClusterOptions runtime(bench::BenchNetwork());
       runtime.num_threads = threads;
       runtime.wire_format = env.wire;
+      runtime.transport = env.transport;
       Measurement m2;
       m2.wall_seconds = 1e100;
       for (int r = 0; r < reps; ++r) {

@@ -102,11 +102,13 @@ int main() {
   engine_options.network = bench::BenchNetwork();
   engine_options.num_threads = env.threads;
   engine_options.wire_format = env.wire;
+  engine_options.transport = env.transport;
 
   DistOptions oneshot_options;
   oneshot_options.network = bench::BenchNetwork();
   oneshot_options.num_threads = env.threads;
   oneshot_options.wire_format = env.wire;
+  oneshot_options.transport = env.transport;
 
   bench::BenchJson json("serving");
   json.meta()
@@ -117,6 +119,7 @@ int main() {
       .Int("threads", env.threads)
       .Str("wire", WireFormatName(env.wire))
       .Str("workload", "fig6_ab_default");
+  bench::MetaTransport(json, env);
 
   TablePrinter table({"algorithm", "deploy(ms)", "one-shot(ms/q)",
                       "engine 1st(ms/q)", "engine 2..N(ms/q)", "speedup",

@@ -21,6 +21,7 @@ int main() {
   bench::BenchJson json("table1_bounds");
   json.meta().Num("scale", env.scale).Int("seed", env.seed)
       .Int("threads", env.threads);
+  bench::MetaTransport(json, env);
 
   // --- dGPM and dGPMd: vars shipped vs the |Ef||Vq| budget --------------
   {

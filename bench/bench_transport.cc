@@ -1,0 +1,245 @@
+// Charged model vs measured wire: the loopback backend charges the BSP
+// cost model (RunStats — the paper's DS/PT metrics), the TCP backend runs
+// the same rounds across real processes and measures real socket traffic
+// (DistOutcome::transport). This bench runs every algorithm family over
+// both backends, asserts the answers and the charged accounting are
+// bit-identical (the transport contract of runtime/transport.h), and
+// reports the two accountings side by side: charged DS next to measured
+// socket bytes, charged PT next to fork/handshake and socket-I/O wall
+// time.
+//
+// BENCH_transport.json rows: one per (family, query) with charged
+// ds_kb/total_kb, measured wire_tx_kb/wire_rx_kb, the wire/charged ratio,
+// frame counts, and launch/io wall milliseconds, plus one "total" row per
+// family. The process exits nonzero if any backend fingerprint diverges,
+// so CI catches transport regressions, not just drift.
+//
+// DGS_TRANSPORT=tcp:<procs> sets the process grouping measured (default
+// one process per site); the loopback reference ignores it.
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace dgs;
+
+struct FamilySpec {
+  const char* name;
+  Algorithm algorithm;
+  Graph g;
+  std::vector<uint32_t> assignment;
+  uint32_t sites;
+  std::vector<Pattern> queries;
+};
+
+bool SameOutcome(const DistOutcome& a, const DistOutcome& b,
+                 const std::string& what) {
+  bool same = true;
+  auto check = [&](uint64_t x, uint64_t y, const char* field) {
+    if (x != y) {
+      std::cerr << "MISMATCH [" << what << "]: " << field << " " << x
+                << " vs " << y << "\n";
+      same = false;
+    }
+  };
+  if (!(a.result == b.result)) {
+    std::cerr << "MISMATCH [" << what << "]: simulation results differ\n";
+    same = false;
+  }
+  check(a.stats.data_bytes, b.stats.data_bytes, "data_bytes");
+  check(a.stats.control_bytes, b.stats.control_bytes, "control_bytes");
+  check(a.stats.result_bytes, b.stats.result_bytes, "result_bytes");
+  check(a.stats.data_messages, b.stats.data_messages, "data_messages");
+  check(a.stats.rounds, b.stats.rounds, "rounds");
+  check(a.counters.vars_shipped, b.counters.vars_shipped, "vars_shipped");
+  check(a.counters.recomputations, b.counters.recomputations,
+        "recomputations");
+  check(a.counters.supersteps, b.counters.supersteps, "supersteps");
+  return same;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dgs;
+  auto env = bench::Env::FromEnv();
+  Rng rng(env.seed);
+
+  // The grouping to measure: DGS_TRANSPORT=tcp:<procs> if given, else one
+  // process per worker site.
+  TransportOptions tcp = env.transport;
+  tcp.kind = TransportKind::kTcp;
+
+  std::vector<FamilySpec> families;
+  auto add = [&](const char* name, Algorithm algorithm, const Graph* g,
+                 uint32_t sites, PatternKind kind) {
+    FamilySpec f;
+    f.name = name;
+    f.algorithm = algorithm;
+    f.g = *g;
+    f.assignment = PartitionWithBoundaryRatio(f.g, sites, 0.25, rng);
+    f.sites = sites;
+    for (int i = 0; i < env.queries; ++i) {
+      PatternSpec spec;
+      spec.num_nodes = 4;
+      spec.num_edges = kind == PatternKind::kCyclic ? 6 : 5;
+      spec.kind = kind;
+      auto q = ExtractPattern(f.g, spec, rng);
+      if (q.ok()) f.queries.push_back(*q);
+    }
+    families.push_back(std::move(f));
+  };
+  {
+    Graph web = WebGraph(env.Scaled(20000), env.Scaled(90000),
+                         kDefaultAlphabet, rng);
+    add("dGPM", Algorithm::kDgpm, &web, 8, PatternKind::kCyclic);
+    add("dGPMNOpt", Algorithm::kDgpmNoOpt, &web, 8, PatternKind::kCyclic);
+    add("dMes", Algorithm::kDMes, &web, 8, PatternKind::kCyclic);
+    add("Match", Algorithm::kMatch, &web, 8, PatternKind::kCyclic);
+    add("disHHK", Algorithm::kDisHhk, &web, 8, PatternKind::kCyclic);
+  }
+  {
+    // CitationDag keeps dGPMd applicable (acyclic G).
+    Graph citation = CitationDag(env.Scaled(20000), env.Scaled(76000),
+                                 kDefaultAlphabet, rng);
+    add("dGPMd", Algorithm::kDgpmDag, &citation, 8, PatternKind::kDag);
+  }
+  {
+    Graph tree = RandomTree(env.Scaled(15000), kDefaultAlphabet, rng);
+    add("dGPMt", Algorithm::kDgpmTree, &tree, 6, PatternKind::kDag);
+  }
+
+  bench::BenchJson json("transport");
+  json.meta()
+      .Num("scale", env.scale)
+      .Int("queries", static_cast<uint64_t>(env.queries))
+      .Int("seed", env.seed)
+      .Int("threads", env.threads)
+      .Str("wire", WireFormatName(env.wire))
+      .Str("tcp_spec", TransportSpecString(tcp));
+
+  TablePrinter table({"family", "procs", "charged DS(KB)", "charged PT(ms)",
+                      "wire TX(KB)", "wire RX(KB)", "wire/charged",
+                      "frames", "launch(ms)", "io(ms)"});
+
+  bool all_identical = true;
+  for (FamilySpec& family : families) {
+    auto frag = Fragmentation::Create(family.g, family.assignment,
+                                      family.sites);
+    if (!frag.ok() || family.queries.empty()) {
+      std::cerr << "[skip] " << family.name << ": workload setup failed\n";
+      continue;
+    }
+    double total_ds = 0, total_charged = 0, total_pt = 0;
+    double total_tx = 0, total_rx = 0;
+    double total_launch = 0, total_io = 0;
+    uint64_t total_frames = 0, total_retransmits = 0, procs = 0;
+    size_t runs = 0;
+    for (size_t qi = 0; qi < family.queries.size(); ++qi) {
+      const Pattern& q = family.queries[qi];
+      DistOptions options;
+      options.algorithm = family.algorithm;
+      options.network = bench::BenchNetwork();
+      options.num_threads = env.threads;
+      options.wire_format = env.wire;
+      options.transport = env.transport;
+      options.transport.kind = TransportKind::kLoopback;
+      auto loop = DistributedMatch(family.g, *frag, q, options);
+      if (!loop.ok()) {
+        std::cerr << "  [skip] " << family.name << " q" << qi << ": "
+                  << loop.status().ToString() << "\n";
+        continue;
+      }
+      options.transport = tcp;
+      auto remote = DistributedMatch(family.g, *frag, q, options);
+      const std::string what =
+          std::string(family.name) + " q" + std::to_string(qi);
+      if (!remote.ok()) {
+        std::cerr << "FAILED [" << what
+                  << "]: " << remote.status().ToString() << "\n";
+        all_identical = false;
+        continue;
+      }
+      if (!SameOutcome(*loop, *remote, what)) all_identical = false;
+      if (remote->transport.retransmits > 0 ||
+          remote->transport.checksum_rejects > 0) {
+        std::cerr << "UNEXPECTED [" << what
+                  << "]: recovery machinery fired on a clean wire\n";
+        all_identical = false;
+      }
+
+      const TransportStats& wire = remote->transport;
+      const double ds = static_cast<double>(loop->data_shipment_bytes());
+      const double charged = static_cast<double>(loop->stats.TotalBytes());
+      const double tx = static_cast<double>(wire.bytes_sent);
+      const double rx = static_cast<double>(wire.bytes_received);
+      total_ds += ds;
+      total_charged += charged;
+      total_pt += loop->response_seconds();
+      total_tx += tx;
+      total_rx += rx;
+      total_launch += wire.launch_seconds;
+      total_io += wire.io_seconds;
+      total_frames += wire.frames_sent + wire.frames_received;
+      total_retransmits += wire.retransmits;
+      procs = wire.processes;
+      ++runs;
+      json.AddRow()
+          .Str("family", family.name)
+          .Int("query", qi)
+          .Int("processes", wire.processes)
+          .Num("ds_kb", ds / 1024.0)
+          .Num("charged_total_kb", charged / 1024.0)
+          .Num("charged_pt_ms", loop->response_seconds() * 1e3)
+          .Num("wire_tx_kb", tx / 1024.0)
+          .Num("wire_rx_kb", rx / 1024.0)
+          .Num("wire_ratio", charged > 0 ? (tx + rx) / charged : 0.0)
+          .Int("frames_sent", wire.frames_sent)
+          .Int("frames_received", wire.frames_received)
+          .Int("retransmits", wire.retransmits)
+          .Num("launch_ms", wire.launch_seconds * 1e3)
+          .Num("io_ms", wire.io_seconds * 1e3);
+    }
+    if (runs == 0) continue;
+    table.AddRow(
+        {std::string(family.name), std::to_string(procs),
+         FormatDouble(total_ds / 1024.0, 3),
+         FormatDouble(total_pt / static_cast<double>(runs) * 1e3, 2),
+         FormatDouble(total_tx / 1024.0, 3),
+         FormatDouble(total_rx / 1024.0, 3),
+         FormatDouble(total_charged > 0
+                          ? (total_tx + total_rx) / total_charged
+                          : 0.0,
+                      3),
+         std::to_string(total_frames),
+         FormatDouble(total_launch / static_cast<double>(runs) * 1e3, 2),
+         FormatDouble(total_io / static_cast<double>(runs) * 1e3, 2)});
+    json.AddRow()
+        .Str("family", family.name)
+        .Str("query", "total")
+        .Int("processes", procs)
+        .Num("ds_kb", total_ds / 1024.0)
+        .Num("charged_total_kb", total_charged / 1024.0)
+        .Num("wire_tx_kb", total_tx / 1024.0)
+        .Num("wire_rx_kb", total_rx / 1024.0)
+        .Num("wire_ratio", total_charged > 0
+                               ? (total_tx + total_rx) / total_charged
+                               : 0.0)
+        .Int("retransmits", total_retransmits)
+        .Num("avg_launch_ms",
+             total_launch / static_cast<double>(runs) * 1e3)
+        .Num("avg_io_ms", total_io / static_cast<double>(runs) * 1e3);
+  }
+
+  std::cout << "== Charged BSP model (loopback) vs measured wire (tcp) — "
+               "identical answers & accounting ==\n";
+  table.Print(std::cout);
+  std::cout << "\nbackend fingerprints: "
+            << (all_identical ? "IDENTICAL" : "MISMATCH") << "\n";
+  json.meta().Str("identical", all_identical ? "true" : "false");
+  json.WriteFile();
+  return all_identical ? 0 : 1;
+}

@@ -15,6 +15,7 @@ int main() {
   bench::BenchJson json("tree");
   json.meta().Num("scale", env.scale).Int("seed", env.seed)
       .Int("threads", env.threads);
+  bench::MetaTransport(json, env);
 
   Pattern q(MakeGraph({0, 1, 2, 1}, {{0, 1}, {0, 3}, {1, 2}}));
   std::cout << "dGPMt benchmark, |Q| = (" << q.NumNodes() << ","

@@ -33,12 +33,13 @@ struct ComboResult {
 
 ComboResult RunCombo(const Graph& g, const Fragmentation& frag,
                      const Pattern& q, Algorithm a, WireFormat wire,
-                     uint32_t threads) {
+                     uint32_t threads, bool coalesce = false) {
   DistOptions options;
   options.algorithm = a;
   options.network = bench::BenchNetwork();
   options.num_threads = threads;
   options.wire_format = wire;
+  options.transport.coalesce = coalesce;
   ComboResult r;
   auto result = DistributedMatch(g, frag, q, options);
   if (!result.ok()) {
@@ -117,14 +118,17 @@ int main() {
       .Int("seed", env.seed)
       .Int("sites", sites)
       .Str("workload", "fig6_ab_default");
+  bench::MetaTransport(json, env);
 
   TablePrinter table({"algorithm", "DS v1(KB)", "DS v2(KB)", "v2/v1",
                       "CS v1(KB)", "CS v2(KB)", "saved data(KB)",
                       "saved ctrl(KB)", "saved result(KB)"});
   bool all_identical = true;
-  double grand_v1 = 0, grand_v2 = 0;
+  double grand_v1 = 0, grand_v2 = 0, grand_v2c = 0;
+  TablePrinter coalesce_table(
+      {"algorithm", "DS v2(KB)", "DS v2+coalesce(KB)", "ratio"});
   for (Algorithm a : algorithms) {
-    double total_v1 = 0, total_v2 = 0;
+    double total_v1 = 0, total_v2 = 0, total_v2c = 0;
     double total_cs_v1 = 0, total_cs_v2 = 0;
     double total_saved_data = 0, total_saved_control = 0,
            total_saved_result = 0;
@@ -136,6 +140,28 @@ int main() {
       if (!ref.ok) continue;
       ComboResult v2 = RunCombo(g, *frag, q, a, WireFormat::kV2Delta, 1);
       if (!v2.ok) continue;
+      // Coalesced framing: one header per (src,dst) flush per round. The
+      // answer, message counts and rounds must be untouched, and the
+      // charged bytes can only shrink.
+      ComboResult packed =
+          RunCombo(g, *frag, q, a, WireFormat::kV2Delta, 1, /*coalesce=*/true);
+      {
+        std::string what = std::string(AlgorithmName(a)) + " q" +
+                           std::to_string(qi) + " coalesce";
+        if (!packed.ok ||
+            !SameAnswerAndTraffic(v2.outcome, packed.outcome, what.c_str())) {
+          all_identical = false;
+        } else if (packed.outcome.stats.data_bytes >
+                       v2.outcome.stats.data_bytes ||
+                   packed.outcome.stats.control_bytes >
+                       v2.outcome.stats.control_bytes ||
+                   packed.outcome.stats.result_bytes >
+                       v2.outcome.stats.result_bytes) {
+          std::cerr << "MISMATCH [" << what
+                    << "]: coalesced framing charged MORE bytes\n";
+          all_identical = false;
+        }
+      }
       // The answer, message counts and rounds must be identical across
       // formats and thread counts; only the shipped bytes may differ.
       {
@@ -181,8 +207,12 @@ int main() {
           static_cast<double>(ref.outcome.stats.control_bytes);
       const double cs_v2 =
           static_cast<double>(v2.outcome.stats.control_bytes);
+      const double ds_v2c =
+          packed.ok ? static_cast<double>(packed.outcome.stats.data_bytes)
+                    : ds_v2;
       total_v1 += ds_v1;
       total_v2 += ds_v2;
+      total_v2c += ds_v2c;
       total_cs_v1 += cs_v1;
       total_cs_v2 += cs_v2;
       total_saved_data +=
@@ -198,6 +228,8 @@ int main() {
           .Num("ds_v1_kb", ds_v1 / 1024.0)
           .Num("ds_v2_kb", ds_v2 / 1024.0)
           .Num("ds_ratio", ds_v1 > 0 ? ds_v2 / ds_v1 : 1.0)
+          .Num("ds_v2_coalesced_kb", ds_v2c / 1024.0)
+          .Num("coalesce_ratio", ds_v2 > 0 ? ds_v2c / ds_v2 : 1.0)
           .Num("cs_v1_kb", cs_v1 / 1024.0)
           .Num("cs_v2_kb", cs_v2 / 1024.0)
           .Int("data_messages", ref.outcome.stats.data_messages)
@@ -218,6 +250,11 @@ int main() {
     if (runs == 0) continue;
     grand_v1 += total_v1;
     grand_v2 += total_v2;
+    grand_v2c += total_v2c;
+    coalesce_table.AddRow(
+        {std::string(AlgorithmName(a)), FormatDouble(total_v2 / 1024.0, 3),
+         FormatDouble(total_v2c / 1024.0, 3),
+         FormatDouble(total_v2 > 0 ? total_v2c / total_v2 : 1.0, 3)});
     const double ratio = total_v1 > 0 ? total_v2 / total_v1 : 1.0;
     table.AddRow({std::string(AlgorithmName(a)),
                   FormatDouble(total_v1 / 1024.0, 3),
@@ -233,6 +270,8 @@ int main() {
         .Num("ds_v1_kb", total_v1 / 1024.0)
         .Num("ds_v2_kb", total_v2 / 1024.0)
         .Num("ds_ratio", ratio)
+        .Num("ds_v2_coalesced_kb", total_v2c / 1024.0)
+        .Num("coalesce_ratio", total_v2 > 0 ? total_v2c / total_v2 : 1.0)
         .Num("cs_v1_kb", total_cs_v1 / 1024.0)
         .Num("cs_v2_kb", total_cs_v2 / 1024.0)
         .Num("saved_data_kb", total_saved_data / 1024.0)
@@ -257,11 +296,15 @@ int main() {
   std::cout << "== DS: V1 fixed vs V2 delta (identical answers & message "
                "counts) ==\n";
   table.Print(std::cout);
+  std::cout << "\n== DS: coalesced frame charging (identical answers & "
+               "message counts) ==\n";
+  coalesce_table.Print(std::cout);
   std::cout << "\nworkload DS ratio v2/v1: " << FormatDouble(grand_ratio, 3)
             << "\ncross-format/threads fingerprints: "
             << (all_identical ? "IDENTICAL" : "MISMATCH") << "\n";
   json.meta()
       .Num("ds_ratio_total", grand_ratio)
+      .Num("coalesce_ratio_total", grand_v2 > 0 ? grand_v2c / grand_v2 : 1.0)
       .Str("identical", all_identical ? "true" : "false");
   json.WriteFile();
   return all_identical ? 0 : 1;

@@ -22,6 +22,11 @@
 //   --seed S            RNG seed                                   (2014)
 //   --threads N         cluster executor width; 0 = all hardware   (1)
 //   --wire v1|v2        wire format: fixed records or delta        (v2)
+//   --transport loopback|tcp[:procs]
+//                       round-execution backend: in-process, or one OS
+//                       process per site-group over TCP; results and
+//                       charged accounting are identical, tcp reports the
+//                       measured socket traffic alongside     (loopback)
 //   --boolean           Boolean pattern query (answer only)
 //   --stats             print partition statistics
 //   --matches           print the full match relation (default: counts)
@@ -64,6 +69,7 @@ struct CliOptions {
   uint64_t seed = 2014;
   uint32_t threads = 1;
   std::string wire = "v2";
+  dgs::TransportOptions transport;
   bool boolean_only = false;
   bool print_stats = false;
   bool print_matches = false;
@@ -115,6 +121,16 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       if (!v) return false;
       options->wire = v;
       if (options->wire != "v1" && options->wire != "v2") return false;
+    } else if (arg == "--transport") {
+      const char* v = next();
+      if (!v) return false;
+      auto parsed = dgs::ParseTransportSpec(v);
+      if (!parsed.ok()) {
+        std::cerr << "bad --transport value: " << v
+                  << " (want loopback|tcp[:procs])\n";
+        return false;
+      }
+      options->transport = std::move(parsed).value();
     } else if (arg == "--boolean") {
       options->boolean_only = true;
     } else if (arg == "--stats") {
@@ -245,6 +261,7 @@ int RunServeRepl(const dgs::Graph& graph, const dgs::Fragmentation& frag,
   options.engine.wire_format = cli.wire == "v1" ? dgs::WireFormat::kV1Fixed
                                                 : dgs::WireFormat::kV2Delta;
   options.engine.faults = faults;
+  options.engine.transport = cli.transport;
   options.retry.max_attempts = cli.retry_attempts;
   options.num_replicas = cli.replicas;
   options.cache = cli.cache == "off"          ? dgs::CacheMode::kOff
@@ -260,7 +277,8 @@ int RunServeRepl(const dgs::Graph& graph, const dgs::Fragmentation& frag,
             << graph.NumEdges() << ") over " << frag.NumFragments()
             << " sites; " << (*server)->num_replicas()
             << " replicas, cache " << cli.cache << ", wire " << cli.wire
-            << ", threads " << cli.threads;
+            << ", threads " << cli.threads << ", transport "
+            << dgs::TransportSpecString(cli.transport);
   if (faults.enabled()) {
     std::cout << ", faults " << dgs::FaultPlanToString(faults) << ", retry "
               << cli.retry_attempts;
@@ -331,6 +349,7 @@ int main(int argc, char** argv) {
                  "[--algorithm auto] [--sites 8]\n"
                  "             [--vf-ratio R] [--seed S] [--threads N] "
                  "[--wire v1|v2]\n"
+                 "             [--transport loopback|tcp[:procs]]\n"
                  "             [--faults SPEC] [--fault-seed S]\n"
                  "             [--boolean] [--stats] [--matches]\n"
                  "       dgsim --graph G.txt --serve [--replicas 2] "
@@ -404,6 +423,7 @@ int main(int argc, char** argv) {
   options.num_threads = cli.threads;
   options.wire_format =
       cli.wire == "v1" ? dgs::WireFormat::kV1Fixed : dgs::WireFormat::kV2Delta;
+  options.transport = cli.transport;
   options.faults = fault_plan;
   auto outcome =
       dgs::DistributedMatch(*graph, *fragmentation, pattern, options);
@@ -413,7 +433,8 @@ int main(int argc, char** argv) {
   }
 
   std::cout << "algorithm: " << cli.algorithm << " over " << cli.sites
-            << " sites (wire " << cli.wire << ", threads " << cli.threads;
+            << " sites (wire " << cli.wire << ", threads " << cli.threads
+            << ", transport " << dgs::TransportSpecString(cli.transport);
   if (fault_plan.enabled()) {
     std::cout << ", faults " << dgs::FaultPlanToString(fault_plan);
   }
@@ -425,6 +446,17 @@ int main(int argc, char** argv) {
               << " lost), " << fs.duplicates_injected << " duplicated, "
               << fs.reorders << " reordered, "
               << (fs.corruptions + fs.truncations) << " corrupted\n";
+  }
+  if (outcome->transport.processes > 0) {
+    const dgs::TransportStats& wire = outcome->transport;
+    std::cout << "wire: " << wire.processes << " processes, TX "
+              << dgs::FormatBytes(wire.bytes_sent) << ", RX "
+              << dgs::FormatBytes(wire.bytes_received) << ", "
+              << (wire.frames_sent + wire.frames_received) << " frames, "
+              << "launch "
+              << dgs::FormatDouble(wire.launch_seconds * 1e3, 2)
+              << " ms, io " << dgs::FormatDouble(wire.io_seconds * 1e3, 2)
+              << " ms\n";
   }
   PrintOutcome(pattern, *outcome, cli.boolean_only, cli.print_matches);
   return outcome->result.GraphMatches() ? 0 : 2;

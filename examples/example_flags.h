@@ -1,11 +1,16 @@
 // Shared command-line flags for the example binaries:
 //
-//   --threads N    cluster executor width; 0 = all hardware threads  (1)
-//   --wire v1|v2   wire format: fixed records or delta               (v2)
+//   --threads N              cluster executor width; 0 = all hardware
+//                            threads                                   (1)
+//   --wire v1|v2             wire format: fixed records or delta       (v2)
+//   --transport loopback|tcp[:procs]
+//                            round-execution backend: in-process, or one
+//                            OS process per site-group over TCP  (loopback)
 //
 // Results and message accounting are identical for every combination
-// (see runtime/cluster.h and runtime/message.h); the flags exist so every
-// example can demonstrate the parallel runtime and both wire formats.
+// (see runtime/cluster.h, runtime/message.h and runtime/transport.h); the
+// flags exist so every example can demonstrate the parallel runtime, both
+// wire formats, and the multi-process backend.
 
 #ifndef DGS_EXAMPLES_EXAMPLE_FLAGS_H_
 #define DGS_EXAMPLES_EXAMPLE_FLAGS_H_
@@ -16,19 +21,21 @@
 #include <string>
 
 #include "runtime/message.h"
+#include "runtime/transport.h"
 
 namespace dgs::examples {
 
 struct Flags {
   uint32_t threads = 1;
   WireFormat wire = WireFormat::kV2Delta;
+  TransportOptions transport;
 
-  // Parses --threads/--wire; returns false (after printing usage) on
-  // malformed or unknown arguments.
+  // Parses --threads/--wire/--transport; returns false (after printing
+  // usage) on malformed or unknown arguments.
   static bool Parse(int argc, char** argv, Flags* flags) {
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
-      if (arg == "--threads" || arg == "--wire") {
+      if (arg == "--threads" || arg == "--wire" || arg == "--transport") {
         if (i + 1 >= argc) {
           std::fprintf(stderr, "missing value for %s\n", arg.c_str());
           return false;
@@ -53,10 +60,19 @@ struct Flags {
                        wire.c_str());
           return false;
         }
+      } else if (arg == "--transport") {
+        auto parsed = ParseTransportSpec(argv[++i]);
+        if (!parsed.ok()) {
+          std::fprintf(stderr, "bad --transport value: %s (want "
+                       "loopback|tcp[:procs])\n",
+                       argv[i]);
+          return false;
+        }
+        flags->transport = std::move(parsed).value();
       } else {
         std::fprintf(stderr,
                      "unknown option: %s\nusage: %s [--threads N] "
-                     "[--wire v1|v2]\n",
+                     "[--wire v1|v2] [--transport loopback|tcp[:procs]]\n",
                      arg.c_str(), argv[0]);
         return false;
       }

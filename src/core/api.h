@@ -63,6 +63,11 @@ struct DistOptions {
   // Round watchdog bound converting a stalled run into DeadlineExceeded
   // (0 = off; see ClusterOptions::watchdog_rounds).
   uint32_t watchdog_rounds = 0;
+  // Round-execution backend: loopback (default) or tcp multi-process
+  // (see runtime/transport.h). Results and accounting are
+  // backend-invariant; tcp fills DistOutcome::transport with measured
+  // socket bytes.
+  TransportOptions transport;
 
   // The deployment / query split these options flatten.
   EngineOptions engine_options() const {
@@ -72,6 +77,7 @@ struct DistOptions {
     engine.wire_format = wire_format;
     engine.faults = faults;
     engine.watchdog_rounds = watchdog_rounds;
+    engine.transport = transport;
     return engine;
   }
   QueryOptions query_options() const {

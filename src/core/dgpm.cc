@@ -102,6 +102,7 @@ void DgpmWorker::BindQuery(const QueryContext& query) {
   engine_.emplace(fragment_, pattern_, config_.incremental);
   dynamic_consumers_.clear();
   matches_dirty_ = true;
+  charged_recomputes_ = 0;
 }
 
 void DgpmWorker::EndQuery() {
@@ -118,6 +119,13 @@ void DgpmWorker::Setup(SiteContext& ctx) {
   engine_->Initialize();
   ShipFalses(ctx, /*flag_coordinator=*/false);
   MaybePush(ctx);
+  ChargeRecomputations();
+}
+
+void DgpmWorker::ChargeRecomputations() {
+  const uint64_t now = engine_->recompute_count();
+  counters_->recomputations += now - charged_recomputes_;
+  charged_recomputes_ = now;
 }
 
 void DgpmWorker::OnMessages(SiteContext& ctx, std::vector<Message> inbox) {
@@ -224,6 +232,7 @@ void DgpmWorker::OnMessages(SiteContext& ctx, std::vector<Message> inbox) {
     matches_dirty_ = true;
   }
   ShipFalses(ctx, /*flag_coordinator=*/true);
+  ChargeRecomputations();
 }
 
 void DgpmWorker::OnQuiesce(SiteContext& ctx) {
@@ -232,6 +241,7 @@ void DgpmWorker::OnQuiesce(SiteContext& ctx) {
     SendMatches(ctx);
     matches_dirty_ = false;
   }
+  ChargeRecomputations();
 }
 
 void DgpmWorker::ShipFalses(SiteContext& ctx, bool flag_coordinator) {
@@ -396,10 +406,11 @@ class DgpmDeployment : public Deployment {
   QuerySiteActor* worker(uint32_t i) override { return workers_[i].get(); }
   QuerySiteActor* coordinator() override { return &coordinator_; }
 
-  SimulationResult Collect(AlgoCounters* counters) override {
-    for (const auto& w : workers_) {
-      counters->recomputations += w->engine().recompute_count();
-    }
+  // Recomputations are charged incrementally inside the worker callbacks
+  // (see DgpmWorker::ChargeRecomputations) — Collect must not read worker
+  // state: under the tcp transport the workers ran in other processes and
+  // the parent's copies are stale.
+  SimulationResult Collect(AlgoCounters*) override {
     return coordinator_.BuildResult();
   }
 

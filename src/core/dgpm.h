@@ -96,6 +96,7 @@ class DgpmWorker : public QuerySiteActor {
   void ShipFalses(SiteContext& ctx, bool flag_coordinator);
   void MaybePush(SiteContext& ctx);
   void SendMatches(SiteContext& ctx);
+  void ChargeRecomputations();
 
   // --- deployment state (persists across queries) ---
   const Fragmentation* fragmentation_;
@@ -114,6 +115,12 @@ class DgpmWorker : public QuerySiteActor {
   std::unordered_map<NodeId, std::set<uint32_t>> dynamic_consumers_;
   // Matches changed since the last report to the coordinator.
   bool matches_dirty_ = true;
+  // lEval (re)computations already charged to counters_. Charging happens
+  // at the end of every callback — not at Collect — so the counter is
+  // complete while the run is still inside the cluster, which is what
+  // lets it travel over the cross-process counter channel (the parent
+  // never sees a remote worker's LocalEngine).
+  uint64_t charged_recomputes_ = 0;
 };
 
 // Resident dGPM deployment (also serves dGPMNOpt: the ablation is a

@@ -43,10 +43,15 @@ DistOutcome ServeQueryOnce(Deployment& deployment, const Pattern& pattern,
 
   Cluster cluster(deployment.num_workers(), runtime);
   cluster.BindHealth(&health);
+  // Ships this run's AlgoCounters back from remote site processes; the
+  // loopback backend ignores the binding (counters are shared in-process).
+  AlgoCountersChannel counters_channel(&outcome.counters);
+  cluster.BindSharedState(&counters_channel);
   deployment.BindQuery(query);
   BindToCluster(cluster, deployment);
   outcome.stats = cluster.Run();
   outcome.faults = cluster.fault_stats();
+  outcome.transport = cluster.transport_stats();
   if (!health.poisoned()) {
     outcome.result = deployment.Collect(&outcome.counters);
   }
@@ -270,12 +275,16 @@ StatusOr<DistOutcome> Engine::Match(const Pattern& q,
   query.options.enable_push =
       options.enable_push && algorithm == Algorithm::kDgpm;
 
+  AlgoCountersChannel counters_channel(&outcome.counters);
   deployment.BindQuery(query);
   BindToCluster(cluster_, deployment);
   cluster_.BindHealth(&health);
+  cluster_.BindSharedState(&counters_channel);
   outcome.stats = cluster_.Run();  // Run starts from a clean slate itself
   cluster_.BindHealth(nullptr);  // health dies with this frame
+  cluster_.BindSharedState(nullptr);  // channel dies with this frame
   outcome.faults = cluster_.fault_stats();
+  outcome.transport = cluster_.transport_stats();
   const bool poisoned = health.poisoned();
   if (!poisoned) outcome.result = deployment.Collect(&outcome.counters);
   outcome.decode_drops = {health.decode_drops(MessageClass::kData),
@@ -286,6 +295,7 @@ StatusOr<DistOutcome> Engine::Match(const Pattern& q,
   // under a fault plan, of the chaos the transport absorbed).
   stats_.decode_drops.Accumulate(outcome.decode_drops);
   stats_.faults.Accumulate(outcome.faults);
+  stats_.transport.Accumulate(outcome.transport);
   deployment.EndQuery();
 
   if (poisoned) {

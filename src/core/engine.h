@@ -104,6 +104,10 @@ struct ServingStats {
   // Transport chaos summed over ALL queries, failed ones included (all
   // zero unless EngineOptions::faults is enabled).
   FaultStats faults;
+  // Measured wire accounting summed over ALL queries, failed ones
+  // included (all zero on the loopback backend; real socket bytes and
+  // frame counts under EngineOptions::transport = tcp).
+  TransportStats transport;
 };
 
 // One query of a MatchBatch stream: its Status, and the outcome when ok.

@@ -47,9 +47,30 @@ struct AlgoCounters {
                  [](auto& dst, const auto& src) { dst += src.load(); });
   }
 
+  // Visits every counter field in declaration order (fn(atomic&)). The
+  // cross-process counter channel (AlgoCountersChannel in core/serving.h)
+  // serializes and merges through this, so it must enumerate exactly the
+  // fields ForEachField does, in the same order.
+  template <typename Fn>
+  void VisitFields(Fn fn) {
+    fn(vars_shipped);
+    fn(push_count);
+    fn(equation_units);
+    fn(recomputations);
+    fn(supersteps);
+    fn(wire_saved_data_bytes);
+    fn(wire_saved_control_bytes);
+    fn(wire_saved_result_bytes);
+  }
+  template <typename Fn>
+  void VisitFields(Fn fn) const {
+    const_cast<AlgoCounters*>(this)->VisitFields(
+        [&](const auto& field) { fn(field); });
+  }
+
  private:
   // The single field list behind copy and accumulate — a new counter only
-  // needs to be added here (and declared above).
+  // needs to be added here (and declared above, and in VisitFields).
   template <typename Fn>
   static void ForEachField(AlgoCounters& dst, const AlgoCounters& src,
                            Fn fn) {
@@ -100,6 +121,11 @@ struct DistOutcome {
   // zero when ClusterOptions::faults is disabled). Recovered faults show
   // up here and ONLY here — RunStats stay bit-identical to fault-free.
   FaultStats faults;
+  // Measured wire accounting of the run (Cluster::transport_stats(); all
+  // zero on the loopback backend). Under DistOptions::transport = tcp
+  // these are real socket bytes and frame counts — the measured twin of
+  // the charged RunStats, reported side by side by bench_transport.
+  TransportStats transport;
 
   bool poisoned() const { return !health.ok(); }
 

@@ -123,6 +123,11 @@ struct EngineOptions {
   // Round watchdog bound converting a stalled run into DeadlineExceeded
   // (0 = off; see ClusterOptions::watchdog_rounds).
   uint32_t watchdog_rounds = 0;
+  // Round-execution backend of the resident cluster: loopback (default,
+  // in-process) or tcp (one OS process per site-group; see
+  // runtime/transport.h). Results and accounting are backend-invariant;
+  // tcp additionally measures real socket bytes (DistOutcome::transport).
+  TransportOptions transport;
 
   ClusterOptions ToClusterOptions() const {
     ClusterOptions runtime(network);
@@ -130,6 +135,7 @@ struct EngineOptions {
     runtime.wire_format = wire_format;
     runtime.faults = faults;
     runtime.watchdog_rounds = watchdog_rounds;
+    runtime.transport = transport;
     return runtime;
   }
 };
@@ -277,6 +283,50 @@ struct QueryContext {
   AlgoCounters* counters = nullptr;
   RunHealth* health = nullptr;
   QueryOptions options;
+};
+
+// SharedRunState implementation (runtime/transport.h) that ships one run's
+// AlgoCounters across process boundaries. It lives here — not in runtime/ —
+// because the runtime must not depend on core: the transport sees only the
+// opaque snapshot/delta blobs. Encoding: one varint per counter field, in
+// AlgoCounters::VisitFields order. Deltas are unsigned differences (the
+// counters only grow during a run) folded back with atomic adds, which is
+// order-insensitive — so remote totals are bit-identical to in-process
+// counting. Bound per run via Cluster::BindSharedState; loopback ignores
+// it (the counters are already shared in-process).
+class AlgoCountersChannel : public SharedRunState {
+ public:
+  explicit AlgoCountersChannel(AlgoCounters* counters)
+      : counters_(counters) {}
+
+  void Encode(Blob* out) const override {
+    counters_->VisitFields([&](const auto& field) {
+      out->PutVarint(static_cast<uint64_t>(
+          field.load(std::memory_order_relaxed)));
+    });
+  }
+
+  void EncodeDelta(Blob::Reader& before, Blob* out) const override {
+    counters_->VisitFields([&](const auto& field) {
+      const uint64_t prev = before.GetVarint();
+      out->PutVarint(static_cast<uint64_t>(
+                         field.load(std::memory_order_relaxed)) -
+                     prev);
+    });
+  }
+
+  void MergeDelta(Blob::Reader& delta) override {
+    counters_->VisitFields([&](auto& field) {
+      const uint64_t d = delta.GetVarint();
+      using Value = decltype(field.load());
+      if (d != 0) {
+        field.fetch_add(static_cast<Value>(d), std::memory_order_relaxed);
+      }
+    });
+  }
+
+ private:
+  AlgoCounters* counters_;
 };
 
 // A site actor with a bind query -> run -> clear lifecycle (see the file

@@ -2,30 +2,12 @@
 
 #include <algorithm>
 #include <string>
+#include <unordered_set>
+#include <utility>
 
 #include "util/timer.h"
 
 namespace dgs {
-
-uint32_t SiteContext::num_workers() const { return cluster_->NumWorkers(); }
-uint32_t SiteContext::coordinator_id() const {
-  return cluster_->CoordinatorId();
-}
-WireFormat SiteContext::wire_format() const {
-  return cluster_->options_.wire_format;
-}
-
-ThreadPool* SiteContext::pool() const { return cluster_->pool_.get(); }
-
-void SiteContext::Send(uint32_t dst, MessageClass cls, Blob payload) {
-  DGS_CHECK(dst <= cluster_->NumWorkers(), "destination site out of range");
-  Message m;
-  m.src = site_id_;
-  m.dst = dst;
-  m.cls = cls;
-  m.payload = std::move(payload);
-  outbox_->push_back(std::move(m));
-}
 
 Cluster::Cluster(uint32_t num_workers, ClusterOptions options)
     : num_workers_(num_workers), options_(options) {
@@ -43,6 +25,12 @@ Cluster::Cluster(uint32_t num_workers, ClusterOptions options)
     injector_ =
         std::make_unique<FaultInjector>(options_.faults, num_workers_ + 1);
   }
+  TransportEnv env;
+  env.num_workers = num_workers_;
+  env.wire_format = options_.wire_format;
+  env.pool = pool_.get();
+  env.num_threads = options_.num_threads;
+  transport_ = MakeTransport(options_.transport, env);
   actors_.resize(num_workers_ + 1, nullptr);
   owned_.resize(num_workers_ + 1);
 }
@@ -81,60 +69,49 @@ void Cluster::Reset() {
   stats_ = RunStats{};
 }
 
-void Cluster::ChargeAndEnqueue(std::vector<Message>& outbox) {
-  for (Message& m : outbox) {
+void Cluster::ChargeAndEnqueue(std::vector<Message>& sends) {
+  // Coalesced batch framing: the first message of a (src, dst) flush this
+  // round pays the full header, every further one only the per-entry
+  // sub-header. Occurrence counting is order-insensitive, so the charge
+  // equals what the receive-side contiguous (dst, src) runs would pay —
+  // the two views of one batch agree byte-for-byte.
+  std::unordered_set<uint64_t> seen;
+  const bool coalesce = options_.transport.coalesce;
+  for (Message& m : sends) {
+    uint64_t wire = m.WireSize();
+    if (coalesce) {
+      const uint64_t key = (static_cast<uint64_t>(m.src) << 32) | m.dst;
+      if (!seen.insert(key).second) {
+        wire = m.payload.size() + kCoalescedEntryBytes;
+      }
+    }
     switch (m.cls) {
       case MessageClass::kData:
-        stats_.data_bytes += m.WireSize();
+        stats_.data_bytes += wire;
         ++stats_.data_messages;
         break;
       case MessageClass::kControl:
-        stats_.control_bytes += m.WireSize();
+        stats_.control_bytes += wire;
         ++stats_.control_messages;
         break;
       case MessageClass::kResult:
-        stats_.result_bytes += m.WireSize();
+        stats_.result_bytes += wire;
         ++stats_.result_messages;
         break;
     }
     pending_.push_back(std::move(m));
   }
-  outbox.clear();
+  sends.clear();
 }
 
-template <typename Fn>
-double Cluster::RunRound(const std::vector<uint32_t>& site_ids, Fn&& fn) {
-  const size_t n = site_ids.size();
-  // Pooled buffers: grown to the high-water mark once, then reused by
-  // every round of every run. The outboxes come back empty (cleared by
-  // ChargeAndEnqueue) with their capacity intact, so steady-state rounds
-  // allocate nothing here.
-  if (outbox_pool_.size() < n) outbox_pool_.resize(n);
-  if (duration_pool_.size() < n) duration_pool_.resize(n);
-  std::vector<std::vector<Message>>& outboxes = outbox_pool_;
-  std::vector<double>& durations = duration_pool_;
-
-  auto run_one = [&](size_t i) {
-    SiteContext ctx(this, site_ids[i], &outboxes[i]);
-    WallTimer timer;
-    fn(i, site_ids[i], ctx);
-    durations[i] = timer.ElapsedSeconds();
-  };
-
-  if (pool_ != nullptr && n > 1) {
-    pool_->ParallelFor(n, run_one);
-  } else {
-    for (size_t i = 0; i < n; ++i) run_one(i);
-  }
-
-  // Deterministic merge: site-id order (site_ids is ascending), preserving
-  // each site's send order, with stats charged on this (single) thread.
-  double round_max = 0;
-  for (size_t i = 0; i < n; ++i) {
-    stats_.total_compute_seconds += durations[i];
-    round_max = std::max(round_max, durations[i]);
-    ChargeAndEnqueue(outboxes[i]);
-  }
+double Cluster::ExecRound(RoundKind kind, uint32_t round,
+                          const std::vector<uint32_t>& sites,
+                          std::vector<std::vector<Message>> inboxes) {
+  merged_.clear();
+  const double round_max =
+      transport_->ExecuteRound(kind, round, sites, std::move(inboxes),
+                               &merged_, &stats_.total_compute_seconds);
+  ChargeAndEnqueue(merged_);
   return round_max;
 }
 
@@ -147,23 +124,24 @@ RunStats Cluster::Run(uint32_t max_rounds) {
   pending_.clear();
   if (injector_ != nullptr) injector_->BeginRun();
 
+  RunSession session;
+  session.actors = &actors_;
+  session.health = health_;
+  session.shared = shared_;
+  transport_->BeginRun(session);
+
   std::vector<uint32_t> all_sites(actors_.size());
   for (uint32_t i = 0; i < all_sites.size(); ++i) all_sites[i] = i;
 
   // Round 0: parallel Setup; charged at the slowest site.
-  stats_.response_seconds += RunRound(
-      all_sites, [&](size_t, uint32_t site, SiteContext& ctx) {
-        actors_[site]->Setup(ctx);
-      });
+  stats_.response_seconds += ExecRound(RoundKind::kSetup, 0, all_sites, {});
 
   bool quiesce_ran = false;
   while (true) {
     if (pending_.empty()) {
       if (quiesce_ran) break;  // quiescent and OnQuiesce stayed silent
-      stats_.response_seconds += RunRound(
-          all_sites, [&](size_t, uint32_t site, SiteContext& ctx) {
-            actors_[site]->OnQuiesce(ctx);
-          });
+      stats_.response_seconds +=
+          ExecRound(RoundKind::kQuiesce, 0, all_sites, {});
       quiesce_ran = true;
       continue;
     }
@@ -201,7 +179,11 @@ RunStats Cluster::Run(uint32_t max_rounds) {
                        return a.src < b.src;
                      });
 
-    // Slice the batch into per-destination inboxes (ascending dst).
+    // Slice the batch into per-destination inboxes (ascending dst). The
+    // ingress charge mirrors ChargeAndEnqueue's framing: per-message
+    // headers, or per-(src,dst)-run batch headers when coalescing (the
+    // sorted batch makes each (dst, src) flush contiguous here).
+    const bool coalesce = options_.transport.coalesce;
     std::vector<uint32_t> active;
     std::vector<std::vector<Message>> inboxes;
     uint64_t max_ingress = 0;
@@ -210,7 +192,11 @@ RunStats Cluster::Run(uint32_t max_rounds) {
       size_t j = i;
       uint64_t ingress = 0;
       while (j < batch.size() && batch[j].dst == batch[i].dst) {
-        ingress += batch[j].WireSize();
+        if (coalesce && j > i && batch[j].src == batch[j - 1].src) {
+          ingress += batch[j].payload.size() + kCoalescedEntryBytes;
+        } else {
+          ingress += batch[j].WireSize();
+        }
         ++j;
       }
       max_ingress = std::max(max_ingress, ingress);
@@ -220,15 +206,16 @@ RunStats Cluster::Run(uint32_t max_rounds) {
       i = j;
     }
 
-    double round_max = RunRound(
-        active, [&](size_t k, uint32_t site, SiteContext& ctx) {
-          actors_[site]->OnMessages(ctx, std::move(inboxes[k]));
-        });
+    const double round_max =
+        ExecRound(RoundKind::kDeliver, stats_.rounds, active,
+                  std::move(inboxes));
     stats_.response_seconds += round_max +
                                options_.network.latency_per_round_seconds +
                                options_.network.seconds_per_byte *
                                    static_cast<double>(max_ingress);
   }
+
+  transport_->EndRun();
 
   // Simulated retransmission backoff is response time, not compute: the
   // sender sat out the backoff on the critical path.

@@ -1,8 +1,30 @@
-// Deterministic in-process cluster simulator.
+// Deterministic distributed cluster runtime — the delivery loop on top of a
+// swappable transport layer.
 //
-// The paper deploys one fragment per Amazon EC2 machine; we substitute a
-// deterministic message-passing runtime (see DESIGN.md §4). Sites are
-// actors driven in synchronized delivery rounds:
+// The paper deploys one fragment per Amazon EC2 machine; this runtime
+// reproduces that deployment model with a LAYERED architecture:
+//
+//   Cluster (this header)       the delivery LOOP. Schedules synchronized
+//                               rounds, sorts each round's traffic into
+//                               deterministic per-site inboxes, runs the
+//                               fault injector and the round watchdog, and
+//                               charges ALL RunStats accounting on its
+//                               single merge path. Backend-agnostic: it
+//                               never executes a callback itself and never
+//                               touches a socket.
+//   Transport (runtime/         round EXECUTION. Given a round's kind and
+//   transport.h)                inboxes, run every active site's callback
+//                               somewhere and return the merged sends in
+//                               site-id order. Selected per cluster by
+//                               ClusterOptions::transport:
+//     - LoopbackTransport       in-process pooled fork-join (the default
+//                               and the deterministic reference).
+//     - SocketTransport         one OS process per site-group over TCP
+//                               (runtime/remote.h): real measured bytes
+//                               and latency (Cluster::transport_stats())
+//                               next to the charged BSP model.
+//
+// Sites are actors driven in synchronized delivery rounds:
 //
 //   round 0:   Setup() on every actor (in parallel — charged at the max)
 //   round k:   every actor with pending inbound messages gets OnMessages()
@@ -13,32 +35,32 @@
 // Response time follows the BSP critical-path model: the wall-clock time of
 // each round is the maximum of its callbacks' measured durations (sites
 // compute in parallel), plus a configurable network charge. Data shipment
-// is the exact serialized byte volume, split by message class.
+// is the exact serialized byte volume, split by message class — charged
+// per message (kMessageHeaderBytes each), or per (src, dst) batch when
+// TransportOptions::coalesce is on (one full header per flush,
+// kCoalescedEntryBytes per further message: the batch framing a wire
+// backend actually uses).
 //
-// Threading model. With ClusterOptions::num_threads > 1, the callbacks of
-// one delivery round execute CONCURRENTLY on a pooled executor — the
-// physical realization of the BSP cost model above, where previously the
-// sequential loop made wall-clock time ~num_sites x the charged critical
-// path. Rounds are still barriers: no callback of round k+1 starts before
-// every callback of round k finished.
-//
-// Determinism guarantees (identical for every num_threads value, including
-// the num_threads == 1 sequential reference mode):
+// Determinism guarantees (identical for every ClusterOptions::num_threads
+// value AND every transport backend, enforced by the conformance suite):
 //   - Inboxes: each round's messages are grouped per destination and
 //     ordered by (src, send order at that src). Callback execution order
-//     within a round is unspecified, but sends are buffered in per-site
-//     outboxes and merged in site-id order after the round barrier, so the
-//     next round's inboxes are bit-for-bit identical regardless of
-//     scheduling.
+//     within a round is unspecified — threads on loopback, processes on
+//     tcp — but sends are buffered per site and merged in site-id order at
+//     the round barrier, so the next round's inboxes are bit-for-bit
+//     identical regardless of scheduling.
 //   - RunStats: message and byte counters are charged during the ordered
-//     merge, never from worker threads, so accounting is exact and
-//     reproducible. (Measured durations naturally vary run to run; the
-//     derived response_seconds/total_compute_seconds are the only
-//     non-deterministic fields.)
+//     merge on this (single) thread, never from worker threads or remote
+//     processes, so accounting is exact and reproducible. (Measured
+//     durations naturally vary run to run; response_seconds /
+//     total_compute_seconds are the only non-deterministic fields.)
 //   - Actors: each actor's callbacks only ever run on one thread at a time
 //     (one callback per site per round). Actors may therefore keep plain
 //     mutable state, but state SHARED between actors (e.g. AlgoCounters)
-//     must be thread-safe; SiteContext::Send is always safe.
+//     must be thread-safe; SiteContext::Send is always safe. Under the tcp
+//     backend worker callbacks run in forked processes: per-query results
+//     must travel as messages or through the BindSharedState channel —
+//     worker-actor members read from the parent after Run() are stale.
 //
 // Delivery semantics (ClusterOptions::faults; see runtime/fault.h). By
 // default delivery is reliable, in-order, and exactly-once. With a
@@ -64,16 +86,23 @@
 //              round count exceeds the bound into kDeadlineExceeded
 //              instead of a hang (or a hard round-budget abort).
 //
-// Poisoning goes through the RunHealth bound with BindHealth(); a poisoned
-// run drains to quiescence (actors check health and go silent) and the
-// caller surfaces the classified Status. The enforced invariant: under
-// drop/dup/reorder with recovery on, the delivered stream — and therefore
-// results AND RunStats accounting — is bit-identical to the fault-free
-// run for every num_threads value. RunStats charge logical sends only;
-// retransmits, duplicates, and backoff live in fault_stats(). With
-// FaultPlan::recovery off, the raw chaos reaches the actors (the
-// fail-soft decode path is their problem — and their test surface).
-// Faults default off and cost one pointer test per round when disabled.
+// The injector models chaos above the transport; the tcp backend
+// additionally implements the same seq/checksum/retransmit/dedup contract
+// against REAL wire failures (runtime/remote.h): connection loss / short
+// read => kUnavailable, checksum retransmits exhausted or protocol desync
+// => kDataLoss, a peer stalled past TransportOptions::io_timeout_seconds
+// => kDeadlineExceeded. Either way the poisoning goes through the
+// RunHealth bound with BindHealth(); a poisoned run drains to quiescence
+// (actors check health and go silent) and the caller surfaces the
+// classified Status. The enforced invariant: under drop/dup/reorder with
+// recovery on, the delivered stream — and therefore results AND RunStats
+// accounting — is bit-identical to the fault-free run for every
+// num_threads value and every backend. RunStats charge logical sends only;
+// retransmits, duplicates, and backoff live in fault_stats() (injected) or
+// transport_stats() (measured on the wire). With FaultPlan::recovery off,
+// the raw chaos reaches the actors (the fail-soft decode path is their
+// problem — and their test surface). Faults default off and cost one
+// pointer test per round when disabled.
 
 #ifndef DGS_RUNTIME_CLUSTER_H_
 #define DGS_RUNTIME_CLUSTER_H_
@@ -83,66 +112,11 @@
 
 #include "runtime/fault.h"
 #include "runtime/message.h"
+#include "runtime/transport.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
 namespace dgs {
-
-class Cluster;
-
-// Per-callback handle through which an actor reads its identity and sends.
-// Sends are buffered in a per-site outbox owned by the runtime and merged
-// deterministically at the round barrier; Send never touches shared state.
-class SiteContext {
- public:
-  uint32_t site_id() const { return site_id_; }
-  // Worker count (the coordinator is an extra site with id NumWorkers()).
-  uint32_t num_workers() const;
-  uint32_t coordinator_id() const;
-  // The run's configured wire format (ClusterOptions::wire_format); actors
-  // pass it to the core/protocol.h encoders. Decoders dispatch on the
-  // self-describing payload tags and never need it.
-  WireFormat wire_format() const;
-
-  // The runtime's executor, for intra-callback parallelism (null when the
-  // cluster runs sequentially, i.e. num_threads == 1). Actors may hand it
-  // to ComputeSimulation/LocalEngine/EquationSystem drains or use it to
-  // encode per-destination payloads concurrently. Safe in every round:
-  // when the pool is already driving a multi-site round, nested calls run
-  // inline on the calling lane (ThreadPool's reentrancy rule); in a
-  // single-active-site round — coordinator-side solves, which is where the
-  // heavy intra-callback work lives — the idle lanes provide real
-  // parallelism. Determinism obligations stay with the actor: anything
-  // executed on the pool must produce thread-count-invariant results.
-  ThreadPool* pool() const;
-
-  void Send(uint32_t dst, MessageClass cls, Blob payload);
-
- private:
-  friend class Cluster;
-  SiteContext(const Cluster* cluster, uint32_t site_id,
-              std::vector<Message>* outbox)
-      : cluster_(cluster), site_id_(site_id), outbox_(outbox) {}
-
-  const Cluster* cluster_;
-  uint32_t site_id_;
-  std::vector<Message>* outbox_;
-};
-
-// A site's algorithm logic. One actor per worker plus one coordinator.
-class SiteActor {
- public:
-  virtual ~SiteActor() = default;
-
-  // Called once before any message flows (phase 1 / partial evaluation).
-  virtual void Setup(SiteContext& ctx) { (void)ctx; }
-
-  // Called when the site has inbound messages this round.
-  virtual void OnMessages(SiteContext& ctx, std::vector<Message> inbox) = 0;
-
-  // Called at every quiescent point. Default: do nothing (stay done).
-  virtual void OnQuiesce(SiteContext& ctx) { (void)ctx; }
-};
 
 // Aggregate statistics of one Run(). Accumulate() folds successive runs
 // into cumulative serving metrics (see core/engine.h).
@@ -213,20 +187,25 @@ struct ClusterOptions {
   // max_rounds abort. 0 (default) = off. Meant for chaos plans without
   // recovery, where lost messages can leave actors re-sending forever.
   uint32_t watchdog_rounds = 0;
+  // Round-execution backend and its knobs: loopback (default) or tcp
+  // multi-process, plus the coalesced-framing switch. See
+  // runtime/transport.h for the contract.
+  TransportOptions transport;
 };
 
 // Drives the actors through the delivery loop.
 //
 // Lifecycle. A Cluster is deploy-once / run-many: the thread pool and the
-// pooled per-round outbox buffers are created once and survive across
-// Run() calls, so a resident deployment (core/engine.h) pays executor and
-// allocation setup only on the first query. Actors are attached either
-// owning (SetWorker/SetCoordinator take unique_ptr — the one-shot paths)
-// or non-owning (BindWorker/BindCoordinator take raw pointers — a caller
-// that keeps persistent actors alive across queries, like dgs::Engine).
-// Reset() discards any in-flight messages and zeroes the run statistics;
-// Run() also starts from a clean slate, so Reset() is only needed to drop
-// state eagerly between runs.
+// transport backend are created once and survive across Run() calls, so a
+// resident deployment (core/engine.h) pays executor and allocation setup
+// only on the first query (the tcp backend forks its worker processes per
+// Run — copy-on-write snapshots the deployed state into them). Actors are
+// attached either owning (SetWorker/SetCoordinator take unique_ptr — the
+// one-shot paths) or non-owning (BindWorker/BindCoordinator take raw
+// pointers — a caller that keeps persistent actors alive across queries,
+// like dgs::Engine). Reset() discards any in-flight messages and zeroes the
+// run statistics; Run() also starts from a clean slate, so Reset() is only
+// needed to drop state eagerly between runs.
 class Cluster {
  public:
   using NetworkModel = dgs::NetworkModel;
@@ -249,19 +228,35 @@ class Cluster {
   SiteActor* coordinator();
 
   // Drops in-flight messages and zeroes the statistics of the previous
-  // run. Pooled outbox buffers and the thread pool are kept (reuse is the
+  // run. Pooled buffers and the thread pool are kept (reuse is the
   // point); actor state is the actors' business (see QuerySiteActor).
   void Reset();
 
-  // Points the transport layer at the run's poison flag so injected faults
-  // (lost frames, crashes, checksum rejects, watchdog trips) classify the
-  // run instead of silently perturbing it. Null (the default) detaches.
-  // The health must outlive the next Run(); callers re-bind per run.
+  // Points the transport layer at the run's poison flag so faults —
+  // injected chaos or real wire failures — classify the run instead of
+  // silently perturbing it. Null (the default) detaches; real transport
+  // failures then abort loudly. The health must outlive the next Run();
+  // callers re-bind per run.
   void BindHealth(RunHealth* health) { health_ = health; }
+
+  // Points the transport layer at the run's cross-process state channel
+  // (counters a remote backend must ship home; see SharedRunState in
+  // runtime/transport.h). Null (the default) detaches. Loopback ignores
+  // it — the state is already shared in-process.
+  void BindSharedState(SharedRunState* shared) { shared_ = shared; }
 
   // Chaos accounting of the most recent Run() (all zero with faults
   // disabled). RunStats never include any of this.
   const FaultStats& fault_stats() const { return fault_stats_; }
+
+  // Measured wire accounting of the most recent Run() (all zero on the
+  // loopback backend — nothing is measured in-process).
+  const TransportStats& transport_stats() const {
+    return transport_->stats();
+  }
+
+  // The active backend (ClusterOptions::transport.kind).
+  TransportKind transport_kind() const { return transport_->kind(); }
 
   // Runs Setup + delivery rounds to completion. Aborts if an actor is
   // missing or if the round count exceeds `max_rounds` (runaway protection).
@@ -269,15 +264,14 @@ class Cluster {
   RunStats Run(uint32_t max_rounds = 1u << 20);
 
  private:
-  friend class SiteContext;
+  // One transport-executed barrier round: hands the inboxes to the backend,
+  // then charges and enqueues the merged sends. Returns the round's max
+  // callback duration.
+  double ExecRound(RoundKind kind, uint32_t round,
+                   const std::vector<uint32_t>& sites,
+                   std::vector<std::vector<Message>> inboxes);
 
-  // Executes one barrier round: fn(i, site_ids[i], ctx) for every i,
-  // possibly concurrently, then merges the per-site outboxes into pending_
-  // in site-id order and charges stats. Returns the max callback duration.
-  template <typename Fn>
-  double RunRound(const std::vector<uint32_t>& site_ids, Fn&& fn);
-
-  void ChargeAndEnqueue(std::vector<Message>& outbox);
+  void ChargeAndEnqueue(std::vector<Message>& sends);
 
   uint32_t num_workers_;
   ClusterOptions options_;
@@ -285,18 +279,17 @@ class Cluster {
   // one null test per delivery round.
   std::unique_ptr<FaultInjector> injector_;
   RunHealth* health_ = nullptr;
+  SharedRunState* shared_ = nullptr;
   FaultStats fault_stats_;
   // Created eagerly when num_threads > 1 (actors may borrow it through
   // SiteContext::pool() from the very first Setup round); null in the
   // sequential reference mode.
   std::unique_ptr<ThreadPool> pool_;
+  // Round-execution backend (never null; LoopbackTransport by default).
+  std::unique_ptr<Transport> transport_;
   std::vector<SiteActor*> actors_;    // size num_workers_ + 1 (dispatch)
   std::vector<std::unique_ptr<SiteActor>> owned_;  // owning slots (or null)
-  // Pooled per-round buffers: one outbox + duration slot per active site,
-  // grown to the high-water mark once and reused every round of every run
-  // (ChargeAndEnqueue clears outboxes but keeps their capacity).
-  std::vector<std::vector<Message>> outbox_pool_;
-  std::vector<double> duration_pool_;
+  std::vector<Message> merged_;   // scratch: one round's merged sends
   std::vector<Message> pending_;
   RunStats stats_;
 };

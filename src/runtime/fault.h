@@ -247,6 +247,14 @@ class RunHealth {
     return drops_[static_cast<size_t>(cls)].load(std::memory_order_relaxed);
   }
 
+  // Folds decode-drop counts reported by a remote worker process into this
+  // (parent-side) health. The poison itself travels separately through
+  // PoisonWith — the transport replays the remote classification, and the
+  // first failure still wins (runtime/remote.h).
+  void AccumulateRemoteDrops(MessageClass cls, uint64_t n) {
+    drops_[static_cast<size_t>(cls)].fetch_add(n, std::memory_order_relaxed);
+  }
+
   // Ok when the run stayed healthy; the first failure's classified Status
   // after poisoning.
   Status ToStatus() const {

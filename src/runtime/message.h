@@ -99,6 +99,10 @@ class Blob {
     bytes_.insert(bytes_.end(), other.bytes_.begin(), other.bytes_.end());
   }
 
+  // Appends raw bytes verbatim (the transport layer splices message
+  // payloads in and out of physical frames with this).
+  void PutBytes(const void* p, size_t n) { PutRaw(p, n); }
+
   // In-place mutation hooks for the fault injector (runtime/fault.h):
   // corrupt-bytes flips bytes through MutableData(), truncate cuts the
   // tail. Encoders never rewrite bytes — only the chaotic transport does.
@@ -140,6 +144,19 @@ class Blob {
       return Fail();
     }
     int64_t GetVarintSigned() { return ZigZagDecode(GetVarint()); }
+
+    // Copies the next n bytes into *out (appended; *out is otherwise left
+    // alone). Fails soft like every other read: returns false — and reads
+    // nothing — when fewer than n bytes remain.
+    bool GetBytes(size_t n, Blob* out) {
+      if (failed_ || blob_->size() - pos_ < n) {
+        Fail();
+        return false;
+      }
+      out->PutBytes(blob_->bytes_.data() + pos_, n);
+      pos_ += n;
+      return true;
+    }
 
    private:
     uint64_t Fail() {

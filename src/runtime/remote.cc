@@ -1,0 +1,832 @@
+#include "runtime/remote.h"
+
+#include <arpa/inet.h>
+#include <dirent.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/timer.h"
+
+namespace dgs {
+namespace {
+
+constexpr uint32_t kFrameMagic = 0x44475357u;  // "WSGD" little-endian
+constexpr size_t kFrameHeaderBytes = 17;       // magic, kind, seq, len
+constexpr size_t kFrameTrailerBytes = 4;       // FNV-1a checksum
+constexpr uint32_t kMaxFramePayload = 1u << 30;
+
+uint32_t Fnv1a(const uint8_t* p, size_t n) {
+  uint32_t h = 2166136261u;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 16777619u;
+  }
+  return h;
+}
+
+void PutLE(std::vector<uint8_t>& buf, size_t off, const void* p, size_t n) {
+  std::memcpy(buf.data() + off, p, n);
+}
+
+template <typename T>
+T GetLE(const uint8_t* p) {
+  T x;
+  std::memcpy(&x, p, sizeof(T));
+  return x;
+}
+
+}  // namespace
+
+Status FrameChannel::WriteAll(const uint8_t* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    const ssize_t w = send(fd_, data + off, n - off, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status(StatusCode::kUnavailable,
+                    std::string("transport write failed: ") +
+                        std::strerror(errno));
+    }
+    off += static_cast<size_t>(w);
+  }
+  if (stats_ != nullptr) stats_->bytes_sent += n;
+  return Status::Ok();
+}
+
+Status FrameChannel::ReadAll(uint8_t* data, size_t n) {
+  size_t off = 0;
+  while (off < n) {
+    struct pollfd pfd = {fd_, POLLIN, 0};
+    const int timeout_ms =
+        std::max(1, static_cast<int>(options_.io_timeout_seconds * 1000.0));
+    const int pr = poll(&pfd, 1, timeout_ms);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return Status(StatusCode::kUnavailable,
+                    std::string("transport poll failed: ") +
+                        std::strerror(errno));
+    }
+    if (pr == 0) {
+      return Status(StatusCode::kDeadlineExceeded,
+                    "transport peer silent past the io timeout (" +
+                        std::to_string(options_.io_timeout_seconds) + "s)");
+    }
+    const ssize_t r = recv(fd_, data + off, n - off, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status(StatusCode::kUnavailable,
+                    std::string("transport read failed: ") +
+                        std::strerror(errno));
+    }
+    if (r == 0) {
+      return Status(StatusCode::kUnavailable,
+                    "transport connection closed by peer (short read)");
+    }
+    off += static_cast<size_t>(r);
+  }
+  if (stats_ != nullptr) stats_->bytes_received += n;
+  return Status::Ok();
+}
+
+Status FrameChannel::SendRaw(FrameKind kind, uint64_t seq, const Blob& payload,
+                             bool allow_chaos) {
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  std::vector<uint8_t> buf(kFrameHeaderBytes + len + kFrameTrailerBytes);
+  PutLE(buf, 0, &kFrameMagic, 4);
+  buf[4] = static_cast<uint8_t>(kind);
+  PutLE(buf, 5, &seq, 8);
+  PutLE(buf, 13, &len, 4);
+  if (len > 0) PutLE(buf, kFrameHeaderBytes, payload.data(), len);
+  const uint32_t fnv = Fnv1a(buf.data() + 4, kFrameHeaderBytes - 4 + len);
+  PutLE(buf, kFrameHeaderBytes + len, &fnv, 4);
+
+  bool duplicate = false;
+  if (kind == FrameKind::kData) {
+    // Retain the clean image for NACK-triggered retransmission, then apply
+    // the deterministic chaos knobs to the copy that hits the wire.
+    retained_ = buf;
+    ++data_frames_sent_;
+    if (allow_chaos && options_.chaos_corrupt_every > 0 && len > 0 &&
+        data_frames_sent_ % options_.chaos_corrupt_every == 0) {
+      buf[kFrameHeaderBytes] ^= 0x5a;
+    }
+    if (allow_chaos && options_.chaos_duplicate_every > 0 &&
+        data_frames_sent_ % options_.chaos_duplicate_every == 0) {
+      duplicate = true;
+    }
+  }
+
+  Status s = WriteAll(buf.data(), buf.size());
+  if (stats_ != nullptr) ++stats_->frames_sent;
+  if (s.ok() && duplicate) {
+    s = WriteAll(buf.data(), buf.size());
+    if (stats_ != nullptr) ++stats_->frames_sent;
+  }
+  return s;
+}
+
+Status FrameChannel::SendData(const Blob& payload) {
+  return SendRaw(FrameKind::kData, next_send_seq_++, payload, true);
+}
+
+Status FrameChannel::SendShutdown() {
+  return SendRaw(FrameKind::kShutdown, 0, Blob{}, false);
+}
+
+Status FrameChannel::ReceiveData(Blob* payload, bool* shutdown) {
+  *shutdown = false;
+  uint32_t rejects = 0;
+  std::vector<uint8_t> body;
+  for (;;) {
+    uint8_t header[kFrameHeaderBytes];
+    Status s = ReadAll(header, kFrameHeaderBytes);
+    if (!s.ok()) return s;
+    if (GetLE<uint32_t>(header) != kFrameMagic) {
+      return Status(StatusCode::kDataLoss,
+                    "transport protocol desync: bad frame magic");
+    }
+    const FrameKind kind = static_cast<FrameKind>(header[4]);
+    const uint64_t seq = GetLE<uint64_t>(header + 5);
+    const uint32_t len = GetLE<uint32_t>(header + 13);
+    if (len > kMaxFramePayload) {
+      return Status(StatusCode::kDataLoss,
+                    "transport protocol desync: oversized frame");
+    }
+    body.resize(len + kFrameTrailerBytes);
+    s = ReadAll(body.data(), body.size());
+    if (!s.ok()) return s;
+    if (stats_ != nullptr) ++stats_->frames_received;
+
+    // Checksum covers (kind, seq, len, payload) — any single-byte mutation
+    // or truncation of the frame in flight is detected here.
+    uint32_t fnv = Fnv1a(header + 4, kFrameHeaderBytes - 4);
+    fnv = [&] {
+      uint32_t h = fnv;
+      for (uint32_t i = 0; i < len; ++i) {
+        h ^= body[i];
+        h *= 16777619u;
+      }
+      return h;
+    }();
+    if (fnv != GetLE<uint32_t>(body.data() + len)) {
+      if (stats_ != nullptr) ++stats_->checksum_rejects;
+      if (++rejects > options_.max_frame_retransmits) {
+        return Status(StatusCode::kDataLoss,
+                      "transport frame failed its checksum after " +
+                          std::to_string(rejects - 1) + " retransmits");
+      }
+      Blob nack;  // the NACKed sequence number rides in the header
+      s = SendRaw(FrameKind::kNack, seq, nack, false);
+      if (!s.ok()) return s;
+      continue;
+    }
+
+    switch (kind) {
+      case FrameKind::kShutdown:
+        *shutdown = true;
+        return Status::Ok();
+      case FrameKind::kNack: {
+        // The peer rejected our retained data frame: resend the clean copy.
+        if (retained_.empty()) {
+          return Status(StatusCode::kDataLoss,
+                        "transport NACK with no frame to retransmit");
+        }
+        if (stats_ != nullptr) {
+          ++stats_->retransmits;
+          ++stats_->frames_sent;
+        }
+        s = WriteAll(retained_.data(), retained_.size());
+        if (!s.ok()) return s;
+        continue;
+      }
+      case FrameKind::kData:
+        break;
+    }
+
+    if (seq < next_recv_seq_) {  // duplicate delivery: discard (idempotent)
+      if (stats_ != nullptr) ++stats_->duplicates_discarded;
+      continue;
+    }
+    if (seq > next_recv_seq_) {
+      return Status(StatusCode::kDataLoss,
+                    "transport protocol desync: sequence gap (got " +
+                        std::to_string(seq) + ", want " +
+                        std::to_string(next_recv_seq_) + ")");
+    }
+    ++next_recv_seq_;
+    *payload = Blob{};
+    payload->PutBytes(body.data(), len);
+    return Status::Ok();
+  }
+}
+
+namespace {
+
+// Contiguous range of worker sites served by one child process.
+struct GroupSpec {
+  uint32_t first = 0;
+  uint32_t count = 0;
+};
+
+double DecodeDuration(uint64_t bits) { return std::bit_cast<double>(bits); }
+uint64_t EncodeDuration(double d) { return std::bit_cast<uint64_t>(d); }
+
+// Closes every inherited descriptor except stdio and `keep` — a forked
+// child must not pin sibling transports' sockets (or anything else the
+// parent had open) until _exit.
+void CloseInheritedFds(int keep) {
+  DIR* dir = opendir("/proc/self/fd");
+  if (dir == nullptr) return;
+  const int dir_fd = dirfd(dir);
+  std::vector<int> to_close;
+  while (struct dirent* e = readdir(dir)) {
+    char* end = nullptr;
+    const long fd = std::strtol(e->d_name, &end, 10);
+    if (end == e->d_name || *end != '\0') continue;
+    if (fd <= 2 || fd == dir_fd || fd == keep) continue;
+    to_close.push_back(static_cast<int>(fd));
+  }
+  closedir(dir);
+  for (int fd : to_close) close(fd);
+}
+
+// ---------------------------------------------------------------------------
+// Round request / response payload codec (rides inside data frames).
+//
+// Request:   u8 round-kind | varint round | u8 poisoned
+//            [poisoned: u8 code, varint len, reason bytes]
+//            varint n_sites, per site:
+//              varint site | varint n_src_runs, per run:
+//                varint src | varint n_msgs, per message:
+//                  u8 class | varint len | payload bytes
+// Response:  varint n_sites, per site (request order):
+//              varint site | u64 duration-bits | varint n_sends, per send:
+//                varint dst | u8 class | varint len | payload bytes
+//            varint shared-delta len | delta bytes
+//            u8 poisoned [poisoned: u8 code, varint len, reason bytes]
+//            varint decode-drop delta x3 (kData, kControl, kResult)
+//
+// The per-site inbox is grouped into (src, run) batches — the coalesced
+// batch framing of the ISSUE: one sub-header per (src, dst) flush, one
+// physical frame per (child, round).
+// ---------------------------------------------------------------------------
+
+void EncodePoison(RunHealth* health, Blob* out) {
+  const Status s = health != nullptr ? health->ToStatus() : Status::Ok();
+  if (s.ok()) {
+    out->PutU8(0);
+    return;
+  }
+  out->PutU8(1);
+  out->PutU8(static_cast<uint8_t>(s.code()));
+  out->PutVarint(s.message().size());
+  out->PutBytes(s.message().data(), s.message().size());
+}
+
+// Returns false on a malformed section. Applies the poison to `health`
+// (first failure wins, so re-reporting is idempotent).
+bool DecodePoison(Blob::Reader& r, RunHealth* health) {
+  const uint8_t poisoned = r.GetU8();
+  if (!r.ok()) return false;
+  if (poisoned == 0) return true;
+  const StatusCode code = static_cast<StatusCode>(r.GetU8());
+  const uint64_t len = r.GetVarint();
+  Blob reason_bytes;
+  if (!r.GetBytes(len, &reason_bytes)) return false;
+  if (health != nullptr) {
+    health->PoisonWith(
+        code, std::string(reinterpret_cast<const char*>(reason_bytes.data()),
+                          reason_bytes.size()));
+  }
+  return true;
+}
+
+void EncodeInbox(const std::vector<Message>& inbox, Blob* out) {
+  // Count the contiguous (src) runs — the inbox arrives sorted by
+  // (src, send order), so equal sources are adjacent.
+  uint64_t runs = 0;
+  for (size_t i = 0; i < inbox.size(); ++i) {
+    if (i == 0 || inbox[i].src != inbox[i - 1].src) ++runs;
+  }
+  out->PutVarint(runs);
+  size_t i = 0;
+  while (i < inbox.size()) {
+    size_t j = i;
+    while (j < inbox.size() && inbox[j].src == inbox[i].src) ++j;
+    out->PutVarint(inbox[i].src);
+    out->PutVarint(j - i);
+    for (size_t k = i; k < j; ++k) {
+      out->PutU8(static_cast<uint8_t>(inbox[k].cls));
+      out->PutVarint(inbox[k].payload.size());
+      out->PutBytes(inbox[k].payload.data(), inbox[k].payload.size());
+    }
+    i = j;
+  }
+}
+
+bool DecodeInbox(Blob::Reader& r, uint32_t dst, std::vector<Message>* inbox) {
+  const uint64_t runs = r.GetVarint();
+  for (uint64_t g = 0; g < runs && r.ok(); ++g) {
+    const uint32_t src = static_cast<uint32_t>(r.GetVarint());
+    const uint64_t count = r.GetVarint();
+    for (uint64_t k = 0; k < count && r.ok(); ++k) {
+      Message m;
+      m.src = src;
+      m.dst = dst;
+      m.cls = static_cast<MessageClass>(r.GetU8());
+      const uint64_t len = r.GetVarint();
+      if (!r.GetBytes(len, &m.payload)) return false;
+      inbox->push_back(std::move(m));
+    }
+  }
+  return r.ok();
+}
+
+// ---------------------------------------------------------------------------
+// Child process: serve rounds for one site-group until shutdown.
+// ---------------------------------------------------------------------------
+
+struct ChildConfig {
+  uint32_t group_index = 0;
+  GroupSpec group;
+  uint16_t port = 0;
+  TransportOptions options;
+  TransportEnv env;
+  RunSession session;
+};
+
+[[noreturn]] void ChildMain(const ChildConfig& cfg) {
+  // The parent's executor threads did not survive the fork; drop the
+  // inherited pool pointer and build this process's own lanes below.
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) _exit(10);
+  CloseInheritedFds(fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(cfg.port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    _exit(11);
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  FrameChannel channel(fd, cfg.options, nullptr);
+  Blob hello;
+  hello.PutVarint(cfg.group_index);
+  if (!channel.SendData(hello).ok()) _exit(12);
+
+  std::unique_ptr<ThreadPool> pool;
+  if (cfg.env.num_threads > 1) {
+    pool = std::make_unique<ThreadPool>(cfg.env.num_threads);
+  }
+
+  const std::vector<SiteActor*>& actors = *cfg.session.actors;
+  SharedRunState* shared = cfg.session.shared;
+  RunHealth* health = cfg.session.health;
+  Blob shared_before;
+  if (shared != nullptr) shared->Encode(&shared_before);
+  uint64_t drops_before[3] = {0, 0, 0};
+
+  std::vector<Message> outbox;
+  for (;;) {
+    Blob req;
+    bool shutdown = false;
+    if (!channel.ReceiveData(&req, &shutdown).ok()) _exit(13);
+    if (shutdown) _exit(0);
+
+    Blob::Reader r(req);
+    const RoundKind kind = static_cast<RoundKind>(r.GetU8());
+    const uint32_t round = static_cast<uint32_t>(r.GetVarint());
+    if (!DecodePoison(r, health)) _exit(14);
+
+    if (kind == RoundKind::kDeliver) {  // deterministic chaos hooks
+      if (cfg.options.chaos_exit_at_round != 0 &&
+          round == cfg.options.chaos_exit_at_round) {
+        _exit(1);
+      }
+      if (cfg.options.chaos_stall_at_round != 0 &&
+          round == cfg.options.chaos_stall_at_round) {
+        for (;;) pause();  // stalled peer: the parent's io timeout fires
+      }
+    }
+
+    const uint64_t n_sites = r.GetVarint();
+    Blob resp;
+    resp.PutVarint(n_sites);
+    for (uint64_t i = 0; i < n_sites; ++i) {
+      const uint32_t site = static_cast<uint32_t>(r.GetVarint());
+      std::vector<Message> inbox;
+      if (!DecodeInbox(r, site, &inbox)) _exit(15);
+      if (site >= actors.size() || actors[site] == nullptr) _exit(16);
+      outbox.clear();
+      SiteContext ctx(cfg.env.num_workers, cfg.env.wire_format, pool.get(),
+                      site, &outbox);
+      WallTimer timer;
+      DispatchCallback(actors[site], kind, ctx, std::move(inbox));
+      const double duration = timer.ElapsedSeconds();
+      resp.PutVarint(site);
+      resp.PutU64(EncodeDuration(duration));
+      resp.PutVarint(outbox.size());
+      for (const Message& m : outbox) {
+        resp.PutVarint(m.dst);
+        resp.PutU8(static_cast<uint8_t>(m.cls));
+        resp.PutVarint(m.payload.size());
+        resp.PutBytes(m.payload.data(), m.payload.size());
+      }
+    }
+    if (!r.ok()) _exit(17);
+
+    if (shared != nullptr) {
+      Blob now;
+      shared->Encode(&now);
+      Blob delta;
+      Blob::Reader before(shared_before);
+      shared->EncodeDelta(before, &delta);
+      resp.PutVarint(delta.size());
+      resp.Append(delta);
+      shared_before = std::move(now);
+    } else {
+      resp.PutVarint(0);
+    }
+    EncodePoison(health, &resp);
+    for (size_t c = 0; c < 3; ++c) {
+      const uint64_t now =
+          health != nullptr
+              ? health->decode_drops(static_cast<MessageClass>(c))
+              : 0;
+      resp.PutVarint(now - drops_before[c]);
+      drops_before[c] = now;
+    }
+
+    if (!channel.SendData(resp).ok()) _exit(18);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parent side.
+// ---------------------------------------------------------------------------
+
+struct ChildLink {
+  pid_t pid = -1;
+  int fd = -1;
+  std::unique_ptr<FrameChannel> channel;
+  bool alive = false;
+};
+
+class SocketTransport : public Transport {
+ public:
+  SocketTransport(const TransportOptions& options, const TransportEnv& env)
+      : options_(options), env_(env) {}
+
+  ~SocketTransport() override { Teardown(false); }
+
+  TransportKind kind() const override { return TransportKind::kTcp; }
+
+  void BeginRun(const RunSession& session) override;
+  void EndRun() override { Teardown(true); }
+
+  double ExecuteRound(RoundKind kind, uint32_t round,
+                      const std::vector<uint32_t>& sites,
+                      std::vector<std::vector<Message>> inboxes,
+                      std::vector<Message>* sends,
+                      double* total_compute) override;
+
+  const TransportStats& stats() const override { return stats_; }
+
+ private:
+  // Classifies a transport failure: poisons the bound RunHealth, or aborts
+  // loudly when the caller bound none (raw Cluster users opt in).
+  void Fail(const Status& status) {
+    if (session_.health != nullptr) {
+      session_.health->PoisonWith(status.code(), status.message());
+      return;
+    }
+    DGS_CHECK(false, status.message().c_str());
+  }
+
+  void KillGroup(size_t g, const Status& status) {
+    if (links_[g].fd >= 0) close(links_[g].fd);
+    links_[g].fd = -1;
+    links_[g].channel.reset();
+    links_[g].alive = false;
+    Fail(status);
+  }
+
+  void Teardown(bool graceful);
+
+  uint32_t GroupOf(uint32_t site) const { return site_group_[site]; }
+
+  TransportOptions options_;
+  TransportEnv env_;
+  RunSession session_;
+  std::vector<GroupSpec> groups_;
+  std::vector<uint32_t> site_group_;  // worker site -> group index
+  std::vector<ChildLink> links_;
+  TransportStats stats_;
+};
+
+void SocketTransport::BeginRun(const RunSession& session) {
+  Teardown(false);  // a prior run that never reached EndRun
+  session_ = session;
+  stats_ = TransportStats{};
+  WallTimer launch_timer;
+
+  const uint32_t nw = env_.num_workers;
+  uint32_t procs = options_.num_processes == 0 ? nw : options_.num_processes;
+  procs = std::min(procs, nw);
+  groups_.clear();
+  site_group_.assign(nw, 0);
+  if (procs > 0) {
+    const uint32_t base = nw / procs;
+    const uint32_t rem = nw % procs;
+    uint32_t next = 0;
+    for (uint32_t g = 0; g < procs; ++g) {
+      GroupSpec spec;
+      spec.first = next;
+      spec.count = base + (g < rem ? 1 : 0);
+      next += spec.count;
+      for (uint32_t s = spec.first; s < spec.first + spec.count; ++s) {
+        site_group_[s] = g;
+      }
+      groups_.push_back(spec);
+    }
+  }
+  links_.clear();
+  links_.resize(groups_.size());
+  if (groups_.empty()) return;  // coordinator-only cluster: nothing to fork
+
+  const int lfd = socket(AF_INET, SOCK_STREAM, 0);
+  if (lfd < 0) {
+    Fail(Status(StatusCode::kUnavailable,
+                std::string("transport listen socket failed: ") +
+                    std::strerror(errno)));
+    return;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;  // ephemeral
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  socklen_t addr_len = sizeof(addr);
+  if (bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      listen(lfd, static_cast<int>(groups_.size())) != 0 ||
+      getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+    close(lfd);
+    Fail(Status(StatusCode::kUnavailable,
+                std::string("transport listen failed: ") +
+                    std::strerror(errno)));
+    return;
+  }
+  const uint16_t port = ntohs(addr.sin_port);
+
+  // Fork every child before accepting any connection, so no child inherits
+  // a sibling's socket.
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    const pid_t pid = fork();
+    if (pid == 0) {
+      ChildConfig cfg;
+      cfg.group_index = static_cast<uint32_t>(g);
+      cfg.group = groups_[g];
+      cfg.port = port;
+      cfg.options = options_;
+      cfg.env = env_;
+      cfg.session = session_;
+      ChildMain(cfg);  // never returns
+    }
+    if (pid < 0) {
+      close(lfd);
+      Fail(Status(StatusCode::kUnavailable,
+                  std::string("transport fork failed: ") +
+                      std::strerror(errno)));
+      return;
+    }
+    links_[g].pid = pid;
+  }
+
+  // Accept and identify every child (the first frame is hello{group}).
+  for (size_t i = 0; i < groups_.size(); ++i) {
+    struct pollfd pfd = {lfd, POLLIN, 0};
+    const double launch_timeout =
+        std::max(options_.io_timeout_seconds, 10.0);
+    const int pr = poll(&pfd, 1, static_cast<int>(launch_timeout * 1000.0));
+    if (pr <= 0) {
+      close(lfd);
+      Fail(Status(StatusCode::kUnavailable,
+                  "transport worker process failed to connect"));
+      return;
+    }
+    const int fd = accept(lfd, nullptr, nullptr);
+    if (fd < 0) {
+      close(lfd);
+      Fail(Status(StatusCode::kUnavailable,
+                  std::string("transport accept failed: ") +
+                      std::strerror(errno)));
+      return;
+    }
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto channel = std::make_unique<FrameChannel>(fd, options_, &stats_);
+    Blob hello;
+    bool shutdown = false;
+    const Status hs = channel->ReceiveData(&hello, &shutdown);
+    Blob::Reader hr(hello);
+    const uint64_t g = hr.GetVarint();
+    if (!hs.ok() || shutdown || !hr.ok() || g >= links_.size() ||
+        links_[g].alive) {
+      close(fd);
+      close(lfd);
+      Fail(Status(StatusCode::kUnavailable,
+                  "transport worker handshake failed"));
+      return;
+    }
+    links_[g].fd = fd;
+    links_[g].channel = std::move(channel);
+    links_[g].alive = true;
+  }
+  close(lfd);
+  stats_.processes = groups_.size();
+  stats_.launch_seconds = launch_timer.ElapsedSeconds();
+}
+
+double SocketTransport::ExecuteRound(RoundKind kind, uint32_t round,
+                                     const std::vector<uint32_t>& sites,
+                                     std::vector<std::vector<Message>> inboxes,
+                                     std::vector<Message>* sends,
+                                     double* total_compute) {
+  const std::vector<SiteActor*>& actors = *session_.actors;
+  const size_t n = sites.size();
+  std::vector<std::vector<Message>> results(n);
+  std::vector<double> durations(n, 0.0);
+
+  // Partition the active sites: coordinator (and any site with no live
+  // child — its messages die with it, crash semantics) runs locally.
+  std::vector<std::vector<size_t>> members(links_.size());
+  std::vector<size_t> local;
+  for (size_t i = 0; i < n; ++i) {
+    if (sites[i] >= env_.num_workers) {
+      local.push_back(i);
+    } else {
+      members[GroupOf(sites[i])].push_back(i);
+    }
+  }
+
+  // 1) Ship every group's request — one coalesced frame per child per
+  // round — before reading anything back, so the children compute while
+  // the parent runs its local sites.
+  WallTimer io_timer;
+  for (size_t g = 0; g < links_.size(); ++g) {
+    if (members[g].empty() || !links_[g].alive) continue;
+    Blob req;
+    req.PutU8(static_cast<uint8_t>(kind));
+    req.PutVarint(round);
+    EncodePoison(session_.health, &req);
+    req.PutVarint(members[g].size());
+    for (size_t i : members[g]) {
+      req.PutVarint(sites[i]);
+      EncodeInbox(i < inboxes.size() ? inboxes[i] : std::vector<Message>{},
+                  &req);
+    }
+    const Status s = links_[g].channel->SendData(req);
+    if (!s.ok()) KillGroup(g, s);
+  }
+  stats_.io_seconds += io_timer.ElapsedSeconds();
+
+  // 2) Local sites (the coordinator) overlap with the children.
+  for (size_t i : local) {
+    std::vector<Message> outbox;
+    SiteContext ctx(env_.num_workers, env_.wire_format, env_.pool, sites[i],
+                    &outbox);
+    WallTimer timer;
+    DispatchCallback(actors[sites[i]], kind, ctx,
+                     i < inboxes.size() ? std::move(inboxes[i])
+                                        : std::vector<Message>{});
+    durations[i] = timer.ElapsedSeconds();
+    results[i] = std::move(outbox);
+  }
+
+  // 3) Collect responses in group order (deterministic fold order for the
+  // health/counter channels; message order is fixed by site id anyway).
+  for (size_t g = 0; g < links_.size(); ++g) {
+    if (members[g].empty() || !links_[g].alive) continue;
+    Blob resp;
+    bool shutdown = false;
+    io_timer.Restart();
+    Status s = links_[g].channel->ReceiveData(&resp, &shutdown);
+    stats_.io_seconds += io_timer.ElapsedSeconds();
+    if (!s.ok() || shutdown) {
+      KillGroup(g, s.ok() ? Status(StatusCode::kUnavailable,
+                                   "transport worker closed mid-run")
+                          : s);
+      continue;
+    }
+    Blob::Reader r(resp);
+    const uint64_t n_sites = r.GetVarint();
+    bool well_formed = r.ok() && n_sites == members[g].size();
+    for (uint64_t k = 0; well_formed && k < n_sites; ++k) {
+      const size_t i = members[g][k];
+      const uint32_t site = static_cast<uint32_t>(r.GetVarint());
+      durations[i] = DecodeDuration(r.GetU64());
+      const uint64_t n_sends = r.GetVarint();
+      well_formed = r.ok() && site == sites[i];
+      for (uint64_t m = 0; well_formed && m < n_sends; ++m) {
+        Message msg;
+        msg.src = site;
+        msg.dst = static_cast<uint32_t>(r.GetVarint());
+        msg.cls = static_cast<MessageClass>(r.GetU8());
+        const uint64_t len = r.GetVarint();
+        well_formed = r.GetBytes(len, &msg.payload) &&
+                      msg.dst <= env_.num_workers;
+        if (well_formed) results[i].push_back(std::move(msg));
+      }
+    }
+    if (well_formed) {
+      const uint64_t delta_len = r.GetVarint();
+      if (delta_len > 0) {
+        Blob delta;
+        well_formed = r.GetBytes(delta_len, &delta);
+        if (well_formed && session_.shared != nullptr) {
+          Blob::Reader dr(delta);
+          session_.shared->MergeDelta(dr);
+          well_formed = dr.ok();
+        }
+      }
+    }
+    if (well_formed) well_formed = DecodePoison(r, session_.health);
+    for (size_t c = 0; well_formed && c < 3; ++c) {
+      const uint64_t drops = r.GetVarint();
+      well_formed = r.ok();
+      if (well_formed && drops > 0 && session_.health != nullptr) {
+        session_.health->AccumulateRemoteDrops(static_cast<MessageClass>(c),
+                                               drops);
+      }
+    }
+    if (!well_formed) {
+      KillGroup(g, Status(StatusCode::kDataLoss,
+                          "transport worker sent a malformed response"));
+    }
+  }
+
+  // 4) Deterministic merge: ascending site order, send order preserved.
+  double round_max = 0;
+  for (size_t i = 0; i < n; ++i) {
+    *total_compute += durations[i];
+    round_max = std::max(round_max, durations[i]);
+    for (Message& m : results[i]) sends->push_back(std::move(m));
+  }
+  return round_max;
+}
+
+void SocketTransport::Teardown(bool graceful) {
+  for (ChildLink& link : links_) {
+    if (link.fd >= 0) {
+      if (graceful && link.alive) link.channel->SendShutdown();
+      close(link.fd);
+      link.fd = -1;
+      link.channel.reset();
+    }
+    if (link.pid > 0) {
+      // Give a live child a moment to see the shutdown frame / EOF; a
+      // stalled or dead-marked one is killed outright.
+      if (!link.alive) kill(link.pid, SIGKILL);
+      int status = 0;
+      pid_t r = 0;
+      for (int spin = 0; spin < 200; ++spin) {  // <= ~2s
+        r = waitpid(link.pid, &status, WNOHANG);
+        if (r != 0) break;
+        usleep(10 * 1000);
+      }
+      if (r == 0) {
+        kill(link.pid, SIGKILL);
+        waitpid(link.pid, &status, 0);
+      }
+      link.pid = -1;
+    }
+    link.alive = false;
+  }
+  links_.clear();
+  groups_.clear();
+}
+
+}  // namespace
+
+std::unique_ptr<Transport> MakeSocketTransport(const TransportOptions& options,
+                                               const TransportEnv& env) {
+  return std::make_unique<SocketTransport>(options, env);
+}
+
+}  // namespace dgs

@@ -1,0 +1,114 @@
+// Multi-process TCP backend of the transport layer (runtime/transport.h).
+//
+// Topology. SocketTransport::BeginRun forks one worker process per site-
+// group (TransportOptions::num_processes groups; 0 = one per worker site)
+// and connects each to the parent over a 127.0.0.1 TCP socket. fork()
+// without exec is deliberate: the deployed state — fragment views, label
+// indexes, resident actors — is exactly what the children need, and
+// copy-on-write ships it for free; re-building it behind an exec would turn
+// every query into a deployment. The coordinator site always executes in
+// the parent, so result collection (Deployment::Collect) keeps reading live
+// actor state. The parent is the hub: one request frame per child per round
+// (kind, round, poison state, the group's active sites and their inboxes),
+// one response frame back (per-site durations and sends, a SharedRunState
+// counter delta, a RunHealth report). Star routing keeps the deterministic
+// merge and every byte of charged accounting on the parent's single merge
+// path — worker processes never talk to each other directly, they talk to
+// sites, and the parent is the switch.
+//
+// Physical framing (FrameChannel). Every frame is
+//
+//   u32 magic | u8 kind | u64 seq | u32 len | payload[len] | u32 fnv
+//
+// with the FNV-1a checksum over (kind, seq, len, payload). Receivers NACK
+// a frame that fails its checksum; the sender retains its last data frame
+// and retransmits on NACK (TransportOptions::max_frame_retransmits bounds
+// the loop, exhaustion => DataLoss). Duplicate sequence numbers are
+// discarded (delivery is idempotent), a sequence gap or bad magic is a
+// protocol desync (DataLoss), EOF / short reads are Unavailable, and a
+// peer silent past TransportOptions::io_timeout_seconds is
+// DeadlineExceeded. This is PR 6's tolerant-delivery contract
+// (seq/checksum/retransmit/dedup, classified failures) implemented on a
+// real wire; the deterministic chaos knobs in TransportOptions
+// (chaos_corrupt_every / chaos_duplicate_every / ...) let tests drive the
+// recovery machinery on purpose.
+//
+// Failure surface. All classified failures go through RunHealth (bound in
+// the RunSession): a dead or stalled child poisons the run, its sites stop
+// producing sends, and the run drains to quiescence in the parent exactly
+// like an in-process poisoned run. Without a bound RunHealth a transport
+// failure aborts loudly (DGS_CHECK) — raw Cluster users opt into health
+// handling explicitly.
+
+#ifndef DGS_RUNTIME_REMOTE_H_
+#define DGS_RUNTIME_REMOTE_H_
+
+#include <memory>
+
+#include "runtime/transport.h"
+#include "util/status.h"
+
+namespace dgs {
+
+// Physical frame types on a transport socket.
+enum class FrameKind : uint8_t {
+  kData = 0,      // sequenced, checksummed, retained for retransmit
+  kNack = 1,      // "frame `seq` failed its checksum, resend it"
+  kShutdown = 2,  // orderly close (EndRun)
+};
+
+// One endpoint of the sequenced/checksummed frame protocol over a socket
+// (or any stream fd — the conformance tests run it over a socketpair).
+// Symmetric: both the parent hub and the worker children hold one per
+// connection. Not thread-safe; each endpoint is driven by one thread.
+class FrameChannel {
+ public:
+  // `stats` may be null (children do not report transport stats; the
+  // parent's side of every exchange measures the wire once).
+  FrameChannel(int fd, const TransportOptions& options, TransportStats* stats)
+      : fd_(fd), options_(options), stats_(stats) {}
+
+  int fd() const { return fd_; }
+
+  // Writes one data frame (seq = frames sent so far, checksummed). Applies
+  // the deterministic chaos knobs (corrupt/duplicate every Nth data frame).
+  // The frame is retained for NACK-triggered retransmission until the next
+  // SendData. Errors are classified (kUnavailable on a broken pipe).
+  Status SendData(const Blob& payload);
+
+  // Writes a shutdown frame (never retained, never chaos-perturbed).
+  Status SendShutdown();
+
+  // Reads the next in-sequence data frame's payload into *payload,
+  // transparently running the recovery protocol: corrupt frames are NACKed
+  // (and the peer's retransmission awaited), duplicates discarded, NACKs
+  // from the peer serviced by retransmitting our retained frame. Sets
+  // *shutdown (and returns Ok with an empty payload) on an orderly
+  // shutdown frame. Classified errors: kUnavailable (EOF / short read),
+  // kDeadlineExceeded (silent past io_timeout_seconds), kDataLoss (bad
+  // magic, sequence gap, or retransmits exhausted).
+  Status ReceiveData(Blob* payload, bool* shutdown);
+
+ private:
+  Status WriteAll(const uint8_t* data, size_t n);
+  Status ReadAll(uint8_t* data, size_t n);
+  Status SendRaw(FrameKind kind, uint64_t seq, const Blob& payload,
+                 bool allow_chaos);
+
+  int fd_;
+  TransportOptions options_;
+  TransportStats* stats_;
+  uint64_t next_send_seq_ = 0;
+  uint64_t data_frames_sent_ = 0;  // drives the every-Nth chaos counters
+  uint64_t next_recv_seq_ = 0;
+  std::vector<uint8_t> retained_;  // last data frame, for retransmission
+};
+
+// Builds the TCP multi-process backend (see the file comment). Worker
+// processes are forked per Run() inside BeginRun and reaped in EndRun.
+std::unique_ptr<Transport> MakeSocketTransport(const TransportOptions& options,
+                                               const TransportEnv& env);
+
+}  // namespace dgs
+
+#endif  // DGS_RUNTIME_REMOTE_H_

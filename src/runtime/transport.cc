@@ -1,0 +1,112 @@
+#include "runtime/transport.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "runtime/remote.h"
+#include "util/timer.h"
+
+namespace dgs {
+
+void DispatchCallback(SiteActor* actor, RoundKind kind, SiteContext& ctx,
+                      std::vector<Message> inbox) {
+  switch (kind) {
+    case RoundKind::kSetup:
+      actor->Setup(ctx);
+      break;
+    case RoundKind::kDeliver:
+      actor->OnMessages(ctx, std::move(inbox));
+      break;
+    case RoundKind::kQuiesce:
+      actor->OnQuiesce(ctx);
+      break;
+  }
+}
+
+double LoopbackTransport::ExecuteRound(RoundKind kind, uint32_t round,
+                                       const std::vector<uint32_t>& sites,
+                                       std::vector<std::vector<Message>> inboxes,
+                                       std::vector<Message>* sends,
+                                       double* total_compute) {
+  (void)round;
+  const size_t n = sites.size();
+  if (outbox_pool_.size() < n) outbox_pool_.resize(n);
+  if (duration_pool_.size() < n) duration_pool_.resize(n);
+  std::vector<std::vector<Message>>& outboxes = outbox_pool_;
+  std::vector<double>& durations = duration_pool_;
+  const std::vector<SiteActor*>& actors = *session_.actors;
+
+  auto run_one = [&](size_t i) {
+    SiteContext ctx(env_.num_workers, env_.wire_format, env_.pool, sites[i],
+                    &outboxes[i]);
+    WallTimer timer;
+    DispatchCallback(actors[sites[i]], kind, ctx,
+                     i < inboxes.size() ? std::move(inboxes[i])
+                                        : std::vector<Message>{});
+    durations[i] = timer.ElapsedSeconds();
+  };
+
+  if (env_.pool != nullptr && n > 1) {
+    env_.pool->ParallelFor(n, run_one);
+  } else {
+    for (size_t i = 0; i < n; ++i) run_one(i);
+  }
+
+  // Deterministic merge: site-id order (`sites` is ascending), preserving
+  // each site's send order. Outboxes come back empty with their capacity
+  // intact, so steady-state rounds allocate nothing here.
+  double round_max = 0;
+  for (size_t i = 0; i < n; ++i) {
+    *total_compute += durations[i];
+    round_max = std::max(round_max, durations[i]);
+    for (Message& m : outboxes[i]) sends->push_back(std::move(m));
+    outboxes[i].clear();
+  }
+  return round_max;
+}
+
+StatusOr<TransportOptions> ParseTransportSpec(const std::string& spec) {
+  TransportOptions options;
+  if (spec.empty() || spec == "loopback") {
+    return options;
+  }
+  if (spec == "tcp") {
+    options.kind = TransportKind::kTcp;
+    return options;
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    const std::string arg = spec.substr(4);
+    char* end = nullptr;
+    const long procs = std::strtol(arg.c_str(), &end, 10);
+    if (end == arg.c_str() || *end != '\0' || procs < 0) {
+      return Status(StatusCode::kInvalidArgument,
+                    "bad process count in transport spec: " + spec);
+    }
+    options.kind = TransportKind::kTcp;
+    options.num_processes = static_cast<uint32_t>(procs);
+    return options;
+  }
+  return Status(StatusCode::kInvalidArgument,
+                "unknown transport spec (want loopback | tcp[:procs]): " +
+                    spec);
+}
+
+std::string TransportSpecString(const TransportOptions& options) {
+  if (options.kind == TransportKind::kLoopback) return "loopback";
+  std::string spec = "tcp";
+  if (options.num_processes > 0) {
+    spec += ":" + std::to_string(options.num_processes);
+  }
+  return spec;
+}
+
+std::unique_ptr<Transport> MakeTransport(const TransportOptions& options,
+                                         const TransportEnv& env) {
+  if (options.kind == TransportKind::kTcp) {
+    return MakeSocketTransport(options, env);
+  }
+  return std::make_unique<LoopbackTransport>(env);
+}
+
+}  // namespace dgs

@@ -1,0 +1,360 @@
+// Transport layer of the cluster runtime: who executes a delivery round's
+// site callbacks, and how the resulting messages travel.
+//
+// The runtime is layered (see runtime/cluster.h for the top of the stack):
+//
+//   Cluster            owns the delivery LOOP: round scheduling, the
+//                      deterministic (dst, src) sort, fault injection,
+//                      watchdog, and ALL RunStats accounting. It never
+//                      touches a socket.
+//   Transport          owns round EXECUTION: given the round kind and the
+//                      per-site inboxes, run each active site's callback
+//                      somewhere (threads, processes) and hand back the
+//                      merged sends in site-id order plus measured
+//                      durations. Two backends:
+//   LoopbackTransport  in-process pooled fork-join — byte- and
+//                      accounting-identical to the pre-transport runtime
+//                      (the reference semantics, and the default).
+//   SocketTransport    one OS process per site-group over TCP
+//                      (runtime/remote.h): the BSP cost model's charged
+//                      DS/PT numbers get real, measured socket bytes and
+//                      latency next to them (TransportStats).
+//
+// Transport contract (what a backend must guarantee):
+//
+//   ORDERING   ExecuteRound receives `sites` ascending with one inbox per
+//              site, each inbox already ordered by (src, send order at that
+//              src). It must append every site's sends to *sends grouped by
+//              site in ascending site-id order, preserving each site's send
+//              order. This is the whole determinism story: the Cluster's
+//              merge path then charges stats and sorts for the next round
+//              exactly as the sequential reference would.
+//   FRAMING    On a wire backend, each (src, dst) flush of a round travels
+//              as one coalesced batch (one physical frame header per pair,
+//              per-entry subheaders inside) — the charged-model analogue is
+//              ClusterOptions::transport.coalesce. Physical frames carry a
+//              sequence number and an FNV-1a checksum; receivers NACK
+//              corrupt frames (bounded retransmit), discard duplicate
+//              sequence numbers, and treat a gap as fatal.
+//   FAILURES   Backends never abort on transport faults when a RunHealth is
+//              bound: connection loss / short read => Unavailable, checksum
+//              retransmits exhausted or protocol desync => DataLoss, a peer
+//              stalled past TransportOptions::io_timeout_seconds =>
+//              DeadlineExceeded. The poisoned run drains to quiescence like
+//              every other poisoned run (actors go silent), and dead sites
+//              simply stop producing sends.
+//   STATE      Worker callbacks may run in another process: anything a
+//              query needs back from workers must travel as messages or
+//              through the SharedRunState channel below — never by reading
+//              worker-actor members after Run() (the parent's copies are
+//              stale under SocketTransport).
+//
+// Determinism across backends: because delivered bytes, delivery order, and
+// the charged accounting are all fixed by this contract, a healthy run's
+// results and RunStats are bit-identical between loopback and tcp for every
+// thread count. The transport conformance suite (tests/transport_test.cc)
+// and the DGS_TRANSPORT=tcp CI job enforce exactly that.
+
+#ifndef DGS_RUNTIME_TRANSPORT_H_
+#define DGS_RUNTIME_TRANSPORT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "runtime/fault.h"
+#include "runtime/message.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace dgs {
+
+enum class TransportKind : uint8_t {
+  kLoopback = 0,  // in-process (the deterministic reference backend)
+  kTcp = 1,       // one OS process per site-group over 127.0.0.1 TCP
+};
+
+inline const char* TransportKindName(TransportKind kind) {
+  return kind == TransportKind::kTcp ? "tcp" : "loopback";
+}
+
+// Per-(src,dst) coalesced batch framing: messages after the first in a
+// round's flush pay this sub-header (class + length) instead of a full
+// kMessageHeaderBytes header. The first message of a flush always pays the
+// full header, so coalescing never charges more than per-message framing.
+inline constexpr uint64_t kCoalescedEntryBytes = 4;
+
+// Transport configuration, fixed per Cluster (ClusterOptions::transport).
+struct TransportOptions {
+  TransportKind kind = TransportKind::kLoopback;
+
+  // kTcp: worker processes to fork; worker sites are split into that many
+  // contiguous groups. 0 (default) = one process per worker site. The
+  // coordinator always executes in the parent (result collection reads it).
+  uint32_t num_processes = 0;
+
+  // Charge one batch header per (src, dst) flush per round instead of a
+  // full header per message (kCoalescedEntryBytes for the rest). Applies
+  // to the charged RunStats model on every backend; the socket backend
+  // always frames physically this way. Default off: the charged accounting
+  // stays bit-identical to the historical per-message model.
+  bool coalesce = false;
+
+  // kTcp: poll() bound on every socket read. A peer silent for longer is
+  // declared stalled and the run poisoned DeadlineExceeded.
+  double io_timeout_seconds = 30.0;
+
+  // kTcp: per-frame retransmission budget. A frame still failing its
+  // checksum after this many NACK-triggered retransmits poisons DataLoss.
+  uint32_t max_frame_retransmits = 4;
+
+  // Deterministic physical-layer chaos, kTcp only (the conformance tests'
+  // handle on the real recovery machinery; all default off):
+  uint64_t chaos_corrupt_every = 0;    // corrupt every Nth data frame sent
+  uint64_t chaos_duplicate_every = 0;  // send every Nth data frame twice
+  uint32_t chaos_stall_at_round = 0;   // child sleeps at delivery round N
+  uint32_t chaos_exit_at_round = 0;    // child _exit(1)s at delivery round N
+
+  bool remote() const { return kind == TransportKind::kTcp; }
+};
+
+// Parses a transport spec string: "loopback", "tcp", or "tcp:<procs>"
+// (e.g. "tcp:4" = four worker processes). Fails with InvalidArgument on
+// anything else. The inverse rendering is TransportSpecString.
+StatusOr<TransportOptions> ParseTransportSpec(const std::string& spec);
+std::string TransportSpecString(const TransportOptions& options);
+
+// Measured (not charged) transport accounting of one Run(). All zero on
+// loopback — there is no wire. On tcp these are real socket numbers:
+// `bytes_*` count every physical byte written to / read from the sockets
+// (frame headers, retransmits, and duplicates included), which is what
+// bench_transport reports next to the charged BSP data shipment.
+struct TransportStats {
+  uint64_t processes = 0;        // worker processes of the run
+  uint64_t frames_sent = 0;      // physical frames written (parent side)
+  uint64_t frames_received = 0;  // physical frames read (parent side)
+  uint64_t bytes_sent = 0;       // socket bytes written, headers included
+  uint64_t bytes_received = 0;   // socket bytes read, headers included
+  uint64_t retransmits = 0;      // frames re-sent after a NACK
+  uint64_t checksum_rejects = 0; // received frames failing their checksum
+  uint64_t duplicates_discarded = 0;  // duplicate sequence numbers dropped
+  double launch_seconds = 0;     // fork + connect + handshake wall time
+  double io_seconds = 0;         // parent wall time blocked on socket I/O
+
+  void Accumulate(const TransportStats& other) {
+    processes += other.processes;
+    frames_sent += other.frames_sent;
+    frames_received += other.frames_received;
+    bytes_sent += other.bytes_sent;
+    bytes_received += other.bytes_received;
+    retransmits += other.retransmits;
+    checksum_rejects += other.checksum_rejects;
+    duplicates_discarded += other.duplicates_discarded;
+    launch_seconds += other.launch_seconds;
+    io_seconds += other.io_seconds;
+  }
+};
+
+class SiteActor;
+
+// Per-callback handle through which an actor reads its identity and sends.
+// Sends are buffered in a per-site outbox owned by the transport and merged
+// deterministically at the round barrier; Send never touches shared state.
+// Constructed by the transport backend executing the callback — in the
+// cluster's process (loopback, and the coordinator under tcp) or in a
+// forked worker process (tcp).
+class SiteContext {
+ public:
+  SiteContext(uint32_t num_workers, WireFormat wire_format, ThreadPool* pool,
+              uint32_t site_id, std::vector<Message>* outbox)
+      : num_workers_(num_workers),
+        wire_format_(wire_format),
+        pool_(pool),
+        site_id_(site_id),
+        outbox_(outbox) {}
+
+  uint32_t site_id() const { return site_id_; }
+  // Worker count (the coordinator is an extra site with id num_workers()).
+  uint32_t num_workers() const { return num_workers_; }
+  uint32_t coordinator_id() const { return num_workers_; }
+  // The run's configured wire format (ClusterOptions::wire_format); actors
+  // pass it to the core/protocol.h encoders. Decoders dispatch on the
+  // self-describing payload tags and never need it.
+  WireFormat wire_format() const { return wire_format_; }
+
+  // The executing backend's thread pool, for intra-callback parallelism
+  // (null when the executing process runs sequentially). Actors may hand it
+  // to ComputeSimulation/LocalEngine/EquationSystem drains or use it to
+  // encode per-destination payloads concurrently. Safe in every round:
+  // when the pool is already driving a multi-site round, nested calls run
+  // inline on the calling lane (ThreadPool's reentrancy rule); in a
+  // single-active-site round — coordinator-side solves, which is where the
+  // heavy intra-callback work lives — the idle lanes provide real
+  // parallelism. Determinism obligations stay with the actor: anything
+  // executed on the pool must produce thread-count-invariant results.
+  ThreadPool* pool() const { return pool_; }
+
+  void Send(uint32_t dst, MessageClass cls, Blob payload) {
+    DGS_CHECK(dst <= num_workers_, "destination site out of range");
+    Message m;
+    m.src = site_id_;
+    m.dst = dst;
+    m.cls = cls;
+    m.payload = std::move(payload);
+    outbox_->push_back(std::move(m));
+  }
+
+ private:
+  uint32_t num_workers_;
+  WireFormat wire_format_;
+  ThreadPool* pool_;
+  uint32_t site_id_;
+  std::vector<Message>* outbox_;
+};
+
+// A site's algorithm logic. One actor per worker plus one coordinator.
+class SiteActor {
+ public:
+  virtual ~SiteActor() = default;
+
+  // Called once before any message flows (phase 1 / partial evaluation).
+  virtual void Setup(SiteContext& ctx) { (void)ctx; }
+
+  // Called when the site has inbound messages this round.
+  virtual void OnMessages(SiteContext& ctx, std::vector<Message> inbox) = 0;
+
+  // Called at every quiescent point. Default: do nothing (stay done).
+  virtual void OnQuiesce(SiteContext& ctx) { (void)ctx; }
+};
+
+// Which callback a round dispatches (see the round model in cluster.h).
+enum class RoundKind : uint8_t {
+  kSetup = 0,    // Setup() on every site, no inboxes
+  kDeliver = 1,  // OnMessages() on the sites with inbound traffic
+  kQuiesce = 2,  // OnQuiesce() on every site, no inboxes
+};
+
+// Cross-process side channel for run state that is NOT message traffic —
+// concretely the AlgoCounters the actors increment during callbacks. The
+// runtime cannot name core types (layering: core depends on runtime, never
+// the reverse), so it ships the state as opaque snapshot/delta blobs:
+//
+//   parent, at BeginRun:     Encode(baseline)           -> ships to children
+//   child, after each round: EncodeDelta(prev, delta)   -> rides the reply
+//   parent, on each reply:   MergeDelta(delta)          -> folds into the
+//                            live object (atomic adds, order-insensitive)
+//
+// Implementations must be delta-exact: applying every child's deltas in any
+// order reproduces the single-process totals bit-for-bit (the counters are
+// monotonic sums, so unsigned differences compose). core/serving.h's
+// AlgoCountersChannel is the one implementation.
+class SharedRunState {
+ public:
+  virtual ~SharedRunState() = default;
+
+  // Serializes the current state into `out` (appends).
+  virtual void Encode(Blob* out) const = 0;
+
+  // Serializes (current state - `before`) into `out`, where `before` is a
+  // Reader over a previous Encode() image.
+  virtual void EncodeDelta(Blob::Reader& before, Blob* out) const = 0;
+
+  // Folds a delta produced by EncodeDelta into the live state.
+  virtual void MergeDelta(Blob::Reader& delta) = 0;
+};
+
+// Everything a Transport needs to know about one Run(), bound at BeginRun.
+// All pointers are owned by the caller and must outlive EndRun().
+struct RunSession {
+  // Site actors, indexed by site id; size num_workers + 1 (coordinator
+  // last). Under tcp the vector is snapshotted into the children by fork.
+  const std::vector<SiteActor*>* actors = nullptr;
+  // Poison flag of the run (null = unhealthy transports abort loudly).
+  RunHealth* health = nullptr;
+  // Optional counters side channel (see SharedRunState); may be null.
+  SharedRunState* shared = nullptr;
+};
+
+// Fixed per-cluster execution environment handed to MakeTransport.
+struct TransportEnv {
+  uint32_t num_workers = 0;
+  WireFormat wire_format = WireFormat::kV2Delta;
+  // The cluster's executor (null when num_threads == 1). Loopback drives
+  // rounds on it; tcp uses it for the parent-resident coordinator and
+  // re-creates an equivalent pool inside each worker process.
+  ThreadPool* pool = nullptr;
+  // The configured executor width (children cannot inspect the pool).
+  uint32_t num_threads = 1;
+};
+
+// Round-execution backend. One per Cluster, same lifetime; BeginRun/EndRun
+// bracket every Run() (tcp forks its worker processes in BeginRun and reaps
+// them in EndRun; loopback's are no-ops).
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual TransportKind kind() const = 0;
+
+  virtual void BeginRun(const RunSession& session) = 0;
+  virtual void EndRun() = 0;
+
+  // Executes one barrier round: dispatches `kind` on every site in `sites`
+  // (ascending), with inboxes[i] as sites[i]'s inbound messages (empty
+  // vector for kSetup/kQuiesce). Appends every site's sends to *sends in
+  // ascending site-id order (each site's send order preserved — see the
+  // ORDERING contract above), adds each callback's measured duration to
+  // *total_compute, and returns the maximum callback duration (the BSP
+  // critical path of the round). `round` is the 1-based delivery round
+  // (0 for kSetup/kQuiesce).
+  virtual double ExecuteRound(RoundKind kind, uint32_t round,
+                              const std::vector<uint32_t>& sites,
+                              std::vector<std::vector<Message>> inboxes,
+                              std::vector<Message>* sends,
+                              double* total_compute) = 0;
+
+  // Measured transport accounting since BeginRun (see TransportStats).
+  virtual const TransportStats& stats() const = 0;
+};
+
+// In-process reference backend: pooled fork-join rounds on env.pool,
+// bit-identical results and accounting to the pre-transport runtime.
+class LoopbackTransport : public Transport {
+ public:
+  explicit LoopbackTransport(const TransportEnv& env) : env_(env) {}
+
+  TransportKind kind() const override { return TransportKind::kLoopback; }
+  void BeginRun(const RunSession& session) override { session_ = session; }
+  void EndRun() override {}
+  double ExecuteRound(RoundKind kind, uint32_t round,
+                      const std::vector<uint32_t>& sites,
+                      std::vector<std::vector<Message>> inboxes,
+                      std::vector<Message>* sends,
+                      double* total_compute) override;
+  const TransportStats& stats() const override { return stats_; }
+
+ private:
+  TransportEnv env_;
+  RunSession session_;
+  // Pooled per-round buffers: one outbox + duration slot per active site,
+  // grown to the high-water mark once and reused every round of every run
+  // (outboxes are drained into *sends but keep their capacity).
+  std::vector<std::vector<Message>> outbox_pool_;
+  std::vector<double> duration_pool_;
+  TransportStats stats_;  // always zero: nothing is measured in-process
+};
+
+// Dispatches one site callback with a ready SiteContext. Shared by the
+// loopback round loop, the socket parent (coordinator site), and the forked
+// worker processes, so every backend executes callbacks identically.
+void DispatchCallback(SiteActor* actor, RoundKind kind, SiteContext& ctx,
+                      std::vector<Message> inbox);
+
+// Builds the backend selected by `options.kind`. The TCP backend lives in
+// runtime/remote.{h,cc}.
+std::unique_ptr<Transport> MakeTransport(const TransportOptions& options,
+                                         const TransportEnv& env);
+
+}  // namespace dgs
+
+#endif  // DGS_RUNTIME_TRANSPORT_H_

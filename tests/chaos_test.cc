@@ -170,6 +170,7 @@ TEST(ChaosRecoveryTest, RecoveredChaosIsBitIdenticalAcrossFamiliesAndWidths) {
     DistOptions options;
     options.algorithm = family.algorithm;
     options.num_threads = 1;
+    options.transport = dgs::testing::EnvTransport();
     auto clean =
         DistributedMatch(family.g, family.assignment, family.sites, family.q,
                          options);
@@ -226,6 +227,7 @@ TEST(ChaosRecoveryTest, DuplicateAndReorderChaosHealsWithoutRetransmits) {
   ASSERT_TRUE(q.ok());
 
   DistOptions options;
+  options.transport = dgs::testing::EnvTransport();
   auto clean = DistributedMatch(g, assignment, 4, *q, options);
   ASSERT_TRUE(clean.ok());
 
@@ -345,6 +347,7 @@ TEST(ChaosFailureTest, SiteCrashClassifiesUnavailableAndRestartRecovers) {
 TEST(ChaosFailureTest, WatchdogClassifiesDeadlineExceeded) {
   ServingRig rig = MakeServingRig();
   DistOptions options;
+  options.transport = dgs::testing::EnvTransport();
   auto clean = DistributedMatch(rig.g, rig.assignment, 4, rig.q, options);
   ASSERT_TRUE(clean.ok());
   ASSERT_GT(clean->stats.rounds, 1u) << "need a multi-round run to bound";
@@ -400,6 +403,7 @@ TEST(ChaosFailureTest, NoRecoveryChaosFailsSoft) {
   const uint64_t base = ChaosSeed();
   for (uint64_t offset = 0; offset < 3; ++offset) {
     DistOptions options;
+    options.transport = dgs::testing::EnvTransport();
     options.faults.data.corrupt = 0.4;
     options.faults.data.truncate = 0.3;
     options.faults.control = options.faults.data;

@@ -11,6 +11,7 @@
 #include "core/api.h"
 #include "graph/generators.h"
 #include "partition/partitioner.h"
+#include "test_env.h"
 
 namespace dgs {
 namespace {
@@ -39,7 +40,7 @@ struct Fingerprint {
 
 void ExpectSameFingerprint(const Fingerprint& a, const Fingerprint& b,
                            const char* what, uint32_t threads) {
-  SCOPED_TRACE(testing::Message() << what << " num_threads=" << threads);
+  SCOPED_TRACE(::testing::Message() << what << " num_threads=" << threads);
   EXPECT_TRUE(a.result == b.result);
   EXPECT_EQ(a.data_bytes, b.data_bytes);
   EXPECT_EQ(a.control_bytes, b.control_bytes);
@@ -61,6 +62,10 @@ void CheckAcrossThreadCounts(const Graph& g,
   DistOptions options;
   options.algorithm = algorithm;
   options.num_threads = 1;
+  // The CI transport job re-runs the whole sweep over the socket backend:
+  // width-invariance must hold there too, and the fingerprints are
+  // backend-invariant by the transport contract.
+  options.transport = dgs::testing::EnvTransport();
   auto reference = DistributedMatch(g, assignment, sites, q, options);
   ASSERT_TRUE(reference.ok()) << what;
   Fingerprint ref(*reference);
@@ -182,6 +187,7 @@ TEST(RuntimeDeterminismTest, HardwareWidthMatchesReference) {
 
   DistOptions options;
   options.num_threads = 1;
+  options.transport = dgs::testing::EnvTransport();
   auto ref = DistributedMatch(g, assignment, 4, *q, options);
   ASSERT_TRUE(ref.ok());
   options.num_threads = 0;

@@ -1,4 +1,5 @@
-// DGS_THREADS plumbing for the test suite, mirroring bench/bench_common.h.
+// DGS_THREADS / DGS_TRANSPORT plumbing for the test suite, mirroring
+// bench/bench_common.h.
 //
 // The CI matrix runs one ctest pass with DGS_THREADS=2 so every parallel
 // path — the cluster executor, the partitioned chaotic-relaxation drains,
@@ -6,6 +7,12 @@
 // the single-thread default. All results are thread-count-invariant by the
 // runtime's determinism contract, so the same expectations hold at every
 // width.
+//
+// A separate CI job runs with DGS_TRANSPORT=tcp:2 so the conformance
+// suites execute every algorithm family over the multi-process socket
+// backend. Results and charged accounting are backend-invariant by the
+// transport contract (runtime/transport.h), so — like DGS_THREADS — the
+// same expectations hold under every backend.
 
 #ifndef DGS_TESTS_TEST_ENV_H_
 #define DGS_TESTS_TEST_ENV_H_
@@ -13,6 +20,7 @@
 #include <cstdlib>
 
 #include "core/serving.h"
+#include "runtime/transport.h"
 
 namespace dgs::testing {
 
@@ -28,15 +36,30 @@ inline uint32_t EnvThreads() {
   return static_cast<uint32_t>(threads);
 }
 
+// Round-execution backend requested by the environment: "loopback"
+// (default), "tcp", or "tcp:<procs>". Malformed specs fall back to
+// loopback — a typo'd CI variable should not silently pass by running
+// everything in-process under a failed parse, but gtest has no global
+// abort hook here, so the conformance suites assert the spec parses.
+inline TransportOptions EnvTransport() {
+  const char* s = std::getenv("DGS_TRANSPORT");
+  if (s == nullptr) return TransportOptions{};
+  auto parsed = ParseTransportSpec(s);
+  if (!parsed.ok()) return TransportOptions{};
+  return std::move(parsed).value();
+}
+
 inline EngineOptions TestEngineOptions() {
   EngineOptions options;
   options.num_threads = EnvThreads();
+  options.transport = EnvTransport();
   return options;
 }
 
 inline ClusterOptions TestClusterOptions() {
   ClusterOptions options;
   options.num_threads = EnvThreads();
+  options.transport = EnvTransport();
   return options;
 }
 

@@ -1,0 +1,703 @@
+// Transport conformance suite (runtime/transport.h, runtime/remote.h).
+//
+// The tentpole invariant: the round-execution backend is observationally
+// invisible. A healthy run over the multi-process TCP backend must produce
+// results, charged RunStats, and algorithm counters bit-identical to the
+// in-process loopback reference, for every process grouping and executor
+// width — only DistOutcome::transport (the measured socket accounting)
+// knows the difference. On top of that, the physical frame protocol's
+// recovery machinery (checksum/NACK/retransmit/dedup) must heal the
+// deterministic wire-chaos knobs invisibly, and unrecoverable failures
+// (a worker crash, a stalled peer) must classify Unavailable /
+// DeadlineExceeded instead of aborting.
+//
+// Suite names deliberately avoid the sanitizer CI filters (no "Cluster",
+// "Chaos", "Fault", "Engine", ... substrings): forking under TSAN/ASAN is
+// not supported, and these suites fork freely.
+
+#include "runtime/transport.h"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/api.h"
+#include "core/engine.h"
+#include "graph/generators.h"
+#include "partition/partitioner.h"
+#include "runtime/cluster.h"
+#include "runtime/remote.h"
+#include "serve/server.h"
+#include "test_env.h"
+#include "util/check.h"
+
+namespace dgs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Spec parsing
+// ---------------------------------------------------------------------------
+
+TEST(TransportSpecTest, ParsesLoopbackAndTcp) {
+  auto loop = ParseTransportSpec("loopback");
+  ASSERT_TRUE(loop.ok());
+  EXPECT_EQ(loop->kind, TransportKind::kLoopback);
+
+  auto empty = ParseTransportSpec("");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->kind, TransportKind::kLoopback);
+
+  auto tcp = ParseTransportSpec("tcp");
+  ASSERT_TRUE(tcp.ok());
+  EXPECT_EQ(tcp->kind, TransportKind::kTcp);
+  EXPECT_EQ(tcp->num_processes, 0u);
+
+  auto procs = ParseTransportSpec("tcp:4");
+  ASSERT_TRUE(procs.ok());
+  EXPECT_EQ(procs->kind, TransportKind::kTcp);
+  EXPECT_EQ(procs->num_processes, 4u);
+}
+
+TEST(TransportSpecTest, RejectsMalformedSpecs) {
+  for (const char* bad : {"udp", "tcp:", "tcp:x", "tcp:-2", "tcp:4x", "TCP"}) {
+    auto parsed = ParseTransportSpec(bad);
+    EXPECT_FALSE(parsed.ok()) << bad;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+}
+
+TEST(TransportSpecTest, SpecStringRoundTrips) {
+  for (const char* spec : {"loopback", "tcp", "tcp:4"}) {
+    auto parsed = ParseTransportSpec(spec);
+    ASSERT_TRUE(parsed.ok()) << spec;
+    EXPECT_EQ(TransportSpecString(*parsed), spec);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FrameChannel: the physical frame protocol over a socketpair
+// ---------------------------------------------------------------------------
+
+struct ChannelPair {
+  int a_fd = -1, b_fd = -1;
+  TransportStats a_stats, b_stats;
+
+  ChannelPair() {
+    int fds[2];
+    EXPECT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a_fd = fds[0];
+    b_fd = fds[1];
+  }
+  ~ChannelPair() {
+    if (a_fd >= 0) close(a_fd);
+    if (b_fd >= 0) close(b_fd);
+  }
+};
+
+Blob MakePayload(std::initializer_list<uint8_t> bytes) {
+  Blob b;
+  for (uint8_t x : bytes) b.PutU8(x);
+  return b;
+}
+
+bool SamePayload(const Blob& a, const Blob& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size()) == 0;
+}
+
+TEST(TransportFramingTest, CleanRoundTripDeliversInOrder) {
+  ChannelPair pair;
+  TransportOptions options;
+  FrameChannel a(pair.a_fd, options, &pair.a_stats);
+  FrameChannel b(pair.b_fd, options, &pair.b_stats);
+
+  const Blob p0 = MakePayload({1, 2, 3});
+  const Blob p1 = MakePayload({4, 5});
+  ASSERT_TRUE(a.SendData(p0).ok());
+  ASSERT_TRUE(a.SendData(p1).ok());
+
+  Blob got;
+  bool shutdown = false;
+  ASSERT_TRUE(b.ReceiveData(&got, &shutdown).ok());
+  EXPECT_FALSE(shutdown);
+  EXPECT_TRUE(SamePayload(got, p0));
+  ASSERT_TRUE(b.ReceiveData(&got, &shutdown).ok());
+  EXPECT_TRUE(SamePayload(got, p1));
+
+  ASSERT_TRUE(a.SendShutdown().ok());
+  ASSERT_TRUE(b.ReceiveData(&got, &shutdown).ok());
+  EXPECT_TRUE(shutdown);
+
+  EXPECT_EQ(pair.a_stats.frames_sent, 3u);
+  EXPECT_EQ(pair.b_stats.frames_received, 3u);
+  EXPECT_EQ(pair.b_stats.checksum_rejects, 0u);
+  EXPECT_EQ(pair.a_stats.bytes_sent, pair.b_stats.bytes_received);
+}
+
+TEST(TransportFramingTest, CorruptFrameIsNackedAndRetransmitted) {
+  ChannelPair pair;
+  TransportOptions sender_options;
+  sender_options.chaos_corrupt_every = 1;  // every data frame A sends
+  TransportOptions receiver_options;
+  FrameChannel a(pair.a_fd, sender_options, &pair.a_stats);
+  FrameChannel b(pair.b_fd, receiver_options, &pair.b_stats);
+
+  const Blob request = MakePayload({42, 43, 44});
+  const Blob reply = MakePayload({7});
+
+  // Peer: receive the (corrupted, then retransmitted) request, answer.
+  std::thread peer([&] {
+    Blob got;
+    bool shutdown = false;
+    ASSERT_TRUE(b.ReceiveData(&got, &shutdown).ok());
+    EXPECT_TRUE(SamePayload(got, request));
+    ASSERT_TRUE(b.SendData(reply).ok());
+  });
+
+  ASSERT_TRUE(a.SendData(request).ok());  // wire copy corrupted
+  Blob got;
+  bool shutdown = false;
+  // Services the peer's NACK (clean retransmission), then reads the reply.
+  ASSERT_TRUE(a.ReceiveData(&got, &shutdown).ok());
+  peer.join();
+  EXPECT_TRUE(SamePayload(got, reply));
+  EXPECT_EQ(pair.b_stats.checksum_rejects, 1u);
+  EXPECT_EQ(pair.a_stats.retransmits, 1u);
+}
+
+TEST(TransportFramingTest, DuplicateFramesAreDiscarded) {
+  ChannelPair pair;
+  TransportOptions sender_options;
+  sender_options.chaos_duplicate_every = 1;  // every data frame sent twice
+  TransportOptions receiver_options;
+  FrameChannel a(pair.a_fd, sender_options, &pair.a_stats);
+  FrameChannel b(pair.b_fd, receiver_options, &pair.b_stats);
+
+  const Blob p0 = MakePayload({1});
+  const Blob p1 = MakePayload({2});
+  ASSERT_TRUE(a.SendData(p0).ok());
+  ASSERT_TRUE(a.SendData(p1).ok());
+
+  Blob got;
+  bool shutdown = false;
+  ASSERT_TRUE(b.ReceiveData(&got, &shutdown).ok());
+  EXPECT_TRUE(SamePayload(got, p0));
+  // The duplicate of p0 sits between them and must be skipped.
+  ASSERT_TRUE(b.ReceiveData(&got, &shutdown).ok());
+  EXPECT_TRUE(SamePayload(got, p1));
+  EXPECT_EQ(pair.b_stats.duplicates_discarded, 1u);
+  EXPECT_EQ(pair.b_stats.checksum_rejects, 0u);
+}
+
+TEST(TransportFramingTest, PeerSilenceClassifiesDeadlineExceeded) {
+  ChannelPair pair;
+  TransportOptions options;
+  options.io_timeout_seconds = 0.2;
+  FrameChannel b(pair.b_fd, options, &pair.b_stats);
+
+  Blob got;
+  bool shutdown = false;
+  const Status s = b.ReceiveData(&got, &shutdown);
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(TransportFramingTest, PeerCloseClassifiesUnavailable) {
+  ChannelPair pair;
+  TransportOptions options;
+  FrameChannel b(pair.b_fd, options, &pair.b_stats);
+  close(pair.a_fd);
+  pair.a_fd = -1;
+
+  Blob got;
+  bool shutdown = false;
+  const Status s = b.ReceiveData(&got, &shutdown);
+  EXPECT_EQ(s.code(), StatusCode::kUnavailable);
+}
+
+// Raw frame crafting for the protocol-desync cases (mirrors the layout in
+// runtime/remote.cc: u32 magic | u8 kind | u64 seq | u32 len | payload |
+// u32 FNV-1a over (kind, seq, len, payload)).
+std::vector<uint8_t> CraftFrame(uint8_t kind, uint64_t seq,
+                                const std::vector<uint8_t>& payload,
+                                bool good_checksum, uint32_t magic) {
+  const uint32_t len = static_cast<uint32_t>(payload.size());
+  std::vector<uint8_t> buf(17 + len + 4);
+  std::memcpy(buf.data(), &magic, 4);
+  buf[4] = kind;
+  std::memcpy(buf.data() + 5, &seq, 8);
+  std::memcpy(buf.data() + 13, &len, 4);
+  if (len > 0) std::memcpy(buf.data() + 17, payload.data(), len);
+  uint32_t h = 2166136261u;
+  for (size_t i = 4; i < 17 + len; ++i) {
+    h ^= buf[i];
+    h *= 16777619u;
+  }
+  if (!good_checksum) h ^= 0xffffffffu;
+  std::memcpy(buf.data() + 17 + len, &h, 4);
+  return buf;
+}
+
+void WriteRaw(int fd, const std::vector<uint8_t>& bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t w = send(fd, bytes.data() + off, bytes.size() - off,
+                           MSG_NOSIGNAL);
+    ASSERT_GT(w, 0);
+    off += static_cast<size_t>(w);
+  }
+}
+
+TEST(TransportFramingTest, BadMagicClassifiesDataLoss) {
+  ChannelPair pair;
+  TransportOptions options;
+  FrameChannel b(pair.b_fd, options, &pair.b_stats);
+  WriteRaw(pair.a_fd, CraftFrame(0, 0, {1, 2, 3}, true, 0xdeadbeefu));
+
+  Blob got;
+  bool shutdown = false;
+  const Status s = b.ReceiveData(&got, &shutdown);
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+}
+
+TEST(TransportFramingTest, SequenceGapClassifiesDataLoss) {
+  ChannelPair pair;
+  TransportOptions options;
+  FrameChannel b(pair.b_fd, options, &pair.b_stats);
+  WriteRaw(pair.a_fd, CraftFrame(0, /*seq=*/5, {1}, true, 0x44475357u));
+
+  Blob got;
+  bool shutdown = false;
+  const Status s = b.ReceiveData(&got, &shutdown);
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+}
+
+TEST(TransportFramingTest, RetransmitBudgetExhaustionClassifiesDataLoss) {
+  ChannelPair pair;
+  TransportOptions options;
+  options.max_frame_retransmits = 2;
+  FrameChannel b(pair.b_fd, options, &pair.b_stats);
+  // A peer that "retransmits" the same broken frame forever: after
+  // max_frame_retransmits NACKs the receiver gives up.
+  const auto bad = CraftFrame(0, 0, {9, 9}, false, 0x44475357u);
+  for (int i = 0; i < 3; ++i) WriteRaw(pair.a_fd, bad);
+
+  Blob got;
+  bool shutdown = false;
+  const Status s = b.ReceiveData(&got, &shutdown);
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(pair.b_stats.checksum_rejects, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Backend conformance: tcp == loopback, bit for bit
+// ---------------------------------------------------------------------------
+
+// Everything that must be backend-invariant: the answer plus the charged
+// deterministic accounting, including every algorithm counter (the last
+// three arrive from worker processes via the AlgoCountersChannel delta
+// protocol, so this also pins the cross-process counter path).
+void ExpectSameOutcome(const DistOutcome& got, const DistOutcome& want,
+                       const std::string& what) {
+  EXPECT_TRUE(got.result == want.result) << what;
+  EXPECT_EQ(got.stats.data_bytes, want.stats.data_bytes) << what;
+  EXPECT_EQ(got.stats.control_bytes, want.stats.control_bytes) << what;
+  EXPECT_EQ(got.stats.result_bytes, want.stats.result_bytes) << what;
+  EXPECT_EQ(got.stats.data_messages, want.stats.data_messages) << what;
+  EXPECT_EQ(got.stats.control_messages, want.stats.control_messages) << what;
+  EXPECT_EQ(got.stats.result_messages, want.stats.result_messages) << what;
+  EXPECT_EQ(got.stats.rounds, want.stats.rounds) << what;
+  EXPECT_EQ(got.counters.vars_shipped.load(),
+            want.counters.vars_shipped.load())
+      << what;
+  EXPECT_EQ(got.counters.push_count.load(), want.counters.push_count.load())
+      << what;
+  EXPECT_EQ(got.counters.equation_units.load(),
+            want.counters.equation_units.load())
+      << what;
+  EXPECT_EQ(got.counters.recomputations.load(),
+            want.counters.recomputations.load())
+      << what;
+  EXPECT_EQ(got.counters.supersteps.load(), want.counters.supersteps.load())
+      << what;
+  EXPECT_EQ(got.counters.wire_saved_data_bytes.load(),
+            want.counters.wire_saved_data_bytes.load())
+      << what;
+  EXPECT_EQ(got.counters.wire_saved_control_bytes.load(),
+            want.counters.wire_saved_control_bytes.load())
+      << what;
+  EXPECT_EQ(got.counters.wire_saved_result_bytes.load(),
+            want.counters.wire_saved_result_bytes.load())
+      << what;
+  EXPECT_EQ(got.decode_drops.Total(), 0u) << what;
+  EXPECT_TRUE(got.health.ok()) << what;
+}
+
+struct Family {
+  const char* name;
+  Algorithm algorithm;
+  Graph g;
+  std::vector<uint32_t> assignment;
+  uint32_t sites;
+  Pattern q;
+};
+
+std::vector<Family> MakeFamilies() {
+  std::vector<Family> families;
+  auto add = [&families](const char* name, Algorithm algorithm, Graph g,
+                         uint32_t sites, PatternKind kind, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<uint32_t> assignment =
+        PartitionWithBoundaryRatio(g, sites, 0.3, rng);
+    PatternSpec spec;
+    spec.num_nodes = 4;
+    spec.num_edges = kind == PatternKind::kCyclic ? 6 : 5;
+    spec.kind = kind;
+    auto q = ExtractPattern(g, spec, rng);
+    DGS_CHECK(q.ok(), "pattern extraction failed");
+    families.push_back({name, algorithm, std::move(g), std::move(assignment),
+                        sites, std::move(*q)});
+  };
+  {
+    Rng rng(2014);
+    Graph web = WebGraph(800, 3200, kDefaultAlphabet, rng);
+    add("dGPM", Algorithm::kDgpm, web, 4, PatternKind::kCyclic, 11);
+    add("dGPMNOpt", Algorithm::kDgpmNoOpt, web, 4, PatternKind::kCyclic, 12);
+    add("dMes", Algorithm::kDMes, web, 4, PatternKind::kCyclic, 13);
+    add("Match", Algorithm::kMatch, web, 4, PatternKind::kCyclic, 14);
+    add("disHHK", Algorithm::kDisHhk, std::move(web), 4, PatternKind::kCyclic,
+        15);
+  }
+  {
+    Rng rng(99);
+    Graph dag = CitationDag(800, 3000, kDefaultAlphabet, rng);
+    add("dGPMd", Algorithm::kDgpmDag, std::move(dag), 4, PatternKind::kDag,
+        16);
+  }
+  {
+    Rng rng(5);
+    Graph tree = RandomTree(600, kDefaultAlphabet, rng);
+    add("dGPMt", Algorithm::kDgpmTree, std::move(tree), 4, PatternKind::kDag,
+        17);
+  }
+  return families;
+}
+
+TEST(TransportConformanceTest, TcpMatchesLoopbackAcrossFamiliesAndGroupings) {
+  for (Family& family : MakeFamilies()) {
+    DistOptions options;
+    options.algorithm = family.algorithm;
+    options.num_threads = 1;
+    auto clean = DistributedMatch(family.g, family.assignment, family.sites,
+                                  family.q, options);
+    ASSERT_TRUE(clean.ok()) << family.name;
+    EXPECT_EQ(clean->transport.processes, 0u)
+        << family.name << ": loopback measures no wire";
+    EXPECT_EQ(clean->transport.bytes_sent, 0u) << family.name;
+
+    options.transport.kind = TransportKind::kTcp;
+    // One child for all sites, a split, and one child per site.
+    for (uint32_t procs : {1u, 2u, 0u}) {
+      for (uint32_t threads : {1u, 2u}) {
+        options.transport.num_processes = procs;
+        options.num_threads = threads;
+        auto remote = DistributedMatch(family.g, family.assignment,
+                                       family.sites, family.q, options);
+        const std::string what = std::string(family.name) + " tcp:" +
+                                 std::to_string(procs) + " t" +
+                                 std::to_string(threads);
+        ASSERT_TRUE(remote.ok())
+            << what << ": " << remote.status().ToString();
+        ExpectSameOutcome(*remote, *clean, what);
+        // The measured twin really measured a wire.
+        const uint64_t expect_procs =
+            procs == 0 ? family.sites : std::min(procs, family.sites);
+        EXPECT_EQ(remote->transport.processes, expect_procs) << what;
+        EXPECT_GT(remote->transport.frames_sent, 0u) << what;
+        EXPECT_GT(remote->transport.frames_received, 0u) << what;
+        EXPECT_GT(remote->transport.bytes_sent, 0u) << what;
+        EXPECT_GT(remote->transport.bytes_received, 0u) << what;
+        EXPECT_EQ(remote->transport.checksum_rejects, 0u) << what;
+        EXPECT_EQ(remote->transport.retransmits, 0u) << what;
+        EXPECT_EQ(remote->transport.duplicates_discarded, 0u) << what;
+      }
+    }
+  }
+}
+
+// The PR 6 logical fault injector runs on the cluster's merge path in the
+// parent, so a recovered drop/dup/reorder plan must stay observationally
+// invisible over tcp exactly as it is over loopback.
+TEST(TransportConformanceTest, RecoveredInjectorPlanIsInvisibleOverTcp) {
+  Family family = std::move(MakeFamilies()[0]);  // dGPM
+  DistOptions options;
+  options.algorithm = family.algorithm;
+  auto clean = DistributedMatch(family.g, family.assignment, family.sites,
+                                family.q, options);
+  ASSERT_TRUE(clean.ok());
+
+  options.faults.data.drop = 0.3;
+  options.faults.data.duplicate = 0.2;
+  options.faults.data.reorder = 0.3;
+  options.faults.control = options.faults.data;
+  options.faults.result = options.faults.data;
+  options.faults.max_retries = 16;
+  options.faults.seed = 7;
+  options.transport.kind = TransportKind::kTcp;
+  options.transport.num_processes = 2;
+  auto chaos = DistributedMatch(family.g, family.assignment, family.sites,
+                                family.q, options);
+  ASSERT_TRUE(chaos.ok()) << chaos.status().ToString();
+  ExpectSameOutcome(*chaos, *clean, "injector-over-tcp");
+  EXPECT_GT(chaos->faults.Injected(), 0u);
+  EXPECT_EQ(chaos->faults.lost, 0u);
+}
+
+// A resident Engine re-forks its worker processes per query (BeginRun /
+// EndRun) and keeps serving; the measured stats accumulate win or lose.
+TEST(TransportConformanceTest, ResidentServingReforksPerQuery) {
+  Family family = std::move(MakeFamilies()[0]);  // dGPM
+  QueryOptions query;
+  query.algorithm = family.algorithm;
+
+  EngineOptions loop_options;
+  auto reference = Engine::Create(family.g, family.assignment, family.sites,
+                                  loop_options);
+  ASSERT_TRUE(reference.ok());
+  auto want = (*reference)->Match(family.q, query);
+  ASSERT_TRUE(want.ok());
+
+  EngineOptions options;
+  options.transport.kind = TransportKind::kTcp;
+  options.transport.num_processes = 2;
+  auto engine = Engine::Create(family.g, family.assignment, family.sites,
+                               options);
+  ASSERT_TRUE(engine.ok());
+  for (int i = 0; i < 3; ++i) {
+    auto got = (*engine)->Match(family.q, query);
+    ASSERT_TRUE(got.ok()) << "query " << i << ": "
+                          << got.status().ToString();
+    ExpectSameOutcome(*got, *want, "resident query " + std::to_string(i));
+    EXPECT_EQ(got->transport.processes, 2u);
+  }
+  EXPECT_EQ((*engine)->serving_stats().transport.processes, 6u);
+  EXPECT_GT((*engine)->serving_stats().transport.bytes_sent, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Wire-chaos recovery and classified failures on the real socket path
+// ---------------------------------------------------------------------------
+
+TEST(TransportRecoveryTest, WireChaosHealsBitIdentical) {
+  Family family = std::move(MakeFamilies()[0]);  // dGPM
+  DistOptions options;
+  options.algorithm = family.algorithm;
+  auto clean = DistributedMatch(family.g, family.assignment, family.sites,
+                                family.q, options);
+  ASSERT_TRUE(clean.ok());
+
+  options.transport.kind = TransportKind::kTcp;
+  options.transport.num_processes = 2;
+  options.transport.chaos_corrupt_every = 2;
+  options.transport.chaos_duplicate_every = 3;
+  auto chaos = DistributedMatch(family.g, family.assignment, family.sites,
+                                family.q, options);
+  ASSERT_TRUE(chaos.ok()) << chaos.status().ToString();
+  ExpectSameOutcome(*chaos, *clean, "wire-chaos");
+  // The chaos really hit the wire and the frame protocol really healed it.
+  EXPECT_GT(chaos->transport.checksum_rejects, 0u);
+  EXPECT_GT(chaos->transport.retransmits, 0u);
+  EXPECT_GT(chaos->transport.duplicates_discarded, 0u);
+
+  // The wire-chaos schedule is deterministic: a second run reproduces the
+  // measured recovery byte for byte.
+  auto again = DistributedMatch(family.g, family.assignment, family.sites,
+                                family.q, options);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->transport.checksum_rejects,
+            chaos->transport.checksum_rejects);
+  EXPECT_EQ(again->transport.retransmits, chaos->transport.retransmits);
+  EXPECT_EQ(again->transport.duplicates_discarded,
+            chaos->transport.duplicates_discarded);
+  EXPECT_EQ(again->transport.bytes_sent, chaos->transport.bytes_sent);
+}
+
+TEST(TransportOutageTest, WorkerExitClassifiesUnavailable) {
+  Family family = std::move(MakeFamilies()[0]);  // dGPM
+  DistOptions options;
+  options.algorithm = family.algorithm;
+  options.transport.kind = TransportKind::kTcp;
+  options.transport.num_processes = 2;
+  options.transport.chaos_exit_at_round = 1;
+  auto outcome = DistributedMatch(family.g, family.assignment, family.sites,
+                                  family.q, options);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(TransportOutageTest, WorkerStallClassifiesDeadlineExceeded) {
+  Family family = std::move(MakeFamilies()[0]);  // dGPM
+  DistOptions options;
+  options.algorithm = family.algorithm;
+  options.transport.kind = TransportKind::kTcp;
+  options.transport.num_processes = 2;
+  options.transport.chaos_stall_at_round = 1;
+  options.transport.io_timeout_seconds = 0.3;
+  auto outcome = DistributedMatch(family.g, family.assignment, family.sites,
+                                  family.q, options);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+// A transport failure poisons the query, never the deployment: the same
+// resident Engine keeps serving (every query re-forks), and each failed
+// attempt classifies cleanly instead of aborting.
+TEST(TransportOutageTest, ResidentServingSurvivesWorkerCrashes) {
+  Family family = std::move(MakeFamilies()[0]);  // dGPM
+  QueryOptions query;
+  query.algorithm = family.algorithm;
+  EngineOptions options;
+  options.transport.kind = TransportKind::kTcp;
+  options.transport.num_processes = 2;
+  options.transport.chaos_exit_at_round = 1;
+  auto engine = Engine::Create(family.g, family.assignment, family.sites,
+                               options);
+  ASSERT_TRUE(engine.ok());
+  for (int i = 0; i < 2; ++i) {
+    auto outcome = (*engine)->Match(family.q, query);
+    ASSERT_FALSE(outcome.ok()) << "attempt " << i;
+    EXPECT_EQ(outcome.status().code(), StatusCode::kUnavailable)
+        << "attempt " << i;
+  }
+  EXPECT_EQ((*engine)->serving_stats().queries_failed, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Coalesced batch framing (charged model)
+// ---------------------------------------------------------------------------
+
+// Site 0 sends three data messages to site 1 in one round; payload sizes
+// 5, 7, 9. Per-message framing charges a full header each; coalesced
+// framing charges one header plus two per-entry subheaders.
+class FanSender : public SiteActor {
+ public:
+  void Setup(SiteContext& ctx) override {
+    if (ctx.site_id() != 0) return;
+    for (size_t bytes : {5u, 7u, 9u}) {
+      Blob b;
+      for (size_t i = 0; i < bytes; ++i) b.PutU8(static_cast<uint8_t>(i));
+      ctx.Send(1, MessageClass::kData, std::move(b));
+    }
+  }
+  void OnMessages(SiteContext&, std::vector<Message>) override {}
+};
+
+TEST(TransportCoalesceTest, ChargesOneHeaderPerFlushOnEveryBackend) {
+  const uint64_t per_message =
+      (kMessageHeaderBytes + 5) + (kMessageHeaderBytes + 7) +
+      (kMessageHeaderBytes + 9);
+  const uint64_t coalesced = (kMessageHeaderBytes + 5) +
+                             (kCoalescedEntryBytes + 7) +
+                             (kCoalescedEntryBytes + 9);
+  ASSERT_LT(coalesced, per_message);
+
+  uint64_t reference_rounds = 0;
+  for (TransportKind kind : {TransportKind::kLoopback, TransportKind::kTcp}) {
+    for (bool coalesce : {false, true}) {
+      ClusterOptions options;
+      options.transport.kind = kind;
+      options.transport.coalesce = coalesce;
+      Cluster cluster(2, options);
+      cluster.SetWorker(0, std::make_unique<FanSender>());
+      cluster.SetWorker(1, std::make_unique<FanSender>());
+      cluster.SetCoordinator(std::make_unique<FanSender>());
+      RunStats stats = cluster.Run();
+      const std::string what = std::string(TransportKindName(kind)) +
+                               (coalesce ? " coalesced" : " per-message");
+      EXPECT_EQ(stats.data_bytes, coalesce ? coalesced : per_message) << what;
+      EXPECT_EQ(stats.data_messages, 3u) << what;
+      // Coalescing changes charged bytes only — never the round schedule.
+      if (reference_rounds == 0) reference_rounds = stats.rounds;
+      EXPECT_EQ(stats.rounds, reference_rounds) << what;
+    }
+  }
+}
+
+TEST(TransportCoalesceTest, CoalescingPreservesResultsAndSavesBytes) {
+  for (Family& family : MakeFamilies()) {
+    DistOptions options;
+    options.algorithm = family.algorithm;
+    auto plain = DistributedMatch(family.g, family.assignment, family.sites,
+                                  family.q, options);
+    ASSERT_TRUE(plain.ok()) << family.name;
+
+    options.transport.coalesce = true;
+    auto packed = DistributedMatch(family.g, family.assignment, family.sites,
+                                   family.q, options);
+    ASSERT_TRUE(packed.ok()) << family.name;
+    EXPECT_TRUE(packed->result == plain->result) << family.name;
+    EXPECT_EQ(packed->stats.data_messages, plain->stats.data_messages)
+        << family.name;
+    EXPECT_EQ(packed->stats.rounds, plain->stats.rounds) << family.name;
+    // One header per flush never charges more than one per message.
+    EXPECT_LE(packed->stats.data_bytes, plain->stats.data_bytes)
+        << family.name;
+    EXPECT_LE(packed->stats.control_bytes, plain->stats.control_bytes)
+        << family.name;
+    EXPECT_LE(packed->stats.result_bytes, plain->stats.result_bytes)
+        << family.name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent serving over tcp (dgs::Server replicas)
+// ---------------------------------------------------------------------------
+
+TEST(TransportReplicatedServing, ReplicasServeQueriesOverTcp) {
+  Rng rng(2014);
+  Graph g = WebGraph(400, 1600, kDefaultAlphabet, rng);
+  std::vector<uint32_t> assignment =
+      PartitionWithBoundaryRatio(g, 3, 0.3, rng);
+  PatternSpec spec;
+  spec.num_nodes = 4;
+  spec.num_edges = 6;
+  spec.kind = PatternKind::kCyclic;
+  auto q = ExtractPattern(g, spec, rng);
+  ASSERT_TRUE(q.ok());
+
+  QueryOptions query;
+  query.algorithm = Algorithm::kDgpm;
+  auto reference = DistributedMatch(g, assignment, 3, *q, {});
+  ASSERT_TRUE(reference.ok());
+
+  ServerOptions options;
+  options.num_replicas = 2;
+  options.cache = CacheMode::kOff;  // every query really runs over the wire
+  options.engine.transport.kind = TransportKind::kTcp;
+  options.engine.transport.num_processes = 2;
+  auto server = Server::Create(g, assignment, 3, options);
+  ASSERT_TRUE(server.ok());
+
+  std::vector<ServerTicket> tickets;
+  for (int i = 0; i < 6; ++i) {
+    tickets.push_back((*server)->Submit(*q, query));
+  }
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    auto outcome = tickets[i].Wait();
+    ASSERT_TRUE(outcome.ok())
+        << "query " << i << ": " << outcome.status().ToString();
+    EXPECT_TRUE(outcome->result == reference->result) << "query " << i;
+    EXPECT_EQ(outcome->stats.data_bytes, reference->stats.data_bytes)
+        << "query " << i;
+    EXPECT_EQ(outcome->transport.processes, 2u) << "query " << i;
+  }
+  (*server)->Shutdown();
+}
+
+}  // namespace
+}  // namespace dgs
