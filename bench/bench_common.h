@@ -25,9 +25,15 @@
 //                or "tcp:<procs>" (see runtime/transport.h). Results and
 //                charged accounting are backend-invariant; tcp adds the
 //                measured socket accounting to DistOutcome::transport.
-//   DGS_COALESCE "1" charges one message header per (src,dst) flush per
-//                round instead of one per message (default 0; results and
-//                message counts are unchanged, only charged bytes drop).
+//   DGS_COALESCE "0" reverts to charging one message header per message;
+//                "1" (the default, matching TransportOptions) charges one
+//                header per (src,dst) flush per round. Results and message
+//                counts are unchanged either way, only charged bytes move.
+//   DGS_WIRE_RATIO  measured wire/charged byte ratio (the
+//                "wire_ratio_overall" meta of BENCH_transport.json). When
+//                set (> 0), the fig6 DS tables fold it in: each charged DS
+//                cell also shows charged × ratio — the projected bytes on
+//                a real socket — and JSON rows gain "wire_ds_kb".
 
 #ifndef DGS_BENCH_BENCH_COMMON_H_
 #define DGS_BENCH_BENCH_COMMON_H_
@@ -52,6 +58,8 @@ struct Env {
   uint32_t threads = 1;
   WireFormat wire = WireFormat::kV2Delta;
   TransportOptions transport;
+  // Measured wire/charged ratio from bench_transport; 0 = not provided.
+  double wire_ratio = 0;
 
   static Env FromEnv() {
     Env env;
@@ -92,6 +100,16 @@ struct Env {
     }
     if (const char* s = std::getenv("DGS_COALESCE")) {
       env.transport.coalesce = std::string(s) == "1";
+    }
+    if (const char* s = std::getenv("DGS_WIRE_RATIO")) {
+      char* end = nullptr;
+      double ratio = std::strtod(s, &end);
+      if (end != s && *end == '\0' && ratio > 0) {
+        env.wire_ratio = ratio;
+      } else {
+        std::cerr << "warning: ignoring malformed DGS_WIRE_RATIO='" << s
+                  << "' (wire projection off)\n";
+      }
     }
     if (env.scale <= 0) env.scale = 1.0;
     if (env.queries <= 0) env.queries = 1;
@@ -260,27 +278,32 @@ class FigureTable {
     }
   }
 
-  void Print(std::ostream& os) const {
-    PrintOne(os, title_pt_, /*pt=*/true);
+  // wire_ratio > 0 folds bench_transport's measured wire/charged ratio
+  // into the DS panel: each charged cell gains a "(wire …)" projection.
+  void Print(std::ostream& os, double wire_ratio = 0) const {
+    PrintOne(os, title_pt_, /*pt=*/true, /*wire_ratio=*/0);
     os << "\n";
-    PrintOne(os, title_ds_, /*pt=*/false);
+    PrintOne(os, title_ds_, /*pt=*/false, wire_ratio);
   }
 
   // One JSON row per (x value, algorithm) cell with both panel metrics.
-  void AppendJson(BenchJson& json) const {
+  void AppendJson(BenchJson& json, double wire_ratio = 0) const {
     for (const auto& x : order_) {
       auto it = cells_.find(x);
       if (it == cells_.end()) continue;
       for (Algorithm a : algorithms_) {
         auto jt = it->second.find(a);
         if (jt == it->second.end() || jt->second.runs == 0) continue;
-        json.AddRow()
-            .Str(x_label_, x)
+        JsonObject& row = json.AddRow();
+        row.Str(x_label_, x)
             .Str("algorithm", AlgorithmName(a))
             .Num("pt_ms", jt->second.AvgPtMs())
             .Num("ds_kb", jt->second.AvgDsKb())
             .Num("ds_saved_kb", jt->second.AvgDsSavedKb())
             .Num("runs", jt->second.runs);
+        if (wire_ratio > 0) {
+          row.Num("wire_ds_kb", jt->second.AvgDsKb() * wire_ratio);
+        }
       }
     }
   }
@@ -288,7 +311,7 @@ class FigureTable {
   // Prints the ASCII tables and writes BENCH_<bench_name>.json.
   void Report(const std::string& bench_name, const Env& env,
               std::ostream& os = std::cout) const {
-    Print(os);
+    Print(os, env.wire_ratio);
     BenchJson json(bench_name);
     json.meta()
         .Str("title_pt", title_pt_)
@@ -300,12 +323,14 @@ class FigureTable {
         .Str("wire", WireFormatName(env.wire))
         .Str("transport", TransportSpecString(env.transport))
         .Int("coalesce", env.transport.coalesce ? 1 : 0);
-    AppendJson(json);
+    if (env.wire_ratio > 0) json.meta().Num("wire_ratio", env.wire_ratio);
+    AppendJson(json, env.wire_ratio);
     json.WriteFile();
   }
 
  private:
-  void PrintOne(std::ostream& os, const std::string& title, bool pt) const {
+  void PrintOne(std::ostream& os, const std::string& title, bool pt,
+                double wire_ratio) const {
     os << "== " << title << " ==\n";
     std::vector<std::string> headers = {x_label_};
     for (Algorithm a : algorithms_) {
@@ -324,14 +349,23 @@ class FigureTable {
         }
         if (stats == nullptr || stats->runs == 0) {
           row.push_back("-");
-        } else {
+        } else if (pt || wire_ratio <= 0) {
           row.push_back(FormatDouble(pt ? stats->AvgPtMs() : stats->AvgDsKb(),
                                      pt ? 2 : 3));
+        } else {
+          // Charged DS plus the projected socket bytes at the measured
+          // wire/charged ratio (bench_transport).
+          row.push_back(FormatDouble(stats->AvgDsKb(), 3) + " (wire " +
+                        FormatDouble(stats->AvgDsKb() * wire_ratio, 3) + ")");
         }
       }
       table.AddRow(std::move(row));
     }
     table.Print(os);
+    if (!pt && wire_ratio > 0) {
+      os << "(wire …) = charged DS × " << FormatDouble(wire_ratio, 3)
+         << ", the measured wire/charged ratio from BENCH_transport.json\n";
+    }
   }
 
   std::string title_pt_;

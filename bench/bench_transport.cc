@@ -126,6 +126,7 @@ int main() {
                       "frames", "launch(ms)", "io(ms)"});
 
   bool all_identical = true;
+  double grand_charged = 0, grand_wire = 0;
   for (FamilySpec& family : families) {
     auto frag = Fragmentation::Create(family.g, family.assignment,
                                       family.sites);
@@ -204,6 +205,8 @@ int main() {
           .Num("io_ms", wire.io_seconds * 1e3);
     }
     if (runs == 0) continue;
+    grand_charged += total_charged;
+    grand_wire += total_tx + total_rx;
     table.AddRow(
         {std::string(family.name), std::to_string(procs),
          FormatDouble(total_ds / 1024.0, 3),
@@ -237,9 +240,17 @@ int main() {
   std::cout << "== Charged BSP model (loopback) vs measured wire (tcp) — "
                "identical answers & accounting ==\n";
   table.Print(std::cout);
-  std::cout << "\nbackend fingerprints: "
+  const double wire_ratio_overall =
+      grand_charged > 0 ? grand_wire / grand_charged : 0.0;
+  std::cout << "\nworkload wire/charged ratio: "
+            << FormatDouble(wire_ratio_overall, 3)
+            << "  (export DGS_WIRE_RATIO=" << FormatDouble(wire_ratio_overall, 3)
+            << " to fold it into the fig6 DS tables)"
+            << "\nbackend fingerprints: "
             << (all_identical ? "IDENTICAL" : "MISMATCH") << "\n";
-  json.meta().Str("identical", all_identical ? "true" : "false");
+  json.meta()
+      .Num("wire_ratio_overall", wire_ratio_overall)
+      .Str("identical", all_identical ? "true" : "false");
   json.WriteFile();
   return all_identical ? 0 : 1;
 }

@@ -11,8 +11,27 @@
 //   dgsim --graph G.txt --serve [options]
 //   dgsim> match Q.txt [algorithm]      evaluate a pattern file
 //   dgsim> boolean Q.txt [algorithm]    Boolean query (answer only)
+//   dgsim> subscribe Q.txt              standing query: register a pattern
+//   dgsim> subs                         list subscriptions + match counts
+//   dgsim> update +u,v -u,v ...         mutate the deployed graph: insert
+//                                       (+) / delete (-) edges as ONE
+//                                       atomic batch
 //   dgsim> stats                        serving + cache statistics
 //   dgsim> help / quit
+//
+// A standing-query session looks like:
+//
+//   dgsim> subscribe Q.txt              -> subscription 1: 42 match pairs
+//   dgsim> update -3,17 +3,21           -> version 1: -1/+1 edges; then
+//                                          each subscription prints the
+//                                          delta the batch caused, e.g.
+//                                          "subscription 1 v1: +0/-2 pairs"
+//   dgsim> subs                         -> current per-subscription counts
+//
+// An update either commits everywhere (the version bumps, every
+// subscription's delta is delivered, queries see the new graph) or — if
+// chaos poisons the replication run — nowhere, and the same batch can be
+// resubmitted; see serve/server.h for the delivery semantics.
 //
 // Options:
 //   --algorithm auto|dgpm|dgpmnoopt|dgpmd|dgpmt|match|dishhk|dmes  (auto)
@@ -48,6 +67,7 @@
 // Exit status: 0 when G matches Q (serve mode: always 0 on a clean exit),
 // 2 when it does not, 1 on errors.
 
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -248,7 +268,41 @@ void PrintServerStats(const dgs::ServerStats& stats) {
                                 stats.cache_label_bytes)
             << "\ncumulative DS: " << dgs::FormatBytes(
                 stats.cumulative.data_bytes)
-            << ", rounds: " << stats.cumulative.rounds << "\n";
+            << ", rounds: " << stats.cumulative.rounds
+            << "\nupdates: submitted " << stats.updates_submitted
+            << ", applied " << stats.updates_applied << ", failed "
+            << stats.updates_failed << " (graph version "
+            << stats.graph_version << ", edges -"
+            << stats.update_edges_deleted << "/+"
+            << stats.update_edges_inserted << ", shipped "
+            << dgs::FormatBytes(stats.update_cumulative.update_bytes)
+            << ")\nsubscriptions: " << stats.subscriptions_active
+            << " active, deltas delivered " << stats.sub_deltas_delivered
+            << ", dropped " << stats.sub_deltas_dropped << "\n";
+}
+
+// "+u,v" inserts the edge (u, v); "-u,v" deletes it.
+bool ParseEdgeToken(const std::string& token, dgs::UpdateBatch* batch) {
+  if (token.size() < 4 || (token[0] != '+' && token[0] != '-')) return false;
+  const char* cursor = token.c_str() + 1;
+  char* end = nullptr;
+  const unsigned long from = std::strtoul(cursor, &end, 10);
+  if (end == cursor || *end != ',') return false;
+  cursor = end + 1;
+  const unsigned long to = std::strtoul(cursor, &end, 10);
+  if (end == cursor || *end != '\0') return false;
+  auto& side = token[0] == '+' ? batch->inserts : batch->deletes;
+  side.push_back({static_cast<dgs::NodeId>(from),
+                  static_cast<dgs::NodeId>(to)});
+  return true;
+}
+
+size_t CountPairs(const dgs::SimulationResult& result) {
+  size_t pairs = 0;
+  for (dgs::NodeId u = 0; u < result.NumQueryNodes(); ++u) {
+    pairs += result.Matches(u).size();
+  }
+  return pairs;
 }
 
 // The --serve REPL: deploy once, answer pattern files interactively
@@ -284,8 +338,11 @@ int RunServeRepl(const dgs::Graph& graph, const dgs::Fragmentation& frag,
               << cli.retry_attempts;
   }
   std::cout << "\ncommands: match Q.txt [algorithm] | boolean Q.txt "
-               "[algorithm] | stats | help | quit\n";
+               "[algorithm] | subscribe Q.txt | subs |\n          update "
+               "+u,v -u,v ... | stats | help | quit\n";
 
+  // Standing queries registered through `subscribe`, by pattern path.
+  std::vector<std::pair<dgs::SubscriptionId, std::string>> subscriptions;
   std::string line;
   while (std::cout << "dgsim> " << std::flush, std::getline(std::cin, line)) {
     std::istringstream tokens(line);
@@ -295,12 +352,100 @@ int RunServeRepl(const dgs::Graph& graph, const dgs::Fragmentation& frag,
     if (command == "help") {
       std::cout << "  match Q.txt [algorithm]    evaluate a pattern file\n"
                    "  boolean Q.txt [algorithm]  Boolean query (answer only)\n"
+                   "  subscribe Q.txt            standing query: delta after "
+                   "every update\n"
+                   "  subs                       list subscriptions + match "
+                   "counts\n"
+                   "  update +u,v -u,v ...       insert/delete edges as one "
+                   "atomic batch\n"
                    "  stats                      serving + cache statistics\n"
                    "  quit                       drain and exit\n";
       continue;
     }
     if (command == "stats") {
       PrintServerStats((*server)->stats());
+      continue;
+    }
+    if (command == "subscribe") {
+      std::string path;
+      if (!(tokens >> path)) {
+        std::cerr << "subscribe needs a pattern file\n";
+        continue;
+      }
+      dgs::Pattern pattern;
+      if (!LoadPattern(path, &pattern)) continue;
+      auto id = (*server)->Subscribe(pattern);
+      if (!id.ok()) {
+        std::cerr << "error: " << id.status().ToString() << "\n";
+        continue;
+      }
+      subscriptions.push_back({*id, path});
+      auto snapshot = (*server)->SubscriptionSnapshot(*id);
+      std::cout << "subscription " << *id << " (" << path << "): "
+                << (snapshot.ok() ? CountPairs(*snapshot) : 0)
+                << " match pairs\n";
+      continue;
+    }
+    if (command == "subs") {
+      if (subscriptions.empty()) {
+        std::cout << "no subscriptions (try 'subscribe Q.txt')\n";
+        continue;
+      }
+      for (const auto& [id, path] : subscriptions) {
+        auto snapshot = (*server)->SubscriptionSnapshot(id);
+        std::cout << "  subscription " << id << " (" << path << "): ";
+        if (snapshot.ok()) {
+          std::cout << CountPairs(*snapshot) << " match pairs, G matches Q: "
+                    << (snapshot->GraphMatches() ? "yes" : "no") << "\n";
+        } else {
+          std::cout << snapshot.status().ToString() << "\n";
+        }
+      }
+      continue;
+    }
+    if (command == "update") {
+      dgs::UpdateBatch batch;
+      std::string token;
+      bool parsed = true;
+      while (tokens >> token) {
+        if (!ParseEdgeToken(token, &batch)) {
+          std::cerr << "bad edge '" << token << "' (want +u,v or -u,v)\n";
+          parsed = false;
+          break;
+        }
+      }
+      if (!parsed) continue;
+      if (batch.empty()) {
+        std::cerr << "update needs at least one +u,v or -u,v edge\n";
+        continue;
+      }
+      auto outcome = (*server)->Update(batch);
+      if (!outcome.ok()) {
+        std::cerr << "update failed: " << outcome.status().ToString()
+                  << "\n(nothing was applied; the same batch can be "
+                     "resubmitted)\n";
+        continue;
+      }
+      std::cout << "version " << outcome->version << ": -"
+                << outcome->edges_deleted << "/+" << outcome->edges_inserted
+                << " edges, " << dgs::FormatBytes(outcome->stats.update_bytes)
+                << " shipped in " << outcome->stats.update_messages
+                << " update messages, " << outcome->cache_invalidated
+                << " memoized results invalidated\n";
+      for (const auto& [id, path] : subscriptions) {
+        bool lagged = false;
+        auto deltas = (*server)->PollDeltas(id, &lagged);
+        if (!deltas.ok()) continue;
+        for (const dgs::SubscriptionDelta& delta : *deltas) {
+          std::cout << "  subscription " << id << " v" << delta.version
+                    << ": +" << delta.added.size() << "/-"
+                    << delta.removed.size() << " pairs\n";
+        }
+        if (lagged) {
+          std::cout << "  subscription " << id << ": lagged (queue "
+                       "overflowed; 'subs' shows the full current result)\n";
+        }
+      }
       continue;
     }
     if (command != "match" && command != "boolean") {

@@ -58,7 +58,8 @@ DistOutcome ServeQueryOnce(Deployment& deployment, const Pattern& pattern,
   outcome.health = health.ToStatus();
   outcome.decode_drops = {health.decode_drops(MessageClass::kData),
                           health.decode_drops(MessageClass::kControl),
-                          health.decode_drops(MessageClass::kResult)};
+                          health.decode_drops(MessageClass::kResult),
+                          health.decode_drops(MessageClass::kUpdate)};
   deployment.EndQuery();
   return outcome;
 }
@@ -289,7 +290,8 @@ StatusOr<DistOutcome> Engine::Match(const Pattern& q,
   if (!poisoned) outcome.result = deployment.Collect(&outcome.counters);
   outcome.decode_drops = {health.decode_drops(MessageClass::kData),
                           health.decode_drops(MessageClass::kControl),
-                          health.decode_drops(MessageClass::kResult)};
+                          health.decode_drops(MessageClass::kResult),
+                          health.decode_drops(MessageClass::kUpdate)};
   // Accumulated win or lose: a poisoned query returns only a Status, so
   // the serving stats are the surviving record of what was dropped (and,
   // under a fault plan, of the chaos the transport absorbed).

@@ -93,13 +93,15 @@ struct DecodeDrops {
   uint64_t data = 0;
   uint64_t control = 0;
   uint64_t result = 0;
+  uint64_t update = 0;
 
-  uint64_t Total() const { return data + control + result; }
+  uint64_t Total() const { return data + control + result + update; }
 
   void Accumulate(const DecodeDrops& other) {
     data += other.data;
     control += other.control;
     result += other.result;
+    update += other.update;
   }
 };
 

@@ -166,9 +166,11 @@ enum class AdmissionPolicy {
 const char* AdmissionPolicyName(AdmissionPolicy policy);
 
 // What the inter-query cache of a dgs::Server is allowed to keep
-// (serve/query_cache.h). The cache is per deployment and coherent by
-// construction: the deployed graph is immutable, so entries are invalidated
-// only by redeploying (building a new Server).
+// (serve/query_cache.h). The cache is per deployment. The candidate layer
+// depends only on node labels, which never change, so it is coherent even
+// under dynamic updates; the result layer is kept coherent by precise
+// label-pair dirtying on every committed Server::Update (see
+// serve/query_cache.h for the invalidation lemma).
 enum class CacheMode {
   kOff,         // no inter-query state
   kCandidates,  // per-label candidate bitsets only, shared across queries
@@ -265,9 +267,32 @@ struct ServerStats {
   uint64_t cache_result_bytes = 0;  // resident memo footprint
   uint64_t cache_label_bytes = 0;   // resident candidate-bitset footprint
   size_t peak_queue_depth = 0;
+  // Dynamic-update pipeline (Server::Update). A batch is counted in exactly
+  // one of {applied, failed}; rejected batches (invalid arguments) count in
+  // neither — they never reached the replication run.
+  uint64_t updates_submitted = 0;  // Update calls that entered the pipeline
+  uint64_t updates_applied = 0;    // committed batches
+  uint64_t updates_failed = 0;     // poisoned replication runs (retryable
+                                   // ones included; nothing was applied)
+  uint64_t update_edges_deleted = 0;   // mutations that changed the graph
+  uint64_t update_edges_inserted = 0;  // (no-op edges excluded)
+  uint64_t graph_version = 0;          // committed version watermark
+  // Standing-query subscriptions (Server::Subscribe).
+  uint64_t subscriptions_created = 0;
+  uint64_t subscriptions_active = 0;
+  uint64_t sub_deltas_delivered = 0;  // non-empty deltas queued
+  uint64_t sub_deltas_dropped = 0;    // overflow evictions (lagged)
+  uint64_t sub_pairs_added = 0;       // result pairs that entered a match
+  uint64_t sub_pairs_removed = 0;     // result pairs that left a match
+  // Result-memo entries erased by label-pair dirtying (precise
+  // invalidation; see serve/query_cache.h).
+  uint64_t cache_invalidations = 0;
   // Summed over the served queries (cache hits contribute the memoized
   // accounting, which is bit-identical to a fresh run's).
   RunStats cumulative;
+  // Summed over the update replication runs, kept apart from the query
+  // accounting so per-query byte/message comparisons stay meaningful.
+  RunStats update_cumulative;
   AlgoCounters counters;
 };
 

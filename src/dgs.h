@@ -18,7 +18,10 @@
 #include "core/local_engine.h"
 #include "core/metrics.h"
 #include "core/serving.h"
+#include "dyn/subscription.h"
+#include "dyn/update.h"
 #include "graph/algorithms.h"
+#include "graph/dynamic_graph.h"
 #include "graph/generators.h"
 #include "graph/graph.h"
 #include "graph/io.h"

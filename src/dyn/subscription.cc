@@ -1,0 +1,118 @@
+#include "dyn/subscription.h"
+
+#include <algorithm>
+
+namespace dgs {
+
+SubscriptionRegistry::SubscriptionRegistry(const Graph& g,
+                                           uint32_t num_threads)
+    : adjacency_(g), num_threads_(num_threads) {}
+
+SubscriptionId SubscriptionRegistry::Subscribe(const Pattern& pattern,
+                                               const SubscribeOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const SubscriptionId id = next_id_++;
+  auto sub = std::make_unique<Subscription>();
+  sub->pattern = pattern;
+  sub->options = options;
+  sub->inc = std::make_unique<IncrementalSimulation>(sub->pattern, &adjacency_,
+                                                     num_threads_);
+  const size_t nq = sub->pattern.NumNodes();
+  sub->delivered.reserve(nq);
+  for (NodeId u = 0; u < nq; ++u) {
+    sub->delivered.push_back(sub->inc->CandidateSet(u));
+  }
+  subs_.emplace(id, std::move(sub));
+  return id;
+}
+
+bool SubscriptionRegistry::Unsubscribe(SubscriptionId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return subs_.erase(id) > 0;
+}
+
+size_t SubscriptionRegistry::NumSubscriptions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return subs_.size();
+}
+
+SubscriptionRegistry::ApplyOutcome SubscriptionRegistry::ApplyBatch(
+    const UpdateBatch& batch, uint64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ApplyOutcome outcome;
+
+  // One authoritative mutation per edge, then every kernel repairs from the
+  // already-mutated shared adjacency. Deletes before inserts — the batch's
+  // canonical semantics.
+  for (const auto& [u, v] : batch.deletes) {
+    if (!adjacency_.RemoveEdge(u, v)) continue;  // absent: no-op
+    ++outcome.edges_deleted;
+    for (auto& [id, sub] : subs_) (void)sub->inc->ApplyEdgeRemoved(u, v);
+  }
+  for (const auto& [u, v] : batch.inserts) {
+    if (!adjacency_.InsertEdge(u, v)) continue;  // present: no-op
+    ++outcome.edges_inserted;
+    for (auto& [id, sub] : subs_) (void)sub->inc->ApplyEdgeInserted(u, v);
+  }
+
+  // Diff each repaired fixpoint against the last delivered snapshot; the
+  // whole batch yields ONE delta per subscription.
+  for (auto& [id, sub] : subs_) {
+    SubscriptionDelta delta;
+    delta.version = version;
+    const size_t nq = sub->pattern.NumNodes();
+    for (NodeId u = 0; u < nq; ++u) {
+      const DynamicBitset& now = sub->inc->CandidateSet(u);
+      now.ForEachDiff(sub->delivered[u], [&](size_t v, bool now_set) {
+        auto& list = now_set ? delta.added : delta.removed;
+        list.emplace_back(u, static_cast<NodeId>(v));
+      });
+    }
+    if (delta.empty()) {
+      ++outcome.deltas_empty;
+      continue;
+    }
+    outcome.pairs_added += delta.added.size();
+    outcome.pairs_removed += delta.removed.size();
+    for (NodeId u = 0; u < nq; ++u) {
+      sub->delivered[u] = sub->inc->CandidateSet(u);
+    }
+    if (sub->pending.size() >= sub->options.max_pending_deltas) {
+      sub->pending.pop_front();
+      sub->lagged = true;
+      ++outcome.deltas_dropped;
+    }
+    sub->pending.push_back(std::move(delta));
+    ++outcome.deltas_delivered;
+  }
+  return outcome;
+}
+
+StatusOr<SimulationResult> SubscriptionRegistry::Snapshot(
+    SubscriptionId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = subs_.find(id);
+  if (it == subs_.end()) {
+    return Status::NotFound("unknown subscription id " + std::to_string(id));
+  }
+  return it->second->inc->Result();
+}
+
+StatusOr<std::vector<SubscriptionDelta>> SubscriptionRegistry::PollDeltas(
+    SubscriptionId id, bool* lagged) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = subs_.find(id);
+  if (it == subs_.end()) {
+    return Status::NotFound("unknown subscription id " + std::to_string(id));
+  }
+  Subscription& sub = *it->second;
+  std::vector<SubscriptionDelta> out(
+      std::make_move_iterator(sub.pending.begin()),
+      std::make_move_iterator(sub.pending.end()));
+  sub.pending.clear();
+  if (lagged != nullptr) *lagged = sub.lagged;
+  sub.lagged = false;
+  return out;
+}
+
+}  // namespace dgs

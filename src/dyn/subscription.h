@@ -1,0 +1,134 @@
+// Standing-query subscriptions over a dynamic graph.
+//
+// A subscription registers a pattern once against the deployed graph and
+// then receives a *result delta* — the (query node, data node) pairs that
+// entered or left the match relation — after every committed update batch,
+// instead of recomputing from scratch. The registry owns:
+//
+//   - ONE shared DynamicAdjacency, the authoritative mutable adjacency of
+//     the deployment. Every subscription's IncrementalSimulation borrows it
+//     (simulation/incremental.h borrow path), so a thousand standing
+//     queries still hold one copy of the graph.
+//   - Per subscription: the pattern, its incremental fixpoint, the snapshot
+//     of the last delivered result, and a bounded queue of undelivered
+//     deltas.
+//
+// ApplyBatch mutates the shared adjacency exactly once per edge, repairs
+// every live subscription through the post-mutation hooks, and diffs each
+// repaired fixpoint against the last delivered snapshot (word-level XOR),
+// which makes the delta exact and independent of thread width, transport
+// backend, and mutation interleaving. A subscription whose pending queue
+// overflows drops its oldest deltas and is marked lagged — the client's
+// cue to resynchronize from Snapshot() (which always holds the full,
+// current result).
+//
+// Thread safety: all public methods lock the registry; callers (the
+// Server) may poll concurrently with updates.
+
+#ifndef DGS_DYN_SUBSCRIPTION_H_
+#define DGS_DYN_SUBSCRIPTION_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "dyn/update.h"
+#include "graph/dynamic_graph.h"
+#include "graph/graph.h"
+#include "graph/pattern.h"
+#include "simulation/incremental.h"
+#include "simulation/simulation.h"
+#include "util/status.h"
+
+namespace dgs {
+
+using SubscriptionId = uint64_t;
+
+struct SubscribeOptions {
+  // Bound on the per-subscription queue of undelivered deltas; overflow
+  // drops the oldest delta and marks the subscription lagged.
+  size_t max_pending_deltas = 64;
+};
+
+// The pairs that entered/left one subscription's result at one version.
+struct SubscriptionDelta {
+  uint64_t version = 0;  // graph version whose commit produced this delta
+  std::vector<std::pair<NodeId, NodeId>> added;    // (query node, data node)
+  std::vector<std::pair<NodeId, NodeId>> removed;
+
+  bool empty() const { return added.empty() && removed.empty(); }
+};
+
+class SubscriptionRegistry {
+ public:
+  // `num_threads` is handed to each subscription's incremental kernel for
+  // its large-cascade drains (0 = all hardware threads).
+  SubscriptionRegistry(const Graph& g, uint32_t num_threads);
+
+  // The shared mutable adjacency (also the source of truth for rebuilding
+  // Graph snapshots after a commit).
+  const DynamicAdjacency& adjacency() const { return adjacency_; }
+
+  // Materializes the pattern's full result at the current graph and starts
+  // maintaining it. The initial result is NOT queued as a delta; read it
+  // via Snapshot().
+  SubscriptionId Subscribe(const Pattern& pattern,
+                           const SubscribeOptions& options = {});
+
+  // Stops maintaining `id`. Returns false if the id is unknown.
+  bool Unsubscribe(SubscriptionId id);
+
+  size_t NumSubscriptions() const;
+
+  // Accounting of one ApplyBatch over all live subscriptions.
+  struct ApplyOutcome {
+    size_t edges_deleted = 0;   // mutations that actually changed the graph
+    size_t edges_inserted = 0;
+    size_t deltas_delivered = 0;  // non-empty deltas queued
+    size_t deltas_empty = 0;      // subscriptions the batch did not touch
+    size_t deltas_dropped = 0;    // overflow evictions (lagged subscribers)
+    uint64_t pairs_added = 0;
+    uint64_t pairs_removed = 0;
+  };
+
+  // Applies a canonical, validated batch (deletes first, then inserts) to
+  // the shared adjacency and repairs every live subscription. `version` is
+  // the graph version the commit establishes; it stamps the deltas.
+  ApplyOutcome ApplyBatch(const UpdateBatch& batch, uint64_t version);
+
+  // The subscription's full current result (bit-identical to a from-scratch
+  // evaluation on the current graph).
+  StatusOr<SimulationResult> Snapshot(SubscriptionId id) const;
+
+  // Drains the subscription's pending deltas (oldest first). `lagged`, when
+  // non-null, reports whether deltas were dropped since the last poll (the
+  // flag resets on poll).
+  StatusOr<std::vector<SubscriptionDelta>> PollDeltas(SubscriptionId id,
+                                                      bool* lagged = nullptr);
+
+ private:
+  struct Subscription {
+    Pattern pattern;  // owned: the kernel points at this copy
+    std::unique_ptr<IncrementalSimulation> inc;
+    std::vector<DynamicBitset> delivered;  // snapshot at last queued delta
+    std::deque<SubscriptionDelta> pending;
+    SubscribeOptions options;
+    bool lagged = false;
+  };
+
+  mutable std::mutex mu_;
+  DynamicAdjacency adjacency_;
+  uint32_t num_threads_;
+  SubscriptionId next_id_ = 1;
+  // unique_ptr values: the kernel holds a pointer to Subscription::pattern,
+  // so the record's address must survive map rebalancing.
+  std::map<SubscriptionId, std::unique_ptr<Subscription>> subs_;
+};
+
+}  // namespace dgs
+
+#endif  // DGS_DYN_SUBSCRIPTION_H_

@@ -1,0 +1,243 @@
+#include "dyn/update.h"
+
+#include <algorithm>
+#include <string>
+
+namespace dgs {
+
+namespace {
+
+using Edge = std::pair<NodeId, NodeId>;
+
+void SortUnique(std::vector<Edge>* edges) {
+  std::sort(edges->begin(), edges->end());
+  edges->erase(std::unique(edges->begin(), edges->end()), edges->end());
+}
+
+// Sorted-gap codec for one canonical edge list: the source gap, then the
+// target (as a gap from the previous target while the source repeats).
+void EncodeEdgeList(const std::vector<Edge>& edges, Blob* out) {
+  out->PutVarint(edges.size());
+  NodeId prev_u = 0;
+  NodeId prev_v = 0;
+  for (const auto& [u, v] : edges) {
+    const NodeId gap = u - prev_u;
+    out->PutVarint(gap);
+    out->PutVarint(gap == 0 ? v - prev_v : v);
+    prev_u = u;
+    prev_v = v;
+  }
+}
+
+bool DecodeEdgeList(Blob::Reader& r, std::vector<Edge>* edges) {
+  const uint64_t count = r.GetVarint();
+  uint64_t prev_u = 0;
+  uint64_t prev_v = 0;
+  for (uint64_t i = 0; i < count && r.ok(); ++i) {
+    const uint64_t gap = r.GetVarint();
+    const uint64_t u = prev_u + gap;
+    const uint64_t v = (gap == 0 ? prev_v : 0) + r.GetVarint();
+    if (u > 0xffffffffULL || v > 0xffffffffULL) return false;
+    edges->emplace_back(static_cast<NodeId>(u), static_cast<NodeId>(v));
+    prev_u = u;
+    prev_v = v;
+  }
+  return r.ok();
+}
+
+bool EndpointsValid(const std::vector<Edge>& edges, size_t num_nodes) {
+  for (const auto& [u, v] : edges) {
+    if (u >= num_nodes || v >= num_nodes) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void CanonicalizeBatch(UpdateBatch* batch) {
+  SortUnique(&batch->deletes);
+  SortUnique(&batch->inserts);
+}
+
+void EncodeUpdateSlice(uint64_t epoch, const UpdateBatch& slice, Blob* out) {
+  out->PutVarint(epoch);
+  EncodeEdgeList(slice.deletes, out);
+  EncodeEdgeList(slice.inserts, out);
+}
+
+bool DecodeUpdateSlice(Blob::Reader& r, uint64_t* epoch, UpdateBatch* slice) {
+  *epoch = r.GetVarint();
+  if (!DecodeEdgeList(r, &slice->deletes)) return false;
+  if (!DecodeEdgeList(r, &slice->inserts)) return false;
+  return r.ok() && r.AtEnd();
+}
+
+uint32_t UpdateChecksum(const Blob& blob) {
+  uint32_t h = 2166136261u;  // FNV-1a offset basis
+  const uint8_t* bytes = blob.data();
+  for (size_t i = 0; i < blob.size(); ++i) {
+    h ^= bytes[i];
+    h *= 16777619u;  // FNV prime
+  }
+  return h;
+}
+
+std::vector<UpdateBatch> SliceBatchByOwner(const UpdateBatch& batch,
+                                           const Fragmentation& frag) {
+  std::vector<UpdateBatch> slices(frag.NumFragments());
+  auto route = [&](const std::vector<Edge>& edges,
+                   std::vector<Edge> UpdateBatch::*list) {
+    for (const Edge& e : edges) {
+      const uint32_t src_owner = frag.OwnerOf(e.first);
+      const uint32_t dst_owner = frag.OwnerOf(e.second);
+      (slices[src_owner].*list).push_back(e);
+      if (dst_owner != src_owner) (slices[dst_owner].*list).push_back(e);
+    }
+  };
+  route(batch.deletes, &UpdateBatch::deletes);
+  route(batch.inserts, &UpdateBatch::inserts);
+  // Routing preserves the canonical order per slice (stable walk over a
+  // sorted list), but keep the invariant explicit.
+  for (UpdateBatch& slice : slices) CanonicalizeBatch(&slice);
+  return slices;
+}
+
+// ---------------------------------------------------------------------------
+// UpdateSiteActor
+// ---------------------------------------------------------------------------
+
+void UpdateSiteActor::BindUpdate(uint64_t epoch, RunHealth* health) {
+  epoch_ = epoch;
+  health_ = health;
+}
+
+void UpdateSiteActor::EndUpdate() { health_ = nullptr; }
+
+void UpdateSiteActor::OnMessages(SiteContext& ctx,
+                                 std::vector<Message> inbox) {
+  if (health_ != nullptr && health_->poisoned()) return;  // drain silently
+  for (Message& m : inbox) {
+    if (m.cls != MessageClass::kUpdate) {
+      if (health_ != nullptr) {
+        health_->PoisonDecode(m.cls, "site " + std::to_string(ctx.site_id()) +
+                                         " got a non-update message in an "
+                                         "update run");
+      }
+      return;
+    }
+    Blob::Reader r(m.payload);
+    uint64_t epoch = 0;
+    UpdateBatch slice;
+    if (!DecodeUpdateSlice(r, &epoch, &slice) || epoch != epoch_ ||
+        !EndpointsValid(slice.deletes, num_nodes_) ||
+        !EndpointsValid(slice.inserts, num_nodes_)) {
+      if (health_ != nullptr) {
+        health_->PoisonDecode(MessageClass::kUpdate,
+                              "site " + std::to_string(ctx.site_id()) +
+                                  " rejected its update slice for epoch " +
+                                  std::to_string(epoch_));
+      }
+      return;
+    }
+    // The slice checked out: ack what we saw. Commitment happens on the
+    // parent after the whole run proves healthy (see the file comment).
+    Blob ack;
+    ack.PutVarint(epoch_);
+    ack.PutVarint(ctx.site_id());
+    ack.PutVarint(slice.deletes.size());
+    ack.PutVarint(slice.inserts.size());
+    ack.PutU32(UpdateChecksum(m.payload));
+    ctx.Send(ctx.coordinator_id(), MessageClass::kControl, std::move(ack));
+  }
+}
+
+void UpdateSiteActor::CommitEpoch(uint64_t epoch, const UpdateBatch& slice) {
+  if (epoch <= committed_epoch_) return;  // idempotent replay
+  committed_epoch_ = epoch;
+  applied_deletes_ += slice.deletes.size();
+  applied_inserts_ += slice.inserts.size();
+}
+
+// ---------------------------------------------------------------------------
+// UpdateCoordinatorActor
+// ---------------------------------------------------------------------------
+
+void UpdateCoordinatorActor::BindUpdate(const std::vector<UpdateBatch>* slices,
+                                        uint64_t epoch, RunHealth* health) {
+  slices_ = slices;
+  epoch_ = epoch;
+  health_ = health;
+  expected_.assign(slices->size(), Expected{});
+  acks_ = 0;
+}
+
+void UpdateCoordinatorActor::EndUpdate() {
+  slices_ = nullptr;
+  health_ = nullptr;
+  expected_.clear();
+  acks_ = 0;
+}
+
+void UpdateCoordinatorActor::Setup(SiteContext& ctx) {
+  DGS_CHECK(slices_ != nullptr && slices_->size() == ctx.num_workers(),
+            "update coordinator not bound to this cluster");
+  for (uint32_t site = 0; site < ctx.num_workers(); ++site) {
+    const UpdateBatch& slice = (*slices_)[site];
+    Blob payload;
+    EncodeUpdateSlice(epoch_, slice, &payload);
+    expected_[site].deletes = slice.deletes.size();
+    expected_[site].inserts = slice.inserts.size();
+    expected_[site].checksum = UpdateChecksum(payload);
+    ctx.Send(site, MessageClass::kUpdate, std::move(payload));
+  }
+}
+
+void UpdateCoordinatorActor::OnMessages(SiteContext& ctx,
+                                        std::vector<Message> inbox) {
+  if (health_ != nullptr && health_->poisoned()) return;  // drain silently
+  for (Message& m : inbox) {
+    Blob::Reader r(m.payload);
+    const uint64_t epoch = r.GetVarint();
+    const uint64_t site = r.GetVarint();
+    const uint64_t deletes = r.GetVarint();
+    const uint64_t inserts = r.GetVarint();
+    const uint32_t checksum = r.GetU32();
+    if (!r.ok() || !r.AtEnd() || m.cls != MessageClass::kControl ||
+        site != m.src || site >= expected_.size()) {
+      if (health_ != nullptr) {
+        health_->PoisonDecode(m.cls, "malformed update ack from site " +
+                                         std::to_string(m.src));
+      }
+      return;
+    }
+    Expected& want = expected_[site];
+    if (want.acked) continue;  // duplicate ack (norecover chaos)
+    if (epoch != epoch_ || deletes != want.deletes ||
+        inserts != want.inserts || checksum != want.checksum) {
+      if (health_ != nullptr) {
+        health_->PoisonWith(StatusCode::kDataLoss,
+                            "site " + std::to_string(site) +
+                                " acked a different update slice than was "
+                                "sent for epoch " +
+                                std::to_string(epoch_));
+      }
+      return;
+    }
+    want.acked = true;
+    ++acks_;
+  }
+  (void)ctx;
+}
+
+void UpdateCoordinatorActor::OnQuiesce(SiteContext& ctx) {
+  (void)ctx;
+  if (acks_ == expected_.size()) return;
+  if (health_ != nullptr && !health_->poisoned()) {
+    health_->PoisonWith(StatusCode::kUnavailable,
+                        "update epoch " + std::to_string(epoch_) + ": " +
+                            std::to_string(expected_.size() - acks_) +
+                            " site ack(s) never arrived");
+  }
+}
+
+}  // namespace dgs

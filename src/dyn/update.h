@@ -1,0 +1,135 @@
+// Dynamic-graph update batches and their distribution to sites.
+//
+// An UpdateBatch is a set of edge deletions plus a set of edge insertions
+// against the deployed data graph. Batches are canonicalized delete-first:
+// the post-batch graph is (G \ deletes) ∪ inserts, so the result of a batch
+// depends only on the final edge set, never on intra-batch ordering.
+//
+// Distribution rides the existing Cluster/Transport seam as its own message
+// class (MessageClass::kUpdate), so update traffic is charged in RunStats,
+// subject to the fault injector, and works unchanged over the loopback and
+// tcp backends:
+//
+//   Setup     the coordinator encodes one wire-v2 slice per site — the
+//             edges whose source or target the site owns — and sends it as
+//             a kUpdate message, remembering the slice's checksum.
+//   Deliver   each site decodes its slice (failure → PoisonDecode(kUpdate)),
+//             validates the endpoints, and acks with a kControl message
+//             carrying (epoch, counts, checksum).
+//   Quiesce   the coordinator has verified every ack against what it sent;
+//             a missing ack poisons the run Unavailable, a mismatched one
+//             DataLoss.
+//
+// The run *replicates and validates* the batch; it never mutates resident
+// state. Commitment is the parent's move after a healthy run — it replays
+// CommitEpoch on every site actor (idempotent via the epoch watermark),
+// which keeps the resident per-site state identical across backends: under
+// tcp the in-run actor copies live in forked children and die with them,
+// so the parent-side replay is the only apply that counts on either
+// backend. A poisoned run therefore commits nothing anywhere — a failed
+// update is never half-applied and is always safe to resubmit.
+
+#ifndef DGS_DYN_UPDATE_H_
+#define DGS_DYN_UPDATE_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "partition/fragmentation.h"
+#include "runtime/fault.h"
+#include "runtime/message.h"
+#include "runtime/transport.h"
+
+namespace dgs {
+
+// One batch of edge mutations. Deletions apply before insertions.
+struct UpdateBatch {
+  std::vector<std::pair<NodeId, NodeId>> deletes;
+  std::vector<std::pair<NodeId, NodeId>> inserts;
+
+  bool empty() const { return deletes.empty() && inserts.empty(); }
+  size_t size() const { return deletes.size() + inserts.size(); }
+};
+
+// Sorts both edge lists by (source, target) and removes duplicates — the
+// canonical form every encoder and checksum assumes.
+void CanonicalizeBatch(UpdateBatch* batch);
+
+// Wire-v2 slice codec: varint epoch, then each edge list as sorted-gap
+// varint deltas. Encode expects a canonicalized batch.
+void EncodeUpdateSlice(uint64_t epoch, const UpdateBatch& slice, Blob* out);
+bool DecodeUpdateSlice(Blob::Reader& r, uint64_t* epoch, UpdateBatch* slice);
+
+// FNV-1a over a blob's bytes; the ack-verification checksum.
+uint32_t UpdateChecksum(const Blob& blob);
+
+// Splits a canonical batch into per-site slices: edge (u, v) goes to the
+// owner of u and (if different) the owner of v, so both endpoint fragments
+// learn about it. Slices come out canonical.
+std::vector<UpdateBatch> SliceBatchByOwner(const UpdateBatch& batch,
+                                           const Fragmentation& frag);
+
+// Resident per-site actor of the update deployment. Lives across update
+// runs (bound non-owning into the cluster, like QuerySiteActor).
+class UpdateSiteActor : public SiteActor {
+ public:
+  explicit UpdateSiteActor(size_t num_nodes) : num_nodes_(num_nodes) {}
+
+  // Per-run binding (epoch = the version the batch would commit).
+  void BindUpdate(uint64_t epoch, RunHealth* health);
+  void EndUpdate();
+
+  void OnMessages(SiteContext& ctx, std::vector<Message> inbox) override;
+
+  // Parent-side commit after a healthy run; idempotent (a replayed or
+  // repeated epoch is a no-op), which is what makes retried updates safe.
+  void CommitEpoch(uint64_t epoch, const UpdateBatch& slice);
+
+  uint64_t committed_epoch() const { return committed_epoch_; }
+  uint64_t applied_inserts() const { return applied_inserts_; }
+  uint64_t applied_deletes() const { return applied_deletes_; }
+
+ private:
+  size_t num_nodes_;
+  uint64_t epoch_ = 0;
+  RunHealth* health_ = nullptr;
+  // Commit watermark + apply counters (the resident repair record).
+  uint64_t committed_epoch_ = 0;
+  uint64_t applied_inserts_ = 0;
+  uint64_t applied_deletes_ = 0;
+};
+
+// Coordinator of the update deployment: fans the slices out and audits the
+// acks.
+class UpdateCoordinatorActor : public SiteActor {
+ public:
+  // `slices` has one entry per worker site (from SliceBatchByOwner);
+  // must stay alive through the Run().
+  void BindUpdate(const std::vector<UpdateBatch>* slices, uint64_t epoch,
+                  RunHealth* health);
+  void EndUpdate();
+
+  void Setup(SiteContext& ctx) override;
+  void OnMessages(SiteContext& ctx, std::vector<Message> inbox) override;
+  void OnQuiesce(SiteContext& ctx) override;
+
+ private:
+  struct Expected {
+    uint64_t deletes = 0;
+    uint64_t inserts = 0;
+    uint32_t checksum = 0;
+    bool acked = false;
+  };
+
+  const std::vector<UpdateBatch>* slices_ = nullptr;
+  uint64_t epoch_ = 0;
+  RunHealth* health_ = nullptr;
+  std::vector<Expected> expected_;
+  size_t acks_ = 0;
+};
+
+}  // namespace dgs
+
+#endif  // DGS_DYN_UPDATE_H_

@@ -1,0 +1,64 @@
+#include "graph/dynamic_graph.h"
+
+#include <algorithm>
+
+namespace dgs {
+
+DynamicAdjacency::DynamicAdjacency(const Graph& g)
+    : num_edges_(g.NumEdges()), label_bound_(g.LabelAlphabetSize()) {
+  const size_t n = g.NumNodes();
+  labels_.resize(n);
+  out_.resize(n);
+  in_.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    labels_[v] = g.LabelOf(v);
+    auto out = g.OutNeighbors(v);
+    out_[v].assign(out.begin(), out.end());
+    auto in = g.InNeighbors(v);
+    in_[v].assign(in.begin(), in.end());
+  }
+}
+
+bool DynamicAdjacency::HasEdge(NodeId from, NodeId to) const {
+  DGS_CHECK(from < out_.size() && to < out_.size(), "edge endpoint OOB");
+  const std::vector<NodeId>& row = out_[from];
+  return std::binary_search(row.begin(), row.end(), to);
+}
+
+bool DynamicAdjacency::InsertEdge(NodeId from, NodeId to) {
+  DGS_CHECK(from < out_.size() && to < out_.size(), "edge endpoint OOB");
+  std::vector<NodeId>& row = out_[from];
+  auto it = std::lower_bound(row.begin(), row.end(), to);
+  if (it != row.end() && *it == to) return false;
+  row.insert(it, to);
+  std::vector<NodeId>& col = in_[to];
+  auto jt = std::lower_bound(col.begin(), col.end(), from);
+  col.insert(jt, from);
+  ++num_edges_;
+  return true;
+}
+
+bool DynamicAdjacency::RemoveEdge(NodeId from, NodeId to) {
+  DGS_CHECK(from < out_.size() && to < out_.size(), "edge endpoint OOB");
+  std::vector<NodeId>& row = out_[from];
+  auto it = std::lower_bound(row.begin(), row.end(), to);
+  if (it == row.end() || *it != to) return false;
+  row.erase(it);
+  std::vector<NodeId>& col = in_[to];
+  auto jt = std::lower_bound(col.begin(), col.end(), from);
+  DGS_CHECK(jt != col.end() && *jt == from, "in-adjacency out of sync");
+  col.erase(jt);
+  --num_edges_;
+  return true;
+}
+
+Graph DynamicAdjacency::ToGraph() const {
+  GraphBuilder builder;
+  for (Label label : labels_) builder.AddNode(label);
+  for (NodeId v = 0; v < out_.size(); ++v) {
+    for (NodeId w : out_[v]) builder.AddEdge(v, w);
+  }
+  return std::move(builder).Build(/*dedupe=*/false);
+}
+
+}  // namespace dgs

@@ -1,0 +1,70 @@
+// Mutable adjacency view of a data graph (dynamic-graph support).
+//
+// Graph is an immutable CSR, which is the right shape for the simulation
+// kernels but cannot absorb edge mutations. DynamicAdjacency is the mutable
+// companion: sorted per-node out/in vectors plus the label array, built once
+// from a Graph and then maintained under edge inserts/deletes in
+// O(log degree + degree) per mutation. It is the single authoritative
+// adjacency that incremental simulation instances *borrow* (see
+// simulation/incremental.h), so a server with thousands of standing
+// subscriptions keeps one copy of the graph, not one per query.
+//
+// Parallel edges collapse to one (set semantics), matching
+// GraphBuilder::Build(dedupe=true) which every serving path uses.
+
+#ifndef DGS_GRAPH_DYNAMIC_GRAPH_H_
+#define DGS_GRAPH_DYNAMIC_GRAPH_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace dgs {
+
+class DynamicAdjacency {
+ public:
+  explicit DynamicAdjacency(const Graph& g);
+
+  size_t NumNodes() const { return labels_.size(); }
+  size_t NumEdges() const { return num_edges_; }
+
+  Label LabelOf(NodeId v) const {
+    DGS_DCHECK(v < labels_.size(), "node id out of range");
+    return labels_[v];
+  }
+  Label LabelAlphabetSize() const { return label_bound_; }
+
+  const std::vector<NodeId>& Out(NodeId v) const {
+    DGS_DCHECK(v < out_.size(), "node id out of range");
+    return out_[v];
+  }
+  const std::vector<NodeId>& In(NodeId v) const {
+    DGS_DCHECK(v < in_.size(), "node id out of range");
+    return in_[v];
+  }
+
+  bool HasEdge(NodeId from, NodeId to) const;
+
+  // Inserts (from, to); returns false (and changes nothing) if the edge is
+  // already present. Endpoints must be existing nodes.
+  bool InsertEdge(NodeId from, NodeId to);
+
+  // Removes (from, to); returns false if the edge is absent.
+  bool RemoveEdge(NodeId from, NodeId to);
+
+  // Freezes the current adjacency into an immutable CSR snapshot (same
+  // labels, current edge set). Used to redeploy engines after a committed
+  // update batch.
+  Graph ToGraph() const;
+
+ private:
+  std::vector<Label> labels_;
+  std::vector<std::vector<NodeId>> out_;  // sorted
+  std::vector<std::vector<NodeId>> in_;   // sorted
+  size_t num_edges_ = 0;
+  Label label_bound_ = 0;
+};
+
+}  // namespace dgs
+
+#endif  // DGS_GRAPH_DYNAMIC_GRAPH_H_

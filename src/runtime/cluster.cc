@@ -98,6 +98,10 @@ void Cluster::ChargeAndEnqueue(std::vector<Message>& sends) {
         stats_.result_bytes += wire;
         ++stats_.result_messages;
         break;
+      case MessageClass::kUpdate:
+        stats_.update_bytes += wire;
+        ++stats_.update_messages;
+        break;
     }
     pending_.push_back(std::move(m));
   }

@@ -129,13 +129,15 @@ struct RunStats {
   uint64_t data_bytes = 0;     // kData payload + headers
   uint64_t control_bytes = 0;  // kControl
   uint64_t result_bytes = 0;   // kResult
+  uint64_t update_bytes = 0;   // kUpdate (graph-mutation batches)
   uint64_t data_messages = 0;
   uint64_t control_messages = 0;
   uint64_t result_messages = 0;
+  uint64_t update_messages = 0;
   uint32_t rounds = 0;
 
   uint64_t TotalBytes() const {
-    return data_bytes + control_bytes + result_bytes;
+    return data_bytes + control_bytes + result_bytes + update_bytes;
   }
 
   void Accumulate(const RunStats& other) {
@@ -144,9 +146,11 @@ struct RunStats {
     data_bytes += other.data_bytes;
     control_bytes += other.control_bytes;
     result_bytes += other.result_bytes;
+    update_bytes += other.update_bytes;
     data_messages += other.data_messages;
     control_messages += other.control_messages;
     result_messages += other.result_messages;
+    update_messages += other.update_messages;
     rounds += other.rounds;
   }
 };

@@ -133,9 +133,10 @@ StatusOr<FaultPlan> ParseFaultSpec(const std::string& spec) {
       continue;
     }
 
-    // [class.]prob entries. Without a prefix all three classes are set.
-    FaultProbs* targets[3] = {&plan.data, &plan.control, &plan.result};
-    size_t num_targets = 3;
+    // [class.]prob entries. Without a prefix all classes are set.
+    FaultProbs* targets[4] = {&plan.data, &plan.control, &plan.result,
+                              &plan.update};
+    size_t num_targets = 4;
     const size_t dot = key.find('.');
     if (dot != std::string::npos) {
       const std::string cls = key.substr(0, dot);
@@ -146,6 +147,8 @@ StatusOr<FaultPlan> ParseFaultSpec(const std::string& spec) {
         targets[0] = &plan.control;
       } else if (cls == "result") {
         targets[0] = &plan.result;
+      } else if (cls == "update") {
+        targets[0] = &plan.update;
       } else {
         return BadSpec(token);
       }
@@ -180,22 +183,21 @@ std::string FaultPlanToString(const FaultPlan& plan) {
     if (!out.empty()) out += ',';
     out += piece;
   };
-  const bool uniform =
-      plan.data.drop == plan.control.drop && plan.data.drop == plan.result.drop &&
-      plan.data.duplicate == plan.control.duplicate &&
-      plan.data.duplicate == plan.result.duplicate &&
-      plan.data.reorder == plan.control.reorder &&
-      plan.data.reorder == plan.result.reorder &&
-      plan.data.corrupt == plan.control.corrupt &&
-      plan.data.corrupt == plan.result.corrupt &&
-      plan.data.truncate == plan.control.truncate &&
-      plan.data.truncate == plan.result.truncate;
+  auto same = [](const FaultProbs& a, const FaultProbs& b) {
+    return a.drop == b.drop && a.duplicate == b.duplicate &&
+           a.reorder == b.reorder && a.corrupt == b.corrupt &&
+           a.truncate == b.truncate;
+  };
+  const bool uniform = same(plan.data, plan.control) &&
+                       same(plan.data, plan.result) &&
+                       same(plan.data, plan.update);
   if (uniform) {
     append(ProbsToString("", plan.data));
   } else {
     append(ProbsToString("data.", plan.data));
     append(ProbsToString("control.", plan.control));
     append(ProbsToString("result.", plan.result));
+    append(ProbsToString("update.", plan.update));
   }
   char buf[64];
   if (plan.crash_site >= 0) {

@@ -84,10 +84,11 @@ struct FaultProbs {
 // (zero probabilities, no crash): the cluster then builds no injector and
 // the delivery path is byte-for-byte the PR-1 fast path.
 struct FaultPlan {
-  // Per-class probabilities (kData / kControl / kResult).
+  // Per-class probabilities (kData / kControl / kResult / kUpdate).
   FaultProbs data;
   FaultProbs control;
   FaultProbs result;
+  FaultProbs update;
 
   // Seed of the injector's PRNG. Each Run() reseeds with a hash of
   // (seed, run index), so retried queries see fresh — but reproducible —
@@ -118,7 +119,8 @@ struct FaultPlan {
   uint64_t max_faults = std::numeric_limits<uint64_t>::max();
 
   bool enabled() const {
-    return data.Any() || control.Any() || result.Any() || crash_site >= 0;
+    return data.Any() || control.Any() || result.Any() || update.Any() ||
+           crash_site >= 0;
   }
 
   FaultProbs& ClassProbs(MessageClass cls) {
@@ -129,6 +131,8 @@ struct FaultPlan {
         return control;
       case MessageClass::kResult:
         return result;
+      case MessageClass::kUpdate:
+        return update;
     }
     return data;
   }
@@ -142,7 +146,7 @@ struct FaultPlan {
 //   "data.drop=0.1,crash=2@5,retries=16,backoff=1e-4,norecover"
 // Entries are comma-separated `[class.]key=value` pairs. Keys: drop, dup,
 // reorder, corrupt, truncate (probabilities; an optional data./control./
-// result. prefix restricts the class, otherwise all three are set),
+// result./update. prefix restricts the class, otherwise all classes are set),
 // retries=N, backoff=SECONDS, maxfaults=N, seed=N, crash=SITE@ROUND,
 // recovery=0|1 (norecover = recovery=0). Unknown keys or malformed values
 // fail with InvalidArgument.
@@ -265,7 +269,7 @@ class RunHealth {
 
  private:
   std::atomic<bool> poisoned_{false};
-  std::array<std::atomic<uint64_t>, 3> drops_{};  // indexed by MessageClass
+  std::array<std::atomic<uint64_t>, kNumMessageClasses> drops_{};
   mutable std::mutex mu_;
   bool armed_ = false;  // first-failure latch (code_/reason_ are set)
   StatusCode code_ = StatusCode::kDataLoss;

@@ -37,7 +37,12 @@ enum class MessageClass : uint8_t {
   kData = 0,     // truth values, equations, shipped subgraphs
   kControl = 1,  // termination flags, superstep votes, subscriptions
   kResult = 2,   // final match collection to the coordinator
+  kUpdate = 3,   // graph-mutation batches shipped to sites (dynamic graphs)
 };
+
+// Number of MessageClass values; sizes per-class arrays (drop counters,
+// remote drop deltas) that must stay in lockstep with the enum.
+inline constexpr size_t kNumMessageClasses = 4;
 
 // Per-run wire format selector (threaded through DistOptions/ClusterOptions
 // and read by the actors via SiteContext::wire_format()).

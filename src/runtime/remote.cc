@@ -279,7 +279,7 @@ void CloseInheritedFds(int keep) {
 //                varint dst | u8 class | varint len | payload bytes
 //            varint shared-delta len | delta bytes
 //            u8 poisoned [poisoned: u8 code, varint len, reason bytes]
-//            varint decode-drop delta x3 (kData, kControl, kResult)
+//            varint decode-drop delta per message class
 //
 // The per-site inbox is grouped into (src, run) batches — the coalesced
 // batch framing of the ISSUE: one sub-header per (src, dst) flush, one
@@ -401,7 +401,7 @@ struct ChildConfig {
   RunHealth* health = cfg.session.health;
   Blob shared_before;
   if (shared != nullptr) shared->Encode(&shared_before);
-  uint64_t drops_before[3] = {0, 0, 0};
+  uint64_t drops_before[kNumMessageClasses] = {};
 
   std::vector<Message> outbox;
   for (;;) {
@@ -465,7 +465,7 @@ struct ChildConfig {
       resp.PutVarint(0);
     }
     EncodePoison(health, &resp);
-    for (size_t c = 0; c < 3; ++c) {
+    for (size_t c = 0; c < kNumMessageClasses; ++c) {
       const uint64_t now =
           health != nullptr
               ? health->decode_drops(static_cast<MessageClass>(c))
@@ -767,7 +767,7 @@ double SocketTransport::ExecuteRound(RoundKind kind, uint32_t round,
       }
     }
     if (well_formed) well_formed = DecodePoison(r, session_.health);
-    for (size_t c = 0; well_formed && c < 3; ++c) {
+    for (size_t c = 0; well_formed && c < kNumMessageClasses; ++c) {
       const uint64_t drops = r.GetVarint();
       well_formed = r.ok();
       if (well_formed && drops > 0 && session_.health != nullptr) {

@@ -96,9 +96,11 @@ struct TransportOptions {
   // Charge one batch header per (src, dst) flush per round instead of a
   // full header per message (kCoalescedEntryBytes for the rest). Applies
   // to the charged RunStats model on every backend; the socket backend
-  // always frames physically this way. Default off: the charged accounting
-  // stays bit-identical to the historical per-message model.
-  bool coalesce = false;
+  // always frames physically this way. Default ON since the full BENCH
+  // trajectory was recorded with both framings (bench_wire's coalesce
+  // table): the charged model now matches what the wire actually ships.
+  // Set false to reproduce the historical per-message accounting.
+  bool coalesce = true;
 
   // kTcp: poll() bound on every socket read. A peer silent for longer is
   // declared stalled and the run poisoned DeadlineExceeded.

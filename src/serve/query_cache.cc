@@ -135,22 +135,69 @@ bool QueryCache::Lookup(const std::string& key, DistOutcome* out) {
   return true;
 }
 
-void QueryCache::Insert(const std::string& key, const DistOutcome& outcome) {
+std::vector<std::pair<Label, Label>> QueryCache::EdgeLabelPairs(
+    const Pattern& q) {
+  std::vector<std::pair<Label, Label>> pairs;
+  pairs.reserve(q.NumEdges());
+  for (const auto& [src, dst] : q.graph().Edges()) {
+    pairs.emplace_back(q.LabelOf(src), q.LabelOf(dst));
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  return pairs;
+}
+
+uint64_t QueryCache::invalidation_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return invalidation_epoch_;
+}
+
+void QueryCache::Insert(const std::string& key, const Pattern& q,
+                        const DistOutcome& outcome, uint64_t epoch_seen) {
   if (mode_ != CacheMode::kFull) return;
   // Never memoize a poisoned outcome: its result is a partial drain, not
   // the query's answer, and a memo hit would replay the transient failure
   // at every future submission of the pattern. Only clean outcomes are
   // admissible.
   if (!outcome.health.ok()) return;
+  std::vector<std::pair<Label, Label>> pairs = EdgeLabelPairs(q);
   std::lock_guard<std::mutex> lock(mu_);
+  // An invalidation landed while the query ran: this outcome may describe
+  // the pre-update graph, so it is not admissible (conservative — the
+  // update may not have touched this pattern's label pairs, but the memo
+  // must never race a commit).
+  if (invalidation_epoch_ != epoch_seen) return;
   if (results_.find(key) != results_.end()) return;  // deterministic dup
   const size_t bytes = ResultEntryBytes(key, outcome);
   if (bytes > max_result_bytes_) return;  // would evict the whole cache
-  lru_.push_front(ResultEntry{key, outcome, bytes});
+  lru_.push_front(ResultEntry{key, outcome, bytes, std::move(pairs)});
   results_.emplace(key, lru_.begin());
   counters_.result_bytes += bytes;
   ++counters_.result_entries;
   EvictOverBudgetLocked();
+}
+
+size_t QueryCache::InvalidateLabelPairs(
+    const std::vector<std::pair<Label, Label>>& pairs) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++invalidation_epoch_;
+  size_t erased = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    const bool dirty = std::find_first_of(
+                           it->label_pairs.begin(), it->label_pairs.end(),
+                           pairs.begin(), pairs.end()) != it->label_pairs.end();
+    if (!dirty) {
+      ++it;
+      continue;
+    }
+    counters_.result_bytes -= it->bytes;
+    --counters_.result_entries;
+    ++counters_.result_invalidations;
+    ++erased;
+    results_.erase(it->key);
+    it = lru_.erase(it);
+  }
+  return erased;
 }
 
 void QueryCache::EvictOverBudgetLocked() {

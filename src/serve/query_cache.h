@@ -40,11 +40,33 @@
 // their runs ship differently-numbered wire payloads, so their accounting
 // is not interchangeable.
 //
-// Coherence rule: the cache is per-deployment and the deployed graph is
-// immutable, so entries can never go stale; the only invalidation is
-// redeployment (a new Server, hence a new cache). Thread safety: all
-// members are safe from any thread; returned candidate-bitset pointers
-// stay valid and constant for the cache's lifetime.
+// Coherence under dynamic updates (Server::Update). The node set and the
+// node labels of a deployment never change — updates mutate only the edge
+// set — which splits the coherence argument by layer:
+//
+//   CANDIDATE LAYER: a pure function of node labels, hence never stale.
+//   Edge updates do not touch it.
+//
+//   RESULT LAYER: invalidated precisely, by label pair, instead of flushed.
+//   The lemma: the simulation fixpoint of a pattern Q restricted to
+//   label-respecting candidate sets depends only on (a) node labels and
+//   (b) data edges (v, w) whose label pair (label(v), label(w)) appears as
+//   the label pair of some pattern edge — every membership test reads
+//   out(v) ∩ sim(child), and a data edge whose label pair matches no
+//   pattern edge's can never witness such an intersection. So a committed
+//   batch dirties exactly the memo entries whose pattern contains an edge
+//   with a mutated label pair (InvalidateLabelPairs); every surviving
+//   entry's RESULT is provably unchanged on the new graph. A surviving
+//   entry's run accounting is the original run's — deterministic for the
+//   graph it was computed on. Callers who must not memoize across a
+//   concurrent invalidation compare invalidation_epoch() around the run
+//   (Insert drops the entry when the epoch moved, a conservative but
+//   race-free discipline). Poisoned updates commit nothing and invalidate
+//   nothing, so they can never leave stale entries behind.
+//
+// Thread safety: all members are safe from any thread; returned
+// candidate-bitset pointers stay valid and constant for the cache's
+// lifetime.
 
 #ifndef DGS_SERVE_QUERY_CACHE_H_
 #define DGS_SERVE_QUERY_CACHE_H_
@@ -54,6 +76,8 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "core/metrics.h"
 #include "core/serving.h"
@@ -81,6 +105,7 @@ class QueryCache {
     uint64_t result_hits = 0;
     uint64_t result_misses = 0;
     uint64_t result_evictions = 0;
+    uint64_t result_invalidations = 0;  // entries erased by label dirtying
     uint64_t result_bytes = 0;
     uint64_t result_entries = 0;
   };
@@ -113,10 +138,31 @@ class QueryCache {
   bool Lookup(const std::string& key, DistOutcome* out);
 
   // Memoizes a served outcome under `key`, evicting least-recently-used
-  // entries over the byte budget. No-op below kFull, for entries larger
-  // than the whole budget, and for keys already present (the runtime is
-  // deterministic, so a double insert would store the same outcome).
-  void Insert(const std::string& key, const DistOutcome& outcome);
+  // entries over the byte budget. `q` must be the pattern the key was built
+  // from; its edge label pairs index the entry for precise invalidation.
+  // `epoch_seen` is the invalidation_epoch() the caller read BEFORE running
+  // the query: when any invalidation landed in between, the entry is
+  // dropped instead of memoized (it may describe the pre-update graph).
+  // No-op below kFull, for entries larger than the whole budget, and for
+  // keys already present (the runtime is deterministic, so a double insert
+  // would store the same outcome).
+  void Insert(const std::string& key, const Pattern& q,
+              const DistOutcome& outcome, uint64_t epoch_seen);
+
+  // --- Invalidation (dynamic updates) ---------------------------------
+
+  // Monotone counter of InvalidateLabelPairs calls; see Insert.
+  uint64_t invalidation_epoch() const;
+
+  // Erases every memo entry whose pattern contains an edge with one of
+  // `pairs` as its (source label, target label) pair; `pairs` must be
+  // sorted and unique. Returns the number of entries erased. The candidate
+  // layer is untouched — node labels are immutable.
+  size_t InvalidateLabelPairs(const std::vector<std::pair<Label, Label>>& pairs);
+
+  // The sorted-unique (source label, target label) pairs of a pattern's
+  // edges — the invalidation index key.
+  static std::vector<std::pair<Label, Label>> EdgeLabelPairs(const Pattern& q);
 
  private:
   struct LabelEntry {
@@ -127,6 +173,9 @@ class QueryCache {
     std::string key;
     DistOutcome outcome;
     size_t bytes = 0;
+    // Sorted-unique edge label pairs of the memoized pattern — the entry is
+    // erased when an update mutates an edge with one of these pairs.
+    std::vector<std::pair<Label, Label>> label_pairs;
   };
   using LruList = std::list<ResultEntry>;
 
@@ -144,6 +193,7 @@ class QueryCache {
   std::unordered_map<Label, LabelEntry> labels_;
   LruList lru_;  // front = most recently used
   std::unordered_map<std::string, LruList::iterator> results_;
+  uint64_t invalidation_epoch_ = 0;
   Counters counters_;
 };
 

@@ -71,7 +71,8 @@ Server::Server(const Graph* g, std::optional<Fragmentation> owned,
       frag_(owned_frag_.has_value() ? &*owned_frag_ : frag),
       options_(options),
       cache_(g, options.cache, options.cache_max_result_bytes),
-      queue_(options.max_queue, options.policy) {}
+      queue_(options.max_queue, options.policy),
+      registry_(*g, options.engine.num_threads) {}
 
 Status Server::SpawnReplicas(const Graph& g) {
   uint32_t replicas = options_.num_replicas;
@@ -87,6 +88,7 @@ Status Server::SpawnReplicas(const Graph& g) {
     if (!engine.ok()) return engine.status();
     replicas_.push_back(std::move(engine).value());
   }
+  replica_versions_.assign(replicas_.size(), nullptr);  // all at version 0
   return Status::Ok();
 }
 
@@ -222,9 +224,29 @@ void Server::Shutdown() {
 }
 
 void Server::WorkerLoop(uint32_t replica) {
-  Engine& engine = *replicas_[replica];
   std::shared_ptr<ServerJob> job;
   while (queue_.Pop(&job)) {
+    // Pick up the newest committed graph version before dispatching: the
+    // replica engine is rebuilt against the published snapshot (lazy, so
+    // an idle stream of updates costs nothing until the next query).
+    // Queries already in flight on other replicas keep their version —
+    // the shared_ptr in replica_versions_ keeps it alive.
+    {
+      std::shared_ptr<const DeployedVersion> want;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        want = current_version_;
+      }
+      if (want != nullptr && want != replica_versions_[replica]) {
+        EngineOptions opts = options_.engine;
+        opts.structure_facts = want->facts;
+        auto rebuilt = Engine::Create(want->graph, &*want->frag, opts);
+        DGS_CHECK(rebuilt.ok(), "replica redeploy after update failed");
+        replicas_[replica] = std::move(rebuilt).value();
+        replica_versions_[replica] = std::move(want);
+      }
+    }
+    Engine& engine = *replicas_[replica];
     ServerJob& j = *job;
     if (j.has_deadline && std::chrono::steady_clock::now() >= j.deadline) {
       {
@@ -267,6 +289,10 @@ void Server::WorkerLoop(uint32_t replica) {
     // replaying the faults that killed the first attempt. Non-retryable
     // failures (DataLoss, bad arguments) surface immediately.
     const uint32_t max_attempts = std::max(options_.retry.max_attempts, 1u);
+    // Memoizing across a concurrent update commit would cache a stale
+    // outcome; the epoch read here lets Insert detect that race.
+    const uint64_t cache_epoch =
+        j.cache_key.empty() ? 0 : cache_.invalidation_epoch();
     auto result = engine.Match(j.pattern, j.query);
     for (uint32_t attempt = 1;
          attempt < max_attempts && !result.ok() &&
@@ -291,7 +317,9 @@ void Server::WorkerLoop(uint32_t replica) {
       }
     }
     if (result.ok()) {
-      if (!j.cache_key.empty()) cache_.Insert(j.cache_key, *result);
+      if (!j.cache_key.empty()) {
+        cache_.Insert(j.cache_key, j.pattern, *result, cache_epoch);
+      }
       {
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.served;
@@ -310,6 +338,171 @@ void Server::WorkerLoop(uint32_t replica) {
   }
 }
 
+void Server::EnsureUpdatePipelineLocked() {
+  if (update_cluster_ != nullptr) return;
+  const uint32_t sites = frag_->NumFragments();
+  update_cluster_ =
+      std::make_unique<Cluster>(sites, options_.engine.ToClusterOptions());
+  update_sites_.reserve(sites);
+  for (uint32_t i = 0; i < sites; ++i) {
+    update_sites_.push_back(
+        std::make_unique<UpdateSiteActor>(graph_->NumNodes()));
+    update_cluster_->BindWorker(i, update_sites_.back().get());
+  }
+  update_cluster_->BindCoordinator(&update_coordinator_);
+}
+
+StatusOr<Server::UpdateOutcome> Server::Update(const UpdateBatch& batch) {
+  if (batch.empty()) {
+    return Status::InvalidArgument("empty update batch");
+  }
+  const size_t num_nodes = graph_->NumNodes();
+  for (const auto* list : {&batch.deletes, &batch.inserts}) {
+    for (const auto& [u, v] : *list) {
+      if (u >= num_nodes || v >= num_nodes) {
+        return Status::InvalidArgument(
+            "update edge endpoint out of range: (" + std::to_string(u) + ", " +
+            std::to_string(v) + ")");
+      }
+    }
+  }
+  UpdateBatch canonical = batch;
+  CanonicalizeBatch(&canonical);
+
+  // One batch at a time, in call order, end to end — replication, commit,
+  // subscription repair, and cache dirtying are one atomic step as far as
+  // other updates are concerned.
+  std::lock_guard<std::mutex> update_lock(update_mu_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shut_down_) return Status::Unavailable("server is shut down");
+    ++stats_.updates_submitted;
+  }
+  EnsureUpdatePipelineLocked();
+
+  const uint64_t epoch = version_ + 1;
+  const std::vector<UpdateBatch> slices = SliceBatchByOwner(canonical, *frag_);
+
+  // Replicate and validate. The run never mutates resident state; see the
+  // commit protocol in dyn/update.h.
+  RunHealth health;
+  for (auto& site : update_sites_) site->BindUpdate(epoch, &health);
+  update_coordinator_.BindUpdate(&slices, epoch, &health);
+  update_cluster_->BindHealth(&health);
+  const RunStats run_stats = update_cluster_->Run();
+  update_cluster_->BindHealth(nullptr);  // health dies with this frame
+  const FaultStats faults = update_cluster_->fault_stats();
+  for (auto& site : update_sites_) site->EndUpdate();
+  update_coordinator_.EndUpdate();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.update_cumulative.Accumulate(run_stats);
+  }
+
+  if (health.poisoned()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.updates_failed;
+    return health.ToStatus();
+  }
+
+  // Healthy: commit. Per-site watermarks first (idempotent per epoch),
+  // then the authoritative adjacency plus every standing query in one
+  // registry step.
+  for (uint32_t i = 0; i < update_sites_.size(); ++i) {
+    update_sites_[i]->CommitEpoch(epoch, slices[i]);
+  }
+  const SubscriptionRegistry::ApplyOutcome applied =
+      registry_.ApplyBatch(canonical, epoch);
+  version_ = epoch;
+
+  // Publish the new deployment snapshot for the query replicas. The node
+  // assignment is unchanged — only the edge set moved — so refragmenting
+  // cannot fail.
+  auto next = std::make_shared<DeployedVersion>();
+  next->version = epoch;
+  next->graph = registry_.adjacency().ToGraph();
+  auto refrag = Fragmentation::Create(next->graph, frag_->assignment(),
+                                      frag_->NumFragments());
+  DGS_CHECK(refrag.ok(), "refragmentation after a committed update failed");
+  next->frag.emplace(std::move(refrag).value());
+  next->facts = std::make_shared<SharedStructureFacts>();
+
+  // Precise result-memo dirtying: only patterns containing one of the
+  // batch's edge label pairs can have changed (serve/query_cache.h).
+  std::vector<std::pair<Label, Label>> pairs;
+  pairs.reserve(canonical.size());
+  auto collect = [&](const std::vector<std::pair<NodeId, NodeId>>& edges) {
+    for (const auto& [u, v] : edges) {
+      pairs.emplace_back(graph_->LabelOf(u), graph_->LabelOf(v));
+    }
+  };
+  collect(canonical.deletes);
+  collect(canonical.inserts);
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  const size_t invalidated = cache_.InvalidateLabelPairs(pairs);
+
+  UpdateOutcome outcome;
+  outcome.version = epoch;
+  outcome.edges_deleted = applied.edges_deleted;
+  outcome.edges_inserted = applied.edges_inserted;
+  outcome.deltas_delivered = applied.deltas_delivered;
+  outcome.cache_invalidated = invalidated;
+  outcome.stats = run_stats;
+  outcome.faults = faults;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_version_ = std::move(next);
+    ++stats_.updates_applied;
+    stats_.update_edges_deleted += applied.edges_deleted;
+    stats_.update_edges_inserted += applied.edges_inserted;
+    stats_.graph_version = epoch;
+    stats_.sub_deltas_delivered += applied.deltas_delivered;
+    stats_.sub_deltas_dropped += applied.deltas_dropped;
+    stats_.sub_pairs_added += applied.pairs_added;
+    stats_.sub_pairs_removed += applied.pairs_removed;
+  }
+  return outcome;
+}
+
+uint64_t Server::graph_version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_.graph_version;
+}
+
+StatusOr<SubscriptionId> Server::Subscribe(const Pattern& q,
+                                           const SubscribeOptions& options) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shut_down_) return Status::Unavailable("server is shut down");
+  }
+  // The registry locks itself, so subscribing is atomic with respect to
+  // ApplyBatch: a new subscription either sees the pre-batch graph (and
+  // then receives the batch's delta) or starts from the post-batch result.
+  const SubscriptionId id = registry_.Subscribe(q, options);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.subscriptions_created;
+  }
+  return id;
+}
+
+bool Server::Unsubscribe(SubscriptionId id) {
+  return registry_.Unsubscribe(id);
+}
+
+StatusOr<SimulationResult> Server::SubscriptionSnapshot(
+    SubscriptionId id) const {
+  return registry_.Snapshot(id);
+}
+
+StatusOr<std::vector<SubscriptionDelta>> Server::PollDeltas(SubscriptionId id,
+                                                            bool* lagged) {
+  return registry_.PollDeltas(id, lagged);
+}
+
+size_t Server::NumSubscriptions() const { return registry_.NumSubscriptions(); }
+
 ServerStats Server::stats() const {
   ServerStats snapshot;
   {
@@ -320,10 +513,12 @@ ServerStats Server::stats() const {
   snapshot.cache_result_hits = cache.result_hits;
   snapshot.cache_result_misses = cache.result_misses;
   snapshot.cache_result_evictions = cache.result_evictions;
+  snapshot.cache_invalidations = cache.result_invalidations;
   snapshot.cache_result_bytes = cache.result_bytes;
   snapshot.cache_label_hits = cache.label_hits;
   snapshot.cache_label_misses = cache.label_misses;
   snapshot.cache_label_bytes = cache.label_bytes;
+  snapshot.subscriptions_active = registry_.NumSubscriptions();
   snapshot.peak_queue_depth = queue_.peak_depth();
   snapshot.replicas = num_replicas();
   return snapshot;

@@ -32,8 +32,48 @@
 //   CACHING (serve/query_cache.h). Per-label candidate bitsets shared
 //   across queries + exact-pattern result memoization, behind
 //   ServerOptions::cache, with hit/miss/byte counters in ServerStats.
-//   Coherence: the cache is per-deployment and the deployment is
-//   immutable; the only invalidation is redeploying (a new Server).
+//   Coherence: the candidate layer depends only on node labels (immutable);
+//   the result memo is dirtied precisely, by edge label pair, on every
+//   committed update (see the invalidation lemma in serve/query_cache.h).
+//
+//   DYNAMIC UPDATES (dyn/update.h). Update(batch) mutates the deployed
+//   edge set — the node set and node labels never change. Delivery
+//   semantics, the contract tests and clients rely on:
+//
+//     * Updates serialize: batches commit one at a time, in call order;
+//       the k-th committed batch establishes graph version k.
+//     * A batch is REPLICATED AND VALIDATED by a cluster run over the same
+//       transport as queries before anything is applied: per-site slices
+//       ship as MessageClass::kUpdate (charged in
+//       ServerStats::update_cumulative, subject to fault injection, and
+//       identical over loopback and tcp), and every site acks what it
+//       decoded. Commit happens only after the run proves healthy.
+//     * A poisoned run commits NOTHING — no graph change, no subscription
+//       delta, no cache invalidation — and returns a classified Status:
+//       Unavailable / DeadlineExceeded are transient (resubmit the same
+//       batch; commit is idempotent per epoch), DataLoss is not. A failed
+//       update is never half-applied.
+//     * Within one batch, deletions apply before insertions: the post-batch
+//       graph is (G \ deletes) ∪ inserts, independent of intra-batch order.
+//       Deleting an absent edge or inserting a present one is a no-op.
+//     * Queries dispatched after a commit run against the new version;
+//       queries in flight finish against the version they dispatched on
+//       (single-version reads — a query never sees a torn graph). Each
+//       worker picks up the newest version before its next dispatch.
+//
+//   SUBSCRIPTIONS (dyn/subscription.h). Subscribe(q) registers a standing
+//   query and materializes its full result once; after every committed
+//   update each live subscription is repaired incrementally
+//   (simulation/incremental.h) and receives EXACTLY ONE delta per batch —
+//   the (query node, data node) pairs that entered/left its result,
+//   stamped with the commit version. Deltas are deterministic:
+//   bit-identical for every executor width and transport backend. Applying
+//   a subscription's deltas in order to its last snapshot always
+//   reproduces SubscriptionSnapshot(id), which in turn equals a
+//   from-scratch Match on the current graph. A subscriber that falls more
+//   than SubscribeOptions::max_pending_deltas behind loses oldest deltas,
+//   is flagged `lagged` on its next PollDeltas, and should resynchronize
+//   from SubscriptionSnapshot.
 //
 // Lifecycle:
 //
@@ -41,6 +81,9 @@
 //   dgs::ServerTicket t = (*server)->Submit(q);        // async
 //   auto outcome = t.Wait();                           // StatusOr<DistOutcome>
 //   auto now = (*server)->Match(q);                    // blocking wrapper
+//   auto sub = (*server)->Subscribe(q);                // standing query
+//   (*server)->Update({{}, {{1, 2}}});                 // insert edge 1->2
+//   auto deltas = (*server)->PollDeltas(*sub);         // what changed
 //   (*server)->Shutdown();  // close admission, drain backlog, join workers
 //
 // Shutdown is graceful: accepted queries complete (drain), later Submits
@@ -59,6 +102,8 @@
 
 #include "core/engine.h"
 #include "core/serving.h"
+#include "dyn/subscription.h"
+#include "dyn/update.h"
 #include "partition/fragmentation.h"
 #include "serve/admission.h"
 #include "serve/query_cache.h"
@@ -157,6 +202,53 @@ class Server {
   // the candidate cache; 0 when the cache is off.
   uint64_t EstimateCost(const Pattern& q);
 
+  // --- Dynamic updates (see the delivery-semantics contract above) ----
+
+  // What one committed Update reports.
+  struct UpdateOutcome {
+    uint64_t version = 0;        // graph version the commit established
+    size_t edges_deleted = 0;    // mutations that actually changed the graph
+    size_t edges_inserted = 0;   // (absent deletes / present inserts: no-ops)
+    size_t deltas_delivered = 0;  // non-empty subscription deltas queued
+    size_t cache_invalidated = 0;  // result-memo entries erased
+    RunStats stats;              // the replication run's accounting
+    FaultStats faults;           // chaos accounting of the run
+  };
+
+  // Replicates, validates, and (if the run stays healthy) commits one
+  // batch of edge mutations. Blocking; batches serialize in call order.
+  // InvalidArgument (empty batch, out-of-range endpoint) rejects before
+  // the pipeline; a poisoned replication run fails with a classified
+  // Status and commits nothing. Safe to call concurrently with queries,
+  // subscriptions, and other Updates.
+  StatusOr<UpdateOutcome> Update(const UpdateBatch& batch);
+
+  // Committed graph version (0 = the deployed graph, untouched).
+  uint64_t graph_version() const;
+
+  // --- Standing queries -----------------------------------------------
+
+  // Registers a standing query against the current graph and materializes
+  // its result (read it via SubscriptionSnapshot; the initial result is
+  // not queued as a delta).
+  StatusOr<SubscriptionId> Subscribe(const Pattern& q,
+                                     const SubscribeOptions& options = {});
+
+  // Stops maintaining `id`. False if the id is unknown.
+  bool Unsubscribe(SubscriptionId id);
+
+  // The subscription's full current result — bit-identical to a
+  // from-scratch Match of its pattern on the current graph.
+  StatusOr<SimulationResult> SubscriptionSnapshot(SubscriptionId id) const;
+
+  // Drains the subscription's undelivered deltas, oldest first. `lagged`
+  // (when non-null) reports whether deltas were dropped since the last
+  // poll; resynchronize from SubscriptionSnapshot when set.
+  StatusOr<std::vector<SubscriptionDelta>> PollDeltas(SubscriptionId id,
+                                                      bool* lagged = nullptr);
+
+  size_t NumSubscriptions() const;
+
   // Counter snapshot; safe from any thread.
   ServerStats stats() const;
 
@@ -168,24 +260,56 @@ class Server {
   uint32_t NumSites() const { return frag_->NumFragments(); }
 
  private:
+  // One committed deployment snapshot: the post-update graph, its
+  // refragmentation (same node assignment — the node set never changes),
+  // and a fresh structure-facts memo (acyclicity/forestness may flip under
+  // edge updates). Immutable once published; the shared_ptr keeps graph
+  // and fragmentation alive for every replica engine built against them.
+  struct DeployedVersion {
+    uint64_t version = 0;
+    Graph graph;
+    std::optional<Fragmentation> frag;
+    std::shared_ptr<SharedStructureFacts> facts;
+  };
+
   Server(const Graph* g, std::optional<Fragmentation> owned,
          const Fragmentation* frag, const ServerOptions& options);
 
   Status SpawnReplicas(const Graph& g);
   void StartLocked();  // requires mu_ held
+  void EnsureUpdatePipelineLocked();  // requires update_mu_ held
   void WorkerLoop(uint32_t replica);
 
   const Graph* graph_;
   std::optional<Fragmentation> owned_frag_;  // engaged when the server owns
-  const Fragmentation* frag_;                // always valid
+  const Fragmentation* frag_;                // always valid (version 0)
   ServerOptions options_;
   QueryCache cache_;
   AdmissionQueue<std::shared_ptr<serve_internal::ServerJob>> queue_;
   std::vector<std::unique_ptr<Engine>> replicas_;
+  // replica_versions_[i]: the snapshot replicas_[i] was built against
+  // (null = version 0). Slot i is touched only by worker i after Start,
+  // so the redeploy swap needs no lock beyond reading current_version_.
+  std::vector<std::shared_ptr<const DeployedVersion>> replica_versions_;
   std::vector<std::thread> workers_;
 
-  mutable std::mutex mu_;  // guards stats_ and the lifecycle flags
+  // Standing-query registry; owns the authoritative mutable adjacency.
+  // Internally locked — safe from any thread.
+  SubscriptionRegistry registry_;
+
+  // Update pipeline, built lazily on the first Update. update_mu_
+  // serializes the replicate→validate→commit sequence end to end and
+  // guards these members plus version_.
+  std::mutex update_mu_;
+  uint64_t version_ = 0;  // committed epoch watermark
+  std::unique_ptr<Cluster> update_cluster_;
+  std::vector<std::unique_ptr<UpdateSiteActor>> update_sites_;
+  UpdateCoordinatorActor update_coordinator_;
+
+  mutable std::mutex mu_;  // guards stats_, current_version_, lifecycle flags
   std::mutex shutdown_mu_;  // serializes Shutdown end to end
+  std::shared_ptr<const DeployedVersion> current_version_;  // null until
+                                                            // first commit
   ServerStats stats_;
   bool started_ = false;
   bool shut_down_ = false;

@@ -1,6 +1,7 @@
 #include "simulation/incremental.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "simulation/relax.h"
 
@@ -11,29 +12,45 @@ IncrementalSimulation::IncrementalSimulation(const Pattern& q, const Graph& g,
     : pattern_(&q),
       num_nodes_(g.NumNodes()),
       num_threads_(num_threads == 0 ? ThreadPool::HardwareThreads()
-                                    : num_threads) {
-  out_.resize(num_nodes_);
-  in_.resize(num_nodes_);
-  for (NodeId v = 0; v < num_nodes_; ++v) {
-    auto out = g.OutNeighbors(v);
-    out_[v].assign(out.begin(), out.end());
-    auto in = g.InNeighbors(v);
-    in_[v].assign(in.begin(), in.end());
-  }
+                                    : num_threads),
+      owned_adj_(std::make_unique<DynamicAdjacency>(g)),
+      adj_(owned_adj_.get()) {
+  Initialize();
+}
 
+IncrementalSimulation::IncrementalSimulation(const Pattern& q,
+                                             const DynamicAdjacency* adj,
+                                             uint32_t num_threads)
+    : pattern_(&q),
+      num_nodes_(adj->NumNodes()),
+      num_threads_(num_threads == 0 ? ThreadPool::HardwareThreads()
+                                    : num_threads),
+      adj_(adj) {
+  Initialize();
+}
+
+void IncrementalSimulation::Initialize() {
+  const Pattern& q = *pattern_;
   const size_t nq = q.NumNodes();
   sim_.assign(nq, DynamicBitset(num_nodes_));
+  reach_ = DynamicBitset(num_nodes_);
   for (NodeId u = 0; u < nq; ++u) {
     const bool needs_children = !q.IsSink(u);
     for (NodeId v = 0; v < num_nodes_; ++v) {
-      if (g.LabelOf(v) != q.LabelOf(u)) continue;
-      if (needs_children && out_[v].empty()) continue;
+      if (adj_->LabelOf(v) != q.LabelOf(u)) continue;
+      if (needs_children && adj_->Out(v).empty()) continue;
       sim_[u].Set(v);
+    }
+  }
+  for (NodeId u = 0; u < nq; ++u) {
+    for (NodeId uc : q.Children(u)) {
+      feasible_pairs_.insert((static_cast<uint64_t>(q.LabelOf(u)) << 32) |
+                             q.LabelOf(uc));
     }
   }
   count_.assign(nq * num_nodes_, 0);
   for (NodeId v = 0; v < num_nodes_; ++v) {
-    for (NodeId w : out_[v]) {
+    for (NodeId w : adj_->Out(v)) {
       for (NodeId u = 0; u < nq; ++u) {
         if (sim_[u].Test(w)) ++count_[u * num_nodes_ + v];
       }
@@ -60,7 +77,7 @@ void IncrementalSimulation::Enqueue(NodeId query_node, NodeId data_node) {
 }
 
 size_t IncrementalSimulation::Propagate() {
-  // A single DeleteEdge seeds at most a handful of pairs, so the cascade
+  // A single mutation seeds at most a handful of pairs, so the cascade
   // size is unknowable up front. Drain sequentially within a budget; a
   // cascade still growing past it is "large" (the construction fixpoint
   // always is) and the remaining worklist escalates to the partitioned
@@ -78,13 +95,13 @@ size_t IncrementalSimulation::Propagate() {
                                                   worklist_.end());
       const size_t tail = ParallelRefine(
           *pool_, *pattern_, num_nodes_, sim_, count_.data(), std::move(rest),
-          [&](NodeId v) -> const std::vector<NodeId>& { return in_[v]; },
+          [&](NodeId v) -> const std::vector<NodeId>& { return adj_->In(v); },
           nullptr, &scratch_);
       worklist_.clear();
       return head + tail;
     }
     auto [u, v] = worklist_[head++];
-    for (NodeId p : in_[v]) {
+    for (NodeId p : adj_->In(v)) {
       DGS_DCHECK(count_[u * num_nodes_ + p] > 0, "support underflow");
       if (--count_[u * num_nodes_ + p] == 0) {
         for (NodeId up : pattern_->Parents(u)) Enqueue(up, p);
@@ -98,14 +115,23 @@ size_t IncrementalSimulation::Propagate() {
 }
 
 size_t IncrementalSimulation::DeleteEdge(NodeId from, NodeId to) {
-  DGS_CHECK(from < num_nodes_ && to < num_nodes_, "edge endpoint OOB");
-  auto it = std::lower_bound(out_[from].begin(), out_[from].end(), to);
-  if (it == out_[from].end() || *it != to) return 0;
-  out_[from].erase(it);
-  auto jt = std::lower_bound(in_[to].begin(), in_[to].end(), from);
-  DGS_CHECK(jt != in_[to].end() && *jt == from, "in-adjacency out of sync");
-  in_[to].erase(jt);
+  DGS_CHECK(owned_adj_ != nullptr,
+            "DeleteEdge requires the owning constructor; in borrow mode "
+            "mutate the shared adjacency and call ApplyEdgeRemoved");
+  if (!owned_adj_->RemoveEdge(from, to)) return 0;
+  return ApplyEdgeRemoved(from, to);
+}
 
+size_t IncrementalSimulation::AddEdge(NodeId from, NodeId to) {
+  DGS_CHECK(owned_adj_ != nullptr,
+            "AddEdge requires the owning constructor; in borrow mode "
+            "mutate the shared adjacency and call ApplyEdgeInserted");
+  if (!owned_adj_->InsertEdge(from, to)) return 0;
+  return ApplyEdgeInserted(from, to);
+}
+
+size_t IncrementalSimulation::ApplyEdgeRemoved(NodeId from, NodeId to) {
+  DGS_CHECK(from < num_nodes_ && to < num_nodes_, "edge endpoint OOB");
   const size_t nq = pattern_->NumNodes();
   for (NodeId u = 0; u < nq; ++u) {
     // `from` lost one u-supporter if `to` was one.
@@ -117,9 +143,94 @@ size_t IncrementalSimulation::DeleteEdge(NodeId from, NodeId to) {
       }
     }
     // A non-sink candidate with no out-edges at all can no longer match.
-    if (!pattern_->IsSink(u) && out_[from].empty()) Enqueue(u, from);
+    if (!pattern_->IsSink(u) && adj_->Out(from).empty()) Enqueue(u, from);
   }
   return Propagate();
+}
+
+size_t IncrementalSimulation::ApplyEdgeInserted(NodeId from, NodeId to) {
+  DGS_CHECK(from < num_nodes_ && to < num_nodes_, "edge endpoint OOB");
+  const Pattern& q = *pattern_;
+  const size_t nq = q.NumNodes();
+
+  // 1) Patch the support counters for the new edge itself, against the
+  //    PRE-insert relation: `from` gained one u-supporter if `to` is one.
+  for (NodeId u = 0; u < nq; ++u) {
+    if (sim_[u].Test(to)) ++count_[u * num_nodes_ + from];
+  }
+
+  // 2) Affected area. A pair that is true after the insert but was false
+  //    before must depend — through the child-support condition — on the
+  //    inserted edge, so its data node has a forward path to `from`. Each
+  //    hop of that dependency chain is a graph edge (p, v) standing in for
+  //    some pattern edge (u, uc) with label(p) = label(u) and
+  //    label(v) = label(uc), so only edges whose label pair is realized by
+  //    a pattern edge can carry it. That prunes the backward closure from
+  //    "everything upstream of `from`" to the pattern-feasible subgraph —
+  //    and when the inserted edge's OWN label pair is not in the pattern,
+  //    no pair can flip at all (the counters above still had to move).
+  const auto feasible = [&](NodeId p, NodeId v) {
+    return feasible_pairs_.count(
+               (static_cast<uint64_t>(adj_->LabelOf(p)) << 32) |
+               adj_->LabelOf(v)) != 0;
+  };
+  if (!feasible(from, to)) return 0;
+  reach_.ResetAll();
+  std::vector<NodeId> frontier;
+  reach_.Set(from);
+  frontier.push_back(from);
+  while (!frontier.empty()) {
+    const NodeId v = frontier.back();
+    frontier.pop_back();
+    for (NodeId p : adj_->In(v)) {
+      if (!reach_.Test(p) && feasible(p, v)) {
+        reach_.Set(p);
+        frontier.push_back(p);
+      }
+    }
+  }
+
+  // 3) Optimistic re-admission: every label-eligible pair inside the
+  //    affected area joins the relation, making it an over-approximation
+  //    of the new fixpoint (outside the area the old fixpoint is already
+  //    exact, and the old pairs survive unconditionally).
+  std::vector<std::pair<NodeId, NodeId>> optimistic;
+  reach_.ForEachSet([&](size_t vi) {
+    const NodeId v = static_cast<NodeId>(vi);
+    const Label label = adj_->LabelOf(v);
+    const bool has_out = !adj_->Out(v).empty();
+    for (NodeId u = 0; u < nq; ++u) {
+      if (q.LabelOf(u) != label || sim_[u].Test(v)) continue;
+      if (!q.IsSink(u) && !has_out) continue;
+      sim_[u].Set(v);
+      optimistic.emplace_back(u, v);
+    }
+  });
+
+  // 4) Re-admitted pairs raise the support of their in-neighbors.
+  for (const auto& [u, v] : optimistic) {
+    for (NodeId p : adj_->In(v)) ++count_[u * num_nodes_ + p];
+  }
+
+  // 5) Seed the drain with the re-admitted pairs that violate the child
+  //    condition right away; the ordinary deletion cascade removes the
+  //    rest of the over-approximation. Pre-insert pairs never flip (their
+  //    support only grew), so the drain returns exactly the number of
+  //    optimistic pairs that did NOT survive.
+  for (const auto& [u, v] : optimistic) {
+    bool violated = false;
+    for (NodeId uc : q.Children(u)) {
+      if (count_[uc * num_nodes_ + v] == 0) {
+        violated = true;
+        break;
+      }
+    }
+    if (violated) Enqueue(u, v);
+  }
+  const size_t retracted = Propagate();
+  DGS_DCHECK(retracted <= optimistic.size(),
+             "insert drain removed a pre-insert pair");
+  return optimistic.size() - retracted;
 }
 
 SimulationResult IncrementalSimulation::Result() const {

@@ -1,21 +1,37 @@
-// Incremental maintenance of a simulation result under edge deletions.
+// Incremental maintenance of a simulation result under edge mutations.
 //
 // Section 4.2's incremental lEval follows Fan et al.'s incremental graph
-// pattern matching [13]: when the graph shrinks, the maximum simulation
-// only shrinks, and the affected area AFF can be repaired without
-// recomputation. This module provides that machinery centrally: build once
-// in O((|Vq|+|V|)(|Eq|+|E|)), then maintain the match relation across edge
-// deletions in O(|AFF|) amortized per deletion.
+// pattern matching [13]. Build once in O((|Vq|+|V|)(|Eq|+|E|)), then:
 //
-// Edge insertions can enlarge the relation and are out of scope here (they
-// require re-running the optimistic phase, as in the paper's dGPM setup).
+//   Deletions  — the maximum simulation only shrinks; the affected area AFF
+//                is repaired by draining HHK support counters to zero, in
+//                O(|AFF|) amortized per deletion.
+//   Insertions — the relation only grows; AddEdge runs a bounded optimistic
+//                re-run seeded from the affected area: every pair that could
+//                have become true lies on a path to the inserted edge, so
+//                the candidates are re-admitted optimistically, their
+//                support counters patched, and the ordinary deletion drain
+//                (including the relax.h sharded parallel drain for large
+//                cascades) removes the over-approximation. Pairs that were
+//                true before the insert can never flip — counters only grew
+//                — so the drain converges to the exact new fixpoint.
+//
+// Ownership: by default the instance copies the graph's adjacency into a
+// private DynamicAdjacency. When many instances watch ONE mutating graph
+// (the server's subscription registry), that copy is dead weight — the
+// borrow constructor shares a caller-owned DynamicAdjacency instead. In
+// borrow mode the caller mutates the shared adjacency exactly once per
+// edge and then notifies every instance through ApplyEdgeRemoved /
+// ApplyEdgeInserted (the adjacency must already reflect the mutation).
 
 #ifndef DGS_SIMULATION_INCREMENTAL_H_
 #define DGS_SIMULATION_INCREMENTAL_H_
 
 #include <memory>
+#include <unordered_set>
 #include <vector>
 
+#include "graph/dynamic_graph.h"
 #include "graph/graph.h"
 #include "graph/pattern.h"
 #include "simulation/relax.h"
@@ -25,21 +41,38 @@
 
 namespace dgs {
 
-// Maintains Q(G) while edges of G are deleted.
+// Maintains Q(G) while edges of G are deleted and inserted.
 class IncrementalSimulation {
  public:
-  // Copies the graph's adjacency into a mutable form and computes the
-  // initial fixpoint. `num_threads` > 1 drains large removal cascades with
-  // the partitioned chaotic-relaxation pass (simulation/relax.h); the
-  // maintained relation, the support counters, and every DeleteEdge return
+  // Copies the graph's adjacency into a private mutable form and computes
+  // the initial fixpoint. `num_threads` > 1 drains large cascades with the
+  // partitioned chaotic-relaxation pass (simulation/relax.h); the
+  // maintained relation, the support counters, and every mutation return
   // value are bit-identical for every width (0 = all hardware threads).
   IncrementalSimulation(const Pattern& q, const Graph& g,
+                        uint32_t num_threads = 1);
+
+  // Borrow path: shares `adj` (caller-owned, must outlive this instance)
+  // instead of copying the graph. Mutations then happen externally; call
+  // ApplyEdgeRemoved/ApplyEdgeInserted after each one.
+  IncrementalSimulation(const Pattern& q, const DynamicAdjacency* adj,
                         uint32_t num_threads = 1);
 
   // Deletes the edge (from, to) and repairs the match relation. Returns the
   // number of (query node, data node) pairs that became false. Deleting an
   // edge that is absent (or already deleted) is a no-op returning 0.
+  // Owning mode only.
   size_t DeleteEdge(NodeId from, NodeId to);
+
+  // Inserts the edge (from, to) and repairs the match relation. Returns the
+  // number of pairs that became true. Inserting a present edge is a no-op
+  // returning 0. Owning mode only.
+  size_t AddEdge(NodeId from, NodeId to);
+
+  // Borrow-mode repair hooks: the shared adjacency must ALREADY contain the
+  // mutation (edge removed / inserted). Same return values as above.
+  size_t ApplyEdgeRemoved(NodeId from, NodeId to);
+  size_t ApplyEdgeInserted(NodeId from, NodeId to);
 
   // Current result; equal to ComputeSimulation(q, g') for the current
   // graph g' (checked exhaustively in tests).
@@ -50,7 +83,17 @@ class IncrementalSimulation {
     return sim_[query_node].Test(data_node);
   }
 
+  // The maintained candidate set of one query node — shared with delta
+  // consumers (the subscription registry diffs snapshots of these to build
+  // per-update result deltas).
+  const DynamicBitset& CandidateSet(NodeId query_node) const {
+    return sim_[query_node];
+  }
+
+  const Pattern& pattern() const { return *pattern_; }
+
  private:
+  void Initialize();
   void Enqueue(NodeId query_node, NodeId data_node);
   // Drains the worklist; returns the number of pairs flipped false.
   size_t Propagate();
@@ -60,16 +103,24 @@ class IncrementalSimulation {
   uint32_t num_threads_;
   std::unique_ptr<ThreadPool> pool_;  // created on the first parallel drain
   RefineScratch scratch_;  // per-shard buffers reused across cascades
-  // Mutable adjacency (sorted vectors; deletion via binary search + erase).
-  std::vector<std::vector<NodeId>> out_;
-  std::vector<std::vector<NodeId>> in_;
+  // Mutable adjacency: privately owned (owned_adj_ set) or borrowed from
+  // the caller (owned_adj_ null). adj_ always points at the active one.
+  std::unique_ptr<DynamicAdjacency> owned_adj_;
+  const DynamicAdjacency* adj_;
   // sim_[u] = current candidate set; count_[u * num_nodes_ + v] = surviving
   // successors of v in sim_[u] (the HHK support counters, kept alive
-  // between deletions — flat so the parallel drain can share them with
+  // between mutations — flat so the parallel drain can share them with
   // ComputeSimulation's relaxation pass).
   std::vector<DynamicBitset> sim_;
   std::vector<uint32_t> count_;
   std::vector<std::pair<NodeId, NodeId>> worklist_;
+  // Scratch for AddEdge's backward reachability sweep.
+  DynamicBitset reach_;
+  // Label pairs realized by some pattern edge, keyed (label(u)<<32)|label(uc).
+  // An insertion can only create pairs through support chains whose every
+  // graph edge carries one of these label pairs, so the backward sweep (and
+  // the whole repair) prunes on them — see ApplyEdgeInserted.
+  std::unordered_set<uint64_t> feasible_pairs_;
 };
 
 }  // namespace dgs

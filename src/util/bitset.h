@@ -77,6 +77,23 @@ class DynamicBitset {
     }
   }
 
+  // Calls fn(index, now_set) in ascending index order for every bit that
+  // differs between this and other (now_set = the bit's value in *this).
+  // Sizes must match. Word-level XOR, so the common all-equal case costs
+  // one pass over the words.
+  template <typename Fn>
+  void ForEachDiff(const DynamicBitset& other, Fn&& fn) const {
+    DGS_DCHECK(size_ == other.size_, "bitset size mismatch");
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t bits = words_[w] ^ other.words_[w];
+      while (bits != 0) {
+        unsigned tz = static_cast<unsigned>(__builtin_ctzll(bits));
+        fn(w * 64 + tz, ((words_[w] >> tz) & 1) != 0);
+        bits &= bits - 1;
+      }
+    }
+  }
+
   // Collects the indices of set bits.
   std::vector<uint32_t> ToVector() const;
 

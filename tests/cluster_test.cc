@@ -132,15 +132,37 @@ TEST(ClusterTest, ByteAccountingByClass) {
     }
     void OnMessages(SiteContext&, std::vector<Message>) override {}
   };
-  Cluster cluster(2);
-  cluster.SetWorker(0, std::make_unique<Sender>());
-  cluster.SetWorker(1, std::make_unique<Sender>());
-  cluster.SetCoordinator(std::make_unique<CountingCoordinator>());
-  RunStats stats = cluster.Run();
-  EXPECT_EQ(stats.data_bytes, 2 * (8 + kMessageHeaderBytes));
-  EXPECT_EQ(stats.control_bytes, 2 * (1 + kMessageHeaderBytes));
-  EXPECT_EQ(stats.result_bytes, 0u);
-  EXPECT_EQ(stats.TotalBytes(), stats.data_bytes + stats.control_bytes);
+  // Per-message framing (the historical model, opt-in since coalescing
+  // became the default): every message pays a full header.
+  {
+    ClusterOptions options;
+    options.transport.coalesce = false;
+    Cluster cluster(2, options);
+    cluster.SetWorker(0, std::make_unique<Sender>());
+    cluster.SetWorker(1, std::make_unique<Sender>());
+    cluster.SetCoordinator(std::make_unique<CountingCoordinator>());
+    RunStats stats = cluster.Run();
+    EXPECT_EQ(stats.data_bytes, 2 * (8 + kMessageHeaderBytes));
+    EXPECT_EQ(stats.control_bytes, 2 * (1 + kMessageHeaderBytes));
+    EXPECT_EQ(stats.result_bytes, 0u);
+    EXPECT_EQ(stats.TotalBytes(), stats.data_bytes + stats.control_bytes);
+  }
+  // Coalesced framing (the default): each worker's two messages share one
+  // (src, dst) flush — the first pays the full header, the second only the
+  // per-entry sub-header. Message counts are identical either way.
+  {
+    Cluster cluster(2);
+    cluster.SetWorker(0, std::make_unique<Sender>());
+    cluster.SetWorker(1, std::make_unique<Sender>());
+    cluster.SetCoordinator(std::make_unique<CountingCoordinator>());
+    RunStats stats = cluster.Run();
+    EXPECT_EQ(stats.data_bytes, 2 * (8 + kMessageHeaderBytes));
+    EXPECT_EQ(stats.control_bytes, 2 * (1 + kCoalescedEntryBytes));
+    EXPECT_EQ(stats.data_messages, 2u);
+    EXPECT_EQ(stats.control_messages, 2u);
+    EXPECT_EQ(stats.result_bytes, 0u);
+    EXPECT_EQ(stats.TotalBytes(), stats.data_bytes + stats.control_bytes);
+  }
 }
 
 TEST(ClusterTest, NetworkModelChargesLatency) {
@@ -350,16 +372,38 @@ TEST_P(TransportDeliveryContract, ByteAccountingByClass) {
     }
     void OnMessages(SiteContext&, std::vector<Message>) override {}
   };
-  Cluster cluster(2, Options());
-  cluster.SetWorker(0, std::make_unique<Sender>());
-  cluster.SetWorker(1, std::make_unique<Sender>());
-  cluster.SetCoordinator(std::make_unique<CountingCoordinator>());
-  RunStats stats = cluster.Run();
-  EXPECT_EQ(static_cast<CountingCoordinator*>(cluster.coordinator())->received,
-            4u);
-  EXPECT_EQ(stats.data_bytes, 2 * (8 + kMessageHeaderBytes));
-  EXPECT_EQ(stats.control_bytes, 2 * (1 + kMessageHeaderBytes));
-  EXPECT_EQ(stats.result_bytes, 0u);
+  // Default options coalesce (src, dst) flushes: the data message leads
+  // each worker's flush at the full header, the control message rides the
+  // per-entry sub-header. The opt-out restores per-message framing — on
+  // both backends.
+  {
+    Cluster cluster(2, Options());
+    cluster.SetWorker(0, std::make_unique<Sender>());
+    cluster.SetWorker(1, std::make_unique<Sender>());
+    cluster.SetCoordinator(std::make_unique<CountingCoordinator>());
+    RunStats stats = cluster.Run();
+    EXPECT_EQ(
+        static_cast<CountingCoordinator*>(cluster.coordinator())->received,
+        4u);
+    EXPECT_EQ(stats.data_bytes, 2 * (8 + kMessageHeaderBytes));
+    EXPECT_EQ(stats.control_bytes, 2 * (1 + kCoalescedEntryBytes));
+    EXPECT_EQ(stats.result_bytes, 0u);
+  }
+  {
+    ClusterOptions options = Options();
+    options.transport.coalesce = false;
+    Cluster cluster(2, options);
+    cluster.SetWorker(0, std::make_unique<Sender>());
+    cluster.SetWorker(1, std::make_unique<Sender>());
+    cluster.SetCoordinator(std::make_unique<CountingCoordinator>());
+    RunStats stats = cluster.Run();
+    EXPECT_EQ(
+        static_cast<CountingCoordinator*>(cluster.coordinator())->received,
+        4u);
+    EXPECT_EQ(stats.data_bytes, 2 * (8 + kMessageHeaderBytes));
+    EXPECT_EQ(stats.control_bytes, 2 * (1 + kMessageHeaderBytes));
+    EXPECT_EQ(stats.result_bytes, 0u);
+  }
 }
 
 TEST(ClusterTest, MessagesBatchedPerDestinationPerRound) {

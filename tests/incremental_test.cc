@@ -103,6 +103,157 @@ INSTANTIATE_TEST_SUITE_P(
                       IncCase{504, 50, 300, 2, 4, 8, 15},
                       IncCase{505, 100, 300, 5, 5, 9, 10}));
 
+TEST(IncrementalTest, AddEdgeRestoresDeletedMatch) {
+  // Deleting (f2, sp1) unravels the Fig. 1 cycle (Example 8); re-inserting
+  // the same edge must restore the exact original fixpoint.
+  auto ex = MakeSocialExample();
+  IncrementalSimulation inc(ex.q, ex.g);
+  auto original = inc.Result();
+  ASSERT_GT(inc.DeleteEdge(7, 2), 0u);
+  size_t restored = inc.AddEdge(7, 2);
+  EXPECT_GT(restored, 0u);
+  EXPECT_TRUE(inc.Result() == original);
+  EXPECT_TRUE(inc.Result() == ComputeSimulation(ex.q, ex.g));
+}
+
+TEST(IncrementalTest, AddingPresentEdgeIsNoOp) {
+  auto ex = MakeSocialExample();
+  IncrementalSimulation inc(ex.q, ex.g);
+  auto before = inc.Result();
+  EXPECT_EQ(inc.AddEdge(7, 2), 0u);  // (f2, sp1) already present
+  EXPECT_TRUE(inc.Result() == before);
+}
+
+TEST(IncrementalTest, AddEdgeAgreesWithRecomputation) {
+  // Fresh edges (not restorations): grow a sparse random graph edge by
+  // edge and check the maintained relation against a from-scratch run.
+  Rng rng(521);
+  Graph g = RandomGraph(40, 80, 3, rng);
+  PatternSpec spec;
+  spec.num_nodes = 4;
+  spec.num_edges = 6;
+  spec.kind = PatternKind::kCyclic;
+  auto extracted = ExtractPattern(g, spec, rng);
+  Pattern q = extracted.ok() ? *extracted : SynthesizePattern(spec, 3, rng);
+
+  IncrementalSimulation inc(q, g);
+  DynamicAdjacency mirror(g);
+  for (int i = 0; i < 25; ++i) {
+    NodeId from = static_cast<NodeId>(rng.UniformInt(g.NumNodes()));
+    NodeId to = static_cast<NodeId>(rng.UniformInt(g.NumNodes()));
+    const bool fresh = mirror.InsertEdge(from, to);
+    const size_t flipped = inc.AddEdge(from, to);
+    if (!fresh) EXPECT_EQ(flipped, 0u);
+    ASSERT_TRUE(inc.Result() == ComputeSimulation(q, mirror.ToGraph()))
+        << "divergence after inserting edge #" << i << " (" << from << ","
+        << to << ")";
+  }
+}
+
+struct MixedCase {
+  uint64_t seed;
+  size_t n, m;
+  Label alphabet;
+  size_t nq, mq;
+  int mutations;
+  uint32_t threads;
+};
+
+class MixedSweep : public ::testing::TestWithParam<MixedCase> {};
+
+TEST_P(MixedSweep, InterleavedInsertDeleteAgreesWithRecomputation) {
+  // Random interleaving of insertions and deletions; after every mutation
+  // the maintained relation must equal the from-scratch fixpoint on the
+  // mutated graph, at every drain width.
+  const MixedCase& c = GetParam();
+  Rng rng(c.seed);
+  Graph g = RandomGraph(c.n, c.m, c.alphabet, rng);
+  PatternSpec spec;
+  spec.num_nodes = c.nq;
+  spec.num_edges = c.mq;
+  spec.kind = PatternKind::kCyclic;
+  auto extracted = ExtractPattern(g, spec, rng);
+  Pattern q = extracted.ok() ? *extracted
+                             : SynthesizePattern(spec, c.alphabet, rng);
+
+  IncrementalSimulation inc(q, g, c.threads);
+  DynamicAdjacency mirror(g);
+  for (int i = 0; i < c.mutations; ++i) {
+    const bool remove = rng.UniformInt(2) == 0;
+    if (remove) {
+      auto edges = mirror.ToGraph().Edges();
+      if (edges.empty()) continue;
+      auto e = edges[rng.UniformInt(edges.size())];
+      ASSERT_TRUE(mirror.RemoveEdge(e.first, e.second));
+      auto before = inc.Result();
+      const size_t flipped = inc.DeleteEdge(e.first, e.second);
+      EXPECT_EQ(flipped > 0, !(inc.Result() == before));
+    } else {
+      NodeId from = static_cast<NodeId>(rng.UniformInt(c.n));
+      NodeId to = static_cast<NodeId>(rng.UniformInt(c.n));
+      const bool fresh = mirror.InsertEdge(from, to);
+      const size_t flipped = inc.AddEdge(from, to);
+      if (!fresh) EXPECT_EQ(flipped, 0u);
+    }
+    ASSERT_TRUE(inc.Result() == ComputeSimulation(q, mirror.ToGraph()))
+        << "divergence after mutation #" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Widths, MixedSweep,
+    ::testing::Values(MixedCase{531, 40, 160, 2, 3, 5, 30, 1},
+                      MixedCase{531, 40, 160, 2, 3, 5, 30, 2},
+                      MixedCase{531, 40, 160, 2, 3, 5, 30, 8},
+                      MixedCase{532, 60, 240, 3, 4, 7, 24, 2},
+                      MixedCase{533, 80, 200, 4, 5, 8, 24, 8}));
+
+TEST(IncrementalTest, BorrowModeSharesOneAdjacency) {
+  // Two patterns watching ONE caller-owned adjacency: mutate it once per
+  // edge, notify both instances, and each must track its own from-scratch
+  // fixpoint — the subscription registry's exact usage.
+  Rng rng(541);
+  Graph g = RandomGraph(50, 200, 3, rng);
+  PatternSpec spec;
+  spec.num_nodes = 3;
+  spec.num_edges = 4;
+  spec.kind = PatternKind::kCyclic;
+  auto e1 = ExtractPattern(g, spec, rng);
+  Pattern q1 = e1.ok() ? *e1 : SynthesizePattern(spec, 3, rng);
+  spec.num_nodes = 4;
+  spec.num_edges = 6;
+  auto e2 = ExtractPattern(g, spec, rng);
+  Pattern q2 = e2.ok() ? *e2 : SynthesizePattern(spec, 3, rng);
+
+  DynamicAdjacency shared(g);
+  IncrementalSimulation a(q1, &shared);
+  IncrementalSimulation b(q2, &shared, /*num_threads=*/2);
+  EXPECT_TRUE(a.Result() == ComputeSimulation(q1, g));
+  EXPECT_TRUE(b.Result() == ComputeSimulation(q2, g));
+
+  for (int i = 0; i < 20; ++i) {
+    if (rng.UniformInt(2) == 0) {
+      auto edges = shared.ToGraph().Edges();
+      if (edges.empty()) continue;
+      auto e = edges[rng.UniformInt(edges.size())];
+      ASSERT_TRUE(shared.RemoveEdge(e.first, e.second));
+      a.ApplyEdgeRemoved(e.first, e.second);
+      b.ApplyEdgeRemoved(e.first, e.second);
+    } else {
+      NodeId from = static_cast<NodeId>(rng.UniformInt(g.NumNodes()));
+      NodeId to = static_cast<NodeId>(rng.UniformInt(g.NumNodes()));
+      if (!shared.InsertEdge(from, to)) continue;
+      a.ApplyEdgeInserted(from, to);
+      b.ApplyEdgeInserted(from, to);
+    }
+    Graph now = shared.ToGraph();
+    ASSERT_TRUE(a.Result() == ComputeSimulation(q1, now))
+        << "q1 diverged after mutation #" << i;
+    ASSERT_TRUE(b.Result() == ComputeSimulation(q2, now))
+        << "q2 diverged after mutation #" << i;
+  }
+}
+
 TEST(IncrementalTest, DrainToEmptyGraph) {
   // Delete every edge: only sink-query label matches survive.
   Rng rng(511);

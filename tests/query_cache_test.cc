@@ -140,7 +140,7 @@ TEST(QueryCacheTest, LookupInsertRoundTripAndCounters) {
 
   DistOutcome out;
   EXPECT_FALSE(cache.Lookup(key, &out));
-  cache.Insert(key, OutcomeWithBytes(777, 2));
+  cache.Insert(key, TwoNodePattern(0, 1), OutcomeWithBytes(777, 2), 0);
   ASSERT_TRUE(cache.Lookup(key, &out));
   EXPECT_EQ(out.stats.data_bytes, 777u);
 
@@ -152,7 +152,7 @@ TEST(QueryCacheTest, LookupInsertRoundTripAndCounters) {
 
   // Duplicate insert is a no-op (deterministic runtime: same key, same
   // outcome).
-  cache.Insert(key, OutcomeWithBytes(888, 2));
+  cache.Insert(key, TwoNodePattern(0, 1), OutcomeWithBytes(888, 2), 0);
   ASSERT_TRUE(cache.Lookup(key, &out));
   EXPECT_EQ(out.stats.data_bytes, 777u);
   EXPECT_EQ(cache.counters().result_entries, 1u);
@@ -167,7 +167,7 @@ TEST(QueryCacheTest, ModesGateTheLayers) {
   QueryCache off(&g, CacheMode::kOff, 1 << 20);
   EXPECT_EQ(off.Candidates(0), nullptr);
   EXPECT_EQ(off.TouchAndEstimate(TwoNodePattern(0, 1)), 0u);
-  off.Insert(key, OutcomeWithBytes(1, 2));
+  off.Insert(key, TwoNodePattern(0, 1), OutcomeWithBytes(1, 2), 0);
   EXPECT_FALSE(off.Lookup(key, &out));
   QueryCache::Counters counters = off.counters();
   EXPECT_EQ(counters.label_misses + counters.label_hits, 0u);
@@ -176,7 +176,7 @@ TEST(QueryCacheTest, ModesGateTheLayers) {
   // kCandidates: label layer live, result layer dead.
   QueryCache cand(&g, CacheMode::kCandidates, 1 << 20);
   EXPECT_NE(cand.Candidates(0), nullptr);
-  cand.Insert(key, OutcomeWithBytes(1, 2));
+  cand.Insert(key, TwoNodePattern(0, 1), OutcomeWithBytes(1, 2), 0);
   EXPECT_FALSE(cand.Lookup(key, &out));
   EXPECT_EQ(cand.counters().result_entries, 0u);
 }
@@ -192,13 +192,13 @@ TEST(QueryCacheTest, NeverMemoizesPoisonedOutcome) {
 
   DistOutcome poisoned = OutcomeWithBytes(123, 2);
   poisoned.health = Status::DataLoss("frame 0->1#0 failed its checksum");
-  cache.Insert(key, poisoned);
+  cache.Insert(key, TwoNodePattern(0, 1), poisoned, 0);
   DistOutcome out;
   EXPECT_FALSE(cache.Lookup(key, &out));
   EXPECT_EQ(cache.counters().result_entries, 0u);
 
   // A later clean outcome for the same key is memoized normally.
-  cache.Insert(key, OutcomeWithBytes(456, 2));
+  cache.Insert(key, TwoNodePattern(0, 1), OutcomeWithBytes(456, 2), 0);
   ASSERT_TRUE(cache.Lookup(key, &out));
   EXPECT_EQ(out.stats.data_bytes, 456u);
   EXPECT_TRUE(out.health.ok());
@@ -262,7 +262,7 @@ std::string KeyFor(Label l) {
 // same shape, hence the same footprint).
 size_t MeasuredEntryBytes(const Graph& g) {
   QueryCache probe(&g, CacheMode::kFull, size_t{1} << 30);
-  probe.Insert(KeyFor(0), OutcomeWithBytes(0, 4096));
+  probe.Insert(KeyFor(0), TwoNodePattern(0, 1), OutcomeWithBytes(0, 4096), 0);
   return probe.counters().result_bytes;
 }
 
@@ -274,7 +274,7 @@ TEST(QueryCacheTest, LruEvictionRespectsByteBudget) {
 
   auto key_for = KeyFor;
   for (Label l = 0; l < 6; ++l) {
-    cache.Insert(key_for(l), OutcomeWithBytes(l, 4096));
+    cache.Insert(key_for(l), TwoNodePattern(l, l + 1), OutcomeWithBytes(l, 4096), 0);
   }
   QueryCache::Counters counters = cache.counters();
   EXPECT_LE(counters.result_bytes, kBudget);
@@ -287,7 +287,7 @@ TEST(QueryCacheTest, LruEvictionRespectsByteBudget) {
   EXPECT_FALSE(cache.Lookup(key_for(0), &out));
 
   // An entry larger than the whole budget is refused outright.
-  cache.Insert(key_for(40), OutcomeWithBytes(0, 1 << 20));
+  cache.Insert(key_for(40), TwoNodePattern(40, 41), OutcomeWithBytes(0, 1 << 20), 0);
   EXPECT_FALSE(cache.Lookup(key_for(40), &out));
   EXPECT_LE(cache.counters().result_bytes, kBudget);
 }
@@ -297,13 +297,13 @@ TEST(QueryCacheTest, LookupRefreshesLruPosition) {
   const size_t kBudget = 3 * MeasuredEntryBytes(g) + 1;
   QueryCache cache(&g, CacheMode::kFull, kBudget);
   auto key_for = KeyFor;
-  cache.Insert(key_for(0), OutcomeWithBytes(0, 4096));
-  cache.Insert(key_for(1), OutcomeWithBytes(1, 4096));
-  cache.Insert(key_for(2), OutcomeWithBytes(2, 4096));
+  cache.Insert(key_for(0), TwoNodePattern(0, 0 + 1), OutcomeWithBytes(0, 4096), 0);
+  cache.Insert(key_for(1), TwoNodePattern(1, 1 + 1), OutcomeWithBytes(1, 4096), 0);
+  cache.Insert(key_for(2), TwoNodePattern(2, 2 + 1), OutcomeWithBytes(2, 4096), 0);
   // Touch the oldest so it is no longer the LRU victim.
   DistOutcome out;
   ASSERT_TRUE(cache.Lookup(key_for(0), &out));
-  cache.Insert(key_for(3), OutcomeWithBytes(3, 4096));
+  cache.Insert(key_for(3), TwoNodePattern(3, 3 + 1), OutcomeWithBytes(3, 4096), 0);
   EXPECT_TRUE(cache.Lookup(key_for(0), &out)) << "refreshed entry survives";
   EXPECT_FALSE(cache.Lookup(key_for(1), &out)) << "true LRU entry evicted";
 }

@@ -1,0 +1,600 @@
+// The dynamic-update pipeline (dyn/update.h), standing-query subscriptions
+// (dyn/subscription.h), and their Server integration (serve/server.h).
+//
+// The load-bearing contract: after ANY committed update sequence, every
+// subscription's result — snapshot, and snapshot reconstructed by replaying
+// deltas — is bit-identical to a from-scratch evaluation on the mutated
+// graph, at every executor width and over every transport backend; queries
+// served after a commit see exactly the new graph (versioned redeploy +
+// label-pair cache invalidation). A poisoned update run commits NOTHING:
+// the version, the adjacency, and every subscription are untouched, and
+// resubmitting the same batch succeeds. The chaos suites are named
+// ChaosUpdate* so the CI DGS_FAULT_SEED sweep picks them up.
+
+#include "dyn/update.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dyn/subscription.h"
+#include "graph/generators.h"
+#include "partition/partitioner.h"
+#include "serve/server.h"
+#include "simulation/simulation.h"
+#include "test_env.h"
+
+namespace dgs {
+namespace {
+
+uint64_t ChaosSeed() {
+  const char* s = std::getenv("DGS_FAULT_SEED");
+  if (s == nullptr) return 7;
+  char* end = nullptr;
+  unsigned long long seed = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') return 7;
+  return static_cast<uint64_t>(seed);
+}
+
+TEST(UpdateCodecTest, CanonicalizeSortsAndDedupes) {
+  UpdateBatch batch;
+  batch.inserts = {{5, 1}, {2, 3}, {5, 1}, {0, 9}};
+  batch.deletes = {{7, 7}, {1, 2}, {1, 2}};
+  CanonicalizeBatch(&batch);
+  EXPECT_EQ(batch.inserts,
+            (std::vector<std::pair<NodeId, NodeId>>{{0, 9}, {2, 3}, {5, 1}}));
+  EXPECT_EQ(batch.deletes,
+            (std::vector<std::pair<NodeId, NodeId>>{{1, 2}, {7, 7}}));
+}
+
+TEST(UpdateCodecTest, SliceRoundTripsThroughWire) {
+  UpdateBatch batch;
+  batch.deletes = {{0, 3}, {4, 4}, {1000000, 2}};
+  batch.inserts = {{2, 2}, {9, 1}};
+  CanonicalizeBatch(&batch);
+
+  Blob blob;
+  EncodeUpdateSlice(42, batch, &blob);
+  const uint32_t checksum = UpdateChecksum(blob);
+
+  Blob::Reader r(blob);
+  uint64_t epoch = 0;
+  UpdateBatch decoded;
+  ASSERT_TRUE(DecodeUpdateSlice(r, &epoch, &decoded));
+  EXPECT_EQ(epoch, 42u);
+  EXPECT_EQ(decoded.deletes, batch.deletes);
+  EXPECT_EQ(decoded.inserts, batch.inserts);
+
+  // The checksum is content-sensitive: a different batch encodes to a
+  // different FNV fingerprint.
+  UpdateBatch other = batch;
+  other.inserts.push_back({11, 12});
+  CanonicalizeBatch(&other);
+  Blob blob2;
+  EncodeUpdateSlice(42, other, &blob2);
+  EXPECT_NE(UpdateChecksum(blob2), checksum);
+}
+
+TEST(UpdateCodecTest, TruncatedSliceFailsToDecode) {
+  UpdateBatch batch;
+  batch.inserts = {{1, 2}, {3, 4}, {5, 6}};
+  CanonicalizeBatch(&batch);
+  Blob blob;
+  EncodeUpdateSlice(7, batch, &blob);
+  ASSERT_GT(blob.size(), 1u);
+  Blob cut;
+  cut.PutBytes(blob.data(), blob.size() - 1);
+  Blob::Reader r(cut);
+  uint64_t epoch = 0;
+  UpdateBatch decoded;
+  EXPECT_FALSE(DecodeUpdateSlice(r, &epoch, &decoded));
+}
+
+TEST(UpdateCodecTest, SliceBatchRoutesToBothEndpointOwners) {
+  // Graph irrelevant to slicing beyond node count/ownership: 6 nodes over
+  // 3 sites, round-robin-ish assignment.
+  Rng rng(19);
+  Graph g = RandomGraph(6, 10, 2, rng);
+  std::vector<uint32_t> assignment = {0, 0, 1, 1, 2, 2};
+  auto frag = Fragmentation::Create(g, assignment, 3);
+  ASSERT_TRUE(frag.ok());
+
+  UpdateBatch batch;
+  batch.inserts = {{0, 5}, {2, 3}};  // cross-site and intra-site
+  batch.deletes = {{4, 1}};
+  CanonicalizeBatch(&batch);
+  auto slices = SliceBatchByOwner(batch, *frag);
+  ASSERT_EQ(slices.size(), 3u);
+
+  auto has = [](const std::vector<std::pair<NodeId, NodeId>>& edges, NodeId u,
+                NodeId v) {
+    for (auto e : edges) {
+      if (e.first == u && e.second == v) return true;
+    }
+    return false;
+  };
+  // (0,5): owner(0)=0, owner(5)=2 — both learn it; site 1 does not.
+  EXPECT_TRUE(has(slices[0].inserts, 0, 5));
+  EXPECT_TRUE(has(slices[2].inserts, 0, 5));
+  EXPECT_FALSE(has(slices[1].inserts, 0, 5));
+  // (2,3): both endpoints on site 1 — exactly one slice carries it.
+  EXPECT_TRUE(has(slices[1].inserts, 2, 3));
+  EXPECT_FALSE(has(slices[0].inserts, 2, 3));
+  // (4,1): owner(4)=2, owner(1)=0.
+  EXPECT_TRUE(has(slices[2].deletes, 4, 1));
+  EXPECT_TRUE(has(slices[0].deletes, 4, 1));
+}
+
+TEST(UpdateCodecTest, FaultSpecParsesUpdateClassPrefix) {
+  auto plan = ParseFaultSpec("update.drop=0.5,retries=8");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_DOUBLE_EQ(plan->update.drop, 0.5);
+  EXPECT_DOUBLE_EQ(plan->data.drop, 0.0);
+  EXPECT_DOUBLE_EQ(plan->control.drop, 0.0);
+  EXPECT_EQ(plan->max_retries, 8u);
+  // The unprefixed form sets all four classes.
+  auto uniform = ParseFaultSpec("drop=0.25");
+  ASSERT_TRUE(uniform.ok());
+  EXPECT_DOUBLE_EQ(uniform->update.drop, 0.25);
+  EXPECT_DOUBLE_EQ(uniform->data.drop, 0.25);
+}
+
+// ---------------------------------------------------------------------------
+// Server integration.
+
+struct UpdateRig {
+  Graph g;
+  std::vector<uint32_t> assignment;
+  std::vector<Pattern> patterns;
+};
+
+UpdateRig MakeUpdateRig() {
+  UpdateRig rig;
+  Rng rng(2014);
+  rig.g = WebGraph(600, 2400, kDefaultAlphabet, rng);
+  rig.assignment = PartitionWithBoundaryRatio(rig.g, 4, 0.3, rng);
+  for (int i = 0; i < 6 && rig.patterns.size() < 2; ++i) {
+    PatternSpec spec;
+    spec.num_nodes = 4;
+    spec.num_edges = 6;
+    spec.kind = PatternKind::kCyclic;
+    auto q = ExtractPattern(rig.g, spec, rng);
+    if (q.ok()) rig.patterns.push_back(*q);
+  }
+  return rig;
+}
+
+// A deterministic mutation sequence: batches mixing deletions of present
+// edges with insertions of fresh ones.
+std::vector<UpdateBatch> MakeBatches(const Graph& g, uint64_t seed,
+                                     int num_batches, int edits_per_batch) {
+  Rng rng(seed);
+  DynamicAdjacency mirror(g);
+  std::vector<UpdateBatch> batches;
+  for (int b = 0; b < num_batches; ++b) {
+    UpdateBatch batch;
+    auto edges = mirror.ToGraph().Edges();
+    for (int i = 0; i < edits_per_batch; ++i) {
+      if (rng.UniformInt(2) == 0 && !edges.empty()) {
+        batch.deletes.push_back(edges[rng.UniformInt(edges.size())]);
+      } else {
+        batch.inserts.push_back(
+            {static_cast<NodeId>(rng.UniformInt(g.NumNodes())),
+             static_cast<NodeId>(rng.UniformInt(g.NumNodes()))});
+      }
+    }
+    CanonicalizeBatch(&batch);
+    for (auto e : batch.deletes) mirror.RemoveEdge(e.first, e.second);
+    for (auto e : batch.inserts) mirror.InsertEdge(e.first, e.second);
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+// Batches guaranteed to perturb the match set. Random edits almost never
+// flip a match on a web graph — one deleted edge is rarely the LAST support
+// for any (u, x) pair — so delta-path tests would pass vacuously on them.
+// Instead: delete every out-edge of a node currently matching q (every node
+// of a cyclic pattern has an out-edge, so the victim can no longer simulate
+// it), then re-insert them on the next batch (its matches reappear), and so
+// on alternating. Every batch changes the result.
+std::vector<UpdateBatch> MakeEvictionBatches(const Graph& g, const Pattern& q,
+                                             int num_batches) {
+  DynamicAdjacency mirror(g);
+  std::vector<UpdateBatch> batches;
+  std::vector<std::pair<NodeId, NodeId>> evicted;
+  while (static_cast<int>(batches.size()) < num_batches) {
+    UpdateBatch batch;
+    if (!evicted.empty()) {
+      batch.inserts = evicted;
+      evicted.clear();
+    } else {
+      Graph now = mirror.ToGraph();
+      SimulationResult r = ComputeSimulation(q, now);
+      bool found = false;
+      for (NodeId u = 0; u < static_cast<NodeId>(q.NumNodes()) && !found;
+           ++u) {
+        r.FixpointSet(u).ForEachSet([&](size_t x) {
+          if (found || now.OutDegree(static_cast<NodeId>(x)) == 0) return;
+          for (NodeId y : now.OutNeighbors(static_cast<NodeId>(x))) {
+            evicted.push_back({static_cast<NodeId>(x), y});
+          }
+          found = true;
+        });
+      }
+      if (!found) break;  // empty match set: nothing left to evict
+      batch.deletes = evicted;
+    }
+    CanonicalizeBatch(&batch);
+    for (auto e : batch.deletes) mirror.RemoveEdge(e.first, e.second);
+    for (auto e : batch.inserts) mirror.InsertEdge(e.first, e.second);
+    batches.push_back(std::move(batch));
+  }
+  return batches;
+}
+
+using PairSet = std::set<std::pair<NodeId, NodeId>>;
+
+PairSet ResultPairs(const SimulationResult& r) {
+  PairSet pairs;
+  for (NodeId u = 0; u < r.NumQueryNodes(); ++u) {
+    r.FixpointSet(u).ForEachSet([&](size_t v) {
+      pairs.insert({u, static_cast<NodeId>(v)});
+    });
+  }
+  return pairs;
+}
+
+// The grid: executor widths {1, 2, 8} × the environment's transport. After
+// every committed batch, each subscription's snapshot AND its delta-replayed
+// state must equal a from-scratch evaluation on the mutated graph.
+TEST(ServerUpdateTest, SubscriptionsAreBitIdenticalToFromScratchAcrossWidths) {
+  UpdateRig rig = MakeUpdateRig();
+  ASSERT_GE(rig.patterns.size(), 2u);
+  // Two eviction batches (guaranteed non-empty deltas for sub 0) followed by
+  // a random tail, which also exercises the no-op-tolerant delete path: the
+  // tail was generated against the pristine graph, so some of its deletes
+  // name edges the evictions already removed.
+  auto batches = MakeEvictionBatches(rig.g, rig.patterns[0], 2);
+  ASSERT_EQ(batches.size(), 2u);
+  for (auto& b : MakeBatches(rig.g, 31, 2, 10)) {
+    batches.push_back(std::move(b));
+  }
+
+  for (uint32_t threads : {1u, 2u, 8u}) {
+    ServerOptions options;
+    options.engine = dgs::testing::TestEngineOptions();
+    options.engine.num_threads = threads;
+    options.num_replicas = 1;
+    auto server = Server::Create(rig.g, rig.assignment, 4, options);
+    ASSERT_TRUE(server.ok());
+    EXPECT_EQ((*server)->graph_version(), 0u);
+
+    std::vector<SubscriptionId> subs;
+    std::vector<PairSet> replayed;  // delta-replayed state per subscription
+    for (const Pattern& q : rig.patterns) {
+      auto id = (*server)->Subscribe(q);
+      ASSERT_TRUE(id.ok());
+      subs.push_back(*id);
+      auto snapshot = (*server)->SubscriptionSnapshot(*id);
+      ASSERT_TRUE(snapshot.ok());
+      EXPECT_TRUE(*snapshot == ComputeSimulation(q, rig.g));
+      replayed.push_back(ResultPairs(*snapshot));
+    }
+    EXPECT_EQ((*server)->NumSubscriptions(), subs.size());
+
+    DynamicAdjacency mirror(rig.g);
+    for (size_t b = 0; b < batches.size(); ++b) {
+      auto outcome = (*server)->Update(batches[b]);
+      ASSERT_TRUE(outcome.ok()) << "t" << threads << " batch " << b << ": "
+                                << outcome.status().ToString();
+      EXPECT_EQ(outcome->version, b + 1);
+      EXPECT_EQ((*server)->graph_version(), b + 1);
+      EXPECT_GT(outcome->stats.update_messages, 0u);
+      EXPECT_GT(outcome->stats.update_bytes, 0u);
+
+      for (auto e : batches[b].deletes) mirror.RemoveEdge(e.first, e.second);
+      for (auto e : batches[b].inserts) mirror.InsertEdge(e.first, e.second);
+      Graph now = mirror.ToGraph();
+
+      for (size_t s = 0; s < subs.size(); ++s) {
+        const std::string what = "t" + std::to_string(threads) + " batch " +
+                                 std::to_string(b) + " sub " +
+                                 std::to_string(s);
+        auto snapshot = (*server)->SubscriptionSnapshot(subs[s]);
+        ASSERT_TRUE(snapshot.ok()) << what;
+        EXPECT_TRUE(*snapshot == ComputeSimulation(rig.patterns[s], now))
+            << what;
+
+        bool lagged = true;
+        auto deltas = (*server)->PollDeltas(subs[s], &lagged);
+        ASSERT_TRUE(deltas.ok()) << what;
+        EXPECT_FALSE(lagged) << what;
+        for (const SubscriptionDelta& d : *deltas) {
+          EXPECT_EQ(d.version, b + 1) << what;
+          for (auto p : d.added) EXPECT_TRUE(replayed[s].insert(p).second);
+          for (auto p : d.removed) EXPECT_EQ(replayed[s].erase(p), 1u) << what;
+        }
+        EXPECT_EQ(replayed[s], ResultPairs(*snapshot)) << what;
+      }
+    }
+    (*server)->Shutdown();
+    ServerStats stats = (*server)->stats();
+    EXPECT_EQ(stats.updates_submitted, batches.size());
+    EXPECT_EQ(stats.updates_applied, batches.size());
+    EXPECT_EQ(stats.updates_failed, 0u);
+    EXPECT_EQ(stats.graph_version, batches.size());
+    EXPECT_EQ(stats.subscriptions_created, subs.size());
+    // The eviction batches really moved the match set: deltas flowed.
+    EXPECT_GT(stats.sub_deltas_delivered, 0u);
+    EXPECT_GT(stats.update_cumulative.update_bytes, 0u);
+    // Update traffic is charged on its own ledger, never the query one.
+    EXPECT_EQ(stats.cumulative.update_bytes, 0u);
+  }
+}
+
+// Queries served after a commit run on the NEW graph, and memoized results
+// whose label pairs the batch dirtied are invalidated rather than replayed
+// stale. (This is the versioned-redeploy + precise-invalidation seam.)
+TEST(ServerUpdateTest, QueriesAfterUpdateSeeTheMutatedGraph) {
+  UpdateRig rig = MakeUpdateRig();
+  ASSERT_FALSE(rig.patterns.empty());
+  const Pattern& q = rig.patterns[0];
+  QueryOptions query;
+  query.algorithm = Algorithm::kDgpm;
+
+  ServerOptions options;
+  options.engine = dgs::testing::TestEngineOptions();
+  options.num_replicas = 2;
+  options.cache = CacheMode::kFull;
+  auto server = Server::Create(rig.g, rig.assignment, 4, options);
+  ASSERT_TRUE(server.ok());
+
+  auto before = (*server)->Match(q, query);
+  ASSERT_TRUE(before.ok());
+  EXPECT_TRUE(before->result == ComputeSimulation(q, rig.g));
+
+  // Delete edges the pattern's result depends on (sampled from a match),
+  // plus fresh inserts — the batch dirties the pattern's label pairs.
+  const auto batches = MakeBatches(rig.g, 77, 1, 16);
+  auto outcome = (*server)->Update(batches[0]);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+
+  DynamicAdjacency mirror(rig.g);
+  for (auto e : batches[0].deletes) mirror.RemoveEdge(e.first, e.second);
+  for (auto e : batches[0].inserts) mirror.InsertEdge(e.first, e.second);
+  Graph now = mirror.ToGraph();
+
+  // Both replicas must serve the new graph (two queries cannot both hit
+  // the same replica's stale engine if rebinding were broken, but loop a
+  // few times to touch both).
+  for (int i = 0; i < 4; ++i) {
+    auto after = (*server)->Match(q, query);
+    ASSERT_TRUE(after.ok());
+    EXPECT_TRUE(after->result == ComputeSimulation(q, now)) << "query " << i;
+  }
+
+  ServerStats stats = (*server)->stats();
+  EXPECT_EQ(stats.graph_version, 1u);
+  EXPECT_EQ(stats.update_edges_deleted + stats.update_edges_inserted,
+            static_cast<uint64_t>(outcome->edges_deleted +
+                                  outcome->edges_inserted));
+}
+
+TEST(ServerUpdateTest, InvalidBatchesAreRejected) {
+  UpdateRig rig = MakeUpdateRig();
+  ServerOptions options;
+  options.engine = dgs::testing::TestEngineOptions();
+  options.num_replicas = 1;
+  auto server = Server::Create(rig.g, rig.assignment, 4, options);
+  ASSERT_TRUE(server.ok());
+
+  EXPECT_EQ((*server)->Update(UpdateBatch{}).status().code(),
+            StatusCode::kInvalidArgument);
+  UpdateBatch oob;
+  oob.inserts = {{0, static_cast<NodeId>(rig.g.NumNodes())}};
+  EXPECT_EQ((*server)->Update(oob).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ((*server)->graph_version(), 0u);
+}
+
+TEST(ServerUpdateTest, SubscriptionLifecycleAndUnknownIds) {
+  UpdateRig rig = MakeUpdateRig();
+  ASSERT_FALSE(rig.patterns.empty());
+  ServerOptions options;
+  options.engine = dgs::testing::TestEngineOptions();
+  options.num_replicas = 1;
+  auto server = Server::Create(rig.g, rig.assignment, 4, options);
+  ASSERT_TRUE(server.ok());
+
+  auto id = (*server)->Subscribe(rig.patterns[0]);
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ((*server)->NumSubscriptions(), 1u);
+  EXPECT_TRUE((*server)->Unsubscribe(*id));
+  EXPECT_FALSE((*server)->Unsubscribe(*id));  // already gone
+  EXPECT_EQ((*server)->NumSubscriptions(), 0u);
+  EXPECT_EQ((*server)->SubscriptionSnapshot(*id).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ((*server)->PollDeltas(*id).status().code(), StatusCode::kNotFound);
+
+  // Updates with zero subscribers still commit.
+  const auto batches = MakeBatches(rig.g, 5, 1, 6);
+  EXPECT_TRUE((*server)->Update(batches[0]).ok());
+  EXPECT_EQ((*server)->graph_version(), 1u);
+
+  (*server)->Shutdown();
+  EXPECT_EQ((*server)->Subscribe(rig.patterns[0]).status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ((*server)->Update(batches[0]).status().code(),
+            StatusCode::kUnavailable);
+}
+
+// An unpolled subscriber with a tiny queue loses oldest deltas, is flagged
+// lagged exactly once, and its snapshot still reflects the current graph —
+// the documented resynchronization path.
+TEST(ServerUpdateTest, OverflowDropsOldestDeltasAndFlagsLagged) {
+  UpdateRig rig = MakeUpdateRig();
+  ASSERT_FALSE(rig.patterns.empty());
+  ServerOptions options;
+  options.engine = dgs::testing::TestEngineOptions();
+  options.num_replicas = 1;
+  auto server = Server::Create(rig.g, rig.assignment, 4, options);
+  ASSERT_TRUE(server.ok());
+
+  SubscribeOptions tiny;
+  tiny.max_pending_deltas = 2;
+  auto id = (*server)->Subscribe(rig.patterns[0], tiny);
+  ASSERT_TRUE(id.ok());
+
+  // Every eviction batch changes the result, so every batch produces a
+  // non-empty delta; 5 batches overflow a 2-slot queue.
+  const auto batches = MakeEvictionBatches(rig.g, rig.patterns[0], 5);
+  ASSERT_EQ(batches.size(), 5u);
+  DynamicAdjacency mirror(rig.g);
+  size_t nonempty = 0;
+  for (const auto& batch : batches) {
+    auto outcome = (*server)->Update(batch);
+    ASSERT_TRUE(outcome.ok());
+    nonempty += outcome->deltas_delivered;
+    for (auto e : batch.deletes) mirror.RemoveEdge(e.first, e.second);
+    for (auto e : batch.inserts) mirror.InsertEdge(e.first, e.second);
+  }
+  ASSERT_GT(nonempty, 2u) << "workload produced too few deltas to overflow";
+
+  bool lagged = false;
+  auto deltas = (*server)->PollDeltas(*id, &lagged);
+  ASSERT_TRUE(deltas.ok());
+  EXPECT_TRUE(lagged);
+  EXPECT_LE(deltas->size(), 2u);
+  ServerStats stats = (*server)->stats();
+  EXPECT_GT(stats.sub_deltas_dropped, 0u);
+
+  // Snapshot is the resync path: always the full current result.
+  auto snapshot = (*server)->SubscriptionSnapshot(*id);
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_TRUE(*snapshot ==
+              ComputeSimulation(rig.patterns[0], mirror.ToGraph()));
+
+  // The flag reset on poll; a quiet period polls clean.
+  bool lagged_again = true;
+  auto empty = (*server)->PollDeltas(*id, &lagged_again);
+  ASSERT_TRUE(empty.ok());
+  EXPECT_FALSE(lagged_again);
+  EXPECT_TRUE(empty->empty());
+}
+
+// A poisoned update run commits NOTHING — version, adjacency, and every
+// subscription stay at the pre-batch state — and resubmitting the same
+// batch succeeds once the fault budget is spent. Named Chaos* for the CI
+// DGS_FAULT_SEED sweep.
+TEST(ChaosUpdateTest, PoisonedUpdateIsNeverHalfAppliedAndIsResubmittable) {
+  UpdateRig rig = MakeUpdateRig();
+  ASSERT_FALSE(rig.patterns.empty());
+  ServerOptions options;
+  options.engine = dgs::testing::TestEngineOptions();
+  options.num_replicas = 1;
+  // One truncation aimed at the update class: the first update run is
+  // poisoned DataLoss; queries and later updates are untouched.
+  options.engine.faults.update.truncate = 1.0;
+  options.engine.faults.max_faults = 1;
+  options.engine.faults.seed = ChaosSeed();
+  auto server = Server::Create(rig.g, rig.assignment, 4, options);
+  ASSERT_TRUE(server.ok());
+
+  auto id = (*server)->Subscribe(rig.patterns[0]);
+  ASSERT_TRUE(id.ok());
+  auto before = (*server)->SubscriptionSnapshot(*id);
+  ASSERT_TRUE(before.ok());
+
+  const auto batches = MakeBatches(rig.g, 41, 1, 10);
+  auto poisoned = (*server)->Update(batches[0]);
+  ASSERT_FALSE(poisoned.ok());
+  EXPECT_EQ(poisoned.status().code(), StatusCode::kDataLoss);
+
+  // Nothing moved: no version bump, no delta, identical snapshot.
+  EXPECT_EQ((*server)->graph_version(), 0u);
+  auto unchanged = (*server)->SubscriptionSnapshot(*id);
+  ASSERT_TRUE(unchanged.ok());
+  EXPECT_TRUE(*unchanged == *before);
+  auto deltas = (*server)->PollDeltas(*id);
+  ASSERT_TRUE(deltas.ok());
+  EXPECT_TRUE(deltas->empty());
+
+  // The same batch, resubmitted, commits cleanly (idempotent epochs; the
+  // budgeted fault is spent).
+  auto retried = (*server)->Update(batches[0]);
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+  EXPECT_EQ(retried->version, 1u);
+
+  DynamicAdjacency mirror(rig.g);
+  for (auto e : batches[0].deletes) mirror.RemoveEdge(e.first, e.second);
+  for (auto e : batches[0].inserts) mirror.InsertEdge(e.first, e.second);
+  auto snapshot = (*server)->SubscriptionSnapshot(*id);
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_TRUE(*snapshot ==
+              ComputeSimulation(rig.patterns[0], mirror.ToGraph()));
+
+  ServerStats stats = (*server)->stats();
+  EXPECT_EQ(stats.updates_submitted, 2u);
+  EXPECT_EQ(stats.updates_applied, 1u);
+  EXPECT_EQ(stats.updates_failed, 1u);
+}
+
+// Dropped-then-retransmitted update frames are invisible: the commit and
+// every subscription delta are bit-identical to the fault-free run.
+TEST(ChaosUpdateTest, RecoveredUpdateChaosCommitsIdentically) {
+  UpdateRig rig = MakeUpdateRig();
+  ASSERT_FALSE(rig.patterns.empty());
+  // Eviction batches: the per-batch states genuinely move, so agreement
+  // between the clean and chaos runs is not vacuous.
+  const auto batches = MakeEvictionBatches(rig.g, rig.patterns[0], 2);
+  ASSERT_EQ(batches.size(), 2u);
+
+  auto run = [&](FaultPlan faults, std::vector<PairSet>* states,
+                 uint64_t* update_bytes) {
+    ServerOptions options;
+    options.engine = dgs::testing::TestEngineOptions();
+    options.num_replicas = 1;
+    options.engine.faults = faults;
+    auto server = Server::Create(rig.g, rig.assignment, 4, options);
+    ASSERT_TRUE(server.ok());
+    auto id = (*server)->Subscribe(rig.patterns[0]);
+    ASSERT_TRUE(id.ok());
+    for (const auto& batch : batches) {
+      auto outcome = (*server)->Update(batch);
+      ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+      auto snapshot = (*server)->SubscriptionSnapshot(*id);
+      ASSERT_TRUE(snapshot.ok());
+      states->push_back(ResultPairs(*snapshot));
+    }
+    *update_bytes = (*server)->stats().update_cumulative.update_bytes;
+  };
+
+  std::vector<PairSet> clean_states;
+  uint64_t clean_bytes = 0;
+  run(FaultPlan{}, &clean_states, &clean_bytes);
+
+  FaultPlan lossy;
+  lossy.update.drop = 0.4;
+  lossy.update.duplicate = 0.2;
+  lossy.update.reorder = 0.3;
+  lossy.max_retries = 16;
+  lossy.seed = ChaosSeed();
+  std::vector<PairSet> chaos_states;
+  uint64_t chaos_bytes = 0;
+  run(lossy, &chaos_states, &chaos_bytes);
+
+  ASSERT_EQ(clean_states.size(), chaos_states.size());
+  for (size_t i = 0; i < clean_states.size(); ++i) {
+    EXPECT_EQ(clean_states[i], chaos_states[i]) << "batch " << i;
+  }
+  // Charged accounting is fault-invariant (retransmits live in FaultStats).
+  EXPECT_EQ(clean_bytes, chaos_bytes);
+}
+
+}  // namespace
+}  // namespace dgs
