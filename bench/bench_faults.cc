@@ -29,6 +29,7 @@
 // full chaos accounting (frames, drops, retransmits, duplicates, reorders)
 // so successive PRs can track the tolerance trajectory.
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -318,6 +319,58 @@ int main() {
         .Int("retries", stats.retries)
         .Int("retry_successes", stats.retry_successes)
         .Int("failed", stats.failed);
+  }
+
+  // --- recovery latency: poisoned query -> next healthy answer, timed.
+  // A crash_once plan poisons the first query of a resident Engine; the
+  // site "restarts" and the SAME engine serves the retry. The latency a
+  // client actually experiences is failure detection (the poisoned run
+  // draining to quiescence) plus the clean re-run — both walls recorded
+  // in BENCH_faults.json so the recovery trajectory is tracked per PR.
+  {
+    EngineOptions options = base_options;
+    options.faults.crash_site = 1;
+    options.faults.crash_round = 1;
+    options.faults.seed = env.seed;
+    auto engine = Engine::Create(g, assignment, 8, options);
+    if (!engine.ok()) {
+      std::cerr << "recovery engine: " << engine.status().ToString() << "\n";
+      return 1;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    auto poisoned = (*engine)->Match(queries[0], query);
+    const double detect_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    if (poisoned.ok() ||
+        poisoned.status().code() != StatusCode::kUnavailable) {
+      std::cerr << "GATE [recovery]: crash_once did not poison q0 "
+                   "Unavailable\n";
+      ok = false;
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    auto healed = (*engine)->Match(queries[0], query);
+    const double heal_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - t1)
+                               .count();
+    if (!healed.ok()) {
+      std::cerr << "GATE [recovery]: healed query failed: "
+                << healed.status().ToString() << "\n";
+      ok = false;
+    } else if (!SameAnswerAndShipment(*healed, baseline[0], "recovery q0")) {
+      ok = false;
+    }
+    table.AddRow({"crash-recovery", "2", healed.ok() ? "1" : "0", "1", "-",
+                  "-", "-", "-", "-", healed.ok() ? "1" : "0"});
+    json.AddRow()
+        .Str("plan", "crash-recovery")
+        .Str("spec", "crash=1@1, resident engine, re-query after poison")
+        .Num("detect_ms", detect_ms)
+        .Num("heal_ms", heal_ms)
+        .Num("recovery_ms", detect_ms + heal_ms);
+    std::cout << "recovery latency: detect " << FormatDouble(detect_ms, 2)
+              << " ms + heal " << FormatDouble(heal_ms, 2) << " ms\n\n";
   }
 
   std::cout << "== Chaos plans over a resident dGPM Engine ==\n";

@@ -1,0 +1,296 @@
+// Recovery benchmark: what the supervised persistent worker pool
+// (runtime/supervisor.h) buys, and what it costs.
+//
+// Workload: the Fig. 6(a)/(b) default shape scaled down (web graph,
+// |Q| = (5, 10) cyclic, 4 sites over 2 worker processes), DGS_QUERIES
+// patterns served as a stream on resident Engines.
+//
+// Sections and CI gates (the process exits nonzero on any violation):
+//   launch       the same query stream on a persistent fleet vs a
+//                refork-per-query fleet. Gates: the persistent engine
+//                forks only on its first query (processes == 0 and
+//                launch_seconds == 0 at steady state), the refork engine
+//                forks every query, the persistent stream's total fork +
+//                handshake wall time is strictly lower, and both streams
+//                are bit-identical to loopback.
+//   overhead     supervision off must cost nothing. Gates: loopback runs
+//                carry a zero TransportStats ledger (no pool, no
+//                heartbeats — nothing was even built), and a
+//                persistent_workers=false tcp engine never sends a
+//                heartbeat or respawns.
+//   recovery     chaos_exit_at_round kills a generation-0 worker
+//                mid-query. Gates: the poisoned query classifies
+//                Unavailable, the NEXT query on the same resident Engine
+//                succeeds bit-identically to loopback after >= 1 respawn,
+//                and BENCH_recovery.json records the poisoned-to-healed
+//                wall latency (detect + respawn + COW re-ship + re-run).
+//
+// BENCH_recovery.json tracks launch amortization, supervision overhead,
+// and recovery latency across PRs.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace dgs;
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+bool SameAnswerAndShipment(const DistOutcome& a, const DistOutcome& b,
+                           const std::string& what) {
+  bool same = true;
+  if (!(a.result == b.result)) {
+    std::cerr << "MISMATCH [" << what << "]: simulation results differ\n";
+    same = false;
+  }
+  auto check = [&](uint64_t x, uint64_t y, const char* field) {
+    if (x != y) {
+      std::cerr << "MISMATCH [" << what << "]: " << field << " " << x
+                << " vs " << y << "\n";
+      same = false;
+    }
+  };
+  check(a.stats.data_bytes, b.stats.data_bytes, "data_bytes");
+  check(a.stats.control_bytes, b.stats.control_bytes, "control_bytes");
+  check(a.stats.result_bytes, b.stats.result_bytes, "result_bytes");
+  check(a.stats.data_messages, b.stats.data_messages, "data_messages");
+  check(a.stats.rounds, b.stats.rounds, "rounds");
+  return same;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dgs;
+  auto env = bench::Env::FromEnv();
+  Rng rng(env.seed);
+
+  const size_t n = env.Scaled(20000), m = env.Scaled(100000);
+  Graph g = WebGraph(n, m, kDefaultAlphabet, rng);
+  auto assignment = PartitionWithBoundaryRatio(g, 4, 0.25, rng);
+  std::cout << "Recovery: web graph |G| = (" << g.NumNodes() << ", "
+            << g.NumEdges() << "), 4 sites over 2 worker processes, "
+            << env.queries << " queries, seed " << env.seed << "\n\n";
+
+  std::vector<Pattern> queries;
+  for (int tries = 0; tries < 4 * env.queries &&
+                      queries.size() < static_cast<size_t>(env.queries);
+       ++tries) {
+    PatternSpec spec;
+    spec.num_nodes = 5;
+    spec.num_edges = 10;
+    spec.kind = PatternKind::kCyclic;
+    auto q = ExtractPattern(g, spec, rng);
+    if (q.ok()) queries.push_back(std::move(*q));
+  }
+  if (queries.empty()) {
+    std::cerr << "no queries extracted\n";
+    return 1;
+  }
+
+  EngineOptions loop_options;
+  loop_options.network = bench::BenchNetwork();
+  loop_options.num_threads = env.threads;
+  loop_options.wire_format = env.wire;
+
+  EngineOptions tcp_options = loop_options;
+  tcp_options.transport.kind = TransportKind::kTcp;
+  tcp_options.transport.num_processes = 2;
+
+  QueryOptions query;
+  query.algorithm = Algorithm::kDgpm;
+
+  bool ok = true;
+  bench::BenchJson json("recovery");
+  json.meta()
+      .Num("scale", env.scale)
+      .Int("queries", static_cast<uint64_t>(queries.size()))
+      .Int("seed", env.seed)
+      .Int("threads", env.threads)
+      .Str("wire", WireFormatName(env.wire));
+
+  // Loopback reference outcomes: the bit-identity yardstick for both
+  // fleets, and the overhead section's zero-ledger witness.
+  auto loop_engine = Engine::Create(g, assignment, 4, loop_options);
+  if (!loop_engine.ok()) {
+    std::cerr << "loopback engine: " << loop_engine.status().ToString()
+              << "\n";
+    return 1;
+  }
+  std::vector<DistOutcome> baseline;
+  for (const Pattern& q : queries) {
+    auto outcome = (*loop_engine)->Match(q, query);
+    if (!outcome.ok()) {
+      std::cerr << "baseline query failed: " << outcome.status().ToString()
+                << "\n";
+      return 1;
+    }
+    const TransportStats& t = outcome->transport;
+    if (t.processes != 0 || t.frames_sent != 0 || t.heartbeats_sent != 0 ||
+        t.respawns != 0 || t.bytes_sent != 0) {
+      std::cerr << "GATE [overhead]: loopback run carries a transport "
+                   "ledger\n";
+      ok = false;
+    }
+    baseline.push_back(std::move(outcome).value());
+  }
+
+  TablePrinter table({"fleet", "queries", "forked", "respawns",
+                      "launch_ms", "wall_ms", "identical"});
+
+  // --- launch: persistent fleet vs refork-per-query fleet.
+  double persistent_launch_s = 0, refork_launch_s = 0;
+  {
+    struct FleetCase {
+      const char* name;
+      bool persistent;
+    };
+    const FleetCase cases[] = {{"persistent", true}, {"refork", false}};
+    for (const FleetCase& c : cases) {
+      EngineOptions options = tcp_options;
+      options.transport.persistent_workers = c.persistent;
+      auto engine = Engine::Create(g, assignment, 4, options);
+      if (!engine.ok()) {
+        std::cerr << c.name << ": " << engine.status().ToString() << "\n";
+        return 1;
+      }
+      uint64_t forked = 0;
+      double launch_s = 0, wall_ms = 0;
+      size_t identical = 0;
+      for (size_t i = 0; i < queries.size(); ++i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        auto outcome = (*engine)->Match(queries[i], query);
+        wall_ms += MsSince(t0);
+        if (!outcome.ok()) {
+          std::cerr << "GATE [" << c.name << "]: q" << i << " failed: "
+                    << outcome.status().ToString() << "\n";
+          ok = false;
+          continue;
+        }
+        forked += outcome->transport.processes;
+        launch_s += outcome->transport.launch_seconds;
+        if (c.persistent && i > 0 && (outcome->transport.processes != 0 ||
+                                      outcome->transport.launch_seconds != 0)) {
+          std::cerr << "GATE [persistent]: q" << i
+                    << " paid a fork at steady state (processes="
+                    << outcome->transport.processes << ")\n";
+          ok = false;
+        }
+        if (!c.persistent && outcome->transport.processes != 2) {
+          std::cerr << "GATE [refork]: q" << i << " forked "
+                    << outcome->transport.processes << " processes, want 2\n";
+          ok = false;
+        }
+        if (SameAnswerAndShipment(*outcome, baseline[i],
+                                  std::string(c.name) + " q" +
+                                      std::to_string(i))) {
+          ++identical;
+        } else {
+          ok = false;
+        }
+      }
+      (c.persistent ? persistent_launch_s : refork_launch_s) = launch_s;
+      const TransportStats& total = (*engine)->serving_stats().transport;
+      table.AddRow({c.name, std::to_string(queries.size()),
+                    std::to_string(forked), std::to_string(total.respawns),
+                    FormatDouble(launch_s * 1e3, 2),
+                    FormatDouble(wall_ms, 2), std::to_string(identical)});
+      json.AddRow()
+          .Str("section", "launch")
+          .Str("fleet", c.name)
+          .Int("queries", queries.size())
+          .Int("forked", forked)
+          .Int("respawns", total.respawns)
+          .Int("heartbeats", total.heartbeats_sent)
+          .Num("launch_ms", launch_s * 1e3)
+          .Num("wall_ms", wall_ms)
+          .Int("identical", identical);
+      if (!c.persistent &&
+          (total.heartbeats_sent != 0 || total.respawns != 0)) {
+        std::cerr << "GATE [overhead]: supervision-off fleet sent "
+                  << total.heartbeats_sent << " heartbeats / "
+                  << total.respawns << " respawns (want 0 / 0)\n";
+        ok = false;
+      }
+    }
+    if (queries.size() > 1 && persistent_launch_s >= refork_launch_s) {
+      std::cerr << "GATE [launch]: persistent fleet spent "
+                << persistent_launch_s * 1e3 << " ms forking vs "
+                << refork_launch_s * 1e3
+                << " ms reforking — amortization failed\n";
+      ok = false;
+    }
+  }
+
+  // --- recovery: kill a generation-0 worker mid-query, time the heal.
+  {
+    EngineOptions options = tcp_options;
+    options.transport.chaos_exit_at_round = 1;  // generation 0 dies once
+    auto engine = Engine::Create(g, assignment, 4, options);
+    if (!engine.ok()) {
+      std::cerr << "recovery engine: " << engine.status().ToString() << "\n";
+      return 1;
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    auto poisoned = (*engine)->Match(queries[0], query);
+    const double poisoned_ms = MsSince(t0);
+    if (poisoned.ok()) {
+      std::cerr << "GATE [recovery]: chaos kill did not poison the query\n";
+      ok = false;
+    } else if (poisoned.status().code() != StatusCode::kUnavailable) {
+      std::cerr << "GATE [recovery]: poisoned query classified "
+                << poisoned.status().ToString() << ", want Unavailable\n";
+      ok = false;
+    }
+
+    const auto t1 = std::chrono::steady_clock::now();
+    auto healed = (*engine)->Match(queries[0], query);
+    const double recovery_ms = MsSince(t1);
+    uint64_t respawns = 0;
+    if (!healed.ok()) {
+      std::cerr << "GATE [recovery]: healed query failed: "
+                << healed.status().ToString() << "\n";
+      ok = false;
+    } else {
+      respawns = healed->transport.respawns;
+      if (respawns < 1) {
+        std::cerr << "GATE [recovery]: healed query respawned nothing\n";
+        ok = false;
+      }
+      if (!SameAnswerAndShipment(*healed, baseline[0], "healed q0")) {
+        ok = false;
+      }
+    }
+    table.AddRow({"kill+respawn", "2", "-", std::to_string(respawns),
+                  "-", FormatDouble(poisoned_ms + recovery_ms, 2),
+                  healed.ok() ? "1" : "0"});
+    json.AddRow()
+        .Str("section", "recovery")
+        .Str("fleet", "kill+respawn")
+        .Int("respawns", respawns)
+        .Num("poisoned_ms", poisoned_ms)
+        .Num("recovery_ms", recovery_ms);
+    std::cout << "recovery latency (detect + respawn + re-ship + re-run): "
+              << FormatDouble(recovery_ms, 2) << " ms\n\n";
+  }
+
+  std::cout << "== Persistent fleet vs refork-per-query ==\n";
+  table.Print(std::cout);
+  json.WriteFile();
+
+  if (!ok) {
+    std::cerr << "\nRECOVERY GATE FAILED\n";
+    return 1;
+  }
+  std::cout << "\nall recovery gates passed\n";
+  return 0;
+}

@@ -134,32 +134,30 @@ Algorithm Engine::ResolveAlgorithm(const Pattern& q, Algorithm requested) {
   return Algorithm::kDgpm;
 }
 
-Deployment& Engine::DeploymentFor(Algorithm algorithm) {
-  FamilySlot slot = kSlotDgpm;
+Engine::FamilySlot Engine::SlotFor(Algorithm algorithm) {
   switch (algorithm) {
     case Algorithm::kDgpm:
     case Algorithm::kDgpmNoOpt:
-      slot = kSlotDgpm;
-      break;
+      return kSlotDgpm;
     case Algorithm::kDgpmDag:
-      slot = kSlotDag;
-      break;
+      return kSlotDag;
     case Algorithm::kDgpmTree:
-      slot = kSlotTree;
-      break;
+      return kSlotTree;
     case Algorithm::kMatch:
-      slot = kSlotMatch;
-      break;
+      return kSlotMatch;
     case Algorithm::kDisHhk:
-      slot = kSlotDisHhk;
-      break;
+      return kSlotDisHhk;
     case Algorithm::kDMes:
-      slot = kSlotDMes;
-      break;
+      return kSlotDMes;
     case Algorithm::kAuto:
-      DGS_CHECK(false, "kAuto must be resolved before deployment lookup");
       break;
   }
+  DGS_CHECK(false, "kAuto must be resolved before deployment lookup");
+  return kSlotDgpm;
+}
+
+Deployment& Engine::DeploymentFor(Algorithm algorithm) {
+  const FamilySlot slot = SlotFor(algorithm);
   std::unique_ptr<Deployment>& deployment = deployments_[slot];
   if (deployment == nullptr) {
     switch (slot) {
@@ -281,7 +279,18 @@ StatusOr<DistOutcome> Engine::Match(const Pattern& q,
   BindToCluster(cluster_, deployment);
   cluster_.BindHealth(&health);
   cluster_.BindSharedState(&counters_channel);
+  // Arms the persistent-worker re-ship channel (no-op under loopback or
+  // with persistent workers disabled): a tcp fleet forked under this
+  // family's deployment picks the query up from the binding blob instead
+  // of being reforked per run. deploy_version = family slot + 1, so a
+  // family switch retires the fleet whose fork-time snapshot no longer
+  // matches.
+  binding_.Arm(&deployment, &q, query.options);
+  cluster_.BindRunBinding(&binding_,
+                          static_cast<uint64_t>(SlotFor(algorithm)) + 1);
   outcome.stats = cluster_.Run();  // Run starts from a clean slate itself
+  cluster_.BindRunBinding(nullptr, 0);
+  binding_.Disarm();
   cluster_.BindHealth(nullptr);  // health dies with this frame
   cluster_.BindSharedState(nullptr);  // channel dies with this frame
   outcome.faults = cluster_.fault_stats();

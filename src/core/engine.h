@@ -193,6 +193,8 @@ class Engine {
   // one dgs::Server compute them once per deployment, not per replica).
   bool GraphIsForest();
   bool GraphIsAcyclic();
+  // Maps a resolved algorithm to its deployment slot.
+  static FamilySlot SlotFor(Algorithm algorithm);
   // Lazily built resident actor set of the algorithm's family.
   Deployment& DeploymentFor(Algorithm algorithm);
 
@@ -204,6 +206,13 @@ class Engine {
   std::optional<bool> forest_fact_;
   std::optional<bool> acyclic_fact_;
   std::unique_ptr<Deployment> deployments_[kNumFamilySlots];
+  // Query re-ship channel for the persistent tcp workers (see
+  // QueryBindingChannel in core/serving.h). Deliberately an Engine member:
+  // the forked workers call its virtuals on their copy-on-write copy, so
+  // it must live at a stable address the fork captured — never a Match
+  // stack temporary. Armed per query, keyed by family slot + 1 as the
+  // transport's deploy_version.
+  QueryBindingChannel binding_;
   ServingStats stats_;
   // Reentrancy guard behind the single-thread contract (see the file
   // comment): set for the duration of Match, checked on entry.

@@ -43,6 +43,7 @@
 #include <array>
 #include <atomic>
 #include <cstddef>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -233,8 +234,20 @@ struct ServerOptions {
   // accepted work always drains.
   bool defer_workers = false;
   // Transparent re-execution of queries that fail with a retryable Status
-  // (default: one attempt, no retries).
+  // (default: one attempt, no retries). Also applied to Server::Update's
+  // replication runs: a retryable poison re-runs the batch from scratch
+  // (nothing was applied, so the re-run is idempotent); DataLoss still
+  // fails immediately.
   RetryOptions retry;
+  // Graceful-degradation circuit breaker (see docs/FAILURES.md). A replica
+  // accumulates a strike per consecutive retryable query failure and heals
+  // to zero on any success. When EVERY replica is at or over this
+  // threshold the server sheds new Submits with ResourceExhausted
+  // (counted in ServerStats::degraded_rejections) instead of queueing work
+  // the fleet keeps failing — except one probe query at a time, which is
+  // admitted to test recovery and closes the circuit when it succeeds.
+  // 0 disables the breaker.
+  uint32_t circuit_breaker_strikes = 8;
 };
 
 // Cumulative serving metrics of one dgs::Server. Counters are exact; a
@@ -258,6 +271,15 @@ struct ServerStats {
                                  // failure
   uint64_t retry_successes = 0;  // queries that failed at least once and
                                  // then completed ok on a retry
+  // Replica failover (see docs/FAILURES.md): a query whose replica failed
+  // retryably is re-dispatched to a DIFFERENT healthy replica before the
+  // same-replica retry policy kicks in. The client sees one Submit and one
+  // result; failovers are invisible except here.
+  uint64_t failovers = 0;
+  // Submits shed with ResourceExhausted while the circuit breaker was open
+  // (ServerOptions::circuit_breaker_strikes). A sub-count of
+  // rejected_overload: the query was rejected at admission.
+  uint64_t degraded_rejections = 0;
   // Inter-query cache effectiveness (see CacheMode).
   uint64_t cache_result_hits = 0;
   uint64_t cache_result_misses = 0;
@@ -273,7 +295,13 @@ struct ServerStats {
   uint64_t updates_submitted = 0;  // Update calls that entered the pipeline
   uint64_t updates_applied = 0;    // committed batches
   uint64_t updates_failed = 0;     // poisoned replication runs (retryable
-                                   // ones included; nothing was applied)
+                                   // ones included; nothing was applied),
+                                   // counted once per batch after any
+                                   // RetryOptions attempts are exhausted
+  uint64_t update_retries = 0;     // replication re-runs after a retryable
+                                   // poison (ServerOptions::retry)
+  uint64_t update_retry_successes = 0;  // batches that committed on a
+                                        // retry after failing at least once
   uint64_t update_edges_deleted = 0;   // mutations that changed the graph
   uint64_t update_edges_inserted = 0;  // (no-op edges excluded)
   uint64_t graph_version = 0;          // committed version watermark
@@ -393,6 +421,126 @@ class Deployment {
     for (uint32_t i = 0; i < num_workers(); ++i) worker(i)->EndQuery();
     coordinator()->EndQuery();
   }
+};
+
+// RunBinding implementation (runtime/transport.h) that re-ships one query
+// to the PERSISTENT tcp workers of runtime/supervisor.h. A persistent
+// worker is forked once per deployment and reused across runs, so it never
+// sees the parent's per-query stack state; instead the parent arms this
+// channel with the query before Cluster::Run() and the transport ships
+// EncodeBinding's blob to every worker at BeginRun. The child-side
+// BindRemote rebuilds the Pattern from the blob (GraphBuilder with
+// dedupe=false reproduces the CSR bit-for-bit: Edges() emits each node's
+// already-sorted adjacency in order), binds it into the fork-time
+// deployment snapshot, and hands the transport a child-owned RunHealth +
+// AlgoCountersChannel for the run — the fork-time parent pointers would be
+// stale copy-on-write copies.
+//
+// The instance must live at a stable address captured by the fork (an
+// Engine member): the child invokes the virtuals on its COW copy of this
+// same object. Arm/Disarm run in the parent only; BindRemote/UnbindRemote
+// in the child only.
+class QueryBindingChannel : public RunBinding {
+ public:
+  // Parent side: stages one query for re-shipping. The deployment and
+  // pattern must outlive the run.
+  void Arm(Deployment* deployment, const Pattern* pattern,
+           const QueryOptions& options) {
+    deployment_ = deployment;
+    pattern_ = pattern;
+    options_ = options;
+  }
+  void Disarm() {
+    deployment_ = nullptr;
+    pattern_ = nullptr;
+  }
+
+  void EncodeBinding(Blob* out) const override {
+    const Graph& q = pattern_->graph();
+    out->PutVarint(q.NumNodes());
+    for (NodeId v = 0; v < q.NumNodes(); ++v) out->PutVarint(q.LabelOf(v));
+    const auto edges = q.Edges();
+    out->PutVarint(edges.size());
+    for (const auto& [src, dst] : edges) {
+      out->PutVarint(src);
+      out->PutVarint(dst);
+    }
+    out->PutU8(static_cast<uint8_t>(options_.algorithm));
+    out->PutU8(options_.boolean_only ? 1 : 0);
+    out->PutU8(options_.enable_push ? 1 : 0);
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(options_.push_threshold));
+    std::memcpy(&bits, &options_.push_threshold, sizeof(bits));
+    out->PutU64(bits);
+  }
+
+  bool BindRemote(Blob::Reader& r, RunHealth** health,
+                  SharedRunState** shared) override {
+    UnbindRemote();  // idempotent clean slate after a poisoned run
+    const uint64_t num_nodes = r.GetVarint();
+    if (!r.ok()) return false;
+    GraphBuilder builder;
+    for (uint64_t v = 0; v < num_nodes; ++v) {
+      builder.AddNode(static_cast<Label>(r.GetVarint()));
+    }
+    const uint64_t num_edges = r.GetVarint();
+    for (uint64_t e = 0; e < num_edges && r.ok(); ++e) {
+      const uint64_t src = r.GetVarint();
+      const uint64_t dst = r.GetVarint();
+      if (!r.ok() || src >= num_nodes || dst >= num_nodes) return false;
+      builder.AddEdge(static_cast<NodeId>(src), static_cast<NodeId>(dst));
+    }
+    QueryOptions options;
+    options.algorithm = static_cast<Algorithm>(r.GetU8());
+    options.boolean_only = r.GetU8() != 0;
+    options.enable_push = r.GetU8() != 0;
+    const uint64_t bits = r.GetU64();
+    std::memcpy(&options.push_threshold, &bits, sizeof(bits));
+    if (!r.ok()) return false;
+
+    // No dedupe: the blob's edges came out of a built CSR, so rebuilding
+    // verbatim yields a bit-identical adjacency — and with it bit-identical
+    // results and accounting (the determinism contract).
+    remote_pattern_.emplace(std::move(builder).Build(false));
+    remote_counters_.emplace();
+    remote_channel_.emplace(&*remote_counters_);
+    remote_health_.emplace();
+
+    QueryContext query;
+    query.pattern = &*remote_pattern_;
+    query.counters = &*remote_counters_;
+    query.health = &*remote_health_;
+    query.options = options;
+    deployment_->BindQuery(query);
+    bound_ = true;
+    *health = &*remote_health_;
+    *shared = &*remote_channel_;
+    return true;
+  }
+
+  void UnbindRemote() override {
+    if (!bound_) return;
+    deployment_->EndQuery();
+    remote_pattern_.reset();
+    remote_channel_.reset();
+    remote_counters_.reset();
+    remote_health_.reset();
+    bound_ = false;
+  }
+
+ private:
+  // Parent-side staging (Arm/Disarm).
+  Deployment* deployment_ = nullptr;
+  const Pattern* pattern_ = nullptr;
+  QueryOptions options_;
+  // Child-side per-run state (BindRemote/UnbindRemote). The child talks to
+  // the deployment through its COW copy of deployment_, which points at
+  // the fork-time actor snapshot — exactly the actors the transport runs.
+  std::optional<Pattern> remote_pattern_;
+  std::optional<AlgoCounters> remote_counters_;
+  std::optional<AlgoCountersChannel> remote_channel_;
+  std::optional<RunHealth> remote_health_;
+  bool bound_ = false;
 };
 
 // Runs fn(i) for i in [0, n), on `pool` when one is available. The actors

@@ -132,6 +132,8 @@ RunStats Cluster::Run(uint32_t max_rounds) {
   session.actors = &actors_;
   session.health = health_;
   session.shared = shared_;
+  session.binding = binding_;
+  session.deploy_version = deploy_version_;
   transport_->BeginRun(session);
 
   std::vector<uint32_t> all_sites(actors_.size());

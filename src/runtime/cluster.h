@@ -249,6 +249,18 @@ class Cluster {
   // it — the state is already shared in-process.
   void BindSharedState(SharedRunState* shared) { shared_ = shared; }
 
+  // Points the transport layer at the run's query re-ship channel (see
+  // RunBinding in runtime/transport.h) and names the deployment it is
+  // armed against (deploy_version != 0). With both set, the tcp backend
+  // keeps its worker fleet resident across runs under a supervised
+  // WorkerPool instead of reforking per Run(). Null / 0 (the default)
+  // detaches and the backend reforks per run. The failure/supervision
+  // semantics are consolidated in docs/FAILURES.md.
+  void BindRunBinding(RunBinding* binding, uint64_t deploy_version) {
+    binding_ = binding;
+    deploy_version_ = deploy_version;
+  }
+
   // Chaos accounting of the most recent Run() (all zero with faults
   // disabled). RunStats never include any of this.
   const FaultStats& fault_stats() const { return fault_stats_; }
@@ -284,6 +296,8 @@ class Cluster {
   std::unique_ptr<FaultInjector> injector_;
   RunHealth* health_ = nullptr;
   SharedRunState* shared_ = nullptr;
+  RunBinding* binding_ = nullptr;
+  uint64_t deploy_version_ = 0;
   FaultStats fault_stats_;
   // Created eagerly when num_threads > 1 (actors may borrow it through
   // SiteContext::pool() from the very first Setup round); null in the

@@ -43,8 +43,14 @@ bool ParseDouble(const std::string& text, double* out) {
   return true;
 }
 
-Status BadSpec(const std::string& token) {
-  return Status::InvalidArgument("malformed fault spec entry '" + token + "'");
+// Diagnoses one bad spec entry: the offending token, WHERE it sits in the
+// spec (1-based character position, so the message pinpoints the entry in
+// a long comma-separated string), and what was expected instead.
+Status BadSpec(const std::string& token, size_t offset,
+               const std::string& what) {
+  return Status::InvalidArgument("malformed fault spec entry '" + token +
+                                 "' at position " +
+                                 std::to_string(offset + 1) + ": " + what);
 }
 
 std::string ProbsToString(const char* prefix, const FaultProbs& p) {
@@ -75,6 +81,7 @@ StatusOr<FaultPlan> ParseFaultSpec(const std::string& spec) {
   while (pos <= spec.size()) {
     size_t comma = spec.find(',', pos);
     if (comma == std::string::npos) comma = spec.size();
+    const size_t token_pos = pos;  // where this entry starts in the spec
     std::string token = spec.substr(pos, comma - pos);
     pos = comma + 1;
     if (token.empty()) continue;
@@ -85,26 +92,39 @@ StatusOr<FaultPlan> ParseFaultSpec(const std::string& spec) {
     }
 
     const size_t eq = token.find('=');
-    if (eq == std::string::npos) return BadSpec(token);
+    if (eq == std::string::npos) {
+      return BadSpec(token, token_pos, "expected KEY=VALUE (or 'norecover')");
+    }
     std::string key = token.substr(0, eq);
     const std::string value = token.substr(eq + 1);
 
     if (key == "seed") {
-      if (!ParseU64(value, &plan.seed)) return BadSpec(token);
+      if (!ParseU64(value, &plan.seed)) {
+        return BadSpec(token, token_pos, "seed wants an unsigned integer");
+      }
       continue;
     }
     if (key == "retries") {
       uint64_t n = 0;
-      if (!ParseU64(value, &n) || n > 0xffffffffULL) return BadSpec(token);
+      if (!ParseU64(value, &n) || n > 0xffffffffULL) {
+        return BadSpec(token, token_pos,
+                       "retries wants an unsigned 32-bit integer");
+      }
       plan.max_retries = static_cast<uint32_t>(n);
       continue;
     }
     if (key == "backoff") {
-      if (!ParseDouble(value, &plan.backoff_seconds)) return BadSpec(token);
+      if (!ParseDouble(value, &plan.backoff_seconds)) {
+        return BadSpec(token, token_pos,
+                       "backoff wants a non-negative number of seconds");
+      }
       continue;
     }
     if (key == "maxfaults") {
-      if (!ParseU64(value, &plan.max_faults)) return BadSpec(token);
+      if (!ParseU64(value, &plan.max_faults)) {
+        return BadSpec(token, token_pos,
+                       "maxfaults wants an unsigned integer");
+      }
       continue;
     }
     if (key == "recovery") {
@@ -113,7 +133,7 @@ StatusOr<FaultPlan> ParseFaultSpec(const std::string& spec) {
       } else if (value == "1") {
         plan.recovery = true;
       } else {
-        return BadSpec(token);
+        return BadSpec(token, token_pos, "recovery wants 0 or 1");
       }
       continue;
     }
@@ -122,11 +142,16 @@ StatusOr<FaultPlan> ParseFaultSpec(const std::string& spec) {
       const size_t at = value.find('@');
       uint64_t site = 0;
       uint64_t round = 1;
-      if (!ParseU64(value.substr(0, at), &site)) return BadSpec(token);
+      if (!ParseU64(value.substr(0, at), &site)) {
+        return BadSpec(token, token_pos,
+                       "crash wants SITE or SITE@ROUND with an unsigned "
+                       "site id");
+      }
       if (at != std::string::npos &&
           (!ParseU64(value.substr(at + 1), &round) || round == 0 ||
            round > 0xffffffffULL)) {
-        return BadSpec(token);
+        return BadSpec(token, token_pos,
+                       "crash round wants an unsigned 32-bit integer >= 1");
       }
       plan.crash_site = static_cast<int64_t>(site);
       plan.crash_round = static_cast<uint32_t>(round);
@@ -150,12 +175,17 @@ StatusOr<FaultPlan> ParseFaultSpec(const std::string& spec) {
       } else if (cls == "update") {
         targets[0] = &plan.update;
       } else {
-        return BadSpec(token);
+        return BadSpec(token, token_pos,
+                       "unknown message class '" + cls +
+                           "' (want data, control, result, or update)");
       }
       num_targets = 1;
     }
     double p = 0;
-    if (!ParseProb(value, &p)) return BadSpec(token);
+    if (!ParseProb(value, &p)) {
+      return BadSpec(token, token_pos,
+                     "probability wants a number in [0, 1]");
+    }
     for (size_t i = 0; i < num_targets; ++i) {
       FaultProbs& probs = *targets[i];
       if (key == "drop") {
@@ -169,7 +199,11 @@ StatusOr<FaultPlan> ParseFaultSpec(const std::string& spec) {
       } else if (key == "truncate") {
         probs.truncate = p;
       } else {
-        return BadSpec(token);
+        return BadSpec(token, token_pos,
+                       "unknown key '" + key +
+                           "' (want drop, dup, reorder, corrupt, truncate, "
+                           "seed, retries, backoff, maxfaults, recovery, or "
+                           "crash)");
       }
     }
   }

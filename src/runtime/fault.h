@@ -48,6 +48,10 @@
 // actors: missing/duplicated/shuffled delivery plus the fail-soft decoders'
 // poison path — the environment the chaos tests use to prove the stack
 // survives an untrusted transport.
+//
+// docs/FAILURES.md consolidates the status-code taxonomy, the IsRetryable
+// table, and how the layers above (transport supervision, Server retries /
+// failover / circuit breaker) build on this fault model.
 
 #ifndef DGS_RUNTIME_FAULT_H_
 #define DGS_RUNTIME_FAULT_H_

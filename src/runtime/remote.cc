@@ -20,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "runtime/supervisor.h"
 #include "util/timer.h"
 
 namespace dgs {
@@ -68,12 +69,13 @@ Status FrameChannel::WriteAll(const uint8_t* data, size_t n) {
   return Status::Ok();
 }
 
-Status FrameChannel::ReadAll(uint8_t* data, size_t n) {
+Status FrameChannel::ReadAll(uint8_t* data, size_t n,
+                             double timeout_seconds) {
   size_t off = 0;
   while (off < n) {
     struct pollfd pfd = {fd_, POLLIN, 0};
     const int timeout_ms =
-        std::max(1, static_cast<int>(options_.io_timeout_seconds * 1000.0));
+        std::max(1, static_cast<int>(timeout_seconds * 1000.0));
     const int pr = poll(&pfd, 1, timeout_ms);
     if (pr < 0) {
       if (errno == EINTR) continue;
@@ -84,7 +86,7 @@ Status FrameChannel::ReadAll(uint8_t* data, size_t n) {
     if (pr == 0) {
       return Status(StatusCode::kDeadlineExceeded,
                     "transport peer silent past the io timeout (" +
-                        std::to_string(options_.io_timeout_seconds) + "s)");
+                        std::to_string(timeout_seconds) + "s)");
     }
     const ssize_t r = recv(fd_, data + off, n - off, 0);
     if (r < 0) {
@@ -148,43 +150,56 @@ Status FrameChannel::SendShutdown() {
   return SendRaw(FrameKind::kShutdown, 0, Blob{}, false);
 }
 
+Status FrameChannel::ReadFrame(FrameKind* kind, uint64_t* seq, Blob* payload,
+                               bool* checksum_ok, double timeout_seconds) {
+  uint8_t header[kFrameHeaderBytes];
+  Status s = ReadAll(header, kFrameHeaderBytes, timeout_seconds);
+  if (!s.ok()) return s;
+  if (GetLE<uint32_t>(header) != kFrameMagic) {
+    return Status(StatusCode::kDataLoss,
+                  "transport protocol desync: bad frame magic");
+  }
+  *kind = static_cast<FrameKind>(header[4]);
+  *seq = GetLE<uint64_t>(header + 5);
+  const uint32_t len = GetLE<uint32_t>(header + 13);
+  if (len > kMaxFramePayload) {
+    return Status(StatusCode::kDataLoss,
+                  "transport protocol desync: oversized frame");
+  }
+  std::vector<uint8_t> body(len + kFrameTrailerBytes);
+  s = ReadAll(body.data(), body.size(), timeout_seconds);
+  if (!s.ok()) return s;
+  if (stats_ != nullptr) ++stats_->frames_received;
+
+  // Checksum covers (kind, seq, len, payload) — any single-byte mutation
+  // or truncation of the frame in flight is detected here.
+  uint32_t fnv = Fnv1a(header + 4, kFrameHeaderBytes - 4);
+  for (uint32_t i = 0; i < len; ++i) {
+    fnv ^= body[i];
+    fnv *= 16777619u;
+  }
+  *checksum_ok = fnv == GetLE<uint32_t>(body.data() + len);
+  if (!*checksum_ok && stats_ != nullptr) ++stats_->checksum_rejects;
+  *payload = Blob{};
+  payload->PutBytes(body.data(), len);
+  return Status::Ok();
+}
+
 Status FrameChannel::ReceiveData(Blob* payload, bool* shutdown) {
   *shutdown = false;
   uint32_t rejects = 0;
-  std::vector<uint8_t> body;
   for (;;) {
-    uint8_t header[kFrameHeaderBytes];
-    Status s = ReadAll(header, kFrameHeaderBytes);
+    FrameKind kind;
+    uint64_t seq = 0;
+    Blob body;
+    bool checksum_ok = false;
+    Status s = ReadFrame(&kind, &seq, &body, &checksum_ok,
+                         options_.io_timeout_seconds);
     if (!s.ok()) return s;
-    if (GetLE<uint32_t>(header) != kFrameMagic) {
-      return Status(StatusCode::kDataLoss,
-                    "transport protocol desync: bad frame magic");
-    }
-    const FrameKind kind = static_cast<FrameKind>(header[4]);
-    const uint64_t seq = GetLE<uint64_t>(header + 5);
-    const uint32_t len = GetLE<uint32_t>(header + 13);
-    if (len > kMaxFramePayload) {
-      return Status(StatusCode::kDataLoss,
-                    "transport protocol desync: oversized frame");
-    }
-    body.resize(len + kFrameTrailerBytes);
-    s = ReadAll(body.data(), body.size());
-    if (!s.ok()) return s;
-    if (stats_ != nullptr) ++stats_->frames_received;
-
-    // Checksum covers (kind, seq, len, payload) — any single-byte mutation
-    // or truncation of the frame in flight is detected here.
-    uint32_t fnv = Fnv1a(header + 4, kFrameHeaderBytes - 4);
-    fnv = [&] {
-      uint32_t h = fnv;
-      for (uint32_t i = 0; i < len; ++i) {
-        h ^= body[i];
-        h *= 16777619u;
-      }
-      return h;
-    }();
-    if (fnv != GetLE<uint32_t>(body.data() + len)) {
-      if (stats_ != nullptr) ++stats_->checksum_rejects;
+    if (!checksum_ok) {
+      // Heartbeats are never NACKed (the peer retains only data frames);
+      // the supervisor's next ping re-verifies liveness anyway.
+      if (kind == FrameKind::kHeartbeat) continue;
       if (++rejects > options_.max_frame_retransmits) {
         return Status(StatusCode::kDataLoss,
                       "transport frame failed its checksum after " +
@@ -200,6 +215,15 @@ Status FrameChannel::ReceiveData(Blob* payload, bool* shutdown) {
       case FrameKind::kShutdown:
         *shutdown = true;
         return Status::Ok();
+      case FrameKind::kHeartbeat:
+        // The worker side answers supervision pings from inside its
+        // receive loop; everyone else skips the stray echo (e.g. one
+        // answered after the supervisor already timed its ping out).
+        if (heartbeat_responder_) {
+          s = SendRaw(FrameKind::kHeartbeat, 0, Blob{}, false);
+          if (!s.ok()) return s;
+        }
+        continue;
       case FrameKind::kNack: {
         // The peer rejected our retained data frame: resend the clean copy.
         if (retained_.empty()) {
@@ -229,13 +253,55 @@ Status FrameChannel::ReceiveData(Blob* payload, bool* shutdown) {
                         std::to_string(next_recv_seq_) + ")");
     }
     ++next_recv_seq_;
-    *payload = Blob{};
-    payload->PutBytes(body.data(), len);
+    *payload = std::move(body);
     return Status::Ok();
   }
 }
 
+Status FrameChannel::Ping(double timeout_seconds) {
+  Status s = SendRaw(FrameKind::kHeartbeat, 0, Blob{}, false);
+  if (!s.ok()) return s;
+  WallTimer timer;
+  for (;;) {
+    const double left = timeout_seconds - timer.ElapsedSeconds();
+    if (left <= 0) {
+      return Status(StatusCode::kDeadlineExceeded,
+                    "heartbeat echo silent past the supervision interval");
+    }
+    FrameKind kind;
+    uint64_t seq = 0;
+    Blob body;
+    bool checksum_ok = false;
+    s = ReadFrame(&kind, &seq, &body, &checksum_ok, left);
+    if (!s.ok()) return s;
+    if (!checksum_ok) continue;  // the next ping re-verifies liveness
+    if (kind == FrameKind::kHeartbeat) return Status::Ok();
+    if (kind == FrameKind::kNack) {
+      if (retained_.empty()) continue;
+      if (stats_ != nullptr) {
+        ++stats_->retransmits;
+        ++stats_->frames_sent;
+      }
+      s = WriteAll(retained_.data(), retained_.size());
+      if (!s.ok()) return s;
+      continue;
+    }
+    // Data between runs is a protocol desync: the worker owes us nothing.
+    return Status(StatusCode::kDataLoss,
+                  "transport protocol desync: unexpected frame between runs");
+  }
+}
+
 namespace {
+
+// Request opcodes: the first payload byte of every parent->worker data
+// frame. Responses echo the opcode. kOpRound responses carry the round
+// body; control-op acks are `u8 op | u8 ok | [code, len, reason if !ok]`.
+// Control ops are acked so the normal NACK/retransmit recovery applies to
+// them before any round traffic depends on their effect.
+constexpr uint8_t kOpRound = 0;     // execute one delivery round
+constexpr uint8_t kOpBeginRun = 1;  // persistent: bind this run's query
+constexpr uint8_t kOpEndRun = 2;    // persistent: detach from the run
 
 // Contiguous range of worker sites served by one child process.
 struct GroupSpec {
@@ -268,13 +334,13 @@ void CloseInheritedFds(int keep) {
 // ---------------------------------------------------------------------------
 // Round request / response payload codec (rides inside data frames).
 //
-// Request:   u8 round-kind | varint round | u8 poisoned
+// Request:   u8 op (kOpRound) | u8 round-kind | varint round | u8 poisoned
 //            [poisoned: u8 code, varint len, reason bytes]
 //            varint n_sites, per site:
 //              varint site | varint n_src_runs, per run:
 //                varint src | varint n_msgs, per message:
 //                  u8 class | varint len | payload bytes
-// Response:  varint n_sites, per site (request order):
+// Response:  u8 op (kOpRound) | varint n_sites, per site (request order):
 //              varint site | u64 duration-bits | varint n_sends, per send:
 //                varint dst | u8 class | varint len | payload bytes
 //            varint shared-delta len | delta bytes
@@ -358,11 +424,15 @@ bool DecodeInbox(Blob::Reader& r, uint32_t dst, std::vector<Message>* inbox) {
 }
 
 // ---------------------------------------------------------------------------
-// Child process: serve rounds for one site-group until shutdown.
+// Child process: serve ops for one site-group until shutdown. A refork
+// child lives for one run; a pool child persists across runs, picking up
+// each run's query via kOpBeginRun (RunBinding) and answering supervision
+// heartbeats between runs from inside ReceiveData.
 // ---------------------------------------------------------------------------
 
 struct ChildConfig {
   uint32_t group_index = 0;
+  uint64_t generation = 0;
   GroupSpec group;
   uint16_t port = 0;
   TransportOptions options;
@@ -387,8 +457,10 @@ struct ChildConfig {
   setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
 
   FrameChannel channel(fd, cfg.options, nullptr);
+  channel.set_heartbeat_responder(true);
   Blob hello;
   hello.PutVarint(cfg.group_index);
+  hello.PutVarint(cfg.generation);
   if (!channel.SendData(hello).ok()) _exit(12);
 
   std::unique_ptr<ThreadPool> pool;
@@ -397,11 +469,20 @@ struct ChildConfig {
   }
 
   const std::vector<SiteActor*>& actors = *cfg.session.actors;
+  // Fork-time run channels (refork sessions use these for their single
+  // run); a persistent run replaces them per kOpBeginRun with the
+  // binding's child-owned objects.
   SharedRunState* shared = cfg.session.shared;
   RunHealth* health = cfg.session.health;
+  RunBinding* binding = cfg.session.binding;
+  bool bound = false;
   Blob shared_before;
   if (shared != nullptr) shared->Encode(&shared_before);
   uint64_t drops_before[kNumMessageClasses] = {};
+  // Chaos generation gate: a respawned worker (generation above the bound)
+  // runs clean — the kill -> respawn -> re-ship -> heal scenario.
+  const bool chaos_armed =
+      cfg.generation <= cfg.options.chaos_kill_generation;
 
   std::vector<Message> outbox;
   for (;;) {
@@ -411,11 +492,61 @@ struct ChildConfig {
     if (shutdown) _exit(0);
 
     Blob::Reader r(req);
+    const uint8_t op = r.GetU8();
+    if (!r.ok()) _exit(14);
+
+    if (op == kOpBeginRun) {
+      r.GetVarint();  // deploy version: informational — the pool already
+                      // re-forked the fleet if the deployment changed
+      RunHealth* bound_health = nullptr;
+      SharedRunState* bound_shared = nullptr;
+      const bool ok = binding != nullptr && r.ok() &&
+                      binding->BindRemote(r, &bound_health, &bound_shared);
+      Blob ack;
+      ack.PutU8(kOpBeginRun);
+      ack.PutU8(ok ? 1 : 0);
+      if (ok) {
+        bound = true;
+        health = bound_health;
+        shared = bound_shared;
+        shared_before = Blob{};
+        if (shared != nullptr) shared->Encode(&shared_before);
+        for (size_t c = 0; c < kNumMessageClasses; ++c) {
+          drops_before[c] =
+              health != nullptr
+                  ? health->decode_drops(static_cast<MessageClass>(c))
+                  : 0;
+        }
+      } else {
+        ack.PutU8(static_cast<uint8_t>(StatusCode::kDataLoss));
+        const std::string reason = "transport worker failed to bind the run";
+        ack.PutVarint(reason.size());
+        ack.PutBytes(reason.data(), reason.size());
+      }
+      if (!channel.SendData(ack).ok()) _exit(18);
+      continue;
+    }
+
+    if (op == kOpEndRun) {
+      if (bound) {
+        binding->UnbindRemote();
+        bound = false;
+        health = cfg.session.health;
+        shared = cfg.session.shared;
+      }
+      Blob ack;
+      ack.PutU8(kOpEndRun);
+      ack.PutU8(1);
+      if (!channel.SendData(ack).ok()) _exit(18);
+      continue;
+    }
+
+    if (op != kOpRound) _exit(14);
     const RoundKind kind = static_cast<RoundKind>(r.GetU8());
     const uint32_t round = static_cast<uint32_t>(r.GetVarint());
     if (!DecodePoison(r, health)) _exit(14);
 
-    if (kind == RoundKind::kDeliver) {  // deterministic chaos hooks
+    if (kind == RoundKind::kDeliver && chaos_armed) {  // deterministic chaos
       if (cfg.options.chaos_exit_at_round != 0 &&
           round == cfg.options.chaos_exit_at_round) {
         _exit(1);
@@ -428,6 +559,7 @@ struct ChildConfig {
 
     const uint64_t n_sites = r.GetVarint();
     Blob resp;
+    resp.PutU8(kOpRound);
     resp.PutVarint(n_sites);
     for (uint64_t i = 0; i < n_sites; ++i) {
       const uint32_t site = static_cast<uint32_t>(r.GetVarint());
@@ -494,12 +626,15 @@ class SocketTransport : public Transport {
   SocketTransport(const TransportOptions& options, const TransportEnv& env)
       : options_(options), env_(env) {}
 
-  ~SocketTransport() override { Teardown(false); }
+  ~SocketTransport() override {
+    TeardownLegacy(false);
+    if (pool_ != nullptr) pool_->Shutdown(true);
+  }
 
   TransportKind kind() const override { return TransportKind::kTcp; }
 
   void BeginRun(const RunSession& session) override;
-  void EndRun() override { Teardown(true); }
+  void EndRun() override;
 
   double ExecuteRound(RoundKind kind, uint32_t round,
                       const std::vector<uint32_t>& sites,
@@ -520,15 +655,31 @@ class SocketTransport : public Transport {
     DGS_CHECK(false, status.message().c_str());
   }
 
+  // Mode-dispatched per-group fleet access: one run executes either on
+  // the supervised pool (persistent_run_) or on the refork links.
+  bool GroupAlive(size_t g) {
+    return persistent_run_ ? pool_->alive(g) : links_[g].alive;
+  }
+  FrameChannel* GroupChannel(size_t g) {
+    return persistent_run_ ? pool_->channel(g) : links_[g].channel.get();
+  }
   void KillGroup(size_t g, const Status& status) {
-    if (links_[g].fd >= 0) close(links_[g].fd);
-    links_[g].fd = -1;
-    links_[g].channel.reset();
-    links_[g].alive = false;
+    if (persistent_run_) {
+      pool_->MarkDead(g);
+    } else {
+      if (links_[g].fd >= 0) close(links_[g].fd);
+      links_[g].fd = -1;
+      links_[g].channel.reset();
+      links_[g].alive = false;
+    }
     Fail(status);
   }
 
-  void Teardown(bool graceful);
+  void ComputeGroups();
+  void BeginRunLegacy();
+  void BeginRunPersistent();
+  void EndRunPersistent(bool graceful);
+  void TeardownLegacy(bool graceful);
 
   uint32_t GroupOf(uint32_t site) const { return site_group_[site]; }
 
@@ -537,39 +688,162 @@ class SocketTransport : public Transport {
   RunSession session_;
   std::vector<GroupSpec> groups_;
   std::vector<uint32_t> site_group_;  // worker site -> group index
-  std::vector<ChildLink> links_;
+  std::vector<ChildLink> links_;      // refork-per-run fleet
+  std::unique_ptr<WorkerPool> pool_;  // persistent supervised fleet
+  bool persistent_run_ = false;       // this run executes on pool_
   TransportStats stats_;
 };
 
-void SocketTransport::BeginRun(const RunSession& session) {
-  Teardown(false);  // a prior run that never reached EndRun
-  session_ = session;
-  stats_ = TransportStats{};
-  WallTimer launch_timer;
-
+void SocketTransport::ComputeGroups() {
   const uint32_t nw = env_.num_workers;
   uint32_t procs = options_.num_processes == 0 ? nw : options_.num_processes;
   procs = std::min(procs, nw);
   groups_.clear();
   site_group_.assign(nw, 0);
-  if (procs > 0) {
-    const uint32_t base = nw / procs;
-    const uint32_t rem = nw % procs;
-    uint32_t next = 0;
-    for (uint32_t g = 0; g < procs; ++g) {
-      GroupSpec spec;
-      spec.first = next;
-      spec.count = base + (g < rem ? 1 : 0);
-      next += spec.count;
-      for (uint32_t s = spec.first; s < spec.first + spec.count; ++s) {
-        site_group_[s] = g;
+  if (procs == 0) return;
+  const uint32_t base = nw / procs;
+  const uint32_t rem = nw % procs;
+  uint32_t next = 0;
+  for (uint32_t g = 0; g < procs; ++g) {
+    GroupSpec spec;
+    spec.first = next;
+    spec.count = base + (g < rem ? 1 : 0);
+    next += spec.count;
+    for (uint32_t s = spec.first; s < spec.first + spec.count; ++s) {
+      site_group_[s] = g;
+    }
+    groups_.push_back(spec);
+  }
+}
+
+void SocketTransport::BeginRun(const RunSession& session) {
+  TeardownLegacy(false);  // a prior refork run that never reached EndRun
+  if (persistent_run_) EndRunPersistent(false);  // abandoned pool session
+  session_ = session;
+  stats_ = TransportStats{};
+  ComputeGroups();
+  const bool persistent = options_.persistent_workers &&
+                          session_.binding != nullptr &&
+                          session_.deploy_version != 0 && !groups_.empty();
+  if (persistent) {
+    BeginRunPersistent();
+  } else {
+    BeginRunLegacy();
+  }
+}
+
+void SocketTransport::EndRun() {
+  if (persistent_run_) {
+    EndRunPersistent(true);
+  } else {
+    TeardownLegacy(true);
+  }
+}
+
+void SocketTransport::BeginRunPersistent() {
+  if (pool_ == nullptr) {
+    pool_ = std::make_unique<WorkerPool>(
+        options_, [this](uint32_t g, uint64_t gen, uint16_t port) {
+          // Runs in the forked child: everything read off `this` is the
+          // copy-on-write snapshot taken at spawn time — i.e. the current
+          // deployment's groups and the current run's session.
+          ChildConfig cfg;
+          cfg.group_index = g;
+          cfg.generation = gen;
+          cfg.group = groups_[g];
+          cfg.port = port;
+          cfg.options = options_;
+          cfg.env = env_;
+          cfg.session = session_;
+          ChildMain(cfg);
+        });
+  }
+  persistent_run_ = true;  // EndRun must close the session either way
+  const Status s = pool_->BeginRunSession(groups_.size(),
+                                          session_.deploy_version, &stats_);
+  if (!s.ok()) {
+    Fail(s);
+    return;
+  }
+
+  // Ship the run's binding to every live worker. Acked: corruption is
+  // recovered by the normal NACK/retransmit machinery before any round
+  // traffic depends on the bind having happened.
+  Blob begin;
+  begin.PutU8(kOpBeginRun);
+  begin.PutVarint(session_.deploy_version);
+  session_.binding->EncodeBinding(&begin);
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    if (!pool_->alive(g)) continue;
+    const Status ss = pool_->channel(g)->SendData(begin);
+    if (!ss.ok()) KillGroup(g, ss);
+  }
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    if (!pool_->alive(g)) continue;
+    Blob ack;
+    bool shutdown = false;
+    const Status ss = pool_->channel(g)->ReceiveData(&ack, &shutdown);
+    if (!ss.ok() || shutdown) {
+      KillGroup(g, ss.ok() ? Status(StatusCode::kUnavailable,
+                                    "transport worker closed mid-run")
+                           : ss);
+      continue;
+    }
+    Blob::Reader r(ack);
+    const uint8_t op = r.GetU8();
+    const uint8_t ok = r.GetU8();
+    if (!r.ok() || op != kOpBeginRun) {
+      KillGroup(g, Status(StatusCode::kDataLoss,
+                          "transport worker sent a malformed response"));
+      continue;
+    }
+    if (ok == 0) {
+      StatusCode code = StatusCode::kDataLoss;
+      std::string reason = "transport worker failed to bind the run";
+      const StatusCode c = static_cast<StatusCode>(r.GetU8());
+      const uint64_t len = r.GetVarint();
+      Blob reason_bytes;
+      if (r.ok() && r.GetBytes(len, &reason_bytes)) {
+        code = c;
+        reason.assign(reinterpret_cast<const char*>(reason_bytes.data()),
+                      reason_bytes.size());
       }
-      groups_.push_back(spec);
+      KillGroup(g, Status(code, reason));
     }
   }
+}
+
+void SocketTransport::EndRunPersistent(bool graceful) {
+  if (graceful) {
+    // Detach every live worker from the run (acked). A failure here does
+    // NOT poison — the run already completed; the worker is just marked
+    // dead and respawned before the next run.
+    Blob end;
+    end.PutU8(kOpEndRun);
+    for (size_t g = 0; g < groups_.size(); ++g) {
+      if (!pool_->alive(g)) continue;
+      if (!pool_->channel(g)->SendData(end).ok()) {
+        pool_->MarkDead(g);
+        continue;
+      }
+      Blob ack;
+      bool shutdown = false;
+      const Status s = pool_->channel(g)->ReceiveData(&ack, &shutdown);
+      Blob::Reader r(ack);
+      const bool acked = s.ok() && !shutdown && r.GetU8() == kOpEndRun &&
+                         r.GetU8() == 1 && r.ok();
+      if (!acked) pool_->MarkDead(g);
+    }
+  }
+  pool_->EndRunSession();
+  persistent_run_ = false;
+}
+
+void SocketTransport::BeginRunLegacy() {
   links_.clear();
   links_.resize(groups_.size());
   if (groups_.empty()) return;  // coordinator-only cluster: nothing to fork
+  WallTimer launch_timer;
 
   const int lfd = socket(AF_INET, SOCK_STREAM, 0);
   if (lfd < 0) {
@@ -601,6 +875,7 @@ void SocketTransport::BeginRun(const RunSession& session) {
     if (pid == 0) {
       ChildConfig cfg;
       cfg.group_index = static_cast<uint32_t>(g);
+      cfg.generation = 0;  // refork fleets are always generation 0
       cfg.group = groups_[g];
       cfg.port = port;
       cfg.options = options_;
@@ -618,7 +893,7 @@ void SocketTransport::BeginRun(const RunSession& session) {
     links_[g].pid = pid;
   }
 
-  // Accept and identify every child (the first frame is hello{group}).
+  // Accept and identify every child (the first frame is hello{group, gen}).
   for (size_t i = 0; i < groups_.size(); ++i) {
     struct pollfd pfd = {lfd, POLLIN, 0};
     const double launch_timeout =
@@ -646,6 +921,7 @@ void SocketTransport::BeginRun(const RunSession& session) {
     const Status hs = channel->ReceiveData(&hello, &shutdown);
     Blob::Reader hr(hello);
     const uint64_t g = hr.GetVarint();
+    hr.GetVarint();  // generation (always 0 on this path)
     if (!hs.ok() || shutdown || !hr.ok() || g >= links_.size() ||
         links_[g].alive) {
       close(fd);
@@ -675,7 +951,7 @@ double SocketTransport::ExecuteRound(RoundKind kind, uint32_t round,
 
   // Partition the active sites: coordinator (and any site with no live
   // child — its messages die with it, crash semantics) runs locally.
-  std::vector<std::vector<size_t>> members(links_.size());
+  std::vector<std::vector<size_t>> members(groups_.size());
   std::vector<size_t> local;
   for (size_t i = 0; i < n; ++i) {
     if (sites[i] >= env_.num_workers) {
@@ -689,9 +965,10 @@ double SocketTransport::ExecuteRound(RoundKind kind, uint32_t round,
   // round — before reading anything back, so the children compute while
   // the parent runs its local sites.
   WallTimer io_timer;
-  for (size_t g = 0; g < links_.size(); ++g) {
-    if (members[g].empty() || !links_[g].alive) continue;
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    if (members[g].empty() || !GroupAlive(g)) continue;
     Blob req;
+    req.PutU8(kOpRound);
     req.PutU8(static_cast<uint8_t>(kind));
     req.PutVarint(round);
     EncodePoison(session_.health, &req);
@@ -701,7 +978,7 @@ double SocketTransport::ExecuteRound(RoundKind kind, uint32_t round,
       EncodeInbox(i < inboxes.size() ? inboxes[i] : std::vector<Message>{},
                   &req);
     }
-    const Status s = links_[g].channel->SendData(req);
+    const Status s = GroupChannel(g)->SendData(req);
     if (!s.ok()) KillGroup(g, s);
   }
   stats_.io_seconds += io_timer.ElapsedSeconds();
@@ -721,12 +998,12 @@ double SocketTransport::ExecuteRound(RoundKind kind, uint32_t round,
 
   // 3) Collect responses in group order (deterministic fold order for the
   // health/counter channels; message order is fixed by site id anyway).
-  for (size_t g = 0; g < links_.size(); ++g) {
-    if (members[g].empty() || !links_[g].alive) continue;
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    if (members[g].empty() || !GroupAlive(g)) continue;
     Blob resp;
     bool shutdown = false;
     io_timer.Restart();
-    Status s = links_[g].channel->ReceiveData(&resp, &shutdown);
+    Status s = GroupChannel(g)->ReceiveData(&resp, &shutdown);
     stats_.io_seconds += io_timer.ElapsedSeconds();
     if (!s.ok() || shutdown) {
       KillGroup(g, s.ok() ? Status(StatusCode::kUnavailable,
@@ -735,8 +1012,10 @@ double SocketTransport::ExecuteRound(RoundKind kind, uint32_t round,
       continue;
     }
     Blob::Reader r(resp);
+    const uint8_t op = r.GetU8();
     const uint64_t n_sites = r.GetVarint();
-    bool well_formed = r.ok() && n_sites == members[g].size();
+    bool well_formed =
+        r.ok() && op == kOpRound && n_sites == members[g].size();
     for (uint64_t k = 0; well_formed && k < n_sites; ++k) {
       const size_t i = members[g][k];
       const uint32_t site = static_cast<uint32_t>(r.GetVarint());
@@ -791,7 +1070,7 @@ double SocketTransport::ExecuteRound(RoundKind kind, uint32_t round,
   return round_max;
 }
 
-void SocketTransport::Teardown(bool graceful) {
+void SocketTransport::TeardownLegacy(bool graceful) {
   for (ChildLink& link : links_) {
     if (link.fd >= 0) {
       if (graceful && link.alive) link.channel->SendShutdown();
@@ -819,7 +1098,6 @@ void SocketTransport::Teardown(bool graceful) {
     link.alive = false;
   }
   links_.clear();
-  groups_.clear();
 }
 
 }  // namespace

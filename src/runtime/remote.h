@@ -1,20 +1,35 @@
 // Multi-process TCP backend of the transport layer (runtime/transport.h).
 //
-// Topology. SocketTransport::BeginRun forks one worker process per site-
-// group (TransportOptions::num_processes groups; 0 = one per worker site)
-// and connects each to the parent over a 127.0.0.1 TCP socket. fork()
-// without exec is deliberate: the deployed state — fragment views, label
-// indexes, resident actors — is exactly what the children need, and
-// copy-on-write ships it for free; re-building it behind an exec would turn
-// every query into a deployment. The coordinator site always executes in
-// the parent, so result collection (Deployment::Collect) keeps reading live
-// actor state. The parent is the hub: one request frame per child per round
-// (kind, round, poison state, the group's active sites and their inboxes),
-// one response frame back (per-site durations and sends, a SharedRunState
-// counter delta, a RunHealth report). Star routing keeps the deterministic
-// merge and every byte of charged accounting on the parent's single merge
-// path — worker processes never talk to each other directly, they talk to
-// sites, and the parent is the switch.
+// Topology. SocketTransport forks one worker process per site-group
+// (TransportOptions::num_processes groups; 0 = one per worker site) and
+// connects each to the parent over a 127.0.0.1 TCP socket. fork() without
+// exec is deliberate: the deployed state — fragment views, label indexes,
+// resident actors — is exactly what the children need, and copy-on-write
+// ships it for free; re-building it behind an exec would turn every query
+// into a deployment. The coordinator site always executes in the parent,
+// so result collection (Deployment::Collect) keeps reading live actor
+// state. The parent is the hub: one request frame per child per round
+// (opcode, kind, round, poison state, the group's active sites and their
+// inboxes), one response frame back (per-site durations and sends, a
+// SharedRunState counter delta, a RunHealth report). Star routing keeps
+// the deterministic merge and every byte of charged accounting on the
+// parent's single merge path — worker processes never talk to each other
+// directly, they talk to sites, and the parent is the switch.
+//
+// Fleet lifetime. With TransportOptions::persistent_workers and a
+// RunBinding on the session (Engine::Match), the fleet is forked ONCE per
+// deployment and supervised across runs by a WorkerPool
+// (runtime/supervisor.h): BeginRun ships the run's query as a binding
+// blob (kOpBeginRun, acked), rounds flow as kOpRound frames, EndRun
+// detaches with kOpEndRun — no fork, no reap, the per-query launch cost
+// drops to one acked round trip. Sessions without a binding (raw Cluster
+// drivers, the update replication pipeline, one-shot entry points through
+// ServeQueryOnce) keep the historical refork-per-Run lifecycle. A worker
+// that dies mid-run poisons only that run; the pool respawns it (a fresh
+// fork re-ships the parent's current fragment view by copy-on-write)
+// before the next run, within TransportOptions::max_worker_respawns.
+// docs/FAILURES.md consolidates the failure taxonomy and the supervision
+// state machine.
 //
 // Physical framing (FrameChannel). Every frame is
 //
@@ -54,7 +69,10 @@ namespace dgs {
 enum class FrameKind : uint8_t {
   kData = 0,      // sequenced, checksummed, retained for retransmit
   kNack = 1,      // "frame `seq` failed its checksum, resend it"
-  kShutdown = 2,  // orderly close (EndRun)
+  kShutdown = 2,  // orderly close (worker retirement)
+  kHeartbeat = 3, // liveness ping/echo: seq 0, unsequenced, never retained,
+                  // never chaos-perturbed; a responder channel echoes it
+                  // from inside ReceiveData, everyone else ignores strays
 };
 
 // One endpoint of the sequenced/checksummed frame protocol over a socket
@@ -79,6 +97,26 @@ class FrameChannel {
   // Writes a shutdown frame (never retained, never chaos-perturbed).
   Status SendShutdown();
 
+  // Supervision ping: writes one heartbeat frame and waits up to
+  // `timeout_seconds` for the peer's heartbeat echo (servicing NACKs and
+  // ignoring any other frame kind meanwhile — between runs heartbeats are
+  // the only traffic). kDeadlineExceeded on a silent peer, kUnavailable on
+  // EOF. Only the supervisor thread calls this, and only while no run is
+  // active on the channel.
+  Status Ping(double timeout_seconds);
+
+  // Child-side responder mode: ReceiveData answers each heartbeat frame
+  // with an echo and keeps waiting for data. Off (the parent default),
+  // ReceiveData silently skips stray heartbeat echoes (e.g. one answered
+  // after the supervisor already timed its ping out).
+  void set_heartbeat_responder(bool responder) {
+    heartbeat_responder_ = responder;
+  }
+
+  // Re-points the measured-stats sink (WorkerPool channels alternate
+  // between the pool's supervision ledger and the active run's stats).
+  void set_stats(TransportStats* stats) { stats_ = stats; }
+
   // Reads the next in-sequence data frame's payload into *payload,
   // transparently running the recovery protocol: corrupt frames are NACKed
   // (and the peer's retransmission awaited), duplicates discarded, NACKs
@@ -91,20 +129,28 @@ class FrameChannel {
 
  private:
   Status WriteAll(const uint8_t* data, size_t n);
-  Status ReadAll(uint8_t* data, size_t n);
+  Status ReadAll(uint8_t* data, size_t n, double timeout_seconds);
   Status SendRaw(FrameKind kind, uint64_t seq, const Blob& payload,
                  bool allow_chaos);
+  // One full frame off the wire (header + payload + checksum verification;
+  // a failed checksum reports kDataLoss with *kind still valid so the
+  // caller can NACK). `timeout_seconds` bounds the initial poll.
+  Status ReadFrame(FrameKind* kind, uint64_t* seq, Blob* payload,
+                   bool* checksum_ok, double timeout_seconds);
 
   int fd_;
   TransportOptions options_;
   TransportStats* stats_;
+  bool heartbeat_responder_ = false;
   uint64_t next_send_seq_ = 0;
   uint64_t data_frames_sent_ = 0;  // drives the every-Nth chaos counters
   uint64_t next_recv_seq_ = 0;
   std::vector<uint8_t> retained_;  // last data frame, for retransmission
 };
 
-// Builds the TCP multi-process backend (see the file comment). Worker
+// Builds the TCP multi-process backend (see the file comment). With
+// persistent_workers + a session RunBinding the fleet is forked once and
+// supervised across runs (runtime/supervisor.h); otherwise worker
 // processes are forked per Run() inside BeginRun and reaped in EndRun.
 std::unique_ptr<Transport> MakeSocketTransport(const TransportOptions& options,
                                                const TransportEnv& env);

@@ -1,0 +1,346 @@
+#include "runtime/supervisor.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "util/timer.h"
+
+namespace dgs {
+
+WorkerPool::WorkerPool(const TransportOptions& options, ChildEntry entry)
+    : options_(options), entry_(std::move(entry)) {
+  if (options_.heartbeat_interval_seconds > 0) {
+    heartbeat_thread_ = std::thread([this] { HeartbeatLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() { Shutdown(true); }
+
+Status WorkerPool::EnsureListenLocked() {
+  if (listen_fd_ >= 0) return Status::Ok();
+  const int lfd = socket(AF_INET, SOCK_STREAM, 0);
+  if (lfd < 0) {
+    return Status(StatusCode::kUnavailable,
+                  std::string("worker pool listen socket failed: ") +
+                      std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;  // ephemeral, held for the pool's lifetime
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  socklen_t addr_len = sizeof(addr);
+  if (bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      listen(lfd, 64) != 0 ||
+      getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0) {
+    close(lfd);
+    return Status(StatusCode::kUnavailable,
+                  std::string("worker pool listen failed: ") +
+                      std::strerror(errno));
+  }
+  listen_fd_ = lfd;
+  port_ = ntohs(addr.sin_port);
+  return Status::Ok();
+}
+
+Status WorkerPool::SpawnLocked(const std::vector<size_t>& need,
+                               TransportStats* run_stats) {
+  Status s = EnsureListenLocked();
+  if (!s.ok()) return s;
+  WallTimer launch_timer;
+
+  // Fork every needed child before accepting any connection, so no child
+  // inherits a sibling's accepted socket.
+  for (size_t g : need) {
+    Worker& w = workers_[g];
+    const uint64_t gen = w.spawns;
+    const pid_t pid = fork();
+    if (pid == 0) {
+      entry_(static_cast<uint32_t>(g), gen, port_);  // never returns
+      _exit(10);
+    }
+    if (pid < 0) {
+      for (size_t k : need) {
+        if (workers_[k].channel == nullptr) KillWorkerLocked(workers_[k]);
+      }
+      return Status(StatusCode::kUnavailable,
+                    std::string("worker pool fork failed: ") +
+                        std::strerror(errno));
+    }
+    w.pid = pid;
+    w.generation = gen;
+    ++w.spawns;
+  }
+
+  // Accept and identify each child: hello{group, generation}.
+  for (size_t i = 0; i < need.size(); ++i) {
+    struct pollfd pfd = {listen_fd_, POLLIN, 0};
+    const double launch_timeout = std::max(options_.io_timeout_seconds, 10.0);
+    const int pr = poll(&pfd, 1, static_cast<int>(launch_timeout * 1000.0));
+    int fd = -1;
+    if (pr > 0) fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      for (size_t k : need) {
+        if (workers_[k].channel == nullptr) KillWorkerLocked(workers_[k]);
+      }
+      return Status(StatusCode::kUnavailable,
+                    "worker pool child failed to connect");
+    }
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto channel = std::make_unique<FrameChannel>(fd, options_, run_stats);
+    Blob hello;
+    bool shutdown = false;
+    const Status hs = channel->ReceiveData(&hello, &shutdown);
+    Blob::Reader hr(hello);
+    const uint64_t g = hr.GetVarint();
+    const uint64_t gen = hr.GetVarint();
+    const bool valid = hs.ok() && !shutdown && hr.ok() &&
+                       g < workers_.size() &&
+                       workers_[g].channel == nullptr &&
+                       workers_[g].pid > 0 && gen == workers_[g].generation;
+    if (!valid) {
+      close(fd);
+      for (size_t k : need) {
+        if (workers_[k].channel == nullptr) KillWorkerLocked(workers_[k]);
+      }
+      return Status(StatusCode::kUnavailable,
+                    "worker pool child handshake failed");
+    }
+    workers_[g].fd = fd;
+    workers_[g].channel = std::move(channel);
+    workers_[g].state = Liveness::kLive;
+    workers_[g].missed = 0;
+  }
+
+  run_stats->processes += need.size();
+  run_stats->launch_seconds += launch_timer.ElapsedSeconds();
+  return Status::Ok();
+}
+
+Status WorkerPool::BeginRunSession(size_t num_groups, uint64_t deploy_version,
+                                   TransportStats* run_stats) {
+  std::unique_lock<std::mutex> lk(mu_);
+  run_active_ = true;  // supervisor stands down until EndRunSession
+
+  // Charge the between-runs supervision activity (heartbeat frames/bytes)
+  // to the run that observes it.
+  run_stats->Accumulate(supervision_);
+  supervision_ = TransportStats{};
+
+  if (deploy_version != deploy_version_ || workers_.size() != num_groups) {
+    // New deployment: the fork-time actor snapshot of the old fleet is
+    // stale. Retire it and start a fresh generation-0 fleet with a fresh
+    // respawn budget.
+    RetireAllLocked(true);
+    workers_.clear();
+    workers_.resize(num_groups);
+    deploy_version_ = deploy_version;
+  }
+
+  ReapExitedLocked();
+  for (Worker& w : workers_) {
+    if (w.channel != nullptr) w.channel->set_stats(run_stats);
+  }
+
+  std::vector<size_t> need;
+  for (size_t g = 0; g < workers_.size(); ++g) {
+    if (workers_[g].state == Liveness::kDown ||
+        workers_[g].state == Liveness::kDead) {
+      need.push_back(g);
+    }
+  }
+  if (need.empty()) return Status::Ok();
+
+  // Respawn budget: the first spawn of a slot is free, each later one
+  // counts against max_worker_respawns. Over budget => the circuit opens
+  // and the caller sheds the run instead of forking doomed processes.
+  double backoff = 0;
+  for (size_t g : need) {
+    Worker& w = workers_[g];
+    if (w.spawns == 0) continue;
+    if (w.respawns_used >= options_.max_worker_respawns) {
+      return Status(StatusCode::kResourceExhausted,
+                    "transport worker group " + std::to_string(g) +
+                        " exhausted its respawn budget (" +
+                        std::to_string(options_.max_worker_respawns) + ")");
+    }
+    backoff = std::max(backoff, options_.respawn_backoff_seconds *
+                                    static_cast<double>(
+                                        1u << std::min(w.respawns_used, 16u)));
+    ++w.respawns_used;
+    ++run_stats->respawns;
+  }
+  if (backoff > 0) {
+    usleep(static_cast<useconds_t>(std::min(backoff, 2.0) * 1e6));
+  }
+  return SpawnLocked(need, run_stats);
+}
+
+void WorkerPool::EndRunSession() {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (Worker& w : workers_) {
+    if (w.channel != nullptr) w.channel->set_stats(&supervision_);
+  }
+  run_active_ = false;
+  lk.unlock();
+  cv_.notify_all();
+}
+
+void WorkerPool::MarkDead(size_t g) {
+  std::unique_lock<std::mutex> lk(mu_);
+  if (g < workers_.size()) KillWorkerLocked(workers_[g]);
+}
+
+FrameChannel* WorkerPool::channel(size_t g) {
+  std::unique_lock<std::mutex> lk(mu_);
+  return g < workers_.size() ? workers_[g].channel.get() : nullptr;
+}
+
+bool WorkerPool::alive(size_t g) {
+  std::unique_lock<std::mutex> lk(mu_);
+  return g < workers_.size() && (workers_[g].state == Liveness::kLive ||
+                                 workers_[g].state == Liveness::kSuspect);
+}
+
+uint64_t WorkerPool::generation(size_t g) {
+  std::unique_lock<std::mutex> lk(mu_);
+  return g < workers_.size() ? workers_[g].generation : 0;
+}
+
+size_t WorkerPool::size() {
+  std::unique_lock<std::mutex> lk(mu_);
+  return workers_.size();
+}
+
+void WorkerPool::KillWorkerLocked(Worker& w) {
+  if (w.fd >= 0) close(w.fd);
+  w.fd = -1;
+  w.channel.reset();
+  if (w.pid > 0) {
+    kill(w.pid, SIGKILL);
+    int status = 0;
+    waitpid(w.pid, &status, 0);
+    w.pid = -1;
+  }
+  w.state = Liveness::kDead;
+}
+
+void WorkerPool::ReapExitedLocked() {
+  for (Worker& w : workers_) {
+    if (w.pid <= 0) continue;
+    int status = 0;
+    if (waitpid(w.pid, &status, WNOHANG) == w.pid) {
+      w.pid = -1;
+      if (w.fd >= 0) close(w.fd);
+      w.fd = -1;
+      w.channel.reset();
+      w.state = Liveness::kDead;
+    }
+  }
+}
+
+void WorkerPool::RetireAllLocked(bool graceful) {
+  for (Worker& w : workers_) {
+    const bool live =
+        w.state == Liveness::kLive || w.state == Liveness::kSuspect;
+    if (w.fd >= 0) {
+      if (graceful && live && w.channel != nullptr) w.channel->SendShutdown();
+      close(w.fd);
+      w.fd = -1;
+      w.channel.reset();
+    }
+    if (w.pid > 0) {
+      // A live child exits on the shutdown frame / EOF; give it a moment,
+      // then escalate. A dead-marked one is killed outright.
+      if (!live || !graceful) kill(w.pid, SIGKILL);
+      int status = 0;
+      pid_t r = 0;
+      for (int spin = 0; spin < 200; ++spin) {  // <= ~2s
+        r = waitpid(w.pid, &status, WNOHANG);
+        if (r != 0) break;
+        usleep(10 * 1000);
+      }
+      if (r == 0) {
+        kill(w.pid, SIGKILL);
+        waitpid(w.pid, &status, 0);
+      }
+      w.pid = -1;
+    }
+    w.state = Liveness::kDown;
+  }
+}
+
+void WorkerPool::Shutdown(bool graceful) {
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (heartbeat_thread_.joinable()) heartbeat_thread_.join();
+  std::unique_lock<std::mutex> lk(mu_);
+  RetireAllLocked(graceful);
+  workers_.clear();
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void WorkerPool::HeartbeatLoop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  const auto interval = std::chrono::duration<double>(
+      options_.heartbeat_interval_seconds);
+  while (!stopping_) {
+    if (cv_.wait_for(lk, interval, [this] { return stopping_; })) break;
+    if (run_active_ || workers_.empty()) continue;
+    TickLocked();
+  }
+}
+
+void WorkerPool::TickLocked() {
+  for (Worker& w : workers_) {
+    if (w.state != Liveness::kLive && w.state != Liveness::kSuspect) continue;
+    // Fast death detection: an exited child is dead regardless of what the
+    // socket still buffers.
+    int status = 0;
+    if (w.pid > 0 && waitpid(w.pid, &status, WNOHANG) == w.pid) {
+      w.pid = -1;
+      if (w.fd >= 0) close(w.fd);
+      w.fd = -1;
+      w.channel.reset();
+      w.state = Liveness::kDead;
+      continue;
+    }
+    if (w.channel == nullptr) continue;
+    const Status s = w.channel->Ping(options_.heartbeat_interval_seconds);
+    ++supervision_.heartbeats_sent;
+    if (s.ok()) {
+      w.state = Liveness::kLive;
+      w.missed = 0;
+      continue;
+    }
+    ++supervision_.heartbeats_missed;
+    ++w.missed;
+    w.state = Liveness::kSuspect;
+    if (s.code() != StatusCode::kDeadlineExceeded ||
+        w.missed >= options_.max_missed_heartbeats) {
+      // EOF / protocol desync is conclusive; repeated silence as well.
+      KillWorkerLocked(w);
+    }
+  }
+}
+
+}  // namespace dgs

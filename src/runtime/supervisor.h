@@ -1,0 +1,138 @@
+// Supervised persistent worker pool for the TCP transport backend
+// (runtime/remote.h). A WorkerPool owns a fleet of forked worker
+// processes — one per site-group — and keeps their FrameChannels open
+// ACROSS runs, so a steady-state query pays one acked round trip instead
+// of a fork + connect + handshake per Run().
+//
+// Liveness state machine (per worker slot):
+//
+//   kDown --fork+hello--> kLive --missed ping--> kSuspect
+//                           ^        (echo resets to kLive)   |
+//   (new deployment resets  |                                 v
+//    every slot to kDown)   +--respawn (budget + backoff)-- kDead
+//                                (EOF / waitpid / kill escalation)
+//
+// Between runs a supervisor thread pings every live worker each
+// TransportOptions::heartbeat_interval_seconds on the existing frame
+// protocol (FrameKind::kHeartbeat) and reaps exits with waitpid(WNOHANG);
+// a worker missing max_missed_heartbeats consecutive echoes is killed and
+// marked dead. During a run the supervisor stands down completely (the
+// run path owns the channels; death is detected by the run's own
+// classified I/O errors and reported via MarkDead). A dead worker is
+// respawned at the NEXT BeginRunSession — the fresh fork re-ships the
+// parent's current fragment view by copy-on-write — within a per-slot
+// respawn budget (max_worker_respawns, exponential backoff); a slot over
+// budget opens the circuit and BeginRunSession fails ResourceExhausted.
+//
+// The pool is deployment-scoped: BeginRunSession retires the whole fleet
+// and re-forks when the caller's deploy_version changes (a fork-time
+// actor snapshot belongs to its deployment). docs/FAILURES.md has the
+// full supervision/failover story.
+
+#ifndef DGS_RUNTIME_SUPERVISOR_H_
+#define DGS_RUNTIME_SUPERVISOR_H_
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "runtime/remote.h"
+#include "runtime/transport.h"
+#include "util/status.h"
+
+namespace dgs {
+
+// Runs in the forked child and never returns: connect to 127.0.0.1:port,
+// send hello{group_index, generation}, serve ops until shutdown. The
+// callback is invoked post-fork, so anything it captures is a fork-time
+// copy-on-write snapshot of the parent.
+using ChildEntry =
+    std::function<void(uint32_t group_index, uint64_t generation,
+                       uint16_t port)>;
+
+class WorkerPool {
+ public:
+  // Starts the supervisor thread (if heartbeats are enabled). No workers
+  // are forked until the first BeginRunSession.
+  WorkerPool(const TransportOptions& options, ChildEntry entry);
+  ~WorkerPool();  // graceful Shutdown
+
+  // Brackets one run. BeginRunSession folds the between-runs supervision
+  // ledger into *run_stats, pauses heartbeats, reaps silently-exited
+  // workers, respawns dead slots (budget + backoff; newly forked workers
+  // and their handshakes are charged to *run_stats as processes /
+  // launch_seconds / respawns), and points every live channel's stats at
+  // *run_stats. Fails kResourceExhausted when a slot is over its respawn
+  // budget and kUnavailable when a fork/handshake fails; either way the
+  // session is considered begun and EndRunSession must still be called.
+  // A deploy_version different from the previous session's retires the
+  // whole fleet first (fresh generation-0 fleet, fresh budgets).
+  Status BeginRunSession(size_t num_groups, uint64_t deploy_version,
+                         TransportStats* run_stats);
+
+  // Ends the run: channels go back to the supervision ledger and the
+  // heartbeat thread resumes.
+  void EndRunSession();
+
+  // Declares worker `g` dead mid-run (the run path saw a classified I/O
+  // failure on its channel): SIGKILL + reap + close. The slot respawns at
+  // the next BeginRunSession.
+  void MarkDead(size_t g);
+
+  // Run-path accessors (valid between Begin/EndRunSession).
+  FrameChannel* channel(size_t g);
+  bool alive(size_t g);
+  uint64_t generation(size_t g);
+  size_t size();
+
+  // Stops the supervisor thread and retires the fleet (graceful = send
+  // shutdown frames and give children a moment to exit; otherwise
+  // SIGKILL). Idempotent.
+  void Shutdown(bool graceful);
+
+ private:
+  enum class Liveness : uint8_t { kDown, kLive, kSuspect, kDead };
+
+  struct Worker {
+    pid_t pid = -1;
+    int fd = -1;
+    std::unique_ptr<FrameChannel> channel;
+    Liveness state = Liveness::kDown;
+    uint64_t generation = 0;      // of the current (or last) spawn
+    uint64_t spawns = 0;          // next spawn's generation
+    uint32_t respawns_used = 0;   // counted against max_worker_respawns
+    uint32_t missed = 0;          // consecutive heartbeat misses
+  };
+
+  Status EnsureListenLocked();
+  Status SpawnLocked(const std::vector<size_t>& need,
+                     TransportStats* run_stats);
+  void KillWorkerLocked(Worker& w);      // SIGKILL + blocking reap + close
+  void ReapExitedLocked();               // waitpid(WNOHANG) sweep
+  void RetireAllLocked(bool graceful);
+  void HeartbeatLoop();
+  void TickLocked();
+
+  TransportOptions options_;
+  ChildEntry entry_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Worker> workers_;
+  uint64_t deploy_version_ = 0;
+  int listen_fd_ = -1;   // held for the pool's lifetime
+  uint16_t port_ = 0;
+  bool run_active_ = false;
+  bool stopping_ = false;
+  // Wire/supervision activity between runs (heartbeat frames and bytes);
+  // folded into the next run's stats at BeginRunSession.
+  TransportStats supervision_;
+  std::thread heartbeat_thread_;
+};
+
+}  // namespace dgs
+
+#endif  // DGS_RUNTIME_SUPERVISOR_H_

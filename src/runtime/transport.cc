@@ -76,20 +76,26 @@ StatusOr<TransportOptions> ParseTransportSpec(const std::string& spec) {
     return options;
   }
   if (spec.rfind("tcp:", 0) == 0) {
+    // The process count starts right after "tcp:" — position 5, 1-based —
+    // so the diagnostic can point at the exact offending characters.
     const std::string arg = spec.substr(4);
     char* end = nullptr;
     const long procs = std::strtol(arg.c_str(), &end, 10);
     if (end == arg.c_str() || *end != '\0' || procs < 0) {
       return Status(StatusCode::kInvalidArgument,
-                    "bad process count in transport spec: " + spec);
+                    "malformed transport spec '" + spec +
+                        "': bad process count '" + arg +
+                        "' at position 5 (want an unsigned integer, "
+                        "0 = one process per site)");
     }
     options.kind = TransportKind::kTcp;
     options.num_processes = static_cast<uint32_t>(procs);
     return options;
   }
   return Status(StatusCode::kInvalidArgument,
-                "unknown transport spec (want loopback | tcp[:procs]): " +
-                    spec);
+                "malformed transport spec '" + spec +
+                    "': unknown backend '" + spec.substr(0, spec.find(':')) +
+                    "' at position 1 (want loopback or tcp[:procs])");
 }
 
 std::string TransportSpecString(const TransportOptions& options) {

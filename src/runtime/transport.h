@@ -49,6 +49,9 @@
 //              worker-actor members after Run() (the parent's copies are
 //              stale under SocketTransport).
 //
+// docs/FAILURES.md consolidates the failure classification above with the
+// worker-supervision and server-recovery layers built on top of it.
+//
 // Determinism across backends: because delivered bytes, delivery order, and
 // the charged accounting are all fixed by this contract, a healthy run's
 // results and RunStats are bit-identical between loopback and tcp for every
@@ -110,12 +113,43 @@ struct TransportOptions {
   // checksum after this many NACK-triggered retransmits poisons DataLoss.
   uint32_t max_frame_retransmits = 4;
 
+  // kTcp: keep the worker fleet resident across runs under a WorkerPool
+  // (runtime/supervisor.h) instead of reforking per Run(). Requires a
+  // RunBinding on the RunSession (Engine::Match provides one); sessions
+  // without a binding — raw Cluster drivers, the update pipeline — fall
+  // back to the per-run refork path regardless of this knob.
+  bool persistent_workers = true;
+
+  // kTcp + persistent_workers: supervision cadence. While no run is
+  // active the pool pings each live worker every interval and waits up to
+  // one interval for the echo; a worker missing max_missed_heartbeats
+  // consecutive echoes is declared dead and reaped. 0 disables heartbeats
+  // (death is then detected only at the next run).
+  double heartbeat_interval_seconds = 0.25;
+  uint32_t max_missed_heartbeats = 2;
+
+  // kTcp + persistent_workers: per-worker respawn budget. Each respawn of
+  // the same worker slot sleeps respawn_backoff_seconds * 2^(n-1) first;
+  // a slot over budget opens the circuit — BeginRun poisons the run
+  // ResourceExhausted instead of forking doomed processes.
+  uint32_t max_worker_respawns = 3;
+  double respawn_backoff_seconds = 0.002;
+
   // Deterministic physical-layer chaos, kTcp only (the conformance tests'
   // handle on the real recovery machinery; all default off):
   uint64_t chaos_corrupt_every = 0;    // corrupt every Nth data frame sent
   uint64_t chaos_duplicate_every = 0;  // send every Nth data frame twice
   uint32_t chaos_stall_at_round = 0;   // child sleeps at delivery round N
   uint32_t chaos_exit_at_round = 0;    // child _exit(1)s at delivery round N
+
+  // Generation gate on chaos_stall_at_round / chaos_exit_at_round: they
+  // fire only in workers whose spawn generation is <= this bound. The
+  // default 0 means only the initial fleet crashes — a respawned worker
+  // (generation 1) runs clean, which is exactly the kill → respawn →
+  // re-ship → heal scenario the ChaosSoak suite drives. Refork-per-run
+  // fleets are always generation 0, so one-shot outage semantics keep
+  // their historical behavior.
+  uint64_t chaos_kill_generation = 0;
 
   bool remote() const { return kind == TransportKind::kTcp; }
 };
@@ -132,7 +166,8 @@ std::string TransportSpecString(const TransportOptions& options);
 // (frame headers, retransmits, and duplicates included), which is what
 // bench_transport reports next to the charged BSP data shipment.
 struct TransportStats {
-  uint64_t processes = 0;        // worker processes of the run
+  uint64_t processes = 0;        // worker processes FORKED during the run
+                                 // (0 on a steady-state persistent run)
   uint64_t frames_sent = 0;      // physical frames written (parent side)
   uint64_t frames_received = 0;  // physical frames read (parent side)
   uint64_t bytes_sent = 0;       // socket bytes written, headers included
@@ -140,6 +175,12 @@ struct TransportStats {
   uint64_t retransmits = 0;      // frames re-sent after a NACK
   uint64_t checksum_rejects = 0; // received frames failing their checksum
   uint64_t duplicates_discarded = 0;  // duplicate sequence numbers dropped
+  // Supervision ledger (persistent worker pool; all zero when supervision
+  // is off or the fleet reforks per run). Supervision activity between two
+  // runs is charged to the run that observes it at BeginRun.
+  uint64_t respawns = 0;           // dead workers re-forked + re-shipped
+  uint64_t heartbeats_sent = 0;    // supervision pings sent between runs
+  uint64_t heartbeats_missed = 0;  // pings with no echo (suspect ticks)
   double launch_seconds = 0;     // fork + connect + handshake wall time
   double io_seconds = 0;         // parent wall time blocked on socket I/O
 
@@ -152,6 +193,9 @@ struct TransportStats {
     retransmits += other.retransmits;
     checksum_rejects += other.checksum_rejects;
     duplicates_discarded += other.duplicates_discarded;
+    respawns += other.respawns;
+    heartbeats_sent += other.heartbeats_sent;
+    heartbeats_missed += other.heartbeats_missed;
     launch_seconds += other.launch_seconds;
     io_seconds += other.io_seconds;
   }
@@ -265,6 +309,40 @@ class SharedRunState {
   virtual void MergeDelta(Blob::Reader& delta) = 0;
 };
 
+// Cross-process side channel for PER-RUN query state — what lets a
+// persistent worker (forked once, reused across runs) pick up a query it
+// was not forked with. Same layering trick as SharedRunState: the runtime
+// ships opaque blobs, core/serving.h's QueryBindingChannel implements the
+// codec (pattern + query options) against the fork-time deployment.
+//
+//   parent, at BeginRun:  EncodeBinding(blob)  -> ships to every worker
+//   child, on receipt:    BindRemote(reader)   -> rebuilds the query from
+//                         the blob against its fork-time deployment and
+//                         hands back the child-owned RunHealth +
+//                         SharedRunState to use for this run
+//   child, at EndRun:     UnbindRemote()       -> drops per-query state
+//
+// The object bound at BeginRun must live at a stable address captured by
+// the fork (an Engine member, not a stack temporary): the child calls the
+// virtuals on its copy-on-write copy of that same object.
+class RunBinding {
+ public:
+  virtual ~RunBinding() = default;
+
+  // Parent side: serializes the armed query into `out` (appends).
+  virtual void EncodeBinding(Blob* out) const = 0;
+
+  // Child side: decodes a binding blob, rebuilds the query against the
+  // fork-time deployment, and returns the per-run health/shared channel
+  // (both owned by the binding, valid until UnbindRemote). False on a
+  // malformed blob.
+  virtual bool BindRemote(Blob::Reader& r, RunHealth** health,
+                          SharedRunState** shared) = 0;
+
+  // Child side: tears down the state BindRemote built (idempotent).
+  virtual void UnbindRemote() = 0;
+};
+
 // Everything a Transport needs to know about one Run(), bound at BeginRun.
 // All pointers are owned by the caller and must outlive EndRun().
 struct RunSession {
@@ -275,6 +353,14 @@ struct RunSession {
   RunHealth* health = nullptr;
   // Optional counters side channel (see SharedRunState); may be null.
   SharedRunState* shared = nullptr;
+  // Optional per-run query re-ship channel (see RunBinding); null disables
+  // persistent workers for this run (the tcp backend reforks per run).
+  RunBinding* binding = nullptr;
+  // Identifies WHICH deployment the binding is armed against (Engine uses
+  // family-slot + 1). A persistent fleet forked under one deploy_version
+  // is torn down and re-forked when the version changes — its fork-time
+  // actor snapshot belongs to the old deployment. 0 = no binding.
+  uint64_t deploy_version = 0;
 };
 
 // Fixed per-cluster execution environment handed to MakeTransport.

@@ -26,6 +26,17 @@ struct ServerJob {
   bool labels_touched = false;  // SJF pricing already touched the cache
   bool has_deadline = false;
   std::chrono::steady_clock::time_point deadline;
+  // Replica-failover state (see docs/FAILURES.md). The budget is set at
+  // submission to num_replicas - 1: a query may visit every replica once
+  // before the same-replica retry policy takes over, so a fleet-wide
+  // outage still terminates. The admission priority is remembered so a
+  // failover re-enqueue keeps the query's place in line.
+  uint32_t failovers_left = 0;
+  int64_t admit_priority = 0;
+  // Probe of an open circuit breaker: admitted while everything else is
+  // shed; its completion closes the circuit (success) or re-arms the
+  // probe slot (failure).
+  bool is_probe = false;
 
   std::mutex mu;
   std::condition_variable cv;
@@ -89,7 +100,18 @@ Status Server::SpawnReplicas(const Graph& g) {
     replicas_.push_back(std::move(engine).value());
   }
   replica_versions_.assign(replicas_.size(), nullptr);  // all at version 0
+  replica_strikes_.assign(replicas_.size(), 0);
   return Status::Ok();
+}
+
+bool Server::CircuitOpenLocked() const {
+  if (options_.circuit_breaker_strikes == 0 || replica_strikes_.empty()) {
+    return false;
+  }
+  for (uint32_t strikes : replica_strikes_) {
+    if (strikes < options_.circuit_breaker_strikes) return false;
+  }
+  return true;
 }
 
 StatusOr<std::unique_ptr<Server>> Server::Create(
@@ -153,6 +175,39 @@ ServerTicket Server::Submit(const Pattern& q, const QueryOptions& query,
     priority = -static_cast<int64_t>(std::min<uint64_t>(
         cost, static_cast<uint64_t>(std::numeric_limits<int64_t>::max())));
   }
+  job->admit_priority = priority;
+  job->failovers_left =
+      replicas_.size() > 1 ? static_cast<uint32_t>(replicas_.size()) - 1 : 0;
+
+  // Graceful degradation (docs/FAILURES.md): when every replica is
+  // circuit-broken — ServerOptions::circuit_breaker_strikes consecutive
+  // retryable failures each — shed at the door instead of queueing work
+  // the fleet keeps failing, except one probe at a time: its success
+  // closes the circuit, its failure re-arms the probe slot.
+  bool shed = false;
+  if (options_.circuit_breaker_strikes > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!shut_down_ && CircuitOpenLocked()) {
+      if (probe_in_flight_) {
+        shed = true;
+        ++stats_.submitted;
+        ++stats_.rejected_overload;
+        ++stats_.degraded_rejections;
+      } else {
+        probe_in_flight_ = true;
+        job->is_probe = true;
+      }
+    }
+  }
+  if (shed) {
+    job->Complete(
+        Status::ResourceExhausted(
+            "server is degraded: every replica is circuit-broken after "
+            "consecutive retryable failures, and a probe query is already "
+            "in flight"),
+        DistOutcome{});
+    return ServerTicket(std::move(job));
+  }
 
   Status admitted = queue_.Push(job, priority);
   {
@@ -165,6 +220,8 @@ ServerTicket Server::Submit(const Pattern& q, const QueryOptions& query,
     } else {
       ++stats_.rejected_shutdown;
     }
+    // A probe that never reached the queue must not wedge the breaker.
+    if (!admitted.ok() && job->is_probe) probe_in_flight_ = false;
   }
   if (!admitted.ok()) job->Complete(std::move(admitted), DistOutcome{});
   return ServerTicket(std::move(job));
@@ -252,6 +309,7 @@ void Server::WorkerLoop(uint32_t replica) {
       {
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.expired;
+        if (j.is_probe) probe_in_flight_ = false;
       }
       j.Complete(
           Status::DeadlineExceeded("query deadline passed while queued"),
@@ -275,6 +333,9 @@ void Server::WorkerLoop(uint32_t replica) {
           ++stats_.served;
           stats_.cumulative.Accumulate(memo.stats);
           stats_.counters.Accumulate(memo.counters);
+          // A memo hit frees the probe slot but proves nothing about the
+          // fleet (no cluster run), so the strikes stand.
+          if (j.is_probe) probe_in_flight_ = false;
         }
         j.Complete(Status::Ok(), std::move(memo));
         job.reset();
@@ -294,6 +355,30 @@ void Server::WorkerLoop(uint32_t replica) {
     const uint64_t cache_epoch =
         j.cache_key.empty() ? 0 : cache_.invalidation_epoch();
     auto result = engine.Match(j.pattern, j.query);
+
+    // Replica failover (docs/FAILURES.md): before burning same-replica
+    // retries, hand the query back to the admission queue at its original
+    // priority so a DIFFERENT replica — whose transport fleet may be
+    // healthy — serves it. Invisible to the client: same ticket, one
+    // result. The submission-time budget (num_replicas - 1) bounds the
+    // re-dispatches so a fleet-wide outage still terminates, landing on
+    // the same-replica retry policy below.
+    if (!result.ok() && IsRetryable(result.status().code()) &&
+        j.failovers_left > 0 &&
+        !(j.has_deadline && std::chrono::steady_clock::now() >= j.deadline)) {
+      --j.failovers_left;
+      j.labels_touched = true;  // already touched on this dispatch
+      if (queue_.Push(job, j.admit_priority).ok()) {
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++stats_.failovers;
+          ++replica_strikes_[replica];
+        }
+        job.reset();
+        continue;
+      }
+      // Queue closed or full: fall through to the same-replica policy.
+    }
     for (uint32_t attempt = 1;
          attempt < max_attempts && !result.ok() &&
          IsRetryable(result.status().code()) &&
@@ -325,12 +410,23 @@ void Server::WorkerLoop(uint32_t replica) {
         ++stats_.served;
         stats_.cumulative.Accumulate(result->stats);
         stats_.counters.Accumulate(result->counters);
+        // A served query heals its replica; a successful probe closes the
+        // whole circuit.
+        replica_strikes_[replica] = 0;
+        if (j.is_probe) {
+          probe_in_flight_ = false;
+          std::fill(replica_strikes_.begin(), replica_strikes_.end(), 0);
+        }
       }
       j.Complete(Status::Ok(), std::move(result).value());
     } else {
       {
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.failed;
+        // Only retryable failures strike the breaker: DataLoss and
+        // argument errors are deterministic reports, not fleet flap.
+        if (IsRetryable(result.status().code())) ++replica_strikes_[replica];
+        if (j.is_probe) probe_in_flight_ = false;
       }
       j.Complete(result.status(), DistOutcome{});
     }
@@ -383,26 +479,59 @@ StatusOr<Server::UpdateOutcome> Server::Update(const UpdateBatch& batch) {
   const uint64_t epoch = version_ + 1;
   const std::vector<UpdateBatch> slices = SliceBatchByOwner(canonical, *frag_);
 
-  // Replicate and validate. The run never mutates resident state; see the
-  // commit protocol in dyn/update.h.
-  RunHealth health;
-  for (auto& site : update_sites_) site->BindUpdate(epoch, &health);
-  update_coordinator_.BindUpdate(&slices, epoch, &health);
-  update_cluster_->BindHealth(&health);
-  const RunStats run_stats = update_cluster_->Run();
-  update_cluster_->BindHealth(nullptr);  // health dies with this frame
-  const FaultStats faults = update_cluster_->fault_stats();
-  for (auto& site : update_sites_) site->EndUpdate();
-  update_coordinator_.EndUpdate();
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stats_.update_cumulative.Accumulate(run_stats);
+  // Replicate and validate, under the same RetryOptions the query path
+  // honors: a retryable poison (Unavailable / DeadlineExceeded /
+  // ResourceExhausted) re-runs the batch from scratch — nothing was
+  // applied, commit is idempotent per epoch, and each run reseeds its
+  // fault schedule — while DataLoss still fails immediately. Every
+  // attempt's accounting lands in update_cumulative; updates_failed
+  // counts the batch once, after the attempts are exhausted. The run
+  // never mutates resident state; see the commit protocol in dyn/update.h.
+  const uint32_t max_attempts = std::max(options_.retry.max_attempts, 1u);
+  Status run_status = Status::Ok();
+  RunStats run_stats;
+  FaultStats faults;
+  for (uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      if (options_.retry.backoff_seconds > 0) {
+        const double sleep_seconds =
+            options_.retry.backoff_seconds *
+            static_cast<double>(uint64_t{1} << std::min(attempt - 1, 62u));
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(sleep_seconds));
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.update_retries;
+    }
+    RunHealth health;
+    for (auto& site : update_sites_) site->BindUpdate(epoch, &health);
+    update_coordinator_.BindUpdate(&slices, epoch, &health);
+    update_cluster_->BindHealth(&health);
+    run_stats = update_cluster_->Run();
+    update_cluster_->BindHealth(nullptr);  // health dies with this frame
+    faults = update_cluster_->fault_stats();
+    for (auto& site : update_sites_) site->EndUpdate();
+    update_coordinator_.EndUpdate();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.update_cumulative.Accumulate(run_stats);
+    }
+    if (!health.poisoned()) {
+      run_status = Status::Ok();
+      if (attempt > 0) {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.update_retry_successes;
+      }
+      break;
+    }
+    run_status = health.ToStatus();
+    if (!IsRetryable(run_status.code())) break;
   }
 
-  if (health.poisoned()) {
+  if (!run_status.ok()) {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.updates_failed;
-    return health.ToStatus();
+    return run_status;
   }
 
   // Healthy: commit. Per-site watermarks first (idempotent per epoch),

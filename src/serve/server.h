@@ -89,6 +89,15 @@
 // Shutdown is graceful: accepted queries complete (drain), later Submits
 // reject with Unavailable. The destructor shuts down if the caller did
 // not. `g` (and a borrowed Fragmentation) must outlive the server.
+//
+// RECOVERY (docs/FAILURES.md has the full story). Three escalating
+// mechanisms, all keyed on IsRetryable: replica failover (a retryably
+// failed query is re-enqueued at its original priority for a different
+// replica, budget num_replicas - 1, invisible to the client), the
+// same-replica RetryOptions policy (queries and Update replication runs),
+// and the circuit breaker (ServerOptions::circuit_breaker_strikes) that
+// sheds Submits with ResourceExhausted when every replica keeps failing —
+// minus one probe at a time, whose success closes the circuit.
 
 #ifndef DGS_SERVE_SERVER_H_
 #define DGS_SERVE_SERVER_H_
@@ -277,6 +286,10 @@ class Server {
 
   Status SpawnReplicas(const Graph& g);
   void StartLocked();  // requires mu_ held
+  // True when every replica has accumulated at least
+  // ServerOptions::circuit_breaker_strikes consecutive retryable
+  // failures (the graceful-degradation shed condition). Requires mu_.
+  bool CircuitOpenLocked() const;
   void EnsureUpdatePipelineLocked();  // requires update_mu_ held
   void WorkerLoop(uint32_t replica);
 
@@ -311,6 +324,12 @@ class Server {
   std::shared_ptr<const DeployedVersion> current_version_;  // null until
                                                             // first commit
   ServerStats stats_;
+  // Circuit-breaker state (guarded by mu_; see docs/FAILURES.md).
+  // replica_strikes_[i]: consecutive retryable failures on replica i,
+  // healed to 0 by any success there. probe_in_flight_: one query has
+  // been admitted through an open circuit to test recovery.
+  std::vector<uint32_t> replica_strikes_;
+  bool probe_in_flight_ = false;
   bool started_ = false;
   bool shut_down_ = false;
 };

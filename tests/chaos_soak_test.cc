@@ -1,0 +1,430 @@
+// Chaos soak: the supervised worker pool (runtime/supervisor.h) and the
+// server-level recovery ladder (serve/server.h) under injected process
+// death, across every algorithm family.
+//
+// The invariant this file pins end to end (docs/FAILURES.md): after any
+// kill / respawn / fragment-re-ship cycle, results AND charged RunStats
+// are bit-identical to a fault-free loopback run — recovery is
+// observationally invisible everywhere except the measured
+// TransportStats (respawns, processes) and the server's failover/breaker
+// counters.
+//
+// The suite name deliberately MATCHES the CI "Chaos" filters so the
+// nightly chaos-soak job picks it up; the forking tests skip themselves
+// under TSAN/ASAN (forking a threaded sanitized process is unsupported),
+// while the loopback circuit-breaker and spec-message tests run anywhere.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/api.h"
+#include "core/engine.h"
+#include "graph/generators.h"
+#include "partition/partitioner.h"
+#include "runtime/fault.h"
+#include "runtime/transport.h"
+#include "serve/server.h"
+#include "test_env.h"
+#include "util/check.h"
+
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define DGS_FORKING_UNSUPPORTED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+#define DGS_FORKING_UNSUPPORTED 1
+#endif
+#endif
+
+#ifdef DGS_FORKING_UNSUPPORTED
+#define DGS_SKIP_IF_NO_FORK() \
+  GTEST_SKIP() << "forking under TSAN/ASAN is not supported"
+#else
+#define DGS_SKIP_IF_NO_FORK() \
+  do {                        \
+  } while (0)
+#endif
+
+namespace dgs {
+namespace {
+
+uint64_t ChaosSeed() {
+  const char* s = std::getenv("DGS_FAULT_SEED");
+  if (s == nullptr) return 7;
+  char* end = nullptr;
+  unsigned long long seed = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0') return 7;
+  return static_cast<uint64_t>(seed);
+}
+
+// Everything that must survive a kill/respawn/re-ship cycle unchanged:
+// the answer plus the charged deterministic accounting and every
+// algorithm counter (mirrors the transport conformance expectations).
+void ExpectSameOutcome(const DistOutcome& got, const DistOutcome& want,
+                       const std::string& what) {
+  EXPECT_TRUE(got.result == want.result) << what;
+  EXPECT_EQ(got.stats.data_bytes, want.stats.data_bytes) << what;
+  EXPECT_EQ(got.stats.control_bytes, want.stats.control_bytes) << what;
+  EXPECT_EQ(got.stats.result_bytes, want.stats.result_bytes) << what;
+  EXPECT_EQ(got.stats.data_messages, want.stats.data_messages) << what;
+  EXPECT_EQ(got.stats.control_messages, want.stats.control_messages) << what;
+  EXPECT_EQ(got.stats.result_messages, want.stats.result_messages) << what;
+  EXPECT_EQ(got.stats.rounds, want.stats.rounds) << what;
+  EXPECT_EQ(got.counters.vars_shipped.load(),
+            want.counters.vars_shipped.load())
+      << what;
+  EXPECT_EQ(got.counters.push_count.load(), want.counters.push_count.load())
+      << what;
+  EXPECT_EQ(got.counters.equation_units.load(),
+            want.counters.equation_units.load())
+      << what;
+  EXPECT_EQ(got.counters.recomputations.load(),
+            want.counters.recomputations.load())
+      << what;
+  EXPECT_EQ(got.counters.supersteps.load(), want.counters.supersteps.load())
+      << what;
+  EXPECT_EQ(got.decode_drops.Total(), 0u) << what;
+  EXPECT_TRUE(got.health.ok()) << what;
+}
+
+struct Family {
+  const char* name;
+  Algorithm algorithm;
+  Graph g;
+  std::vector<uint32_t> assignment;
+  uint32_t sites;
+  Pattern q;
+};
+
+std::vector<Family> MakeFamilies() {
+  std::vector<Family> families;
+  auto add = [&families](const char* name, Algorithm algorithm, Graph g,
+                         uint32_t sites, PatternKind kind, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<uint32_t> assignment =
+        PartitionWithBoundaryRatio(g, sites, 0.3, rng);
+    PatternSpec spec;
+    spec.num_nodes = 4;
+    spec.num_edges = kind == PatternKind::kCyclic ? 6 : 5;
+    spec.kind = kind;
+    auto q = ExtractPattern(g, spec, rng);
+    DGS_CHECK(q.ok(), "pattern extraction failed");
+    families.push_back({name, algorithm, std::move(g), std::move(assignment),
+                        sites, std::move(*q)});
+  };
+  {
+    Rng rng(2014);
+    Graph web = WebGraph(800, 3200, kDefaultAlphabet, rng);
+    add("dGPM", Algorithm::kDgpm, web, 4, PatternKind::kCyclic, 11);
+    add("dGPMNOpt", Algorithm::kDgpmNoOpt, web, 4, PatternKind::kCyclic, 12);
+    add("dMes", Algorithm::kDMes, web, 4, PatternKind::kCyclic, 13);
+    add("Match", Algorithm::kMatch, web, 4, PatternKind::kCyclic, 14);
+    add("disHHK", Algorithm::kDisHhk, std::move(web), 4, PatternKind::kCyclic,
+        15);
+  }
+  {
+    Rng rng(99);
+    Graph dag = CitationDag(800, 3000, kDefaultAlphabet, rng);
+    add("dGPMd", Algorithm::kDgpmDag, std::move(dag), 4, PatternKind::kDag,
+        16);
+  }
+  {
+    Rng rng(5);
+    Graph tree = RandomTree(600, kDefaultAlphabet, rng);
+    add("dGPMt", Algorithm::kDgpmTree, std::move(tree), 4, PatternKind::kDag,
+        17);
+  }
+  return families;
+}
+
+// ---------------------------------------------------------------------------
+// Kill → respawn → re-ship, every algorithm family
+// ---------------------------------------------------------------------------
+
+// SIGKILL-equivalent worker death (chaos_exit_at_round) mid-query, for
+// each of the seven algorithm families on one resident Engine each:
+// the poisoned query classifies Unavailable, the pool respawns the dead
+// slot and re-ships the fragment view before the next run, and the next
+// query on the SAME Engine succeeds bit-identically to loopback.
+TEST(ChaosSoak, KillRespawnReshipAcrossAllFamilies) {
+  DGS_SKIP_IF_NO_FORK();
+  int families_killed = 0;
+  for (Family& family : MakeFamilies()) {
+    QueryOptions query;
+    query.algorithm = family.algorithm;
+
+    EngineOptions loop_options;
+    auto reference = Engine::Create(family.g, family.assignment, family.sites,
+                                    loop_options);
+    ASSERT_TRUE(reference.ok()) << family.name;
+    auto want = (*reference)->Match(family.q, query);
+    ASSERT_TRUE(want.ok()) << family.name;
+    SCOPED_TRACE(family.name);
+
+    EngineOptions options;
+    options.transport.kind = TransportKind::kTcp;
+    options.transport.num_processes = 2;
+    options.transport.chaos_exit_at_round = 1;  // generation 0 dies, once
+    auto engine = Engine::Create(family.g, family.assignment, family.sites,
+                                 options);
+    ASSERT_TRUE(engine.ok()) << family.name;
+
+    // chaos_exit_at_round kills a worker the first time a DELIVERY round
+    // arrives in its process. A family whose inter-site traffic all lands
+    // on the parent-local coordinator (the Match baseline: workers compute
+    // in the setup round, ship upward, and never receive a delivery) has
+    // no worker-side kill window — its query must simply succeed, intact.
+    auto poisoned = (*engine)->Match(family.q, query);
+    if (poisoned.ok()) {
+      ExpectSameOutcome(*poisoned, *want, family.name);
+      EXPECT_EQ(poisoned->transport.respawns, 0u) << family.name;
+      continue;
+    }
+    ++families_killed;
+    EXPECT_EQ(poisoned.status().code(), StatusCode::kUnavailable)
+        << family.name << ": " << poisoned.status().ToString();
+
+    auto healed = (*engine)->Match(family.q, query);
+    ASSERT_TRUE(healed.ok())
+        << family.name << ": " << healed.status().ToString();
+    ExpectSameOutcome(*healed, *want, family.name);
+    EXPECT_GE(healed->transport.respawns, 1u) << family.name;
+
+    EXPECT_EQ((*engine)->serving_stats().queries_failed, 1u) << family.name;
+    EXPECT_EQ((*engine)->serving_stats().queries_served, 1u) << family.name;
+  }
+  // The families with worker-to-worker refinement traffic MUST have
+  // exercised the kill window; a regression that stops the chaos from
+  // firing (or stops deliveries from reaching workers) trips this floor.
+  EXPECT_GE(families_killed, 4);
+}
+
+// A worker group that keeps dying (chaos armed for every generation)
+// exhausts its bounded respawn budget, and the session fails with
+// ResourceExhausted naming the group — the supervisor's own circuit
+// breaker, instead of an unbounded fork loop.
+TEST(ChaosSoak, RespawnBudgetExhaustionClassifiesResourceExhausted) {
+  DGS_SKIP_IF_NO_FORK();
+  Family family = std::move(MakeFamilies()[0]);  // dGPM
+  QueryOptions query;
+  query.algorithm = family.algorithm;
+
+  EngineOptions options;
+  options.transport.kind = TransportKind::kTcp;
+  options.transport.num_processes = 2;
+  options.transport.chaos_exit_at_round = 1;
+  options.transport.chaos_kill_generation = 1000;  // every fleet dies
+  options.transport.max_worker_respawns = 1;
+  options.transport.respawn_backoff_seconds = 0.001;
+  auto engine = Engine::Create(family.g, family.assignment, family.sites,
+                               options);
+  ASSERT_TRUE(engine.ok());
+
+  // Generation 0 dies, then the single budgeted respawn (generation 1)
+  // dies too; both queries classify Unavailable.
+  for (int i = 0; i < 2; ++i) {
+    auto outcome = (*engine)->Match(family.q, query);
+    ASSERT_FALSE(outcome.ok()) << "query " << i;
+    EXPECT_EQ(outcome.status().code(), StatusCode::kUnavailable)
+        << "query " << i << ": " << outcome.status().ToString();
+  }
+
+  // The next run needs a second respawn, which is over budget.
+  auto exhausted = (*engine)->Match(family.q, query);
+  ASSERT_FALSE(exhausted.ok());
+  EXPECT_EQ(exhausted.status().code(), StatusCode::kResourceExhausted)
+      << exhausted.status().ToString();
+  EXPECT_NE(exhausted.status().message().find("respawn budget"),
+            std::string::npos)
+      << exhausted.status().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Server-level failover
+// ---------------------------------------------------------------------------
+
+// A replica whose fleet crashes mid-query does not surface the failure:
+// the job is re-enqueued at its original priority for another replica
+// (ServerStats::failovers), the same-replica retry is the backstop, and
+// the client sees one Submit and one bit-identical success.
+TEST(ChaosSoak, ServerFailoverHidesReplicaCrash) {
+  DGS_SKIP_IF_NO_FORK();
+  Family family = std::move(MakeFamilies()[0]);  // dGPM
+  QueryOptions query;
+  query.algorithm = family.algorithm;
+
+  DistOptions loop_options;
+  loop_options.algorithm = family.algorithm;
+  auto reference = DistributedMatch(family.g, family.assignment, family.sites,
+                                    family.q, loop_options);
+  ASSERT_TRUE(reference.ok());
+
+  ServerOptions options;
+  options.num_replicas = 2;
+  options.cache = CacheMode::kOff;
+  options.engine.transport.kind = TransportKind::kTcp;
+  options.engine.transport.num_processes = 2;
+  options.engine.transport.chaos_exit_at_round = 1;
+  options.retry.max_attempts = 2;  // backstop once failovers are spent
+  auto server = Server::Create(family.g, family.assignment, family.sites,
+                               options);
+  ASSERT_TRUE(server.ok());
+
+  auto outcome = (*server)->Match(family.q, query);
+  ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  EXPECT_TRUE(outcome->result == reference->result);
+  EXPECT_EQ(outcome->stats.data_bytes, reference->stats.data_bytes);
+
+  (*server)->Shutdown();
+  ServerStats stats = (*server)->stats();
+  EXPECT_EQ(stats.served, 1u);
+  EXPECT_EQ(stats.failed, 0u);
+  // The first replica's generation-0 fleet died: the query failed over.
+  EXPECT_GE(stats.failovers, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker (loopback — deterministic, no forking, sanitizer-clean)
+// ---------------------------------------------------------------------------
+
+// watchdog_rounds = 1 converts every run into a deterministic retryable
+// DeadlineExceeded: the single replica accumulates strikes, the circuit
+// opens, and a Submit that arrives while the probe is still in flight is
+// shed with ResourceExhausted instead of queueing doomed work.
+TEST(ChaosSoak, CircuitBreakerShedsWhileProbeInFlight) {
+  Family family = std::move(MakeFamilies()[0]);  // dGPM
+  QueryOptions query;
+  query.algorithm = family.algorithm;
+
+  ServerOptions options;
+  options.num_replicas = 1;
+  options.cache = CacheMode::kOff;
+  options.engine.watchdog_rounds = 1;  // every run trips the watchdog
+  options.circuit_breaker_strikes = 1;
+  // The probe's first attempt fails, then sleeps >= 1s before its second:
+  // a guaranteed window during which the circuit is open AND the probe
+  // slot is taken, so the next Submit is deterministically shed.
+  options.retry.max_attempts = 2;
+  options.retry.backoff_seconds = 1.0;
+  auto server = Server::Create(family.g, family.assignment, family.sites,
+                               options);
+  ASSERT_TRUE(server.ok());
+
+  // Strike: both attempts trip the watchdog; the circuit opens.
+  auto strike = (*server)->Match(family.q, query);
+  ASSERT_FALSE(strike.ok());
+  EXPECT_EQ(strike.status().code(), StatusCode::kDeadlineExceeded);
+
+  // The next Submit is admitted as the probe...
+  ServerTicket probe = (*server)->Submit(family.q, query);
+  // ...and while it is in flight, further Submits are shed at the door.
+  ServerTicket shed = (*server)->Submit(family.q, query);
+  auto shed_outcome = shed.Wait();
+  ASSERT_FALSE(shed_outcome.ok());
+  EXPECT_EQ(shed_outcome.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(shed_outcome.status().message().find("degraded"),
+            std::string::npos)
+      << shed_outcome.status().ToString();
+
+  auto probe_outcome = probe.Wait();
+  EXPECT_FALSE(probe_outcome.ok());  // watchdog still trips: circuit stays
+                                     // open, probe slot freed
+
+  (*server)->Shutdown();
+  ServerStats stats = (*server)->stats();
+  EXPECT_EQ(stats.degraded_rejections, 1u);
+  EXPECT_GE(stats.rejected_overload, stats.degraded_rejections);
+  EXPECT_EQ(stats.served, 0u);
+}
+
+// crash_once chaos: the first query fails retryably (one strike, circuit
+// open at threshold 1), the second query is admitted as the probe, runs
+// against the now-healthy deployment, succeeds, and closes the circuit —
+// the third query is served normally, nothing was shed.
+TEST(ChaosSoak, CircuitBreakerProbeHealsCircuit) {
+  Family family = std::move(MakeFamilies()[0]);  // dGPM
+  QueryOptions query;
+  query.algorithm = family.algorithm;
+
+  DistOptions loop_options;
+  loop_options.algorithm = family.algorithm;
+  auto reference = DistributedMatch(family.g, family.assignment, family.sites,
+                                    family.q, loop_options);
+  ASSERT_TRUE(reference.ok());
+
+  ServerOptions options;
+  options.num_replicas = 1;
+  options.cache = CacheMode::kOff;
+  options.engine.faults.crash_site = 1;  // fires exactly once
+  options.engine.faults.crash_round = 1;
+  options.engine.faults.seed = ChaosSeed();
+  options.circuit_breaker_strikes = 1;
+  auto server = Server::Create(family.g, family.assignment, family.sites,
+                               options);
+  ASSERT_TRUE(server.ok());
+
+  auto first = (*server)->Match(family.q, query);
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.status().code(), StatusCode::kUnavailable);
+
+  // Probe: the crash already fired, so this succeeds and heals the fleet.
+  auto probe = (*server)->Match(family.q, query);
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  EXPECT_TRUE(probe->result == reference->result);
+
+  // Circuit closed: normal service, no shedding.
+  auto after = (*server)->Match(family.q, query);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_TRUE(after->result == reference->result);
+
+  (*server)->Shutdown();
+  ServerStats stats = (*server)->stats();
+  EXPECT_EQ(stats.served, 2u);
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.degraded_rejections, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault-spec diagnostics (satellite: parser error messages)
+// ---------------------------------------------------------------------------
+
+// ParseFaultSpec names the offending token and its 1-based position so a
+// bad DGS_FAULTS value is diagnosable from the message alone.
+TEST(ChaosSoakSpecMessages, FaultSpecMessagesNameTokenAndPosition) {
+  struct Case {
+    const char* spec;
+    const char* token;    // quoted verbatim in the message
+    const char* position; // "at position N" of the token's first char
+    const char* detail;   // the reason tail
+  };
+  const Case cases[] = {
+      {"drop", "'drop'", "at position 1", "expected KEY=VALUE"},
+      {"data.drop=0.1,seed=x", "'seed=x'", "at position 15",
+       "seed wants an unsigned integer"},
+      {"data.drop=2", "'data.drop=2'", "at position 1",
+       "probability wants a number in [0, 1]"},
+      {"bogus.drop=0.1", "'bogus.drop=0.1'", "at position 1",
+       "unknown message class 'bogus'"},
+      {"data.warp=0.1", "'data.warp=0.1'", "at position 1",
+       "unknown key 'warp'"},
+      {"crash=1@x", "'crash=1@x'", "at position 1",
+       "crash round wants an unsigned 32-bit integer >= 1"},
+  };
+  for (const Case& c : cases) {
+    auto parsed = ParseFaultSpec(c.spec);
+    ASSERT_FALSE(parsed.ok()) << c.spec;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument) << c.spec;
+    const std::string& message = parsed.status().message();
+    EXPECT_NE(message.find(c.token), std::string::npos)
+        << c.spec << " -> " << message;
+    EXPECT_NE(message.find(c.position), std::string::npos)
+        << c.spec << " -> " << message;
+    EXPECT_NE(message.find(c.detail), std::string::npos)
+        << c.spec << " -> " << message;
+  }
+}
+
+}  // namespace
+}  // namespace dgs

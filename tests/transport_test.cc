@@ -72,6 +72,28 @@ TEST(TransportSpecTest, RejectsMalformedSpecs) {
   }
 }
 
+// Error messages name the offending token and its 1-based position so a
+// bad DGS_TRANSPORT value is diagnosable from the message alone.
+TEST(TransportSpecTest, MalformedSpecMessagesNameTokenAndPosition) {
+  auto backend = ParseTransportSpec("udp:3");
+  ASSERT_FALSE(backend.ok());
+  EXPECT_NE(backend.status().message().find("unknown backend 'udp'"),
+            std::string::npos)
+      << backend.status().ToString();
+  EXPECT_NE(backend.status().message().find("at position 1"),
+            std::string::npos)
+      << backend.status().ToString();
+
+  auto count = ParseTransportSpec("tcp:4x");
+  ASSERT_FALSE(count.ok());
+  EXPECT_NE(count.status().message().find("bad process count '4x'"),
+            std::string::npos)
+      << count.status().ToString();
+  EXPECT_NE(count.status().message().find("at position 5"),
+            std::string::npos)
+      << count.status().ToString();
+}
+
 TEST(TransportSpecTest, SpecStringRoundTrips) {
   for (const char* spec : {"loopback", "tcp", "tcp:4"}) {
     auto parsed = ParseTransportSpec(spec);
@@ -458,9 +480,11 @@ TEST(TransportConformanceTest, RecoveredInjectorPlanIsInvisibleOverTcp) {
   EXPECT_EQ(chaos->faults.lost, 0u);
 }
 
-// A resident Engine re-forks its worker processes per query (BeginRun /
-// EndRun) and keeps serving; the measured stats accumulate win or lose.
-TEST(TransportConformanceTest, ResidentServingReforksPerQuery) {
+// A resident Engine keeps a PERSISTENT, supervised worker fleet
+// (runtime/supervisor.h): the first query forks the site-group processes,
+// every further query re-ships only its binding blob over the open
+// channels — zero forks — and outcomes stay bit-identical to loopback.
+TEST(TransportConformanceTest, ResidentServingReusesPersistentWorkers) {
   Family family = std::move(MakeFamilies()[0]);  // dGPM
   QueryOptions query;
   query.algorithm = family.algorithm;
@@ -483,10 +507,42 @@ TEST(TransportConformanceTest, ResidentServingReforksPerQuery) {
     ASSERT_TRUE(got.ok()) << "query " << i << ": "
                           << got.status().ToString();
     ExpectSameOutcome(*got, *want, "resident query " + std::to_string(i));
-    EXPECT_EQ(got->transport.processes, 2u);
+    // Only the first query pays the fork; steady state reuses the fleet.
+    EXPECT_EQ(got->transport.processes, i == 0 ? 2u : 0u) << "query " << i;
+    EXPECT_EQ(got->transport.respawns, 0u) << "query " << i;
+    EXPECT_GT(got->transport.bytes_sent, 0u) << "query " << i;
   }
-  EXPECT_EQ((*engine)->serving_stats().transport.processes, 6u);
+  EXPECT_EQ((*engine)->serving_stats().transport.processes, 2u);
+  EXPECT_EQ((*engine)->serving_stats().transport.respawns, 0u);
   EXPECT_GT((*engine)->serving_stats().transport.bytes_sent, 0u);
+}
+
+// With supervision off, every query re-forks its workers (the pre-pool
+// lifecycle) and no heartbeat traffic ever hits the wire: supervision is
+// pay-for-what-you-use.
+TEST(TransportConformanceTest, ResidentServingReforksWhenSupervisionOff) {
+  Family family = std::move(MakeFamilies()[0]);  // dGPM
+  QueryOptions query;
+  query.algorithm = family.algorithm;
+
+  EngineOptions options;
+  options.transport.kind = TransportKind::kTcp;
+  options.transport.num_processes = 2;
+  options.transport.persistent_workers = false;
+  auto engine = Engine::Create(family.g, family.assignment, family.sites,
+                               options);
+  ASSERT_TRUE(engine.ok());
+  for (int i = 0; i < 3; ++i) {
+    auto got = (*engine)->Match(family.q, query);
+    ASSERT_TRUE(got.ok()) << "query " << i << ": "
+                          << got.status().ToString();
+    EXPECT_EQ(got->transport.processes, 2u) << "query " << i;
+  }
+  const TransportStats& total = (*engine)->serving_stats().transport;
+  EXPECT_EQ(total.processes, 6u);
+  EXPECT_EQ(total.respawns, 0u);
+  EXPECT_EQ(total.heartbeats_sent, 0u);
+  EXPECT_EQ(total.heartbeats_missed, 0u);
 }
 
 // ---------------------------------------------------------------------------
@@ -554,16 +610,57 @@ TEST(TransportOutageTest, WorkerStallClassifiesDeadlineExceeded) {
   EXPECT_EQ(outcome.status().code(), StatusCode::kDeadlineExceeded);
 }
 
-// A transport failure poisons the query, never the deployment: the same
-// resident Engine keeps serving (every query re-forks), and each failed
-// attempt classifies cleanly instead of aborting.
+// A worker crash poisons the query, never the deployment: the supervised
+// pool marks the dead slot, respawns it (copy-on-write fragment re-ship +
+// RunBinding blob) before the next run, and the healed query is
+// bit-identical to a fault-free loopback run. chaos_kill_generation
+// defaults to 0, so only the original generation-0 fleet carries the
+// chaos trigger — the respawned fleet runs clean.
 TEST(TransportOutageTest, ResidentServingSurvivesWorkerCrashes) {
+  Family family = std::move(MakeFamilies()[0]);  // dGPM
+  QueryOptions query;
+  query.algorithm = family.algorithm;
+
+  EngineOptions loop_options;
+  auto reference = Engine::Create(family.g, family.assignment, family.sites,
+                                  loop_options);
+  ASSERT_TRUE(reference.ok());
+  auto want = (*reference)->Match(family.q, query);
+  ASSERT_TRUE(want.ok());
+
+  EngineOptions options;
+  options.transport.kind = TransportKind::kTcp;
+  options.transport.num_processes = 2;
+  options.transport.chaos_exit_at_round = 1;
+  auto engine = Engine::Create(family.g, family.assignment, family.sites,
+                               options);
+  ASSERT_TRUE(engine.ok());
+
+  auto first = (*engine)->Match(family.q, query);
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.status().code(), StatusCode::kUnavailable);
+
+  auto healed = (*engine)->Match(family.q, query);
+  ASSERT_TRUE(healed.ok()) << healed.status().ToString();
+  ExpectSameOutcome(*healed, *want, "healed query after crash");
+  EXPECT_GE(healed->transport.respawns, 1u);
+
+  EXPECT_EQ((*engine)->serving_stats().queries_failed, 1u);
+  EXPECT_EQ((*engine)->serving_stats().queries_served, 1u);
+  EXPECT_GE((*engine)->serving_stats().transport.respawns, 1u);
+}
+
+// With supervision off there is no pool to heal the fleet: every re-forked
+// worker carries the chaos trigger again and every attempt fails the same
+// way — the pre-pool behavior, preserved behind the flag.
+TEST(TransportOutageTest, UnsupervisedWorkersKeepCrashing) {
   Family family = std::move(MakeFamilies()[0]);  // dGPM
   QueryOptions query;
   query.algorithm = family.algorithm;
   EngineOptions options;
   options.transport.kind = TransportKind::kTcp;
   options.transport.num_processes = 2;
+  options.transport.persistent_workers = false;
   options.transport.chaos_exit_at_round = 1;
   auto engine = Engine::Create(family.g, family.assignment, family.sites,
                                options);
@@ -687,6 +784,9 @@ TEST(TransportReplicatedServing, ReplicasServeQueriesOverTcp) {
   for (int i = 0; i < 6; ++i) {
     tickets.push_back((*server)->Submit(*q, query));
   }
+  // Each replica forks its persistent fleet once (first query it serves);
+  // every later query it serves re-ships over the open channels.
+  uint64_t total_forked = 0;
   for (size_t i = 0; i < tickets.size(); ++i) {
     auto outcome = tickets[i].Wait();
     ASSERT_TRUE(outcome.ok())
@@ -694,8 +794,14 @@ TEST(TransportReplicatedServing, ReplicasServeQueriesOverTcp) {
     EXPECT_TRUE(outcome->result == reference->result) << "query " << i;
     EXPECT_EQ(outcome->stats.data_bytes, reference->stats.data_bytes)
         << "query " << i;
-    EXPECT_EQ(outcome->transport.processes, 2u) << "query " << i;
+    EXPECT_TRUE(outcome->transport.processes == 0u ||
+                outcome->transport.processes == 2u)
+        << "query " << i << " forked " << outcome->transport.processes;
+    total_forked += outcome->transport.processes;
   }
+  // At most one fork per replica; at least one replica served something.
+  EXPECT_GE(total_forked, 2u);
+  EXPECT_LE(total_forked, 4u);
   (*server)->Shutdown();
 }
 

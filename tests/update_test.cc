@@ -15,9 +15,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <set>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -485,6 +488,127 @@ TEST(ServerUpdateTest, OverflowDropsOldestDeltasAndFlagsLagged) {
   ASSERT_TRUE(empty.ok());
   EXPECT_FALSE(lagged_again);
   EXPECT_TRUE(empty->empty());
+}
+
+// The drop-oldest + lagged-resync contract under a RACING consumer: a
+// client thread polls PollDeltas while the main thread commits Update
+// batches. TSAN proves the no-race half (this suite is in the TSAN CI
+// filter); the assertions prove the protocol half, phrased so they hold
+// under EVERY interleaving:
+//   - delta versions are strictly increasing across polls, never past the
+//     committed watermark;
+//   - a version gap is only ever seen on a poll that was flagged lagged;
+//   - every delta takes the version-(v-1) result to the version-v result
+//     (after a gap the consumer resynchronizes exactly as documented);
+//   - the final snapshot equals a from-scratch evaluation on the final
+//     graph.
+// The first half of the batch stream commits before the poller starts, so
+// the 2-slot queue has deterministically overflowed — the lag path is
+// guaranteed, not interleaving-dependent.
+TEST(ServerUpdateTest, ConcurrentPollsRaceCommitsAndResyncAfterLag) {
+  UpdateRig rig = MakeUpdateRig();
+  ASSERT_FALSE(rig.patterns.empty());
+  const Pattern& q = rig.patterns[0];
+  ServerOptions options;
+  options.engine = dgs::testing::TestEngineOptions();
+  options.num_replicas = 1;
+  auto server = Server::Create(rig.g, rig.assignment, 4, options);
+  ASSERT_TRUE(server.ok());
+
+  SubscribeOptions tiny;
+  tiny.max_pending_deltas = 2;
+  auto id = (*server)->Subscribe(q, tiny);
+  ASSERT_TRUE(id.ok());
+
+  // Every eviction batch flips the match set, so every version's expected
+  // result is precomputable: results[v] = from-scratch at version v.
+  const auto batches = MakeEvictionBatches(rig.g, q, 8);
+  ASSERT_EQ(batches.size(), 8u);
+  std::vector<PairSet> results;
+  {
+    DynamicAdjacency mirror(rig.g);
+    results.push_back(ResultPairs(ComputeSimulation(q, rig.g)));
+    for (const auto& batch : batches) {
+      for (auto e : batch.deletes) mirror.RemoveEdge(e.first, e.second);
+      for (auto e : batch.inserts) mirror.InsertEdge(e.first, e.second);
+      results.push_back(ResultPairs(ComputeSimulation(q, mirror.ToGraph())));
+    }
+  }
+
+  // Phase 1: overflow the queue before the consumer exists.
+  const size_t prefix = 4;
+  for (size_t b = 0; b < prefix; ++b) {
+    auto outcome = (*server)->Update(batches[b]);
+    ASSERT_TRUE(outcome.ok()) << "batch " << b;
+  }
+
+  // Phase 2: the consumer races the remaining commits.
+  struct Poll {
+    bool lagged = false;
+    std::vector<SubscriptionDelta> deltas;
+  };
+  std::vector<Poll> polls;
+  std::atomic<bool> done{false};
+  std::thread poller([&] {
+    for (;;) {
+      const bool last = done.load(std::memory_order_acquire);
+      Poll poll;
+      auto deltas = (*server)->PollDeltas(*id, &poll.lagged);
+      EXPECT_TRUE(deltas.ok()) << deltas.status().ToString();
+      if (!deltas.ok()) return;
+      poll.deltas = std::move(*deltas);
+      polls.push_back(std::move(poll));
+      if (last) return;  // one guaranteed poll after the final commit
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  for (size_t b = prefix; b < batches.size(); ++b) {
+    auto outcome = (*server)->Update(batches[b]);
+    EXPECT_TRUE(outcome.ok()) << "batch " << b;
+  }
+  done.store(true, std::memory_order_release);
+  poller.join();
+
+  // Protocol validation over the recorded interleaving.
+  uint64_t last_version = 0;
+  bool saw_gap = false;
+  PairSet replayed = results[0];
+  for (size_t p = 0; p < polls.size(); ++p) {
+    for (const SubscriptionDelta& d : polls[p].deltas) {
+      ASSERT_GE(d.version, 1u);
+      ASSERT_LE(d.version, batches.size());
+      ASSERT_GT(d.version, last_version) << "poll " << p;
+      if (d.version != last_version + 1) {
+        // Oldest deltas were dropped: this poll must carry the flag, and
+        // the consumer resynchronizes (here: to the known v-1 state; a
+        // real client would use SubscriptionSnapshot).
+        EXPECT_TRUE(polls[p].lagged) << "silent gap at poll " << p;
+        saw_gap = true;
+        replayed = results[d.version - 1];
+      }
+      for (auto pair : d.added) {
+        EXPECT_TRUE(replayed.insert(pair).second) << "v" << d.version;
+      }
+      for (auto pair : d.removed) {
+        EXPECT_EQ(replayed.erase(pair), 1u) << "v" << d.version;
+      }
+      EXPECT_EQ(replayed, results[d.version]) << "v" << d.version;
+      last_version = d.version;
+    }
+  }
+  // The pre-poller prefix overflowed the 2-slot queue, so the first
+  // delivered version is > 1: the gap (and the flag) really happened.
+  EXPECT_TRUE(saw_gap);
+
+  // Resync endpoint: the snapshot is the final from-scratch result.
+  auto snapshot = (*server)->SubscriptionSnapshot(*id);
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_TRUE(ResultPairs(*snapshot) == results[batches.size()]);
+
+  (*server)->Shutdown();
+  ServerStats stats = (*server)->stats();
+  EXPECT_EQ(stats.updates_applied, batches.size());
+  EXPECT_GT(stats.sub_deltas_dropped, 0u);
 }
 
 // A poisoned update run commits NOTHING — version, adjacency, and every
