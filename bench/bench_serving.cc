@@ -33,6 +33,8 @@
 //                patterns (shared labels): measured result/label hit rates
 //                and throughput; gate: every planned repeat hits.
 
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <set>
 #include <string>
@@ -517,6 +519,231 @@ int main() {
       .Num("label_hit_rate", label_hit_rate)
       .Num("queries_per_second", mixed_qps);
 
+  // ---------------------------------------------------------------------
+  // Open-loop arrivals: a Poisson stream fired at the server WITHOUT
+  // waiting for completions (open loop: arrival times never adapt to
+  // service time, unlike the closed loops above), per admission policy
+  // over a deliberately small queue so overload rejection engages. The
+  // latency percentiles come from the server's own HDR histograms
+  // (ServerStats::latency), which is also what `stats`, the Prometheus
+  // exposition, and this JSON report — one source of truth.
+  //
+  // Gates: (1) the completion classes partition `submitted` EXACTLY —
+  // every open-loop arrival is accounted served, failed, expired, or
+  // rejected; (2) whenever anything was served, the served-e2e histogram
+  // holds exactly `served` samples and its p99 is finite and positive.
+  // ---------------------------------------------------------------------
+  // Calibrate the arrival rate off the measured steady-state service
+  // rate: ~2x the (cache-off, 2-replica) capacity, so the queue saturates
+  // and sheds without the bench wall time exploding.
+  double openloop_service_ms = 1.0;
+  {
+    ServerOptions server_options;
+    server_options.engine = engine_options;
+    server_options.engine.num_threads = 1;
+    server_options.num_replicas = 1;
+    server_options.cache = CacheMode::kOff;
+    auto server = Server::Create(g, assignment, sites, server_options);
+    if (!server.ok()) {
+      std::cerr << "open-loop calibration deploy failed\n";
+      return 1;
+    }
+    for (const Pattern& q : queries) (void)(*server)->Match(q, dgpm_query);
+    WallTimer timer;
+    for (const Pattern& q : queries) (void)(*server)->Match(q, dgpm_query);
+    openloop_service_ms =
+        std::max(0.05, timer.ElapsedMillis() /
+                           static_cast<double>(queries.size()));
+  }
+
+  TablePrinter openloop_table({"policy", "arrivals", "served", "rejected",
+                               "p50(ms)", "p95(ms)", "p99(ms)",
+                               "queue p50(ms)"});
+  bool openloop_ok = true;
+  const size_t openloop_arrivals =
+      std::max<size_t>(40, 8 * queries.size());
+  for (AdmissionPolicy policy :
+       {AdmissionPolicy::kFifo, AdmissionPolicy::kPriority}) {
+    ServerOptions server_options;
+    server_options.engine = engine_options;
+    server_options.engine.num_threads = 1;
+    server_options.num_replicas = 2;
+    server_options.cache = CacheMode::kOff;
+    server_options.max_queue = 4;  // small door: overload must shed
+    server_options.policy = policy;
+    auto server = Server::Create(g, assignment, sites, server_options);
+    if (!server.ok()) {
+      std::cerr << "open-loop server deploy failed\n";
+      return 1;
+    }
+    // Deterministic Poisson process: exponential interarrival gaps from
+    // the bench seed, mean = service_ms / (2 * replicas) => ~2x capacity.
+    Rng arrival_rng(env.seed + static_cast<uint64_t>(policy));
+    const double mean_gap_ms = openloop_service_ms / 4.0;
+    std::vector<ServerTicket> tickets;
+    tickets.reserve(openloop_arrivals);
+    const auto t0 = std::chrono::steady_clock::now();
+    double next_arrival_ms = 0;
+    for (size_t a = 0; a < openloop_arrivals; ++a) {
+      next_arrival_ms +=
+          -mean_gap_ms * std::log(1.0 - arrival_rng.UniformDouble());
+      std::this_thread::sleep_until(
+          t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                   std::chrono::duration<double, std::milli>(
+                       next_arrival_ms)));
+      tickets.push_back(
+          (*server)->Submit(queries[a % queries.size()], dgpm_query));
+    }
+    for (auto& ticket : tickets) (void)ticket.Wait();
+
+    const ServerStats stats = (*server)->StatsSnapshot();
+    const uint64_t completed = stats.served + stats.failed + stats.expired +
+                               stats.rejected_overload +
+                               stats.rejected_shutdown;
+    if (stats.submitted != openloop_arrivals || completed != stats.submitted) {
+      std::cerr << "OPEN-LOOP ACCOUNTING [" << AdmissionPolicyName(policy)
+                << "]: submitted " << stats.submitted << " (want "
+                << openloop_arrivals << "), completion classes sum to "
+                << completed << "\n";
+      openloop_ok = false;
+    }
+    const obs::HistogramSnapshot& e2e = stats.latency.e2e_served;
+    if (e2e.count() != stats.served) {
+      std::cerr << "OPEN-LOOP HISTOGRAM [" << AdmissionPolicyName(policy)
+                << "]: e2e_served holds " << e2e.count() << " samples for "
+                << stats.served << " served queries\n";
+      openloop_ok = false;
+    }
+    const double p50 = e2e.QuantileMillis(0.5);
+    const double p95 = e2e.QuantileMillis(0.95);
+    const double p99 = e2e.QuantileMillis(0.99);
+    if (stats.served > 0 && (!std::isfinite(p99) || p99 <= 0)) {
+      std::cerr << "OPEN-LOOP P99 [" << AdmissionPolicyName(policy)
+                << "]: not finite/positive: " << p99 << "\n";
+      openloop_ok = false;
+    }
+    const double rejection_rate =
+        static_cast<double>(stats.rejected_overload) /
+        static_cast<double>(openloop_arrivals);
+    openloop_table.AddRow(
+        {AdmissionPolicyName(policy), std::to_string(openloop_arrivals),
+         std::to_string(stats.served), std::to_string(stats.rejected_overload),
+         FormatDouble(p50, 2), FormatDouble(p95, 2), FormatDouble(p99, 2),
+         FormatDouble(stats.latency.queue_wait.QuantileMillis(0.5), 3)});
+    json.AddRow()
+        .Str("mode", "openloop")
+        .Str("policy", AdmissionPolicyName(policy))
+        .Int("arrivals", openloop_arrivals)
+        .Int("served", stats.served)
+        .Int("rejected_overload", stats.rejected_overload)
+        .Int("expired", stats.expired)
+        .Num("mean_gap_ms", mean_gap_ms)
+        .Num("e2e_p50_ms", p50)
+        .Num("e2e_p95_ms", p95)
+        .Num("e2e_p99_ms", p99)
+        .Num("queue_wait_p50_ms",
+             stats.latency.queue_wait.QuantileMillis(0.5))
+        .Num("queue_wait_p99_ms",
+             stats.latency.queue_wait.QuantileMillis(0.99))
+        .Num("rejection_rate", rejection_rate);
+  }
+  std::cout << "\n== Open-loop Poisson arrivals (~2x capacity, queue=4) ==\n";
+  openloop_table.Print(std::cout);
+  std::cout << "accounting exact + p99 finite: "
+            << (openloop_ok ? "PASS" : "FAIL") << "\n";
+
+  // ---------------------------------------------------------------------
+  // Tracing cost gates. (1) Micro: a disabled instrument site (TraceSpan
+  // ctor+dtor behind a null Active()) must cost nanoseconds — no
+  // allocation, no timestamp. (2) Macro: a serving pass after tracing was
+  // enabled and disabled again must stay within 2% of the passes before
+  // (min-of-3 both sides: the instrument discipline leaves no residual
+  // cost behind). Both land in the JSON; both gate the exit status.
+  // ---------------------------------------------------------------------
+  const int kOverheadPasses = 3;
+  double traced_ms = 0, off_before_ms = 0, off_after_ms = 0;
+  {
+    ServerOptions server_options;
+    server_options.engine = engine_options;
+    server_options.num_replicas = 1;
+    server_options.cache = CacheMode::kOff;
+    auto server = Server::Create(g, assignment, sites, server_options);
+    if (!server.ok()) {
+      std::cerr << "overhead server deploy failed\n";
+      return 1;
+    }
+    auto pass_ms = [&]() {
+      WallTimer timer;
+      for (const Pattern& q : queries) {
+        if (!(*server)->Match(q, dgpm_query).ok()) return -1.0;
+      }
+      return timer.ElapsedMillis();
+    };
+    (void)pass_ms();  // warm the resident actors
+    for (int p = 0; p < kOverheadPasses; ++p) {
+      const double ms = pass_ms();
+      if (ms < 0) return 1;
+      if (p == 0 || ms < off_before_ms) off_before_ms = ms;
+    }
+    obs::TraceRecorder recorder;
+    obs::TraceRecorder::Install(&recorder);
+    traced_ms = pass_ms();
+    obs::TraceRecorder::Uninstall();
+    if (traced_ms < 0 || recorder.recorded() == 0) {
+      std::cerr << "TRACING captured no events in the traced pass\n";
+      return 1;
+    }
+    for (int p = 0; p < kOverheadPasses; ++p) {
+      const double ms = pass_ms();
+      if (ms < 0) return 1;
+      if (p == 0 || ms < off_after_ms) off_after_ms = ms;
+    }
+  }
+  // 2% + a 0.2 ms absolute floor so a near-zero baseline cannot flake.
+  const bool overhead_ok =
+      off_after_ms <= off_before_ms * 1.02 + 0.2;
+  if (!overhead_ok) {
+    std::cerr << "TRACING-OFF OVERHEAD: " << off_after_ms
+              << " ms/pass after enable+disable vs " << off_before_ms
+              << " ms/pass before (> 2%)\n";
+  }
+
+  // Micro: average cost of one disabled span + one disabled instant.
+  uint64_t disabled_ns = 0;
+  {
+    constexpr int kSites = 200000;
+    obs::TraceRecorder::Uninstall();
+    WallTimer timer;
+    for (int i = 0; i < kSites; ++i) {
+      obs::TraceSpan span("bench", "bench.disabled");
+      span.Arg("i", static_cast<uint64_t>(i));
+      obs::TraceInstant("bench", "bench.disabled_instant");
+    }
+    disabled_ns = static_cast<uint64_t>(timer.ElapsedSeconds() * 1e9 /
+                                        kSites);
+  }
+  // A null-check pair plus arg skip: single-digit ns on anything modern;
+  // 200 ns rejects an accidental allocation or clock read, not noise.
+  const bool disabled_cheap = disabled_ns <= 200;
+  if (!disabled_cheap) {
+    std::cerr << "DISABLED INSTRUMENT SITE costs " << disabled_ns
+              << " ns (> 200 ns: something beyond the null check runs)\n";
+  }
+  std::cout << "\n== Tracing cost ==\n"
+            << "serving pass: off " << FormatDouble(off_before_ms, 2)
+            << " ms -> traced " << FormatDouble(traced_ms, 2)
+            << " ms -> off again " << FormatDouble(off_after_ms, 2)
+            << " ms (" << (overhead_ok ? "PASS" : "FAIL")
+            << " <= 2% gate)\ndisabled site: " << disabled_ns
+            << " ns/span+instant (" << (disabled_cheap ? "PASS" : "FAIL")
+            << " <= 200 ns gate)\n";
+  json.AddRow()
+      .Str("mode", "tracing_overhead")
+      .Num("off_before_ms_per_pass", off_before_ms)
+      .Num("traced_ms_per_pass", traced_ms)
+      .Num("off_after_ms_per_pass", off_after_ms)
+      .Int("disabled_site_ns", disabled_ns);
+
   json.meta()
       .Str("identical", all_identical ? "true" : "false")
       .Str("resident_faster", all_faster ? "true" : "false")
@@ -524,9 +751,13 @@ int main() {
       .Str("concurrency_assert", assert_concurrency ? "enforced" : "skipped")
       .Num("concurrent_speedup_at_4", speedup_at_4)
       .Str("cache_5x", cache_fast ? "true" : "false")
-      .Num("mixed_result_hit_rate", result_hit_rate);
+      .Num("mixed_result_hit_rate", result_hit_rate)
+      .Str("openloop_gates", openloop_ok ? "pass" : "fail")
+      .Str("tracing_overhead_gate", overhead_ok ? "pass" : "fail")
+      .Int("disabled_site_ns", disabled_ns);
   json.WriteFile();
   const bool ok = all_identical && all_faster && concurrency_ok &&
-                  cache_identical && cache_fast && mixed_ok;
+                  cache_identical && cache_fast && mixed_ok && openloop_ok &&
+                  overhead_ok && disabled_cheap;
   return ok ? 0 : 1;
 }

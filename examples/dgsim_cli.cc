@@ -16,7 +16,11 @@
 //   dgsim> update +u,v -u,v ...         mutate the deployed graph: insert
 //                                       (+) / delete (-) edges as ONE
 //                                       atomic batch
-//   dgsim> stats                        serving + cache statistics
+//   dgsim> stats                        serving + cache statistics (with
+//                                       p50/p95/p99 latency)
+//   dgsim> metrics                      Prometheus exposition of the
+//                                       server's counters and histograms
+//   dgsim> trace on|off                 start/stop recording trace events
 //   dgsim> help / quit
 //
 // A standing-query session looks like:
@@ -63,6 +67,14 @@
 //   --cache off|candidates|full   serve mode: inter-query cache    (full)
 //   --retry N           serve mode: attempts per query (transparent
 //                       retry of retryable failures)               (1)
+//   --trace-out FILE    record a Chrome trace-event JSON of the whole
+//                       session (open in Perfetto / chrome://tracing);
+//                       the written file is validated against the span
+//                       schema and the exit status reflects it
+//   --metrics-out FILE  serve mode: write the final Prometheus text
+//                       exposition to FILE after linting the name set
+//                       and checking counter monotonicity across two
+//                       scrapes
 //
 // Exit status: 0 when G matches Q (serve mode: always 0 on a clean exit),
 // 2 when it does not, 1 on errors.
@@ -97,6 +109,8 @@ struct CliOptions {
   uint32_t replicas = 2;
   std::string cache = "full";
   uint32_t retry_attempts = 1;
+  std::string trace_out;    // empty = tracing off
+  std::string metrics_out;  // empty = no metrics dump
   std::string faults;  // ParseFaultSpec input; empty = no chaos
   bool has_fault_seed = false;
   uint64_t fault_seed = 0;
@@ -176,6 +190,24 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       if (!v) return false;
       options->retry_attempts =
           static_cast<uint32_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--trace-out" || arg.rfind("--trace-out=", 0) == 0) {
+      if (arg.size() > 12 && arg[11] == '=') {
+        options->trace_out = arg.substr(12);
+      } else {
+        const char* v = next();
+        if (!v) return false;
+        options->trace_out = v;
+      }
+      if (options->trace_out.empty()) return false;
+    } else if (arg == "--metrics-out" || arg.rfind("--metrics-out=", 0) == 0) {
+      if (arg.size() > 14 && arg[13] == '=') {
+        options->metrics_out = arg.substr(14);
+      } else {
+        const char* v = next();
+        if (!v) return false;
+        options->metrics_out = v;
+      }
+      if (options->metrics_out.empty()) return false;
     } else if (arg == "--faults") {
       const char* v = next();
       if (!v) return false;
@@ -251,6 +283,15 @@ void PrintOutcome(const dgs::Pattern& pattern, const dgs::DistOutcome& outcome,
             << "\n";
 }
 
+// "p50/p95/p99 0.4/1.2/3.1 ms (n=17)" — or "n=0" when nothing landed yet.
+std::string FormatPercentiles(const dgs::obs::HistogramSnapshot& h) {
+  if (h.count() == 0) return "n=0";
+  return "p50/p95/p99 " + dgs::FormatDouble(h.QuantileMillis(0.5), 2) + "/" +
+         dgs::FormatDouble(h.QuantileMillis(0.95), 2) + "/" +
+         dgs::FormatDouble(h.QuantileMillis(0.99), 2) +
+         " ms (n=" + std::to_string(h.count()) + ")";
+}
+
 void PrintServerStats(const dgs::ServerStats& stats) {
   std::cout << "replicas: " << stats.replicas
             << ", deploy: " << dgs::FormatDouble(stats.deploy_seconds * 1e3, 2)
@@ -278,7 +319,16 @@ void PrintServerStats(const dgs::ServerStats& stats) {
             << dgs::FormatBytes(stats.update_cumulative.update_bytes)
             << ")\nsubscriptions: " << stats.subscriptions_active
             << " active, deltas delivered " << stats.sub_deltas_delivered
-            << ", dropped " << stats.sub_deltas_dropped << "\n";
+            << ", dropped " << stats.sub_deltas_dropped
+            << "\nlatency: e2e served " << FormatPercentiles(
+                stats.latency.e2e_served)
+            << "\n         cache hit  " << FormatPercentiles(
+                stats.latency.e2e_cache_hit)
+            << "\n         queue wait " << FormatPercentiles(
+                stats.latency.queue_wait)
+            << "\n         run        " << FormatPercentiles(
+                stats.latency.run_served)
+            << "\n";
 }
 
 // "+u,v" inserts the edge (u, v); "-u,v" deletes it.
@@ -305,11 +355,65 @@ size_t CountPairs(const dgs::SimulationResult& result) {
   return pairs;
 }
 
+// Flush the recorder to cli.trace_out and validate the result against the
+// span schema plus the spans this session must have produced. Returns
+// false (after printing why) when the file is unwritable or invalid, so
+// the process exit status gates CI smoke runs.
+bool WriteAndValidateTrace(dgs::obs::TraceRecorder* recorder,
+                           const CliOptions& cli,
+                           const std::vector<std::string>& required_spans) {
+  dgs::obs::TraceRecorder::Uninstall();
+  const std::string json = recorder->ToJson();
+  std::ofstream out(cli.trace_out, std::ios::binary | std::ios::trunc);
+  if (!out || !(out << json) || (out.close(), !out)) {
+    std::cerr << "cannot write trace to " << cli.trace_out << "\n";
+    return false;
+  }
+  const dgs::Status valid = dgs::obs::ValidateTraceJson(json, required_spans);
+  if (!valid.ok()) {
+    std::cerr << "trace validation failed: " << valid.ToString() << "\n";
+    return false;
+  }
+  std::cout << "trace: " << recorder->recorded() << " events ("
+            << recorder->dropped() << " dropped) -> " << cli.trace_out
+            << "\n";
+  return true;
+}
+
+// Lint the registry's name set, check counter monotonicity across two
+// scrapes, and write the second scrape to cli.metrics_out.
+bool WriteAndCheckMetrics(const dgs::obs::MetricsRegistry& registry,
+                          const CliOptions& cli) {
+  const dgs::Status lint = registry.Lint();
+  if (!lint.ok()) {
+    std::cerr << "metrics lint failed: " << lint.ToString() << "\n";
+    return false;
+  }
+  const std::string before = registry.PrometheusText();
+  const std::string after = registry.PrometheusText();
+  const dgs::Status mono = dgs::obs::MetricsRegistry::CheckMonotonic(before,
+                                                                     after);
+  if (!mono.ok()) {
+    std::cerr << "metrics monotonicity check failed: " << mono.ToString()
+              << "\n";
+    return false;
+  }
+  std::ofstream out(cli.metrics_out, std::ios::binary | std::ios::trunc);
+  if (!out || !(out << after) || (out.close(), !out)) {
+    std::cerr << "cannot write metrics to " << cli.metrics_out << "\n";
+    return false;
+  }
+  std::cout << "metrics: " << registry.size() << " series -> "
+            << cli.metrics_out << "\n";
+  return true;
+}
+
 // The --serve REPL: deploy once, answer pattern files interactively
 // through the resident Server. Reads commands from stdin until EOF/quit.
 int RunServeRepl(const dgs::Graph& graph, const dgs::Fragmentation& frag,
                  const CliOptions& cli, dgs::Algorithm default_algorithm,
-                 const dgs::FaultPlan& faults) {
+                 const dgs::FaultPlan& faults,
+                 dgs::obs::TraceRecorder* recorder) {
   dgs::ServerOptions options;
   options.engine.num_threads = cli.threads;
   options.engine.wire_format = cli.wire == "v1" ? dgs::WireFormat::kV1Fixed
@@ -339,7 +443,16 @@ int RunServeRepl(const dgs::Graph& graph, const dgs::Fragmentation& frag,
   }
   std::cout << "\ncommands: match Q.txt [algorithm] | boolean Q.txt "
                "[algorithm] | subscribe Q.txt | subs |\n          update "
-               "+u,v -u,v ... | stats | help | quit\n";
+               "+u,v -u,v ... | stats | metrics | trace on|off | help | "
+               "quit\n";
+
+  dgs::obs::MetricsRegistry registry;
+  (*server)->RegisterMetrics(&registry);
+
+  // What actually ran, so the trace validation at exit only demands spans
+  // this session must have produced.
+  bool did_query = false;
+  bool did_update = false;
 
   // Standing queries registered through `subscribe`, by pattern path.
   std::vector<std::pair<dgs::SubscriptionId, std::string>> subscriptions;
@@ -358,12 +471,40 @@ int RunServeRepl(const dgs::Graph& graph, const dgs::Fragmentation& frag,
                    "counts\n"
                    "  update +u,v -u,v ...       insert/delete edges as one "
                    "atomic batch\n"
-                   "  stats                      serving + cache statistics\n"
+                   "  stats                      serving + cache statistics "
+                   "(with latency percentiles)\n"
+                   "  metrics                    Prometheus text exposition\n"
+                   "  trace on|off               start/stop trace recording\n"
                    "  quit                       drain and exit\n";
       continue;
     }
     if (command == "stats") {
-      PrintServerStats((*server)->stats());
+      PrintServerStats((*server)->StatsSnapshot());
+      continue;
+    }
+    if (command == "metrics") {
+      std::cout << registry.PrometheusText();
+      continue;
+    }
+    if (command == "trace") {
+      std::string mode;
+      tokens >> mode;
+      if (mode == "on") {
+        dgs::obs::TraceRecorder::Install(recorder);
+        std::cout << "tracing on";
+        if (cli.trace_out.empty()) {
+          std::cout << " (no --trace-out: events are recorded but no file "
+                       "is written at exit)";
+        }
+        std::cout << "\n";
+      } else if (mode == "off") {
+        dgs::obs::TraceRecorder::Uninstall();
+        std::cout << "tracing off (" << recorder->recorded()
+                  << " events recorded, " << recorder->dropped()
+                  << " dropped)\n";
+      } else {
+        std::cerr << "trace needs 'on' or 'off'\n";
+      }
       continue;
     }
     if (command == "subscribe") {
@@ -426,6 +567,7 @@ int RunServeRepl(const dgs::Graph& graph, const dgs::Fragmentation& frag,
                      "resubmitted)\n";
         continue;
       }
+      did_update = true;
       std::cout << "version " << outcome->version << ": -"
                 << outcome->edges_deleted << "/+" << outcome->edges_inserted
                 << " edges, " << dgs::FormatBytes(outcome->stats.update_bytes)
@@ -475,14 +617,36 @@ int RunServeRepl(const dgs::Graph& graph, const dgs::Fragmentation& frag,
       std::cerr << "error: " << outcome.status().ToString() << "\n";
       continue;
     }
+    did_query = true;
     const bool cached = (*server)->stats().cache_result_hits > hits_before;
     PrintOutcome(pattern, *outcome, query.boolean_only, cli.print_matches);
     if (cached) std::cout << "(served from the result cache)\n";
   }
   (*server)->Shutdown();
   std::cout << "\n== final serving statistics ==\n";
-  PrintServerStats((*server)->stats());
-  return 0;
+  PrintServerStats((*server)->StatsSnapshot());
+
+  int exit_code = 0;
+  if (!cli.metrics_out.empty() && !WriteAndCheckMetrics(registry, cli)) {
+    exit_code = 1;
+  }
+  if (!cli.trace_out.empty()) {
+    // Only demand spans this session's commands must have produced. The
+    // first successful query is never a cache hit, so any served query
+    // implies a full engine run (bind -> rounds -> site compute).
+    std::vector<std::string> required;
+    if (did_query) {
+      required.insert(required.end(),
+                      {"server.admission", "server.query", "engine.match",
+                       "cluster.round", "site.compute"});
+      if (cli.transport.kind == dgs::TransportKind::kTcp) {
+        required.push_back("transport.frame");
+      }
+    }
+    if (did_update) required.push_back("dyn.update");
+    if (!WriteAndValidateTrace(recorder, cli, required)) exit_code = 1;
+  }
+  return exit_code;
 }
 
 }  // namespace
@@ -496,10 +660,12 @@ int main(int argc, char** argv) {
                  "[--wire v1|v2]\n"
                  "             [--transport loopback|tcp[:procs]]\n"
                  "             [--faults SPEC] [--fault-seed S]\n"
-                 "             [--boolean] [--stats] [--matches]\n"
+                 "             [--boolean] [--stats] [--matches] "
+                 "[--trace-out FILE]\n"
                  "       dgsim --graph G.txt --serve [--replicas 2] "
                  "[--cache off|candidates|full]\n"
-                 "             [--retry N] [common options]\n"
+                 "             [--retry N] [--trace-out FILE] "
+                 "[--metrics-out FILE] [common options]\n"
                  "fault SPEC: comma-separated [class.]key=value, e.g.\n"
                  "  --faults drop=0.05,dup=0.02,reorder=0.1   "
                  "(recovered: results unchanged)\n"
@@ -524,6 +690,18 @@ int main(int argc, char** argv) {
     fault_plan = std::move(parsed).value();
   }
   if (cli.has_fault_seed) fault_plan.seed = cli.fault_seed;
+  if (!cli.metrics_out.empty() && !cli.serve) {
+    std::cerr << "--metrics-out requires --serve (the metrics registry "
+                 "samples a resident server)\n";
+    return 1;
+  }
+
+  // The recorder outlives everything it could instrument (engines, the
+  // server, transports), honoring the trace lifetime contract. Recording
+  // starts now when --trace-out is given, so deploy is traced too; the
+  // serve REPL can also toggle it with `trace on|off`.
+  dgs::obs::TraceRecorder recorder;
+  if (!cli.trace_out.empty()) dgs::obs::TraceRecorder::Install(&recorder);
 
   std::ifstream graph_file(cli.graph_path);
   if (!graph_file) {
@@ -559,7 +737,8 @@ int main(int argc, char** argv) {
   }
 
   if (cli.serve) {
-    return RunServeRepl(*graph, *fragmentation, cli, algorithm, fault_plan);
+    return RunServeRepl(*graph, *fragmentation, cli, algorithm, fault_plan,
+                        &recorder);
   }
 
   dgs::DistOptions options;
@@ -604,5 +783,13 @@ int main(int argc, char** argv) {
               << " ms\n";
   }
   PrintOutcome(pattern, *outcome, cli.boolean_only, cli.print_matches);
+  if (!cli.trace_out.empty()) {
+    std::vector<std::string> required = {"engine.match", "cluster.round",
+                                         "site.compute"};
+    if (cli.transport.kind == dgs::TransportKind::kTcp) {
+      required.push_back("transport.frame");
+    }
+    if (!WriteAndValidateTrace(&recorder, cli, required)) return 1;
+  }
   return outcome->result.GraphMatches() ? 0 : 2;
 }

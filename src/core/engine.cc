@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "graph/algorithms.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace dgs {
@@ -261,6 +262,9 @@ StatusOr<DistOutcome> Engine::Match(const Pattern& q,
 
   Deployment& deployment = DeploymentFor(algorithm);
 
+  obs::TraceSpan match_span("engine", "engine.match");
+  match_span.Arg("algorithm", AlgorithmName(algorithm));
+
   DistOutcome outcome;
   RunHealth health;
   QueryContext query;
@@ -275,20 +279,26 @@ StatusOr<DistOutcome> Engine::Match(const Pattern& q,
       options.enable_push && algorithm == Algorithm::kDgpm;
 
   AlgoCountersChannel counters_channel(&outcome.counters);
-  deployment.BindQuery(query);
-  BindToCluster(cluster_, deployment);
-  cluster_.BindHealth(&health);
-  cluster_.BindSharedState(&counters_channel);
-  // Arms the persistent-worker re-ship channel (no-op under loopback or
-  // with persistent workers disabled): a tcp fleet forked under this
-  // family's deployment picks the query up from the binding blob instead
-  // of being reforked per run. deploy_version = family slot + 1, so a
-  // family switch retires the fleet whose fork-time snapshot no longer
-  // matches.
-  binding_.Arm(&deployment, &q, query.options);
-  cluster_.BindRunBinding(&binding_,
-                          static_cast<uint64_t>(SlotFor(algorithm)) + 1);
-  outcome.stats = cluster_.Run();  // Run starts from a clean slate itself
+  {
+    obs::TraceSpan bind_span("engine", "engine.bind");
+    deployment.BindQuery(query);
+    BindToCluster(cluster_, deployment);
+    cluster_.BindHealth(&health);
+    cluster_.BindSharedState(&counters_channel);
+    // Arms the persistent-worker re-ship channel (no-op under loopback or
+    // with persistent workers disabled): a tcp fleet forked under this
+    // family's deployment picks the query up from the binding blob instead
+    // of being reforked per run. deploy_version = family slot + 1, so a
+    // family switch retires the fleet whose fork-time snapshot no longer
+    // matches.
+    binding_.Arm(&deployment, &q, query.options);
+    cluster_.BindRunBinding(&binding_,
+                            static_cast<uint64_t>(SlotFor(algorithm)) + 1);
+  }
+  {
+    obs::TraceSpan run_span("engine", "engine.run");
+    outcome.stats = cluster_.Run();  // Run starts from a clean slate itself
+  }
   cluster_.BindRunBinding(nullptr, 0);
   binding_.Disarm();
   cluster_.BindHealth(nullptr);  // health dies with this frame
@@ -296,7 +306,10 @@ StatusOr<DistOutcome> Engine::Match(const Pattern& q,
   outcome.faults = cluster_.fault_stats();
   outcome.transport = cluster_.transport_stats();
   const bool poisoned = health.poisoned();
-  if (!poisoned) outcome.result = deployment.Collect(&outcome.counters);
+  if (!poisoned) {
+    obs::TraceSpan collect_span("engine", "engine.collect");
+    outcome.result = deployment.Collect(&outcome.counters);
+  }
   outcome.decode_drops = {health.decode_drops(MessageClass::kData),
                           health.decode_drops(MessageClass::kControl),
                           health.decode_drops(MessageClass::kResult),
@@ -307,7 +320,10 @@ StatusOr<DistOutcome> Engine::Match(const Pattern& q,
   stats_.decode_drops.Accumulate(outcome.decode_drops);
   stats_.faults.Accumulate(outcome.faults);
   stats_.transport.Accumulate(outcome.transport);
-  deployment.EndQuery();
+  {
+    obs::TraceSpan clear_span("engine", "engine.clear");
+    deployment.EndQuery();
+  }
 
   if (poisoned) {
     ++stats_.queries_failed;

@@ -52,6 +52,7 @@
 
 #include "core/metrics.h"
 #include "graph/pattern.h"
+#include "obs/histogram.h"
 #include "runtime/cluster.h"
 #include "util/status.h"
 
@@ -250,6 +251,27 @@ struct ServerOptions {
   uint32_t circuit_breaker_strikes = 8;
 };
 
+// Latency distributions of one dgs::Server, split by outcome class. All
+// histograms record NANOSECONDS (use the QuantileMillis/QuantileSeconds
+// accessors). End-to-end spans Submit() to completion; queue wait spans
+// admission to worker pickup (dispatched queries only); run time is the
+// engine execution of fresh (non-cache-hit) served queries, retries
+// included. Because histogram records land after the matching ServerStats
+// counter bump, any StatsSnapshot obeys `histogram.count() <= counter` per
+// class — snapshots never claim more latency samples than counted queries.
+// Metric names and exposition: docs/OBSERVABILITY.md.
+struct ServerLatency {
+  obs::HistogramSnapshot e2e_served;     // completed ok, fresh run
+  obs::HistogramSnapshot e2e_cache_hit;  // completed ok from the result memo
+  obs::HistogramSnapshot e2e_failed;     // completed with an error Status
+  obs::HistogramSnapshot e2e_rejected;   // rejected at admission (overload,
+                                         // shutdown, degraded) or expired
+  obs::HistogramSnapshot e2e_retried;    // served after >=1 retry/failover
+                                         // (sub-population of e2e_served)
+  obs::HistogramSnapshot queue_wait;     // admission -> worker pickup
+  obs::HistogramSnapshot run_served;     // engine time of fresh served runs
+};
+
 // Cumulative serving metrics of one dgs::Server. Counters are exact; a
 // query is counted in exactly one of {rejected_overload, rejected_shutdown,
 // expired, served, failed}.
@@ -322,6 +344,8 @@ struct ServerStats {
   // accounting so per-query byte/message comparisons stay meaningful.
   RunStats update_cumulative;
   AlgoCounters counters;
+  // Latency distributions (p50/p95/p99 via ServerLatency accessors).
+  ServerLatency latency;
 };
 
 // RunHealth — the per-run poison flag the actors and the transport share —

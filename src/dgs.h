@@ -26,6 +26,9 @@
 #include "graph/graph.h"
 #include "graph/io.h"
 #include "graph/pattern.h"
+#include "obs/histogram.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
 #include "partition/fragmentation.h"
 #include "partition/partitioner.h"
 #include "partition/stats.h"

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/trace.h"
+
 namespace dgs {
 
 SubscriptionRegistry::SubscriptionRegistry(const Graph& g,
@@ -39,6 +41,9 @@ size_t SubscriptionRegistry::NumSubscriptions() const {
 SubscriptionRegistry::ApplyOutcome SubscriptionRegistry::ApplyBatch(
     const UpdateBatch& batch, uint64_t version) {
   std::lock_guard<std::mutex> lock(mu_);
+  obs::TraceSpan apply_span("dyn", "dyn.subs_apply");
+  apply_span.Arg("version", version);
+  apply_span.Arg("subs", static_cast<uint64_t>(subs_.size()));
   ApplyOutcome outcome;
 
   // One authoritative mutation per edge, then every kernel repairs from the

@@ -1,0 +1,216 @@
+// Log-bucketed (HDR-style) latency histogram with mergeable snapshots.
+//
+// The serving north-star needs latency *distributions*, not sums: a mean
+// hides exactly the tail the admission layer exists to manage. The scheme
+// here is the classic HDR layout: values below 2^kPrecisionBits are counted
+// exactly, everything above lands in one of 2^kPrecisionBits sub-buckets
+// per power of two, so the bucket width is always <= value / 2^kPrecisionBits
+// — a fixed ~3% relative error at kPrecisionBits = 5, independent of
+// magnitude, over the full uint64 range (no overflow bucket needed; the
+// top octave covers up to UINT64_MAX).
+//
+// Two types share the layout:
+//  - `Histogram`: the live recorder. Relaxed atomics per bucket, so worker
+//    threads record without a lock and a concurrent `Snapshot()` sees a
+//    monotone (possibly slightly stale) view — the same contract as the
+//    counter structs it sits beside.
+//  - `HistogramSnapshot`: a plain value type. Mergeable (`Merge` is exactly
+//    equivalent to having recorded both input streams into one histogram),
+//    queryable (`ValueAtQuantile`), and cheap to copy into stats structs
+//    and BENCH_*.json files.
+//
+// Values are dimensionless uint64s; the serving layer records nanoseconds
+// and the `*Seconds`/`*Millis` helpers do the unit conversion at the edges.
+// Metric names and exposition format: docs/OBSERVABILITY.md.
+
+#ifndef DGS_OBS_HISTOGRAM_H_
+#define DGS_OBS_HISTOGRAM_H_
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace dgs::obs {
+
+// Shared bucket layout. With kPrecisionBits = 5: indexes [0, 32) count the
+// values 0..31 exactly; block b >= 1 covers [2^(b+4), 2^(b+5)) in 32 equal
+// sub-buckets; the last block (b = 59) tops out at UINT64_MAX.
+struct HistogramLayout {
+  static constexpr uint32_t kPrecisionBits = 5;
+  static constexpr uint32_t kSubBuckets = 1u << kPrecisionBits;
+  static constexpr uint32_t kNumBuckets =
+      (64 - kPrecisionBits + 1) * kSubBuckets;  // 60 blocks of 32
+
+  static constexpr uint32_t BucketIndex(uint64_t v) {
+    if (v < kSubBuckets) return static_cast<uint32_t>(v);
+    const uint32_t exp = 63u - static_cast<uint32_t>(std::countl_zero(v));
+    const uint32_t shift = exp - kPrecisionBits;
+    const uint32_t sub =
+        static_cast<uint32_t>(v >> shift) - kSubBuckets;  // drops the MSB
+    return (exp - kPrecisionBits + 1) * kSubBuckets + sub;
+  }
+
+  // Smallest value mapping to `idx`.
+  static constexpr uint64_t BucketLowerBound(uint32_t idx) {
+    if (idx < kSubBuckets) return idx;
+    const uint32_t block = idx >> kPrecisionBits;  // >= 1
+    const uint32_t sub = idx & (kSubBuckets - 1);
+    return static_cast<uint64_t>(kSubBuckets + sub) << (block - 1);
+  }
+
+  // Largest value mapping to `idx` (saturating in the top block).
+  static constexpr uint64_t BucketUpperBound(uint32_t idx) {
+    if (idx < kSubBuckets) return idx;
+    const uint32_t block = idx >> kPrecisionBits;
+    const uint64_t width = uint64_t{1} << (block - 1);
+    const uint64_t lower = BucketLowerBound(idx);
+    return lower > std::numeric_limits<uint64_t>::max() - (width - 1)
+               ? std::numeric_limits<uint64_t>::max()
+               : lower + width - 1;
+  }
+};
+
+// Plain-value histogram: direct recording (single-threaded), merging, and
+// quantile queries. This is what travels inside ServerStats and bench JSON.
+class HistogramSnapshot : public HistogramLayout {
+ public:
+  void Record(uint64_t v, uint64_t n = 1) {
+    if (n == 0) return;
+    EnsureBuckets();
+    counts_[BucketIndex(v)] += n;
+    count_ += n;
+    sum_ += v * n;
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+
+  // Equivalent to having recorded both streams into one histogram.
+  void Merge(const HistogramSnapshot& other) {
+    if (other.count_ == 0) return;
+    EnsureBuckets();
+    for (uint32_t i = 0; i < kNumBuckets; ++i) counts_[i] += other.counts_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0 : static_cast<double>(sum_) / count_;
+  }
+
+  // Upper bound of the bucket holding the q-quantile rank (q in [0, 1]),
+  // clamped to the observed max so p100 is exact. 0 on an empty histogram.
+  uint64_t ValueAtQuantile(double q) const {
+    if (count_ == 0) return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    const uint64_t rank =
+        std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(q * count_)));
+    uint64_t seen = 0;
+    for (uint32_t i = 0; i < kNumBuckets; ++i) {
+      seen += counts_[i];
+      if (seen >= rank) return std::min(BucketUpperBound(i), max_);
+    }
+    return max_;
+  }
+
+  // Unit helpers for the common case of nanosecond-valued histograms.
+  double QuantileSeconds(double q) const {
+    return static_cast<double>(ValueAtQuantile(q)) * 1e-9;
+  }
+  double QuantileMillis(double q) const {
+    return static_cast<double>(ValueAtQuantile(q)) * 1e-6;
+  }
+  double MeanMillis() const { return mean() * 1e-6; }
+
+  uint64_t BucketCount(uint32_t idx) const {
+    return counts_.empty() ? 0 : counts_[idx];
+  }
+
+ private:
+  friend class Histogram;  // stamps exact sum/min/max into snapshots
+
+  void EnsureBuckets() {
+    if (counts_.empty()) counts_.assign(kNumBuckets, 0);
+  }
+
+  std::vector<uint64_t> counts_;  // empty until first Record/Merge
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t min_ = std::numeric_limits<uint64_t>::max();
+  uint64_t max_ = 0;
+};
+
+// Thread-safe recorder: relaxed per-bucket atomics, no lock on the record
+// path. A concurrent Snapshot() may split a logically-single Record across
+// the bucket and the count/sum totals; both views are monotone, and the
+// snapshot recomputes count/sum from the buckets so its own cross-field
+// invariants (count == sum of buckets) always hold.
+class Histogram : public HistogramLayout {
+ public:
+  Histogram() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  }
+
+  void Record(uint64_t v) {
+    buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    UpdateMin(v);
+    UpdateMax(v);
+  }
+
+  void RecordSeconds(double seconds) {
+    if (seconds < 0 || !std::isfinite(seconds)) seconds = 0;
+    Record(static_cast<uint64_t>(seconds * 1e9 + 0.5));
+  }
+
+  HistogramSnapshot Snapshot() const {
+    HistogramSnapshot snap;
+    for (uint32_t i = 0; i < kNumBuckets; ++i) {
+      const uint64_t c = buckets_[i].load(std::memory_order_relaxed);
+      if (c > 0) snap.Record(BucketLowerBound(i), c);
+    }
+    if (snap.count_ > 0) {
+      // Bucket lower bounds approximate the totals; the recorder kept the
+      // exact ones — carry those into the snapshot.
+      snap.sum_ = sum_.load(std::memory_order_relaxed);
+      snap.min_ =
+          std::min(snap.min_, min_.load(std::memory_order_relaxed));
+      snap.max_ =
+          std::max(snap.max_, max_.load(std::memory_order_relaxed));
+    }
+    return snap;
+  }
+
+ private:
+  void UpdateMin(uint64_t v) {
+    uint64_t cur = min_.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !min_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  void UpdateMax(uint64_t v) {
+    uint64_t cur = max_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !max_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_;
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{std::numeric_limits<uint64_t>::max()};
+  std::atomic<uint64_t> max_{0};
+};
+
+}  // namespace dgs::obs
+
+#endif  // DGS_OBS_HISTOGRAM_H_

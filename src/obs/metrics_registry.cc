@@ -1,0 +1,249 @@
+#include "obs/metrics_registry.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <set>
+#include <sstream>
+
+namespace dgs::obs {
+
+namespace {
+
+constexpr double kQuantiles[] = {0.5, 0.95, 0.99};
+constexpr const char* kQuantileLabels[] = {"0.5", "0.95", "0.99"};
+constexpr const char* kQuantileJsonKeys[] = {"p50", "p95", "p99"};
+
+bool ValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  };
+  auto tail = [&](char c) {
+    return head(c) || std::isdigit(static_cast<unsigned char>(c));
+  };
+  if (!head(name[0])) return false;
+  for (size_t i = 1; i < name.size(); ++i) {
+    if (!tail(name[i])) return false;
+  }
+  return true;
+}
+
+std::string FormatValue(double v) {
+  if (!std::isfinite(v)) return v > 0 ? "+Inf" : (v < 0 ? "-Inf" : "NaN");
+  char buf[48];
+  // %.17g round-trips doubles, so a re-parse in CheckMonotonic is exact.
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+// One parsed sample line: `name value` or `name{labels} value`.
+struct Sample {
+  std::string name;  // including the {labels} part, so series are distinct
+  double value = 0;
+};
+
+// Parse the subset of the Prometheus text format PrometheusText emits.
+// Returns false (with `error`) on a malformed line. `counters` collects
+// the bare metric names declared `# TYPE <name> counter`.
+bool ParseScrape(const std::string& text, std::vector<Sample>* samples,
+                 std::set<std::string>* counters, std::string* error) {
+  std::istringstream in(text);
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      std::istringstream hl(line);
+      std::string hash, kw, name, kind;
+      hl >> hash >> kw >> name >> kind;
+      if (kw == "TYPE" && kind == "counter") counters->insert(name);
+      continue;
+    }
+    const size_t space = line.rfind(' ');
+    if (space == std::string::npos || space == 0 || space + 1 >= line.size()) {
+      *error = "malformed sample on line " + std::to_string(lineno);
+      return false;
+    }
+    Sample s;
+    s.name = line.substr(0, space);
+    char* end = nullptr;
+    const std::string val = line.substr(space + 1);
+    s.value = std::strtod(val.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      if (val != "+Inf" && val != "-Inf" && val != "NaN") {
+        *error = "malformed value on line " + std::to_string(lineno);
+        return false;
+      }
+      s.value = val == "+Inf"
+                    ? std::numeric_limits<double>::infinity()
+                    : (val == "-Inf" ? -std::numeric_limits<double>::infinity()
+                                     : std::numeric_limits<double>::quiet_NaN());
+    }
+    samples->push_back(std::move(s));
+  }
+  return true;
+}
+
+// The bare metric name of a sample series ("foo{quantile=..}" -> "foo").
+std::string BareName(const std::string& series) {
+  const size_t brace = series.find('{');
+  return brace == std::string::npos ? series : series.substr(0, brace);
+}
+
+}  // namespace
+
+void MetricsRegistry::AddCounter(const std::string& name,
+                                 const std::string& help, SampleFn fn) {
+  metrics_.push_back(
+      {Kind::kCounter, name, help, std::move(fn), nullptr, 1.0});
+}
+
+void MetricsRegistry::AddGauge(const std::string& name,
+                               const std::string& help, SampleFn fn) {
+  metrics_.push_back({Kind::kGauge, name, help, std::move(fn), nullptr, 1.0});
+}
+
+void MetricsRegistry::AddHistogram(const std::string& name,
+                                   const std::string& help, HistogramFn fn,
+                                   double scale) {
+  metrics_.push_back(
+      {Kind::kHistogram, name, help, nullptr, std::move(fn), scale});
+}
+
+std::string MetricsRegistry::PrometheusText() const {
+  std::string out;
+  for (const Metric& m : metrics_) {
+    out += "# HELP " + m.name + " " + m.help + "\n";
+    switch (m.kind) {
+      case Kind::kCounter:
+        out += "# TYPE " + m.name + " counter\n";
+        out += m.name + " " + FormatValue(m.sample()) + "\n";
+        break;
+      case Kind::kGauge:
+        out += "# TYPE " + m.name + " gauge\n";
+        out += m.name + " " + FormatValue(m.sample()) + "\n";
+        break;
+      case Kind::kHistogram: {
+        const HistogramSnapshot snap = m.histogram();
+        out += "# TYPE " + m.name + " summary\n";
+        for (size_t q = 0; q < 3; ++q) {
+          out += m.name + "{quantile=\"" + kQuantileLabels[q] + "\"} " +
+                 FormatValue(static_cast<double>(
+                                 snap.ValueAtQuantile(kQuantiles[q])) *
+                             m.scale) +
+                 "\n";
+        }
+        out += m.name + "_sum " +
+               FormatValue(static_cast<double>(snap.sum()) * m.scale) + "\n";
+        out += m.name + "_count " +
+               FormatValue(static_cast<double>(snap.count())) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::JsonDump() const {
+  std::string out = "{";
+  bool first = true;
+  auto emit = [&](const std::string& name, const std::string& value) {
+    if (!first) out += ',';
+    first = false;
+    out += "\"" + name + "\":" + value;
+  };
+  for (const Metric& m : metrics_) {
+    switch (m.kind) {
+      case Kind::kCounter:
+      case Kind::kGauge:
+        emit(m.name, FormatValue(m.sample()));
+        break;
+      case Kind::kHistogram: {
+        const HistogramSnapshot snap = m.histogram();
+        std::string h = "{\"count\":" + FormatValue(double(snap.count())) +
+                        ",\"sum\":" +
+                        FormatValue(double(snap.sum()) * m.scale);
+        for (size_t q = 0; q < 3; ++q) {
+          h += ",\"" + std::string(kQuantileJsonKeys[q]) + "\":" +
+               FormatValue(double(snap.ValueAtQuantile(kQuantiles[q])) *
+                           m.scale);
+        }
+        h += "}";
+        emit(m.name, h);
+        break;
+      }
+    }
+  }
+  out += "}";
+  return out;
+}
+
+Status MetricsRegistry::Lint() const {
+  std::set<std::string> names;
+  for (const Metric& m : metrics_) {
+    if (!ValidMetricName(m.name)) {
+      return Status(StatusCode::kInvalidArgument,
+                    "metric name '" + m.name + "' is malformed");
+    }
+    // A histogram expands to <name>{quantile}, <name>_sum, <name>_count;
+    // reserve all three so scalar registrations cannot collide with them.
+    std::vector<std::string> expansions = {m.name};
+    if (m.kind == Kind::kHistogram) {
+      expansions.push_back(m.name + "_sum");
+      expansions.push_back(m.name + "_count");
+    }
+    for (const std::string& n : expansions) {
+      if (!names.insert(n).second) {
+        return Status(StatusCode::kInvalidArgument,
+                      "duplicate metric name '" + n + "'");
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+Status MetricsRegistry::CheckMonotonic(const std::string& before,
+                                       const std::string& after) {
+  std::vector<Sample> a, b;
+  std::set<std::string> counters_a, counters_b;
+  std::string error;
+  if (!ParseScrape(before, &a, &counters_a, &error)) {
+    return Status(StatusCode::kDataLoss, "first scrape: " + error);
+  }
+  if (!ParseScrape(after, &b, &counters_b, &error)) {
+    return Status(StatusCode::kDataLoss, "second scrape: " + error);
+  }
+
+  for (const auto* scrape : {&a, &b}) {
+    std::set<std::string> seen;
+    for (const Sample& s : *scrape) {
+      if (!seen.insert(s.name).second) {
+        return Status(StatusCode::kInvalidArgument,
+                      "duplicate sample series '" + s.name + "' in a scrape");
+      }
+    }
+  }
+
+  std::map<std::string, double> after_by_name;
+  for (const Sample& s : b) after_by_name[s.name] = s.value;
+  for (const Sample& s : a) {
+    if (counters_a.find(BareName(s.name)) == counters_a.end()) continue;
+    const auto it = after_by_name.find(s.name);
+    if (it == after_by_name.end()) {
+      return Status(StatusCode::kNotFound,
+                    "counter '" + s.name + "' vanished between scrapes");
+    }
+    if (it->second < s.value) {
+      return Status(StatusCode::kFailedPrecondition,
+                    "counter '" + s.name + "' moved backwards: " +
+                        FormatValue(s.value) + " -> " +
+                        FormatValue(it->second));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace dgs::obs

@@ -1,0 +1,84 @@
+// Metric exposition: counters, gauges, and histogram summaries registered
+// by the existing stats structs and emitted as Prometheus text format or a
+// JSON dump.
+//
+// The registry does not own any state and never samples eagerly: each
+// registration is a name + help string + a sampling callback, so a scrape
+// reads whatever the owning struct's snapshot path returns at that moment
+// (e.g. `Server::StatsSnapshot()` behind a lambda). Scrapes are therefore
+// exactly as consistent as the underlying snapshot — see
+// docs/OBSERVABILITY.md for the full metric name registry (stable names,
+// types, labels) and the naming rules enforced by `Lint`.
+//
+// Histograms are exposed as Prometheus *summaries* (quantile series +
+// _sum/_count) rather than `le` buckets: the HDR layout has 1920 buckets,
+// and the quantiles are what the SLO gates consume.
+
+#ifndef DGS_OBS_METRICS_REGISTRY_H_
+#define DGS_OBS_METRICS_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.h"
+#include "util/status.h"
+
+namespace dgs::obs {
+
+class MetricsRegistry {
+ public:
+  using SampleFn = std::function<double()>;
+  using HistogramFn = std::function<HistogramSnapshot()>;
+
+  // Counters are cumulative and must be monotone across scrapes (linted by
+  // CheckMonotonic); gauges move freely. Names must match
+  // [a-zA-Z_:][a-zA-Z0-9_:]* and be unique — violations surface in Lint().
+  void AddCounter(const std::string& name, const std::string& help,
+                  SampleFn fn);
+  void AddGauge(const std::string& name, const std::string& help,
+                SampleFn fn);
+
+  // `scale` converts raw histogram values for exposition; the default
+  // turns recorded nanoseconds into seconds (Prometheus base unit).
+  void AddHistogram(const std::string& name, const std::string& help,
+                    HistogramFn fn, double scale = 1e-9);
+
+  // Prometheus text exposition, metrics in registration order (stable
+  // output for diffing two scrapes).
+  std::string PrometheusText() const;
+
+  // The same samples as a JSON object keyed by metric name.
+  std::string JsonDump() const;
+
+  // Registration-time hygiene: duplicate names (including histogram
+  // expansions colliding with scalar metrics) and malformed names.
+  Status Lint() const;
+
+  // Parse two Prometheus text scrapes (as produced by PrometheusText) and
+  // verify every counter sample in `before` is <= its value in `after`
+  // and that neither scrape carries duplicate sample names. The CI smoke
+  // job runs this across two scrapes of a live server.
+  static Status CheckMonotonic(const std::string& before,
+                               const std::string& after);
+
+  size_t size() const { return metrics_.size(); }
+
+ private:
+  enum class Kind { kCounter, kGauge, kHistogram };
+  struct Metric {
+    Kind kind;
+    std::string name;
+    std::string help;
+    SampleFn sample;
+    HistogramFn histogram;
+    double scale = 1.0;
+  };
+
+  std::vector<Metric> metrics_;
+};
+
+}  // namespace dgs::obs
+
+#endif  // DGS_OBS_METRICS_REGISTRY_H_

@@ -1,0 +1,556 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+
+namespace dgs::obs {
+
+std::atomic<TraceRecorder*> TraceRecorder::active_{nullptr};
+
+namespace {
+
+// Monotone recorder ids: a thread's cached ring must never be mistaken
+// for one belonging to a new recorder that reused the old one's address.
+std::atomic<uint64_t> g_next_recorder_id{1};
+
+struct ThreadRingCache {
+  uint64_t recorder_id = 0;
+  void* ring = nullptr;
+};
+thread_local ThreadRingCache t_ring_cache;
+
+void AppendJsonEscaped(const char* s, std::string* out) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+void AppendMicros(uint64_t ns, std::string* out) {
+  // Microseconds with nanosecond resolution, as Chrome trace `ts` expects.
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  *out += buf;
+}
+
+void AppendArgs(const TraceEvent& e, std::string* out) {
+  if (e.n_args == 0) return;
+  *out += ",\"args\":{";
+  for (uint32_t i = 0; i < e.n_args; ++i) {
+    if (i > 0) *out += ',';
+    const TraceArg& a = e.args[i];
+    *out += '"';
+    AppendJsonEscaped(a.key != nullptr ? a.key : "", out);
+    *out += "\":";
+    char buf[40];
+    switch (a.kind) {
+      case TraceArg::Kind::kUint:
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(a.u));
+        *out += buf;
+        break;
+      case TraceArg::Kind::kDouble:
+        std::snprintf(buf, sizeof(buf), "%.6g", a.d);
+        *out += buf;
+        break;
+      case TraceArg::Kind::kStr:
+        *out += '"';
+        AppendJsonEscaped(a.s != nullptr ? a.s : "", out);
+        *out += '"';
+        break;
+      case TraceArg::Kind::kNone:
+        *out += "null";
+        break;
+    }
+  }
+  *out += '}';
+}
+
+}  // namespace
+
+TraceRecorder::TraceRecorder(size_t ring_capacity)
+    : ring_capacity_(std::max<size_t>(ring_capacity, 16)),
+      origin_ns_(MonotonicNanos()),
+      id_(g_next_recorder_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+TraceRecorder::~TraceRecorder() {
+  if (Active() == this) Uninstall();
+}
+
+TraceRecorder::Ring* TraceRecorder::ThreadRing() {
+  if (t_ring_cache.recorder_id == id_) {
+    return static_cast<Ring*>(t_ring_cache.ring);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto ring = std::make_unique<Ring>();
+  ring->events.resize(ring_capacity_);
+  ring->lane = next_lane_++;
+  Ring* raw = ring.get();
+  rings_.push_back(std::move(ring));
+  t_ring_cache.recorder_id = id_;
+  t_ring_cache.ring = raw;
+  return raw;
+}
+
+void TraceRecorder::Append(const TraceEvent& e) {
+  Ring* ring = ThreadRing();
+  TraceEvent ev = e;
+  if (ev.lane == 0) ev.lane = ring->lane;
+  if (ring->size < ring->events.size()) {
+    ring->events[ring->size++] = ev;
+  } else {
+    ring->events[ring->head] = ev;
+    ring->head = (ring->head + 1) % ring->events.size();
+    ++ring->overwritten;
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TraceRecorder::Complete(const char* cat, const char* name,
+                             uint64_t start_mono_ns, uint64_t dur_ns,
+                             uint32_t lane,
+                             std::initializer_list<TraceArg> args) {
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.ph = 'X';
+  e.lane = lane;
+  e.ts_ns = start_mono_ns >= origin_ns_ ? start_mono_ns - origin_ns_ : 0;
+  e.dur_ns = dur_ns;
+  for (const TraceArg& a : args) {
+    if (a.kind == TraceArg::Kind::kNone) continue;
+    if (e.n_args >= TraceEvent::kMaxArgs) break;
+    e.args[e.n_args++] = a;
+  }
+  Append(e);
+}
+
+void TraceRecorder::Instant(const char* cat, const char* name,
+                            std::initializer_list<TraceArg> args,
+                            uint32_t lane, uint64_t mono_ns) {
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.ph = 'i';
+  e.lane = lane;
+  const uint64_t at = mono_ns != 0 ? mono_ns : MonotonicNanos();
+  e.ts_ns = at >= origin_ns_ ? at - origin_ns_ : 0;
+  for (const TraceArg& a : args) {
+    if (a.kind == TraceArg::Kind::kNone) continue;
+    if (e.n_args >= TraceEvent::kMaxArgs) break;
+    e.args[e.n_args++] = a;
+  }
+  Append(e);
+}
+
+void TraceRecorder::NameLane(uint32_t lane, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  lane_names_[lane] = name;
+}
+
+std::string TraceRecorder::ToJson() {
+  std::vector<TraceEvent> merged;
+  std::map<uint32_t, std::string> lane_names;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t total = 0;
+    for (const auto& r : rings_) total += r->size;
+    merged.reserve(total);
+    for (const auto& r : rings_) {
+      for (size_t i = 0; i < r->size; ++i) merged.push_back(r->events[i]);
+    }
+    lane_names = lane_names_;
+  }
+
+  // Total order => deterministic output for the same logical events, no
+  // matter how they were sharded across recording threads.
+  std::sort(merged.begin(), merged.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+              if (a.lane != b.lane) return a.lane < b.lane;
+              if (a.ph != b.ph) return a.ph < b.ph;
+              // Longer spans first at equal start: parents enclose children.
+              if (a.dur_ns != b.dur_ns) return a.dur_ns > b.dur_ns;
+              return std::strcmp(a.name != nullptr ? a.name : "",
+                                 b.name != nullptr ? b.name : "") < 0;
+            });
+
+  std::string out;
+  out.reserve(merged.size() * 96 + 256);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const auto& [lane, name] : lane_names) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":";
+    out += std::to_string(lane);
+    out += ",\"args\":{\"name\":\"";
+    AppendJsonEscaped(name.c_str(), &out);
+    out += "\"}}";
+  }
+  for (const TraceEvent& e : merged) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    AppendJsonEscaped(e.name != nullptr ? e.name : "", &out);
+    out += "\",\"cat\":\"";
+    AppendJsonEscaped(e.cat != nullptr ? e.cat : "", &out);
+    out += "\",\"ph\":\"";
+    out += e.ph;
+    out += "\",\"pid\":1,\"tid\":";
+    out += std::to_string(e.lane);
+    out += ",\"ts\":";
+    AppendMicros(e.ts_ns, &out);
+    if (e.ph == 'X') {
+      out += ",\"dur\":";
+      AppendMicros(e.dur_ns, &out);
+    }
+    if (e.ph == 'i') out += ",\"s\":\"t\"";
+    AppendArgs(e, &out);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+Status TraceRecorder::WriteJsonFile(const std::string& path) {
+  const std::string json = ToJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status(StatusCode::kUnavailable,
+                  "cannot open trace output file '" + path + "'");
+  }
+  const size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  const bool ok = n == json.size() && std::fclose(f) == 0;
+  if (!ok) {
+    return Status(StatusCode::kUnavailable,
+                  "short write to trace output file '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Trace JSON validation: a compact recursive-descent JSON parser plus the
+// structural checks from docs/trace.schema.json. Deliberately dependency-
+// free — the repo has no JSON library, and the validator doubles as the
+// parser for the metrics lint in the CI smoke job.
+
+namespace {
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;
+
+  const JsonValue* Find(const std::string& key) const {
+    for (const auto& [k, v] : obj) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  bool Parse(JsonValue* out, std::string* error) {
+    SkipWs();
+    if (!ParseValue(out, error)) return false;
+    SkipWs();
+    if (pos_ != s_.size()) {
+      *error = "trailing characters at offset " + std::to_string(pos_);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Fail(std::string* error, const std::string& what) {
+    *error = what + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  bool ParseValue(JsonValue* out, std::string* error) {
+    if (pos_ >= s_.size()) return Fail(error, "unexpected end of input");
+    const char c = s_[pos_];
+    if (c == '{') return ParseObject(out, error);
+    if (c == '[') return ParseArray(out, error);
+    if (c == '"') {
+      out->type = JsonValue::Type::kString;
+      return ParseString(&out->str, error);
+    }
+    if (s_.compare(pos_, 4, "true") == 0) {
+      out->type = JsonValue::Type::kBool;
+      out->b = true;
+      pos_ += 4;
+      return true;
+    }
+    if (s_.compare(pos_, 5, "false") == 0) {
+      out->type = JsonValue::Type::kBool;
+      pos_ += 5;
+      return true;
+    }
+    if (s_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return true;
+    }
+    return ParseNumber(out, error);
+  }
+
+  bool ParseNumber(JsonValue* out, std::string* error) {
+    const size_t start = pos_;
+    if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+')) ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '-' || s_[pos_] == '+')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail(error, "expected a JSON value");
+    char* end = nullptr;
+    const std::string tok = s_.substr(start, pos_ - start);
+    out->num = std::strtod(tok.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Fail(error, "malformed number");
+    out->type = JsonValue::Type::kNumber;
+    return true;
+  }
+
+  bool ParseString(std::string* out, std::string* error) {
+    ++pos_;  // opening quote
+    out->clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) break;
+        const char esc = s_[pos_++];
+        switch (esc) {
+          case '"':
+            *out += '"';
+            break;
+          case '\\':
+            *out += '\\';
+            break;
+          case '/':
+            *out += '/';
+            break;
+          case 'n':
+            *out += '\n';
+            break;
+          case 't':
+            *out += '\t';
+            break;
+          case 'r':
+            *out += '\r';
+            break;
+          case 'b':
+            *out += '\b';
+            break;
+          case 'f':
+            *out += '\f';
+            break;
+          case 'u': {
+            if (pos_ + 4 > s_.size()) return Fail(error, "bad \\u escape");
+            // Validation only needs well-formedness, not transcoding.
+            for (int i = 0; i < 4; ++i) {
+              if (!std::isxdigit(static_cast<unsigned char>(s_[pos_ + i]))) {
+                return Fail(error, "bad \\u escape");
+              }
+            }
+            *out += '?';
+            pos_ += 4;
+            break;
+          }
+          default:
+            return Fail(error, "bad escape character");
+        }
+      } else {
+        *out += c;
+      }
+    }
+    return Fail(error, "unterminated string");
+  }
+
+  bool ParseArray(JsonValue* out, std::string* error) {
+    out->type = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      JsonValue v;
+      SkipWs();
+      if (!ParseValue(&v, error)) return false;
+      out->arr.push_back(std::move(v));
+      SkipWs();
+      if (pos_ >= s_.size()) return Fail(error, "unterminated array");
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return Fail(error, "expected ',' or ']'");
+    }
+  }
+
+  bool ParseObject(JsonValue* out, std::string* error) {
+    out->type = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < s_.size() && s_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    for (;;) {
+      SkipWs();
+      if (pos_ >= s_.size() || s_[pos_] != '"') {
+        return Fail(error, "expected object key");
+      }
+      std::string key;
+      if (!ParseString(&key, error)) return false;
+      SkipWs();
+      if (pos_ >= s_.size() || s_[pos_] != ':') {
+        return Fail(error, "expected ':'");
+      }
+      ++pos_;
+      SkipWs();
+      JsonValue v;
+      if (!ParseValue(&v, error)) return false;
+      out->obj.emplace_back(std::move(key), std::move(v));
+      SkipWs();
+      if (pos_ >= s_.size()) return Fail(error, "unterminated object");
+      if (s_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (s_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return Fail(error, "expected ',' or '}'");
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+bool IsNumber(const JsonValue* v) {
+  return v != nullptr && v->type == JsonValue::Type::kNumber;
+}
+
+bool IsString(const JsonValue* v) {
+  return v != nullptr && v->type == JsonValue::Type::kString;
+}
+
+}  // namespace
+
+Status ValidateTraceJson(const std::string& json,
+                         const std::vector<std::string>& required_spans) {
+  JsonValue root;
+  std::string error;
+  if (!JsonParser(json).Parse(&root, &error)) {
+    return Status(StatusCode::kDataLoss, "trace JSON parse error: " + error);
+  }
+  if (root.type != JsonValue::Type::kObject) {
+    return Status(StatusCode::kDataLoss, "trace root is not an object");
+  }
+  const JsonValue* events = root.Find("traceEvents");
+  if (events == nullptr || events->type != JsonValue::Type::kArray) {
+    return Status(StatusCode::kDataLoss,
+                  "trace is missing the traceEvents array");
+  }
+
+  std::vector<std::string> seen;
+  for (size_t i = 0; i < events->arr.size(); ++i) {
+    const JsonValue& e = events->arr[i];
+    const std::string at = "traceEvents[" + std::to_string(i) + "]";
+    if (e.type != JsonValue::Type::kObject) {
+      return Status(StatusCode::kDataLoss, at + " is not an object");
+    }
+    const JsonValue* name = e.Find("name");
+    const JsonValue* ph = e.Find("ph");
+    if (!IsString(name) || name->str.empty()) {
+      return Status(StatusCode::kDataLoss, at + " has no usable name");
+    }
+    if (!IsString(ph) || ph->str.size() != 1 ||
+        (ph->str != "X" && ph->str != "i" && ph->str != "M")) {
+      return Status(StatusCode::kDataLoss,
+                    at + " has ph outside {X,i,M}");
+    }
+    if (!IsNumber(e.Find("pid")) || !IsNumber(e.Find("tid"))) {
+      return Status(StatusCode::kDataLoss, at + " lacks numeric pid/tid");
+    }
+    if (ph->str == "M") continue;  // metadata: no ts/cat required
+    if (!IsNumber(e.Find("ts"))) {
+      return Status(StatusCode::kDataLoss, at + " lacks a numeric ts");
+    }
+    if (!IsString(e.Find("cat"))) {
+      return Status(StatusCode::kDataLoss, at + " lacks a cat string");
+    }
+    if (ph->str == "X") {
+      const JsonValue* dur = e.Find("dur");
+      if (!IsNumber(dur) || dur->num < 0) {
+        return Status(StatusCode::kDataLoss,
+                      at + " is a complete span without a valid dur");
+      }
+    }
+    seen.push_back(name->str);
+  }
+
+  for (const std::string& want : required_spans) {
+    if (std::find(seen.begin(), seen.end(), want) == seen.end()) {
+      return Status(StatusCode::kNotFound,
+                    "trace is missing required span '" + want + "'");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace dgs::obs

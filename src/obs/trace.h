@@ -1,0 +1,237 @@
+// Per-run tracing: spans and instants in lock-free thread-local rings,
+// merged at flush into Chrome trace-event JSON (Perfetto-loadable).
+//
+// WHY. The paper's PT/DS methodology measures response time and data
+// shipment as totals; the question a total cannot answer is "where did
+// *this* query's 40 ms go — queue wait, round barrier, retransmit backoff,
+// or cache miss?". One traced `dgsim_cli --trace-out=q.json` run opens in
+// Perfetto showing the whole distributed round structure: admission and
+// queue wait in the server lanes, bind→run→collect in the engine lane,
+// per-round per-site compute spans from the cluster, frame I/O and
+// supervision events from the socket transport.
+//
+// COST DISCIPLINE (the `ClusterOptions::faults` rule). Tracing is off by
+// default and *disabled recording is one null check*: every instrument
+// site loads the active-recorder pointer and returns before touching
+// arguments, timestamps, or memory. No allocation, no branch beyond the
+// null test — asserted by a bench gate and a zero-allocation test.
+//
+// CONCURRENCY. Each recording thread owns a fixed-capacity ring of POD
+// events (registered once under a mutex, appended to lock-free). Rings
+// overwrite their oldest event when full and count the overwritten. Flush
+// merges all rings and sorts by a total order (timestamp, lane, phase,
+// name, duration), so the emitted JSON is deterministic given the same
+// events regardless of which thread recorded what.
+//
+// LIFETIME CONTRACT. `Install` publishes a recorder process-wide;
+// `Uninstall` stops new events. Instrument sites may hold the pointer
+// across a span (ctor to dtor), so the recorder object must outlive any
+// span in flight when it was installed — in practice: uninstall whenever
+// you like, destroy only after the server/engine has quiesced. Forked
+// transport workers inherit the installed pointer; the worker entry point
+// uninstalls it so child-side events are never recorded (their compute
+// durations come home in the round response and are emitted parent-side).
+//
+// Span taxonomy and the "debug a slow query" walkthrough:
+// docs/OBSERVABILITY.md. Emitted JSON shape: docs/trace.schema.json.
+
+#ifndef DGS_OBS_TRACE_H_
+#define DGS_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace dgs::obs {
+
+// Monotonic wall clock shared by traces and latency histograms.
+inline uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// One numeric or static-string argument on an event. Keys and string
+// values must be string literals (or otherwise outlive the recorder):
+// events are POD so the ring never allocates.
+struct TraceArg {
+  enum class Kind : uint8_t { kNone, kUint, kDouble, kStr };
+  const char* key = nullptr;
+  Kind kind = Kind::kNone;
+  uint64_t u = 0;
+  double d = 0;
+  const char* s = nullptr;
+
+  TraceArg() = default;
+  TraceArg(const char* k, uint64_t v) : key(k), kind(Kind::kUint), u(v) {}
+  TraceArg(const char* k, double v) : key(k), kind(Kind::kDouble), d(v) {}
+  TraceArg(const char* k, const char* v) : key(k), kind(Kind::kStr), s(v) {}
+};
+
+// POD trace event. `ph` follows the Chrome trace-event format: 'X' is a
+// complete span (ts + dur), 'i' an instant.
+struct TraceEvent {
+  static constexpr uint32_t kMaxArgs = 3;
+  const char* name = nullptr;  // static string
+  const char* cat = nullptr;   // static string
+  char ph = 'X';
+  uint32_t lane = 0;     // emitted as tid; see lane conventions below
+  uint64_t ts_ns = 0;    // absolute MonotonicNanos at event start
+  uint64_t dur_ns = 0;   // 'X' only
+  uint32_t n_args = 0;
+  TraceArg args[kMaxArgs];
+};
+
+// Lane conventions (`tid` in the output): 0 means "use the recording
+// thread's auto-assigned lane". Explicit lanes let post-hoc events (e.g.
+// remote-site compute spans reconstructed from a round response) land in
+// their own swimlane instead of overlapping on the parent thread.
+constexpr uint32_t kSiteLaneBase = 1000;     // lane = base + site id
+constexpr uint32_t kReplicaLaneBase = 500;   // lane = base + replica id
+
+class TraceRecorder {
+ public:
+  // `ring_capacity` is per recording thread, in events (POD, ~120 B each).
+  explicit TraceRecorder(size_t ring_capacity = 1u << 15);
+  ~TraceRecorder();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  // The process-wide active recorder; null when tracing is off. This load
+  // is the entire cost of a disabled instrument site.
+  static TraceRecorder* Active() {
+    return active_.load(std::memory_order_acquire);
+  }
+  static void Install(TraceRecorder* r) {
+    active_.store(r, std::memory_order_release);
+  }
+  static void Uninstall() { active_.store(nullptr, std::memory_order_release); }
+
+  // Nanoseconds since recorder construction (trace-relative time).
+  uint64_t NowNs() const { return MonotonicNanos() - origin_ns_; }
+
+  // Record a complete span that ran [start_mono_ns, start_mono_ns+dur_ns),
+  // timestamps in absolute MonotonicNanos. lane 0 = this thread's lane.
+  void Complete(const char* cat, const char* name, uint64_t start_mono_ns,
+                uint64_t dur_ns, uint32_t lane = 0,
+                std::initializer_list<TraceArg> args = {});
+
+  // Record an instant event at now (or at `mono_ns` if nonzero).
+  void Instant(const char* cat, const char* name,
+               std::initializer_list<TraceArg> args = {}, uint32_t lane = 0,
+               uint64_t mono_ns = 0);
+
+  // Name a lane ("site 3", "replica 0", ...). Rare path; takes the mutex.
+  void NameLane(uint32_t lane, const std::string& name);
+
+  // Events dropped (overwritten) across all rings so far.
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  uint64_t recorded() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+
+  // Merge every ring, sort by the total order, emit Chrome trace JSON.
+  // Safe to call while instrumented code is quiesced; does not reset.
+  std::string ToJson();
+
+  // ToJson + write to `path`. Fails (with the reason) on I/O errors.
+  Status WriteJsonFile(const std::string& path);
+
+ private:
+  struct Ring {
+    std::vector<TraceEvent> events;  // capacity-sized, preallocated
+    size_t size = 0;                 // events written while size < capacity
+    size_t head = 0;                 // overwrite cursor once full
+    uint64_t overwritten = 0;
+    uint32_t lane = 0;
+  };
+
+  void Append(const TraceEvent& e);
+  Ring* ThreadRing();  // registers this thread's ring on first use
+
+  static std::atomic<TraceRecorder*> active_;
+
+  const size_t ring_capacity_;
+  const uint64_t origin_ns_;
+  const uint64_t id_;  // distinguishes recorders reusing an address
+
+  std::mutex mu_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::map<uint32_t, std::string> lane_names_;
+  uint32_t next_lane_ = 1;
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> recorded_{0};
+};
+
+// RAII span: one null check when tracing is off; otherwise records a
+// complete event over its lifetime at destruction.
+class TraceSpan {
+ public:
+  TraceSpan(const char* cat, const char* name, uint32_t lane = 0)
+      : rec_(TraceRecorder::Active()), cat_(cat), name_(name), lane_(lane) {
+    if (rec_ != nullptr) start_ns_ = MonotonicNanos();
+  }
+
+  // Attach an argument (no-op when tracing is off).
+  void Arg(const char* key, uint64_t v) { Push(TraceArg(key, v)); }
+  void Arg(const char* key, double v) { Push(TraceArg(key, v)); }
+  void Arg(const char* key, const char* v) { Push(TraceArg(key, v)); }
+
+  bool enabled() const { return rec_ != nullptr; }
+
+  ~TraceSpan() {
+    if (rec_ == nullptr) return;
+    const uint64_t now = MonotonicNanos();
+    rec_->Complete(cat_, name_, start_ns_, now - start_ns_, lane_,
+                   {args_[0], args_[1], args_[2]});
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  void Push(const TraceArg& a) {
+    if (rec_ == nullptr || n_args_ >= TraceEvent::kMaxArgs) return;
+    args_[n_args_++] = a;
+  }
+
+  TraceRecorder* rec_;
+  const char* cat_;
+  const char* name_;
+  uint32_t lane_;
+  uint64_t start_ns_ = 0;
+  uint32_t n_args_ = 0;
+  TraceArg args_[TraceEvent::kMaxArgs];
+};
+
+// Instant helper: the null check lives here so call sites stay one line.
+inline void TraceInstant(const char* cat, const char* name,
+                         std::initializer_list<TraceArg> args = {},
+                         uint32_t lane = 0) {
+  if (TraceRecorder* r = TraceRecorder::Active()) {
+    r->Instant(cat, name, args, lane);
+  }
+}
+
+// Validate Chrome trace-event JSON emitted by TraceRecorder::ToJson (the
+// constraints are the checked-in docs/trace.schema.json): top-level object
+// with a `traceEvents` array; every event has a non-empty string `name`, a
+// string `cat` (metadata events exempt), `ph` in {X,i,M}, numeric
+// `pid`/`tid`/`ts`, and `dur` when ph == X. Every name in
+// `required_spans` must appear as an event name. Used by tests, the CLI's
+// --trace-out path, and the CI smoke job.
+Status ValidateTraceJson(const std::string& json,
+                         const std::vector<std::string>& required_spans);
+
+}  // namespace dgs::obs
+
+#endif  // DGS_OBS_TRACE_H_

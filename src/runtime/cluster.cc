@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace dgs {
@@ -111,11 +112,21 @@ void Cluster::ChargeAndEnqueue(std::vector<Message>& sends) {
 double Cluster::ExecRound(RoundKind kind, uint32_t round,
                           const std::vector<uint32_t>& sites,
                           std::vector<std::vector<Message>> inboxes) {
+  obs::TraceSpan round_span("cluster", "cluster.round");
+  round_span.Arg("round", static_cast<uint64_t>(round));
+  round_span.Arg("kind", kind == RoundKind::kSetup     ? "setup"
+                         : kind == RoundKind::kQuiesce ? "quiesce"
+                                                       : "deliver");
+  round_span.Arg("sites", static_cast<uint64_t>(sites.size()));
   merged_.clear();
   const double round_max =
       transport_->ExecuteRound(kind, round, sites, std::move(inboxes),
                                &merged_, &stats_.total_compute_seconds);
-  ChargeAndEnqueue(merged_);
+  {
+    obs::TraceSpan merge_span("cluster", "cluster.merge");
+    merge_span.Arg("messages", static_cast<uint64_t>(merged_.size()));
+    ChargeAndEnqueue(merged_);
+  }
   return round_max;
 }
 
@@ -123,6 +134,8 @@ RunStats Cluster::Run(uint32_t max_rounds) {
   for (size_t i = 0; i < actors_.size(); ++i) {
     DGS_CHECK(actors_[i] != nullptr, "all sites must have an actor");
   }
+  obs::TraceSpan run_span("cluster", "cluster.run");
+  run_span.Arg("sites", static_cast<uint64_t>(actors_.size()));
   stats_ = RunStats{};
   fault_stats_ = FaultStats{};
   pending_.clear();

@@ -103,6 +103,15 @@
 // the raw chaos reaches the actors (the fail-soft decode path is their
 // problem — and their test surface). Faults default off and cost one
 // pointer test per round when disabled.
+//
+// OBSERVABILITY. With an obs::TraceRecorder installed, a run emits
+// cluster.run / cluster.round / cluster.merge spans here, per-site
+// site.compute spans from the transport (live on loopback; reconstructed
+// post-hoc from round responses on tcp, in per-site lanes), and
+// transport.tx/rx/frame/heartbeat/respawn events from the socket layer.
+// Disabled tracing costs one atomic load per instrument site — the same
+// discipline as ClusterOptions::faults. Span taxonomy and a slow-query
+// walkthrough: docs/OBSERVABILITY.md.
 
 #ifndef DGS_RUNTIME_CLUSTER_H_
 #define DGS_RUNTIME_CLUSTER_H_

@@ -20,11 +20,26 @@
 #include <utility>
 #include <vector>
 
+#include "obs/trace.h"
 #include "runtime/supervisor.h"
 #include "util/timer.h"
 
 namespace dgs {
 namespace {
+
+const char* FrameKindName(FrameKind kind) {
+  switch (kind) {
+    case FrameKind::kData:
+      return "data";
+    case FrameKind::kNack:
+      return "nack";
+    case FrameKind::kShutdown:
+      return "shutdown";
+    case FrameKind::kHeartbeat:
+      return "heartbeat";
+  }
+  return "unknown";
+}
 
 constexpr uint32_t kFrameMagic = 0x44475357u;  // "WSGD" little-endian
 constexpr size_t kFrameHeaderBytes = 17;       // magic, kind, seq, len
@@ -135,6 +150,12 @@ Status FrameChannel::SendRaw(FrameKind kind, uint64_t seq, const Blob& payload,
 
   Status s = WriteAll(buf.data(), buf.size());
   if (stats_ != nullptr) ++stats_->frames_sent;
+  if (s.ok()) {
+    obs::TraceInstant("transport", "transport.frame",
+                      {{"dir", "tx"},
+                       {"kind", FrameKindName(kind)},
+                       {"bytes", static_cast<uint64_t>(buf.size())}});
+  }
   if (s.ok() && duplicate) {
     s = WriteAll(buf.data(), buf.size());
     if (stats_ != nullptr) ++stats_->frames_sent;
@@ -170,6 +191,11 @@ Status FrameChannel::ReadFrame(FrameKind* kind, uint64_t* seq, Blob* payload,
   s = ReadAll(body.data(), body.size(), timeout_seconds);
   if (!s.ok()) return s;
   if (stats_ != nullptr) ++stats_->frames_received;
+  obs::TraceInstant(
+      "transport", "transport.frame",
+      {{"dir", "rx"},
+       {"kind", FrameKindName(*kind)},
+       {"bytes", static_cast<uint64_t>(kFrameHeaderBytes + body.size())}});
 
   // Checksum covers (kind, seq, len, payload) — any single-byte mutation
   // or truncation of the frame in flight is detected here.
@@ -205,6 +231,7 @@ Status FrameChannel::ReceiveData(Blob* payload, bool* shutdown) {
                       "transport frame failed its checksum after " +
                           std::to_string(rejects - 1) + " retransmits");
       }
+      obs::TraceInstant("transport", "transport.nack", {{"seq", seq}});
       Blob nack;  // the NACKed sequence number rides in the header
       s = SendRaw(FrameKind::kNack, seq, nack, false);
       if (!s.ok()) return s;
@@ -234,6 +261,9 @@ Status FrameChannel::ReceiveData(Blob* payload, bool* shutdown) {
           ++stats_->retransmits;
           ++stats_->frames_sent;
         }
+        obs::TraceInstant("transport", "transport.retransmit",
+                          {{"seq", seq},
+                           {"bytes", static_cast<uint64_t>(retained_.size())}});
         s = WriteAll(retained_.data(), retained_.size());
         if (!s.ok()) return s;
         continue;
@@ -443,6 +473,11 @@ struct ChildConfig {
 [[noreturn]] void ChildMain(const ChildConfig& cfg) {
   // The parent's executor threads did not survive the fork; drop the
   // inherited pool pointer and build this process's own lanes below.
+  // Likewise the inherited trace recorder: its rings live in the parent's
+  // heap image, so child-side events would be invisible after flush.
+  // Worker compute durations ride home in each round response and are
+  // emitted parent-side as post-hoc site.compute spans instead.
+  obs::TraceRecorder::Uninstall();
   const int fd = socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) _exit(10);
   CloseInheritedFds(fd);
@@ -949,6 +984,12 @@ double SocketTransport::ExecuteRound(RoundKind kind, uint32_t round,
   std::vector<std::vector<Message>> results(n);
   std::vector<double> durations(n, 0.0);
 
+  // Remote compute spans are reconstructed post-hoc: the child reports its
+  // per-site duration in the round response, and we emit a span starting at
+  // the moment this round began shipping, in the site's own lane.
+  obs::TraceRecorder* rec = obs::TraceRecorder::Active();
+  const uint64_t round_start_ns = rec != nullptr ? obs::MonotonicNanos() : 0;
+
   // Partition the active sites: coordinator (and any site with no live
   // child — its messages die with it, crash semantics) runs locally.
   std::vector<std::vector<size_t>> members(groups_.size());
@@ -965,21 +1006,25 @@ double SocketTransport::ExecuteRound(RoundKind kind, uint32_t round,
   // round — before reading anything back, so the children compute while
   // the parent runs its local sites.
   WallTimer io_timer;
-  for (size_t g = 0; g < groups_.size(); ++g) {
-    if (members[g].empty() || !GroupAlive(g)) continue;
-    Blob req;
-    req.PutU8(kOpRound);
-    req.PutU8(static_cast<uint8_t>(kind));
-    req.PutVarint(round);
-    EncodePoison(session_.health, &req);
-    req.PutVarint(members[g].size());
-    for (size_t i : members[g]) {
-      req.PutVarint(sites[i]);
-      EncodeInbox(i < inboxes.size() ? inboxes[i] : std::vector<Message>{},
-                  &req);
+  {
+    obs::TraceSpan tx_span("transport", "transport.tx");
+    tx_span.Arg("round", static_cast<uint64_t>(round));
+    for (size_t g = 0; g < groups_.size(); ++g) {
+      if (members[g].empty() || !GroupAlive(g)) continue;
+      Blob req;
+      req.PutU8(kOpRound);
+      req.PutU8(static_cast<uint8_t>(kind));
+      req.PutVarint(round);
+      EncodePoison(session_.health, &req);
+      req.PutVarint(members[g].size());
+      for (size_t i : members[g]) {
+        req.PutVarint(sites[i]);
+        EncodeInbox(i < inboxes.size() ? inboxes[i] : std::vector<Message>{},
+                    &req);
+      }
+      const Status s = GroupChannel(g)->SendData(req);
+      if (!s.ok()) KillGroup(g, s);
     }
-    const Status s = GroupChannel(g)->SendData(req);
-    if (!s.ok()) KillGroup(g, s);
   }
   stats_.io_seconds += io_timer.ElapsedSeconds();
 
@@ -988,6 +1033,10 @@ double SocketTransport::ExecuteRound(RoundKind kind, uint32_t round,
     std::vector<Message> outbox;
     SiteContext ctx(env_.num_workers, env_.wire_format, env_.pool, sites[i],
                     &outbox);
+    obs::TraceSpan compute_span("transport", "site.compute",
+                                obs::kSiteLaneBase + sites[i]);
+    compute_span.Arg("site", static_cast<uint64_t>(sites[i]));
+    compute_span.Arg("round", static_cast<uint64_t>(round));
     WallTimer timer;
     DispatchCallback(actors[sites[i]], kind, ctx,
                      i < inboxes.size() ? std::move(inboxes[i])
@@ -998,6 +1047,7 @@ double SocketTransport::ExecuteRound(RoundKind kind, uint32_t round,
 
   // 3) Collect responses in group order (deterministic fold order for the
   // health/counter channels; message order is fixed by site id anyway).
+  const uint64_t rx_start_ns = rec != nullptr ? obs::MonotonicNanos() : 0;
   for (size_t g = 0; g < groups_.size(); ++g) {
     if (members[g].empty() || !GroupAlive(g)) continue;
     Blob resp;
@@ -1020,6 +1070,16 @@ double SocketTransport::ExecuteRound(RoundKind kind, uint32_t round,
       const size_t i = members[g][k];
       const uint32_t site = static_cast<uint32_t>(r.GetVarint());
       durations[i] = DecodeDuration(r.GetU64());
+      if (rec != nullptr && site == sites[i]) {
+        // Post-hoc: the child computed [round start, +duration) in its own
+        // process; land the span in the site's lane over that window.
+        rec->Complete("transport", "site.compute", round_start_ns,
+                      static_cast<uint64_t>(durations[i] * 1e9),
+                      obs::kSiteLaneBase + site,
+                      {{"site", static_cast<uint64_t>(site)},
+                       {"round", static_cast<uint64_t>(round)},
+                       {"remote", static_cast<uint64_t>(1)}});
+      }
       const uint64_t n_sends = r.GetVarint();
       well_formed = r.ok() && site == sites[i];
       for (uint64_t m = 0; well_formed && m < n_sends; ++m) {
@@ -1058,6 +1118,11 @@ double SocketTransport::ExecuteRound(RoundKind kind, uint32_t round,
       KillGroup(g, Status(StatusCode::kDataLoss,
                           "transport worker sent a malformed response"));
     }
+  }
+  if (rec != nullptr) {
+    rec->Complete("transport", "transport.rx", rx_start_ns,
+                  obs::MonotonicNanos() - rx_start_ns, 0,
+                  {{"round", static_cast<uint64_t>(round)}});
   }
 
   // 4) Deterministic merge: ascending site order, send order preserved.

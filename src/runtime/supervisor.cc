@@ -16,6 +16,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace dgs {
@@ -164,6 +165,9 @@ Status WorkerPool::BeginRunSession(size_t num_groups, uint64_t deploy_version,
   }
   if (need.empty()) return Status::Ok();
 
+  obs::TraceSpan spawn_span("transport", "transport.spawn");
+  spawn_span.Arg("groups", static_cast<uint64_t>(need.size()));
+
   // Respawn budget: the first spawn of a slot is free, each later one
   // counts against max_worker_respawns. Over budget => the circuit opens
   // and the caller sheds the run instead of forking doomed processes.
@@ -182,6 +186,9 @@ Status WorkerPool::BeginRunSession(size_t num_groups, uint64_t deploy_version,
                                         1u << std::min(w.respawns_used, 16u)));
     ++w.respawns_used;
     ++run_stats->respawns;
+    obs::TraceInstant("transport", "transport.respawn",
+                      {{"group", static_cast<uint64_t>(g)},
+                       {"attempt", static_cast<uint64_t>(w.respawns_used)}});
   }
   if (backoff > 0) {
     usleep(static_cast<useconds_t>(std::min(backoff, 2.0) * 1e6));
@@ -328,12 +335,17 @@ void WorkerPool::TickLocked() {
     const Status s = w.channel->Ping(options_.heartbeat_interval_seconds);
     ++supervision_.heartbeats_sent;
     if (s.ok()) {
+      obs::TraceInstant("transport", "transport.heartbeat",
+                        {{"status", "ok"}});
       w.state = Liveness::kLive;
       w.missed = 0;
       continue;
     }
     ++supervision_.heartbeats_missed;
     ++w.missed;
+    obs::TraceInstant("transport", "transport.heartbeat",
+                      {{"status", "missed"},
+                       {"missed", static_cast<uint64_t>(w.missed)}});
     w.state = Liveness::kSuspect;
     if (s.code() != StatusCode::kDeadlineExceeded ||
         w.missed >= options_.max_missed_heartbeats) {

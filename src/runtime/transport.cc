@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <utility>
 
+#include "obs/trace.h"
 #include "runtime/remote.h"
 #include "util/timer.h"
 
@@ -29,7 +30,6 @@ double LoopbackTransport::ExecuteRound(RoundKind kind, uint32_t round,
                                        std::vector<std::vector<Message>> inboxes,
                                        std::vector<Message>* sends,
                                        double* total_compute) {
-  (void)round;
   const size_t n = sites.size();
   if (outbox_pool_.size() < n) outbox_pool_.resize(n);
   if (duration_pool_.size() < n) duration_pool_.resize(n);
@@ -40,6 +40,10 @@ double LoopbackTransport::ExecuteRound(RoundKind kind, uint32_t round,
   auto run_one = [&](size_t i) {
     SiteContext ctx(env_.num_workers, env_.wire_format, env_.pool, sites[i],
                     &outboxes[i]);
+    obs::TraceSpan compute_span("transport", "site.compute",
+                                obs::kSiteLaneBase + sites[i]);
+    compute_span.Arg("site", static_cast<uint64_t>(sites[i]));
+    compute_span.Arg("round", static_cast<uint64_t>(round));
     WallTimer timer;
     DispatchCallback(actors[sites[i]], kind, ctx,
                      i < inboxes.size() ? std::move(inboxes[i])

@@ -7,6 +7,7 @@
 #include <limits>
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -37,6 +38,11 @@ struct ServerJob {
   // shed; its completion closes the circuit (success) or re-arms the
   // probe slot (failure).
   bool is_probe = false;
+  // Observability (docs/OBSERVABILITY.md): end-to-end latency is measured
+  // from here; `took_degraded_path` marks a query that survived at least
+  // one retry or failover, feeding the e2e_retried histogram.
+  uint64_t submit_ns = 0;  // obs::MonotonicNanos at Submit entry
+  bool took_degraded_path = false;
 
   std::mutex mu;
   std::condition_variable cv;
@@ -152,6 +158,7 @@ Server::~Server() { Shutdown(); }
 ServerTicket Server::Submit(const Pattern& q, const QueryOptions& query,
                             const SubmitOptions& submit) {
   auto job = std::make_shared<ServerJob>();
+  job->submit_ns = obs::MonotonicNanos();
   job->pattern = q;
   job->query = query;
   const double deadline_seconds = submit.deadline_seconds > 0
@@ -200,6 +207,8 @@ ServerTicket Server::Submit(const Pattern& q, const QueryOptions& query,
     }
   }
   if (shed) {
+    latency_.e2e_rejected.Record(obs::MonotonicNanos() - job->submit_ns);
+    obs::TraceInstant("serve", "server.reject", {{"reason", "degraded"}});
     job->Complete(
         Status::ResourceExhausted(
             "server is degraded: every replica is circuit-broken after "
@@ -223,7 +232,19 @@ ServerTicket Server::Submit(const Pattern& q, const QueryOptions& query,
     // A probe that never reached the queue must not wedge the breaker.
     if (!admitted.ok() && job->is_probe) probe_in_flight_ = false;
   }
-  if (!admitted.ok()) job->Complete(std::move(admitted), DistOutcome{});
+  if (!admitted.ok()) {
+    latency_.e2e_rejected.Record(obs::MonotonicNanos() - job->submit_ns);
+    obs::TraceInstant(
+        "serve", "server.reject",
+        {{"reason", admitted.code() == StatusCode::kResourceExhausted
+                        ? "overload"
+                        : "shutdown"}});
+    job->Complete(std::move(admitted), DistOutcome{});
+  } else {
+    obs::TraceInstant("serve", "server.admission",
+                      {{"priority", static_cast<double>(priority)},
+                       {"probe", static_cast<uint64_t>(job->is_probe)}});
+  }
   return ServerTicket(std::move(job));
 }
 
@@ -305,12 +326,29 @@ void Server::WorkerLoop(uint32_t replica) {
     }
     Engine& engine = *replicas_[replica];
     ServerJob& j = *job;
+
+    // Queue wait: admission to this pickup. The histogram record and the
+    // trace span share one clock read; the span is emitted with the
+    // job's submit time as its start, so Perfetto shows the wait as a bar
+    // from Submit to dispatch on this worker's lane.
+    const uint64_t pickup_ns = obs::MonotonicNanos();
+    latency_.queue_wait.Record(pickup_ns - j.submit_ns);
+    if (obs::TraceRecorder* rec = obs::TraceRecorder::Active()) {
+      rec->Complete("serve", "server.queue_wait", j.submit_ns,
+                    pickup_ns - j.submit_ns, 0,
+                    {{"replica", static_cast<uint64_t>(replica)}});
+    }
+    obs::TraceSpan query_span("serve", "server.query");
+    query_span.Arg("replica", static_cast<uint64_t>(replica));
+
     if (j.has_deadline && std::chrono::steady_clock::now() >= j.deadline) {
       {
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.expired;
         if (j.is_probe) probe_in_flight_ = false;
       }
+      latency_.e2e_rejected.Record(obs::MonotonicNanos() - j.submit_ns);
+      query_span.Arg("outcome", "expired");
       j.Complete(
           Status::DeadlineExceeded("query deadline passed while queued"),
           DistOutcome{});
@@ -337,6 +375,9 @@ void Server::WorkerLoop(uint32_t replica) {
           // fleet (no cluster run), so the strikes stand.
           if (j.is_probe) probe_in_flight_ = false;
         }
+        latency_.e2e_cache_hit.Record(obs::MonotonicNanos() - j.submit_ns);
+        obs::TraceInstant("serve", "server.cache_hit");
+        query_span.Arg("outcome", "cache_hit");
         j.Complete(Status::Ok(), std::move(memo));
         job.reset();
         continue;
@@ -354,7 +395,9 @@ void Server::WorkerLoop(uint32_t replica) {
     // outcome; the epoch read here lets Insert detect that race.
     const uint64_t cache_epoch =
         j.cache_key.empty() ? 0 : cache_.invalidation_epoch();
+    WallTimer run_timer;
     auto result = engine.Match(j.pattern, j.query);
+    double run_seconds = run_timer.ElapsedSeconds();
 
     // Replica failover (docs/FAILURES.md): before burning same-replica
     // retries, hand the query back to the admission queue at its original
@@ -368,12 +411,16 @@ void Server::WorkerLoop(uint32_t replica) {
         !(j.has_deadline && std::chrono::steady_clock::now() >= j.deadline)) {
       --j.failovers_left;
       j.labels_touched = true;  // already touched on this dispatch
+      j.took_degraded_path = true;
       if (queue_.Push(job, j.admit_priority).ok()) {
         {
           std::lock_guard<std::mutex> lock(mu_);
           ++stats_.failovers;
           ++replica_strikes_[replica];
         }
+        obs::TraceInstant("serve", "server.failover",
+                          {{"from_replica", static_cast<uint64_t>(replica)}});
+        query_span.Arg("outcome", "failover");
         job.reset();
         continue;
       }
@@ -395,7 +442,12 @@ void Server::WorkerLoop(uint32_t replica) {
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.retries;
       }
+      j.took_degraded_path = true;
+      obs::TraceInstant("serve", "server.retry",
+                        {{"attempt", static_cast<uint64_t>(attempt)}});
+      run_timer.Restart();
       result = engine.Match(j.pattern, j.query);
+      run_seconds += run_timer.ElapsedSeconds();
       if (result.ok()) {
         std::lock_guard<std::mutex> lock(mu_);
         ++stats_.retry_successes;
@@ -418,6 +470,11 @@ void Server::WorkerLoop(uint32_t replica) {
           std::fill(replica_strikes_.begin(), replica_strikes_.end(), 0);
         }
       }
+      const uint64_t e2e = obs::MonotonicNanos() - j.submit_ns;
+      latency_.e2e_served.Record(e2e);
+      if (j.took_degraded_path) latency_.e2e_retried.Record(e2e);
+      latency_.run_served.RecordSeconds(run_seconds);
+      query_span.Arg("outcome", "served");
       j.Complete(Status::Ok(), std::move(result).value());
     } else {
       {
@@ -428,6 +485,8 @@ void Server::WorkerLoop(uint32_t replica) {
         if (IsRetryable(result.status().code())) ++replica_strikes_[replica];
         if (j.is_probe) probe_in_flight_ = false;
       }
+      latency_.e2e_failed.Record(obs::MonotonicNanos() - j.submit_ns);
+      query_span.Arg("outcome", "failed");
       j.Complete(result.status(), DistOutcome{});
     }
     job.reset();
@@ -469,6 +528,9 @@ StatusOr<Server::UpdateOutcome> Server::Update(const UpdateBatch& batch) {
   // subscription repair, and cache dirtying are one atomic step as far as
   // other updates are concerned.
   std::lock_guard<std::mutex> update_lock(update_mu_);
+  obs::TraceSpan update_span("dyn", "dyn.update");
+  update_span.Arg("deletes", static_cast<uint64_t>(canonical.deletes.size()));
+  update_span.Arg("inserts", static_cast<uint64_t>(canonical.inserts.size()));
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shut_down_) return Status::Unavailable("server is shut down");
@@ -491,6 +553,7 @@ StatusOr<Server::UpdateOutcome> Server::Update(const UpdateBatch& batch) {
   Status run_status = Status::Ok();
   RunStats run_stats;
   FaultStats faults;
+  const uint64_t replicate_start_ns = obs::MonotonicNanos();
   for (uint32_t attempt = 0; attempt < max_attempts; ++attempt) {
     if (attempt > 0) {
       if (options_.retry.backoff_seconds > 0) {
@@ -527,8 +590,14 @@ StatusOr<Server::UpdateOutcome> Server::Update(const UpdateBatch& batch) {
     run_status = health.ToStatus();
     if (!IsRetryable(run_status.code())) break;
   }
+  if (obs::TraceRecorder* rec = obs::TraceRecorder::Active()) {
+    rec->Complete("dyn", "dyn.replicate", replicate_start_ns,
+                  obs::MonotonicNanos() - replicate_start_ns, 0,
+                  {{"epoch", epoch}, {"ok", uint64_t{run_status.ok()}}});
+  }
 
   if (!run_status.ok()) {
+    update_span.Arg("outcome", "failed");
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.updates_failed;
     return run_status;
@@ -537,6 +606,8 @@ StatusOr<Server::UpdateOutcome> Server::Update(const UpdateBatch& batch) {
   // Healthy: commit. Per-site watermarks first (idempotent per epoch),
   // then the authoritative adjacency plus every standing query in one
   // registry step.
+  obs::TraceSpan commit_span("dyn", "dyn.commit");
+  commit_span.Arg("epoch", epoch);
   for (uint32_t i = 0; i < update_sites_.size(); ++i) {
     update_sites_[i]->CommitEpoch(epoch, slices[i]);
   }
@@ -548,13 +619,17 @@ StatusOr<Server::UpdateOutcome> Server::Update(const UpdateBatch& batch) {
   // assignment is unchanged — only the edge set moved — so refragmenting
   // cannot fail.
   auto next = std::make_shared<DeployedVersion>();
-  next->version = epoch;
-  next->graph = registry_.adjacency().ToGraph();
-  auto refrag = Fragmentation::Create(next->graph, frag_->assignment(),
-                                      frag_->NumFragments());
-  DGS_CHECK(refrag.ok(), "refragmentation after a committed update failed");
-  next->frag.emplace(std::move(refrag).value());
-  next->facts = std::make_shared<SharedStructureFacts>();
+  {
+    obs::TraceSpan redeploy_span("dyn", "dyn.redeploy");
+    redeploy_span.Arg("epoch", epoch);
+    next->version = epoch;
+    next->graph = registry_.adjacency().ToGraph();
+    auto refrag = Fragmentation::Create(next->graph, frag_->assignment(),
+                                        frag_->NumFragments());
+    DGS_CHECK(refrag.ok(), "refragmentation after a committed update failed");
+    next->frag.emplace(std::move(refrag).value());
+    next->facts = std::make_shared<SharedStructureFacts>();
+  }
 
   // Precise result-memo dirtying: only patterns containing one of the
   // batch's edge label pairs can have changed (serve/query_cache.h).
@@ -632,12 +707,18 @@ StatusOr<std::vector<SubscriptionDelta>> Server::PollDeltas(SubscriptionId id,
 
 size_t Server::NumSubscriptions() const { return registry_.NumSubscriptions(); }
 
-ServerStats Server::stats() const {
-  ServerStats snapshot;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    snapshot = stats_;
-  }
+ServerStats Server::StatsSnapshot() const {
+  // One hold of mu_ assembles the WHOLE snapshot (see the contract in
+  // server.h): the lifecycle counters are copied and the cache counters,
+  // subscription gauges, queue depth, and latency histograms are sampled
+  // while no worker can slip a counter update in between. The sampled
+  // sources lock themselves internally; lock order mu_ -> {cache, registry,
+  // queue} is safe because none of them ever calls back into the server.
+  // Histogram records land after their counter bump (lock-free, outside
+  // mu_), so a snapshot can observe at most FEWER histogram samples than
+  // counted queries — never more.
+  std::lock_guard<std::mutex> lock(mu_);
+  ServerStats snapshot = stats_;
   const QueryCache::Counters cache = cache_.counters();
   snapshot.cache_result_hits = cache.result_hits;
   snapshot.cache_result_misses = cache.result_misses;
@@ -650,7 +731,128 @@ ServerStats Server::stats() const {
   snapshot.subscriptions_active = registry_.NumSubscriptions();
   snapshot.peak_queue_depth = queue_.peak_depth();
   snapshot.replicas = num_replicas();
+  snapshot.latency.e2e_served = latency_.e2e_served.Snapshot();
+  snapshot.latency.e2e_cache_hit = latency_.e2e_cache_hit.Snapshot();
+  snapshot.latency.e2e_failed = latency_.e2e_failed.Snapshot();
+  snapshot.latency.e2e_rejected = latency_.e2e_rejected.Snapshot();
+  snapshot.latency.e2e_retried = latency_.e2e_retried.Snapshot();
+  snapshot.latency.queue_wait = latency_.queue_wait.Snapshot();
+  snapshot.latency.run_served = latency_.run_served.Snapshot();
   return snapshot;
+}
+
+void Server::RegisterMetrics(obs::MetricsRegistry* registry) const {
+  // Stable names: docs/OBSERVABILITY.md is the authoritative registry.
+  // Every sample takes a fresh StatsSnapshot, so scrapes inherit its
+  // consistency contract and counters are monotone by construction.
+  auto counter = [&](const char* name, const char* help,
+                     uint64_t ServerStats::* field) {
+    registry->AddCounter(name, help,
+                         [this, field] { return double(StatsSnapshot().*field); });
+  };
+  auto gauge = [&](const char* name, const char* help, auto sample) {
+    registry->AddGauge(name, help, std::move(sample));
+  };
+  auto latency = [&](const char* name, const char* help,
+                     obs::HistogramSnapshot ServerLatency::* field) {
+    registry->AddHistogram(name, help, [this, field] {
+      return StatsSnapshot().latency.*field;
+    });
+  };
+
+  counter("dgs_server_submitted_total", "Submit calls, rejections included",
+          &ServerStats::submitted);
+  counter("dgs_server_admitted_total", "Queries that entered the queue",
+          &ServerStats::admitted);
+  counter("dgs_server_served_total", "Queries completed ok",
+          &ServerStats::served);
+  counter("dgs_server_failed_total", "Queries completed with an error",
+          &ServerStats::failed);
+  counter("dgs_server_expired_total", "Deadline passed while queued",
+          &ServerStats::expired);
+  counter("dgs_server_rejected_overload_total",
+          "ResourceExhausted at admission", &ServerStats::rejected_overload);
+  counter("dgs_server_rejected_shutdown_total", "Submitted after Shutdown",
+          &ServerStats::rejected_shutdown);
+  counter("dgs_server_degraded_rejections_total",
+          "Shed while the circuit breaker was open",
+          &ServerStats::degraded_rejections);
+  counter("dgs_server_retries_total", "Same-replica re-execution attempts",
+          &ServerStats::retries);
+  counter("dgs_server_retry_successes_total",
+          "Queries served after a failed attempt",
+          &ServerStats::retry_successes);
+  counter("dgs_server_failovers_total", "Replica failover re-dispatches",
+          &ServerStats::failovers);
+  counter("dgs_server_cache_result_hits_total", "Result memo hits",
+          &ServerStats::cache_result_hits);
+  counter("dgs_server_cache_result_misses_total", "Result memo misses",
+          &ServerStats::cache_result_misses);
+  counter("dgs_server_cache_invalidations_total",
+          "Memo entries erased by label-pair dirtying",
+          &ServerStats::cache_invalidations);
+  counter("dgs_server_updates_submitted_total",
+          "Update batches that entered the pipeline",
+          &ServerStats::updates_submitted);
+  counter("dgs_server_updates_applied_total", "Committed update batches",
+          &ServerStats::updates_applied);
+  counter("dgs_server_updates_failed_total",
+          "Update batches whose replication run stayed poisoned",
+          &ServerStats::updates_failed);
+  counter("dgs_server_sub_deltas_delivered_total",
+          "Non-empty subscription deltas queued",
+          &ServerStats::sub_deltas_delivered);
+  counter("dgs_server_sub_deltas_dropped_total",
+          "Subscription deltas lost to overflow",
+          &ServerStats::sub_deltas_dropped);
+
+  gauge("dgs_server_replicas", "Resident engine replicas",
+        [this] { return double(num_replicas()); });
+  gauge("dgs_server_subscriptions_active", "Live standing queries",
+        [this] { return double(registry_.NumSubscriptions()); });
+  gauge("dgs_server_queue_peak_depth", "High-water admission queue depth",
+        [this] { return double(queue_.peak_depth()); });
+  gauge("dgs_server_graph_version", "Committed graph version watermark",
+        [this] { return double(graph_version()); });
+  gauge("dgs_server_cache_result_bytes", "Resident result memo footprint",
+        [this] { return double(cache_.counters().result_bytes); });
+  gauge("dgs_server_cache_label_bytes",
+        "Resident candidate-bitset footprint",
+        [this] { return double(cache_.counters().label_bytes); });
+
+  registry->AddCounter("dgs_run_response_seconds_total",
+                       "Summed BSP critical path of served queries",
+                       [this] {
+                         return StatsSnapshot().cumulative.response_seconds;
+                       });
+  registry->AddCounter("dgs_run_bytes_total",
+                       "Bytes shipped by served queries, all classes",
+                       [this] {
+                         return double(StatsSnapshot().cumulative.TotalBytes());
+                       });
+  registry->AddCounter(
+      "dgs_run_rounds_total", "Delivery rounds of served queries",
+      [this] { return double(StatsSnapshot().cumulative.rounds); });
+
+  latency("dgs_server_e2e_served_seconds",
+          "End-to-end latency, fresh served queries",
+          &ServerLatency::e2e_served);
+  latency("dgs_server_e2e_cache_hit_seconds",
+          "End-to-end latency, result-memo hits",
+          &ServerLatency::e2e_cache_hit);
+  latency("dgs_server_e2e_failed_seconds",
+          "End-to-end latency, failed queries", &ServerLatency::e2e_failed);
+  latency("dgs_server_e2e_rejected_seconds",
+          "End-to-end latency, rejected or expired queries",
+          &ServerLatency::e2e_rejected);
+  latency("dgs_server_e2e_retried_seconds",
+          "End-to-end latency, served after retry/failover",
+          &ServerLatency::e2e_retried);
+  latency("dgs_server_queue_wait_seconds",
+          "Admission to worker pickup", &ServerLatency::queue_wait);
+  latency("dgs_server_run_seconds",
+          "Engine time of fresh served queries, retries included",
+          &ServerLatency::run_served);
 }
 
 }  // namespace dgs

@@ -98,6 +98,12 @@
 // and the circuit breaker (ServerOptions::circuit_breaker_strikes) that
 // sheds Submits with ResourceExhausted when every replica keeps failing —
 // minus one probe at a time, whose success closes the circuit.
+//
+// OBSERVABILITY (docs/OBSERVABILITY.md has the metric name registry and
+// span taxonomy). StatsSnapshot() adds p50/p95/p99 latency per outcome
+// class; RegisterMetrics() exposes everything through a Prometheus/JSON
+// obs::MetricsRegistry; and when an obs::TraceRecorder is installed, every
+// query leaves admission/queue-wait/dispatch/retry/failover spans.
 
 #ifndef DGS_SERVE_SERVER_H_
 #define DGS_SERVE_SERVER_H_
@@ -113,6 +119,8 @@
 #include "core/serving.h"
 #include "dyn/subscription.h"
 #include "dyn/update.h"
+#include "obs/histogram.h"
+#include "obs/metrics_registry.h"
 #include "partition/fragmentation.h"
 #include "serve/admission.h"
 #include "serve/query_cache.h"
@@ -258,8 +266,28 @@ class Server {
 
   size_t NumSubscriptions() const;
 
-  // Counter snapshot; safe from any thread.
-  ServerStats stats() const;
+  // Consistent stats snapshot; safe from any thread. The whole snapshot —
+  // lifecycle counters, cache counters, subscription gauges, queue depth,
+  // latency histograms — is assembled under ONE hold of the stats lock, so
+  // cross-field invariants are never observed torn: `served <= submitted`,
+  // `served + failed + expired + rejected_* == completed submissions`,
+  // `retry_successes <= retries`, and `latency.<class>.count() <=` the
+  // matching counter all hold in every snapshot, even while workers
+  // complete queries concurrently. (Cache bytes and subscription gauges
+  // are sampled from their own internally-locked owners during the same
+  // hold; they are monotone but may lag the counters by in-flight work.)
+  ServerStats StatsSnapshot() const;
+
+  // Back-compat alias of StatsSnapshot().
+  ServerStats stats() const { return StatsSnapshot(); }
+
+  // Registers this server's counters, gauges, and latency histograms on
+  // `registry` under the stable `dgs_server_*` / `dgs_algo_*` names
+  // documented in docs/OBSERVABILITY.md. The registry samples lazily via
+  // StatsSnapshot(), so the server must outlive it (or the registry must
+  // be dropped first). Call once per registry; double registration is
+  // caught by MetricsRegistry::Lint.
+  void RegisterMetrics(obs::MetricsRegistry* registry) const;
 
   const Fragmentation& fragmentation() const { return *frag_; }
   const ServerOptions& options() const { return options_; }
@@ -318,6 +346,21 @@ class Server {
   std::unique_ptr<Cluster> update_cluster_;
   std::vector<std::unique_ptr<UpdateSiteActor>> update_sites_;
   UpdateCoordinatorActor update_coordinator_;
+
+  // Live latency recorders backing ServerStats::latency (lock-free; see
+  // ServerLatency in core/serving.h for what each one measures). Records
+  // happen after the matching stats_ counter bump so snapshots never see
+  // more histogram samples than counted queries.
+  struct LatencyRecorders {
+    obs::Histogram e2e_served;
+    obs::Histogram e2e_cache_hit;
+    obs::Histogram e2e_failed;
+    obs::Histogram e2e_rejected;
+    obs::Histogram e2e_retried;
+    obs::Histogram queue_wait;
+    obs::Histogram run_served;
+  };
+  LatencyRecorders latency_;
 
   mutable std::mutex mu_;  // guards stats_, current_version_, lifecycle flags
   std::mutex shutdown_mu_;  // serializes Shutdown end to end

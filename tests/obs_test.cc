@@ -1,0 +1,423 @@
+// The observability plane (src/obs/): HDR histogram layout and merge
+// algebra, trace recording (span nesting, deterministic thread merge, ring
+// overflow accounting, JSON schema validation), the cost discipline
+// (tracing off = one null check: zero allocation, asserted here with a
+// counting operator new), and the metrics registry (exposition, lint,
+// counter monotonicity).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <limits>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "graph/generators.h"
+#include "obs/histogram.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace.h"
+#include "partition/partitioner.h"
+#include "util/rng.h"
+
+// ---------------------------------------------------------------------------
+// Global allocation counter for the zero-allocation-when-disabled test.
+// Counting replacements of the global operator new/delete; sanitizer builds
+// provide their own interposed allocators, so the counting (and the test
+// that reads it) is compiled out there.
+// ---------------------------------------------------------------------------
+#if !defined(__SANITIZE_ADDRESS__) && !defined(__SANITIZE_THREAD__) && \
+    !defined(ADDRESS_SANITIZER) && !defined(THREAD_SANITIZER)
+#if defined(__has_feature)
+#if !__has_feature(address_sanitizer) && !__has_feature(thread_sanitizer)
+#define DGS_OBS_TEST_COUNT_ALLOCS 1
+#endif
+#else
+#define DGS_OBS_TEST_COUNT_ALLOCS 1
+#endif
+#endif
+
+#ifdef DGS_OBS_TEST_COUNT_ALLOCS
+namespace {
+std::atomic<uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#endif  // DGS_OBS_TEST_COUNT_ALLOCS
+
+namespace dgs {
+namespace {
+
+using obs::Histogram;
+using obs::HistogramLayout;
+using obs::HistogramSnapshot;
+using obs::MetricsRegistry;
+using obs::TraceRecorder;
+using obs::TraceSpan;
+
+// Restores a clean global tracing state however a test exits.
+struct TracingOff {
+  ~TracingOff() { TraceRecorder::Uninstall(); }
+};
+
+// --------------------------------------------------------------------------
+// Histogram layout properties.
+// --------------------------------------------------------------------------
+
+TEST(HistogramLayoutTest, EveryValueLandsInItsOwnBucketBounds) {
+  // Probe exact values, bucket boundaries, and their neighbors across the
+  // whole range, plus a pseudo-random sweep.
+  std::vector<uint64_t> probes = {0, 1, 31, 32, 33, 63, 64, 65,
+                                  UINT64_MAX - 1, UINT64_MAX};
+  for (uint32_t shift = 6; shift < 64; ++shift) {
+    const uint64_t v = uint64_t{1} << shift;
+    probes.push_back(v - 1);
+    probes.push_back(v);
+    probes.push_back(v + 1);
+  }
+  Rng rng(7);
+  for (int i = 0; i < 2000; ++i) probes.push_back(rng.Next());
+
+  for (uint64_t v : probes) {
+    const uint32_t idx = HistogramLayout::BucketIndex(v);
+    ASSERT_LT(idx, HistogramLayout::kNumBuckets) << v;
+    EXPECT_LE(HistogramLayout::BucketLowerBound(idx), v) << v;
+    EXPECT_GE(HistogramLayout::BucketUpperBound(idx), v) << v;
+  }
+}
+
+TEST(HistogramLayoutTest, BucketIndexIsMonotone) {
+  // Monotone across each boundary: lower_bound(i) - 1 maps below i.
+  for (uint32_t idx = 1; idx < HistogramLayout::kNumBuckets; ++idx) {
+    const uint64_t lower = HistogramLayout::BucketLowerBound(idx);
+    EXPECT_EQ(HistogramLayout::BucketIndex(lower), idx);
+    EXPECT_LT(HistogramLayout::BucketIndex(lower - 1), idx);
+  }
+}
+
+TEST(HistogramLayoutTest, RelativeErrorIsBoundedByPrecision) {
+  // Bucket width <= value / 2^kPrecisionBits for v >= kSubBuckets (~3%).
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    const uint64_t v = rng.Next();
+    if (v < HistogramLayout::kSubBuckets) continue;
+    const uint32_t idx = HistogramLayout::BucketIndex(v);
+    const uint64_t width = HistogramLayout::BucketUpperBound(idx) -
+                           HistogramLayout::BucketLowerBound(idx) + 1;
+    EXPECT_LE(width, v / HistogramLayout::kSubBuckets + 1) << v;
+  }
+  // Values below the precision cutoff are exact.
+  for (uint64_t v = 0; v < HistogramLayout::kSubBuckets; ++v) {
+    const uint32_t idx = HistogramLayout::BucketIndex(v);
+    EXPECT_EQ(HistogramLayout::BucketLowerBound(idx), v);
+    EXPECT_EQ(HistogramLayout::BucketUpperBound(idx), v);
+  }
+}
+
+TEST(HistogramSnapshotTest, MergeEqualsCombinedRecording) {
+  Rng rng(2014);
+  HistogramSnapshot a, b, combined;
+  for (int i = 0; i < 4000; ++i) {
+    const uint64_t v = rng.Next() >> (rng.Next() % 64);
+    combined.Record(v);
+    (i % 2 == 0 ? a : b).Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_EQ(a.sum(), combined.sum());
+  EXPECT_EQ(a.min(), combined.min());
+  EXPECT_EQ(a.max(), combined.max());
+  for (uint32_t i = 0; i < HistogramLayout::kNumBuckets; ++i) {
+    ASSERT_EQ(a.BucketCount(i), combined.BucketCount(i)) << i;
+  }
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.95, 0.99, 1.0}) {
+    EXPECT_EQ(a.ValueAtQuantile(q), combined.ValueAtQuantile(q)) << q;
+  }
+}
+
+TEST(HistogramSnapshotTest, ExtremesAndEmpty) {
+  HistogramSnapshot empty;
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_EQ(empty.ValueAtQuantile(0.99), 0u);
+  EXPECT_EQ(empty.mean(), 0.0);
+  EXPECT_EQ(empty.min(), 0u);
+
+  HistogramSnapshot h;
+  h.Record(0);
+  h.Record(1);
+  h.Record(UINT64_MAX);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), UINT64_MAX);
+  // The quantile is clamped to the observed max, so p100 is exact even in
+  // the saturating top bucket.
+  EXPECT_EQ(h.ValueAtQuantile(1.0), UINT64_MAX);
+  EXPECT_EQ(h.ValueAtQuantile(0.0), 0u);
+}
+
+TEST(HistogramTest, ConcurrentRecordersMatchSequentialTotals) {
+  Histogram hist;
+  constexpr int kThreads = 4, kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&hist, t] {
+      Rng rng(100 + t);
+      for (int i = 0; i < kPerThread; ++i) {
+        hist.Record(rng.Next() % 1000000);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count(), uint64_t{kThreads} * kPerThread);
+  // The recorder carries exact sum/min/max into the snapshot.
+  uint64_t expect_sum = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    Rng rng(100 + t);
+    for (int i = 0; i < kPerThread; ++i) expect_sum += rng.Next() % 1000000;
+  }
+  EXPECT_EQ(snap.sum(), expect_sum);
+  EXPECT_LT(snap.min(), 1000000u);
+  EXPECT_LT(snap.max(), 1000000u);
+}
+
+TEST(HistogramTest, RecordSecondsClampsPathologicalInputs) {
+  Histogram hist;
+  hist.RecordSeconds(-1.0);
+  hist.RecordSeconds(std::numeric_limits<double>::quiet_NaN());
+  hist.RecordSeconds(1e-9);  // 1 ns
+  const HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count(), 3u);
+  EXPECT_EQ(snap.max(), 1u);
+}
+
+// --------------------------------------------------------------------------
+// Trace recording.
+// --------------------------------------------------------------------------
+
+TEST(TraceTest, SpanNestingIsPreservedInTimestamps) {
+  TracingOff guard;
+  TraceRecorder recorder;
+  TraceRecorder::Install(&recorder);
+  {
+    TraceSpan outer("test", "outer");
+    {
+      TraceSpan inner("test", "inner");
+      inner.Arg("k", uint64_t{42});
+    }
+  }
+  TraceRecorder::Uninstall();
+  const std::string json = recorder.ToJson();
+  ASSERT_TRUE(obs::ValidateTraceJson(json, {"outer", "inner"}).ok()) << json;
+  // The inner span closed first, so it sorts before the outer at flush
+  // (later start), and must be contained within the outer's window.
+  const size_t inner_pos = json.find("\"inner\"");
+  const size_t outer_pos = json.find("\"outer\"");
+  ASSERT_NE(inner_pos, std::string::npos);
+  ASSERT_NE(outer_pos, std::string::npos);
+  EXPECT_EQ(recorder.recorded(), 2u);
+  EXPECT_EQ(recorder.dropped(), 0u);
+}
+
+TEST(TraceTest, ThreadMergeIsDeterministic) {
+  // Two recorders fed the same logical events from different thread
+  // shardings must flush byte-identical JSON: the merge sorts by the total
+  // order, not arrival. Explicit timestamps before the recorder's origin
+  // all clamp to ts 0, so the (lane, dur) pair — distinct per event — is
+  // what carries the order here.
+  auto emit = [](TraceRecorder& rec, int threads) {
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&rec, t, threads] {
+        for (int i = t; i < 64; i += threads) {
+          rec.Complete("test", i % 2 == 0 ? "even" : "odd",
+                       /*start_mono_ns=*/1, /*dur_ns=*/static_cast<uint64_t>(i) + 1,
+                       /*lane=*/200 + (i % 3),
+                       {{"i", static_cast<uint64_t>(i)}});
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+  };
+  TraceRecorder one_thread, four_threads;
+  emit(one_thread, 1);
+  emit(four_threads, 4);
+  EXPECT_EQ(one_thread.ToJson(), four_threads.ToJson());
+  EXPECT_EQ(one_thread.recorded(), 64u);
+}
+
+TEST(TraceTest, RingOverflowCountsDroppedEvents) {
+  TraceRecorder recorder(/*ring_capacity=*/16);
+  for (int i = 0; i < 100; ++i) {
+    recorder.Instant("test", "tick", {}, /*lane=*/1,
+                     /*mono_ns=*/1000 + static_cast<uint64_t>(i));
+  }
+  EXPECT_EQ(recorder.recorded(), 100u);
+  EXPECT_EQ(recorder.dropped(), 84u);  // 100 - 16 overwritten
+  // The survivors are the newest 16.
+  const std::string json = recorder.ToJson();
+  EXPECT_TRUE(obs::ValidateTraceJson(json, {"tick"}).ok());
+}
+
+TEST(TraceTest, ValidateTraceJsonRejectsMalformedAndMissingSpans) {
+  // Not JSON at all.
+  EXPECT_FALSE(obs::ValidateTraceJson("not json", {}).ok());
+  // JSON but not a trace object.
+  EXPECT_FALSE(obs::ValidateTraceJson("[1,2,3]", {}).ok());
+  // Trace object with a malformed event (ph must be X/i/M).
+  EXPECT_FALSE(obs::ValidateTraceJson(
+                   R"({"traceEvents":[{"name":"a","cat":"c","ph":"Q",)"
+                   R"("pid":1,"tid":1,"ts":0}]})",
+                   {})
+                   .ok());
+  // X-phase event without dur.
+  EXPECT_FALSE(obs::ValidateTraceJson(
+                   R"({"traceEvents":[{"name":"a","cat":"c","ph":"X",)"
+                   R"("pid":1,"tid":1,"ts":0}]})",
+                   {})
+                   .ok());
+  // Valid event, but a required span is absent.
+  const std::string valid =
+      R"({"traceEvents":[{"name":"a","cat":"c","ph":"X",)"
+      R"("pid":1,"tid":1,"ts":0,"dur":1}]})";
+  EXPECT_TRUE(obs::ValidateTraceJson(valid, {"a"}).ok());
+  const Status missing = obs::ValidateTraceJson(valid, {"b"});
+  EXPECT_EQ(missing.code(), StatusCode::kNotFound);
+}
+
+TEST(TraceTest, DisabledRecordingIsAllocationFreeAndUnrecorded) {
+  TraceRecorder::Uninstall();
+  TraceRecorder recorder;  // exists but is NOT installed
+
+#ifdef DGS_OBS_TEST_COUNT_ALLOCS
+  const uint64_t before = g_allocations.load(std::memory_order_relaxed);
+#endif
+  for (int i = 0; i < 10000; ++i) {
+    TraceSpan span("test", "disabled");
+    span.Arg("i", static_cast<uint64_t>(i));
+    span.Arg("s", "static");
+    obs::TraceInstant("test", "disabled_instant",
+                      {{"x", static_cast<uint64_t>(i)}});
+  }
+#ifdef DGS_OBS_TEST_COUNT_ALLOCS
+  const uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before)
+      << "disabled instrument sites must not allocate";
+#endif
+  EXPECT_EQ(recorder.recorded(), 0u);
+}
+
+TEST(TraceTest, EngineMatchEmitsTheDistributedSpanTree) {
+  TracingOff guard;
+  Rng rng(2014);
+  Graph g = WebGraph(400, 1600, kDefaultAlphabet, rng);
+  auto assignment = PartitionWithBoundaryRatio(g, 4, 0.3, rng);
+  auto engine = Engine::Create(g, assignment, 4);
+  ASSERT_TRUE(engine.ok());
+  std::vector<Pattern> queries;
+  for (int i = 0; i < 8 && queries.empty(); ++i) {
+    PatternSpec spec;
+    spec.num_nodes = 3;
+    spec.num_edges = 3;
+    auto q = ExtractPattern(g, spec, rng);
+    if (q.ok()) queries.push_back(*q);
+  }
+  ASSERT_FALSE(queries.empty());
+
+  TraceRecorder recorder;
+  TraceRecorder::Install(&recorder);
+  auto outcome = (*engine)->Match(queries[0], QueryOptions{});
+  TraceRecorder::Uninstall();
+  ASSERT_TRUE(outcome.ok());
+
+  const std::string json = recorder.ToJson();
+  const Status valid = obs::ValidateTraceJson(
+      json, {"engine.match", "engine.bind", "engine.run", "cluster.run",
+             "cluster.round", "cluster.merge", "site.compute"});
+  EXPECT_TRUE(valid.ok()) << valid.ToString();
+}
+
+// --------------------------------------------------------------------------
+// Metrics registry.
+// --------------------------------------------------------------------------
+
+TEST(MetricsRegistryTest, PrometheusTextExposesAllKinds) {
+  MetricsRegistry registry;
+  registry.AddCounter("dgs_test_total", "a counter", [] { return 3.0; });
+  registry.AddGauge("dgs_test_depth", "a gauge", [] { return 1.5; });
+  registry.AddHistogram(
+      "dgs_test_latency_seconds", "a histogram",
+      [] {
+        HistogramSnapshot h;
+        h.Record(1000000000);  // 1s in ns
+        h.Record(2000000000);
+        return h;
+      });
+  ASSERT_TRUE(registry.Lint().ok());
+  const std::string text = registry.PrometheusText();
+  EXPECT_NE(text.find("# TYPE dgs_test_total counter"), std::string::npos);
+  EXPECT_NE(text.find("dgs_test_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE dgs_test_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("dgs_test_latency_seconds{quantile=\"0.99\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("dgs_test_latency_seconds_count 2"), std::string::npos);
+  // JSON dump mentions the same metrics.
+  const std::string json = registry.JsonDump();
+  EXPECT_NE(json.find("\"dgs_test_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"p99\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, LintCatchesDuplicatesAndBadNames) {
+  {
+    MetricsRegistry registry;
+    registry.AddCounter("dgs_dup_total", "one", [] { return 0.0; });
+    registry.AddCounter("dgs_dup_total", "two", [] { return 0.0; });
+    EXPECT_FALSE(registry.Lint().ok());
+  }
+  {
+    // A histogram expands to name{quantile}, name_sum, name_count — a
+    // scalar colliding with an expansion is a duplicate too.
+    MetricsRegistry registry;
+    registry.AddHistogram("dgs_h_seconds", "h",
+                          [] { return HistogramSnapshot{}; });
+    registry.AddCounter("dgs_h_seconds_count", "collides",
+                        [] { return 0.0; });
+    EXPECT_FALSE(registry.Lint().ok());
+  }
+  {
+    MetricsRegistry registry;
+    registry.AddCounter("0bad name", "bad", [] { return 0.0; });
+    EXPECT_FALSE(registry.Lint().ok());
+  }
+}
+
+TEST(MetricsRegistryTest, CheckMonotonicFlagsCounterRegression) {
+  double value = 5.0;
+  MetricsRegistry registry;
+  registry.AddCounter("dgs_mono_total", "counter", [&] { return value; });
+  registry.AddGauge("dgs_free_gauge", "gauge", [&] { return value * 2; });
+  const std::string before = registry.PrometheusText();
+  value = 7.0;  // counter grows, fine
+  const std::string grew = registry.PrometheusText();
+  EXPECT_TRUE(MetricsRegistry::CheckMonotonic(before, grew).ok());
+  value = 1.0;  // counter shrank: violation
+  const std::string shrank = registry.PrometheusText();
+  EXPECT_FALSE(MetricsRegistry::CheckMonotonic(before, shrank).ok());
+  // Gauges may move freely — only counters are held to monotonicity, so
+  // the "grew" pair passing above already covers the moving gauge.
+}
+
+}  // namespace
+}  // namespace dgs

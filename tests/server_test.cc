@@ -486,5 +486,96 @@ TEST(ServerTest, BorrowedFragmentationSharedAcrossServerAndEngine) {
   EXPECT_TRUE(served->result == ComputeSimulation(w.queries[0], w.g));
 }
 
+
+TEST(ServerTest, StatsSnapshotIsConsistentUnderConcurrentScrapes) {
+  Workload w = MakeWorkload();
+  ASSERT_GE(w.queries.size(), 2u);
+  ServerOptions options;
+  options.num_replicas = 2;
+  options.engine.num_threads = 1;
+  options.cache = CacheMode::kOff;
+  options.max_queue = 4;  // small queue so some submits shed under load
+  auto server = Server::Create(w.g, w.assignment, 6, options);
+  ASSERT_TRUE(server.ok());
+
+  // Hammer: client threads submit while scraper threads snapshot. Every
+  // snapshot — taken mid-flight — must satisfy the documented cross-field
+  // invariants; a torn read (counters from different instants) would
+  // violate them.
+  std::atomic<bool> stop{false};
+  std::atomic<int> violations{0};
+  std::vector<std::thread> scrapers;
+  for (int s = 0; s < 2; ++s) {
+    scrapers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const ServerStats stats = (*server)->StatsSnapshot();
+        const uint64_t completed = stats.served + stats.failed +
+                                   stats.expired + stats.rejected_overload +
+                                   stats.rejected_shutdown;
+        if (stats.served > stats.submitted) ++violations;
+        if (stats.admitted > stats.submitted) ++violations;
+        if (completed > stats.submitted) ++violations;
+        if (stats.retry_successes > stats.retries) ++violations;
+        if (stats.degraded_rejections > stats.rejected_overload) ++violations;
+        if (stats.latency.e2e_served.count() > stats.served) ++violations;
+        if (stats.latency.queue_wait.count() > stats.admitted) ++violations;
+      }
+    });
+  }
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([&] {
+      for (int round = 0; round < 8; ++round) {
+        std::vector<ServerTicket> tickets;
+        for (const Pattern& q : w.queries) {
+          tickets.push_back((*server)->Submit(q));
+        }
+        for (auto& t : tickets) (void)t.Wait();
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  stop = true;
+  for (auto& t : scrapers) t.join();
+  EXPECT_EQ(violations.load(), 0);
+
+  // Quiesced: the latency histograms are populated and exactly partition
+  // the completions they track.
+  (*server)->Shutdown();
+  const ServerStats stats = (*server)->StatsSnapshot();
+  EXPECT_GT(stats.served, 0u);
+  EXPECT_EQ(stats.latency.e2e_served.count() +
+                stats.latency.e2e_cache_hit.count(),
+            stats.served);
+  EXPECT_EQ(stats.latency.e2e_failed.count(), stats.failed);
+  EXPECT_GE(stats.latency.queue_wait.count(), stats.served - stats.latency.e2e_cache_hit.count());
+  EXPECT_GT(stats.latency.e2e_served.ValueAtQuantile(0.99), 0u);
+  // p50 <= p95 <= p99 on a populated histogram.
+  const auto& h = stats.latency.e2e_served;
+  EXPECT_LE(h.ValueAtQuantile(0.5), h.ValueAtQuantile(0.95));
+  EXPECT_LE(h.ValueAtQuantile(0.95), h.ValueAtQuantile(0.99));
+}
+
+TEST(ServerTest, RegisterMetricsExposesLintCleanMonotoneCounters) {
+  Workload w = MakeWorkload();
+  ASSERT_GE(w.queries.size(), 1u);
+  ServerOptions options;
+  options.num_replicas = 1;
+  auto server = Server::Create(w.g, w.assignment, 6, options);
+  ASSERT_TRUE(server.ok());
+
+  obs::MetricsRegistry registry;
+  (*server)->RegisterMetrics(&registry);
+  ASSERT_TRUE(registry.Lint().ok()) << registry.Lint().ToString();
+  const std::string before = registry.PrometheusText();
+  ASSERT_TRUE((*server)->Match(w.queries[0]).ok());
+  const std::string after = registry.PrometheusText();
+  const Status mono = obs::MetricsRegistry::CheckMonotonic(before, after);
+  EXPECT_TRUE(mono.ok()) << mono.ToString();
+  // The query moved the counters the scrape reads from StatsSnapshot().
+  EXPECT_NE(after.find("dgs_server_served_total 1"), std::string::npos)
+      << after;
+}
+
 }  // namespace
 }  // namespace dgs
